@@ -1,0 +1,94 @@
+//! Substrate microbenchmarks: throughput of the simulated runtime's
+//! core operations (spawn, unbuffered rendezvous, buffered transfer,
+//! select). These bound the cost of every higher-level experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gosim::script::{fnb, Expr, Prog};
+use gosim::Runtime;
+use std::hint::black_box;
+
+fn pingpong(n: i64, cap: usize) -> Prog {
+    Prog::build(move |p| {
+        p.func(fnb("main", "bench.go").body(|b| {
+            b.make_chan("ch", cap, 2);
+            b.go_closure(3, |g| {
+                g.for_n("i", Expr::Lit(gosim::Val::Int(n)), 4, |l| {
+                    l.send("ch", Expr::var("i"), 5);
+                });
+                g.close("ch", 6);
+            });
+            b.for_range(Some("v"), "ch", 8, |_| {});
+        }));
+    })
+}
+
+fn spawn_wave(n: i64) -> Prog {
+    Prog::build(move |p| {
+        p.func(fnb("main", "bench.go").body(|b| {
+            b.make_wg("wg", 1);
+            b.wg_add("wg", Expr::Lit(gosim::Val::Int(n)), 2);
+            b.for_n("i", Expr::Lit(gosim::Val::Int(n)), 3, |l| {
+                l.go_closure(4, |g| {
+                    g.wg_done("wg", 5);
+                });
+            });
+            b.wg_wait("wg", 7);
+        }));
+    })
+}
+
+fn select_storm(n: i64) -> Prog {
+    Prog::build(move |p| {
+        p.func(fnb("main", "bench.go").body(|b| {
+            b.make_chan("a", 1, 2);
+            b.make_chan("bch", 1, 3);
+            b.go_closure(4, |g| {
+                g.for_n("i", Expr::Lit(gosim::Val::Int(n)), 5, |l| {
+                    l.send("a", Expr::var("i"), 6);
+                });
+            });
+            b.go_closure(8, |g| {
+                g.for_n("i", Expr::Lit(gosim::Val::Int(n)), 9, |l| {
+                    l.send("bch", Expr::var("i"), 10);
+                });
+            });
+            b.for_n("j", Expr::Lit(gosim::Val::Int(2 * n)), 12, |l| {
+                l.select(13, |s| {
+                    s.recv_arm(Some("x"), "a", 14, |_| {});
+                    s.recv_arm(Some("y"), "bch", 15, |_| {});
+                });
+            });
+        }));
+    })
+}
+
+fn run(prog: &Prog) -> u64 {
+    let mut rt = Runtime::with_seed(0);
+    prog.spawn_main(&mut rt);
+    rt.run_until_blocked(10_000_000);
+    rt.stats().msgs_transferred
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime");
+    const N: i64 = 10_000;
+    group.throughput(Throughput::Elements(N as u64));
+    for cap in [0usize, 64] {
+        let prog = pingpong(N, cap);
+        group.bench_with_input(BenchmarkId::new("chan_transfer", cap), &prog, |b, p| {
+            b.iter(|| black_box(run(p)))
+        });
+    }
+    let sp = spawn_wave(N);
+    group.bench_function("spawn_join_10k", |b| b.iter(|| black_box(run(&sp))));
+    let sel = select_storm(N / 2);
+    group.bench_function("select_10k", |b| b.iter(|| black_box(run(&sel))));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ops
+}
+criterion_main!(benches);

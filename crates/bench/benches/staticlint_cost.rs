@@ -1,0 +1,69 @@
+//! Table III offline-cost column: analysis time of each static baseline
+//! (and the range linter) over a fixed corpus slice, versus the dynamic
+//! pipeline's test-execution cost on the same slice.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use corpus::{Corpus, CorpusConfig};
+use leakcore::ci::{CiConfig, CiGate};
+use staticlint::{AbsInt, Analyzer, ModelCheck, PathCheck, RangeClose};
+use std::hint::black_box;
+
+fn slice() -> Vec<minigo::ast::File> {
+    let repo = Corpus::generate(CorpusConfig {
+        packages: 120,
+        leak_rate: 0.3,
+        seed: 0xC057,
+        ..CorpusConfig::default()
+    });
+    repo.packages.iter().flat_map(|p| p.parse()).collect()
+}
+
+fn bench_static(c: &mut Criterion) {
+    let files = slice();
+    let mut group = c.benchmark_group("staticlint");
+    group.bench_function("pathcheck", |b| {
+        let a = PathCheck::new();
+        b.iter(|| black_box(a.analyze_files(&files).len()))
+    });
+    group.bench_function("absint", |b| {
+        let a = AbsInt::new();
+        b.iter(|| black_box(a.analyze_files(&files).len()))
+    });
+    group.bench_function("modelcheck", |b| {
+        let a = ModelCheck::new();
+        b.iter(|| black_box(a.analyze_files(&files).len()))
+    });
+    group.bench_function("rangeclose", |b| {
+        let a = RangeClose::new();
+        b.iter(|| black_box(a.analyze_files(&files).len()))
+    });
+    group.finish();
+}
+
+fn bench_dynamic_gate(c: &mut Criterion) {
+    let repo = Corpus::generate(CorpusConfig {
+        packages: 120,
+        leak_rate: 0.3,
+        seed: 0xC057,
+        ..CorpusConfig::default()
+    });
+    let gate = CiGate::new(CiConfig::default());
+    c.bench_function("dynamic_gate/run_all_tests", |b| {
+        b.iter(|| {
+            let mut leaks = 0usize;
+            for pkg in &repo.packages {
+                for o in gate.run_package(pkg) {
+                    leaks += o.verdict.new_leaks.len();
+                }
+            }
+            black_box(leaks)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_static, bench_dynamic_gate
+}
+criterion_main!(benches);

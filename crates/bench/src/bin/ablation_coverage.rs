@@ -1,0 +1,78 @@
+//! Ablation: test coverage — the reason LeakProf exists.
+//!
+//! GOLEAK's recall is bounded by the test suite: a leak on a path no
+//! test exercises is invisible to it, while static analysis (which reads
+//! all code) and production profiling (which sees all traffic) are not.
+//! This experiment deletes a growing fraction of the corpus's tests and
+//! measures goleak's recall against the static baseline's, reproducing
+//! the paper's motivation: "there may still be inputs, path conditions,
+//! and interleavings ... without proper test coverage, potentially
+//! allowing partial deadlocks to still sneak into production".
+
+use std::collections::BTreeSet;
+
+use corpus::{Corpus, CorpusConfig, KindMix};
+use gosim::rng::SplitMix64;
+use leakcore::ci::{CiConfig, CiGate};
+use staticlint::{Analyzer, PathCheck};
+
+fn main() {
+    let repo = Corpus::generate(CorpusConfig {
+        packages: 250,
+        leak_rate: 0.4,
+        seed: 0xC0FE,
+        mix: KindMix::concurrent_heavy(),
+        ..CorpusConfig::default()
+    });
+    let truth = repo.truth_locs();
+    let gate = CiGate::new(CiConfig::default());
+
+    // Static recall is coverage-independent: compute once.
+    let pc = PathCheck::new();
+    let mut static_found: BTreeSet<(String, u32)> = BTreeSet::new();
+    for pkg in &repo.packages {
+        for f in pc.analyze_files(&pkg.parse()) {
+            let key = (f.loc.file.to_string(), f.loc.line);
+            if truth.contains(&key) {
+                static_found.insert(key);
+            }
+        }
+    }
+    let static_recall = 100.0 * static_found.len() as f64 / truth.len() as f64;
+
+    let mut table = String::from("test coverage | goleak recall | pathcheck recall\n");
+    table.push_str("--------------+---------------+-----------------\n");
+    let mut csv = String::from("coverage,goleak_recall,static_recall\n");
+    for keep_pct in [100u64, 80, 60, 40, 20, 0] {
+        let mut rng = SplitMix64::new(keep_pct ^ 0xAB);
+        let mut found: BTreeSet<(String, u32)> = BTreeSet::new();
+        for pkg in &repo.packages {
+            let mut thinned = pkg.clone();
+            thinned.test_funcs.retain(|_| rng.next_below(100) < keep_pct);
+            for outcome in gate.run_package(&thinned) {
+                for leak in outcome.verdict.all_leaks() {
+                    if let Some(f) = &leak.blocking_frame {
+                        let key = (f.loc.file.to_string(), f.loc.line);
+                        if truth.contains(&key) {
+                            found.insert(key);
+                        }
+                    }
+                }
+            }
+        }
+        let recall = 100.0 * found.len() as f64 / truth.len() as f64;
+        table.push_str(&format!(
+            "{keep_pct:>12}% | {recall:>12.1}% | {static_recall:>15.1}%\n"
+        ));
+        csv.push_str(&format!("{keep_pct},{recall:.1},{static_recall:.1}\n"));
+    }
+    println!("{table}");
+    println!(
+        "reading: goleak's recall tracks test coverage linearly while static\n\
+         analysis is flat — and production profiling (LeakProf) sees whatever\n\
+         traffic exercises, regardless of tests. This is the paper's rationale\n\
+         for pairing the CI gate with a production monitor (Fig 3)."
+    );
+    bench::save("ablation_coverage.txt", &table);
+    bench::save("ablation_coverage.csv", &csv);
+}

@@ -1,0 +1,68 @@
+//! Fig 2 reproduction: CPU consumption of a production microservice
+//! before and after fixing a partial deadlock (paper: max utilization
+//! down 34%, average down 16.5%, with diurnal crests and troughs).
+
+use fleet::{default_service, handlers, Fleet, FleetConfig, HandlerArg};
+
+fn main() {
+    const FIX_DAY: u32 = 7;
+    const DAYS: u32 = 14;
+    let mut f = Fleet::new(FleetConfig { ticks_per_day: 96, seed: 0xF162, ..FleetConfig::default() });
+    let mut spec = default_service(
+        "svc",
+        4,
+        handlers::contract_leak("svc", 20_000),
+        handlers::contract_fixed("svc", 20_000),
+    );
+    spec.arg = HandlerArg::False; // leaky handler never calls Stop
+    spec.leak_activation = 0.5;
+    spec.fix_day = Some(FIX_DAY);
+    spec.cpu_per_goroutine = 3.3e-5;
+    spec.cpu_per_mb = 7.0e-4;
+    f.add_service(spec);
+    f.run_days(DAYS);
+
+    let mut csv = String::from("day,instance,cpu\n");
+    let mut series: Vec<Vec<(f64, f64)>> = vec![Vec::new(); 4];
+    for s in f.samples() {
+        csv.push_str(&format!("{:.4},{},{:.4}\n", s.day, s.instance, s.cpu));
+        series[s.instance].push((s.day, s.cpu));
+    }
+    let labelled: Vec<(&str, &[(f64, f64)])> =
+        series.iter().map(|s| ("instance", s.as_slice())).collect();
+    println!(
+        "{}",
+        bench::ascii_plot("Fig 2: CPU utilization over days; fix deploys at day 7", &labelled, 96, 16)
+    );
+
+    let stats = |lo: f64, hi: f64| -> (f64, f64) {
+        let xs: Vec<f64> = f
+            .samples()
+            .iter()
+            .filter(|s| s.day >= lo && s.day < hi)
+            .map(|s| s.cpu)
+            .collect();
+        let max = xs.iter().copied().fold(0.0, f64::max);
+        let avg = xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+        (max, avg)
+    };
+    // Compare matched diurnal windows (skip the rollout day).
+    let (max_b, avg_b) = stats(FIX_DAY as f64 - 3.0, FIX_DAY as f64);
+    let (max_a, avg_a) = stats(FIX_DAY as f64 + 1.0, FIX_DAY as f64 + 4.0);
+    let max_red = 100.0 * (1.0 - max_a / max_b);
+    let avg_red = 100.0 * (1.0 - avg_a / avg_b);
+    println!(
+        "max CPU: {max_b:.3} -> {max_a:.3} ({max_red:.1}% reduction; paper 34%)\n\
+         avg CPU: {avg_b:.3} -> {avg_a:.3} ({avg_red:.1}% reduction; paper 16.5%)"
+    );
+    assert!(max_red > 10.0, "fix must visibly reduce max CPU, got {max_red:.1}%");
+    assert!(
+        max_red > avg_red,
+        "GC-pacing coupling makes the crest suffer most: max {max_red:.1}% vs avg {avg_red:.1}%"
+    );
+    bench::save("fig2_cpu.csv", &csv);
+    bench::save(
+        "fig2_summary.txt",
+        &format!("max_reduction_pct={max_red:.1}\navg_reduction_pct={avg_red:.1}\n"),
+    );
+}

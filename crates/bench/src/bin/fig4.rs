@@ -1,0 +1,43 @@
+//! Fig 4 reproduction: the concrete, profile-extracted stack of a
+//! goroutine blocked at `transactions/cost.go:8` — the signature
+//! LeakProf keys on (`runtime.gopark` over `runtime.chansend1` over the
+//! user frame).
+
+use gosim::{Runtime, Val};
+
+fn main() {
+    let src = r#"
+package transactions
+
+func ComputeCost(err bool) {
+	ch := make(chan int)
+	go func() {
+		sim.Work(3)
+		ch <- 1
+	}()
+	if err {
+		return
+	}
+	disc := <-ch
+	_ = disc
+}
+"#;
+    let prog = minigo::compile(src, "transactions/cost.go").expect("listing 1 compiles");
+    let mut rt = Runtime::with_seed(0);
+    prog.spawn_func(&mut rt, "transactions.ComputeCost", vec![Val::Bool(true)])
+        .expect("entry exists");
+    rt.run_until_blocked(10_000);
+
+    let profile = rt.goroutine_profile("prod-instance-42");
+    let rendered = profile.render();
+    println!("{rendered}");
+
+    let g = &profile.goroutines[0];
+    let op = leakprof::blocked_op(g).expect("signature detection fires");
+    println!(
+        "LeakProf signature: kind={} loc={}  (paper Fig 4: blocked at transactions/cost.go:8)",
+        op.kind, op.loc
+    );
+    assert_eq!(op.loc.to_string(), "transactions/cost.go:8");
+    bench::save("fig4_stack.txt", &rendered);
+}

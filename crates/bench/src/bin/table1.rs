@@ -1,0 +1,18 @@
+//! Table I reproduction: distribution of packages with concurrency
+//! features over the generated monorepo (scaled ~1:100 of the paper's).
+
+use corpus::{census, Corpus, CorpusConfig};
+
+fn main() {
+    let repo = Corpus::generate(CorpusConfig::default());
+    let c = census(&repo);
+    let rendered = c.render_table1();
+    println!("{rendered}");
+    println!(
+        "paper (1:1 scale): MP 4,699 pkgs | SM 6,627 | MP∩SM 2,416 | total 119,816; \
+         this corpus is generated at ~1:100 with the same proportions."
+    );
+    let json = serde_json::to_string_pretty(&c).expect("census serializes");
+    bench::save("table1_census.json", &json);
+    bench::save("table1.txt", &rendered);
+}

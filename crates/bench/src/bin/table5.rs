@@ -1,0 +1,122 @@
+//! Table V reproduction: per-service peak memory before and after the
+//! leak fix, plus the instance capacity the fix releases.
+//!
+//! Thirteen services with the paper's instance counts (scaled 1:10 for
+//! the largest) run for several virtual days with a leaky handler, the
+//! fix deploys mid-window, and the peaks on both sides are measured from
+//! the simulated RSS series.
+
+use fleet::{default_service, handlers, Fleet, FleetConfig, HandlerArg};
+
+struct Svc {
+    name: &'static str,
+    paper_instances: u32,
+    instances: usize,
+    buf: u64,
+    activation: f64,
+}
+
+fn main() {
+    // Paper Table V service roster (instances scaled down for the sim).
+    let roster = [
+        Svc { name: "S1", paper_instances: 5854, instances: 12, buf: 384000, activation: 0.5 },
+        Svc { name: "S2", paper_instances: 612, instances: 8, buf: 48000, activation: 0.12 },
+        Svc { name: "S3", paper_instances: 199, instances: 6, buf: 176000, activation: 0.4 },
+        Svc { name: "S4", paper_instances: 120, instances: 6, buf: 144000, activation: 0.35 },
+        Svc { name: "S5", paper_instances: 72, instances: 5, buf: 240000, activation: 0.45 },
+        Svc { name: "S6", paper_instances: 66, instances: 5, buf: 320000, activation: 0.6 },
+        Svc { name: "S7", paper_instances: 64, instances: 5, buf: 112000, activation: 0.3 },
+        Svc { name: "S8", paper_instances: 19, instances: 4, buf: 72000, activation: 0.18 },
+        Svc { name: "S9", paper_instances: 18, instances: 4, buf: 416000, activation: 0.7 },
+        Svc { name: "S10", paper_instances: 10, instances: 3, buf: 96000, activation: 0.22 },
+        Svc { name: "S11", paper_instances: 9, instances: 3, buf: 104000, activation: 0.25 },
+        Svc { name: "S12", paper_instances: 6, instances: 3, buf: 256000, activation: 0.55 },
+        Svc { name: "S13", paper_instances: 6, instances: 3, buf: 360000, activation: 0.65 },
+    ];
+    const FIX_DAY: u32 = 4;
+    const DAYS: u32 = 9;
+
+    let mut f = Fleet::new(FleetConfig { ticks_per_day: 48, seed: 0x7AB1E5, ..FleetConfig::default() });
+    for s in &roster {
+        let mut spec = default_service(
+            s.name,
+            s.instances,
+            handlers::timeout_leak(&s.name.to_lowercase(), s.buf),
+            handlers::timeout_fixed(&s.name.to_lowercase(), s.buf),
+        );
+        spec.arg = HandlerArg::NilCtx;
+        spec.peak_rps = 48.0;
+        spec.sample_rate = 16;
+        spec.leak_activation = s.activation;
+        spec.fix_day = Some(FIX_DAY);
+        spec.base_rss = 256 * 1024 * 1024;
+        f.add_service(spec);
+    }
+    f.run_days(DAYS);
+
+    let mut out = String::new();
+    out.push_str(
+        "Service (#inst, paper #inst) | peak before (GB) | peak after (GB) | saved | capacity/inst before->after\n",
+    );
+    out.push_str(&"-".repeat(100));
+    out.push('\n');
+    let mut csv = String::from("service,instances,peak_before_gb,peak_after_gb,saved_pct,cap_before_gb,cap_after_gb\n");
+    for s in &roster {
+        // Service-wide peak = max over ticks of the sum across instances.
+        let mut per_tick_before: std::collections::BTreeMap<u64, u64> = Default::default();
+        let mut per_tick_after: std::collections::BTreeMap<u64, u64> = Default::default();
+        let mut inst_peak_before = 0u64;
+        let mut inst_peak_after = 0u64;
+        for sample in f.samples().iter().filter(|x| x.service == s.name) {
+            let key = (sample.day * 1e4) as u64;
+            if sample.day < FIX_DAY as f64 {
+                *per_tick_before.entry(key).or_insert(0) += sample.rss;
+                inst_peak_before = inst_peak_before.max(sample.rss);
+            } else if sample.day >= (FIX_DAY + 1) as f64 {
+                *per_tick_after.entry(key).or_insert(0) += sample.rss;
+                inst_peak_after = inst_peak_after.max(sample.rss);
+            }
+        }
+        let gb = |b: u64| b as f64 / (1024.0 * 1024.0 * 1024.0);
+        let before = per_tick_before.values().copied().max().unwrap_or(0);
+        let after = per_tick_after.values().copied().max().unwrap_or(0);
+        let saved = 100.0 * (1.0 - after as f64 / before.max(1) as f64);
+        // Capacity provisioning: next power-of-two GB above instance peak.
+        let cap = |b: u64| -> f64 {
+            let g = gb(b);
+            let mut c = 1.0;
+            while c < g {
+                c *= 2.0;
+            }
+            c
+        };
+        out.push_str(&format!(
+            "{:<4} ({:>2}, {:>4})             | {:>16.2} | {:>15.2} | {:>4.0}% | {:>4.0} -> {:.0} GB\n",
+            s.name,
+            s.instances,
+            s.paper_instances,
+            gb(before),
+            gb(after),
+            saved,
+            cap(inst_peak_before),
+            cap(inst_peak_after),
+        ));
+        csv.push_str(&format!(
+            "{},{},{:.3},{:.3},{:.1},{:.0},{:.0}\n",
+            s.name,
+            s.instances,
+            gb(before),
+            gb(after),
+            saved,
+            cap(inst_peak_before),
+            cap(inst_peak_after)
+        ));
+    }
+    println!("{out}");
+    println!(
+        "paper Table V shape: every service's peak drops after the fix (9%..78% saved),\n\
+         and most services shrink their per-instance capacity reservation."
+    );
+    bench::save("table5.txt", &out);
+    bench::save("table5.csv", &csv);
+}

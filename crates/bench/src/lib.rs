@@ -1,0 +1,98 @@
+//! Shared utilities for the experiment binaries: results persistence and
+//! quick ASCII plotting.
+//!
+//! Every `cargo run -p bench --bin <experiment>` writes its machine-
+//! readable output (CSV/JSON) under `results/` at the workspace root and
+//! prints a human-readable rendering, so EXPERIMENTS.md can cite both.
+
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Resolves the workspace `results/` directory (creating it if needed).
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; results live two levels up.
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("results");
+    let _ = fs::create_dir_all(&p);
+    p
+}
+
+/// Writes an artifact into `results/` and reports the path on stdout.
+pub fn save(name: &str, content: &str) {
+    let path = results_dir().join(name);
+    fs::write(&path, content).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!("[saved {}]", path.display());
+}
+
+/// Renders an ASCII line plot of one or more labelled series sharing an
+/// x axis. Intended for quick shape inspection in a terminal; the CSV
+/// artifact carries the precise numbers.
+pub fn ascii_plot(title: &str, series: &[(&str, &[(f64, f64)])], width: usize, height: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "── {title} ──");
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|(_, s)| s.iter().copied()).collect();
+    if all.is_empty() {
+        return out;
+    }
+    let (xmin, xmax) = all.iter().fold((f64::MAX, f64::MIN), |(a, b), (x, _)| (a.min(*x), b.max(*x)));
+    let (ymin, ymax) = all.iter().fold((f64::MAX, f64::MIN), |(a, b), (_, y)| (a.min(*y), b.max(*y)));
+    let yspan = (ymax - ymin).max(1e-12);
+    let xspan = (xmax - xmin).max(1e-12);
+    let marks = ['*', '+', 'o', 'x', '#'];
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        for (x, y) in pts.iter() {
+            let col = (((x - xmin) / xspan) * (width - 1) as f64).round() as usize;
+            let row = (((ymax - y) / yspan) * (height - 1) as f64).round() as usize;
+            grid[row.min(height - 1)][col.min(width - 1)] = marks[si % marks.len()];
+        }
+    }
+    let _ = writeln!(out, "{ymax:>12.3e} ┐");
+    for row in grid {
+        let line: String = row.into_iter().collect();
+        let _ = writeln!(out, "{:>12} │{line}", "");
+    }
+    let _ = writeln!(out, "{ymin:>12.3e} ┘ x: {xmin:.2} .. {xmax:.2}");
+    for (si, (label, _)) in series.iter().enumerate() {
+        let _ = writeln!(out, "   {} = {label}", marks[si % marks.len()]);
+    }
+    out
+}
+
+/// Formats bytes human-readably.
+pub fn human_bytes(b: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = b as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u < UNITS.len() - 1 {
+        v /= 1024.0;
+        u += 1;
+    }
+    format!("{v:.2} {}", UNITS[u])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(512), "512.00 B");
+        assert_eq!(human_bytes(2048), "2.00 KiB");
+        assert!(human_bytes(3 * 1024 * 1024 * 1024).contains("GiB"));
+    }
+
+    #[test]
+    fn ascii_plot_contains_series_markers() {
+        let s1 = [(0.0, 1.0), (1.0, 2.0)];
+        let s2 = [(0.0, 2.0), (1.0, 1.0)];
+        let p = ascii_plot("t", &[("a", &s1), ("b", &s2)], 20, 6);
+        assert!(p.contains('*') && p.contains('+'));
+        assert!(p.contains("t"));
+    }
+}

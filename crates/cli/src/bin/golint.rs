@@ -1,0 +1,82 @@
+//! `golint` — run the static partial-deadlock analyzers over `.go` files.
+//!
+//! ```text
+//! golint <files-or-dirs...> [--tool pathcheck|absint|modelcheck|rangeclose|all]
+//!                           [--wrappers]   # recognize wrapper spawns
+//! ```
+//!
+//! Exit code: 0 when no findings, 1 when findings exist, 2 on errors.
+
+use std::process::ExitCode;
+
+use leaklab_cli::{collect_go_files, flag, read_source, split_flags};
+use staticlint::absint::{AbsInt, AbsIntConfig};
+use staticlint::modelcheck::ModelCheck;
+use staticlint::pathcheck::{PathCheck, PathCheckConfig};
+use staticlint::{Analyzer, RangeClose};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (pos, flags) = split_flags(args);
+    let files = collect_go_files(&pos);
+    if files.is_empty() {
+        eprintln!("usage: golint <files-or-dirs...> [--tool NAME] [--wrappers]");
+        return ExitCode::from(2);
+    }
+    let tool = flag(&flags, "tool").unwrap_or("all");
+    let wrappers = flag(&flags, "wrappers").is_some();
+
+    let mut analyzers: Vec<Box<dyn Analyzer>> = Vec::new();
+    if tool == "all" || tool == "pathcheck" {
+        analyzers.push(Box::new(PathCheck {
+            config: PathCheckConfig { follow_wrappers: wrappers },
+        }));
+    }
+    if tool == "all" || tool == "absint" {
+        analyzers.push(Box::new(AbsInt {
+            config: AbsIntConfig { follow_wrappers: wrappers },
+        }));
+    }
+    if tool == "all" || tool == "modelcheck" {
+        analyzers.push(Box::new(ModelCheck::new()));
+    }
+    if tool == "all" || tool == "rangeclose" {
+        analyzers.push(Box::new(RangeClose::new()));
+    }
+    if analyzers.is_empty() {
+        eprintln!("error: unknown tool {tool}");
+        return ExitCode::from(2);
+    }
+
+    let mut parsed = Vec::new();
+    for f in &files {
+        let src = match read_source(f) {
+            Ok(s) => s,
+            Err(code) => return code,
+        };
+        match minigo::parse_file(&src, &f.display().to_string()) {
+            Ok(ast) => parsed.push(ast),
+            Err(diags) => {
+                for d in diags {
+                    eprintln!("{}: {d}", f.display());
+                }
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut total = 0;
+    for a in &analyzers {
+        for finding in a.analyze_files(&parsed) {
+            println!("{finding}");
+            total += 1;
+        }
+    }
+    if total == 0 {
+        println!("clean: no potential partial deadlocks found");
+        ExitCode::SUCCESS
+    } else {
+        println!("{total} finding(s)");
+        ExitCode::from(1)
+    }
+}

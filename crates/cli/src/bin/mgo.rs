@@ -1,0 +1,127 @@
+//! `mgo` — compile and run mini-Go programs on the simulated runtime.
+//!
+//! ```text
+//! mgo run   <files...> [--func pkg.F] [--seed N] [--ticks T]   execute
+//! mgo leaks <files...> [--func pkg.F] [--seed N]               goleak verdict
+//! mgo dump  <files...> [--func pkg.F] [--seed N]               goroutine profile
+//! ```
+//!
+//! Exit code: 0 on success / no leaks, 1 when leaks are found, 2 on
+//! usage or compile errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use gosim::Runtime;
+use leaklab_cli::{collect_go_files, flag, read_source, split_flags};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: mgo <run|leaks|dump> <files...> [--func pkg.F] [--seed N] [--ticks T]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+    let cmd = args.remove(0);
+    let (pos, flags) = split_flags(args);
+    let files = collect_go_files(&pos);
+    if files.is_empty() {
+        return usage();
+    }
+
+    let seed: u64 = flag(&flags, "seed").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let ticks: u64 = flag(&flags, "ticks").and_then(|v| v.parse().ok()).unwrap_or(10_000);
+
+    let mut sources = Vec::new();
+    for f in &files {
+        let src = match read_source(f) {
+            Ok(s) => s,
+            Err(code) => return code,
+        };
+        sources.push((src, f.display().to_string()));
+    }
+    let prog = match minigo::compile_many(&sources) {
+        Ok(p) => p,
+        Err(diags) => {
+            for d in diags {
+                eprintln!("error: {d}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    // Pick the entry: --func, else `main`, else the only zero-arg func.
+    let entry = match flag(&flags, "func") {
+        Some(f) => f.to_string(),
+        None => {
+            if prog.func("main").is_some() {
+                "main".to_string()
+            } else {
+                let mut names: Vec<&str> = prog.func_names().collect();
+                names.sort_unstable();
+                match names.as_slice() {
+                    [one] => one.to_string(),
+                    _ => {
+                        eprintln!(
+                            "error: multiple functions; pick one with --func (have: {})",
+                            names.join(", ")
+                        );
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+        }
+    };
+
+    let mut rt = Runtime::with_seed(seed);
+    if prog.spawn_func(&mut rt, &entry, vec![]).is_none() {
+        eprintln!("error: no function named {entry}");
+        return ExitCode::from(2);
+    }
+    rt.run_until_blocked(1_000_000);
+    rt.advance(ticks, 1_000_000);
+
+    match cmd.as_str() {
+        "run" => {
+            let stats = rt.stats();
+            println!(
+                "done: {} goroutines spawned, {} completed, {} panicked, {} messages, {} live",
+                stats.spawned,
+                stats.completed,
+                stats.panicked,
+                stats.msgs_transferred,
+                rt.live_count()
+            );
+            for e in rt.exits().iter().filter(|e| e.panic.is_some()) {
+                println!("  panic in {}: {}", e.name, e.panic.as_deref().unwrap_or(""));
+            }
+            ExitCode::SUCCESS
+        }
+        "leaks" => {
+            let leaks = goleak::find_with_retry(&mut rt, &goleak::Options::default());
+            if leaks.is_empty() {
+                println!("no goroutine leaks");
+                return ExitCode::SUCCESS;
+            }
+            println!("{} goroutine leak(s):", leaks.len());
+            for l in &leaks {
+                println!("  {l}");
+            }
+            ExitCode::from(1)
+        }
+        "dump" => {
+            let name = files
+                .first()
+                .map(|p: &PathBuf| p.display().to_string())
+                .unwrap_or_else(|| "mgo".into());
+            print!("{}", rt.goroutine_profile(name).render());
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,99 @@
+//! Shared plumbing for the leaklab command-line tools.
+//!
+//! The binaries in this crate are the "downstream user" face of the
+//! toolchain:
+//!
+//! * `mgo` — compile and run mini-Go programs on the simulated runtime,
+//!   with goleak verification and profile dumps;
+//! * `golint` — run the static analyzers (pathcheck/absint/modelcheck/
+//!   rangeclose) over `.go` files;
+//! * `leakprof-cli` — analyze goroutine-profile JSON files offline, the
+//!   way the paper's LeakProf consumes pprof dumps;
+//! * `corpusgen` — materialize a ground-truth-labelled corpus on disk.
+
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Reads a source file, exiting with a message on failure.
+pub fn read_source(path: &Path) -> Result<String, ExitCode> {
+    fs::read_to_string(path).map_err(|e| {
+        eprintln!("error: cannot read {}: {e}", path.display());
+        ExitCode::from(2)
+    })
+}
+
+/// Expands arguments into `.go` files: plain files pass through,
+/// directories are walked recursively.
+pub fn collect_go_files(args: &[String]) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for a in args {
+        let p = PathBuf::from(a);
+        if p.is_dir() {
+            walk(&p, &mut out);
+        } else {
+            out.push(p);
+        }
+    }
+    out.sort();
+    out
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let p = entry.path();
+        if p.is_dir() {
+            walk(&p, out);
+        } else if p.extension().map(|e| e == "go").unwrap_or(false) {
+            out.push(p);
+        }
+    }
+}
+
+/// Parses `--flag value` style options out of an argument list, returning
+/// (positional, flags).
+pub fn split_flags(args: Vec<String>) -> (Vec<String>, Vec<(String, String)>) {
+    let mut pos = Vec::new();
+    let mut flags = Vec::new();
+    let mut it = args.into_iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = if it.peek().map(|v| !v.starts_with("--")).unwrap_or(false) {
+                it.next().expect("peeked")
+            } else {
+                "true".to_string()
+            };
+            flags.push((name.to_string(), value));
+        } else {
+            pos.push(a);
+        }
+    }
+    (pos, flags)
+}
+
+/// Looks up a flag value.
+pub fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    flags.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_flags_separates_positional_and_options() {
+        let (pos, flags) = split_flags(
+            ["a.go", "--seed", "7", "b.go", "--verbose"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        );
+        assert_eq!(pos, vec!["a.go", "b.go"]);
+        assert_eq!(flag(&flags, "seed"), Some("7"));
+        assert_eq!(flag(&flags, "verbose"), Some("true"));
+        assert_eq!(flag(&flags, "missing"), None);
+    }
+}

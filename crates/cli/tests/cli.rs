@@ -1,0 +1,172 @@
+//! End-to-end CLI tests: the tools drive the same pipelines as the
+//! library, through real processes and real files.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("leaklab-cli-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+const LEAKY: &str = r#"
+package demo
+
+func main() {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+}
+"#;
+
+const CLEAN: &str = r#"
+package demo
+
+func main() {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 1
+	}()
+	<-ch
+}
+"#;
+
+#[test]
+fn mgo_leaks_exit_codes() {
+    let dir = tmp_dir("mgo");
+    let leaky = dir.join("leak.go");
+    let clean = dir.join("clean.go");
+    fs::write(&leaky, LEAKY).unwrap();
+    fs::write(&clean, CLEAN).unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_mgo"))
+        .args(["leaks", leaky.to_str().unwrap()])
+        .output()
+        .expect("mgo runs");
+    assert_eq!(out.status.code(), Some(1), "leaky file exits 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("chan send"), "{stdout}");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_mgo"))
+        .args(["leaks", clean.to_str().unwrap()])
+        .output()
+        .expect("mgo runs");
+    assert_eq!(out.status.code(), Some(0), "clean file exits 0");
+}
+
+#[test]
+fn mgo_dump_renders_profile() {
+    let dir = tmp_dir("dump");
+    let leaky = dir.join("leak.go");
+    fs::write(&leaky, LEAKY).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_mgo"))
+        .args(["dump", leaky.to_str().unwrap()])
+        .output()
+        .expect("mgo runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("runtime.gopark"), "{stdout}");
+    assert!(stdout.contains("chansend1"), "{stdout}");
+}
+
+#[test]
+fn mgo_rejects_bad_source() {
+    let dir = tmp_dir("bad");
+    let bad = dir.join("bad.go");
+    fs::write(&bad, "package p\nfunc F() { ??? }").unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_mgo"))
+        .args(["run", bad.to_str().unwrap()])
+        .output()
+        .expect("mgo runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn golint_flags_leaks_and_passes_clean_code() {
+    let dir = tmp_dir("lint");
+    let leaky = dir.join("leak.go");
+    fs::write(&leaky, LEAKY).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_golint"))
+        .args([leaky.to_str().unwrap(), "--tool", "pathcheck"])
+        .output()
+        .expect("golint runs");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("blocked send"));
+
+    // Path-sensitive tools pass the fixed code; `absint` (by design the
+    // most FP-prone baseline) would still grumble, so pick pathcheck.
+    let clean = dir.join("clean.go");
+    fs::write(&clean, CLEAN).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_golint"))
+        .args([clean.to_str().unwrap(), "--tool", "pathcheck"])
+        .output()
+        .expect("golint runs");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+}
+
+#[test]
+fn corpusgen_then_golint_on_the_tree() {
+    let dir = tmp_dir("corpus");
+    let out = Command::new(env!("CARGO_BIN_EXE_corpusgen"))
+        .args([
+            dir.to_str().unwrap(),
+            "--packages",
+            "12",
+            "--heavy",
+            "--leak-rate",
+            "0.8",
+            "--seed",
+            "5",
+        ])
+        .output()
+        .expect("corpusgen runs");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(dir.join("TRUTH.json").exists());
+    assert!(dir.join("OWNERS.tsv").exists());
+
+    // Lint the generated tree: with leak_rate 0.8 something must fire.
+    let out = Command::new(env!("CARGO_BIN_EXE_golint"))
+        .args([dir.to_str().unwrap(), "--tool", "pathcheck"])
+        .output()
+        .expect("golint runs");
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stdout));
+}
+
+#[test]
+fn leakprof_cli_analyzes_serialized_profiles() {
+    // Build a profile with gosim, serialize it, analyze it offline.
+    let dir = tmp_dir("prof");
+    let src_path = dir.join("leak.go");
+    fs::write(&src_path, LEAKY).unwrap();
+
+    let prog = minigo::compile(LEAKY, src_path.to_str().unwrap()).unwrap();
+    let mut profiles = Vec::new();
+    for i in 0..3 {
+        let mut rt = gosim::Runtime::with_seed(i);
+        for _ in 0..30 {
+            prog.spawn_func(&mut rt, "main", vec![]).unwrap();
+        }
+        rt.run_until_blocked(100_000);
+        profiles.push(rt.goroutine_profile(format!("inst-{i}")));
+    }
+    let pfile = dir.join("profiles.json");
+    fs::write(&pfile, serde_json::to_string(&profiles).unwrap()).unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_leakprof-cli"))
+        .args([
+            pfile.to_str().unwrap(),
+            "--threshold",
+            "20",
+            "--src",
+            src_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("leakprof-cli runs");
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("POTENTIAL GOROUTINE LEAK"), "{stdout}");
+    assert!(stdout.contains("leak.go:6"), "{stdout}");
+}

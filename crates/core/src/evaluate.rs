@@ -1,0 +1,335 @@
+//! The Table III harness: measured precision/recall and offline cost of
+//! every tool — three static baselines, GOLEAK, and LEAKPROF — against
+//! corpus/fleet ground truth. Nothing here is assumed: each tool really
+//! runs and its reports are matched against injected leak locations.
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+use staticlint::findings::Analyzer;
+
+use crate::ci::{CiConfig, CiGate};
+use corpus::Corpus;
+
+/// One row of the Table III reproduction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ToolEval {
+    /// Tool name.
+    pub tool: String,
+    /// Total reports (alerts) produced.
+    pub reports: usize,
+    /// Reports matching a ground-truth leak location.
+    pub true_positives: usize,
+    /// Distinct ground-truth sites found.
+    pub truth_found: usize,
+    /// Ground-truth sites in scope for the tool.
+    pub truth_total: usize,
+    /// Offline analysis wall time in milliseconds.
+    pub offline_ms: f64,
+    /// Whether the tool is CI/CD-deployable per the paper's criteria
+    /// (seconds-fast, high precision).
+    pub deployable: bool,
+}
+
+impl ToolEval {
+    /// Precision = TP / reports.
+    pub fn precision(&self) -> f64 {
+        if self.reports == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / self.reports as f64
+        }
+    }
+
+    /// Recall = truth sites found / truth sites in scope.
+    pub fn recall(&self) -> f64 {
+        if self.truth_total == 0 {
+            1.0
+        } else {
+            self.truth_found as f64 / self.truth_total as f64
+        }
+    }
+}
+
+/// Renders the Table III-style comparison.
+pub fn render_table3(rows: &[ToolEval]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} | {:>7} | {:>9} | {:>7} | {:>12} | {}",
+        "Tool", "Reports", "Precision", "Recall", "Offline (ms)", "Deployable in CI/CD"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(80));
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<12} | {:>7} | {:>8.1}% | {:>6.1}% | {:>12.1} | {}",
+            r.tool,
+            r.reports,
+            100.0 * r.precision(),
+            100.0 * r.recall(),
+            r.offline_ms,
+            if r.deployable { "Yes" } else { "No" }
+        );
+    }
+    out
+}
+
+/// Evaluates a static analyzer against corpus ground truth.
+///
+/// Only channel leaks count toward a static tool's recall denominator —
+/// the tools do not model timers/semaphores/IO, matching the paper's
+/// scoping of partial deadlocks.
+pub fn evaluate_static(repo: &Corpus, analyzer: &dyn Analyzer) -> ToolEval {
+    let truth: BTreeSet<(String, u32)> = repo
+        .truth
+        .iter()
+        .filter(|t| t.pattern.is_channel_leak())
+        .map(|t| (t.file.clone(), t.line))
+        .collect();
+
+    let started = Instant::now();
+    let mut reports = 0usize;
+    let mut tp = 0usize;
+    let mut found: BTreeSet<(String, u32)> = BTreeSet::new();
+    for pkg in &repo.packages {
+        let files = pkg.parse();
+        for f in analyzer.analyze_files(&files) {
+            reports += 1;
+            let key = (f.loc.file.to_string(), f.loc.line);
+            if truth.contains(&key) {
+                tp += 1;
+                found.insert(key);
+            }
+        }
+    }
+    let offline_ms = started.elapsed().as_secs_f64() * 1e3;
+    ToolEval {
+        tool: analyzer.name().to_string(),
+        reports,
+        true_positives: tp,
+        truth_found: found.len(),
+        truth_total: truth.len(),
+        offline_ms,
+        deployable: false, // static baselines: too slow / too noisy (paper)
+    }
+}
+
+/// Evaluates the GOLEAK gate: runs every package's tests and matches the
+/// reported blocking locations against ground truth (all leak kinds are
+/// in scope — goleak sees every lingering goroutine).
+pub fn evaluate_goleak(repo: &Corpus) -> ToolEval {
+    let truth: BTreeSet<(String, u32)> =
+        repo.truth.iter().map(|t| (t.file.clone(), t.line)).collect();
+    let gate = CiGate::new(CiConfig::default());
+
+    let started = Instant::now();
+    let mut report_sites: BTreeSet<(String, u32)> = BTreeSet::new();
+    for pkg in &repo.packages {
+        for outcome in gate.run_package(pkg) {
+            for leak in outcome.verdict.all_leaks() {
+                if let Some(frame) = &leak.blocking_frame {
+                    report_sites.insert((frame.loc.file.to_string(), frame.loc.line));
+                }
+            }
+        }
+    }
+    let offline_ms = started.elapsed().as_secs_f64() * 1e3;
+    let tp = report_sites.iter().filter(|k| truth.contains(*k)).count();
+    ToolEval {
+        tool: "goleak".to_string(),
+        reports: report_sites.len(),
+        true_positives: tp,
+        truth_found: tp,
+        truth_total: truth.len(),
+        offline_ms,
+        deployable: true,
+    }
+}
+
+/// [`evaluate_leakprof`] with the default scaled threshold (40).
+pub fn evaluate_leakprof(seed: u64, days: u32) -> (ToolEval, leakprof::Report) {
+    evaluate_leakprof_with_threshold(seed, days, 40)
+}
+
+/// Builds a small production fleet with known leaky services plus a
+/// benign-but-congested service, sweeps profiles, runs LeakProf at the
+/// given criterion-1 threshold, and scores the suspects. Returns the
+/// evaluation row and the rendered report (for inspection).
+pub fn evaluate_leakprof_with_threshold(
+    seed: u64,
+    days: u32,
+    threshold: u64,
+) -> (ToolEval, leakprof::Report) {
+    use fleet::{default_service, handlers, Fleet, FleetConfig, HandlerArg};
+
+    let mut f = Fleet::new(FleetConfig { seed, ticks_per_day: 48, ..FleetConfig::default() });
+
+    // Three genuinely leaky services (ground truth: their leak lines).
+    let mut truth: BTreeSet<(String, u32)> = BTreeSet::new();
+    for (i, (leaky, fixed, arg)) in [
+        (
+            handlers::timeout_leak("pay", 4_000),
+            handlers::timeout_fixed("pay", 4_000),
+            HandlerArg::NilCtx,
+        ),
+        (
+            handlers::premature_return_leak("geo", 4_000),
+            handlers::premature_return_fixed("geo", 4_000),
+            HandlerArg::True,
+        ),
+        (
+            handlers::contract_leak("msg", 4_000),
+            handlers::contract_fixed("msg", 4_000),
+            HandlerArg::False,
+        ),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        truth.insert((leaky.path.clone(), leaky.leak_line.expect("leaky handler")));
+        let mut spec = default_service(&format!("svc{i}"), 3, leaky, fixed);
+        spec.arg = arg;
+        // Leak magnitudes differ by an order of magnitude across services
+        // so threshold sweeps degrade gradually, as in the paper's tuning.
+        spec.leak_activation = [0.45, 0.08, 0.75][i % 3];
+        f.add_service(spec);
+    }
+
+    // A healthy service (no blocked goroutines at quiescence).
+    let mut healthy = default_service(
+        "ok",
+        3,
+        handlers::timeout_fixed("ok", 4_000),
+        handlers::timeout_fixed("ok", 4_000),
+    );
+    healthy.fix_day = Some(0);
+    f.add_service(healthy);
+
+    // A congested-but-correct service: senders wait a long time for
+    // their delayed consumers, producing a large transient population of
+    // blocked goroutines — the classic LeakProf false positive.
+    let congested = fleet::Handler {
+        source: "package queue\n\nfunc Handle(x bool) {\n\tch := make(chan int)\n\tgo func() {\n\t\tch <- 1\n\t}()\n\tgo func() {\n\t\ttime.Sleep(2000)\n\t\t<-ch\n\t}()\n}\n"
+            .to_string(),
+        path: "queue/handler.go".to_string(),
+        func: "queue.Handle".to_string(),
+        leak_line: None,
+    };
+    let mut qspec = default_service("queue", 3, congested.clone(), congested);
+    qspec.arg = HandlerArg::True;
+    qspec.leak_activation = 0.9;
+    f.add_service(qspec);
+
+    f.run_days(days);
+    let profiles = f.collect_profiles();
+
+    let mut lp = leakprof::LeakProf::new(leakprof::Config {
+        threshold, // the paper's 10K, scaled by the fleet's sampling
+        ast_filter: true,
+        top_n: 10,
+    });
+    for (src, path) in f.handler_sources() {
+        lp.index_source(&src, &path).expect("handler sources parse");
+    }
+    let started = Instant::now();
+    let report = lp.analyze(&profiles);
+    let offline_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let reports = report.suspects.len();
+    let tp = report
+        .suspects
+        .iter()
+        .filter(|s| truth.contains(&(s.stats.op.loc.file.to_string(), s.stats.op.loc.line)))
+        .count();
+    (
+        ToolEval {
+            tool: "leakprof".to_string(),
+            reports,
+            true_positives: tp,
+            truth_found: tp,
+            truth_total: truth.len(),
+            offline_ms,
+            deployable: false, // production monitor, not a CI gate
+        },
+        report,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corpus::CorpusConfig;
+    use staticlint::{AbsInt, ModelCheck, PathCheck};
+
+    fn eval_corpus() -> Corpus {
+        Corpus::generate(CorpusConfig {
+            packages: 160,
+            leak_rate: 0.45,
+            seed: 0xEE,
+            ..CorpusConfig::default()
+        })
+    }
+
+    #[test]
+    fn goleak_precision_is_near_perfect_and_beats_static_tools() {
+        let repo = eval_corpus();
+        let gl = evaluate_goleak(&repo);
+        let pc = evaluate_static(&repo, &PathCheck::new());
+        let ai = evaluate_static(&repo, &AbsInt::new());
+        assert!(gl.precision() > 0.95, "goleak precision {:.2}", gl.precision());
+        assert!(
+            gl.precision() > pc.precision() && gl.precision() > ai.precision(),
+            "dynamic ≫ static precision: goleak {:.2}, pathcheck {:.2}, absint {:.2}",
+            gl.precision(),
+            pc.precision(),
+            ai.precision()
+        );
+        assert!(gl.recall() > 0.8, "goleak finds most injected leaks: {:.2}", gl.recall());
+    }
+
+    #[test]
+    fn static_tools_produce_reports_with_imperfect_precision() {
+        let repo = eval_corpus();
+        for row in [
+            evaluate_static(&repo, &PathCheck::new()),
+            evaluate_static(&repo, &AbsInt::new()),
+            evaluate_static(&repo, &ModelCheck::new()),
+        ] {
+            assert!(row.reports > 0, "{} produced no reports", row.tool);
+            assert!(row.recall() > 0.15, "{} recall {:.2}", row.tool, row.recall());
+            assert!(row.precision() > 0.2, "{} precision {:.2}", row.tool, row.precision());
+        }
+    }
+
+    #[test]
+    fn leakprof_finds_leaky_services_with_some_false_positives() {
+        let (row, report) = evaluate_leakprof(3, 2);
+        assert!(row.true_positives >= 2, "finds most leaky services\n{}", report.render());
+        assert!(
+            row.reports > row.true_positives,
+            "congested service should produce a false positive\n{}",
+            report.render()
+        );
+        assert!(row.precision() >= 0.5);
+    }
+
+    #[test]
+    fn table3_renders_all_rows() {
+        let rows = vec![ToolEval {
+            tool: "x".into(),
+            reports: 10,
+            true_positives: 5,
+            truth_found: 5,
+            truth_total: 8,
+            offline_ms: 12.0,
+            deployable: true,
+        }];
+        let t = render_table3(&rows);
+        assert!(t.contains("50.0%"));
+        assert!(t.contains("62.5%"));
+        assert!(t.contains("Yes"));
+    }
+}

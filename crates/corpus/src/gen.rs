@@ -1,0 +1,392 @@
+//! Monorepo generation.
+//!
+//! [`Corpus::generate`] produces a deterministic synthetic monorepo whose
+//! package mix is calibrated to the paper's Table I: a small fraction of
+//! packages use message passing (MP), shared memory (SM), or both, and
+//! the rest are plain code. MP packages receive benign concurrency
+//! scenarios plus — at a configurable rate — leak-injected scenarios with
+//! ground-truth labels drawn from the paper's observed pattern taxonomy.
+
+use std::collections::BTreeMap;
+
+use gosim::rng::SplitMix64;
+use serde::{Deserialize, Serialize};
+
+use crate::patterns::{
+    leak_mix, render_benign, render_leaky, BenignPattern, LeakSite, Rendered,
+};
+
+/// What kind of concurrency a package uses (Table I rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PkgKind {
+    /// Message passing only.
+    MessagePassing,
+    /// Shared memory only.
+    SharedMemory,
+    /// Both.
+    Both,
+    /// No concurrency.
+    Plain,
+}
+
+/// One source or test file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SourceFile {
+    /// Repo-relative path.
+    pub path: String,
+    /// File contents (mini-Go).
+    pub text: String,
+    /// True for `_test.go` files.
+    pub is_test: bool,
+}
+
+/// One generated package.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Package {
+    /// Package (and directory) name.
+    pub name: String,
+    /// Concurrency category.
+    pub kind: PkgKind,
+    /// Source files (non-test).
+    pub files: Vec<SourceFile>,
+    /// Test files.
+    pub tests: Vec<SourceFile>,
+    /// Test function names (unqualified) across the test files.
+    pub test_funcs: Vec<String>,
+    /// Owning team (for LeakProf report routing).
+    pub owner: String,
+}
+
+impl Package {
+    /// All files, sources first.
+    pub fn all_files(&self) -> impl Iterator<Item = &SourceFile> {
+        self.files.iter().chain(self.tests.iter())
+    }
+
+    /// Compiles the package (sources + tests) into one program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if generated code fails to compile — that is a generator
+    /// bug, not an input error.
+    pub fn compile(&self) -> gosim::script::Prog {
+        let sources: Vec<(String, String)> =
+            self.all_files().map(|f| (f.text.clone(), f.path.clone())).collect();
+        minigo::compile_many(&sources).unwrap_or_else(|e| {
+            panic!("generated package {} failed to compile: {e:?}", self.name)
+        })
+    }
+
+    /// Parses all files to ASTs (for the static analyzers).
+    pub fn parse(&self) -> Vec<minigo::ast::File> {
+        self.all_files()
+            .map(|f| {
+                minigo::parse_file(&f.text, &f.path).unwrap_or_else(|e| {
+                    panic!("generated file {} failed to parse: {e:?}", f.path)
+                })
+            })
+            .collect()
+    }
+}
+
+/// Package-kind probabilities.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct KindMix {
+    /// Probability of a message-passing package.
+    pub mp: f64,
+    /// Probability of a shared-memory package.
+    pub sm: f64,
+    /// Probability of a package using both paradigms.
+    pub both: f64,
+}
+
+impl Default for KindMix {
+    /// The paper's Table I distribution (MP 3.92%, SM 5.53%, both 2.02%).
+    fn default() -> Self {
+        KindMix { mp: 0.0392, sm: 0.0553, both: 0.0202 }
+    }
+}
+
+impl KindMix {
+    /// A concurrency-heavy mix, used when generating PR batches that are
+    /// interesting to a leak gate.
+    pub fn concurrent_heavy() -> Self {
+        KindMix { mp: 0.55, sm: 0.2, both: 0.15 }
+    }
+}
+
+/// Corpus generation parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorpusConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Total number of packages (Uber: 119 816; default scales 1:100).
+    pub packages: usize,
+    /// Probability that a message-passing scenario slot is leak-injected.
+    pub leak_rate: f64,
+    /// Scenarios (files) per concurrent package: lo..=hi.
+    pub scenarios_per_pkg: (usize, usize),
+    /// Package-kind probabilities (defaults to Table I).
+    pub mix: KindMix,
+    /// Numbering offset for package names (`pkg{offset+i}`); lets callers
+    /// generate disjoint batches (e.g. weekly PR streams) whose package
+    /// and function identities never collide.
+    pub pkg_offset: usize,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            seed: 0xC60,
+            packages: 1198,
+            leak_rate: 0.18,
+            scenarios_per_pkg: (2, 5),
+            mix: KindMix::default(),
+            pkg_offset: 0,
+        }
+    }
+}
+
+/// A generated monorepo with ground truth.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Corpus {
+    /// Generation parameters.
+    pub config: CorpusConfig,
+    /// All packages.
+    pub packages: Vec<Package>,
+    /// Ground-truth leak sites across the repo.
+    pub truth: Vec<LeakSite>,
+}
+
+impl Corpus {
+    /// Generates a corpus deterministically from the configuration.
+    pub fn generate(config: CorpusConfig) -> Corpus {
+        let mut rng = SplitMix64::new(config.seed);
+        let mix = leak_mix();
+        let (leak_patterns, leak_weights): (Vec<_>, Vec<_>) = mix.into_iter().unzip();
+        let benign = BenignPattern::all();
+
+        let mut packages = Vec::with_capacity(config.packages);
+        let mut truth = Vec::new();
+
+        for p in 0..config.packages {
+            let roll = rng.next_f64();
+            let mix = config.mix;
+            let kind = if roll < mix.mp {
+                PkgKind::MessagePassing
+            } else if roll < mix.mp + mix.sm {
+                PkgKind::SharedMemory
+            } else if roll < mix.mp + mix.sm + mix.both {
+                PkgKind::Both
+            } else {
+                PkgKind::Plain
+            };
+            let name = format!("pkg{:04}", config.pkg_offset + p);
+            let owner = format!("team-{}", p % 23);
+
+            let mut files = Vec::new();
+            let mut tests = Vec::new();
+            let mut test_funcs = Vec::new();
+            let push = |r: Rendered, files: &mut Vec<SourceFile>, tests: &mut Vec<SourceFile>, test_funcs: &mut Vec<String>| {
+                files.push(SourceFile { path: r.path, text: r.source, is_test: false });
+                tests.push(SourceFile { path: r.test_path, text: r.test_source, is_test: true });
+                test_funcs.push(r.test_func);
+                r.truth
+            };
+
+            let n_scen = rng.range_i64(
+                config.scenarios_per_pkg.0 as i64,
+                config.scenarios_per_pkg.1 as i64,
+            ) as usize;
+
+            match kind {
+                PkgKind::Plain => {
+                    let r = render_benign(BenignPattern::PlainCompute, &name, 0, &mut rng);
+                    truth.extend(push(r, &mut files, &mut tests, &mut test_funcs));
+                }
+                PkgKind::SharedMemory => {
+                    for i in 0..n_scen {
+                        let pat = match rng.index(3) {
+                            0 => BenignPattern::WgFan,
+                            1 => BenignPattern::MutexCounter,
+                            _ => BenignPattern::PlainCompute,
+                        };
+                        let r = render_benign(pat, &name, i, &mut rng);
+                        truth.extend(push(r, &mut files, &mut tests, &mut test_funcs));
+                    }
+                }
+                PkgKind::MessagePassing | PkgKind::Both => {
+                    for i in 0..n_scen {
+                        let leaky = rng.chance(config.leak_rate);
+                        let r = if leaky {
+                            let pat = leak_patterns[rng.weighted(&leak_weights)];
+                            render_leaky(pat, &name, i, &mut rng)
+                        } else {
+                            let pool: &[BenignPattern] = if kind == PkgKind::Both {
+                                &benign
+                            } else {
+                                &benign[..9] // skip PlainCompute-only mix
+                            };
+                            render_benign(pool[rng.index(pool.len())], &name, i, &mut rng)
+                        };
+                        truth.extend(push(r, &mut files, &mut tests, &mut test_funcs));
+                    }
+                }
+            }
+            packages.push(Package { name, kind, files, tests, test_funcs, owner });
+        }
+        Corpus { config, packages, truth }
+    }
+
+    /// Packages with at least one injected leak.
+    pub fn leaky_packages(&self) -> impl Iterator<Item = &Package> {
+        let leaky: std::collections::BTreeSet<&str> = self
+            .truth
+            .iter()
+            .map(|t| t.file.split('/').next().expect("path has package prefix"))
+            .collect();
+        self.packages.iter().filter(move |p| leaky.contains(p.name.as_str()))
+    }
+
+    /// True ground-truth leak locations as a `(file, line)` set.
+    pub fn truth_locs(&self) -> std::collections::BTreeSet<(String, u32)> {
+        self.truth.iter().map(|t| (t.file.clone(), t.line)).collect()
+    }
+
+    /// Count of packages per kind.
+    pub fn kind_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut m = BTreeMap::new();
+        for p in &self.packages {
+            let k = match p.kind {
+                PkgKind::MessagePassing => "message-passing",
+                PkgKind::SharedMemory => "shared-memory",
+                PkgKind::Both => "both",
+                PkgKind::Plain => "plain",
+            };
+            *m.entry(k).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Writes the corpus to disk as a real source tree:
+    /// `<root>/<pkg>/<file>.go`, plus `<root>/TRUTH.json` with the
+    /// ground-truth labels and `<root>/OWNERS.tsv`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to_dir(&self, root: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(root)?;
+        for pkg in &self.packages {
+            for f in pkg.all_files() {
+                let path = root.join(&f.path);
+                if let Some(parent) = path.parent() {
+                    std::fs::create_dir_all(parent)?;
+                }
+                std::fs::write(path, &f.text)?;
+            }
+        }
+        let truth = serde_json::to_string_pretty(&self.truth)
+            .expect("ground truth serializes");
+        std::fs::write(root.join("TRUTH.json"), truth)?;
+        let owners: String = self
+            .packages
+            .iter()
+            .map(|p| format!("{}\t{}\n", p.name, p.owner))
+            .collect();
+        std::fs::write(root.join("OWNERS.tsv"), owners)?;
+        Ok(())
+    }
+
+    /// Total effective lines of code (source, tests).
+    pub fn eloc(&self) -> (u64, u64) {
+        let count = |files: &[SourceFile]| {
+            files
+                .iter()
+                .flat_map(|f| f.text.lines())
+                .filter(|l| !l.trim().is_empty())
+                .count() as u64
+        };
+        let src: u64 = self.packages.iter().map(|p| count(&p.files)).sum();
+        let tst: u64 = self.packages.iter().map(|p| count(&p.tests)).sum();
+        (src, tst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Corpus {
+        Corpus::generate(CorpusConfig { packages: 200, seed: 42, ..CorpusConfig::default() })
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = serde_json::to_string(&small()).unwrap();
+        let b = serde_json::to_string(&small()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn kind_mix_roughly_matches_table1() {
+        let c = Corpus::generate(CorpusConfig {
+            packages: 4000,
+            seed: 9,
+            ..CorpusConfig::default()
+        });
+        let counts = c.kind_counts();
+        let mp = counts["message-passing"] as f64 / 4000.0;
+        let sm = counts["shared-memory"] as f64 / 4000.0;
+        let both = counts["both"] as f64 / 4000.0;
+        assert!((0.02..0.06).contains(&mp), "mp fraction {mp}");
+        assert!((0.03..0.08).contains(&sm), "sm fraction {sm}");
+        assert!((0.01..0.035).contains(&both), "both fraction {both}");
+    }
+
+    #[test]
+    fn every_package_compiles() {
+        let c = small();
+        for p in &c.packages {
+            let _ = p.compile();
+            assert!(!p.test_funcs.is_empty());
+        }
+    }
+
+    #[test]
+    fn truth_sites_point_into_existing_files() {
+        let c = small();
+        for t in &c.truth {
+            let pkg = t.file.split('/').next().unwrap();
+            let p = c.packages.iter().find(|p| p.name == pkg).expect("package exists");
+            let f = p.files.iter().find(|f| f.path == t.file).expect("file exists");
+            let nlines = f.text.lines().count() as u32;
+            assert!(t.line <= nlines, "{}:{} beyond {} lines", t.file, t.line, nlines);
+        }
+    }
+
+    #[test]
+    fn leak_rate_controls_truth_volume() {
+        let none = Corpus::generate(CorpusConfig {
+            packages: 300,
+            leak_rate: 0.0,
+            seed: 4,
+            ..CorpusConfig::default()
+        });
+        assert!(none.truth.is_empty());
+        let lots = Corpus::generate(CorpusConfig {
+            packages: 300,
+            leak_rate: 0.9,
+            seed: 4,
+            ..CorpusConfig::default()
+        });
+        assert!(lots.truth.len() > 10);
+    }
+
+    #[test]
+    fn eloc_counts_nonempty_lines() {
+        let c = small();
+        let (src, tst) = c.eloc();
+        assert!(src > 0 && tst > 0);
+    }
+}

@@ -1,0 +1,598 @@
+//! Leak-pattern taxonomy and template registry.
+//!
+//! Each template renders a complete mini-Go source file (one scenario
+//! function plus helpers) together with a unit-test file exercising it
+//! and, for leaky templates, ground-truth labels: the blocking source
+//! locations and how many goroutines are expected to leak when the test
+//! runs. Templates are text with *fixed line structure*, so ground-truth
+//! line numbers are constants by construction.
+//!
+//! The taxonomy mirrors the paper's Sections VI-A/B/C and VII-A.
+
+use gosim::rng::SplitMix64;
+use serde::{Deserialize, Serialize};
+
+/// The leak-pattern taxonomy from the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LeakPattern {
+    /// §VII-A1 / Listing 7: parent returns before receiving.
+    PrematureReturn,
+    /// §VII-A2 / Listing 8: context timeout abandons the sender.
+    Timeout,
+    /// §VII-A3 / Listing 9: N senders, one receiver.
+    NCast,
+    /// §VI-B1 / Listing 5: missing return after error-path send.
+    DoubleSend,
+    /// §VI-A1 / Listing 3: `for range ch` with no `close`.
+    UnclosedRange,
+    /// §VI-A2 / Listing 4: infinite timer receive loop (runaway).
+    TimerLoop,
+    /// §VI-A "other": producer errors out and never sends.
+    MissingSender,
+    /// §VI-C1 / Listing 6: Start without Stop (done channel).
+    ContractViolation,
+    /// §VI-C1 variant: contract via context cancellation never invoked.
+    CtxContractViolation,
+    /// §VI-C: blocking select outside any loop, arms never ready.
+    SelectOutsideLoop,
+    /// §VI-C: `select{}` with no cases.
+    EmptySelect,
+    /// Non-channel runaway: blocked on (simulated) I/O forever.
+    IoBlock,
+    /// Non-channel runaway: stuck in a syscall.
+    SyscallHang,
+    /// Non-channel runaway: very long timer sleep.
+    Sleeper,
+    /// Non-channel runaway: waiting on a WaitGroup that never drains.
+    MissingWgDone,
+    /// Non-channel runaway: mutex locked and never unlocked.
+    ForgottenUnlock,
+    /// Non-channel runaway: `sync.Cond.Wait` never signalled.
+    CondForever,
+    /// Non-channel runaway: busy spin loop.
+    BusyLoop,
+}
+
+impl LeakPattern {
+    /// The blocking category the leak manifests as at runtime
+    /// (label text matches `goleak::BlockKind::label`).
+    pub fn expected_block(&self) -> &'static str {
+        match self {
+            LeakPattern::PrematureReturn
+            | LeakPattern::Timeout
+            | LeakPattern::NCast
+            | LeakPattern::DoubleSend => "chan send (non-nil chan)",
+            LeakPattern::UnclosedRange
+            | LeakPattern::TimerLoop
+            | LeakPattern::MissingSender => "chan receive (non-nil chan)",
+            LeakPattern::ContractViolation
+            | LeakPattern::CtxContractViolation
+            | LeakPattern::SelectOutsideLoop => "select (>0 cases)",
+            LeakPattern::EmptySelect => "select (0 cases)",
+            LeakPattern::IoBlock => "IO wait",
+            LeakPattern::SyscallHang => "System call",
+            LeakPattern::Sleeper => "Sleep",
+            LeakPattern::MissingWgDone | LeakPattern::ForgottenUnlock => "Semaphore Acquire",
+            LeakPattern::CondForever => "Condition Wait",
+            LeakPattern::BusyLoop => "Running/Runnable",
+        }
+    }
+
+    /// True for message-passing (channel) leaks.
+    pub fn is_channel_leak(&self) -> bool {
+        matches!(
+            self,
+            LeakPattern::PrematureReturn
+                | LeakPattern::Timeout
+                | LeakPattern::NCast
+                | LeakPattern::DoubleSend
+                | LeakPattern::UnclosedRange
+                | LeakPattern::TimerLoop
+                | LeakPattern::MissingSender
+                | LeakPattern::ContractViolation
+                | LeakPattern::CtxContractViolation
+                | LeakPattern::SelectOutsideLoop
+                | LeakPattern::EmptySelect
+        )
+    }
+}
+
+/// One ground-truth leak site in a rendered file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LeakSite {
+    /// Pattern class.
+    pub pattern: LeakPattern,
+    /// File path of the blocking operation.
+    pub file: String,
+    /// 1-based line of the blocking operation.
+    pub line: u32,
+    /// Number of goroutines expected to linger when the test runs.
+    pub goroutines: u64,
+    /// True when the leaking goroutine is spawned through a wrapper API
+    /// (invisible to naive static analysis).
+    pub via_wrapper: bool,
+}
+
+/// A rendered scenario: one source file, one test file, ground truth.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Rendered {
+    /// Source file path.
+    pub path: String,
+    /// Source text.
+    pub source: String,
+    /// Test file path.
+    pub test_path: String,
+    /// Test text (a `TestXxx` function exercising the scenario).
+    pub test_source: String,
+    /// Name of the test function (unqualified).
+    pub test_func: String,
+    /// Ground-truth leak sites (empty for benign scenarios).
+    pub truth: Vec<LeakSite>,
+}
+
+/// Renders one scenario of the given pattern into package `pkg`, using
+/// `idx` to uniquify names and `rng` for parameter jitter.
+pub fn render_leaky(
+    pattern: LeakPattern,
+    pkg: &str,
+    idx: usize,
+    rng: &mut SplitMix64,
+) -> Rendered {
+    let fname = format!("{pkg}/leak_{idx}.go");
+    let tname = format!("{pkg}/leak_{idx}_test.go");
+    let f = format!("Scenario{idx}");
+    let test_func = format!("TestScenario{idx}");
+    let workers = rng.range_i64(2, 5);
+    let items = rng.range_i64(3, 8);
+    let via_wrapper = matches!(pattern, LeakPattern::PrematureReturn) && rng.chance(0.4);
+
+    let (source, leak_lines, goroutines): (String, Vec<u32>, u64) = match pattern {
+        LeakPattern::PrematureReturn => {
+            if via_wrapper {
+                (
+                    format!(
+                        "package {pkg}\n\nfunc {f}(fail bool) {{\n\tch := make(chan int)\n\tasyncutil.Go(func() {{\n\t\tsim.Work(2)\n\t\tch <- 1\n\t}})\n\tif fail {{\n\t\treturn\n\t}}\n\t<-ch\n}}\n"
+                    ),
+                    vec![7],
+                    1,
+                )
+            } else {
+                (
+                    format!(
+                        "package {pkg}\n\nfunc {f}(fail bool) {{\n\tch := make(chan int)\n\tgo func() {{\n\t\tsim.Work(2)\n\t\tch <- 1\n\t}}()\n\tif fail {{\n\t\treturn\n\t}}\n\t<-ch\n}}\n"
+                    ),
+                    vec![7],
+                    1,
+                )
+            }
+        }
+        LeakPattern::Timeout => (
+            format!(
+                "package {pkg}\n\nfunc {f}(parent context.Context) {{\n\tctx, cancel := context.WithTimeout(parent, 5)\n\tdefer cancel()\n\tch := make(chan int)\n\tgo func() {{\n\t\ttime.Sleep(50)\n\t\tch <- 1\n\t}}()\n\tselect {{\n\tcase item := <-ch:\n\t\t_ = item\n\tcase <-ctx.Done():\n\t\treturn\n\t}}\n}}\n"
+            ),
+            vec![9],
+            1,
+        ),
+        LeakPattern::NCast => (
+            format!(
+                "package {pkg}\n\nfunc {f}(n int) {{\n\tch := make(chan int)\n\tfor i := 0; i < n; i++ {{\n\t\tgo func() {{\n\t\t\tch <- i\n\t\t}}()\n\t}}\n\tfirst := <-ch\n\t_ = first\n}}\n"
+            ),
+            vec![7],
+            (items - 1) as u64,
+        ),
+        LeakPattern::DoubleSend => (
+            format!(
+                "package {pkg}\n\nfunc {f}(fail bool) {{\n\tch := make(chan int)\n\tgo sender{idx}(ch, fail)\n\titem := <-ch\n\t_ = item\n}}\n\nfunc sender{idx}(ch chan int, fail bool) {{\n\tif fail {{\n\t\tch <- 0\n\t}}\n\tch <- 1\n}}\n"
+            ),
+            vec![14],
+            1,
+        ),
+        LeakPattern::UnclosedRange => (
+            format!(
+                "package {pkg}\n\nfunc {f}(workers int, items int) {{\n\tch := make(chan int)\n\tfor w := 0; w < workers; w++ {{\n\t\tgo func() {{\n\t\t\tfor item := range ch {{\n\t\t\t\tsim.Work(item)\n\t\t\t}}\n\t\t}}()\n\t}}\n\tfor i := 0; i < items; i++ {{\n\t\tch <- i\n\t}}\n}}\n"
+            ),
+            vec![7],
+            workers as u64,
+        ),
+        LeakPattern::TimerLoop => (
+            format!(
+                "package {pkg}\n\nfunc {f}() {{\n\tgo func() {{\n\t\tfor {{\n\t\t\t<-time.After(10)\n\t\t\tsim.Work(1)\n\t\t}}\n\t}}()\n}}\n"
+            ),
+            vec![6],
+            1,
+        ),
+        LeakPattern::MissingSender => (
+            format!(
+                "package {pkg}\n\nfunc {f}(fail bool) {{\n\tch := make(chan int)\n\tgo func() {{\n\t\tif fail {{\n\t\t\treturn\n\t\t}}\n\t\tch <- 1\n\t}}()\n\t<-ch\n}}\n"
+            ),
+            vec![11],
+            1,
+        ),
+        LeakPattern::ContractViolation => (
+            format!(
+                "package {pkg}\n\nfunc {f}(callStop bool) {{\n\tch := make(chan int)\n\tdone := make(chan int)\n\tfor w := 0; w < {workers}; w++ {{\n\t\tgo func() {{\n\t\t\tfor {{\n\t\t\t\tselect {{\n\t\t\t\tcase <-ch:\n\t\t\t\t\tsim.Work(1)\n\t\t\t\tcase <-done:\n\t\t\t\t\treturn\n\t\t\t\t}}\n\t\t\t}}\n\t\t}}()\n\t}}\n\tif callStop {{\n\t\tclose(done)\n\t}}\n}}\n"
+            ),
+            vec![9],
+            workers as u64,
+        ),
+        LeakPattern::CtxContractViolation => (
+            format!(
+                "package {pkg}\n\nfunc {f}(parent context.Context) {{\n\tctx, cancel := context.WithCancel(parent)\n\t_ = cancel\n\tch := make(chan int)\n\tfor w := 0; w < {workers}; w++ {{\n\t\tgo func() {{\n\t\t\tfor {{\n\t\t\t\tselect {{\n\t\t\t\tcase <-ch:\n\t\t\t\t\tsim.Work(1)\n\t\t\t\tcase <-ctx.Done():\n\t\t\t\t\treturn\n\t\t\t\t}}\n\t\t\t}}\n\t\t}}()\n\t}}\n}}\n"
+            ),
+            vec![10],
+            workers as u64,
+        ),
+        LeakPattern::SelectOutsideLoop => (
+            format!(
+                "package {pkg}\n\nfunc {f}() {{\n\ta := make(chan int)\n\tb := make(chan int)\n\tfor w := 0; w < {workers}; w++ {{\n\t\tgo func() {{\n\t\t\tselect {{\n\t\t\tcase <-a:\n\t\t\t\tsim.Work(1)\n\t\t\tcase <-b:\n\t\t\t\tsim.Work(2)\n\t\t\t}}\n\t\t}}()\n\t}}\n}}\n"
+            ),
+            vec![8],
+            workers as u64,
+        ),
+        LeakPattern::EmptySelect => (
+            format!(
+                "package {pkg}\n\nfunc {f}() {{\n\tgo func() {{\n\t\tselect {{\n\t\t}}\n\t}}()\n}}\n"
+            ),
+            vec![5],
+            1,
+        ),
+        LeakPattern::IoBlock => (
+            format!("package {pkg}\n\nfunc {f}() {{\n\tgo func() {{\n\t\tsim.Block()\n\t}}()\n}}\n"),
+            vec![5],
+            1,
+        ),
+        LeakPattern::SyscallHang => (
+            format!(
+                "package {pkg}\n\nfunc {f}() {{\n\tgo func() {{\n\t\tsim.Syscall()\n\t}}()\n}}\n"
+            ),
+            vec![5],
+            1,
+        ),
+        LeakPattern::Sleeper => (
+            format!(
+                "package {pkg}\n\nfunc {f}() {{\n\tgo func() {{\n\t\ttime.Sleep(1000000)\n\t}}()\n}}\n"
+            ),
+            vec![5],
+            1,
+        ),
+        LeakPattern::MissingWgDone => (
+            format!(
+                "package {pkg}\n\nfunc {f}() {{\n\tvar wg sync.WaitGroup\n\twg.Add(2)\n\tgo func() {{\n\t\tdefer wg.Done()\n\t\tsim.Work(1)\n\t}}()\n\tgo func() {{\n\t\twg.Wait()\n\t}}()\n}}\n"
+            ),
+            vec![11],
+            1,
+        ),
+        LeakPattern::ForgottenUnlock => (
+            format!(
+                "package {pkg}\n\nfunc {f}() {{\n\tvar mu sync.Mutex\n\tmu.Lock()\n\tgo func() {{\n\t\tmu.Lock()\n\t\tmu.Unlock()\n\t}}()\n}}\n"
+            ),
+            vec![7],
+            1,
+        ),
+        LeakPattern::CondForever => (
+            format!(
+                "package {pkg}\n\nfunc {f}() {{\n\tvar cv sync.Cond\n\tgo func() {{\n\t\tcv.Wait()\n\t}}()\n}}\n"
+            ),
+            vec![6],
+            1,
+        ),
+        LeakPattern::BusyLoop => (
+            format!(
+                "package {pkg}\n\nfunc {f}(n int) {{\n\tgo func() {{\n\t\tfor n > 0 {{\n\t\t\tsim.Work(1)\n\t\t}}\n\t}}()\n}}\n"
+            ),
+            vec![6],
+            1,
+        ),
+    };
+
+    // Test file exercising the failure path of the scenario.
+    let call = match pattern {
+        LeakPattern::PrematureReturn
+        | LeakPattern::DoubleSend
+        | LeakPattern::MissingSender => format!("{f}(true)"),
+        LeakPattern::ContractViolation => format!("{f}(false)"),
+        LeakPattern::Timeout | LeakPattern::CtxContractViolation => format!("{f}(nil)"),
+        LeakPattern::NCast => format!("{f}({items})"),
+        LeakPattern::UnclosedRange => format!("{f}({workers}, {items})"),
+        LeakPattern::BusyLoop => format!("{f}(1)"),
+        _ => format!("{f}()"),
+    };
+    let test_source =
+        format!("package {pkg}\n\nfunc {test_func}() {{\n\t{call}\n}}\n");
+
+    Rendered {
+        path: fname.clone(),
+        source,
+        test_path: tname,
+        test_source,
+        test_func,
+        truth: leak_lines
+            .into_iter()
+            .map(|line| LeakSite {
+                pattern,
+                file: fname.clone(),
+                line,
+                goroutines,
+                via_wrapper,
+            })
+            .collect(),
+    }
+}
+
+/// Benign scenario shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BenignPattern {
+    /// Producer + range consumers with proper close.
+    ClosedPipeline,
+    /// Buffered request/response pair.
+    BufferedHandoff,
+    /// WaitGroup fan-out/fan-in.
+    WgFan,
+    /// Mutex-protected counter.
+    MutexCounter,
+    /// Non-blocking select with default.
+    SelectDefault,
+    /// Listing 8 with the capacity-one fix.
+    TimeoutFixed,
+    /// Listing 6 worker with Stop called.
+    WorkerWithStop,
+    /// Heartbeat loop with context cancellation (transient select).
+    HeartbeatCtx,
+    /// Dynamic-capacity gather (the NCast fix).
+    GatherCap,
+    /// Pure computation, no concurrency.
+    PlainCompute,
+    /// Fan-out through a wrapper spawn API (clean).
+    WrapperFan,
+    /// Worker listening on three channels, shut down via close (clean).
+    ThreeWaySelect,
+}
+
+impl BenignPattern {
+    /// All benign shapes.
+    pub fn all() -> [BenignPattern; 12] {
+        [
+            BenignPattern::ClosedPipeline,
+            BenignPattern::BufferedHandoff,
+            BenignPattern::WgFan,
+            BenignPattern::MutexCounter,
+            BenignPattern::SelectDefault,
+            BenignPattern::TimeoutFixed,
+            BenignPattern::WorkerWithStop,
+            BenignPattern::HeartbeatCtx,
+            BenignPattern::GatherCap,
+            BenignPattern::WrapperFan,
+            BenignPattern::ThreeWaySelect,
+            BenignPattern::PlainCompute,
+        ]
+    }
+}
+
+/// Renders a benign scenario.
+pub fn render_benign(
+    pattern: BenignPattern,
+    pkg: &str,
+    idx: usize,
+    rng: &mut SplitMix64,
+) -> Rendered {
+    let fname = format!("{pkg}/ok_{idx}.go");
+    let tname = format!("{pkg}/ok_{idx}_test.go");
+    let f = format!("Ok{idx}");
+    let test_func = format!("TestOk{idx}");
+    let n = rng.range_i64(2, 6);
+
+    let (source, call) = match pattern {
+        BenignPattern::ClosedPipeline => (
+            format!(
+                "package {pkg}\n\nfunc {f}(workers int, items int) {{\n\tch := make(chan int)\n\tvar wg sync.WaitGroup\n\twg.Add(workers)\n\tfor w := 0; w < workers; w++ {{\n\t\tgo func() {{\n\t\t\tdefer wg.Done()\n\t\t\tfor item := range ch {{\n\t\t\t\tsim.Work(item)\n\t\t\t}}\n\t\t}}()\n\t}}\n\tfor i := 0; i < items; i++ {{\n\t\tch <- i\n\t}}\n\tclose(ch)\n\twg.Wait()\n}}\n"
+            ),
+            format!("{f}({n}, {})", n + 2),
+        ),
+        BenignPattern::BufferedHandoff => (
+            format!(
+                "package {pkg}\n\nfunc {f}() {{\n\tch := make(chan int, 1)\n\tgo func() {{\n\t\tch <- 42\n\t}}()\n\tv := <-ch\n\tsim.Work(v)\n}}\n"
+            ),
+            format!("{f}()"),
+        ),
+        BenignPattern::WgFan => (
+            format!(
+                "package {pkg}\n\nfunc {f}(n int) {{\n\tvar wg sync.WaitGroup\n\twg.Add(n)\n\tfor i := 0; i < n; i++ {{\n\t\tgo func() {{\n\t\t\tdefer wg.Done()\n\t\t\tsim.Work(i)\n\t\t}}()\n\t}}\n\twg.Wait()\n}}\n"
+            ),
+            format!("{f}({n})"),
+        ),
+        BenignPattern::MutexCounter => (
+            format!(
+                "package {pkg}\n\nfunc {f}(n int) {{\n\tvar mu sync.Mutex\n\tvar wg sync.WaitGroup\n\twg.Add(n)\n\tfor i := 0; i < n; i++ {{\n\t\tgo func() {{\n\t\t\tdefer wg.Done()\n\t\t\tmu.Lock()\n\t\t\tsim.Work(1)\n\t\t\tmu.Unlock()\n\t\t}}()\n\t}}\n\twg.Wait()\n}}\n"
+            ),
+            format!("{f}({n})"),
+        ),
+        BenignPattern::SelectDefault => (
+            format!(
+                "package {pkg}\n\nfunc {f}() {{\n\tch := make(chan int)\n\tselect {{\n\tcase v := <-ch:\n\t\tsim.Work(v)\n\tdefault:\n\t\tsim.Work(1)\n\t}}\n}}\n"
+            ),
+            format!("{f}()"),
+        ),
+        BenignPattern::TimeoutFixed => (
+            format!(
+                "package {pkg}\n\nfunc {f}(parent context.Context) {{\n\tctx, cancel := context.WithTimeout(parent, 5)\n\tdefer cancel()\n\tch := make(chan int, 1)\n\tgo func() {{\n\t\ttime.Sleep(50)\n\t\tch <- 1\n\t}}()\n\tselect {{\n\tcase item := <-ch:\n\t\t_ = item\n\tcase <-ctx.Done():\n\t\treturn\n\t}}\n}}\n"
+            ),
+            format!("{f}(nil)"),
+        ),
+        BenignPattern::WorkerWithStop => (
+            format!(
+                "package {pkg}\n\nfunc {f}() {{\n\tch := make(chan int)\n\tdone := make(chan int)\n\tgo func() {{\n\t\tfor {{\n\t\t\tselect {{\n\t\t\tcase <-ch:\n\t\t\t\tsim.Work(1)\n\t\t\tcase <-done:\n\t\t\t\treturn\n\t\t\t}}\n\t\t}}\n\t}}()\n\tclose(done)\n}}\n"
+            ),
+            format!("{f}()"),
+        ),
+        BenignPattern::HeartbeatCtx => (
+            format!(
+                "package {pkg}\n\nfunc {f}(parent context.Context) {{\n\tctx, cancel := context.WithTimeout(parent, 40)\n\tdefer cancel()\n\tgo func() {{\n\t\tfor {{\n\t\t\tselect {{\n\t\t\tcase <-time.Tick(10):\n\t\t\t\tsim.Work(1)\n\t\t\tcase <-ctx.Done():\n\t\t\t\treturn\n\t\t\t}}\n\t\t}}\n\t}}()\n}}\n"
+            ),
+            format!("{f}(nil)"),
+        ),
+        BenignPattern::GatherCap => (
+            format!(
+                "package {pkg}\n\nfunc {f}(n int) {{\n\tch := make(chan int, n)\n\tfor i := 0; i < n; i++ {{\n\t\tgo func() {{\n\t\t\tch <- i\n\t\t}}()\n\t}}\n\tfirst := <-ch\n\tsim.Work(first)\n}}\n"
+            ),
+            format!("{f}({n})"),
+        ),
+        BenignPattern::PlainCompute => (
+            format!(
+                "package {pkg}\n\nfunc {f}(n int) int {{\n\ttotal := 0\n\tfor i := 0; i < n; i++ {{\n\t\ttotal = total + i\n\t\tsim.Work(1)\n\t}}\n\treturn total\n}}\n"
+            ),
+            format!("{f}({n})"),
+        ),
+        BenignPattern::WrapperFan => (
+            format!(
+                "package {pkg}\n\nfunc {f}(n int) {{\n\tvar wg sync.WaitGroup\n\twg.Add(n)\n\tfor i := 0; i < n; i++ {{\n\t\tasyncutil.Go(func() {{\n\t\t\tdefer wg.Done()\n\t\t\tsim.Work(i)\n\t\t}})\n\t}}\n\twg.Wait()\n}}\n"
+            ),
+            format!("{f}({n})"),
+        ),
+        BenignPattern::ThreeWaySelect => (
+            format!(
+                "package {pkg}\n\nfunc {f}() {{\n\ta := make(chan int)\n\tb := make(chan int)\n\tdone := make(chan int)\n\tgo func() {{\n\t\tfor {{\n\t\t\tselect {{\n\t\t\tcase v := <-a:\n\t\t\t\tsim.Work(v)\n\t\t\tcase w := <-b:\n\t\t\t\tsim.Work(w)\n\t\t\tcase <-done:\n\t\t\t\treturn\n\t\t\t}}\n\t\t}}\n\t}}()\n\ta <- 1\n\tb <- 2\n\tclose(done)\n}}\n"
+            ),
+            format!("{f}()"),
+        ),
+    };
+
+    let test_source = match pattern {
+        BenignPattern::PlainCompute => format!(
+            "package {pkg}\n\nfunc {test_func}() {{\n\tr := {call}\n\t_ = r\n}}\n"
+        ),
+        _ => format!("package {pkg}\n\nfunc {test_func}() {{\n\t{call}\n}}\n"),
+    };
+
+    Rendered {
+        path: fname,
+        source,
+        test_path: tname,
+        test_source,
+        test_func,
+        truth: Vec::new(),
+    }
+}
+
+/// The weighted leak mix calibrated to the paper's observed taxonomy:
+/// select ≈ 45% of unique leaks (86% of those are contract violations),
+/// receive ≈ 40% (44% timer loops, 42% unclosed ranges), send ≈ 15%
+/// (57% premature receiver return, 3% double send), plus a tail of
+/// non-channel runaways (Table IV's IO/syscall/sleep/semaphore rows).
+pub fn leak_mix() -> Vec<(LeakPattern, f64)> {
+    vec![
+        // -- send leaks (≈15% of channel leaks)
+        (LeakPattern::PrematureReturn, 6.5),
+        (LeakPattern::Timeout, 3.0),
+        (LeakPattern::NCast, 2.0),
+        (LeakPattern::DoubleSend, 0.5),
+        // -- receive leaks (≈40%)
+        (LeakPattern::TimerLoop, 14.0),
+        (LeakPattern::UnclosedRange, 13.5),
+        (LeakPattern::MissingSender, 4.5),
+        // -- select leaks (≈45%)
+        (LeakPattern::ContractViolation, 24.0),
+        (LeakPattern::CtxContractViolation, 7.0),
+        (LeakPattern::SelectOutsideLoop, 11.0),
+        (LeakPattern::EmptySelect, 2.5),
+        // -- non-channel runaways (beyond the 857, like the paper's
+        //    "other kinds of runaway goroutines")
+        (LeakPattern::IoBlock, 4.5),
+        (LeakPattern::SyscallHang, 3.2),
+        (LeakPattern::Sleeper, 2.8),
+        (LeakPattern::MissingWgDone, 1.2),
+        (LeakPattern::ForgottenUnlock, 1.0),
+        (LeakPattern::CondForever, 0.8),
+        (LeakPattern::BusyLoop, 0.8),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gosim::Runtime;
+
+    fn run_scenario(r: &Rendered) -> Runtime {
+        let prog = minigo::compile_many(&[
+            (r.source.clone(), r.path.clone()),
+            (r.test_source.clone(), r.test_path.clone()),
+        ])
+        .unwrap_or_else(|e| panic!("{} does not compile: {e:?}\n{}", r.path, r.source));
+        let pkg = r.path.split('/').next().unwrap();
+        let mut rt = Runtime::with_seed(13);
+        prog.spawn_func(&mut rt, &format!("{pkg}.{}", r.test_func), vec![])
+            .expect("test function exists");
+        rt.advance(5_000, 30_000);
+        rt
+    }
+
+    #[test]
+    fn every_leaky_template_compiles_and_leaks_at_declared_site() {
+        let mut rng = SplitMix64::new(99);
+        for (pattern, _) in leak_mix() {
+            let r = render_leaky(pattern, "pkgx", 1, &mut rng);
+            let rt = run_scenario(&r);
+            let site = &r.truth[0];
+            assert!(
+                rt.live_count() as u64 >= 1,
+                "{pattern:?} must leave at least one goroutine, got 0"
+            );
+            // Channel leaks must block at exactly the declared line.
+            if pattern.is_channel_leak() && pattern != LeakPattern::TimerLoop {
+                let profile = rt.goroutine_profile("t");
+                let hit = profile.goroutines.iter().any(|g| {
+                    g.blocking_frame()
+                        .map(|fr| fr.loc.line == site.line && *fr.loc.file == *site.file)
+                        .unwrap_or(false)
+                });
+                assert!(
+                    hit,
+                    "{pattern:?}: no goroutine blocked at declared {}:{}\n{}",
+                    site.file,
+                    site.line,
+                    profile.render()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn leaky_goroutine_counts_match_truth() {
+        let mut rng = SplitMix64::new(7);
+        for (pattern, _) in leak_mix() {
+            let r = render_leaky(pattern, "pkgy", 2, &mut rng);
+            let rt = run_scenario(&r);
+            let expected: u64 = r.truth.iter().map(|t| t.goroutines).sum();
+            assert_eq!(
+                rt.live_count() as u64,
+                expected,
+                "{pattern:?} expected {expected} lingering goroutines"
+            );
+        }
+    }
+
+    #[test]
+    fn every_benign_template_compiles_and_is_clean() {
+        let mut rng = SplitMix64::new(5);
+        for pattern in BenignPattern::all() {
+            let r = render_benign(pattern, "pkgz", 3, &mut rng);
+            let rt = run_scenario(&r);
+            assert_eq!(
+                rt.live_count(),
+                0,
+                "{pattern:?} must not leak; profile:\n{}",
+                rt.goroutine_profile("t").render()
+            );
+            assert_eq!(rt.stats().panicked, 0, "{pattern:?} panicked: {:?}", rt.exits());
+        }
+    }
+
+    #[test]
+    fn leak_mix_weights_are_positive_and_cover_taxonomy() {
+        let mix = leak_mix();
+        assert!(mix.iter().all(|(_, w)| *w > 0.0));
+        let channel: f64 =
+            mix.iter().filter(|(p, _)| p.is_channel_leak()).map(|(_, w)| w).sum();
+        let total: f64 = mix.iter().map(|(_, w)| w).sum();
+        assert!(channel / total > 0.8, "paper: >80% of leaks are message-passing");
+    }
+}

@@ -1,0 +1,352 @@
+//! Feature census over a corpus — the reproduction of the paper's
+//! Tables I and II. All numbers are *measured* by walking the generated
+//! ASTs, never hard-coded.
+
+use std::collections::BTreeMap;
+
+use minigo::ast::{walk_stmts, Expr, File, GoCall, RecvSrc, Stmt};
+use serde::{Deserialize, Serialize};
+
+use crate::gen::{Corpus, PkgKind};
+
+/// Table II-style feature counts for one slice (source or tests).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureCounts {
+    /// Named function declarations.
+    pub named_functions: u64,
+    /// Anonymous functions (`go func(){}` closures and wrapper closures).
+    pub anonymous_functions: u64,
+    /// Functions with channel-typed parameters.
+    pub funcs_with_chan_params: u64,
+    /// Goroutines created with the `go` keyword.
+    pub go_keyword_spawns: u64,
+    /// Goroutines created via wrapper APIs.
+    pub wrapper_spawns: u64,
+    /// `make(chan T)` — unbuffered.
+    pub chan_unbuffered: u64,
+    /// `make(chan T, 1)`.
+    pub chan_size_one: u64,
+    /// `make(chan T, k)` with constant k > 1.
+    pub chan_const_gt1: u64,
+    /// `make(chan T, expr)` with dynamic capacity.
+    pub chan_dynamic: u64,
+    /// Send operations `ch <-`.
+    pub sends: u64,
+    /// Receive operations `<-ch` (including ranges and select arms).
+    pub receives: u64,
+    /// `close(ch)` calls.
+    pub closes: u64,
+    /// Blocking `select` statements.
+    pub select_blocking: u64,
+    /// Non-blocking `select` statements (with `default`).
+    pub select_nonblocking: u64,
+    /// Histogram of case counts over blocking selects.
+    pub select_case_hist: BTreeMap<usize, u64>,
+}
+
+impl FeatureCounts {
+    /// Total channel allocations.
+    pub fn chan_total(&self) -> u64 {
+        self.chan_unbuffered + self.chan_size_one + self.chan_const_gt1 + self.chan_dynamic
+    }
+
+    /// Total goroutine creations.
+    pub fn spawn_total(&self) -> u64 {
+        self.go_keyword_spawns + self.wrapper_spawns
+    }
+
+    /// Percentile of blocking-select case counts (e.g. 0.5, 0.9).
+    pub fn select_case_percentile(&self, q: f64) -> usize {
+        let total: u64 = self.select_case_hist.values().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = (q * total as f64).ceil() as u64;
+        let mut acc = 0;
+        for (cases, n) in &self.select_case_hist {
+            acc += n;
+            if acc >= target {
+                return *cases;
+            }
+        }
+        *self.select_case_hist.keys().last().unwrap_or(&0)
+    }
+
+    /// The most common blocking-select case count.
+    pub fn select_case_mode(&self) -> usize {
+        self.select_case_hist
+            .iter()
+            .max_by_key(|(_, n)| **n)
+            .map(|(c, _)| *c)
+            .unwrap_or(0)
+    }
+
+    /// Maximum blocking-select case count.
+    pub fn select_case_max(&self) -> usize {
+        self.select_case_hist.keys().max().copied().unwrap_or(0)
+    }
+
+    fn add_file(&mut self, file: &File) {
+        for f in &file.funcs {
+            self.named_functions += 1;
+            if f.params.iter().any(|p| matches!(p.ty, minigo::ast::TypeExpr::Chan(_))) {
+                self.funcs_with_chan_params += 1;
+            }
+            walk_stmts(&f.body, &mut |s| self.add_stmt(s));
+        }
+    }
+
+    fn add_stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::MakeChan { cap, .. } => match cap {
+                None => self.chan_unbuffered += 1,
+                Some(Expr::Int(0)) => self.chan_unbuffered += 1,
+                Some(Expr::Int(1)) => self.chan_size_one += 1,
+                Some(Expr::Int(_)) => self.chan_const_gt1 += 1,
+                Some(_) => self.chan_dynamic += 1,
+            },
+            Stmt::Send { .. } => self.sends += 1,
+            Stmt::Recv { .. } => self.receives += 1,
+            Stmt::Close { .. } => self.closes += 1,
+            Stmt::Go { call, .. } => match call {
+                GoCall::Closure { .. } => {
+                    self.anonymous_functions += 1;
+                    self.go_keyword_spawns += 1;
+                }
+                GoCall::Named { .. } => self.go_keyword_spawns += 1,
+                GoCall::Wrapper { .. } => {
+                    self.anonymous_functions += 1;
+                    self.wrapper_spawns += 1;
+                }
+            },
+            Stmt::Select { cases, default, .. } => {
+                if default.is_some() {
+                    self.select_nonblocking += 1;
+                } else {
+                    self.select_blocking += 1;
+                    *self.select_case_hist.entry(cases.len()).or_insert(0) += 1;
+                }
+                for c in cases {
+                    if matches!(
+                        c,
+                        minigo::ast::SelCase::Recv { src: RecvSrc::Chan(_), .. }
+                            | minigo::ast::SelCase::Recv { src: RecvSrc::CtxDone(_), .. }
+                            | minigo::ast::SelCase::Recv { src: RecvSrc::TimeAfter(_), .. }
+                            | minigo::ast::SelCase::Recv { src: RecvSrc::TimeTick(_), .. }
+                    ) {
+                        self.receives += 1;
+                    } else {
+                        self.sends += 1;
+                    }
+                }
+            }
+            Stmt::For { kind: minigo::ast::ForKind::Range { .. }, .. } => {
+                self.receives += 1;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The Table I + Table II census of a corpus.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Census {
+    /// Package counts by kind.
+    pub packages_mp: u64,
+    /// Shared-memory packages.
+    pub packages_sm: u64,
+    /// Packages using both paradigms.
+    pub packages_both: u64,
+    /// All packages.
+    pub packages_total: u64,
+    /// Source/test file counts.
+    pub files_source: u64,
+    /// Test files.
+    pub files_test: u64,
+    /// Effective (non-blank) lines, source.
+    pub eloc_source: u64,
+    /// Effective lines, tests.
+    pub eloc_test: u64,
+    /// Feature counts in source files.
+    pub source: FeatureCounts,
+    /// Feature counts in test files.
+    pub tests: FeatureCounts,
+}
+
+/// Computes the census by parsing every file of the corpus.
+pub fn census(corpus: &Corpus) -> Census {
+    let mut c = Census { packages_total: corpus.packages.len() as u64, ..Census::default() };
+    for p in &corpus.packages {
+        match p.kind {
+            PkgKind::MessagePassing => c.packages_mp += 1,
+            PkgKind::SharedMemory => c.packages_sm += 1,
+            PkgKind::Both => c.packages_both += 1,
+            PkgKind::Plain => {}
+        }
+        c.files_source += p.files.len() as u64;
+        c.files_test += p.tests.len() as u64;
+        for f in &p.files {
+            let parsed = minigo::parse_file(&f.text, &f.path).expect("generated file parses");
+            c.source.add_file(&parsed);
+            c.eloc_source += f.text.lines().filter(|l| !l.trim().is_empty()).count() as u64;
+        }
+        for f in &p.tests {
+            let parsed = minigo::parse_file(&f.text, &f.path).expect("generated file parses");
+            c.tests.add_file(&parsed);
+            c.eloc_test += f.text.lines().filter(|l| !l.trim().is_empty()).count() as u64;
+        }
+    }
+    c
+}
+
+impl Census {
+    /// Renders Table I (package/file/ELoC distribution).
+    pub fn render_table1(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "Concurrency paradigm  | Packages | Files (src/test) | ELoC (src/test)");
+        let _ = writeln!(out, "----------------------+----------+------------------+----------------");
+        let _ = writeln!(
+            out,
+            "Message passing (MP)  | {:>8} |                  |",
+            self.packages_mp
+        );
+        let _ = writeln!(
+            out,
+            "Shared memory (SM)    | {:>8} |                  |",
+            self.packages_sm
+        );
+        let _ = writeln!(out, "MP ∩ SM               | {:>8} |                  |", self.packages_both);
+        let _ = writeln!(
+            out,
+            "Entire monorepo       | {:>8} | {:>7} / {:<7} | {} / {}",
+            self.packages_total, self.files_source, self.files_test, self.eloc_source, self.eloc_test
+        );
+        out
+    }
+
+    /// Renders Table II (feature prominence).
+    pub fn render_table2(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "Feature                              | Source  | Tests");
+        let _ = writeln!(out, "-------------------------------------+---------+-------");
+        let row = |out: &mut String, label: &str, s: u64, t: u64| {
+            let _ = writeln!(out, "{label:<37}| {s:>7} | {t:>6}");
+        };
+        row(&mut out, "Named functions", self.source.named_functions, self.tests.named_functions);
+        row(
+            &mut out,
+            "Anonymous functions",
+            self.source.anonymous_functions,
+            self.tests.anonymous_functions,
+        );
+        row(
+            &mut out,
+            "Functions with channel parameter(s)",
+            self.source.funcs_with_chan_params,
+            self.tests.funcs_with_chan_params,
+        );
+        row(
+            &mut out,
+            "Goroutines via go keyword",
+            self.source.go_keyword_spawns,
+            self.tests.go_keyword_spawns,
+        );
+        row(
+            &mut out,
+            "Goroutines via wrapper function",
+            self.source.wrapper_spawns,
+            self.tests.wrapper_spawns,
+        );
+        row(&mut out, "Chan alloc: unbuffered", self.source.chan_unbuffered, self.tests.chan_unbuffered);
+        row(&mut out, "Chan alloc: size-1 buffer", self.source.chan_size_one, self.tests.chan_size_one);
+        row(
+            &mut out,
+            "Chan alloc: constant (>1) buffer",
+            self.source.chan_const_gt1,
+            self.tests.chan_const_gt1,
+        );
+        row(&mut out, "Chan alloc: dynamically sized", self.source.chan_dynamic, self.tests.chan_dynamic);
+        row(&mut out, "Sends: c<-", self.source.sends, self.tests.sends);
+        row(&mut out, "Receives: <-c", self.source.receives, self.tests.receives);
+        row(&mut out, "close", self.source.closes, self.tests.closes);
+        row(&mut out, "Blocking selects", self.source.select_blocking, self.tests.select_blocking);
+        row(
+            &mut out,
+            "Non-blocking selects",
+            self.source.select_nonblocking,
+            self.tests.select_nonblocking,
+        );
+        let _ = writeln!(
+            out,
+            "Blocking select cases: P50={} P90={} max={} mode={}",
+            self.source.select_case_percentile(0.5),
+            self.source.select_case_percentile(0.9),
+            self.source.select_case_max(),
+            self.source.select_case_mode(),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::CorpusConfig;
+
+    fn census_of(packages: usize, seed: u64) -> Census {
+        census(&Corpus::generate(CorpusConfig { packages, seed, ..CorpusConfig::default() }))
+    }
+
+    #[test]
+    fn census_counts_are_consistent() {
+        let c = census_of(150, 3);
+        assert_eq!(
+            c.source.chan_total(),
+            c.source.chan_unbuffered
+                + c.source.chan_size_one
+                + c.source.chan_const_gt1
+                + c.source.chan_dynamic
+        );
+        assert!(c.source.named_functions > 0);
+        assert!(c.files_source > 0 && c.files_test > 0);
+        assert!(c.eloc_source > c.files_source, "files have >1 line each");
+    }
+
+    #[test]
+    fn unbuffered_channels_dominate_like_table2() {
+        let c = census_of(600, 11);
+        assert!(
+            c.source.chan_unbuffered > c.source.chan_size_one,
+            "unbuffered ({}) should dominate size-1 ({})",
+            c.source.chan_unbuffered,
+            c.source.chan_size_one
+        );
+    }
+
+    #[test]
+    fn select_case_stats_match_table2_shape() {
+        let c = census_of(600, 11);
+        // Paper Table II: P50 = 2, mode = 2.
+        assert_eq!(c.source.select_case_percentile(0.5), 2);
+        assert_eq!(c.source.select_case_mode(), 2);
+    }
+
+    #[test]
+    fn tables_render_without_panicking() {
+        let c = census_of(80, 2);
+        let t1 = c.render_table1();
+        let t2 = c.render_table2();
+        assert!(t1.contains("Message passing"));
+        assert!(t2.contains("go keyword"));
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        let f = FeatureCounts::default();
+        assert_eq!(f.select_case_percentile(0.5), 0);
+        assert_eq!(f.select_case_mode(), 0);
+        assert_eq!(f.select_case_max(), 0);
+    }
+}

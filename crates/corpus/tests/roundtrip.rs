@@ -1,0 +1,90 @@
+//! Property: every file the corpus generator emits survives a
+//! parse → print → parse round trip with an identical AST, and the
+//! printed variant behaves identically under the runtime. This pins the
+//! parser and pretty-printer against the full space of generated shapes.
+
+use corpus::{Corpus, CorpusConfig, KindMix};
+use proptest::prelude::*;
+
+fn canon(file: &minigo::ast::File) -> String {
+    let mut js = serde_json::to_value(file).expect("ast serializes");
+    fn strip(v: &mut serde_json::Value) {
+        match v {
+            serde_json::Value::Object(m) => {
+                m.remove("line");
+                m.remove("path");
+                for (_, x) in m.iter_mut() {
+                    strip(x);
+                }
+            }
+            serde_json::Value::Array(xs) => {
+                for x in xs {
+                    strip(x);
+                }
+            }
+            _ => {}
+        }
+    }
+    strip(&mut js);
+    js.to_string()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn generated_corpus_roundtrips_through_the_printer(seed in 0u64..10_000) {
+        let repo = Corpus::generate(CorpusConfig {
+            packages: 6,
+            leak_rate: 0.6,
+            seed,
+            mix: KindMix::concurrent_heavy(),
+            ..CorpusConfig::default()
+        });
+        for pkg in &repo.packages {
+            for f in pkg.all_files() {
+                let a = minigo::parse_file(&f.text, &f.path).expect("generated file parses");
+                let printed = minigo::print_file(&a);
+                let b = minigo::parse_file(&printed, &f.path).unwrap_or_else(|e| {
+                    panic!("printed {} fails to parse: {e:?}\n{printed}", f.path)
+                });
+                prop_assert_eq!(canon(&a), canon(&b), "roundtrip diverged for {}", f.path);
+            }
+        }
+    }
+
+    #[test]
+    fn printed_packages_leak_identically(seed in 0u64..10_000) {
+        let repo = Corpus::generate(CorpusConfig {
+            packages: 4,
+            leak_rate: 0.7,
+            seed,
+            mix: KindMix::concurrent_heavy(),
+            ..CorpusConfig::default()
+        });
+        for pkg in repo.packages.iter().filter(|p| !p.test_funcs.is_empty()).take(2) {
+            // Compile the original and the pretty-printed sources.
+            let original: Vec<(String, String)> =
+                pkg.all_files().map(|f| (f.text.clone(), f.path.clone())).collect();
+            let printed: Vec<(String, String)> = pkg
+                .all_files()
+                .map(|f| {
+                    let ast = minigo::parse_file(&f.text, &f.path).expect("parses");
+                    (minigo::print_file(&ast), f.path.clone())
+                })
+                .collect();
+            let p1 = minigo::compile_many(&original).expect("original compiles");
+            let p2 = minigo::compile_many(&printed).expect("printed compiles");
+            for test in &pkg.test_funcs {
+                let q = format!("{}.{test}", pkg.name);
+                let run = |prog: &gosim::script::Prog| {
+                    let mut rt = gosim::Runtime::with_seed(7);
+                    prog.spawn_func(&mut rt, &q, vec![]).expect("test exists");
+                    rt.advance(2_000, 30_000);
+                    rt.live_count()
+                };
+                prop_assert_eq!(run(&p1), run(&p2), "behaviour diverged for {}", q);
+            }
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Canned request-handler programs for simulated services.
+//!
+//! Each handler is a mini-Go function invoked once per (sampled) request.
+//! Leaky variants abandon a child goroutine that retains an allocated
+//! buffer — the mechanism behind the paper's Fig 1 (RSS blow-up) and
+//! Fig 2 (GC/scheduler CPU inflation). Fixed variants apply exactly the
+//! remediations the paper describes (buffered channel, close, Stop call).
+
+use serde::{Deserialize, Serialize};
+
+/// A handler program: source text plus entry-point metadata.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Handler {
+    /// Source text (mini-Go).
+    pub source: String,
+    /// File path used for blocking locations.
+    pub path: String,
+    /// Qualified entry function (`pkg.Func`).
+    pub func: String,
+    /// Line of the leaking operation (`None` for fixed variants).
+    pub leak_line: Option<u32>,
+}
+
+/// The timeout leak (paper Listing 8): each request races a slow
+/// producer against a context deadline; on timeout the producer leaks,
+/// retaining `buf_bytes` of heap.
+pub fn timeout_leak(svc: &str, buf_bytes: u64) -> Handler {
+    let path = format!("{svc}/handler.go");
+    Handler {
+        source: format!(
+            "package {svc}\n\nfunc Handle(parent context.Context) {{\n\tctx, cancel := context.WithTimeout(parent, 4)\n\tdefer cancel()\n\tch := make(chan int)\n\tgo func() {{\n\t\ttime.Sleep(40)\n\t\tsim.Alloc({buf_bytes})\n\t\tch <- 1\n\t}}()\n\tselect {{\n\tcase item := <-ch:\n\t\t_ = item\n\tcase <-ctx.Done():\n\t\treturn\n\t}}\n}}\n"
+        ),
+        path,
+        func: format!("{svc}.Handle"),
+        leak_line: Some(10),
+    }
+}
+
+/// The fixed timeout handler: capacity-one channel absorbs the late
+/// send, so the producer always exits and its buffer is collected.
+pub fn timeout_fixed(svc: &str, buf_bytes: u64) -> Handler {
+    let path = format!("{svc}/handler.go");
+    Handler {
+        source: format!(
+            "package {svc}\n\nfunc Handle(parent context.Context) {{\n\tctx, cancel := context.WithTimeout(parent, 4)\n\tdefer cancel()\n\tch := make(chan int, 1)\n\tgo func() {{\n\t\ttime.Sleep(40)\n\t\tsim.Alloc({buf_bytes})\n\t\tch <- 1\n\t}}()\n\tselect {{\n\tcase item := <-ch:\n\t\t_ = item\n\tcase <-ctx.Done():\n\t\treturn\n\t}}\n}}\n"
+        ),
+        path,
+        func: format!("{svc}.Handle"),
+        leak_line: None,
+    }
+}
+
+/// Premature-return leak (Listing 7 shape) with retained buffer.
+pub fn premature_return_leak(svc: &str, buf_bytes: u64) -> Handler {
+    let path = format!("{svc}/handler.go");
+    Handler {
+        source: format!(
+            "package {svc}\n\nfunc Handle(fail bool) {{\n\tch := make(chan int)\n\tgo func() {{\n\t\tsim.Alloc({buf_bytes})\n\t\tch <- 1\n\t}}()\n\tif fail {{\n\t\treturn\n\t}}\n\t<-ch\n}}\n"
+        ),
+        path,
+        func: format!("{svc}.Handle"),
+        leak_line: Some(7),
+    }
+}
+
+/// Fixed premature-return handler (capacity one).
+pub fn premature_return_fixed(svc: &str, buf_bytes: u64) -> Handler {
+    let path = format!("{svc}/handler.go");
+    Handler {
+        source: format!(
+            "package {svc}\n\nfunc Handle(fail bool) {{\n\tch := make(chan int, 1)\n\tgo func() {{\n\t\tsim.Alloc({buf_bytes})\n\t\tch <- 1\n\t}}()\n\tif fail {{\n\t\treturn\n\t}}\n\t<-ch\n}}\n"
+        ),
+        path,
+        func: format!("{svc}.Handle"),
+        leak_line: None,
+    }
+}
+
+/// Contract-violation leak (Listing 6 shape): each request starts a
+/// worker listener and never stops it.
+pub fn contract_leak(svc: &str, buf_bytes: u64) -> Handler {
+    let path = format!("{svc}/handler.go");
+    Handler {
+        source: format!(
+            "package {svc}\n\nfunc Handle(stop bool) {{\n\tch := make(chan int)\n\tdone := make(chan int)\n\tgo func() {{\n\t\tsim.Alloc({buf_bytes})\n\t\tfor {{\n\t\t\tselect {{\n\t\t\tcase <-ch:\n\t\t\t\tsim.Work(1)\n\t\t\tcase <-done:\n\t\t\t\treturn\n\t\t\t}}\n\t\t}}\n\t}}()\n\tif stop {{\n\t\tclose(done)\n\t}}\n}}\n"
+        ),
+        path,
+        func: format!("{svc}.Handle"),
+        leak_line: Some(9),
+    }
+}
+
+/// Fixed contract handler: Stop is always called.
+pub fn contract_fixed(svc: &str, buf_bytes: u64) -> Handler {
+    let mut h = contract_leak(svc, buf_bytes);
+    h.leak_line = None;
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gosim::{Runtime, Val};
+
+    fn leak_count(h: &Handler, arg: Val, ticks: u64) -> usize {
+        let prog = minigo::compile(&h.source, &h.path).expect("handler compiles");
+        let mut rt = Runtime::with_seed(3);
+        prog.spawn_func(&mut rt, &h.func, vec![arg]).expect("entry exists");
+        rt.advance(ticks, 100_000);
+        rt.live_count()
+    }
+
+    #[test]
+    fn timeout_variants() {
+        assert_eq!(leak_count(&timeout_leak("s", 1000), Val::NilChan, 100), 1);
+        assert_eq!(leak_count(&timeout_fixed("s", 1000), Val::NilChan, 100), 0);
+    }
+
+    #[test]
+    fn premature_variants() {
+        assert_eq!(leak_count(&premature_return_leak("s", 1000), Val::Bool(true), 100), 1);
+        assert_eq!(leak_count(&premature_return_fixed("s", 1000), Val::Bool(true), 100), 0);
+    }
+
+    #[test]
+    fn contract_variants() {
+        assert_eq!(leak_count(&contract_leak("s", 1000), Val::Bool(false), 100), 1);
+        assert_eq!(leak_count(&contract_fixed("s", 1000), Val::Bool(true), 100), 0);
+    }
+
+    #[test]
+    fn leaked_goroutine_retains_buffer() {
+        let h = timeout_leak("s", 50_000);
+        let prog = minigo::compile(&h.source, &h.path).unwrap();
+        let mut rt = Runtime::with_seed(1);
+        prog.spawn_func(&mut rt, &h.func, vec![Val::NilChan]).unwrap();
+        rt.advance(100, 100_000);
+        assert!(rt.mem_stats().heap_bytes >= 50_000);
+    }
+}

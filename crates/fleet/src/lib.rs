@@ -1,0 +1,39 @@
+//! # fleet — a production microservice fleet simulator
+//!
+//! The paper's LeakProf findings (Figs 1, 2, 6; Table V) come from
+//! services deployed across thousands of hosts. This crate provides the
+//! synthetic equivalent: services × instances, each instance backed by a
+//! *real* [`gosim::Runtime`] executing its (leaky or fixed) request
+//! handler, with diurnal traffic, rolling redeploys, and fix rollouts.
+//! RSS and CPU follow simple mechanistic models — resident memory is
+//! base + retained goroutine stacks/heap, CPU is request work + GC and
+//! scheduler overhead proportional to live goroutines and retained heap
+//! — so leak impact and fix impact *emerge* from execution rather than
+//! being scripted.
+//!
+//! Profile collection ([`Fleet::collect_profiles`]) yields genuine
+//! pprof-style snapshots that feed `leakprof` unchanged.
+//!
+//! ```
+//! use fleet::{handlers, default_service, Fleet, FleetConfig};
+//!
+//! let mut fleet = Fleet::new(FleetConfig { ticks_per_day: 24, ..FleetConfig::default() });
+//! let mut spec = default_service(
+//!     "payments", 2,
+//!     handlers::timeout_leak("payments", 32_000),
+//!     handlers::timeout_fixed("payments", 32_000),
+//! );
+//! spec.instances = 2;
+//! fleet.add_service(spec);
+//! fleet.run_days(1);
+//! let profiles = fleet.collect_profiles();
+//! assert_eq!(profiles.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod handlers;
+pub mod sim;
+
+pub use handlers::Handler;
+pub use sim::{default_service, Fleet, FleetConfig, HandlerArg, Sample, Service, ServiceSpec};

@@ -1,0 +1,524 @@
+//! The fleet engine: services × instances on virtual days.
+//!
+//! Each instance owns a *real* [`gosim::Runtime`]. Request arrival is
+//! analytic (diurnal sinusoid + noise), but the requests that exercise
+//! the leak path are actually executed on the runtime, so leaked
+//! goroutines are genuinely parked at their source locations and profile
+//! collection goes through the same pprof-style snapshot LeakProf
+//! consumes in the paper.
+//!
+//! Scaling: a production instance sees orders of magnitude more requests
+//! than we want to execute. `sample_rate` executes one in every `k`
+//! leak-path requests and the memory/CPU models multiply the measured
+//! runtime footprint back up, preserving shapes while keeping the
+//! simulation laptop-sized (documented substitution in DESIGN.md).
+
+use gosim::rng::SplitMix64;
+use gosim::{GoroutineProfile, Runtime, SchedConfig, Val};
+use serde::{Deserialize, Serialize};
+
+use crate::handlers::Handler;
+
+/// Fleet-wide configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Seed for arrival noise and scheduler seeds.
+    pub seed: u64,
+    /// Simulation ticks per virtual day.
+    pub ticks_per_day: u32,
+    /// Virtual runtime ticks advanced per simulation tick.
+    pub rt_ticks_per_tick: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig { seed: 7, ticks_per_day: 96, rt_ticks_per_tick: 100 }
+    }
+}
+
+/// Per-service workload and resource model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServiceSpec {
+    /// Service name.
+    pub name: String,
+    /// Number of instances.
+    pub instances: usize,
+    /// Peak requests per tick per instance.
+    pub peak_rps: f64,
+    /// Fraction of requests that hit the leak path.
+    pub leak_activation: f64,
+    /// Execute one of every `sample_rate` leak-path requests on the real
+    /// runtime (metrics scale back up).
+    pub sample_rate: u64,
+    /// Handler while the bug is live.
+    pub leaky: Handler,
+    /// Handler after the fix.
+    pub fixed: Handler,
+    /// Argument passed to the handler entry point.
+    pub arg: HandlerArg,
+    /// Day at which the fix deploys (`None` = never).
+    pub fix_day: Option<u32>,
+    /// Day at which a *regression* deploys the leaky handler (for
+    /// services that start healthy, as in the paper's Fig 6 incident).
+    pub regress_day: Option<u32>,
+    /// Redeploy (process restart) interval in days (`None` = never).
+    pub redeploy_days: Option<u32>,
+    /// Base RSS per instance in bytes (binary, caches, ...).
+    pub base_rss: u64,
+    /// CPU cost per request, as a fraction of one core-tick.
+    pub cpu_per_request: f64,
+    /// GC/scheduler CPU cost per live goroutine per tick.
+    pub cpu_per_goroutine: f64,
+    /// GC CPU cost per retained megabyte per tick.
+    pub cpu_per_mb: f64,
+}
+
+/// Argument passed to handler invocations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HandlerArg {
+    /// `Handle(nil)` — context-typed handlers.
+    NilCtx,
+    /// `Handle(true)`.
+    True,
+    /// `Handle(false)`.
+    False,
+}
+
+impl HandlerArg {
+    fn to_val(self) -> Val {
+        match self {
+            HandlerArg::NilCtx => Val::NilChan,
+            HandlerArg::True => Val::Bool(true),
+            HandlerArg::False => Val::Bool(false),
+        }
+    }
+}
+
+/// One metric sample (per instance per tick).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sample {
+    /// Service name.
+    pub service: String,
+    /// Instance index.
+    pub instance: usize,
+    /// Fractional day.
+    pub day: f64,
+    /// Modeled resident set size in bytes.
+    pub rss: u64,
+    /// Modeled CPU utilization (0..=1 per core).
+    pub cpu: f64,
+    /// Live goroutines on the (scaled) runtime × sample rate.
+    pub goroutines: u64,
+    /// Requests served this tick (modeled).
+    pub requests: u64,
+}
+
+struct Instance {
+    idx: usize,
+    rt: Runtime,
+    prog: gosim::script::Prog,
+    func: String,
+    rng: SplitMix64,
+    carry: f64,
+}
+
+impl Instance {
+    fn new(idx: usize, seed: u64, handler: &Handler) -> Instance {
+        let prog = minigo::compile(&handler.source, &handler.path)
+            .unwrap_or_else(|e| panic!("handler does not compile: {e:?}"));
+        Instance {
+            idx,
+            rt: Runtime::new(SchedConfig { seed, ..SchedConfig::default() }),
+            prog,
+            func: handler.func.clone(),
+            rng: SplitMix64::new(seed ^ 0xF1EE7),
+            carry: 0.0,
+        }
+    }
+}
+
+/// A service under simulation.
+pub struct Service {
+    /// The specification.
+    pub spec: ServiceSpec,
+    instances: Vec<Instance>,
+    fixed_deployed: bool,
+    regressed: bool,
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("name", &self.spec.name)
+            .field("instances", &self.instances.len())
+            .field("fixed", &self.fixed_deployed)
+            .finish()
+    }
+}
+
+/// The whole fleet.
+pub struct Fleet {
+    /// Configuration.
+    pub config: FleetConfig,
+    services: Vec<Service>,
+    tick: u64,
+    rng: SplitMix64,
+    samples: Vec<Sample>,
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("services", &self.services.len())
+            .field("tick", &self.tick)
+            .finish()
+    }
+}
+
+impl Fleet {
+    /// Creates an empty fleet.
+    pub fn new(config: FleetConfig) -> Fleet {
+        let rng = SplitMix64::new(config.seed);
+        Fleet { config, services: Vec::new(), tick: 0, rng, samples: Vec::new() }
+    }
+
+    /// Adds a service; instances boot with the leaky handler unless
+    /// `fix_day == Some(0)`.
+    pub fn add_service(&mut self, spec: ServiceSpec) {
+        let mut instances = Vec::with_capacity(spec.instances);
+        let starts_healthy = spec.fix_day == Some(0) || spec.regress_day.map_or(false, |d| d > 0);
+        let handler = if starts_healthy { &spec.fixed } else { &spec.leaky };
+        for i in 0..spec.instances {
+            let seed = self.rng.next_u64();
+            instances.push(Instance::new(i, seed, handler));
+        }
+        self.services.push(Service {
+            spec,
+            instances,
+            fixed_deployed: starts_healthy,
+            regressed: false,
+        });
+    }
+
+    /// Current virtual day (fractional).
+    pub fn day(&self) -> f64 {
+        self.tick as f64 / self.config.ticks_per_day as f64
+    }
+
+    /// All collected samples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Drains collected samples (for incremental consumers).
+    pub fn take_samples(&mut self) -> Vec<Sample> {
+        std::mem::take(&mut self.samples)
+    }
+
+    /// Diurnal demand multiplier in [0.35, 1.0]: crests mid-day,
+    /// troughs at night, like the paper's Fig 2 time series.
+    pub fn diurnal(&self, day: f64) -> f64 {
+        let phase = (day.fract()) * std::f64::consts::TAU;
+        0.675 - 0.325 * phase.cos()
+    }
+
+    /// Runs one simulation tick across the fleet.
+    pub fn step(&mut self) {
+        self.tick += 1;
+        let day = self.day();
+        let diurnal = self.diurnal(day);
+        let ticks_per_day = self.config.ticks_per_day;
+        let rt_ticks = self.config.rt_ticks_per_tick;
+
+        for svc in &mut self.services {
+            // Regression deployment: a new build introduces the leak.
+            if !svc.regressed {
+                if let Some(reg) = svc.spec.regress_day {
+                    if reg > 0 && day >= reg as f64 {
+                        for inst in &mut svc.instances {
+                            *inst = Instance::new(
+                                inst.idx,
+                                inst.rng.next_u64(),
+                                &svc.spec.leaky,
+                            );
+                        }
+                        svc.regressed = true;
+                        svc.fixed_deployed = false;
+                    }
+                }
+            }
+            // Fix deployment: swap handler + rolling restart.
+            if !svc.fixed_deployed {
+                if let Some(fix) = svc.spec.fix_day {
+                    if day >= fix as f64 {
+                        for inst in &mut svc.instances {
+                            *inst = Instance::new(
+                                inst.idx,
+                                inst.rng.next_u64(),
+                                &svc.spec.fixed,
+                            );
+                        }
+                        svc.fixed_deployed = true;
+                    }
+                }
+            }
+            // Scheduled redeploys.
+            if let Some(period) = svc.spec.redeploy_days {
+                let period_ticks = period as u64 * ticks_per_day as u64;
+                if period_ticks > 0 && self.tick % period_ticks == 0 {
+                    let handler =
+                        if svc.fixed_deployed { &svc.spec.fixed } else { &svc.spec.leaky };
+                    for inst in &mut svc.instances {
+                        *inst = Instance::new(inst.idx, inst.rng.next_u64(), handler);
+                    }
+                }
+            }
+
+            for inst in &mut svc.instances {
+                // Request arrivals with ±10% noise.
+                let noise = 0.9 + 0.2 * inst.rng.next_f64();
+                let requests = (svc.spec.peak_rps * diurnal * noise).max(0.0);
+                // Leak-path requests, sampled 1-in-k onto the runtime.
+                let leak_requests = requests * svc.spec.leak_activation;
+                let exact = leak_requests / svc.spec.sample_rate as f64 + inst.carry;
+                let to_spawn = exact.floor() as u64;
+                inst.carry = exact - to_spawn as f64;
+                for _ in 0..to_spawn.min(256) {
+                    inst.prog
+                        .spawn_func(&mut inst.rt, &inst.func, vec![svc.spec.arg.to_val()])
+                        .expect("handler entry exists");
+                }
+                inst.rt.advance(rt_ticks, 400_000);
+
+                // Resource models.
+                let mem = inst.rt.mem_stats();
+                let scaled_goroutines = mem.goroutines as u64 * svc.spec.sample_rate;
+                let scaled_retained = mem.total() * svc.spec.sample_rate;
+                let rss = svc.spec.base_rss + scaled_retained;
+                let cpu_req = requests * svc.spec.cpu_per_request;
+                // GC cycles track the allocation (request) rate; each
+                // cycle's cost scales with the live goroutine population
+                // and retained heap it must scan. This is why leak-driven
+                // CPU inflation is worst at the diurnal crest (paper
+                // Fig 2: max reduction 34% > average reduction 16.5%).
+                // GC pacing: below the pacer's allocation-rate floor the
+                // collector mostly idles; above it, cycles track the
+                // allocation rate and each cycle steals mutator time
+                // proportional to the live goroutines/heap it scans.
+                // This concentrates leak-driven CPU inflation at the
+                // diurnal crest (paper Fig 2: max reduction 34% vs
+                // average 16.5%).
+                let raw_load = (requests / svc.spec.peak_rps).clamp(0.0, 1.5);
+                let gc_drive = ((raw_load - 0.80) / 0.20).clamp(0.0, 1.5);
+                let cpu_gc = gc_drive
+                    * (scaled_goroutines as f64 * svc.spec.cpu_per_goroutine
+                        + (scaled_retained as f64 / 1_048_576.0) * svc.spec.cpu_per_mb);
+                let cpu = (cpu_req + cpu_gc).min(4.0);
+
+                self.samples.push(Sample {
+                    service: svc.spec.name.clone(),
+                    instance: inst.idx,
+                    day,
+                    rss,
+                    cpu,
+                    goroutines: scaled_goroutines,
+                    requests: requests.round() as u64,
+                });
+            }
+        }
+    }
+
+    /// Runs `n` whole days.
+    pub fn run_days(&mut self, n: u32) {
+        for _ in 0..(n as u64 * self.config.ticks_per_day as u64) {
+            self.step();
+        }
+    }
+
+    /// Collects a goroutine profile from every instance of every service
+    /// — the daily LeakProf sweep. Goroutine counts in the profiles are
+    /// un-sampled (real runtime contents); consumers scale thresholds by
+    /// `sample_rate` when comparing with the paper's absolute numbers.
+    pub fn collect_profiles(&self) -> Vec<GoroutineProfile> {
+        let mut out = Vec::new();
+        for svc in &self.services {
+            for inst in &svc.instances {
+                out.push(
+                    inst.rt.goroutine_profile(format!("{}-{}", svc.spec.name, inst.idx)),
+                );
+            }
+        }
+        out
+    }
+
+    /// Handler sources for LeakProf's AST filter, as (source, path).
+    pub fn handler_sources(&self) -> Vec<(String, String)> {
+        self.services
+            .iter()
+            .map(|s| {
+                let h = if s.fixed_deployed { &s.spec.fixed } else { &s.spec.leaky };
+                (h.source.clone(), h.path.clone())
+            })
+            .collect()
+    }
+
+    /// Immutable access to services.
+    pub fn services(&self) -> &[Service] {
+        &self.services
+    }
+}
+
+/// A reasonable default resource model for a mid-size service.
+pub fn default_service(name: &str, instances: usize, leaky: Handler, fixed: Handler) -> ServiceSpec {
+    ServiceSpec {
+        name: name.to_string(),
+        instances,
+        peak_rps: 40.0,
+        leak_activation: 0.3,
+        sample_rate: 8,
+        leaky,
+        fixed,
+        arg: HandlerArg::NilCtx,
+        fix_day: None,
+        regress_day: None,
+        redeploy_days: None,
+        base_rss: 512 * 1024 * 1024,
+        cpu_per_request: 0.004,
+        cpu_per_goroutine: 0.25e-6,
+        cpu_per_mb: 4.0e-5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handlers;
+
+    fn tiny_service(fix_day: Option<u32>) -> ServiceSpec {
+        ServiceSpec {
+            instances: 2,
+            peak_rps: 20.0,
+            sample_rate: 2,
+            fix_day,
+            ..default_service(
+                "svc",
+                2,
+                handlers::timeout_leak("svc", 40_000),
+                handlers::timeout_fixed("svc", 40_000),
+            )
+        }
+    }
+
+    #[test]
+    fn leaky_service_rss_grows_monotonically_by_day() {
+        let mut fleet = Fleet::new(FleetConfig { ticks_per_day: 24, ..FleetConfig::default() });
+        fleet.add_service(tiny_service(None));
+        fleet.run_days(4);
+        let daily_max: Vec<u64> = (0..4)
+            .map(|d| {
+                fleet
+                    .samples()
+                    .iter()
+                    .filter(|s| s.day > d as f64 && s.day <= (d + 1) as f64)
+                    .map(|s| s.rss)
+                    .max()
+                    .unwrap()
+            })
+            .collect();
+        assert!(
+            daily_max.windows(2).all(|w| w[1] >= w[0]),
+            "leak ⇒ non-decreasing daily peak RSS: {daily_max:?}"
+        );
+        assert!(daily_max[3] > daily_max[0], "RSS must actually grow");
+    }
+
+    #[test]
+    fn fix_deployment_flattens_rss() {
+        let mut fleet = Fleet::new(FleetConfig { ticks_per_day: 24, ..FleetConfig::default() });
+        fleet.add_service(tiny_service(Some(2)));
+        fleet.run_days(4);
+        let peak_before = fleet
+            .samples()
+            .iter()
+            .filter(|s| s.day <= 2.0)
+            .map(|s| s.rss)
+            .max()
+            .unwrap();
+        let peak_after = fleet
+            .samples()
+            .iter()
+            .filter(|s| s.day > 3.0)
+            .map(|s| s.rss)
+            .max()
+            .unwrap();
+        assert!(
+            peak_after < peak_before,
+            "fix must reduce peak RSS: before {peak_before} after {peak_after}"
+        );
+    }
+
+    #[test]
+    fn profiles_show_blocked_goroutines_at_leak_site() {
+        let mut fleet = Fleet::new(FleetConfig { ticks_per_day: 24, ..FleetConfig::default() });
+        fleet.add_service(tiny_service(None));
+        fleet.run_days(2);
+        let profiles = fleet.collect_profiles();
+        assert_eq!(profiles.len(), 2);
+        let blocked: usize = profiles.iter().map(|p| p.channel_blocked().count()).sum();
+        assert!(blocked > 10, "leaked senders accumulate, got {blocked}");
+        // All blocked at the declared leak line.
+        for p in &profiles {
+            for g in p.channel_blocked() {
+                assert_eq!(g.blocking_frame().unwrap().loc.line, 10);
+            }
+        }
+    }
+
+    #[test]
+    fn redeploy_resets_rss_sawtooth() {
+        let mut spec = tiny_service(None);
+        spec.redeploy_days = Some(2);
+        let mut fleet = Fleet::new(FleetConfig { ticks_per_day: 24, ..FleetConfig::default() });
+        fleet.add_service(spec);
+        fleet.run_days(4);
+        // RSS right after redeploy (day just past 2) is far below the
+        // peak just before it.
+        let before: u64 = fleet
+            .samples()
+            .iter()
+            .filter(|s| s.day > 1.9 && s.day <= 2.0)
+            .map(|s| s.rss)
+            .max()
+            .unwrap();
+        let after: u64 = fleet
+            .samples()
+            .iter()
+            .filter(|s| s.day > 2.0 && s.day <= 2.1)
+            .map(|s| s.rss)
+            .min()
+            .unwrap();
+        assert!(after < before, "redeploy resets RSS: {after} !< {before}");
+    }
+
+    #[test]
+    fn diurnal_cycle_shapes_cpu() {
+        let mut fleet = Fleet::new(FleetConfig { ticks_per_day: 48, ..FleetConfig::default() });
+        let mut spec = tiny_service(Some(0)); // fixed from day 0: CPU ~ requests
+        spec.leak_activation = 0.0;
+        fleet.add_service(spec);
+        fleet.run_days(1);
+        let noon = fleet
+            .samples()
+            .iter()
+            .filter(|s| (0.45..0.55).contains(&s.day))
+            .map(|s| s.cpu)
+            .fold(0.0f64, f64::max);
+        let night = fleet
+            .samples()
+            .iter()
+            .filter(|s| s.day < 0.07)
+            .map(|s| s.cpu)
+            .fold(0.0f64, f64::max);
+        assert!(noon > night * 1.5, "diurnal crest: noon {noon} vs night {night}");
+    }
+}

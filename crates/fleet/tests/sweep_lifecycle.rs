@@ -1,0 +1,60 @@
+//! Integration: the full LeakProf report lifecycle over a live fleet —
+//! regression, daily sweeps with dedup, owner acknowledgement, fix
+//! rollout, and automatic Fixed transition (paper §VII: 33 reported,
+//! 24 acknowledged, 21 fixed).
+
+use fleet::{default_service, handlers, Fleet, FleetConfig, HandlerArg};
+use leakprof::{Config, IssueStatus, LeakProf, SweepStore};
+
+#[test]
+fn report_lifecycle_over_live_fleet() {
+    let mut f = Fleet::new(FleetConfig { ticks_per_day: 24, seed: 21, ..FleetConfig::default() });
+    let mut spec = default_service(
+        "pay",
+        3,
+        handlers::timeout_leak("pay", 8_000),
+        handlers::timeout_fixed("pay", 8_000),
+    );
+    spec.arg = HandlerArg::NilCtx;
+    spec.leak_activation = 0.6;
+    spec.fix_day = Some(3); // the fix ships on day 3
+    f.add_service(spec);
+
+    let mut lp = LeakProf::new(Config { threshold: 20, ast_filter: true, top_n: 5 });
+    for (src, path) in f.handler_sources() {
+        lp.index_source(&src, &path).unwrap();
+    }
+    lp.add_owner("pay/", "team-pay");
+
+    let mut store = SweepStore::new();
+
+    // Day 1: the leak crosses the threshold -> NEW issue.
+    f.run_days(1);
+    let d1 = store.record_sweep(&lp.analyze(&f.collect_profiles()));
+    assert_eq!(d1.new.len(), 1, "day-1 sweep surfaces the leak");
+    let op = d1.new[0].clone();
+    assert_eq!(op.loc.to_string(), "pay/handler.go:10");
+
+    // Day 2: same leak -> ONGOING, not re-alerted; owner acknowledges.
+    f.run_days(1);
+    let d2 = store.record_sweep(&lp.analyze(&f.collect_profiles()));
+    assert!(d2.new.is_empty(), "no duplicate alert");
+    assert_eq!(d2.ongoing.len(), 1);
+    assert!(store.acknowledge(&op));
+
+    // Day 3: fix deploys (instances restart with the fixed handler).
+    // Day 4 sweep: the site has vanished -> auto-Fixed.
+    f.run_days(2);
+    let d4 = store.record_sweep(&lp.analyze(&f.collect_profiles()));
+    assert!(d4.ongoing.is_empty(), "fixed service shows no suspects");
+    assert_eq!(d4.vanished.len(), 1);
+    assert_eq!(store.issue(&op).unwrap().status, IssueStatus::Fixed);
+
+    let (reported, acked, fixed, rejected) = store.lifecycle();
+    assert_eq!((reported, acked, fixed, rejected), (1, 1, 1, 0));
+    assert_eq!(store.issue(&op).unwrap().owner.as_deref(), Some("team-pay"));
+
+    // The store persists across tool runs.
+    let reloaded = SweepStore::from_json(&store.to_json()).unwrap();
+    assert_eq!(reloaded.lifecycle(), store.lifecycle());
+}

@@ -1,0 +1,271 @@
+//! Blocking-type classification of lingering goroutines — the taxonomy of
+//! the paper's Table IV.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use gosim::{GoStatus, GoroutineProfile, GoroutineRecord};
+use serde::{Deserialize, Serialize};
+
+/// The blocking categories of Table IV.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum BlockKind {
+    /// `chan receive (non-nil chan)`.
+    ChanReceive,
+    /// `chan receive (nil chan)` — a guaranteed partial deadlock.
+    ChanReceiveNil,
+    /// `chan send (non-nil chan)`.
+    ChanSend,
+    /// `chan send (nil chan)` — a guaranteed partial deadlock.
+    ChanSendNil,
+    /// `select` with at least one case.
+    Select,
+    /// `select` with zero cases — blocks forever by definition.
+    SelectNoCases,
+    /// Blocked on I/O.
+    IoWait,
+    /// Blocked in a system call.
+    Syscall,
+    /// Sleeping on a timer.
+    Sleep,
+    /// Still running or runnable at verification time.
+    RunningRunnable,
+    /// `sync.Cond.Wait`.
+    CondWait,
+    /// Semaphore acquisition (mutexes, waitgroups).
+    SemAcquire,
+}
+
+impl BlockKind {
+    /// Classifies a goroutine status.
+    pub fn of(status: GoStatus) -> BlockKind {
+        match status {
+            GoStatus::ChanReceive { nil_chan: false } => BlockKind::ChanReceive,
+            GoStatus::ChanReceive { nil_chan: true } => BlockKind::ChanReceiveNil,
+            GoStatus::ChanSend { nil_chan: false } => BlockKind::ChanSend,
+            GoStatus::ChanSend { nil_chan: true } => BlockKind::ChanSendNil,
+            GoStatus::Select { ncases: 0 } => BlockKind::SelectNoCases,
+            GoStatus::Select { .. } => BlockKind::Select,
+            GoStatus::IoWait => BlockKind::IoWait,
+            GoStatus::Syscall => BlockKind::Syscall,
+            GoStatus::Sleep => BlockKind::Sleep,
+            GoStatus::Running | GoStatus::Runnable => BlockKind::RunningRunnable,
+            GoStatus::CondWait => BlockKind::CondWait,
+            GoStatus::SemAcquire => BlockKind::SemAcquire,
+        }
+    }
+
+    /// True for the message-passing categories (the paper's headline:
+    /// message passing causes >80% of non-terminated goroutines).
+    pub fn is_message_passing(&self) -> bool {
+        matches!(
+            self,
+            BlockKind::ChanReceive
+                | BlockKind::ChanReceiveNil
+                | BlockKind::ChanSend
+                | BlockKind::ChanSendNil
+                | BlockKind::Select
+                | BlockKind::SelectNoCases
+        )
+    }
+
+    /// Row label used in the Table IV reproduction.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BlockKind::ChanReceive => "chan receive (non-nil chan)",
+            BlockKind::ChanReceiveNil => "chan receive (nil chan)",
+            BlockKind::ChanSend => "chan send (non-nil chan)",
+            BlockKind::ChanSendNil => "chan send (nil chan)",
+            BlockKind::Select => "select (>0 cases)",
+            BlockKind::SelectNoCases => "select (0 cases)",
+            BlockKind::IoWait => "IO wait",
+            BlockKind::Syscall => "System call",
+            BlockKind::Sleep => "Sleep",
+            BlockKind::RunningRunnable => "Running/Runnable",
+            BlockKind::CondWait => "Condition Wait",
+            BlockKind::SemAcquire => "Semaphore Acquire",
+        }
+    }
+
+    /// All categories, in Table IV row order.
+    pub fn all() -> [BlockKind; 12] {
+        [
+            BlockKind::ChanReceive,
+            BlockKind::ChanReceiveNil,
+            BlockKind::ChanSend,
+            BlockKind::ChanSendNil,
+            BlockKind::Select,
+            BlockKind::SelectNoCases,
+            BlockKind::IoWait,
+            BlockKind::Syscall,
+            BlockKind::Sleep,
+            BlockKind::RunningRunnable,
+            BlockKind::CondWait,
+            BlockKind::SemAcquire,
+        ]
+    }
+}
+
+impl fmt::Display for BlockKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Aggregated counts per blocking category (a Table IV instance).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Classification {
+    counts: BTreeMap<BlockKind, u64>,
+}
+
+impl Classification {
+    /// Creates an empty classification.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one goroutine record.
+    pub fn add(&mut self, rec: &GoroutineRecord) {
+        self.add_kind(BlockKind::of(rec.status));
+    }
+
+    /// Adds one pre-classified goroutine.
+    pub fn add_kind(&mut self, kind: BlockKind) {
+        *self.counts.entry(kind).or_insert(0) += 1;
+    }
+
+    /// Adds every goroutine of a profile.
+    pub fn add_profile(&mut self, profile: &GoroutineProfile) {
+        for g in &profile.goroutines {
+            self.add(g);
+        }
+    }
+
+    /// Merges another classification into this one.
+    pub fn merge(&mut self, other: &Classification) {
+        for (k, v) in &other.counts {
+            *self.counts.entry(*k).or_insert(0) += v;
+        }
+    }
+
+    /// Count for one category.
+    pub fn count(&self, kind: BlockKind) -> u64 {
+        self.counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Total classified goroutines.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Fraction of goroutines in message-passing categories.
+    pub fn message_passing_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let mp: u64 = self
+            .counts
+            .iter()
+            .filter(|(k, _)| k.is_message_passing())
+            .map(|(_, v)| *v)
+            .sum();
+        mp as f64 / total as f64
+    }
+
+    /// Renders the classification as a Table IV-style text table.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let total = self.total().max(1);
+        let mut out = String::from("Type                          | Count   | Percentage\n");
+        out.push_str("------------------------------+---------+-----------\n");
+        for kind in BlockKind::all() {
+            let c = self.count(kind);
+            let _ = writeln!(
+                out,
+                "{:<29} | {:>7} | {:>8.2}%",
+                kind.label(),
+                c,
+                100.0 * c as f64 / total as f64
+            );
+        }
+        let _ = writeln!(out, "{:<29} | {:>7} | {:>8.2}%", "Total", self.total(), 100.0);
+        out
+    }
+}
+
+impl FromIterator<BlockKind> for Classification {
+    fn from_iter<T: IntoIterator<Item = BlockKind>>(iter: T) -> Self {
+        let mut c = Classification::new();
+        for k in iter {
+            *c.counts.entry(k).or_insert(0) += 1;
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gosim::{Frame, Gid, Loc};
+
+    fn rec(status: GoStatus) -> GoroutineRecord {
+        GoroutineRecord {
+            gid: Gid(1),
+            name: "f".into(),
+            status,
+            stack: vec![],
+            created_by: Frame::new("main", Loc::unknown()),
+            wait_ticks: 0,
+            retained_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn classify_matches_table_iv_rows() {
+        assert_eq!(
+            BlockKind::of(GoStatus::ChanReceive { nil_chan: false }),
+            BlockKind::ChanReceive
+        );
+        assert_eq!(BlockKind::of(GoStatus::Select { ncases: 0 }), BlockKind::SelectNoCases);
+        assert_eq!(BlockKind::of(GoStatus::Select { ncases: 3 }), BlockKind::Select);
+        assert_eq!(BlockKind::of(GoStatus::Runnable), BlockKind::RunningRunnable);
+    }
+
+    #[test]
+    fn message_passing_fraction() {
+        let mut c = Classification::new();
+        c.add(&rec(GoStatus::Select { ncases: 2 }));
+        c.add(&rec(GoStatus::ChanReceive { nil_chan: false }));
+        c.add(&rec(GoStatus::ChanSend { nil_chan: false }));
+        c.add(&rec(GoStatus::IoWait));
+        assert!((c.message_passing_fraction() - 0.75).abs() < 1e-9);
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Classification::new();
+        a.add(&rec(GoStatus::Sleep));
+        let mut b = Classification::new();
+        b.add(&rec(GoStatus::Sleep));
+        b.add(&rec(GoStatus::Syscall));
+        a.merge(&b);
+        assert_eq!(a.count(BlockKind::Sleep), 2);
+        assert_eq!(a.count(BlockKind::Syscall), 1);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn render_contains_all_rows_and_total() {
+        let c: Classification =
+            [BlockKind::ChanSend, BlockKind::Select].into_iter().collect();
+        let table = c.render_table();
+        for kind in BlockKind::all() {
+            assert!(table.contains(kind.label()), "missing row {kind}");
+        }
+        assert!(table.contains("Total"));
+    }
+}

@@ -1,0 +1,332 @@
+//! # goleak — test-time goroutine leak detection (paper Section IV)
+//!
+//! This crate reimplements the paper's GOLEAK workflow against the
+//! [`gosim`] runtime:
+//!
+//! * [`find`] snapshots all lingering goroutines at the end of a test,
+//!   exactly like `goleak.Find`;
+//! * [`find_with_retry`] first lets the runtime settle (retry + virtual
+//!   time backoff) so goroutines that are merely *slow* to exit are not
+//!   reported as leaks — the dynamic-analysis analogue of goleak's retry
+//!   loop;
+//! * [`verify_test`] / [`verify_test_main`] are the `VerifyTestMain`
+//!   analogues: they fail a test when non-suppressed goroutines linger;
+//! * [`SuppressionList`] supports the paper's incremental rollout: leaks
+//!   present in legacy code are recorded and only *new* leaks block a PR;
+//! * [`classify`] reproduces the Table IV blocking-type taxonomy.
+//!
+//! ## Example
+//!
+//! ```
+//! use gosim::script::{fnb, Expr, Prog};
+//! use gosim::Runtime;
+//! use goleak::{find_with_retry, Options};
+//!
+//! let prog = Prog::build(|p| {
+//!     p.func(fnb("pkg.TestLeaky", "pkg/x_test.go").body(|b| {
+//!         b.make_chan("ch", 0, 3);
+//!         b.go_closure(4, |g| {
+//!             g.send("ch", Expr::int(1), 5); // no receiver: leaks
+//!         });
+//!     }));
+//! });
+//! let mut rt = Runtime::with_seed(0);
+//! prog.spawn_func(&mut rt, "pkg.TestLeaky", vec![]);
+//! rt.run_until_blocked(10_000);
+//!
+//! let leaks = find_with_retry(&mut rt, &Options::default());
+//! assert_eq!(leaks.len(), 1);
+//! assert_eq!(leaks[0].goroutine, "pkg.TestLeaky$1");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod suppress;
+
+pub use classify::{BlockKind, Classification};
+pub use suppress::SuppressionList;
+
+use std::fmt;
+
+use gosim::{Frame, GoStatus, Gid, GoroutineRecord, Runtime};
+use serde::{Deserialize, Serialize};
+
+/// Options controlling leak detection, mirroring `goleak.Option`s.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Number of settle retries before goroutines are reported.
+    pub max_retries: u32,
+    /// Virtual ticks granted per retry (doubles each retry, like the
+    /// upstream library's backoff).
+    pub retry_ticks: u64,
+    /// Goroutine root functions to ignore, the analogue of
+    /// `goleak.IgnoreTopFunction`.
+    pub ignore_functions: Vec<String>,
+    /// Treat goroutines sleeping on plain timers as benign (off by
+    /// default: the paper counts them, Table IV's `Sleep` row).
+    pub ignore_sleepers: bool,
+    /// Scheduler slice budget for each settle attempt.
+    pub settle_budget: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            max_retries: 4,
+            retry_ticks: 8,
+            ignore_functions: Vec::new(),
+            ignore_sleepers: false,
+            settle_budget: 1_000_000,
+        }
+    }
+}
+
+/// One lingering goroutine, as reported at test end.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LeakReport {
+    /// Goroutine id in the runtime.
+    pub gid: Gid,
+    /// Root function (display) name — the suppression key.
+    pub goroutine: String,
+    /// Observed status.
+    pub status: GoStatus,
+    /// Table IV category.
+    pub kind: BlockKind,
+    /// The user-code frame of the blocking operation, if any.
+    pub blocking_frame: Option<Frame>,
+    /// Where the goroutine was created (`created by ...`).
+    pub created_by: Frame,
+    /// How long the goroutine has been waiting, in virtual ticks.
+    pub wait_ticks: u64,
+    /// Bytes retained by the leak (stack + attributed heap).
+    pub retained_bytes: u64,
+}
+
+impl LeakReport {
+    fn from_record(rec: &GoroutineRecord) -> Self {
+        LeakReport {
+            gid: rec.gid,
+            goroutine: rec.name.clone(),
+            status: rec.status,
+            kind: BlockKind::of(rec.status),
+            blocking_frame: rec.blocking_frame().cloned(),
+            created_by: rec.created_by.clone(),
+            wait_ticks: rec.wait_ticks,
+            retained_bytes: rec.retained_bytes,
+        }
+    }
+}
+
+impl fmt::Display for LeakReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "found unexpected goroutine {} [{}]",
+            self.goroutine,
+            self.status.wait_reason()
+        )?;
+        if let Some(frame) = &self.blocking_frame {
+            write!(f, " blocked at {}", frame.loc)?;
+        }
+        write!(f, " created by {} at {}", self.created_by.func, self.created_by.loc)
+    }
+}
+
+/// Snapshots lingering goroutines without letting the runtime settle.
+///
+/// Corollary 1 of the paper: any goroutine alive at test end *may* be a
+/// partial deadlock. `find` reports them all (modulo the ignore options);
+/// prefer [`find_with_retry`] to avoid flagging goroutines that are
+/// merely still finishing.
+pub fn find(rt: &Runtime, opts: &Options) -> Vec<LeakReport> {
+    rt.goroutine_profile("goleak")
+        .goroutines
+        .iter()
+        .filter(|g| !opts.ignore_functions.iter().any(|n| n == &g.name))
+        .filter(|g| !(opts.ignore_sleepers && g.status == GoStatus::Sleep))
+        .map(LeakReport::from_record)
+        .collect()
+}
+
+/// Lets the runtime settle (drain runnable goroutines, then grant
+/// exponentially growing slices of virtual time) before reporting
+/// whatever still lingers.
+pub fn find_with_retry(rt: &mut Runtime, opts: &Options) -> Vec<LeakReport> {
+    rt.run_until_blocked(opts.settle_budget);
+    let mut backoff = opts.retry_ticks.max(1);
+    for _ in 0..opts.max_retries {
+        if rt.live_count() == 0 {
+            return Vec::new();
+        }
+        rt.advance(backoff, opts.settle_budget);
+        backoff = backoff.saturating_mul(2);
+    }
+    find(rt, opts)
+}
+
+/// The outcome of verifying one test target.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Verdict {
+    /// Leaks not covered by the suppression list: these block the PR.
+    pub new_leaks: Vec<LeakReport>,
+    /// Leaks matched by the suppression list: logged, not blocking.
+    pub suppressed: Vec<LeakReport>,
+}
+
+impl Verdict {
+    /// True when the test target passes (no unsuppressed leaks).
+    pub fn passed(&self) -> bool {
+        self.new_leaks.is_empty()
+    }
+
+    /// All leaks regardless of suppression.
+    pub fn all_leaks(&self) -> impl Iterator<Item = &LeakReport> {
+        self.new_leaks.iter().chain(self.suppressed.iter())
+    }
+
+    /// Renders the verdict like a failing `go test` log.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if self.passed() {
+            let _ = writeln!(out, "PASS (goleak: no unsuppressed goroutine leaks)");
+        } else {
+            let _ = writeln!(out, "FAIL: {} goroutine leak(s) found", self.new_leaks.len());
+        }
+        for l in &self.new_leaks {
+            let _ = writeln!(out, "  {l}");
+        }
+        for l in &self.suppressed {
+            let _ = writeln!(out, "  [suppressed] {l}");
+        }
+        out
+    }
+}
+
+/// Verifies a test runtime: the `goleak.VerifyTestMain` analogue without
+/// a suppression list.
+pub fn verify_test(rt: &mut Runtime, opts: &Options) -> Verdict {
+    verify_test_main(rt, opts, &SuppressionList::new())
+}
+
+/// Verifies a test runtime against a suppression list: only leaks whose
+/// goroutine function is *not* suppressed block the test. This is the
+/// incremental-rollout mechanism of the paper (Section IV-A).
+pub fn verify_test_main(
+    rt: &mut Runtime,
+    opts: &Options,
+    suppressions: &SuppressionList,
+) -> Verdict {
+    let leaks = find_with_retry(rt, opts);
+    let (suppressed, new_leaks) =
+        leaks.into_iter().partition(|l: &LeakReport| suppressions.matches(l));
+    Verdict { new_leaks, suppressed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gosim::script::{fnb, Expr, Prog};
+
+    fn leaky_runtime(n: i64) -> Runtime {
+        let prog = Prog::build(|p| {
+            p.func(fnb("pkg.TestX", "pkg/x_test.go").body(|b| {
+                b.make_chan("ch", 0, 2);
+                b.for_n("i", Expr::int(n), 3, |l| {
+                    l.go_closure(4, |g| {
+                        g.send("ch", Expr::var("i"), 5);
+                    });
+                });
+            }));
+        });
+        let mut rt = Runtime::with_seed(1);
+        prog.spawn_func(&mut rt, "pkg.TestX", vec![]);
+        rt.run_until_blocked(100_000);
+        rt
+    }
+
+    #[test]
+    fn find_reports_all_lingering_goroutines() {
+        let rt = leaky_runtime(3);
+        let leaks = find(&rt, &Options::default());
+        assert_eq!(leaks.len(), 3);
+        for l in &leaks {
+            assert_eq!(l.kind, BlockKind::ChanSend);
+            assert_eq!(l.blocking_frame.as_ref().unwrap().loc.line, 5);
+            assert_eq!(l.created_by.loc.line, 4);
+        }
+    }
+
+    #[test]
+    fn clean_test_passes() {
+        let prog = Prog::build(|p| {
+            p.func(fnb("pkg.TestOk", "pkg/ok_test.go").body(|b| {
+                b.make_chan("ch", 1, 2);
+                b.send("ch", Expr::int(1), 3);
+                b.recv("ch", 4);
+            }));
+        });
+        let mut rt = Runtime::with_seed(0);
+        prog.spawn_func(&mut rt, "pkg.TestOk", vec![]);
+        rt.run_until_blocked(10_000);
+        let v = verify_test(&mut rt, &Options::default());
+        assert!(v.passed());
+        assert!(v.render().contains("PASS"));
+    }
+
+    #[test]
+    fn retry_settles_slow_goroutines() {
+        // A goroutine that sleeps briefly then exits must NOT be reported.
+        let prog = Prog::build(|p| {
+            p.func(fnb("pkg.TestSlow", "pkg/slow_test.go").body(|b| {
+                b.go_closure(2, |g| {
+                    g.sleep(Expr::int(20), 3);
+                });
+            }));
+        });
+        let mut rt = Runtime::with_seed(0);
+        prog.spawn_func(&mut rt, "pkg.TestSlow", vec![]);
+        rt.run_until_blocked(10_000);
+        assert_eq!(rt.live_count(), 1, "still sleeping at test end");
+
+        // Without retries: false positive.
+        let eager = find(&rt, &Options::default());
+        assert_eq!(eager.len(), 1);
+
+        // With retries: the sleeper finishes within the backoff budget.
+        let settled = find_with_retry(&mut rt, &Options::default());
+        assert!(settled.is_empty(), "retry absorbed the in-flight goroutine");
+    }
+
+    #[test]
+    fn suppression_list_splits_old_from_new() {
+        let mut rt = leaky_runtime(2);
+        let mut sup = SuppressionList::new();
+        sup.insert("pkg.TestX$1");
+        let v = verify_test_main(&mut rt, &Options::default(), &sup);
+        assert!(v.passed(), "legacy leak suppressed");
+        assert_eq!(v.suppressed.len(), 2);
+        assert!(v.render().contains("[suppressed]"));
+    }
+
+    #[test]
+    fn ignore_functions_option() {
+        let rt = leaky_runtime(1);
+        let opts = Options {
+            ignore_functions: vec!["pkg.TestX$1".into()],
+            ..Options::default()
+        };
+        assert!(find(&rt, &opts).is_empty());
+    }
+
+    #[test]
+    fn leak_report_display_carries_evidence() {
+        let rt = leaky_runtime(1);
+        let l = &find(&rt, &Options::default())[0];
+        let s = l.to_string();
+        assert!(s.contains("pkg.TestX$1"));
+        assert!(s.contains("chan send"));
+        assert!(s.contains("pkg/x_test.go:5"));
+    }
+}

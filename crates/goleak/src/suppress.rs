@@ -1,0 +1,151 @@
+//! Suppression lists: the paper's incremental-rollout mechanism.
+//!
+//! An offline trial run collects the goroutine function names of all
+//! pre-existing leaks; those are suppressed so that only PRs *adding*
+//! leaks are blocked, while owners burn the legacy list down over time
+//! (paper Section IV-A: the list started at 1040 entries, 857 of which
+//! were partial deadlocks).
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::LeakReport;
+
+/// A set of suppressed goroutine function names.
+///
+/// Keys are goroutine root-function display names, e.g.
+/// `transactions.ComputeCost$1` — the same identity the paper uses
+/// ("leaking goroutine locations as function names").
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SuppressionList {
+    names: BTreeSet<String>,
+}
+
+impl SuppressionList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a list from an iterator of names.
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        SuppressionList { names: names.into_iter().map(Into::into).collect() }
+    }
+
+    /// Builds the initial list from a trial run's leak reports — the
+    /// paper's "offline trial run with instrumentation".
+    pub fn from_trial_run<'a, I: IntoIterator<Item = &'a LeakReport>>(leaks: I) -> Self {
+        SuppressionList {
+            names: leaks.into_iter().map(|l| l.goroutine.clone()).collect(),
+        }
+    }
+
+    /// Adds a name. Returns false if it was already present.
+    pub fn insert(&mut self, name: impl Into<String>) -> bool {
+        self.names.insert(name.into())
+    }
+
+    /// Removes a name once its leak is fixed. Returns true if present.
+    pub fn remove(&mut self, name: &str) -> bool {
+        self.names.remove(name)
+    }
+
+    /// True if the report's goroutine function is suppressed.
+    pub fn matches(&self, report: &LeakReport) -> bool {
+        self.names.contains(&report.goroutine)
+    }
+
+    /// True if a bare name is suppressed.
+    pub fn contains(&self, name: &str) -> bool {
+        self.names.contains(name)
+    }
+
+    /// Number of suppressed entries.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over suppressed names in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(|s| s.as_str())
+    }
+
+    /// Serializes to the on-disk one-name-per-line format.
+    pub fn to_text(&self) -> String {
+        let mut s: String = self.names.iter().map(|n| format!("{n}\n")).collect();
+        if s.ends_with('\n') {
+            s.pop();
+        }
+        s
+    }
+
+    /// Parses the one-name-per-line format (blank lines and `#` comments
+    /// ignored).
+    pub fn from_text(text: &str) -> Self {
+        SuppressionList {
+            names: text
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .map(str::to_owned)
+                .collect(),
+        }
+    }
+}
+
+impl Extend<String> for SuppressionList {
+    fn extend<T: IntoIterator<Item = String>>(&mut self, iter: T) {
+        self.names.extend(iter);
+    }
+}
+
+impl FromIterator<String> for SuppressionList {
+    fn from_iter<T: IntoIterator<Item = String>>(iter: T) -> Self {
+        SuppressionList { names: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut s = SuppressionList::new();
+        assert!(s.is_empty());
+        assert!(s.insert("pkg.F$1"));
+        assert!(!s.insert("pkg.F$1"), "duplicate insert is a no-op");
+        assert!(s.contains("pkg.F$1"));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove("pkg.F$1"));
+        assert!(!s.remove("pkg.F$1"));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn text_roundtrip_skips_comments() {
+        let text = "# legacy leaks\npkg.A$1\n\npkg.B\n";
+        let s = SuppressionList::from_text(text);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains("pkg.A$1"));
+        assert!(s.contains("pkg.B"));
+        let round = SuppressionList::from_text(&s.to_text());
+        assert_eq!(s, round);
+    }
+
+    #[test]
+    fn from_names_builder() {
+        let s = SuppressionList::from_names(["a", "b"]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests: verification verdicts partition cleanly and the
+//! classification algebra is conservative.
+
+use goleak::{
+    classify::BlockKind, find, verify_test_main, Classification, Options, SuppressionList,
+};
+use gosim::script::{fnb, Expr, Prog};
+use gosim::Runtime;
+use proptest::prelude::*;
+
+fn leaky_rt(senders: u64, receivers: u64, seed: u64) -> Runtime {
+    let prog = Prog::build(|p| {
+        p.func(fnb("pkg.TestX", "pkg/x_test.go").body(|b| {
+            b.make_chan("ch", 0, 1);
+            b.for_n("i", Expr::Lit(gosim::Val::Int(senders as i64)), 2, |l| {
+                l.go_closure(3, |g| {
+                    g.send("ch", Expr::var("i"), 4);
+                });
+            });
+            b.for_n("j", Expr::Lit(gosim::Val::Int(receivers as i64)), 6, |l| {
+                l.go_closure(7, |g| {
+                    g.recv("ch", 8);
+                });
+            });
+        }));
+    });
+    let mut rt = Runtime::with_seed(seed);
+    prog.spawn_func(&mut rt, "pkg.TestX", vec![]);
+    rt.run_until_blocked(1_000_000);
+    rt
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// new_leaks ∪ suppressed == find(), disjointly, for any suppression
+    /// choice.
+    #[test]
+    fn verdict_partitions_find(
+        senders in 0u64..8,
+        receivers in 0u64..8,
+        suppress_senders in any::<bool>(),
+        suppress_receivers in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let rt = leaky_rt(senders, receivers, seed);
+        let all = find(&rt, &Options::default()).len();
+
+        let mut sup = SuppressionList::new();
+        if suppress_senders {
+            sup.insert("pkg.TestX$1");
+        }
+        if suppress_receivers {
+            sup.insert("pkg.TestX$2");
+        }
+        let mut rt2 = leaky_rt(senders, receivers, seed);
+        let verdict = verify_test_main(&mut rt2, &Options::default(), &sup);
+        prop_assert_eq!(verdict.new_leaks.len() + verdict.suppressed.len(), all);
+        for l in &verdict.suppressed {
+            prop_assert!(sup.contains(&l.goroutine));
+        }
+        for l in &verdict.new_leaks {
+            prop_assert!(!sup.contains(&l.goroutine));
+        }
+    }
+
+    /// Classification totals match report counts, and the send/recv split
+    /// matches the CSP arithmetic of the scenario.
+    #[test]
+    fn classification_matches_arithmetic(
+        senders in 0u64..10,
+        receivers in 0u64..10,
+        seed in 0u64..1000,
+    ) {
+        let rt = leaky_rt(senders, receivers, seed);
+        let leaks = find(&rt, &Options::default());
+        let mut class = Classification::new();
+        for l in &leaks {
+            class.add_kind(l.kind);
+        }
+        prop_assert_eq!(class.total() as usize, leaks.len());
+        let expected_send = senders.saturating_sub(receivers);
+        let expected_recv = receivers.saturating_sub(senders);
+        prop_assert_eq!(class.count(BlockKind::ChanSend), expected_send);
+        prop_assert_eq!(class.count(BlockKind::ChanReceive), expected_recv);
+    }
+
+    /// Suppression text round-trips for arbitrary printable names.
+    #[test]
+    fn suppression_text_roundtrip(names in proptest::collection::btree_set("[a-zA-Z0-9_.$]{1,24}", 0..20)) {
+        let sup: SuppressionList = names.iter().cloned().collect();
+        let round = SuppressionList::from_text(&sup.to_text());
+        prop_assert_eq!(sup, round);
+    }
+}

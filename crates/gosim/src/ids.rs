@@ -1,0 +1,72 @@
+//! Newtype identifiers for runtime objects.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u64);
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(id: $name) -> u64 {
+                id.0
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A goroutine identifier, analogous to the goid in Go runtime traces.
+    Gid,
+    "goroutine-"
+);
+id_type!(
+    /// A channel identifier.
+    ChanId,
+    "chan-"
+);
+id_type!(
+    /// A semaphore identifier (`sync.Mutex` is a semaphore of capacity 1).
+    SemId,
+    "sem-"
+);
+id_type!(
+    /// A wait-group identifier (`sync.WaitGroup`).
+    WgId,
+    "wg-"
+);
+id_type!(
+    /// A condition-variable identifier (`sync.Cond`).
+    CondId,
+    "cond-"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_prefix_and_number() {
+        assert_eq!(Gid(3).to_string(), "goroutine-3");
+        assert_eq!(ChanId(9).to_string(), "chan-9");
+        assert_eq!(SemId(1).to_string(), "sem-1");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_value() {
+        assert!(Gid(1) < Gid(2));
+        let raw: u64 = ChanId(5).into();
+        assert_eq!(raw, 5);
+    }
+}

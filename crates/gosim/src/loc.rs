@@ -1,0 +1,147 @@
+//! Source locations and stack frames.
+//!
+//! Everything the profiler and the leak detectors report is keyed by a
+//! [`Loc`] (file + line, mirroring Go's `file.go:NN` convention) and
+//! rendered as a stack of [`Frame`]s, mirroring the goroutine profiles the
+//! paper's LeakProf consumes (Fig 4).
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// A source location: `file:line`.
+///
+/// `Loc` is cheap to clone (the file name is reference counted) and is used
+/// as the grouping key for blocked goroutines throughout the toolchain.
+///
+/// # Examples
+///
+/// ```
+/// use gosim::Loc;
+/// let loc = Loc::new("transactions/cost.go", 8);
+/// assert_eq!(loc.to_string(), "transactions/cost.go:8");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Loc {
+    /// File path, repo-relative by convention.
+    pub file: Arc<str>,
+    /// 1-based line number; 0 means "unknown".
+    pub line: u32,
+}
+
+impl Loc {
+    /// Creates a location from a file name and line number.
+    pub fn new(file: impl Into<Arc<str>>, line: u32) -> Self {
+        Loc { file: file.into(), line }
+    }
+
+    /// The location used for synthesized runtime frames
+    /// (`runtime.gopark` and friends).
+    pub fn runtime() -> Self {
+        Loc::new("runtime/proc.go", 0)
+    }
+
+    /// An unknown location.
+    pub fn unknown() -> Self {
+        Loc::new("<unknown>", 0)
+    }
+
+    /// Returns true if this location is the placeholder unknown location.
+    pub fn is_unknown(&self) -> bool {
+        &*self.file == "<unknown>"
+    }
+}
+
+impl Default for Loc {
+    fn default() -> Self {
+        Loc::unknown()
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.file, self.line)
+    }
+}
+
+/// One frame of a goroutine call stack.
+///
+/// The leaf-most frames of a blocked goroutine are synthetic runtime frames
+/// (`runtime.gopark`, `runtime.chansend1`, ...) exactly as in real Go
+/// goroutine profiles; the first non-runtime frame carries the source
+/// location of the blocking operation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Frame {
+    /// Fully qualified function name, e.g. `transactions.ComputeCost$1`.
+    pub func: String,
+    /// Location *within* the function: for a blocked goroutine this is the
+    /// line of the operation currently being executed or blocked on.
+    pub loc: Loc,
+}
+
+impl Frame {
+    /// Creates a frame.
+    pub fn new(func: impl Into<String>, loc: Loc) -> Self {
+        Frame { func: func.into(), loc }
+    }
+
+    /// Creates a synthetic runtime frame (e.g. `runtime.gopark`).
+    pub fn runtime(func: &str) -> Self {
+        Frame::new(func, Loc::runtime())
+    }
+
+    /// True if this is a synthesized `runtime.*` or `internal/*` frame.
+    pub fn is_runtime(&self) -> bool {
+        self.func.starts_with("runtime.") || self.func.starts_with("internal/")
+    }
+}
+
+impl fmt::Display for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.func, self.loc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loc_display_matches_go_convention() {
+        let l = Loc::new("pkg/a.go", 42);
+        assert_eq!(l.to_string(), "pkg/a.go:42");
+    }
+
+    #[test]
+    fn loc_equality_and_hash_by_content() {
+        use std::collections::HashSet;
+        let a = Loc::new("x.go", 1);
+        let b = Loc::new(String::from("x.go"), 1);
+        assert_eq!(a, b);
+        let mut s = HashSet::new();
+        s.insert(a);
+        assert!(s.contains(&b));
+    }
+
+    #[test]
+    fn runtime_frames_are_recognized() {
+        assert!(Frame::runtime("runtime.gopark").is_runtime());
+        assert!(!Frame::new("main.main", Loc::unknown()).is_runtime());
+    }
+
+    #[test]
+    fn unknown_loc_roundtrip() {
+        assert!(Loc::unknown().is_unknown());
+        assert!(!Loc::new("a.go", 3).is_unknown());
+        assert!(Loc::default().is_unknown());
+    }
+
+    #[test]
+    fn loc_serde_roundtrip() {
+        let l = Loc::new("pkg/b.go", 7);
+        let s = serde_json::to_string(&l).unwrap();
+        let back: Loc = serde_json::from_str(&s).unwrap();
+        assert_eq!(l, back);
+    }
+}

@@ -1,0 +1,408 @@
+//! The goroutine execution protocol.
+//!
+//! A goroutine body is any type implementing [`Process`]. The scheduler
+//! drives it by calling [`Process::resume`], which returns the next
+//! [`Effect`] the goroutine wants to perform; blocking operations suspend
+//! the goroutine until the runtime can complete them, at which point the
+//! goroutine is resumed with a [`Resume`] value describing the outcome.
+//!
+//! Most users never implement `Process` by hand: the [`crate::script`]
+//! module provides a structured program IR plus a builder, and the
+//! `minigo` crate lowers mini-Go source to the same IR.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::Gid;
+use crate::loc::{Frame, Loc};
+use crate::val::Val;
+
+/// The next operation a goroutine wants to perform.
+///
+/// Non-blocking effects (`MakeChan`, `Alloc`, ...) complete immediately and
+/// the goroutine is resumed in the same scheduler slice; potentially
+/// blocking effects (`Send`, `Recv`, `Select`, semaphores, ...) may park
+/// the goroutine.
+#[derive(Debug)]
+pub enum Effect {
+    /// The goroutine finished normally.
+    Done,
+    /// Voluntarily yield the processor and stay runnable.
+    Yield,
+    /// `ch <- val`. Blocks per Go channel semantics.
+    Send {
+        /// Channel value (must be `Val::Chan` or `Val::NilChan`).
+        ch: Val,
+        /// The value to send.
+        val: Val,
+        /// Source location of the send operation.
+        loc: Loc,
+    },
+    /// `<-ch`. Blocks per Go channel semantics.
+    Recv {
+        /// Channel value (must be `Val::Chan` or `Val::NilChan`).
+        ch: Val,
+        /// Source location of the receive operation.
+        loc: Loc,
+    },
+    /// A `select` over several channel operations.
+    Select {
+        /// The communication arms.
+        arms: Vec<SelectArm>,
+        /// Whether the statement has a `default` arm (non-blocking select).
+        has_default: bool,
+        /// Source location of the `select` keyword.
+        loc: Loc,
+    },
+    /// `close(ch)`.
+    Close {
+        /// Channel value.
+        ch: Val,
+        /// Source location.
+        loc: Loc,
+    },
+    /// `time.Sleep(d)` in virtual ticks.
+    Sleep {
+        /// Duration in virtual ticks.
+        ticks: u64,
+        /// Source location.
+        loc: Loc,
+    },
+    /// `go f()`: spawn a child goroutine.
+    Go {
+        /// The child body.
+        body: Box<dyn Process>,
+        /// Display name of the spawned function (e.g. `pkg.Handler$1`).
+        name: String,
+        /// Source location of the `go` statement (the creation context).
+        loc: Loc,
+    },
+    /// `make(chan T, cap)`.
+    MakeChan {
+        /// Buffer capacity (0 = unbuffered/rendezvous).
+        cap: usize,
+        /// Zero value of the element type (returned by receive-on-closed).
+        zero: Val,
+        /// Source location of the `make`.
+        loc: Loc,
+    },
+    /// `time.After(d)`: a fresh capacity-1 channel receiving once at now+d.
+    After {
+        /// Delay in virtual ticks.
+        ticks: u64,
+        /// Source location.
+        loc: Loc,
+    },
+    /// `time.Tick(d)`: a channel receiving every `period` ticks
+    /// (non-blocking sends; missed ticks are dropped, as in Go).
+    TickChan {
+        /// Period in virtual ticks.
+        period: u64,
+        /// Source location.
+        loc: Loc,
+    },
+    /// `context.WithTimeout(...)`: a done-channel the runtime closes at
+    /// now+d. Resumes with the channel; cancel early via [`Effect::Cancel`].
+    CtxTimeout {
+        /// Deadline delay in ticks; `None` models `context.WithCancel`.
+        ticks: Option<u64>,
+        /// Source location.
+        loc: Loc,
+    },
+    /// `cancel()`: close a context done-channel (idempotent, unlike `close`).
+    Cancel {
+        /// The done channel.
+        ch: Val,
+        /// Source location.
+        loc: Loc,
+    },
+    /// Park the goroutine outside channel machinery (I/O wait, syscall,
+    /// raw sleep). If `wake_after` is `None` the goroutine never wakes —
+    /// this models runaway non-channel goroutines from the paper's
+    /// Table IV.
+    Park {
+        /// Why the goroutine parked (shows up as the profile status).
+        reason: ParkReason,
+        /// Virtual ticks until wake-up, or `None` for forever.
+        wake_after: Option<u64>,
+        /// Source location.
+        loc: Loc,
+    },
+    /// Attribute `bytes` of heap to this goroutine (negative frees).
+    Alloc {
+        /// Byte delta.
+        bytes: i64,
+    },
+    /// Consume CPU: advances this goroutine's attributed work counter.
+    Work {
+        /// Abstract work units (used by the fleet CPU model).
+        units: u64,
+    },
+    /// `make(sem, n)`: create a counting semaphore with `permits` available.
+    MakeSem {
+        /// Initially available permits.
+        permits: u64,
+    },
+    /// Acquire one permit (blocks if none available).
+    SemAcquire {
+        /// Semaphore value (must be `Val::Sem`).
+        sem: Val,
+        /// Source location.
+        loc: Loc,
+    },
+    /// Release one permit.
+    SemRelease {
+        /// Semaphore value.
+        sem: Val,
+        /// Source location.
+        loc: Loc,
+    },
+    /// Create a `sync.WaitGroup`.
+    MakeWg,
+    /// `wg.Add(delta)` (also used for `Done` with delta -1).
+    WgAdd {
+        /// Wait group value (must be `Val::Wg`).
+        wg: Val,
+        /// Counter delta.
+        delta: i64,
+        /// Source location.
+        loc: Loc,
+    },
+    /// `wg.Wait()`: block until the counter reaches zero.
+    WgWait {
+        /// Wait group value.
+        wg: Val,
+        /// Source location.
+        loc: Loc,
+    },
+    /// Create a `sync.Cond`.
+    MakeCond,
+    /// `cond.Wait()`: block until signalled.
+    CondWait {
+        /// Condition value (must be `Val::Cond`).
+        cond: Val,
+        /// Source location.
+        loc: Loc,
+    },
+    /// `cond.Signal()` / `cond.Broadcast()`.
+    CondNotify {
+        /// Condition value.
+        cond: Val,
+        /// Wake all waiters (broadcast) vs one (signal).
+        all: bool,
+        /// Source location.
+        loc: Loc,
+    },
+    /// Abort this goroutine with a panic. In the simulator a panicking
+    /// goroutine dies and is recorded; it does not tear the process down
+    /// (configurable via [`crate::runtime::PanicPolicy`]).
+    Panic {
+        /// Panic message.
+        msg: String,
+        /// Source location.
+        loc: Loc,
+    },
+}
+
+impl fmt::Display for Effect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Effect::Done => write!(f, "done"),
+            Effect::Yield => write!(f, "yield"),
+            Effect::Send { loc, .. } => write!(f, "send at {loc}"),
+            Effect::Recv { loc, .. } => write!(f, "recv at {loc}"),
+            Effect::Select { arms, has_default, loc } => write!(
+                f,
+                "select({} arms{}) at {loc}",
+                arms.len(),
+                if *has_default { "+default" } else { "" }
+            ),
+            Effect::Close { loc, .. } => write!(f, "close at {loc}"),
+            Effect::Sleep { ticks, .. } => write!(f, "sleep {ticks}"),
+            Effect::Go { name, loc, .. } => write!(f, "go {name} at {loc}"),
+            Effect::MakeChan { cap, .. } => write!(f, "make(chan, {cap})"),
+            Effect::After { ticks, .. } => write!(f, "time.After({ticks})"),
+            Effect::TickChan { period, .. } => write!(f, "time.Tick({period})"),
+            Effect::CtxTimeout { ticks, .. } => write!(f, "context.WithTimeout({ticks:?})"),
+            Effect::Cancel { .. } => write!(f, "cancel()"),
+            Effect::Park { reason, wake_after, .. } => {
+                write!(f, "park({reason:?}, wake={wake_after:?})")
+            }
+            Effect::Alloc { bytes } => write!(f, "alloc({bytes})"),
+            Effect::Work { units } => write!(f, "work({units})"),
+            Effect::MakeSem { permits } => write!(f, "make(sem, {permits})"),
+            Effect::SemAcquire { .. } => write!(f, "sem.Acquire"),
+            Effect::SemRelease { .. } => write!(f, "sem.Release"),
+            Effect::MakeWg => write!(f, "make(waitgroup)"),
+            Effect::WgAdd { delta, .. } => write!(f, "wg.Add({delta})"),
+            Effect::WgWait { .. } => write!(f, "wg.Wait"),
+            Effect::MakeCond => write!(f, "make(cond)"),
+            Effect::CondWait { .. } => write!(f, "cond.Wait"),
+            Effect::CondNotify { all, .. } => {
+                write!(f, "cond.{}", if *all { "Broadcast" } else { "Signal" })
+            }
+            Effect::Panic { msg, .. } => write!(f, "panic({msg})"),
+        }
+    }
+}
+
+/// One communication arm of a `select` statement.
+#[derive(Debug, Clone)]
+pub struct SelectArm {
+    /// The operation guarded by this arm.
+    pub op: ArmOp,
+    /// Source location of the `case`.
+    pub loc: Loc,
+}
+
+/// The operation in a `select` arm.
+#[derive(Debug, Clone)]
+pub enum ArmOp {
+    /// `case v := <-ch`.
+    Recv {
+        /// Channel value.
+        ch: Val,
+    },
+    /// `case ch <- val`.
+    Send {
+        /// Channel value.
+        ch: Val,
+        /// Value to send.
+        val: Val,
+    },
+}
+
+/// Why a goroutine parked outside the channel machinery.
+///
+/// These map onto the non-channel rows of the paper's Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParkReason {
+    /// Blocked on network or file I/O.
+    IoWait,
+    /// Blocked in a system call.
+    Syscall,
+    /// Plain timer sleep (distinct from channel-based `time.After`).
+    Sleep,
+}
+
+/// The outcome delivered to a goroutine when it is resumed.
+#[derive(Debug, Clone)]
+pub enum Resume {
+    /// First activation of the goroutine.
+    Start,
+    /// Generic acknowledgement for effects with no interesting result
+    /// (close, sleep, alloc, wg.Add, ...).
+    Unit,
+    /// A send completed.
+    Sent,
+    /// A receive completed: the value and the `ok` flag
+    /// (`false` means the channel was closed and drained).
+    Received {
+        /// Received value (zero value if `!ok`).
+        val: Val,
+        /// Go's two-value receive flag.
+        ok: bool,
+    },
+    /// A `select` completed.
+    Selected {
+        /// Index of the chosen arm, or `None` if the `default` arm ran.
+        arm: Option<usize>,
+        /// For receive arms, the received value and ok flag.
+        recv: Option<(Val, bool)>,
+    },
+    /// An object was created (`MakeChan`, `After`, `TickChan`,
+    /// `CtxTimeout`, `MakeSem`, `MakeWg`, `MakeCond`).
+    Made(Val),
+    /// A child goroutine was spawned.
+    Spawned(Gid),
+}
+
+/// A goroutine body.
+///
+/// Implementations are state machines: each call to `resume` applies the
+/// outcome of the previous effect and runs until the next effect.
+///
+/// # Examples
+///
+/// Implementing a one-shot process by hand (the [`crate::script`] builder
+/// is normally more convenient):
+///
+/// ```
+/// use gosim::{Effect, Frame, Loc, Process, Resume};
+///
+/// struct Once(bool);
+/// impl Process for Once {
+///     fn resume(&mut self, _r: Resume) -> Effect {
+///         if self.0 { Effect::Done } else { self.0 = true; Effect::Yield }
+///     }
+///     fn stack(&self) -> Vec<Frame> {
+///         vec![Frame::new("example.Once", Loc::new("example.go", 1))]
+///     }
+/// }
+/// ```
+pub trait Process {
+    /// Applies the previous effect's outcome and returns the next effect.
+    fn resume(&mut self, resume: Resume) -> Effect;
+
+    /// Current user-level call stack, leaf-most frame first.
+    ///
+    /// The runtime prepends synthetic `runtime.*` frames when the goroutine
+    /// is blocked, so implementations report only their own frames.
+    fn stack(&self) -> Vec<Frame>;
+}
+
+impl fmt::Debug for dyn Process {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<process>")
+    }
+}
+
+/// A ready-made `Process` that performs a fixed sequence of effects,
+/// ignoring all resume values. Handy in unit tests of the runtime itself.
+pub struct EffectSeq {
+    effects: std::vec::IntoIter<Effect>,
+    frame: Frame,
+}
+
+impl EffectSeq {
+    /// Creates a process that performs `effects` in order, then finishes.
+    pub fn new(name: &str, loc: Loc, effects: Vec<Effect>) -> Self {
+        EffectSeq { effects: effects.into_iter(), frame: Frame::new(name, loc) }
+    }
+}
+
+impl Process for EffectSeq {
+    fn resume(&mut self, _resume: Resume) -> Effect {
+        self.effects.next().unwrap_or(Effect::Done)
+    }
+
+    fn stack(&self) -> Vec<Frame> {
+        vec![self.frame.clone()]
+    }
+}
+
+impl fmt::Debug for EffectSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EffectSeq").field("frame", &self.frame).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effect_seq_drains_then_done() {
+        let mut p = EffectSeq::new("t", Loc::unknown(), vec![Effect::Yield]);
+        assert!(matches!(p.resume(Resume::Start), Effect::Yield));
+        assert!(matches!(p.resume(Resume::Unit), Effect::Done));
+        assert!(matches!(p.resume(Resume::Unit), Effect::Done));
+    }
+
+    #[test]
+    fn effect_display_has_location() {
+        let e = Effect::Send { ch: Val::NilChan, val: Val::Unit, loc: Loc::new("a.go", 3) };
+        assert!(e.to_string().contains("a.go:3"));
+    }
+}

@@ -1,0 +1,284 @@
+//! Goroutine profiles — the simulator's equivalent of Go's
+//! `pprof` goroutine profile (`/debug/pprof/goroutine?debug=2`).
+//!
+//! A [`GoroutineProfile`] is an instantaneous snapshot of every live
+//! goroutine: its status, full call stack (with synthetic `runtime.*`
+//! frames on top when blocked, exactly like the stacks in the paper's
+//! Fig 4), its creation context, and how long it has been waiting.
+//! Profiles serialize to JSON so that `leakprof` can analyze them offline,
+//! mirroring the paper's fetch-then-analyze pipeline.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::Gid;
+use crate::loc::Frame;
+
+/// The observable status of a goroutine, matching the categories of the
+/// paper's Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GoStatus {
+    /// Currently executing.
+    Running,
+    /// Ready to run, waiting for a processor.
+    Runnable,
+    /// Blocked sending on a channel.
+    ChanSend {
+        /// True when blocked on a nil channel (a guaranteed leak).
+        nil_chan: bool,
+    },
+    /// Blocked receiving on a channel.
+    ChanReceive {
+        /// True when blocked on a nil channel (a guaranteed leak).
+        nil_chan: bool,
+    },
+    /// Blocked in a `select`.
+    Select {
+        /// Number of communication cases; zero blocks forever.
+        ncases: usize,
+    },
+    /// Blocked on network/file I/O.
+    IoWait,
+    /// Blocked in a system call.
+    Syscall,
+    /// Sleeping on a timer.
+    Sleep,
+    /// Blocked in `sync.Cond.Wait`.
+    CondWait,
+    /// Blocked acquiring a semaphore (covers `sync.Mutex` and
+    /// `sync.WaitGroup.Wait`, which Go reports as `semacquire`).
+    SemAcquire,
+}
+
+impl GoStatus {
+    /// True for the statuses in which the goroutine is parked on a
+    /// *channel* operation (send/receive/select) — the message-passing
+    /// blocking kinds the paper's detectors target.
+    pub fn is_channel_blocked(&self) -> bool {
+        matches!(
+            self,
+            GoStatus::ChanSend { .. } | GoStatus::ChanReceive { .. } | GoStatus::Select { .. }
+        )
+    }
+
+    /// True when the goroutine is parked for any reason.
+    pub fn is_blocked(&self) -> bool {
+        !matches!(self, GoStatus::Running | GoStatus::Runnable)
+    }
+
+    /// The Go-style wait-reason string shown in real goroutine dumps,
+    /// e.g. `chan send` or `select`.
+    pub fn wait_reason(&self) -> &'static str {
+        match self {
+            GoStatus::Running => "running",
+            GoStatus::Runnable => "runnable",
+            GoStatus::ChanSend { nil_chan: false } => "chan send",
+            GoStatus::ChanSend { nil_chan: true } => "chan send (nil chan)",
+            GoStatus::ChanReceive { nil_chan: false } => "chan receive",
+            GoStatus::ChanReceive { nil_chan: true } => "chan receive (nil chan)",
+            GoStatus::Select { .. } => "select",
+            GoStatus::IoWait => "IO wait",
+            GoStatus::Syscall => "syscall",
+            GoStatus::Sleep => "sleep",
+            GoStatus::CondWait => "sync.Cond.Wait",
+            GoStatus::SemAcquire => "semacquire",
+        }
+    }
+}
+
+impl fmt::Display for GoStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.wait_reason())
+    }
+}
+
+/// A single goroutine's entry in a profile.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GoroutineRecord {
+    /// Goroutine id.
+    pub gid: Gid,
+    /// Display name of the goroutine's root function.
+    pub name: String,
+    /// Status at snapshot time.
+    pub status: GoStatus,
+    /// Call stack, leaf-most frame first. When blocked, the leaf frames
+    /// are synthetic runtime frames (`runtime.gopark`,
+    /// `runtime.chansend1`, ...) and the first user frame carries the
+    /// source location of the blocking operation.
+    pub stack: Vec<Frame>,
+    /// Where this goroutine was created (`created by ...` in Go dumps).
+    pub created_by: Frame,
+    /// Virtual ticks the goroutine has been in its current wait.
+    pub wait_ticks: u64,
+    /// Bytes retained by this goroutine (stack + attributed heap).
+    pub retained_bytes: u64,
+}
+
+impl GoroutineRecord {
+    /// The first non-runtime frame: the user-code operation the goroutine
+    /// is blocked at. This is the location LeakProf groups by.
+    pub fn blocking_frame(&self) -> Option<&Frame> {
+        self.stack.iter().find(|f| !f.is_runtime())
+    }
+
+    /// Renders the record in the style of a Go goroutine dump.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "goroutine {} [{}{}]:",
+            self.gid.0,
+            self.status.wait_reason(),
+            if self.wait_ticks > 0 { format!(", {} ticks", self.wait_ticks) } else { String::new() }
+        );
+        for f in &self.stack {
+            let _ = writeln!(out, "{}\n\t{}", f.func, f.loc);
+        }
+        let _ = writeln!(out, "created by {}\n\t{}", self.created_by.func, self.created_by.loc);
+        out
+    }
+}
+
+/// An instantaneous snapshot of all live goroutines in one runtime
+/// ("process"), the analysis unit of LeakProf.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GoroutineProfile {
+    /// Identifier of the process/instance the profile was captured from.
+    pub instance: String,
+    /// Virtual time of the snapshot.
+    pub captured_at: u64,
+    /// All live goroutines.
+    pub goroutines: Vec<GoroutineRecord>,
+}
+
+impl GoroutineProfile {
+    /// Number of goroutines in the profile.
+    pub fn len(&self) -> usize {
+        self.goroutines.len()
+    }
+
+    /// True when the profile contains no goroutines.
+    pub fn is_empty(&self) -> bool {
+        self.goroutines.is_empty()
+    }
+
+    /// Iterates over goroutines blocked on channel operations.
+    pub fn channel_blocked(&self) -> impl Iterator<Item = &GoroutineRecord> {
+        self.goroutines.iter().filter(|g| g.status.is_channel_blocked())
+    }
+
+    /// Renders the profile in pprof's `debug=1` style: identical stacks
+    /// are grouped with a count, largest group first. This is the compact
+    /// form operators skim when a service holds thousands of goroutines
+    /// — a leak shows up as one huge group.
+    pub fn render_aggregated(&self) -> String {
+        use std::collections::HashMap;
+        use std::fmt::Write as _;
+        let mut groups: HashMap<(GoStatus, Vec<Frame>), u64> = HashMap::new();
+        for g in &self.goroutines {
+            *groups.entry((g.status, g.stack.clone())).or_insert(0) += 1;
+        }
+        let mut ordered: Vec<((GoStatus, Vec<Frame>), u64)> = groups.into_iter().collect();
+        ordered.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0 .1.cmp(&b.0 .1)));
+        let mut out = format!(
+            "goroutine profile: total {} (instance={} t={})\n",
+            self.goroutines.len(),
+            self.instance,
+            self.captured_at
+        );
+        for ((status, stack), count) in ordered {
+            let _ = writeln!(out, "\n{count} @ [{}]", status.wait_reason());
+            for f in stack {
+                let _ = writeln!(out, "#\t{}\t{}", f.func, f.loc);
+            }
+        }
+        out
+    }
+
+    /// Renders the whole profile in Go dump style.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "=== goroutine profile: instance={} t={} total={}\n",
+            self.instance,
+            self.captured_at,
+            self.goroutines.len()
+        );
+        for g in &self.goroutines {
+            out.push('\n');
+            out.push_str(&g.render());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loc::Loc;
+
+    fn record(status: GoStatus) -> GoroutineRecord {
+        GoroutineRecord {
+            gid: Gid(1),
+            name: "pkg.f".into(),
+            status,
+            stack: vec![
+                Frame::runtime("runtime.gopark"),
+                Frame::runtime("runtime.chansend"),
+                Frame::runtime("runtime.chansend1"),
+                Frame::new("pkg.f$1", Loc::new("pkg/f.go", 8)),
+            ],
+            created_by: Frame::new("pkg.f", Loc::new("pkg/f.go", 6)),
+            wait_ticks: 10,
+            retained_bytes: 8192,
+        }
+    }
+
+    #[test]
+    fn blocking_frame_skips_runtime_frames() {
+        let r = record(GoStatus::ChanSend { nil_chan: false });
+        let f = r.blocking_frame().unwrap();
+        assert_eq!(f.func, "pkg.f$1");
+        assert_eq!(f.loc, Loc::new("pkg/f.go", 8));
+    }
+
+    #[test]
+    fn channel_blocked_statuses() {
+        assert!(GoStatus::ChanSend { nil_chan: false }.is_channel_blocked());
+        assert!(GoStatus::Select { ncases: 2 }.is_channel_blocked());
+        assert!(!GoStatus::IoWait.is_channel_blocked());
+        assert!(GoStatus::IoWait.is_blocked());
+        assert!(!GoStatus::Running.is_blocked());
+    }
+
+    #[test]
+    fn render_mentions_wait_reason_and_creation() {
+        let r = record(GoStatus::ChanSend { nil_chan: false });
+        let s = r.render();
+        assert!(s.contains("chan send"));
+        assert!(s.contains("created by pkg.f"));
+        assert!(s.contains("pkg/f.go:8"));
+    }
+
+    #[test]
+    fn profile_serde_roundtrip() {
+        let p = GoroutineProfile {
+            instance: "svc-0".into(),
+            captured_at: 5,
+            goroutines: vec![record(GoStatus::Select { ncases: 2 })],
+        };
+        let js = serde_json::to_string(&p).unwrap();
+        let back: GoroutineProfile = serde_json::from_str(&js).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.goroutines[0].status, GoStatus::Select { ncases: 2 });
+    }
+
+    #[test]
+    fn nil_chan_wait_reasons_are_distinct() {
+        assert_ne!(
+            GoStatus::ChanSend { nil_chan: true }.wait_reason(),
+            GoStatus::ChanSend { nil_chan: false }.wait_reason()
+        );
+    }
+}

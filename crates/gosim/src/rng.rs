@@ -1,0 +1,178 @@
+//! Small deterministic PRNG used by the scheduler and by workload
+//! generators elsewhere in the workspace.
+//!
+//! The scheduler needs nondeterministic choice (e.g. which ready `select`
+//! arm runs) that is nevertheless reproducible across runs and platforms.
+//! We use SplitMix64, which is tiny, fast, and has well-understood
+//! statistical quality for this purpose. Keeping the generator in-tree
+//! avoids coupling the simulator's replay determinism to an external
+//! crate's version-dependent stream.
+
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64 pseudo-random number generator.
+///
+/// # Examples
+///
+/// ```
+/// use gosim::rng::SplitMix64;
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // reproducible
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`. Returns 0 when `n == 0`.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        // Multiply-shift rejection-free mapping (Lemire); bias is
+        // negligible for the small moduli the scheduler uses.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform `usize` index in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.next_below(n as u64) as usize
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "range_i64: lo must be <= hi");
+        let span = (hi - lo) as u64 + 1;
+        lo + self.next_below(span) as i64
+    }
+
+    /// Samples an index from a slice of non-negative weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn weighted(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(
+            !weights.is_empty() && total > 0.0,
+            "weighted: weights must be non-empty with positive sum"
+        );
+        let mut x = self.next_f64() * total;
+        for (i, w) in weights.iter().enumerate() {
+            if x < *w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Fork a child generator with an independent stream.
+    pub fn fork(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64() ^ 0xA076_1D64_78BD_642F)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..10).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 10);
+    }
+
+    #[test]
+    fn next_below_in_range() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..1000 {
+            assert!(r.next_below(10) < 10);
+        }
+        assert_eq!(r.next_below(0), 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::new(4);
+        for _ in 0..1000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn weighted_respects_zero_weights() {
+        let mut r = SplitMix64::new(5);
+        for _ in 0..200 {
+            let i = r.weighted(&[0.0, 1.0, 0.0]);
+            assert_eq!(i, 1);
+        }
+    }
+
+    #[test]
+    fn range_inclusive_bounds() {
+        let mut r = SplitMix64::new(6);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..2000 {
+            let v = r.range_i64(-2, 2);
+            assert!((-2..=2).contains(&v));
+            saw_lo |= v == -2;
+            saw_hi |= v == 2;
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SplitMix64::new(8);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn fork_produces_distinct_stream() {
+        let mut parent = SplitMix64::new(11);
+        let mut child = parent.fork();
+        let overlap = (0..20).filter(|_| parent.next_u64() == child.next_u64()).count();
+        assert!(overlap < 5);
+    }
+}

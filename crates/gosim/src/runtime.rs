@@ -1,0 +1,1410 @@
+//! The deterministic cooperative runtime: scheduler, channels, timers,
+//! semaphores, wait groups, condition variables, and memory accounting.
+//!
+//! The runtime reproduces Go's channel semantics faithfully:
+//!
+//! * unbuffered channels rendezvous (a sender blocks until a receiver is
+//!   ready and vice versa);
+//! * buffered channels block senders only when full and receivers only
+//!   when empty;
+//! * `close` wakes all blocked receivers with the element zero value and
+//!   `ok == false`; blocked senders panic (`send on closed channel`);
+//! * operations on nil channels block forever;
+//! * `select` picks uniformly at random among ready arms (seeded RNG), a
+//!   `default` arm makes it non-blocking, and a `select` with no cases (or
+//!   only nil channels) blocks forever.
+//!
+//! Time is virtual: `time.Sleep`, `time.After`, `time.Tick` and context
+//! deadlines are driven by a timer heap, so simulations of days of
+//! production traffic take milliseconds and replay identically for a
+//! given seed.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use crate::ids::{ChanId, CondId, Gid, SemId, WgId};
+use crate::loc::{Frame, Loc};
+use crate::proc::{ArmOp, Effect, ParkReason, Process, Resume, SelectArm};
+use crate::profile::{GoStatus, GoroutineProfile, GoroutineRecord};
+use crate::rng::SplitMix64;
+use crate::val::{ChanRef, Val};
+
+/// Scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct SchedConfig {
+    /// Seed for the scheduler's nondeterministic choices (select arms).
+    pub seed: u64,
+    /// Maximum effects a goroutine may perform per scheduling slice before
+    /// it is preempted back to the run queue.
+    pub max_effects_per_slice: u32,
+    /// Fixed per-goroutine stack size used by the memory model (Go starts
+    /// goroutines at 2 KiB and grows them; we account a flat 8 KiB).
+    pub stack_bytes: u64,
+    /// What a goroutine panic does to the runtime.
+    pub panic_policy: PanicPolicy,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            seed: 0,
+            max_effects_per_slice: 128,
+            stack_bytes: 8 * 1024,
+            panic_policy: PanicPolicy::KillGoroutine,
+        }
+    }
+}
+
+/// What happens when a goroutine panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PanicPolicy {
+    /// The goroutine dies and the panic is recorded; the rest of the
+    /// simulated process keeps running. This keeps large corpus runs
+    /// productive and is the default.
+    KillGoroutine,
+    /// The panic is recorded as fatal; [`Runtime::fatal_panic`] reports it
+    /// and the runtime refuses to schedule further work, mirroring a real
+    /// Go process crash.
+    CrashProcess,
+}
+
+/// Aggregate counters maintained by the runtime.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Total goroutines ever spawned (including the ones still live).
+    pub spawned: u64,
+    /// Goroutines that ran to completion.
+    pub completed: u64,
+    /// Goroutines that died by panic.
+    pub panicked: u64,
+    /// Scheduler slices executed.
+    pub slices: u64,
+    /// Abstract CPU work units executed via [`Effect::Work`].
+    pub work_units: u64,
+    /// Channels created.
+    pub chans_made: u64,
+    /// Messages successfully transferred over channels.
+    pub msgs_transferred: u64,
+}
+
+/// Live memory snapshot of the simulated process.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Number of live goroutines.
+    pub goroutines: usize,
+    /// Bytes retained by goroutine stacks.
+    pub stack_bytes: u64,
+    /// Heap bytes attributed to live goroutines.
+    pub heap_bytes: u64,
+    /// Bytes sitting in channel buffers.
+    pub chan_buf_bytes: u64,
+}
+
+impl MemStats {
+    /// Total resident bytes.
+    pub fn total(&self) -> u64 {
+        self.stack_bytes + self.heap_bytes + self.chan_buf_bytes
+    }
+}
+
+/// Outcome of a [`Runtime::run_until_blocked`] or [`Runtime::advance`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Scheduler slices executed during the call.
+    pub slices: u64,
+    /// True if the runtime reached quiescence (no runnable goroutine)
+    /// within the step budget.
+    pub quiescent: bool,
+}
+
+/// Record of a goroutine that terminated, kept for post-mortem assertions.
+#[derive(Debug, Clone)]
+pub struct ExitRecord {
+    /// Goroutine id.
+    pub gid: Gid,
+    /// Root function name.
+    pub name: String,
+    /// Panic message if the goroutine died panicking.
+    pub panic: Option<String>,
+    /// Virtual time of exit.
+    pub at: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Internal state
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Waiter {
+    gid: Gid,
+    seq: u64,
+    kind: WaiterKind,
+    /// For plain blocked senders: the value being sent.
+    val: Option<Val>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WaiterKind {
+    Op,
+    SelectArm(usize),
+}
+
+#[derive(Debug)]
+struct Chan {
+    cap: usize,
+    buf: VecDeque<Val>,
+    closed: bool,
+    zero: Val,
+    senders: VecDeque<Waiter>,
+    receivers: VecDeque<Waiter>,
+    #[allow(dead_code)]
+    made_at: Loc,
+}
+
+#[derive(Debug, Default)]
+struct Sem {
+    permits: u64,
+    waiters: VecDeque<Waiter>,
+}
+
+#[derive(Debug, Default)]
+struct Wg {
+    count: i64,
+    waiters: VecDeque<Waiter>,
+}
+
+#[derive(Debug, Default)]
+struct Cond {
+    waiters: VecDeque<Waiter>,
+}
+
+// Some fields (channel/sem ids, wake deadlines) exist for Debug output and
+// invariant checking in tests rather than steady-state reads.
+#[derive(Debug)]
+#[allow(dead_code)]
+enum Blocked {
+    Send { ch: ChanId, loc: Loc },
+    Recv { ch: ChanId, loc: Loc },
+    NilOp { send: bool, loc: Loc },
+    Select { arms: Vec<SelectArm>, loc: Loc },
+    Sleep { until: u64 },
+    Park { reason: ParkReason, until: Option<u64> },
+    Sem { sem: SemId, loc: Loc },
+    Wg { wg: WgId, loc: Loc },
+    Cond { cond: CondId, loc: Loc },
+}
+
+#[derive(Debug)]
+enum GState {
+    Runnable,
+    Blocked(Blocked),
+}
+
+struct Goroutine {
+    gid: Gid,
+    name: String,
+    created_by: Frame,
+    body: Box<dyn Process>,
+    state: GState,
+    wait_seq: u64,
+    wait_since: u64,
+    heap_bytes: u64,
+    pending: Option<Resume>,
+}
+
+impl std::fmt::Debug for Goroutine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Goroutine")
+            .field("gid", &self.gid)
+            .field("name", &self.name)
+            .field("state", &self.state)
+            .finish()
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct TimerEntry {
+    at: u64,
+    seq: u64,
+    kind: TimerKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TimerKind {
+    Wake { gid: Gid, seq: u64 },
+    TickSend { ch: ChanId, period: Option<u64> },
+    CloseCtx { ch: ChanId },
+}
+
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Result of executing one effect for the currently running goroutine.
+enum EffectOutcome {
+    /// Keep running in this slice with the given resume value.
+    Continue(Resume),
+    /// The goroutine parked.
+    Parked,
+    /// The goroutine yielded voluntarily (stays runnable, re-queued).
+    Yielded,
+    /// The goroutine finished (normally or by panic).
+    Exited(Option<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Runtime
+// ---------------------------------------------------------------------------
+
+/// A simulated Go process: scheduler + channels + timers + memory model.
+///
+/// # Examples
+///
+/// ```
+/// use gosim::script::{fnb, Expr, Prog};
+/// use gosim::{Runtime, SchedConfig};
+///
+/// // fn main() { ch := make(chan int); go func(){ ch <- 1 }(); <-ch }
+/// let prog = Prog::build(|p| {
+///     p.func(fnb("main", "main.go").body(|b| {
+///         b.make_chan("ch", 0, 2);
+///         b.go_closure(3, |g| {
+///             g.send("ch", Expr::int(1), 4);
+///         });
+///         b.recv("ch", 6);
+///     }));
+/// });
+/// let mut rt = Runtime::new(SchedConfig::default());
+/// prog.spawn_main(&mut rt);
+/// rt.run_until_blocked(10_000);
+/// assert_eq!(rt.live_count(), 0); // no goroutine leaked
+/// ```
+pub struct Runtime {
+    config: SchedConfig,
+    clock: u64,
+    rng: SplitMix64,
+    next_gid: u64,
+    next_chan: u64,
+    next_sem: u64,
+    next_wg: u64,
+    next_cond: u64,
+    next_timer_seq: u64,
+    goroutines: HashMap<Gid, Goroutine>,
+    run_queue: VecDeque<Gid>,
+    chans: HashMap<ChanId, Chan>,
+    sems: HashMap<SemId, Sem>,
+    wgs: HashMap<WgId, Wg>,
+    conds: HashMap<CondId, Cond>,
+    timers: BinaryHeap<Reverse<TimerEntry>>,
+    stats: RuntimeStats,
+    exits: Vec<ExitRecord>,
+    fatal: Option<String>,
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("clock", &self.clock)
+            .field("live", &self.goroutines.len())
+            .field("runnable", &self.run_queue.len())
+            .finish()
+    }
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Runtime::new(SchedConfig::default())
+    }
+}
+
+impl Runtime {
+    /// Creates a runtime with the given configuration.
+    pub fn new(config: SchedConfig) -> Self {
+        let rng = SplitMix64::new(config.seed ^ 0x6f72_6f75_7469_6e65);
+        Runtime {
+            config,
+            clock: 0,
+            rng,
+            next_gid: 1,
+            next_chan: 1,
+            next_sem: 1,
+            next_wg: 1,
+            next_cond: 1,
+            next_timer_seq: 0,
+            goroutines: HashMap::new(),
+            run_queue: VecDeque::new(),
+            chans: HashMap::new(),
+            sems: HashMap::new(),
+            wgs: HashMap::new(),
+            conds: HashMap::new(),
+            timers: BinaryHeap::new(),
+            stats: RuntimeStats::default(),
+            exits: Vec::new(),
+            fatal: None,
+        }
+    }
+
+    /// Convenience constructor with just a seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Runtime::new(SchedConfig { seed, ..SchedConfig::default() })
+    }
+
+    /// Current virtual time in ticks.
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Number of live goroutines.
+    pub fn live_count(&self) -> usize {
+        self.goroutines.len()
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> &RuntimeStats {
+        &self.stats
+    }
+
+    /// Exit records of terminated goroutines.
+    pub fn exits(&self) -> &[ExitRecord] {
+        &self.exits
+    }
+
+    /// The fatal panic message, if the runtime crashed under
+    /// [`PanicPolicy::CrashProcess`].
+    pub fn fatal_panic(&self) -> Option<&str> {
+        self.fatal.as_deref()
+    }
+
+    /// Spawns a top-level goroutine.
+    pub fn spawn(
+        &mut self,
+        name: impl Into<String>,
+        created_by: Frame,
+        body: Box<dyn Process>,
+    ) -> Gid {
+        let gid = Gid(self.next_gid);
+        self.next_gid += 1;
+        self.stats.spawned += 1;
+        let g = Goroutine {
+            gid,
+            name: name.into(),
+            created_by,
+            body,
+            state: GState::Runnable,
+            wait_seq: 0,
+            wait_since: self.clock,
+            heap_bytes: 0,
+            pending: Some(Resume::Start),
+        };
+        self.goroutines.insert(gid, g);
+        self.run_queue.push_back(gid);
+        gid
+    }
+
+    /// Creates a channel from outside any goroutine (e.g. a test harness).
+    pub fn make_chan(&mut self, cap: usize, zero: Val, loc: Loc) -> ChanId {
+        let id = ChanId(self.next_chan);
+        self.next_chan += 1;
+        self.stats.chans_made += 1;
+        self.chans.insert(
+            id,
+            Chan {
+                cap,
+                buf: VecDeque::new(),
+                closed: false,
+                zero,
+                senders: VecDeque::new(),
+                receivers: VecDeque::new(),
+                made_at: loc,
+            },
+        );
+        id
+    }
+
+    /// Non-blocking external send, used by harnesses to feed channels.
+    /// Returns true if the value was delivered or buffered.
+    pub fn external_send(&mut self, ch: ChanId, val: Val) -> bool {
+        self.nonblocking_send(ch, val)
+    }
+
+    /// Externally closes a channel (idempotent; used to model e.g. a test
+    /// harness cancelling contexts). Blocked receivers wake with the zero
+    /// value; blocked senders panic as in Go.
+    pub fn external_close(&mut self, ch: ChanId) {
+        self.close_chan(ch, true);
+    }
+
+    /// Number of values currently buffered in the channel (None if the
+    /// channel id is unknown).
+    pub fn chan_len(&self, ch: ChanId) -> Option<usize> {
+        self.chans.get(&ch).map(|c| c.buf.len())
+    }
+
+    /// True if the channel has been closed.
+    pub fn chan_closed(&self, ch: ChanId) -> Option<bool> {
+        self.chans.get(&ch).map(|c| c.closed)
+    }
+
+    // -- scheduling ---------------------------------------------------------
+
+    /// Runs until no goroutine is runnable or the slice budget is spent.
+    /// Virtual time does not advance; timers do not fire.
+    pub fn run_until_blocked(&mut self, max_slices: u64) -> RunOutcome {
+        let mut slices = 0;
+        while slices < max_slices {
+            if !self.step() {
+                return RunOutcome { slices, quiescent: true };
+            }
+            slices += 1;
+        }
+        RunOutcome { slices, quiescent: !self.has_runnable() }
+    }
+
+    /// Advances virtual time by up to `ticks`, firing timers and running
+    /// goroutines as they wake. Returns early only if the slice budget is
+    /// exhausted.
+    pub fn advance(&mut self, ticks: u64, max_slices: u64) -> RunOutcome {
+        let deadline = self.clock.saturating_add(ticks);
+        let mut slices = 0;
+        loop {
+            // Drain all runnable work at the current instant.
+            while self.step() {
+                slices += 1;
+                if slices >= max_slices {
+                    return RunOutcome { slices, quiescent: false };
+                }
+            }
+            // Jump to the next timer within the window.
+            match self.next_timer_at() {
+                Some(at) if at <= deadline => {
+                    self.clock = at.max(self.clock);
+                    self.fire_due_timers();
+                }
+                _ => {
+                    self.clock = deadline;
+                    return RunOutcome { slices, quiescent: true };
+                }
+            }
+        }
+    }
+
+    /// True if any goroutine is ready to run.
+    pub fn has_runnable(&self) -> bool {
+        self.run_queue.iter().any(|gid| {
+            self.goroutines.get(gid).map(|g| matches!(g.state, GState::Runnable)).unwrap_or(false)
+        })
+    }
+
+    /// Earliest pending timer deadline.
+    pub fn next_timer_at(&self) -> Option<u64> {
+        self.timers.peek().map(|Reverse(t)| t.at)
+    }
+
+    /// Executes one scheduler slice. Returns false when nothing ran.
+    pub fn step(&mut self) -> bool {
+        if self.fatal.is_some() {
+            return false;
+        }
+        let gid = loop {
+            match self.run_queue.pop_front() {
+                None => return false,
+                Some(gid) => {
+                    if let Some(g) = self.goroutines.get(&gid) {
+                        if matches!(g.state, GState::Runnable) {
+                            break gid;
+                        }
+                    }
+                    // stale entry for a dead or re-blocked goroutine
+                }
+            }
+        };
+        self.stats.slices += 1;
+
+        // Temporarily take the goroutine out of the table so effect
+        // handlers can freely mutate the rest of the runtime.
+        let mut g = self.goroutines.remove(&gid).expect("goroutine disappeared from table");
+        let mut resume = g.pending.take().unwrap_or(Resume::Start);
+        let mut outcome = EffectOutcome::Yielded;
+        for _ in 0..self.config.max_effects_per_slice {
+            let effect = g.body.resume(resume);
+            match self.handle_effect(&mut g, effect) {
+                EffectOutcome::Continue(next) => {
+                    resume = next;
+                }
+                other => {
+                    outcome = other;
+                    break;
+                }
+            }
+        }
+        match outcome {
+            EffectOutcome::Continue(_) => unreachable!("continue cannot escape the loop"),
+            EffectOutcome::Yielded => {
+                g.state = GState::Runnable;
+                g.pending = Some(Resume::Unit);
+                self.run_queue.push_back(gid);
+                self.goroutines.insert(gid, g);
+            }
+            EffectOutcome::Parked => {
+                g.wait_since = self.clock;
+                self.goroutines.insert(gid, g);
+            }
+            EffectOutcome::Exited(panic) => {
+                self.finish(g, panic);
+            }
+        }
+        true
+    }
+
+    fn finish(&mut self, g: Goroutine, panic: Option<String>) {
+        if panic.is_some() {
+            self.stats.panicked += 1;
+            if self.config.panic_policy == PanicPolicy::CrashProcess {
+                self.fatal = panic.clone();
+            }
+        } else {
+            self.stats.completed += 1;
+        }
+        self.exits.push(ExitRecord { gid: g.gid, name: g.name, panic, at: self.clock });
+    }
+
+    // -- effect handling ----------------------------------------------------
+
+    fn handle_effect(&mut self, g: &mut Goroutine, effect: Effect) -> EffectOutcome {
+        match effect {
+            Effect::Done => EffectOutcome::Exited(None),
+            Effect::Yield => EffectOutcome::Yielded,
+            Effect::Panic { msg, loc } => {
+                EffectOutcome::Exited(Some(format!("{msg} at {loc}")))
+            }
+            Effect::Alloc { bytes } => {
+                if bytes >= 0 {
+                    g.heap_bytes = g.heap_bytes.saturating_add(bytes as u64);
+                } else {
+                    g.heap_bytes = g.heap_bytes.saturating_sub((-bytes) as u64);
+                }
+                EffectOutcome::Continue(Resume::Unit)
+            }
+            Effect::Work { units } => {
+                self.stats.work_units += units;
+                EffectOutcome::Continue(Resume::Unit)
+            }
+            Effect::MakeChan { cap, zero, loc } => {
+                let id = self.make_chan(cap, zero, loc);
+                EffectOutcome::Continue(Resume::Made(Val::Chan(id)))
+            }
+            Effect::After { ticks, loc } => {
+                let id = self.make_chan(1, Val::Int(0), loc);
+                self.schedule_timer(self.clock + ticks, TimerKind::TickSend { ch: id, period: None });
+                EffectOutcome::Continue(Resume::Made(Val::Chan(id)))
+            }
+            Effect::TickChan { period, loc } => {
+                let period = period.max(1);
+                let id = self.make_chan(1, Val::Int(0), loc);
+                self.schedule_timer(
+                    self.clock + period,
+                    TimerKind::TickSend { ch: id, period: Some(period) },
+                );
+                EffectOutcome::Continue(Resume::Made(Val::Chan(id)))
+            }
+            Effect::CtxTimeout { ticks, loc } => {
+                let id = self.make_chan(0, Val::Unit, loc);
+                if let Some(t) = ticks {
+                    self.schedule_timer(self.clock + t, TimerKind::CloseCtx { ch: id });
+                }
+                EffectOutcome::Continue(Resume::Made(Val::Chan(id)))
+            }
+            Effect::Cancel { ch, .. } => {
+                if let ChanRef::Chan(id) = ch.chan_ref() {
+                    self.close_chan(id, true);
+                }
+                EffectOutcome::Continue(Resume::Unit)
+            }
+            Effect::Go { body, name, loc } => {
+                let parent_fn = g
+                    .body
+                    .stack()
+                    .first()
+                    .map(|f| f.func.clone())
+                    .unwrap_or_else(|| g.name.clone());
+                let created_by = Frame::new(parent_fn, loc);
+                let gid = self.spawn(name, created_by, body);
+                EffectOutcome::Continue(Resume::Spawned(gid))
+            }
+            Effect::Sleep { ticks, loc: _ } => {
+                if ticks == 0 {
+                    return EffectOutcome::Yielded;
+                }
+                let until = self.clock + ticks;
+                g.wait_seq += 1;
+                self.schedule_timer(until, TimerKind::Wake { gid: g.gid, seq: g.wait_seq });
+                g.state = GState::Blocked(Blocked::Sleep { until });
+                EffectOutcome::Parked
+            }
+            Effect::Park { reason, wake_after, loc: _ } => {
+                g.wait_seq += 1;
+                let until = wake_after.map(|t| self.clock + t);
+                if let Some(at) = until {
+                    self.schedule_timer(at, TimerKind::Wake { gid: g.gid, seq: g.wait_seq });
+                }
+                g.state = GState::Blocked(Blocked::Park { reason, until });
+                EffectOutcome::Parked
+            }
+            Effect::Send { ch, val, loc } => self.do_send(g, ch, val, loc),
+            Effect::Recv { ch, loc } => self.do_recv(g, ch, loc),
+            Effect::Close { ch, loc } => match ch.chan_ref() {
+                ChanRef::Chan(id) => {
+                    if self.chans.get(&id).map(|c| c.closed).unwrap_or(false) {
+                        EffectOutcome::Exited(Some(format!("close of closed channel at {loc}")))
+                    } else {
+                        self.close_chan(id, false);
+                        EffectOutcome::Continue(Resume::Unit)
+                    }
+                }
+                ChanRef::Nil => {
+                    EffectOutcome::Exited(Some(format!("close of nil channel at {loc}")))
+                }
+                ChanRef::NotAChan => {
+                    EffectOutcome::Exited(Some(format!("close of non-channel value at {loc}")))
+                }
+            },
+            Effect::Select { arms, has_default, loc } => {
+                self.do_select(g, arms, has_default, loc)
+            }
+            Effect::MakeSem { permits } => {
+                let id = SemId(self.next_sem);
+                self.next_sem += 1;
+                self.sems.insert(id, Sem { permits, waiters: VecDeque::new() });
+                EffectOutcome::Continue(Resume::Made(Val::Sem(id)))
+            }
+            Effect::SemAcquire { sem, loc } => {
+                let id = match sem {
+                    Val::Sem(id) => id,
+                    other => {
+                        return EffectOutcome::Exited(Some(format!(
+                            "semaphore operation on {other} at {loc}"
+                        )))
+                    }
+                };
+                let s = self.sems.get_mut(&id).expect("unknown semaphore");
+                if s.permits > 0 {
+                    s.permits -= 1;
+                    EffectOutcome::Continue(Resume::Unit)
+                } else {
+                    g.wait_seq += 1;
+                    s.waiters.push_back(Waiter {
+                        gid: g.gid,
+                        seq: g.wait_seq,
+                        kind: WaiterKind::Op,
+                        val: None,
+                    });
+                    g.state = GState::Blocked(Blocked::Sem { sem: id, loc });
+                    EffectOutcome::Parked
+                }
+            }
+            Effect::SemRelease { sem, loc } => {
+                let id = match sem {
+                    Val::Sem(id) => id,
+                    other => {
+                        return EffectOutcome::Exited(Some(format!(
+                            "semaphore operation on {other} at {loc}"
+                        )))
+                    }
+                };
+                let next = {
+                    let s = self.sems.get_mut(&id).expect("unknown semaphore");
+                    match s.waiters.pop_front() {
+                        Some(w) => Some(w),
+                        None => {
+                            s.permits += 1;
+                            None
+                        }
+                    }
+                };
+                if let Some(w) = next {
+                    if !self.wake_if_live(&w, Resume::Unit) {
+                        // Waiter died; retry by re-releasing.
+                        return self.handle_effect(g, Effect::SemRelease { sem: Val::Sem(id), loc });
+                    }
+                }
+                EffectOutcome::Continue(Resume::Unit)
+            }
+            Effect::MakeWg => {
+                let id = WgId(self.next_wg);
+                self.next_wg += 1;
+                self.wgs.insert(id, Wg::default());
+                EffectOutcome::Continue(Resume::Made(Val::Wg(id)))
+            }
+            Effect::WgAdd { wg, delta, loc } => {
+                let id = match wg {
+                    Val::Wg(id) => id,
+                    other => {
+                        return EffectOutcome::Exited(Some(format!(
+                            "waitgroup operation on {other} at {loc}"
+                        )))
+                    }
+                };
+                let (new_count, wake) = {
+                    let w = self.wgs.get_mut(&id).expect("unknown waitgroup");
+                    w.count += delta;
+                    let wake = if w.count == 0 {
+                        std::mem::take(&mut w.waiters)
+                    } else {
+                        VecDeque::new()
+                    };
+                    (w.count, wake)
+                };
+                if new_count < 0 {
+                    return EffectOutcome::Exited(Some(format!(
+                        "sync: negative WaitGroup counter at {loc}"
+                    )));
+                }
+                for w in wake {
+                    self.wake_if_live(&w, Resume::Unit);
+                }
+                EffectOutcome::Continue(Resume::Unit)
+            }
+            Effect::WgWait { wg, loc } => {
+                let id = match wg {
+                    Val::Wg(id) => id,
+                    other => {
+                        return EffectOutcome::Exited(Some(format!(
+                            "waitgroup operation on {other} at {loc}"
+                        )))
+                    }
+                };
+                let w = self.wgs.get_mut(&id).expect("unknown waitgroup");
+                if w.count == 0 {
+                    EffectOutcome::Continue(Resume::Unit)
+                } else {
+                    g.wait_seq += 1;
+                    w.waiters.push_back(Waiter {
+                        gid: g.gid,
+                        seq: g.wait_seq,
+                        kind: WaiterKind::Op,
+                        val: None,
+                    });
+                    g.state = GState::Blocked(Blocked::Wg { wg: id, loc });
+                    EffectOutcome::Parked
+                }
+            }
+            Effect::MakeCond => {
+                let id = CondId(self.next_cond);
+                self.next_cond += 1;
+                self.conds.insert(id, Cond::default());
+                EffectOutcome::Continue(Resume::Made(Val::Cond(id)))
+            }
+            Effect::CondWait { cond, loc } => {
+                let id = match cond {
+                    Val::Cond(id) => id,
+                    other => {
+                        return EffectOutcome::Exited(Some(format!(
+                            "cond operation on {other} at {loc}"
+                        )))
+                    }
+                };
+                let c = self.conds.get_mut(&id).expect("unknown cond");
+                g.wait_seq += 1;
+                c.waiters.push_back(Waiter {
+                    gid: g.gid,
+                    seq: g.wait_seq,
+                    kind: WaiterKind::Op,
+                    val: None,
+                });
+                g.state = GState::Blocked(Blocked::Cond { cond: id, loc });
+                EffectOutcome::Parked
+            }
+            Effect::CondNotify { cond, all, loc } => {
+                let id = match cond {
+                    Val::Cond(id) => id,
+                    other => {
+                        return EffectOutcome::Exited(Some(format!(
+                            "cond operation on {other} at {loc}"
+                        )))
+                    }
+                };
+                let to_wake: Vec<Waiter> = {
+                    let c = self.conds.get_mut(&id).expect("unknown cond");
+                    if all {
+                        c.waiters.drain(..).collect()
+                    } else {
+                        c.waiters.pop_front().into_iter().collect()
+                    }
+                };
+                for w in to_wake {
+                    self.wake_if_live(&w, Resume::Unit);
+                }
+                EffectOutcome::Continue(Resume::Unit)
+            }
+        }
+    }
+
+    // -- channel machinery --------------------------------------------------
+
+    fn do_send(&mut self, g: &mut Goroutine, ch: Val, val: Val, loc: Loc) -> EffectOutcome {
+        match ch.chan_ref() {
+            ChanRef::Nil => {
+                g.wait_seq += 1;
+                g.state = GState::Blocked(Blocked::NilOp { send: true, loc });
+                EffectOutcome::Parked
+            }
+            ChanRef::NotAChan => {
+                EffectOutcome::Exited(Some(format!("send on non-channel value at {loc}")))
+            }
+            ChanRef::Chan(id) => {
+                if self.chans.get(&id).map(|c| c.closed).unwrap_or(true) {
+                    return EffectOutcome::Exited(Some(format!(
+                        "send on closed channel at {loc}"
+                    )));
+                }
+                // Rendezvous with a waiting receiver first.
+                if let Some(w) = self.pop_live_receiver(id) {
+                    self.deliver_to_receiver(&w, val, true);
+                    self.stats.msgs_transferred += 1;
+                    return EffectOutcome::Continue(Resume::Sent);
+                }
+                let c = self.chans.get_mut(&id).expect("channel disappeared");
+                if c.buf.len() < c.cap {
+                    c.buf.push_back(val);
+                    self.stats.msgs_transferred += 1;
+                    return EffectOutcome::Continue(Resume::Sent);
+                }
+                g.wait_seq += 1;
+                c.senders.push_back(Waiter {
+                    gid: g.gid,
+                    seq: g.wait_seq,
+                    kind: WaiterKind::Op,
+                    val: Some(val),
+                });
+                g.state = GState::Blocked(Blocked::Send { ch: id, loc });
+                EffectOutcome::Parked
+            }
+        }
+    }
+
+    fn do_recv(&mut self, g: &mut Goroutine, ch: Val, loc: Loc) -> EffectOutcome {
+        match ch.chan_ref() {
+            ChanRef::Nil => {
+                g.wait_seq += 1;
+                g.state = GState::Blocked(Blocked::NilOp { send: false, loc });
+                EffectOutcome::Parked
+            }
+            ChanRef::NotAChan => {
+                EffectOutcome::Exited(Some(format!("receive on non-channel value at {loc}")))
+            }
+            ChanRef::Chan(id) => match self.recv_ready_value(id) {
+                Some((val, ok)) => EffectOutcome::Continue(Resume::Received { val, ok }),
+                None => {
+                    let c = self.chans.get_mut(&id).expect("channel disappeared");
+                    g.wait_seq += 1;
+                    c.receivers.push_back(Waiter {
+                        gid: g.gid,
+                        seq: g.wait_seq,
+                        kind: WaiterKind::Op,
+                        val: None,
+                    });
+                    g.state = GState::Blocked(Blocked::Recv { ch: id, loc });
+                    EffectOutcome::Parked
+                }
+            },
+        }
+    }
+
+    /// Tries to produce a value for a receiver on `id`. Wakes a blocked
+    /// sender if the operation frees buffer space or completes a
+    /// rendezvous. Returns None when the receive would block.
+    fn recv_ready_value(&mut self, id: ChanId) -> Option<(Val, bool)> {
+        // Buffered value available?
+        let buffered = {
+            let c = self.chans.get_mut(&id)?;
+            c.buf.pop_front()
+        };
+        if let Some(val) = buffered {
+            // A blocked sender can now move its value into the freed slot.
+            // Messages are counted once, at insertion/handoff, so the pop
+            // itself does not increment the counter.
+            if let Some(w) = self.pop_live_sender(id) {
+                let sent_val = self.sender_value(&w);
+                let c = self.chans.get_mut(&id).expect("channel disappeared");
+                c.buf.push_back(sent_val);
+                self.complete_sender(&w);
+                self.stats.msgs_transferred += 1;
+            }
+            return Some((val, true));
+        }
+        // Unbuffered (or empty buffer): rendezvous with a blocked sender.
+        if let Some(w) = self.pop_live_sender(id) {
+            let val = self.sender_value(&w);
+            self.complete_sender(&w);
+            self.stats.msgs_transferred += 1;
+            return Some((val, true));
+        }
+        let c = self.chans.get(&id)?;
+        if c.closed {
+            return Some((c.zero.clone(), false));
+        }
+        None
+    }
+
+    fn sender_value(&self, w: &Waiter) -> Val {
+        if let Some(v) = &w.val {
+            return v.clone();
+        }
+        // Select send arm: the value lives in the blocked goroutine's arms.
+        if let WaiterKind::SelectArm(idx) = w.kind {
+            if let Some(g) = self.goroutines.get(&w.gid) {
+                if let GState::Blocked(Blocked::Select { arms, .. }) = &g.state {
+                    if let Some(SelectArm { op: ArmOp::Send { val, .. }, .. }) = arms.get(idx) {
+                        return val.clone();
+                    }
+                }
+            }
+        }
+        Val::Unit
+    }
+
+    fn complete_sender(&mut self, w: &Waiter) {
+        let resume = match w.kind {
+            WaiterKind::Op => Resume::Sent,
+            WaiterKind::SelectArm(idx) => Resume::Selected { arm: Some(idx), recv: None },
+        };
+        self.wake_if_live(w, resume);
+    }
+
+    fn deliver_to_receiver(&mut self, w: &Waiter, val: Val, ok: bool) {
+        let resume = match w.kind {
+            WaiterKind::Op => Resume::Received { val, ok },
+            WaiterKind::SelectArm(idx) => {
+                Resume::Selected { arm: Some(idx), recv: Some((val, ok)) }
+            }
+        };
+        self.wake_if_live(w, resume);
+    }
+
+    fn close_chan(&mut self, id: ChanId, idempotent: bool) {
+        let (receivers, senders, zero) = match self.chans.get_mut(&id) {
+            None => return,
+            Some(c) => {
+                if c.closed {
+                    debug_assert!(idempotent, "close of closed channel must be caught earlier");
+                    return;
+                }
+                c.closed = true;
+                (
+                    std::mem::take(&mut c.receivers),
+                    std::mem::take(&mut c.senders),
+                    c.zero.clone(),
+                )
+            }
+        };
+        for w in receivers {
+            if self.waiter_live(&w) {
+                self.deliver_to_receiver(&w, zero.clone(), false);
+            }
+        }
+        for w in senders {
+            if self.waiter_live(&w) {
+                // Go: a sender blocked on a channel that gets closed panics.
+                self.kill_blocked(w.gid, "send on closed channel");
+            }
+        }
+    }
+
+    fn do_select(
+        &mut self,
+        g: &mut Goroutine,
+        arms: Vec<SelectArm>,
+        has_default: bool,
+        loc: Loc,
+    ) -> EffectOutcome {
+        // Find ready arms.
+        let mut ready: Vec<usize> = Vec::new();
+        for (i, arm) in arms.iter().enumerate() {
+            match &arm.op {
+                ArmOp::Recv { ch } => {
+                    if let ChanRef::Chan(id) = ch.chan_ref() {
+                        if let Some(c) = self.chans.get(&id) {
+                            if !c.buf.is_empty()
+                                || c.closed
+                                || self.has_live_sender(id)
+                            {
+                                ready.push(i);
+                            }
+                        }
+                    }
+                }
+                ArmOp::Send { ch, .. } => {
+                    if let ChanRef::Chan(id) = ch.chan_ref() {
+                        if let Some(c) = self.chans.get(&id) {
+                            if c.closed || c.buf.len() < c.cap || self.has_live_receiver(id) {
+                                ready.push(i);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !ready.is_empty() {
+            let pick = ready[self.rng.index(ready.len())];
+            let arm = arms[pick].clone();
+            return match arm.op {
+                ArmOp::Recv { ch } => {
+                    let id = ch.as_chan().expect("ready recv arm must have a real channel");
+                    let (val, ok) = self
+                        .recv_ready_value(id)
+                        .expect("arm was ready; receive must complete");
+                    EffectOutcome::Continue(Resume::Selected {
+                        arm: Some(pick),
+                        recv: Some((val, ok)),
+                    })
+                }
+                ArmOp::Send { ch, val } => {
+                    let id = ch.as_chan().expect("ready send arm must have a real channel");
+                    if self.chans.get(&id).map(|c| c.closed).unwrap_or(true) {
+                        return EffectOutcome::Exited(Some(format!(
+                            "send on closed channel at {}",
+                            arm.loc
+                        )));
+                    }
+                    if let Some(w) = self.pop_live_receiver(id) {
+                        self.deliver_to_receiver(&w, val, true);
+                    } else {
+                        let c = self.chans.get_mut(&id).expect("channel disappeared");
+                        debug_assert!(c.buf.len() < c.cap, "ready send arm must have space");
+                        c.buf.push_back(val);
+                    }
+                    self.stats.msgs_transferred += 1;
+                    EffectOutcome::Continue(Resume::Selected { arm: Some(pick), recv: None })
+                }
+            };
+        }
+        if has_default {
+            return EffectOutcome::Continue(Resume::Selected { arm: None, recv: None });
+        }
+        // Block: register on every real channel involved.
+        g.wait_seq += 1;
+        for (i, arm) in arms.iter().enumerate() {
+            let (id, is_send) = match &arm.op {
+                ArmOp::Recv { ch } => match ch.chan_ref() {
+                    ChanRef::Chan(id) => (id, false),
+                    _ => continue, // nil arms never become ready
+                },
+                ArmOp::Send { ch, .. } => match ch.chan_ref() {
+                    ChanRef::Chan(id) => (id, true),
+                    _ => continue,
+                },
+            };
+            let w = Waiter {
+                gid: g.gid,
+                seq: g.wait_seq,
+                kind: WaiterKind::SelectArm(i),
+                val: None,
+            };
+            let c = self.chans.get_mut(&id).expect("channel disappeared");
+            if is_send {
+                c.senders.push_back(w);
+            } else {
+                c.receivers.push_back(w);
+            }
+        }
+        g.state = GState::Blocked(Blocked::Select { arms, loc });
+        EffectOutcome::Parked
+    }
+
+    /// Non-blocking send used by timers and harnesses: deliver to a waiting
+    /// receiver, else buffer, else drop. Returns true unless dropped.
+    fn nonblocking_send(&mut self, id: ChanId, val: Val) -> bool {
+        if self.chans.get(&id).map(|c| c.closed).unwrap_or(true) {
+            return false;
+        }
+        if let Some(w) = self.pop_live_receiver(id) {
+            self.deliver_to_receiver(&w, val, true);
+            self.stats.msgs_transferred += 1;
+            return true;
+        }
+        let c = self.chans.get_mut(&id).expect("channel disappeared");
+        if c.buf.len() < c.cap {
+            c.buf.push_back(val);
+            self.stats.msgs_transferred += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    // -- waiter helpers -----------------------------------------------------
+
+    fn waiter_live(&self, w: &Waiter) -> bool {
+        self.goroutines
+            .get(&w.gid)
+            .map(|g| g.wait_seq == w.seq && matches!(g.state, GState::Blocked(_)))
+            .unwrap_or(false)
+    }
+
+    fn pop_live_receiver(&mut self, id: ChanId) -> Option<Waiter> {
+        loop {
+            let w = self.chans.get_mut(&id)?.receivers.pop_front()?;
+            if self.waiter_live(&w) {
+                return Some(w);
+            }
+        }
+    }
+
+    fn pop_live_sender(&mut self, id: ChanId) -> Option<Waiter> {
+        loop {
+            let w = self.chans.get_mut(&id)?.senders.pop_front()?;
+            if self.waiter_live(&w) {
+                return Some(w);
+            }
+        }
+    }
+
+    fn has_live_sender(&self, id: ChanId) -> bool {
+        self.chans
+            .get(&id)
+            .map(|c| c.senders.iter().any(|w| self.waiter_live(w)))
+            .unwrap_or(false)
+    }
+
+    fn has_live_receiver(&self, id: ChanId) -> bool {
+        self.chans
+            .get(&id)
+            .map(|c| c.receivers.iter().any(|w| self.waiter_live(w)))
+            .unwrap_or(false)
+    }
+
+    /// Wakes the goroutine behind a waiter if it is still parked with the
+    /// matching wait sequence. Returns false for stale waiters.
+    fn wake_if_live(&mut self, w: &Waiter, resume: Resume) -> bool {
+        let live = self.waiter_live(w);
+        if live {
+            let g = self.goroutines.get_mut(&w.gid).expect("live waiter must exist");
+            g.wait_seq += 1; // invalidate other registrations
+            g.state = GState::Runnable;
+            g.pending = Some(resume);
+            self.run_queue.push_back(w.gid);
+        }
+        live
+    }
+
+    /// Kills a blocked goroutine with a panic (e.g. send on closed chan).
+    fn kill_blocked(&mut self, gid: Gid, msg: &str) {
+        if let Some(g) = self.goroutines.remove(&gid) {
+            let loc = match &g.state {
+                GState::Blocked(Blocked::Send { loc, .. }) => loc.clone(),
+                GState::Blocked(Blocked::Select { loc, .. }) => loc.clone(),
+                _ => Loc::unknown(),
+            };
+            self.finish(g, Some(format!("{msg} at {loc}")));
+        }
+    }
+
+    fn schedule_timer(&mut self, at: u64, kind: TimerKind) {
+        let seq = self.next_timer_seq;
+        self.next_timer_seq += 1;
+        self.timers.push(Reverse(TimerEntry { at, seq, kind }));
+    }
+
+    fn fire_due_timers(&mut self) {
+        while let Some(Reverse(top)) = self.timers.peek() {
+            if top.at > self.clock {
+                break;
+            }
+            let Reverse(t) = self.timers.pop().expect("peeked timer must pop");
+            match t.kind {
+                TimerKind::Wake { gid, seq } => {
+                    let w = Waiter { gid, seq, kind: WaiterKind::Op, val: None };
+                    self.wake_if_live(&w, Resume::Unit);
+                }
+                TimerKind::TickSend { ch, period } => {
+                    self.nonblocking_send(ch, Val::Int(self.clock as i64));
+                    if let Some(p) = period {
+                        if self.chans.get(&ch).map(|c| !c.closed).unwrap_or(false) {
+                            self.schedule_timer(self.clock + p, TimerKind::TickSend {
+                                ch,
+                                period: Some(p),
+                            });
+                        }
+                    }
+                }
+                TimerKind::CloseCtx { ch } => {
+                    self.close_chan(ch, true);
+                }
+            }
+        }
+    }
+
+    // -- introspection ------------------------------------------------------
+
+    /// The source location of the operation a goroutine is blocked at,
+    /// plus a short wait-reason string, if it is currently parked.
+    ///
+    /// This gives leak detectors precise `file:line` evidence without
+    /// re-parsing rendered stacks.
+    pub fn blocked_at(&self, gid: Gid) -> Option<(Loc, &'static str)> {
+        let g = self.goroutines.get(&gid)?;
+        match &g.state {
+            GState::Runnable => None,
+            GState::Blocked(b) => Some(match b {
+                Blocked::Send { loc, ch: _ } => (loc.clone(), "chan send"),
+                Blocked::Recv { loc, ch: _ } => (loc.clone(), "chan receive"),
+                Blocked::NilOp { send, loc } => (
+                    loc.clone(),
+                    if *send { "chan send (nil chan)" } else { "chan receive (nil chan)" },
+                ),
+                Blocked::Select { loc, .. } => (loc.clone(), "select"),
+                Blocked::Sleep { until: _ } => (Loc::runtime(), "sleep"),
+                Blocked::Park { reason, until: _ } => (
+                    Loc::runtime(),
+                    match reason {
+                        ParkReason::IoWait => "IO wait",
+                        ParkReason::Syscall => "syscall",
+                        ParkReason::Sleep => "sleep",
+                    },
+                ),
+                Blocked::Sem { loc, sem: _ } => (loc.clone(), "semacquire"),
+                Blocked::Wg { loc, wg: _ } => (loc.clone(), "semacquire (WaitGroup)"),
+                Blocked::Cond { loc, cond: _ } => (loc.clone(), "sync.Cond.Wait"),
+            }),
+        }
+    }
+
+    /// Memory snapshot of the simulated process.
+    pub fn mem_stats(&self) -> MemStats {
+        let mut m = MemStats { goroutines: self.goroutines.len(), ..MemStats::default() };
+        for g in self.goroutines.values() {
+            m.stack_bytes += self.config.stack_bytes;
+            m.heap_bytes += g.heap_bytes;
+        }
+        for c in self.chans.values() {
+            m.chan_buf_bytes += c.buf.iter().map(Val::approx_bytes).sum::<u64>();
+        }
+        m
+    }
+
+    /// Captures a goroutine profile — the simulator's
+    /// `/debug/pprof/goroutine?debug=2`.
+    ///
+    /// Goroutines appear in ascending goroutine-id order for deterministic
+    /// output. Blocked goroutines carry synthetic `runtime.*` leaf frames
+    /// exactly like real Go stacks (paper Fig 4).
+    pub fn goroutine_profile(&self, instance: impl Into<String>) -> GoroutineProfile {
+        let mut gids: Vec<Gid> = self.goroutines.keys().copied().collect();
+        gids.sort_unstable();
+        let goroutines = gids
+            .into_iter()
+            .map(|gid| {
+                let g = &self.goroutines[&gid];
+                let (status, synth) = self.status_and_frames(g);
+                let mut stack = synth;
+                stack.extend(g.body.stack());
+                GoroutineRecord {
+                    gid,
+                    name: g.name.clone(),
+                    status,
+                    stack,
+                    created_by: g.created_by.clone(),
+                    wait_ticks: match g.state {
+                        GState::Blocked(_) => self.clock - g.wait_since,
+                        GState::Runnable => 0,
+                    },
+                    retained_bytes: self.config.stack_bytes + g.heap_bytes,
+                }
+            })
+            .collect();
+        GoroutineProfile { instance: instance.into(), captured_at: self.clock, goroutines }
+    }
+
+    fn status_and_frames(&self, g: &Goroutine) -> (GoStatus, Vec<Frame>) {
+        let gopark = Frame::runtime("runtime.gopark");
+        match &g.state {
+            GState::Runnable => (GoStatus::Runnable, Vec::new()),
+            GState::Blocked(b) => match b {
+                Blocked::Send { .. } => (
+                    GoStatus::ChanSend { nil_chan: false },
+                    vec![
+                        gopark,
+                        Frame::runtime("runtime.chansend"),
+                        Frame::runtime("runtime.chansend1"),
+                    ],
+                ),
+                Blocked::Recv { .. } => (
+                    GoStatus::ChanReceive { nil_chan: false },
+                    vec![
+                        gopark,
+                        Frame::runtime("runtime.chanrecv"),
+                        Frame::runtime("runtime.chanrecv1"),
+                    ],
+                ),
+                Blocked::NilOp { send, .. } => {
+                    let frames = if *send {
+                        vec![
+                            gopark,
+                            Frame::runtime("runtime.chansend"),
+                            Frame::runtime("runtime.chansend1"),
+                        ]
+                    } else {
+                        vec![
+                            gopark,
+                            Frame::runtime("runtime.chanrecv"),
+                            Frame::runtime("runtime.chanrecv1"),
+                        ]
+                    };
+                    let status = if *send {
+                        GoStatus::ChanSend { nil_chan: true }
+                    } else {
+                        GoStatus::ChanReceive { nil_chan: true }
+                    };
+                    (status, frames)
+                }
+                Blocked::Select { arms, .. } => (
+                    GoStatus::Select { ncases: arms.len() },
+                    vec![gopark, Frame::runtime("runtime.selectgo")],
+                ),
+                Blocked::Sleep { .. } => {
+                    (GoStatus::Sleep, vec![gopark, Frame::runtime("runtime.timeSleep")])
+                }
+                Blocked::Park { reason, .. } => match reason {
+                    ParkReason::IoWait => (
+                        GoStatus::IoWait,
+                        vec![gopark, Frame::runtime("internal/poll.runtime_pollWait")],
+                    ),
+                    ParkReason::Syscall => {
+                        (GoStatus::Syscall, vec![Frame::runtime("runtime.exitsyscall")])
+                    }
+                    ParkReason::Sleep => {
+                        (GoStatus::Sleep, vec![gopark, Frame::runtime("runtime.timeSleep")])
+                    }
+                },
+                Blocked::Sem { .. } => (
+                    GoStatus::SemAcquire,
+                    vec![
+                        gopark,
+                        Frame::runtime("runtime.semacquire1"),
+                        Frame::runtime("internal/sync.runtime_SemacquireMutex"),
+                    ],
+                ),
+                Blocked::Wg { .. } => (
+                    GoStatus::SemAcquire,
+                    vec![
+                        gopark,
+                        Frame::runtime("runtime.semacquire1"),
+                        Frame::runtime("internal/sync.runtime_Semacquire"),
+                    ],
+                ),
+                Blocked::Cond { .. } => (
+                    GoStatus::CondWait,
+                    vec![gopark, Frame::runtime("internal/sync.runtime_notifyListWait")],
+                ),
+            },
+        }
+    }
+}

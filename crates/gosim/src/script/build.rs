@@ -1,0 +1,661 @@
+//! Fluent builders for script programs.
+//!
+//! The builders let Rust code express mini-Go-shaped concurrent programs
+//! directly, with explicit line numbers so that leak reports point at
+//! meaningful `file:line` locations:
+//!
+//! ```
+//! use gosim::script::{fnb, Expr, Prog};
+//!
+//! // Listing 1 of the paper: the discount-channel partial deadlock.
+//! let prog = Prog::build(|p| {
+//!     p.func(fnb("transactions.ComputeCost", "transactions/cost.go").body(|b| {
+//!         b.make_chan("ch", 0, 5);
+//!         b.go_closure(6, |g| {
+//!             g.work(Expr::int(1), 7);
+//!             g.send("ch", Expr::int(1), 8); // blocks forever on the error path
+//!         });
+//!         b.if_(gosim::script::Expr::var("err"), 12, |t| {
+//!             t.ret(13);
+//!         });
+//!         b.recv("ch", 15);
+//!     }).params(&["err"]));
+//! });
+//! assert!(prog.func("transactions.ComputeCost").is_some());
+//! ```
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use crate::loc::Loc;
+use crate::proc::ParkReason;
+use crate::script::ir::{block, Arm, ArmIr, Block, Expr, FuncDef, Prog, Stmt};
+use crate::val::TypeTag;
+
+/// Starts building a function.
+pub fn fnb(name: impl Into<String>, file: impl Into<Arc<str>>) -> FuncBuilder {
+    FuncBuilder {
+        name: name.into(),
+        file: file.into(),
+        params: Vec::new(),
+        stmts: Vec::new(),
+        built: false,
+    }
+}
+
+/// Builds a whole program; see [`Prog::build`].
+#[derive(Debug, Default)]
+pub struct ProgBuilder {
+    funcs: Vec<FuncDef>,
+}
+
+impl ProgBuilder {
+    /// Creates an empty program builder.
+    pub fn new() -> Self {
+        ProgBuilder::default()
+    }
+
+    /// Adds a function.
+    pub fn func(&mut self, fb: FuncBuilder) -> &mut Self {
+        self.funcs.push(fb.into_def());
+        self
+    }
+
+    /// Adds an already-lowered function definition.
+    pub fn def(&mut self, def: FuncDef) -> &mut Self {
+        self.funcs.push(def);
+        self
+    }
+
+    /// Finishes the program.
+    pub fn finish(self) -> Prog {
+        Prog::new(self.funcs)
+    }
+}
+
+/// Builds one function.
+#[derive(Debug)]
+pub struct FuncBuilder {
+    name: String,
+    file: Arc<str>,
+    params: Vec<String>,
+    stmts: Vec<Stmt>,
+    built: bool,
+}
+
+impl FuncBuilder {
+    /// Declares parameter names.
+    pub fn params(mut self, ps: &[&str]) -> Self {
+        self.params = ps.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Provides the body through a [`BlockBuilder`].
+    pub fn body(mut self, f: impl FnOnce(&mut BlockBuilder)) -> Self {
+        let ctx = Ctx {
+            file: self.file.clone(),
+            func: self.name.clone(),
+            closures: Rc::new(Cell::new(0)),
+        };
+        let mut b = BlockBuilder { ctx, stmts: Vec::new() };
+        f(&mut b);
+        self.stmts = b.stmts;
+        self.built = true;
+        self
+    }
+
+    fn into_def(self) -> FuncDef {
+        FuncDef {
+            name: self.name,
+            file: self.file,
+            params: self.params,
+            body: block(self.stmts),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Ctx {
+    file: Arc<str>,
+    func: String,
+    closures: Rc<Cell<u32>>,
+}
+
+impl Ctx {
+    fn loc(&self, line: u32) -> Loc {
+        Loc::new(self.file.clone(), line)
+    }
+}
+
+/// Builds a block of statements. Obtained from [`FuncBuilder::body`] and
+/// the control-flow combinators.
+#[derive(Debug)]
+pub struct BlockBuilder {
+    ctx: Ctx,
+    stmts: Vec<Stmt>,
+}
+
+impl BlockBuilder {
+    fn child(&self) -> BlockBuilder {
+        BlockBuilder { ctx: self.ctx.clone(), stmts: Vec::new() }
+    }
+
+    fn sub(&self, f: impl FnOnce(&mut BlockBuilder)) -> Block {
+        let mut b = self.child();
+        f(&mut b);
+        block(b.stmts)
+    }
+
+    /// Appends a raw statement.
+    pub fn raw(&mut self, stmt: Stmt) -> &mut Self {
+        self.stmts.push(stmt);
+        self
+    }
+
+    /// `var = expr`.
+    pub fn assign(&mut self, var: &str, expr: impl Into<Expr>, line: u32) -> &mut Self {
+        self.stmts.push(Stmt::Assign { var: var.into(), expr: expr.into(), loc: self.ctx.loc(line) });
+        self
+    }
+
+    /// `var := make(chan int, cap)`.
+    pub fn make_chan(&mut self, var: &str, cap: usize, line: u32) -> &mut Self {
+        self.make_chan_of(var, cap, TypeTag::Int, line)
+    }
+
+    /// `var := make(chan <elem>, cap)`.
+    pub fn make_chan_of(&mut self, var: &str, cap: usize, elem: TypeTag, line: u32) -> &mut Self {
+        self.stmts.push(Stmt::MakeChan {
+            var: var.into(),
+            cap: Expr::int(cap as i64),
+            elem,
+            loc: self.ctx.loc(line),
+        });
+        self
+    }
+
+    /// `var := make(chan T, capExpr)` with a dynamic capacity.
+    pub fn make_chan_dyn(&mut self, var: &str, cap: impl Into<Expr>, line: u32) -> &mut Self {
+        self.stmts.push(Stmt::MakeChan {
+            var: var.into(),
+            cap: cap.into(),
+            elem: TypeTag::Int,
+            loc: self.ctx.loc(line),
+        });
+        self
+    }
+
+    /// `ch <- val`.
+    pub fn send(&mut self, ch: &str, val: impl Into<Expr>, line: u32) -> &mut Self {
+        self.stmts.push(Stmt::Send { ch: Expr::var(ch), val: val.into(), loc: self.ctx.loc(line) });
+        self
+    }
+
+    /// `<-ch` (result discarded).
+    pub fn recv(&mut self, ch: &str, line: u32) -> &mut Self {
+        self.stmts.push(Stmt::Recv { var: None, ok: None, ch: Expr::var(ch), loc: self.ctx.loc(line) });
+        self
+    }
+
+    /// `v := <-ch`.
+    pub fn recv_into(&mut self, var: &str, ch: &str, line: u32) -> &mut Self {
+        self.stmts.push(Stmt::Recv {
+            var: Some(var.into()),
+            ok: None,
+            ch: Expr::var(ch),
+            loc: self.ctx.loc(line),
+        });
+        self
+    }
+
+    /// `v, ok := <-ch`.
+    pub fn recv_ok(&mut self, var: &str, ok: &str, ch: &str, line: u32) -> &mut Self {
+        self.stmts.push(Stmt::Recv {
+            var: Some(var.into()),
+            ok: Some(ok.into()),
+            ch: Expr::var(ch),
+            loc: self.ctx.loc(line),
+        });
+        self
+    }
+
+    /// `close(ch)`.
+    pub fn close(&mut self, ch: &str, line: u32) -> &mut Self {
+        self.stmts.push(Stmt::Close { ch: Expr::var(ch), loc: self.ctx.loc(line) });
+        self
+    }
+
+    /// `select { ... }`; see [`SelectBuilder`].
+    pub fn select(&mut self, line: u32, f: impl FnOnce(&mut SelectBuilder)) -> &mut Self {
+        let mut sb = SelectBuilder { parent: self, arms: Vec::new(), default: None };
+        f(&mut sb);
+        let (arms, default) = (sb.arms, sb.default);
+        self.stmts.push(Stmt::Select { arms, default, loc: self.ctx.loc(line) });
+        self
+    }
+
+    /// `go func(){ ... }()` — an anonymous closure capturing the current
+    /// environment by value. Named `<func>$N` like Go's compiler does.
+    pub fn go_closure(&mut self, line: u32, f: impl FnOnce(&mut BlockBuilder)) -> &mut Self {
+        let n = self.ctx.closures.get() + 1;
+        self.ctx.closures.set(n);
+        let name = format!("{}${}", self.ctx.func, n);
+        let body = self.sub(f);
+        self.stmts.push(Stmt::GoClosure { name, body, loc: self.ctx.loc(line) });
+        self
+    }
+
+    /// `go f(args...)`.
+    pub fn go_call(&mut self, func: &str, args: Vec<Expr>, line: u32) -> &mut Self {
+        self.stmts.push(Stmt::GoCall { func: func.into(), args, loc: self.ctx.loc(line) });
+        self
+    }
+
+    /// `ret := f(args...)`.
+    pub fn call(&mut self, ret: Option<&str>, func: &str, args: Vec<Expr>, line: u32) -> &mut Self {
+        self.stmts.push(Stmt::Call {
+            ret: ret.map(|s| s.to_string()),
+            func: func.into(),
+            args,
+            loc: self.ctx.loc(line),
+        });
+        self
+    }
+
+    /// `return`.
+    pub fn ret(&mut self, line: u32) -> &mut Self {
+        self.stmts.push(Stmt::Return { expr: None, loc: self.ctx.loc(line) });
+        self
+    }
+
+    /// `return expr`.
+    pub fn ret_val(&mut self, expr: impl Into<Expr>, line: u32) -> &mut Self {
+        self.stmts.push(Stmt::Return { expr: Some(expr.into()), loc: self.ctx.loc(line) });
+        self
+    }
+
+    /// `if cond { ... }`.
+    pub fn if_(
+        &mut self,
+        cond: impl Into<Expr>,
+        line: u32,
+        then: impl FnOnce(&mut BlockBuilder),
+    ) -> &mut Self {
+        let t = self.sub(then);
+        self.stmts.push(Stmt::If {
+            cond: cond.into(),
+            then: t,
+            els: block(vec![]),
+            loc: self.ctx.loc(line),
+        });
+        self
+    }
+
+    /// `if cond { ... } else { ... }`.
+    pub fn if_else(
+        &mut self,
+        cond: impl Into<Expr>,
+        line: u32,
+        then: impl FnOnce(&mut BlockBuilder),
+        els: impl FnOnce(&mut BlockBuilder),
+    ) -> &mut Self {
+        let t = self.sub(then);
+        let e = self.sub(els);
+        self.stmts.push(Stmt::If { cond: cond.into(), then: t, els: e, loc: self.ctx.loc(line) });
+        self
+    }
+
+    /// `for { ... }`.
+    pub fn loop_(&mut self, line: u32, f: impl FnOnce(&mut BlockBuilder)) -> &mut Self {
+        let body = self.sub(f);
+        self.stmts.push(Stmt::While { cond: None, body, loc: self.ctx.loc(line) });
+        self
+    }
+
+    /// `for cond { ... }`.
+    pub fn while_(
+        &mut self,
+        cond: impl Into<Expr>,
+        line: u32,
+        f: impl FnOnce(&mut BlockBuilder),
+    ) -> &mut Self {
+        let body = self.sub(f);
+        self.stmts.push(Stmt::While { cond: Some(cond.into()), body, loc: self.ctx.loc(line) });
+        self
+    }
+
+    /// `for i := 0; i < n; i++ { ... }`.
+    pub fn for_n(
+        &mut self,
+        var: &str,
+        n: impl Into<Expr>,
+        line: u32,
+        f: impl FnOnce(&mut BlockBuilder),
+    ) -> &mut Self {
+        let body = self.sub(f);
+        self.stmts.push(Stmt::ForN { var: var.into(), n: n.into(), body, loc: self.ctx.loc(line) });
+        self
+    }
+
+    /// `for v := range ch { ... }`.
+    pub fn for_range(
+        &mut self,
+        var: Option<&str>,
+        ch: &str,
+        line: u32,
+        f: impl FnOnce(&mut BlockBuilder),
+    ) -> &mut Self {
+        let body = self.sub(f);
+        self.stmts.push(Stmt::ForRange {
+            var: var.map(|s| s.to_string()),
+            ch: Expr::var(ch),
+            body,
+            loc: self.ctx.loc(line),
+        });
+        self
+    }
+
+    /// `break`.
+    pub fn brk(&mut self, line: u32) -> &mut Self {
+        self.stmts.push(Stmt::Break { loc: self.ctx.loc(line) });
+        self
+    }
+
+    /// `continue`.
+    pub fn cont(&mut self, line: u32) -> &mut Self {
+        self.stmts.push(Stmt::Continue { loc: self.ctx.loc(line) });
+        self
+    }
+
+    /// `time.Sleep(d)`.
+    pub fn sleep(&mut self, d: impl Into<Expr>, line: u32) -> &mut Self {
+        self.stmts.push(Stmt::Sleep { d: d.into(), loc: self.ctx.loc(line) });
+        self
+    }
+
+    /// `var := time.After(d)`.
+    pub fn after(&mut self, var: &str, d: impl Into<Expr>, line: u32) -> &mut Self {
+        self.stmts.push(Stmt::After { var: var.into(), d: d.into(), loc: self.ctx.loc(line) });
+        self
+    }
+
+    /// `var := time.Tick(period)`.
+    pub fn tick(&mut self, var: &str, period: impl Into<Expr>, line: u32) -> &mut Self {
+        self.stmts.push(Stmt::TickCh {
+            var: var.into(),
+            period: period.into(),
+            loc: self.ctx.loc(line),
+        });
+        self
+    }
+
+    /// `ctx, cancel := context.WithTimeout(parent, d)`.
+    pub fn ctx_with_timeout(
+        &mut self,
+        ctx_var: &str,
+        cancel_var: &str,
+        d: impl Into<Expr>,
+        line: u32,
+    ) -> &mut Self {
+        self.stmts.push(Stmt::CtxWithTimeout {
+            ctx_var: ctx_var.into(),
+            cancel_var: cancel_var.into(),
+            d: Some(d.into()),
+            loc: self.ctx.loc(line),
+        });
+        self
+    }
+
+    /// `ctx, cancel := context.WithCancel(parent)`.
+    pub fn ctx_with_cancel(&mut self, ctx_var: &str, cancel_var: &str, line: u32) -> &mut Self {
+        self.stmts.push(Stmt::CtxWithTimeout {
+            ctx_var: ctx_var.into(),
+            cancel_var: cancel_var.into(),
+            d: None,
+            loc: self.ctx.loc(line),
+        });
+        self
+    }
+
+    /// `cancel()`.
+    pub fn cancel(&mut self, cancel_var: &str, line: u32) -> &mut Self {
+        self.stmts.push(Stmt::CancelCtx { ch: Expr::var(cancel_var), loc: self.ctx.loc(line) });
+        self
+    }
+
+    /// Simulated blocking I/O or syscall.
+    pub fn park(&mut self, reason: ParkReason, dur: Option<Expr>, line: u32) -> &mut Self {
+        self.stmts.push(Stmt::Park { reason, dur, loc: self.ctx.loc(line) });
+        self
+    }
+
+    /// Attribute heap bytes to the goroutine.
+    pub fn alloc(&mut self, bytes: impl Into<Expr>, line: u32) -> &mut Self {
+        self.stmts.push(Stmt::Alloc { bytes: bytes.into(), loc: self.ctx.loc(line) });
+        self
+    }
+
+    /// Consume abstract CPU work.
+    pub fn work(&mut self, units: impl Into<Expr>, line: u32) -> &mut Self {
+        self.stmts.push(Stmt::Work { units: units.into(), loc: self.ctx.loc(line) });
+        self
+    }
+
+    /// `defer close(ch)`.
+    pub fn defer_close(&mut self, ch: &str, line: u32) -> &mut Self {
+        let loc = self.ctx.loc(line);
+        self.stmts.push(Stmt::Defer {
+            stmt: Box::new(Stmt::Close { ch: Expr::var(ch), loc: loc.clone() }),
+            loc,
+        });
+        self
+    }
+
+    /// `defer cancel()`.
+    pub fn defer_cancel(&mut self, cancel_var: &str, line: u32) -> &mut Self {
+        let loc = self.ctx.loc(line);
+        self.stmts.push(Stmt::Defer {
+            stmt: Box::new(Stmt::CancelCtx { ch: Expr::var(cancel_var), loc: loc.clone() }),
+            loc,
+        });
+        self
+    }
+
+    /// `defer wg.Done()`.
+    pub fn defer_wg_done(&mut self, wg: &str, line: u32) -> &mut Self {
+        let loc = self.ctx.loc(line);
+        self.stmts.push(Stmt::Defer {
+            stmt: Box::new(Stmt::WgDone { wg: Expr::var(wg), loc: loc.clone() }),
+            loc,
+        });
+        self
+    }
+
+    /// `panic(msg)`.
+    pub fn panic_(&mut self, msg: &str, line: u32) -> &mut Self {
+        self.stmts.push(Stmt::Panic { msg: msg.into(), loc: self.ctx.loc(line) });
+        self
+    }
+
+    /// `var wg sync.WaitGroup`.
+    pub fn make_wg(&mut self, var: &str, line: u32) -> &mut Self {
+        self.stmts.push(Stmt::MakeWg { var: var.into(), loc: self.ctx.loc(line) });
+        self
+    }
+
+    /// `wg.Add(delta)`.
+    pub fn wg_add(&mut self, wg: &str, delta: impl Into<Expr>, line: u32) -> &mut Self {
+        self.stmts.push(Stmt::WgAdd {
+            wg: Expr::var(wg),
+            delta: delta.into(),
+            loc: self.ctx.loc(line),
+        });
+        self
+    }
+
+    /// `wg.Done()`.
+    pub fn wg_done(&mut self, wg: &str, line: u32) -> &mut Self {
+        self.stmts.push(Stmt::WgDone { wg: Expr::var(wg), loc: self.ctx.loc(line) });
+        self
+    }
+
+    /// `wg.Wait()`.
+    pub fn wg_wait(&mut self, wg: &str, line: u32) -> &mut Self {
+        self.stmts.push(Stmt::WgWait { wg: Expr::var(wg), loc: self.ctx.loc(line) });
+        self
+    }
+
+    /// `var mu sync.Mutex`.
+    pub fn make_mutex(&mut self, var: &str, line: u32) -> &mut Self {
+        self.stmts.push(Stmt::MakeMutex { var: var.into(), loc: self.ctx.loc(line) });
+        self
+    }
+
+    /// `mu.Lock()`.
+    pub fn lock(&mut self, mu: &str, line: u32) -> &mut Self {
+        self.stmts.push(Stmt::Lock { mu: Expr::var(mu), loc: self.ctx.loc(line) });
+        self
+    }
+
+    /// `mu.Unlock()`.
+    pub fn unlock(&mut self, mu: &str, line: u32) -> &mut Self {
+        self.stmts.push(Stmt::Unlock { mu: Expr::var(mu), loc: self.ctx.loc(line) });
+        self
+    }
+}
+
+/// Builds the arms of a `select` statement.
+#[derive(Debug)]
+pub struct SelectBuilder<'a> {
+    parent: &'a BlockBuilder,
+    arms: Vec<Arm>,
+    default: Option<Block>,
+}
+
+impl SelectBuilder<'_> {
+    /// `case v := <-ch: { ... }`.
+    pub fn recv_arm(
+        &mut self,
+        var: Option<&str>,
+        ch: &str,
+        line: u32,
+        body: impl FnOnce(&mut BlockBuilder),
+    ) -> &mut Self {
+        let b = self.parent.sub(body);
+        self.arms.push(Arm {
+            op: ArmIr::Recv { var: var.map(|s| s.to_string()), ok: None, ch: Expr::var(ch) },
+            body: b,
+            loc: self.parent.ctx.loc(line),
+        });
+        self
+    }
+
+    /// `case v, ok := <-ch: { ... }`.
+    pub fn recv_ok_arm(
+        &mut self,
+        var: &str,
+        ok: &str,
+        ch: &str,
+        line: u32,
+        body: impl FnOnce(&mut BlockBuilder),
+    ) -> &mut Self {
+        let b = self.parent.sub(body);
+        self.arms.push(Arm {
+            op: ArmIr::Recv {
+                var: Some(var.to_string()),
+                ok: Some(ok.to_string()),
+                ch: Expr::var(ch),
+            },
+            body: b,
+            loc: self.parent.ctx.loc(line),
+        });
+        self
+    }
+
+    /// `case ch <- val: { ... }`.
+    pub fn send_arm(
+        &mut self,
+        ch: &str,
+        val: impl Into<Expr>,
+        line: u32,
+        body: impl FnOnce(&mut BlockBuilder),
+    ) -> &mut Self {
+        let b = self.parent.sub(body);
+        self.arms.push(Arm {
+            op: ArmIr::Send { ch: Expr::var(ch), val: val.into() },
+            body: b,
+            loc: self.parent.ctx.loc(line),
+        });
+        self
+    }
+
+    /// `default: { ... }`.
+    pub fn default(&mut self, body: impl FnOnce(&mut BlockBuilder)) -> &mut Self {
+        self.default = Some(self.parent.sub(body));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_named_closures() {
+        let prog = Prog::build(|p| {
+            p.func(fnb("pkg.F", "pkg/f.go").body(|b| {
+                b.make_chan("ch", 0, 1);
+                b.go_closure(2, |g| {
+                    g.send("ch", Expr::int(1), 3);
+                });
+                b.go_closure(4, |g| {
+                    g.recv("ch", 5);
+                });
+            }));
+        });
+        let f = prog.func("pkg.F").unwrap();
+        let names: Vec<String> = f
+            .body
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::GoClosure { name, .. } => Some(name.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names, vec!["pkg.F$1", "pkg.F$2"]);
+    }
+
+    #[test]
+    fn select_builder_collects_arms_and_default() {
+        let prog = Prog::build(|p| {
+            p.func(fnb("pkg.S", "pkg/s.go").body(|b| {
+                b.make_chan("a", 0, 1);
+                b.make_chan("bch", 0, 2);
+                b.select(3, |s| {
+                    s.recv_arm(Some("v"), "a", 4, |_| {});
+                    s.send_arm("bch", Expr::int(9), 5, |_| {});
+                    s.default(|d| {
+                        d.ret(6);
+                    });
+                });
+            }));
+        });
+        let f = prog.func("pkg.S").unwrap();
+        match &f.body[2] {
+            Stmt::Select { arms, default, .. } => {
+                assert_eq!(arms.len(), 2);
+                assert!(default.is_some());
+            }
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn params_are_recorded() {
+        let prog = Prog::build(|p| {
+            p.func(fnb("pkg.P", "p.go").params(&["x", "y"]).body(|_| {}));
+        });
+        assert_eq!(prog.func("pkg.P").unwrap().params, vec!["x", "y"]);
+    }
+}

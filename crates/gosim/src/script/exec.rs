@@ -1,0 +1,865 @@
+//! The script executor: runs [`crate::script::ir::Prog`] functions as
+//! goroutines by implementing [`Process`].
+//!
+//! The executor is a resumable tree-walker. Each goroutine owns a stack of
+//! call frames; each frame owns a stack of cursors into statement blocks
+//! (sequences, loops, channel-range loops). Blocking statements surface as
+//! [`Effect`]s to the runtime and the executor continues from the
+//! delivered [`Resume`].
+
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use crate::loc::{Frame, Loc};
+use crate::proc::{ArmOp, Effect, Process, Resume, SelectArm};
+use crate::script::ir::{Arm, ArmIr, BinOp, Block, Expr, FuncDef, Prog, Stmt};
+use crate::val::Val;
+
+/// Internal per-resume step budget: after this many internal steps the
+/// executor yields so that effect-free loops (`for {}`) cannot wedge the
+/// scheduler.
+const FUEL: u32 = 4_096;
+
+#[derive(Debug)]
+enum Cursor {
+    Seq { block: Block, idx: usize },
+    While { body: Block, idx: usize, cond: Option<Expr> },
+    ForN { body: Block, idx: usize, var: String, i: i64, total: i64 },
+    Range { body: Block, idx: usize, var: Option<String>, ch: Val, loc: Loc, in_body: bool },
+}
+
+#[derive(Debug)]
+enum Pending {
+    None,
+    /// Bind the outcome of a plain receive.
+    Store { var: Option<String>, ok: Option<String> },
+    /// Bind a `Resume::Made` handle into one or two variables.
+    Made { var: String, extra: Option<String> },
+    /// Deliver a receive outcome to the innermost `Range` cursor.
+    Range,
+    /// Dispatch a completed `select`.
+    Select { binds: Vec<ArmBind>, bodies: Vec<Block>, default: Option<Block> },
+}
+
+#[derive(Debug)]
+struct ArmBind {
+    var: Option<String>,
+    ok: Option<String>,
+}
+
+struct CallFrame {
+    display: String,
+    file: Arc<str>,
+    env: HashMap<String, Val>,
+    cursors: Vec<Cursor>,
+    cur_loc: Loc,
+    defers: Vec<Stmt>,
+    running_defers: bool,
+    ret_target: Option<String>,
+    ret_val: Val,
+    pending: Pending,
+}
+
+impl CallFrame {
+    fn new(
+        display: String,
+        file: Arc<str>,
+        env: HashMap<String, Val>,
+        body: Block,
+        ret_target: Option<String>,
+    ) -> Self {
+        CallFrame {
+            display,
+            file: file.clone(),
+            env,
+            cursors: vec![Cursor::Seq { block: body, idx: 0 }],
+            cur_loc: Loc::new(file, 0),
+            defers: Vec::new(),
+            running_defers: false,
+            ret_target,
+            ret_val: Val::Unit,
+            pending: Pending::None,
+        }
+    }
+}
+
+/// A goroutine executing a script program.
+///
+/// Created via [`Prog::spawn_main`] / [`Prog::spawn_func`], or directly
+/// with [`ScriptProc::for_func`] when embedding.
+pub struct ScriptProc {
+    prog: Prog,
+    frames: Vec<CallFrame>,
+    finished: bool,
+}
+
+impl std::fmt::Debug for ScriptProc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScriptProc")
+            .field("depth", &self.frames.len())
+            .field("finished", &self.finished)
+            .finish()
+    }
+}
+
+enum StepOut {
+    /// The statement produced an effect for the runtime.
+    Eff(Effect),
+    /// The statement completed internally; keep walking.
+    Flow,
+}
+
+impl ScriptProc {
+    /// Creates a process that runs `def` with positional `args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the argument count does not match the parameter count;
+    /// spawning is a host-level operation so this is a programming error,
+    /// not a simulated one.
+    pub fn for_func(prog: Prog, def: Rc<FuncDef>, args: Vec<Val>) -> ScriptProc {
+        assert_eq!(
+            def.params.len(),
+            args.len(),
+            "arity mismatch spawning {}: {} params, {} args",
+            def.name,
+            def.params.len(),
+            args.len()
+        );
+        let env = def.params.iter().cloned().zip(args).collect();
+        let frame =
+            CallFrame::new(def.name.clone(), def.file.clone(), env, def.body.clone(), None);
+        ScriptProc { prog, frames: vec![frame], finished: false }
+    }
+
+    /// Creates a process for an anonymous closure body with a captured
+    /// environment (used by `go func(){...}()`).
+    pub fn for_closure(
+        prog: Prog,
+        display: String,
+        file: Arc<str>,
+        env: HashMap<String, Val>,
+        body: Block,
+    ) -> ScriptProc {
+        let frame = CallFrame::new(display, file, env, body, None);
+        ScriptProc { prog, frames: vec![frame], finished: false }
+    }
+
+    fn top(&mut self) -> &mut CallFrame {
+        self.frames.last_mut().expect("executor has no frames")
+    }
+
+    fn fail(&mut self, msg: String) -> Effect {
+        self.finished = true;
+        let loc = self.frames.last().map(|f| f.cur_loc.clone()).unwrap_or_default();
+        Effect::Panic { msg, loc }
+    }
+
+    // -- resume plumbing ----------------------------------------------------
+
+    fn apply_resume(&mut self, r: Resume) -> Result<(), String> {
+        if self.frames.is_empty() {
+            return Ok(());
+        }
+        let pending = std::mem::replace(&mut self.top().pending, Pending::None);
+        match pending {
+            Pending::None => Ok(()),
+            Pending::Store { var, ok } => match r {
+                Resume::Received { val, ok: okv } => {
+                    let frame = self.top();
+                    if let Some(v) = var {
+                        frame.env.insert(v, val);
+                    }
+                    if let Some(o) = ok {
+                        frame.env.insert(o, Val::Bool(okv));
+                    }
+                    Ok(())
+                }
+                other => Err(format!("expected receive outcome, got {other:?}")),
+            },
+            Pending::Made { var, extra } => match r {
+                Resume::Made(v) => {
+                    let frame = self.top();
+                    if let Some(e) = extra {
+                        frame.env.insert(e, v.clone());
+                    }
+                    frame.env.insert(var, v);
+                    Ok(())
+                }
+                other => Err(format!("expected made handle, got {other:?}")),
+            },
+            Pending::Range => match r {
+                Resume::Received { val, ok } => {
+                    let frame = self.top();
+                    let bind: Option<String> = match frame.cursors.last_mut() {
+                        Some(Cursor::Range { var, in_body, idx, .. }) => {
+                            if ok {
+                                *in_body = true;
+                                *idx = 0;
+                                var.clone()
+                            } else {
+                                None
+                            }
+                        }
+                        _ => return Err("range resume without range cursor".into()),
+                    };
+                    if ok {
+                        if let Some(v) = bind {
+                            frame.env.insert(v, val);
+                        }
+                    } else {
+                        frame.cursors.pop();
+                    }
+                    Ok(())
+                }
+                other => Err(format!("expected receive outcome for range, got {other:?}")),
+            },
+            Pending::Select { binds, bodies, default } => match r {
+                Resume::Selected { arm, recv } => {
+                    let frame = self.top();
+                    match arm {
+                        Some(i) => {
+                            let bind = &binds[i];
+                            if let Some((val, okv)) = recv {
+                                if let Some(v) = bind.var.clone() {
+                                    frame.env.insert(v, val);
+                                }
+                                if let Some(o) = bind.ok.clone() {
+                                    frame.env.insert(o, Val::Bool(okv));
+                                }
+                            }
+                            let body = bodies[i].clone();
+                            frame.cursors.push(Cursor::Seq { block: body, idx: 0 });
+                        }
+                        None => {
+                            if let Some(d) = default {
+                                frame.cursors.push(Cursor::Seq { block: d, idx: 0 });
+                            }
+                        }
+                    }
+                    Ok(())
+                }
+                other => Err(format!("expected select outcome, got {other:?}")),
+            },
+        }
+    }
+
+    // -- statement walking ---------------------------------------------------
+
+    /// Fetches the next statement to execute in the top frame, handling
+    /// cursor exhaustion and loop back-edges. `Ok(None)` means the frame's
+    /// body is exhausted (function return).
+    fn next_stmt(&mut self) -> Result<Option<Stmt>, Option<Effect>> {
+        loop {
+            let frame = self.frames.last_mut().expect("no frames");
+            let Some(cursor) = frame.cursors.last_mut() else {
+                return Ok(None);
+            };
+            match cursor {
+                Cursor::Seq { block, idx } => {
+                    if *idx < block.len() {
+                        let s = block[*idx].clone();
+                        *idx += 1;
+                        return Ok(Some(s));
+                    }
+                    frame.cursors.pop();
+                }
+                Cursor::While { body, idx, cond } => {
+                    if *idx == 0 {
+                        let proceed = match cond {
+                            None => true,
+                            Some(c) => {
+                                let v = eval(c, &frame.env).map_err(|e| {
+                                    Some(self_fail_placeholder(e))
+                                })?;
+                                match v.as_bool() {
+                                    Some(b) => b,
+                                    None => {
+                                        return Err(Some(self_fail_placeholder(format!(
+                                            "non-boolean loop condition: {v}"
+                                        ))))
+                                    }
+                                }
+                            }
+                        };
+                        if !proceed {
+                            frame.cursors.pop();
+                            continue;
+                        }
+                        if body.is_empty() {
+                            // `for cond {}` with effect-free body: treat as
+                            // a scheduler yield point to avoid divergence.
+                            return Err(Some(Effect::Yield));
+                        }
+                    }
+                    if *idx < body.len() {
+                        let s = body[*idx].clone();
+                        *idx += 1;
+                        return Ok(Some(s));
+                    }
+                    *idx = 0; // back-edge; condition re-checked next pass
+                }
+                Cursor::ForN { body, idx, var, i, total } => {
+                    if *idx == 0 {
+                        if *i >= *total {
+                            frame.cursors.pop();
+                            continue;
+                        }
+                        frame.env.insert(var.clone(), Val::Int(*i));
+                        if body.is_empty() {
+                            *i += 1;
+                            continue;
+                        }
+                    }
+                    if *idx < body.len() {
+                        let s = body[*idx].clone();
+                        *idx += 1;
+                        return Ok(Some(s));
+                    }
+                    *idx = 0;
+                    *i += 1;
+                }
+                Cursor::Range { body, idx, ch, loc, in_body, .. } => {
+                    if !*in_body {
+                        let ch = ch.clone();
+                        let loc = loc.clone();
+                        frame.cur_loc = loc.clone();
+                        frame.pending = Pending::Range;
+                        return Err(Some(Effect::Recv { ch, loc }));
+                    }
+                    if *idx < body.len() {
+                        let s = body[*idx].clone();
+                        *idx += 1;
+                        return Ok(Some(s));
+                    }
+                    *idx = 0;
+                    *in_body = false;
+                }
+            }
+        }
+    }
+
+    fn exec_stmt(&mut self, stmt: Stmt) -> Result<StepOut, String> {
+        let loc = stmt.loc();
+        if !loc.is_unknown() {
+            self.top().cur_loc = loc.clone();
+        }
+        match stmt {
+            Stmt::Nop => Ok(StepOut::Flow),
+            Stmt::Assign { var, expr, .. } => {
+                let v = self.eval_top(&expr)?;
+                self.top().env.insert(var, v);
+                Ok(StepOut::Flow)
+            }
+            Stmt::MakeChan { var, cap, elem, loc } => {
+                let cap = self.eval_top(&cap)?.as_int().ok_or("channel capacity must be int")?;
+                if cap < 0 {
+                    return Err("makechan: size out of range".into());
+                }
+                self.top().pending = Pending::Made { var, extra: None };
+                Ok(StepOut::Eff(Effect::MakeChan {
+                    cap: cap as usize,
+                    zero: Val::zero_of(elem),
+                    loc,
+                }))
+            }
+            Stmt::Send { ch, val, loc } => {
+                let ch = self.eval_top(&ch)?;
+                let val = self.eval_top(&val)?;
+                Ok(StepOut::Eff(Effect::Send { ch, val, loc }))
+            }
+            Stmt::Recv { var, ok, ch, loc } => {
+                let ch = self.eval_top(&ch)?;
+                self.top().pending = Pending::Store { var, ok };
+                Ok(StepOut::Eff(Effect::Recv { ch, loc }))
+            }
+            Stmt::Close { ch, loc } => {
+                let ch = self.eval_top(&ch)?;
+                Ok(StepOut::Eff(Effect::Close { ch, loc }))
+            }
+            Stmt::Select { arms, default, loc } => {
+                let mut sel_arms = Vec::with_capacity(arms.len());
+                let mut binds = Vec::with_capacity(arms.len());
+                let mut bodies = Vec::with_capacity(arms.len());
+                for Arm { op, body, loc: aloc } in arms {
+                    match op {
+                        ArmIr::Recv { var, ok, ch } => {
+                            let ch = self.eval_top(&ch)?;
+                            sel_arms.push(SelectArm { op: ArmOp::Recv { ch }, loc: aloc });
+                            binds.push(ArmBind { var, ok });
+                        }
+                        ArmIr::Send { ch, val } => {
+                            let ch = self.eval_top(&ch)?;
+                            let val = self.eval_top(&val)?;
+                            sel_arms.push(SelectArm { op: ArmOp::Send { ch, val }, loc: aloc });
+                            binds.push(ArmBind { var: None, ok: None });
+                        }
+                    }
+                    bodies.push(body);
+                }
+                let has_default = default.is_some();
+                self.top().pending = Pending::Select { binds, bodies, default };
+                Ok(StepOut::Eff(Effect::Select { arms: sel_arms, has_default, loc }))
+            }
+            Stmt::GoClosure { name, body, loc } => {
+                let frame = self.top();
+                let env = frame.env.clone();
+                let file = frame.file.clone();
+                let child =
+                    ScriptProc::for_closure(self.prog.clone(), name.clone(), file, env, body);
+                Ok(StepOut::Eff(Effect::Go { body: Box::new(child), name, loc }))
+            }
+            Stmt::GoCall { func, args, loc } => {
+                let def = self
+                    .prog
+                    .func(&func)
+                    .ok_or_else(|| format!("go: undefined function {func}"))?;
+                if def.params.len() != args.len() {
+                    return Err(format!(
+                        "go {func}: want {} args, got {}",
+                        def.params.len(),
+                        args.len()
+                    ));
+                }
+                let mut argv = Vec::with_capacity(args.len());
+                for a in &args {
+                    argv.push(self.eval_top(a)?);
+                }
+                let child = ScriptProc::for_func(self.prog.clone(), def, argv);
+                Ok(StepOut::Eff(Effect::Go { body: Box::new(child), name: func, loc }))
+            }
+            Stmt::Call { ret, func, args, .. } => {
+                let def =
+                    self.prog.func(&func).ok_or_else(|| format!("undefined function {func}"))?;
+                if def.params.len() != args.len() {
+                    return Err(format!(
+                        "call {func}: want {} args, got {}",
+                        def.params.len(),
+                        args.len()
+                    ));
+                }
+                let mut env = HashMap::new();
+                for (p, a) in def.params.iter().zip(&args) {
+                    let v = self.eval_top(a)?;
+                    env.insert(p.clone(), v);
+                }
+                let frame = CallFrame::new(
+                    def.name.clone(),
+                    def.file.clone(),
+                    env,
+                    def.body.clone(),
+                    ret,
+                );
+                self.frames.push(frame);
+                Ok(StepOut::Flow)
+            }
+            Stmt::Return { expr, .. } => {
+                let v = match expr {
+                    Some(e) => self.eval_top(&e)?,
+                    None => Val::Unit,
+                };
+                self.top().ret_val = v;
+                self.begin_return();
+                Ok(StepOut::Flow)
+            }
+            Stmt::If { cond, then, els, .. } => {
+                let v = self.eval_top(&cond)?;
+                let b = v.as_bool().ok_or_else(|| format!("non-boolean if condition: {v}"))?;
+                let blockref = if b { then } else { els };
+                if !blockref.is_empty() {
+                    self.top().cursors.push(Cursor::Seq { block: blockref, idx: 0 });
+                }
+                Ok(StepOut::Flow)
+            }
+            Stmt::While { cond, body, .. } => {
+                self.top().cursors.push(Cursor::While { body, idx: 0, cond });
+                Ok(StepOut::Flow)
+            }
+            Stmt::ForN { var, n, body, .. } => {
+                let total = self.eval_top(&n)?.as_int().ok_or("for: count must be int")?;
+                self.top().cursors.push(Cursor::ForN { body, idx: 0, var, i: 0, total });
+                Ok(StepOut::Flow)
+            }
+            Stmt::ForRange { var, ch, body, loc } => {
+                let ch = self.eval_top(&ch)?;
+                self.top().cursors.push(Cursor::Range {
+                    body,
+                    idx: 0,
+                    var,
+                    ch,
+                    loc,
+                    in_body: false,
+                });
+                Ok(StepOut::Flow)
+            }
+            Stmt::Break { .. } => {
+                self.unwind_loop(true)?;
+                Ok(StepOut::Flow)
+            }
+            Stmt::Continue { .. } => {
+                self.unwind_loop(false)?;
+                Ok(StepOut::Flow)
+            }
+            Stmt::Sleep { d, loc } => {
+                let t = self.eval_top(&d)?.as_int().ok_or("sleep: duration must be int")?;
+                Ok(StepOut::Eff(Effect::Sleep { ticks: t.max(0) as u64, loc }))
+            }
+            Stmt::After { var, d, loc } => {
+                let t = self.eval_top(&d)?.as_int().ok_or("after: duration must be int")?;
+                self.top().pending = Pending::Made { var, extra: None };
+                Ok(StepOut::Eff(Effect::After { ticks: t.max(0) as u64, loc }))
+            }
+            Stmt::TickCh { var, period, loc } => {
+                let t = self.eval_top(&period)?.as_int().ok_or("tick: period must be int")?;
+                self.top().pending = Pending::Made { var, extra: None };
+                Ok(StepOut::Eff(Effect::TickChan { period: t.max(1) as u64, loc }))
+            }
+            Stmt::CtxWithTimeout { ctx_var, cancel_var, d, loc } => {
+                let ticks = match d {
+                    Some(e) => Some(
+                        self.eval_top(&e)?.as_int().ok_or("ctx: deadline must be int")?.max(0)
+                            as u64,
+                    ),
+                    None => None,
+                };
+                self.top().pending = Pending::Made { var: ctx_var, extra: Some(cancel_var) };
+                Ok(StepOut::Eff(Effect::CtxTimeout { ticks, loc }))
+            }
+            Stmt::CancelCtx { ch, loc } => {
+                let ch = self.eval_top(&ch)?;
+                Ok(StepOut::Eff(Effect::Cancel { ch, loc }))
+            }
+            Stmt::Park { reason, dur, loc } => {
+                let wake_after = match dur {
+                    Some(e) => {
+                        Some(self.eval_top(&e)?.as_int().ok_or("park: duration must be int")?
+                            .max(0) as u64)
+                    }
+                    None => None,
+                };
+                Ok(StepOut::Eff(Effect::Park { reason, wake_after, loc }))
+            }
+            Stmt::Alloc { bytes, .. } => {
+                let b = self.eval_top(&bytes)?.as_int().ok_or("alloc: bytes must be int")?;
+                Ok(StepOut::Eff(Effect::Alloc { bytes: b }))
+            }
+            Stmt::Work { units, .. } => {
+                let u = self.eval_top(&units)?.as_int().ok_or("work: units must be int")?;
+                Ok(StepOut::Eff(Effect::Work { units: u.max(0) as u64 }))
+            }
+            Stmt::Defer { stmt, .. } => {
+                self.top().defers.push(*stmt);
+                Ok(StepOut::Flow)
+            }
+            Stmt::Panic { msg, loc } => Ok(StepOut::Eff(Effect::Panic { msg, loc })),
+            Stmt::MakeWg { var, .. } => {
+                self.top().pending = Pending::Made { var, extra: None };
+                Ok(StepOut::Eff(Effect::MakeWg))
+            }
+            Stmt::WgAdd { wg, delta, loc } => {
+                let w = self.eval_top(&wg)?;
+                let d = self.eval_top(&delta)?.as_int().ok_or("wg.Add: delta must be int")?;
+                Ok(StepOut::Eff(Effect::WgAdd { wg: w, delta: d, loc }))
+            }
+            Stmt::WgDone { wg, loc } => {
+                let w = self.eval_top(&wg)?;
+                Ok(StepOut::Eff(Effect::WgAdd { wg: w, delta: -1, loc }))
+            }
+            Stmt::WgWait { wg, loc } => {
+                let w = self.eval_top(&wg)?;
+                Ok(StepOut::Eff(Effect::WgWait { wg: w, loc }))
+            }
+            Stmt::MakeMutex { var, .. } => {
+                self.top().pending = Pending::Made { var, extra: None };
+                Ok(StepOut::Eff(Effect::MakeSem { permits: 1 }))
+            }
+            Stmt::Lock { mu, loc } => {
+                let m = self.eval_top(&mu)?;
+                Ok(StepOut::Eff(Effect::SemAcquire { sem: m, loc }))
+            }
+            Stmt::Unlock { mu, loc } => {
+                let m = self.eval_top(&mu)?;
+                Ok(StepOut::Eff(Effect::SemRelease { sem: m, loc }))
+            }
+            Stmt::MakeCond { var, .. } => {
+                self.top().pending = Pending::Made { var, extra: None };
+                Ok(StepOut::Eff(Effect::MakeCond))
+            }
+            Stmt::CondWait { cond, loc } => {
+                let c = self.eval_top(&cond)?;
+                Ok(StepOut::Eff(Effect::CondWait { cond: c, loc }))
+            }
+            Stmt::CondNotify { cond, all, loc } => {
+                let c = self.eval_top(&cond)?;
+                Ok(StepOut::Eff(Effect::CondNotify { cond: c, all, loc }))
+            }
+        }
+    }
+
+    fn eval_top(&mut self, e: &Expr) -> Result<Val, String> {
+        let frame = self.frames.last().expect("no frames");
+        eval(e, &frame.env)
+    }
+
+    /// Starts the return sequence of the top frame: runs deferred
+    /// statements (LIFO), then pops the frame.
+    fn begin_return(&mut self) {
+        let frame = self.top();
+        frame.cursors.clear();
+        if !frame.running_defers && !frame.defers.is_empty() {
+            frame.running_defers = true;
+            let mut defers = std::mem::take(&mut frame.defers);
+            defers.reverse();
+            frame.cursors.push(Cursor::Seq { block: Rc::new(defers), idx: 0 });
+        }
+    }
+
+    /// Pops the finished top frame, delivering its return value.
+    /// Returns true if the whole goroutine is done.
+    fn pop_frame(&mut self) -> bool {
+        let frame = self.frames.pop().expect("no frames");
+        if let (Some(target), Some(parent)) = (frame.ret_target, self.frames.last_mut()) {
+            parent.env.insert(target, frame.ret_val);
+        }
+        self.frames.is_empty()
+    }
+
+    /// Unwinds cursors to the innermost loop. `brk` pops the loop itself;
+    /// otherwise the loop restarts its body (continue).
+    fn unwind_loop(&mut self, brk: bool) -> Result<(), String> {
+        let frame = self.top();
+        loop {
+            match frame.cursors.last_mut() {
+                None => return Err("break/continue outside loop".into()),
+                Some(Cursor::Seq { .. }) => {
+                    frame.cursors.pop();
+                }
+                Some(Cursor::While { idx, .. }) => {
+                    if brk {
+                        frame.cursors.pop();
+                    } else {
+                        *idx = 0;
+                    }
+                    return Ok(());
+                }
+                Some(Cursor::ForN { idx, i, .. }) => {
+                    if brk {
+                        frame.cursors.pop();
+                    } else {
+                        *idx = 0;
+                        *i += 1;
+                    }
+                    return Ok(());
+                }
+                Some(Cursor::Range { idx, in_body, .. }) => {
+                    if brk {
+                        frame.cursors.pop();
+                    } else {
+                        *idx = 0;
+                        *in_body = false;
+                    }
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+/// Placeholder effect used to smuggle evaluation failures out of
+/// `next_stmt`'s error channel; replaced by a proper panic by the caller.
+fn self_fail_placeholder(msg: String) -> Effect {
+    Effect::Panic { msg, loc: Loc::unknown() }
+}
+
+impl Process for ScriptProc {
+    fn resume(&mut self, resume: Resume) -> Effect {
+        if self.finished {
+            return Effect::Done;
+        }
+        if let Err(msg) = self.apply_resume(resume) {
+            return self.fail(msg);
+        }
+        let mut fuel = FUEL;
+        loop {
+            if self.frames.is_empty() {
+                self.finished = true;
+                return Effect::Done;
+            }
+            if fuel == 0 {
+                return Effect::Yield;
+            }
+            fuel -= 1;
+            match self.next_stmt() {
+                Err(Some(Effect::Panic { msg, .. })) => return self.fail(msg),
+                Err(Some(eff)) => return eff,
+                Err(None) => unreachable!("next_stmt never returns Err(None)"),
+                Ok(None) => {
+                    // Frame body exhausted: run defers, then pop.
+                    let frame = self.top();
+                    if !frame.running_defers && !frame.defers.is_empty() {
+                        self.begin_return();
+                        continue;
+                    }
+                    if self.pop_frame() {
+                        self.finished = true;
+                        return Effect::Done;
+                    }
+                }
+                Ok(Some(stmt)) => match self.exec_stmt(stmt) {
+                    Ok(StepOut::Eff(e)) => return e,
+                    Ok(StepOut::Flow) => {}
+                    Err(msg) => return self.fail(msg),
+                },
+            }
+        }
+    }
+
+    fn stack(&self) -> Vec<Frame> {
+        self.frames
+            .iter()
+            .rev()
+            .map(|f| Frame::new(f.display.clone(), f.cur_loc.clone()))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Expression evaluation
+// ---------------------------------------------------------------------------
+
+/// Evaluates an expression against an environment.
+pub fn eval(e: &Expr, env: &HashMap<String, Val>) -> Result<Val, String> {
+    match e {
+        Expr::Lit(v) => Ok(v.clone()),
+        Expr::Var(name) => {
+            env.get(name).cloned().ok_or_else(|| format!("undefined variable {name}"))
+        }
+        Expr::Not(inner) => {
+            let v = eval(inner, env)?;
+            v.as_bool().map(|b| Val::Bool(!b)).ok_or_else(|| format!("!{v} is not boolean"))
+        }
+        Expr::Len(inner) => {
+            let v = eval(inner, env)?;
+            match v {
+                Val::List(xs) => Ok(Val::Int(xs.len() as i64)),
+                Val::Str(s) => Ok(Val::Int(s.len() as i64)),
+                other => Err(format!("len of non-collection {other}")),
+            }
+        }
+        Expr::Index(base, idx) => {
+            let b = eval(base, env)?;
+            let i = eval(idx, env)?.as_int().ok_or("index must be int")?;
+            match b {
+                Val::List(xs) => xs
+                    .get(i as usize)
+                    .cloned()
+                    .ok_or_else(|| format!("index out of range [{i}] with length {}", xs.len())),
+                other => Err(format!("index of non-list {other}")),
+            }
+        }
+        Expr::List(items) => {
+            let mut out = Vec::with_capacity(items.len());
+            for it in items {
+                out.push(eval(it, env)?);
+            }
+            Ok(Val::List(out))
+        }
+        Expr::Bin(op, a, b) => {
+            let va = eval(a, env)?;
+            let vb = eval(b, env)?;
+            bin(*op, va, vb)
+        }
+    }
+}
+
+fn bin(op: BinOp, a: Val, b: Val) -> Result<Val, String> {
+    use BinOp::*;
+    match (op, &a, &b) {
+        (Add, Val::Int(x), Val::Int(y)) => Ok(Val::Int(x.wrapping_add(*y))),
+        (Sub, Val::Int(x), Val::Int(y)) => Ok(Val::Int(x.wrapping_sub(*y))),
+        (Mul, Val::Int(x), Val::Int(y)) => Ok(Val::Int(x.wrapping_mul(*y))),
+        (Div, Val::Int(_), Val::Int(0)) => Err("integer divide by zero".into()),
+        (Div, Val::Int(x), Val::Int(y)) => Ok(Val::Int(x.wrapping_div(*y))),
+        (Mod, Val::Int(_), Val::Int(0)) => Err("integer divide by zero".into()),
+        (Mod, Val::Int(x), Val::Int(y)) => Ok(Val::Int(x.wrapping_rem(*y))),
+        (Add, Val::Float(x), Val::Float(y)) => Ok(Val::Float(x + y)),
+        (Sub, Val::Float(x), Val::Float(y)) => Ok(Val::Float(x - y)),
+        (Mul, Val::Float(x), Val::Float(y)) => Ok(Val::Float(x * y)),
+        (Div, Val::Float(x), Val::Float(y)) => Ok(Val::Float(x / y)),
+        (Add, Val::Str(x), Val::Str(y)) => Ok(Val::Str(format!("{x}{y}"))),
+        (Eq, _, _) => Ok(Val::Bool(a == b)),
+        (Ne, _, _) => Ok(Val::Bool(a != b)),
+        (Lt, Val::Int(x), Val::Int(y)) => Ok(Val::Bool(x < y)),
+        (Le, Val::Int(x), Val::Int(y)) => Ok(Val::Bool(x <= y)),
+        (Gt, Val::Int(x), Val::Int(y)) => Ok(Val::Bool(x > y)),
+        (Ge, Val::Int(x), Val::Int(y)) => Ok(Val::Bool(x >= y)),
+        (Lt, Val::Float(x), Val::Float(y)) => Ok(Val::Bool(x < y)),
+        (Le, Val::Float(x), Val::Float(y)) => Ok(Val::Bool(x <= y)),
+        (Gt, Val::Float(x), Val::Float(y)) => Ok(Val::Bool(x > y)),
+        (Ge, Val::Float(x), Val::Float(y)) => Ok(Val::Bool(x >= y)),
+        (Lt, Val::Str(x), Val::Str(y)) => Ok(Val::Bool(x < y)),
+        (Gt, Val::Str(x), Val::Str(y)) => Ok(Val::Bool(x > y)),
+        (And, Val::Bool(x), Val::Bool(y)) => Ok(Val::Bool(*x && *y)),
+        (Or, Val::Bool(x), Val::Bool(y)) => Ok(Val::Bool(*x || *y)),
+        _ => Err(format!("invalid operation: {a} {op:?} {b}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env_of(pairs: &[(&str, Val)]) -> HashMap<String, Val> {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+    }
+
+    #[test]
+    fn eval_arith_and_compare() {
+        let env = env_of(&[("x", Val::Int(10))]);
+        let e = Expr::Bin(BinOp::Add, Box::new(Expr::var("x")), Box::new(Expr::int(5)));
+        assert_eq!(eval(&e, &env).unwrap(), Val::Int(15));
+        let c = Expr::Bin(BinOp::Lt, Box::new(Expr::var("x")), Box::new(Expr::int(20)));
+        assert_eq!(eval(&c, &env).unwrap(), Val::Bool(true));
+    }
+
+    #[test]
+    fn eval_undefined_var_errors() {
+        let env = HashMap::new();
+        assert!(eval(&Expr::var("nope"), &env).is_err());
+    }
+
+    #[test]
+    fn eval_division_by_zero_errors() {
+        let env = HashMap::new();
+        let e = Expr::Bin(BinOp::Div, Box::new(Expr::int(1)), Box::new(Expr::int(0)));
+        assert!(eval(&e, &env).unwrap_err().contains("divide by zero"));
+    }
+
+    #[test]
+    fn eval_len_and_index() {
+        let env = env_of(&[("xs", Val::List(vec![Val::Int(7), Val::Int(8)]))]);
+        let l = Expr::Len(Box::new(Expr::var("xs")));
+        assert_eq!(eval(&l, &env).unwrap(), Val::Int(2));
+        let ix = Expr::Index(Box::new(Expr::var("xs")), Box::new(Expr::int(1)));
+        assert_eq!(eval(&ix, &env).unwrap(), Val::Int(8));
+        let oob = Expr::Index(Box::new(Expr::var("xs")), Box::new(Expr::int(9)));
+        assert!(eval(&oob, &env).unwrap_err().contains("out of range"));
+    }
+
+    #[test]
+    fn eval_string_concat_and_eq() {
+        let env = HashMap::new();
+        let e = Expr::Bin(BinOp::Add, Box::new(Expr::str("a")), Box::new(Expr::str("b")));
+        assert_eq!(eval(&e, &env).unwrap(), Val::Str("ab".into()));
+        let q = Expr::Bin(BinOp::Eq, Box::new(Expr::str("a")), Box::new(Expr::str("a")));
+        assert_eq!(eval(&q, &env).unwrap(), Val::Bool(true));
+    }
+
+    #[test]
+    fn invalid_binop_reports_types() {
+        let env = HashMap::new();
+        let e = Expr::Bin(BinOp::Add, Box::new(Expr::int(1)), Box::new(Expr::bool(true)));
+        assert!(eval(&e, &env).is_err());
+    }
+}

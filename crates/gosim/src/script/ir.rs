@@ -1,0 +1,631 @@
+//! The script intermediate representation.
+//!
+//! A [`Prog`] is a set of functions whose bodies are trees of [`Stmt`]s.
+//! The IR covers exactly the concurrency subset the paper analyzes:
+//! channel make/send/recv/close, `select` (with optional `default`),
+//! `go` statements (named calls and closures), `for`/`if` control flow,
+//! `for range ch`, timers (`time.Sleep`/`After`/`Tick`), contexts with
+//! cancel/timeout, `defer`, and the `sync` primitives that show up in the
+//! paper's Table IV (wait groups, mutexes, condition variables).
+//!
+//! Programs are executed by [`crate::script::ScriptProc`], one goroutine
+//! per spawned function, on a [`crate::Runtime`]. The `minigo` crate
+//! lowers parsed mini-Go source to this IR; the builder in
+//! [`crate::script::build`] constructs it directly from Rust.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use crate::loc::Loc;
+use crate::proc::ParkReason;
+use crate::val::{TypeTag, Val};
+
+/// A shared, immutable block of statements.
+pub type Block = Rc<Vec<Stmt>>;
+
+/// Wraps statements into a shared block.
+pub fn block(stmts: Vec<Stmt>) -> Block {
+    Rc::new(stmts)
+}
+
+/// Binary operators available in script expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` (ints, floats; string concatenation).
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/` (panics on division by zero, as in Go).
+    Div,
+    /// `%` (panics on modulo by zero).
+    Mod,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `&&` (non-short-circuit at IR level; lowering preserves semantics
+    /// because operands in the subset are effect-free).
+    And,
+    /// `||`.
+    Or,
+}
+
+/// An effect-free expression.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// A literal value.
+    Lit(Val),
+    /// A variable reference.
+    Var(String),
+    /// A binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// `len(x)` for lists and strings.
+    Len(Box<Expr>),
+    /// `xs[i]` for lists.
+    Index(Box<Expr>, Box<Expr>),
+    /// A list literal.
+    List(Vec<Expr>),
+}
+
+impl Expr {
+    /// Shorthand for a variable reference.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// Shorthand for an integer literal.
+    pub fn int(v: i64) -> Expr {
+        Expr::Lit(Val::Int(v))
+    }
+
+    /// Shorthand for a boolean literal.
+    pub fn bool(v: bool) -> Expr {
+        Expr::Lit(Val::Bool(v))
+    }
+
+    /// Shorthand for a string literal.
+    pub fn str(v: impl Into<String>) -> Expr {
+        Expr::Lit(Val::Str(v.into()))
+    }
+}
+
+impl From<Val> for Expr {
+    fn from(v: Val) -> Expr {
+        Expr::Lit(v)
+    }
+}
+
+impl From<i64> for Expr {
+    fn from(v: i64) -> Expr {
+        Expr::Lit(Val::Int(v))
+    }
+}
+
+impl From<bool> for Expr {
+    fn from(v: bool) -> Expr {
+        Expr::Lit(Val::Bool(v))
+    }
+}
+
+/// One `case` arm of a `select`.
+#[derive(Debug, Clone)]
+pub struct Arm {
+    /// The guarded communication.
+    pub op: ArmIr,
+    /// Statements run when this arm fires.
+    pub body: Block,
+    /// Source location of the `case`.
+    pub loc: Loc,
+}
+
+/// The communication of a `select` arm.
+#[derive(Debug, Clone)]
+pub enum ArmIr {
+    /// `case v, ok := <-ch:`.
+    Recv {
+        /// Variable bound to the received value, if any.
+        var: Option<String>,
+        /// Variable bound to the `ok` flag, if any.
+        ok: Option<String>,
+        /// The channel expression.
+        ch: Expr,
+    },
+    /// `case ch <- val:`.
+    Send {
+        /// The channel expression.
+        ch: Expr,
+        /// The value expression.
+        val: Expr,
+    },
+}
+
+/// A statement.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// `x = expr` / `x := expr`.
+    Assign {
+        /// Target variable.
+        var: String,
+        /// Right-hand side.
+        expr: Expr,
+        /// Source location.
+        loc: Loc,
+    },
+    /// `ch := make(chan T, cap)`.
+    MakeChan {
+        /// Target variable.
+        var: String,
+        /// Capacity expression (0 = unbuffered).
+        cap: Expr,
+        /// Element type tag (for the zero value on closed receive).
+        elem: TypeTag,
+        /// Source location.
+        loc: Loc,
+    },
+    /// `ch <- val`.
+    Send {
+        /// Channel expression.
+        ch: Expr,
+        /// Value expression.
+        val: Expr,
+        /// Source location.
+        loc: Loc,
+    },
+    /// `v, ok := <-ch` (either binding optional; both `None` = bare recv).
+    Recv {
+        /// Value binding.
+        var: Option<String>,
+        /// `ok` binding.
+        ok: Option<String>,
+        /// Channel expression.
+        ch: Expr,
+        /// Source location.
+        loc: Loc,
+    },
+    /// `close(ch)`.
+    Close {
+        /// Channel expression.
+        ch: Expr,
+        /// Source location.
+        loc: Loc,
+    },
+    /// `select { ... }`.
+    Select {
+        /// Communication arms.
+        arms: Vec<Arm>,
+        /// Optional `default` block.
+        default: Option<Block>,
+        /// Source location.
+        loc: Loc,
+    },
+    /// `go func(){ ... }()` — spawn an anonymous closure that captures the
+    /// current environment by value.
+    GoClosure {
+        /// Display name, e.g. `pkg.Handler$1`.
+        name: String,
+        /// Closure body.
+        body: Block,
+        /// Source location of the `go`.
+        loc: Loc,
+    },
+    /// `go f(args...)` — spawn a named function.
+    GoCall {
+        /// Callee name.
+        func: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+        /// Source location of the `go`.
+        loc: Loc,
+    },
+    /// `x := f(args...)` — synchronous call.
+    Call {
+        /// Variable receiving the return value, if any.
+        ret: Option<String>,
+        /// Callee name.
+        func: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+        /// Source location.
+        loc: Loc,
+    },
+    /// `return expr?`.
+    Return {
+        /// Optional return value.
+        expr: Option<Expr>,
+        /// Source location.
+        loc: Loc,
+    },
+    /// `if cond { .. } else { .. }`.
+    If {
+        /// Condition (must evaluate to a boolean).
+        cond: Expr,
+        /// Then-block.
+        then: Block,
+        /// Else-block (possibly empty).
+        els: Block,
+        /// Source location.
+        loc: Loc,
+    },
+    /// `for { .. }` / `for cond { .. }`.
+    While {
+        /// Loop condition; `None` means `for { ... }` (infinite).
+        cond: Option<Expr>,
+        /// Loop body.
+        body: Block,
+        /// Source location.
+        loc: Loc,
+    },
+    /// `for i := 0; i < n; i++ { .. }`.
+    ForN {
+        /// Induction variable.
+        var: String,
+        /// Iteration count expression (evaluated once at entry).
+        n: Expr,
+        /// Loop body.
+        body: Block,
+        /// Source location.
+        loc: Loc,
+    },
+    /// `for v := range ch { .. }` — iterates until the channel is closed.
+    ForRange {
+        /// Binding for each received element.
+        var: Option<String>,
+        /// Channel expression.
+        ch: Expr,
+        /// Loop body.
+        body: Block,
+        /// Source location (of the `range` receive).
+        loc: Loc,
+    },
+    /// `break`.
+    Break {
+        /// Source location.
+        loc: Loc,
+    },
+    /// `continue`.
+    Continue {
+        /// Source location.
+        loc: Loc,
+    },
+    /// `time.Sleep(d)`.
+    Sleep {
+        /// Duration in ticks.
+        d: Expr,
+        /// Source location.
+        loc: Loc,
+    },
+    /// `c := time.After(d)`.
+    After {
+        /// Target variable for the timer channel.
+        var: String,
+        /// Delay in ticks.
+        d: Expr,
+        /// Source location.
+        loc: Loc,
+    },
+    /// `t := time.Tick(d)`.
+    TickCh {
+        /// Target variable for the ticker channel.
+        var: String,
+        /// Period in ticks.
+        period: Expr,
+        /// Source location.
+        loc: Loc,
+    },
+    /// `ctx, cancel := context.WithTimeout(parent, d)` /
+    /// `context.WithCancel(parent)` when `d` is `None`.
+    ///
+    /// The context is represented by its done-channel, stored in both
+    /// `ctx_var` (for `<-ctx.Done()`) and `cancel_var` (for `cancel()`).
+    CtxWithTimeout {
+        /// Variable holding the done channel.
+        ctx_var: String,
+        /// Variable holding the cancel handle (same channel).
+        cancel_var: String,
+        /// Deadline delay; `None` = cancel-only context.
+        d: Option<Expr>,
+        /// Source location.
+        loc: Loc,
+    },
+    /// `cancel()` — idempotent close of a context done channel.
+    CancelCtx {
+        /// The done-channel expression.
+        ch: Expr,
+        /// Source location.
+        loc: Loc,
+    },
+    /// Simulated non-channel blocking (I/O wait, syscall).
+    Park {
+        /// Park reason shown in profiles.
+        reason: ParkReason,
+        /// Duration in ticks; `None` parks forever.
+        dur: Option<Expr>,
+        /// Source location.
+        loc: Loc,
+    },
+    /// Attribute heap bytes to this goroutine.
+    Alloc {
+        /// Byte count (may be negative to free).
+        bytes: Expr,
+        /// Source location.
+        loc: Loc,
+    },
+    /// Consume abstract CPU work.
+    Work {
+        /// Work units.
+        units: Expr,
+        /// Source location.
+        loc: Loc,
+    },
+    /// `defer <stmt>` — run at function exit, LIFO.
+    Defer {
+        /// Deferred statement (commonly `Close`, `CancelCtx`, `WgDone`).
+        stmt: Box<Stmt>,
+        /// Source location.
+        loc: Loc,
+    },
+    /// `panic(msg)`.
+    Panic {
+        /// Message.
+        msg: String,
+        /// Source location.
+        loc: Loc,
+    },
+    /// `var wg sync.WaitGroup`.
+    MakeWg {
+        /// Target variable.
+        var: String,
+        /// Source location.
+        loc: Loc,
+    },
+    /// `wg.Add(delta)`.
+    WgAdd {
+        /// Wait group expression.
+        wg: Expr,
+        /// Delta expression.
+        delta: Expr,
+        /// Source location.
+        loc: Loc,
+    },
+    /// `wg.Done()`.
+    WgDone {
+        /// Wait group expression.
+        wg: Expr,
+        /// Source location.
+        loc: Loc,
+    },
+    /// `wg.Wait()`.
+    WgWait {
+        /// Wait group expression.
+        wg: Expr,
+        /// Source location.
+        loc: Loc,
+    },
+    /// `var mu sync.Mutex` (a capacity-1 semaphore).
+    MakeMutex {
+        /// Target variable.
+        var: String,
+        /// Source location.
+        loc: Loc,
+    },
+    /// `mu.Lock()`.
+    Lock {
+        /// Mutex expression.
+        mu: Expr,
+        /// Source location.
+        loc: Loc,
+    },
+    /// `mu.Unlock()`.
+    Unlock {
+        /// Mutex expression.
+        mu: Expr,
+        /// Source location.
+        loc: Loc,
+    },
+    /// `var cv sync.Cond`.
+    MakeCond {
+        /// Target variable.
+        var: String,
+        /// Source location.
+        loc: Loc,
+    },
+    /// `cv.Wait()`.
+    CondWait {
+        /// Condition variable expression.
+        cond: Expr,
+        /// Source location.
+        loc: Loc,
+    },
+    /// `cv.Signal()` / `cv.Broadcast()`.
+    CondNotify {
+        /// Condition variable expression.
+        cond: Expr,
+        /// Wake all waiters.
+        all: bool,
+        /// Source location.
+        loc: Loc,
+    },
+    /// No-op (placeholder produced by some lowerings).
+    Nop,
+}
+
+impl Stmt {
+    /// The statement's source location (unknown for `Nop`).
+    pub fn loc(&self) -> Loc {
+        use Stmt::*;
+        match self {
+            Assign { loc, .. }
+            | MakeChan { loc, .. }
+            | Send { loc, .. }
+            | Recv { loc, .. }
+            | Close { loc, .. }
+            | Select { loc, .. }
+            | GoClosure { loc, .. }
+            | GoCall { loc, .. }
+            | Call { loc, .. }
+            | Return { loc, .. }
+            | If { loc, .. }
+            | While { loc, .. }
+            | ForN { loc, .. }
+            | ForRange { loc, .. }
+            | Break { loc }
+            | Continue { loc }
+            | Sleep { loc, .. }
+            | After { loc, .. }
+            | TickCh { loc, .. }
+            | CtxWithTimeout { loc, .. }
+            | CancelCtx { loc, .. }
+            | Park { loc, .. }
+            | Alloc { loc, .. }
+            | Work { loc, .. }
+            | Defer { loc, .. }
+            | Panic { loc, .. }
+            | MakeWg { loc, .. }
+            | WgAdd { loc, .. }
+            | WgDone { loc, .. }
+            | WgWait { loc, .. }
+            | MakeMutex { loc, .. }
+            | Lock { loc, .. }
+            | Unlock { loc, .. }
+            | MakeCond { loc, .. }
+            | CondWait { loc, .. }
+            | CondNotify { loc, .. } => loc.clone(),
+            Nop => Loc::unknown(),
+        }
+    }
+}
+
+/// A function definition.
+#[derive(Debug, Clone)]
+pub struct FuncDef {
+    /// Fully qualified name, e.g. `transactions.ComputeCost`.
+    pub name: String,
+    /// File the function lives in.
+    pub file: Arc<str>,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body.
+    pub body: Block,
+}
+
+/// A complete script program: a set of functions.
+///
+/// `Prog` is cheaply cloneable (internally reference counted) so that each
+/// spawned goroutine can hold it.
+#[derive(Debug, Clone)]
+pub struct Prog {
+    inner: Rc<ProgInner>,
+}
+
+#[derive(Debug)]
+struct ProgInner {
+    funcs: HashMap<String, Rc<FuncDef>>,
+}
+
+impl Prog {
+    /// Creates a program from a list of functions.
+    pub fn new(funcs: Vec<FuncDef>) -> Prog {
+        let funcs = funcs.into_iter().map(|f| (f.name.clone(), Rc::new(f))).collect();
+        Prog { inner: Rc::new(ProgInner { funcs }) }
+    }
+
+    /// Builds a program with the fluent builder API.
+    ///
+    /// See [`crate::script::build`] for the builder types.
+    pub fn build(f: impl FnOnce(&mut crate::script::build::ProgBuilder)) -> Prog {
+        let mut b = crate::script::build::ProgBuilder::new();
+        f(&mut b);
+        b.finish()
+    }
+
+    /// Looks up a function by name.
+    pub fn func(&self, name: &str) -> Option<Rc<FuncDef>> {
+        self.inner.funcs.get(name).cloned()
+    }
+
+    /// Iterates over all function names (unordered).
+    pub fn func_names(&self) -> impl Iterator<Item = &str> {
+        self.inner.funcs.keys().map(|s| s.as_str())
+    }
+
+    /// Number of functions in the program.
+    pub fn len(&self) -> usize {
+        self.inner.funcs.len()
+    }
+
+    /// True if the program has no functions.
+    pub fn is_empty(&self) -> bool {
+        self.inner.funcs.is_empty()
+    }
+
+    /// Spawns `main` as a goroutine on the runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program has no `main` function.
+    pub fn spawn_main(&self, rt: &mut crate::Runtime) -> crate::Gid {
+        self.spawn_func(rt, "main", vec![]).expect("program has no `main` function")
+    }
+
+    /// Spawns the named function as a goroutine with the given arguments.
+    /// Returns `None` if the function does not exist.
+    pub fn spawn_func(
+        &self,
+        rt: &mut crate::Runtime,
+        name: &str,
+        args: Vec<Val>,
+    ) -> Option<crate::Gid> {
+        let def = self.func(name)?;
+        let proc_ = crate::script::exec::ScriptProc::for_func(self.clone(), def.clone(), args);
+        let created_by = crate::Frame::new("runtime.main", Loc::new(def.file.clone(), 0));
+        Some(rt.spawn(name.to_owned(), created_by, Box::new(proc_)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prog_lookup_and_len() {
+        let p = Prog::new(vec![FuncDef {
+            name: "main".into(),
+            file: "m.go".into(),
+            params: vec![],
+            body: block(vec![]),
+        }]);
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+        assert!(p.func("main").is_some());
+        assert!(p.func("nope").is_none());
+    }
+
+    #[test]
+    fn expr_shorthands() {
+        assert!(matches!(Expr::int(3), Expr::Lit(Val::Int(3))));
+        assert!(matches!(Expr::bool(true), Expr::Lit(Val::Bool(true))));
+        assert!(matches!(Expr::var("x"), Expr::Var(_)));
+        let e: Expr = 5i64.into();
+        assert!(matches!(e, Expr::Lit(Val::Int(5))));
+    }
+
+    #[test]
+    fn stmt_loc_extraction() {
+        let s = Stmt::Break { loc: Loc::new("a.go", 9) };
+        assert_eq!(s.loc().line, 9);
+        assert!(Stmt::Nop.loc().is_unknown());
+    }
+}

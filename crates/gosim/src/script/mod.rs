@@ -1,0 +1,16 @@
+//! Structured goroutine bodies: IR, executor, and builders.
+//!
+//! This module is the primary way to write programs for the simulator:
+//!
+//! * [`ir`] — the statement/expression IR ([`Prog`], [`Stmt`], [`Expr`]);
+//! * [`exec`] — the resumable executor ([`ScriptProc`]) implementing
+//!   [`crate::Process`];
+//! * [`build`] — fluent builders ([`fnb`], [`ProgBuilder`]).
+
+pub mod build;
+pub mod exec;
+pub mod ir;
+
+pub use build::{fnb, BlockBuilder, FuncBuilder, ProgBuilder, SelectBuilder};
+pub use exec::ScriptProc;
+pub use ir::{block, Arm, ArmIr, BinOp, Block, Expr, FuncDef, Prog, Stmt};

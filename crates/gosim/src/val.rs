@@ -1,0 +1,243 @@
+//! Runtime values.
+//!
+//! Channels in the simulator are dynamically typed: they carry [`Val`]s.
+//! Each channel records the *zero value* of its element type so that a
+//! receive from a closed channel yields the right zero value, as in Go.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{ChanId, CondId, SemId, WgId};
+
+/// A dynamically typed runtime value.
+///
+/// `Val` is deliberately small and cheap to clone: microservice handler
+/// simulations pass thousands of these per virtual second.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Val {
+    /// The unit value (also the default zero value of untyped channels).
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit integer.
+    Int(i64),
+    /// A 64-bit float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// A channel handle.
+    Chan(ChanId),
+    /// The nil channel: operations on it block forever (Go semantics).
+    NilChan,
+    /// A semaphore handle (used to model `sync.Mutex` and raw semaphores).
+    Sem(SemId),
+    /// A wait-group handle (`sync.WaitGroup`).
+    Wg(WgId),
+    /// A condition-variable handle (`sync.Cond`).
+    Cond(CondId),
+    /// A list of values.
+    List(Vec<Val>),
+}
+
+impl Val {
+    /// Truthiness used by `if`/`for` conditions in the script IR.
+    ///
+    /// Only `Bool` values are conditionable; anything else indicates a
+    /// lowering bug and is treated as a runtime panic by the executor.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Val::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Integer view.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Val::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Channel view; `NilChan` yields `None` here, use [`Val::chan_ref`]
+    /// when nil must be distinguished from non-channel values.
+    pub fn as_chan(&self) -> Option<ChanId> {
+        match self {
+            Val::Chan(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Classifies a value as a channel reference.
+    pub fn chan_ref(&self) -> ChanRef {
+        match self {
+            Val::Chan(c) => ChanRef::Chan(*c),
+            Val::NilChan => ChanRef::Nil,
+            _ => ChanRef::NotAChan,
+        }
+    }
+
+    /// Zero value for a type tag (mirrors Go zero values).
+    pub fn zero_of(tag: TypeTag) -> Val {
+        match tag {
+            TypeTag::Unit => Val::Unit,
+            TypeTag::Bool => Val::Bool(false),
+            TypeTag::Int => Val::Int(0),
+            TypeTag::Float => Val::Float(0.0),
+            TypeTag::Str => Val::Str(String::new()),
+            TypeTag::Chan => Val::NilChan,
+            TypeTag::List => Val::List(Vec::new()),
+        }
+    }
+
+    /// Approximate heap footprint of the value in bytes, used by the
+    /// memory accounting model for channel buffers.
+    pub fn approx_bytes(&self) -> u64 {
+        match self {
+            Val::Unit | Val::Bool(_) => 1,
+            Val::Int(_) | Val::Float(_) => 8,
+            Val::Str(s) => 24 + s.len() as u64,
+            Val::Chan(_) | Val::NilChan => 8,
+            Val::Sem(_) | Val::Wg(_) | Val::Cond(_) => 8,
+            Val::List(items) => 24 + items.iter().map(Val::approx_bytes).sum::<u64>(),
+        }
+    }
+}
+
+impl Default for Val {
+    fn default() -> Self {
+        Val::Unit
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Val::Unit => write!(f, "()"),
+            Val::Bool(b) => write!(f, "{b}"),
+            Val::Int(i) => write!(f, "{i}"),
+            Val::Float(x) => write!(f, "{x}"),
+            Val::Str(s) => write!(f, "{s:?}"),
+            Val::Chan(c) => write!(f, "chan#{}", c.0),
+            Val::NilChan => write!(f, "nil chan"),
+            Val::Sem(s) => write!(f, "sem#{}", s.0),
+            Val::Wg(w) => write!(f, "waitgroup#{}", w.0),
+            Val::Cond(c) => write!(f, "cond#{}", c.0),
+            Val::List(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl From<i64> for Val {
+    fn from(v: i64) -> Self {
+        Val::Int(v)
+    }
+}
+
+impl From<bool> for Val {
+    fn from(v: bool) -> Self {
+        Val::Bool(v)
+    }
+}
+
+impl From<&str> for Val {
+    fn from(v: &str) -> Self {
+        Val::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Val {
+    fn from(v: String) -> Self {
+        Val::Str(v)
+    }
+}
+
+impl From<ChanId> for Val {
+    fn from(v: ChanId) -> Self {
+        Val::Chan(v)
+    }
+}
+
+/// Classification of a value used where a channel is expected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChanRef {
+    /// A real channel.
+    Chan(ChanId),
+    /// The nil channel.
+    Nil,
+    /// Not a channel at all — a runtime type error.
+    NotAChan,
+}
+
+/// Minimal type tags, used for zero values of channel elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TypeTag {
+    /// The unit type.
+    Unit,
+    /// Booleans.
+    Bool,
+    /// Integers.
+    Int,
+    /// Floats.
+    Float,
+    /// Strings.
+    Str,
+    /// Channels.
+    Chan,
+    /// Lists.
+    List,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_values_match_go() {
+        assert_eq!(Val::zero_of(TypeTag::Int), Val::Int(0));
+        assert_eq!(Val::zero_of(TypeTag::Bool), Val::Bool(false));
+        assert_eq!(Val::zero_of(TypeTag::Str), Val::Str(String::new()));
+        assert_eq!(Val::zero_of(TypeTag::Chan), Val::NilChan);
+    }
+
+    #[test]
+    fn chan_ref_classification() {
+        assert_eq!(Val::NilChan.chan_ref(), ChanRef::Nil);
+        assert_eq!(Val::Int(3).chan_ref(), ChanRef::NotAChan);
+        let c = ChanId(7);
+        assert_eq!(Val::Chan(c).chan_ref(), ChanRef::Chan(c));
+    }
+
+    #[test]
+    fn approx_bytes_monotone_in_content() {
+        let small = Val::Str("a".into()).approx_bytes();
+        let large = Val::Str("aaaaaaaaaa".into()).approx_bytes();
+        assert!(large > small);
+        let list = Val::List(vec![Val::Int(1), Val::Int(2)]);
+        assert!(list.approx_bytes() > Val::Int(1).approx_bytes());
+    }
+
+    #[test]
+    fn display_is_never_empty() {
+        for v in [
+            Val::Unit,
+            Val::Bool(true),
+            Val::Int(-4),
+            Val::Str("x".into()),
+            Val::NilChan,
+            Val::List(vec![]),
+        ] {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

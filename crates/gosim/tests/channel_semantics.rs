@@ -1,0 +1,539 @@
+//! Integration tests: Go channel semantics on the simulated runtime.
+
+use gosim::script::{fnb, Expr, Prog};
+use gosim::{GoStatus, PanicPolicy, Runtime, SchedConfig, TypeTag, Val};
+
+fn run(prog: &Prog, seed: u64) -> Runtime {
+    let mut rt = Runtime::with_seed(seed);
+    prog.spawn_main(&mut rt);
+    rt.run_until_blocked(100_000);
+    rt
+}
+
+#[test]
+fn unbuffered_rendezvous_sender_first() {
+    // Sender goroutine starts first, blocks; main receives.
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.make_chan("ch", 0, 1);
+            b.go_closure(2, |g| {
+                g.send("ch", Expr::int(42), 3);
+            });
+            b.recv_into("v", "ch", 5);
+            b.if_(
+                Expr::Bin(
+                    gosim::script::BinOp::Ne,
+                    Box::new(Expr::var("v")),
+                    Box::new(Expr::int(42)),
+                ),
+                6,
+                |t| {
+                    t.panic_("wrong value", 7);
+                },
+            );
+        }));
+    });
+    let rt = run(&prog, 0);
+    assert_eq!(rt.live_count(), 0);
+    assert_eq!(rt.stats().panicked, 0);
+    assert_eq!(rt.stats().msgs_transferred, 1);
+}
+
+#[test]
+fn unbuffered_rendezvous_receiver_first() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.make_chan("ch", 0, 1);
+            b.go_closure(2, |g| {
+                g.recv("ch", 3);
+            });
+            b.send("ch", Expr::int(7), 5);
+        }));
+    });
+    let rt = run(&prog, 0);
+    assert_eq!(rt.live_count(), 0);
+    assert_eq!(rt.stats().msgs_transferred, 1);
+}
+
+#[test]
+fn buffered_send_does_not_block_until_full() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.make_chan("ch", 2, 1);
+            b.send("ch", Expr::int(1), 2);
+            b.send("ch", Expr::int(2), 3);
+            // A third send would block; use select+default to prove it.
+            b.select(4, |s| {
+                s.send_arm("ch", Expr::int(3), 5, |arm| {
+                    arm.panic_("third send should not be ready", 5);
+                });
+                s.default(|_| {});
+            });
+            b.recv_into("a", "ch", 6);
+            b.recv_into("bv", "ch", 7);
+        }));
+    });
+    let rt = run(&prog, 0);
+    assert_eq!(rt.live_count(), 0);
+    assert_eq!(rt.stats().panicked, 0);
+}
+
+#[test]
+fn buffered_sender_blocks_when_full_then_unblocks_on_recv() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.make_chan("ch", 1, 1);
+            b.go_closure(2, |g| {
+                g.send("ch", Expr::int(1), 3);
+                g.send("ch", Expr::int(2), 4); // blocks until main receives
+            });
+            b.recv_into("a", "ch", 6);
+            b.recv_into("bv", "ch", 7);
+        }));
+    });
+    let rt = run(&prog, 0);
+    assert_eq!(rt.live_count(), 0);
+    assert_eq!(rt.stats().msgs_transferred, 2);
+}
+
+#[test]
+fn recv_from_closed_channel_drains_buffer_then_yields_zero() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.make_chan("ch", 2, 1);
+            b.send("ch", Expr::int(9), 2);
+            b.close("ch", 3);
+            b.recv_ok("v1", "ok1", "ch", 4); // buffered value, ok=true
+            b.recv_ok("v2", "ok2", "ch", 5); // zero value, ok=false
+            b.if_(Expr::var("ok2"), 6, |t| {
+                t.panic_("ok2 should be false", 6);
+            });
+            b.if_(Expr::Not(Box::new(Expr::var("ok1"))), 7, |t| {
+                t.panic_("ok1 should be true", 7);
+            });
+            b.if_(
+                Expr::Bin(
+                    gosim::script::BinOp::Ne,
+                    Box::new(Expr::var("v2")),
+                    Box::new(Expr::int(0)),
+                ),
+                8,
+                |t| {
+                    t.panic_("v2 should be zero value", 8);
+                },
+            );
+        }));
+    });
+    let rt = run(&prog, 0);
+    assert_eq!(rt.stats().panicked, 0, "exits: {:?}", rt.exits());
+    assert_eq!(rt.live_count(), 0);
+}
+
+#[test]
+fn send_on_closed_channel_panics() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.make_chan("ch", 0, 1);
+            b.close("ch", 2);
+            b.send("ch", Expr::int(1), 3);
+        }));
+    });
+    let rt = run(&prog, 0);
+    assert_eq!(rt.stats().panicked, 1);
+    let exit = &rt.exits()[0];
+    assert!(exit.panic.as_deref().unwrap().contains("send on closed channel"));
+}
+
+#[test]
+fn close_of_closed_channel_panics() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.make_chan("ch", 0, 1);
+            b.close("ch", 2);
+            b.close("ch", 3);
+        }));
+    });
+    let rt = run(&prog, 0);
+    assert_eq!(rt.stats().panicked, 1);
+    assert!(rt.exits()[0].panic.as_deref().unwrap().contains("close of closed channel"));
+}
+
+#[test]
+fn close_wakes_blocked_senders_with_panic() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.make_chan("ch", 0, 1);
+            b.go_closure(2, |g| {
+                g.send("ch", Expr::int(1), 3); // blocks, then panics on close
+            });
+            b.sleep(Expr::int(10), 5);
+            b.close("ch", 6);
+        }));
+    });
+    let mut rt = Runtime::with_seed(0);
+    prog.spawn_main(&mut rt);
+    rt.advance(100, 100_000);
+    assert_eq!(rt.live_count(), 0);
+    assert_eq!(rt.stats().panicked, 1);
+    assert!(rt
+        .exits()
+        .iter()
+        .any(|e| e.panic.as_deref().unwrap_or("").contains("send on closed channel")));
+}
+
+#[test]
+fn close_of_nil_channel_panics() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.assign("ch", Val::NilChan, 1);
+            b.close("ch", 2);
+        }));
+    });
+    let rt = run(&prog, 0);
+    assert_eq!(rt.stats().panicked, 1);
+    assert!(rt.exits()[0].panic.as_deref().unwrap().contains("close of nil channel"));
+}
+
+#[test]
+fn nil_channel_operations_block_forever() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.assign("ch", Val::NilChan, 1);
+            b.go_closure(2, |g| {
+                g.send("ch", Expr::int(1), 3);
+            });
+            b.recv("ch", 5);
+        }));
+    });
+    let rt = run(&prog, 0);
+    assert_eq!(rt.live_count(), 2);
+    let profile = rt.goroutine_profile("t");
+    let statuses: Vec<GoStatus> = profile.goroutines.iter().map(|g| g.status).collect();
+    assert!(statuses.contains(&GoStatus::ChanSend { nil_chan: true }));
+    assert!(statuses.contains(&GoStatus::ChanReceive { nil_chan: true }));
+}
+
+#[test]
+fn select_default_taken_when_nothing_ready() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.make_chan("ch", 0, 1);
+            b.assign("hit", Val::Bool(false), 2);
+            b.select(3, |s| {
+                s.recv_arm(Some("v"), "ch", 4, |arm| {
+                    arm.panic_("no sender exists", 4);
+                });
+                s.default(|d| {
+                    d.assign("hit", Val::Bool(true), 5);
+                });
+            });
+            b.if_(Expr::Not(Box::new(Expr::var("hit"))), 6, |t| {
+                t.panic_("default not taken", 6);
+            });
+        }));
+    });
+    let rt = run(&prog, 0);
+    assert_eq!(rt.stats().panicked, 0);
+    assert_eq!(rt.live_count(), 0);
+}
+
+#[test]
+fn select_with_zero_cases_blocks_forever() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.select(1, |_| {});
+        }));
+    });
+    let rt = run(&prog, 0);
+    assert_eq!(rt.live_count(), 1);
+    let profile = rt.goroutine_profile("t");
+    assert_eq!(profile.goroutines[0].status, GoStatus::Select { ncases: 0 });
+}
+
+#[test]
+fn select_only_nil_arms_blocks_forever() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.assign("ch", Val::NilChan, 1);
+            b.select(2, |s| {
+                s.recv_arm(None, "ch", 3, |_| {});
+            });
+        }));
+    });
+    let rt = run(&prog, 0);
+    assert_eq!(rt.live_count(), 1);
+    assert_eq!(rt.goroutine_profile("t").goroutines[0].status, GoStatus::Select { ncases: 1 });
+}
+
+#[test]
+fn blocking_select_wakes_when_arm_becomes_ready() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.make_chan("a", 0, 1);
+            b.make_chan("bch", 0, 2);
+            b.go_closure(3, |g| {
+                g.sleep(Expr::int(5), 4);
+                g.send("bch", Expr::int(2), 5);
+            });
+            b.select(7, |s| {
+                s.recv_arm(Some("x"), "a", 8, |arm| {
+                    arm.panic_("arm a has no sender", 8);
+                });
+                s.recv_arm(Some("y"), "bch", 9, |_| {});
+            });
+        }));
+    });
+    let mut rt = Runtime::with_seed(0);
+    prog.spawn_main(&mut rt);
+    rt.advance(100, 100_000);
+    assert_eq!(rt.live_count(), 0);
+    assert_eq!(rt.stats().panicked, 0);
+}
+
+#[test]
+fn select_send_arm_completes_against_receiver() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.make_chan("ch", 0, 1);
+            b.go_closure(2, |g| {
+                g.recv_into("v", "ch", 3);
+            });
+            // Give the receiver time to block, then select-send.
+            b.sleep(Expr::int(5), 5);
+            b.select(6, |s| {
+                s.send_arm("ch", Expr::int(1), 7, |_| {});
+            });
+        }));
+    });
+    let mut rt = Runtime::with_seed(0);
+    prog.spawn_main(&mut rt);
+    rt.advance(100, 100_000);
+    assert_eq!(rt.live_count(), 0);
+    assert_eq!(rt.stats().msgs_transferred, 1);
+}
+
+#[test]
+fn select_picks_uniformly_among_ready_arms() {
+    // Both arms ready (buffered channels with data); over many seeds both
+    // arms should be chosen at least sometimes.
+    let mut first = 0;
+    let mut second = 0;
+    for seed in 0..40 {
+        let prog = Prog::build(|p| {
+            p.func(fnb("main", "m.go").body(|b| {
+                b.make_chan("a", 1, 1);
+                b.make_chan("bch", 1, 2);
+                b.send("a", Expr::int(1), 3);
+                b.send("bch", Expr::int(2), 4);
+                b.select(5, |s| {
+                    s.recv_arm(Some("x"), "a", 6, |arm| {
+                        arm.assign("which", Val::Int(1), 6);
+                    });
+                    s.recv_arm(Some("y"), "bch", 7, |arm| {
+                        arm.assign("which", Val::Int(2), 7);
+                    });
+                });
+                // Leak a goroutine blocked on a marker channel so the test
+                // harness can observe which arm fired via msgs count parity.
+                b.if_(
+                    Expr::Bin(
+                        gosim::script::BinOp::Eq,
+                        Box::new(Expr::var("which")),
+                        Box::new(Expr::int(1)),
+                    ),
+                    8,
+                    |t| {
+                        t.assign("marker", Val::Int(1), 8);
+                        t.make_chan("dead", 0, 9);
+                        t.recv("dead", 10); // block only when arm 1 chosen
+                    },
+                );
+            }));
+        });
+        let rt = run(&prog, seed);
+        if rt.live_count() == 1 {
+            first += 1;
+        } else {
+            second += 1;
+        }
+    }
+    assert!(first > 0, "arm 1 never chosen across seeds");
+    assert!(second > 0, "arm 2 never chosen across seeds");
+}
+
+#[test]
+fn range_over_channel_terminates_on_close() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.make_chan("ch", 0, 1);
+            b.go_closure(2, |g| {
+                g.for_n("i", Expr::int(5), 3, |l| {
+                    l.send("ch", Expr::var("i"), 4);
+                });
+                g.close("ch", 5);
+            });
+            b.assign("sum", Val::Int(0), 6);
+            b.for_range(Some("v"), "ch", 7, |l| {
+                l.assign(
+                    "sum",
+                    Expr::Bin(
+                        gosim::script::BinOp::Add,
+                        Box::new(Expr::var("sum")),
+                        Box::new(Expr::var("v")),
+                    ),
+                    8,
+                );
+            });
+            b.if_(
+                Expr::Bin(
+                    gosim::script::BinOp::Ne,
+                    Box::new(Expr::var("sum")),
+                    Box::new(Expr::int(10)),
+                ),
+                9,
+                |t| {
+                    t.panic_("sum mismatch", 9);
+                },
+            );
+        }));
+    });
+    let rt = run(&prog, 0);
+    assert_eq!(rt.stats().panicked, 0, "{:?}", rt.exits());
+    assert_eq!(rt.live_count(), 0);
+}
+
+#[test]
+fn range_over_unclosed_channel_leaks_receiver() {
+    // Listing 3 of the paper: consumers leak when close(ch) is missing.
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.make_chan("ch", 0, 2);
+            b.for_n("w", Expr::int(3), 5, |l| {
+                l.go_closure(6, |g| {
+                    g.for_range(Some("item"), "ch", 6, |body| {
+                        body.work(Expr::int(1), 7);
+                    });
+                });
+            });
+            b.for_n("i", Expr::int(4), 14, |l| {
+                l.send("ch", Expr::var("i"), 15);
+            });
+            // missing: close(ch)
+        }));
+    });
+    let rt = run(&prog, 0);
+    assert_eq!(rt.live_count(), 3, "all three consumers leak");
+    let profile = rt.goroutine_profile("t");
+    for g in &profile.goroutines {
+        assert_eq!(g.status, GoStatus::ChanReceive { nil_chan: false });
+        assert_eq!(g.blocking_frame().unwrap().loc.line, 6);
+    }
+}
+
+#[test]
+fn ncast_leak_only_first_sender_unblocks() {
+    // Listing 9: N senders, one receiver, unbuffered channel.
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.make_chan("ch", 0, 2);
+            b.for_n("i", Expr::int(5), 3, |l| {
+                l.go_closure(4, |g| {
+                    g.send("ch", Expr::var("i"), 5);
+                });
+            });
+            b.recv("ch", 8);
+        }));
+    });
+    let rt = run(&prog, 0);
+    assert_eq!(rt.live_count(), 4, "N-1 senders leak");
+    assert_eq!(rt.stats().msgs_transferred, 1);
+}
+
+#[test]
+fn fixing_ncast_with_capacity_removes_leak() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.make_chan("ch", 5, 2); // cap = len(items)
+            b.for_n("i", Expr::int(5), 3, |l| {
+                l.go_closure(4, |g| {
+                    g.send("ch", Expr::var("i"), 5);
+                });
+            });
+            b.recv("ch", 8);
+        }));
+    });
+    let rt = run(&prog, 0);
+    assert_eq!(rt.live_count(), 0);
+}
+
+#[test]
+fn double_send_leak() {
+    // Listing 5: missing return after error-path send.
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.make_chan("ch", 0, 1);
+            b.go_closure(2, |g| {
+                g.send("ch", Expr::int(0), 5); // error path: sends nil
+                // BUG: missing return here
+                g.send("ch", Expr::int(1), 7); // second send leaks
+            });
+            b.recv("ch", 11);
+        }));
+    });
+    let rt = run(&prog, 0);
+    assert_eq!(rt.live_count(), 1);
+    let profile = rt.goroutine_profile("t");
+    assert_eq!(profile.goroutines[0].blocking_frame().unwrap().loc.line, 7);
+}
+
+#[test]
+fn crash_process_policy_stops_runtime() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.panic_("boom", 1);
+        }));
+    });
+    let mut rt = Runtime::new(SchedConfig {
+        panic_policy: PanicPolicy::CrashProcess,
+        ..SchedConfig::default()
+    });
+    prog.spawn_main(&mut rt);
+    rt.run_until_blocked(100);
+    assert!(rt.fatal_panic().unwrap().contains("boom"));
+}
+
+#[test]
+fn external_send_and_close_apis() {
+    let mut rt = Runtime::with_seed(0);
+    let ch = rt.make_chan(1, Val::Int(0), gosim::Loc::new("h.go", 1));
+    assert!(rt.external_send(ch, Val::Int(5)));
+    assert_eq!(rt.chan_len(ch), Some(1));
+    assert!(!rt.external_send(ch, Val::Int(6)), "buffer full, nonblocking drop");
+    rt.external_close(ch);
+    assert_eq!(rt.chan_closed(ch), Some(true));
+    assert!(!rt.external_send(ch, Val::Int(7)), "send on closed is dropped externally");
+}
+
+#[test]
+fn channel_element_zero_values_respect_type() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.make_chan_of("ch", 0, TypeTag::Str, 1);
+            b.close("ch", 2);
+            b.recv_ok("v", "ok", "ch", 3);
+            b.if_(
+                Expr::Bin(
+                    gosim::script::BinOp::Ne,
+                    Box::new(Expr::var("v")),
+                    Box::new(Expr::str("")),
+                ),
+                4,
+                |t| {
+                    t.panic_("zero of string chan must be empty string", 4);
+                },
+            );
+        }));
+    });
+    let rt = run(&prog, 0);
+    assert_eq!(rt.stats().panicked, 0);
+}

@@ -1,0 +1,319 @@
+//! Executor edge cases: defer ordering, nested control flow,
+//! select bindings, evaluation failures, and aggregated profiles.
+
+use gosim::script::{fnb, Expr, Prog};
+use gosim::{GoStatus, Runtime, Val};
+
+fn run(prog: &Prog, seed: u64) -> Runtime {
+    let mut rt = Runtime::with_seed(seed);
+    prog.spawn_main(&mut rt);
+    rt.advance(10_000, 500_000);
+    rt
+}
+
+#[test]
+fn defers_run_lifo() {
+    // Three deferred sends into a buffered channel; the receive order
+    // proves LIFO execution.
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.make_chan("ch", 3, 1);
+            b.call(None, "producer", vec![Expr::var("ch")], 2);
+            b.recv_into("a", "ch", 3);
+            b.recv_into("bv", "ch", 4);
+            b.recv_into("c", "ch", 5);
+            // expect 3, 2, 1
+            b.if_(
+                Expr::Bin(
+                    gosim::script::BinOp::Ne,
+                    Box::new(Expr::var("a")),
+                    Box::new(Expr::int(3)),
+                ),
+                6,
+                |t| {
+                    t.panic_("first deferred send must be the last registered", 6);
+                },
+            );
+            b.if_(
+                Expr::Bin(
+                    gosim::script::BinOp::Ne,
+                    Box::new(Expr::var("c")),
+                    Box::new(Expr::int(1)),
+                ),
+                7,
+                |t| {
+                    t.panic_("last received must be the first registered", 7);
+                },
+            );
+        }));
+        p.func(fnb("producer", "m.go").params(&["ch"]).body(|b| {
+            b.raw(gosim::script::Stmt::Defer {
+                stmt: Box::new(gosim::script::Stmt::Send {
+                    ch: Expr::var("ch"),
+                    val: Expr::int(1),
+                    loc: gosim::Loc::new("m.go", 10),
+                }),
+                loc: gosim::Loc::new("m.go", 10),
+            });
+            b.raw(gosim::script::Stmt::Defer {
+                stmt: Box::new(gosim::script::Stmt::Send {
+                    ch: Expr::var("ch"),
+                    val: Expr::int(2),
+                    loc: gosim::Loc::new("m.go", 11),
+                }),
+                loc: gosim::Loc::new("m.go", 11),
+            });
+            b.raw(gosim::script::Stmt::Defer {
+                stmt: Box::new(gosim::script::Stmt::Send {
+                    ch: Expr::var("ch"),
+                    val: Expr::int(3),
+                    loc: gosim::Loc::new("m.go", 12),
+                }),
+                loc: gosim::Loc::new("m.go", 12),
+            });
+        }));
+    });
+    let rt = run(&prog, 0);
+    assert_eq!(rt.stats().panicked, 0, "{:?}", rt.exits());
+    assert_eq!(rt.live_count(), 0);
+}
+
+#[test]
+fn break_and_continue_in_nested_loops() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.assign("count", Val::Int(0), 1);
+            b.for_n("i", Expr::int(4), 2, |outer| {
+                outer.for_n("j", Expr::int(4), 3, |inner| {
+                    // continue skips even j; break stops at j == 3
+                    inner.if_(
+                        Expr::Bin(
+                            gosim::script::BinOp::Eq,
+                            Box::new(Expr::Bin(
+                                gosim::script::BinOp::Mod,
+                                Box::new(Expr::var("j")),
+                                Box::new(Expr::int(2)),
+                            )),
+                            Box::new(Expr::int(0)),
+                        ),
+                        4,
+                        |t| {
+                            t.cont(4);
+                        },
+                    );
+                    inner.if_(
+                        Expr::Bin(
+                            gosim::script::BinOp::Eq,
+                            Box::new(Expr::var("j")),
+                            Box::new(Expr::int(3)),
+                        ),
+                        5,
+                        |t| {
+                            t.brk(5);
+                        },
+                    );
+                    inner.assign(
+                        "count",
+                        Expr::Bin(
+                            gosim::script::BinOp::Add,
+                            Box::new(Expr::var("count")),
+                            Box::new(Expr::int(1)),
+                        ),
+                        6,
+                    );
+                });
+            });
+            // per outer iteration only j == 1 increments: 4 total
+            b.if_(
+                Expr::Bin(
+                    gosim::script::BinOp::Ne,
+                    Box::new(Expr::var("count")),
+                    Box::new(Expr::int(4)),
+                ),
+                8,
+                |t| {
+                    t.panic_("nested break/continue miscounted", 8);
+                },
+            );
+        }));
+    });
+    let rt = run(&prog, 0);
+    assert_eq!(rt.stats().panicked, 0, "{:?}", rt.exits());
+}
+
+#[test]
+fn select_recv_ok_arm_binds_both_values() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.make_chan("ch", 1, 1);
+            b.close("ch", 2);
+            b.select(3, |s| {
+                s.recv_ok_arm("v", "ok", "ch", 4, |arm| {
+                    arm.if_(Expr::var("ok"), 5, |t| {
+                        t.panic_("closed channel must yield ok=false", 5);
+                    });
+                    arm.if_(
+                        Expr::Bin(
+                            gosim::script::BinOp::Ne,
+                            Box::new(Expr::var("v")),
+                            Box::new(Expr::int(0)),
+                        ),
+                        6,
+                        |t| {
+                            t.panic_("closed channel must yield the zero value", 6);
+                        },
+                    );
+                });
+            });
+        }));
+    });
+    let rt = run(&prog, 0);
+    assert_eq!(rt.stats().panicked, 0, "{:?}", rt.exits());
+}
+
+#[test]
+fn undefined_variable_panics_the_goroutine_only() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.go_closure(2, |g| {
+                g.send("never_defined", Expr::int(1), 3);
+            });
+            b.work(Expr::int(1), 5);
+        }));
+    });
+    let rt = run(&prog, 0);
+    assert_eq!(rt.stats().panicked, 1);
+    assert!(rt
+        .exits()
+        .iter()
+        .any(|e| e.panic.as_deref().unwrap_or("").contains("undefined variable")));
+    // main itself completed fine
+    assert!(rt.exits().iter().any(|e| e.name == "main" && e.panic.is_none()));
+}
+
+#[test]
+fn division_by_zero_is_a_clean_panic() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.assign(
+                "x",
+                Expr::Bin(
+                    gosim::script::BinOp::Div,
+                    Box::new(Expr::int(1)),
+                    Box::new(Expr::int(0)),
+                ),
+                2,
+            );
+        }));
+    });
+    let rt = run(&prog, 0);
+    assert_eq!(rt.stats().panicked, 1);
+    assert!(rt.exits()[0].panic.as_deref().unwrap().contains("divide by zero"));
+}
+
+#[test]
+fn aggregated_profile_groups_identical_stacks() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.make_chan("dead", 0, 1);
+            b.for_n("i", Expr::int(50), 2, |l| {
+                l.go_closure(3, |g| {
+                    g.recv("dead", 4);
+                });
+            });
+            b.go_closure(6, |g| {
+                g.send("dead2_undefined_guard", Expr::int(0), 7); // panics
+            });
+            b.make_chan("other", 0, 8);
+            b.recv("other", 9);
+        }));
+    });
+    let rt = run(&prog, 0);
+    let profile = rt.goroutine_profile("agg");
+    let agg = profile.render_aggregated();
+    // 50 identical receivers collapse into one group of 50.
+    assert!(agg.contains("50 @ [chan receive]"), "{agg}");
+    assert!(agg.contains("goroutine profile: total 51"), "{agg}");
+    // The long form lists all goroutines individually (header excluded).
+    let long = profile.render();
+    assert_eq!(long.lines().filter(|l| l.starts_with("goroutine ")).count(), 51);
+}
+
+#[test]
+fn nested_closures_get_hierarchical_names() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.make_chan("dead", 0, 1);
+            b.go_closure(2, |outer| {
+                outer.go_closure(3, |inner| {
+                    inner.recv("dead", 4);
+                });
+                outer.recv("dead", 5);
+            });
+        }));
+    });
+    let rt = run(&prog, 0);
+    let profile = rt.goroutine_profile("t");
+    let names: Vec<&str> = profile.goroutines.iter().map(|g| g.name.as_str()).collect();
+    assert!(names.contains(&"main$1"), "{names:?}");
+    assert!(names.contains(&"main$2"), "{names:?}");
+    // The inner goroutine's creator is the outer closure.
+    let inner = profile.goroutines.iter().find(|g| g.name == "main$2").unwrap();
+    assert_eq!(inner.created_by.func, "main$1");
+}
+
+#[test]
+fn zero_capacity_channel_via_dyn_expr() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.assign("n", Val::Int(0), 1);
+            b.make_chan_dyn("ch", Expr::var("n"), 2);
+            b.go_closure(3, |g| {
+                g.send("ch", Expr::int(1), 4);
+            });
+            b.recv("ch", 6);
+        }));
+    });
+    let rt = run(&prog, 0);
+    assert_eq!(rt.live_count(), 0);
+    assert_eq!(rt.stats().msgs_transferred, 1);
+}
+
+#[test]
+fn negative_channel_capacity_panics_like_go() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.assign("n", Val::Int(-1), 1);
+            b.make_chan_dyn("ch", Expr::var("n"), 2);
+        }));
+    });
+    let rt = run(&prog, 0);
+    assert_eq!(rt.stats().panicked, 1);
+    assert!(rt.exits()[0].panic.as_deref().unwrap().contains("size out of range"));
+}
+
+#[test]
+fn profile_status_mix_is_deterministic_per_seed() {
+    let build = || {
+        Prog::build(|p| {
+            p.func(fnb("main", "m.go").body(|b| {
+                b.make_chan("a", 1, 1);
+                b.make_chan("bch", 1, 2);
+                b.send("a", Expr::int(1), 3);
+                b.send("bch", Expr::int(2), 4);
+                b.select(5, |s| {
+                    s.recv_arm(Some("x"), "a", 6, |_| {});
+                    s.recv_arm(Some("y"), "bch", 7, |_| {});
+                });
+                b.make_chan("dead", 0, 9);
+                b.recv("dead", 10);
+            }));
+        })
+    };
+    let statuses = |seed| {
+        let rt = run(&build(), seed);
+        rt.goroutine_profile("d").goroutines.iter().map(|g| g.status).collect::<Vec<_>>()
+    };
+    assert_eq!(statuses(11), statuses(11));
+    assert_eq!(statuses(11), vec![GoStatus::ChanReceive { nil_chan: false }]);
+}

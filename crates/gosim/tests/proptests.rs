@@ -1,0 +1,180 @@
+//! Property-based tests of the channel/scheduler invariants.
+//!
+//! These encode the paper's "Fact 1" style reasoning as executable
+//! properties: the number of leaked goroutines after a producer/consumer
+//! workload is a pure function of the send/receive/capacity arithmetic,
+//! independent of scheduling order (seed).
+
+use gosim::script::{fnb, Expr, Prog};
+use gosim::{Runtime, Val};
+use proptest::prelude::*;
+
+/// Builds a program with `senders` one-shot sender goroutines, `receivers`
+/// one-shot receiver goroutines, over a channel of capacity `cap`, and a
+/// main that never touches the channel.
+fn fan_prog(senders: u64, receivers: u64, cap: usize) -> Prog {
+    Prog::build(|p| {
+        p.func(fnb("main", "fan.go").body(|b| {
+            b.make_chan("ch", cap, 1);
+            b.for_n("i", Expr::int(senders as i64), 2, |l| {
+                l.go_closure(3, |g| {
+                    g.send("ch", Expr::var("i"), 4);
+                });
+            });
+            b.for_n("j", Expr::int(receivers as i64), 6, |l| {
+                l.go_closure(7, |g| {
+                    g.recv("ch", 8);
+                });
+            });
+        }));
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Leaked goroutine count equals the CSP pairing arithmetic:
+    /// leaked senders = max(0, S - R - cap); leaked receivers = max(0, R - S).
+    #[test]
+    fn fan_leak_arithmetic(
+        senders in 0u64..12,
+        receivers in 0u64..12,
+        cap in 0usize..6,
+        seed in 0u64..u64::MAX,
+    ) {
+        let prog = fan_prog(senders, receivers, cap);
+        let mut rt = Runtime::with_seed(seed);
+        prog.spawn_main(&mut rt);
+        let out = rt.run_until_blocked(1_000_000);
+        prop_assert!(out.quiescent);
+
+        let leaked_senders = senders.saturating_sub(receivers).saturating_sub(cap as u64);
+        let leaked_receivers = receivers.saturating_sub(senders);
+        prop_assert_eq!(
+            rt.live_count() as u64,
+            leaked_senders + leaked_receivers,
+            "S={} R={} cap={} seed={}", senders, receivers, cap, seed
+        );
+        // Every completed message really was transferred.
+        let expected_msgs = senders.min(receivers + cap as u64);
+        prop_assert_eq!(rt.stats().msgs_transferred, expected_msgs);
+    }
+
+    /// Same seed => identical execution; the profile JSON is bit-for-bit
+    /// reproducible.
+    #[test]
+    fn determinism_across_identical_runs(
+        senders in 0u64..8,
+        receivers in 0u64..8,
+        cap in 0usize..4,
+        seed in 0u64..u64::MAX,
+    ) {
+        let run = |seed: u64| {
+            let mut rt = Runtime::with_seed(seed);
+            fan_prog(senders, receivers, cap).spawn_main(&mut rt);
+            rt.run_until_blocked(1_000_000);
+            serde_json::to_string(&rt.goroutine_profile("p")).expect("profile serializes")
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// Closing the channel after sending unblocks every range receiver:
+    /// no goroutine leaks regardless of worker count or scheduling.
+    #[test]
+    fn closed_range_never_leaks(
+        workers in 1u64..8,
+        items in 0u64..16,
+        seed in 0u64..u64::MAX,
+    ) {
+        let prog = Prog::build(|p| {
+            p.func(fnb("main", "range.go").body(|b| {
+                b.make_chan("ch", 0, 1);
+                b.for_n("w", Expr::int(workers as i64), 2, |l| {
+                    l.go_closure(3, |g| {
+                        g.for_range(Some("v"), "ch", 4, |_| {});
+                    });
+                });
+                b.for_n("i", Expr::int(items as i64), 6, |l| {
+                    l.send("ch", Expr::var("i"), 7);
+                });
+                b.close("ch", 9);
+            }));
+        });
+        let mut rt = Runtime::with_seed(seed);
+        prog.spawn_main(&mut rt);
+        rt.run_until_blocked(1_000_000);
+        prop_assert_eq!(rt.live_count(), 0);
+        prop_assert_eq!(rt.stats().panicked, 0);
+    }
+
+    /// The unclosed variant leaks exactly the worker count.
+    #[test]
+    fn unclosed_range_leaks_all_workers(
+        workers in 1u64..8,
+        items in 0u64..8,
+        seed in 0u64..u64::MAX,
+    ) {
+        let prog = Prog::build(|p| {
+            p.func(fnb("main", "range.go").body(|b| {
+                b.make_chan("ch", 0, 1);
+                b.for_n("w", Expr::int(workers as i64), 2, |l| {
+                    l.go_closure(3, |g| {
+                        g.for_range(Some("v"), "ch", 4, |_| {});
+                    });
+                });
+                b.for_n("i", Expr::int(items as i64), 6, |l| {
+                    l.send("ch", Expr::var("i"), 7);
+                });
+            }));
+        });
+        let mut rt = Runtime::with_seed(seed);
+        prog.spawn_main(&mut rt);
+        rt.run_until_blocked(1_000_000);
+        prop_assert_eq!(rt.live_count() as u64, workers);
+    }
+
+    /// WaitGroup with matching Add/Done never leaks the waiter.
+    #[test]
+    fn balanced_waitgroup_never_leaks(children in 0u64..10, seed in 0u64..u64::MAX) {
+        let prog = Prog::build(|p| {
+            p.func(fnb("main", "wg.go").body(|b| {
+                b.make_wg("wg", 1);
+                b.wg_add("wg", Expr::int(children as i64), 2);
+                b.for_n("i", Expr::int(children as i64), 3, |l| {
+                    l.go_closure(4, |g| {
+                        g.wg_done("wg", 5);
+                    });
+                });
+                b.wg_wait("wg", 7);
+            }));
+        });
+        let mut rt = Runtime::with_seed(seed);
+        prog.spawn_main(&mut rt);
+        rt.run_until_blocked(1_000_000);
+        prop_assert_eq!(rt.live_count(), 0);
+    }
+
+    /// Memory stats: retained bytes of leaked goroutines equal the sum of
+    /// their allocations plus stacks, independent of interleaving.
+    #[test]
+    fn leaked_memory_accounting(leakers in 0u64..8, bytes in 1i64..10_000, seed in 0u64..u64::MAX) {
+        let prog = Prog::build(|p| {
+            p.func(fnb("main", "mem.go").body(|b| {
+                b.make_chan("dead", 0, 1);
+                b.for_n("i", Expr::int(leakers as i64), 2, |l| {
+                    l.go_closure(3, |g| {
+                        g.alloc(Expr::Lit(Val::Int(bytes)), 4);
+                        g.recv("dead", 5);
+                    });
+                });
+            }));
+        });
+        let mut rt = Runtime::with_seed(seed);
+        prog.spawn_main(&mut rt);
+        rt.run_until_blocked(1_000_000);
+        let m = rt.mem_stats();
+        prop_assert_eq!(m.goroutines as u64, leakers);
+        prop_assert_eq!(m.heap_bytes, leakers * bytes as u64);
+        prop_assert_eq!(m.stack_bytes, leakers * 8 * 1024);
+    }
+}

@@ -1,0 +1,493 @@
+//! Integration tests: virtual time (timers, tickers, contexts) and sync
+//! primitives (wait groups, mutexes, condition variables), plus defer and
+//! call/return semantics.
+
+use gosim::script::{fnb, Expr, Prog};
+use gosim::{GoStatus, ParkReason, Runtime, Val};
+
+fn advance_run(prog: &Prog, seed: u64, ticks: u64) -> Runtime {
+    let mut rt = Runtime::with_seed(seed);
+    prog.spawn_main(&mut rt);
+    rt.advance(ticks, 1_000_000);
+    rt
+}
+
+#[test]
+fn sleep_wakes_after_duration() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.sleep(Expr::int(50), 1);
+        }));
+    });
+    let mut rt = Runtime::with_seed(0);
+    prog.spawn_main(&mut rt);
+    rt.run_until_blocked(100);
+    assert_eq!(rt.live_count(), 1);
+    assert_eq!(rt.goroutine_profile("t").goroutines[0].status, GoStatus::Sleep);
+    rt.advance(49, 1000);
+    assert_eq!(rt.live_count(), 1, "not yet due");
+    rt.advance(1, 1000);
+    assert_eq!(rt.live_count(), 0, "woke at tick 50");
+}
+
+#[test]
+fn time_after_fires_once() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.after("t", Expr::int(10), 1);
+            b.recv("t", 2);
+        }));
+    });
+    let rt = advance_run(&prog, 0, 100);
+    assert_eq!(rt.live_count(), 0);
+}
+
+#[test]
+fn infinite_timer_loop_is_a_runaway_goroutine() {
+    // Listing 4 of the paper: the statsReporter anti-pattern. The goroutine
+    // never leaks permanently (it wakes each period) but never terminates.
+    let prog = Prog::build(|p| {
+        p.func(fnb("pkg.statsReporter", "pkg/stats.go").body(|b| {
+            b.go_closure(2, |g| {
+                g.loop_(3, |l| {
+                    l.after("t", Expr::int(10), 4);
+                    l.recv("t", 4);
+                    l.work(Expr::int(1), 5);
+                });
+            });
+        }));
+    });
+    let mut rt = Runtime::with_seed(0);
+    prog.spawn_func(&mut rt, "pkg.statsReporter", vec![]);
+    rt.advance(1000, 1_000_000);
+    assert_eq!(rt.live_count(), 1, "reporter goroutine never exits");
+    // At quiescence it is blocked receiving from the timer channel.
+    let g = &rt.goroutine_profile("t").goroutines[0];
+    assert_eq!(g.status, GoStatus::ChanReceive { nil_chan: false });
+    assert_eq!(g.blocking_frame().unwrap().loc.line, 4);
+}
+
+#[test]
+fn tick_channel_fires_periodically_and_drops_missed_ticks() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.tick("t", Expr::int(10), 1);
+            b.assign("n", Val::Int(0), 2);
+            b.for_n("i", Expr::int(3), 3, |l| {
+                l.recv("t", 4);
+                l.assign(
+                    "n",
+                    Expr::Bin(
+                        gosim::script::BinOp::Add,
+                        Box::new(Expr::var("n")),
+                        Box::new(Expr::int(1)),
+                    ),
+                    5,
+                );
+            });
+        }));
+    });
+    let rt = advance_run(&prog, 0, 200);
+    assert_eq!(rt.live_count(), 0, "three ticks received, main exits");
+}
+
+#[test]
+fn context_timeout_closes_done_channel() {
+    // Listing 8: the timeout leak — and its fix via buffered channel.
+    let leaky = Prog::build(|p| {
+        p.func(fnb("pkg.Handler", "pkg/h.go").body(|b| {
+            b.ctx_with_timeout("ctx", "cancel", Expr::int(5), 1);
+            b.make_chan("ch", 0, 2);
+            b.go_closure(3, |g| {
+                g.sleep(Expr::int(50), 4); // item takes longer than deadline
+                g.send("ch", Expr::int(1), 4);
+            });
+            b.select(6, |s| {
+                s.recv_arm(Some("item"), "ch", 7, |_| {});
+                s.recv_arm(None, "ctx", 8, |arm| {
+                    arm.ret(8);
+                });
+            });
+        }));
+    });
+    let mut rt = Runtime::with_seed(1);
+    leaky.spawn_func(&mut rt, "pkg.Handler", vec![]);
+    rt.advance(200, 1_000_000);
+    assert_eq!(rt.live_count(), 1, "sender leaks after ctx timeout");
+    assert_eq!(
+        rt.goroutine_profile("t").goroutines[0].status,
+        GoStatus::ChanSend { nil_chan: false }
+    );
+
+    let fixed = Prog::build(|p| {
+        p.func(fnb("pkg.Handler", "pkg/h.go").body(|b| {
+            b.ctx_with_timeout("ctx", "cancel", Expr::int(5), 1);
+            b.make_chan("ch", 1, 2); // fix: capacity one
+            b.go_closure(3, |g| {
+                g.sleep(Expr::int(50), 4);
+                g.send("ch", Expr::int(1), 4);
+            });
+            b.select(6, |s| {
+                s.recv_arm(Some("item"), "ch", 7, |_| {});
+                s.recv_arm(None, "ctx", 8, |arm| {
+                    arm.ret(8);
+                });
+            });
+        }));
+    });
+    let mut rt2 = Runtime::with_seed(1);
+    fixed.spawn_func(&mut rt2, "pkg.Handler", vec![]);
+    rt2.advance(200, 1_000_000);
+    assert_eq!(rt2.live_count(), 0, "buffered channel absorbs the late send");
+}
+
+#[test]
+fn cancel_is_idempotent() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.ctx_with_cancel("ctx", "cancel", 1);
+            b.cancel("cancel", 2);
+            b.cancel("cancel", 3); // double cancel must not panic
+            b.recv_ok("v", "ok", "ctx", 4);
+            b.if_(Expr::var("ok"), 5, |t| {
+                t.panic_("done channel must be closed", 5);
+            });
+        }));
+    });
+    let rt = advance_run(&prog, 0, 10);
+    assert_eq!(rt.stats().panicked, 0, "{:?}", rt.exits());
+    assert_eq!(rt.live_count(), 0);
+}
+
+#[test]
+fn method_contract_violation_leaks_listener() {
+    // Listing 6: Start without Stop leaks the worker's select loop.
+    let build = |call_stop: bool| {
+        Prog::build(move |p| {
+            p.func(fnb("pkg.Use", "pkg/w.go").body(|b| {
+                b.make_chan("ch", 0, 24);
+                b.make_chan("done", 0, 24);
+                // Start
+                b.go_closure(7, |g| {
+                    g.loop_(8, |l| {
+                        l.select(9, |s| {
+                            s.recv_arm(None, "ch", 10, |arm| {
+                                arm.work(Expr::int(1), 10);
+                            });
+                            s.recv_arm(None, "done", 11, |arm| {
+                                arm.ret(12);
+                            });
+                        });
+                    });
+                });
+                if call_stop {
+                    b.close("done", 19); // Stop()
+                }
+            }));
+        })
+    };
+    let mut leak_rt = Runtime::with_seed(0);
+    build(false).spawn_func(&mut leak_rt, "pkg.Use", vec![]);
+    leak_rt.run_until_blocked(10_000);
+    assert_eq!(leak_rt.live_count(), 1);
+    assert_eq!(
+        leak_rt.goroutine_profile("t").goroutines[0].status,
+        GoStatus::Select { ncases: 2 }
+    );
+
+    let mut ok_rt = Runtime::with_seed(0);
+    build(true).spawn_func(&mut ok_rt, "pkg.Use", vec![]);
+    ok_rt.run_until_blocked(10_000);
+    assert_eq!(ok_rt.live_count(), 0);
+}
+
+#[test]
+fn waitgroup_waits_for_all_children() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.make_wg("wg", 1);
+            b.wg_add("wg", Expr::int(3), 2);
+            b.for_n("i", Expr::int(3), 3, |l| {
+                l.go_closure(4, |g| {
+                    g.sleep(Expr::int(5), 5);
+                    g.wg_done("wg", 6);
+                });
+            });
+            b.wg_wait("wg", 8);
+        }));
+    });
+    let mut rt = Runtime::with_seed(0);
+    prog.spawn_main(&mut rt);
+    rt.run_until_blocked(10_000);
+    assert_eq!(rt.live_count(), 4, "main waits, children sleep");
+    assert_eq!(rt.goroutine_profile("t").goroutines[0].status, GoStatus::SemAcquire);
+    rt.advance(10, 10_000);
+    assert_eq!(rt.live_count(), 0);
+}
+
+#[test]
+fn forgotten_wg_done_leaks_waiter() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.make_wg("wg", 1);
+            b.wg_add("wg", Expr::int(2), 2);
+            b.go_closure(3, |g| {
+                g.wg_done("wg", 4);
+            });
+            // second Done never happens
+            b.wg_wait("wg", 6);
+        }));
+    });
+    let rt = advance_run(&prog, 0, 100);
+    assert_eq!(rt.live_count(), 1);
+    assert_eq!(rt.goroutine_profile("t").goroutines[0].status, GoStatus::SemAcquire);
+}
+
+#[test]
+fn negative_waitgroup_counter_panics() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.make_wg("wg", 1);
+            b.wg_done("wg", 2);
+        }));
+    });
+    let rt = advance_run(&prog, 0, 10);
+    assert_eq!(rt.stats().panicked, 1);
+    assert!(rt.exits()[0].panic.as_deref().unwrap().contains("negative WaitGroup"));
+}
+
+#[test]
+fn mutex_provides_mutual_exclusion_and_queues_waiters() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.make_mutex("mu", 1);
+            b.lock("mu", 2);
+            b.go_closure(3, |g| {
+                g.lock("mu", 4); // must wait until main unlocks
+                g.unlock("mu", 5);
+            });
+            b.sleep(Expr::int(5), 7);
+            b.unlock("mu", 8);
+        }));
+    });
+    let mut rt = Runtime::with_seed(0);
+    prog.spawn_main(&mut rt);
+    rt.run_until_blocked(10_000);
+    // child is blocked in semacquire while main sleeps
+    let blocked = rt
+        .goroutine_profile("t")
+        .goroutines
+        .iter()
+        .filter(|g| g.status == GoStatus::SemAcquire)
+        .count();
+    assert_eq!(blocked, 1);
+    rt.advance(10, 10_000);
+    assert_eq!(rt.live_count(), 0);
+}
+
+#[test]
+fn forgotten_unlock_deadlocks_second_locker() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.make_mutex("mu", 1);
+            b.go_closure(2, |g| {
+                g.lock("mu", 3);
+                // missing unlock
+            });
+            b.sleep(Expr::int(5), 5);
+            b.lock("mu", 6); // blocks forever
+        }));
+    });
+    let rt = advance_run(&prog, 0, 100);
+    assert_eq!(rt.live_count(), 1);
+    assert_eq!(rt.goroutine_profile("t").goroutines[0].status, GoStatus::SemAcquire);
+}
+
+#[test]
+fn io_park_shows_up_as_io_wait() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.park(ParkReason::IoWait, None, 1);
+        }));
+    });
+    let rt = advance_run(&prog, 0, 100);
+    assert_eq!(rt.live_count(), 1);
+    let g = &rt.goroutine_profile("t").goroutines[0];
+    assert_eq!(g.status, GoStatus::IoWait);
+    assert!(g.stack.iter().any(|f| f.func.contains("pollWait")));
+}
+
+#[test]
+fn defer_runs_lifo_on_early_return() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.make_chan("ch", 0, 1);
+            b.go_closure(2, |g| {
+                g.for_range(Some("v"), "ch", 3, |_| {});
+            });
+            b.call(None, "producer", vec![Expr::var("ch")], 5);
+            b.sleep(Expr::int(1), 6);
+        }));
+        p.func(fnb("producer", "m.go").params(&["ch"]).body(|b| {
+            b.defer_close("ch", 8); // fix for Listing 3 via defer
+            b.for_n("i", Expr::int(3), 9, |l| {
+                l.send("ch", Expr::var("i"), 10);
+            });
+            b.ret(11); // early return still triggers defer
+            b.panic_("unreachable", 12);
+        }));
+    });
+    let rt = advance_run(&prog, 0, 100);
+    assert_eq!(rt.stats().panicked, 0, "{:?}", rt.exits());
+    assert_eq!(rt.live_count(), 0, "defer close(ch) ends the range loop");
+}
+
+#[test]
+fn call_returns_value_to_caller() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.call(Some("x"), "double", vec![Expr::int(21)], 1);
+            b.if_(
+                Expr::Bin(
+                    gosim::script::BinOp::Ne,
+                    Box::new(Expr::var("x")),
+                    Box::new(Expr::int(42)),
+                ),
+                2,
+                |t| {
+                    t.panic_("bad return", 2);
+                },
+            );
+        }));
+        p.func(fnb("double", "m.go").params(&["n"]).body(|b| {
+            b.ret_val(
+                Expr::Bin(
+                    gosim::script::BinOp::Mul,
+                    Box::new(Expr::var("n")),
+                    Box::new(Expr::int(2)),
+                ),
+                5,
+            );
+        }));
+    });
+    let rt = advance_run(&prog, 0, 10);
+    assert_eq!(rt.stats().panicked, 0, "{:?}", rt.exits());
+}
+
+#[test]
+fn recursion_builds_call_stack_frames() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.call(Some("r"), "count", vec![Expr::int(4)], 1);
+        }));
+        p.func(fnb("count", "m.go").params(&["n"]).body(|b| {
+            b.if_(
+                Expr::Bin(
+                    gosim::script::BinOp::Le,
+                    Box::new(Expr::var("n")),
+                    Box::new(Expr::int(0)),
+                ),
+                4,
+                |t| {
+                    // Block here so we can observe the deep stack.
+                    t.make_chan("dead", 0, 5);
+                    t.recv("dead", 5);
+                },
+            );
+            b.call(
+                Some("r"),
+                "count",
+                vec![Expr::Bin(
+                    gosim::script::BinOp::Sub,
+                    Box::new(Expr::var("n")),
+                    Box::new(Expr::int(1)),
+                )],
+                7,
+            );
+        }));
+    });
+    let mut rt = Runtime::with_seed(0);
+    prog.spawn_main(&mut rt);
+    rt.run_until_blocked(10_000);
+    assert_eq!(rt.live_count(), 1);
+    let g = &rt.goroutine_profile("t").goroutines[0];
+    let user_frames: Vec<&str> = g
+        .stack
+        .iter()
+        .filter(|f| !f.is_runtime())
+        .map(|f| f.func.as_str())
+        .collect();
+    // main + 5 nested `count` frames (n = 4,3,2,1,0)
+    assert_eq!(user_frames.len(), 6);
+    assert_eq!(user_frames[0], "count");
+    assert_eq!(*user_frames.last().unwrap(), "main");
+}
+
+#[test]
+fn mem_stats_attribute_heap_to_goroutines_and_free_on_exit() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.alloc(Expr::int(1000), 1);
+            b.go_closure(2, |g| {
+                g.alloc(Expr::int(5000), 3);
+                g.make_chan("dead", 0, 4);
+                g.recv("dead", 4); // leak with 5000 bytes retained
+            });
+            b.alloc(Expr::int(-500), 6);
+        }));
+    });
+    let rt = advance_run(&prog, 0, 10);
+    let m = rt.mem_stats();
+    assert_eq!(m.goroutines, 1);
+    assert_eq!(m.heap_bytes, 5000, "main's allocs freed on exit; leaked child retains");
+    assert!(m.stack_bytes > 0);
+}
+
+#[test]
+fn deterministic_profiles_for_same_seed() {
+    let build = || {
+        Prog::build(|p| {
+            p.func(fnb("main", "m.go").body(|b| {
+                b.make_chan("ch", 0, 1);
+                b.for_n("i", Expr::int(10), 2, |l| {
+                    l.go_closure(3, |g| {
+                        g.send("ch", Expr::var("i"), 4);
+                    });
+                });
+                b.for_n("j", Expr::int(4), 6, |l| {
+                    l.recv("ch", 7);
+                });
+            }));
+        })
+    };
+    let run = |seed| {
+        let mut rt = Runtime::with_seed(seed);
+        build().spawn_main(&mut rt);
+        rt.run_until_blocked(100_000);
+        serde_json::to_string(&rt.goroutine_profile("x")).unwrap()
+    };
+    assert_eq!(run(7), run(7), "same seed, same profile");
+}
+
+#[test]
+fn busy_yield_loop_does_not_starve_other_goroutines() {
+    let prog = Prog::build(|p| {
+        p.func(fnb("main", "m.go").body(|b| {
+            b.make_chan("ch", 0, 1);
+            b.go_closure(2, |g| {
+                // spin forever
+                g.while_(Expr::bool(true), 3, |_| {});
+            });
+            b.go_closure(5, |g| {
+                g.send("ch", Expr::int(1), 6);
+            });
+            b.recv("ch", 8);
+        }));
+    });
+    let mut rt = Runtime::with_seed(0);
+    prog.spawn_main(&mut rt);
+    rt.run_until_blocked(5_000);
+    // main and sender completed despite the spinner
+    assert!(rt.exits().iter().any(|e| e.name == "main"));
+    assert_eq!(rt.live_count(), 1, "only the spinner remains");
+}

@@ -1,0 +1,337 @@
+//! Fleet-wide profile analysis: thresholding, aggregation, and RMS
+//! impact ranking (paper Section V-A).
+
+use std::collections::HashMap;
+
+use gosim::{GoroutineProfile, GoroutineRecord};
+use serde::{Deserialize, Serialize};
+
+use crate::filter::{is_transient, SourceIndex};
+use crate::signature::{blocked_op, BlockedOp};
+
+/// Analysis configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Config {
+    /// Criterion 1: minimum blocked goroutines at one source location in
+    /// a single profile for the site to be marked suspicious. The paper
+    /// uses 10 000 in production; simulations usually scale it down.
+    pub threshold: u64,
+    /// Criterion 2: run the AST transient-operation filter.
+    pub ast_filter: bool,
+    /// Report only the top-N sites by RMS impact.
+    pub top_n: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { threshold: 10_000, ast_filter: true, top_n: 10 }
+    }
+}
+
+/// Per-site aggregate across the whole profile set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SiteStats {
+    /// The blocking operation (kind + source location).
+    pub op: BlockedOp,
+    /// Blocked-goroutine count per analyzed profile (instance name,
+    /// count); instances with zero blocked goroutines at this site are
+    /// included so that RMS reflects fleet-wide impact.
+    pub per_instance: Vec<(String, u64)>,
+    /// Total blocked goroutines across all profiles.
+    pub total: u64,
+    /// The largest single-instance count.
+    pub max_instance: u64,
+    /// Number of profiles in which the site exceeded the threshold.
+    pub instances_over_threshold: usize,
+    /// Root-mean-square of per-instance counts — the paper's impact
+    /// metric, chosen because it highlights single-instance spikes.
+    pub rms: f64,
+    /// A representative blocked goroutine (from the most-affected
+    /// instance), carrying the full stack for the report.
+    pub representative: GoroutineRecord,
+}
+
+impl SiteStats {
+    /// Mean per-instance count, provided for the RMS-vs-mean ablation.
+    pub fn mean(&self) -> f64 {
+        if self.per_instance.is_empty() {
+            return 0.0;
+        }
+        self.total as f64 / self.per_instance.len() as f64
+    }
+}
+
+/// Root-mean-square of a count vector.
+pub fn rms(counts: &[u64]) -> f64 {
+    if counts.is_empty() {
+        return 0.0;
+    }
+    let sum_sq: f64 = counts.iter().map(|&c| (c as f64) * (c as f64)).sum();
+    (sum_sq / counts.len() as f64).sqrt()
+}
+
+/// Analyzes one profile: groups channel-blocked goroutines by blocking
+/// site and returns per-site counts plus a representative goroutine.
+pub fn analyze_profile(
+    profile: &GoroutineProfile,
+) -> HashMap<BlockedOp, (u64, GoroutineRecord)> {
+    let mut sites: HashMap<BlockedOp, (u64, GoroutineRecord)> = HashMap::new();
+    for g in &profile.goroutines {
+        if let Some(op) = blocked_op(g) {
+            sites
+                .entry(op)
+                .and_modify(|(c, _)| *c += 1)
+                .or_insert_with(|| (1, g.clone()));
+        }
+    }
+    sites
+}
+
+/// Aggregates many profiles into ranked site statistics.
+///
+/// Implements the paper's pipeline: per-profile grouping, criterion-1
+/// thresholding, optional criterion-2 AST filtering, then fleet-wide RMS
+/// ranking. `index` supplies source ASTs for the filter; pass an empty
+/// index to skip resolution (all sites kept).
+pub fn aggregate(
+    profiles: &[GoroutineProfile],
+    config: &Config,
+    index: &SourceIndex,
+) -> Vec<SiteStats> {
+    // site -> per-instance counts (+representative from busiest instance)
+    let mut acc: HashMap<BlockedOp, HashMap<String, u64>> = HashMap::new();
+    let mut reps: HashMap<BlockedOp, (u64, GoroutineRecord)> = HashMap::new();
+    for p in profiles {
+        for (op, (count, rep)) in analyze_profile(p) {
+            *acc.entry(op.clone()).or_default().entry(p.instance.clone()).or_insert(0) +=
+                count;
+            let entry = reps.entry(op).or_insert_with(|| (count, rep.clone()));
+            if count > entry.0 {
+                *entry = (count, rep);
+            }
+        }
+    }
+    finish_aggregation(acc, reps, profiles, config, index)
+}
+
+/// Aggregates profiles using worker threads, mirroring the paper's
+/// analysis box that chews through ~200K profiles in under a minute.
+/// Per-profile grouping fans out across `threads`; the final aggregation
+/// is sequential.
+pub fn aggregate_parallel(
+    profiles: &[GoroutineProfile],
+    config: &Config,
+    index: &SourceIndex,
+    threads: usize,
+) -> Vec<SiteStats> {
+    if threads <= 1 || profiles.len() < 2 {
+        return aggregate(profiles, config, index);
+    }
+    // Parallel phase: per-profile site maps.
+    let chunk = profiles.len().div_ceil(threads);
+    let maps: Vec<Vec<(String, HashMap<BlockedOp, (u64, GoroutineRecord)>)>> =
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for part in profiles.chunks(chunk) {
+                handles.push(s.spawn(move || {
+                    part.iter()
+                        .map(|p| (p.instance.clone(), analyze_profile(p)))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("analysis worker panicked")).collect()
+        });
+
+    // Sequential merge, then reuse the single-threaded ranking logic by
+    // rebuilding the same accumulators.
+    let mut acc: HashMap<BlockedOp, HashMap<String, u64>> = HashMap::new();
+    let mut reps: HashMap<BlockedOp, (u64, GoroutineRecord)> = HashMap::new();
+    for group in maps {
+        for (instance, sites) in group {
+            for (op, (count, rep)) in sites {
+                *acc.entry(op.clone()).or_default().entry(instance.clone()).or_insert(0) +=
+                    count;
+                let entry = reps.entry(op).or_insert_with(|| (count, rep.clone()));
+                if count > entry.0 {
+                    *entry = (count, rep);
+                }
+            }
+        }
+    }
+    finish_aggregation(acc, reps, profiles, config, index)
+}
+
+fn finish_aggregation(
+    acc: HashMap<BlockedOp, HashMap<String, u64>>,
+    mut reps: HashMap<BlockedOp, (u64, GoroutineRecord)>,
+    profiles: &[GoroutineProfile],
+    config: &Config,
+    index: &SourceIndex,
+) -> Vec<SiteStats> {
+    let mut out = Vec::new();
+    for (op, by_instance) in acc {
+        let over = by_instance.values().filter(|&&c| c >= config.threshold).count();
+        if over == 0 {
+            continue;
+        }
+        if config.ast_filter && is_transient(index, &op) {
+            continue;
+        }
+        let mut per_instance: Vec<(String, u64)> = profiles
+            .iter()
+            .map(|p| {
+                (p.instance.clone(), by_instance.get(&p.instance).copied().unwrap_or(0))
+            })
+            .collect();
+        per_instance.sort();
+        per_instance.dedup_by(|a, b| {
+            if a.0 == b.0 {
+                b.1 += a.1;
+                true
+            } else {
+                false
+            }
+        });
+        let counts: Vec<u64> = per_instance.iter().map(|(_, c)| *c).collect();
+        let total: u64 = counts.iter().sum();
+        let max_instance = counts.iter().copied().max().unwrap_or(0);
+        out.push(SiteStats {
+            rms: rms(&counts),
+            representative: reps.remove(&op).map(|(_, r)| r).expect("site has a rep"),
+            op,
+            per_instance,
+            total,
+            max_instance,
+            instances_over_threshold: over,
+        });
+    }
+    out.sort_by(|a, b| {
+        b.rms
+            .partial_cmp(&a.rms)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.op.cmp(&b.op))
+    });
+    out.truncate(config.top_n);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::ChanOpKind;
+    use gosim::{Frame, Gid, GoStatus, Loc};
+
+    fn blocked_rec(gid: u64, file: &str, line: u32, kind: ChanOpKind) -> GoroutineRecord {
+        let discriminator = match kind {
+            ChanOpKind::Send => "runtime.chansend1",
+            ChanOpKind::Recv => "runtime.chanrecv1",
+            ChanOpKind::Select => "runtime.selectgo",
+        };
+        GoroutineRecord {
+            gid: Gid(gid),
+            name: "pkg.f$1".into(),
+            status: GoStatus::ChanSend { nil_chan: false },
+            stack: vec![
+                Frame::runtime("runtime.gopark"),
+                Frame::runtime(discriminator),
+                Frame::new("pkg.f$1", Loc::new(file, line)),
+            ],
+            created_by: Frame::new("pkg.f", Loc::new(file, 1)),
+            wait_ticks: 100,
+            retained_bytes: 8192,
+        }
+    }
+
+    fn profile(instance: &str, recs: Vec<GoroutineRecord>) -> GoroutineProfile {
+        GoroutineProfile { instance: instance.into(), captured_at: 0, goroutines: recs }
+    }
+
+    #[test]
+    fn threshold_suppresses_small_sites() {
+        let p = profile(
+            "i0",
+            (0..5).map(|i| blocked_rec(i, "a.go", 10, ChanOpKind::Send)).collect(),
+        );
+        let cfg = Config { threshold: 10, ast_filter: false, top_n: 10 };
+        assert!(aggregate(&[p.clone()], &cfg, &SourceIndex::new()).is_empty());
+        let cfg2 = Config { threshold: 5, ..cfg };
+        assert_eq!(aggregate(&[p], &cfg2, &SourceIndex::new()).len(), 1);
+    }
+
+    #[test]
+    fn rms_highlights_single_instance_spikes() {
+        // Site A: 100 blocked on one instance out of ten.
+        // Site B: 10 blocked on each of ten instances.
+        // Same total; RMS must rank the spike (A) higher, mean ranks them
+        // equal — the paper's stated reason for choosing RMS.
+        let mut profiles = Vec::new();
+        for i in 0..10 {
+            let mut recs = Vec::new();
+            if i == 0 {
+                for g in 0..100 {
+                    recs.push(blocked_rec(g, "spike.go", 5, ChanOpKind::Send));
+                }
+            }
+            for g in 0..10 {
+                recs.push(blocked_rec(1000 + g, "flat.go", 7, ChanOpKind::Recv));
+            }
+            profiles.push(profile(&format!("i{i}"), recs));
+        }
+        let cfg = Config { threshold: 10, ast_filter: false, top_n: 10 };
+        let stats = aggregate(&profiles, &cfg, &SourceIndex::new());
+        assert_eq!(stats.len(), 2);
+        assert_eq!(&*stats[0].op.loc.file, "spike.go", "spike ranks first by RMS");
+        assert!(stats[0].rms > stats[1].rms);
+        assert!((stats[0].mean() - stats[1].mean()).abs() < 1e-9, "means are equal");
+    }
+
+    #[test]
+    fn per_instance_includes_zeroes() {
+        let p1 = profile(
+            "a",
+            (0..20).map(|i| blocked_rec(i, "x.go", 3, ChanOpKind::Send)).collect(),
+        );
+        let p2 = profile("b", vec![]);
+        let cfg = Config { threshold: 10, ast_filter: false, top_n: 10 };
+        let stats = aggregate(&[p1, p2], &cfg, &SourceIndex::new());
+        assert_eq!(stats[0].per_instance.len(), 2);
+        assert_eq!(stats[0].total, 20);
+        assert_eq!(stats[0].max_instance, 20);
+        let expected = rms(&[20, 0]);
+        assert!((stats[0].rms - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut profiles = Vec::new();
+        for i in 0..32 {
+            let recs = (0..(i % 7 + 12))
+                .map(|g| {
+                    blocked_rec(
+                        g,
+                        if i % 2 == 0 { "even.go" } else { "odd.go" },
+                        4,
+                        ChanOpKind::Select,
+                    )
+                })
+                .collect();
+            profiles.push(profile(&format!("i{i}"), recs));
+        }
+        let cfg = Config { threshold: 12, ast_filter: false, top_n: 10 };
+        let seq = aggregate(&profiles, &cfg, &SourceIndex::new());
+        let par = aggregate_parallel(&profiles, &cfg, &SourceIndex::new(), 4);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.op, b.op);
+            assert_eq!(a.total, b.total);
+            assert!((a.rms - b.rms).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rms_of_empty_and_single() {
+        assert_eq!(rms(&[]), 0.0);
+        assert!((rms(&[4]) - 4.0).abs() < 1e-12);
+        assert!((rms(&[3, 4]) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+}

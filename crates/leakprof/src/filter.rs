@@ -1,0 +1,197 @@
+//! Criterion 2: AST-level filtering of trivially-transient operations
+//! (paper Section V-A).
+//!
+//! Some blocking sites can be shown to unblock eventually: a `select`
+//! whose arms all listen on `time.After`/`time.Tick`/`ctx.Done()`
+//! channels, or a bare receive from a timer channel. LeakProf runs a
+//! small static analysis over the source AST to drop such sites before
+//! alerting.
+
+use std::collections::HashMap;
+
+use gosim::Loc;
+use minigo::ast::{walk_stmts, File, RecvSrc, SelCase, Stmt};
+
+use crate::signature::{BlockedOp, ChanOpKind};
+
+/// An index of parsed source files, keyed by path, used to resolve
+/// blocking locations back to syntax.
+#[derive(Debug, Default)]
+pub struct SourceIndex {
+    files: HashMap<String, File>,
+}
+
+impl SourceIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a parsed file.
+    pub fn insert(&mut self, file: File) {
+        self.files.insert(file.path.clone(), file);
+    }
+
+    /// Parses and adds a source file.
+    ///
+    /// # Errors
+    ///
+    /// Returns parser diagnostics on malformed source.
+    pub fn insert_source(&mut self, src: &str, path: &str) -> Result<(), Vec<minigo::Diag>> {
+        self.insert(minigo::parse_file(src, path)?);
+        Ok(())
+    }
+
+    /// Looks up a file by path.
+    pub fn file(&self, path: &str) -> Option<&File> {
+        self.files.get(path)
+    }
+
+    /// Number of indexed files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True when no files are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Finds the statement at a location, if any.
+    pub fn stmt_at(&self, loc: &Loc) -> Option<&Stmt> {
+        let file = self.files.get(&*loc.file)?;
+        let mut found = None;
+        for f in &file.funcs {
+            walk_stmts(&f.body, &mut |s| {
+                if s.line() == loc.line && found.is_none() {
+                    found = Some(s);
+                }
+            });
+        }
+        found
+    }
+}
+
+fn src_is_transient(src: &RecvSrc) -> bool {
+    matches!(src, RecvSrc::TimeAfter(_) | RecvSrc::TimeTick(_) | RecvSrc::CtxDone(_))
+}
+
+/// Returns true when the blocking operation is trivially transient and
+/// should be filtered from reports:
+///
+/// * a `select` all of whose arms receive from timer/`ctx.Done` channels
+///   (a `default` arm also makes the statement non-blocking);
+/// * a bare receive from `time.After`/`time.Tick`.
+///
+/// Unknown locations (no AST available) are conservatively kept.
+pub fn is_transient(index: &SourceIndex, op: &BlockedOp) -> bool {
+    let Some(stmt) = index.stmt_at(&op.loc) else {
+        return false;
+    };
+    match (op.kind, stmt) {
+        (ChanOpKind::Select, Stmt::Select { cases, default, .. }) => {
+            if default.is_some() {
+                return true; // non-blocking select can never leak
+            }
+            !cases.is_empty()
+                && cases.iter().all(|c| match c {
+                    SelCase::Recv { src, .. } => src_is_transient(src),
+                    SelCase::Send { .. } => false,
+                })
+        }
+        (ChanOpKind::Recv, Stmt::Recv { src, .. }) => src_is_transient(src),
+        // `for v := range time.Tick(d)` is not expressible in the subset;
+        // every other shape is kept.
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index_of(src: &str, path: &str) -> SourceIndex {
+        let mut ix = SourceIndex::new();
+        ix.insert_source(src, path).expect("test source parses");
+        ix
+    }
+
+    #[test]
+    fn transient_select_on_tick_and_done() {
+        let src = r#"
+package p
+
+func Loop(ctx context.Context) {
+	for {
+		select {
+		case <-time.Tick(100):
+			sim.Work(1)
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+"#;
+        let ix = index_of(src, "p/loop.go");
+        let op = BlockedOp { kind: ChanOpKind::Select, loc: Loc::new("p/loop.go", 6) };
+        assert!(is_transient(&ix, &op));
+    }
+
+    #[test]
+    fn select_with_real_channel_arm_is_kept() {
+        let src = r#"
+package p
+
+func Wait(ch chan int, ctx context.Context) {
+	select {
+	case v := <-ch:
+		_ = v
+	case <-ctx.Done():
+		return
+	}
+}
+"#;
+        let ix = index_of(src, "p/wait.go");
+        let op = BlockedOp { kind: ChanOpKind::Select, loc: Loc::new("p/wait.go", 5) };
+        assert!(!is_transient(&ix, &op), "a real channel arm can block forever");
+    }
+
+    #[test]
+    fn bare_timer_recv_is_transient() {
+        let src = r#"
+package p
+
+func Tickle() {
+	for {
+		<-time.After(50)
+		sim.Work(1)
+	}
+}
+"#;
+        let ix = index_of(src, "p/tickle.go");
+        let op = BlockedOp { kind: ChanOpKind::Recv, loc: Loc::new("p/tickle.go", 6) };
+        assert!(is_transient(&ix, &op));
+    }
+
+    #[test]
+    fn plain_channel_recv_is_kept() {
+        let src = r#"
+package p
+
+func Drain(ch chan int) {
+	<-ch
+}
+"#;
+        let ix = index_of(src, "p/drain.go");
+        let op = BlockedOp { kind: ChanOpKind::Recv, loc: Loc::new("p/drain.go", 5) };
+        assert!(!is_transient(&ix, &op));
+    }
+
+    #[test]
+    fn unknown_location_is_kept() {
+        let ix = SourceIndex::new();
+        let op = BlockedOp { kind: ChanOpKind::Recv, loc: Loc::new("nowhere.go", 1) };
+        assert!(!is_transient(&ix, &op));
+        assert!(ix.is_empty());
+    }
+}

@@ -1,0 +1,292 @@
+//! Sweep history and report lifecycle.
+//!
+//! LeakProf runs daily; most leaks persist across sweeps and must not be
+//! re-alerted, while a disappearing suspect usually means a fix shipped.
+//! The paper tracks exactly this lifecycle: 33 suspects reported over a
+//! year, 24 acknowledged by owners, 21 fixed. [`SweepStore`] provides
+//! that bookkeeping: it dedupes suspects across sweeps, surfaces what is
+//! *new* each day, notices when a suspect vanishes, and records owner
+//! triage decisions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::report::Report;
+use crate::signature::BlockedOp;
+
+/// Triage state of one suspected leak site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IssueStatus {
+    /// Surfaced by a sweep, not yet triaged.
+    Reported,
+    /// An owner confirmed it is a real defect.
+    Acknowledged,
+    /// A fix shipped (set manually, or inferred when the site vanishes
+    /// after being acknowledged).
+    Fixed,
+    /// Triaged as not-a-leak (e.g. expected congestion).
+    Rejected,
+}
+
+/// One tracked issue.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Issue {
+    /// The blocking operation.
+    pub op: BlockedOp,
+    /// Current status.
+    pub status: IssueStatus,
+    /// Sweep index when first seen.
+    pub first_seen: u64,
+    /// Sweep index when last seen.
+    pub last_seen: u64,
+    /// Peak RMS observed across sweeps.
+    pub peak_rms: f64,
+    /// Routed owner, if any.
+    pub owner: Option<String>,
+}
+
+/// What a sweep changed.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SweepDelta {
+    /// Sites never seen before (alert the owners about these).
+    pub new: Vec<BlockedOp>,
+    /// Sites seen before that are still present.
+    pub ongoing: Vec<BlockedOp>,
+    /// Previously-present sites that vanished this sweep — fix deployed,
+    /// instance recycled, or traffic shifted.
+    pub vanished: Vec<BlockedOp>,
+}
+
+/// Persistent sweep bookkeeping.
+///
+/// Issues are stored as a list (JSON object keys must be strings, and a
+/// handful of tracked issues makes linear lookup cheap anyway).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SweepStore {
+    issues: Vec<Issue>,
+    sweeps: u64,
+}
+
+impl SweepStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sweep's report and returns the delta. Vanished
+    /// acknowledged issues transition to [`IssueStatus::Fixed`]
+    /// automatically (the fix shipped).
+    pub fn record_sweep(&mut self, report: &Report) -> SweepDelta {
+        self.sweeps += 1;
+        let day = self.sweeps;
+        let mut delta = SweepDelta::default();
+        for s in &report.suspects {
+            let op = s.stats.op.clone();
+            match self.issues.iter_mut().find(|i| i.op == op) {
+                None => {
+                    self.issues.push(Issue {
+                        op: op.clone(),
+                        status: IssueStatus::Reported,
+                        first_seen: day,
+                        last_seen: day,
+                        peak_rms: s.stats.rms,
+                        owner: s.owner.clone(),
+                    });
+                    delta.new.push(op);
+                }
+                Some(issue) => {
+                    issue.last_seen = day;
+                    issue.peak_rms = issue.peak_rms.max(s.stats.rms);
+                    if issue.owner.is_none() {
+                        issue.owner = s.owner.clone();
+                    }
+                    delta.ongoing.push(op);
+                }
+            }
+        }
+        for issue in self.issues.iter_mut() {
+            if issue.last_seen != day
+                && issue.last_seen == day - 1
+                && !matches!(issue.status, IssueStatus::Fixed | IssueStatus::Rejected)
+            {
+                delta.vanished.push(issue.op.clone());
+                if issue.status == IssueStatus::Acknowledged {
+                    issue.status = IssueStatus::Fixed;
+                }
+            }
+        }
+        delta
+    }
+
+    /// Marks an issue acknowledged by its owner.
+    pub fn acknowledge(&mut self, op: &BlockedOp) -> bool {
+        self.set_status(op, IssueStatus::Acknowledged)
+    }
+
+    /// Marks an issue fixed.
+    pub fn fix(&mut self, op: &BlockedOp) -> bool {
+        self.set_status(op, IssueStatus::Fixed)
+    }
+
+    /// Marks an issue rejected (triaged as benign).
+    pub fn reject(&mut self, op: &BlockedOp) -> bool {
+        self.set_status(op, IssueStatus::Rejected)
+    }
+
+    fn set_status(&mut self, op: &BlockedOp, status: IssueStatus) -> bool {
+        match self.issues.iter_mut().find(|i| i.op == *op) {
+            Some(i) => {
+                i.status = status;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Looks up a tracked issue.
+    pub fn issue(&self, op: &BlockedOp) -> Option<&Issue> {
+        self.issues.iter().find(|i| i.op == *op)
+    }
+
+    /// Iterates all tracked issues.
+    pub fn issues(&self) -> impl Iterator<Item = &Issue> {
+        self.issues.iter()
+    }
+
+    /// Number of sweeps recorded.
+    pub fn sweeps(&self) -> u64 {
+        self.sweeps
+    }
+
+    /// Lifecycle summary: (reported, acknowledged, fixed, rejected) — the
+    /// paper's 33 / 24 / 21 line.
+    pub fn lifecycle(&self) -> (usize, usize, usize, usize) {
+        let mut counts = (0, 0, 0, 0);
+        for i in self.issues.iter() {
+            counts.0 += 1;
+            match i.status {
+                IssueStatus::Acknowledged => counts.1 += 1,
+                IssueStatus::Fixed => {
+                    counts.1 += 1; // fixed implies acknowledged
+                    counts.2 += 1;
+                }
+                IssueStatus::Rejected => counts.3 += 1,
+                IssueStatus::Reported => {}
+            }
+        }
+        counts
+    }
+
+    /// Serializes to JSON (for `--store` persistence in tooling).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("store serializes")
+    }
+
+    /// Loads from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying serde error message on malformed input.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::SiteStats;
+    use crate::report::Suspect;
+    use crate::signature::ChanOpKind;
+    use gosim::{Frame, Gid, GoStatus, GoroutineRecord, Loc};
+
+    fn suspect(file: &str, line: u32, rms: f64) -> Suspect {
+        let op = BlockedOp { kind: ChanOpKind::Send, loc: Loc::new(file, line) };
+        Suspect {
+            stats: SiteStats {
+                op: op.clone(),
+                per_instance: vec![("i0".into(), 100)],
+                total: 100,
+                max_instance: 100,
+                instances_over_threshold: 1,
+                rms,
+                representative: GoroutineRecord {
+                    gid: Gid(1),
+                    name: "f".into(),
+                    status: GoStatus::ChanSend { nil_chan: false },
+                    stack: vec![],
+                    created_by: Frame::new("f", Loc::new(file, 1)),
+                    wait_ticks: 5,
+                    retained_bytes: 100,
+                },
+            },
+            owner: Some("team-x".into()),
+        }
+    }
+
+    fn report(suspects: Vec<Suspect>) -> Report {
+        Report { suspects, profiles_analyzed: 1, goroutines_seen: 10 }
+    }
+
+    #[test]
+    fn first_sweep_reports_new_later_sweeps_dedupe() {
+        let mut store = SweepStore::new();
+        let d1 = store.record_sweep(&report(vec![suspect("a.go", 5, 10.0)]));
+        assert_eq!(d1.new.len(), 1);
+        assert!(d1.ongoing.is_empty());
+        let d2 = store.record_sweep(&report(vec![suspect("a.go", 5, 12.0)]));
+        assert!(d2.new.is_empty());
+        assert_eq!(d2.ongoing.len(), 1);
+        let issue = store.issues().next().unwrap();
+        assert_eq!(issue.first_seen, 1);
+        assert_eq!(issue.last_seen, 2);
+        assert!((issue.peak_rms - 12.0).abs() < 1e-9, "peak rms tracked");
+    }
+
+    #[test]
+    fn acknowledged_issue_vanishing_becomes_fixed() {
+        let mut store = SweepStore::new();
+        store.record_sweep(&report(vec![suspect("a.go", 5, 10.0)]));
+        let op = store.issues().next().unwrap().op.clone();
+        assert!(store.acknowledge(&op));
+        // The fix ships: the site disappears from the next sweep.
+        let d = store.record_sweep(&report(vec![]));
+        assert_eq!(d.vanished.len(), 1);
+        assert_eq!(store.issue(&op).unwrap().status, IssueStatus::Fixed);
+    }
+
+    #[test]
+    fn lifecycle_counts_match_paper_semantics() {
+        let mut store = SweepStore::new();
+        store.record_sweep(&report(vec![
+            suspect("a.go", 1, 1.0),
+            suspect("b.go", 2, 2.0),
+            suspect("c.go", 3, 3.0),
+        ]));
+        let ops: Vec<BlockedOp> = store.issues().map(|i| i.op.clone()).collect();
+        store.acknowledge(&ops[0]);
+        store.fix(&ops[1]);
+        store.reject(&ops[2]);
+        let (reported, acked, fixed, rejected) = store.lifecycle();
+        assert_eq!((reported, acked, fixed, rejected), (3, 2, 1, 1));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut store = SweepStore::new();
+        store.record_sweep(&report(vec![suspect("a.go", 5, 10.0)]));
+        let js = store.to_json();
+        let back = SweepStore::from_json(&js).unwrap();
+        assert_eq!(back.sweeps(), 1);
+        assert_eq!(back.issues().count(), 1);
+        assert!(SweepStore::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn unknown_ops_cannot_be_triaged() {
+        let mut store = SweepStore::new();
+        let ghost = BlockedOp { kind: ChanOpKind::Recv, loc: Loc::new("x.go", 9) };
+        assert!(!store.acknowledge(&ghost));
+        assert!(!store.fix(&ghost));
+        assert!(!store.reject(&ghost));
+    }
+}

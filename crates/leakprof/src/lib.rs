@@ -1,0 +1,126 @@
+//! # leakprof — production goroutine-profile analysis (paper Section V)
+//!
+//! LeakProf finds goroutine leaks in *running services* by analyzing
+//! goroutine profiles (the simulator's [`gosim::GoroutineProfile`],
+//! mirroring pprof):
+//!
+//! 1. **Signature detection** ([`signature`]): goroutines blocked on
+//!    channel operations are recognized by the `runtime.gopark` /
+//!    `runtime.chansend1|chanrecv1|selectgo` stack pattern (Fig 4), and
+//!    grouped by the source location of the blocking operation.
+//! 2. **Criterion 1 — threshold** ([`analyze`]): only sites where some
+//!    single profile shows at least `threshold` blocked goroutines are
+//!    suspicious (the paper uses 10 000).
+//! 3. **Criterion 2 — transient-op filter** ([`filter`]): a small
+//!    AST-level static analysis drops `select`s that only wait on
+//!    `time.Tick`/`time.After`/`ctx.Done()`.
+//! 4. **RMS ranking and routing** ([`analyze`], [`report`]): sites are
+//!    ranked by root-mean-square of per-instance blocked counts —
+//!    chosen because it surfaces single-instance spikes — and the top N
+//!    are routed to code owners.
+//!
+//! ## Example
+//!
+//! ```
+//! use gosim::Runtime;
+//! use leakprof::{LeakProf, Config};
+//!
+//! // A leaky service instance: 64 handler goroutines stuck sending.
+//! let src = r#"
+//! package pay
+//!
+//! func Serve(n int) {
+//!     ch := make(chan int)
+//!     for i := 0; i < n; i++ {
+//!         go func() {
+//!             ch <- i
+//!         }()
+//!     }
+//!     first := <-ch
+//!     _ = first
+//! }
+//! "#;
+//! let prog = minigo::compile(src, "pay/serve.go").unwrap();
+//! let mut rt = Runtime::with_seed(0);
+//! prog.spawn_func(&mut rt, "pay.Serve", vec![64i64.into()]);
+//! rt.run_until_blocked(100_000);
+//!
+//! let profile = rt.goroutine_profile("pay-host-0");
+//! let mut lp = LeakProf::new(Config { threshold: 50, ..Config::default() });
+//! lp.index_source(src, "pay/serve.go").unwrap();
+//! let report = lp.analyze(&[profile]);
+//! assert_eq!(report.suspects.len(), 1);
+//! assert_eq!(report.suspects[0].stats.total, 63); // n-1 leaked senders
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod filter;
+pub mod history;
+pub mod report;
+pub mod signature;
+
+pub use analyze::{aggregate, aggregate_parallel, rms, Config, SiteStats};
+pub use filter::{is_transient, SourceIndex};
+pub use history::{Issue, IssueStatus, SweepDelta, SweepStore};
+pub use report::{OwnerDb, Report, Suspect};
+pub use signature::{blocked_op, BlockedOp, ChanOpKind};
+
+use gosim::GoroutineProfile;
+
+/// The LeakProf service: configuration + source index + ownership, with
+/// a one-call [`LeakProf::analyze`] entry point for a daily sweep.
+#[derive(Debug, Default)]
+pub struct LeakProf {
+    config: Config,
+    index: SourceIndex,
+    owners: OwnerDb,
+}
+
+impl LeakProf {
+    /// Creates a LeakProf instance with the given configuration.
+    pub fn new(config: Config) -> Self {
+        LeakProf { config, index: SourceIndex::new(), owners: OwnerDb::new() }
+    }
+
+    /// Adds source code to the AST index used by the criterion-2 filter.
+    ///
+    /// # Errors
+    ///
+    /// Returns parse diagnostics for malformed source.
+    pub fn index_source(&mut self, src: &str, path: &str) -> Result<(), Vec<minigo::Diag>> {
+        self.index.insert_source(src, path)
+    }
+
+    /// Adds a pre-parsed file to the AST index.
+    pub fn index_file(&mut self, file: minigo::ast::File) {
+        self.index.insert(file);
+    }
+
+    /// Registers a code owner for a path prefix.
+    pub fn add_owner(&mut self, prefix: &str, owner: &str) {
+        self.owners.insert(prefix, owner);
+    }
+
+    /// Analyzes a set of profiles (one per service instance) and returns
+    /// the ranked, routed report.
+    pub fn analyze(&self, profiles: &[GoroutineProfile]) -> Report {
+        let stats = aggregate(profiles, &self.config, &self.index);
+        self.into_report(stats, profiles)
+    }
+
+    /// Multi-threaded variant of [`LeakProf::analyze`] for large sweeps.
+    pub fn analyze_parallel(&self, profiles: &[GoroutineProfile], threads: usize) -> Report {
+        let stats = aggregate_parallel(profiles, &self.config, &self.index, threads);
+        self.into_report(stats, profiles)
+    }
+
+    fn into_report(&self, stats: Vec<SiteStats>, profiles: &[GoroutineProfile]) -> Report {
+        Report {
+            suspects: report::route(stats, &self.owners),
+            profiles_analyzed: profiles.len(),
+            goroutines_seen: profiles.iter().map(|p| p.len() as u64).sum(),
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Reporting: ownership routing and rendered alerts (paper Section V-A,
+//! "Reporting potential defects").
+//!
+//! Each suspect carries the offending operation and location, the number
+//! of goroutines it blocks, the representative stack from the
+//! most-affected instance, and the owner the alert is routed to.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::analyze::SiteStats;
+
+/// Maps source paths to owning teams, longest-prefix wins — a stand-in
+/// for the paper's code-ownership service.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OwnerDb {
+    prefixes: Vec<(String, String)>,
+}
+
+impl OwnerDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an owner for a path prefix.
+    pub fn insert(&mut self, prefix: impl Into<String>, owner: impl Into<String>) {
+        self.prefixes.push((prefix.into(), owner.into()));
+        self.prefixes.sort_by(|a, b| b.0.len().cmp(&a.0.len()));
+    }
+
+    /// Resolves the owner of a file path (longest matching prefix).
+    pub fn owner_of(&self, path: &str) -> Option<&str> {
+        self.prefixes
+            .iter()
+            .find(|(prefix, _)| path.starts_with(prefix.as_str()))
+            .map(|(_, owner)| owner.as_str())
+    }
+
+    /// Number of registered prefixes.
+    pub fn len(&self) -> usize {
+        self.prefixes.len()
+    }
+
+    /// True when no owners are registered.
+    pub fn is_empty(&self) -> bool {
+        self.prefixes.is_empty()
+    }
+}
+
+/// One routed leak alert.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Suspect {
+    /// Aggregated site statistics.
+    pub stats: SiteStats,
+    /// Resolved owner, if any.
+    pub owner: Option<String>,
+}
+
+impl Suspect {
+    /// Renders the alert body the way service owners would see it.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "POTENTIAL GOROUTINE LEAK: {}", self.stats.op);
+        let _ = writeln!(
+            out,
+            "  blocked goroutines: total={} max-instance={} rms={:.1}",
+            self.stats.total, self.stats.max_instance, self.stats.rms
+        );
+        let _ = writeln!(
+            out,
+            "  instances over threshold: {} of {}",
+            self.stats.instances_over_threshold,
+            self.stats.per_instance.len()
+        );
+        if let Some(owner) = &self.owner {
+            let _ = writeln!(out, "  routed to: {owner}");
+        }
+        let _ = writeln!(out, "  representative goroutine:");
+        for line in self.stats.representative.render().lines() {
+            let _ = writeln!(out, "    {line}");
+        }
+        out
+    }
+}
+
+impl fmt::Display for Suspect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (total {}, rms {:.1})", self.stats.op, self.stats.total, self.stats.rms)
+    }
+}
+
+/// A full daily LeakProf report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Report {
+    /// Suspects ordered by perceived impact (RMS), most impactful first.
+    pub suspects: Vec<Suspect>,
+    /// Profiles analyzed.
+    pub profiles_analyzed: usize,
+    /// Total goroutines inspected.
+    pub goroutines_seen: u64,
+}
+
+impl Report {
+    /// Renders the whole report.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "=== LeakProf report: {} suspect(s) from {} profiles ({} goroutines)\n",
+            self.suspects.len(),
+            self.profiles_analyzed,
+            self.goroutines_seen
+        );
+        for (i, s) in self.suspects.iter().enumerate() {
+            let _ = writeln!(out, "\n#{} {}", i + 1, s.render());
+        }
+        out
+    }
+}
+
+/// Routes ranked sites to owners.
+pub fn route(stats: Vec<SiteStats>, owners: &OwnerDb) -> Vec<Suspect> {
+    stats
+        .into_iter()
+        .map(|s| {
+            let owner = owners.owner_of(&s.op.loc.file).map(str::to_owned);
+            Suspect { stats: s, owner }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut db = OwnerDb::new();
+        db.insert("payments/", "team-payments");
+        db.insert("payments/fraud/", "team-fraud");
+        assert_eq!(db.owner_of("payments/fraud/detect.go"), Some("team-fraud"));
+        assert_eq!(db.owner_of("payments/cost.go"), Some("team-payments"));
+        assert_eq!(db.owner_of("rides/dispatch.go"), None);
+        assert_eq!(db.len(), 2);
+        assert!(!db.is_empty());
+    }
+}

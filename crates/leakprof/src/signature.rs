@@ -1,0 +1,161 @@
+//! Blocked-stack signature detection (paper Section V-A, Fig 4).
+//!
+//! A goroutine blocked on a channel operation always has
+//! `runtime.gopark` at the top of its stack, with the discriminating
+//! runtime frames right underneath:
+//!
+//! * `runtime.chansend` / `runtime.chansend1` — blocked send;
+//! * `runtime.chanrecv` / `runtime.chanrecv1` — blocked receive;
+//! * `runtime.selectgo` — blocked `select`.
+//!
+//! The first non-runtime frame below those carries the source location of
+//! the blocking operation, which is LeakProf's grouping key. Detection
+//! works purely on serialized profiles — it never touches runtime
+//! internals — exactly like the paper's tool, which consumes pprof dumps
+//! fetched over the network.
+
+use std::fmt;
+
+use gosim::{GoroutineRecord, Loc};
+use serde::{Deserialize, Serialize};
+
+/// The kind of channel operation a goroutine is blocked on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ChanOpKind {
+    /// Blocked sending.
+    Send,
+    /// Blocked receiving.
+    Recv,
+    /// Blocked in a `select`.
+    Select,
+}
+
+impl fmt::Display for ChanOpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChanOpKind::Send => write!(f, "chan send"),
+            ChanOpKind::Recv => write!(f, "chan receive"),
+            ChanOpKind::Select => write!(f, "select"),
+        }
+    }
+}
+
+/// A blocking channel operation: the grouping key for LeakProf.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockedOp {
+    /// Operation kind.
+    pub kind: ChanOpKind,
+    /// Source location of the operation (first user frame).
+    pub loc: Loc,
+}
+
+impl fmt::Display for BlockedOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.kind, self.loc)
+    }
+}
+
+/// Recognizes a goroutine blocked on a channel operation from its stack
+/// signature. Returns `None` for goroutines that are running or parked
+/// for non-channel reasons (I/O, syscalls, semaphores, timers).
+pub fn blocked_op(rec: &GoroutineRecord) -> Option<BlockedOp> {
+    let mut frames = rec.stack.iter();
+    let top = frames.next()?;
+    if top.func != "runtime.gopark" {
+        return None;
+    }
+    // Scan the runtime frames below gopark for the channel discriminator.
+    let mut kind = None;
+    let mut user_frame = None;
+    for f in frames {
+        if f.is_runtime() {
+            if kind.is_none() {
+                kind = match f.func.as_str() {
+                    "runtime.chansend" | "runtime.chansend1" => Some(ChanOpKind::Send),
+                    "runtime.chanrecv" | "runtime.chanrecv1" => Some(ChanOpKind::Recv),
+                    "runtime.selectgo" => Some(ChanOpKind::Select),
+                    // gopark for a non-channel reason (timers, semaphores,
+                    // netpoll): not a channel block.
+                    _ => return None,
+                };
+            }
+            continue;
+        }
+        user_frame = Some(f);
+        break;
+    }
+    Some(BlockedOp { kind: kind?, loc: user_frame?.loc.clone() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gosim::{Frame, Gid, GoStatus};
+
+    fn rec(frames: Vec<Frame>) -> GoroutineRecord {
+        GoroutineRecord {
+            gid: Gid(1),
+            name: "f".into(),
+            status: GoStatus::ChanSend { nil_chan: false },
+            stack: frames,
+            created_by: Frame::new("main", Loc::unknown()),
+            wait_ticks: 0,
+            retained_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn detects_send_signature() {
+        let r = rec(vec![
+            Frame::runtime("runtime.gopark"),
+            Frame::runtime("runtime.chansend"),
+            Frame::runtime("runtime.chansend1"),
+            Frame::new("transactions.ComputeCost$1", Loc::new("transactions/cost.go", 8)),
+            Frame::new("transactions.ComputeCost", Loc::new("transactions/cost.go", 6)),
+        ]);
+        let op = blocked_op(&r).unwrap();
+        assert_eq!(op.kind, ChanOpKind::Send);
+        assert_eq!(op.loc, Loc::new("transactions/cost.go", 8));
+    }
+
+    #[test]
+    fn detects_recv_and_select() {
+        let recv = rec(vec![
+            Frame::runtime("runtime.gopark"),
+            Frame::runtime("runtime.chanrecv"),
+            Frame::runtime("runtime.chanrecv1"),
+            Frame::new("p.f", Loc::new("p/f.go", 3)),
+        ]);
+        assert_eq!(blocked_op(&recv).unwrap().kind, ChanOpKind::Recv);
+
+        let sel = rec(vec![
+            Frame::runtime("runtime.gopark"),
+            Frame::runtime("runtime.selectgo"),
+            Frame::new("p.g", Loc::new("p/g.go", 9)),
+        ]);
+        assert_eq!(blocked_op(&sel).unwrap().kind, ChanOpKind::Select);
+    }
+
+    #[test]
+    fn rejects_non_channel_parks() {
+        // semacquire under gopark: blocked, but not on a channel.
+        let sem = rec(vec![
+            Frame::runtime("runtime.gopark"),
+            Frame::runtime("runtime.semacquire1"),
+            Frame::new("p.h", Loc::new("p/h.go", 2)),
+        ]);
+        assert!(blocked_op(&sem).is_none());
+        // running goroutine: no gopark on top.
+        let run = rec(vec![Frame::new("p.h", Loc::new("p/h.go", 2))]);
+        assert!(blocked_op(&run).is_none());
+    }
+
+    #[test]
+    fn requires_a_user_frame() {
+        let only_runtime = rec(vec![
+            Frame::runtime("runtime.gopark"),
+            Frame::runtime("runtime.chanrecv"),
+        ]);
+        assert!(blocked_op(&only_runtime).is_none());
+    }
+}

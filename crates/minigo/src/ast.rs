@@ -1,0 +1,533 @@
+//! The mini-Go abstract syntax tree.
+//!
+//! The AST is deliberately close to Go's surface syntax for the
+//! concurrency subset the paper analyzes. It is consumed by three
+//! clients: the lowering pass to the `gosim` script IR
+//! ([`crate::lower`]), the static analyzers in the `staticlint` crate,
+//! and LeakProf's criterion-2 filter (trivially-transient `select`
+//! detection), mirroring how the paper's tooling runs simple AST-level
+//! analyses over Go source.
+
+use serde::{Deserialize, Serialize};
+
+/// A parsed source file (one package fragment).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct File {
+    /// Package name from the `package` clause.
+    pub package: String,
+    /// File path used for locations (set by the caller of the parser).
+    pub path: String,
+    /// Top-level function declarations.
+    pub funcs: Vec<FuncDecl>,
+}
+
+impl File {
+    /// Finds a function by name.
+    pub fn func(&self, name: &str) -> Option<&FuncDecl> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+}
+
+/// A function declaration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FuncDecl {
+    /// Function name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Optional result type (informational; the subset is loosely typed).
+    pub ret: Option<TypeExpr>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Line of the `func` keyword.
+    pub line: u32,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Declared type.
+    pub ty: TypeExpr,
+}
+
+/// A (simplified) type expression.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TypeExpr {
+    /// `int`.
+    Int,
+    /// `bool`.
+    Bool,
+    /// `string`.
+    Str,
+    /// `float64`.
+    Float,
+    /// `chan T`.
+    Chan(Box<TypeExpr>),
+    /// `context.Context`.
+    Ctx,
+    /// `interface{}` / `any`.
+    Any,
+    /// `[]T`.
+    List(Box<TypeExpr>),
+    /// `sync.WaitGroup`.
+    WaitGroup,
+    /// `sync.Mutex`.
+    Mutex,
+    /// `sync.Cond`.
+    Cond,
+    /// Any other named type (`*Item`, `error`, user structs...).
+    Named(String),
+}
+
+/// An expression (effect-free in this subset).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// `nil`.
+    Nil,
+    /// Identifier.
+    Ident(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `len(e)`.
+    Len(Box<Expr>),
+    /// `e[i]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// `[]T{a, b, c}` — list literal (element type elided).
+    ListLit(Vec<Expr>),
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnOp {
+    /// `!`
+    Not,
+    /// `-`
+    Neg,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+/// The source of a receive operation. `<-ctx.Done()`, `<-time.After(d)`
+/// and `<-time.Tick(d)` are recognized structurally because LeakProf's
+/// criterion-2 filter (paper Section V-A) treats them as transient.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum RecvSrc {
+    /// A plain channel expression.
+    Chan(Expr),
+    /// `ctx.Done()` for the named context variable.
+    CtxDone(String),
+    /// `time.After(d)`.
+    TimeAfter(Expr),
+    /// `time.Tick(d)`.
+    TimeTick(Expr),
+}
+
+/// A function or method call.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CallExpr {
+    /// Call target.
+    pub target: CallTarget,
+    /// Arguments.
+    pub args: Vec<Expr>,
+    /// Line of the call.
+    pub line: u32,
+}
+
+/// What a call refers to.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CallTarget {
+    /// `f(...)` — a plain function (user-defined, or a cancel handle).
+    Func(String),
+    /// `recv.name(...)` — a method or package-qualified call
+    /// (`wg.Add`, `mu.Lock`, `time.Sleep`, `sim.Work`, ...).
+    Method {
+        /// Receiver or package identifier.
+        recv: String,
+        /// Method or function name.
+        name: String,
+    },
+}
+
+/// How a goroutine is spawned.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum GoCall {
+    /// `go func() { ... }()`.
+    Closure {
+        /// Closure body.
+        body: Vec<Stmt>,
+    },
+    /// `go f(args...)`.
+    Named {
+        /// Callee.
+        func: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// A goroutine spawned through a wrapper API taking a closure, e.g.
+    /// `asyncutil.Go(func() { ... })`. The paper highlights that such
+    /// wrappers blindside static analyzers unless each wrapper is
+    /// special-cased; the dynamic pipeline treats them as ordinary spawns
+    /// while the naive static baselines ignore them.
+    Wrapper {
+        /// Wrapper callee, e.g. `asyncutil.Go`.
+        wrapper: String,
+        /// Closure body.
+        body: Vec<Stmt>,
+    },
+}
+
+/// One `case` of a `select` statement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum SelCase {
+    /// `case v, ok := <-src:`.
+    Recv {
+        /// Value binding.
+        name: Option<String>,
+        /// `ok` binding.
+        ok: Option<String>,
+        /// Receive source.
+        src: RecvSrc,
+        /// Case body.
+        body: Vec<Stmt>,
+        /// Line of the `case`.
+        line: u32,
+    },
+    /// `case ch <- val:`.
+    Send {
+        /// Channel expression.
+        ch: Expr,
+        /// Sent value.
+        val: Expr,
+        /// Case body.
+        body: Vec<Stmt>,
+        /// Line of the `case`.
+        line: u32,
+    },
+}
+
+impl SelCase {
+    /// The case body.
+    pub fn body(&self) -> &[Stmt] {
+        match self {
+            SelCase::Recv { body, .. } | SelCase::Send { body, .. } => body,
+        }
+    }
+
+    /// The case line.
+    pub fn line(&self) -> u32 {
+        match self {
+            SelCase::Recv { line, .. } | SelCase::Send { line, .. } => *line,
+        }
+    }
+}
+
+/// Loop flavors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ForKind {
+    /// `for { ... }`.
+    Infinite,
+    /// `for cond { ... }`.
+    While(Expr),
+    /// `for v := range ch { ... }`.
+    Range {
+        /// Element binding (`_` elided to `None`).
+        var: Option<String>,
+        /// Ranged channel expression.
+        ch: Expr,
+    },
+    /// `for i := 0; i < n; i++ { ... }` (this exact shape).
+    CStyle {
+        /// Induction variable.
+        var: String,
+        /// Upper bound expression.
+        n: Expr,
+    },
+}
+
+/// A statement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Stmt {
+    /// `x := expr` / `x = expr`.
+    Assign {
+        /// Target.
+        name: String,
+        /// Value.
+        expr: Expr,
+        /// True for `:=`.
+        decl: bool,
+        /// Line.
+        line: u32,
+    },
+    /// `ch := make(chan T, cap)`.
+    MakeChan {
+        /// Target.
+        name: String,
+        /// Element type.
+        elem: TypeExpr,
+        /// Capacity (`None` = unbuffered).
+        cap: Option<Expr>,
+        /// Line.
+        line: u32,
+    },
+    /// `ch <- val`.
+    Send {
+        /// Channel.
+        ch: Expr,
+        /// Value.
+        val: Expr,
+        /// Line.
+        line: u32,
+    },
+    /// `v, ok := <-src` (all bindings optional; bare receive when both
+    /// `None`).
+    Recv {
+        /// Value binding.
+        name: Option<String>,
+        /// `ok` binding.
+        ok: Option<String>,
+        /// Source.
+        src: RecvSrc,
+        /// Line.
+        line: u32,
+    },
+    /// `close(ch)`.
+    Close {
+        /// Channel.
+        ch: Expr,
+        /// Line.
+        line: u32,
+    },
+    /// `go ...`.
+    Go {
+        /// Spawn form.
+        call: GoCall,
+        /// Line of the `go`.
+        line: u32,
+    },
+    /// A call used as a statement (`f()`, `wg.Add(1)`, `time.Sleep(d)`).
+    Call {
+        /// Optional `x :=` binding of the result.
+        ret: Option<String>,
+        /// The call.
+        call: CallExpr,
+        /// Line.
+        line: u32,
+    },
+    /// `ctx, cancel := context.WithTimeout(parent, d)` /
+    /// `context.WithCancel(parent)`.
+    CtxDecl {
+        /// Context variable.
+        ctx: String,
+        /// Cancel-handle variable.
+        cancel: String,
+        /// Timeout expression (`None` for `WithCancel`).
+        timeout: Option<Expr>,
+        /// Line.
+        line: u32,
+    },
+    /// `select { ... }`.
+    Select {
+        /// Cases.
+        cases: Vec<SelCase>,
+        /// Optional `default` body.
+        default: Option<Vec<Stmt>>,
+        /// Line of the `select`.
+        line: u32,
+    },
+    /// `if cond { ... } else { ... }`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then: Vec<Stmt>,
+        /// Else-branch.
+        els: Option<Vec<Stmt>>,
+        /// Line.
+        line: u32,
+    },
+    /// Any `for` loop.
+    For {
+        /// Loop flavor.
+        kind: ForKind,
+        /// Body.
+        body: Vec<Stmt>,
+        /// Line.
+        line: u32,
+    },
+    /// `return expr?`.
+    Return {
+        /// Optional value.
+        expr: Option<Expr>,
+        /// Line.
+        line: u32,
+    },
+    /// `break`.
+    Break {
+        /// Line.
+        line: u32,
+    },
+    /// `continue`.
+    Continue {
+        /// Line.
+        line: u32,
+    },
+    /// `defer call`.
+    Defer {
+        /// Deferred call (`close(ch)` is represented as target
+        /// `Func("close")`).
+        call: CallExpr,
+        /// Line.
+        line: u32,
+    },
+    /// `var name T` (used for `sync.WaitGroup`, `sync.Mutex`, zero-valued
+    /// channels, and plain scalars).
+    VarDecl {
+        /// Name.
+        name: String,
+        /// Type.
+        ty: TypeExpr,
+        /// Optional initializer.
+        init: Option<Expr>,
+        /// Line.
+        line: u32,
+    },
+    /// `panic("msg")`.
+    Panic {
+        /// Message.
+        msg: String,
+        /// Line.
+        line: u32,
+    },
+}
+
+impl Stmt {
+    /// The statement's source line.
+    pub fn line(&self) -> u32 {
+        use Stmt::*;
+        match self {
+            Assign { line, .. }
+            | MakeChan { line, .. }
+            | Send { line, .. }
+            | Recv { line, .. }
+            | Close { line, .. }
+            | Go { line, .. }
+            | Call { line, .. }
+            | CtxDecl { line, .. }
+            | Select { line, .. }
+            | If { line, .. }
+            | For { line, .. }
+            | Return { line, .. }
+            | Break { line }
+            | Continue { line }
+            | Defer { line, .. }
+            | VarDecl { line, .. }
+            | Panic { line, .. } => *line,
+        }
+    }
+}
+
+/// Walks every statement in a body, depth-first, invoking `f` on each.
+/// Used by the AST-level analyses (range linter, transient-select filter).
+pub fn walk_stmts<'a>(body: &'a [Stmt], f: &mut dyn FnMut(&'a Stmt)) {
+    for s in body {
+        f(s);
+        match s {
+            Stmt::Go { call: GoCall::Closure { body }, .. }
+            | Stmt::Go { call: GoCall::Wrapper { body, .. }, .. } => walk_stmts(body, f),
+            Stmt::Select { cases, default, .. } => {
+                for c in cases {
+                    walk_stmts(c.body(), f);
+                }
+                if let Some(d) = default {
+                    walk_stmts(d, f);
+                }
+            }
+            Stmt::If { then, els, .. } => {
+                walk_stmts(then, f);
+                if let Some(e) = els {
+                    walk_stmts(e, f);
+                }
+            }
+            Stmt::For { body, .. } => walk_stmts(body, f),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_visits_nested_statements() {
+        let body = vec![Stmt::If {
+            cond: Expr::Bool(true),
+            then: vec![Stmt::For {
+                kind: ForKind::Infinite,
+                body: vec![Stmt::Break { line: 3 }],
+                line: 2,
+            }],
+            els: None,
+            line: 1,
+        }];
+        let mut lines = Vec::new();
+        walk_stmts(&body, &mut |s| lines.push(s.line()));
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn file_func_lookup() {
+        let f = File {
+            package: "p".into(),
+            path: "p/a.go".into(),
+            funcs: vec![FuncDecl {
+                name: "F".into(),
+                params: vec![],
+                ret: None,
+                body: vec![],
+                line: 1,
+            }],
+        };
+        assert!(f.func("F").is_some());
+        assert!(f.func("G").is_none());
+    }
+}

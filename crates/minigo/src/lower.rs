@@ -1,0 +1,469 @@
+//! Lowering: mini-Go AST → `gosim` script IR.
+//!
+//! The lowering is mostly 1:1. The interesting cases:
+//!
+//! * `<-time.After(d)` (in statements and `select` arms) hoists the timer
+//!   channel creation before the receive, matching Go's evaluation order;
+//! * `ctx.Done()` resolves to the context's done-channel variable (a
+//!   context is represented by its done channel);
+//! * `cancel()` calls are recognized by tracking the cancel-handle names
+//!   introduced by `context.WithTimeout/WithCancel`;
+//! * wrapper spawns (`pkg.Go(func(){...})`) lower to ordinary goroutine
+//!   spawns — the dynamic pipeline sees through wrappers, unlike the
+//!   naive static baselines;
+//! * `sim.*` intrinsics (`sim.Work`, `sim.Alloc`, `sim.IOWait`,
+//!   `sim.Syscall`, `sim.Block`) model computation, allocation, and
+//!   non-channel blocking for workload generation.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use gosim::script::{block, Arm, ArmIr, BinOp as IrBin, Block, Expr as IrExpr, FuncDef, Prog, Stmt as IrStmt};
+use gosim::{Loc, ParkReason, TypeTag, Val};
+
+use crate::ast::{
+    BinOp, CallExpr, CallTarget, Expr, File, ForKind, FuncDecl, GoCall, RecvSrc, SelCase, Stmt,
+    TypeExpr, UnOp,
+};
+use crate::parser::Diag;
+
+/// Lowers a set of parsed files into a single executable program.
+///
+/// Function names are qualified as `package.Func` except `main`, which
+/// keeps its bare name so [`gosim::script::Prog::spawn_main`] works.
+///
+/// # Errors
+///
+/// Returns diagnostics for constructs outside the supported subset.
+pub fn lower_files(files: &[File]) -> Result<Prog, Vec<Diag>> {
+    let mut funcs = Vec::new();
+    let mut errors = Vec::new();
+    for file in files {
+        for f in &file.funcs {
+            let mut cx = Lowerer {
+                package: file.package.clone(),
+                file: Arc::from(file.path.as_str()),
+                func_display: qualify(&file.package, &f.name),
+                closure_count: 0,
+                tmp_count: 0,
+                cancels: HashSet::new(),
+                conds: HashSet::new(),
+                errors: Vec::new(),
+            };
+            let def = cx.func(f);
+            errors.extend(cx.errors);
+            funcs.push(def);
+        }
+    }
+    if errors.is_empty() {
+        Ok(Prog::new(funcs))
+    } else {
+        Err(errors)
+    }
+}
+
+/// Lowers a single file.
+///
+/// # Errors
+///
+/// See [`lower_files`].
+pub fn lower_file(file: &File) -> Result<Prog, Vec<Diag>> {
+    lower_files(std::slice::from_ref(file))
+}
+
+fn qualify(pkg: &str, name: &str) -> String {
+    if name == "main" {
+        "main".to_string()
+    } else {
+        format!("{pkg}.{name}")
+    }
+}
+
+struct Lowerer {
+    package: String,
+    file: Arc<str>,
+    func_display: String,
+    closure_count: u32,
+    tmp_count: u32,
+    /// Variables known to hold cancel handles.
+    cancels: HashSet<String>,
+    /// Variables declared as `sync.Cond`.
+    conds: HashSet<String>,
+    errors: Vec<Diag>,
+}
+
+impl Lowerer {
+    fn loc(&self, line: u32) -> Loc {
+        Loc::new(self.file.clone(), line)
+    }
+
+    fn err(&mut self, line: u32, msg: impl Into<String>) {
+        self.errors.push(Diag { msg: msg.into(), line });
+    }
+
+    fn func(&mut self, f: &FuncDecl) -> FuncDef {
+        let body = self.stmts(&f.body);
+        FuncDef {
+            name: self.func_display.clone(),
+            file: self.file.clone(),
+            params: f.params.iter().map(|p| p.name.clone()).collect(),
+            body,
+        }
+    }
+
+    fn stmts(&mut self, body: &[Stmt]) -> Block {
+        let mut out = Vec::new();
+        for s in body {
+            self.stmt(s, &mut out);
+        }
+        block(out)
+    }
+
+    fn stmt(&mut self, s: &Stmt, out: &mut Vec<IrStmt>) {
+        match s {
+            Stmt::Assign { name, expr, line, .. } => {
+                let e = self.expr(expr, *line);
+                out.push(IrStmt::Assign { var: name.clone(), expr: e, loc: self.loc(*line) });
+            }
+            Stmt::MakeChan { name, elem, cap, line } => {
+                let cap_e = match cap {
+                    Some(e) => self.expr(e, *line),
+                    None => IrExpr::int(0),
+                };
+                out.push(IrStmt::MakeChan {
+                    var: name.clone(),
+                    cap: cap_e,
+                    elem: type_tag(elem),
+                    loc: self.loc(*line),
+                });
+            }
+            Stmt::Send { ch, val, line } => {
+                let c = self.expr(ch, *line);
+                let v = self.expr(val, *line);
+                out.push(IrStmt::Send { ch: c, val: v, loc: self.loc(*line) });
+            }
+            Stmt::Recv { name, ok, src, line } => {
+                let ch = self.recv_channel(src, *line, out);
+                out.push(IrStmt::Recv {
+                    var: name.clone(),
+                    ok: ok.clone(),
+                    ch,
+                    loc: self.loc(*line),
+                });
+            }
+            Stmt::Close { ch, line } => {
+                let c = self.expr(ch, *line);
+                out.push(IrStmt::Close { ch: c, loc: self.loc(*line) });
+            }
+            Stmt::Go { call, line } => self.go_stmt(call, *line, out),
+            Stmt::Call { ret, call, line } => self.call_stmt(ret.as_deref(), call, *line, out),
+            Stmt::CtxDecl { ctx, cancel, timeout, line } => {
+                self.cancels.insert(cancel.clone());
+                let d = timeout.as_ref().map(|e| self.expr(e, *line));
+                out.push(IrStmt::CtxWithTimeout {
+                    ctx_var: ctx.clone(),
+                    cancel_var: cancel.clone(),
+                    d,
+                    loc: self.loc(*line),
+                });
+            }
+            Stmt::Select { cases, default, line } => {
+                let mut arms = Vec::new();
+                for case in cases {
+                    match case {
+                        SelCase::Recv { name, ok, src, body, line: cline } => {
+                            let ch = self.recv_channel(src, *cline, out);
+                            let b = self.stmts(body);
+                            arms.push(Arm {
+                                op: ArmIr::Recv { var: name.clone(), ok: ok.clone(), ch },
+                                body: b,
+                                loc: self.loc(*cline),
+                            });
+                        }
+                        SelCase::Send { ch, val, body, line: cline } => {
+                            let c = self.expr(ch, *cline);
+                            let v = self.expr(val, *cline);
+                            let b = self.stmts(body);
+                            arms.push(Arm {
+                                op: ArmIr::Send { ch: c, val: v },
+                                body: b,
+                                loc: self.loc(*cline),
+                            });
+                        }
+                    }
+                }
+                let d = default.as_ref().map(|b| self.stmts(b));
+                out.push(IrStmt::Select { arms, default: d, loc: self.loc(*line) });
+            }
+            Stmt::If { cond, then, els, line } => {
+                let c = self.expr(cond, *line);
+                let t = self.stmts(then);
+                let e = match els {
+                    Some(b) => self.stmts(b),
+                    None => block(vec![]),
+                };
+                out.push(IrStmt::If { cond: c, then: t, els: e, loc: self.loc(*line) });
+            }
+            Stmt::For { kind, body, line } => {
+                let b = self.stmts(body);
+                let stmt = match kind {
+                    ForKind::Infinite => IrStmt::While { cond: None, body: b, loc: self.loc(*line) },
+                    ForKind::While(c) => IrStmt::While {
+                        cond: Some(self.expr(c, *line)),
+                        body: b,
+                        loc: self.loc(*line),
+                    },
+                    ForKind::Range { var, ch } => IrStmt::ForRange {
+                        var: var.clone(),
+                        ch: self.expr(ch, *line),
+                        body: b,
+                        loc: self.loc(*line),
+                    },
+                    ForKind::CStyle { var, n } => IrStmt::ForN {
+                        var: var.clone(),
+                        n: self.expr(n, *line),
+                        body: b,
+                        loc: self.loc(*line),
+                    },
+                };
+                out.push(stmt);
+            }
+            Stmt::Return { expr, line } => {
+                let e = expr.as_ref().map(|e| self.expr(e, *line));
+                out.push(IrStmt::Return { expr: e, loc: self.loc(*line) });
+            }
+            Stmt::Break { line } => out.push(IrStmt::Break { loc: self.loc(*line) }),
+            Stmt::Continue { line } => out.push(IrStmt::Continue { loc: self.loc(*line) }),
+            Stmt::Defer { call, line } => {
+                let mut inner = Vec::new();
+                self.call_stmt(None, call, *line, &mut inner);
+                match inner.len() {
+                    1 => out.push(IrStmt::Defer {
+                        stmt: Box::new(inner.pop().expect("len checked")),
+                        loc: self.loc(*line),
+                    }),
+                    0 => {}
+                    _ => self.err(*line, "unsupported multi-statement defer"),
+                }
+            }
+            Stmt::VarDecl { name, ty, init, line } => match ty {
+                TypeExpr::WaitGroup => {
+                    out.push(IrStmt::MakeWg { var: name.clone(), loc: self.loc(*line) })
+                }
+                TypeExpr::Mutex => {
+                    out.push(IrStmt::MakeMutex { var: name.clone(), loc: self.loc(*line) })
+                }
+                TypeExpr::Cond => {
+                    self.conds.insert(name.clone());
+                    out.push(IrStmt::MakeCond { var: name.clone(), loc: self.loc(*line) })
+                }
+                _ => {
+                    let value = match init {
+                        Some(e) => self.expr(e, *line),
+                        None => IrExpr::Lit(zero_val(ty)),
+                    };
+                    out.push(IrStmt::Assign {
+                        var: name.clone(),
+                        expr: value,
+                        loc: self.loc(*line),
+                    });
+                }
+            },
+            Stmt::Panic { msg, line } => {
+                out.push(IrStmt::Panic { msg: msg.clone(), loc: self.loc(*line) })
+            }
+        }
+    }
+
+    /// Resolves the channel expression of a receive source, hoisting
+    /// `time.After`/`time.Tick` into fresh temporaries.
+    fn recv_channel(&mut self, src: &RecvSrc, line: u32, out: &mut Vec<IrStmt>) -> IrExpr {
+        match src {
+            RecvSrc::Chan(e) => self.expr(e, line),
+            RecvSrc::CtxDone(ctx) => IrExpr::var(ctx.clone()),
+            RecvSrc::TimeAfter(d) => {
+                let tmp = self.fresh_tmp();
+                let d = self.expr(d, line);
+                out.push(IrStmt::After { var: tmp.clone(), d, loc: self.loc(line) });
+                IrExpr::var(tmp)
+            }
+            RecvSrc::TimeTick(d) => {
+                let tmp = self.fresh_tmp();
+                let d = self.expr(d, line);
+                out.push(IrStmt::TickCh { var: tmp.clone(), period: d, loc: self.loc(line) });
+                IrExpr::var(tmp)
+            }
+        }
+    }
+
+    fn fresh_tmp(&mut self) -> String {
+        self.tmp_count += 1;
+        format!("__tmp{}", self.tmp_count)
+    }
+
+    fn go_stmt(&mut self, call: &GoCall, line: u32, out: &mut Vec<IrStmt>) {
+        match call {
+            GoCall::Closure { body } | GoCall::Wrapper { body, .. } => {
+                self.closure_count += 1;
+                let name = format!("{}${}", self.func_display, self.closure_count);
+                let b = self.stmts(body);
+                out.push(IrStmt::GoClosure { name, body: b, loc: self.loc(line) });
+            }
+            GoCall::Named { func, args } => {
+                let qualified = if func.contains('.') {
+                    func.clone()
+                } else {
+                    qualify(&self.package, func)
+                };
+                let args = args.iter().map(|a| self.expr(a, line)).collect();
+                out.push(IrStmt::GoCall { func: qualified, args, loc: self.loc(line) });
+            }
+        }
+    }
+
+    fn call_stmt(
+        &mut self,
+        ret: Option<&str>,
+        call: &CallExpr,
+        line: u32,
+        out: &mut Vec<IrStmt>,
+    ) {
+        let loc = self.loc(line);
+        let args: Vec<IrExpr> = call.args.iter().map(|a| self.expr(a, line)).collect();
+        let arg = |i: usize| -> IrExpr { args.get(i).cloned().unwrap_or(IrExpr::int(0)) };
+        match &call.target {
+            CallTarget::Func(name) => match name.as_str() {
+                "close" => out.push(IrStmt::Close { ch: arg(0), loc }),
+                "panic" => out.push(IrStmt::Panic { msg: "panic".into(), loc }),
+                f if self.cancels.contains(f) => {
+                    out.push(IrStmt::CancelCtx { ch: IrExpr::var(f), loc })
+                }
+                f => out.push(IrStmt::Call {
+                    ret: ret.map(|s| s.to_string()),
+                    func: qualify(&self.package, f),
+                    args,
+                    loc,
+                }),
+            },
+            CallTarget::Method { recv, name } => match (recv.as_str(), name.as_str()) {
+                ("time", "Sleep") => out.push(IrStmt::Sleep { d: arg(0), loc }),
+                ("time", "After") => {
+                    let var = ret.map(|s| s.to_string()).unwrap_or_else(|| self.fresh_tmp());
+                    out.push(IrStmt::After { var, d: arg(0), loc });
+                }
+                ("time", "Tick") => {
+                    let var = ret.map(|s| s.to_string()).unwrap_or_else(|| self.fresh_tmp());
+                    out.push(IrStmt::TickCh { var, period: arg(0), loc });
+                }
+                ("sim", "Work") => out.push(IrStmt::Work { units: arg(0), loc }),
+                ("sim", "Alloc") => out.push(IrStmt::Alloc { bytes: arg(0), loc }),
+                ("sim", "IOWait") => out.push(IrStmt::Park {
+                    reason: ParkReason::IoWait,
+                    dur: args.first().cloned(),
+                    loc,
+                }),
+                ("sim", "Syscall") => out.push(IrStmt::Park {
+                    reason: ParkReason::Syscall,
+                    dur: args.first().cloned(),
+                    loc,
+                }),
+                ("sim", "Block") => {
+                    out.push(IrStmt::Park { reason: ParkReason::IoWait, dur: None, loc })
+                }
+                (cv, "Wait") if self.conds.contains(cv) => {
+                    out.push(IrStmt::CondWait { cond: IrExpr::var(cv), loc })
+                }
+                (cv, "Signal") if self.conds.contains(cv) => {
+                    out.push(IrStmt::CondNotify { cond: IrExpr::var(cv), all: false, loc })
+                }
+                (cv, "Broadcast") if self.conds.contains(cv) => {
+                    out.push(IrStmt::CondNotify { cond: IrExpr::var(cv), all: true, loc })
+                }
+                (wg, "Add") => out.push(IrStmt::WgAdd { wg: IrExpr::var(wg), delta: arg(0), loc }),
+                (wg, "Done") => out.push(IrStmt::WgDone { wg: IrExpr::var(wg), loc }),
+                (wg, "Wait") => out.push(IrStmt::WgWait { wg: IrExpr::var(wg), loc }),
+                (mu, "Lock") => out.push(IrStmt::Lock { mu: IrExpr::var(mu), loc }),
+                (mu, "Unlock") => out.push(IrStmt::Unlock { mu: IrExpr::var(mu), loc }),
+                (pkg, f) => {
+                    // Cross-package call: resolve as `pkg.f`.
+                    out.push(IrStmt::Call {
+                        ret: ret.map(|s| s.to_string()),
+                        func: format!("{pkg}.{f}"),
+                        args,
+                        loc,
+                    });
+                }
+            },
+        }
+    }
+
+    fn expr(&mut self, e: &Expr, line: u32) -> IrExpr {
+        match e {
+            Expr::Int(v) => IrExpr::int(*v),
+            Expr::Str(s) => IrExpr::str(s.clone()),
+            Expr::Bool(b) => IrExpr::bool(*b),
+            Expr::Nil => IrExpr::Lit(Val::NilChan),
+            Expr::Ident(name) => IrExpr::var(name.clone()),
+            Expr::Unary(UnOp::Not, inner) => IrExpr::Not(Box::new(self.expr(inner, line))),
+            Expr::Unary(UnOp::Neg, inner) => IrExpr::Bin(
+                IrBin::Sub,
+                Box::new(IrExpr::int(0)),
+                Box::new(self.expr(inner, line)),
+            ),
+            Expr::Binary(op, a, b) => IrExpr::Bin(
+                bin_op(*op),
+                Box::new(self.expr(a, line)),
+                Box::new(self.expr(b, line)),
+            ),
+            Expr::Len(inner) => IrExpr::Len(Box::new(self.expr(inner, line))),
+            Expr::Index(base, idx) => IrExpr::Index(
+                Box::new(self.expr(base, line)),
+                Box::new(self.expr(idx, line)),
+            ),
+            Expr::ListLit(items) => {
+                IrExpr::List(items.iter().map(|i| self.expr(i, line)).collect())
+            }
+        }
+    }
+}
+
+fn bin_op(op: BinOp) -> IrBin {
+    match op {
+        BinOp::Add => IrBin::Add,
+        BinOp::Sub => IrBin::Sub,
+        BinOp::Mul => IrBin::Mul,
+        BinOp::Div => IrBin::Div,
+        BinOp::Mod => IrBin::Mod,
+        BinOp::Eq => IrBin::Eq,
+        BinOp::Ne => IrBin::Ne,
+        BinOp::Lt => IrBin::Lt,
+        BinOp::Le => IrBin::Le,
+        BinOp::Gt => IrBin::Gt,
+        BinOp::Ge => IrBin::Ge,
+        BinOp::And => IrBin::And,
+        BinOp::Or => IrBin::Or,
+    }
+}
+
+fn type_tag(t: &TypeExpr) -> TypeTag {
+    match t {
+        TypeExpr::Int => TypeTag::Int,
+        TypeExpr::Bool => TypeTag::Bool,
+        TypeExpr::Str => TypeTag::Str,
+        TypeExpr::Float => TypeTag::Float,
+        TypeExpr::Chan(_) => TypeTag::Chan,
+        TypeExpr::List(_) => TypeTag::List,
+        _ => TypeTag::Unit,
+    }
+}
+
+fn zero_val(t: &TypeExpr) -> Val {
+    match t {
+        TypeExpr::Int => Val::Int(0),
+        TypeExpr::Bool => Val::Bool(false),
+        TypeExpr::Str => Val::Str(String::new()),
+        TypeExpr::Float => Val::Float(0.0),
+        TypeExpr::Chan(_) => Val::NilChan,
+        _ => Val::Unit,
+    }
+}

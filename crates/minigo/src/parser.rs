@@ -1,0 +1,1104 @@
+//! Recursive-descent parser for mini-Go.
+
+use std::fmt;
+
+use crate::ast::*;
+use crate::token::{lex, Spanned, Tok};
+
+/// A parse diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diag {
+    /// Message.
+    pub msg: String,
+    /// 1-based line.
+    pub line: u32,
+}
+
+impl fmt::Display for Diag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for Diag {}
+
+/// Parses a mini-Go source file.
+///
+/// # Errors
+///
+/// Returns all diagnostics accumulated during lexing/parsing.
+pub fn parse_file(src: &str, path: &str) -> Result<File, Vec<Diag>> {
+    let toks = lex(src).map_err(|e| vec![Diag { msg: e.msg, line: e.line }])?;
+    let mut p = Parser { toks, pos: 0, errors: Vec::new() };
+    let file = p.file(path);
+    if p.errors.is_empty() {
+        Ok(file)
+    } else {
+        Err(p.errors)
+    }
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+    errors: Vec<Diag>,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos.min(self.toks.len() - 1)].tok
+    }
+
+    fn peek_at(&self, n: usize) -> &Tok {
+        &self.toks[(self.pos + n).min(self.toks.len() - 1)].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos.min(self.toks.len() - 1)].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos.min(self.toks.len() - 1)].tok.clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, want: &Tok) -> bool {
+        if self.peek() == want {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, want: Tok) {
+        if !self.eat(&want) {
+            let msg = format!("expected `{want}`, found `{}`", self.peek());
+            self.err(msg);
+            // do not consume; caller-level sync handles recovery
+        }
+    }
+
+    fn err(&mut self, msg: String) {
+        let line = self.line();
+        self.errors.push(Diag { msg, line });
+    }
+
+    fn ident(&mut self) -> String {
+        match self.bump() {
+            Tok::Ident(s) => s,
+            other => {
+                self.err(format!("expected identifier, found `{other}`"));
+                "<error>".into()
+            }
+        }
+    }
+
+    fn skip_semis(&mut self) {
+        while self.eat(&Tok::Semi) {}
+    }
+
+    /// Skips tokens until a top-level sync point.
+    fn sync_top(&mut self) {
+        let mut depth = 0i32;
+        loop {
+            match self.peek() {
+                Tok::Eof => return,
+                Tok::LBrace => {
+                    depth += 1;
+                    self.bump();
+                }
+                Tok::RBrace => {
+                    self.bump();
+                    depth -= 1;
+                    if depth <= 0 {
+                        return;
+                    }
+                }
+                Tok::Func if depth == 0 => return,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    // -- file ---------------------------------------------------------------
+
+    fn file(&mut self, path: &str) -> File {
+        self.skip_semis();
+        self.expect(Tok::Package);
+        let package = self.ident();
+        self.skip_semis();
+        let mut funcs = Vec::new();
+        loop {
+            self.skip_semis();
+            match self.peek() {
+                Tok::Eof => break,
+                Tok::Import => {
+                    self.bump();
+                    self.skip_import();
+                }
+                Tok::Func => {
+                    if let Some(f) = self.func_decl() {
+                        funcs.push(f);
+                    }
+                }
+                other => {
+                    let msg = format!("unexpected token at top level: `{other}`");
+                    self.err(msg);
+                    self.sync_top();
+                }
+            }
+        }
+        File { package, path: path.to_string(), funcs }
+    }
+
+    fn skip_import(&mut self) {
+        if self.eat(&Tok::LParen) {
+            while !matches!(self.peek(), Tok::RParen | Tok::Eof) {
+                self.bump();
+            }
+            self.expect(Tok::RParen);
+        } else {
+            // single import: a string, possibly aliased
+            if matches!(self.peek(), Tok::Ident(_)) {
+                self.bump();
+            }
+            if matches!(self.peek(), Tok::Str(_)) {
+                self.bump();
+            }
+        }
+    }
+
+    fn func_decl(&mut self) -> Option<FuncDecl> {
+        let line = self.line();
+        self.expect(Tok::Func);
+        let name = self.ident();
+        self.expect(Tok::LParen);
+        let mut params = Vec::new();
+        while !matches!(self.peek(), Tok::RParen | Tok::Eof) {
+            let pname = self.ident();
+            let ty = self.type_expr();
+            params.push(Param { name: pname, ty });
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(Tok::RParen);
+        let ret = if matches!(self.peek(), Tok::LBrace) { None } else { Some(self.type_expr()) };
+        let body = self.block();
+        Some(FuncDecl { name, params, ret, body, line })
+    }
+
+    fn type_expr(&mut self) -> TypeExpr {
+        match self.peek().clone() {
+            Tok::Chan => {
+                self.bump();
+                TypeExpr::Chan(Box::new(self.type_expr()))
+            }
+            Tok::Star => {
+                self.bump();
+                let name = self.dotted_name();
+                TypeExpr::Named(format!("*{name}"))
+            }
+            Tok::LBracket => {
+                self.bump();
+                self.expect(Tok::RBracket);
+                TypeExpr::List(Box::new(self.type_expr()))
+            }
+            Tok::Interface => {
+                self.bump();
+                self.expect(Tok::LBrace);
+                self.expect(Tok::RBrace);
+                TypeExpr::Any
+            }
+            Tok::LParen => {
+                // multi-value return `(T, error)`: keep the first type
+                self.bump();
+                let t = self.type_expr();
+                while !matches!(self.peek(), Tok::RParen | Tok::Eof) {
+                    self.bump();
+                }
+                self.expect(Tok::RParen);
+                t
+            }
+            Tok::Ident(_) => {
+                let name = self.dotted_name();
+                match name.as_str() {
+                    "int" | "int64" => TypeExpr::Int,
+                    "bool" => TypeExpr::Bool,
+                    "string" => TypeExpr::Str,
+                    "float64" => TypeExpr::Float,
+                    "any" => TypeExpr::Any,
+                    "context.Context" => TypeExpr::Ctx,
+                    "sync.WaitGroup" => TypeExpr::WaitGroup,
+                    "sync.Mutex" => TypeExpr::Mutex,
+                    "sync.Cond" => TypeExpr::Cond,
+                    other => TypeExpr::Named(other.to_string()),
+                }
+            }
+            other => {
+                self.err(format!("expected type, found `{other}`"));
+                self.bump();
+                TypeExpr::Any
+            }
+        }
+    }
+
+    fn dotted_name(&mut self) -> String {
+        let mut s = self.ident();
+        while self.peek() == &Tok::Dot {
+            self.bump();
+            s.push('.');
+            s.push_str(&self.ident());
+        }
+        s
+    }
+
+    // -- statements -----------------------------------------------------------
+
+    fn block(&mut self) -> Vec<Stmt> {
+        self.expect(Tok::LBrace);
+        let stmts = self.stmt_list(&[Tok::RBrace]);
+        self.expect(Tok::RBrace);
+        stmts
+    }
+
+    /// Parses statements until one of `stop` tokens (not consumed).
+    fn stmt_list(&mut self, stop: &[Tok]) -> Vec<Stmt> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_semis();
+            if stop.contains(self.peek()) || self.peek() == &Tok::Eof {
+                return out;
+            }
+            let before = self.pos;
+            if let Some(s) = self.stmt() {
+                out.push(s);
+            }
+            if self.pos == before {
+                // no progress: bail out of this block
+                self.bump();
+            }
+        }
+    }
+
+    fn stmt(&mut self) -> Option<Stmt> {
+        let line = self.line();
+        match self.peek().clone() {
+            Tok::Var => {
+                self.bump();
+                let name = self.ident();
+                let ty = self.type_expr();
+                let init = if self.eat(&Tok::Assign) { Some(self.expr()) } else { None };
+                Some(Stmt::VarDecl { name, ty, init, line })
+            }
+            Tok::If => Some(self.if_stmt()),
+            Tok::For => Some(self.for_stmt()),
+            Tok::Select => Some(self.select_stmt()),
+            Tok::Go => Some(self.go_stmt()),
+            Tok::Return => {
+                self.bump();
+                let expr = if matches!(self.peek(), Tok::Semi | Tok::RBrace) {
+                    None
+                } else {
+                    Some(self.expr())
+                };
+                Some(Stmt::Return { expr, line })
+            }
+            Tok::Break => {
+                self.bump();
+                Some(Stmt::Break { line })
+            }
+            Tok::Continue => {
+                self.bump();
+                Some(Stmt::Continue { line })
+            }
+            Tok::Defer => {
+                self.bump();
+                match self.call_like()? {
+                    CallLike::Call(call) => Some(Stmt::Defer { call, line }),
+                    CallLike::Wrapper { .. } => {
+                        self.err("deferred wrapper spawns are not supported".into());
+                        None
+                    }
+                }
+            }
+            Tok::Close => {
+                self.bump();
+                self.expect(Tok::LParen);
+                let ch = self.expr();
+                self.expect(Tok::RParen);
+                Some(Stmt::Close { ch, line })
+            }
+            Tok::Panic => {
+                self.bump();
+                self.expect(Tok::LParen);
+                let msg = match self.bump() {
+                    Tok::Str(s) => s,
+                    other => {
+                        self.err(format!("panic expects a string literal, found `{other}`"));
+                        String::new()
+                    }
+                };
+                self.expect(Tok::RParen);
+                Some(Stmt::Panic { msg, line })
+            }
+            Tok::Arrow => {
+                self.bump();
+                let src = self.recv_src();
+                Some(Stmt::Recv { name: None, ok: None, src, line })
+            }
+            Tok::Ident(_) => self.ident_stmt(),
+            other => {
+                self.err(format!("unexpected token in statement position: `{other}`"));
+                self.bump();
+                None
+            }
+        }
+    }
+
+    /// Statements that start with an identifier.
+    fn ident_stmt(&mut self) -> Option<Stmt> {
+        let line = self.line();
+        match (self.peek_at(1).clone(), self.peek_at(2).clone()) {
+            // x := ...
+            (Tok::Define, _) => {
+                let name = self.ident();
+                self.bump(); // :=
+                self.define_rhs(name, line)
+            }
+            // x = expr
+            (Tok::Assign, _) => {
+                let name = self.ident();
+                self.bump();
+                let expr = self.expr();
+                Some(Stmt::Assign { name, expr, decl: false, line })
+            }
+            // x, y := ...
+            (Tok::Comma, _) => {
+                let first = self.ident();
+                self.bump(); // ,
+                let second = self.ident();
+                self.expect(Tok::Define);
+                if self.eat(&Tok::Arrow) {
+                    let src = self.recv_src();
+                    Some(Stmt::Recv {
+                        name: none_if_blank(first),
+                        ok: none_if_blank(second),
+                        src,
+                        line,
+                    })
+                } else {
+                    // ctx, cancel := context.WithTimeout(parent, d)
+                    let callee = self.dotted_name();
+                    self.expect(Tok::LParen);
+                    let args = self.args();
+                    self.expect(Tok::RParen);
+                    match callee.as_str() {
+                        "context.WithTimeout" | "context.WithDeadline" => Some(Stmt::CtxDecl {
+                            ctx: first,
+                            cancel: second,
+                            timeout: args.into_iter().nth(1),
+                            line,
+                        }),
+                        "context.WithCancel" => {
+                            Some(Stmt::CtxDecl { ctx: first, cancel: second, timeout: None, line })
+                        }
+                        other => {
+                            // Generic two-value call: keep the first binding.
+                            Some(Stmt::Call {
+                                ret: none_if_blank(first),
+                                call: CallExpr {
+                                    target: split_target(other),
+                                    args,
+                                    line,
+                                },
+                                line,
+                            })
+                        }
+                    }
+                }
+            }
+            // x <- expr (send to channel-valued identifier)
+            (Tok::Arrow, _) => {
+                let name = self.ident();
+                self.bump(); // <-
+                let val = self.expr();
+                Some(Stmt::Send { ch: Expr::Ident(name), val, line })
+            }
+            // f(...) or obj.method(...) / pkg.func(...), possibly a
+            // wrapper spawn taking a closure literal.
+            (Tok::LParen, _) | (Tok::Dot, _) => match self.call_like()? {
+                CallLike::Call(call) => Some(Stmt::Call { ret: None, call, line }),
+                CallLike::Wrapper { wrapper, body, .. } => {
+                    Some(Stmt::Go { call: GoCall::Wrapper { wrapper, body }, line })
+                }
+            },
+            // i++ / i--
+            (Tok::Inc, _) | (Tok::Dec, _) => {
+                let name = self.ident();
+                let op = if self.bump() == Tok::Inc { BinOp::Add } else { BinOp::Sub };
+                Some(Stmt::Assign {
+                    name: name.clone(),
+                    expr: Expr::Binary(op, Box::new(Expr::Ident(name)), Box::new(Expr::Int(1))),
+                    decl: false,
+                    line,
+                })
+            }
+            // chans[i] <- v
+            (Tok::LBracket, _) => {
+                let e = self.expr();
+                if self.eat(&Tok::Arrow) {
+                    let val = self.expr();
+                    Some(Stmt::Send { ch: e, val, line })
+                } else {
+                    self.err("expected `<-` after indexed expression".into());
+                    None
+                }
+            }
+            (other, _) => {
+                self.err(format!("unexpected token after identifier: `{other}`"));
+                self.bump();
+                None
+            }
+        }
+    }
+
+    /// Right-hand side of `name := ...`.
+    fn define_rhs(&mut self, name: String, line: u32) -> Option<Stmt> {
+        match self.peek().clone() {
+            Tok::Make => {
+                self.bump();
+                self.expect(Tok::LParen);
+                self.expect(Tok::Chan);
+                let elem = self.type_expr();
+                let cap = if self.eat(&Tok::Comma) { Some(self.expr()) } else { None };
+                self.expect(Tok::RParen);
+                Some(Stmt::MakeChan { name, elem, cap, line })
+            }
+            Tok::Arrow => {
+                self.bump();
+                let src = self.recv_src();
+                Some(Stmt::Recv { name: none_if_blank(name), ok: None, src, line })
+            }
+            Tok::Ident(_)
+                if matches!(self.peek_at(1), Tok::LParen)
+                    || (matches!(self.peek_at(1), Tok::Dot)
+                        && matches!(self.peek_at(3), Tok::LParen)) =>
+            {
+                match self.call_like()? {
+                    CallLike::Call(call) => {
+                        Some(Stmt::Call { ret: none_if_blank(name), call, line })
+                    }
+                    CallLike::Wrapper { .. } => {
+                        self.err("wrapper spawns cannot bind a result".into());
+                        None
+                    }
+                }
+            }
+            _ => {
+                let expr = self.expr();
+                Some(Stmt::Assign { name, expr, decl: true, line })
+            }
+        }
+    }
+
+    /// Parses `f(args)`, `pkg.f(args)`, `recv.method(args)`, `close(ch)`,
+    /// `cancel()`, or a wrapper spawn `pkg.Go(func(){...})`.
+    fn call_like(&mut self) -> Option<CallLike> {
+        let line = self.line();
+        if self.peek() == &Tok::Close {
+            self.bump();
+            self.expect(Tok::LParen);
+            let ch = self.expr();
+            self.expect(Tok::RParen);
+            return Some(CallLike::Call(CallExpr {
+                target: CallTarget::Func("close".into()),
+                args: vec![ch],
+                line,
+            }));
+        }
+        let name = self.dotted_name();
+        self.expect(Tok::LParen);
+        // wrapper spawn: single closure literal argument
+        if self.peek() == &Tok::Func {
+            self.bump();
+            self.expect(Tok::LParen);
+            self.expect(Tok::RParen);
+            let body = self.block();
+            self.expect(Tok::RParen);
+            return Some(CallLike::Wrapper { wrapper: name, body, line });
+        }
+        let args = self.args();
+        self.expect(Tok::RParen);
+        Some(CallLike::Call(CallExpr { target: split_target(&name), args, line }))
+    }
+
+    fn args(&mut self) -> Vec<Expr> {
+        let mut out = Vec::new();
+        while !matches!(self.peek(), Tok::RParen | Tok::Eof) {
+            out.push(self.expr());
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        out
+    }
+
+    fn recv_src(&mut self) -> RecvSrc {
+        // time.After(d) / time.Tick(d) / ctx.Done() / plain expr
+        if let Tok::Ident(first) = self.peek().clone() {
+            if self.peek_at(1) == &Tok::Dot {
+                if let Tok::Ident(second) = self.peek_at(2).clone() {
+                    if self.peek_at(3) == &Tok::LParen {
+                        self.bump();
+                        self.bump();
+                        self.bump();
+                        self.bump(); // ident . ident (
+                        match (first.as_str(), second.as_str()) {
+                            ("time", "After") => {
+                                let d = self.expr();
+                                self.expect(Tok::RParen);
+                                return RecvSrc::TimeAfter(d);
+                            }
+                            ("time", "Tick") => {
+                                let d = self.expr();
+                                self.expect(Tok::RParen);
+                                return RecvSrc::TimeTick(d);
+                            }
+                            (ctx, "Done") => {
+                                self.expect(Tok::RParen);
+                                return RecvSrc::CtxDone(ctx.to_string());
+                            }
+                            (a, b) => {
+                                self.err(format!("cannot receive from call {a}.{b}(...)"));
+                                return RecvSrc::Chan(Expr::Nil);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        RecvSrc::Chan(self.expr())
+    }
+
+    fn if_stmt(&mut self) -> Stmt {
+        let line = self.line();
+        self.expect(Tok::If);
+        let cond = self.expr();
+        let then = self.block();
+        let els = if self.eat(&Tok::Else) {
+            if self.peek() == &Tok::If {
+                Some(vec![self.if_stmt()])
+            } else {
+                Some(self.block())
+            }
+        } else {
+            None
+        };
+        Stmt::If { cond, then, els, line }
+    }
+
+    fn for_stmt(&mut self) -> Stmt {
+        let line = self.line();
+        self.expect(Tok::For);
+        // for { ... }
+        if self.peek() == &Tok::LBrace {
+            let body = self.block();
+            return Stmt::For { kind: ForKind::Infinite, body, line };
+        }
+        // for range ch { ... }
+        if self.peek() == &Tok::Range {
+            self.bump();
+            let ch = self.expr();
+            let body = self.block();
+            return Stmt::For { kind: ForKind::Range { var: None, ch }, body, line };
+        }
+        // for v := range ch  |  for i := 0; i < n; i++
+        if matches!(self.peek(), Tok::Ident(_)) && self.peek_at(1) == &Tok::Define {
+            let var = self.ident();
+            self.bump(); // :=
+            if self.eat(&Tok::Range) {
+                let ch = self.expr();
+                let body = self.block();
+                return Stmt::For {
+                    kind: ForKind::Range { var: none_if_blank(var), ch },
+                    body,
+                    line,
+                };
+            }
+            // C-style: <var> := 0 ; <var> < n ; <var>++
+            let start = self.expr();
+            if !matches!(start, Expr::Int(0)) {
+                self.err("only `i := 0` is supported as a for-loop initializer".into());
+            }
+            self.expect(Tok::Semi);
+            // condition must be `var < n`
+            let cond = self.expr();
+            let n = match cond {
+                Expr::Binary(BinOp::Lt, lhs, rhs) if matches!(*lhs, Expr::Ident(ref v) if *v == var) => {
+                    *rhs
+                }
+                _ => {
+                    self.err("only `i < n` is supported as a for-loop condition".into());
+                    Expr::Int(0)
+                }
+            };
+            self.expect(Tok::Semi);
+            let post_var = self.ident();
+            if post_var != var {
+                self.err("for-loop post statement must increment the induction variable".into());
+            }
+            self.expect(Tok::Inc);
+            let body = self.block();
+            return Stmt::For { kind: ForKind::CStyle { var, n }, body, line };
+        }
+        // for cond { ... }
+        let cond = self.expr();
+        let body = self.block();
+        Stmt::For { kind: ForKind::While(cond), body, line }
+    }
+
+    fn select_stmt(&mut self) -> Stmt {
+        let line = self.line();
+        self.expect(Tok::Select);
+        self.expect(Tok::LBrace);
+        let mut cases = Vec::new();
+        let mut default = None;
+        loop {
+            self.skip_semis();
+            match self.peek().clone() {
+                Tok::RBrace => {
+                    self.bump();
+                    break;
+                }
+                Tok::Eof => break,
+                Tok::Case => {
+                    let cline = self.line();
+                    self.bump();
+                    let case = self.comm_case(cline);
+                    cases.push(case);
+                }
+                Tok::Default => {
+                    self.bump();
+                    self.expect(Tok::Colon);
+                    default =
+                        Some(self.stmt_list(&[Tok::Case, Tok::Default, Tok::RBrace]));
+                }
+                other => {
+                    self.err(format!("expected `case`/`default` in select, found `{other}`"));
+                    self.bump();
+                }
+            }
+        }
+        Stmt::Select { cases, default, line }
+    }
+
+    fn comm_case(&mut self, line: u32) -> SelCase {
+        // case <-src: | case v := <-src: | case v, ok := <-src: | case ch <- e:
+        if self.eat(&Tok::Arrow) {
+            let src = self.recv_src();
+            self.expect(Tok::Colon);
+            let body = self.stmt_list(&[Tok::Case, Tok::Default, Tok::RBrace]);
+            return SelCase::Recv { name: None, ok: None, src, body, line };
+        }
+        if matches!(self.peek(), Tok::Ident(_)) && self.peek_at(1) == &Tok::Define {
+            let name = self.ident();
+            self.bump();
+            self.expect(Tok::Arrow);
+            let src = self.recv_src();
+            self.expect(Tok::Colon);
+            let body = self.stmt_list(&[Tok::Case, Tok::Default, Tok::RBrace]);
+            return SelCase::Recv { name: none_if_blank(name), ok: None, src, body, line };
+        }
+        if matches!(self.peek(), Tok::Ident(_)) && self.peek_at(1) == &Tok::Comma {
+            let name = self.ident();
+            self.bump();
+            let ok = self.ident();
+            self.expect(Tok::Define);
+            self.expect(Tok::Arrow);
+            let src = self.recv_src();
+            self.expect(Tok::Colon);
+            let body = self.stmt_list(&[Tok::Case, Tok::Default, Tok::RBrace]);
+            return SelCase::Recv {
+                name: none_if_blank(name),
+                ok: none_if_blank(ok),
+                src,
+                body,
+                line,
+            };
+        }
+        // send case
+        let ch = self.expr();
+        self.expect(Tok::Arrow);
+        let val = self.expr();
+        self.expect(Tok::Colon);
+        let body = self.stmt_list(&[Tok::Case, Tok::Default, Tok::RBrace]);
+        SelCase::Send { ch, val, body, line }
+    }
+
+    fn go_stmt(&mut self) -> Stmt {
+        let line = self.line();
+        self.expect(Tok::Go);
+        if self.peek() == &Tok::Func {
+            self.bump();
+            self.expect(Tok::LParen);
+            self.expect(Tok::RParen);
+            let body = self.block();
+            self.expect(Tok::LParen);
+            self.expect(Tok::RParen);
+            return Stmt::Go { call: GoCall::Closure { body }, line };
+        }
+        let func = self.dotted_name();
+        self.expect(Tok::LParen);
+        let args = self.args();
+        self.expect(Tok::RParen);
+        Stmt::Go { call: GoCall::Named { func, args }, line }
+    }
+
+    // -- expressions ----------------------------------------------------------
+
+    fn expr(&mut self) -> Expr {
+        self.bin_expr(0)
+    }
+
+    fn bin_expr(&mut self, min_bp: u8) -> Expr {
+        let mut lhs = self.unary_expr();
+        loop {
+            let (op, bp) = match self.peek() {
+                Tok::OrOr => (BinOp::Or, 1),
+                Tok::AndAnd => (BinOp::And, 2),
+                Tok::EqEq => (BinOp::Eq, 3),
+                Tok::NotEq => (BinOp::Ne, 3),
+                Tok::Lt => (BinOp::Lt, 3),
+                Tok::Le => (BinOp::Le, 3),
+                Tok::Gt => (BinOp::Gt, 3),
+                Tok::Ge => (BinOp::Ge, 3),
+                Tok::Plus => (BinOp::Add, 4),
+                Tok::Minus => (BinOp::Sub, 4),
+                Tok::Star => (BinOp::Mul, 5),
+                Tok::Slash => (BinOp::Div, 5),
+                Tok::Percent => (BinOp::Mod, 5),
+                _ => break,
+            };
+            if bp < min_bp {
+                break;
+            }
+            self.bump();
+            let rhs = self.bin_expr(bp + 1);
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        lhs
+    }
+
+    fn unary_expr(&mut self) -> Expr {
+        match self.peek() {
+            Tok::Not => {
+                self.bump();
+                Expr::Unary(UnOp::Not, Box::new(self.unary_expr()))
+            }
+            Tok::Minus => {
+                self.bump();
+                Expr::Unary(UnOp::Neg, Box::new(self.unary_expr()))
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Expr {
+        let mut e = self.primary_expr();
+        loop {
+            match self.peek() {
+                Tok::LBracket => {
+                    self.bump();
+                    let idx = self.expr();
+                    self.expect(Tok::RBracket);
+                    e = Expr::Index(Box::new(e), Box::new(idx));
+                }
+                _ => break,
+            }
+        }
+        e
+    }
+
+    fn primary_expr(&mut self) -> Expr {
+        let line = self.line();
+        match self.bump() {
+            Tok::Int(v) => Expr::Int(v),
+            Tok::Str(s) => Expr::Str(s),
+            Tok::True => Expr::Bool(true),
+            Tok::False => Expr::Bool(false),
+            Tok::Nil => Expr::Nil,
+            Tok::Len => {
+                self.expect(Tok::LParen);
+                let e = self.expr();
+                self.expect(Tok::RParen);
+                Expr::Len(Box::new(e))
+            }
+            Tok::Ident(name) => Expr::Ident(name),
+            Tok::LParen => {
+                let e = self.expr();
+                self.expect(Tok::RParen);
+                e
+            }
+            Tok::LBracket => {
+                // []T{a, b}
+                self.expect(Tok::RBracket);
+                let _elem = self.type_expr();
+                self.expect(Tok::LBrace);
+                let mut items = Vec::new();
+                while !matches!(self.peek(), Tok::RBrace | Tok::Eof) {
+                    items.push(self.expr());
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(Tok::RBrace);
+                Expr::ListLit(items)
+            }
+            other => {
+                self.errors.push(Diag {
+                    msg: format!("expected expression, found `{other}`"),
+                    line,
+                });
+                Expr::Nil
+            }
+        }
+    }
+}
+
+/// Result of parsing a call-shaped statement.
+enum CallLike {
+    /// An ordinary call.
+    Call(CallExpr),
+    /// A wrapper spawn: `pkg.Go(func(){...})`.
+    Wrapper {
+        /// Wrapper callee.
+        wrapper: String,
+        /// Closure body.
+        body: Vec<Stmt>,
+        /// Line.
+        #[allow(dead_code)]
+        line: u32,
+    },
+}
+
+fn none_if_blank(s: String) -> Option<String> {
+    if s == "_" {
+        None
+    } else {
+        Some(s)
+    }
+}
+
+fn split_target(name: &str) -> CallTarget {
+    match name.split_once('.') {
+        Some((recv, method)) => {
+            CallTarget::Method { recv: recv.to_string(), name: method.to_string() }
+        }
+        None => CallTarget::Func(name.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> File {
+        match parse_file(src, "test.go") {
+            Ok(f) => f,
+            Err(diags) => panic!("parse errors: {diags:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_listing_one() {
+        let f = parse(
+            r#"package transactions
+
+func ComputeCost(err bool) {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+	if err {
+		return
+	}
+	disc := <-ch
+	_ = disc
+}
+"#,
+        );
+        assert_eq!(f.package, "transactions");
+        let func = f.func("ComputeCost").unwrap();
+        assert!(matches!(func.body[0], Stmt::MakeChan { .. }));
+        assert!(matches!(func.body[1], Stmt::Go { .. }));
+        assert!(matches!(func.body[2], Stmt::If { .. }));
+        assert!(matches!(func.body[3], Stmt::Recv { .. }));
+    }
+
+    #[test]
+    fn parses_select_with_ctx_done_and_timeafter() {
+        let f = parse(
+            r#"package p
+
+func Handler(ctx context.Context) {
+	ch := make(chan int)
+	select {
+	case item := <-ch:
+		_ = item
+	case <-ctx.Done():
+		return
+	case <-time.After(100):
+		break
+	default:
+		return
+	}
+}
+"#,
+        );
+        let func = f.func("Handler").unwrap();
+        match &func.body[1] {
+            Stmt::Select { cases, default, .. } => {
+                assert_eq!(cases.len(), 3);
+                assert!(default.is_some());
+                assert!(matches!(
+                    cases[1],
+                    SelCase::Recv { src: RecvSrc::CtxDone(_), .. }
+                ));
+                assert!(matches!(
+                    cases[2],
+                    SelCase::Recv { src: RecvSrc::TimeAfter(_), .. }
+                ));
+            }
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_range_and_cstyle_loops() {
+        let f = parse(
+            r#"package p
+
+func Loops(ch chan int, n int) {
+	for v := range ch {
+		_ = v
+	}
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	for {
+		break
+	}
+	for n > 0 {
+		n = n - 1
+	}
+}
+"#,
+        );
+        let body = &f.func("Loops").unwrap().body;
+        assert!(matches!(&body[0], Stmt::For { kind: ForKind::Range { .. }, .. }));
+        assert!(matches!(&body[1], Stmt::For { kind: ForKind::CStyle { .. }, .. }));
+        assert!(matches!(&body[2], Stmt::For { kind: ForKind::Infinite, .. }));
+        assert!(matches!(&body[3], Stmt::For { kind: ForKind::While(_), .. }));
+    }
+
+    #[test]
+    fn parses_sync_primitives_and_defer() {
+        let f = parse(
+            r#"package p
+
+func W() {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		mu.Lock()
+		mu.Unlock()
+	}()
+	wg.Wait()
+}
+"#,
+        );
+        let body = &f.func("W").unwrap().body;
+        assert!(matches!(&body[0], Stmt::VarDecl { ty: TypeExpr::WaitGroup, .. }));
+        assert!(matches!(&body[1], Stmt::VarDecl { ty: TypeExpr::Mutex, .. }));
+        assert!(matches!(
+            &body[2],
+            Stmt::Call { call: CallExpr { target: CallTarget::Method { .. }, .. }, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_context_decl_and_cancel() {
+        let f = parse(
+            r#"package p
+
+func H(parent context.Context) {
+	ctx, cancel := context.WithTimeout(parent, 100)
+	defer cancel()
+	<-ctx.Done()
+}
+"#,
+        );
+        let body = &f.func("H").unwrap().body;
+        assert!(matches!(&body[0], Stmt::CtxDecl { timeout: Some(_), .. }));
+        assert!(matches!(&body[1], Stmt::Defer { .. }));
+        assert!(matches!(&body[2], Stmt::Recv { src: RecvSrc::CtxDone(_), .. }));
+    }
+
+    #[test]
+    fn parses_named_go_and_args() {
+        let f = parse(
+            r#"package p
+
+func A(ch chan int) {
+	go worker(ch, 3)
+}
+
+func worker(ch chan int, n int) {
+	ch <- n
+}
+"#,
+        );
+        let body = &f.func("A").unwrap().body;
+        match &body[0] {
+            Stmt::Go { call: GoCall::Named { func, args }, .. } => {
+                assert_eq!(func, "worker");
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("expected named go, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recovers_with_errors_on_bad_input() {
+        let err = parse_file("package p\nfunc F() { ??? }", "x.go").unwrap_err();
+        assert!(!err.is_empty());
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let f = parse("package p\nfunc F(a int, b int) {\n\tx := a + b * 2 == a && true\n\t_ = x\n}\n");
+        let body = &f.func("F").unwrap().body;
+        match &body[0] {
+            Stmt::Assign { expr: Expr::Binary(BinOp::And, lhs, _), .. } => {
+                assert!(matches!(**lhs, Expr::Binary(BinOp::Eq, _, _)));
+            }
+            other => panic!("precedence broke: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blank_identifier_elides_bindings() {
+        let f = parse("package p\nfunc F(ch chan int) {\n\t_, ok := <-ch\n\t_ = ok\n}\n");
+        let body = &f.func("F").unwrap().body;
+        assert!(matches!(&body[0], Stmt::Recv { name: None, ok: Some(_), .. }));
+    }
+}

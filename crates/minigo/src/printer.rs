@@ -1,0 +1,499 @@
+//! Pretty-printer: AST → mini-Go source.
+//!
+//! The printer is the inverse of the parser up to formatting: for every
+//! file in the supported subset, `parse(print(ast))` yields a
+//! structurally identical AST. That property is enforced by round-trip
+//! tests (including property tests over the corpus generator), and it is
+//! what lets tools rewrite programs — e.g. emitting a fixed variant of a
+//! leaky function — without a separate code generator.
+
+use std::fmt::Write;
+
+use crate::ast::{
+    CallExpr, CallTarget, Expr, File, ForKind, FuncDecl, GoCall, RecvSrc, SelCase, Stmt,
+    TypeExpr, UnOp,
+};
+
+/// Renders a whole file.
+pub fn print_file(file: &File) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "package {}", file.package);
+    for f in &file.funcs {
+        out.push('\n');
+        out.push_str(&print_func(f));
+    }
+    out
+}
+
+/// Renders one function declaration.
+pub fn print_func(f: &FuncDecl) -> String {
+    let params: Vec<String> =
+        f.params.iter().map(|p| format!("{} {}", p.name, print_type(&p.ty))).collect();
+    let ret = match &f.ret {
+        Some(t) => format!(" {}", print_type(t)),
+        None => String::new(),
+    };
+    let mut out = format!("func {}({}){ret} {{\n", f.name, params.join(", "));
+    print_block(&f.body, 1, &mut out);
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a type expression.
+pub fn print_type(t: &TypeExpr) -> String {
+    match t {
+        TypeExpr::Int => "int".into(),
+        TypeExpr::Bool => "bool".into(),
+        TypeExpr::Str => "string".into(),
+        TypeExpr::Float => "float64".into(),
+        TypeExpr::Chan(e) => format!("chan {}", print_type(e)),
+        TypeExpr::Ctx => "context.Context".into(),
+        TypeExpr::Any => "interface{}".into(),
+        TypeExpr::List(e) => format!("[]{}", print_type(e)),
+        TypeExpr::WaitGroup => "sync.WaitGroup".into(),
+        TypeExpr::Mutex => "sync.Mutex".into(),
+        TypeExpr::Cond => "sync.Cond".into(),
+        TypeExpr::Named(n) => n.clone(),
+    }
+}
+
+/// Renders an expression.
+pub fn print_expr(e: &Expr) -> String {
+    prec_expr(e, 0)
+}
+
+fn bin_prec(op: crate::ast::BinOp) -> u8 {
+    use crate::ast::BinOp::*;
+    match op {
+        Or => 1,
+        And => 2,
+        Eq | Ne | Lt | Le | Gt | Ge => 3,
+        Add | Sub => 4,
+        Mul | Div | Mod => 5,
+    }
+}
+
+fn bin_sym(op: crate::ast::BinOp) -> &'static str {
+    use crate::ast::BinOp::*;
+    match op {
+        Add => "+",
+        Sub => "-",
+        Mul => "*",
+        Div => "/",
+        Mod => "%",
+        Eq => "==",
+        Ne => "!=",
+        Lt => "<",
+        Le => "<=",
+        Gt => ">",
+        Ge => ">=",
+        And => "&&",
+        Or => "||",
+    }
+}
+
+fn prec_expr(e: &Expr, min: u8) -> String {
+    match e {
+        Expr::Int(v) => v.to_string(),
+        Expr::Str(s) => format!("{s:?}"),
+        Expr::Bool(b) => b.to_string(),
+        Expr::Nil => "nil".into(),
+        Expr::Ident(n) => n.clone(),
+        Expr::Unary(UnOp::Not, inner) => format!("!{}", prec_expr(inner, 6)),
+        Expr::Unary(UnOp::Neg, inner) => {
+            let s = prec_expr(inner, 6);
+            // `--x` would lex as the decrement token; parenthesize.
+            if s.starts_with('-') {
+                format!("-({s})")
+            } else {
+                format!("-{s}")
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            let p = bin_prec(*op);
+            let s = format!(
+                "{} {} {}",
+                prec_expr(a, p),
+                bin_sym(*op),
+                prec_expr(b, p + 1)
+            );
+            if p < min {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        Expr::Len(inner) => format!("len({})", print_expr(inner)),
+        Expr::Index(base, idx) => {
+            format!("{}[{}]", prec_expr(base, 6), print_expr(idx))
+        }
+        Expr::ListLit(items) => {
+            let inner: Vec<String> = items.iter().map(print_expr).collect();
+            format!("[]int{{{}}}", inner.join(", "))
+        }
+    }
+}
+
+fn recv_src(src: &RecvSrc) -> String {
+    match src {
+        RecvSrc::Chan(e) => print_expr(e),
+        RecvSrc::CtxDone(c) => format!("{c}.Done()"),
+        RecvSrc::TimeAfter(d) => format!("time.After({})", print_expr(d)),
+        RecvSrc::TimeTick(d) => format!("time.Tick({})", print_expr(d)),
+    }
+}
+
+fn call(c: &CallExpr) -> String {
+    let target = match &c.target {
+        CallTarget::Func(f) => f.clone(),
+        CallTarget::Method { recv, name } => format!("{recv}.{name}"),
+    };
+    let args: Vec<String> = c.args.iter().map(print_expr).collect();
+    format!("{target}({})", args.join(", "))
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push('\t');
+    }
+}
+
+fn print_block(stmts: &[Stmt], depth: usize, out: &mut String) {
+    for s in stmts {
+        print_stmt(s, depth, out);
+    }
+}
+
+fn print_stmt(s: &Stmt, depth: usize, out: &mut String) {
+    indent(depth, out);
+    match s {
+        Stmt::Assign { name, expr, decl, .. } => {
+            let op = if *decl { ":=" } else { "=" };
+            let _ = writeln!(out, "{name} {op} {}", print_expr(expr));
+        }
+        Stmt::MakeChan { name, elem, cap, .. } => {
+            let cap_s = match cap {
+                Some(e) => format!(", {}", print_expr(e)),
+                None => String::new(),
+            };
+            let _ = writeln!(out, "{name} := make(chan {}{cap_s})", print_type(elem));
+        }
+        Stmt::Send { ch, val, .. } => {
+            let _ = writeln!(out, "{} <- {}", print_expr(ch), print_expr(val));
+        }
+        Stmt::Recv { name, ok, src, .. } => match (name, ok) {
+            (None, None) => {
+                let _ = writeln!(out, "<-{}", recv_src(src));
+            }
+            (Some(n), None) => {
+                let _ = writeln!(out, "{n} := <-{}", recv_src(src));
+            }
+            (n, o) => {
+                let _ = writeln!(
+                    out,
+                    "{}, {} := <-{}",
+                    n.as_deref().unwrap_or("_"),
+                    o.as_deref().unwrap_or("_"),
+                    recv_src(src)
+                );
+            }
+        },
+        Stmt::Close { ch, .. } => {
+            let _ = writeln!(out, "close({})", print_expr(ch));
+        }
+        Stmt::Go { call: go, .. } => match go {
+            GoCall::Closure { body } => {
+                let _ = writeln!(out, "go func() {{");
+                print_block(body, depth + 1, out);
+                indent(depth, out);
+                out.push_str("}()\n");
+            }
+            GoCall::Named { func, args } => {
+                let args: Vec<String> = args.iter().map(print_expr).collect();
+                let _ = writeln!(out, "go {func}({})", args.join(", "));
+            }
+            GoCall::Wrapper { wrapper, body } => {
+                let _ = writeln!(out, "{wrapper}(func() {{");
+                print_block(body, depth + 1, out);
+                indent(depth, out);
+                out.push_str("})\n");
+            }
+        },
+        Stmt::Call { ret, call: c, .. } => {
+            match ret {
+                Some(r) => {
+                    let _ = writeln!(out, "{r} := {}", call(c));
+                }
+                None => {
+                    let _ = writeln!(out, "{}", call(c));
+                }
+            };
+        }
+        Stmt::CtxDecl { ctx, cancel, timeout, .. } => {
+            let rhs = match timeout {
+                Some(d) => format!("context.WithTimeout(parent, {})", print_expr(d)),
+                None => "context.WithCancel(parent)".to_string(),
+            };
+            let _ = writeln!(out, "{ctx}, {cancel} := {rhs}");
+        }
+        Stmt::Select { cases, default, .. } => {
+            out.push_str("select {\n");
+            for case in cases {
+                indent(depth, out);
+                match case {
+                    SelCase::Recv { name, ok, src, .. } => match (name, ok) {
+                        (None, None) => {
+                            let _ = writeln!(out, "case <-{}:", recv_src(src));
+                        }
+                        (Some(n), None) => {
+                            let _ = writeln!(out, "case {n} := <-{}:", recv_src(src));
+                        }
+                        (n, o) => {
+                            let _ = writeln!(
+                                out,
+                                "case {}, {} := <-{}:",
+                                n.as_deref().unwrap_or("_"),
+                                o.as_deref().unwrap_or("_"),
+                                recv_src(src)
+                            );
+                        }
+                    },
+                    SelCase::Send { ch, val, .. } => {
+                        let _ =
+                            writeln!(out, "case {} <- {}:", print_expr(ch), print_expr(val));
+                    }
+                }
+                print_block(case.body(), depth + 1, out);
+            }
+            if let Some(d) = default {
+                indent(depth, out);
+                out.push_str("default:\n");
+                print_block(d, depth + 1, out);
+            }
+            indent(depth, out);
+            out.push_str("}\n");
+        }
+        Stmt::If { cond, then, els, .. } => {
+            let _ = writeln!(out, "if {} {{", print_expr(cond));
+            print_block(then, depth + 1, out);
+            indent(depth, out);
+            match els {
+                Some(e) => {
+                    out.push_str("} else {\n");
+                    print_block(e, depth + 1, out);
+                    indent(depth, out);
+                    out.push_str("}\n");
+                }
+                None => out.push_str("}\n"),
+            }
+        }
+        Stmt::For { kind, body, .. } => {
+            match kind {
+                ForKind::Infinite => out.push_str("for {\n"),
+                ForKind::While(c) => {
+                    let _ = writeln!(out, "for {} {{", print_expr(c));
+                }
+                ForKind::Range { var, ch } => {
+                    let _ = match var {
+                        Some(v) => writeln!(out, "for {v} := range {} {{", print_expr(ch)),
+                        None => writeln!(out, "for range {} {{", print_expr(ch)),
+                    };
+                }
+                ForKind::CStyle { var, n } => {
+                    let _ = writeln!(
+                        out,
+                        "for {var} := 0; {var} < {}; {var}++ {{",
+                        print_expr(n)
+                    );
+                }
+            }
+            print_block(body, depth + 1, out);
+            indent(depth, out);
+            out.push_str("}\n");
+        }
+        Stmt::Return { expr, .. } => {
+            let _ = match expr {
+                Some(e) => writeln!(out, "return {}", print_expr(e)),
+                None => writeln!(out, "return"),
+            };
+        }
+        Stmt::Break { .. } => out.push_str("break\n"),
+        Stmt::Continue { .. } => out.push_str("continue\n"),
+        Stmt::Defer { call: c, .. } => {
+            let _ = writeln!(out, "defer {}", call(c));
+        }
+        Stmt::VarDecl { name, ty, init, .. } => {
+            let _ = match init {
+                Some(e) => writeln!(out, "var {name} {} = {}", print_type(ty), print_expr(e)),
+                None => writeln!(out, "var {name} {}", print_type(ty)),
+            };
+        }
+        Stmt::Panic { msg, .. } => {
+            let _ = writeln!(out, "panic({msg:?})");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+
+    /// Strips location info so ASTs can be compared structurally.
+    fn canon(file: &File) -> String {
+        // Serialize, then erase line numbers, which legitimately change
+        // across reformatting.
+        let js = serde_json::to_value(file).expect("ast serializes");
+        fn strip(v: &mut serde_json::Value) {
+            match v {
+                serde_json::Value::Object(m) => {
+                    m.remove("line");
+                    m.remove("path");
+                    for (_, x) in m.iter_mut() {
+                        strip(x);
+                    }
+                }
+                serde_json::Value::Array(xs) => {
+                    for x in xs {
+                        strip(x);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut js = js;
+        strip(&mut js);
+        js.to_string()
+    }
+
+    fn roundtrip(src: &str) {
+        let a = parse_file(src, "t.go").expect("original parses");
+        let printed = print_file(&a);
+        let b = parse_file(&printed, "t.go")
+            .unwrap_or_else(|e| panic!("printed source fails to parse: {e:?}\n{printed}"));
+        assert_eq!(canon(&a), canon(&b), "roundtrip changed the AST:\n{printed}");
+    }
+
+    #[test]
+    fn roundtrips_listing_one() {
+        roundtrip(
+            r#"
+package transactions
+
+func ComputeCost(err bool) {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+	if err {
+		return
+	}
+	disc := <-ch
+	_ = disc
+}
+"#,
+        );
+    }
+
+    #[test]
+    fn roundtrips_select_and_context() {
+        roundtrip(
+            r#"
+package p
+
+func Handler(parent context.Context, ch chan int) {
+	ctx, cancel := context.WithTimeout(parent, 100)
+	defer cancel()
+	select {
+	case v, ok := <-ch:
+		_ = v
+		_ = ok
+	case <-ctx.Done():
+		return
+	case <-time.After(5):
+		break
+	default:
+		sim.Work(1)
+	}
+}
+"#,
+        );
+    }
+
+    #[test]
+    fn roundtrips_loops_sync_and_wrappers() {
+        roundtrip(
+            r#"
+package p
+
+func W(n int) {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var cv sync.Cond
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		asyncutil.Go(func() {
+			defer wg.Done()
+			mu.Lock()
+			mu.Unlock()
+		})
+	}
+	for n > 0 {
+		n = n - 1
+	}
+	for {
+		break
+	}
+	wg.Wait()
+	cv.Signal()
+}
+"#,
+        );
+    }
+
+    #[test]
+    fn roundtrips_expressions_with_precedence() {
+        roundtrip(
+            r#"
+package p
+
+func E(a int, b int) {
+	x := (a + b) * 2
+	y := a + b*2
+	z := !(a < b) && b >= 0 || a == 1
+	w := -a + len([]int{1, 2, 3})
+	_ = x
+	_ = y
+	_ = z
+	_ = w
+}
+"#,
+        );
+    }
+
+    #[test]
+    fn printed_listing_still_leaks_identically() {
+        // The printer must preserve behaviour, not just structure.
+        let src = r#"
+package p
+
+func F(fail bool) {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+	if fail {
+		return
+	}
+	<-ch
+}
+"#;
+        let ast = parse_file(src, "p/f.go").unwrap();
+        let printed = print_file(&ast);
+        let prog = crate::compile(&printed, "p/f.go").expect("printed source compiles");
+        let mut rt = gosim::Runtime::with_seed(0);
+        prog.spawn_func(&mut rt, "p.F", vec![true.into()]).unwrap();
+        rt.run_until_blocked(10_000);
+        assert_eq!(rt.live_count(), 1);
+    }
+}

@@ -1,0 +1,554 @@
+//! Tokens and the lexer for mini-Go.
+//!
+//! The lexer follows Go's automatic-semicolon-insertion rule: a newline
+//! terminates a statement when the preceding token could end one.
+
+use std::fmt;
+
+/// A token kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal (unescaped content).
+    Str(String),
+    // keywords
+    /// `package`
+    Package,
+    /// `import`
+    Import,
+    /// `func`
+    Func,
+    /// `go`
+    Go,
+    /// `chan`
+    Chan,
+    /// `select`
+    Select,
+    /// `case`
+    Case,
+    /// `default`
+    Default,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `for`
+    For,
+    /// `range`
+    Range,
+    /// `return`
+    Return,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// `defer`
+    Defer,
+    /// `var`
+    Var,
+    /// `make`
+    Make,
+    /// `close`
+    Close,
+    /// `panic`
+    Panic,
+    /// `len`
+    Len,
+    /// `nil`
+    Nil,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `struct`
+    Struct,
+    /// `type`
+    Type,
+    /// `interface`
+    Interface,
+    /// `map`
+    Map,
+    /// `const`
+    Const,
+    // punctuation
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;` (explicit or auto-inserted)
+    Semi,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `:=`
+    Define,
+    /// `=`
+    Assign,
+    /// `<-`
+    Arrow,
+    /// `++`
+    Inc,
+    /// `--`
+    Dec,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Not,
+    /// `&`
+    Amp,
+    /// End of file.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            other => write!(f, "{}", other.symbol()),
+        }
+    }
+}
+
+impl Tok {
+    fn symbol(&self) -> &'static str {
+        match self {
+            Tok::Package => "package",
+            Tok::Import => "import",
+            Tok::Func => "func",
+            Tok::Go => "go",
+            Tok::Chan => "chan",
+            Tok::Select => "select",
+            Tok::Case => "case",
+            Tok::Default => "default",
+            Tok::If => "if",
+            Tok::Else => "else",
+            Tok::For => "for",
+            Tok::Range => "range",
+            Tok::Return => "return",
+            Tok::Break => "break",
+            Tok::Continue => "continue",
+            Tok::Defer => "defer",
+            Tok::Var => "var",
+            Tok::Make => "make",
+            Tok::Close => "close",
+            Tok::Panic => "panic",
+            Tok::Len => "len",
+            Tok::Nil => "nil",
+            Tok::True => "true",
+            Tok::False => "false",
+            Tok::Struct => "struct",
+            Tok::Type => "type",
+            Tok::Interface => "interface",
+            Tok::Map => "map",
+            Tok::Const => "const",
+            Tok::LParen => "(",
+            Tok::RParen => ")",
+            Tok::LBrace => "{",
+            Tok::RBrace => "}",
+            Tok::LBracket => "[",
+            Tok::RBracket => "]",
+            Tok::Comma => ",",
+            Tok::Semi => ";",
+            Tok::Colon => ":",
+            Tok::Dot => ".",
+            Tok::Define => ":=",
+            Tok::Assign => "=",
+            Tok::Arrow => "<-",
+            Tok::Inc => "++",
+            Tok::Dec => "--",
+            Tok::Plus => "+",
+            Tok::Minus => "-",
+            Tok::Star => "*",
+            Tok::Slash => "/",
+            Tok::Percent => "%",
+            Tok::EqEq => "==",
+            Tok::NotEq => "!=",
+            Tok::Lt => "<",
+            Tok::Le => "<=",
+            Tok::Gt => ">",
+            Tok::Ge => ">=",
+            Tok::AndAnd => "&&",
+            Tok::OrOr => "||",
+            Tok::Not => "!",
+            Tok::Amp => "&",
+            Tok::Eof => "<eof>",
+            Tok::Ident(_) | Tok::Int(_) | Tok::Str(_) => unreachable!(),
+        }
+    }
+
+    /// Go's ASI rule: does a newline after this token insert a semicolon?
+    fn ends_statement(&self) -> bool {
+        matches!(
+            self,
+            Tok::Ident(_)
+                | Tok::Int(_)
+                | Tok::Str(_)
+                | Tok::Nil
+                | Tok::True
+                | Tok::False
+                | Tok::Return
+                | Tok::Break
+                | Tok::Continue
+                | Tok::RParen
+                | Tok::RBrace
+                | Tok::RBracket
+                | Tok::Inc
+                | Tok::Dec
+        )
+    }
+}
+
+/// A token with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// A lexical error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable message.
+    pub msg: String,
+    /// Line of the offending input.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes mini-Go source.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unterminated strings/comments or unexpected
+/// characters.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out: Vec<Spanned> = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    macro_rules! push {
+        ($tok:expr) => {
+            out.push(Spanned { tok: $tok, line })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                if out.last().map(|t| t.tok.ends_statement()).unwrap_or(false) {
+                    push!(Tok::Semi);
+                }
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let start = line;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LexError { msg: "unterminated block comment".into(), line: start });
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '"' => {
+                let start = line;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(LexError { msg: "unterminated string".into(), line: start });
+                    }
+                    match bytes[i] {
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\\' if i + 1 < bytes.len() => {
+                            let esc = bytes[i + 1] as char;
+                            s.push(match esc {
+                                'n' => '\n',
+                                't' => '\t',
+                                '\\' => '\\',
+                                '"' => '"',
+                                other => other,
+                            });
+                            i += 2;
+                        }
+                        b'\n' => {
+                            return Err(LexError { msg: "newline in string".into(), line: start })
+                        }
+                        b => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                push!(Tok::Str(s));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let v: i64 = text
+                    .parse()
+                    .map_err(|_| LexError { msg: format!("bad integer {text}"), line })?;
+                push!(Tok::Int(v));
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let tok = match word {
+                    "package" => Tok::Package,
+                    "import" => Tok::Import,
+                    "func" => Tok::Func,
+                    "go" => Tok::Go,
+                    "chan" => Tok::Chan,
+                    "select" => Tok::Select,
+                    "case" => Tok::Case,
+                    "default" => Tok::Default,
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    "for" => Tok::For,
+                    "range" => Tok::Range,
+                    "return" => Tok::Return,
+                    "break" => Tok::Break,
+                    "continue" => Tok::Continue,
+                    "defer" => Tok::Defer,
+                    "var" => Tok::Var,
+                    "make" => Tok::Make,
+                    "close" => Tok::Close,
+                    "panic" => Tok::Panic,
+                    "len" => Tok::Len,
+                    "nil" => Tok::Nil,
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    "struct" => Tok::Struct,
+                    "type" => Tok::Type,
+                    "interface" => Tok::Interface,
+                    "map" => Tok::Map,
+                    "const" => Tok::Const,
+                    _ => Tok::Ident(word.to_string()),
+                };
+                push!(tok);
+            }
+            _ => {
+                let two = if i + 1 < bytes.len() { &src[i..i + 2] } else { "" };
+                let (tok, adv) = match two {
+                    ":=" => (Tok::Define, 2),
+                    "<-" => (Tok::Arrow, 2),
+                    "++" => (Tok::Inc, 2),
+                    "--" => (Tok::Dec, 2),
+                    "==" => (Tok::EqEq, 2),
+                    "!=" => (Tok::NotEq, 2),
+                    "<=" => (Tok::Le, 2),
+                    ">=" => (Tok::Ge, 2),
+                    "&&" => (Tok::AndAnd, 2),
+                    "||" => (Tok::OrOr, 2),
+                    _ => match c {
+                        '(' => (Tok::LParen, 1),
+                        ')' => (Tok::RParen, 1),
+                        '{' => (Tok::LBrace, 1),
+                        '}' => (Tok::RBrace, 1),
+                        '[' => (Tok::LBracket, 1),
+                        ']' => (Tok::RBracket, 1),
+                        ',' => (Tok::Comma, 1),
+                        ';' => (Tok::Semi, 1),
+                        ':' => (Tok::Colon, 1),
+                        '.' => (Tok::Dot, 1),
+                        '=' => (Tok::Assign, 1),
+                        '+' => (Tok::Plus, 1),
+                        '-' => (Tok::Minus, 1),
+                        '*' => (Tok::Star, 1),
+                        '/' => (Tok::Slash, 1),
+                        '%' => (Tok::Percent, 1),
+                        '<' => (Tok::Lt, 1),
+                        '>' => (Tok::Gt, 1),
+                        '!' => (Tok::Not, 1),
+                        '&' => (Tok::Amp, 1),
+                        other => {
+                            return Err(LexError {
+                                msg: format!("unexpected character {other:?}"),
+                                line,
+                            })
+                        }
+                    },
+                };
+                push!(tok);
+                i += adv;
+            }
+        }
+    }
+    if out.last().map(|t| t.tok.ends_statement()).unwrap_or(false) {
+        out.push(Spanned { tok: Tok::Semi, line });
+    }
+    out.push(Spanned { tok: Tok::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_channel_operations() {
+        let t = toks("ch <- 1\nv := <-ch");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("ch".into()),
+                Tok::Arrow,
+                Tok::Int(1),
+                Tok::Semi,
+                Tok::Ident("v".into()),
+                Tok::Define,
+                Tok::Arrow,
+                Tok::Ident("ch".into()),
+                Tok::Semi,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn asi_only_after_statement_enders() {
+        // `func f() {` — no semicolon after `{`
+        let t = toks("func f() {\n}\n");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Func,
+                Tok::Ident("f".into()),
+                Tok::LParen,
+                Tok::RParen,
+                Tok::LBrace,
+                Tok::RBrace,
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let t = toks("x := 1 // trailing\n/* block\ncomment */ y := 2");
+        assert!(t.contains(&Tok::Ident("x".into())));
+        assert!(t.contains(&Tok::Ident("y".into())));
+        assert!(!t.iter().any(|t| matches!(t, Tok::Str(_))));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let spans = lex("a\nb\nc").unwrap();
+        let lines: Vec<u32> = spans
+            .iter()
+            .filter(|s| matches!(s.tok, Tok::Ident(_)))
+            .map(|s| s.line)
+            .collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let t = toks(r#"s := "a\nb""#);
+        assert!(t.contains(&Tok::Str("a\nb".into())));
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(lex("s := \"abc").is_err());
+        assert!(lex("/* never closed").is_err());
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        let t = toks("gopher go ranger range");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("gopher".into()),
+                Tok::Go,
+                Tok::Ident("ranger".into()),
+                Tok::Range,
+                Tok::Eof
+            ]
+        );
+    }
+}

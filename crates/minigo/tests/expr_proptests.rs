@@ -1,0 +1,65 @@
+//! Property test: random expression trees survive print → parse with
+//! structure (and therefore precedence/associativity) intact.
+
+use minigo::ast::{BinOp, Expr, UnOp};
+use proptest::prelude::*;
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0i64..1000).prop_map(Expr::Int),
+        any::<bool>().prop_map(Expr::Bool),
+        "[a-z0-9]{0,6}".prop_map(|s| Expr::Ident(format!("x{s}"))),
+    ];
+    leaf.prop_recursive(4, 64, 3, |inner| {
+        prop_oneof![
+            (arb_binop(), inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| Expr::Binary(op, Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|e| Expr::Unary(UnOp::Not, Box::new(e))),
+            inner.clone().prop_map(|e| Expr::Unary(UnOp::Neg, Box::new(e))),
+            inner.clone().prop_map(|e| Expr::Len(Box::new(e))),
+            proptest::collection::vec(inner, 0..3).prop_map(Expr::ListLit),
+        ]
+    })
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Mod),
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+    ]
+}
+
+fn canon(e: &Expr) -> String {
+    // Structural fingerprint ignoring source positions (Expr has none).
+    format!("{e:?}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn printed_expressions_reparse_identically(e in arb_expr()) {
+        let printed = minigo::print_expr(&e);
+        // Embed in a minimal statement to reuse the file parser.
+        let src = format!("package p\n\nfunc F() {{\n\tx := {printed}\n\t_ = x\n}}\n");
+        let file = minigo::parse_file(&src, "t.go")
+            .unwrap_or_else(|d| panic!("printed expr failed to parse: {d:?}\n{printed}"));
+        let f = file.func("F").expect("func F");
+        let reparsed = match &f.body[0] {
+            minigo::ast::Stmt::Assign { expr, .. } => expr,
+            other => panic!("expected assign, got {other:?}"),
+        };
+        prop_assert_eq!(canon(&e), canon(reparsed), "precedence lost for: {}", printed);
+    }
+}

@@ -1,0 +1,399 @@
+//! End-to-end tests: every leaky listing from the paper, written in
+//! mini-Go source, compiled, executed on gosim, and checked for the
+//! exact leak (or absence of one in the fixed variant).
+
+use gosim::{GoStatus, Runtime, Val};
+
+fn run_func(src: &str, path: &str, func: &str, args: Vec<Val>) -> Runtime {
+    let prog = minigo::compile(src, path).unwrap_or_else(|e| panic!("compile failed: {e:?}"));
+    let mut rt = Runtime::with_seed(7);
+    prog.spawn_func(&mut rt, func, args).unwrap_or_else(|| panic!("no function {func}"));
+    rt.advance(10_000, 1_000_000);
+    rt
+}
+
+#[test]
+fn listing1_compute_cost_leaks_on_error_path() {
+    let src = r#"
+package transactions
+
+func ComputeCost(err bool) {
+	ch := make(chan int)
+	go func() {
+		sim.Work(5)
+		ch <- 1
+	}()
+	if err {
+		return
+	}
+	disc := <-ch
+	_ = disc
+}
+"#;
+    // Error path: the anonymous sender leaks at line 8 (ch <- 1).
+    let rt = run_func(src, "transactions/cost.go", "transactions.ComputeCost", vec![true.into()]);
+    assert_eq!(rt.live_count(), 1);
+    let profile = rt.goroutine_profile("t");
+    let g = &profile.goroutines[0];
+    assert_eq!(g.status, GoStatus::ChanSend { nil_chan: false });
+    assert_eq!(g.blocking_frame().unwrap().loc.to_string(), "transactions/cost.go:8");
+    assert_eq!(g.name, "transactions.ComputeCost$1");
+
+    // Happy path: no leak.
+    let rt2 =
+        run_func(src, "transactions/cost.go", "transactions.ComputeCost", vec![false.into()]);
+    assert_eq!(rt2.live_count(), 0);
+}
+
+#[test]
+fn listing3_unclosed_range_leaks_all_workers() {
+    let src = r#"
+package pipeline
+
+func FanOut(workers int, items int) {
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for item := range ch {
+				sim.Work(item)
+			}
+		}()
+	}
+	for i := 0; i < items; i++ {
+		ch <- i
+	}
+}
+"#;
+    let rt = run_func(src, "pipeline/fan.go", "pipeline.FanOut", vec![4i64.into(), 8i64.into()]);
+    assert_eq!(rt.live_count(), 4);
+    for g in &rt.goroutine_profile("t").goroutines {
+        assert_eq!(g.status, GoStatus::ChanReceive { nil_chan: false });
+        assert_eq!(g.blocking_frame().unwrap().loc.line, 8, "blocked at the range receive");
+    }
+}
+
+#[test]
+fn listing3_fixed_with_close() {
+    let src = r#"
+package pipeline
+
+func FanOut(workers int, items int) {
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for item := range ch {
+				sim.Work(item)
+			}
+		}()
+	}
+	for i := 0; i < items; i++ {
+		ch <- i
+	}
+	close(ch)
+}
+"#;
+    let rt = run_func(src, "pipeline/fan.go", "pipeline.FanOut", vec![4i64.into(), 8i64.into()]);
+    assert_eq!(rt.live_count(), 0);
+}
+
+#[test]
+fn listing4_timer_loop_never_terminates() {
+    let src = r#"
+package metrics
+
+func statsReporter() {
+	go func() {
+		for {
+			<-time.After(100)
+			sim.Work(1)
+		}
+	}()
+}
+"#;
+    let prog = minigo::compile(src, "metrics/stats.go").unwrap();
+    let mut rt = Runtime::with_seed(0);
+    prog.spawn_func(&mut rt, "metrics.statsReporter", vec![]).unwrap();
+    // Run a long virtual window: the goroutine wakes and re-blocks forever.
+    rt.advance(10_000, 1_000_000);
+    assert_eq!(rt.live_count(), 1, "runaway reporter persists");
+    assert!(rt.goroutine_profile("t").goroutines[0].status.is_channel_blocked());
+}
+
+#[test]
+fn listing5_double_send() {
+    let src = r#"
+package items
+
+func Pair(fail bool) {
+	ch := make(chan int)
+	go sender(ch, fail)
+	item := <-ch
+	_ = item
+}
+
+func sender(ch chan int, fail bool) {
+	if fail {
+		ch <- 0
+	}
+	ch <- 1
+}
+"#;
+    // On the failure path the second send blocks forever.
+    let rt = run_func(src, "items/pair.go", "items.Pair", vec![true.into()]);
+    assert_eq!(rt.live_count(), 1);
+    let g = &rt.goroutine_profile("t").goroutines[0];
+    assert_eq!(g.status, GoStatus::ChanSend { nil_chan: false });
+    assert_eq!(g.name, "items.sender");
+    assert_eq!(g.blocking_frame().unwrap().loc.line, 15);
+
+    let rt2 = run_func(src, "items/pair.go", "items.Pair", vec![false.into()]);
+    assert_eq!(rt2.live_count(), 0);
+}
+
+#[test]
+fn listing6_method_contract_violation() {
+    let src = r#"
+package worker
+
+func Use(callStop bool) {
+	ch := make(chan int)
+	done := make(chan int)
+	go func() {
+		for {
+			select {
+			case <-ch:
+				sim.Work(1)
+			case <-done:
+				return
+			}
+		}
+	}()
+	if callStop {
+		close(done)
+	}
+}
+"#;
+    let leak = run_func(src, "worker/w.go", "worker.Use", vec![false.into()]);
+    assert_eq!(leak.live_count(), 1);
+    assert_eq!(leak.goroutine_profile("t").goroutines[0].status, GoStatus::Select { ncases: 2 });
+
+    let ok = run_func(src, "worker/w.go", "worker.Use", vec![true.into()]);
+    assert_eq!(ok.live_count(), 0);
+}
+
+#[test]
+fn listing7_premature_return() {
+    let src = r#"
+package h
+
+func F(early bool) {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+	if early {
+		return
+	}
+	<-ch
+}
+"#;
+    let rt = run_func(src, "h/f.go", "h.F", vec![true.into()]);
+    assert_eq!(rt.live_count(), 1);
+    // Fix: buffer of one.
+    let fixed = r#"
+package h
+
+func F(early bool) {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 1
+	}()
+	if early {
+		return
+	}
+	<-ch
+}
+"#;
+    let rt2 = run_func(fixed, "h/f.go", "h.F", vec![true.into()]);
+    assert_eq!(rt2.live_count(), 0);
+}
+
+#[test]
+fn listing8_timeout_leak_with_context() {
+    let src = r#"
+package h
+
+func Handler(parent context.Context) {
+	ctx, cancel := context.WithTimeout(parent, 10)
+	defer cancel()
+	ch := make(chan int)
+	go func() {
+		sim.Work(1)
+		time.Sleep(100)
+		ch <- 1
+	}()
+	select {
+	case item := <-ch:
+		_ = item
+	case <-ctx.Done():
+		return
+	}
+}
+"#;
+    let rt = run_func(src, "h/handler.go", "h.Handler", vec![Val::NilChan]);
+    assert_eq!(rt.live_count(), 1, "producer leaks after the deadline fires");
+    let g = &rt.goroutine_profile("t").goroutines[0];
+    assert_eq!(g.status, GoStatus::ChanSend { nil_chan: false });
+    assert_eq!(g.blocking_frame().unwrap().loc.line, 11);
+}
+
+#[test]
+fn listing9_ncast_leak_and_fix() {
+    let src = r#"
+package bcast
+
+func First(n int) {
+	ch := make(chan int)
+	for i := 0; i < n; i++ {
+		go func() {
+			ch <- i
+		}()
+	}
+	first := <-ch
+	_ = first
+}
+"#;
+    let rt = run_func(src, "bcast/first.go", "bcast.First", vec![6i64.into()]);
+    assert_eq!(rt.live_count(), 5, "n-1 senders leak");
+
+    let fixed = r#"
+package bcast
+
+func First(n int) {
+	ch := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			ch <- i
+		}()
+	}
+	first := <-ch
+	_ = first
+}
+"#;
+    let rt2 = run_func(fixed, "bcast/first.go", "bcast.First", vec![6i64.into()]);
+    assert_eq!(rt2.live_count(), 0, "capacity n fix drains all sends");
+}
+
+#[test]
+fn wrapper_spawn_behaves_like_go() {
+    let src = r#"
+package w
+
+func F() {
+	ch := make(chan int)
+	asyncutil.Go(func() {
+		ch <- 1
+	})
+}
+"#;
+    let rt = run_func(src, "w/f.go", "w.F", vec![]);
+    assert_eq!(rt.live_count(), 1, "wrapper-spawned sender leaks like a plain go");
+    let g = &rt.goroutine_profile("t").goroutines[0];
+    assert_eq!(g.name, "w.F$1");
+}
+
+#[test]
+fn select_with_default_is_nonblocking() {
+    let src = r#"
+package s
+
+func F() {
+	ch := make(chan int)
+	select {
+	case v := <-ch:
+		_ = v
+	default:
+		sim.Work(1)
+	}
+}
+"#;
+    let rt = run_func(src, "s/f.go", "s.F", vec![]);
+    assert_eq!(rt.live_count(), 0);
+}
+
+#[test]
+fn cross_package_calls_via_compile_many() {
+    let lib = r#"
+package util
+
+func Produce(ch chan int, n int) {
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	close(ch)
+}
+"#;
+    let app = r#"
+package app
+
+func Main() {
+	ch := make(chan int)
+	go util.Produce(ch, 3)
+	for v := range ch {
+		sim.Work(v)
+	}
+}
+"#;
+    let prog = minigo::compile_many(&[
+        (lib.to_string(), "util/produce.go".to_string()),
+        (app.to_string(), "app/main.go".to_string()),
+    ])
+    .unwrap();
+    let mut rt = Runtime::with_seed(0);
+    prog.spawn_func(&mut rt, "app.Main", vec![]).unwrap();
+    rt.run_until_blocked(100_000);
+    assert_eq!(rt.live_count(), 0);
+    assert_eq!(rt.stats().msgs_transferred, 3);
+}
+
+#[test]
+fn nil_channel_declared_var_blocks() {
+    let src = r#"
+package n
+
+func F() {
+	var ch chan int
+	go func() {
+		ch <- 1
+	}()
+	<-ch
+}
+"#;
+    let rt = run_func(src, "n/f.go", "n.F", vec![]);
+    assert_eq!(rt.live_count(), 2);
+    let statuses: Vec<GoStatus> =
+        rt.goroutine_profile("t").goroutines.iter().map(|g| g.status).collect();
+    assert!(statuses.contains(&GoStatus::ChanSend { nil_chan: true }));
+    assert!(statuses.contains(&GoStatus::ChanReceive { nil_chan: true }));
+}
+
+#[test]
+fn waitgroup_source_round_trip() {
+    let src = r#"
+package wgtest
+
+func F(n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			sim.Work(1)
+		}()
+	}
+	wg.Wait()
+}
+"#;
+    let rt = run_func(src, "wgtest/f.go", "wgtest.F", vec![5i64.into()]);
+    assert_eq!(rt.live_count(), 0);
+}

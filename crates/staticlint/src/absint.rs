@@ -1,0 +1,604 @@
+//! `absint` — a Goat-style abstract-interpretation analyzer.
+//!
+//! Goat runs abstract interpretation to a least fixpoint over a
+//! conservative approximation of the program state. `absint` mirrors the
+//! architecture with a single-pass interval analysis: for each local
+//! channel it computes a *hull* of possible operation counts over all
+//! paths — joins at branches (interval union), widening at loops
+//! (multiply by `[0, ∞]` or the static bound) — and then applies the
+//! same pairing-arithmetic checks as `pathcheck`.
+//!
+//! Because the hull merges all branches, the analysis is flow-joined
+//! rather than path-sensitive: it cannot correlate decisions across
+//! branches (extra false positives relative to `pathcheck`), and a
+//! close *anywhere* in the function suppresses receive reports (the
+//! precision heuristic Goat uses to stay usable, at the cost of false
+//! negatives). These trade-offs reproduce the GCatch-vs-Goat precision
+//! gap in the paper's Table III.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use gosim::Loc;
+use minigo::ast::File;
+
+use crate::findings::{Analyzer, Finding, FindingKind};
+use crate::skeleton::{
+    extract_file, Cap, ChanSource, ExtractOptions, Node, SelectOp, Skeleton,
+};
+
+const INF: u64 = u64::MAX / 4;
+
+/// Abstract per-channel facts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct ChanFacts {
+    sends: (u64, u64),
+    recvs: (u64, u64),
+    closes: (u64, u64),
+}
+
+impl ChanFacts {
+    fn join(&self, other: &ChanFacts) -> ChanFacts {
+        ChanFacts {
+            sends: (self.sends.0.min(other.sends.0), self.sends.1.max(other.sends.1)),
+            recvs: (self.recvs.0.min(other.recvs.0), self.recvs.1.max(other.recvs.1)),
+            closes: (self.closes.0.min(other.closes.0), self.closes.1.max(other.closes.1)),
+        }
+    }
+
+    fn seq(&self, other: &ChanFacts) -> ChanFacts {
+        let add = |a: (u64, u64), b: (u64, u64)| {
+            ((a.0 + b.0).min(INF), (a.1 + b.1).min(INF))
+        };
+        ChanFacts {
+            sends: add(self.sends, other.sends),
+            recvs: add(self.recvs, other.recvs),
+            closes: add(self.closes, other.closes),
+        }
+    }
+
+    fn scale(&self, lo: u64, hi: u64) -> ChanFacts {
+        let m = |a: (u64, u64)| {
+            (a.0.saturating_mul(lo).min(INF), a.1.saturating_mul(hi).min(INF))
+        };
+        ChanFacts { sends: m(self.sends), recvs: m(self.recvs), closes: m(self.closes) }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct State {
+    chans: BTreeMap<String, ChanFacts>,
+    send_sites: Vec<(String, u32)>,
+    recv_sites: Vec<(String, u32)>,
+    range_sites: Vec<(String, u32)>,
+    select_sites: Vec<(Vec<SelectOp>, bool, u32)>,
+}
+
+impl State {
+    fn join(&self, other: &State) -> State {
+        let mut chans = self.chans.clone();
+        for (k, v) in &other.chans {
+            let merged = chans.get(k).map(|m| m.join(v)).unwrap_or_else(|| {
+                // present only on one side: lows drop to 0
+                v.join(&ChanFacts::default())
+            });
+            chans.insert(k.clone(), merged);
+        }
+        for (k, v) in &self.chans {
+            if !other.chans.contains_key(k) {
+                chans.insert(k.clone(), v.join(&ChanFacts::default()));
+            }
+        }
+        State {
+            chans,
+            send_sites: merged_sites(&self.send_sites, &other.send_sites),
+            recv_sites: merged_sites(&self.recv_sites, &other.recv_sites),
+            range_sites: merged_sites(&self.range_sites, &other.range_sites),
+            select_sites: {
+                let mut s = self.select_sites.clone();
+                for x in &other.select_sites {
+                    if !s.contains(x) {
+                        s.push(x.clone());
+                    }
+                }
+                s
+            },
+        }
+    }
+
+    fn seq(&mut self, other: &State) {
+        for (k, v) in &other.chans {
+            let e = self.chans.entry(k.clone()).or_default();
+            *e = e.seq(v);
+        }
+        self.send_sites.extend(other.send_sites.iter().cloned());
+        self.recv_sites.extend(other.recv_sites.iter().cloned());
+        self.range_sites.extend(other.range_sites.iter().cloned());
+        self.select_sites.extend(other.select_sites.iter().cloned());
+    }
+
+    fn scale(&self, lo: u64, hi: u64) -> State {
+        State {
+            chans: self.chans.iter().map(|(k, v)| (k.clone(), v.scale(lo, hi))).collect(),
+            send_sites: self.send_sites.clone(),
+            recv_sites: self.recv_sites.clone(),
+            range_sites: self.range_sites.clone(),
+            select_sites: self.select_sites.clone(),
+        }
+    }
+}
+
+fn merged_sites(a: &[(String, u32)], b: &[(String, u32)]) -> Vec<(String, u32)> {
+    let mut out = a.to_vec();
+    for x in b {
+        if !out.contains(x) {
+            out.push(x.clone());
+        }
+    }
+    out
+}
+
+/// Whether a node list returns from the enclosing function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ret {
+    No,
+    Maybe,
+    Always,
+}
+
+impl Ret {
+    fn join(self, other: Ret) -> Ret {
+        use Ret::*;
+        match (self, other) {
+            (Always, Always) => Always,
+            (No, No) => No,
+            _ => Maybe,
+        }
+    }
+}
+
+/// Abstractly interprets a node list into the hull state. Spawned
+/// goroutines are folded into the same pot (Goat's conservative merge of
+/// concurrent effects), with the spawn body's lows dropped to zero since
+/// interleaving order is unknown.
+///
+/// Reachability is tracked through early returns: once a prefix *may*
+/// return, subsequent operations' lower bounds drop to zero; once it
+/// *must* return, the rest is unreachable.
+fn interpret(nodes: &[Node], follow_wrappers: bool) -> State {
+    interpret_ret(nodes, follow_wrappers).0
+}
+
+fn interpret_ret(nodes: &[Node], follow_wrappers: bool) -> (State, Ret) {
+    let mut st = State::default();
+    let mut reach = Ret::No;
+    for n in nodes {
+        if reach == Ret::Always {
+            break;
+        }
+        let (node_state, node_ret) = node_effect(n, follow_wrappers);
+        let scaled = if reach == Ret::Maybe { node_state.scale(0, 1) } else { node_state };
+        st.seq(&scaled);
+        reach = match (reach, node_ret) {
+            (Ret::No, r) => r,
+            (Ret::Maybe, Ret::Always) | (Ret::Maybe, Ret::Maybe) => Ret::Maybe,
+            (Ret::Maybe, Ret::No) => Ret::Maybe,
+            (Ret::Always, _) => Ret::Always,
+        };
+    }
+    (st, reach)
+}
+
+fn node_effect(n: &Node, follow_wrappers: bool) -> (State, Ret) {
+    let mut st = State::default();
+    let mut ret = Ret::No;
+    match n {
+        Node::Send { ch: Some(c), line } => {
+            let e = st.chans.entry(c.clone()).or_default();
+            *e = e.seq(&ChanFacts { sends: (1, 1), ..ChanFacts::default() });
+            st.send_sites.push((c.clone(), *line));
+        }
+        Node::Recv { ch: Some(c), line, transient: false, .. } => {
+            let e = st.chans.entry(c.clone()).or_default();
+            *e = e.seq(&ChanFacts { recvs: (1, 1), ..ChanFacts::default() });
+            st.recv_sites.push((c.clone(), *line));
+        }
+        Node::Close { ch: Some(c), .. } | Node::Cancel { ch: Some(c), .. } => {
+            let e = st.chans.entry(c.clone()).or_default();
+            *e = e.seq(&ChanFacts { closes: (1, 1), ..ChanFacts::default() });
+        }
+        Node::CtxTimer { var } => {
+            let e = st.chans.entry(var.clone()).or_default();
+            *e = e.seq(&ChanFacts { closes: (1, 1), ..ChanFacts::default() });
+        }
+        Node::Range { ch, line, body } => {
+            let (inner, _) = interpret_ret(body, follow_wrappers);
+            st.seq(&inner.scale(0, INF));
+            if let Some(c) = ch {
+                let e = st.chans.entry(c.clone()).or_default();
+                *e = e.seq(&ChanFacts { recvs: (1, INF), ..ChanFacts::default() });
+                st.range_sites.push((c.clone(), *line));
+            }
+        }
+        Node::Select { arms, has_default, default, line } => {
+            // Hull over arms: each arm may or may not fire.
+            let mut acc: Option<(State, Ret)> = None;
+            for (op, body) in arms {
+                let mut arm_state = State::default();
+                match op {
+                    SelectOp::Recv { ch: Some(c), transient: false, .. } => {
+                        arm_state.chans.insert(
+                            c.clone(),
+                            ChanFacts { recvs: (1, 1), ..ChanFacts::default() },
+                        );
+                    }
+                    SelectOp::Send { ch: Some(c), .. } => {
+                        arm_state.chans.insert(
+                            c.clone(),
+                            ChanFacts { sends: (1, 1), ..ChanFacts::default() },
+                        );
+                    }
+                    _ => {}
+                }
+                let (body_state, body_ret) = interpret_ret(body, follow_wrappers);
+                arm_state.seq(&body_state);
+                acc = Some(match acc {
+                    None => (arm_state, body_ret),
+                    Some((a, r)) => (a.join(&arm_state), r.join(body_ret)),
+                });
+            }
+            if *has_default {
+                let d = interpret_ret(default, follow_wrappers);
+                acc = Some(match acc {
+                    None => d,
+                    Some((a, r)) => (a.join(&d.0), r.join(d.1)),
+                });
+            }
+            if let Some((a, r)) = acc {
+                st.seq(&a);
+                ret = r;
+            }
+            st.select_sites.push((
+                arms.iter().map(|(op, _)| op.clone()).collect(),
+                *has_default,
+                *line,
+            ));
+        }
+        Node::Spawn { body, via_wrapper, .. } => {
+            if !(*via_wrapper && !follow_wrappers) {
+                let (child, _) = interpret_ret(body, follow_wrappers);
+                // The child may or may not have run to any given point.
+                st.seq(&child.scale(0, 1));
+            }
+        }
+        Node::Branch { arms, .. } => {
+            let mut acc: Option<(State, Ret)> = None;
+            for a in arms {
+                let sr = interpret_ret(a, follow_wrappers);
+                acc = Some(match acc {
+                    None => sr,
+                    Some((x, r)) => (x.join(&sr.0), r.join(sr.1)),
+                });
+            }
+            if let Some((a, r)) = acc {
+                st.seq(&a);
+                ret = r;
+            }
+        }
+        Node::Loop { body, bound, .. } => {
+            let (inner, body_ret) = interpret_ret(body, follow_wrappers);
+            let scaled = match bound {
+                Some(k) => inner.scale(*k as u64, *k as u64),
+                None => inner.scale(0, INF),
+            };
+            st.seq(&scaled);
+            if body_ret != Ret::No {
+                ret = Ret::Maybe;
+            }
+        }
+        Node::Return { .. } => ret = Ret::Always,
+        Node::Break | Node::Continue => {}
+        Node::Send { ch: None, .. }
+        | Node::Recv { .. }
+        | Node::Close { ch: None, .. }
+        | Node::Cancel { ch: None, .. } => {}
+    }
+    (st, ret)
+}
+
+/// Configuration for the abstract interpreter.
+#[derive(Debug, Clone, Default)]
+pub struct AbsIntConfig {
+    /// Recognize wrapper spawns (off reproduces the naive baseline).
+    pub follow_wrappers: bool,
+}
+
+/// The Goat-like analyzer.
+#[derive(Debug, Clone, Default)]
+pub struct AbsInt {
+    /// Configuration.
+    pub config: AbsIntConfig,
+}
+
+impl AbsInt {
+    /// Creates the analyzer with default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn check_skeleton(&self, skel: &Skeleton, out: &mut Vec<Finding>) {
+        let st = interpret(&skel.body, self.config.follow_wrappers);
+        let cap_of = |name: &str| -> Option<u64> {
+            skel.chans.iter().find(|c| c.name == name).and_then(|c| match c.source {
+                ChanSource::Local { cap: Cap::Zero, .. } => Some(0),
+                ChanSource::Local { cap: Cap::Const(n), .. } => Some(n as u64),
+                ChanSource::Local { cap: Cap::Dyn, .. } | ChanSource::External => None,
+            })
+        };
+
+        for (ch, facts) in &st.chans {
+            let Some(cap) = cap_of(ch) else { continue };
+            // Blocked send: hull admits more sends than receives+cap.
+            // (Goat heuristic: a possible close suppresses nothing here —
+            // senders on a closed channel panic rather than unblock.)
+            if facts.sends.1 > facts.recvs.0.saturating_add(cap) && facts.closes.0 == 0 {
+                for (c, line) in &st.send_sites {
+                    if c == ch {
+                        out.push(finding(
+                            skel,
+                            FindingKind::BlockedSend,
+                            *line,
+                            format!("hull admits {} sends vs {} receives on `{ch}` (cap {cap})",
+                                display(facts.sends.1), facts.recvs.0),
+                        ));
+                    }
+                }
+            }
+            // Blocked receive: more receives than sends and the channel
+            // is never closed anywhere (may-close suppression).
+            if facts.recvs.1 > facts.sends.0 && facts.closes.1 == 0 {
+                for (c, line) in &st.recv_sites {
+                    if c == ch {
+                        out.push(finding(
+                            skel,
+                            FindingKind::BlockedRecv,
+                            *line,
+                            format!("receive on `{ch}` with no matching sends and no close"),
+                        ));
+                    }
+                }
+                for (c, line) in &st.range_sites {
+                    if c == ch {
+                        out.push(finding(
+                            skel,
+                            FindingKind::UnclosedRange,
+                            *line,
+                            format!("range over `{ch}` which is never closed"),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Blocked select: every arm starvable under the hull.
+        for (arms, has_default, line) in &st.select_sites {
+            if *has_default {
+                continue;
+            }
+            let starved = |op: &SelectOp| -> bool {
+                match op {
+                    SelectOp::Recv { transient: true, .. } => false,
+                    SelectOp::Recv { ch: Some(c), .. } => {
+                        let Some(_cap) = cap_of(c) else { return false };
+                        let f = st.chans.get(c).copied().unwrap_or_default();
+                        // Its own select arm counted a receive; senders
+                        // are what matters.
+                        f.sends.1 == 0 && f.closes.1 == 0
+                    }
+                    SelectOp::Recv { ch: None, .. } => false,
+                    SelectOp::Send { ch: Some(c), .. } => {
+                        let Some(cap) = cap_of(c) else { return false };
+                        let f = st.chans.get(c).copied().unwrap_or_default();
+                        // The arm's own send is in the hull; other
+                        // receives are what could unblock it.
+                        f.recvs.1 == 0 && cap == 0
+                    }
+                    SelectOp::Send { ch: None, .. } => false,
+                }
+            };
+            if arms.is_empty() || arms.iter().all(starved) {
+                out.push(finding(
+                    skel,
+                    FindingKind::BlockedSelect,
+                    *line,
+                    "abstract state starves every select arm".to_string(),
+                ));
+            }
+        }
+    }
+}
+
+fn display(v: u64) -> String {
+    if v >= INF {
+        "∞".to_string()
+    } else {
+        v.to_string()
+    }
+}
+
+fn finding(skel: &Skeleton, kind: FindingKind, line: u32, message: String) -> Finding {
+    Finding {
+        tool: "absint",
+        kind,
+        loc: Loc::new(skel.file.clone(), line),
+        func: skel.func.clone(),
+        message,
+    }
+}
+
+impl Analyzer for AbsInt {
+    fn name(&self) -> &'static str {
+        "absint"
+    }
+
+    fn analyze_file(&self, file: &File) -> Vec<Finding> {
+        let opts = ExtractOptions {
+            follow_wrappers: self.config.follow_wrappers,
+            inline_named_calls: true,
+        };
+        let mut findings = Vec::new();
+        for skel in extract_file(file, &opts) {
+            self.check_skeleton(&skel, &mut findings);
+        }
+        let mut seen = BTreeSet::new();
+        findings.retain(|f| seen.insert((f.kind, f.loc.clone())));
+        findings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(src: &str) -> Vec<Finding> {
+        let file = minigo::parse_file(src, "t.go").unwrap();
+        AbsInt::new().analyze_file(&file)
+    }
+
+    #[test]
+    fn flags_listing1() {
+        let f = check(
+            r#"
+package p
+
+func F(err bool) {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+	if err {
+		return
+	}
+	<-ch
+}
+"#,
+        );
+        assert!(f.iter().any(|x| x.kind == FindingKind::BlockedSend && x.loc.line == 7));
+    }
+
+    #[test]
+    fn conditional_close_suppresses_recv_report_false_negative() {
+        // Path-sensitively this leaks when x is false; the hull's
+        // may-close heuristic silences it — a designed false negative
+        // mirroring Goat's precision trade-off.
+        let f = check(
+            r#"
+package p
+
+func F(x bool) {
+	ch := make(chan int)
+	go func() {
+		for v := range ch {
+			sim.Work(v)
+		}
+	}()
+	ch <- 1
+	if x {
+		close(ch)
+	}
+}
+"#,
+        );
+        assert!(!f.iter().any(|x| x.kind == FindingKind::UnclosedRange));
+    }
+
+    #[test]
+    fn flags_unclosed_range() {
+        let f = check(
+            r#"
+package p
+
+func F() {
+	ch := make(chan int)
+	go func() {
+		for v := range ch {
+			sim.Work(v)
+		}
+	}()
+	ch <- 1
+}
+"#,
+        );
+        assert!(f.iter().any(|x| x.kind == FindingKind::UnclosedRange));
+    }
+
+    #[test]
+    fn correlated_branches_create_false_positive() {
+        // Send and receive happen under the same condition; the hull
+        // cannot see the correlation and reports a blocked send. This is
+        // the canonical flow-join false positive.
+        let f = check(
+            r#"
+package p
+
+func F(x bool) {
+	ch := make(chan int, 0)
+	go func() {
+		if x {
+			ch <- 1
+		}
+	}()
+	if x {
+		<-ch
+	}
+}
+"#,
+        );
+        assert!(f.iter().any(|x| x.kind == FindingKind::BlockedSend));
+    }
+
+    #[test]
+    fn transient_selects_pass() {
+        let f = check(
+            r#"
+package p
+
+func Loop(ctx context.Context) {
+	for {
+		select {
+		case <-time.Tick(10):
+			sim.Work(1)
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+"#,
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn flags_contract_violation() {
+        let f = check(
+            r#"
+package p
+
+func Use() {
+	ch := make(chan int)
+	done := make(chan int)
+	go func() {
+		for {
+			select {
+			case <-ch:
+				sim.Work(1)
+			case <-done:
+				return
+			}
+		}
+	}()
+}
+"#,
+        );
+        assert!(f.iter().any(|x| x.kind == FindingKind::BlockedSelect));
+    }
+}

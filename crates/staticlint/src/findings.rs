@@ -1,0 +1,89 @@
+//! Common finding model shared by all analyzers, plus the [`Analyzer`]
+//! trait the evaluation harness (Table III) runs against.
+
+use std::fmt;
+
+use gosim::Loc;
+use minigo::ast::File;
+use serde::{Deserialize, Serialize};
+
+/// What kind of blocking defect a finding claims.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FindingKind {
+    /// A send that may block forever.
+    BlockedSend,
+    /// A receive that may block forever.
+    BlockedRecv,
+    /// A `select` that may block forever.
+    BlockedSelect,
+    /// A `for range ch` whose channel may never be closed.
+    UnclosedRange,
+}
+
+impl fmt::Display for FindingKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FindingKind::BlockedSend => "blocked send",
+            FindingKind::BlockedRecv => "blocked receive",
+            FindingKind::BlockedSelect => "blocked select",
+            FindingKind::UnclosedRange => "range over unclosed channel",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One static-analysis alert.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Finding {
+    /// Tool that produced the alert.
+    pub tool: &'static str,
+    /// Defect kind.
+    pub kind: FindingKind,
+    /// Location of the (potentially) blocking operation.
+    pub loc: Loc,
+    /// Function the operation lives in.
+    pub func: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} at {} in {}: {}", self.tool, self.kind, self.loc, self.func, self.message)
+    }
+}
+
+/// A static partial-deadlock analyzer over mini-Go files.
+pub trait Analyzer {
+    /// Short tool name (used in Table III rows).
+    fn name(&self) -> &'static str;
+
+    /// Analyzes one file and returns all alerts.
+    fn analyze_file(&self, file: &File) -> Vec<Finding>;
+
+    /// Analyzes many files (a "package"/corpus slice).
+    fn analyze_files(&self, files: &[File]) -> Vec<Finding> {
+        files.iter().flat_map(|f| self.analyze_file(f)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finding_display_carries_everything() {
+        let f = Finding {
+            tool: "pathcheck",
+            kind: FindingKind::BlockedSend,
+            loc: Loc::new("a.go", 8),
+            func: "p.F".into(),
+            message: "sender may find no receiver".into(),
+        };
+        let s = f.to_string();
+        assert!(s.contains("pathcheck"));
+        assert!(s.contains("blocked send"));
+        assert!(s.contains("a.go:8"));
+        assert!(s.contains("p.F"));
+    }
+}

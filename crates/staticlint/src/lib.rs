@@ -1,0 +1,59 @@
+//! # staticlint — baseline static partial-deadlock analyzers (paper §II-B)
+//!
+//! Re-implementations (simplified but *real*, not mocked) of the three
+//! static approaches the paper compares against, plus the range-close
+//! linter proposed in its conclusions:
+//!
+//! | analyzer | models | technique |
+//! |---|---|---|
+//! | [`pathcheck::PathCheck`] | GCatch | bounded path enumeration + pairing constraints |
+//! | [`absint::AbsInt`] | Goat | abstract interpretation over count intervals |
+//! | [`modelcheck::ModelCheck`] | Gomela | explicit-state model checking with a budget |
+//! | [`rangeclose::RangeClose`] | §VIII linter | unclosed `for range ch` detection |
+//!
+//! All analyzers consume the [`minigo`] AST through a shared
+//! [`skeleton`] extraction, implement the common
+//! [`findings::Analyzer`] trait, and are deliberately *unsound and
+//! incomplete* in the same directions the paper reports: wrapper spawns
+//! are invisible by default, channels escaping the function are skipped,
+//! loops are bounded, and model checking gives up past a budget. The
+//! Table III reproduction measures each tool's real precision against
+//! corpus ground truth.
+//!
+//! ```
+//! use staticlint::findings::Analyzer;
+//! use staticlint::pathcheck::PathCheck;
+//!
+//! let src = r#"
+//! package p
+//!
+//! func F(err bool) {
+//!     ch := make(chan int)
+//!     go func() {
+//!         ch <- 1
+//!     }()
+//!     if err {
+//!         return
+//!     }
+//!     <-ch
+//! }
+//! "#;
+//! let file = minigo::parse_file(src, "p/f.go").unwrap();
+//! let findings = PathCheck::new().analyze_file(&file);
+//! assert_eq!(findings.len(), 1); // the blocked send at line 7
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod absint;
+pub mod findings;
+pub mod modelcheck;
+pub mod pathcheck;
+pub mod rangeclose;
+pub mod skeleton;
+
+pub use absint::AbsInt;
+pub use findings::{Analyzer, Finding, FindingKind};
+pub use modelcheck::ModelCheck;
+pub use pathcheck::PathCheck;
+pub use rangeclose::RangeClose;

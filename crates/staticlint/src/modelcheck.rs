@@ -1,0 +1,806 @@
+//! `modelcheck` — a Gomela-style explicit-state model checker.
+//!
+//! Gomela translates Go functions into Promela models and runs SPIN with
+//! a per-model time budget. `modelcheck` does the same thing natively:
+//! each function's concurrency skeleton is compiled into a small
+//! transition system (one bytecode program per goroutine, loops bounded,
+//! branches nondeterministic) and the checker explores *all*
+//! interleavings breadth-first up to a state budget. Any reachable state
+//! in which no transition is enabled while some goroutine has not
+//! terminated is a (bounded) partial deadlock; the blocked instructions
+//! are reported.
+//!
+//! Faithfulness to the original's limitations:
+//!
+//! * inter-procedural reasoning covers immediately-invoked closures and
+//!   same-file named callees only;
+//! * wrapper spawns are invisible;
+//! * unbounded loops are explored for at most two iterations, so leaks
+//!   that need three or more iterations are missed;
+//! * models that exceed the state budget are abandoned (the analogue of
+//!   the paper's 60-second SPIN timeout), contributing false negatives.
+
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+use gosim::Loc;
+use minigo::ast::File;
+
+use crate::findings::{Analyzer, Finding, FindingKind};
+use crate::skeleton::{
+    extract_file, Cap, ChanSource, ExtractOptions, Node, SelectOp, Skeleton,
+};
+
+/// Model-checker configuration.
+#[derive(Debug, Clone)]
+pub struct ModelCheckConfig {
+    /// Maximum states explored per function model (the "time budget").
+    pub state_budget: usize,
+    /// Maximum live goroutines per state.
+    pub max_goroutines: usize,
+    /// Unroll factor for loops of unknown bound.
+    pub loop_unroll: u32,
+    /// Follow wrapper spawns.
+    pub follow_wrappers: bool,
+}
+
+impl Default for ModelCheckConfig {
+    fn default() -> Self {
+        ModelCheckConfig {
+            state_budget: 20_000,
+            max_goroutines: 8,
+            loop_unroll: 2,
+            follow_wrappers: false,
+        }
+    }
+}
+
+/// The Gomela-like analyzer.
+#[derive(Debug, Clone, Default)]
+pub struct ModelCheck {
+    /// Configuration.
+    pub config: ModelCheckConfig,
+}
+
+/// Statistics of the last `analyze_file` call (for the overhead bench).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ModelCheckStats {
+    /// Total states explored across all function models.
+    pub states_explored: usize,
+    /// Models abandoned because the state budget was exceeded.
+    pub timeouts: usize,
+}
+
+impl ModelCheck {
+    /// Creates the analyzer with default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Analyzes a file and also returns exploration statistics.
+    pub fn analyze_file_with_stats(&self, file: &File) -> (Vec<Finding>, ModelCheckStats) {
+        let opts = ExtractOptions {
+            follow_wrappers: self.config.follow_wrappers,
+            inline_named_calls: true,
+        };
+        let mut findings = Vec::new();
+        let mut stats = ModelCheckStats::default();
+        for skel in extract_file(file, &opts) {
+            let model = Compiler::compile(&skel, &self.config);
+            let outcome = explore(&model, &self.config);
+            stats.states_explored += outcome.states;
+            if outcome.timed_out {
+                stats.timeouts += 1;
+            }
+            for (line, kind) in outcome.stuck_ops {
+                findings.push(Finding {
+                    tool: "modelcheck",
+                    kind,
+                    loc: Loc::new(skel.file.clone(), line),
+                    func: skel.func.clone(),
+                    message: "reachable state with this operation permanently blocked"
+                        .to_string(),
+                });
+            }
+        }
+        let mut seen = BTreeSet::new();
+        findings.retain(|f| seen.insert((f.kind, f.loc.clone())));
+        (findings, stats)
+    }
+}
+
+impl Analyzer for ModelCheck {
+    fn name(&self) -> &'static str {
+        "modelcheck"
+    }
+
+    fn analyze_file(&self, file: &File) -> Vec<Finding> {
+        self.analyze_file_with_stats(file).0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model representation
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum MArm {
+    Send(usize),
+    Recv(usize),
+    /// Timer arm: always ready.
+    Timer,
+    /// Arm on an unknown (external/dynamic) channel: treated as always
+    /// ready, erring toward false negatives like the original's limited
+    /// inter-procedural reasoning.
+    Unknown,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum MInstr {
+    Send { ch: usize, line: u32 },
+    Recv { ch: usize, line: u32 },
+    /// Receive that is always ready (timers) or on an unknown channel.
+    Nop,
+    Close { ch: usize },
+    Select { arms: Vec<(MArm, usize, u32)>, default: Option<usize>, line: u32 },
+    /// Nondeterministic jump (branches, loop exits).
+    Choice(Vec<usize>),
+    Jmp(usize),
+    Spawn { prog: usize },
+    End,
+}
+
+#[derive(Debug, Default)]
+struct Model {
+    /// One program per goroutine shape; program 0 is the root.
+    progs: Vec<Vec<MInstr>>,
+    /// Channel capacities (usize::MAX = effectively unbounded).
+    caps: Vec<usize>,
+}
+
+struct Compiler<'a> {
+    model: Model,
+    chan_ids: HashMap<String, usize>,
+    config: &'a ModelCheckConfig,
+}
+
+impl<'a> Compiler<'a> {
+    fn compile(skel: &Skeleton, config: &'a ModelCheckConfig) -> Model {
+        let mut c = Compiler { model: Model::default(), chan_ids: HashMap::new(), config };
+        for ch in &skel.chans {
+            let cap = match &ch.source {
+                ChanSource::Local { cap: Cap::Zero, .. } => 0,
+                ChanSource::Local { cap: Cap::Const(n), .. } => *n as usize,
+                // Dynamic capacity: model as unbounded (never blocks).
+                ChanSource::Local { cap: Cap::Dyn, .. } => usize::MAX,
+                // Parameter/captured channels: without a program entry
+                // point the model has no environment to pair them with,
+                // so they behave as unbuffered channels nobody serves —
+                // the chief noise source of entry-point-free model
+                // checking (the paper's Gomela has the same trait).
+                ChanSource::External => 0,
+            };
+            let id = c.model.caps.len();
+            c.model.caps.push(cap);
+            c.chan_ids.insert(ch.name.clone(), id);
+        }
+        c.model.progs.push(Vec::new());
+        c.compile_into(0, &skel.body);
+        c.emit(0, MInstr::End);
+        c.model
+    }
+
+    fn chan(&self, name: &Option<String>) -> Option<usize> {
+        name.as_ref().and_then(|n| self.chan_ids.get(n).copied())
+    }
+
+    fn emit(&mut self, prog: usize, i: MInstr) -> usize {
+        self.model.progs[prog].push(i);
+        self.model.progs[prog].len() - 1
+    }
+
+    fn here(&self, prog: usize) -> usize {
+        self.model.progs[prog].len()
+    }
+
+    fn compile_into(&mut self, prog: usize, nodes: &[Node]) {
+        for n in nodes {
+            self.compile_node(prog, n);
+        }
+    }
+
+    fn compile_node(&mut self, prog: usize, n: &Node) {
+        match n {
+            Node::Send { ch, line } => {
+                match self.chan(ch) {
+                    Some(c) => self.emit(prog, MInstr::Send { ch: c, line: *line }),
+                    None => self.emit(prog, MInstr::Nop),
+                };
+            }
+            Node::Recv { ch, line, transient, .. } => {
+                if *transient {
+                    self.emit(prog, MInstr::Nop);
+                } else {
+                    match self.chan(ch) {
+                        Some(c) => self.emit(prog, MInstr::Recv { ch: c, line: *line }),
+                        None => self.emit(prog, MInstr::Nop),
+                    };
+                }
+            }
+            Node::Close { ch, .. } | Node::Cancel { ch, .. } => {
+                match self.chan(ch) {
+                    Some(c) => self.emit(prog, MInstr::Close { ch: c }),
+                    None => self.emit(prog, MInstr::Nop),
+                };
+            }
+            Node::CtxTimer { var } => {
+                // The deadline: a helper goroutine that closes the done
+                // channel at some nondeterministic point.
+                if let Some(c) = self.chan_ids.get(var).copied() {
+                    let helper = self.model.progs.len();
+                    self.model.progs.push(vec![MInstr::Close { ch: c }, MInstr::End]);
+                    self.emit(prog, MInstr::Spawn { prog: helper });
+                }
+            }
+            Node::Range { ch, line, body } => {
+                // Bounded: up to `loop_unroll` iterations of recv+body,
+                // each preceded by a nondeterministic exit (modeling the
+                // channel being closed and drained).
+                let c = self.chan(ch);
+                let mut exit_patches = Vec::new();
+                for _ in 0..self.config.loop_unroll {
+                    let choice_at = self.emit(prog, MInstr::Choice(vec![]));
+                    exit_patches.push(choice_at);
+                    match c {
+                        Some(cc) => self.emit(prog, MInstr::Recv { ch: cc, line: *line }),
+                        None => self.emit(prog, MInstr::Nop),
+                    };
+                    self.compile_into(prog, body);
+                    let body_start = choice_at + 1;
+                    // patch the choice: either run this iteration or exit
+                    self.model.progs[prog][choice_at] =
+                        MInstr::Choice(vec![body_start, usize::MAX]);
+                }
+                let end = self.here(prog);
+                for at in exit_patches {
+                    if let MInstr::Choice(targets) = &mut self.model.progs[prog][at] {
+                        for t in targets.iter_mut() {
+                            if *t == usize::MAX {
+                                *t = end;
+                            }
+                        }
+                    }
+                }
+            }
+            Node::Select { arms, has_default, default, line } => {
+                let sel_at = self.emit(prog, MInstr::Nop); // placeholder
+                let mut arm_entries = Vec::new();
+                let mut end_jumps = Vec::new();
+                for (op, body) in arms {
+                    let entry = self.here(prog);
+                    self.compile_into(prog, body);
+                    end_jumps.push(self.emit(prog, MInstr::Jmp(usize::MAX)));
+                    let arm = match op {
+                        SelectOp::Recv { transient: true, .. } => MArm::Timer,
+                        SelectOp::Recv { ch, .. } => {
+                            self.chan(ch).map(MArm::Recv).unwrap_or(MArm::Unknown)
+                        }
+                        SelectOp::Send { ch, .. } => {
+                            self.chan(ch).map(MArm::Send).unwrap_or(MArm::Unknown)
+                        }
+                    };
+                    let arm_line = match op {
+                        SelectOp::Recv { line, .. } | SelectOp::Send { line, .. } => *line,
+                    };
+                    arm_entries.push((arm, entry, arm_line));
+                }
+                let default_entry = if *has_default {
+                    let entry = self.here(prog);
+                    self.compile_into(prog, default);
+                    end_jumps.push(self.emit(prog, MInstr::Jmp(usize::MAX)));
+                    Some(entry)
+                } else {
+                    None
+                };
+                let end = self.here(prog);
+                for j in end_jumps {
+                    self.model.progs[prog][j] = MInstr::Jmp(end);
+                }
+                self.model.progs[prog][sel_at] = MInstr::Select {
+                    arms: arm_entries,
+                    default: default_entry,
+                    line: *line,
+                };
+            }
+            Node::Spawn { body, via_wrapper, .. } => {
+                if *via_wrapper && !self.config.follow_wrappers {
+                    return;
+                }
+                let child = self.model.progs.len();
+                self.model.progs.push(Vec::new());
+                self.compile_into(child, body);
+                self.emit(child, MInstr::End);
+                self.emit(prog, MInstr::Spawn { prog: child });
+            }
+            Node::Branch { arms, .. } => {
+                let choice_at = self.emit(prog, MInstr::Choice(vec![]));
+                let mut entries = Vec::new();
+                let mut jumps = Vec::new();
+                for a in arms {
+                    entries.push(self.here(prog));
+                    self.compile_into(prog, a);
+                    jumps.push(self.emit(prog, MInstr::Jmp(usize::MAX)));
+                }
+                let end = self.here(prog);
+                for j in jumps {
+                    self.model.progs[prog][j] = MInstr::Jmp(end);
+                }
+                self.model.progs[prog][choice_at] = MInstr::Choice(entries);
+            }
+            Node::Loop { body, bound, has_exit, .. } => {
+                let n = bound.unwrap_or(self.config.loop_unroll).min(self.config.loop_unroll * 2);
+                let optional = bound.is_none();
+                let mut exit_choices = Vec::new();
+                for _ in 0..n.max(1) {
+                    if optional {
+                        let at = self.emit(prog, MInstr::Choice(vec![]));
+                        exit_choices.push(at);
+                    }
+                    self.compile_into(prog, body);
+                }
+                // `for {}` with no escape hatch and no blocking body is an
+                // endless spin; model as End so it cannot wedge the
+                // checker (the linter taxonomy catches the pattern).
+                let _ = has_exit;
+                let end = self.here(prog);
+                for at in exit_choices {
+                    let body_start = at + 1;
+                    self.model.progs[prog][at] = MInstr::Choice(vec![body_start, end]);
+                }
+            }
+            Node::Return { .. } => {
+                self.emit(prog, MInstr::End);
+            }
+            // `break`/`continue` are approximated by the nondeterministic
+            // loop exits above.
+            Node::Break | Node::Continue => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// State exploration
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ChanState {
+    buf: u32,
+    closed: bool,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct GState {
+    prog: usize,
+    pc: usize,
+    alive: bool,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct State {
+    gs: Vec<GState>,
+    chans: Vec<ChanState>,
+}
+
+struct Outcome {
+    stuck_ops: BTreeSet<(u32, FindingKind)>,
+    states: usize,
+    timed_out: bool,
+}
+
+fn explore(model: &Model, config: &ModelCheckConfig) -> Outcome {
+    let init = State {
+        gs: vec![GState { prog: 0, pc: 0, alive: true }],
+        chans: model
+            .caps
+            .iter()
+            .map(|_| ChanState { buf: 0, closed: false })
+            .collect(),
+    };
+    let mut seen: HashSet<State> = HashSet::new();
+    let mut queue = VecDeque::new();
+    let mut stuck_ops = BTreeSet::new();
+    let mut states = 0usize;
+    let mut timed_out = false;
+
+    seen.insert(init.clone());
+    queue.push_back(init);
+
+    while let Some(st) = queue.pop_front() {
+        states += 1;
+        if states > config.state_budget {
+            timed_out = true;
+            break;
+        }
+        let succs = successors(model, &st, config);
+        if succs.is_empty() {
+            // Terminal: report every live, unfinished goroutine.
+            for g in &st.gs {
+                if !g.alive {
+                    continue;
+                }
+                match &model.progs[g.prog][g.pc] {
+                    MInstr::End => {}
+                    MInstr::Send { line, .. } => {
+                        stuck_ops.insert((*line, FindingKind::BlockedSend));
+                    }
+                    MInstr::Recv { line, .. } => {
+                        stuck_ops.insert((*line, FindingKind::BlockedRecv));
+                    }
+                    MInstr::Select { line, .. } => {
+                        stuck_ops.insert((*line, FindingKind::BlockedSelect));
+                    }
+                    _ => {}
+                }
+            }
+            continue;
+        }
+        for s in succs {
+            if seen.insert(s.clone()) {
+                queue.push_back(s);
+            }
+        }
+    }
+    Outcome { stuck_ops, states, timed_out }
+}
+
+/// Is goroutine `j` ready to *receive* on `ch` right now (plain recv or a
+/// select recv arm)?
+fn ready_receiver(model: &Model, st: &State, j: usize, ch: usize) -> Option<usize> {
+    let g = &st.gs[j];
+    if !g.alive {
+        return None;
+    }
+    match &model.progs[g.prog][g.pc] {
+        MInstr::Recv { ch: c, .. } if *c == ch => Some(g.pc + 1),
+        MInstr::Select { arms, .. } => arms
+            .iter()
+            .find(|(a, _, _)| matches!(a, MArm::Recv(c) if *c == ch))
+            .map(|(_, target, _)| *target),
+        _ => None,
+    }
+}
+
+fn successors(model: &Model, st: &State, config: &ModelCheckConfig) -> Vec<State> {
+    let mut out = Vec::new();
+    for (i, g) in st.gs.iter().enumerate() {
+        if !g.alive {
+            continue;
+        }
+        let instr = &model.progs[g.prog][g.pc];
+        match instr {
+            MInstr::End => {}
+            MInstr::Nop => {
+                out.push(advance(st, i, g.pc + 1));
+            }
+            MInstr::Jmp(t) => out.push(advance(st, i, *t)),
+            MInstr::Choice(ts) => {
+                for t in ts {
+                    out.push(advance(st, i, *t));
+                }
+            }
+            MInstr::Spawn { prog } => {
+                let mut s = advance(st, i, g.pc + 1);
+                if s.gs.iter().filter(|g| g.alive).count() < config.max_goroutines {
+                    s.gs.push(GState { prog: *prog, pc: 0, alive: true });
+                }
+                out.push(s);
+            }
+            MInstr::Close { ch } => {
+                let mut s = advance(st, i, g.pc + 1);
+                // close of closed channel panics; model as goroutine end.
+                if s.chans[*ch].closed {
+                    s.gs[i].alive = false;
+                } else {
+                    s.chans[*ch].closed = true;
+                }
+                out.push(s);
+            }
+            MInstr::Send { ch, .. } => {
+                push_send_succs(model, st, i, *ch, g.pc + 1, &mut out);
+            }
+            MInstr::Recv { ch, .. } => {
+                push_recv_succs(model, st, i, *ch, g.pc + 1, &mut out);
+            }
+            MInstr::Select { arms, default, .. } => {
+                for (arm, target, _) in arms {
+                    match arm {
+                        MArm::Timer => out.push(advance(st, i, *target)),
+                        MArm::Unknown => out.push(advance(st, i, *target)),
+                        MArm::Recv(ch) => {
+                            push_recv_succs(model, st, i, *ch, *target, &mut out)
+                        }
+                        MArm::Send(ch) => {
+                            push_send_succs(model, st, i, *ch, *target, &mut out)
+                        }
+                    }
+                }
+                if let Some(d) = default {
+                    out.push(advance(st, i, *d));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn advance(st: &State, i: usize, pc: usize) -> State {
+    let mut s = st.clone();
+    s.gs[i].pc = pc;
+    s
+}
+
+fn push_send_succs(
+    model: &Model,
+    st: &State,
+    i: usize,
+    ch: usize,
+    next_pc: usize,
+    out: &mut Vec<State>,
+) {
+    let c = &st.chans[ch];
+    if c.closed {
+        // send on closed channel panics: goroutine dies.
+        let mut s = st.clone();
+        s.gs[i].alive = false;
+        out.push(s);
+        return;
+    }
+    let cap = model.caps[ch];
+    if (c.buf as usize) < cap {
+        let mut s = advance(st, i, next_pc);
+        if cap != usize::MAX {
+            s.chans[ch].buf += 1;
+        }
+        out.push(s);
+        return;
+    }
+    // Unbuffered (or full): rendezvous with any ready receiver.
+    for j in 0..st.gs.len() {
+        if j == i {
+            continue;
+        }
+        if let Some(recv_pc) = ready_receiver(model, st, j, ch) {
+            let mut s = advance(st, i, next_pc);
+            s.gs[j].pc = recv_pc;
+            out.push(s);
+        }
+    }
+}
+
+fn push_recv_succs(
+    model: &Model,
+    st: &State,
+    i: usize,
+    ch: usize,
+    next_pc: usize,
+    out: &mut Vec<State>,
+) {
+    let c = &st.chans[ch];
+    if c.buf > 0 {
+        let mut s = advance(st, i, next_pc);
+        s.chans[ch].buf -= 1;
+        out.push(s);
+        return;
+    }
+    if c.closed {
+        out.push(advance(st, i, next_pc));
+        return;
+    }
+    // Rendezvous with a ready unbuffered sender (plain send or select
+    // send arm) when the channel has no buffered values.
+    if model.caps[ch] == 0 {
+        for j in 0..st.gs.len() {
+            if j == i || !st.gs[j].alive {
+                continue;
+            }
+            let send_pc = match &model.progs[st.gs[j].prog][st.gs[j].pc] {
+                MInstr::Send { ch: cc, .. } if *cc == ch => Some(st.gs[j].pc + 1),
+                MInstr::Select { arms, .. } => arms
+                    .iter()
+                    .find(|(a, _, _)| matches!(a, MArm::Send(cc) if *cc == ch))
+                    .map(|(_, t, _)| *t),
+                _ => None,
+            };
+            if let Some(sp) = send_pc {
+                let mut s = advance(st, i, next_pc);
+                s.gs[j].pc = sp;
+                out.push(s);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(src: &str) -> Vec<Finding> {
+        let file = minigo::parse_file(src, "t.go").unwrap();
+        ModelCheck::new().analyze_file(&file)
+    }
+
+    #[test]
+    fn finds_listing1_deadlock() {
+        let f = check(
+            r#"
+package p
+
+func F(err bool) {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+	if err {
+		return
+	}
+	<-ch
+}
+"#,
+        );
+        assert!(
+            f.iter().any(|x| x.kind == FindingKind::BlockedSend && x.loc.line == 7),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn silent_on_correct_rendezvous() {
+        let f = check(
+            r#"
+package p
+
+func F() {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+	<-ch
+}
+"#,
+        );
+        assert!(f.is_empty(), "clean rendezvous must verify: {f:?}");
+    }
+
+    #[test]
+    fn finds_double_send() {
+        let f = check(
+            r#"
+package p
+
+func F(fail bool) {
+	ch := make(chan int)
+	go func() {
+		if fail {
+			ch <- 0
+		}
+		ch <- 1
+	}()
+	<-ch
+}
+"#,
+        );
+        assert!(f.iter().any(|x| x.kind == FindingKind::BlockedSend), "{f:?}");
+    }
+
+    #[test]
+    fn finds_contract_violation_but_not_with_stop() {
+        let leaky = check(
+            r#"
+package p
+
+func Use() {
+	ch := make(chan int)
+	done := make(chan int)
+	go func() {
+		for {
+			select {
+			case <-ch:
+				sim.Work(1)
+			case <-done:
+				return
+			}
+		}
+	}()
+}
+"#,
+        );
+        assert!(leaky.iter().any(|x| x.kind == FindingKind::BlockedSelect), "{leaky:?}");
+
+        let fixed = check(
+            r#"
+package p
+
+func Use() {
+	ch := make(chan int)
+	done := make(chan int)
+	go func() {
+		select {
+		case <-ch:
+			sim.Work(1)
+		case <-done:
+			return
+		}
+	}()
+	close(done)
+}
+"#,
+        );
+        assert!(
+            !fixed.iter().any(|x| x.kind == FindingKind::BlockedSelect),
+            "close(done) unblocks the select: {fixed:?}"
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_timeout() {
+        // A state-space bomb: many goroutines over many channels.
+        let mut src = String::from("package p\n\nfunc F() {\n");
+        for i in 0..6 {
+            src.push_str(&format!("\tc{i} := make(chan int, 1)\n"));
+        }
+        for i in 0..6 {
+            src.push_str(&format!(
+                "\tgo func() {{\n\t\tc{i} <- 1\n\t\t<-c{}\n\t}}()\n",
+                (i + 1) % 6
+            ));
+        }
+        src.push_str("}\n");
+        let file = minigo::parse_file(&src, "t.go").unwrap();
+        let mc = ModelCheck {
+            config: ModelCheckConfig { state_budget: 50, ..ModelCheckConfig::default() },
+        };
+        let (_, stats) = mc.analyze_file_with_stats(&file);
+        assert!(stats.timeouts >= 1, "tiny budget must time out: {stats:?}");
+    }
+
+    #[test]
+    fn timer_loops_verify_clean() {
+        let f = check(
+            r#"
+package p
+
+func Loop(ctx context.Context) {
+	for {
+		select {
+		case <-time.Tick(5):
+			sim.Work(1)
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+"#,
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn ncast_found_with_small_n() {
+        let f = check(
+            r#"
+package p
+
+func F() {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+	go func() {
+		ch <- 2
+	}()
+	<-ch
+}
+"#,
+        );
+        assert!(f.iter().any(|x| x.kind == FindingKind::BlockedSend), "{f:?}");
+    }
+}

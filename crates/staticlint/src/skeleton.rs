@@ -1,0 +1,626 @@
+//! Concurrency-skeleton extraction.
+//!
+//! All three baseline analyzers work on the same abstraction of a
+//! function: its locally created channels, plus a tree of channel
+//! operations, spawns, branches, and loops, with everything unrelated to
+//! message passing sliced away. This mirrors how GCatch/Goat scope their
+//! analysis to a channel-group's lowest common ancestor function and
+//! ignore non-channel operations.
+//!
+//! Channel identity is by local variable name — the simplified stand-in
+//! for an SSA/points-to analysis. Channels received as parameters or
+//! captured from elsewhere are classified [`ChanSource::External`]; the
+//! analyzers treat them conservatively.
+
+use minigo::ast::{Expr, File, ForKind, FuncDecl, GoCall, RecvSrc, SelCase, Stmt};
+use serde::{Deserialize, Serialize};
+
+/// Capacity of a locally created channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Cap {
+    /// Unbuffered.
+    Zero,
+    /// Constant buffer.
+    Const(u32),
+    /// Dynamically sized (`make(chan T, len(items))`); analyzers treat
+    /// it as "large enough" to avoid false positives, like the paper's
+    /// tools treat unknown capacities.
+    Dyn,
+}
+
+/// Where a channel variable comes from.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChanSource {
+    /// `make(chan T, cap)` in this function.
+    Local {
+        /// Declared capacity.
+        cap: Cap,
+        /// Line of the `make`.
+        line: u32,
+    },
+    /// Parameter, captured variable, or nil — unknown to this function.
+    External,
+}
+
+/// A channel referenced by the skeleton.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChanDef {
+    /// Variable name (the channel's identity within the function).
+    pub name: String,
+    /// Origin.
+    pub source: ChanSource,
+}
+
+/// A channel-operation node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Node {
+    /// `ch <- v`.
+    Send {
+        /// Channel variable (`None` = not a simple local variable).
+        ch: Option<String>,
+        /// Line.
+        line: u32,
+    },
+    /// `<-ch`.
+    Recv {
+        /// Channel variable.
+        ch: Option<String>,
+        /// Line.
+        line: u32,
+        /// True when receiving from a timer (`time.After`/`time.Tick`),
+        /// which can always fire.
+        transient: bool,
+        /// True when receiving from a context done channel.
+        ctx_done: bool,
+    },
+    /// `close(ch)`.
+    Close {
+        /// Channel variable.
+        ch: Option<String>,
+        /// Line.
+        line: u32,
+    },
+    /// `for v := range ch { body }` — repeated receive until close.
+    Range {
+        /// Channel variable.
+        ch: Option<String>,
+        /// Line of the range receive.
+        line: u32,
+        /// Loop body.
+        body: Vec<Node>,
+    },
+    /// `select { arms }`.
+    Select {
+        /// Arms: operation + body.
+        arms: Vec<(SelectOp, Vec<Node>)>,
+        /// Whether a `default` arm exists (makes it non-blocking).
+        has_default: bool,
+        /// Default body.
+        default: Vec<Node>,
+        /// Line of the `select`.
+        line: u32,
+    },
+    /// `go ...` — a child goroutine.
+    Spawn {
+        /// The child body.
+        body: Vec<Node>,
+        /// Line of the spawn.
+        line: u32,
+        /// True when spawned through a wrapper API; naive analyzers skip
+        /// these (the paper's wrapper-blindness).
+        via_wrapper: bool,
+    },
+    /// `if`: alternative branches (else-less ifs get an empty alternative).
+    Branch {
+        /// The alternatives.
+        arms: Vec<Vec<Node>>,
+        /// Line.
+        line: u32,
+    },
+    /// A loop.
+    Loop {
+        /// Body.
+        body: Vec<Node>,
+        /// Statically known iteration bound (`None` = unknown/infinite).
+        bound: Option<u32>,
+        /// Whether any path leaves the loop (`break`/`return` inside, or
+        /// a loop condition). `for {}` with no escape hatch is a leak
+        /// pattern of its own (Section VI-C).
+        has_exit: bool,
+        /// Line.
+        line: u32,
+    },
+    /// `return` — terminates the goroutine's path.
+    Return {
+        /// Line.
+        line: u32,
+    },
+    /// `break` out of the innermost loop.
+    Break,
+    /// `continue`.
+    Continue,
+    /// A context with a deadline was created for `var`: its done channel
+    /// closes by itself (transient).
+    CtxTimer {
+        /// The context/done variable.
+        var: String,
+    },
+    /// `cancel()` — closes the context's done channel.
+    Cancel {
+        /// The done-channel variable.
+        ch: Option<String>,
+        /// Line.
+        line: u32,
+    },
+}
+
+/// A `select` arm operation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SelectOp {
+    /// Receive arm.
+    Recv {
+        /// Channel variable.
+        ch: Option<String>,
+        /// Timer channels always fire.
+        transient: bool,
+        /// Context done channels.
+        ctx_done: bool,
+        /// Line of the arm.
+        line: u32,
+    },
+    /// Send arm.
+    Send {
+        /// Channel variable.
+        ch: Option<String>,
+        /// Line of the arm.
+        line: u32,
+    },
+}
+
+/// The concurrency skeleton of one function.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Skeleton {
+    /// Qualified function name (`pkg.Func`).
+    pub func: String,
+    /// Source file path.
+    pub file: String,
+    /// Line of the function declaration.
+    pub line: u32,
+    /// Channels created locally (by `make`) or known external names.
+    pub chans: Vec<ChanDef>,
+    /// The operation tree.
+    pub body: Vec<Node>,
+}
+
+/// Extraction options.
+#[derive(Debug, Clone)]
+pub struct ExtractOptions {
+    /// Follow wrapper spawns (`pkg.Go(func(){...})`). The naive static
+    /// baselines leave this off, reproducing the paper's observation
+    /// that wrappers blindside static analysis.
+    pub follow_wrappers: bool,
+    /// Inline named `go f(...)` / `f(...)` callees defined in the same
+    /// file (one level, the Gomela-style "statically known call edge").
+    pub inline_named_calls: bool,
+}
+
+impl Default for ExtractOptions {
+    fn default() -> Self {
+        ExtractOptions { follow_wrappers: false, inline_named_calls: true }
+    }
+}
+
+/// Extracts skeletons for every function of a file.
+pub fn extract_file(file: &File, opts: &ExtractOptions) -> Vec<Skeleton> {
+    file.funcs.iter().map(|f| extract_func(file, f, opts)).collect()
+}
+
+/// Extracts the skeleton of a single function.
+pub fn extract_func(file: &File, f: &FuncDecl, opts: &ExtractOptions) -> Skeleton {
+    let mut cx = Extractor { file, opts, chans: Vec::new(), depth: 0 };
+    // Parameters of channel type are external channels.
+    for p in &f.params {
+        if matches!(p.ty, minigo::ast::TypeExpr::Chan(_) | minigo::ast::TypeExpr::Ctx) {
+            cx.chans.push(ChanDef { name: p.name.clone(), source: ChanSource::External });
+        }
+    }
+    let body = cx.block(&f.body);
+    Skeleton {
+        func: format!("{}.{}", file.package, f.name),
+        file: file.path.clone(),
+        line: f.line,
+        chans: cx.chans,
+        body,
+    }
+}
+
+struct Extractor<'a> {
+    file: &'a File,
+    opts: &'a ExtractOptions,
+    chans: Vec<ChanDef>,
+    depth: u32,
+}
+
+impl Extractor<'_> {
+    fn chan_name(e: &Expr) -> Option<String> {
+        match e {
+            Expr::Ident(n) => Some(n.clone()),
+            _ => None,
+        }
+    }
+
+    fn declare(&mut self, name: &str, source: ChanSource) {
+        if !self.chans.iter().any(|c| c.name == name) {
+            self.chans.push(ChanDef { name: name.to_string(), source });
+        }
+    }
+
+    fn block(&mut self, stmts: &[Stmt]) -> Vec<Node> {
+        let mut out = Vec::new();
+        for s in stmts {
+            self.stmt(s, &mut out);
+        }
+        out
+    }
+
+    fn recv_node(&mut self, src: &RecvSrc, line: u32) -> Node {
+        match src {
+            RecvSrc::Chan(e) => {
+                Node::Recv { ch: Self::chan_name(e), line, transient: false, ctx_done: false }
+            }
+            RecvSrc::CtxDone(ctx) => {
+                Node::Recv { ch: Some(ctx.clone()), line, transient: false, ctx_done: true }
+            }
+            RecvSrc::TimeAfter(_) | RecvSrc::TimeTick(_) => {
+                Node::Recv { ch: None, line, transient: true, ctx_done: false }
+            }
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt, out: &mut Vec<Node>) {
+        match s {
+            Stmt::MakeChan { name, cap, line, .. } => {
+                let c = match cap {
+                    None => Cap::Zero,
+                    Some(Expr::Int(n)) => Cap::Const((*n).max(0) as u32),
+                    Some(_) => Cap::Dyn,
+                };
+                self.declare(name, ChanSource::Local { cap: c, line: *line });
+            }
+            Stmt::Send { ch, line, .. } => {
+                out.push(Node::Send { ch: Self::chan_name(ch), line: *line });
+            }
+            Stmt::Recv { src, line, .. } => {
+                let node = self.recv_node(src, *line);
+                out.push(node);
+            }
+            Stmt::Close { ch, line } => {
+                out.push(Node::Close { ch: Self::chan_name(ch), line: *line });
+            }
+            Stmt::CtxDecl { ctx, cancel, timeout, .. } => {
+                self.declare(ctx, ChanSource::Local { cap: Cap::Zero, line: 0 });
+                if cancel != ctx {
+                    self.declare(cancel, ChanSource::Local { cap: Cap::Zero, line: 0 });
+                }
+                if timeout.is_some() {
+                    out.push(Node::CtxTimer { var: ctx.clone() });
+                }
+            }
+            Stmt::Go { call, line } => match call {
+                GoCall::Closure { body } => {
+                    let b = self.block(body);
+                    out.push(Node::Spawn { body: b, line: *line, via_wrapper: false });
+                }
+                GoCall::Wrapper { body, .. } => {
+                    let b = self.block(body);
+                    out.push(Node::Spawn { body: b, line: *line, via_wrapper: true });
+                }
+                GoCall::Named { func, .. } => {
+                    if self.opts.inline_named_calls && self.depth < 4 {
+                        if let Some(callee) = self.file.func(func) {
+                            self.depth += 1;
+                            let b = self.block(&callee.body);
+                            self.depth -= 1;
+                            out.push(Node::Spawn { body: b, line: *line, via_wrapper: false });
+                            return;
+                        }
+                    }
+                    // Unknown callee: an opaque spawn.
+                    out.push(Node::Spawn { body: Vec::new(), line: *line, via_wrapper: false });
+                }
+            },
+            Stmt::Call { call, line, .. } => {
+                match &call.target {
+                    minigo::ast::CallTarget::Func(name) => {
+                        if self.opts.inline_named_calls && self.depth < 4 {
+                            if let Some(callee) = self.file.func(name) {
+                                self.depth += 1;
+                                let mut b = self.block(&callee.body);
+                                self.depth -= 1;
+                                // Inline synchronously: returns inside the
+                                // callee must not cut the caller's path.
+                                strip_returns(&mut b);
+                                out.extend(b);
+                                return;
+                            }
+                        }
+                        // `cancel()`-shaped call on a known context chan.
+                        if self.chans.iter().any(|c| c.name == *name) {
+                            out.push(Node::Cancel { ch: Some(name.clone()), line: *line });
+                        }
+                    }
+                    minigo::ast::CallTarget::Method { .. } => {}
+                }
+            }
+            Stmt::Defer { call, line } => {
+                // Model `defer f()` as running at every function exit; the
+                // skeleton keeps it in place, which over-approximates
+                // "runs eventually" well enough for counting analyses.
+                if let minigo::ast::CallTarget::Func(name) = &call.target {
+                    match name.as_str() {
+                        "close" => {
+                            let ch = call.args.first().and_then(Self::chan_name);
+                            out.push(Node::Close { ch, line: *line });
+                        }
+                        f if self.chans.iter().any(|c| c.name == f) => {
+                            out.push(Node::Cancel { ch: Some(f.to_string()), line: *line });
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            Stmt::Select { cases, default, line } => {
+                let mut arms = Vec::new();
+                for c in cases {
+                    match c {
+                        SelCase::Recv { src, body, line: cline, .. } => {
+                            let op = match src {
+                                RecvSrc::Chan(e) => SelectOp::Recv {
+                                    ch: Self::chan_name(e),
+                                    transient: false,
+                                    ctx_done: false,
+                                    line: *cline,
+                                },
+                                RecvSrc::CtxDone(ctx) => SelectOp::Recv {
+                                    ch: Some(ctx.clone()),
+                                    transient: false,
+                                    ctx_done: true,
+                                    line: *cline,
+                                },
+                                RecvSrc::TimeAfter(_) | RecvSrc::TimeTick(_) => SelectOp::Recv {
+                                    ch: None,
+                                    transient: true,
+                                    ctx_done: false,
+                                    line: *cline,
+                                },
+                            };
+                            arms.push((op, self.block(body)));
+                        }
+                        SelCase::Send { ch, body, line: cline, .. } => {
+                            arms.push((
+                                SelectOp::Send { ch: Self::chan_name(ch), line: *cline },
+                                self.block(body),
+                            ));
+                        }
+                    }
+                }
+                let d = default.as_ref().map(|b| self.block(b)).unwrap_or_default();
+                out.push(Node::Select {
+                    arms,
+                    has_default: default.is_some(),
+                    default: d,
+                    line: *line,
+                });
+            }
+            Stmt::If { then, els, line, .. } => {
+                let mut arms = vec![self.block(then)];
+                arms.push(els.as_ref().map(|b| self.block(b)).unwrap_or_default());
+                out.push(Node::Branch { arms, line: *line });
+            }
+            Stmt::For { kind, body, line } => {
+                let b = self.block(body);
+                let (bound, cond_exit) = match kind {
+                    ForKind::Infinite => (None, false),
+                    ForKind::While(_) => (None, true),
+                    ForKind::Range { ch, .. } => {
+                        out.push(Node::Range { ch: Self::chan_name(ch), line: *line, body: b });
+                        return;
+                    }
+                    ForKind::CStyle { n, .. } => match n {
+                        Expr::Int(k) => (Some((*k).max(0) as u32), true),
+                        _ => (None, true),
+                    },
+                };
+                let has_exit = cond_exit || contains_escape(&b);
+                out.push(Node::Loop { body: b, bound, has_exit, line: *line });
+            }
+            Stmt::Return { line, .. } => out.push(Node::Return { line: *line }),
+            Stmt::Break { .. } => out.push(Node::Break),
+            Stmt::Continue { .. } => out.push(Node::Continue),
+            Stmt::VarDecl { name, ty, .. } => {
+                if matches!(ty, minigo::ast::TypeExpr::Chan(_)) {
+                    // `var ch chan T` without make: the nil channel.
+                    self.declare(name, ChanSource::External);
+                }
+            }
+            Stmt::Assign { .. } | Stmt::Panic { .. } => {}
+        }
+    }
+}
+
+/// True when a node list contains a `break` or `return` that could leave
+/// an enclosing loop (looking through branches and selects, not through
+/// nested loops or spawns).
+pub fn contains_escape(nodes: &[Node]) -> bool {
+    nodes.iter().any(|n| match n {
+        Node::Break | Node::Return { .. } => true,
+        Node::Branch { arms, .. } => arms.iter().any(|a| contains_escape(a)),
+        Node::Select { arms, default, .. } => {
+            arms.iter().any(|(_, b)| contains_escape(b)) || contains_escape(default)
+        }
+        _ => false,
+    })
+}
+
+fn strip_returns(nodes: &mut Vec<Node>) {
+    nodes.retain_mut(|n| match n {
+        Node::Return { .. } => false,
+        Node::Branch { arms, .. } => {
+            for a in arms {
+                strip_returns(a);
+            }
+            true
+        }
+        Node::Select { arms, default, .. } => {
+            for (_, b) in arms {
+                strip_returns(b);
+            }
+            strip_returns(default);
+            true
+        }
+        Node::Loop { body, .. } | Node::Range { body, .. } => {
+            strip_returns(body);
+            true
+        }
+        _ => true,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skel(src: &str, func: &str) -> Skeleton {
+        let file = minigo::parse_file(src, "t.go").expect("parse");
+        let f = file.func(func).expect("function exists");
+        extract_func(&file, f, &ExtractOptions::default())
+    }
+
+    #[test]
+    fn extracts_listing1_shape() {
+        let s = skel(
+            r#"
+package p
+
+func F(err bool) {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+	if err {
+		return
+	}
+	<-ch
+}
+"#,
+            "F",
+        );
+        assert_eq!(s.chans.len(), 1);
+        assert!(matches!(s.chans[0].source, ChanSource::Local { cap: Cap::Zero, .. }));
+        assert!(matches!(s.body[0], Node::Spawn { via_wrapper: false, .. }));
+        assert!(matches!(s.body[1], Node::Branch { .. }));
+        assert!(matches!(s.body[2], Node::Recv { .. }));
+    }
+
+    #[test]
+    fn param_channels_are_external() {
+        let s = skel("package p\nfunc F(ch chan int) {\n\tch <- 1\n}\n", "F");
+        assert_eq!(s.chans[0].source, ChanSource::External);
+    }
+
+    #[test]
+    fn wrapper_spawn_is_marked() {
+        let s = skel(
+            "package p\nfunc F() {\n\tch := make(chan int)\n\tasyncutil.Go(func() {\n\t\tch <- 1\n\t})\n}\n",
+            "F",
+        );
+        assert!(matches!(s.body[0], Node::Spawn { via_wrapper: true, .. }));
+    }
+
+    #[test]
+    fn named_go_is_inlined_within_file() {
+        let s = skel(
+            r#"
+package p
+
+func F() {
+	ch := make(chan int)
+	go producer(ch)
+	<-ch
+}
+
+func producer(ch chan int) {
+	ch <- 1
+}
+"#,
+            "F",
+        );
+        match &s.body[0] {
+            Node::Spawn { body, via_wrapper: false, .. } => {
+                assert!(matches!(body[0], Node::Send { .. }));
+            }
+            other => panic!("expected inlined spawn, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loop_bounds_and_escape_detection() {
+        let s = skel(
+            r#"
+package p
+
+func F(ch chan int) {
+	for i := 0; i < 3; i++ {
+		ch <- i
+	}
+	for {
+		<-ch
+	}
+}
+"#,
+            "F",
+        );
+        assert!(matches!(s.body[0], Node::Loop { bound: Some(3), has_exit: true, .. }));
+        assert!(matches!(s.body[1], Node::Loop { bound: None, has_exit: false, .. }));
+    }
+
+    #[test]
+    fn select_arms_classified() {
+        let s = skel(
+            r#"
+package p
+
+func F(ch chan int, ctx context.Context) {
+	select {
+	case <-ch:
+		return
+	case <-ctx.Done():
+		return
+	case <-time.After(5):
+		return
+	}
+}
+"#,
+            "F",
+        );
+        match &s.body[0] {
+            Node::Select { arms, has_default: false, .. } => {
+                assert!(
+                    matches!(&arms[0].0, SelectOp::Recv { transient: false, ctx_done: false, .. })
+                );
+                assert!(matches!(&arms[1].0, SelectOp::Recv { ctx_done: true, .. }));
+                assert!(matches!(&arms[2].0, SelectOp::Recv { transient: true, .. }));
+            }
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dynamic_capacity_is_dyn() {
+        let s = skel(
+            "package p\nfunc F(items int) {\n\tch := make(chan int, items)\n\tch <- 1\n}\n",
+            "F",
+        );
+        assert!(matches!(s.chans[0].source, ChanSource::Local { cap: Cap::Dyn, .. }));
+    }
+}

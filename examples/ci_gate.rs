@@ -1,0 +1,60 @@
+//! The CI-gate workflow (paper Fig 3, left half): generate a small
+//! monorepo, seed the suppression list with a trial run, then gate two
+//! PRs — one clean, one that introduces a new leak.
+//!
+//! Run with: `cargo run --example ci_gate`
+
+use corpus::{Corpus, CorpusConfig, KindMix};
+use leakcore::ci::{CiConfig, CiGate};
+
+fn main() {
+    // A legacy repo that already contains leaks (as every repo does).
+    let legacy = Corpus::generate(CorpusConfig {
+        packages: 120,
+        leak_rate: 0.3,
+        seed: 1,
+        mix: KindMix::concurrent_heavy(),
+        ..CorpusConfig::default()
+    });
+    println!(
+        "legacy repo: {} packages, {} known-injected leak sites",
+        legacy.packages.len(),
+        legacy.truth.len()
+    );
+
+    // Offline trial run: collect every pre-existing leaking goroutine
+    // into the suppression list so the rollout does not block everyone.
+    let mut gate = CiGate::new(CiConfig::default());
+    let legacy_leaks = gate.trial_run(&legacy);
+    println!("trial run: suppressed {legacy_leaks} legacy leaking goroutine functions\n");
+
+    // PR 1: a clean package.
+    let clean_pr = Corpus::generate(CorpusConfig {
+        packages: 1,
+        leak_rate: 0.0,
+        seed: 77,
+        mix: KindMix::concurrent_heavy(),
+        ..CorpusConfig::default()
+    });
+    let r1 = gate.check_pr(&[&clean_pr.packages[0]]);
+    println!("PR #1 (clean): {}", if r1.passed() { "MERGED" } else { "BLOCKED" });
+    assert!(r1.passed());
+
+    // PR 2: introduces a fresh goroutine leak.
+    let leaky_pr = Corpus::generate(CorpusConfig {
+        packages: 1,
+        leak_rate: 1.0,
+        seed: 78,
+        mix: KindMix { mp: 1.0, sm: 0.0, both: 0.0 },
+        ..CorpusConfig::default()
+    });
+    let r2 = gate.check_pr(&[&leaky_pr.packages[0]]);
+    println!("PR #2 (leaky): {}", if r2.passed() { "MERGED" } else { "BLOCKED" });
+    for outcome in &r2.outcomes {
+        if !outcome.verdict.passed() {
+            print!("{}", outcome.verdict.render());
+        }
+    }
+    assert!(!r2.passed(), "the gate must block the new leak");
+    println!("\nOK: legacy leaks suppressed, new leaks blocked.");
+}

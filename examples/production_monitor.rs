@@ -1,0 +1,57 @@
+//! The production-monitoring workflow (paper Fig 3, right half): run a
+//! small fleet with one leaky service, sweep goroutine profiles daily,
+//! and let LeakProf threshold, filter, rank, and route the alert.
+//!
+//! Run with: `cargo run --example production_monitor`
+
+use fleet::{default_service, handlers, Fleet, FleetConfig, HandlerArg};
+use leakprof::{Config, LeakProf};
+
+fn main() {
+    let mut f = Fleet::new(FleetConfig { ticks_per_day: 48, ..FleetConfig::default() });
+
+    // A leaky payments service and a healthy geo service.
+    let mut pay = default_service(
+        "payments",
+        4,
+        handlers::timeout_leak("payments", 16_000),
+        handlers::timeout_fixed("payments", 16_000),
+    );
+    pay.arg = HandlerArg::NilCtx;
+    pay.leak_activation = 0.5;
+    f.add_service(pay);
+
+    let mut geo = default_service(
+        "geo",
+        4,
+        handlers::timeout_fixed("geo", 16_000),
+        handlers::timeout_fixed("geo", 16_000),
+    );
+    geo.arg = HandlerArg::NilCtx;
+    geo.fix_day = Some(0); // healthy from day zero
+    f.add_service(geo);
+
+    // LeakProf: threshold scaled for the fleet's 1:8 sampling, AST
+    // filter fed with the deployed handler sources, owners registered.
+    let mut lp = LeakProf::new(Config { threshold: 50, ast_filter: true, top_n: 5 });
+    for (src, path) in f.handler_sources() {
+        lp.index_source(&src, &path).expect("handler sources parse");
+    }
+    lp.add_owner("payments/", "team-payments");
+    lp.add_owner("geo/", "team-geo");
+
+    for day in 1..=3 {
+        f.run_days(1);
+        let profiles = f.collect_profiles();
+        let report = lp.analyze(&profiles);
+        println!("── day {day}: {} profiles swept ──", profiles.len());
+        print!("{}", report.render());
+        if day == 3 {
+            assert_eq!(report.suspects.len(), 1, "exactly the payments leak");
+            let s = &report.suspects[0];
+            assert_eq!(s.owner.as_deref(), Some("team-payments"));
+            assert_eq!(s.stats.op.loc.to_string(), "payments/handler.go:10");
+        }
+    }
+    println!("OK: the alert names the blocked send, its fleet impact, and its owner.");
+}

@@ -1,0 +1,44 @@
+//! # leaklab — reproducing "Unveiling and Vanquishing Goroutine Leaks in
+//! Enterprise Microservices" (CGO 2024) in Rust
+//!
+//! This umbrella crate re-exports the whole toolchain:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`gosim`] | deterministic Go-like runtime (goroutines, channels, select, virtual time, profiles) |
+//! | [`minigo`] | mini-Go frontend (parser, AST, lowering to the runtime) |
+//! | [`goleak`] | test-time leak detection (paper §IV) |
+//! | [`leakprof`] | production profile analysis (paper §V) |
+//! | [`staticlint`] | GCatch/Goat/Gomela-like static baselines + range linter |
+//! | [`corpus`] | synthetic monorepo with ground-truth leak injections |
+//! | [`fleet`] | production fleet simulator (RSS/CPU models, profile sweeps) |
+//! | [`leakcore`] | the Fig 3 methodology: CI gate, backtest, tool evaluation |
+//!
+//! See `README.md` for the quickstart, `DESIGN.md` for the system
+//! inventory and substitutions, and `EXPERIMENTS.md` for the paper-vs-
+//! measured record of every table and figure.
+//!
+//! ```
+//! // Detect the paper's Listing 1 leak in three steps.
+//! use gosim::Runtime;
+//! use goleak::{find_with_retry, Options};
+//!
+//! let prog = minigo::compile(
+//!     "package m\n\nfunc Leak() {\n\tch := make(chan int)\n\tgo func() {\n\t\tch <- 1\n\t}()\n}\n",
+//!     "m/leak.go",
+//! ).expect("compiles");
+//! let mut rt = Runtime::with_seed(0);
+//! prog.spawn_func(&mut rt, "m.Leak", vec![]).unwrap();
+//! rt.run_until_blocked(10_000);
+//! let leaks = find_with_retry(&mut rt, &Options::default());
+//! assert_eq!(leaks.len(), 1);
+//! ```
+
+pub use corpus;
+pub use fleet;
+pub use goleak;
+pub use gosim;
+pub use leakcore;
+pub use leakprof;
+pub use minigo;
+pub use staticlint;

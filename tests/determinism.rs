@@ -1,0 +1,66 @@
+//! Workspace-level determinism guarantees: every stochastic component is
+//! seeded and replays identically — the property that makes the
+//! experiments in EXPERIMENTS.md reproducible to the byte.
+
+use corpus::{Corpus, CorpusConfig};
+use fleet::{default_service, handlers, Fleet, FleetConfig, HandlerArg};
+use leakcore::backtest::{run as backtest, BacktestConfig};
+
+#[test]
+fn corpus_is_bit_reproducible() {
+    let make = || {
+        serde_json::to_string(&Corpus::generate(CorpusConfig {
+            packages: 60,
+            seed: 99,
+            ..CorpusConfig::default()
+        }))
+        .unwrap()
+    };
+    assert_eq!(make(), make());
+}
+
+#[test]
+fn fleet_samples_are_reproducible() {
+    let make = || {
+        let mut f = Fleet::new(FleetConfig { ticks_per_day: 12, seed: 3, ..FleetConfig::default() });
+        let mut spec = default_service(
+            "s",
+            2,
+            handlers::timeout_leak("s", 5_000),
+            handlers::timeout_fixed("s", 5_000),
+        );
+        spec.arg = HandlerArg::NilCtx;
+        f.add_service(spec);
+        f.run_days(1);
+        serde_json::to_string(f.samples()).unwrap()
+    };
+    assert_eq!(make(), make());
+}
+
+#[test]
+fn backtest_is_reproducible() {
+    let cfg = BacktestConfig {
+        weeks: 4,
+        deploy_week: 3,
+        prs_per_week: 4,
+        migration_week: None,
+        seed: 12,
+        ..BacktestConfig::default()
+    };
+    let a = serde_json::to_string(&backtest(&cfg)).unwrap();
+    let b = serde_json::to_string(&backtest(&cfg)).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let gen = |seed| {
+        serde_json::to_string(&Corpus::generate(CorpusConfig {
+            packages: 60,
+            seed,
+            ..CorpusConfig::default()
+        }))
+        .unwrap()
+    };
+    assert_ne!(gen(1), gen(2));
+}
