@@ -11,9 +11,9 @@
 //! * `stack_walk`: per-goroutine cost of a profile snapshot.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use goleak::{find, Options};
 use gosim::script::{fnb, Expr, Prog};
 use gosim::Runtime;
-use goleak::{find, Options};
 use std::hint::black_box;
 
 fn normal_test_prog() -> Prog {

@@ -34,17 +34,24 @@ fn synth_profile(instance: usize, goroutines: usize) -> GoroutineProfile {
             retained_bytes: 8192,
         });
     }
-    GoroutineProfile { instance: format!("inst-{instance}"), captured_at: 1, goroutines: gs }
+    GoroutineProfile {
+        instance: format!("inst-{instance}"),
+        captured_at: 1,
+        goroutines: gs,
+    }
 }
 
 fn bench_throughput(c: &mut Criterion) {
-    let cfg = Config { threshold: 100, ast_filter: false, top_n: 10 };
+    let cfg = Config {
+        threshold: 100,
+        ast_filter: false,
+        top_n: 10,
+    };
     let index = SourceIndex::new();
     let mut group = c.benchmark_group("leakprof");
     for profiles in [200usize, 1_000] {
         // ~2000 goroutines per process, the paper's median.
-        let data: Vec<GoroutineProfile> =
-            (0..profiles).map(|i| synth_profile(i, 2_000)).collect();
+        let data: Vec<GoroutineProfile> = (0..profiles).map(|i| synth_profile(i, 2_000)).collect();
         group.throughput(Throughput::Elements(profiles as u64));
         group.bench_with_input(BenchmarkId::new("sequential", profiles), &data, |b, d| {
             b.iter(|| black_box(aggregate(d, &cfg, &index).len()))

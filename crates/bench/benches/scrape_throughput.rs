@@ -1,0 +1,46 @@
+//! Collector scrape throughput: profiles/second over loopback TCP.
+//!
+//! The paper's LeakProf sweeps a fleet daily; a practical collection box
+//! must pull thousands of profiles per sweep. This bench serves a real
+//! demo fleet behind one loopback listener and measures full
+//! scatter-gather cycles — connect, GET, parse — with the bounded worker
+//! pool, at two fleet sizes and two pool widths.
+
+use collector::{DemoFleet, ScrapeConfig, Scraper};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_scrape(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scrape");
+    for &instances in &[25usize, 100] {
+        let demo = DemoFleet::build(instances, 1, 7);
+        let server = demo.hub.serve("127.0.0.1:0", 8).expect("loopback bind");
+        let targets = demo.targets(server.addr());
+        group.throughput(Throughput::Elements(targets.len() as u64));
+        for &workers in &[1usize, 16] {
+            let scraper = Scraper::new(ScrapeConfig {
+                workers,
+                ..ScrapeConfig::default()
+            });
+            group.bench_with_input(
+                BenchmarkId::new(format!("workers{workers}"), instances),
+                &targets,
+                |b, t| {
+                    b.iter(|| {
+                        let cycle = scraper.scrape_cycle(t);
+                        assert_eq!(cycle.errors.len(), 0);
+                        black_box(cycle.profiles.len())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scrape
+}
+criterion_main!(benches);

@@ -2,8 +2,8 @@
 //! (and the range linter) over a fixed corpus slice, versus the dynamic
 //! pipeline's test-execution cost on the same slice.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use corpus::{Corpus, CorpusConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
 use leakcore::ci::{CiConfig, CiGate};
 use staticlint::{AbsInt, Analyzer, ModelCheck, PathCheck, RangeClose};
 use std::hint::black_box;

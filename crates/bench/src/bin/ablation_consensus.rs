@@ -27,8 +27,16 @@ fn findings_of(repo: &Corpus, a: &dyn Analyzer) -> Sites {
 
 fn score(name: &str, found: &Sites, truth: &Sites) -> String {
     let tp = found.intersection(truth).count();
-    let precision = if found.is_empty() { 1.0 } else { tp as f64 / found.len() as f64 };
-    let recall = if truth.is_empty() { 1.0 } else { tp as f64 / truth.len() as f64 };
+    let precision = if found.is_empty() {
+        1.0
+    } else {
+        tp as f64 / found.len() as f64
+    };
+    let recall = if truth.is_empty() {
+        1.0
+    } else {
+        tp as f64 / truth.len() as f64
+    };
     format!(
         "{name:<28} | {:>7} | {:>8.1}% | {:>6.1}%\n",
         found.len(),
@@ -65,7 +73,13 @@ fn main() {
 
     let pc_and_mc: Sites = pc.intersection(&mc).cloned().collect();
     let all_and: Sites = pc_and_mc.intersection(&ai).cloned().collect();
-    let union: Sites = pc.union(&ai).cloned().collect::<Sites>().union(&mc).cloned().collect();
+    let union: Sites = pc
+        .union(&ai)
+        .cloned()
+        .collect::<Sites>()
+        .union(&mc)
+        .cloned()
+        .collect();
     let majority: Sites = {
         let mut m = Sites::new();
         for s in &union {

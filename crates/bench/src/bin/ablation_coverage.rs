@@ -48,7 +48,9 @@ fn main() {
         let mut found: BTreeSet<(String, u32)> = BTreeSet::new();
         for pkg in &repo.packages {
             let mut thinned = pkg.clone();
-            thinned.test_funcs.retain(|_| rng.next_below(100) < keep_pct);
+            thinned
+                .test_funcs
+                .retain(|_| rng.next_below(100) < keep_pct);
             for outcome in gate.run_package(&thinned) {
                 for leak in outcome.verdict.all_leaks() {
                     if let Some(f) = &leak.blocking_frame {

@@ -5,9 +5,9 @@
 //! experiment measures the false-positive rate of `find` (no retries)
 //! vs `find_with_retry` on tests that spawn short-lived stragglers.
 
+use goleak::{find, find_with_retry, Options};
 use gosim::script::{fnb, Expr, Prog};
 use gosim::Runtime;
-use goleak::{find, find_with_retry, Options};
 
 fn straggler_test(sleep_ticks: i64) -> Prog {
     Prog::build(move |p| {
@@ -27,7 +27,8 @@ fn main() {
     for sleep in [1i64, 5, 10, 25, 50] {
         let prog = straggler_test(sleep);
         let mut rt = Runtime::with_seed(0);
-        prog.spawn_func(&mut rt, "pkg.TestStraggler", vec![]).unwrap();
+        prog.spawn_func(&mut rt, "pkg.TestStraggler", vec![])
+            .unwrap();
         rt.run_until_blocked(10_000);
         let eager = find(&rt, &Options::default()).len();
         let settled = find_with_retry(&mut rt, &Options::default()).len();

@@ -47,7 +47,11 @@ fn main() {
         });
     }
 
-    let cfg = Config { threshold: 100, ast_filter: false, top_n: 10 };
+    let cfg = Config {
+        threshold: 100,
+        ast_filter: false,
+        top_n: 10,
+    };
     let stats = aggregate(&profiles, &cfg, &SourceIndex::new());
 
     let mut table = String::from("site        | total | max_inst | mean   | rms\n");
@@ -63,7 +67,11 @@ fn main() {
         ));
     }
     println!("{table}");
-    println!("ranking by mean : tie ({}={})", stats[0].mean(), stats[1].mean());
+    println!(
+        "ranking by mean : tie ({}={})",
+        stats[0].mean(),
+        stats[1].mean()
+    );
     println!(
         "ranking by rms  : {} first (rms {:.1} vs {:.1}) — the spike wins, as the paper intends",
         stats[0].op.loc, stats[0].rms, stats[1].rms
@@ -75,8 +83,7 @@ fn main() {
     // Show rms growing with breadth at fixed max.
     let mut growth = String::from("instances_affected,rms\n");
     for k in [1usize, 2, 4, 8, 16] {
-        let counts: Vec<u64> =
-            (0..20).map(|i| if i < k { 2000 } else { 0 }).collect();
+        let counts: Vec<u64> = (0..20).map(|i| if i < k { 2000 } else { 0 }).collect();
         growth.push_str(&format!("{k},{:.1}\n", rms(&counts)));
     }
     println!("{growth}");

@@ -19,8 +19,7 @@ fn main() {
         mix: corpus::KindMix::concurrent_heavy(),
         ..CorpusConfig::default()
     });
-    let wrapper_truth =
-        repo.truth.iter().filter(|t| t.via_wrapper).count();
+    let wrapper_truth = repo.truth.iter().filter(|t| t.via_wrapper).count();
     println!(
         "corpus: {} leak sites, {wrapper_truth} spawned via wrappers\n",
         repo.truth.len()
@@ -29,7 +28,11 @@ fn main() {
     let blind = evaluate_static(&repo, &PathCheck::new());
     let aware = evaluate_static(
         &repo,
-        &PathCheck { config: PathCheckConfig { follow_wrappers: true } },
+        &PathCheck {
+            config: PathCheckConfig {
+                follow_wrappers: true,
+            },
+        },
     );
 
     let mut out = String::new();

@@ -6,7 +6,11 @@ use fleet::{default_service, handlers, Fleet, FleetConfig, HandlerArg};
 fn main() {
     const FIX_DAY: u32 = 7;
     const DAYS: u32 = 14;
-    let mut f = Fleet::new(FleetConfig { ticks_per_day: 48, seed: 0xF161, ..FleetConfig::default() });
+    let mut f = Fleet::new(FleetConfig {
+        ticks_per_day: 48,
+        seed: 0xF161,
+        ..FleetConfig::default()
+    });
     let mut spec = default_service(
         "svc",
         6,
@@ -31,7 +35,15 @@ fn main() {
     }
     let labelled: Vec<(&str, &[(f64, f64)])> =
         series.iter().map(|s| ("instance", s.as_slice())).collect();
-    println!("{}", bench::ascii_plot("Fig 1: RSS (GB) over days; fix deploys at day 7", &labelled, 90, 18));
+    println!(
+        "{}",
+        bench::ascii_plot(
+            "Fig 1: RSS (GB) over days; fix deploys at day 7",
+            &labelled,
+            90,
+            18
+        )
+    );
 
     let peak_before = f
         .samples()
@@ -53,7 +65,10 @@ fn main() {
         bench::human_bytes(peak_before),
         bench::human_bytes(peak_after)
     );
-    assert!(ratio > 2.0, "fix must reduce RSS multiple-fold, got {ratio:.2}x");
+    assert!(
+        ratio > 2.0,
+        "fix must reduce RSS multiple-fold, got {ratio:.2}x"
+    );
     bench::save("fig1_rss.csv", &csv);
     bench::save(
         "fig1_summary.txt",

@@ -7,7 +7,11 @@ use fleet::{default_service, handlers, Fleet, FleetConfig, HandlerArg};
 fn main() {
     const FIX_DAY: u32 = 7;
     const DAYS: u32 = 14;
-    let mut f = Fleet::new(FleetConfig { ticks_per_day: 96, seed: 0xF162, ..FleetConfig::default() });
+    let mut f = Fleet::new(FleetConfig {
+        ticks_per_day: 96,
+        seed: 0xF162,
+        ..FleetConfig::default()
+    });
     let mut spec = default_service(
         "svc",
         4,
@@ -32,7 +36,12 @@ fn main() {
         series.iter().map(|s| ("instance", s.as_slice())).collect();
     println!(
         "{}",
-        bench::ascii_plot("Fig 2: CPU utilization over days; fix deploys at day 7", &labelled, 96, 16)
+        bench::ascii_plot(
+            "Fig 2: CPU utilization over days; fix deploys at day 7",
+            &labelled,
+            96,
+            16
+        )
     );
 
     let stats = |lo: f64, hi: f64| -> (f64, f64) {
@@ -55,7 +64,10 @@ fn main() {
         "max CPU: {max_b:.3} -> {max_a:.3} ({max_red:.1}% reduction; paper 34%)\n\
          avg CPU: {avg_b:.3} -> {avg_a:.3} ({avg_red:.1}% reduction; paper 16.5%)"
     );
-    assert!(max_red > 10.0, "fix must visibly reduce max CPU, got {max_red:.1}%");
+    assert!(
+        max_red > 10.0,
+        "fix must visibly reduce max CPU, got {max_red:.1}%"
+    );
     assert!(
         max_red > avg_red,
         "GC-pacing coupling makes the crest suffer most: max {max_red:.1}% vs avg {avg_red:.1}%"

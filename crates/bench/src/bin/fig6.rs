@@ -12,7 +12,11 @@ fn main() {
     const INSTANCES: usize = 40;
     let threshold = 250u64; // paper: 10K at 1:1 scale; here counts are 1:8 sampled
 
-    let mut f = Fleet::new(FleetConfig { ticks_per_day: 48, seed: 0xF166, ..FleetConfig::default() });
+    let mut f = Fleet::new(FleetConfig {
+        ticks_per_day: 48,
+        seed: 0xF166,
+        ..FleetConfig::default()
+    });
     let mut spec = default_service(
         "bigsvc",
         INSTANCES,
@@ -32,8 +36,10 @@ fn main() {
     for day in 0..DAYS {
         f.run_days(1);
         let profiles = f.collect_profiles();
-        let counts: Vec<u64> =
-            profiles.iter().map(|p| p.channel_blocked().count() as u64).collect();
+        let counts: Vec<u64> = profiles
+            .iter()
+            .map(|p| p.channel_blocked().count() as u64)
+            .collect();
         let rep = counts.iter().copied().max().unwrap_or(0);
         let total: u64 = counts.iter().sum();
         rep_series.push(((day + 1) as f64, rep as f64));
@@ -42,15 +48,18 @@ fn main() {
 
         // Daily LeakProf run: when does the alert fire?
         if alerted_on_day.is_none() {
-            let lp = LeakProf::new(Config { threshold, ast_filter: false, top_n: 5 });
+            let lp = LeakProf::new(Config {
+                threshold,
+                ast_filter: false,
+                top_n: 5,
+            });
             if !lp.analyze(&profiles).suspects.is_empty() {
                 alerted_on_day = Some(day + 1);
             }
         }
     }
 
-    let thr_line: Vec<(f64, f64)> =
-        (1..=DAYS).map(|d| (d as f64, threshold as f64)).collect();
+    let thr_line: Vec<(f64, f64)> = (1..=DAYS).map(|d| (d as f64, threshold as f64)).collect();
     println!(
         "{}",
         bench::ascii_plot(
@@ -73,8 +82,7 @@ fn main() {
         "regression deployed at day {REGRESS_DAY}; LeakProf alert fired on day {:?} \
          (paper: leak intercepted once a single instance crossed the 10K threshold;\n\
          here counts are 1:{} sampled)",
-        alerted_on_day,
-        8
+        alerted_on_day, 8
     );
     let alert_day = alerted_on_day.expect("the sweep must catch the regression");
     assert!(alert_day >= REGRESS_DAY, "no alert before the regression");

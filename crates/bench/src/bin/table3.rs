@@ -19,11 +19,12 @@ fn main() {
         repo.truth.len()
     );
 
-    let mut rows = Vec::new();
-    rows.push(evaluate_static(&repo, &PathCheck::new()));
-    rows.push(evaluate_static(&repo, &AbsInt::new()));
-    rows.push(evaluate_static(&repo, &ModelCheck::new()));
-    rows.push(evaluate_goleak(&repo));
+    let mut rows = vec![
+        evaluate_static(&repo, &PathCheck::new()),
+        evaluate_static(&repo, &AbsInt::new()),
+        evaluate_static(&repo, &ModelCheck::new()),
+        evaluate_goleak(&repo),
+    ];
     let (lp_row, lp_report) = evaluate_leakprof(0xF1EE7, 2);
     rows.push(lp_row);
 
@@ -33,7 +34,10 @@ fn main() {
     println!("GOLEAK 100% (857 reports) and LEAKPROF 72.7% (33 reports); only the");
     println!("dynamic tools are precise enough to deploy. Expected shape here:");
     println!("dynamic precision >> static precision, static recall partial.\n");
-    println!("LeakProf report for the fleet slice:\n{}", lp_report.render());
+    println!(
+        "LeakProf report for the fleet slice:\n{}",
+        lp_report.render()
+    );
 
     bench::save("table3.txt", &rendered);
     bench::save(

@@ -34,7 +34,10 @@ fn main() {
         "message-passing fraction: {:.1}% (paper: >80%, select 51%, receive 32%, send 1.7%)\n",
         100.0 * class.message_passing_fraction()
     );
-    assert!(class.total() > 0, "corpus tests must leave lingering goroutines");
+    assert!(
+        class.total() > 0,
+        "corpus tests must leave lingering goroutines"
+    );
 
     // Section VI pattern mix over unique injected sites (ground truth of
     // what landed in the corpus — the generator draws from the paper's

@@ -19,24 +19,106 @@ struct Svc {
 fn main() {
     // Paper Table V service roster (instances scaled down for the sim).
     let roster = [
-        Svc { name: "S1", paper_instances: 5854, instances: 12, buf: 384000, activation: 0.5 },
-        Svc { name: "S2", paper_instances: 612, instances: 8, buf: 48000, activation: 0.12 },
-        Svc { name: "S3", paper_instances: 199, instances: 6, buf: 176000, activation: 0.4 },
-        Svc { name: "S4", paper_instances: 120, instances: 6, buf: 144000, activation: 0.35 },
-        Svc { name: "S5", paper_instances: 72, instances: 5, buf: 240000, activation: 0.45 },
-        Svc { name: "S6", paper_instances: 66, instances: 5, buf: 320000, activation: 0.6 },
-        Svc { name: "S7", paper_instances: 64, instances: 5, buf: 112000, activation: 0.3 },
-        Svc { name: "S8", paper_instances: 19, instances: 4, buf: 72000, activation: 0.18 },
-        Svc { name: "S9", paper_instances: 18, instances: 4, buf: 416000, activation: 0.7 },
-        Svc { name: "S10", paper_instances: 10, instances: 3, buf: 96000, activation: 0.22 },
-        Svc { name: "S11", paper_instances: 9, instances: 3, buf: 104000, activation: 0.25 },
-        Svc { name: "S12", paper_instances: 6, instances: 3, buf: 256000, activation: 0.55 },
-        Svc { name: "S13", paper_instances: 6, instances: 3, buf: 360000, activation: 0.65 },
+        Svc {
+            name: "S1",
+            paper_instances: 5854,
+            instances: 12,
+            buf: 384000,
+            activation: 0.5,
+        },
+        Svc {
+            name: "S2",
+            paper_instances: 612,
+            instances: 8,
+            buf: 48000,
+            activation: 0.12,
+        },
+        Svc {
+            name: "S3",
+            paper_instances: 199,
+            instances: 6,
+            buf: 176000,
+            activation: 0.4,
+        },
+        Svc {
+            name: "S4",
+            paper_instances: 120,
+            instances: 6,
+            buf: 144000,
+            activation: 0.35,
+        },
+        Svc {
+            name: "S5",
+            paper_instances: 72,
+            instances: 5,
+            buf: 240000,
+            activation: 0.45,
+        },
+        Svc {
+            name: "S6",
+            paper_instances: 66,
+            instances: 5,
+            buf: 320000,
+            activation: 0.6,
+        },
+        Svc {
+            name: "S7",
+            paper_instances: 64,
+            instances: 5,
+            buf: 112000,
+            activation: 0.3,
+        },
+        Svc {
+            name: "S8",
+            paper_instances: 19,
+            instances: 4,
+            buf: 72000,
+            activation: 0.18,
+        },
+        Svc {
+            name: "S9",
+            paper_instances: 18,
+            instances: 4,
+            buf: 416000,
+            activation: 0.7,
+        },
+        Svc {
+            name: "S10",
+            paper_instances: 10,
+            instances: 3,
+            buf: 96000,
+            activation: 0.22,
+        },
+        Svc {
+            name: "S11",
+            paper_instances: 9,
+            instances: 3,
+            buf: 104000,
+            activation: 0.25,
+        },
+        Svc {
+            name: "S12",
+            paper_instances: 6,
+            instances: 3,
+            buf: 256000,
+            activation: 0.55,
+        },
+        Svc {
+            name: "S13",
+            paper_instances: 6,
+            instances: 3,
+            buf: 360000,
+            activation: 0.65,
+        },
     ];
     const FIX_DAY: u32 = 4;
     const DAYS: u32 = 9;
 
-    let mut f = Fleet::new(FleetConfig { ticks_per_day: 48, seed: 0x7AB1E5, ..FleetConfig::default() });
+    let mut f = Fleet::new(FleetConfig {
+        ticks_per_day: 48,
+        seed: 0x7AB1E5,
+        ..FleetConfig::default()
+    });
     for s in &roster {
         let mut spec = default_service(
             s.name,
@@ -60,7 +142,9 @@ fn main() {
     );
     out.push_str(&"-".repeat(100));
     out.push('\n');
-    let mut csv = String::from("service,instances,peak_before_gb,peak_after_gb,saved_pct,cap_before_gb,cap_after_gb\n");
+    let mut csv = String::from(
+        "service,instances,peak_before_gb,peak_after_gb,saved_pct,cap_before_gb,cap_after_gb\n",
+    );
     for s in &roster {
         // Service-wide peak = max over ticks of the sum across instances.
         let mut per_tick_before: std::collections::BTreeMap<u64, u64> = Default::default();

@@ -31,7 +31,12 @@ pub fn save(name: &str, content: &str) {
 /// Renders an ASCII line plot of one or more labelled series sharing an
 /// x axis. Intended for quick shape inspection in a terminal; the CSV
 /// artifact carries the precise numbers.
-pub fn ascii_plot(title: &str, series: &[(&str, &[(f64, f64)])], width: usize, height: usize) -> String {
+pub fn ascii_plot(
+    title: &str,
+    series: &[(&str, &[(f64, f64)])],
+    width: usize,
+    height: usize,
+) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(out, "── {title} ──");
@@ -39,8 +44,12 @@ pub fn ascii_plot(title: &str, series: &[(&str, &[(f64, f64)])], width: usize, h
     if all.is_empty() {
         return out;
     }
-    let (xmin, xmax) = all.iter().fold((f64::MAX, f64::MIN), |(a, b), (x, _)| (a.min(*x), b.max(*x)));
-    let (ymin, ymax) = all.iter().fold((f64::MAX, f64::MIN), |(a, b), (_, y)| (a.min(*y), b.max(*y)));
+    let (xmin, xmax) = all.iter().fold((f64::MAX, f64::MIN), |(a, b), (x, _)| {
+        (a.min(*x), b.max(*x))
+    });
+    let (ymin, ymax) = all.iter().fold((f64::MAX, f64::MIN), |(a, b), (_, y)| {
+        (a.min(*y), b.max(*y))
+    });
     let yspan = (ymax - ymin).max(1e-12);
     let xspan = (xmax - xmin).max(1e-12);
     let marks = ['*', '+', 'o', 'x', '#'];

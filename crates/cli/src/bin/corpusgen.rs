@@ -22,9 +22,15 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     let config = CorpusConfig {
-        packages: flag(&flags, "packages").and_then(|v| v.parse().ok()).unwrap_or(200),
-        seed: flag(&flags, "seed").and_then(|v| v.parse().ok()).unwrap_or(0xC60),
-        leak_rate: flag(&flags, "leak-rate").and_then(|v| v.parse().ok()).unwrap_or(0.18),
+        packages: flag(&flags, "packages")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200),
+        seed: flag(&flags, "seed")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0xC60),
+        leak_rate: flag(&flags, "leak-rate")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.18),
         mix: if flag(&flags, "heavy").is_some() {
             KindMix::concurrent_heavy()
         } else {

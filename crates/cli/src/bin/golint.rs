@@ -29,12 +29,16 @@ fn main() -> ExitCode {
     let mut analyzers: Vec<Box<dyn Analyzer>> = Vec::new();
     if tool == "all" || tool == "pathcheck" {
         analyzers.push(Box::new(PathCheck {
-            config: PathCheckConfig { follow_wrappers: wrappers },
+            config: PathCheckConfig {
+                follow_wrappers: wrappers,
+            },
         }));
     }
     if tool == "all" || tool == "absint" {
         analyzers.push(Box::new(AbsInt {
-            config: AbsIntConfig { follow_wrappers: wrappers },
+            config: AbsIntConfig {
+                follow_wrappers: wrappers,
+            },
         }));
     }
     if tool == "all" || tool == "modelcheck" {

@@ -20,8 +20,8 @@
 use std::process::ExitCode;
 
 use gosim::GoroutineProfile;
-use leakprof::{Config, LeakProf};
 use leaklab_cli::{collect_go_files, flag, read_source, split_flags};
+use leakprof::{Config, LeakProf};
 
 fn main() -> ExitCode {
     match run() {
@@ -38,16 +38,26 @@ fn run() -> Result<ExitCode, ExitCode> {
         );
         return Err(ExitCode::from(2));
     }
-    let threshold: u64 =
-        flag(&flags, "threshold").and_then(|v| v.parse().ok()).unwrap_or(10_000);
-    let top_n: usize = flag(&flags, "top").and_then(|v| v.parse().ok()).unwrap_or(10);
+    let threshold: u64 = flag(&flags, "threshold")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+    let top_n: usize = flag(&flags, "top")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
     let ast_filter = flag(&flags, "no-filter").is_none();
 
-    let mut lp = LeakProf::new(Config { threshold, ast_filter, top_n });
+    let mut lp = LeakProf::new(Config {
+        threshold,
+        ast_filter,
+        top_n,
+    });
 
     // Index sources for the transient filter.
-    let srcs: Vec<String> =
-        flags.iter().filter(|(n, _)| n == "src").map(|(_, v)| v.clone()).collect();
+    let srcs: Vec<String> = flags
+        .iter()
+        .filter(|(n, _)| n == "src")
+        .map(|(_, v)| v.clone())
+        .collect();
     for s in collect_go_files(&srcs) {
         let text = read_source(&s)?;
         if let Err(diags) = lp.index_source(&text, &s.display().to_string()) {

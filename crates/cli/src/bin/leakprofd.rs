@@ -1,0 +1,307 @@
+//! `leakprofd` — the continuous profile-collection and streaming-analysis
+//! daemon, plus self-contained demo modes.
+//!
+//! ```text
+//! leakprofd serve       [--instances N] [--days D] [--seed S] [--port P]
+//!                       [--cycles N] [--interval-ms MS] [--threshold T]
+//!                       [--top N] [--history PATH] [--keep N]
+//! leakprofd scrape-once [--addr HOST:PORT] [--instances N] [--days D]
+//!                       [--seed S] [--threshold T] [--top N] [--workers N]
+//! leakprofd status      --history PATH
+//! ```
+//!
+//! * `serve` stands up a demo fleet behind one loopback HTTP listener,
+//!   then runs scrape cycles against it, exposing the daemon's own
+//!   `/metrics` and `/status` on an adjacent port. With `--cycles 0`
+//!   (default) it runs until interrupted.
+//! * `scrape-once` runs exactly one scatter-gather cycle — against
+//!   `--addr` if given, otherwise against a freshly built demo fleet —
+//!   and prints the ranked report plus scrape-health stats.
+//! * `status` summarizes a history JSONL written with `--history`.
+//!
+//! Exit code: 0 on success (scrape-once: even with suspects), 1 when a
+//! cycle scraped nothing at all, 2 on usage/IO errors.
+
+use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+
+use collector::{
+    serve_daemon_endpoints, Daemon, DaemonConfig, DemoFleet, HistoryLog, ProfileHub, ScrapeConfig,
+    ScrapeTarget,
+};
+use leaklab_cli::{flag, split_flags};
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+        return ExitCode::from(2);
+    }
+    let cmd = args.remove(0);
+    let (_, flags) = split_flags(args);
+    match cmd.as_str() {
+        "serve" => serve(&flags),
+        "scrape-once" => scrape_once(&flags),
+        "status" => status(&flags),
+        _ => {
+            usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: leakprofd <serve|scrape-once|status> [flags]\n\
+         \x20 serve       [--instances N] [--days D] [--seed S] [--port P] [--cycles N]\n\
+         \x20             [--interval-ms MS] [--threshold T] [--top N] [--history PATH] [--keep N]\n\
+         \x20 scrape-once [--addr HOST:PORT] [--instances N] [--days D] [--seed S]\n\
+         \x20             [--threshold T] [--top N] [--workers N]\n\
+         \x20 status      --history PATH"
+    );
+}
+
+fn parsed<T: std::str::FromStr>(flags: &[(String, String)], name: &str, default: T) -> T {
+    flag(flags, name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn build_demo(flags: &[(String, String)]) -> (DemoFleet, collector::HttpServer) {
+    let instances: usize = parsed(flags, "instances", 100);
+    let seed: u64 = parsed(flags, "seed", 7);
+    let days: u32 = parsed(flags, "days", 3);
+    eprintln!(
+        "leakprofd: building demo fleet ({instances} instances, {days} day(s) of traffic, seed {seed})..."
+    );
+    let demo = DemoFleet::build(instances, days, seed);
+    let server = demo.hub.serve("127.0.0.1:0", 8).expect("loopback bind");
+    eprintln!(
+        "leakprofd: fleet of {} instances listening on http://{}",
+        demo.hub.instances().len(),
+        server.addr()
+    );
+    (demo, server)
+}
+
+fn scrape_once(flags: &[(String, String)]) -> ExitCode {
+    let threshold: u64 = parsed(flags, "threshold", 40);
+    let top_n: usize = parsed(flags, "top", 10);
+    let scrape = ScrapeConfig {
+        workers: parsed(flags, "workers", 0),
+        jitter_seed: parsed(flags, "seed", 7u64),
+        ..ScrapeConfig::default()
+    };
+
+    // Keep demo-fleet state (and its server) alive for the scrape.
+    let demo_parts;
+    let (lp, targets) = match flag(flags, "addr") {
+        Some(addr) => {
+            // Against an external hub: discover instances via /instances.
+            let addr: std::net::SocketAddr = match addr.parse() {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("error: bad --addr {addr}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let body = match collector::http_get(
+                addr,
+                "/instances",
+                std::time::Duration::from_millis(500),
+                std::time::Duration::from_millis(1000),
+            ) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("error: cannot list instances at {addr}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let ids: Vec<String> = match std::str::from_utf8(&body)
+                .ok()
+                .and_then(|s| serde_json::from_str(s).ok())
+            {
+                Some(ids) => ids,
+                None => {
+                    eprintln!("error: {addr}/instances did not return a JSON string array");
+                    return ExitCode::from(2);
+                }
+            };
+            let targets = ids
+                .into_iter()
+                .map(|id| ScrapeTarget {
+                    path: ProfileHub::profile_path(&id),
+                    instance: id,
+                    addr,
+                })
+                .collect();
+            let lp = leakprof::LeakProf::new(leakprof::Config {
+                threshold,
+                ast_filter: false, // no sources available for a remote fleet
+                top_n,
+            });
+            (lp, targets)
+        }
+        None => {
+            let (demo, server) = build_demo(flags);
+            let targets = demo.targets(server.addr());
+            let lp = demo.leakprof(threshold, top_n);
+            demo_parts = (demo, server);
+            let _ = &demo_parts;
+            (lp, targets)
+        }
+    };
+
+    let mut daemon = match Daemon::new(
+        DaemonConfig {
+            scrape,
+            ..DaemonConfig::default()
+        },
+        lp,
+        targets,
+    ) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let started = std::time::Instant::now();
+    let cycle = daemon.run_cycle();
+    let wall = started.elapsed();
+
+    println!("{}", cycle.stats.render());
+    for e in &cycle.errors {
+        println!(
+            "  failed: {} after {} attempt(s): {} ({})",
+            e.instance, e.attempts, e.kind, e.detail
+        );
+    }
+    if let Some(report) = daemon.last_report() {
+        print!("{}", report.render());
+    }
+    println!("cycle wall time: {:.2} s", wall.as_secs_f64());
+    if cycle.stats.succeeded == 0 && cycle.stats.targets > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn serve(flags: &[(String, String)]) -> ExitCode {
+    let threshold: u64 = parsed(flags, "threshold", 40);
+    let top_n: usize = parsed(flags, "top", 10);
+    let cycles: u64 = parsed(flags, "cycles", 0);
+    let interval_ms: u64 = parsed(flags, "interval-ms", 1000);
+    let port: u16 = parsed(flags, "port", 0);
+    let keep: usize = parsed(flags, "keep", 500);
+
+    let (mut demo, fleet_server) = build_demo(flags);
+    let targets = demo.targets(fleet_server.addr());
+    let lp = demo.leakprof(threshold, top_n);
+
+    let config = DaemonConfig {
+        scrape: ScrapeConfig {
+            jitter_seed: parsed(flags, "seed", 7u64),
+            ..ScrapeConfig::default()
+        },
+        history_path: flag(flags, "history").map(std::path::PathBuf::from),
+        history_keep: keep,
+    };
+    let daemon = match Daemon::new(config, lp, targets) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: cannot open history: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let daemon = Arc::new(Mutex::new(daemon));
+    let endpoints = match serve_daemon_endpoints(Arc::clone(&daemon), &format!("127.0.0.1:{port}"))
+    {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind daemon endpoints: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "leakprofd: serving /metrics and /status on http://{} (fleet at http://{})",
+        endpoints.addr(),
+        fleet_server.addr()
+    );
+
+    let mut ran = 0u64;
+    loop {
+        let report = daemon.lock().expect("daemon poisoned").run_cycle();
+        ran += 1;
+        println!("cycle {ran}: {}", report.stats.render());
+        if report.stats.succeeded == 0 && report.stats.targets > 0 {
+            eprintln!("leakprofd: cycle scraped nothing; aborting");
+            return ExitCode::from(1);
+        }
+        if cycles > 0 && ran >= cycles {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+        demo.advance_and_republish(1);
+    }
+    let daemon = daemon.lock().expect("daemon poisoned");
+    if let Some(report) = daemon.last_report() {
+        print!("{}", report.render());
+    }
+    print!("{}", daemon.metrics_text());
+    ExitCode::SUCCESS
+}
+
+fn status(flags: &[(String, String)]) -> ExitCode {
+    let Some(path) = flag(flags, "history") else {
+        eprintln!("usage: leakprofd status --history PATH");
+        return ExitCode::from(2);
+    };
+    let log = match HistoryLog::open(path, 1) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: cannot open {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let records = match log.load() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if records.is_empty() {
+        println!("no cycles recorded in {path}");
+        return ExitCode::SUCCESS;
+    }
+    let last = records.last().expect("nonempty");
+    println!("{} cycle(s) on record; latest:", records.len());
+    println!(
+        "  cycle {}: {} profiles, {} failures, {} retries, {:.1} ms; latency p50 {} µs p99 {} µs",
+        last.cycle,
+        last.profiles,
+        last.failures,
+        last.retries,
+        last.wall_ms,
+        last.p50_us,
+        last.p99_us
+    );
+    if last.top.is_empty() {
+        println!("  no suspects at latest cycle");
+    } else {
+        println!("  top sites:");
+        for (i, t) in last.top.iter().enumerate() {
+            println!(
+                "    #{} {} (rms {:.1}, total {}, max-instance {})",
+                i + 1,
+                t.op,
+                t.rms,
+                t.total,
+                t.max_instance
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}

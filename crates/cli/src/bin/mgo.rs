@@ -16,9 +16,7 @@ use gosim::Runtime;
 use leaklab_cli::{collect_go_files, flag, read_source, split_flags};
 
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage: mgo <run|leaks|dump> <files...> [--func pkg.F] [--seed N] [--ticks T]"
-    );
+    eprintln!("usage: mgo <run|leaks|dump> <files...> [--func pkg.F] [--seed N] [--ticks T]");
     ExitCode::from(2)
 }
 
@@ -34,8 +32,12 @@ fn main() -> ExitCode {
         return usage();
     }
 
-    let seed: u64 = flag(&flags, "seed").and_then(|v| v.parse().ok()).unwrap_or(0);
-    let ticks: u64 = flag(&flags, "ticks").and_then(|v| v.parse().ok()).unwrap_or(10_000);
+    let seed: u64 = flag(&flags, "seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let ticks: u64 = flag(&flags, "ticks")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
 
     let mut sources = Vec::new();
     for f in &files {
@@ -98,7 +100,11 @@ fn main() -> ExitCode {
                 rt.live_count()
             );
             for e in rt.exits().iter().filter(|e| e.panic.is_some()) {
-                println!("  panic in {}: {}", e.name, e.panic.as_deref().unwrap_or(""));
+                println!(
+                    "  panic in {}: {}",
+                    e.name,
+                    e.panic.as_deref().unwrap_or("")
+                );
             }
             ExitCode::SUCCESS
         }

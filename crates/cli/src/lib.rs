@@ -9,7 +9,10 @@
 //!   rangeclose) over `.go` files;
 //! * `leakprof-cli` — analyze goroutine-profile JSON files offline, the
 //!   way the paper's LeakProf consumes pprof dumps;
-//! * `corpusgen` — materialize a ground-truth-labelled corpus on disk.
+//! * `corpusgen` — materialize a ground-truth-labelled corpus on disk;
+//! * `leakprofd` — the continuous networked collection daemon: serve a
+//!   demo fleet over loopback TCP, scrape it concurrently, and stream
+//!   profiles into the incremental analyzer.
 
 #![warn(missing_docs)]
 
@@ -42,7 +45,9 @@ pub fn collect_go_files(args: &[String]) -> Vec<PathBuf> {
 }
 
 fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = fs::read_dir(dir) else { return };
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
     for entry in entries.flatten() {
         let p = entry.path();
         if p.is_dir() {
@@ -76,7 +81,10 @@ pub fn split_flags(args: Vec<String>) -> (Vec<String>, Vec<(String, String)>) {
 
 /// Looks up a flag value.
 pub fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
-    flags.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    flags
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
 }
 
 #[cfg(test)]

@@ -104,7 +104,12 @@ fn golint_flags_leaks_and_passes_clean_code() {
         .args([clean.to_str().unwrap(), "--tool", "pathcheck"])
         .output()
         .expect("golint runs");
-    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
 }
 
 #[test]
@@ -123,7 +128,12 @@ fn corpusgen_then_golint_on_the_tree() {
         ])
         .output()
         .expect("corpusgen runs");
-    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(dir.join("TRUTH.json").exists());
     assert!(dir.join("OWNERS.tsv").exists());
 
@@ -132,7 +142,12 @@ fn corpusgen_then_golint_on_the_tree() {
         .args([dir.to_str().unwrap(), "--tool", "pathcheck"])
         .output()
         .expect("golint runs");
-    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stdout));
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
 }
 
 #[test]
@@ -165,7 +180,12 @@ fn leakprof_cli_analyzes_serialized_profiles() {
         ])
         .output()
         .expect("leakprof-cli runs");
-    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("POTENTIAL GOROUTINE LEAK"), "{stdout}");
     assert!(stdout.contains("leak.go:6"), "{stdout}");

@@ -1,0 +1,277 @@
+//! The `leakprofd` daemon core: scrape cycles feeding a streaming
+//! LeakProf accumulator, with history, health counters, and its own
+//! `/metrics` + `/status` endpoints.
+
+use std::sync::{Arc, Mutex};
+
+use leakprof::{FleetAccumulator, LeakProf, Report};
+use serde::{Deserialize, Serialize};
+
+use crate::history::{CycleRecord, HistoryLog, TopSite};
+use crate::http::{HttpServer, Request, Response};
+use crate::scrape::{CycleReport, ScrapeConfig, ScrapeTarget, Scraper};
+use crate::stats::HealthCounters;
+
+/// Daemon configuration.
+#[derive(Debug, Clone, Default)]
+pub struct DaemonConfig {
+    /// Scraper tuning.
+    pub scrape: ScrapeConfig,
+    /// Where to persist cycle history (`None` disables persistence).
+    pub history_path: Option<std::path::PathBuf>,
+    /// Records retained across history compactions.
+    pub history_keep: usize,
+}
+
+/// A machine-readable status snapshot (served at `/status` and printed
+/// by `leakprofd status`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DaemonStatus {
+    /// Completed scrape cycles.
+    pub cycles: u64,
+    /// Registered scrape targets.
+    pub targets: usize,
+    /// Profiles ingested into the accumulator over the daemon lifetime.
+    pub profiles_ingested: usize,
+    /// All-time scrape success rate in `[0,1]`.
+    pub success_rate: f64,
+    /// All-time p50 scrape latency (µs).
+    pub p50_us: u64,
+    /// All-time p99 scrape latency (µs).
+    pub p99_us: u64,
+    /// Current ranked top sites.
+    pub top: Vec<TopSite>,
+}
+
+/// The collection daemon: owns the scraper, the streaming analysis
+/// state, and the history log.
+pub struct Daemon {
+    lp: LeakProf,
+    acc: FleetAccumulator,
+    scraper: Scraper,
+    targets: Vec<ScrapeTarget>,
+    history: Option<HistoryLog>,
+    health: HealthCounters,
+    last_report: Option<Report>,
+}
+
+impl Daemon {
+    /// Creates a daemon scraping `targets` and analyzing with `lp`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an IO error if the history log cannot be opened.
+    pub fn new(
+        config: DaemonConfig,
+        lp: LeakProf,
+        targets: Vec<ScrapeTarget>,
+    ) -> std::io::Result<Daemon> {
+        let history = match &config.history_path {
+            Some(path) => Some(HistoryLog::open(path, config.history_keep.max(1))?),
+            None => None,
+        };
+        Ok(Daemon {
+            lp,
+            acc: FleetAccumulator::new(),
+            scraper: Scraper::new(config.scrape),
+            targets,
+            history,
+            health: HealthCounters::default(),
+            last_report: None,
+        })
+    }
+
+    /// Registered scrape targets.
+    pub fn targets(&self) -> &[ScrapeTarget] {
+        &self.targets
+    }
+
+    /// Runs one scrape → ingest → rank cycle and returns the raw scrape
+    /// report; the analysis result is available via
+    /// [`Daemon::last_report`]. Scrape failures degrade coverage (and are
+    /// recorded) but never abort the cycle.
+    pub fn run_cycle(&mut self) -> CycleReport {
+        let report = self.scraper.scrape_cycle(&self.targets);
+        for p in &report.profiles {
+            self.acc.ingest(p);
+        }
+        let analysis = self.lp.report_from_accumulator(&self.acc);
+        self.health.absorb(&report.stats);
+        if let Some(history) = &mut self.history {
+            let record = CycleRecord {
+                cycle: self.health.cycles,
+                profiles: report.stats.succeeded,
+                failures: report.stats.failed,
+                retries: report.stats.retries,
+                wall_ms: report.stats.wall_ms,
+                p50_us: report.stats.latency.p50_us(),
+                p99_us: report.stats.latency.p99_us(),
+                top: top_sites(&analysis),
+            };
+            if let Err(e) = history.append(&record) {
+                eprintln!("leakprofd: history append failed: {e}");
+            }
+        }
+        self.last_report = Some(analysis);
+        report
+    }
+
+    /// The analysis report from the most recent cycle.
+    pub fn last_report(&self) -> Option<&Report> {
+        self.last_report.as_ref()
+    }
+
+    /// Lifetime health counters.
+    pub fn health(&self) -> &HealthCounters {
+        &self.health
+    }
+
+    /// The streaming accumulator (for tests and ad-hoc inspection).
+    pub fn accumulator(&self) -> &FleetAccumulator {
+        &self.acc
+    }
+
+    /// Builds the status snapshot.
+    pub fn status(&self) -> DaemonStatus {
+        DaemonStatus {
+            cycles: self.health.cycles,
+            targets: self.targets.len(),
+            profiles_ingested: self.acc.profiles_ingested(),
+            success_rate: self.health.success_rate(),
+            p50_us: self.health.latency.p50_us(),
+            p99_us: self.health.latency.p99_us(),
+            top: self.last_report.as_ref().map(top_sites).unwrap_or_default(),
+        }
+    }
+
+    /// Renders the daemon's own Prometheus-style metrics, including the
+    /// current top-site impact gauges.
+    pub fn metrics_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = self.health.render_prometheus();
+        if let Some(report) = &self.last_report {
+            let _ = writeln!(out, "# TYPE leakprofd_suspect_rms gauge");
+            for s in &report.suspects {
+                let _ = writeln!(
+                    out,
+                    "leakprofd_suspect_rms{{site=\"{}\"}} {}",
+                    s.stats.op, s.stats.rms
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Projects a report's suspects into compact history entries.
+fn top_sites(report: &Report) -> Vec<TopSite> {
+    report
+        .suspects
+        .iter()
+        .map(|s| TopSite {
+            op: s.stats.op.to_string(),
+            rms: s.stats.rms,
+            total: s.stats.total,
+            max_instance: s.stats.max_instance,
+        })
+        .collect()
+}
+
+/// Serves a shared daemon's `/metrics` and `/status` endpoints on `addr`
+/// (the daemon itself stays driveable through the mutex, so a driver
+/// loop can keep calling [`Daemon::run_cycle`] while the server reads).
+///
+/// # Errors
+///
+/// Returns the bind error if the address is unavailable.
+pub fn serve_daemon_endpoints(
+    daemon: Arc<Mutex<Daemon>>,
+    addr: &str,
+) -> std::io::Result<HttpServer> {
+    HttpServer::serve(addr, 2, move |req: &Request| {
+        let d = daemon.lock().expect("daemon poisoned");
+        match req.path.as_str() {
+            "/metrics" => Response::text(d.metrics_text()),
+            "/status" => Response::json(
+                serde_json::to_string_pretty(&d.status()).expect("status serializes"),
+            ),
+            _ => Response::error(404, "try /metrics or /status"),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoints::ProfileHub;
+    use crate::http::http_get;
+    use gosim::GoroutineProfile;
+    use std::time::Duration;
+
+    fn empty_profile(instance: &str) -> GoroutineProfile {
+        GoroutineProfile {
+            instance: instance.into(),
+            captured_at: 0,
+            goroutines: vec![],
+        }
+    }
+
+    #[test]
+    fn daemon_cycles_and_serves_status() {
+        let hub = ProfileHub::new();
+        for i in 0..3 {
+            hub.publish(&empty_profile(&format!("svc-{i}")));
+        }
+        let server = hub.serve("127.0.0.1:0", 2).unwrap();
+        let targets = hub
+            .instances()
+            .into_iter()
+            .map(|id| ScrapeTarget {
+                path: ProfileHub::profile_path(&id),
+                instance: id,
+                addr: server.addr(),
+            })
+            .collect();
+
+        let daemon = Daemon::new(
+            DaemonConfig::default(),
+            LeakProf::new(leakprof::Config {
+                threshold: 1,
+                ast_filter: false,
+                top_n: 5,
+            }),
+            targets,
+        )
+        .unwrap();
+        let daemon = Arc::new(Mutex::new(daemon));
+        let endpoint = serve_daemon_endpoints(Arc::clone(&daemon), "127.0.0.1:0").unwrap();
+
+        for _ in 0..2 {
+            let report = daemon.lock().unwrap().run_cycle();
+            assert_eq!(report.stats.succeeded, 3);
+        }
+
+        let status_body = http_get(
+            endpoint.addr(),
+            "/status",
+            Duration::from_millis(500),
+            Duration::from_millis(500),
+        )
+        .unwrap();
+        let status: DaemonStatus =
+            serde_json::from_str(std::str::from_utf8(&status_body).unwrap()).unwrap();
+        assert_eq!(status.cycles, 2);
+        assert_eq!(status.profiles_ingested, 6);
+        assert!((status.success_rate - 1.0).abs() < 1e-9);
+
+        let metrics = http_get(
+            endpoint.addr(),
+            "/metrics",
+            Duration::from_millis(500),
+            Duration::from_millis(500),
+        )
+        .unwrap();
+        let metrics = String::from_utf8(metrics).unwrap();
+        assert!(metrics.contains("leakprofd_cycles_total 2"));
+    }
+}

@@ -1,0 +1,229 @@
+//! Fleet-side profile endpoints: one listener multiplexing many service
+//! instances by path prefix, mirroring how the paper's collection box
+//! scrapes `/debug/pprof/goroutine` across a fleet.
+//!
+//! Routes:
+//!
+//! * `GET /instances` — JSON array of registered instance ids.
+//! * `GET /instance/<id>/debug/pprof/goroutine` — the instance's
+//!   serialized [`gosim::GoroutineProfile`].
+//! * `GET /instance/<id>/metrics` — tiny per-instance text metrics.
+//!
+//! A [`Fault`] can be attached per instance to exercise the scraper's
+//! failure handling: delayed responses, mid-body disconnects, corrupt
+//! JSON, or connections closed before any bytes are written.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use gosim::GoroutineProfile;
+
+use crate::http::{HttpServer, Request, Response, ResponseFault};
+
+/// Delivery fault attached to a specific instance's endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Serve normally.
+    None,
+    /// Sleep this long before responding (a slow instance; exceeds the
+    /// scraper's read deadline when large enough).
+    Delay(Duration),
+    /// Close the connection halfway through the body.
+    DropMidBody,
+    /// Serve syntactically invalid JSON.
+    CorruptJson,
+    /// Accept the connection, then close without responding.
+    CloseBeforeResponse,
+}
+
+#[derive(Default)]
+struct HubState {
+    /// instance id -> serialized profile JSON.
+    profiles: HashMap<String, String>,
+    /// instance id -> injected fault.
+    faults: HashMap<String, Fault>,
+    /// Registration order, so `/instances` listings are deterministic.
+    order: Vec<String>,
+}
+
+/// Shared registry of instance profiles served over HTTP.
+///
+/// Cloning is cheap (it is an `Arc` handle): the fleet driver keeps one
+/// handle to publish fresh profiles after each simulation step while the
+/// HTTP server reads from another.
+#[derive(Clone, Default)]
+pub struct ProfileHub {
+    state: Arc<Mutex<HubState>>,
+}
+
+impl ProfileHub {
+    /// Creates an empty hub.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes (or refreshes) an instance's profile.
+    pub fn publish(&self, profile: &GoroutineProfile) {
+        let body = serde_json::to_string(profile).expect("profile serializes");
+        let mut st = self.state.lock().expect("hub poisoned");
+        if !st.profiles.contains_key(&profile.instance) {
+            st.order.push(profile.instance.clone());
+        }
+        st.profiles.insert(profile.instance.clone(), body);
+    }
+
+    /// Publishes every profile in a batch (one fleet sweep).
+    pub fn publish_all(&self, profiles: &[GoroutineProfile]) {
+        for p in profiles {
+            self.publish(p);
+        }
+    }
+
+    /// Attaches a delivery fault to one instance's endpoints.
+    pub fn inject_fault(&self, instance: &str, fault: Fault) {
+        let mut st = self.state.lock().expect("hub poisoned");
+        st.faults.insert(instance.to_string(), fault);
+    }
+
+    /// Registered instance ids in registration order.
+    pub fn instances(&self) -> Vec<String> {
+        self.state.lock().expect("hub poisoned").order.clone()
+    }
+
+    /// Starts the HTTP server for this hub on `addr` (port 0 picks an
+    /// ephemeral port; read it back with [`HttpServer::addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the address is unavailable.
+    pub fn serve(&self, addr: &str, workers: usize) -> std::io::Result<HttpServer> {
+        let hub = self.clone();
+        HttpServer::serve(addr, workers, move |req: &Request| hub.route(req))
+    }
+
+    fn route(&self, req: &Request) -> Response {
+        if req.path == "/instances" {
+            let ids = self.instances();
+            let body = serde_json::to_string(&ids).expect("ids serialize");
+            return Response::json(body);
+        }
+        let Some(rest) = req.path.strip_prefix("/instance/") else {
+            return Response::error(404, "unknown path");
+        };
+        let Some((id, endpoint)) = rest.split_once('/') else {
+            return Response::error(404, "missing instance endpoint");
+        };
+        let st = self.state.lock().expect("hub poisoned");
+        let Some(profile_json) = st.profiles.get(id) else {
+            return Response::error(404, "unknown instance");
+        };
+        let fault = st.faults.get(id).copied().unwrap_or(Fault::None);
+        let mut resp = match endpoint {
+            "debug/pprof/goroutine" => Response::json(profile_json.clone()),
+            "metrics" => {
+                let goroutines = profile_json.matches("\"gid\"").count();
+                Response::text(format!(
+                    "# TYPE instance_goroutines gauge\ninstance_goroutines{{instance=\"{id}\"}} {goroutines}\n"
+                ))
+            }
+            _ => return Response::error(404, "unknown instance endpoint"),
+        };
+        match fault {
+            Fault::None => {}
+            Fault::Delay(d) => resp.fault = ResponseFault::Delay(d),
+            Fault::DropMidBody => resp.fault = ResponseFault::DropMidBody,
+            Fault::CloseBeforeResponse => resp.fault = ResponseFault::CloseBeforeResponse,
+            Fault::CorruptJson => {
+                // Syntactically invalid JSON of a similar size: the
+                // transfer succeeds but parsing must fail.
+                let mut corrupt = resp.body;
+                corrupt.truncate(corrupt.len() / 2);
+                corrupt.extend_from_slice(b"\x00{{{not json");
+                resp.body = corrupt;
+            }
+        }
+        resp
+    }
+
+    /// The pprof path for an instance behind this hub.
+    pub fn profile_path(instance: &str) -> String {
+        format!("/instance/{instance}/debug/pprof/goroutine")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::http_get;
+    use gosim::GoroutineProfile;
+    use std::time::Duration;
+
+    fn profile(instance: &str) -> GoroutineProfile {
+        GoroutineProfile {
+            instance: instance.into(),
+            captured_at: 7,
+            goroutines: vec![],
+        }
+    }
+
+    fn get(addr: std::net::SocketAddr, path: &str) -> Result<Vec<u8>, crate::http::HttpError> {
+        http_get(
+            addr,
+            path,
+            Duration::from_millis(500),
+            Duration::from_millis(500),
+        )
+    }
+
+    #[test]
+    fn hub_serves_published_profiles() {
+        let hub = ProfileHub::new();
+        hub.publish_all(&[profile("pay-0"), profile("pay-1")]);
+        let server = hub.serve("127.0.0.1:0", 2).unwrap();
+
+        let ids = get(server.addr(), "/instances").unwrap();
+        let ids: Vec<String> = serde_json::from_str(std::str::from_utf8(&ids).unwrap()).unwrap();
+        assert_eq!(ids, vec!["pay-0".to_string(), "pay-1".to_string()]);
+
+        let body = get(server.addr(), &ProfileHub::profile_path("pay-1")).unwrap();
+        let p: GoroutineProfile =
+            serde_json::from_str(std::str::from_utf8(&body).unwrap()).unwrap();
+        assert_eq!(p.instance, "pay-1");
+        assert_eq!(p.captured_at, 7);
+
+        let metrics = get(server.addr(), "/instance/pay-0/metrics").unwrap();
+        assert!(String::from_utf8(metrics)
+            .unwrap()
+            .contains("instance_goroutines"));
+    }
+
+    #[test]
+    fn unknown_paths_404() {
+        let hub = ProfileHub::new();
+        hub.publish(&profile("a"));
+        let server = hub.serve("127.0.0.1:0", 1).unwrap();
+        for path in [
+            "/nope",
+            "/instance/a",
+            "/instance/missing/metrics",
+            "/instance/a/other",
+        ] {
+            match get(server.addr(), path) {
+                Err(crate::http::HttpError::Status(404)) => {}
+                other => panic!("expected 404 for {path}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_json_fault_breaks_parsing_not_transfer() {
+        let hub = ProfileHub::new();
+        hub.publish(&profile("bad"));
+        hub.inject_fault("bad", Fault::CorruptJson);
+        let server = hub.serve("127.0.0.1:0", 1).unwrap();
+        let body = get(server.addr(), &ProfileHub::profile_path("bad")).unwrap();
+        let text = String::from_utf8_lossy(&body).to_string();
+        assert!(serde_json::from_str::<GoroutineProfile>(&text).is_err());
+    }
+}

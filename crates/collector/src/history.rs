@@ -1,0 +1,246 @@
+//! Cycle history: an append-only JSONL file recording what each scrape
+//! cycle found, with size-bounded compaction so a long-running daemon
+//! does not grow its log without bound.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+/// One ranked site, as persisted per cycle (a compact projection of
+/// [`leakprof::SiteStats`] — enough to plot leak growth over time).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopSite {
+    /// Rendered blocking operation, e.g. `send at pay/handler.go:10`.
+    pub op: String,
+    /// Fleet-wide RMS impact at this cycle.
+    pub rms: f64,
+    /// Total blocked goroutines across instances.
+    pub total: u64,
+    /// Largest single-instance count.
+    pub max_instance: u64,
+}
+
+/// One line of the history log.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CycleRecord {
+    /// Monotonic cycle counter (daemon lifetime).
+    pub cycle: u64,
+    /// Profiles successfully scraped this cycle.
+    pub profiles: usize,
+    /// Targets that failed this cycle.
+    pub failures: usize,
+    /// Retry attempts this cycle.
+    pub retries: u64,
+    /// Cycle wall time in milliseconds.
+    pub wall_ms: f64,
+    /// p50 scrape latency (µs).
+    pub p50_us: u64,
+    /// p99 scrape latency (µs).
+    pub p99_us: u64,
+    /// Ranked top-K sites at this cycle.
+    pub top: Vec<TopSite>,
+}
+
+/// Append-only JSONL history with automatic compaction.
+#[derive(Debug)]
+pub struct HistoryLog {
+    path: PathBuf,
+    /// Compaction threshold: when the file exceeds `2 * keep` records it
+    /// is rewritten to the most recent `keep`.
+    keep: usize,
+    records_in_file: usize,
+}
+
+impl HistoryLog {
+    /// Opens (or creates) a history log at `path`, keeping at least the
+    /// most recent `keep` records across compactions.
+    ///
+    /// # Errors
+    ///
+    /// Returns an IO error if the existing file cannot be read.
+    pub fn open(path: impl AsRef<Path>, keep: usize) -> std::io::Result<HistoryLog> {
+        let path = path.as_ref().to_path_buf();
+        let records_in_file = if path.exists() {
+            std::fs::read_to_string(&path)?
+                .lines()
+                .filter(|l| !l.trim().is_empty())
+                .count()
+        } else {
+            0
+        };
+        Ok(HistoryLog {
+            path,
+            keep: keep.max(1),
+            records_in_file,
+        })
+    }
+
+    /// Appends one cycle record, compacting first if the file has grown
+    /// past twice the retention target.
+    ///
+    /// # Errors
+    ///
+    /// Returns an IO error on write failure.
+    pub fn append(&mut self, record: &CycleRecord) -> std::io::Result<()> {
+        if self.records_in_file >= self.keep * 2 {
+            self.compact()?;
+        }
+        let line = serde_json::to_string(record).expect("record serializes");
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        writeln!(f, "{line}")?;
+        self.records_in_file += 1;
+        Ok(())
+    }
+
+    /// Rewrites the file keeping only the most recent `keep` records.
+    /// The rewrite goes through a temp file + rename so a crash cannot
+    /// truncate the log.
+    pub fn compact(&mut self) -> std::io::Result<()> {
+        let content = std::fs::read_to_string(&self.path).unwrap_or_default();
+        let lines: Vec<&str> = content.lines().filter(|l| !l.trim().is_empty()).collect();
+        let start = lines.len().saturating_sub(self.keep);
+        let tmp = self.path.with_extension("jsonl.tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            for line in &lines[start..] {
+                writeln!(f, "{line}")?;
+            }
+            f.flush()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        self.records_in_file = lines.len() - start;
+        Ok(())
+    }
+
+    /// Loads every record currently in the file (oldest first). Corrupt
+    /// lines are skipped rather than failing the load, so a torn write
+    /// cannot brick `status`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an IO error if the file exists but cannot be read.
+    pub fn load(&self) -> std::io::Result<Vec<CycleRecord>> {
+        if !self.path.exists() {
+            return Ok(Vec::new());
+        }
+        let content = std::fs::read_to_string(&self.path)?;
+        Ok(content
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .filter_map(|l| serde_json::from_str(l).ok())
+            .collect())
+    }
+
+    /// Records currently in the file.
+    pub fn len(&self) -> usize {
+        self.records_in_file
+    }
+
+    /// True when no records have been written.
+    pub fn is_empty(&self) -> bool {
+        self.records_in_file == 0
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(cycle: u64) -> CycleRecord {
+        CycleRecord {
+            cycle,
+            profiles: 10,
+            failures: 0,
+            retries: 0,
+            wall_ms: 1.5,
+            p50_us: 100,
+            p99_us: 900,
+            top: vec![TopSite {
+                op: format!("send at x.go:{cycle}"),
+                rms: cycle as f64,
+                total: cycle * 10,
+                max_instance: cycle,
+            }],
+        }
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("leakprofd-history-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn append_then_load_roundtrips() {
+        let path = temp_path("roundtrip");
+        let mut log = HistoryLog::open(&path, 100).unwrap();
+        for c in 0..5 {
+            log.append(&record(c)).unwrap();
+        }
+        let records = log.load().unwrap();
+        assert_eq!(records.len(), 5);
+        assert_eq!(records[4].cycle, 4);
+        assert_eq!(records[4].top[0].op, "send at x.go:4");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compaction_bounds_the_file() {
+        let path = temp_path("compact");
+        let mut log = HistoryLog::open(&path, 10).unwrap();
+        for c in 0..55 {
+            log.append(&record(c)).unwrap();
+        }
+        // Never more than 2*keep + a cycle of growth.
+        assert!(log.len() <= 21, "log holds {} records", log.len());
+        let records = log.load().unwrap();
+        // The newest records always survive.
+        assert_eq!(records.last().unwrap().cycle, 54);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_lines_are_skipped_on_load() {
+        let path = temp_path("corrupt");
+        let mut log = HistoryLog::open(&path, 10).unwrap();
+        log.append(&record(1)).unwrap();
+        {
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            writeln!(f, "{{torn write").unwrap();
+        }
+        log.append(&record(2)).unwrap();
+        let records = HistoryLog::open(&path, 10).unwrap().load().unwrap();
+        assert_eq!(
+            records.iter().map(|r| r.cycle).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reopen_counts_existing_records() {
+        let path = temp_path("reopen");
+        {
+            let mut log = HistoryLog::open(&path, 10).unwrap();
+            log.append(&record(1)).unwrap();
+            log.append(&record(2)).unwrap();
+        }
+        let log = HistoryLog::open(&path, 10).unwrap();
+        assert_eq!(log.len(), 2);
+        assert!(!log.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,467 @@
+//! Minimal HTTP/1.1 over `std::net`: enough server and client to move
+//! goroutine profiles between fleet instances and the collection daemon.
+//!
+//! The server multiplexes every registered instance behind one listener
+//! (path routing does the demultiplexing), accepts connections on a
+//! bounded worker pool, and supports deliberate response faults so tests
+//! can exercise the scraper's failure paths.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A parsed request line plus headers (the server ignores bodies; the
+/// collector protocol is GET-only).
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (`GET`).
+    pub method: String,
+    /// Request path, e.g. `/instance/pay-0/debug/pprof/goroutine`.
+    pub path: String,
+}
+
+/// A response, including the fault the handler wants injected into its
+/// delivery (used by the test fleet server; honest handlers leave
+/// `fault` as [`ResponseFault::None`]).
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// Delivery fault to inject.
+    pub fault: ResponseFault,
+}
+
+/// How (and whether) to corrupt the delivery of a response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseFault {
+    /// Deliver normally.
+    None,
+    /// Sleep before writing anything (stalls slow-read clients; with a
+    /// long enough delay, forces a client read timeout).
+    Delay(Duration),
+    /// Write headers and only the first half of the body, then close the
+    /// socket — a mid-body disconnect.
+    DropMidBody,
+    /// Close the socket without writing anything.
+    CloseBeforeResponse,
+}
+
+impl Response {
+    /// A 200 response with a JSON body.
+    pub fn json(body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status: 200,
+            content_type: "application/json",
+            body: body.into(),
+            fault: ResponseFault::None,
+        }
+    }
+
+    /// A 200 response with a plain-text body.
+    pub fn text(body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status: 200,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+            fault: ResponseFault::None,
+        }
+    }
+
+    /// An error response with a short text body.
+    pub fn error(status: u16, msg: &str) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: msg.as_bytes().to_vec(),
+            fault: ResponseFault::None,
+        }
+    }
+}
+
+fn status_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// A running HTTP server; dropping it (or calling [`HttpServer::shutdown`])
+/// stops the accept loop and joins every worker.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and serves
+    /// requests through `handler` on a pool of `workers` threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the address is unavailable.
+    pub fn serve<H>(addr: &str, workers: usize, handler: H) -> std::io::Result<HttpServer>
+    where
+        H: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        // A short accept timeout lets the loop notice the stop flag.
+        listener.set_nonblocking(false)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_accept = Arc::clone(&stop);
+        let handler = Arc::new(handler);
+        let workers = workers.max(1);
+
+        let accept_thread = std::thread::spawn(move || {
+            // Connection queue feeding the worker pool.
+            let (tx, rx) = std::sync::mpsc::channel::<TcpStream>();
+            let rx = Arc::new(std::sync::Mutex::new(rx));
+            let mut pool = Vec::new();
+            for _ in 0..workers {
+                let rx = Arc::clone(&rx);
+                let handler = Arc::clone(&handler);
+                pool.push(std::thread::spawn(move || loop {
+                    let conn = { rx.lock().expect("rx poisoned").recv() };
+                    match conn {
+                        Ok(stream) => handle_connection(stream, handler.as_ref()),
+                        Err(_) => break, // sender dropped: shutting down
+                    }
+                }));
+            }
+            listener
+                .set_nonblocking(true)
+                .expect("listener supports nonblocking");
+            while !stop_accept.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = tx.send(stream);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+            drop(tx);
+            for w in pool {
+                let _ = w.join();
+            }
+        });
+
+        Ok(HttpServer {
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains the pool, and joins all threads.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection<H>(stream: TcpStream, handler: &H)
+where
+    H: Fn(&Request) -> Response,
+{
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_nodelay(true);
+    let Ok(peer) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(peer);
+    let Some(req) = read_request(&mut reader) else {
+        let _ = write_response(&stream, &Response::error(400, "malformed request"));
+        return;
+    };
+    let resp = if req.method == "GET" {
+        handler(&req)
+    } else {
+        Response::error(405, "only GET is supported")
+    };
+    match resp.fault {
+        ResponseFault::None => {
+            let _ = write_response(&stream, &resp);
+        }
+        ResponseFault::Delay(d) => {
+            std::thread::sleep(d);
+            let _ = write_response(&stream, &resp);
+        }
+        ResponseFault::DropMidBody => {
+            let half = resp.body.len() / 2;
+            let _ = write_head(&stream, &resp, resp.body.len());
+            let _ = (&stream).write_all(&resp.body[..half]);
+            // Dropping the stream here closes the socket mid-body.
+        }
+        ResponseFault::CloseBeforeResponse => {
+            // Drop without writing: the client sees an abrupt EOF.
+        }
+    }
+}
+
+fn read_request(reader: &mut BufReader<TcpStream>) -> Option<Request> {
+    let mut line = String::new();
+    reader.read_line(&mut line).ok()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?.to_string();
+    let path = parts.next()?.to_string();
+    let version = parts.next()?;
+    if !version.starts_with("HTTP/1.") {
+        return None;
+    }
+    // Drain headers until the blank line; the collector protocol needs
+    // none of them.
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).ok()?;
+        if header == "\r\n" || header == "\n" || header.is_empty() {
+            break;
+        }
+    }
+    Some(Request { method, path })
+}
+
+fn write_head(
+    mut stream: &TcpStream,
+    resp: &Response,
+    content_length: usize,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        resp.status,
+        status_phrase(resp.status),
+        resp.content_type,
+        content_length
+    );
+    stream.write_all(head.as_bytes())
+}
+
+fn write_response(mut stream: &TcpStream, resp: &Response) -> std::io::Result<()> {
+    write_head(stream, resp, resp.body.len())?;
+    stream.write_all(&resp.body)?;
+    stream.flush()
+}
+
+/// Client-side failure modes, classified so scrape statistics can count
+/// them separately.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// TCP connect failed (refused, unreachable, or timed out).
+    Connect(String),
+    /// The read deadline expired before a complete response arrived.
+    Timeout,
+    /// The peer closed the connection before the promised body length.
+    Truncated {
+        /// Bytes actually received.
+        got: usize,
+        /// Bytes promised by `content-length`.
+        want: usize,
+    },
+    /// A complete response arrived with a non-200 status.
+    Status(u16),
+    /// The response could not be parsed as HTTP.
+    Malformed(String),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Connect(e) => write!(f, "connect failed: {e}"),
+            HttpError::Timeout => write!(f, "read timed out"),
+            HttpError::Truncated { got, want } => {
+                write!(f, "truncated body: got {got} of {want} bytes")
+            }
+            HttpError::Status(s) => write!(f, "unexpected status {s}"),
+            HttpError::Malformed(e) => write!(f, "malformed response: {e}"),
+        }
+    }
+}
+
+/// Performs a `GET` and returns the body on a 200 response.
+///
+/// # Errors
+///
+/// Returns an [`HttpError`] classifying connect failures, timeouts,
+/// truncation, bad statuses, and unparseable responses.
+pub fn http_get(
+    addr: SocketAddr,
+    path: &str,
+    connect_timeout: Duration,
+    read_timeout: Duration,
+) -> Result<Vec<u8>, HttpError> {
+    let stream = TcpStream::connect_timeout(&addr, connect_timeout)
+        .map_err(|e| HttpError::Connect(e.to_string()))?;
+    stream
+        .set_read_timeout(Some(read_timeout))
+        .map_err(|e| HttpError::Connect(e.to_string()))?;
+    let _ = stream.set_nodelay(true);
+    let mut req_stream = &stream;
+    let request = format!("GET {path} HTTP/1.1\r\nhost: collector\r\nconnection: close\r\n\r\n");
+    req_stream
+        .write_all(request.as_bytes())
+        .map_err(|e| HttpError::Connect(e.to_string()))?;
+
+    let mut reader = BufReader::new(&stream);
+    let mut status_line = String::new();
+    read_line_classified(&mut reader, &mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| HttpError::Malformed(format!("bad status line {status_line:?}")))?;
+
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut header = String::new();
+        read_line_classified(&mut reader, &mut header)?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            }
+        }
+    }
+    let want =
+        content_length.ok_or_else(|| HttpError::Malformed("missing content-length".to_string()))?;
+    let mut body = vec![0u8; want];
+    let mut got = 0;
+    while got < want {
+        match reader.read(&mut body[got..]) {
+            Ok(0) => return Err(HttpError::Truncated { got, want }),
+            Ok(n) => got += n,
+            Err(e) if is_timeout(&e) => return Err(HttpError::Timeout),
+            Err(e) => return Err(HttpError::Malformed(e.to_string())),
+        }
+    }
+    if status != 200 {
+        return Err(HttpError::Status(status));
+    }
+    Ok(body)
+}
+
+fn read_line_classified(
+    reader: &mut BufReader<&TcpStream>,
+    buf: &mut String,
+) -> Result<(), HttpError> {
+    match reader.read_line(buf) {
+        Ok(0) => Err(HttpError::Truncated { got: 0, want: 1 }),
+        Ok(_) => Ok(()),
+        Err(e) if is_timeout(&e) => Err(HttpError::Timeout),
+        Err(e) => Err(HttpError::Malformed(e.to_string())),
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client_timeouts() -> (Duration, Duration) {
+        (Duration::from_millis(500), Duration::from_millis(500))
+    }
+
+    #[test]
+    fn roundtrip_get() {
+        let server = HttpServer::serve("127.0.0.1:0", 2, |req: &Request| {
+            Response::json(format!("{{\"path\":\"{}\"}}", req.path))
+        })
+        .unwrap();
+        let (ct, rt) = client_timeouts();
+        let body = http_get(server.addr(), "/hello", ct, rt).unwrap();
+        assert_eq!(body, b"{\"path\":\"/hello\"}");
+    }
+
+    #[test]
+    fn non_200_is_reported() {
+        let server =
+            HttpServer::serve("127.0.0.1:0", 1, |_: &Request| Response::error(404, "nope"))
+                .unwrap();
+        let (ct, rt) = client_timeouts();
+        let err = http_get(server.addr(), "/missing", ct, rt).unwrap_err();
+        assert_eq!(err, HttpError::Status(404));
+    }
+
+    #[test]
+    fn mid_body_drop_is_truncation() {
+        let server = HttpServer::serve("127.0.0.1:0", 1, |_: &Request| {
+            let mut r = Response::json(vec![b'x'; 4096]);
+            r.fault = ResponseFault::DropMidBody;
+            r
+        })
+        .unwrap();
+        let (ct, rt) = client_timeouts();
+        match http_get(server.addr(), "/", ct, rt) {
+            Err(HttpError::Truncated { got, want }) => {
+                assert_eq!(want, 4096);
+                assert!(got < want);
+            }
+            other => panic!("expected truncation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delay_beyond_deadline_times_out() {
+        let server = HttpServer::serve("127.0.0.1:0", 1, |_: &Request| {
+            let mut r = Response::json("{}".to_string());
+            r.fault = ResponseFault::Delay(Duration::from_millis(300));
+            r
+        })
+        .unwrap();
+        let err = http_get(
+            server.addr(),
+            "/",
+            Duration::from_millis(500),
+            Duration::from_millis(50),
+        )
+        .unwrap_err();
+        assert_eq!(err, HttpError::Timeout);
+    }
+
+    #[test]
+    fn connect_refused_is_classified() {
+        // Bind then drop to find a port that is (very likely) closed.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let (ct, rt) = client_timeouts();
+        match http_get(addr, "/", ct, rt) {
+            Err(HttpError::Connect(_)) => {}
+            other => panic!("expected connect error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! `leakprofd`: continuous, networked profile collection and streaming
+//! leak analysis.
+//!
+//! The paper's LeakProf runs as a production service: every instance
+//! exposes `/debug/pprof/goroutine`, a collection box scrapes the fleet
+//! on a schedule, and analysis ranks blocking sites fleet-wide. This
+//! crate reproduces that loop over real TCP on `std::net`:
+//!
+//! * [`http`] — minimal HTTP/1.1 server + client (no external deps).
+//! * [`endpoints`] — one listener multiplexing many instances by path
+//!   prefix (`/instance/<id>/debug/pprof/goroutine`), with per-instance
+//!   fault injection for testing the failure paths.
+//! * [`scrape`] — bounded-worker scatter-gather with per-request
+//!   deadlines and deterministic retry/backoff jitter.
+//! * [`stats`] — scrape-health counters and latency histograms.
+//! * [`history`] — JSONL cycle history with compaction.
+//! * [`daemon`] — the cycle loop feeding [`leakprof::FleetAccumulator`],
+//!   plus the daemon's own `/metrics` and `/status`.
+//! * [`demo`] — a real [`fleet::Fleet`] wired to a hub, for the CLI demo
+//!   commands, benches, and end-to-end tests.
+
+#![warn(missing_docs)]
+
+pub mod daemon;
+pub mod demo;
+pub mod endpoints;
+pub mod history;
+pub mod http;
+pub mod scrape;
+pub mod stats;
+
+pub use daemon::{serve_daemon_endpoints, Daemon, DaemonConfig, DaemonStatus};
+pub use demo::DemoFleet;
+pub use endpoints::{Fault, ProfileHub};
+pub use history::{CycleRecord, HistoryLog, TopSite};
+pub use http::{http_get, HttpError, HttpServer, Request, Response, ResponseFault};
+pub use scrape::{CycleReport, ScrapeConfig, ScrapeError, ScrapeErrorKind, ScrapeTarget, Scraper};
+pub use stats::{CycleStats, HealthCounters, LatencyHistogram};

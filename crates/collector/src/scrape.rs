@@ -1,0 +1,327 @@
+//! The concurrent scraper: scatter-gather over registered targets on a
+//! bounded worker pool, with per-request deadlines and retry/backoff so
+//! a slow or dead instance degrades one target's result instead of
+//! stalling the cycle.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use gosim::rng::SplitMix64;
+use gosim::GoroutineProfile;
+
+use crate::http::{http_get, HttpError};
+use crate::stats::CycleStats;
+
+/// One instance endpoint to scrape.
+#[derive(Debug, Clone)]
+pub struct ScrapeTarget {
+    /// Instance id (used for reporting; the parsed profile's own
+    /// `instance` field is authoritative for analysis).
+    pub instance: String,
+    /// Server address.
+    pub addr: std::net::SocketAddr,
+    /// Request path, e.g. `/instance/pay-0/debug/pprof/goroutine`.
+    pub path: String,
+}
+
+/// Scraper tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ScrapeConfig {
+    /// Worker threads; 0 means `min(16, targets)`.
+    pub workers: usize,
+    /// TCP connect deadline per attempt.
+    pub connect_timeout: Duration,
+    /// Read deadline per attempt.
+    pub read_timeout: Duration,
+    /// Attempts per target (first try + retries).
+    pub max_attempts: u32,
+    /// Base backoff; attempt `k` waits `base * 2^k` plus jitter.
+    pub backoff_base: Duration,
+    /// Seed for deterministic backoff jitter (via [`SplitMix64`]).
+    pub jitter_seed: u64,
+}
+
+impl Default for ScrapeConfig {
+    fn default() -> Self {
+        ScrapeConfig {
+            workers: 0,
+            connect_timeout: Duration::from_millis(250),
+            read_timeout: Duration::from_millis(500),
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(10),
+            jitter_seed: 0,
+        }
+    }
+}
+
+/// Why one target failed after all attempts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScrapeErrorKind {
+    /// TCP connect failed on every attempt.
+    Connect,
+    /// The read deadline expired.
+    Timeout,
+    /// The connection dropped mid-body.
+    Truncated,
+    /// The body arrived but was not a valid profile.
+    Parse,
+    /// A non-200 HTTP status.
+    Status(u16),
+}
+
+impl std::fmt::Display for ScrapeErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScrapeErrorKind::Connect => write!(f, "connect"),
+            ScrapeErrorKind::Timeout => write!(f, "timeout"),
+            ScrapeErrorKind::Truncated => write!(f, "truncated"),
+            ScrapeErrorKind::Parse => write!(f, "parse"),
+            ScrapeErrorKind::Status(s) => write!(f, "status-{s}"),
+        }
+    }
+}
+
+/// A target that exhausted its attempts, with the final failure.
+#[derive(Debug, Clone)]
+pub struct ScrapeError {
+    /// The failed target's instance id.
+    pub instance: String,
+    /// Attempts made.
+    pub attempts: u32,
+    /// Classification of the final failure.
+    pub kind: ScrapeErrorKind,
+    /// Human-readable detail from the final attempt.
+    pub detail: String,
+}
+
+/// Everything one scatter-gather cycle produced.
+#[derive(Debug, Clone, Default)]
+pub struct CycleReport {
+    /// Parsed profiles, sorted by instance id for deterministic
+    /// downstream ingestion.
+    pub profiles: Vec<GoroutineProfile>,
+    /// Targets that failed, sorted by instance id.
+    pub errors: Vec<ScrapeError>,
+    /// Cycle health counters.
+    pub stats: CycleStats,
+}
+
+/// The scatter-gather scraper.
+#[derive(Debug, Clone, Default)]
+pub struct Scraper {
+    config: ScrapeConfig,
+}
+
+impl Scraper {
+    /// Creates a scraper with the given configuration.
+    pub fn new(config: ScrapeConfig) -> Self {
+        Scraper { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ScrapeConfig {
+        &self.config
+    }
+
+    /// Scrapes every target once (with per-target retries), never letting
+    /// one slow or dead target stall the cycle: failures become
+    /// [`ScrapeError`]s in the report.
+    pub fn scrape_cycle(&self, targets: &[ScrapeTarget]) -> CycleReport {
+        let started = Instant::now();
+        let workers = match self.config.workers {
+            0 => targets.len().clamp(1, 16),
+            w => w.max(1),
+        };
+        let next = AtomicUsize::new(0);
+        type Slot = (usize, Result<GoroutineProfile, ScrapeError>, Vec<Duration>);
+        let results: Mutex<Vec<Slot>> = Mutex::new(Vec::with_capacity(targets.len()));
+
+        std::thread::scope(|s| {
+            for _ in 0..workers.min(targets.len().max(1)) {
+                s.spawn(|| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(target) = targets.get(idx) else {
+                        break;
+                    };
+                    let (outcome, latencies) = self.scrape_target(idx, target);
+                    results
+                        .lock()
+                        .expect("results poisoned")
+                        .push((idx, outcome, latencies));
+                });
+            }
+        });
+
+        let mut report = CycleReport::default();
+        let mut recorded = results.into_inner().expect("results poisoned");
+        recorded.sort_by_key(|(idx, _, _)| *idx);
+        for (_, outcome, latencies) in recorded {
+            let attempts = latencies.len() as u64;
+            report.stats.retries += attempts.saturating_sub(1);
+            for l in latencies {
+                report.stats.latency.record(l);
+            }
+            match outcome {
+                Ok(p) => report.profiles.push(p),
+                Err(e) => report.errors.push(e),
+            }
+        }
+        report.profiles.sort_by(|a, b| a.instance.cmp(&b.instance));
+        report.errors.sort_by(|a, b| a.instance.cmp(&b.instance));
+        report.stats.targets = targets.len();
+        report.stats.succeeded = report.profiles.len();
+        report.stats.failed = report.errors.len();
+        report.stats.wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        report
+    }
+
+    /// Attempts one target with retry + exponential backoff; returns the
+    /// outcome and per-attempt wall latencies.
+    fn scrape_target(
+        &self,
+        index: usize,
+        target: &ScrapeTarget,
+    ) -> (Result<GoroutineProfile, ScrapeError>, Vec<Duration>) {
+        // Deterministic jitter stream per (seed, target position).
+        let mut rng = SplitMix64::new(
+            self.config.jitter_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let mut latencies = Vec::new();
+        let mut last: Option<(ScrapeErrorKind, String)> = None;
+        let attempts = self.config.max_attempts.max(1);
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                let backoff = self.config.backoff_base * (1u32 << (attempt - 1).min(8));
+                let jitter_us = rng.next_below(backoff.as_micros().max(1) as u64);
+                std::thread::sleep(backoff + Duration::from_micros(jitter_us));
+            }
+            let begin = Instant::now();
+            let outcome = http_get(
+                target.addr,
+                &target.path,
+                self.config.connect_timeout,
+                self.config.read_timeout,
+            );
+            latencies.push(begin.elapsed());
+            match outcome {
+                Ok(body) => match std::str::from_utf8(&body)
+                    .map_err(|e| e.to_string())
+                    .and_then(|s| {
+                        serde_json::from_str::<GoroutineProfile>(s).map_err(|e| e.to_string())
+                    }) {
+                    Ok(profile) => return (Ok(profile), latencies),
+                    Err(e) => last = Some((ScrapeErrorKind::Parse, e)),
+                },
+                Err(e) => {
+                    let kind = match &e {
+                        HttpError::Connect(_) => ScrapeErrorKind::Connect,
+                        HttpError::Timeout => ScrapeErrorKind::Timeout,
+                        HttpError::Truncated { .. } => ScrapeErrorKind::Truncated,
+                        HttpError::Status(s) => ScrapeErrorKind::Status(*s),
+                        HttpError::Malformed(_) => ScrapeErrorKind::Parse,
+                    };
+                    last = Some((kind, e.to_string()));
+                }
+            }
+        }
+        let (kind, detail) = last.expect("at least one attempt ran");
+        (
+            Err(ScrapeError {
+                instance: target.instance.clone(),
+                attempts,
+                kind,
+                detail,
+            }),
+            latencies,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoints::{Fault, ProfileHub};
+    use gosim::GoroutineProfile;
+
+    fn hub_with(instances: &[&str]) -> ProfileHub {
+        let hub = ProfileHub::new();
+        for id in instances {
+            hub.publish(&GoroutineProfile {
+                instance: (*id).into(),
+                captured_at: 1,
+                goroutines: vec![],
+            });
+        }
+        hub
+    }
+
+    fn targets_for(hub: &ProfileHub, addr: std::net::SocketAddr) -> Vec<ScrapeTarget> {
+        hub.instances()
+            .into_iter()
+            .map(|id| ScrapeTarget {
+                path: ProfileHub::profile_path(&id),
+                instance: id,
+                addr,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_cycle_scrapes_everything() {
+        let hub = hub_with(&["a", "b", "c", "d"]);
+        let server = hub.serve("127.0.0.1:0", 4).unwrap();
+        let scraper = Scraper::new(ScrapeConfig::default());
+        let report = scraper.scrape_cycle(&targets_for(&hub, server.addr()));
+        assert_eq!(report.stats.succeeded, 4);
+        assert_eq!(report.stats.failed, 0);
+        assert_eq!(report.stats.retries, 0);
+        let names: Vec<&str> = report
+            .profiles
+            .iter()
+            .map(|p| p.instance.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["a", "b", "c", "d"],
+            "profiles sorted by instance"
+        );
+        assert!(report.stats.latency.count() >= 4);
+    }
+
+    #[test]
+    fn empty_target_list_is_a_clean_noop() {
+        let scraper = Scraper::new(ScrapeConfig::default());
+        let report = scraper.scrape_cycle(&[]);
+        assert_eq!(report.stats.targets, 0);
+        assert!((report.stats.success_rate() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dead_instance_fails_without_stalling_others() {
+        let hub = hub_with(&["alive-0", "alive-1", "dead"]);
+        hub.inject_fault("dead", Fault::CloseBeforeResponse);
+        let server = hub.serve("127.0.0.1:0", 4).unwrap();
+        let scraper = Scraper::new(ScrapeConfig {
+            max_attempts: 2,
+            backoff_base: Duration::from_millis(1),
+            ..ScrapeConfig::default()
+        });
+        let report = scraper.scrape_cycle(&targets_for(&hub, server.addr()));
+        assert_eq!(report.stats.succeeded, 2);
+        assert_eq!(report.stats.failed, 1);
+        assert_eq!(report.errors[0].instance, "dead");
+        assert_eq!(report.errors[0].attempts, 2);
+        assert_eq!(report.stats.retries, 1);
+        assert_eq!(report.errors[0].kind, ScrapeErrorKind::Truncated);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_for_a_seed() {
+        let mut a = SplitMix64::new(42 ^ 3u64.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut b = SplitMix64::new(42 ^ 3u64.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        for _ in 0..16 {
+            assert_eq!(a.next_below(10_000), b.next_below(10_000));
+        }
+    }
+}

@@ -41,7 +41,7 @@ pub struct BacktestConfig {
 impl Default for BacktestConfig {
     fn default() -> Self {
         BacktestConfig {
-            seed: 0xF16_5,
+            seed: 0xF165,
             weeks: 25,
             deploy_week: 22,
             prs_per_week: 24,
@@ -109,7 +109,11 @@ impl BacktestResult {
                 w.week,
                 format!("{:>3} {bars}", w.leaks_landed),
                 if w.gate_active { "ON " } else { "off" },
-                if w.blocked > 0 { format!(" ({} PR blocked)", w.blocked) } else { String::new() },
+                if w.blocked > 0 {
+                    format!(" ({} PR blocked)", w.blocked)
+                } else {
+                    String::new()
+                },
             );
         }
         out
@@ -143,7 +147,6 @@ pub fn run(config: &BacktestConfig) -> BacktestResult {
                 scenarios_per_pkg: (1, 2),
                 mix: corpus::KindMix::concurrent_heavy(),
                 pkg_offset: pr_counter,
-                ..CorpusConfig::default()
             });
             let pkg = &pr_repo.packages[0];
             let result = gate.check_pr(&[pkg]);
@@ -232,7 +235,11 @@ mod tests {
             ..BacktestConfig::default()
         };
         let result = run(&cfg);
-        let normal: u64 = result.weeks[..4].iter().map(|w| w.leaks_landed).max().unwrap();
+        let normal: u64 = result.weeks[..4]
+            .iter()
+            .map(|w| w.leaks_landed)
+            .max()
+            .unwrap();
         let spike = result.weeks[4].leaks_landed;
         assert!(spike > normal, "migration week spikes: {spike} vs {normal}");
     }
@@ -251,7 +258,11 @@ mod tests {
         let result = run(&cfg);
         assert!(result.weeks[..3].iter().all(|w| w.blocked == 0));
         let post_blocked: usize = result.weeks[3..].iter().map(|w| w.blocked).sum();
-        assert!(post_blocked > 0, "gate blocks leaky PRs\n{}", result.render());
+        assert!(
+            post_blocked > 0,
+            "gate blocks leaky PRs\n{}",
+            result.render()
+        );
         // With escape_rate 0, nothing new lands post-deployment.
         assert!(result.weeks[3..].iter().all(|w| w.leaks_landed == 0));
     }
@@ -268,7 +279,10 @@ mod tests {
         };
         let r = run(&cfg).render();
         for w in 1..=4 {
-            assert!(r.contains(&format!("\n{w:>4} |")) || r.starts_with(&format!("{w:>4} |")), "{r}");
+            assert!(
+                r.contains(&format!("\n{w:>4} |")) || r.starts_with(&format!("{w:>4} |")),
+                "{r}"
+            );
         }
     }
 }

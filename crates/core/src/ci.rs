@@ -5,8 +5,8 @@
 //! exactly as the paper's instrumented `TestMain` does. A PR is blocked
 //! when any of its tests leaves unsuppressed lingering goroutines.
 
-use gosim::{Runtime, SchedConfig};
 use goleak::{verify_test_main, LeakReport, Options, SuppressionList, Verdict};
+use gosim::{Runtime, SchedConfig};
 use serde::{Deserialize, Serialize};
 
 /// The outcome of one test function.
@@ -35,7 +35,9 @@ impl PrResult {
 
     /// All unsuppressed leaks across the PR.
     pub fn new_leaks(&self) -> impl Iterator<Item = &LeakReport> {
-        self.outcomes.iter().flat_map(|o| o.verdict.new_leaks.iter())
+        self.outcomes
+            .iter()
+            .flat_map(|o| o.verdict.new_leaks.iter())
     }
 
     /// All leaks (suppressed + new).
@@ -64,7 +66,10 @@ impl Default for CiConfig {
             seed: 1,
             test_ticks: 500,
             slice_budget: 50_000,
-            goleak: Options { settle_budget: 50_000, ..Options::default() },
+            goleak: Options {
+                settle_budget: 50_000,
+                ..Options::default()
+            },
         }
     }
 }
@@ -82,7 +87,10 @@ pub struct CiGate {
 impl CiGate {
     /// Creates a gate with an empty suppression list.
     pub fn new(config: CiConfig) -> CiGate {
-        CiGate { suppressions: SuppressionList::new(), config }
+        CiGate {
+            suppressions: SuppressionList::new(),
+            config,
+        }
     }
 
     /// Runs all tests of one package under goleak.
@@ -180,7 +188,10 @@ mod tests {
         assert!(n > 0);
         let pr2 = gate.check_pr(&leaky[..1.min(leaky.len())]);
         assert!(pr2.passed(), "suppressed legacy leaks must not block");
-        assert!(pr2.outcomes.iter().any(|o| !o.verdict.suppressed.is_empty()));
+        assert!(pr2
+            .outcomes
+            .iter()
+            .any(|o| !o.verdict.suppressed.is_empty()));
     }
 
     #[test]

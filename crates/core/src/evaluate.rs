@@ -58,8 +58,8 @@ pub fn render_table3(rows: &[ToolEval]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<12} | {:>7} | {:>9} | {:>7} | {:>12} | {}",
-        "Tool", "Reports", "Precision", "Recall", "Offline (ms)", "Deployable in CI/CD"
+        "{:<12} | {:>7} | {:>9} | {:>7} | {:>12} | Deployable in CI/CD",
+        "Tool", "Reports", "Precision", "Recall", "Offline (ms)"
     );
     let _ = writeln!(out, "{}", "-".repeat(80));
     for r in rows {
@@ -121,8 +121,11 @@ pub fn evaluate_static(repo: &Corpus, analyzer: &dyn Analyzer) -> ToolEval {
 /// reported blocking locations against ground truth (all leak kinds are
 /// in scope — goleak sees every lingering goroutine).
 pub fn evaluate_goleak(repo: &Corpus) -> ToolEval {
-    let truth: BTreeSet<(String, u32)> =
-        repo.truth.iter().map(|t| (t.file.clone(), t.line)).collect();
+    let truth: BTreeSet<(String, u32)> = repo
+        .truth
+        .iter()
+        .map(|t| (t.file.clone(), t.line))
+        .collect();
     let gate = CiGate::new(CiConfig::default());
 
     let started = Instant::now();
@@ -165,7 +168,11 @@ pub fn evaluate_leakprof_with_threshold(
 ) -> (ToolEval, leakprof::Report) {
     use fleet::{default_service, handlers, Fleet, FleetConfig, HandlerArg};
 
-    let mut f = Fleet::new(FleetConfig { seed, ticks_per_day: 48, ..FleetConfig::default() });
+    let mut f = Fleet::new(FleetConfig {
+        seed,
+        ticks_per_day: 48,
+        ..FleetConfig::default()
+    });
 
     // Three genuinely leaky services (ground truth: their leak lines).
     let mut truth: BTreeSet<(String, u32)> = BTreeSet::new();
@@ -279,7 +286,11 @@ mod tests {
         let gl = evaluate_goleak(&repo);
         let pc = evaluate_static(&repo, &PathCheck::new());
         let ai = evaluate_static(&repo, &AbsInt::new());
-        assert!(gl.precision() > 0.95, "goleak precision {:.2}", gl.precision());
+        assert!(
+            gl.precision() > 0.95,
+            "goleak precision {:.2}",
+            gl.precision()
+        );
         assert!(
             gl.precision() > pc.precision() && gl.precision() > ai.precision(),
             "dynamic ≫ static precision: goleak {:.2}, pathcheck {:.2}, absint {:.2}",
@@ -287,7 +298,11 @@ mod tests {
             pc.precision(),
             ai.precision()
         );
-        assert!(gl.recall() > 0.8, "goleak finds most injected leaks: {:.2}", gl.recall());
+        assert!(
+            gl.recall() > 0.8,
+            "goleak finds most injected leaks: {:.2}",
+            gl.recall()
+        );
     }
 
     #[test]
@@ -299,15 +314,29 @@ mod tests {
             evaluate_static(&repo, &ModelCheck::new()),
         ] {
             assert!(row.reports > 0, "{} produced no reports", row.tool);
-            assert!(row.recall() > 0.15, "{} recall {:.2}", row.tool, row.recall());
-            assert!(row.precision() > 0.2, "{} precision {:.2}", row.tool, row.precision());
+            assert!(
+                row.recall() > 0.15,
+                "{} recall {:.2}",
+                row.tool,
+                row.recall()
+            );
+            assert!(
+                row.precision() > 0.2,
+                "{} precision {:.2}",
+                row.tool,
+                row.precision()
+            );
         }
     }
 
     #[test]
     fn leakprof_finds_leaky_services_with_some_false_positives() {
         let (row, report) = evaluate_leakprof(3, 2);
-        assert!(row.true_positives >= 2, "finds most leaky services\n{}", report.render());
+        assert!(
+            row.true_positives >= 2,
+            "finds most leaky services\n{}",
+            report.render()
+        );
         assert!(
             row.reports > row.true_positives,
             "congested service should produce a false positive\n{}",

@@ -1,0 +1,156 @@
+//! The networked production-monitor loop: the paper's daily sweep run
+//! over real loopback TCP instead of in-process function calls.
+//!
+//! [`monitor_via_collector`] stands up a demo fleet behind a
+//! [`collector::ProfileHub`] HTTP server, scrapes it with the bounded
+//! concurrent scraper for a number of cycles (advancing the simulation a
+//! day per cycle), streams every scraped profile into
+//! [`leakprof::FleetAccumulator`], and cross-checks the streamed result
+//! against the offline analyzer over the identical profile set.
+
+use collector::{Daemon, DaemonConfig, DemoFleet, ScrapeConfig};
+use gosim::GoroutineProfile;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for the networked monitor loop.
+#[derive(Debug, Clone)]
+pub struct MonitorConfig {
+    /// Fleet seed.
+    pub seed: u64,
+    /// Approximate total fleet instances.
+    pub instances: usize,
+    /// Scrape cycles to run; the fleet advances one day per cycle.
+    pub cycles: u32,
+    /// LeakProf criterion-1 threshold (scaled for the simulated fleet).
+    pub threshold: u64,
+    /// Report only the top-N ranked sites.
+    pub top_n: usize,
+    /// Scraper tuning.
+    pub scrape: ScrapeConfig,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            seed: 7,
+            instances: 16,
+            cycles: 2,
+            threshold: 40,
+            top_n: 10,
+            scrape: ScrapeConfig::default(),
+        }
+    }
+}
+
+/// What the monitor loop observed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MonitorOutcome {
+    /// The streaming report after the final cycle.
+    pub report: leakprof::Report,
+    /// The offline report over the identical profiles in the identical
+    /// order — must match `report` exactly (the differential test
+    /// asserts byte-identical serialization).
+    pub offline_report: leakprof::Report,
+    /// Scrapes that succeeded, summed over cycles.
+    pub scrapes_ok: u64,
+    /// Scrapes that failed, summed over cycles.
+    pub scrapes_failed: u64,
+    /// All-time p99 scrape latency (µs).
+    pub p99_us: u64,
+    /// Ground-truth leak sites injected into the fleet.
+    pub leak_sites: Vec<(String, u32)>,
+}
+
+impl MonitorOutcome {
+    /// How many ground-truth sites the streamed report found.
+    pub fn true_positives(&self) -> usize {
+        self.report
+            .suspects
+            .iter()
+            .filter(|s| {
+                self.leak_sites
+                    .iter()
+                    .any(|(f, l)| s.stats.op.loc.file.as_ref() == f && s.stats.op.loc.line == *l)
+            })
+            .count()
+    }
+}
+
+/// Runs the monitor loop over loopback TCP and returns the streamed
+/// report, its offline cross-check, and scrape-health telemetry.
+///
+/// # Panics
+///
+/// Panics if the loopback server cannot bind or the daemon cannot be
+/// constructed — both are programming errors in a test/demo context.
+pub fn monitor_via_collector(config: MonitorConfig) -> MonitorOutcome {
+    let mut demo = DemoFleet::build(config.instances, 1, config.seed);
+    let server = demo.hub.serve("127.0.0.1:0", 8).expect("loopback bind");
+    let targets = demo.targets(server.addr());
+    let lp = demo.leakprof(config.threshold, config.top_n);
+
+    let daemon_config = DaemonConfig {
+        scrape: config.scrape.clone(),
+        ..DaemonConfig::default()
+    };
+    let mut daemon = Daemon::new(
+        daemon_config,
+        demo.leakprof(config.threshold, config.top_n),
+        targets,
+    )
+    .expect("daemon without history cannot fail");
+
+    // Every profile the scraper delivered, in ingestion order, for the
+    // offline cross-check.
+    let mut delivered: Vec<GoroutineProfile> = Vec::new();
+    for cycle in 0..config.cycles.max(1) {
+        if cycle > 0 {
+            demo.advance_and_republish(1);
+        }
+        let report = daemon.run_cycle();
+        delivered.extend(report.profiles.iter().cloned());
+    }
+
+    let report = daemon
+        .last_report()
+        .cloned()
+        .expect("at least one cycle ran");
+    let offline_report = lp.analyze(&delivered);
+
+    MonitorOutcome {
+        report,
+        offline_report,
+        scrapes_ok: daemon.health().scrapes_ok,
+        scrapes_failed: daemon.health().scrapes_failed,
+        p99_us: daemon.health().latency.p99_us(),
+        leak_sites: demo.leak_sites.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn networked_monitor_matches_offline_analysis_and_finds_leaks() {
+        let outcome = monitor_via_collector(MonitorConfig {
+            seed: 3,
+            instances: 8,
+            cycles: 2,
+            threshold: 40,
+            ..MonitorConfig::default()
+        });
+        assert_eq!(outcome.scrapes_failed, 0);
+        assert!(outcome.scrapes_ok > 0);
+        // The streamed pipeline must agree with the offline analyzer
+        // byte-for-byte on the same profiles.
+        let streamed = serde_json::to_string(&outcome.report).unwrap();
+        let offline = serde_json::to_string(&outcome.offline_report).unwrap();
+        assert_eq!(streamed, offline);
+        assert!(
+            outcome.true_positives() >= 2,
+            "networked sweep finds the leaky services\n{}",
+            outcome.report.render()
+        );
+    }
+}

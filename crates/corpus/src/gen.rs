@@ -12,9 +12,7 @@ use std::collections::BTreeMap;
 use gosim::rng::SplitMix64;
 use serde::{Deserialize, Serialize};
 
-use crate::patterns::{
-    leak_mix, render_benign, render_leaky, BenignPattern, LeakSite, Rendered,
-};
+use crate::patterns::{leak_mix, render_benign, render_leaky, BenignPattern, LeakSite, Rendered};
 
 /// What kind of concurrency a package uses (Table I rows).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -70,20 +68,20 @@ impl Package {
     /// Panics if generated code fails to compile — that is a generator
     /// bug, not an input error.
     pub fn compile(&self) -> gosim::script::Prog {
-        let sources: Vec<(String, String)> =
-            self.all_files().map(|f| (f.text.clone(), f.path.clone())).collect();
-        minigo::compile_many(&sources).unwrap_or_else(|e| {
-            panic!("generated package {} failed to compile: {e:?}", self.name)
-        })
+        let sources: Vec<(String, String)> = self
+            .all_files()
+            .map(|f| (f.text.clone(), f.path.clone()))
+            .collect();
+        minigo::compile_many(&sources)
+            .unwrap_or_else(|e| panic!("generated package {} failed to compile: {e:?}", self.name))
     }
 
     /// Parses all files to ASTs (for the static analyzers).
     pub fn parse(&self) -> Vec<minigo::ast::File> {
         self.all_files()
             .map(|f| {
-                minigo::parse_file(&f.text, &f.path).unwrap_or_else(|e| {
-                    panic!("generated file {} failed to parse: {e:?}", f.path)
-                })
+                minigo::parse_file(&f.text, &f.path)
+                    .unwrap_or_else(|e| panic!("generated file {} failed to parse: {e:?}", f.path))
             })
             .collect()
     }
@@ -103,7 +101,11 @@ pub struct KindMix {
 impl Default for KindMix {
     /// The paper's Table I distribution (MP 3.92%, SM 5.53%, both 2.02%).
     fn default() -> Self {
-        KindMix { mp: 0.0392, sm: 0.0553, both: 0.0202 }
+        KindMix {
+            mp: 0.0392,
+            sm: 0.0553,
+            both: 0.0202,
+        }
     }
 }
 
@@ -111,7 +113,11 @@ impl KindMix {
     /// A concurrency-heavy mix, used when generating PR batches that are
     /// interesting to a leak gate.
     pub fn concurrent_heavy() -> Self {
-        KindMix { mp: 0.55, sm: 0.2, both: 0.15 }
+        KindMix {
+            mp: 0.55,
+            sm: 0.2,
+            both: 0.15,
+        }
     }
 }
 
@@ -187,9 +193,20 @@ impl Corpus {
             let mut files = Vec::new();
             let mut tests = Vec::new();
             let mut test_funcs = Vec::new();
-            let push = |r: Rendered, files: &mut Vec<SourceFile>, tests: &mut Vec<SourceFile>, test_funcs: &mut Vec<String>| {
-                files.push(SourceFile { path: r.path, text: r.source, is_test: false });
-                tests.push(SourceFile { path: r.test_path, text: r.test_source, is_test: true });
+            let push = |r: Rendered,
+                        files: &mut Vec<SourceFile>,
+                        tests: &mut Vec<SourceFile>,
+                        test_funcs: &mut Vec<String>| {
+                files.push(SourceFile {
+                    path: r.path,
+                    text: r.source,
+                    is_test: false,
+                });
+                tests.push(SourceFile {
+                    path: r.test_path,
+                    text: r.test_source,
+                    is_test: true,
+                });
                 test_funcs.push(r.test_func);
                 r.truth
             };
@@ -233,9 +250,20 @@ impl Corpus {
                     }
                 }
             }
-            packages.push(Package { name, kind, files, tests, test_funcs, owner });
+            packages.push(Package {
+                name,
+                kind,
+                files,
+                tests,
+                test_funcs,
+                owner,
+            });
         }
-        Corpus { config, packages, truth }
+        Corpus {
+            config,
+            packages,
+            truth,
+        }
     }
 
     /// Packages with at least one injected leak.
@@ -245,12 +273,17 @@ impl Corpus {
             .iter()
             .map(|t| t.file.split('/').next().expect("path has package prefix"))
             .collect();
-        self.packages.iter().filter(move |p| leaky.contains(p.name.as_str()))
+        self.packages
+            .iter()
+            .filter(move |p| leaky.contains(p.name.as_str()))
     }
 
     /// True ground-truth leak locations as a `(file, line)` set.
     pub fn truth_locs(&self) -> std::collections::BTreeSet<(String, u32)> {
-        self.truth.iter().map(|t| (t.file.clone(), t.line)).collect()
+        self.truth
+            .iter()
+            .map(|t| (t.file.clone(), t.line))
+            .collect()
     }
 
     /// Count of packages per kind.
@@ -286,8 +319,7 @@ impl Corpus {
                 std::fs::write(path, &f.text)?;
             }
         }
-        let truth = serde_json::to_string_pretty(&self.truth)
-            .expect("ground truth serializes");
+        let truth = serde_json::to_string_pretty(&self.truth).expect("ground truth serializes");
         std::fs::write(root.join("TRUTH.json"), truth)?;
         let owners: String = self
             .packages
@@ -318,7 +350,11 @@ mod tests {
     use super::*;
 
     fn small() -> Corpus {
-        Corpus::generate(CorpusConfig { packages: 200, seed: 42, ..CorpusConfig::default() })
+        Corpus::generate(CorpusConfig {
+            packages: 200,
+            seed: 42,
+            ..CorpusConfig::default()
+        })
     }
 
     #[test]
@@ -358,10 +394,24 @@ mod tests {
         let c = small();
         for t in &c.truth {
             let pkg = t.file.split('/').next().unwrap();
-            let p = c.packages.iter().find(|p| p.name == pkg).expect("package exists");
-            let f = p.files.iter().find(|f| f.path == t.file).expect("file exists");
+            let p = c
+                .packages
+                .iter()
+                .find(|p| p.name == pkg)
+                .expect("package exists");
+            let f = p
+                .files
+                .iter()
+                .find(|f| f.path == t.file)
+                .expect("file exists");
             let nlines = f.text.lines().count() as u32;
-            assert!(t.line <= nlines, "{}:{} beyond {} lines", t.file, t.line, nlines);
+            assert!(
+                t.line <= nlines,
+                "{}:{} beyond {} lines",
+                t.file,
+                t.line,
+                nlines
+            );
         }
     }
 

@@ -62,9 +62,9 @@ impl LeakPattern {
             | LeakPattern::Timeout
             | LeakPattern::NCast
             | LeakPattern::DoubleSend => "chan send (non-nil chan)",
-            LeakPattern::UnclosedRange
-            | LeakPattern::TimerLoop
-            | LeakPattern::MissingSender => "chan receive (non-nil chan)",
+            LeakPattern::UnclosedRange | LeakPattern::TimerLoop | LeakPattern::MissingSender => {
+                "chan receive (non-nil chan)"
+            }
             LeakPattern::ContractViolation
             | LeakPattern::CtxContractViolation
             | LeakPattern::SelectOutsideLoop => "select (>0 cases)",
@@ -132,12 +132,7 @@ pub struct Rendered {
 
 /// Renders one scenario of the given pattern into package `pkg`, using
 /// `idx` to uniquify names and `rng` for parameter jitter.
-pub fn render_leaky(
-    pattern: LeakPattern,
-    pkg: &str,
-    idx: usize,
-    rng: &mut SplitMix64,
-) -> Rendered {
+pub fn render_leaky(pattern: LeakPattern, pkg: &str, idx: usize, rng: &mut SplitMix64) -> Rendered {
     let fname = format!("{pkg}/leak_{idx}.go");
     let tname = format!("{pkg}/leak_{idx}_test.go");
     let f = format!("Scenario{idx}");
@@ -287,9 +282,9 @@ pub fn render_leaky(
 
     // Test file exercising the failure path of the scenario.
     let call = match pattern {
-        LeakPattern::PrematureReturn
-        | LeakPattern::DoubleSend
-        | LeakPattern::MissingSender => format!("{f}(true)"),
+        LeakPattern::PrematureReturn | LeakPattern::DoubleSend | LeakPattern::MissingSender => {
+            format!("{f}(true)")
+        }
         LeakPattern::ContractViolation => format!("{f}(false)"),
         LeakPattern::Timeout | LeakPattern::CtxContractViolation => format!("{f}(nil)"),
         LeakPattern::NCast => format!("{f}({items})"),
@@ -297,8 +292,7 @@ pub fn render_leaky(
         LeakPattern::BusyLoop => format!("{f}(1)"),
         _ => format!("{f}()"),
     };
-    let test_source =
-        format!("package {pkg}\n\nfunc {test_func}() {{\n\t{call}\n}}\n");
+    let test_source = format!("package {pkg}\n\nfunc {test_func}() {{\n\t{call}\n}}\n");
 
     Rendered {
         path: fname.clone(),
@@ -457,9 +451,9 @@ pub fn render_benign(
     };
 
     let test_source = match pattern {
-        BenignPattern::PlainCompute => format!(
-            "package {pkg}\n\nfunc {test_func}() {{\n\tr := {call}\n\t_ = r\n}}\n"
-        ),
+        BenignPattern::PlainCompute => {
+            format!("package {pkg}\n\nfunc {test_func}() {{\n\tr := {call}\n\t_ = r\n}}\n")
+        }
         _ => format!("package {pkg}\n\nfunc {test_func}() {{\n\t{call}\n}}\n"),
     };
 
@@ -582,7 +576,12 @@ mod tests {
                 "{pattern:?} must not leak; profile:\n{}",
                 rt.goroutine_profile("t").render()
             );
-            assert_eq!(rt.stats().panicked, 0, "{pattern:?} panicked: {:?}", rt.exits());
+            assert_eq!(
+                rt.stats().panicked,
+                0,
+                "{pattern:?} panicked: {:?}",
+                rt.exits()
+            );
         }
     }
 
@@ -590,9 +589,15 @@ mod tests {
     fn leak_mix_weights_are_positive_and_cover_taxonomy() {
         let mix = leak_mix();
         assert!(mix.iter().all(|(_, w)| *w > 0.0));
-        let channel: f64 =
-            mix.iter().filter(|(p, _)| p.is_channel_leak()).map(|(_, w)| w).sum();
+        let channel: f64 = mix
+            .iter()
+            .filter(|(p, _)| p.is_channel_leak())
+            .map(|(_, w)| w)
+            .sum();
         let total: f64 = mix.iter().map(|(_, w)| w).sum();
-        assert!(channel / total > 0.8, "paper: >80% of leaks are message-passing");
+        assert!(
+            channel / total > 0.8,
+            "paper: >80% of leaks are message-passing"
+        );
     }
 }

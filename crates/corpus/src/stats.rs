@@ -89,7 +89,10 @@ impl FeatureCounts {
     fn add_file(&mut self, file: &File) {
         for f in &file.funcs {
             self.named_functions += 1;
-            if f.params.iter().any(|p| matches!(p.ty, minigo::ast::TypeExpr::Chan(_))) {
+            if f.params
+                .iter()
+                .any(|p| matches!(p.ty, minigo::ast::TypeExpr::Chan(_)))
+            {
                 self.funcs_with_chan_params += 1;
             }
             walk_stmts(&f.body, &mut |s| self.add_stmt(s));
@@ -129,10 +132,19 @@ impl FeatureCounts {
                 for c in cases {
                     if matches!(
                         c,
-                        minigo::ast::SelCase::Recv { src: RecvSrc::Chan(_), .. }
-                            | minigo::ast::SelCase::Recv { src: RecvSrc::CtxDone(_), .. }
-                            | minigo::ast::SelCase::Recv { src: RecvSrc::TimeAfter(_), .. }
-                            | minigo::ast::SelCase::Recv { src: RecvSrc::TimeTick(_), .. }
+                        minigo::ast::SelCase::Recv {
+                            src: RecvSrc::Chan(_),
+                            ..
+                        } | minigo::ast::SelCase::Recv {
+                            src: RecvSrc::CtxDone(_),
+                            ..
+                        } | minigo::ast::SelCase::Recv {
+                            src: RecvSrc::TimeAfter(_),
+                            ..
+                        } | minigo::ast::SelCase::Recv {
+                            src: RecvSrc::TimeTick(_),
+                            ..
+                        }
                     ) {
                         self.receives += 1;
                     } else {
@@ -140,7 +152,10 @@ impl FeatureCounts {
                     }
                 }
             }
-            Stmt::For { kind: minigo::ast::ForKind::Range { .. }, .. } => {
+            Stmt::For {
+                kind: minigo::ast::ForKind::Range { .. },
+                ..
+            } => {
                 self.receives += 1;
             }
             _ => {}
@@ -175,7 +190,10 @@ pub struct Census {
 
 /// Computes the census by parsing every file of the corpus.
 pub fn census(corpus: &Corpus) -> Census {
-    let mut c = Census { packages_total: corpus.packages.len() as u64, ..Census::default() };
+    let mut c = Census {
+        packages_total: corpus.packages.len() as u64,
+        ..Census::default()
+    };
     for p in &corpus.packages {
         match p.kind {
             PkgKind::MessagePassing => c.packages_mp += 1,
@@ -204,8 +222,14 @@ impl Census {
     pub fn render_table1(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "Concurrency paradigm  | Packages | Files (src/test) | ELoC (src/test)");
-        let _ = writeln!(out, "----------------------+----------+------------------+----------------");
+        let _ = writeln!(
+            out,
+            "Concurrency paradigm  | Packages | Files (src/test) | ELoC (src/test)"
+        );
+        let _ = writeln!(
+            out,
+            "----------------------+----------+------------------+----------------"
+        );
         let _ = writeln!(
             out,
             "Message passing (MP)  | {:>8} |                  |",
@@ -216,11 +240,19 @@ impl Census {
             "Shared memory (SM)    | {:>8} |                  |",
             self.packages_sm
         );
-        let _ = writeln!(out, "MP ∩ SM               | {:>8} |                  |", self.packages_both);
+        let _ = writeln!(
+            out,
+            "MP ∩ SM               | {:>8} |                  |",
+            self.packages_both
+        );
         let _ = writeln!(
             out,
             "Entire monorepo       | {:>8} | {:>7} / {:<7} | {} / {}",
-            self.packages_total, self.files_source, self.files_test, self.eloc_source, self.eloc_test
+            self.packages_total,
+            self.files_source,
+            self.files_test,
+            self.eloc_source,
+            self.eloc_test
         );
         out
     }
@@ -229,12 +261,23 @@ impl Census {
     pub fn render_table2(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "Feature                              | Source  | Tests");
-        let _ = writeln!(out, "-------------------------------------+---------+-------");
+        let _ = writeln!(
+            out,
+            "Feature                              | Source  | Tests"
+        );
+        let _ = writeln!(
+            out,
+            "-------------------------------------+---------+-------"
+        );
         let row = |out: &mut String, label: &str, s: u64, t: u64| {
             let _ = writeln!(out, "{label:<37}| {s:>7} | {t:>6}");
         };
-        row(&mut out, "Named functions", self.source.named_functions, self.tests.named_functions);
+        row(
+            &mut out,
+            "Named functions",
+            self.source.named_functions,
+            self.tests.named_functions,
+        );
         row(
             &mut out,
             "Anonymous functions",
@@ -259,19 +302,44 @@ impl Census {
             self.source.wrapper_spawns,
             self.tests.wrapper_spawns,
         );
-        row(&mut out, "Chan alloc: unbuffered", self.source.chan_unbuffered, self.tests.chan_unbuffered);
-        row(&mut out, "Chan alloc: size-1 buffer", self.source.chan_size_one, self.tests.chan_size_one);
+        row(
+            &mut out,
+            "Chan alloc: unbuffered",
+            self.source.chan_unbuffered,
+            self.tests.chan_unbuffered,
+        );
+        row(
+            &mut out,
+            "Chan alloc: size-1 buffer",
+            self.source.chan_size_one,
+            self.tests.chan_size_one,
+        );
         row(
             &mut out,
             "Chan alloc: constant (>1) buffer",
             self.source.chan_const_gt1,
             self.tests.chan_const_gt1,
         );
-        row(&mut out, "Chan alloc: dynamically sized", self.source.chan_dynamic, self.tests.chan_dynamic);
+        row(
+            &mut out,
+            "Chan alloc: dynamically sized",
+            self.source.chan_dynamic,
+            self.tests.chan_dynamic,
+        );
         row(&mut out, "Sends: c<-", self.source.sends, self.tests.sends);
-        row(&mut out, "Receives: <-c", self.source.receives, self.tests.receives);
+        row(
+            &mut out,
+            "Receives: <-c",
+            self.source.receives,
+            self.tests.receives,
+        );
         row(&mut out, "close", self.source.closes, self.tests.closes);
-        row(&mut out, "Blocking selects", self.source.select_blocking, self.tests.select_blocking);
+        row(
+            &mut out,
+            "Blocking selects",
+            self.source.select_blocking,
+            self.tests.select_blocking,
+        );
         row(
             &mut out,
             "Non-blocking selects",
@@ -296,7 +364,11 @@ mod tests {
     use crate::gen::CorpusConfig;
 
     fn census_of(packages: usize, seed: u64) -> Census {
-        census(&Corpus::generate(CorpusConfig { packages, seed, ..CorpusConfig::default() }))
+        census(&Corpus::generate(CorpusConfig {
+            packages,
+            seed,
+            ..CorpusConfig::default()
+        }))
     }
 
     #[test]

@@ -105,7 +105,8 @@ mod tests {
     fn leak_count(h: &Handler, arg: Val, ticks: u64) -> usize {
         let prog = minigo::compile(&h.source, &h.path).expect("handler compiles");
         let mut rt = Runtime::with_seed(3);
-        prog.spawn_func(&mut rt, &h.func, vec![arg]).expect("entry exists");
+        prog.spawn_func(&mut rt, &h.func, vec![arg])
+            .expect("entry exists");
         rt.advance(ticks, 100_000);
         rt.live_count()
     }
@@ -118,14 +119,26 @@ mod tests {
 
     #[test]
     fn premature_variants() {
-        assert_eq!(leak_count(&premature_return_leak("s", 1000), Val::Bool(true), 100), 1);
-        assert_eq!(leak_count(&premature_return_fixed("s", 1000), Val::Bool(true), 100), 0);
+        assert_eq!(
+            leak_count(&premature_return_leak("s", 1000), Val::Bool(true), 100),
+            1
+        );
+        assert_eq!(
+            leak_count(&premature_return_fixed("s", 1000), Val::Bool(true), 100),
+            0
+        );
     }
 
     #[test]
     fn contract_variants() {
-        assert_eq!(leak_count(&contract_leak("s", 1000), Val::Bool(false), 100), 1);
-        assert_eq!(leak_count(&contract_fixed("s", 1000), Val::Bool(true), 100), 0);
+        assert_eq!(
+            leak_count(&contract_leak("s", 1000), Val::Bool(false), 100),
+            1
+        );
+        assert_eq!(
+            leak_count(&contract_fixed("s", 1000), Val::Bool(true), 100),
+            0
+        );
     }
 
     #[test]
@@ -133,7 +146,8 @@ mod tests {
         let h = timeout_leak("s", 50_000);
         let prog = minigo::compile(&h.source, &h.path).unwrap();
         let mut rt = Runtime::with_seed(1);
-        prog.spawn_func(&mut rt, &h.func, vec![Val::NilChan]).unwrap();
+        prog.spawn_func(&mut rt, &h.func, vec![Val::NilChan])
+            .unwrap();
         rt.advance(100, 100_000);
         assert!(rt.mem_stats().heap_bytes >= 50_000);
     }

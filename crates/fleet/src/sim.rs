@@ -32,7 +32,11 @@ pub struct FleetConfig {
 
 impl Default for FleetConfig {
     fn default() -> Self {
-        FleetConfig { seed: 7, ticks_per_day: 96, rt_ticks_per_tick: 100 }
+        FleetConfig {
+            seed: 7,
+            ticks_per_day: 96,
+            rt_ticks_per_tick: 100,
+        }
     }
 }
 
@@ -128,7 +132,10 @@ impl Instance {
             .unwrap_or_else(|e| panic!("handler does not compile: {e:?}"));
         Instance {
             idx,
-            rt: Runtime::new(SchedConfig { seed, ..SchedConfig::default() }),
+            rt: Runtime::new(SchedConfig {
+                seed,
+                ..SchedConfig::default()
+            }),
             prog,
             func: handler.func.clone(),
             rng: SplitMix64::new(seed ^ 0xF1EE7),
@@ -179,15 +186,25 @@ impl Fleet {
     /// Creates an empty fleet.
     pub fn new(config: FleetConfig) -> Fleet {
         let rng = SplitMix64::new(config.seed);
-        Fleet { config, services: Vec::new(), tick: 0, rng, samples: Vec::new() }
+        Fleet {
+            config,
+            services: Vec::new(),
+            tick: 0,
+            rng,
+            samples: Vec::new(),
+        }
     }
 
     /// Adds a service; instances boot with the leaky handler unless
     /// `fix_day == Some(0)`.
     pub fn add_service(&mut self, spec: ServiceSpec) {
         let mut instances = Vec::with_capacity(spec.instances);
-        let starts_healthy = spec.fix_day == Some(0) || spec.regress_day.map_or(false, |d| d > 0);
-        let handler = if starts_healthy { &spec.fixed } else { &spec.leaky };
+        let starts_healthy = spec.fix_day == Some(0) || spec.regress_day.is_some_and(|d| d > 0);
+        let handler = if starts_healthy {
+            &spec.fixed
+        } else {
+            &spec.leaky
+        };
         for i in 0..spec.instances {
             let seed = self.rng.next_u64();
             instances.push(Instance::new(i, seed, handler));
@@ -236,11 +253,7 @@ impl Fleet {
                 if let Some(reg) = svc.spec.regress_day {
                     if reg > 0 && day >= reg as f64 {
                         for inst in &mut svc.instances {
-                            *inst = Instance::new(
-                                inst.idx,
-                                inst.rng.next_u64(),
-                                &svc.spec.leaky,
-                            );
+                            *inst = Instance::new(inst.idx, inst.rng.next_u64(), &svc.spec.leaky);
                         }
                         svc.regressed = true;
                         svc.fixed_deployed = false;
@@ -252,11 +265,7 @@ impl Fleet {
                 if let Some(fix) = svc.spec.fix_day {
                     if day >= fix as f64 {
                         for inst in &mut svc.instances {
-                            *inst = Instance::new(
-                                inst.idx,
-                                inst.rng.next_u64(),
-                                &svc.spec.fixed,
-                            );
+                            *inst = Instance::new(inst.idx, inst.rng.next_u64(), &svc.spec.fixed);
                         }
                         svc.fixed_deployed = true;
                     }
@@ -265,9 +274,12 @@ impl Fleet {
             // Scheduled redeploys.
             if let Some(period) = svc.spec.redeploy_days {
                 let period_ticks = period as u64 * ticks_per_day as u64;
-                if period_ticks > 0 && self.tick % period_ticks == 0 {
-                    let handler =
-                        if svc.fixed_deployed { &svc.spec.fixed } else { &svc.spec.leaky };
+                if period_ticks > 0 && self.tick.is_multiple_of(period_ticks) {
+                    let handler = if svc.fixed_deployed {
+                        &svc.spec.fixed
+                    } else {
+                        &svc.spec.leaky
+                    };
                     for inst in &mut svc.instances {
                         *inst = Instance::new(inst.idx, inst.rng.next_u64(), handler);
                     }
@@ -344,7 +356,8 @@ impl Fleet {
         for svc in &self.services {
             for inst in &svc.instances {
                 out.push(
-                    inst.rt.goroutine_profile(format!("{}-{}", svc.spec.name, inst.idx)),
+                    inst.rt
+                        .goroutine_profile(format!("{}-{}", svc.spec.name, inst.idx)),
                 );
             }
         }
@@ -356,7 +369,11 @@ impl Fleet {
         self.services
             .iter()
             .map(|s| {
-                let h = if s.fixed_deployed { &s.spec.fixed } else { &s.spec.leaky };
+                let h = if s.fixed_deployed {
+                    &s.spec.fixed
+                } else {
+                    &s.spec.leaky
+                };
                 (h.source.clone(), h.path.clone())
             })
             .collect()
@@ -369,7 +386,12 @@ impl Fleet {
 }
 
 /// A reasonable default resource model for a mid-size service.
-pub fn default_service(name: &str, instances: usize, leaky: Handler, fixed: Handler) -> ServiceSpec {
+pub fn default_service(
+    name: &str,
+    instances: usize,
+    leaky: Handler,
+    fixed: Handler,
+) -> ServiceSpec {
     ServiceSpec {
         name: name.to_string(),
         instances,
@@ -411,7 +433,10 @@ mod tests {
 
     #[test]
     fn leaky_service_rss_grows_monotonically_by_day() {
-        let mut fleet = Fleet::new(FleetConfig { ticks_per_day: 24, ..FleetConfig::default() });
+        let mut fleet = Fleet::new(FleetConfig {
+            ticks_per_day: 24,
+            ..FleetConfig::default()
+        });
         fleet.add_service(tiny_service(None));
         fleet.run_days(4);
         let daily_max: Vec<u64> = (0..4)
@@ -434,7 +459,10 @@ mod tests {
 
     #[test]
     fn fix_deployment_flattens_rss() {
-        let mut fleet = Fleet::new(FleetConfig { ticks_per_day: 24, ..FleetConfig::default() });
+        let mut fleet = Fleet::new(FleetConfig {
+            ticks_per_day: 24,
+            ..FleetConfig::default()
+        });
         fleet.add_service(tiny_service(Some(2)));
         fleet.run_days(4);
         let peak_before = fleet
@@ -459,7 +487,10 @@ mod tests {
 
     #[test]
     fn profiles_show_blocked_goroutines_at_leak_site() {
-        let mut fleet = Fleet::new(FleetConfig { ticks_per_day: 24, ..FleetConfig::default() });
+        let mut fleet = Fleet::new(FleetConfig {
+            ticks_per_day: 24,
+            ..FleetConfig::default()
+        });
         fleet.add_service(tiny_service(None));
         fleet.run_days(2);
         let profiles = fleet.collect_profiles();
@@ -478,7 +509,10 @@ mod tests {
     fn redeploy_resets_rss_sawtooth() {
         let mut spec = tiny_service(None);
         spec.redeploy_days = Some(2);
-        let mut fleet = Fleet::new(FleetConfig { ticks_per_day: 24, ..FleetConfig::default() });
+        let mut fleet = Fleet::new(FleetConfig {
+            ticks_per_day: 24,
+            ..FleetConfig::default()
+        });
         fleet.add_service(spec);
         fleet.run_days(4);
         // RSS right after redeploy (day just past 2) is far below the
@@ -502,7 +536,10 @@ mod tests {
 
     #[test]
     fn diurnal_cycle_shapes_cpu() {
-        let mut fleet = Fleet::new(FleetConfig { ticks_per_day: 48, ..FleetConfig::default() });
+        let mut fleet = Fleet::new(FleetConfig {
+            ticks_per_day: 48,
+            ..FleetConfig::default()
+        });
         let mut spec = tiny_service(Some(0)); // fixed from day 0: CPU ~ requests
         spec.leak_activation = 0.0;
         fleet.add_service(spec);
@@ -519,6 +556,9 @@ mod tests {
             .filter(|s| s.day < 0.07)
             .map(|s| s.cpu)
             .fold(0.0f64, f64::max);
-        assert!(noon > night * 1.5, "diurnal crest: noon {noon} vs night {night}");
+        assert!(
+            noon > night * 1.5,
+            "diurnal crest: noon {noon} vs night {night}"
+        );
     }
 }

@@ -8,7 +8,11 @@ use leakprof::{Config, IssueStatus, LeakProf, SweepStore};
 
 #[test]
 fn report_lifecycle_over_live_fleet() {
-    let mut f = Fleet::new(FleetConfig { ticks_per_day: 24, seed: 21, ..FleetConfig::default() });
+    let mut f = Fleet::new(FleetConfig {
+        ticks_per_day: 24,
+        seed: 21,
+        ..FleetConfig::default()
+    });
     let mut spec = default_service(
         "pay",
         3,
@@ -20,7 +24,11 @@ fn report_lifecycle_over_live_fleet() {
     spec.fix_day = Some(3); // the fix ships on day 3
     f.add_service(spec);
 
-    let mut lp = LeakProf::new(Config { threshold: 20, ast_filter: true, top_n: 5 });
+    let mut lp = LeakProf::new(Config {
+        threshold: 20,
+        ast_filter: true,
+        top_n: 5,
+    });
     for (src, path) in f.handler_sources() {
         lp.index_source(&src, &path).unwrap();
     }

@@ -8,9 +8,7 @@ use gosim::{GoStatus, GoroutineProfile, GoroutineRecord};
 use serde::{Deserialize, Serialize};
 
 /// The blocking categories of Table IV.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum BlockKind {
     /// `chan receive (non-nil chan)`.
     ChanReceive,
@@ -191,7 +189,13 @@ impl Classification {
                 100.0 * c as f64 / total as f64
             );
         }
-        let _ = writeln!(out, "{:<29} | {:>7} | {:>8.2}%", "Total", self.total(), 100.0);
+        let _ = writeln!(
+            out,
+            "{:<29} | {:>7} | {:>8.2}%",
+            "Total",
+            self.total(),
+            100.0
+        );
         out
     }
 }
@@ -229,9 +233,18 @@ mod tests {
             BlockKind::of(GoStatus::ChanReceive { nil_chan: false }),
             BlockKind::ChanReceive
         );
-        assert_eq!(BlockKind::of(GoStatus::Select { ncases: 0 }), BlockKind::SelectNoCases);
-        assert_eq!(BlockKind::of(GoStatus::Select { ncases: 3 }), BlockKind::Select);
-        assert_eq!(BlockKind::of(GoStatus::Runnable), BlockKind::RunningRunnable);
+        assert_eq!(
+            BlockKind::of(GoStatus::Select { ncases: 0 }),
+            BlockKind::SelectNoCases
+        );
+        assert_eq!(
+            BlockKind::of(GoStatus::Select { ncases: 3 }),
+            BlockKind::Select
+        );
+        assert_eq!(
+            BlockKind::of(GoStatus::Runnable),
+            BlockKind::RunningRunnable
+        );
     }
 
     #[test]
@@ -260,8 +273,9 @@ mod tests {
 
     #[test]
     fn render_contains_all_rows_and_total() {
-        let c: Classification =
-            [BlockKind::ChanSend, BlockKind::Select].into_iter().collect();
+        let c: Classification = [BlockKind::ChanSend, BlockKind::Select]
+            .into_iter()
+            .collect();
         let table = c.render_table();
         for kind in BlockKind::all() {
             assert!(table.contains(kind.label()), "missing row {kind}");

@@ -49,7 +49,7 @@ pub use suppress::SuppressionList;
 
 use std::fmt;
 
-use gosim::{Frame, GoStatus, Gid, GoroutineRecord, Runtime};
+use gosim::{Frame, Gid, GoStatus, GoroutineRecord, Runtime};
 use serde::{Deserialize, Serialize};
 
 /// Options controlling leak detection, mirroring `goleak.Option`s.
@@ -129,7 +129,11 @@ impl fmt::Display for LeakReport {
         if let Some(frame) = &self.blocking_frame {
             write!(f, " blocked at {}", frame.loc)?;
         }
-        write!(f, " created by {} at {}", self.created_by.func, self.created_by.loc)
+        write!(
+            f,
+            " created by {} at {}",
+            self.created_by.func, self.created_by.loc
+        )
     }
 }
 
@@ -192,7 +196,11 @@ impl Verdict {
         if self.passed() {
             let _ = writeln!(out, "PASS (goleak: no unsuppressed goroutine leaks)");
         } else {
-            let _ = writeln!(out, "FAIL: {} goroutine leak(s) found", self.new_leaks.len());
+            let _ = writeln!(
+                out,
+                "FAIL: {} goroutine leak(s) found",
+                self.new_leaks.len()
+            );
         }
         for l in &self.new_leaks {
             let _ = writeln!(out, "  {l}");
@@ -219,9 +227,13 @@ pub fn verify_test_main(
     suppressions: &SuppressionList,
 ) -> Verdict {
     let leaks = find_with_retry(rt, opts);
-    let (suppressed, new_leaks) =
-        leaks.into_iter().partition(|l: &LeakReport| suppressions.matches(l));
-    Verdict { new_leaks, suppressed }
+    let (suppressed, new_leaks) = leaks
+        .into_iter()
+        .partition(|l: &LeakReport| suppressions.matches(l));
+    Verdict {
+        new_leaks,
+        suppressed,
+    }
 }
 
 #[cfg(test)]

@@ -34,7 +34,9 @@ impl SuppressionList {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        SuppressionList { names: names.into_iter().map(Into::into).collect() }
+        SuppressionList {
+            names: names.into_iter().map(Into::into).collect(),
+        }
     }
 
     /// Builds the initial list from a trial run's leak reports — the
@@ -111,7 +113,9 @@ impl Extend<String> for SuppressionList {
 
 impl FromIterator<String> for SuppressionList {
     fn from_iter<T: IntoIterator<Item = String>>(iter: T) -> Self {
-        SuppressionList { names: iter.into_iter().collect() }
+        SuppressionList {
+            names: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -33,7 +33,10 @@ pub struct Loc {
 impl Loc {
     /// Creates a location from a file name and line number.
     pub fn new(file: impl Into<Arc<str>>, line: u32) -> Self {
-        Loc { file: file.into(), line }
+        Loc {
+            file: file.into(),
+            line,
+        }
     }
 
     /// The location used for synthesized runtime frames
@@ -83,7 +86,10 @@ pub struct Frame {
 impl Frame {
     /// Creates a frame.
     pub fn new(func: impl Into<String>, loc: Loc) -> Self {
-        Frame { func: func.into(), loc }
+        Frame {
+            func: func.into(),
+            loc,
+        }
     }
 
     /// Creates a synthetic runtime frame (e.g. `runtime.gopark`).

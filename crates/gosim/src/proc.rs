@@ -212,7 +212,11 @@ impl fmt::Display for Effect {
             Effect::Yield => write!(f, "yield"),
             Effect::Send { loc, .. } => write!(f, "send at {loc}"),
             Effect::Recv { loc, .. } => write!(f, "recv at {loc}"),
-            Effect::Select { arms, has_default, loc } => write!(
+            Effect::Select {
+                arms,
+                has_default,
+                loc,
+            } => write!(
                 f,
                 "select({} arms{}) at {loc}",
                 arms.len(),
@@ -226,7 +230,9 @@ impl fmt::Display for Effect {
             Effect::TickChan { period, .. } => write!(f, "time.Tick({period})"),
             Effect::CtxTimeout { ticks, .. } => write!(f, "context.WithTimeout({ticks:?})"),
             Effect::Cancel { .. } => write!(f, "cancel()"),
-            Effect::Park { reason, wake_after, .. } => {
+            Effect::Park {
+                reason, wake_after, ..
+            } => {
                 write!(f, "park({reason:?}, wake={wake_after:?})")
             }
             Effect::Alloc { bytes } => write!(f, "alloc({bytes})"),
@@ -368,7 +374,10 @@ pub struct EffectSeq {
 impl EffectSeq {
     /// Creates a process that performs `effects` in order, then finishes.
     pub fn new(name: &str, loc: Loc, effects: Vec<Effect>) -> Self {
-        EffectSeq { effects: effects.into_iter(), frame: Frame::new(name, loc) }
+        EffectSeq {
+            effects: effects.into_iter(),
+            frame: Frame::new(name, loc),
+        }
     }
 }
 
@@ -384,7 +393,9 @@ impl Process for EffectSeq {
 
 impl fmt::Debug for EffectSeq {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("EffectSeq").field("frame", &self.frame).finish()
+        f.debug_struct("EffectSeq")
+            .field("frame", &self.frame)
+            .finish()
     }
 }
 
@@ -402,7 +413,11 @@ mod tests {
 
     #[test]
     fn effect_display_has_location() {
-        let e = Effect::Send { ch: Val::NilChan, val: Val::Unit, loc: Loc::new("a.go", 3) };
+        let e = Effect::Send {
+            ch: Val::NilChan,
+            val: Val::Unit,
+            loc: Loc::new("a.go", 3),
+        };
         assert!(e.to_string().contains("a.go:3"));
     }
 }

@@ -131,12 +131,20 @@ impl GoroutineRecord {
             "goroutine {} [{}{}]:",
             self.gid.0,
             self.status.wait_reason(),
-            if self.wait_ticks > 0 { format!(", {} ticks", self.wait_ticks) } else { String::new() }
+            if self.wait_ticks > 0 {
+                format!(", {} ticks", self.wait_ticks)
+            } else {
+                String::new()
+            }
         );
         for f in &self.stack {
             let _ = writeln!(out, "{}\n\t{}", f.func, f.loc);
         }
-        let _ = writeln!(out, "created by {}\n\t{}", self.created_by.func, self.created_by.loc);
+        let _ = writeln!(
+            out,
+            "created by {}\n\t{}",
+            self.created_by.func, self.created_by.loc
+        );
         out
     }
 }
@@ -166,7 +174,9 @@ impl GoroutineProfile {
 
     /// Iterates over goroutines blocked on channel operations.
     pub fn channel_blocked(&self) -> impl Iterator<Item = &GoroutineRecord> {
-        self.goroutines.iter().filter(|g| g.status.is_channel_blocked())
+        self.goroutines
+            .iter()
+            .filter(|g| g.status.is_channel_blocked())
     }
 
     /// Renders the profile in pprof's `debug=1` style: identical stacks

@@ -172,7 +172,9 @@ mod tests {
     fn fork_produces_distinct_stream() {
         let mut parent = SplitMix64::new(11);
         let mut child = parent.fork();
-        let overlap = (0..20).filter(|_| parent.next_u64() == child.next_u64()).count();
+        let overlap = (0..20)
+            .filter(|_| parent.next_u64() == child.next_u64())
+            .count();
         assert!(overlap < 5);
     }
 }

@@ -183,15 +183,41 @@ struct Cond {
 #[derive(Debug)]
 #[allow(dead_code)]
 enum Blocked {
-    Send { ch: ChanId, loc: Loc },
-    Recv { ch: ChanId, loc: Loc },
-    NilOp { send: bool, loc: Loc },
-    Select { arms: Vec<SelectArm>, loc: Loc },
-    Sleep { until: u64 },
-    Park { reason: ParkReason, until: Option<u64> },
-    Sem { sem: SemId, loc: Loc },
-    Wg { wg: WgId, loc: Loc },
-    Cond { cond: CondId, loc: Loc },
+    Send {
+        ch: ChanId,
+        loc: Loc,
+    },
+    Recv {
+        ch: ChanId,
+        loc: Loc,
+    },
+    NilOp {
+        send: bool,
+        loc: Loc,
+    },
+    Select {
+        arms: Vec<SelectArm>,
+        loc: Loc,
+    },
+    Sleep {
+        until: u64,
+    },
+    Park {
+        reason: ParkReason,
+        until: Option<u64>,
+    },
+    Sem {
+        sem: SemId,
+        loc: Loc,
+    },
+    Wg {
+        wg: WgId,
+        loc: Loc,
+    },
+    Cond {
+        cond: CondId,
+        loc: Loc,
+    },
 }
 
 #[derive(Debug)]
@@ -354,7 +380,10 @@ impl Runtime {
 
     /// Convenience constructor with just a seed.
     pub fn with_seed(seed: u64) -> Self {
-        Runtime::new(SchedConfig { seed, ..SchedConfig::default() })
+        Runtime::new(SchedConfig {
+            seed,
+            ..SchedConfig::default()
+        })
     }
 
     /// Current virtual time in ticks.
@@ -461,11 +490,17 @@ impl Runtime {
         let mut slices = 0;
         while slices < max_slices {
             if !self.step() {
-                return RunOutcome { slices, quiescent: true };
+                return RunOutcome {
+                    slices,
+                    quiescent: true,
+                };
             }
             slices += 1;
         }
-        RunOutcome { slices, quiescent: !self.has_runnable() }
+        RunOutcome {
+            slices,
+            quiescent: !self.has_runnable(),
+        }
     }
 
     /// Advances virtual time by up to `ticks`, firing timers and running
@@ -479,7 +514,10 @@ impl Runtime {
             while self.step() {
                 slices += 1;
                 if slices >= max_slices {
-                    return RunOutcome { slices, quiescent: false };
+                    return RunOutcome {
+                        slices,
+                        quiescent: false,
+                    };
                 }
             }
             // Jump to the next timer within the window.
@@ -490,7 +528,10 @@ impl Runtime {
                 }
                 _ => {
                     self.clock = deadline;
-                    return RunOutcome { slices, quiescent: true };
+                    return RunOutcome {
+                        slices,
+                        quiescent: true,
+                    };
                 }
             }
         }
@@ -499,7 +540,10 @@ impl Runtime {
     /// True if any goroutine is ready to run.
     pub fn has_runnable(&self) -> bool {
         self.run_queue.iter().any(|gid| {
-            self.goroutines.get(gid).map(|g| matches!(g.state, GState::Runnable)).unwrap_or(false)
+            self.goroutines
+                .get(gid)
+                .map(|g| matches!(g.state, GState::Runnable))
+                .unwrap_or(false)
         })
     }
 
@@ -530,7 +574,10 @@ impl Runtime {
 
         // Temporarily take the goroutine out of the table so effect
         // handlers can freely mutate the rest of the runtime.
-        let mut g = self.goroutines.remove(&gid).expect("goroutine disappeared from table");
+        let mut g = self
+            .goroutines
+            .remove(&gid)
+            .expect("goroutine disappeared from table");
         let mut resume = g.pending.take().unwrap_or(Resume::Start);
         let mut outcome = EffectOutcome::Yielded;
         for _ in 0..self.config.max_effects_per_slice {
@@ -573,7 +620,12 @@ impl Runtime {
         } else {
             self.stats.completed += 1;
         }
-        self.exits.push(ExitRecord { gid: g.gid, name: g.name, panic, at: self.clock });
+        self.exits.push(ExitRecord {
+            gid: g.gid,
+            name: g.name,
+            panic,
+            at: self.clock,
+        });
     }
 
     // -- effect handling ----------------------------------------------------
@@ -582,9 +634,7 @@ impl Runtime {
         match effect {
             Effect::Done => EffectOutcome::Exited(None),
             Effect::Yield => EffectOutcome::Yielded,
-            Effect::Panic { msg, loc } => {
-                EffectOutcome::Exited(Some(format!("{msg} at {loc}")))
-            }
+            Effect::Panic { msg, loc } => EffectOutcome::Exited(Some(format!("{msg} at {loc}"))),
             Effect::Alloc { bytes } => {
                 if bytes >= 0 {
                     g.heap_bytes = g.heap_bytes.saturating_add(bytes as u64);
@@ -603,7 +653,13 @@ impl Runtime {
             }
             Effect::After { ticks, loc } => {
                 let id = self.make_chan(1, Val::Int(0), loc);
-                self.schedule_timer(self.clock + ticks, TimerKind::TickSend { ch: id, period: None });
+                self.schedule_timer(
+                    self.clock + ticks,
+                    TimerKind::TickSend {
+                        ch: id,
+                        period: None,
+                    },
+                );
                 EffectOutcome::Continue(Resume::Made(Val::Chan(id)))
             }
             Effect::TickChan { period, loc } => {
@@ -611,7 +667,10 @@ impl Runtime {
                 let id = self.make_chan(1, Val::Int(0), loc);
                 self.schedule_timer(
                     self.clock + period,
-                    TimerKind::TickSend { ch: id, period: Some(period) },
+                    TimerKind::TickSend {
+                        ch: id,
+                        period: Some(period),
+                    },
                 );
                 EffectOutcome::Continue(Resume::Made(Val::Chan(id)))
             }
@@ -645,15 +704,31 @@ impl Runtime {
                 }
                 let until = self.clock + ticks;
                 g.wait_seq += 1;
-                self.schedule_timer(until, TimerKind::Wake { gid: g.gid, seq: g.wait_seq });
+                self.schedule_timer(
+                    until,
+                    TimerKind::Wake {
+                        gid: g.gid,
+                        seq: g.wait_seq,
+                    },
+                );
                 g.state = GState::Blocked(Blocked::Sleep { until });
                 EffectOutcome::Parked
             }
-            Effect::Park { reason, wake_after, loc: _ } => {
+            Effect::Park {
+                reason,
+                wake_after,
+                loc: _,
+            } => {
                 g.wait_seq += 1;
                 let until = wake_after.map(|t| self.clock + t);
                 if let Some(at) = until {
-                    self.schedule_timer(at, TimerKind::Wake { gid: g.gid, seq: g.wait_seq });
+                    self.schedule_timer(
+                        at,
+                        TimerKind::Wake {
+                            gid: g.gid,
+                            seq: g.wait_seq,
+                        },
+                    );
                 }
                 g.state = GState::Blocked(Blocked::Park { reason, until });
                 EffectOutcome::Parked
@@ -676,13 +751,21 @@ impl Runtime {
                     EffectOutcome::Exited(Some(format!("close of non-channel value at {loc}")))
                 }
             },
-            Effect::Select { arms, has_default, loc } => {
-                self.do_select(g, arms, has_default, loc)
-            }
+            Effect::Select {
+                arms,
+                has_default,
+                loc,
+            } => self.do_select(g, arms, has_default, loc),
             Effect::MakeSem { permits } => {
                 let id = SemId(self.next_sem);
                 self.next_sem += 1;
-                self.sems.insert(id, Sem { permits, waiters: VecDeque::new() });
+                self.sems.insert(
+                    id,
+                    Sem {
+                        permits,
+                        waiters: VecDeque::new(),
+                    },
+                );
                 EffectOutcome::Continue(Resume::Made(Val::Sem(id)))
             }
             Effect::SemAcquire { sem, loc } => {
@@ -732,7 +815,13 @@ impl Runtime {
                 if let Some(w) = next {
                     if !self.wake_if_live(&w, Resume::Unit) {
                         // Waiter died; retry by re-releasing.
-                        return self.handle_effect(g, Effect::SemRelease { sem: Val::Sem(id), loc });
+                        return self.handle_effect(
+                            g,
+                            Effect::SemRelease {
+                                sem: Val::Sem(id),
+                                loc,
+                            },
+                        );
                     }
                 }
                 EffectOutcome::Continue(Resume::Unit)
@@ -861,9 +950,7 @@ impl Runtime {
             }
             ChanRef::Chan(id) => {
                 if self.chans.get(&id).map(|c| c.closed).unwrap_or(true) {
-                    return EffectOutcome::Exited(Some(format!(
-                        "send on closed channel at {loc}"
-                    )));
+                    return EffectOutcome::Exited(Some(format!("send on closed channel at {loc}")));
                 }
                 // Rendezvous with a waiting receiver first.
                 if let Some(w) = self.pop_live_receiver(id) {
@@ -962,7 +1049,11 @@ impl Runtime {
         if let WaiterKind::SelectArm(idx) = w.kind {
             if let Some(g) = self.goroutines.get(&w.gid) {
                 if let GState::Blocked(Blocked::Select { arms, .. }) = &g.state {
-                    if let Some(SelectArm { op: ArmOp::Send { val, .. }, .. }) = arms.get(idx) {
+                    if let Some(SelectArm {
+                        op: ArmOp::Send { val, .. },
+                        ..
+                    }) = arms.get(idx)
+                    {
                         return val.clone();
                     }
                 }
@@ -974,7 +1065,10 @@ impl Runtime {
     fn complete_sender(&mut self, w: &Waiter) {
         let resume = match w.kind {
             WaiterKind::Op => Resume::Sent,
-            WaiterKind::SelectArm(idx) => Resume::Selected { arm: Some(idx), recv: None },
+            WaiterKind::SelectArm(idx) => Resume::Selected {
+                arm: Some(idx),
+                recv: None,
+            },
         };
         self.wake_if_live(w, resume);
     }
@@ -982,9 +1076,10 @@ impl Runtime {
     fn deliver_to_receiver(&mut self, w: &Waiter, val: Val, ok: bool) {
         let resume = match w.kind {
             WaiterKind::Op => Resume::Received { val, ok },
-            WaiterKind::SelectArm(idx) => {
-                Resume::Selected { arm: Some(idx), recv: Some((val, ok)) }
-            }
+            WaiterKind::SelectArm(idx) => Resume::Selected {
+                arm: Some(idx),
+                recv: Some((val, ok)),
+            },
         };
         self.wake_if_live(w, resume);
     }
@@ -1032,10 +1127,7 @@ impl Runtime {
                 ArmOp::Recv { ch } => {
                     if let ChanRef::Chan(id) = ch.chan_ref() {
                         if let Some(c) = self.chans.get(&id) {
-                            if !c.buf.is_empty()
-                                || c.closed
-                                || self.has_live_sender(id)
-                            {
+                            if !c.buf.is_empty() || c.closed || self.has_live_sender(id) {
                                 ready.push(i);
                             }
                         }
@@ -1057,7 +1149,9 @@ impl Runtime {
             let arm = arms[pick].clone();
             return match arm.op {
                 ArmOp::Recv { ch } => {
-                    let id = ch.as_chan().expect("ready recv arm must have a real channel");
+                    let id = ch
+                        .as_chan()
+                        .expect("ready recv arm must have a real channel");
                     let (val, ok) = self
                         .recv_ready_value(id)
                         .expect("arm was ready; receive must complete");
@@ -1067,7 +1161,9 @@ impl Runtime {
                     })
                 }
                 ArmOp::Send { ch, val } => {
-                    let id = ch.as_chan().expect("ready send arm must have a real channel");
+                    let id = ch
+                        .as_chan()
+                        .expect("ready send arm must have a real channel");
                     if self.chans.get(&id).map(|c| c.closed).unwrap_or(true) {
                         return EffectOutcome::Exited(Some(format!(
                             "send on closed channel at {}",
@@ -1082,12 +1178,18 @@ impl Runtime {
                         c.buf.push_back(val);
                     }
                     self.stats.msgs_transferred += 1;
-                    EffectOutcome::Continue(Resume::Selected { arm: Some(pick), recv: None })
+                    EffectOutcome::Continue(Resume::Selected {
+                        arm: Some(pick),
+                        recv: None,
+                    })
                 }
             };
         }
         if has_default {
-            return EffectOutcome::Continue(Resume::Selected { arm: None, recv: None });
+            return EffectOutcome::Continue(Resume::Selected {
+                arm: None,
+                recv: None,
+            });
         }
         // Block: register on every real channel involved.
         g.wait_seq += 1;
@@ -1186,7 +1288,10 @@ impl Runtime {
     fn wake_if_live(&mut self, w: &Waiter, resume: Resume) -> bool {
         let live = self.waiter_live(w);
         if live {
-            let g = self.goroutines.get_mut(&w.gid).expect("live waiter must exist");
+            let g = self
+                .goroutines
+                .get_mut(&w.gid)
+                .expect("live waiter must exist");
             g.wait_seq += 1; // invalidate other registrations
             g.state = GState::Runnable;
             g.pending = Some(resume);
@@ -1221,17 +1326,25 @@ impl Runtime {
             let Reverse(t) = self.timers.pop().expect("peeked timer must pop");
             match t.kind {
                 TimerKind::Wake { gid, seq } => {
-                    let w = Waiter { gid, seq, kind: WaiterKind::Op, val: None };
+                    let w = Waiter {
+                        gid,
+                        seq,
+                        kind: WaiterKind::Op,
+                        val: None,
+                    };
                     self.wake_if_live(&w, Resume::Unit);
                 }
                 TimerKind::TickSend { ch, period } => {
                     self.nonblocking_send(ch, Val::Int(self.clock as i64));
                     if let Some(p) = period {
                         if self.chans.get(&ch).map(|c| !c.closed).unwrap_or(false) {
-                            self.schedule_timer(self.clock + p, TimerKind::TickSend {
-                                ch,
-                                period: Some(p),
-                            });
+                            self.schedule_timer(
+                                self.clock + p,
+                                TimerKind::TickSend {
+                                    ch,
+                                    period: Some(p),
+                                },
+                            );
                         }
                     }
                 }
@@ -1258,7 +1371,11 @@ impl Runtime {
                 Blocked::Recv { loc, ch: _ } => (loc.clone(), "chan receive"),
                 Blocked::NilOp { send, loc } => (
                     loc.clone(),
-                    if *send { "chan send (nil chan)" } else { "chan receive (nil chan)" },
+                    if *send {
+                        "chan send (nil chan)"
+                    } else {
+                        "chan receive (nil chan)"
+                    },
                 ),
                 Blocked::Select { loc, .. } => (loc.clone(), "select"),
                 Blocked::Sleep { until: _ } => (Loc::runtime(), "sleep"),
@@ -1279,7 +1396,10 @@ impl Runtime {
 
     /// Memory snapshot of the simulated process.
     pub fn mem_stats(&self) -> MemStats {
-        let mut m = MemStats { goroutines: self.goroutines.len(), ..MemStats::default() };
+        let mut m = MemStats {
+            goroutines: self.goroutines.len(),
+            ..MemStats::default()
+        };
         for g in self.goroutines.values() {
             m.stack_bytes += self.config.stack_bytes;
             m.heap_bytes += g.heap_bytes;
@@ -1320,7 +1440,11 @@ impl Runtime {
                 }
             })
             .collect();
-        GoroutineProfile { instance: instance.into(), captured_at: self.clock, goroutines }
+        GoroutineProfile {
+            instance: instance.into(),
+            captured_at: self.clock,
+            goroutines,
+        }
     }
 
     fn status_and_frames(&self, g: &Goroutine) -> (GoStatus, Vec<Frame>) {
@@ -1369,20 +1493,23 @@ impl Runtime {
                     GoStatus::Select { ncases: arms.len() },
                     vec![gopark, Frame::runtime("runtime.selectgo")],
                 ),
-                Blocked::Sleep { .. } => {
-                    (GoStatus::Sleep, vec![gopark, Frame::runtime("runtime.timeSleep")])
-                }
+                Blocked::Sleep { .. } => (
+                    GoStatus::Sleep,
+                    vec![gopark, Frame::runtime("runtime.timeSleep")],
+                ),
                 Blocked::Park { reason, .. } => match reason {
                     ParkReason::IoWait => (
                         GoStatus::IoWait,
                         vec![gopark, Frame::runtime("internal/poll.runtime_pollWait")],
                     ),
-                    ParkReason::Syscall => {
-                        (GoStatus::Syscall, vec![Frame::runtime("runtime.exitsyscall")])
-                    }
-                    ParkReason::Sleep => {
-                        (GoStatus::Sleep, vec![gopark, Frame::runtime("runtime.timeSleep")])
-                    }
+                    ParkReason::Syscall => (
+                        GoStatus::Syscall,
+                        vec![Frame::runtime("runtime.exitsyscall")],
+                    ),
+                    ParkReason::Sleep => (
+                        GoStatus::Sleep,
+                        vec![gopark, Frame::runtime("runtime.timeSleep")],
+                    ),
                 },
                 Blocked::Sem { .. } => (
                     GoStatus::SemAcquire,
@@ -1402,7 +1529,10 @@ impl Runtime {
                 ),
                 Blocked::Cond { .. } => (
                     GoStatus::CondWait,
-                    vec![gopark, Frame::runtime("internal/sync.runtime_notifyListWait")],
+                    vec![
+                        gopark,
+                        Frame::runtime("internal/sync.runtime_notifyListWait"),
+                    ],
                 ),
             },
         }

@@ -98,7 +98,10 @@ impl FuncBuilder {
             func: self.name.clone(),
             closures: Rc::new(Cell::new(0)),
         };
-        let mut b = BlockBuilder { ctx, stmts: Vec::new() };
+        let mut b = BlockBuilder {
+            ctx,
+            stmts: Vec::new(),
+        };
         f(&mut b);
         self.stmts = b.stmts;
         self.built = true;
@@ -138,7 +141,10 @@ pub struct BlockBuilder {
 
 impl BlockBuilder {
     fn child(&self) -> BlockBuilder {
-        BlockBuilder { ctx: self.ctx.clone(), stmts: Vec::new() }
+        BlockBuilder {
+            ctx: self.ctx.clone(),
+            stmts: Vec::new(),
+        }
     }
 
     fn sub(&self, f: impl FnOnce(&mut BlockBuilder)) -> Block {
@@ -155,7 +161,11 @@ impl BlockBuilder {
 
     /// `var = expr`.
     pub fn assign(&mut self, var: &str, expr: impl Into<Expr>, line: u32) -> &mut Self {
-        self.stmts.push(Stmt::Assign { var: var.into(), expr: expr.into(), loc: self.ctx.loc(line) });
+        self.stmts.push(Stmt::Assign {
+            var: var.into(),
+            expr: expr.into(),
+            loc: self.ctx.loc(line),
+        });
         self
     }
 
@@ -188,13 +198,22 @@ impl BlockBuilder {
 
     /// `ch <- val`.
     pub fn send(&mut self, ch: &str, val: impl Into<Expr>, line: u32) -> &mut Self {
-        self.stmts.push(Stmt::Send { ch: Expr::var(ch), val: val.into(), loc: self.ctx.loc(line) });
+        self.stmts.push(Stmt::Send {
+            ch: Expr::var(ch),
+            val: val.into(),
+            loc: self.ctx.loc(line),
+        });
         self
     }
 
     /// `<-ch` (result discarded).
     pub fn recv(&mut self, ch: &str, line: u32) -> &mut Self {
-        self.stmts.push(Stmt::Recv { var: None, ok: None, ch: Expr::var(ch), loc: self.ctx.loc(line) });
+        self.stmts.push(Stmt::Recv {
+            var: None,
+            ok: None,
+            ch: Expr::var(ch),
+            loc: self.ctx.loc(line),
+        });
         self
     }
 
@@ -222,16 +241,27 @@ impl BlockBuilder {
 
     /// `close(ch)`.
     pub fn close(&mut self, ch: &str, line: u32) -> &mut Self {
-        self.stmts.push(Stmt::Close { ch: Expr::var(ch), loc: self.ctx.loc(line) });
+        self.stmts.push(Stmt::Close {
+            ch: Expr::var(ch),
+            loc: self.ctx.loc(line),
+        });
         self
     }
 
     /// `select { ... }`; see [`SelectBuilder`].
     pub fn select(&mut self, line: u32, f: impl FnOnce(&mut SelectBuilder)) -> &mut Self {
-        let mut sb = SelectBuilder { parent: self, arms: Vec::new(), default: None };
+        let mut sb = SelectBuilder {
+            parent: self,
+            arms: Vec::new(),
+            default: None,
+        };
         f(&mut sb);
         let (arms, default) = (sb.arms, sb.default);
-        self.stmts.push(Stmt::Select { arms, default, loc: self.ctx.loc(line) });
+        self.stmts.push(Stmt::Select {
+            arms,
+            default,
+            loc: self.ctx.loc(line),
+        });
         self
     }
 
@@ -242,13 +272,21 @@ impl BlockBuilder {
         self.ctx.closures.set(n);
         let name = format!("{}${}", self.ctx.func, n);
         let body = self.sub(f);
-        self.stmts.push(Stmt::GoClosure { name, body, loc: self.ctx.loc(line) });
+        self.stmts.push(Stmt::GoClosure {
+            name,
+            body,
+            loc: self.ctx.loc(line),
+        });
         self
     }
 
     /// `go f(args...)`.
     pub fn go_call(&mut self, func: &str, args: Vec<Expr>, line: u32) -> &mut Self {
-        self.stmts.push(Stmt::GoCall { func: func.into(), args, loc: self.ctx.loc(line) });
+        self.stmts.push(Stmt::GoCall {
+            func: func.into(),
+            args,
+            loc: self.ctx.loc(line),
+        });
         self
     }
 
@@ -265,13 +303,19 @@ impl BlockBuilder {
 
     /// `return`.
     pub fn ret(&mut self, line: u32) -> &mut Self {
-        self.stmts.push(Stmt::Return { expr: None, loc: self.ctx.loc(line) });
+        self.stmts.push(Stmt::Return {
+            expr: None,
+            loc: self.ctx.loc(line),
+        });
         self
     }
 
     /// `return expr`.
     pub fn ret_val(&mut self, expr: impl Into<Expr>, line: u32) -> &mut Self {
-        self.stmts.push(Stmt::Return { expr: Some(expr.into()), loc: self.ctx.loc(line) });
+        self.stmts.push(Stmt::Return {
+            expr: Some(expr.into()),
+            loc: self.ctx.loc(line),
+        });
         self
     }
 
@@ -302,14 +346,23 @@ impl BlockBuilder {
     ) -> &mut Self {
         let t = self.sub(then);
         let e = self.sub(els);
-        self.stmts.push(Stmt::If { cond: cond.into(), then: t, els: e, loc: self.ctx.loc(line) });
+        self.stmts.push(Stmt::If {
+            cond: cond.into(),
+            then: t,
+            els: e,
+            loc: self.ctx.loc(line),
+        });
         self
     }
 
     /// `for { ... }`.
     pub fn loop_(&mut self, line: u32, f: impl FnOnce(&mut BlockBuilder)) -> &mut Self {
         let body = self.sub(f);
-        self.stmts.push(Stmt::While { cond: None, body, loc: self.ctx.loc(line) });
+        self.stmts.push(Stmt::While {
+            cond: None,
+            body,
+            loc: self.ctx.loc(line),
+        });
         self
     }
 
@@ -321,7 +374,11 @@ impl BlockBuilder {
         f: impl FnOnce(&mut BlockBuilder),
     ) -> &mut Self {
         let body = self.sub(f);
-        self.stmts.push(Stmt::While { cond: Some(cond.into()), body, loc: self.ctx.loc(line) });
+        self.stmts.push(Stmt::While {
+            cond: Some(cond.into()),
+            body,
+            loc: self.ctx.loc(line),
+        });
         self
     }
 
@@ -334,7 +391,12 @@ impl BlockBuilder {
         f: impl FnOnce(&mut BlockBuilder),
     ) -> &mut Self {
         let body = self.sub(f);
-        self.stmts.push(Stmt::ForN { var: var.into(), n: n.into(), body, loc: self.ctx.loc(line) });
+        self.stmts.push(Stmt::ForN {
+            var: var.into(),
+            n: n.into(),
+            body,
+            loc: self.ctx.loc(line),
+        });
         self
     }
 
@@ -358,25 +420,36 @@ impl BlockBuilder {
 
     /// `break`.
     pub fn brk(&mut self, line: u32) -> &mut Self {
-        self.stmts.push(Stmt::Break { loc: self.ctx.loc(line) });
+        self.stmts.push(Stmt::Break {
+            loc: self.ctx.loc(line),
+        });
         self
     }
 
     /// `continue`.
     pub fn cont(&mut self, line: u32) -> &mut Self {
-        self.stmts.push(Stmt::Continue { loc: self.ctx.loc(line) });
+        self.stmts.push(Stmt::Continue {
+            loc: self.ctx.loc(line),
+        });
         self
     }
 
     /// `time.Sleep(d)`.
     pub fn sleep(&mut self, d: impl Into<Expr>, line: u32) -> &mut Self {
-        self.stmts.push(Stmt::Sleep { d: d.into(), loc: self.ctx.loc(line) });
+        self.stmts.push(Stmt::Sleep {
+            d: d.into(),
+            loc: self.ctx.loc(line),
+        });
         self
     }
 
     /// `var := time.After(d)`.
     pub fn after(&mut self, var: &str, d: impl Into<Expr>, line: u32) -> &mut Self {
-        self.stmts.push(Stmt::After { var: var.into(), d: d.into(), loc: self.ctx.loc(line) });
+        self.stmts.push(Stmt::After {
+            var: var.into(),
+            d: d.into(),
+            loc: self.ctx.loc(line),
+        });
         self
     }
 
@@ -420,25 +493,38 @@ impl BlockBuilder {
 
     /// `cancel()`.
     pub fn cancel(&mut self, cancel_var: &str, line: u32) -> &mut Self {
-        self.stmts.push(Stmt::CancelCtx { ch: Expr::var(cancel_var), loc: self.ctx.loc(line) });
+        self.stmts.push(Stmt::CancelCtx {
+            ch: Expr::var(cancel_var),
+            loc: self.ctx.loc(line),
+        });
         self
     }
 
     /// Simulated blocking I/O or syscall.
     pub fn park(&mut self, reason: ParkReason, dur: Option<Expr>, line: u32) -> &mut Self {
-        self.stmts.push(Stmt::Park { reason, dur, loc: self.ctx.loc(line) });
+        self.stmts.push(Stmt::Park {
+            reason,
+            dur,
+            loc: self.ctx.loc(line),
+        });
         self
     }
 
     /// Attribute heap bytes to the goroutine.
     pub fn alloc(&mut self, bytes: impl Into<Expr>, line: u32) -> &mut Self {
-        self.stmts.push(Stmt::Alloc { bytes: bytes.into(), loc: self.ctx.loc(line) });
+        self.stmts.push(Stmt::Alloc {
+            bytes: bytes.into(),
+            loc: self.ctx.loc(line),
+        });
         self
     }
 
     /// Consume abstract CPU work.
     pub fn work(&mut self, units: impl Into<Expr>, line: u32) -> &mut Self {
-        self.stmts.push(Stmt::Work { units: units.into(), loc: self.ctx.loc(line) });
+        self.stmts.push(Stmt::Work {
+            units: units.into(),
+            loc: self.ctx.loc(line),
+        });
         self
     }
 
@@ -446,7 +532,10 @@ impl BlockBuilder {
     pub fn defer_close(&mut self, ch: &str, line: u32) -> &mut Self {
         let loc = self.ctx.loc(line);
         self.stmts.push(Stmt::Defer {
-            stmt: Box::new(Stmt::Close { ch: Expr::var(ch), loc: loc.clone() }),
+            stmt: Box::new(Stmt::Close {
+                ch: Expr::var(ch),
+                loc: loc.clone(),
+            }),
             loc,
         });
         self
@@ -456,7 +545,10 @@ impl BlockBuilder {
     pub fn defer_cancel(&mut self, cancel_var: &str, line: u32) -> &mut Self {
         let loc = self.ctx.loc(line);
         self.stmts.push(Stmt::Defer {
-            stmt: Box::new(Stmt::CancelCtx { ch: Expr::var(cancel_var), loc: loc.clone() }),
+            stmt: Box::new(Stmt::CancelCtx {
+                ch: Expr::var(cancel_var),
+                loc: loc.clone(),
+            }),
             loc,
         });
         self
@@ -466,7 +558,10 @@ impl BlockBuilder {
     pub fn defer_wg_done(&mut self, wg: &str, line: u32) -> &mut Self {
         let loc = self.ctx.loc(line);
         self.stmts.push(Stmt::Defer {
-            stmt: Box::new(Stmt::WgDone { wg: Expr::var(wg), loc: loc.clone() }),
+            stmt: Box::new(Stmt::WgDone {
+                wg: Expr::var(wg),
+                loc: loc.clone(),
+            }),
             loc,
         });
         self
@@ -474,13 +569,19 @@ impl BlockBuilder {
 
     /// `panic(msg)`.
     pub fn panic_(&mut self, msg: &str, line: u32) -> &mut Self {
-        self.stmts.push(Stmt::Panic { msg: msg.into(), loc: self.ctx.loc(line) });
+        self.stmts.push(Stmt::Panic {
+            msg: msg.into(),
+            loc: self.ctx.loc(line),
+        });
         self
     }
 
     /// `var wg sync.WaitGroup`.
     pub fn make_wg(&mut self, var: &str, line: u32) -> &mut Self {
-        self.stmts.push(Stmt::MakeWg { var: var.into(), loc: self.ctx.loc(line) });
+        self.stmts.push(Stmt::MakeWg {
+            var: var.into(),
+            loc: self.ctx.loc(line),
+        });
         self
     }
 
@@ -496,31 +597,46 @@ impl BlockBuilder {
 
     /// `wg.Done()`.
     pub fn wg_done(&mut self, wg: &str, line: u32) -> &mut Self {
-        self.stmts.push(Stmt::WgDone { wg: Expr::var(wg), loc: self.ctx.loc(line) });
+        self.stmts.push(Stmt::WgDone {
+            wg: Expr::var(wg),
+            loc: self.ctx.loc(line),
+        });
         self
     }
 
     /// `wg.Wait()`.
     pub fn wg_wait(&mut self, wg: &str, line: u32) -> &mut Self {
-        self.stmts.push(Stmt::WgWait { wg: Expr::var(wg), loc: self.ctx.loc(line) });
+        self.stmts.push(Stmt::WgWait {
+            wg: Expr::var(wg),
+            loc: self.ctx.loc(line),
+        });
         self
     }
 
     /// `var mu sync.Mutex`.
     pub fn make_mutex(&mut self, var: &str, line: u32) -> &mut Self {
-        self.stmts.push(Stmt::MakeMutex { var: var.into(), loc: self.ctx.loc(line) });
+        self.stmts.push(Stmt::MakeMutex {
+            var: var.into(),
+            loc: self.ctx.loc(line),
+        });
         self
     }
 
     /// `mu.Lock()`.
     pub fn lock(&mut self, mu: &str, line: u32) -> &mut Self {
-        self.stmts.push(Stmt::Lock { mu: Expr::var(mu), loc: self.ctx.loc(line) });
+        self.stmts.push(Stmt::Lock {
+            mu: Expr::var(mu),
+            loc: self.ctx.loc(line),
+        });
         self
     }
 
     /// `mu.Unlock()`.
     pub fn unlock(&mut self, mu: &str, line: u32) -> &mut Self {
-        self.stmts.push(Stmt::Unlock { mu: Expr::var(mu), loc: self.ctx.loc(line) });
+        self.stmts.push(Stmt::Unlock {
+            mu: Expr::var(mu),
+            loc: self.ctx.loc(line),
+        });
         self
     }
 }
@@ -544,7 +660,11 @@ impl SelectBuilder<'_> {
     ) -> &mut Self {
         let b = self.parent.sub(body);
         self.arms.push(Arm {
-            op: ArmIr::Recv { var: var.map(|s| s.to_string()), ok: None, ch: Expr::var(ch) },
+            op: ArmIr::Recv {
+                var: var.map(|s| s.to_string()),
+                ok: None,
+                ch: Expr::var(ch),
+            },
             body: b,
             loc: self.parent.ctx.loc(line),
         });
@@ -583,7 +703,10 @@ impl SelectBuilder<'_> {
     ) -> &mut Self {
         let b = self.parent.sub(body);
         self.arms.push(Arm {
-            op: ArmIr::Send { ch: Expr::var(ch), val: val.into() },
+            op: ArmIr::Send {
+                ch: Expr::var(ch),
+                val: val.into(),
+            },
             body: b,
             loc: self.parent.ctx.loc(line),
         });

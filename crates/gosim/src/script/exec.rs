@@ -23,23 +23,53 @@ const FUEL: u32 = 4_096;
 
 #[derive(Debug)]
 enum Cursor {
-    Seq { block: Block, idx: usize },
-    While { body: Block, idx: usize, cond: Option<Expr> },
-    ForN { body: Block, idx: usize, var: String, i: i64, total: i64 },
-    Range { body: Block, idx: usize, var: Option<String>, ch: Val, loc: Loc, in_body: bool },
+    Seq {
+        block: Block,
+        idx: usize,
+    },
+    While {
+        body: Block,
+        idx: usize,
+        cond: Option<Expr>,
+    },
+    ForN {
+        body: Block,
+        idx: usize,
+        var: String,
+        i: i64,
+        total: i64,
+    },
+    Range {
+        body: Block,
+        idx: usize,
+        var: Option<String>,
+        ch: Val,
+        loc: Loc,
+        in_body: bool,
+    },
 }
 
 #[derive(Debug)]
 enum Pending {
     None,
     /// Bind the outcome of a plain receive.
-    Store { var: Option<String>, ok: Option<String> },
+    Store {
+        var: Option<String>,
+        ok: Option<String>,
+    },
     /// Bind a `Resume::Made` handle into one or two variables.
-    Made { var: String, extra: Option<String> },
+    Made {
+        var: String,
+        extra: Option<String>,
+    },
     /// Deliver a receive outcome to the innermost `Range` cursor.
     Range,
     /// Dispatch a completed `select`.
-    Select { binds: Vec<ArmBind>, bodies: Vec<Block>, default: Option<Block> },
+    Select {
+        binds: Vec<ArmBind>,
+        bodies: Vec<Block>,
+        default: Option<Block>,
+    },
 }
 
 #[derive(Debug)]
@@ -73,7 +103,10 @@ impl CallFrame {
             display,
             file: file.clone(),
             env,
-            cursors: vec![Cursor::Seq { block: body, idx: 0 }],
+            cursors: vec![Cursor::Seq {
+                block: body,
+                idx: 0,
+            }],
             cur_loc: Loc::new(file, 0),
             defers: Vec::new(),
             running_defers: false,
@@ -128,9 +161,18 @@ impl ScriptProc {
             args.len()
         );
         let env = def.params.iter().cloned().zip(args).collect();
-        let frame =
-            CallFrame::new(def.name.clone(), def.file.clone(), env, def.body.clone(), None);
-        ScriptProc { prog, frames: vec![frame], finished: false }
+        let frame = CallFrame::new(
+            def.name.clone(),
+            def.file.clone(),
+            env,
+            def.body.clone(),
+            None,
+        );
+        ScriptProc {
+            prog,
+            frames: vec![frame],
+            finished: false,
+        }
     }
 
     /// Creates a process for an anonymous closure body with a captured
@@ -143,7 +185,11 @@ impl ScriptProc {
         body: Block,
     ) -> ScriptProc {
         let frame = CallFrame::new(display, file, env, body, None);
-        ScriptProc { prog, frames: vec![frame], finished: false }
+        ScriptProc {
+            prog,
+            frames: vec![frame],
+            finished: false,
+        }
     }
 
     fn top(&mut self) -> &mut CallFrame {
@@ -152,7 +198,11 @@ impl ScriptProc {
 
     fn fail(&mut self, msg: String) -> Effect {
         self.finished = true;
-        let loc = self.frames.last().map(|f| f.cur_loc.clone()).unwrap_or_default();
+        let loc = self
+            .frames
+            .last()
+            .map(|f| f.cur_loc.clone())
+            .unwrap_or_default();
         Effect::Panic { msg, loc }
     }
 
@@ -193,7 +243,9 @@ impl ScriptProc {
                 Resume::Received { val, ok } => {
                     let frame = self.top();
                     let bind: Option<String> = match frame.cursors.last_mut() {
-                        Some(Cursor::Range { var, in_body, idx, .. }) => {
+                        Some(Cursor::Range {
+                            var, in_body, idx, ..
+                        }) => {
                             if ok {
                                 *in_body = true;
                                 *idx = 0;
@@ -215,7 +267,11 @@ impl ScriptProc {
                 }
                 other => Err(format!("expected receive outcome for range, got {other:?}")),
             },
-            Pending::Select { binds, bodies, default } => match r {
+            Pending::Select {
+                binds,
+                bodies,
+                default,
+            } => match r {
                 Resume::Selected { arm, recv } => {
                     let frame = self.top();
                     match arm {
@@ -230,7 +286,10 @@ impl ScriptProc {
                                 }
                             }
                             let body = bodies[i].clone();
-                            frame.cursors.push(Cursor::Seq { block: body, idx: 0 });
+                            frame.cursors.push(Cursor::Seq {
+                                block: body,
+                                idx: 0,
+                            });
                         }
                         None => {
                             if let Some(d) = default {
@@ -270,9 +329,8 @@ impl ScriptProc {
                         let proceed = match cond {
                             None => true,
                             Some(c) => {
-                                let v = eval(c, &frame.env).map_err(|e| {
-                                    Some(self_fail_placeholder(e))
-                                })?;
+                                let v = eval(c, &frame.env)
+                                    .map_err(|e| Some(self_fail_placeholder(e)))?;
                                 match v.as_bool() {
                                     Some(b) => b,
                                     None => {
@@ -300,7 +358,13 @@ impl ScriptProc {
                     }
                     *idx = 0; // back-edge; condition re-checked next pass
                 }
-                Cursor::ForN { body, idx, var, i, total } => {
+                Cursor::ForN {
+                    body,
+                    idx,
+                    var,
+                    i,
+                    total,
+                } => {
                     if *idx == 0 {
                         if *i >= *total {
                             frame.cursors.pop();
@@ -320,7 +384,14 @@ impl ScriptProc {
                     *idx = 0;
                     *i += 1;
                 }
-                Cursor::Range { body, idx, ch, loc, in_body, .. } => {
+                Cursor::Range {
+                    body,
+                    idx,
+                    ch,
+                    loc,
+                    in_body,
+                    ..
+                } => {
                     if !*in_body {
                         let ch = ch.clone();
                         let loc = loc.clone();
@@ -352,8 +423,16 @@ impl ScriptProc {
                 self.top().env.insert(var, v);
                 Ok(StepOut::Flow)
             }
-            Stmt::MakeChan { var, cap, elem, loc } => {
-                let cap = self.eval_top(&cap)?.as_int().ok_or("channel capacity must be int")?;
+            Stmt::MakeChan {
+                var,
+                cap,
+                elem,
+                loc,
+            } => {
+                let cap = self
+                    .eval_top(&cap)?
+                    .as_int()
+                    .ok_or("channel capacity must be int")?;
                 if cap < 0 {
                     return Err("makechan: size out of range".into());
                 }
@@ -382,25 +461,47 @@ impl ScriptProc {
                 let mut sel_arms = Vec::with_capacity(arms.len());
                 let mut binds = Vec::with_capacity(arms.len());
                 let mut bodies = Vec::with_capacity(arms.len());
-                for Arm { op, body, loc: aloc } in arms {
+                for Arm {
+                    op,
+                    body,
+                    loc: aloc,
+                } in arms
+                {
                     match op {
                         ArmIr::Recv { var, ok, ch } => {
                             let ch = self.eval_top(&ch)?;
-                            sel_arms.push(SelectArm { op: ArmOp::Recv { ch }, loc: aloc });
+                            sel_arms.push(SelectArm {
+                                op: ArmOp::Recv { ch },
+                                loc: aloc,
+                            });
                             binds.push(ArmBind { var, ok });
                         }
                         ArmIr::Send { ch, val } => {
                             let ch = self.eval_top(&ch)?;
                             let val = self.eval_top(&val)?;
-                            sel_arms.push(SelectArm { op: ArmOp::Send { ch, val }, loc: aloc });
-                            binds.push(ArmBind { var: None, ok: None });
+                            sel_arms.push(SelectArm {
+                                op: ArmOp::Send { ch, val },
+                                loc: aloc,
+                            });
+                            binds.push(ArmBind {
+                                var: None,
+                                ok: None,
+                            });
                         }
                     }
                     bodies.push(body);
                 }
                 let has_default = default.is_some();
-                self.top().pending = Pending::Select { binds, bodies, default };
-                Ok(StepOut::Eff(Effect::Select { arms: sel_arms, has_default, loc }))
+                self.top().pending = Pending::Select {
+                    binds,
+                    bodies,
+                    default,
+                };
+                Ok(StepOut::Eff(Effect::Select {
+                    arms: sel_arms,
+                    has_default,
+                    loc,
+                }))
             }
             Stmt::GoClosure { name, body, loc } => {
                 let frame = self.top();
@@ -408,7 +509,11 @@ impl ScriptProc {
                 let file = frame.file.clone();
                 let child =
                     ScriptProc::for_closure(self.prog.clone(), name.clone(), file, env, body);
-                Ok(StepOut::Eff(Effect::Go { body: Box::new(child), name, loc }))
+                Ok(StepOut::Eff(Effect::Go {
+                    body: Box::new(child),
+                    name,
+                    loc,
+                }))
             }
             Stmt::GoCall { func, args, loc } => {
                 let def = self
@@ -427,11 +532,19 @@ impl ScriptProc {
                     argv.push(self.eval_top(a)?);
                 }
                 let child = ScriptProc::for_func(self.prog.clone(), def, argv);
-                Ok(StepOut::Eff(Effect::Go { body: Box::new(child), name: func, loc }))
+                Ok(StepOut::Eff(Effect::Go {
+                    body: Box::new(child),
+                    name: func,
+                    loc,
+                }))
             }
-            Stmt::Call { ret, func, args, .. } => {
-                let def =
-                    self.prog.func(&func).ok_or_else(|| format!("undefined function {func}"))?;
+            Stmt::Call {
+                ret, func, args, ..
+            } => {
+                let def = self
+                    .prog
+                    .func(&func)
+                    .ok_or_else(|| format!("undefined function {func}"))?;
                 if def.params.len() != args.len() {
                     return Err(format!(
                         "call {func}: want {} args, got {}",
@@ -463,22 +576,40 @@ impl ScriptProc {
                 self.begin_return();
                 Ok(StepOut::Flow)
             }
-            Stmt::If { cond, then, els, .. } => {
+            Stmt::If {
+                cond, then, els, ..
+            } => {
                 let v = self.eval_top(&cond)?;
-                let b = v.as_bool().ok_or_else(|| format!("non-boolean if condition: {v}"))?;
+                let b = v
+                    .as_bool()
+                    .ok_or_else(|| format!("non-boolean if condition: {v}"))?;
                 let blockref = if b { then } else { els };
                 if !blockref.is_empty() {
-                    self.top().cursors.push(Cursor::Seq { block: blockref, idx: 0 });
+                    self.top().cursors.push(Cursor::Seq {
+                        block: blockref,
+                        idx: 0,
+                    });
                 }
                 Ok(StepOut::Flow)
             }
             Stmt::While { cond, body, .. } => {
-                self.top().cursors.push(Cursor::While { body, idx: 0, cond });
+                self.top()
+                    .cursors
+                    .push(Cursor::While { body, idx: 0, cond });
                 Ok(StepOut::Flow)
             }
             Stmt::ForN { var, n, body, .. } => {
-                let total = self.eval_top(&n)?.as_int().ok_or("for: count must be int")?;
-                self.top().cursors.push(Cursor::ForN { body, idx: 0, var, i: 0, total });
+                let total = self
+                    .eval_top(&n)?
+                    .as_int()
+                    .ok_or("for: count must be int")?;
+                self.top().cursors.push(Cursor::ForN {
+                    body,
+                    idx: 0,
+                    var,
+                    i: 0,
+                    total,
+                });
                 Ok(StepOut::Flow)
             }
             Stmt::ForRange { var, ch, body, loc } => {
@@ -502,28 +633,56 @@ impl ScriptProc {
                 Ok(StepOut::Flow)
             }
             Stmt::Sleep { d, loc } => {
-                let t = self.eval_top(&d)?.as_int().ok_or("sleep: duration must be int")?;
-                Ok(StepOut::Eff(Effect::Sleep { ticks: t.max(0) as u64, loc }))
+                let t = self
+                    .eval_top(&d)?
+                    .as_int()
+                    .ok_or("sleep: duration must be int")?;
+                Ok(StepOut::Eff(Effect::Sleep {
+                    ticks: t.max(0) as u64,
+                    loc,
+                }))
             }
             Stmt::After { var, d, loc } => {
-                let t = self.eval_top(&d)?.as_int().ok_or("after: duration must be int")?;
+                let t = self
+                    .eval_top(&d)?
+                    .as_int()
+                    .ok_or("after: duration must be int")?;
                 self.top().pending = Pending::Made { var, extra: None };
-                Ok(StepOut::Eff(Effect::After { ticks: t.max(0) as u64, loc }))
+                Ok(StepOut::Eff(Effect::After {
+                    ticks: t.max(0) as u64,
+                    loc,
+                }))
             }
             Stmt::TickCh { var, period, loc } => {
-                let t = self.eval_top(&period)?.as_int().ok_or("tick: period must be int")?;
+                let t = self
+                    .eval_top(&period)?
+                    .as_int()
+                    .ok_or("tick: period must be int")?;
                 self.top().pending = Pending::Made { var, extra: None };
-                Ok(StepOut::Eff(Effect::TickChan { period: t.max(1) as u64, loc }))
+                Ok(StepOut::Eff(Effect::TickChan {
+                    period: t.max(1) as u64,
+                    loc,
+                }))
             }
-            Stmt::CtxWithTimeout { ctx_var, cancel_var, d, loc } => {
+            Stmt::CtxWithTimeout {
+                ctx_var,
+                cancel_var,
+                d,
+                loc,
+            } => {
                 let ticks = match d {
                     Some(e) => Some(
-                        self.eval_top(&e)?.as_int().ok_or("ctx: deadline must be int")?.max(0)
-                            as u64,
+                        self.eval_top(&e)?
+                            .as_int()
+                            .ok_or("ctx: deadline must be int")?
+                            .max(0) as u64,
                     ),
                     None => None,
                 };
-                self.top().pending = Pending::Made { var: ctx_var, extra: Some(cancel_var) };
+                self.top().pending = Pending::Made {
+                    var: ctx_var,
+                    extra: Some(cancel_var),
+                };
                 Ok(StepOut::Eff(Effect::CtxTimeout { ticks, loc }))
             }
             Stmt::CancelCtx { ch, loc } => {
@@ -532,21 +691,35 @@ impl ScriptProc {
             }
             Stmt::Park { reason, dur, loc } => {
                 let wake_after = match dur {
-                    Some(e) => {
-                        Some(self.eval_top(&e)?.as_int().ok_or("park: duration must be int")?
-                            .max(0) as u64)
-                    }
+                    Some(e) => Some(
+                        self.eval_top(&e)?
+                            .as_int()
+                            .ok_or("park: duration must be int")?
+                            .max(0) as u64,
+                    ),
                     None => None,
                 };
-                Ok(StepOut::Eff(Effect::Park { reason, wake_after, loc }))
+                Ok(StepOut::Eff(Effect::Park {
+                    reason,
+                    wake_after,
+                    loc,
+                }))
             }
             Stmt::Alloc { bytes, .. } => {
-                let b = self.eval_top(&bytes)?.as_int().ok_or("alloc: bytes must be int")?;
+                let b = self
+                    .eval_top(&bytes)?
+                    .as_int()
+                    .ok_or("alloc: bytes must be int")?;
                 Ok(StepOut::Eff(Effect::Alloc { bytes: b }))
             }
             Stmt::Work { units, .. } => {
-                let u = self.eval_top(&units)?.as_int().ok_or("work: units must be int")?;
-                Ok(StepOut::Eff(Effect::Work { units: u.max(0) as u64 }))
+                let u = self
+                    .eval_top(&units)?
+                    .as_int()
+                    .ok_or("work: units must be int")?;
+                Ok(StepOut::Eff(Effect::Work {
+                    units: u.max(0) as u64,
+                }))
             }
             Stmt::Defer { stmt, .. } => {
                 self.top().defers.push(*stmt);
@@ -559,12 +732,23 @@ impl ScriptProc {
             }
             Stmt::WgAdd { wg, delta, loc } => {
                 let w = self.eval_top(&wg)?;
-                let d = self.eval_top(&delta)?.as_int().ok_or("wg.Add: delta must be int")?;
-                Ok(StepOut::Eff(Effect::WgAdd { wg: w, delta: d, loc }))
+                let d = self
+                    .eval_top(&delta)?
+                    .as_int()
+                    .ok_or("wg.Add: delta must be int")?;
+                Ok(StepOut::Eff(Effect::WgAdd {
+                    wg: w,
+                    delta: d,
+                    loc,
+                }))
             }
             Stmt::WgDone { wg, loc } => {
                 let w = self.eval_top(&wg)?;
-                Ok(StepOut::Eff(Effect::WgAdd { wg: w, delta: -1, loc }))
+                Ok(StepOut::Eff(Effect::WgAdd {
+                    wg: w,
+                    delta: -1,
+                    loc,
+                }))
             }
             Stmt::WgWait { wg, loc } => {
                 let w = self.eval_top(&wg)?;
@@ -611,7 +795,10 @@ impl ScriptProc {
             frame.running_defers = true;
             let mut defers = std::mem::take(&mut frame.defers);
             defers.reverse();
-            frame.cursors.push(Cursor::Seq { block: Rc::new(defers), idx: 0 });
+            frame.cursors.push(Cursor::Seq {
+                block: Rc::new(defers),
+                idx: 0,
+            });
         }
     }
 
@@ -669,7 +856,10 @@ impl ScriptProc {
 /// Placeholder effect used to smuggle evaluation failures out of
 /// `next_stmt`'s error channel; replaced by a proper panic by the caller.
 fn self_fail_placeholder(msg: String) -> Effect {
-    Effect::Panic { msg, loc: Loc::unknown() }
+    Effect::Panic {
+        msg,
+        loc: Loc::unknown(),
+    }
 }
 
 impl Process for ScriptProc {
@@ -732,12 +922,15 @@ impl Process for ScriptProc {
 pub fn eval(e: &Expr, env: &HashMap<String, Val>) -> Result<Val, String> {
     match e {
         Expr::Lit(v) => Ok(v.clone()),
-        Expr::Var(name) => {
-            env.get(name).cloned().ok_or_else(|| format!("undefined variable {name}"))
-        }
+        Expr::Var(name) => env
+            .get(name)
+            .cloned()
+            .ok_or_else(|| format!("undefined variable {name}")),
         Expr::Not(inner) => {
             let v = eval(inner, env)?;
-            v.as_bool().map(|b| Val::Bool(!b)).ok_or_else(|| format!("!{v} is not boolean"))
+            v.as_bool()
+                .map(|b| Val::Bool(!b))
+                .ok_or_else(|| format!("!{v} is not boolean"))
         }
         Expr::Len(inner) => {
             let v = eval(inner, env)?;
@@ -811,7 +1004,10 @@ mod tests {
     use super::*;
 
     fn env_of(pairs: &[(&str, Val)]) -> HashMap<String, Val> {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
     }
 
     #[test]
@@ -850,16 +1046,28 @@ mod tests {
     #[test]
     fn eval_string_concat_and_eq() {
         let env = HashMap::new();
-        let e = Expr::Bin(BinOp::Add, Box::new(Expr::str("a")), Box::new(Expr::str("b")));
+        let e = Expr::Bin(
+            BinOp::Add,
+            Box::new(Expr::str("a")),
+            Box::new(Expr::str("b")),
+        );
         assert_eq!(eval(&e, &env).unwrap(), Val::Str("ab".into()));
-        let q = Expr::Bin(BinOp::Eq, Box::new(Expr::str("a")), Box::new(Expr::str("a")));
+        let q = Expr::Bin(
+            BinOp::Eq,
+            Box::new(Expr::str("a")),
+            Box::new(Expr::str("a")),
+        );
         assert_eq!(eval(&q, &env).unwrap(), Val::Bool(true));
     }
 
     #[test]
     fn invalid_binop_reports_types() {
         let env = HashMap::new();
-        let e = Expr::Bin(BinOp::Add, Box::new(Expr::int(1)), Box::new(Expr::bool(true)));
+        let e = Expr::Bin(
+            BinOp::Add,
+            Box::new(Expr::int(1)),
+            Box::new(Expr::bool(true)),
+        );
         assert!(eval(&e, &env).is_err());
     }
 }

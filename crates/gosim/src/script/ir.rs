@@ -538,8 +538,13 @@ struct ProgInner {
 impl Prog {
     /// Creates a program from a list of functions.
     pub fn new(funcs: Vec<FuncDef>) -> Prog {
-        let funcs = funcs.into_iter().map(|f| (f.name.clone(), Rc::new(f))).collect();
-        Prog { inner: Rc::new(ProgInner { funcs }) }
+        let funcs = funcs
+            .into_iter()
+            .map(|f| (f.name.clone(), Rc::new(f)))
+            .collect();
+        Prog {
+            inner: Rc::new(ProgInner { funcs }),
+        }
     }
 
     /// Builds a program with the fluent builder API.
@@ -577,7 +582,8 @@ impl Prog {
     ///
     /// Panics if the program has no `main` function.
     pub fn spawn_main(&self, rt: &mut crate::Runtime) -> crate::Gid {
-        self.spawn_func(rt, "main", vec![]).expect("program has no `main` function")
+        self.spawn_func(rt, "main", vec![])
+            .expect("program has no `main` function")
     }
 
     /// Spawns the named function as a goroutine with the given arguments.
@@ -624,7 +630,9 @@ mod tests {
 
     #[test]
     fn stmt_loc_extraction() {
-        let s = Stmt::Break { loc: Loc::new("a.go", 9) };
+        let s = Stmt::Break {
+            loc: Loc::new("a.go", 9),
+        };
         assert_eq!(s.loc().line, 9);
         assert!(Stmt::Nop.loc().is_unknown());
     }

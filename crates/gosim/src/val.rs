@@ -105,6 +105,9 @@ impl Val {
     }
 }
 
+// Kept manual: the in-tree serde derive does not parse `#[default]`
+// variant attributes, so `#[derive(Default)]` is unavailable here.
+#[allow(clippy::derivable_impls)]
 impl Default for Val {
     fn default() -> Self {
         Val::Unit

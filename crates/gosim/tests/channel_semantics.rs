@@ -141,7 +141,11 @@ fn send_on_closed_channel_panics() {
     let rt = run(&prog, 0);
     assert_eq!(rt.stats().panicked, 1);
     let exit = &rt.exits()[0];
-    assert!(exit.panic.as_deref().unwrap().contains("send on closed channel"));
+    assert!(exit
+        .panic
+        .as_deref()
+        .unwrap()
+        .contains("send on closed channel"));
 }
 
 #[test]
@@ -155,7 +159,11 @@ fn close_of_closed_channel_panics() {
     });
     let rt = run(&prog, 0);
     assert_eq!(rt.stats().panicked, 1);
-    assert!(rt.exits()[0].panic.as_deref().unwrap().contains("close of closed channel"));
+    assert!(rt.exits()[0]
+        .panic
+        .as_deref()
+        .unwrap()
+        .contains("close of closed channel"));
 }
 
 #[test]
@@ -175,10 +183,11 @@ fn close_wakes_blocked_senders_with_panic() {
     rt.advance(100, 100_000);
     assert_eq!(rt.live_count(), 0);
     assert_eq!(rt.stats().panicked, 1);
-    assert!(rt
-        .exits()
-        .iter()
-        .any(|e| e.panic.as_deref().unwrap_or("").contains("send on closed channel")));
+    assert!(rt.exits().iter().any(|e| e
+        .panic
+        .as_deref()
+        .unwrap_or("")
+        .contains("send on closed channel")));
 }
 
 #[test]
@@ -191,7 +200,11 @@ fn close_of_nil_channel_panics() {
     });
     let rt = run(&prog, 0);
     assert_eq!(rt.stats().panicked, 1);
-    assert!(rt.exits()[0].panic.as_deref().unwrap().contains("close of nil channel"));
+    assert!(rt.exits()[0]
+        .panic
+        .as_deref()
+        .unwrap()
+        .contains("close of nil channel"));
 }
 
 #[test]
@@ -262,7 +275,10 @@ fn select_only_nil_arms_blocks_forever() {
     });
     let rt = run(&prog, 0);
     assert_eq!(rt.live_count(), 1);
-    assert_eq!(rt.goroutine_profile("t").goroutines[0].status, GoStatus::Select { ncases: 1 });
+    assert_eq!(
+        rt.goroutine_profile("t").goroutines[0].status,
+        GoStatus::Select { ncases: 1 }
+    );
 }
 
 #[test]
@@ -474,7 +490,7 @@ fn double_send_leak() {
             b.make_chan("ch", 0, 1);
             b.go_closure(2, |g| {
                 g.send("ch", Expr::int(0), 5); // error path: sends nil
-                // BUG: missing return here
+                                               // BUG: missing return here
                 g.send("ch", Expr::int(1), 7); // second send leaks
             });
             b.recv("ch", 11);
@@ -508,10 +524,16 @@ fn external_send_and_close_apis() {
     let ch = rt.make_chan(1, Val::Int(0), gosim::Loc::new("h.go", 1));
     assert!(rt.external_send(ch, Val::Int(5)));
     assert_eq!(rt.chan_len(ch), Some(1));
-    assert!(!rt.external_send(ch, Val::Int(6)), "buffer full, nonblocking drop");
+    assert!(
+        !rt.external_send(ch, Val::Int(6)),
+        "buffer full, nonblocking drop"
+    );
     rt.external_close(ch);
     assert_eq!(rt.chan_closed(ch), Some(true));
-    assert!(!rt.external_send(ch, Val::Int(7)), "send on closed is dropped externally");
+    assert!(
+        !rt.external_send(ch, Val::Int(7)),
+        "send on closed is dropped externally"
+    );
 }
 
 #[test]

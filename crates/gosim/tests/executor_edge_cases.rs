@@ -183,12 +183,16 @@ fn undefined_variable_panics_the_goroutine_only() {
     });
     let rt = run(&prog, 0);
     assert_eq!(rt.stats().panicked, 1);
+    assert!(rt.exits().iter().any(|e| e
+        .panic
+        .as_deref()
+        .unwrap_or("")
+        .contains("undefined variable")));
+    // main itself completed fine
     assert!(rt
         .exits()
         .iter()
-        .any(|e| e.panic.as_deref().unwrap_or("").contains("undefined variable")));
-    // main itself completed fine
-    assert!(rt.exits().iter().any(|e| e.name == "main" && e.panic.is_none()));
+        .any(|e| e.name == "main" && e.panic.is_none()));
 }
 
 #[test]
@@ -208,7 +212,11 @@ fn division_by_zero_is_a_clean_panic() {
     });
     let rt = run(&prog, 0);
     assert_eq!(rt.stats().panicked, 1);
-    assert!(rt.exits()[0].panic.as_deref().unwrap().contains("divide by zero"));
+    assert!(rt.exits()[0]
+        .panic
+        .as_deref()
+        .unwrap()
+        .contains("divide by zero"));
 }
 
 #[test]
@@ -236,7 +244,10 @@ fn aggregated_profile_groups_identical_stacks() {
     assert!(agg.contains("goroutine profile: total 51"), "{agg}");
     // The long form lists all goroutines individually (header excluded).
     let long = profile.render();
-    assert_eq!(long.lines().filter(|l| l.starts_with("goroutine ")).count(), 51);
+    assert_eq!(
+        long.lines().filter(|l| l.starts_with("goroutine ")).count(),
+        51
+    );
 }
 
 #[test]
@@ -258,7 +269,11 @@ fn nested_closures_get_hierarchical_names() {
     assert!(names.contains(&"main$1"), "{names:?}");
     assert!(names.contains(&"main$2"), "{names:?}");
     // The inner goroutine's creator is the outer closure.
-    let inner = profile.goroutines.iter().find(|g| g.name == "main$2").unwrap();
+    let inner = profile
+        .goroutines
+        .iter()
+        .find(|g| g.name == "main$2")
+        .unwrap();
     assert_eq!(inner.created_by.func, "main$1");
 }
 
@@ -289,7 +304,11 @@ fn negative_channel_capacity_panics_like_go() {
     });
     let rt = run(&prog, 0);
     assert_eq!(rt.stats().panicked, 1);
-    assert!(rt.exits()[0].panic.as_deref().unwrap().contains("size out of range"));
+    assert!(rt.exits()[0]
+        .panic
+        .as_deref()
+        .unwrap()
+        .contains("size out of range"));
 }
 
 #[test]
@@ -312,8 +331,15 @@ fn profile_status_mix_is_deterministic_per_seed() {
     };
     let statuses = |seed| {
         let rt = run(&build(), seed);
-        rt.goroutine_profile("d").goroutines.iter().map(|g| g.status).collect::<Vec<_>>()
+        rt.goroutine_profile("d")
+            .goroutines
+            .iter()
+            .map(|g| g.status)
+            .collect::<Vec<_>>()
     };
     assert_eq!(statuses(11), statuses(11));
-    assert_eq!(statuses(11), vec![GoStatus::ChanReceive { nil_chan: false }]);
+    assert_eq!(
+        statuses(11),
+        vec![GoStatus::ChanReceive { nil_chan: false }]
+    );
 }

@@ -23,7 +23,10 @@ fn sleep_wakes_after_duration() {
     prog.spawn_main(&mut rt);
     rt.run_until_blocked(100);
     assert_eq!(rt.live_count(), 1);
-    assert_eq!(rt.goroutine_profile("t").goroutines[0].status, GoStatus::Sleep);
+    assert_eq!(
+        rt.goroutine_profile("t").goroutines[0].status,
+        GoStatus::Sleep
+    );
     rt.advance(49, 1000);
     assert_eq!(rt.live_count(), 1, "not yet due");
     rt.advance(1, 1000);
@@ -138,7 +141,11 @@ fn context_timeout_closes_done_channel() {
     let mut rt2 = Runtime::with_seed(1);
     fixed.spawn_func(&mut rt2, "pkg.Handler", vec![]);
     rt2.advance(200, 1_000_000);
-    assert_eq!(rt2.live_count(), 0, "buffered channel absorbs the late send");
+    assert_eq!(
+        rt2.live_count(),
+        0,
+        "buffered channel absorbs the late send"
+    );
 }
 
 #[test]
@@ -220,7 +227,10 @@ fn waitgroup_waits_for_all_children() {
     prog.spawn_main(&mut rt);
     rt.run_until_blocked(10_000);
     assert_eq!(rt.live_count(), 4, "main waits, children sleep");
-    assert_eq!(rt.goroutine_profile("t").goroutines[0].status, GoStatus::SemAcquire);
+    assert_eq!(
+        rt.goroutine_profile("t").goroutines[0].status,
+        GoStatus::SemAcquire
+    );
     rt.advance(10, 10_000);
     assert_eq!(rt.live_count(), 0);
 }
@@ -240,7 +250,10 @@ fn forgotten_wg_done_leaks_waiter() {
     });
     let rt = advance_run(&prog, 0, 100);
     assert_eq!(rt.live_count(), 1);
-    assert_eq!(rt.goroutine_profile("t").goroutines[0].status, GoStatus::SemAcquire);
+    assert_eq!(
+        rt.goroutine_profile("t").goroutines[0].status,
+        GoStatus::SemAcquire
+    );
 }
 
 #[test]
@@ -253,7 +266,11 @@ fn negative_waitgroup_counter_panics() {
     });
     let rt = advance_run(&prog, 0, 10);
     assert_eq!(rt.stats().panicked, 1);
-    assert!(rt.exits()[0].panic.as_deref().unwrap().contains("negative WaitGroup"));
+    assert!(rt.exits()[0]
+        .panic
+        .as_deref()
+        .unwrap()
+        .contains("negative WaitGroup"));
 }
 
 #[test]
@@ -300,7 +317,10 @@ fn forgotten_unlock_deadlocks_second_locker() {
     });
     let rt = advance_run(&prog, 0, 100);
     assert_eq!(rt.live_count(), 1);
-    assert_eq!(rt.goroutine_profile("t").goroutines[0].status, GoStatus::SemAcquire);
+    assert_eq!(
+        rt.goroutine_profile("t").goroutines[0].status,
+        GoStatus::SemAcquire
+    );
 }
 
 #[test]
@@ -439,7 +459,10 @@ fn mem_stats_attribute_heap_to_goroutines_and_free_on_exit() {
     let rt = advance_run(&prog, 0, 10);
     let m = rt.mem_stats();
     assert_eq!(m.goroutines, 1);
-    assert_eq!(m.heap_bytes, 5000, "main's allocs freed on exit; leaked child retains");
+    assert_eq!(
+        m.heap_bytes, 5000,
+        "main's allocs freed on exit; leaked child retains"
+    );
     assert!(m.stack_bytes > 0);
 }
 

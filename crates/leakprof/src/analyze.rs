@@ -24,7 +24,11 @@ pub struct Config {
 
 impl Default for Config {
     fn default() -> Self {
-        Config { threshold: 10_000, ast_filter: true, top_n: 10 }
+        Config {
+            threshold: 10_000,
+            ast_filter: true,
+            top_n: 10,
+        }
     }
 }
 
@@ -72,9 +76,7 @@ pub fn rms(counts: &[u64]) -> f64 {
 
 /// Analyzes one profile: groups channel-blocked goroutines by blocking
 /// site and returns per-site counts plus a representative goroutine.
-pub fn analyze_profile(
-    profile: &GoroutineProfile,
-) -> HashMap<BlockedOp, (u64, GoroutineRecord)> {
+pub fn analyze_profile(profile: &GoroutineProfile) -> HashMap<BlockedOp, (u64, GoroutineRecord)> {
     let mut sites: HashMap<BlockedOp, (u64, GoroutineRecord)> = HashMap::new();
     for g in &profile.goroutines {
         if let Some(op) = blocked_op(g) {
@@ -98,20 +100,11 @@ pub fn aggregate(
     config: &Config,
     index: &SourceIndex,
 ) -> Vec<SiteStats> {
-    // site -> per-instance counts (+representative from busiest instance)
-    let mut acc: HashMap<BlockedOp, HashMap<String, u64>> = HashMap::new();
-    let mut reps: HashMap<BlockedOp, (u64, GoroutineRecord)> = HashMap::new();
+    let mut acc = FleetAccumulator::new();
     for p in profiles {
-        for (op, (count, rep)) in analyze_profile(p) {
-            *acc.entry(op.clone()).or_default().entry(p.instance.clone()).or_insert(0) +=
-                count;
-            let entry = reps.entry(op).or_insert_with(|| (count, rep.clone()));
-            if count > entry.0 {
-                *entry = (count, rep);
-            }
-        }
+        acc.ingest(p);
     }
-    finish_aggregation(acc, reps, profiles, config, index)
+    acc.ranked(config, index)
 }
 
 /// Aggregates profiles using worker threads, mirroring the paper's
@@ -129,90 +122,159 @@ pub fn aggregate_parallel(
     }
     // Parallel phase: per-profile site maps.
     let chunk = profiles.len().div_ceil(threads);
-    let maps: Vec<Vec<(String, HashMap<BlockedOp, (u64, GoroutineRecord)>)>> =
-        std::thread::scope(|s| {
-            let mut handles = Vec::new();
-            for part in profiles.chunks(chunk) {
-                handles.push(s.spawn(move || {
-                    part.iter()
-                        .map(|p| (p.instance.clone(), analyze_profile(p)))
-                        .collect::<Vec<_>>()
-                }));
-            }
-            handles.into_iter().map(|h| h.join().expect("analysis worker panicked")).collect()
-        });
-
-    // Sequential merge, then reuse the single-threaded ranking logic by
-    // rebuilding the same accumulators.
-    let mut acc: HashMap<BlockedOp, HashMap<String, u64>> = HashMap::new();
-    let mut reps: HashMap<BlockedOp, (u64, GoroutineRecord)> = HashMap::new();
-    for group in maps {
-        for (instance, sites) in group {
-            for (op, (count, rep)) in sites {
-                *acc.entry(op.clone()).or_default().entry(instance.clone()).or_insert(0) +=
-                    count;
-                let entry = reps.entry(op).or_insert_with(|| (count, rep.clone()));
-                if count > entry.0 {
-                    *entry = (count, rep);
-                }
-            }
+    type SiteMap = HashMap<BlockedOp, (u64, GoroutineRecord)>;
+    let maps: Vec<Vec<(String, SiteMap)>> = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for part in profiles.chunks(chunk) {
+            handles.push(s.spawn(move || {
+                part.iter()
+                    .map(|p| (p.instance.clone(), analyze_profile(p)))
+                    .collect::<Vec<_>>()
+            }));
         }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("analysis worker panicked"))
+            .collect()
+    });
+
+    // Sequential merge, then reuse the streaming accumulator's ranking
+    // logic by replaying the per-profile site maps in profile order.
+    let mut acc = FleetAccumulator::new();
+    for (p, group) in profiles.iter().zip(maps.iter().flatten()) {
+        let (instance, sites) = group;
+        debug_assert_eq!(&p.instance, instance);
+        acc.merge_profile_sites(instance, sites, p.len() as u64);
     }
-    finish_aggregation(acc, reps, profiles, config, index)
+    acc.ranked(config, index)
 }
 
-fn finish_aggregation(
+/// Incremental fleet-wide aggregation for streaming collection.
+///
+/// Holds the same per-site accumulators [`aggregate`] builds, but accepts
+/// profiles one at a time so a collection daemon can ingest each scrape
+/// as it lands — per-cycle cost is O(goroutines in the new profiles),
+/// not O(all profiles ever seen). [`FleetAccumulator::ranked`] can be
+/// called at any point (it does not consume the accumulator) and yields
+/// exactly what [`aggregate`] would return for the same profiles in the
+/// same ingestion order.
+#[derive(Debug, Default, Clone)]
+pub struct FleetAccumulator {
+    /// site -> per-instance blocked counts.
     acc: HashMap<BlockedOp, HashMap<String, u64>>,
-    mut reps: HashMap<BlockedOp, (u64, GoroutineRecord)>,
-    profiles: &[GoroutineProfile],
-    config: &Config,
-    index: &SourceIndex,
-) -> Vec<SiteStats> {
-    let mut out = Vec::new();
-    for (op, by_instance) in acc {
-        let over = by_instance.values().filter(|&&c| c >= config.threshold).count();
-        if over == 0 {
-            continue;
-        }
-        if config.ast_filter && is_transient(index, &op) {
-            continue;
-        }
-        let mut per_instance: Vec<(String, u64)> = profiles
-            .iter()
-            .map(|p| {
-                (p.instance.clone(), by_instance.get(&p.instance).copied().unwrap_or(0))
-            })
-            .collect();
-        per_instance.sort();
-        per_instance.dedup_by(|a, b| {
-            if a.0 == b.0 {
-                b.1 += a.1;
-                true
-            } else {
-                false
-            }
-        });
-        let counts: Vec<u64> = per_instance.iter().map(|(_, c)| *c).collect();
-        let total: u64 = counts.iter().sum();
-        let max_instance = counts.iter().copied().max().unwrap_or(0);
-        out.push(SiteStats {
-            rms: rms(&counts),
-            representative: reps.remove(&op).map(|(_, r)| r).expect("site has a rep"),
-            op,
-            per_instance,
-            total,
-            max_instance,
-            instances_over_threshold: over,
-        });
+    /// site -> (best single-profile count, representative goroutine).
+    reps: HashMap<BlockedOp, (u64, GoroutineRecord)>,
+    /// Instance name of every ingested profile, in ingestion order.
+    instances: Vec<String>,
+    /// Total goroutines inspected (blocked or not).
+    goroutines_seen: u64,
+}
+
+impl FleetAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
     }
-    out.sort_by(|a, b| {
-        b.rms
-            .partial_cmp(&a.rms)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.op.cmp(&b.op))
-    });
-    out.truncate(config.top_n);
-    out
+
+    /// Ingests one profile, updating per-site counts and representatives.
+    pub fn ingest(&mut self, profile: &GoroutineProfile) {
+        let sites = analyze_profile(profile);
+        self.merge_profile_sites(&profile.instance, &sites, profile.len() as u64);
+    }
+
+    /// Merges an already-analyzed profile (used by [`aggregate_parallel`],
+    /// whose workers run [`analyze_profile`] off-thread).
+    fn merge_profile_sites(
+        &mut self,
+        instance: &str,
+        sites: &HashMap<BlockedOp, (u64, GoroutineRecord)>,
+        goroutines: u64,
+    ) {
+        for (op, (count, rep)) in sites {
+            *self
+                .acc
+                .entry(op.clone())
+                .or_default()
+                .entry(instance.to_string())
+                .or_insert(0) += count;
+            let entry = self
+                .reps
+                .entry(op.clone())
+                .or_insert_with(|| (*count, rep.clone()));
+            if *count > entry.0 {
+                *entry = (*count, rep.clone());
+            }
+        }
+        self.instances.push(instance.to_string());
+        self.goroutines_seen += goroutines;
+    }
+
+    /// Number of profiles ingested so far.
+    pub fn profiles_ingested(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Total goroutines inspected across all ingested profiles.
+    pub fn goroutines_seen(&self) -> u64 {
+        self.goroutines_seen
+    }
+
+    /// Ranks the accumulated sites: criterion-1 thresholding, optional
+    /// criterion-2 AST filtering, then fleet-wide RMS ordering. Does not
+    /// consume the accumulator, so a daemon can re-rank every cycle.
+    pub fn ranked(&self, config: &Config, index: &SourceIndex) -> Vec<SiteStats> {
+        let mut out = Vec::new();
+        for (op, by_instance) in &self.acc {
+            let over = by_instance
+                .values()
+                .filter(|&&c| c >= config.threshold)
+                .count();
+            if over == 0 {
+                continue;
+            }
+            if config.ast_filter && is_transient(index, op) {
+                continue;
+            }
+            let mut per_instance: Vec<(String, u64)> = self
+                .instances
+                .iter()
+                .map(|name| (name.clone(), by_instance.get(name).copied().unwrap_or(0)))
+                .collect();
+            per_instance.sort();
+            per_instance.dedup_by(|a, b| {
+                if a.0 == b.0 {
+                    b.1 += a.1;
+                    true
+                } else {
+                    false
+                }
+            });
+            let counts: Vec<u64> = per_instance.iter().map(|(_, c)| *c).collect();
+            let total: u64 = counts.iter().sum();
+            let max_instance = counts.iter().copied().max().unwrap_or(0);
+            out.push(SiteStats {
+                rms: rms(&counts),
+                representative: self
+                    .reps
+                    .get(op)
+                    .map(|(_, r)| r.clone())
+                    .expect("site has a rep"),
+                op: op.clone(),
+                per_instance,
+                total,
+                max_instance,
+                instances_over_threshold: over,
+            });
+        }
+        out.sort_by(|a, b| {
+            b.rms
+                .partial_cmp(&a.rms)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.op.cmp(&b.op))
+        });
+        out.truncate(config.top_n);
+        out
+    }
 }
 
 #[cfg(test)]
@@ -243,18 +305,31 @@ mod tests {
     }
 
     fn profile(instance: &str, recs: Vec<GoroutineRecord>) -> GoroutineProfile {
-        GoroutineProfile { instance: instance.into(), captured_at: 0, goroutines: recs }
+        GoroutineProfile {
+            instance: instance.into(),
+            captured_at: 0,
+            goroutines: recs,
+        }
     }
 
     #[test]
     fn threshold_suppresses_small_sites() {
         let p = profile(
             "i0",
-            (0..5).map(|i| blocked_rec(i, "a.go", 10, ChanOpKind::Send)).collect(),
+            (0..5)
+                .map(|i| blocked_rec(i, "a.go", 10, ChanOpKind::Send))
+                .collect(),
         );
-        let cfg = Config { threshold: 10, ast_filter: false, top_n: 10 };
-        assert!(aggregate(&[p.clone()], &cfg, &SourceIndex::new()).is_empty());
-        let cfg2 = Config { threshold: 5, ..cfg };
+        let cfg = Config {
+            threshold: 10,
+            ast_filter: false,
+            top_n: 10,
+        };
+        assert!(aggregate(std::slice::from_ref(&p), &cfg, &SourceIndex::new()).is_empty());
+        let cfg2 = Config {
+            threshold: 5,
+            ..cfg
+        };
         assert_eq!(aggregate(&[p], &cfg2, &SourceIndex::new()).len(), 1);
     }
 
@@ -277,22 +352,38 @@ mod tests {
             }
             profiles.push(profile(&format!("i{i}"), recs));
         }
-        let cfg = Config { threshold: 10, ast_filter: false, top_n: 10 };
+        let cfg = Config {
+            threshold: 10,
+            ast_filter: false,
+            top_n: 10,
+        };
         let stats = aggregate(&profiles, &cfg, &SourceIndex::new());
         assert_eq!(stats.len(), 2);
-        assert_eq!(&*stats[0].op.loc.file, "spike.go", "spike ranks first by RMS");
+        assert_eq!(
+            &*stats[0].op.loc.file, "spike.go",
+            "spike ranks first by RMS"
+        );
         assert!(stats[0].rms > stats[1].rms);
-        assert!((stats[0].mean() - stats[1].mean()).abs() < 1e-9, "means are equal");
+        assert!(
+            (stats[0].mean() - stats[1].mean()).abs() < 1e-9,
+            "means are equal"
+        );
     }
 
     #[test]
     fn per_instance_includes_zeroes() {
         let p1 = profile(
             "a",
-            (0..20).map(|i| blocked_rec(i, "x.go", 3, ChanOpKind::Send)).collect(),
+            (0..20)
+                .map(|i| blocked_rec(i, "x.go", 3, ChanOpKind::Send))
+                .collect(),
         );
         let p2 = profile("b", vec![]);
-        let cfg = Config { threshold: 10, ast_filter: false, top_n: 10 };
+        let cfg = Config {
+            threshold: 10,
+            ast_filter: false,
+            top_n: 10,
+        };
         let stats = aggregate(&[p1, p2], &cfg, &SourceIndex::new());
         assert_eq!(stats[0].per_instance.len(), 2);
         assert_eq!(stats[0].total, 20);
@@ -317,7 +408,11 @@ mod tests {
                 .collect();
             profiles.push(profile(&format!("i{i}"), recs));
         }
-        let cfg = Config { threshold: 12, ast_filter: false, top_n: 10 };
+        let cfg = Config {
+            threshold: 12,
+            ast_filter: false,
+            top_n: 10,
+        };
         let seq = aggregate(&profiles, &cfg, &SourceIndex::new());
         let par = aggregate_parallel(&profiles, &cfg, &SourceIndex::new(), 4);
         assert_eq!(seq.len(), par.len());

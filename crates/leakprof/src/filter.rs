@@ -73,7 +73,10 @@ impl SourceIndex {
 }
 
 fn src_is_transient(src: &RecvSrc) -> bool {
-    matches!(src, RecvSrc::TimeAfter(_) | RecvSrc::TimeTick(_) | RecvSrc::CtxDone(_))
+    matches!(
+        src,
+        RecvSrc::TimeAfter(_) | RecvSrc::TimeTick(_) | RecvSrc::CtxDone(_)
+    )
 }
 
 /// Returns true when the blocking operation is trivially transient and
@@ -133,7 +136,10 @@ func Loop(ctx context.Context) {
 }
 "#;
         let ix = index_of(src, "p/loop.go");
-        let op = BlockedOp { kind: ChanOpKind::Select, loc: Loc::new("p/loop.go", 6) };
+        let op = BlockedOp {
+            kind: ChanOpKind::Select,
+            loc: Loc::new("p/loop.go", 6),
+        };
         assert!(is_transient(&ix, &op));
     }
 
@@ -152,8 +158,14 @@ func Wait(ch chan int, ctx context.Context) {
 }
 "#;
         let ix = index_of(src, "p/wait.go");
-        let op = BlockedOp { kind: ChanOpKind::Select, loc: Loc::new("p/wait.go", 5) };
-        assert!(!is_transient(&ix, &op), "a real channel arm can block forever");
+        let op = BlockedOp {
+            kind: ChanOpKind::Select,
+            loc: Loc::new("p/wait.go", 5),
+        };
+        assert!(
+            !is_transient(&ix, &op),
+            "a real channel arm can block forever"
+        );
     }
 
     #[test]
@@ -169,7 +181,10 @@ func Tickle() {
 }
 "#;
         let ix = index_of(src, "p/tickle.go");
-        let op = BlockedOp { kind: ChanOpKind::Recv, loc: Loc::new("p/tickle.go", 6) };
+        let op = BlockedOp {
+            kind: ChanOpKind::Recv,
+            loc: Loc::new("p/tickle.go", 6),
+        };
         assert!(is_transient(&ix, &op));
     }
 
@@ -183,14 +198,20 @@ func Drain(ch chan int) {
 }
 "#;
         let ix = index_of(src, "p/drain.go");
-        let op = BlockedOp { kind: ChanOpKind::Recv, loc: Loc::new("p/drain.go", 5) };
+        let op = BlockedOp {
+            kind: ChanOpKind::Recv,
+            loc: Loc::new("p/drain.go", 5),
+        };
         assert!(!is_transient(&ix, &op));
     }
 
     #[test]
     fn unknown_location_is_kept() {
         let ix = SourceIndex::new();
-        let op = BlockedOp { kind: ChanOpKind::Recv, loc: Loc::new("nowhere.go", 1) };
+        let op = BlockedOp {
+            kind: ChanOpKind::Recv,
+            loc: Loc::new("nowhere.go", 1),
+        };
         assert!(!is_transient(&ix, &op));
         assert!(ix.is_empty());
     }

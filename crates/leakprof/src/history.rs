@@ -200,7 +200,10 @@ mod tests {
     use gosim::{Frame, Gid, GoStatus, GoroutineRecord, Loc};
 
     fn suspect(file: &str, line: u32, rms: f64) -> Suspect {
-        let op = BlockedOp { kind: ChanOpKind::Send, loc: Loc::new(file, line) };
+        let op = BlockedOp {
+            kind: ChanOpKind::Send,
+            loc: Loc::new(file, line),
+        };
         Suspect {
             stats: SiteStats {
                 op: op.clone(),
@@ -224,7 +227,11 @@ mod tests {
     }
 
     fn report(suspects: Vec<Suspect>) -> Report {
-        Report { suspects, profiles_analyzed: 1, goroutines_seen: 10 }
+        Report {
+            suspects,
+            profiles_analyzed: 1,
+            goroutines_seen: 10,
+        }
     }
 
     #[test]
@@ -284,7 +291,10 @@ mod tests {
     #[test]
     fn unknown_ops_cannot_be_triaged() {
         let mut store = SweepStore::new();
-        let ghost = BlockedOp { kind: ChanOpKind::Recv, loc: Loc::new("x.go", 9) };
+        let ghost = BlockedOp {
+            kind: ChanOpKind::Recv,
+            loc: Loc::new("x.go", 9),
+        };
         assert!(!store.acknowledge(&ghost));
         assert!(!store.fix(&ghost));
         assert!(!store.reject(&ghost));

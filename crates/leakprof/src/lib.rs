@@ -61,7 +61,7 @@ pub mod history;
 pub mod report;
 pub mod signature;
 
-pub use analyze::{aggregate, aggregate_parallel, rms, Config, SiteStats};
+pub use analyze::{aggregate, aggregate_parallel, rms, Config, FleetAccumulator, SiteStats};
 pub use filter::{is_transient, SourceIndex};
 pub use history::{Issue, IssueStatus, SweepDelta, SweepStore};
 pub use report::{OwnerDb, Report, Suspect};
@@ -81,7 +81,11 @@ pub struct LeakProf {
 impl LeakProf {
     /// Creates a LeakProf instance with the given configuration.
     pub fn new(config: Config) -> Self {
-        LeakProf { config, index: SourceIndex::new(), owners: OwnerDb::new() }
+        LeakProf {
+            config,
+            index: SourceIndex::new(),
+            owners: OwnerDb::new(),
+        }
     }
 
     /// Adds source code to the AST index used by the criterion-2 filter.
@@ -107,16 +111,30 @@ impl LeakProf {
     /// the ranked, routed report.
     pub fn analyze(&self, profiles: &[GoroutineProfile]) -> Report {
         let stats = aggregate(profiles, &self.config, &self.index);
-        self.into_report(stats, profiles)
+        self.build_report(stats, profiles)
     }
 
     /// Multi-threaded variant of [`LeakProf::analyze`] for large sweeps.
     pub fn analyze_parallel(&self, profiles: &[GoroutineProfile], threads: usize) -> Report {
         let stats = aggregate_parallel(profiles, &self.config, &self.index, threads);
-        self.into_report(stats, profiles)
+        self.build_report(stats, profiles)
     }
 
-    fn into_report(&self, stats: Vec<SiteStats>, profiles: &[GoroutineProfile]) -> Report {
+    /// Builds the ranked, routed report from a streaming accumulator.
+    ///
+    /// For the same profiles in the same order, this matches what
+    /// [`LeakProf::analyze`] returns — the collection daemon uses it to
+    /// report after every scrape cycle without re-analyzing history.
+    pub fn report_from_accumulator(&self, acc: &FleetAccumulator) -> Report {
+        let stats = acc.ranked(&self.config, &self.index);
+        Report {
+            suspects: report::route(stats, &self.owners),
+            profiles_analyzed: acc.profiles_ingested(),
+            goroutines_seen: acc.goroutines_seen(),
+        }
+    }
+
+    fn build_report(&self, stats: Vec<SiteStats>, profiles: &[GoroutineProfile]) -> Report {
         Report {
             suspects: report::route(stats, &self.owners),
             profiles_analyzed: profiles.len(),

@@ -27,7 +27,8 @@ impl OwnerDb {
     /// Registers an owner for a path prefix.
     pub fn insert(&mut self, prefix: impl Into<String>, owner: impl Into<String>) {
         self.prefixes.push((prefix.into(), owner.into()));
-        self.prefixes.sort_by(|a, b| b.0.len().cmp(&a.0.len()));
+        self.prefixes
+            .sort_by_key(|(prefix, _)| std::cmp::Reverse(prefix.len()));
     }
 
     /// Resolves the owner of a file path (longest matching prefix).
@@ -88,7 +89,11 @@ impl Suspect {
 
 impl fmt::Display for Suspect {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} (total {}, rms {:.1})", self.stats.op, self.stats.total, self.stats.rms)
+        write!(
+            f,
+            "{} (total {}, rms {:.1})",
+            self.stats.op, self.stats.total, self.stats.rms
+        )
     }
 }
 

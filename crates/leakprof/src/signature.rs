@@ -84,7 +84,10 @@ pub fn blocked_op(rec: &GoroutineRecord) -> Option<BlockedOp> {
         user_frame = Some(f);
         break;
     }
-    Some(BlockedOp { kind: kind?, loc: user_frame?.loc.clone() })
+    Some(BlockedOp {
+        kind: kind?,
+        loc: user_frame?.loc.clone(),
+    })
 }
 
 #[cfg(test)]
@@ -110,8 +113,14 @@ mod tests {
             Frame::runtime("runtime.gopark"),
             Frame::runtime("runtime.chansend"),
             Frame::runtime("runtime.chansend1"),
-            Frame::new("transactions.ComputeCost$1", Loc::new("transactions/cost.go", 8)),
-            Frame::new("transactions.ComputeCost", Loc::new("transactions/cost.go", 6)),
+            Frame::new(
+                "transactions.ComputeCost$1",
+                Loc::new("transactions/cost.go", 8),
+            ),
+            Frame::new(
+                "transactions.ComputeCost",
+                Loc::new("transactions/cost.go", 6),
+            ),
         ]);
         let op = blocked_op(&r).unwrap();
         assert_eq!(op.kind, ChanOpKind::Send);

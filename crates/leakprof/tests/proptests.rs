@@ -34,7 +34,11 @@ fn profiles_from(counts: &[Vec<u32>]) -> Vec<GoroutineProfile> {
                     gid += 1;
                 }
             }
-            GoroutineProfile { instance: format!("i{i}"), captured_at: 0, goroutines: gs }
+            GoroutineProfile {
+                instance: format!("i{i}"),
+                captured_at: 0,
+                goroutines: gs,
+            }
         })
         .collect()
 }

@@ -471,8 +471,14 @@ pub fn walk_stmts<'a>(body: &'a [Stmt], f: &mut dyn FnMut(&'a Stmt)) {
     for s in body {
         f(s);
         match s {
-            Stmt::Go { call: GoCall::Closure { body }, .. }
-            | Stmt::Go { call: GoCall::Wrapper { body, .. }, .. } => walk_stmts(body, f),
+            Stmt::Go {
+                call: GoCall::Closure { body },
+                ..
+            }
+            | Stmt::Go {
+                call: GoCall::Wrapper { body, .. },
+                ..
+            } => walk_stmts(body, f),
             Stmt::Select { cases, default, .. } => {
                 for c in cases {
                     walk_stmts(c.body(), f);

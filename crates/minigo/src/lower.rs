@@ -18,7 +18,9 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use gosim::script::{block, Arm, ArmIr, BinOp as IrBin, Block, Expr as IrExpr, FuncDef, Prog, Stmt as IrStmt};
+use gosim::script::{
+    block, Arm, ArmIr, BinOp as IrBin, Block, Expr as IrExpr, FuncDef, Prog, Stmt as IrStmt,
+};
 use gosim::{Loc, ParkReason, TypeTag, Val};
 
 use crate::ast::{
@@ -98,7 +100,10 @@ impl Lowerer {
     }
 
     fn err(&mut self, line: u32, msg: impl Into<String>) {
-        self.errors.push(Diag { msg: msg.into(), line });
+        self.errors.push(Diag {
+            msg: msg.into(),
+            line,
+        });
     }
 
     fn func(&mut self, f: &FuncDecl) -> FuncDef {
@@ -121,11 +126,22 @@ impl Lowerer {
 
     fn stmt(&mut self, s: &Stmt, out: &mut Vec<IrStmt>) {
         match s {
-            Stmt::Assign { name, expr, line, .. } => {
+            Stmt::Assign {
+                name, expr, line, ..
+            } => {
                 let e = self.expr(expr, *line);
-                out.push(IrStmt::Assign { var: name.clone(), expr: e, loc: self.loc(*line) });
+                out.push(IrStmt::Assign {
+                    var: name.clone(),
+                    expr: e,
+                    loc: self.loc(*line),
+                });
             }
-            Stmt::MakeChan { name, elem, cap, line } => {
+            Stmt::MakeChan {
+                name,
+                elem,
+                cap,
+                line,
+            } => {
                 let cap_e = match cap {
                     Some(e) => self.expr(e, *line),
                     None => IrExpr::int(0),
@@ -140,9 +156,18 @@ impl Lowerer {
             Stmt::Send { ch, val, line } => {
                 let c = self.expr(ch, *line);
                 let v = self.expr(val, *line);
-                out.push(IrStmt::Send { ch: c, val: v, loc: self.loc(*line) });
+                out.push(IrStmt::Send {
+                    ch: c,
+                    val: v,
+                    loc: self.loc(*line),
+                });
             }
-            Stmt::Recv { name, ok, src, line } => {
+            Stmt::Recv {
+                name,
+                ok,
+                src,
+                line,
+            } => {
                 let ch = self.recv_channel(src, *line, out);
                 out.push(IrStmt::Recv {
                     var: name.clone(),
@@ -153,11 +178,19 @@ impl Lowerer {
             }
             Stmt::Close { ch, line } => {
                 let c = self.expr(ch, *line);
-                out.push(IrStmt::Close { ch: c, loc: self.loc(*line) });
+                out.push(IrStmt::Close {
+                    ch: c,
+                    loc: self.loc(*line),
+                });
             }
             Stmt::Go { call, line } => self.go_stmt(call, *line, out),
             Stmt::Call { ret, call, line } => self.call_stmt(ret.as_deref(), call, *line, out),
-            Stmt::CtxDecl { ctx, cancel, timeout, line } => {
+            Stmt::CtxDecl {
+                ctx,
+                cancel,
+                timeout,
+                line,
+            } => {
                 self.cancels.insert(cancel.clone());
                 let d = timeout.as_ref().map(|e| self.expr(e, *line));
                 out.push(IrStmt::CtxWithTimeout {
@@ -167,20 +200,39 @@ impl Lowerer {
                     loc: self.loc(*line),
                 });
             }
-            Stmt::Select { cases, default, line } => {
+            Stmt::Select {
+                cases,
+                default,
+                line,
+            } => {
                 let mut arms = Vec::new();
                 for case in cases {
                     match case {
-                        SelCase::Recv { name, ok, src, body, line: cline } => {
+                        SelCase::Recv {
+                            name,
+                            ok,
+                            src,
+                            body,
+                            line: cline,
+                        } => {
                             let ch = self.recv_channel(src, *cline, out);
                             let b = self.stmts(body);
                             arms.push(Arm {
-                                op: ArmIr::Recv { var: name.clone(), ok: ok.clone(), ch },
+                                op: ArmIr::Recv {
+                                    var: name.clone(),
+                                    ok: ok.clone(),
+                                    ch,
+                                },
                                 body: b,
                                 loc: self.loc(*cline),
                             });
                         }
-                        SelCase::Send { ch, val, body, line: cline } => {
+                        SelCase::Send {
+                            ch,
+                            val,
+                            body,
+                            line: cline,
+                        } => {
                             let c = self.expr(ch, *cline);
                             let v = self.expr(val, *cline);
                             let b = self.stmts(body);
@@ -193,21 +245,39 @@ impl Lowerer {
                     }
                 }
                 let d = default.as_ref().map(|b| self.stmts(b));
-                out.push(IrStmt::Select { arms, default: d, loc: self.loc(*line) });
+                out.push(IrStmt::Select {
+                    arms,
+                    default: d,
+                    loc: self.loc(*line),
+                });
             }
-            Stmt::If { cond, then, els, line } => {
+            Stmt::If {
+                cond,
+                then,
+                els,
+                line,
+            } => {
                 let c = self.expr(cond, *line);
                 let t = self.stmts(then);
                 let e = match els {
                     Some(b) => self.stmts(b),
                     None => block(vec![]),
                 };
-                out.push(IrStmt::If { cond: c, then: t, els: e, loc: self.loc(*line) });
+                out.push(IrStmt::If {
+                    cond: c,
+                    then: t,
+                    els: e,
+                    loc: self.loc(*line),
+                });
             }
             Stmt::For { kind, body, line } => {
                 let b = self.stmts(body);
                 let stmt = match kind {
-                    ForKind::Infinite => IrStmt::While { cond: None, body: b, loc: self.loc(*line) },
+                    ForKind::Infinite => IrStmt::While {
+                        cond: None,
+                        body: b,
+                        loc: self.loc(*line),
+                    },
                     ForKind::While(c) => IrStmt::While {
                         cond: Some(self.expr(c, *line)),
                         body: b,
@@ -230,10 +300,17 @@ impl Lowerer {
             }
             Stmt::Return { expr, line } => {
                 let e = expr.as_ref().map(|e| self.expr(e, *line));
-                out.push(IrStmt::Return { expr: e, loc: self.loc(*line) });
+                out.push(IrStmt::Return {
+                    expr: e,
+                    loc: self.loc(*line),
+                });
             }
-            Stmt::Break { line } => out.push(IrStmt::Break { loc: self.loc(*line) }),
-            Stmt::Continue { line } => out.push(IrStmt::Continue { loc: self.loc(*line) }),
+            Stmt::Break { line } => out.push(IrStmt::Break {
+                loc: self.loc(*line),
+            }),
+            Stmt::Continue { line } => out.push(IrStmt::Continue {
+                loc: self.loc(*line),
+            }),
             Stmt::Defer { call, line } => {
                 let mut inner = Vec::new();
                 self.call_stmt(None, call, *line, &mut inner);
@@ -246,16 +323,26 @@ impl Lowerer {
                     _ => self.err(*line, "unsupported multi-statement defer"),
                 }
             }
-            Stmt::VarDecl { name, ty, init, line } => match ty {
-                TypeExpr::WaitGroup => {
-                    out.push(IrStmt::MakeWg { var: name.clone(), loc: self.loc(*line) })
-                }
-                TypeExpr::Mutex => {
-                    out.push(IrStmt::MakeMutex { var: name.clone(), loc: self.loc(*line) })
-                }
+            Stmt::VarDecl {
+                name,
+                ty,
+                init,
+                line,
+            } => match ty {
+                TypeExpr::WaitGroup => out.push(IrStmt::MakeWg {
+                    var: name.clone(),
+                    loc: self.loc(*line),
+                }),
+                TypeExpr::Mutex => out.push(IrStmt::MakeMutex {
+                    var: name.clone(),
+                    loc: self.loc(*line),
+                }),
                 TypeExpr::Cond => {
                     self.conds.insert(name.clone());
-                    out.push(IrStmt::MakeCond { var: name.clone(), loc: self.loc(*line) })
+                    out.push(IrStmt::MakeCond {
+                        var: name.clone(),
+                        loc: self.loc(*line),
+                    })
                 }
                 _ => {
                     let value = match init {
@@ -269,9 +356,10 @@ impl Lowerer {
                     });
                 }
             },
-            Stmt::Panic { msg, line } => {
-                out.push(IrStmt::Panic { msg: msg.clone(), loc: self.loc(*line) })
-            }
+            Stmt::Panic { msg, line } => out.push(IrStmt::Panic {
+                msg: msg.clone(),
+                loc: self.loc(*line),
+            }),
         }
     }
 
@@ -284,13 +372,21 @@ impl Lowerer {
             RecvSrc::TimeAfter(d) => {
                 let tmp = self.fresh_tmp();
                 let d = self.expr(d, line);
-                out.push(IrStmt::After { var: tmp.clone(), d, loc: self.loc(line) });
+                out.push(IrStmt::After {
+                    var: tmp.clone(),
+                    d,
+                    loc: self.loc(line),
+                });
                 IrExpr::var(tmp)
             }
             RecvSrc::TimeTick(d) => {
                 let tmp = self.fresh_tmp();
                 let d = self.expr(d, line);
-                out.push(IrStmt::TickCh { var: tmp.clone(), period: d, loc: self.loc(line) });
+                out.push(IrStmt::TickCh {
+                    var: tmp.clone(),
+                    period: d,
+                    loc: self.loc(line),
+                });
                 IrExpr::var(tmp)
             }
         }
@@ -307,7 +403,11 @@ impl Lowerer {
                 self.closure_count += 1;
                 let name = format!("{}${}", self.func_display, self.closure_count);
                 let b = self.stmts(body);
-                out.push(IrStmt::GoClosure { name, body: b, loc: self.loc(line) });
+                out.push(IrStmt::GoClosure {
+                    name,
+                    body: b,
+                    loc: self.loc(line),
+                });
             }
             GoCall::Named { func, args } => {
                 let qualified = if func.contains('.') {
@@ -316,28 +416,30 @@ impl Lowerer {
                     qualify(&self.package, func)
                 };
                 let args = args.iter().map(|a| self.expr(a, line)).collect();
-                out.push(IrStmt::GoCall { func: qualified, args, loc: self.loc(line) });
+                out.push(IrStmt::GoCall {
+                    func: qualified,
+                    args,
+                    loc: self.loc(line),
+                });
             }
         }
     }
 
-    fn call_stmt(
-        &mut self,
-        ret: Option<&str>,
-        call: &CallExpr,
-        line: u32,
-        out: &mut Vec<IrStmt>,
-    ) {
+    fn call_stmt(&mut self, ret: Option<&str>, call: &CallExpr, line: u32, out: &mut Vec<IrStmt>) {
         let loc = self.loc(line);
         let args: Vec<IrExpr> = call.args.iter().map(|a| self.expr(a, line)).collect();
         let arg = |i: usize| -> IrExpr { args.get(i).cloned().unwrap_or(IrExpr::int(0)) };
         match &call.target {
             CallTarget::Func(name) => match name.as_str() {
                 "close" => out.push(IrStmt::Close { ch: arg(0), loc }),
-                "panic" => out.push(IrStmt::Panic { msg: "panic".into(), loc }),
-                f if self.cancels.contains(f) => {
-                    out.push(IrStmt::CancelCtx { ch: IrExpr::var(f), loc })
-                }
+                "panic" => out.push(IrStmt::Panic {
+                    msg: "panic".into(),
+                    loc,
+                }),
+                f if self.cancels.contains(f) => out.push(IrStmt::CancelCtx {
+                    ch: IrExpr::var(f),
+                    loc,
+                }),
                 f => out.push(IrStmt::Call {
                     ret: ret.map(|s| s.to_string()),
                     func: qualify(&self.package, f),
@@ -348,12 +450,24 @@ impl Lowerer {
             CallTarget::Method { recv, name } => match (recv.as_str(), name.as_str()) {
                 ("time", "Sleep") => out.push(IrStmt::Sleep { d: arg(0), loc }),
                 ("time", "After") => {
-                    let var = ret.map(|s| s.to_string()).unwrap_or_else(|| self.fresh_tmp());
-                    out.push(IrStmt::After { var, d: arg(0), loc });
+                    let var = ret
+                        .map(|s| s.to_string())
+                        .unwrap_or_else(|| self.fresh_tmp());
+                    out.push(IrStmt::After {
+                        var,
+                        d: arg(0),
+                        loc,
+                    });
                 }
                 ("time", "Tick") => {
-                    let var = ret.map(|s| s.to_string()).unwrap_or_else(|| self.fresh_tmp());
-                    out.push(IrStmt::TickCh { var, period: arg(0), loc });
+                    let var = ret
+                        .map(|s| s.to_string())
+                        .unwrap_or_else(|| self.fresh_tmp());
+                    out.push(IrStmt::TickCh {
+                        var,
+                        period: arg(0),
+                        loc,
+                    });
                 }
                 ("sim", "Work") => out.push(IrStmt::Work { units: arg(0), loc }),
                 ("sim", "Alloc") => out.push(IrStmt::Alloc { bytes: arg(0), loc }),
@@ -367,23 +481,46 @@ impl Lowerer {
                     dur: args.first().cloned(),
                     loc,
                 }),
-                ("sim", "Block") => {
-                    out.push(IrStmt::Park { reason: ParkReason::IoWait, dur: None, loc })
-                }
-                (cv, "Wait") if self.conds.contains(cv) => {
-                    out.push(IrStmt::CondWait { cond: IrExpr::var(cv), loc })
-                }
-                (cv, "Signal") if self.conds.contains(cv) => {
-                    out.push(IrStmt::CondNotify { cond: IrExpr::var(cv), all: false, loc })
-                }
-                (cv, "Broadcast") if self.conds.contains(cv) => {
-                    out.push(IrStmt::CondNotify { cond: IrExpr::var(cv), all: true, loc })
-                }
-                (wg, "Add") => out.push(IrStmt::WgAdd { wg: IrExpr::var(wg), delta: arg(0), loc }),
-                (wg, "Done") => out.push(IrStmt::WgDone { wg: IrExpr::var(wg), loc }),
-                (wg, "Wait") => out.push(IrStmt::WgWait { wg: IrExpr::var(wg), loc }),
-                (mu, "Lock") => out.push(IrStmt::Lock { mu: IrExpr::var(mu), loc }),
-                (mu, "Unlock") => out.push(IrStmt::Unlock { mu: IrExpr::var(mu), loc }),
+                ("sim", "Block") => out.push(IrStmt::Park {
+                    reason: ParkReason::IoWait,
+                    dur: None,
+                    loc,
+                }),
+                (cv, "Wait") if self.conds.contains(cv) => out.push(IrStmt::CondWait {
+                    cond: IrExpr::var(cv),
+                    loc,
+                }),
+                (cv, "Signal") if self.conds.contains(cv) => out.push(IrStmt::CondNotify {
+                    cond: IrExpr::var(cv),
+                    all: false,
+                    loc,
+                }),
+                (cv, "Broadcast") if self.conds.contains(cv) => out.push(IrStmt::CondNotify {
+                    cond: IrExpr::var(cv),
+                    all: true,
+                    loc,
+                }),
+                (wg, "Add") => out.push(IrStmt::WgAdd {
+                    wg: IrExpr::var(wg),
+                    delta: arg(0),
+                    loc,
+                }),
+                (wg, "Done") => out.push(IrStmt::WgDone {
+                    wg: IrExpr::var(wg),
+                    loc,
+                }),
+                (wg, "Wait") => out.push(IrStmt::WgWait {
+                    wg: IrExpr::var(wg),
+                    loc,
+                }),
+                (mu, "Lock") => out.push(IrStmt::Lock {
+                    mu: IrExpr::var(mu),
+                    loc,
+                }),
+                (mu, "Unlock") => out.push(IrStmt::Unlock {
+                    mu: IrExpr::var(mu),
+                    loc,
+                }),
                 (pkg, f) => {
                     // Cross-package call: resolve as `pkg.f`.
                     out.push(IrStmt::Call {
@@ -397,6 +534,7 @@ impl Lowerer {
         }
     }
 
+    #[allow(clippy::only_used_in_recursion)]
     fn expr(&mut self, e: &Expr, line: u32) -> IrExpr {
         match e {
             Expr::Int(v) => IrExpr::int(*v),

@@ -28,8 +28,17 @@ impl std::error::Error for Diag {}
 ///
 /// Returns all diagnostics accumulated during lexing/parsing.
 pub fn parse_file(src: &str, path: &str) -> Result<File, Vec<Diag>> {
-    let toks = lex(src).map_err(|e| vec![Diag { msg: e.msg, line: e.line }])?;
-    let mut p = Parser { toks, pos: 0, errors: Vec::new() };
+    let toks = lex(src).map_err(|e| {
+        vec![Diag {
+            msg: e.msg,
+            line: e.line,
+        }]
+    })?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        errors: Vec::new(),
+    };
     let file = p.file(path);
     if p.errors.is_empty() {
         Ok(file)
@@ -154,7 +163,11 @@ impl Parser {
                 }
             }
         }
-        File { package, path: path.to_string(), funcs }
+        File {
+            package,
+            path: path.to_string(),
+            funcs,
+        }
     }
 
     fn skip_import(&mut self) {
@@ -189,9 +202,19 @@ impl Parser {
             }
         }
         self.expect(Tok::RParen);
-        let ret = if matches!(self.peek(), Tok::LBrace) { None } else { Some(self.type_expr()) };
+        let ret = if matches!(self.peek(), Tok::LBrace) {
+            None
+        } else {
+            Some(self.type_expr())
+        };
         let body = self.block();
-        Some(FuncDecl { name, params, ret, body, line })
+        Some(FuncDecl {
+            name,
+            params,
+            ret,
+            body,
+            line,
+        })
     }
 
     fn type_expr(&mut self) -> TypeExpr {
@@ -294,8 +317,17 @@ impl Parser {
                 self.bump();
                 let name = self.ident();
                 let ty = self.type_expr();
-                let init = if self.eat(&Tok::Assign) { Some(self.expr()) } else { None };
-                Some(Stmt::VarDecl { name, ty, init, line })
+                let init = if self.eat(&Tok::Assign) {
+                    Some(self.expr())
+                } else {
+                    None
+                };
+                Some(Stmt::VarDecl {
+                    name,
+                    ty,
+                    init,
+                    line,
+                })
             }
             Tok::If => Some(self.if_stmt()),
             Tok::For => Some(self.for_stmt()),
@@ -351,7 +383,12 @@ impl Parser {
             Tok::Arrow => {
                 self.bump();
                 let src = self.recv_src();
-                Some(Stmt::Recv { name: None, ok: None, src, line })
+                Some(Stmt::Recv {
+                    name: None,
+                    ok: None,
+                    src,
+                    line,
+                })
             }
             Tok::Ident(_) => self.ident_stmt(),
             other => {
@@ -377,7 +414,12 @@ impl Parser {
                 let name = self.ident();
                 self.bump();
                 let expr = self.expr();
-                Some(Stmt::Assign { name, expr, decl: false, line })
+                Some(Stmt::Assign {
+                    name,
+                    expr,
+                    decl: false,
+                    line,
+                })
             }
             // x, y := ...
             (Tok::Comma, _) => {
@@ -406,9 +448,12 @@ impl Parser {
                             timeout: args.into_iter().nth(1),
                             line,
                         }),
-                        "context.WithCancel" => {
-                            Some(Stmt::CtxDecl { ctx: first, cancel: second, timeout: None, line })
-                        }
+                        "context.WithCancel" => Some(Stmt::CtxDecl {
+                            ctx: first,
+                            cancel: second,
+                            timeout: None,
+                            line,
+                        }),
                         other => {
                             // Generic two-value call: keep the first binding.
                             Some(Stmt::Call {
@@ -429,20 +474,33 @@ impl Parser {
                 let name = self.ident();
                 self.bump(); // <-
                 let val = self.expr();
-                Some(Stmt::Send { ch: Expr::Ident(name), val, line })
+                Some(Stmt::Send {
+                    ch: Expr::Ident(name),
+                    val,
+                    line,
+                })
             }
             // f(...) or obj.method(...) / pkg.func(...), possibly a
             // wrapper spawn taking a closure literal.
             (Tok::LParen, _) | (Tok::Dot, _) => match self.call_like()? {
-                CallLike::Call(call) => Some(Stmt::Call { ret: None, call, line }),
-                CallLike::Wrapper { wrapper, body, .. } => {
-                    Some(Stmt::Go { call: GoCall::Wrapper { wrapper, body }, line })
-                }
+                CallLike::Call(call) => Some(Stmt::Call {
+                    ret: None,
+                    call,
+                    line,
+                }),
+                CallLike::Wrapper { wrapper, body, .. } => Some(Stmt::Go {
+                    call: GoCall::Wrapper { wrapper, body },
+                    line,
+                }),
             },
             // i++ / i--
             (Tok::Inc, _) | (Tok::Dec, _) => {
                 let name = self.ident();
-                let op = if self.bump() == Tok::Inc { BinOp::Add } else { BinOp::Sub };
+                let op = if self.bump() == Tok::Inc {
+                    BinOp::Add
+                } else {
+                    BinOp::Sub
+                };
                 Some(Stmt::Assign {
                     name: name.clone(),
                     expr: Expr::Binary(op, Box::new(Expr::Ident(name)), Box::new(Expr::Int(1))),
@@ -477,14 +535,28 @@ impl Parser {
                 self.expect(Tok::LParen);
                 self.expect(Tok::Chan);
                 let elem = self.type_expr();
-                let cap = if self.eat(&Tok::Comma) { Some(self.expr()) } else { None };
+                let cap = if self.eat(&Tok::Comma) {
+                    Some(self.expr())
+                } else {
+                    None
+                };
                 self.expect(Tok::RParen);
-                Some(Stmt::MakeChan { name, elem, cap, line })
+                Some(Stmt::MakeChan {
+                    name,
+                    elem,
+                    cap,
+                    line,
+                })
             }
             Tok::Arrow => {
                 self.bump();
                 let src = self.recv_src();
-                Some(Stmt::Recv { name: none_if_blank(name), ok: None, src, line })
+                Some(Stmt::Recv {
+                    name: none_if_blank(name),
+                    ok: None,
+                    src,
+                    line,
+                })
             }
             Tok::Ident(_)
                 if matches!(self.peek_at(1), Tok::LParen)
@@ -492,9 +564,11 @@ impl Parser {
                         && matches!(self.peek_at(3), Tok::LParen)) =>
             {
                 match self.call_like()? {
-                    CallLike::Call(call) => {
-                        Some(Stmt::Call { ret: none_if_blank(name), call, line })
-                    }
+                    CallLike::Call(call) => Some(Stmt::Call {
+                        ret: none_if_blank(name),
+                        call,
+                        line,
+                    }),
                     CallLike::Wrapper { .. } => {
                         self.err("wrapper spawns cannot bind a result".into());
                         None
@@ -503,7 +577,12 @@ impl Parser {
             }
             _ => {
                 let expr = self.expr();
-                Some(Stmt::Assign { name, expr, decl: true, line })
+                Some(Stmt::Assign {
+                    name,
+                    expr,
+                    decl: true,
+                    line,
+                })
             }
         }
     }
@@ -532,11 +611,19 @@ impl Parser {
             self.expect(Tok::RParen);
             let body = self.block();
             self.expect(Tok::RParen);
-            return Some(CallLike::Wrapper { wrapper: name, body, line });
+            return Some(CallLike::Wrapper {
+                wrapper: name,
+                body,
+                line,
+            });
         }
         let args = self.args();
         self.expect(Tok::RParen);
-        Some(CallLike::Call(CallExpr { target: split_target(&name), args, line }))
+        Some(CallLike::Call(CallExpr {
+            target: split_target(&name),
+            args,
+            line,
+        }))
     }
 
     fn args(&mut self) -> Vec<Expr> {
@@ -601,7 +688,12 @@ impl Parser {
         } else {
             None
         };
-        Stmt::If { cond, then, els, line }
+        Stmt::If {
+            cond,
+            then,
+            els,
+            line,
+        }
     }
 
     fn for_stmt(&mut self) -> Stmt {
@@ -610,14 +702,22 @@ impl Parser {
         // for { ... }
         if self.peek() == &Tok::LBrace {
             let body = self.block();
-            return Stmt::For { kind: ForKind::Infinite, body, line };
+            return Stmt::For {
+                kind: ForKind::Infinite,
+                body,
+                line,
+            };
         }
         // for range ch { ... }
         if self.peek() == &Tok::Range {
             self.bump();
             let ch = self.expr();
             let body = self.block();
-            return Stmt::For { kind: ForKind::Range { var: None, ch }, body, line };
+            return Stmt::For {
+                kind: ForKind::Range { var: None, ch },
+                body,
+                line,
+            };
         }
         // for v := range ch  |  for i := 0; i < n; i++
         if matches!(self.peek(), Tok::Ident(_)) && self.peek_at(1) == &Tok::Define {
@@ -627,7 +727,10 @@ impl Parser {
                 let ch = self.expr();
                 let body = self.block();
                 return Stmt::For {
-                    kind: ForKind::Range { var: none_if_blank(var), ch },
+                    kind: ForKind::Range {
+                        var: none_if_blank(var),
+                        ch,
+                    },
                     body,
                     line,
                 };
@@ -656,12 +759,20 @@ impl Parser {
             }
             self.expect(Tok::Inc);
             let body = self.block();
-            return Stmt::For { kind: ForKind::CStyle { var, n }, body, line };
+            return Stmt::For {
+                kind: ForKind::CStyle { var, n },
+                body,
+                line,
+            };
         }
         // for cond { ... }
         let cond = self.expr();
         let body = self.block();
-        Stmt::For { kind: ForKind::While(cond), body, line }
+        Stmt::For {
+            kind: ForKind::While(cond),
+            body,
+            line,
+        }
     }
 
     fn select_stmt(&mut self) -> Stmt {
@@ -687,16 +798,21 @@ impl Parser {
                 Tok::Default => {
                     self.bump();
                     self.expect(Tok::Colon);
-                    default =
-                        Some(self.stmt_list(&[Tok::Case, Tok::Default, Tok::RBrace]));
+                    default = Some(self.stmt_list(&[Tok::Case, Tok::Default, Tok::RBrace]));
                 }
                 other => {
-                    self.err(format!("expected `case`/`default` in select, found `{other}`"));
+                    self.err(format!(
+                        "expected `case`/`default` in select, found `{other}`"
+                    ));
                     self.bump();
                 }
             }
         }
-        Stmt::Select { cases, default, line }
+        Stmt::Select {
+            cases,
+            default,
+            line,
+        }
     }
 
     fn comm_case(&mut self, line: u32) -> SelCase {
@@ -705,7 +821,13 @@ impl Parser {
             let src = self.recv_src();
             self.expect(Tok::Colon);
             let body = self.stmt_list(&[Tok::Case, Tok::Default, Tok::RBrace]);
-            return SelCase::Recv { name: None, ok: None, src, body, line };
+            return SelCase::Recv {
+                name: None,
+                ok: None,
+                src,
+                body,
+                line,
+            };
         }
         if matches!(self.peek(), Tok::Ident(_)) && self.peek_at(1) == &Tok::Define {
             let name = self.ident();
@@ -714,7 +836,13 @@ impl Parser {
             let src = self.recv_src();
             self.expect(Tok::Colon);
             let body = self.stmt_list(&[Tok::Case, Tok::Default, Tok::RBrace]);
-            return SelCase::Recv { name: none_if_blank(name), ok: None, src, body, line };
+            return SelCase::Recv {
+                name: none_if_blank(name),
+                ok: None,
+                src,
+                body,
+                line,
+            };
         }
         if matches!(self.peek(), Tok::Ident(_)) && self.peek_at(1) == &Tok::Comma {
             let name = self.ident();
@@ -739,7 +867,12 @@ impl Parser {
         let val = self.expr();
         self.expect(Tok::Colon);
         let body = self.stmt_list(&[Tok::Case, Tok::Default, Tok::RBrace]);
-        SelCase::Send { ch, val, body, line }
+        SelCase::Send {
+            ch,
+            val,
+            body,
+            line,
+        }
     }
 
     fn go_stmt(&mut self) -> Stmt {
@@ -752,13 +885,19 @@ impl Parser {
             let body = self.block();
             self.expect(Tok::LParen);
             self.expect(Tok::RParen);
-            return Stmt::Go { call: GoCall::Closure { body }, line };
+            return Stmt::Go {
+                call: GoCall::Closure { body },
+                line,
+            };
         }
         let func = self.dotted_name();
         self.expect(Tok::LParen);
         let args = self.args();
         self.expect(Tok::RParen);
-        Stmt::Go { call: GoCall::Named { func, args }, line }
+        Stmt::Go {
+            call: GoCall::Named { func, args },
+            line,
+        }
     }
 
     // -- expressions ----------------------------------------------------------
@@ -812,16 +951,11 @@ impl Parser {
 
     fn postfix_expr(&mut self) -> Expr {
         let mut e = self.primary_expr();
-        loop {
-            match self.peek() {
-                Tok::LBracket => {
-                    self.bump();
-                    let idx = self.expr();
-                    self.expect(Tok::RBracket);
-                    e = Expr::Index(Box::new(e), Box::new(idx));
-                }
-                _ => break,
-            }
+        while let Tok::LBracket = self.peek() {
+            self.bump();
+            let idx = self.expr();
+            self.expect(Tok::RBracket);
+            e = Expr::Index(Box::new(e), Box::new(idx));
         }
         e
     }
@@ -898,9 +1032,10 @@ fn none_if_blank(s: String) -> Option<String> {
 
 fn split_target(name: &str) -> CallTarget {
     match name.split_once('.') {
-        Some((recv, method)) => {
-            CallTarget::Method { recv: recv.to_string(), name: method.to_string() }
-        }
+        Some((recv, method)) => CallTarget::Method {
+            recv: recv.to_string(),
+            name: method.to_string(),
+        },
         None => CallTarget::Func(name.to_string()),
     }
 }
@@ -969,11 +1104,17 @@ func Handler(ctx context.Context) {
                 assert!(default.is_some());
                 assert!(matches!(
                     cases[1],
-                    SelCase::Recv { src: RecvSrc::CtxDone(_), .. }
+                    SelCase::Recv {
+                        src: RecvSrc::CtxDone(_),
+                        ..
+                    }
                 ));
                 assert!(matches!(
                     cases[2],
-                    SelCase::Recv { src: RecvSrc::TimeAfter(_), .. }
+                    SelCase::Recv {
+                        src: RecvSrc::TimeAfter(_),
+                        ..
+                    }
                 ));
             }
             other => panic!("expected select, got {other:?}"),
@@ -1002,10 +1143,34 @@ func Loops(ch chan int, n int) {
 "#,
         );
         let body = &f.func("Loops").unwrap().body;
-        assert!(matches!(&body[0], Stmt::For { kind: ForKind::Range { .. }, .. }));
-        assert!(matches!(&body[1], Stmt::For { kind: ForKind::CStyle { .. }, .. }));
-        assert!(matches!(&body[2], Stmt::For { kind: ForKind::Infinite, .. }));
-        assert!(matches!(&body[3], Stmt::For { kind: ForKind::While(_), .. }));
+        assert!(matches!(
+            &body[0],
+            Stmt::For {
+                kind: ForKind::Range { .. },
+                ..
+            }
+        ));
+        assert!(matches!(
+            &body[1],
+            Stmt::For {
+                kind: ForKind::CStyle { .. },
+                ..
+            }
+        ));
+        assert!(matches!(
+            &body[2],
+            Stmt::For {
+                kind: ForKind::Infinite,
+                ..
+            }
+        ));
+        assert!(matches!(
+            &body[3],
+            Stmt::For {
+                kind: ForKind::While(_),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1027,11 +1192,29 @@ func W() {
 "#,
         );
         let body = &f.func("W").unwrap().body;
-        assert!(matches!(&body[0], Stmt::VarDecl { ty: TypeExpr::WaitGroup, .. }));
-        assert!(matches!(&body[1], Stmt::VarDecl { ty: TypeExpr::Mutex, .. }));
+        assert!(matches!(
+            &body[0],
+            Stmt::VarDecl {
+                ty: TypeExpr::WaitGroup,
+                ..
+            }
+        ));
+        assert!(matches!(
+            &body[1],
+            Stmt::VarDecl {
+                ty: TypeExpr::Mutex,
+                ..
+            }
+        ));
         assert!(matches!(
             &body[2],
-            Stmt::Call { call: CallExpr { target: CallTarget::Method { .. }, .. }, .. }
+            Stmt::Call {
+                call: CallExpr {
+                    target: CallTarget::Method { .. },
+                    ..
+                },
+                ..
+            }
         ));
     }
 
@@ -1048,9 +1231,21 @@ func H(parent context.Context) {
 "#,
         );
         let body = &f.func("H").unwrap().body;
-        assert!(matches!(&body[0], Stmt::CtxDecl { timeout: Some(_), .. }));
+        assert!(matches!(
+            &body[0],
+            Stmt::CtxDecl {
+                timeout: Some(_),
+                ..
+            }
+        ));
         assert!(matches!(&body[1], Stmt::Defer { .. }));
-        assert!(matches!(&body[2], Stmt::Recv { src: RecvSrc::CtxDone(_), .. }));
+        assert!(matches!(
+            &body[2],
+            Stmt::Recv {
+                src: RecvSrc::CtxDone(_),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1069,7 +1264,10 @@ func worker(ch chan int, n int) {
         );
         let body = &f.func("A").unwrap().body;
         match &body[0] {
-            Stmt::Go { call: GoCall::Named { func, args }, .. } => {
+            Stmt::Go {
+                call: GoCall::Named { func, args },
+                ..
+            } => {
                 assert_eq!(func, "worker");
                 assert_eq!(args.len(), 2);
             }
@@ -1085,10 +1283,14 @@ func worker(ch chan int, n int) {
 
     #[test]
     fn expression_precedence() {
-        let f = parse("package p\nfunc F(a int, b int) {\n\tx := a + b * 2 == a && true\n\t_ = x\n}\n");
+        let f =
+            parse("package p\nfunc F(a int, b int) {\n\tx := a + b * 2 == a && true\n\t_ = x\n}\n");
         let body = &f.func("F").unwrap().body;
         match &body[0] {
-            Stmt::Assign { expr: Expr::Binary(BinOp::And, lhs, _), .. } => {
+            Stmt::Assign {
+                expr: Expr::Binary(BinOp::And, lhs, _),
+                ..
+            } => {
                 assert!(matches!(**lhs, Expr::Binary(BinOp::Eq, _, _)));
             }
             other => panic!("precedence broke: {other:?}"),
@@ -1099,6 +1301,13 @@ func worker(ch chan int, n int) {
     fn blank_identifier_elides_bindings() {
         let f = parse("package p\nfunc F(ch chan int) {\n\t_, ok := <-ch\n\t_ = ok\n}\n");
         let body = &f.func("F").unwrap().body;
-        assert!(matches!(&body[0], Stmt::Recv { name: None, ok: Some(_), .. }));
+        assert!(matches!(
+            &body[0],
+            Stmt::Recv {
+                name: None,
+                ok: Some(_),
+                ..
+            }
+        ));
     }
 }

@@ -10,8 +10,8 @@
 use std::fmt::Write;
 
 use crate::ast::{
-    CallExpr, CallTarget, Expr, File, ForKind, FuncDecl, GoCall, RecvSrc, SelCase, Stmt,
-    TypeExpr, UnOp,
+    CallExpr, CallTarget, Expr, File, ForKind, FuncDecl, GoCall, RecvSrc, SelCase, Stmt, TypeExpr,
+    UnOp,
 };
 
 /// Renders a whole file.
@@ -27,8 +27,11 @@ pub fn print_file(file: &File) -> String {
 
 /// Renders one function declaration.
 pub fn print_func(f: &FuncDecl) -> String {
-    let params: Vec<String> =
-        f.params.iter().map(|p| format!("{} {}", p.name, print_type(&p.ty))).collect();
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .map(|p| format!("{} {}", p.name, print_type(&p.ty)))
+        .collect();
     let ret = match &f.ret {
         Some(t) => format!(" {}", print_type(t)),
         None => String::new(),
@@ -167,11 +170,15 @@ fn print_block(stmts: &[Stmt], depth: usize, out: &mut String) {
 fn print_stmt(s: &Stmt, depth: usize, out: &mut String) {
     indent(depth, out);
     match s {
-        Stmt::Assign { name, expr, decl, .. } => {
+        Stmt::Assign {
+            name, expr, decl, ..
+        } => {
             let op = if *decl { ":=" } else { "=" };
             let _ = writeln!(out, "{name} {op} {}", print_expr(expr));
         }
-        Stmt::MakeChan { name, elem, cap, .. } => {
+        Stmt::MakeChan {
+            name, elem, cap, ..
+        } => {
             let cap_s = match cap {
                 Some(e) => format!(", {}", print_expr(e)),
                 None => String::new(),
@@ -229,7 +236,12 @@ fn print_stmt(s: &Stmt, depth: usize, out: &mut String) {
                 }
             };
         }
-        Stmt::CtxDecl { ctx, cancel, timeout, .. } => {
+        Stmt::CtxDecl {
+            ctx,
+            cancel,
+            timeout,
+            ..
+        } => {
             let rhs = match timeout {
                 Some(d) => format!("context.WithTimeout(parent, {})", print_expr(d)),
                 None => "context.WithCancel(parent)".to_string(),
@@ -259,8 +271,7 @@ fn print_stmt(s: &Stmt, depth: usize, out: &mut String) {
                         }
                     },
                     SelCase::Send { ch, val, .. } => {
-                        let _ =
-                            writeln!(out, "case {} <- {}:", print_expr(ch), print_expr(val));
+                        let _ = writeln!(out, "case {} <- {}:", print_expr(ch), print_expr(val));
                     }
                 }
                 print_block(case.body(), depth + 1, out);
@@ -273,7 +284,9 @@ fn print_stmt(s: &Stmt, depth: usize, out: &mut String) {
             indent(depth, out);
             out.push_str("}\n");
         }
-        Stmt::If { cond, then, els, .. } => {
+        Stmt::If {
+            cond, then, els, ..
+        } => {
             let _ = writeln!(out, "if {} {{", print_expr(cond));
             print_block(then, depth + 1, out);
             indent(depth, out);
@@ -300,11 +313,7 @@ fn print_stmt(s: &Stmt, depth: usize, out: &mut String) {
                     };
                 }
                 ForKind::CStyle { var, n } => {
-                    let _ = writeln!(
-                        out,
-                        "for {var} := 0; {var} < {}; {var}++ {{",
-                        print_expr(n)
-                    );
+                    let _ = writeln!(out, "for {var} := 0; {var} < {}; {var}++ {{", print_expr(n));
                 }
             }
             print_block(body, depth + 1, out);
@@ -371,7 +380,11 @@ mod tests {
         let printed = print_file(&a);
         let b = parse_file(&printed, "t.go")
             .unwrap_or_else(|e| panic!("printed source fails to parse: {e:?}\n{printed}"));
-        assert_eq!(canon(&a), canon(&b), "roundtrip changed the AST:\n{printed}");
+        assert_eq!(
+            canon(&a),
+            canon(&b),
+            "roundtrip changed the AST:\n{printed}"
+        );
     }
 
     #[test]

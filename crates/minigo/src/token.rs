@@ -305,7 +305,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 i += 2;
                 loop {
                     if i + 1 >= bytes.len() {
-                        return Err(LexError { msg: "unterminated block comment".into(), line: start });
+                        return Err(LexError {
+                            msg: "unterminated block comment".into(),
+                            line: start,
+                        });
                     }
                     if bytes[i] == b'\n' {
                         line += 1;
@@ -323,7 +326,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 let mut s = String::new();
                 loop {
                     if i >= bytes.len() {
-                        return Err(LexError { msg: "unterminated string".into(), line: start });
+                        return Err(LexError {
+                            msg: "unterminated string".into(),
+                            line: start,
+                        });
                     }
                     match bytes[i] {
                         b'"' => {
@@ -342,7 +348,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                             i += 2;
                         }
                         b'\n' => {
-                            return Err(LexError { msg: "newline in string".into(), line: start })
+                            return Err(LexError {
+                                msg: "newline in string".into(),
+                                line: start,
+                            })
                         }
                         b => {
                             s.push(b as char);
@@ -358,16 +367,15 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                     i += 1;
                 }
                 let text = &src[start..i];
-                let v: i64 = text
-                    .parse()
-                    .map_err(|_| LexError { msg: format!("bad integer {text}"), line })?;
+                let v: i64 = text.parse().map_err(|_| LexError {
+                    msg: format!("bad integer {text}"),
+                    line,
+                })?;
                 push!(Tok::Int(v));
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = &src[start..i];
@@ -406,7 +414,11 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 push!(tok);
             }
             _ => {
-                let two = if i + 1 < bytes.len() { &src[i..i + 2] } else { "" };
+                let two = if i + 1 < bytes.len() {
+                    &src[i..i + 2]
+                } else {
+                    ""
+                };
                 let (tok, adv) = match two {
                     ":=" => (Tok::Define, 2),
                     "<-" => (Tok::Arrow, 2),
@@ -453,9 +465,15 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
         }
     }
     if out.last().map(|t| t.tok.ends_statement()).unwrap_or(false) {
-        out.push(Spanned { tok: Tok::Semi, line });
+        out.push(Spanned {
+            tok: Tok::Semi,
+            line,
+        });
     }
-    out.push(Spanned { tok: Tok::Eof, line });
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+    });
     Ok(out)
 }
 

@@ -12,10 +12,17 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(4, 64, 3, |inner| {
         prop_oneof![
-            (arb_binop(), inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| Expr::Binary(op, Box::new(a), Box::new(b))),
-            inner.clone().prop_map(|e| Expr::Unary(UnOp::Not, Box::new(e))),
-            inner.clone().prop_map(|e| Expr::Unary(UnOp::Neg, Box::new(e))),
+            (arb_binop(), inner.clone(), inner.clone()).prop_map(|(op, a, b)| Expr::Binary(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Unary(UnOp::Not, Box::new(e))),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Unary(UnOp::Neg, Box::new(e))),
             inner.clone().prop_map(|e| Expr::Len(Box::new(e))),
             proptest::collection::vec(inner, 0..3).prop_map(Expr::ListLit),
         ]

@@ -7,7 +7,8 @@ use gosim::{GoStatus, Runtime, Val};
 fn run_func(src: &str, path: &str, func: &str, args: Vec<Val>) -> Runtime {
     let prog = minigo::compile(src, path).unwrap_or_else(|e| panic!("compile failed: {e:?}"));
     let mut rt = Runtime::with_seed(7);
-    prog.spawn_func(&mut rt, func, args).unwrap_or_else(|| panic!("no function {func}"));
+    prog.spawn_func(&mut rt, func, args)
+        .unwrap_or_else(|| panic!("no function {func}"));
     rt.advance(10_000, 1_000_000);
     rt
 }
@@ -31,17 +32,29 @@ func ComputeCost(err bool) {
 }
 "#;
     // Error path: the anonymous sender leaks at line 8 (ch <- 1).
-    let rt = run_func(src, "transactions/cost.go", "transactions.ComputeCost", vec![true.into()]);
+    let rt = run_func(
+        src,
+        "transactions/cost.go",
+        "transactions.ComputeCost",
+        vec![true.into()],
+    );
     assert_eq!(rt.live_count(), 1);
     let profile = rt.goroutine_profile("t");
     let g = &profile.goroutines[0];
     assert_eq!(g.status, GoStatus::ChanSend { nil_chan: false });
-    assert_eq!(g.blocking_frame().unwrap().loc.to_string(), "transactions/cost.go:8");
+    assert_eq!(
+        g.blocking_frame().unwrap().loc.to_string(),
+        "transactions/cost.go:8"
+    );
     assert_eq!(g.name, "transactions.ComputeCost$1");
 
     // Happy path: no leak.
-    let rt2 =
-        run_func(src, "transactions/cost.go", "transactions.ComputeCost", vec![false.into()]);
+    let rt2 = run_func(
+        src,
+        "transactions/cost.go",
+        "transactions.ComputeCost",
+        vec![false.into()],
+    );
     assert_eq!(rt2.live_count(), 0);
 }
 
@@ -64,11 +77,20 @@ func FanOut(workers int, items int) {
 	}
 }
 "#;
-    let rt = run_func(src, "pipeline/fan.go", "pipeline.FanOut", vec![4i64.into(), 8i64.into()]);
+    let rt = run_func(
+        src,
+        "pipeline/fan.go",
+        "pipeline.FanOut",
+        vec![4i64.into(), 8i64.into()],
+    );
     assert_eq!(rt.live_count(), 4);
     for g in &rt.goroutine_profile("t").goroutines {
         assert_eq!(g.status, GoStatus::ChanReceive { nil_chan: false });
-        assert_eq!(g.blocking_frame().unwrap().loc.line, 8, "blocked at the range receive");
+        assert_eq!(
+            g.blocking_frame().unwrap().loc.line,
+            8,
+            "blocked at the range receive"
+        );
     }
 }
 
@@ -92,7 +114,12 @@ func FanOut(workers int, items int) {
 	close(ch)
 }
 "#;
-    let rt = run_func(src, "pipeline/fan.go", "pipeline.FanOut", vec![4i64.into(), 8i64.into()]);
+    let rt = run_func(
+        src,
+        "pipeline/fan.go",
+        "pipeline.FanOut",
+        vec![4i64.into(), 8i64.into()],
+    );
     assert_eq!(rt.live_count(), 0);
 }
 
@@ -112,11 +139,14 @@ func statsReporter() {
 "#;
     let prog = minigo::compile(src, "metrics/stats.go").unwrap();
     let mut rt = Runtime::with_seed(0);
-    prog.spawn_func(&mut rt, "metrics.statsReporter", vec![]).unwrap();
+    prog.spawn_func(&mut rt, "metrics.statsReporter", vec![])
+        .unwrap();
     // Run a long virtual window: the goroutine wakes and re-blocks forever.
     rt.advance(10_000, 1_000_000);
     assert_eq!(rt.live_count(), 1, "runaway reporter persists");
-    assert!(rt.goroutine_profile("t").goroutines[0].status.is_channel_blocked());
+    assert!(rt.goroutine_profile("t").goroutines[0]
+        .status
+        .is_channel_blocked());
 }
 
 #[test]
@@ -175,7 +205,10 @@ func Use(callStop bool) {
 "#;
     let leak = run_func(src, "worker/w.go", "worker.Use", vec![false.into()]);
     assert_eq!(leak.live_count(), 1);
-    assert_eq!(leak.goroutine_profile("t").goroutines[0].status, GoStatus::Select { ncases: 2 });
+    assert_eq!(
+        leak.goroutine_profile("t").goroutines[0].status,
+        GoStatus::Select { ncases: 2 }
+    );
 
     let ok = run_func(src, "worker/w.go", "worker.Use", vec![true.into()]);
     assert_eq!(ok.live_count(), 0);
@@ -241,7 +274,11 @@ func Handler(parent context.Context) {
 }
 "#;
     let rt = run_func(src, "h/handler.go", "h.Handler", vec![Val::NilChan]);
-    assert_eq!(rt.live_count(), 1, "producer leaks after the deadline fires");
+    assert_eq!(
+        rt.live_count(),
+        1,
+        "producer leaks after the deadline fires"
+    );
     let g = &rt.goroutine_profile("t").goroutines[0];
     assert_eq!(g.status, GoStatus::ChanSend { nil_chan: false });
     assert_eq!(g.blocking_frame().unwrap().loc.line, 11);
@@ -297,7 +334,11 @@ func F() {
 }
 "#;
     let rt = run_func(src, "w/f.go", "w.F", vec![]);
-    assert_eq!(rt.live_count(), 1, "wrapper-spawned sender leaks like a plain go");
+    assert_eq!(
+        rt.live_count(),
+        1,
+        "wrapper-spawned sender leaks like a plain go"
+    );
     let g = &rt.goroutine_profile("t").goroutines[0];
     assert_eq!(g.name, "w.F$1");
 }
@@ -371,8 +412,12 @@ func F() {
 "#;
     let rt = run_func(src, "n/f.go", "n.F", vec![]);
     assert_eq!(rt.live_count(), 2);
-    let statuses: Vec<GoStatus> =
-        rt.goroutine_profile("t").goroutines.iter().map(|g| g.status).collect();
+    let statuses: Vec<GoStatus> = rt
+        .goroutine_profile("t")
+        .goroutines
+        .iter()
+        .map(|g| g.status)
+        .collect();
     assert!(statuses.contains(&GoStatus::ChanSend { nil_chan: true }));
     assert!(statuses.contains(&GoStatus::ChanReceive { nil_chan: true }));
 }

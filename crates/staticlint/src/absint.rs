@@ -22,9 +22,7 @@ use gosim::Loc;
 use minigo::ast::File;
 
 use crate::findings::{Analyzer, Finding, FindingKind};
-use crate::skeleton::{
-    extract_file, Cap, ChanSource, ExtractOptions, Node, SelectOp, Skeleton,
-};
+use crate::skeleton::{extract_file, Cap, ChanSource, ExtractOptions, Node, SelectOp, Skeleton};
 
 const INF: u64 = u64::MAX / 4;
 
@@ -39,16 +37,23 @@ struct ChanFacts {
 impl ChanFacts {
     fn join(&self, other: &ChanFacts) -> ChanFacts {
         ChanFacts {
-            sends: (self.sends.0.min(other.sends.0), self.sends.1.max(other.sends.1)),
-            recvs: (self.recvs.0.min(other.recvs.0), self.recvs.1.max(other.recvs.1)),
-            closes: (self.closes.0.min(other.closes.0), self.closes.1.max(other.closes.1)),
+            sends: (
+                self.sends.0.min(other.sends.0),
+                self.sends.1.max(other.sends.1),
+            ),
+            recvs: (
+                self.recvs.0.min(other.recvs.0),
+                self.recvs.1.max(other.recvs.1),
+            ),
+            closes: (
+                self.closes.0.min(other.closes.0),
+                self.closes.1.max(other.closes.1),
+            ),
         }
     }
 
     fn seq(&self, other: &ChanFacts) -> ChanFacts {
-        let add = |a: (u64, u64), b: (u64, u64)| {
-            ((a.0 + b.0).min(INF), (a.1 + b.1).min(INF))
-        };
+        let add = |a: (u64, u64), b: (u64, u64)| ((a.0 + b.0).min(INF), (a.1 + b.1).min(INF));
         ChanFacts {
             sends: add(self.sends, other.sends),
             recvs: add(self.recvs, other.recvs),
@@ -58,9 +63,16 @@ impl ChanFacts {
 
     fn scale(&self, lo: u64, hi: u64) -> ChanFacts {
         let m = |a: (u64, u64)| {
-            (a.0.saturating_mul(lo).min(INF), a.1.saturating_mul(hi).min(INF))
+            (
+                a.0.saturating_mul(lo).min(INF),
+                a.1.saturating_mul(hi).min(INF),
+            )
         };
-        ChanFacts { sends: m(self.sends), recvs: m(self.recvs), closes: m(self.closes) }
+        ChanFacts {
+            sends: m(self.sends),
+            recvs: m(self.recvs),
+            closes: m(self.closes),
+        }
     }
 }
 
@@ -118,7 +130,11 @@ impl State {
 
     fn scale(&self, lo: u64, hi: u64) -> State {
         State {
-            chans: self.chans.iter().map(|(k, v)| (k.clone(), v.scale(lo, hi))).collect(),
+            chans: self
+                .chans
+                .iter()
+                .map(|(k, v)| (k.clone(), v.scale(lo, hi)))
+                .collect(),
             send_sites: self.send_sites.clone(),
             recv_sites: self.recv_sites.clone(),
             range_sites: self.range_sites.clone(),
@@ -176,7 +192,11 @@ fn interpret_ret(nodes: &[Node], follow_wrappers: bool) -> (State, Ret) {
             break;
         }
         let (node_state, node_ret) = node_effect(n, follow_wrappers);
-        let scaled = if reach == Ret::Maybe { node_state.scale(0, 1) } else { node_state };
+        let scaled = if reach == Ret::Maybe {
+            node_state.scale(0, 1)
+        } else {
+            node_state
+        };
         st.seq(&scaled);
         reach = match (reach, node_ret) {
             (Ret::No, r) => r,
@@ -194,47 +214,82 @@ fn node_effect(n: &Node, follow_wrappers: bool) -> (State, Ret) {
     match n {
         Node::Send { ch: Some(c), line } => {
             let e = st.chans.entry(c.clone()).or_default();
-            *e = e.seq(&ChanFacts { sends: (1, 1), ..ChanFacts::default() });
+            *e = e.seq(&ChanFacts {
+                sends: (1, 1),
+                ..ChanFacts::default()
+            });
             st.send_sites.push((c.clone(), *line));
         }
-        Node::Recv { ch: Some(c), line, transient: false, .. } => {
+        Node::Recv {
+            ch: Some(c),
+            line,
+            transient: false,
+            ..
+        } => {
             let e = st.chans.entry(c.clone()).or_default();
-            *e = e.seq(&ChanFacts { recvs: (1, 1), ..ChanFacts::default() });
+            *e = e.seq(&ChanFacts {
+                recvs: (1, 1),
+                ..ChanFacts::default()
+            });
             st.recv_sites.push((c.clone(), *line));
         }
         Node::Close { ch: Some(c), .. } | Node::Cancel { ch: Some(c), .. } => {
             let e = st.chans.entry(c.clone()).or_default();
-            *e = e.seq(&ChanFacts { closes: (1, 1), ..ChanFacts::default() });
+            *e = e.seq(&ChanFacts {
+                closes: (1, 1),
+                ..ChanFacts::default()
+            });
         }
         Node::CtxTimer { var } => {
             let e = st.chans.entry(var.clone()).or_default();
-            *e = e.seq(&ChanFacts { closes: (1, 1), ..ChanFacts::default() });
+            *e = e.seq(&ChanFacts {
+                closes: (1, 1),
+                ..ChanFacts::default()
+            });
         }
         Node::Range { ch, line, body } => {
             let (inner, _) = interpret_ret(body, follow_wrappers);
             st.seq(&inner.scale(0, INF));
             if let Some(c) = ch {
                 let e = st.chans.entry(c.clone()).or_default();
-                *e = e.seq(&ChanFacts { recvs: (1, INF), ..ChanFacts::default() });
+                *e = e.seq(&ChanFacts {
+                    recvs: (1, INF),
+                    ..ChanFacts::default()
+                });
                 st.range_sites.push((c.clone(), *line));
             }
         }
-        Node::Select { arms, has_default, default, line } => {
+        Node::Select {
+            arms,
+            has_default,
+            default,
+            line,
+        } => {
             // Hull over arms: each arm may or may not fire.
             let mut acc: Option<(State, Ret)> = None;
             for (op, body) in arms {
                 let mut arm_state = State::default();
                 match op {
-                    SelectOp::Recv { ch: Some(c), transient: false, .. } => {
+                    SelectOp::Recv {
+                        ch: Some(c),
+                        transient: false,
+                        ..
+                    } => {
                         arm_state.chans.insert(
                             c.clone(),
-                            ChanFacts { recvs: (1, 1), ..ChanFacts::default() },
+                            ChanFacts {
+                                recvs: (1, 1),
+                                ..ChanFacts::default()
+                            },
                         );
                     }
                     SelectOp::Send { ch: Some(c), .. } => {
                         arm_state.chans.insert(
                             c.clone(),
-                            ChanFacts { sends: (1, 1), ..ChanFacts::default() },
+                            ChanFacts {
+                                sends: (1, 1),
+                                ..ChanFacts::default()
+                            },
                         );
                     }
                     _ => {}
@@ -263,8 +318,10 @@ fn node_effect(n: &Node, follow_wrappers: bool) -> (State, Ret) {
                 *line,
             ));
         }
-        Node::Spawn { body, via_wrapper, .. } => {
-            if !(*via_wrapper && !follow_wrappers) {
+        Node::Spawn {
+            body, via_wrapper, ..
+        } => {
+            if !*via_wrapper || follow_wrappers {
                 let (child, _) = interpret_ret(body, follow_wrappers);
                 // The child may or may not have run to any given point.
                 st.seq(&child.scale(0, 1));
@@ -328,11 +385,16 @@ impl AbsInt {
     fn check_skeleton(&self, skel: &Skeleton, out: &mut Vec<Finding>) {
         let st = interpret(&skel.body, self.config.follow_wrappers);
         let cap_of = |name: &str| -> Option<u64> {
-            skel.chans.iter().find(|c| c.name == name).and_then(|c| match c.source {
-                ChanSource::Local { cap: Cap::Zero, .. } => Some(0),
-                ChanSource::Local { cap: Cap::Const(n), .. } => Some(n as u64),
-                ChanSource::Local { cap: Cap::Dyn, .. } | ChanSource::External => None,
-            })
+            skel.chans
+                .iter()
+                .find(|c| c.name == name)
+                .and_then(|c| match c.source {
+                    ChanSource::Local { cap: Cap::Zero, .. } => Some(0),
+                    ChanSource::Local {
+                        cap: Cap::Const(n), ..
+                    } => Some(n as u64),
+                    ChanSource::Local { cap: Cap::Dyn, .. } | ChanSource::External => None,
+                })
         };
 
         for (ch, facts) in &st.chans {
@@ -347,8 +409,11 @@ impl AbsInt {
                             skel,
                             FindingKind::BlockedSend,
                             *line,
-                            format!("hull admits {} sends vs {} receives on `{ch}` (cap {cap})",
-                                display(facts.sends.1), facts.recvs.0),
+                            format!(
+                                "hull admits {} sends vs {} receives on `{ch}` (cap {cap})",
+                                display(facts.sends.1),
+                                facts.recvs.0
+                            ),
                         ));
                     }
                 }
@@ -386,7 +451,9 @@ impl AbsInt {
             }
             let starved = |op: &SelectOp| -> bool {
                 match op {
-                    SelectOp::Recv { transient: true, .. } => false,
+                    SelectOp::Recv {
+                        transient: true, ..
+                    } => false,
                     SelectOp::Recv { ch: Some(c), .. } => {
                         let Some(_cap) = cap_of(c) else { return false };
                         let f = st.chans.get(c).copied().unwrap_or_default();
@@ -482,7 +549,9 @@ func F(err bool) {
 }
 "#,
         );
-        assert!(f.iter().any(|x| x.kind == FindingKind::BlockedSend && x.loc.line == 7));
+        assert!(f
+            .iter()
+            .any(|x| x.kind == FindingKind::BlockedSend && x.loc.line == 7));
     }
 
     #[test]

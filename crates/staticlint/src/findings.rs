@@ -49,7 +49,11 @@ pub struct Finding {
 
 impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}] {} at {} in {}: {}", self.tool, self.kind, self.loc, self.func, self.message)
+        write!(
+            f,
+            "[{}] {} at {} in {}: {}",
+            self.tool, self.kind, self.loc, self.func, self.message
+        )
     }
 }
 

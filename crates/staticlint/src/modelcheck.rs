@@ -26,9 +26,7 @@ use gosim::Loc;
 use minigo::ast::File;
 
 use crate::findings::{Analyzer, Finding, FindingKind};
-use crate::skeleton::{
-    extract_file, Cap, ChanSource, ExtractOptions, Node, SelectOp, Skeleton,
-};
+use crate::skeleton::{extract_file, Cap, ChanSource, ExtractOptions, Node, SelectOp, Skeleton};
 
 /// Model-checker configuration.
 #[derive(Debug, Clone)]
@@ -97,8 +95,7 @@ impl ModelCheck {
                     kind,
                     loc: Loc::new(skel.file.clone(), line),
                     func: skel.func.clone(),
-                    message: "reachable state with this operation permanently blocked"
-                        .to_string(),
+                    message: "reachable state with this operation permanently blocked".to_string(),
                 });
             }
         }
@@ -136,16 +133,30 @@ enum MArm {
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 enum MInstr {
-    Send { ch: usize, line: u32 },
-    Recv { ch: usize, line: u32 },
+    Send {
+        ch: usize,
+        line: u32,
+    },
+    Recv {
+        ch: usize,
+        line: u32,
+    },
     /// Receive that is always ready (timers) or on an unknown channel.
     Nop,
-    Close { ch: usize },
-    Select { arms: Vec<(MArm, usize, u32)>, default: Option<usize>, line: u32 },
+    Close {
+        ch: usize,
+    },
+    Select {
+        arms: Vec<(MArm, usize, u32)>,
+        default: Option<usize>,
+        line: u32,
+    },
     /// Nondeterministic jump (branches, loop exits).
     Choice(Vec<usize>),
     Jmp(usize),
-    Spawn { prog: usize },
+    Spawn {
+        prog: usize,
+    },
     End,
 }
 
@@ -165,11 +176,17 @@ struct Compiler<'a> {
 
 impl<'a> Compiler<'a> {
     fn compile(skel: &Skeleton, config: &'a ModelCheckConfig) -> Model {
-        let mut c = Compiler { model: Model::default(), chan_ids: HashMap::new(), config };
+        let mut c = Compiler {
+            model: Model::default(),
+            chan_ids: HashMap::new(),
+            config,
+        };
         for ch in &skel.chans {
             let cap = match &ch.source {
                 ChanSource::Local { cap: Cap::Zero, .. } => 0,
-                ChanSource::Local { cap: Cap::Const(n), .. } => *n as usize,
+                ChanSource::Local {
+                    cap: Cap::Const(n), ..
+                } => *n as usize,
                 // Dynamic capacity: model as unbounded (never blocks).
                 ChanSource::Local { cap: Cap::Dyn, .. } => usize::MAX,
                 // Parameter/captured channels: without a program entry
@@ -216,7 +233,12 @@ impl<'a> Compiler<'a> {
                     None => self.emit(prog, MInstr::Nop),
                 };
             }
-            Node::Recv { ch, line, transient, .. } => {
+            Node::Recv {
+                ch,
+                line,
+                transient,
+                ..
+            } => {
                 if *transient {
                     self.emit(prog, MInstr::Nop);
                 } else {
@@ -237,7 +259,9 @@ impl<'a> Compiler<'a> {
                 // channel at some nondeterministic point.
                 if let Some(c) = self.chan_ids.get(var).copied() {
                     let helper = self.model.progs.len();
-                    self.model.progs.push(vec![MInstr::Close { ch: c }, MInstr::End]);
+                    self.model
+                        .progs
+                        .push(vec![MInstr::Close { ch: c }, MInstr::End]);
                     self.emit(prog, MInstr::Spawn { prog: helper });
                 }
             }
@@ -251,7 +275,13 @@ impl<'a> Compiler<'a> {
                     let choice_at = self.emit(prog, MInstr::Choice(vec![]));
                     exit_patches.push(choice_at);
                     match c {
-                        Some(cc) => self.emit(prog, MInstr::Recv { ch: cc, line: *line }),
+                        Some(cc) => self.emit(
+                            prog,
+                            MInstr::Recv {
+                                ch: cc,
+                                line: *line,
+                            },
+                        ),
                         None => self.emit(prog, MInstr::Nop),
                     };
                     self.compile_into(prog, body);
@@ -271,7 +301,12 @@ impl<'a> Compiler<'a> {
                     }
                 }
             }
-            Node::Select { arms, has_default, default, line } => {
+            Node::Select {
+                arms,
+                has_default,
+                default,
+                line,
+            } => {
                 let sel_at = self.emit(prog, MInstr::Nop); // placeholder
                 let mut arm_entries = Vec::new();
                 let mut end_jumps = Vec::new();
@@ -280,7 +315,9 @@ impl<'a> Compiler<'a> {
                     self.compile_into(prog, body);
                     end_jumps.push(self.emit(prog, MInstr::Jmp(usize::MAX)));
                     let arm = match op {
-                        SelectOp::Recv { transient: true, .. } => MArm::Timer,
+                        SelectOp::Recv {
+                            transient: true, ..
+                        } => MArm::Timer,
                         SelectOp::Recv { ch, .. } => {
                             self.chan(ch).map(MArm::Recv).unwrap_or(MArm::Unknown)
                         }
@@ -311,7 +348,9 @@ impl<'a> Compiler<'a> {
                     line: *line,
                 };
             }
-            Node::Spawn { body, via_wrapper, .. } => {
+            Node::Spawn {
+                body, via_wrapper, ..
+            } => {
                 if *via_wrapper && !self.config.follow_wrappers {
                     return;
                 }
@@ -336,8 +375,15 @@ impl<'a> Compiler<'a> {
                 }
                 self.model.progs[prog][choice_at] = MInstr::Choice(entries);
             }
-            Node::Loop { body, bound, has_exit, .. } => {
-                let n = bound.unwrap_or(self.config.loop_unroll).min(self.config.loop_unroll * 2);
+            Node::Loop {
+                body,
+                bound,
+                has_exit,
+                ..
+            } => {
+                let n = bound
+                    .unwrap_or(self.config.loop_unroll)
+                    .min(self.config.loop_unroll * 2);
                 let optional = bound.is_none();
                 let mut exit_choices = Vec::new();
                 for _ in 0..n.max(1) {
@@ -398,11 +444,18 @@ struct Outcome {
 
 fn explore(model: &Model, config: &ModelCheckConfig) -> Outcome {
     let init = State {
-        gs: vec![GState { prog: 0, pc: 0, alive: true }],
+        gs: vec![GState {
+            prog: 0,
+            pc: 0,
+            alive: true,
+        }],
         chans: model
             .caps
             .iter()
-            .map(|_| ChanState { buf: 0, closed: false })
+            .map(|_| ChanState {
+                buf: 0,
+                closed: false,
+            })
             .collect(),
     };
     let mut seen: HashSet<State> = HashSet::new();
@@ -449,7 +502,11 @@ fn explore(model: &Model, config: &ModelCheckConfig) -> Outcome {
             }
         }
     }
-    Outcome { stuck_ops, states, timed_out }
+    Outcome {
+        stuck_ops,
+        states,
+        timed_out,
+    }
 }
 
 /// Is goroutine `j` ready to *receive* on `ch` right now (plain recv or a
@@ -490,7 +547,11 @@ fn successors(model: &Model, st: &State, config: &ModelCheckConfig) -> Vec<State
             MInstr::Spawn { prog } => {
                 let mut s = advance(st, i, g.pc + 1);
                 if s.gs.iter().filter(|g| g.alive).count() < config.max_goroutines {
-                    s.gs.push(GState { prog: *prog, pc: 0, alive: true });
+                    s.gs.push(GState {
+                        prog: *prog,
+                        pc: 0,
+                        alive: true,
+                    });
                 }
                 out.push(s);
             }
@@ -515,12 +576,8 @@ fn successors(model: &Model, st: &State, config: &ModelCheckConfig) -> Vec<State
                     match arm {
                         MArm::Timer => out.push(advance(st, i, *target)),
                         MArm::Unknown => out.push(advance(st, i, *target)),
-                        MArm::Recv(ch) => {
-                            push_recv_succs(model, st, i, *ch, *target, &mut out)
-                        }
-                        MArm::Send(ch) => {
-                            push_send_succs(model, st, i, *ch, *target, &mut out)
-                        }
+                        MArm::Recv(ch) => push_recv_succs(model, st, i, *ch, *target, &mut out),
+                        MArm::Send(ch) => push_send_succs(model, st, i, *ch, *target, &mut out),
                     }
                 }
                 if let Some(d) = default {
@@ -647,7 +704,8 @@ func F(err bool) {
 "#,
         );
         assert!(
-            f.iter().any(|x| x.kind == FindingKind::BlockedSend && x.loc.line == 7),
+            f.iter()
+                .any(|x| x.kind == FindingKind::BlockedSend && x.loc.line == 7),
             "{f:?}"
         );
     }
@@ -688,7 +746,10 @@ func F(fail bool) {
 }
 "#,
         );
-        assert!(f.iter().any(|x| x.kind == FindingKind::BlockedSend), "{f:?}");
+        assert!(
+            f.iter().any(|x| x.kind == FindingKind::BlockedSend),
+            "{f:?}"
+        );
     }
 
     #[test]
@@ -713,7 +774,10 @@ func Use() {
 }
 "#,
         );
-        assert!(leaky.iter().any(|x| x.kind == FindingKind::BlockedSelect), "{leaky:?}");
+        assert!(
+            leaky.iter().any(|x| x.kind == FindingKind::BlockedSelect),
+            "{leaky:?}"
+        );
 
         let fixed = check(
             r#"
@@ -756,7 +820,10 @@ func Use() {
         src.push_str("}\n");
         let file = minigo::parse_file(&src, "t.go").unwrap();
         let mc = ModelCheck {
-            config: ModelCheckConfig { state_budget: 50, ..ModelCheckConfig::default() },
+            config: ModelCheckConfig {
+                state_budget: 50,
+                ..ModelCheckConfig::default()
+            },
         };
         let (_, stats) = mc.analyze_file_with_stats(&file);
         assert!(stats.timeouts >= 1, "tiny budget must time out: {stats:?}");
@@ -801,6 +868,9 @@ func F() {
 }
 "#,
         );
-        assert!(f.iter().any(|x| x.kind == FindingKind::BlockedSend), "{f:?}");
+        assert!(
+            f.iter().any(|x| x.kind == FindingKind::BlockedSend),
+            "{f:?}"
+        );
     }
 }

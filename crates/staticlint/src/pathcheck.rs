@@ -27,9 +27,7 @@ use gosim::Loc;
 use minigo::ast::File;
 
 use crate::findings::{Analyzer, Finding, FindingKind};
-use crate::skeleton::{
-    extract_file, Cap, ChanSource, ExtractOptions, Node, SelectOp, Skeleton,
-};
+use crate::skeleton::{extract_file, Cap, ChanSource, ExtractOptions, Node, SelectOp, Skeleton};
 
 /// "Infinity" for saturating op counts.
 const INF: u64 = u64::MAX / 4;
@@ -37,16 +35,10 @@ const INF: u64 = u64::MAX / 4;
 const MAX_PATHS: usize = 96;
 
 /// Configuration for the path checker.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct PathCheckConfig {
     /// Recognize wrapper spawns (off = the paper's naive baseline).
     pub follow_wrappers: bool,
-}
-
-impl Default for PathCheckConfig {
-    fn default() -> Self {
-        PathCheckConfig { follow_wrappers: false }
-    }
 }
 
 /// The GCatch-like analyzer.
@@ -100,10 +92,23 @@ impl OpCounts {
 /// A recorded operation site for reporting.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 enum Site {
-    Send { ch: String, line: u32 },
-    Recv { ch: String, line: u32 },
-    Range { ch: String, line: u32 },
-    Select { line: u32, arms: Vec<SelectOp>, has_default: bool },
+    Send {
+        ch: String,
+        line: u32,
+    },
+    Recv {
+        ch: String,
+        line: u32,
+    },
+    Range {
+        ch: String,
+        line: u32,
+    },
+    Select {
+        line: u32,
+        arms: Vec<SelectOp>,
+        has_default: bool,
+    },
 }
 
 /// Summary of one enumerated path of one goroutine.
@@ -126,13 +131,21 @@ impl PathSummary {
 
     fn scaled(&self, lo: u64, hi: u64) -> PathSummary {
         PathSummary {
-            counts: self.counts.iter().map(|(k, v)| (k.clone(), v.scale(lo, hi))).collect(),
+            counts: self
+                .counts
+                .iter()
+                .map(|(k, v)| (k.clone(), v.scale(lo, hi)))
+                .collect(),
             sites: self.sites.clone(),
             spawns: self
                 .spawns
                 .iter()
                 .map(|(id, l, h)| {
-                    (*id, l.saturating_mul(lo).min(INF), h.saturating_mul(hi).min(INF))
+                    (
+                        *id,
+                        l.saturating_mul(lo).min(INF),
+                        h.saturating_mul(hi).min(INF),
+                    )
                 })
                 .collect(),
         }
@@ -199,11 +212,19 @@ impl Enumerator<'_> {
                 if let Some(c) = ch {
                     p.counts.entry(c.clone()).or_default().sends_lo = 1;
                     p.counts.get_mut(c).expect("just inserted").sends_hi = 1;
-                    p.sites.push(Site::Send { ch: c.clone(), line: *line });
+                    p.sites.push(Site::Send {
+                        ch: c.clone(),
+                        line: *line,
+                    });
                 }
                 vec![(p, false)]
             }
-            Node::Recv { ch, line, transient, ctx_done: _ } => {
+            Node::Recv {
+                ch,
+                line,
+                transient,
+                ctx_done: _,
+            } => {
                 let mut p = PathSummary::default();
                 if *transient {
                     return vec![(p, false)]; // timers always fire
@@ -212,7 +233,10 @@ impl Enumerator<'_> {
                     let e = p.counts.entry(c.clone()).or_default();
                     e.recvs_lo = 1;
                     e.recvs_hi = 1;
-                    p.sites.push(Site::Recv { ch: c.clone(), line: *line });
+                    p.sites.push(Site::Recv {
+                        ch: c.clone(),
+                        line: *line,
+                    });
                 }
                 vec![(p, false)]
             }
@@ -243,7 +267,10 @@ impl Enumerator<'_> {
                         let e = p.counts.entry(c.clone()).or_default();
                         e.recvs_lo = e.recvs_lo.max(1);
                         e.recvs_hi = INF;
-                        p.sites.push(Site::Range { ch: c.clone(), line: *line });
+                        p.sites.push(Site::Range {
+                            ch: c.clone(),
+                            line: *line,
+                        });
                     }
                     out.push((p, false));
                 }
@@ -253,20 +280,32 @@ impl Enumerator<'_> {
                         let e = p.counts.entry(c.clone()).or_default();
                         e.recvs_lo = 1;
                         e.recvs_hi = INF;
-                        p.sites.push(Site::Range { ch: c.clone(), line: *line });
+                        p.sites.push(Site::Range {
+                            ch: c.clone(),
+                            line: *line,
+                        });
                     }
                     out.push((p, false));
                 }
                 out
             }
-            Node::Select { arms, has_default, default, line } => {
+            Node::Select {
+                arms,
+                has_default,
+                default,
+                line,
+            } => {
                 let mut out = Vec::new();
                 let arm_ops: Vec<SelectOp> = arms.iter().map(|(op, _)| op.clone()).collect();
                 for (op, body) in arms {
                     for bp in self.flat_paths(body).into_iter().take(8) {
                         let mut p = PathSummary::default();
                         match op {
-                            SelectOp::Recv { ch: Some(c), transient: false, .. } => {
+                            SelectOp::Recv {
+                                ch: Some(c),
+                                transient: false,
+                                ..
+                            } => {
                                 let e = p.counts.entry(c.clone()).or_default();
                                 e.recvs_lo = 1;
                                 e.recvs_hi = 1;
@@ -302,12 +341,20 @@ impl Enumerator<'_> {
                 if out.is_empty() {
                     // select{} — blocks forever.
                     let mut p = PathSummary::default();
-                    p.sites.push(Site::Select { line: *line, arms: vec![], has_default: false });
+                    p.sites.push(Site::Select {
+                        line: *line,
+                        arms: vec![],
+                        has_default: false,
+                    });
                     out.push((p, true));
                 }
                 out
             }
-            Node::Spawn { body, line: _, via_wrapper } => {
+            Node::Spawn {
+                body,
+                line: _,
+                via_wrapper,
+            } => {
                 if *via_wrapper && !self.config.follow_wrappers {
                     // Wrapper blindness: the spawn is invisible.
                     return vec![(PathSummary::default(), false)];
@@ -330,7 +377,12 @@ impl Enumerator<'_> {
                 }
                 out
             }
-            Node::Loop { body, bound, has_exit, .. } => {
+            Node::Loop {
+                body,
+                bound,
+                has_exit,
+                ..
+            } => {
                 let body_paths = self.flat_paths(body);
                 let mut out = Vec::new();
                 match bound {
@@ -379,11 +431,7 @@ struct Worst {
     close_guaranteed: bool,
 }
 
-fn analyze_root_path(
-    root: &PathSummary,
-    children: &[Vec<PathSummary>],
-    chan: &str,
-) -> Worst {
+fn analyze_root_path(root: &PathSummary, children: &[Vec<PathSummary>], chan: &str) -> Worst {
     // Gather the root's own counts.
     let base = root.counts.get(chan).copied().unwrap_or_default();
     let mut w = Worst {
@@ -430,7 +478,11 @@ fn analyze_root_path(
         // Grandchildren.
         for p in paths {
             for s in &p.spawns {
-                stack.push((s.0, s.1.saturating_mul(lo_mult), s.2.saturating_mul(hi_mult)));
+                stack.push((
+                    s.0,
+                    s.1.saturating_mul(lo_mult),
+                    s.2.saturating_mul(hi_mult),
+                ));
             }
         }
     }
@@ -438,13 +490,18 @@ fn analyze_root_path(
 }
 
 fn chan_capacity(skel: &Skeleton, name: &str) -> Option<u64> {
-    skel.chans.iter().find(|c| c.name == name).and_then(|c| match c.source {
-        ChanSource::Local { cap: Cap::Zero, .. } => Some(0),
-        ChanSource::Local { cap: Cap::Const(n), .. } => Some(n as u64),
-        // Dynamic capacity: assume "big enough" (avoids FPs, costs FNs).
-        ChanSource::Local { cap: Cap::Dyn, .. } => None,
-        ChanSource::External => None,
-    })
+    skel.chans
+        .iter()
+        .find(|c| c.name == name)
+        .and_then(|c| match c.source {
+            ChanSource::Local { cap: Cap::Zero, .. } => Some(0),
+            ChanSource::Local {
+                cap: Cap::Const(n), ..
+            } => Some(n as u64),
+            // Dynamic capacity: assume "big enough" (avoids FPs, costs FNs).
+            ChanSource::Local { cap: Cap::Dyn, .. } => None,
+            ChanSource::External => None,
+        })
 }
 
 fn all_sites<'p>(root: &'p PathSummary, children: &'p [Vec<PathSummary>]) -> Vec<&'p Site> {
@@ -480,9 +537,15 @@ impl Analyzer for PathCheck {
 
 impl PathCheck {
     fn analyze_skeleton(&self, skel: &Skeleton, findings: &mut Vec<Finding>) {
-        let mut en = Enumerator { config: &self.config, children: Vec::new() };
+        let mut en = Enumerator {
+            config: &self.config,
+            children: Vec::new(),
+        };
         let root_paths = en.flat_paths(&skel.body);
-        let enumeration = Enumeration { root_paths, child_paths: en.children };
+        let enumeration = Enumeration {
+            root_paths,
+            child_paths: en.children,
+        };
 
         let local_chans: Vec<&str> = skel
             .chans
@@ -494,7 +557,9 @@ impl PathCheck {
         for root in &enumeration.root_paths {
             let sites = all_sites(root, &enumeration.child_paths);
             for &ch in &local_chans {
-                let Some(cap) = chan_capacity(skel, ch) else { continue };
+                let Some(cap) = chan_capacity(skel, ch) else {
+                    continue;
+                };
                 let w = analyze_root_path(root, &enumeration.child_paths, ch);
 
                 // Blocked send: more sends than receives + buffer.
@@ -548,14 +613,25 @@ impl PathCheck {
 
             // Blocked select: every arm starvable.
             for site in &sites {
-                let Site::Select { line, arms, has_default } = site else { continue };
+                let Site::Select {
+                    line,
+                    arms,
+                    has_default,
+                } = site
+                else {
+                    continue;
+                };
                 if *has_default {
                     continue;
                 }
                 let starved = arms.iter().all(|arm| match arm {
-                    SelectOp::Recv { transient: true, .. } => false,
+                    SelectOp::Recv {
+                        transient: true, ..
+                    } => false,
                     SelectOp::Recv { ch: Some(c), .. } => {
-                        let Some(_cap) = chan_capacity(skel, c) else { return false };
+                        let Some(_cap) = chan_capacity(skel, c) else {
+                            return false;
+                        };
                         let w = analyze_root_path(root, &enumeration.child_paths, c);
                         // Arm can starve if nobody may send and nobody
                         // may close.
@@ -563,7 +639,9 @@ impl PathCheck {
                     }
                     SelectOp::Recv { ch: None, .. } => false,
                     SelectOp::Send { ch: Some(c), .. } => {
-                        let Some(cap) = chan_capacity(skel, c) else { return false };
+                        let Some(cap) = chan_capacity(skel, c) else {
+                            return false;
+                        };
                         let w = analyze_root_path(root, &enumeration.child_paths, c);
                         w.recvs_hi == 0 && cap == 0
                     }
@@ -585,13 +663,7 @@ impl PathCheck {
         }
     }
 
-    fn finding(
-        &self,
-        skel: &Skeleton,
-        kind: FindingKind,
-        line: u32,
-        message: String,
-    ) -> Finding {
+    fn finding(&self, skel: &Skeleton, kind: FindingKind, line: u32, message: String) -> Finding {
         Finding {
             tool: "pathcheck",
             kind,
@@ -630,7 +702,8 @@ func F(err bool) {
 "#,
         );
         assert!(
-            f.iter().any(|x| x.kind == FindingKind::BlockedSend && x.loc.line == 7),
+            f.iter()
+                .any(|x| x.kind == FindingKind::BlockedSend && x.loc.line == 7),
             "expected blocked send at line 7, got {f:?}"
         );
     }
@@ -794,8 +867,12 @@ func F() {
             "naive mode must miss wrapper spawns: {blind:?}"
         );
         let file = minigo::parse_file(src, "t.go").unwrap();
-        let aware = PathCheck { config: PathCheckConfig { follow_wrappers: true } }
-            .analyze_file(&file);
+        let aware = PathCheck {
+            config: PathCheckConfig {
+                follow_wrappers: true,
+            },
+        }
+        .analyze_file(&file);
         assert!(
             aware.iter().any(|x| x.kind == FindingKind::BlockedSend),
             "wrapper-aware mode must catch it: {aware:?}"

@@ -28,7 +28,10 @@ impl RangeClose {
     /// (wrappers followed).
     pub fn new() -> Self {
         RangeClose {
-            opts: Some(ExtractOptions { follow_wrappers: true, inline_named_calls: true }),
+            opts: Some(ExtractOptions {
+                follow_wrappers: true,
+                inline_named_calls: true,
+            }),
         }
     }
 }
@@ -62,7 +65,11 @@ fn collect_closed<'s>(nodes: &'s [Node], closed: &mut HashSet<&'s str>) {
 fn collect_ranges<'s>(nodes: &'s [Node], out: &mut Vec<(&'s str, u32)>) {
     for n in nodes {
         match n {
-            Node::Range { ch: Some(c), line, body } => {
+            Node::Range {
+                ch: Some(c),
+                line,
+                body,
+            } => {
                 out.push((c, *line));
                 collect_ranges(body, out);
             }
@@ -105,7 +112,10 @@ fn lint_skeleton(s: &Skeleton) -> Vec<Finding> {
             kind: FindingKind::UnclosedRange,
             loc: Loc::new(s.file.clone(), line),
             func: s.func.clone(),
-            message: format!("`for range {ch}` but `close({ch})` is never called in {}", s.func),
+            message: format!(
+                "`for range {ch}` but `close({ch})` is never called in {}",
+                s.func
+            ),
         })
         .collect()
 }
@@ -117,7 +127,10 @@ impl Analyzer for RangeClose {
 
     fn analyze_file(&self, file: &File) -> Vec<Finding> {
         let opts = self.opts.clone().unwrap_or_default();
-        extract_file(file, &opts).iter().flat_map(lint_skeleton).collect()
+        extract_file(file, &opts)
+            .iter()
+            .flat_map(lint_skeleton)
+            .collect()
     }
 }
 

@@ -206,22 +206,39 @@ pub struct ExtractOptions {
 
 impl Default for ExtractOptions {
     fn default() -> Self {
-        ExtractOptions { follow_wrappers: false, inline_named_calls: true }
+        ExtractOptions {
+            follow_wrappers: false,
+            inline_named_calls: true,
+        }
     }
 }
 
 /// Extracts skeletons for every function of a file.
 pub fn extract_file(file: &File, opts: &ExtractOptions) -> Vec<Skeleton> {
-    file.funcs.iter().map(|f| extract_func(file, f, opts)).collect()
+    file.funcs
+        .iter()
+        .map(|f| extract_func(file, f, opts))
+        .collect()
 }
 
 /// Extracts the skeleton of a single function.
 pub fn extract_func(file: &File, f: &FuncDecl, opts: &ExtractOptions) -> Skeleton {
-    let mut cx = Extractor { file, opts, chans: Vec::new(), depth: 0 };
+    let mut cx = Extractor {
+        file,
+        opts,
+        chans: Vec::new(),
+        depth: 0,
+    };
     // Parameters of channel type are external channels.
     for p in &f.params {
-        if matches!(p.ty, minigo::ast::TypeExpr::Chan(_) | minigo::ast::TypeExpr::Ctx) {
-            cx.chans.push(ChanDef { name: p.name.clone(), source: ChanSource::External });
+        if matches!(
+            p.ty,
+            minigo::ast::TypeExpr::Chan(_) | minigo::ast::TypeExpr::Ctx
+        ) {
+            cx.chans.push(ChanDef {
+                name: p.name.clone(),
+                source: ChanSource::External,
+            });
         }
     }
     let body = cx.block(&f.body);
@@ -251,7 +268,10 @@ impl Extractor<'_> {
 
     fn declare(&mut self, name: &str, source: ChanSource) {
         if !self.chans.iter().any(|c| c.name == name) {
-            self.chans.push(ChanDef { name: name.to_string(), source });
+            self.chans.push(ChanDef {
+                name: name.to_string(),
+                source,
+            });
         }
     }
 
@@ -265,42 +285,82 @@ impl Extractor<'_> {
 
     fn recv_node(&mut self, src: &RecvSrc, line: u32) -> Node {
         match src {
-            RecvSrc::Chan(e) => {
-                Node::Recv { ch: Self::chan_name(e), line, transient: false, ctx_done: false }
-            }
-            RecvSrc::CtxDone(ctx) => {
-                Node::Recv { ch: Some(ctx.clone()), line, transient: false, ctx_done: true }
-            }
-            RecvSrc::TimeAfter(_) | RecvSrc::TimeTick(_) => {
-                Node::Recv { ch: None, line, transient: true, ctx_done: false }
-            }
+            RecvSrc::Chan(e) => Node::Recv {
+                ch: Self::chan_name(e),
+                line,
+                transient: false,
+                ctx_done: false,
+            },
+            RecvSrc::CtxDone(ctx) => Node::Recv {
+                ch: Some(ctx.clone()),
+                line,
+                transient: false,
+                ctx_done: true,
+            },
+            RecvSrc::TimeAfter(_) | RecvSrc::TimeTick(_) => Node::Recv {
+                ch: None,
+                line,
+                transient: true,
+                ctx_done: false,
+            },
         }
     }
 
     fn stmt(&mut self, s: &Stmt, out: &mut Vec<Node>) {
         match s {
-            Stmt::MakeChan { name, cap, line, .. } => {
+            Stmt::MakeChan {
+                name, cap, line, ..
+            } => {
                 let c = match cap {
                     None => Cap::Zero,
                     Some(Expr::Int(n)) => Cap::Const((*n).max(0) as u32),
                     Some(_) => Cap::Dyn,
                 };
-                self.declare(name, ChanSource::Local { cap: c, line: *line });
+                self.declare(
+                    name,
+                    ChanSource::Local {
+                        cap: c,
+                        line: *line,
+                    },
+                );
             }
             Stmt::Send { ch, line, .. } => {
-                out.push(Node::Send { ch: Self::chan_name(ch), line: *line });
+                out.push(Node::Send {
+                    ch: Self::chan_name(ch),
+                    line: *line,
+                });
             }
             Stmt::Recv { src, line, .. } => {
                 let node = self.recv_node(src, *line);
                 out.push(node);
             }
             Stmt::Close { ch, line } => {
-                out.push(Node::Close { ch: Self::chan_name(ch), line: *line });
+                out.push(Node::Close {
+                    ch: Self::chan_name(ch),
+                    line: *line,
+                });
             }
-            Stmt::CtxDecl { ctx, cancel, timeout, .. } => {
-                self.declare(ctx, ChanSource::Local { cap: Cap::Zero, line: 0 });
+            Stmt::CtxDecl {
+                ctx,
+                cancel,
+                timeout,
+                ..
+            } => {
+                self.declare(
+                    ctx,
+                    ChanSource::Local {
+                        cap: Cap::Zero,
+                        line: 0,
+                    },
+                );
                 if cancel != ctx {
-                    self.declare(cancel, ChanSource::Local { cap: Cap::Zero, line: 0 });
+                    self.declare(
+                        cancel,
+                        ChanSource::Local {
+                            cap: Cap::Zero,
+                            line: 0,
+                        },
+                    );
                 }
                 if timeout.is_some() {
                     out.push(Node::CtxTimer { var: ctx.clone() });
@@ -309,11 +369,19 @@ impl Extractor<'_> {
             Stmt::Go { call, line } => match call {
                 GoCall::Closure { body } => {
                     let b = self.block(body);
-                    out.push(Node::Spawn { body: b, line: *line, via_wrapper: false });
+                    out.push(Node::Spawn {
+                        body: b,
+                        line: *line,
+                        via_wrapper: false,
+                    });
                 }
                 GoCall::Wrapper { body, .. } => {
                     let b = self.block(body);
-                    out.push(Node::Spawn { body: b, line: *line, via_wrapper: true });
+                    out.push(Node::Spawn {
+                        body: b,
+                        line: *line,
+                        via_wrapper: true,
+                    });
                 }
                 GoCall::Named { func, .. } => {
                     if self.opts.inline_named_calls && self.depth < 4 {
@@ -321,12 +389,20 @@ impl Extractor<'_> {
                             self.depth += 1;
                             let b = self.block(&callee.body);
                             self.depth -= 1;
-                            out.push(Node::Spawn { body: b, line: *line, via_wrapper: false });
+                            out.push(Node::Spawn {
+                                body: b,
+                                line: *line,
+                                via_wrapper: false,
+                            });
                             return;
                         }
                     }
                     // Unknown callee: an opaque spawn.
-                    out.push(Node::Spawn { body: Vec::new(), line: *line, via_wrapper: false });
+                    out.push(Node::Spawn {
+                        body: Vec::new(),
+                        line: *line,
+                        via_wrapper: false,
+                    });
                 }
             },
             Stmt::Call { call, line, .. } => {
@@ -346,7 +422,10 @@ impl Extractor<'_> {
                         }
                         // `cancel()`-shaped call on a known context chan.
                         if self.chans.iter().any(|c| c.name == *name) {
-                            out.push(Node::Cancel { ch: Some(name.clone()), line: *line });
+                            out.push(Node::Cancel {
+                                ch: Some(name.clone()),
+                                line: *line,
+                            });
                         }
                     }
                     minigo::ast::CallTarget::Method { .. } => {}
@@ -363,17 +442,29 @@ impl Extractor<'_> {
                             out.push(Node::Close { ch, line: *line });
                         }
                         f if self.chans.iter().any(|c| c.name == f) => {
-                            out.push(Node::Cancel { ch: Some(f.to_string()), line: *line });
+                            out.push(Node::Cancel {
+                                ch: Some(f.to_string()),
+                                line: *line,
+                            });
                         }
                         _ => {}
                     }
                 }
             }
-            Stmt::Select { cases, default, line } => {
+            Stmt::Select {
+                cases,
+                default,
+                line,
+            } => {
                 let mut arms = Vec::new();
                 for c in cases {
                     match c {
-                        SelCase::Recv { src, body, line: cline, .. } => {
+                        SelCase::Recv {
+                            src,
+                            body,
+                            line: cline,
+                            ..
+                        } => {
                             let op = match src {
                                 RecvSrc::Chan(e) => SelectOp::Recv {
                                     ch: Self::chan_name(e),
@@ -396,9 +487,17 @@ impl Extractor<'_> {
                             };
                             arms.push((op, self.block(body)));
                         }
-                        SelCase::Send { ch, body, line: cline, .. } => {
+                        SelCase::Send {
+                            ch,
+                            body,
+                            line: cline,
+                            ..
+                        } => {
                             arms.push((
-                                SelectOp::Send { ch: Self::chan_name(ch), line: *cline },
+                                SelectOp::Send {
+                                    ch: Self::chan_name(ch),
+                                    line: *cline,
+                                },
                                 self.block(body),
                             ));
                         }
@@ -412,7 +511,9 @@ impl Extractor<'_> {
                     line: *line,
                 });
             }
-            Stmt::If { then, els, line, .. } => {
+            Stmt::If {
+                then, els, line, ..
+            } => {
                 let mut arms = vec![self.block(then)];
                 arms.push(els.as_ref().map(|b| self.block(b)).unwrap_or_default());
                 out.push(Node::Branch { arms, line: *line });
@@ -423,7 +524,11 @@ impl Extractor<'_> {
                     ForKind::Infinite => (None, false),
                     ForKind::While(_) => (None, true),
                     ForKind::Range { ch, .. } => {
-                        out.push(Node::Range { ch: Self::chan_name(ch), line: *line, body: b });
+                        out.push(Node::Range {
+                            ch: Self::chan_name(ch),
+                            line: *line,
+                            body: b,
+                        });
                         return;
                     }
                     ForKind::CStyle { n, .. } => match n {
@@ -432,7 +537,12 @@ impl Extractor<'_> {
                     },
                 };
                 let has_exit = cond_exit || contains_escape(&b);
-                out.push(Node::Loop { body: b, bound, has_exit, line: *line });
+                out.push(Node::Loop {
+                    body: b,
+                    bound,
+                    has_exit,
+                    line: *line,
+                });
             }
             Stmt::Return { line, .. } => out.push(Node::Return { line: *line }),
             Stmt::Break { .. } => out.push(Node::Break),
@@ -516,8 +626,17 @@ func F(err bool) {
             "F",
         );
         assert_eq!(s.chans.len(), 1);
-        assert!(matches!(s.chans[0].source, ChanSource::Local { cap: Cap::Zero, .. }));
-        assert!(matches!(s.body[0], Node::Spawn { via_wrapper: false, .. }));
+        assert!(matches!(
+            s.chans[0].source,
+            ChanSource::Local { cap: Cap::Zero, .. }
+        ));
+        assert!(matches!(
+            s.body[0],
+            Node::Spawn {
+                via_wrapper: false,
+                ..
+            }
+        ));
         assert!(matches!(s.body[1], Node::Branch { .. }));
         assert!(matches!(s.body[2], Node::Recv { .. }));
     }
@@ -534,7 +653,13 @@ func F(err bool) {
             "package p\nfunc F() {\n\tch := make(chan int)\n\tasyncutil.Go(func() {\n\t\tch <- 1\n\t})\n}\n",
             "F",
         );
-        assert!(matches!(s.body[0], Node::Spawn { via_wrapper: true, .. }));
+        assert!(matches!(
+            s.body[0],
+            Node::Spawn {
+                via_wrapper: true,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -556,7 +681,11 @@ func producer(ch chan int) {
             "F",
         );
         match &s.body[0] {
-            Node::Spawn { body, via_wrapper: false, .. } => {
+            Node::Spawn {
+                body,
+                via_wrapper: false,
+                ..
+            } => {
                 assert!(matches!(body[0], Node::Send { .. }));
             }
             other => panic!("expected inlined spawn, got {other:?}"),
@@ -580,8 +709,22 @@ func F(ch chan int) {
 "#,
             "F",
         );
-        assert!(matches!(s.body[0], Node::Loop { bound: Some(3), has_exit: true, .. }));
-        assert!(matches!(s.body[1], Node::Loop { bound: None, has_exit: false, .. }));
+        assert!(matches!(
+            s.body[0],
+            Node::Loop {
+                bound: Some(3),
+                has_exit: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            s.body[1],
+            Node::Loop {
+                bound: None,
+                has_exit: false,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -604,12 +747,27 @@ func F(ch chan int, ctx context.Context) {
             "F",
         );
         match &s.body[0] {
-            Node::Select { arms, has_default: false, .. } => {
-                assert!(
-                    matches!(&arms[0].0, SelectOp::Recv { transient: false, ctx_done: false, .. })
-                );
+            Node::Select {
+                arms,
+                has_default: false,
+                ..
+            } => {
+                assert!(matches!(
+                    &arms[0].0,
+                    SelectOp::Recv {
+                        transient: false,
+                        ctx_done: false,
+                        ..
+                    }
+                ));
                 assert!(matches!(&arms[1].0, SelectOp::Recv { ctx_done: true, .. }));
-                assert!(matches!(&arms[2].0, SelectOp::Recv { transient: true, .. }));
+                assert!(matches!(
+                    &arms[2].0,
+                    SelectOp::Recv {
+                        transient: true,
+                        ..
+                    }
+                ));
             }
             other => panic!("expected select, got {other:?}"),
         }
@@ -621,6 +779,9 @@ func F(ch chan int, ctx context.Context) {
             "package p\nfunc F(items int) {\n\tch := make(chan int, items)\n\tch <- 1\n}\n",
             "F",
         );
-        assert!(matches!(s.chans[0].source, ChanSource::Local { cap: Cap::Dyn, .. }));
+        assert!(matches!(
+            s.chans[0].source,
+            ChanSource::Local { cap: Cap::Dyn, .. }
+        ));
     }
 }

@@ -81,7 +81,11 @@ fn consensus_on_textbook_cases() {
         "leak.go",
     )
     .unwrap();
-    for a in [&PathCheck::new() as &dyn Analyzer, &AbsInt::new(), &ModelCheck::new()] {
+    for a in [
+        &PathCheck::new() as &dyn Analyzer,
+        &AbsInt::new(),
+        &ModelCheck::new(),
+    ] {
         assert!(
             !a.analyze_file(&leaky).is_empty(),
             "{} misses the textbook leak",

@@ -37,7 +37,10 @@ fn main() {
         ..CorpusConfig::default()
     });
     let r1 = gate.check_pr(&[&clean_pr.packages[0]]);
-    println!("PR #1 (clean): {}", if r1.passed() { "MERGED" } else { "BLOCKED" });
+    println!(
+        "PR #1 (clean): {}",
+        if r1.passed() { "MERGED" } else { "BLOCKED" }
+    );
     assert!(r1.passed());
 
     // PR 2: introduces a fresh goroutine leak.
@@ -45,11 +48,18 @@ fn main() {
         packages: 1,
         leak_rate: 1.0,
         seed: 78,
-        mix: KindMix { mp: 1.0, sm: 0.0, both: 0.0 },
+        mix: KindMix {
+            mp: 1.0,
+            sm: 0.0,
+            both: 0.0,
+        },
         ..CorpusConfig::default()
     });
     let r2 = gate.check_pr(&[&leaky_pr.packages[0]]);
-    println!("PR #2 (leaky): {}", if r2.passed() { "MERGED" } else { "BLOCKED" });
+    println!(
+        "PR #2 (leaky): {}",
+        if r2.passed() { "MERGED" } else { "BLOCKED" }
+    );
     for outcome in &r2.outcomes {
         if !outcome.verdict.passed() {
             print!("{}", outcome.verdict.render());

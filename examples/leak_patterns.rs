@@ -16,7 +16,8 @@ fn run(source: &str, path: &str, test_src: &str, test_path: &str, test_func: &st
     .expect("scenario compiles");
     let pkg = path.split('/').next().unwrap();
     let mut rt = Runtime::with_seed(9);
-    prog.spawn_func(&mut rt, &format!("{pkg}.{test_func}"), vec![]).unwrap();
+    prog.spawn_func(&mut rt, &format!("{pkg}.{test_func}"), vec![])
+        .unwrap();
     rt.advance(5_000, 30_000);
     rt.live_count()
 }
@@ -24,22 +25,64 @@ fn run(source: &str, path: &str, test_src: &str, test_path: &str, test_func: &st
 fn main() {
     let mut rng = SplitMix64::new(2024);
     let pairs: &[(LeakPattern, BenignPattern, &str)] = &[
-        (LeakPattern::PrematureReturn, BenignPattern::BufferedHandoff, "buffer the channel"),
-        (LeakPattern::Timeout, BenignPattern::TimeoutFixed, "capacity-one channel"),
-        (LeakPattern::NCast, BenignPattern::GatherCap, "capacity = len(items)"),
-        (LeakPattern::UnclosedRange, BenignPattern::ClosedPipeline, "close(ch) after produce"),
-        (LeakPattern::ContractViolation, BenignPattern::WorkerWithStop, "always call Stop"),
-        (LeakPattern::CtxContractViolation, BenignPattern::HeartbeatCtx, "cancel the context"),
+        (
+            LeakPattern::PrematureReturn,
+            BenignPattern::BufferedHandoff,
+            "buffer the channel",
+        ),
+        (
+            LeakPattern::Timeout,
+            BenignPattern::TimeoutFixed,
+            "capacity-one channel",
+        ),
+        (
+            LeakPattern::NCast,
+            BenignPattern::GatherCap,
+            "capacity = len(items)",
+        ),
+        (
+            LeakPattern::UnclosedRange,
+            BenignPattern::ClosedPipeline,
+            "close(ch) after produce",
+        ),
+        (
+            LeakPattern::ContractViolation,
+            BenignPattern::WorkerWithStop,
+            "always call Stop",
+        ),
+        (
+            LeakPattern::CtxContractViolation,
+            BenignPattern::HeartbeatCtx,
+            "cancel the context",
+        ),
     ];
 
-    println!("{:<24} | leaked goroutines | fix                     | after fix", "pattern");
+    println!(
+        "{:<24} | leaked goroutines | fix                     | after fix",
+        "pattern"
+    );
     println!("{}", "-".repeat(90));
     for (i, (leak, fix, fix_desc)) in pairs.iter().enumerate() {
         let l = render_leaky(*leak, "demo", i, &mut rng);
-        let leaked = run(&l.source, &l.path, &l.test_source, &l.test_path, &l.test_func);
+        let leaked = run(
+            &l.source,
+            &l.path,
+            &l.test_source,
+            &l.test_path,
+            &l.test_func,
+        );
         let b = render_benign(*fix, "demofix", i, &mut rng);
-        let fixed = run(&b.source, &b.path, &b.test_source, &b.test_path, &b.test_func);
-        println!("{:<24} | {leaked:>17} | {fix_desc:<23} | {fixed:>9}", format!("{leak:?}"));
+        let fixed = run(
+            &b.source,
+            &b.path,
+            &b.test_source,
+            &b.test_path,
+            &b.test_func,
+        );
+        println!(
+            "{:<24} | {leaked:>17} | {fix_desc:<23} | {fixed:>9}",
+            format!("{leak:?}")
+        );
         assert!(leaked > 0, "{leak:?} must leak");
         assert_eq!(fixed, 0, "{fix:?} must be clean");
     }

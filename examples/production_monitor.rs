@@ -8,7 +8,10 @@ use fleet::{default_service, handlers, Fleet, FleetConfig, HandlerArg};
 use leakprof::{Config, LeakProf};
 
 fn main() {
-    let mut f = Fleet::new(FleetConfig { ticks_per_day: 48, ..FleetConfig::default() });
+    let mut f = Fleet::new(FleetConfig {
+        ticks_per_day: 48,
+        ..FleetConfig::default()
+    });
 
     // A leaky payments service and a healthy geo service.
     let mut pay = default_service(
@@ -33,7 +36,11 @@ fn main() {
 
     // LeakProf: threshold scaled for the fleet's 1:8 sampling, AST
     // filter fed with the deployed handler sources, owners registered.
-    let mut lp = LeakProf::new(Config { threshold: 50, ast_filter: true, top_n: 5 });
+    let mut lp = LeakProf::new(Config {
+        threshold: 50,
+        ast_filter: true,
+        top_n: 5,
+    });
     for (src, path) in f.handler_sources() {
         lp.index_source(&src, &path).expect("handler sources parse");
     }

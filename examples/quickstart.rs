@@ -3,8 +3,8 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use gosim::Runtime;
 use goleak::{find_with_retry, Options};
+use gosim::Runtime;
 
 fn main() {
     // The paper's Listing 1: if getBaseCost fails, the discount sender

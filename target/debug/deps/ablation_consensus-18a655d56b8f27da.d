@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_consensus-18a655d56b8f27da.d: crates/bench/src/bin/ablation_consensus.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_consensus-18a655d56b8f27da.rmeta: crates/bench/src/bin/ablation_consensus.rs Cargo.toml
+
+crates/bench/src/bin/ablation_consensus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

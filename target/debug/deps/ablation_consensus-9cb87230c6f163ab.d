@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_consensus-9cb87230c6f163ab.d: crates/bench/src/bin/ablation_consensus.rs
+
+/root/repo/target/debug/deps/ablation_consensus-9cb87230c6f163ab: crates/bench/src/bin/ablation_consensus.rs
+
+crates/bench/src/bin/ablation_consensus.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_consensus-cf9f7c0f7b9edf68.d: crates/bench/src/bin/ablation_consensus.rs
+
+/root/repo/target/debug/deps/ablation_consensus-cf9f7c0f7b9edf68: crates/bench/src/bin/ablation_consensus.rs
+
+crates/bench/src/bin/ablation_consensus.rs:

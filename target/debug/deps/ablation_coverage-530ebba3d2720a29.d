@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_coverage-530ebba3d2720a29.d: crates/bench/src/bin/ablation_coverage.rs
+
+/root/repo/target/debug/deps/ablation_coverage-530ebba3d2720a29: crates/bench/src/bin/ablation_coverage.rs
+
+crates/bench/src/bin/ablation_coverage.rs:

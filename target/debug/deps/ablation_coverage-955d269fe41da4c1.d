@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_coverage-955d269fe41da4c1.d: crates/bench/src/bin/ablation_coverage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_coverage-955d269fe41da4c1.rmeta: crates/bench/src/bin/ablation_coverage.rs Cargo.toml
+
+crates/bench/src/bin/ablation_coverage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

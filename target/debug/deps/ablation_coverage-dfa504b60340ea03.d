@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_coverage-dfa504b60340ea03.d: crates/bench/src/bin/ablation_coverage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_coverage-dfa504b60340ea03.rmeta: crates/bench/src/bin/ablation_coverage.rs Cargo.toml
+
+crates/bench/src/bin/ablation_coverage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

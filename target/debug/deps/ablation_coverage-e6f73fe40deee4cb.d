@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_coverage-e6f73fe40deee4cb.d: crates/bench/src/bin/ablation_coverage.rs
+
+/root/repo/target/debug/deps/ablation_coverage-e6f73fe40deee4cb: crates/bench/src/bin/ablation_coverage.rs
+
+crates/bench/src/bin/ablation_coverage.rs:

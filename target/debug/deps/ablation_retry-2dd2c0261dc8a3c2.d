@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_retry-2dd2c0261dc8a3c2.d: crates/bench/src/bin/ablation_retry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_retry-2dd2c0261dc8a3c2.rmeta: crates/bench/src/bin/ablation_retry.rs Cargo.toml
+
+crates/bench/src/bin/ablation_retry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

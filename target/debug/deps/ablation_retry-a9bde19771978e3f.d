@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_retry-a9bde19771978e3f.d: crates/bench/src/bin/ablation_retry.rs
+
+/root/repo/target/debug/deps/ablation_retry-a9bde19771978e3f: crates/bench/src/bin/ablation_retry.rs
+
+crates/bench/src/bin/ablation_retry.rs:

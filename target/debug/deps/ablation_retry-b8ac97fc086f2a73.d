@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_retry-b8ac97fc086f2a73.d: crates/bench/src/bin/ablation_retry.rs
+
+/root/repo/target/debug/deps/ablation_retry-b8ac97fc086f2a73: crates/bench/src/bin/ablation_retry.rs
+
+crates/bench/src/bin/ablation_retry.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_retry-f8f123c210de3890.d: crates/bench/src/bin/ablation_retry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_retry-f8f123c210de3890.rmeta: crates/bench/src/bin/ablation_retry.rs Cargo.toml
+
+crates/bench/src/bin/ablation_retry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_rms-3eea6917bbe6f649.d: crates/bench/src/bin/ablation_rms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_rms-3eea6917bbe6f649.rmeta: crates/bench/src/bin/ablation_rms.rs Cargo.toml
+
+crates/bench/src/bin/ablation_rms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_rms-57d7b0bd7dea02f5.d: crates/bench/src/bin/ablation_rms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_rms-57d7b0bd7dea02f5.rmeta: crates/bench/src/bin/ablation_rms.rs Cargo.toml
+
+crates/bench/src/bin/ablation_rms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_rms-77667731596c0d0f.d: crates/bench/src/bin/ablation_rms.rs
+
+/root/repo/target/debug/deps/ablation_rms-77667731596c0d0f: crates/bench/src/bin/ablation_rms.rs
+
+crates/bench/src/bin/ablation_rms.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_rms-97f315f03a0e9071.d: crates/bench/src/bin/ablation_rms.rs
+
+/root/repo/target/debug/deps/ablation_rms-97f315f03a0e9071: crates/bench/src/bin/ablation_rms.rs
+
+crates/bench/src/bin/ablation_rms.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_threshold-127d4a49fb29c36a.d: crates/bench/src/bin/ablation_threshold.rs
+
+/root/repo/target/debug/deps/ablation_threshold-127d4a49fb29c36a: crates/bench/src/bin/ablation_threshold.rs
+
+crates/bench/src/bin/ablation_threshold.rs:

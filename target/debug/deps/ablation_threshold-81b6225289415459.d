@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_threshold-81b6225289415459.d: crates/bench/src/bin/ablation_threshold.rs
+
+/root/repo/target/debug/deps/ablation_threshold-81b6225289415459: crates/bench/src/bin/ablation_threshold.rs
+
+crates/bench/src/bin/ablation_threshold.rs:

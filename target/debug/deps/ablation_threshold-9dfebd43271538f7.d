@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_threshold-9dfebd43271538f7.d: crates/bench/src/bin/ablation_threshold.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_threshold-9dfebd43271538f7.rmeta: crates/bench/src/bin/ablation_threshold.rs Cargo.toml
+
+crates/bench/src/bin/ablation_threshold.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

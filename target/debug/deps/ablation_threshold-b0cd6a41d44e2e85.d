@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_threshold-b0cd6a41d44e2e85.d: crates/bench/src/bin/ablation_threshold.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_threshold-b0cd6a41d44e2e85.rmeta: crates/bench/src/bin/ablation_threshold.rs Cargo.toml
+
+crates/bench/src/bin/ablation_threshold.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

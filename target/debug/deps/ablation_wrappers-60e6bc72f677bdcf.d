@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_wrappers-60e6bc72f677bdcf.d: crates/bench/src/bin/ablation_wrappers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_wrappers-60e6bc72f677bdcf.rmeta: crates/bench/src/bin/ablation_wrappers.rs Cargo.toml
+
+crates/bench/src/bin/ablation_wrappers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

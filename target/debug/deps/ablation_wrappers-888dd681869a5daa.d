@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_wrappers-888dd681869a5daa.d: crates/bench/src/bin/ablation_wrappers.rs
+
+/root/repo/target/debug/deps/ablation_wrappers-888dd681869a5daa: crates/bench/src/bin/ablation_wrappers.rs
+
+crates/bench/src/bin/ablation_wrappers.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_wrappers-d27365ea37db43fa.d: crates/bench/src/bin/ablation_wrappers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_wrappers-d27365ea37db43fa.rmeta: crates/bench/src/bin/ablation_wrappers.rs Cargo.toml
+
+crates/bench/src/bin/ablation_wrappers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_wrappers-e6f4eee0ef2ef7a0.d: crates/bench/src/bin/ablation_wrappers.rs
+
+/root/repo/target/debug/deps/ablation_wrappers-e6f4eee0ef2ef7a0: crates/bench/src/bin/ablation_wrappers.rs
+
+crates/bench/src/bin/ablation_wrappers.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench-071eb9315bf0641e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-071eb9315bf0641e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-071eb9315bf0641e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench-6befab68c96326b2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-6befab68c96326b2.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-6befab68c96326b2.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/channel_semantics-696d6b2ae162b26a.d: crates/gosim/tests/channel_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchannel_semantics-696d6b2ae162b26a.rmeta: crates/gosim/tests/channel_semantics.rs Cargo.toml
+
+crates/gosim/tests/channel_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/channel_semantics-d918e6845180bc43.d: crates/gosim/tests/channel_semantics.rs
+
+/root/repo/target/debug/deps/channel_semantics-d918e6845180bc43: crates/gosim/tests/channel_semantics.rs
+
+crates/gosim/tests/channel_semantics.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cli-3b204f688a1fb4f6.d: crates/cli/tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-3b204f688a1fb4f6.rmeta: crates/cli/tests/cli.rs Cargo.toml
+
+crates/cli/tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_corpusgen=placeholder:corpusgen
+# env-dep:CARGO_BIN_EXE_golint=placeholder:golint
+# env-dep:CARGO_BIN_EXE_leakprof-cli=placeholder:leakprof-cli
+# env-dep:CARGO_BIN_EXE_mgo=placeholder:mgo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-fcb9c95e1b518c3f.d: crates/cli/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-fcb9c95e1b518c3f: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_corpusgen=/root/repo/target/debug/corpusgen
+# env-dep:CARGO_BIN_EXE_golint=/root/repo/target/debug/golint
+# env-dep:CARGO_BIN_EXE_leakprof-cli=/root/repo/target/debug/leakprof-cli
+# env-dep:CARGO_BIN_EXE_mgo=/root/repo/target/debug/mgo

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/corpus-0ce590d344f6076c.d: crates/corpus/src/lib.rs crates/corpus/src/gen.rs crates/corpus/src/patterns.rs crates/corpus/src/stats.rs
+
+/root/repo/target/debug/deps/libcorpus-0ce590d344f6076c.rlib: crates/corpus/src/lib.rs crates/corpus/src/gen.rs crates/corpus/src/patterns.rs crates/corpus/src/stats.rs
+
+/root/repo/target/debug/deps/libcorpus-0ce590d344f6076c.rmeta: crates/corpus/src/lib.rs crates/corpus/src/gen.rs crates/corpus/src/patterns.rs crates/corpus/src/stats.rs
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/gen.rs:
+crates/corpus/src/patterns.rs:
+crates/corpus/src/stats.rs:

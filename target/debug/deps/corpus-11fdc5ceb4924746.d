@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/corpus-11fdc5ceb4924746.d: crates/corpus/src/lib.rs crates/corpus/src/gen.rs crates/corpus/src/patterns.rs crates/corpus/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcorpus-11fdc5ceb4924746.rmeta: crates/corpus/src/lib.rs crates/corpus/src/gen.rs crates/corpus/src/patterns.rs crates/corpus/src/stats.rs Cargo.toml
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/gen.rs:
+crates/corpus/src/patterns.rs:
+crates/corpus/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/corpus-310a352d27fac4d6.d: crates/corpus/src/lib.rs crates/corpus/src/gen.rs crates/corpus/src/patterns.rs crates/corpus/src/stats.rs
+
+/root/repo/target/debug/deps/corpus-310a352d27fac4d6: crates/corpus/src/lib.rs crates/corpus/src/gen.rs crates/corpus/src/patterns.rs crates/corpus/src/stats.rs
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/gen.rs:
+crates/corpus/src/patterns.rs:
+crates/corpus/src/stats.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/corpus-f634259665c80d60.d: crates/corpus/src/lib.rs crates/corpus/src/gen.rs crates/corpus/src/patterns.rs crates/corpus/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcorpus-f634259665c80d60.rmeta: crates/corpus/src/lib.rs crates/corpus/src/gen.rs crates/corpus/src/patterns.rs crates/corpus/src/stats.rs Cargo.toml
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/gen.rs:
+crates/corpus/src/patterns.rs:
+crates/corpus/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

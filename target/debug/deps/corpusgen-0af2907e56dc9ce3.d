@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/corpusgen-0af2907e56dc9ce3.d: crates/cli/src/bin/corpusgen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcorpusgen-0af2907e56dc9ce3.rmeta: crates/cli/src/bin/corpusgen.rs Cargo.toml
+
+crates/cli/src/bin/corpusgen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

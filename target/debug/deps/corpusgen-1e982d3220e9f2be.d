@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/corpusgen-1e982d3220e9f2be.d: crates/cli/src/bin/corpusgen.rs
+
+/root/repo/target/debug/deps/corpusgen-1e982d3220e9f2be: crates/cli/src/bin/corpusgen.rs
+
+crates/cli/src/bin/corpusgen.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/corpusgen-269500318e49ba9a.d: crates/cli/src/bin/corpusgen.rs
+
+/root/repo/target/debug/deps/corpusgen-269500318e49ba9a: crates/cli/src/bin/corpusgen.rs
+
+crates/cli/src/bin/corpusgen.rs:

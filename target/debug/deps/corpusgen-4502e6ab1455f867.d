@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/corpusgen-4502e6ab1455f867.d: crates/cli/src/bin/corpusgen.rs
+
+/root/repo/target/debug/deps/corpusgen-4502e6ab1455f867: crates/cli/src/bin/corpusgen.rs
+
+crates/cli/src/bin/corpusgen.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/corpusgen-a25041c2d8524d8d.d: crates/cli/src/bin/corpusgen.rs
+
+/root/repo/target/debug/deps/corpusgen-a25041c2d8524d8d: crates/cli/src/bin/corpusgen.rs
+
+crates/cli/src/bin/corpusgen.rs:

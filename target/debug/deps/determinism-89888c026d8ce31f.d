@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-89888c026d8ce31f.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-89888c026d8ce31f: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-cb900705e3bad714.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-cb900705e3bad714: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2e-d911017b088095fb.d: crates/collector/tests/e2e.rs
+
+/root/repo/target/debug/deps/e2e-d911017b088095fb: crates/collector/tests/e2e.rs
+
+crates/collector/tests/e2e.rs:

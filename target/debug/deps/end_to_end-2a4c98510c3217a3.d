@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-2a4c98510c3217a3.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-2a4c98510c3217a3: tests/end_to_end.rs
+
+tests/end_to_end.rs:

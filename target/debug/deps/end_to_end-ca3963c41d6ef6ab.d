@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-ca3963c41d6ef6ab.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-ca3963c41d6ef6ab: tests/end_to_end.rs
+
+tests/end_to_end.rs:

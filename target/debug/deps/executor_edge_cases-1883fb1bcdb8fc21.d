@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/executor_edge_cases-1883fb1bcdb8fc21.d: crates/gosim/tests/executor_edge_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexecutor_edge_cases-1883fb1bcdb8fc21.rmeta: crates/gosim/tests/executor_edge_cases.rs Cargo.toml
+
+crates/gosim/tests/executor_edge_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/executor_edge_cases-3ce81dccc99ec386.d: crates/gosim/tests/executor_edge_cases.rs
+
+/root/repo/target/debug/deps/executor_edge_cases-3ce81dccc99ec386: crates/gosim/tests/executor_edge_cases.rs
+
+crates/gosim/tests/executor_edge_cases.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/expr_proptests-6f3452907476bd44.d: crates/minigo/tests/expr_proptests.rs
+
+/root/repo/target/debug/deps/expr_proptests-6f3452907476bd44: crates/minigo/tests/expr_proptests.rs
+
+crates/minigo/tests/expr_proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/expr_proptests-f01995e3716b886e.d: crates/minigo/tests/expr_proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexpr_proptests-f01995e3716b886e.rmeta: crates/minigo/tests/expr_proptests.rs Cargo.toml
+
+crates/minigo/tests/expr_proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

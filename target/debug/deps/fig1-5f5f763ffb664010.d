@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-5f5f763ffb664010.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-5f5f763ffb664010: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-63526304ff9dc9b8.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-63526304ff9dc9b8: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

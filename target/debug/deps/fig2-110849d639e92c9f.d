@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-110849d639e92c9f.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-110849d639e92c9f: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-cb1147b66b24a287.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-cb1147b66b24a287: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-0d5ca847ed9ac62b.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-0d5ca847ed9ac62b: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

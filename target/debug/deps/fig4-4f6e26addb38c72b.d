@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-4f6e26addb38c72b.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-4f6e26addb38c72b: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

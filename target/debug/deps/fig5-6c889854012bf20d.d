@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-6c889854012bf20d.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-6c889854012bf20d: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-7db3cf64ae8f189c.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-7db3cf64ae8f189c: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

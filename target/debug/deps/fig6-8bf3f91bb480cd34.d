@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-8bf3f91bb480cd34.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-8bf3f91bb480cd34: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-d433ebf8f1bf9734.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-d433ebf8f1bf9734: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fleet-10bee2d4a5c19be8.d: crates/fleet/src/lib.rs crates/fleet/src/handlers.rs crates/fleet/src/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfleet-10bee2d4a5c19be8.rmeta: crates/fleet/src/lib.rs crates/fleet/src/handlers.rs crates/fleet/src/sim.rs Cargo.toml
+
+crates/fleet/src/lib.rs:
+crates/fleet/src/handlers.rs:
+crates/fleet/src/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

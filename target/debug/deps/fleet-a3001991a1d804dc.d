@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fleet-a3001991a1d804dc.d: crates/fleet/src/lib.rs crates/fleet/src/handlers.rs crates/fleet/src/sim.rs
+
+/root/repo/target/debug/deps/libfleet-a3001991a1d804dc.rlib: crates/fleet/src/lib.rs crates/fleet/src/handlers.rs crates/fleet/src/sim.rs
+
+/root/repo/target/debug/deps/libfleet-a3001991a1d804dc.rmeta: crates/fleet/src/lib.rs crates/fleet/src/handlers.rs crates/fleet/src/sim.rs
+
+crates/fleet/src/lib.rs:
+crates/fleet/src/handlers.rs:
+crates/fleet/src/sim.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fleet-fce39b547ca049cc.d: crates/fleet/src/lib.rs crates/fleet/src/handlers.rs crates/fleet/src/sim.rs
+
+/root/repo/target/debug/deps/fleet-fce39b547ca049cc: crates/fleet/src/lib.rs crates/fleet/src/handlers.rs crates/fleet/src/sim.rs
+
+crates/fleet/src/lib.rs:
+crates/fleet/src/handlers.rs:
+crates/fleet/src/sim.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/goleak-191487598c5a3214.d: crates/goleak/src/lib.rs crates/goleak/src/classify.rs crates/goleak/src/suppress.rs
+
+/root/repo/target/debug/deps/goleak-191487598c5a3214: crates/goleak/src/lib.rs crates/goleak/src/classify.rs crates/goleak/src/suppress.rs
+
+crates/goleak/src/lib.rs:
+crates/goleak/src/classify.rs:
+crates/goleak/src/suppress.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/goleak-67d75e533ab42e9f.d: crates/goleak/src/lib.rs crates/goleak/src/classify.rs crates/goleak/src/suppress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgoleak-67d75e533ab42e9f.rmeta: crates/goleak/src/lib.rs crates/goleak/src/classify.rs crates/goleak/src/suppress.rs Cargo.toml
+
+crates/goleak/src/lib.rs:
+crates/goleak/src/classify.rs:
+crates/goleak/src/suppress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

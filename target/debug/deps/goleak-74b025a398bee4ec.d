@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/goleak-74b025a398bee4ec.d: crates/goleak/src/lib.rs crates/goleak/src/classify.rs crates/goleak/src/suppress.rs
+
+/root/repo/target/debug/deps/libgoleak-74b025a398bee4ec.rlib: crates/goleak/src/lib.rs crates/goleak/src/classify.rs crates/goleak/src/suppress.rs
+
+/root/repo/target/debug/deps/libgoleak-74b025a398bee4ec.rmeta: crates/goleak/src/lib.rs crates/goleak/src/classify.rs crates/goleak/src/suppress.rs
+
+crates/goleak/src/lib.rs:
+crates/goleak/src/classify.rs:
+crates/goleak/src/suppress.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/goleak-e0ea705b925fee7d.d: crates/goleak/src/lib.rs crates/goleak/src/classify.rs crates/goleak/src/suppress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgoleak-e0ea705b925fee7d.rmeta: crates/goleak/src/lib.rs crates/goleak/src/classify.rs crates/goleak/src/suppress.rs Cargo.toml
+
+crates/goleak/src/lib.rs:
+crates/goleak/src/classify.rs:
+crates/goleak/src/suppress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/goleak_overhead-8a37f47e89b3966c.d: crates/bench/benches/goleak_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgoleak_overhead-8a37f47e89b3966c.rmeta: crates/bench/benches/goleak_overhead.rs Cargo.toml
+
+crates/bench/benches/goleak_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golint-10c4a0af0d0f4d69.d: crates/cli/src/bin/golint.rs
+
+/root/repo/target/debug/deps/golint-10c4a0af0d0f4d69: crates/cli/src/bin/golint.rs
+
+crates/cli/src/bin/golint.rs:

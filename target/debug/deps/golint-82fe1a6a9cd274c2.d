@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golint-82fe1a6a9cd274c2.d: crates/cli/src/bin/golint.rs
+
+/root/repo/target/debug/deps/golint-82fe1a6a9cd274c2: crates/cli/src/bin/golint.rs
+
+crates/cli/src/bin/golint.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golint-9977db0240887def.d: crates/cli/src/bin/golint.rs
+
+/root/repo/target/debug/deps/golint-9977db0240887def: crates/cli/src/bin/golint.rs
+
+crates/cli/src/bin/golint.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golint-c243ae5173e8abd3.d: crates/cli/src/bin/golint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolint-c243ae5173e8abd3.rmeta: crates/cli/src/bin/golint.rs Cargo.toml
+
+crates/cli/src/bin/golint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

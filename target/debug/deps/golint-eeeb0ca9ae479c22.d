@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golint-eeeb0ca9ae479c22.d: crates/cli/src/bin/golint.rs
+
+/root/repo/target/debug/deps/golint-eeeb0ca9ae479c22: crates/cli/src/bin/golint.rs
+
+crates/cli/src/bin/golint.rs:

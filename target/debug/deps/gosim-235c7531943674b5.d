@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/gosim-235c7531943674b5.d: crates/gosim/src/lib.rs crates/gosim/src/ids.rs crates/gosim/src/loc.rs crates/gosim/src/proc.rs crates/gosim/src/runtime.rs crates/gosim/src/val.rs crates/gosim/src/profile.rs crates/gosim/src/rng.rs crates/gosim/src/script/mod.rs crates/gosim/src/script/build.rs crates/gosim/src/script/exec.rs crates/gosim/src/script/ir.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgosim-235c7531943674b5.rmeta: crates/gosim/src/lib.rs crates/gosim/src/ids.rs crates/gosim/src/loc.rs crates/gosim/src/proc.rs crates/gosim/src/runtime.rs crates/gosim/src/val.rs crates/gosim/src/profile.rs crates/gosim/src/rng.rs crates/gosim/src/script/mod.rs crates/gosim/src/script/build.rs crates/gosim/src/script/exec.rs crates/gosim/src/script/ir.rs Cargo.toml
+
+crates/gosim/src/lib.rs:
+crates/gosim/src/ids.rs:
+crates/gosim/src/loc.rs:
+crates/gosim/src/proc.rs:
+crates/gosim/src/runtime.rs:
+crates/gosim/src/val.rs:
+crates/gosim/src/profile.rs:
+crates/gosim/src/rng.rs:
+crates/gosim/src/script/mod.rs:
+crates/gosim/src/script/build.rs:
+crates/gosim/src/script/exec.rs:
+crates/gosim/src/script/ir.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/gosim-c42a46613a1e22b8.d: crates/gosim/src/lib.rs crates/gosim/src/ids.rs crates/gosim/src/loc.rs crates/gosim/src/proc.rs crates/gosim/src/runtime.rs crates/gosim/src/val.rs crates/gosim/src/profile.rs crates/gosim/src/rng.rs crates/gosim/src/script/mod.rs crates/gosim/src/script/build.rs crates/gosim/src/script/exec.rs crates/gosim/src/script/ir.rs
+
+/root/repo/target/debug/deps/gosim-c42a46613a1e22b8: crates/gosim/src/lib.rs crates/gosim/src/ids.rs crates/gosim/src/loc.rs crates/gosim/src/proc.rs crates/gosim/src/runtime.rs crates/gosim/src/val.rs crates/gosim/src/profile.rs crates/gosim/src/rng.rs crates/gosim/src/script/mod.rs crates/gosim/src/script/build.rs crates/gosim/src/script/exec.rs crates/gosim/src/script/ir.rs
+
+crates/gosim/src/lib.rs:
+crates/gosim/src/ids.rs:
+crates/gosim/src/loc.rs:
+crates/gosim/src/proc.rs:
+crates/gosim/src/runtime.rs:
+crates/gosim/src/val.rs:
+crates/gosim/src/profile.rs:
+crates/gosim/src/rng.rs:
+crates/gosim/src/script/mod.rs:
+crates/gosim/src/script/build.rs:
+crates/gosim/src/script/exec.rs:
+crates/gosim/src/script/ir.rs:

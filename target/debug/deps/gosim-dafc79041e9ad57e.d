@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/gosim-dafc79041e9ad57e.d: crates/gosim/src/lib.rs crates/gosim/src/ids.rs crates/gosim/src/loc.rs crates/gosim/src/proc.rs crates/gosim/src/runtime.rs crates/gosim/src/val.rs crates/gosim/src/profile.rs crates/gosim/src/rng.rs crates/gosim/src/script/mod.rs crates/gosim/src/script/build.rs crates/gosim/src/script/exec.rs crates/gosim/src/script/ir.rs
+
+/root/repo/target/debug/deps/libgosim-dafc79041e9ad57e.rlib: crates/gosim/src/lib.rs crates/gosim/src/ids.rs crates/gosim/src/loc.rs crates/gosim/src/proc.rs crates/gosim/src/runtime.rs crates/gosim/src/val.rs crates/gosim/src/profile.rs crates/gosim/src/rng.rs crates/gosim/src/script/mod.rs crates/gosim/src/script/build.rs crates/gosim/src/script/exec.rs crates/gosim/src/script/ir.rs
+
+/root/repo/target/debug/deps/libgosim-dafc79041e9ad57e.rmeta: crates/gosim/src/lib.rs crates/gosim/src/ids.rs crates/gosim/src/loc.rs crates/gosim/src/proc.rs crates/gosim/src/runtime.rs crates/gosim/src/val.rs crates/gosim/src/profile.rs crates/gosim/src/rng.rs crates/gosim/src/script/mod.rs crates/gosim/src/script/build.rs crates/gosim/src/script/exec.rs crates/gosim/src/script/ir.rs
+
+crates/gosim/src/lib.rs:
+crates/gosim/src/ids.rs:
+crates/gosim/src/loc.rs:
+crates/gosim/src/proc.rs:
+crates/gosim/src/runtime.rs:
+crates/gosim/src/val.rs:
+crates/gosim/src/profile.rs:
+crates/gosim/src/rng.rs:
+crates/gosim/src/script/mod.rs:
+crates/gosim/src/script/build.rs:
+crates/gosim/src/script/exec.rs:
+crates/gosim/src/script/ir.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/leakcore-4ff6147a2eca4a0d.d: crates/core/src/lib.rs crates/core/src/backtest.rs crates/core/src/ci.rs crates/core/src/evaluate.rs crates/core/src/monitor.rs
+
+/root/repo/target/debug/deps/libleakcore-4ff6147a2eca4a0d.rlib: crates/core/src/lib.rs crates/core/src/backtest.rs crates/core/src/ci.rs crates/core/src/evaluate.rs crates/core/src/monitor.rs
+
+/root/repo/target/debug/deps/libleakcore-4ff6147a2eca4a0d.rmeta: crates/core/src/lib.rs crates/core/src/backtest.rs crates/core/src/ci.rs crates/core/src/evaluate.rs crates/core/src/monitor.rs
+
+crates/core/src/lib.rs:
+crates/core/src/backtest.rs:
+crates/core/src/ci.rs:
+crates/core/src/evaluate.rs:
+crates/core/src/monitor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/leakcore-52033c8133b07fba.d: crates/core/src/lib.rs crates/core/src/backtest.rs crates/core/src/ci.rs crates/core/src/evaluate.rs crates/core/src/monitor.rs
+
+/root/repo/target/debug/deps/leakcore-52033c8133b07fba: crates/core/src/lib.rs crates/core/src/backtest.rs crates/core/src/ci.rs crates/core/src/evaluate.rs crates/core/src/monitor.rs
+
+crates/core/src/lib.rs:
+crates/core/src/backtest.rs:
+crates/core/src/ci.rs:
+crates/core/src/evaluate.rs:
+crates/core/src/monitor.rs:

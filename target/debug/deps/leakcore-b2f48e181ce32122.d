@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/leakcore-b2f48e181ce32122.d: crates/core/src/lib.rs crates/core/src/backtest.rs crates/core/src/ci.rs crates/core/src/evaluate.rs
+
+/root/repo/target/debug/deps/leakcore-b2f48e181ce32122: crates/core/src/lib.rs crates/core/src/backtest.rs crates/core/src/ci.rs crates/core/src/evaluate.rs
+
+crates/core/src/lib.rs:
+crates/core/src/backtest.rs:
+crates/core/src/ci.rs:
+crates/core/src/evaluate.rs:

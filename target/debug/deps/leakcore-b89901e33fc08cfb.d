@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/leakcore-b89901e33fc08cfb.d: crates/core/src/lib.rs crates/core/src/backtest.rs crates/core/src/ci.rs crates/core/src/evaluate.rs
+
+/root/repo/target/debug/deps/libleakcore-b89901e33fc08cfb.rlib: crates/core/src/lib.rs crates/core/src/backtest.rs crates/core/src/ci.rs crates/core/src/evaluate.rs
+
+/root/repo/target/debug/deps/libleakcore-b89901e33fc08cfb.rmeta: crates/core/src/lib.rs crates/core/src/backtest.rs crates/core/src/ci.rs crates/core/src/evaluate.rs
+
+crates/core/src/lib.rs:
+crates/core/src/backtest.rs:
+crates/core/src/ci.rs:
+crates/core/src/evaluate.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/leakcore-f94e38b036fef9d2.d: crates/core/src/lib.rs crates/core/src/backtest.rs crates/core/src/ci.rs crates/core/src/evaluate.rs crates/core/src/monitor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleakcore-f94e38b036fef9d2.rmeta: crates/core/src/lib.rs crates/core/src/backtest.rs crates/core/src/ci.rs crates/core/src/evaluate.rs crates/core/src/monitor.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/backtest.rs:
+crates/core/src/ci.rs:
+crates/core/src/evaluate.rs:
+crates/core/src/monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/leaklab-4917b7052d4dda5f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleaklab-4917b7052d4dda5f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/leaklab-50730cb2ffa06539.d: src/lib.rs
+
+/root/repo/target/debug/deps/libleaklab-50730cb2ffa06539.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libleaklab-50730cb2ffa06539.rmeta: src/lib.rs
+
+src/lib.rs:

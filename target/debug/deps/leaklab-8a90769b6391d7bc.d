@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/leaklab-8a90769b6391d7bc.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleaklab-8a90769b6391d7bc.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/leaklab-c274e26ae469dece.d: src/lib.rs
+
+/root/repo/target/debug/deps/leaklab-c274e26ae469dece: src/lib.rs
+
+src/lib.rs:

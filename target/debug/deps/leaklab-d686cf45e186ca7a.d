@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/leaklab-d686cf45e186ca7a.d: src/lib.rs
+
+/root/repo/target/debug/deps/leaklab-d686cf45e186ca7a: src/lib.rs
+
+src/lib.rs:

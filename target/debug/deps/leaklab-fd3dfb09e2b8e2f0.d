@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/leaklab-fd3dfb09e2b8e2f0.d: src/lib.rs
+
+/root/repo/target/debug/deps/libleaklab-fd3dfb09e2b8e2f0.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libleaklab-fd3dfb09e2b8e2f0.rmeta: src/lib.rs
+
+src/lib.rs:

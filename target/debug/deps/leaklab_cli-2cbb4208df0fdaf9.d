@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/leaklab_cli-2cbb4208df0fdaf9.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libleaklab_cli-2cbb4208df0fdaf9.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libleaklab_cli-2cbb4208df0fdaf9.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/leaklab_cli-32280b0275d2193e.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/leaklab_cli-32280b0275d2193e: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/leaklab_cli-81fa9749b43e96aa.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/leaklab_cli-81fa9749b43e96aa: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/leaklab_cli-eb4f59934ac7eeef.d: crates/cli/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleaklab_cli-eb4f59934ac7eeef.rmeta: crates/cli/src/lib.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/leaklab_cli-f4e362723bf9fcb5.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libleaklab_cli-f4e362723bf9fcb5.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libleaklab_cli-f4e362723bf9fcb5.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/leakprof-130c0a1de16b98ac.d: crates/leakprof/src/lib.rs crates/leakprof/src/analyze.rs crates/leakprof/src/filter.rs crates/leakprof/src/history.rs crates/leakprof/src/report.rs crates/leakprof/src/signature.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleakprof-130c0a1de16b98ac.rmeta: crates/leakprof/src/lib.rs crates/leakprof/src/analyze.rs crates/leakprof/src/filter.rs crates/leakprof/src/history.rs crates/leakprof/src/report.rs crates/leakprof/src/signature.rs Cargo.toml
+
+crates/leakprof/src/lib.rs:
+crates/leakprof/src/analyze.rs:
+crates/leakprof/src/filter.rs:
+crates/leakprof/src/history.rs:
+crates/leakprof/src/report.rs:
+crates/leakprof/src/signature.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

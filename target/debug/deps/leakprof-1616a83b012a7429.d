@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/leakprof-1616a83b012a7429.d: crates/leakprof/src/lib.rs crates/leakprof/src/analyze.rs crates/leakprof/src/filter.rs crates/leakprof/src/history.rs crates/leakprof/src/report.rs crates/leakprof/src/signature.rs
+
+/root/repo/target/debug/deps/libleakprof-1616a83b012a7429.rlib: crates/leakprof/src/lib.rs crates/leakprof/src/analyze.rs crates/leakprof/src/filter.rs crates/leakprof/src/history.rs crates/leakprof/src/report.rs crates/leakprof/src/signature.rs
+
+/root/repo/target/debug/deps/libleakprof-1616a83b012a7429.rmeta: crates/leakprof/src/lib.rs crates/leakprof/src/analyze.rs crates/leakprof/src/filter.rs crates/leakprof/src/history.rs crates/leakprof/src/report.rs crates/leakprof/src/signature.rs
+
+crates/leakprof/src/lib.rs:
+crates/leakprof/src/analyze.rs:
+crates/leakprof/src/filter.rs:
+crates/leakprof/src/history.rs:
+crates/leakprof/src/report.rs:
+crates/leakprof/src/signature.rs:

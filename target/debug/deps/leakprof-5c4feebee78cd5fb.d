@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/leakprof-5c4feebee78cd5fb.d: crates/leakprof/src/lib.rs crates/leakprof/src/analyze.rs crates/leakprof/src/filter.rs crates/leakprof/src/history.rs crates/leakprof/src/report.rs crates/leakprof/src/signature.rs
+
+/root/repo/target/debug/deps/leakprof-5c4feebee78cd5fb: crates/leakprof/src/lib.rs crates/leakprof/src/analyze.rs crates/leakprof/src/filter.rs crates/leakprof/src/history.rs crates/leakprof/src/report.rs crates/leakprof/src/signature.rs
+
+crates/leakprof/src/lib.rs:
+crates/leakprof/src/analyze.rs:
+crates/leakprof/src/filter.rs:
+crates/leakprof/src/history.rs:
+crates/leakprof/src/report.rs:
+crates/leakprof/src/signature.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/leakprof_cli-3d27cb0525d027c6.d: crates/cli/src/bin/leakprof-cli.rs
+
+/root/repo/target/debug/deps/leakprof_cli-3d27cb0525d027c6: crates/cli/src/bin/leakprof-cli.rs
+
+crates/cli/src/bin/leakprof-cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/leakprof_cli-48f3a4accd6b648e.d: crates/cli/src/bin/leakprof-cli.rs
+
+/root/repo/target/debug/deps/leakprof_cli-48f3a4accd6b648e: crates/cli/src/bin/leakprof-cli.rs
+
+crates/cli/src/bin/leakprof-cli.rs:

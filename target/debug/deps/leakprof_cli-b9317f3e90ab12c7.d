@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/leakprof_cli-b9317f3e90ab12c7.d: crates/cli/src/bin/leakprof-cli.rs
+
+/root/repo/target/debug/deps/leakprof_cli-b9317f3e90ab12c7: crates/cli/src/bin/leakprof-cli.rs
+
+crates/cli/src/bin/leakprof-cli.rs:

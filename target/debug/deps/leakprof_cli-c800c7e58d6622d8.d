@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/leakprof_cli-c800c7e58d6622d8.d: crates/cli/src/bin/leakprof-cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleakprof_cli-c800c7e58d6622d8.rmeta: crates/cli/src/bin/leakprof-cli.rs Cargo.toml
+
+crates/cli/src/bin/leakprof-cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/leakprof_cli-ee547aa18d07a5d4.d: crates/cli/src/bin/leakprof-cli.rs
+
+/root/repo/target/debug/deps/leakprof_cli-ee547aa18d07a5d4: crates/cli/src/bin/leakprof-cli.rs
+
+crates/cli/src/bin/leakprof-cli.rs:

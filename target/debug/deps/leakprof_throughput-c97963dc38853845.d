@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/leakprof_throughput-c97963dc38853845.d: crates/bench/benches/leakprof_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleakprof_throughput-c97963dc38853845.rmeta: crates/bench/benches/leakprof_throughput.rs Cargo.toml
+
+crates/bench/benches/leakprof_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/leakprofd-27b070064b07bd72.d: crates/cli/src/bin/leakprofd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleakprofd-27b070064b07bd72.rmeta: crates/cli/src/bin/leakprofd.rs Cargo.toml
+
+crates/cli/src/bin/leakprofd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

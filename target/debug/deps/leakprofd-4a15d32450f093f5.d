@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/leakprofd-4a15d32450f093f5.d: crates/cli/src/bin/leakprofd.rs
+
+/root/repo/target/debug/deps/leakprofd-4a15d32450f093f5: crates/cli/src/bin/leakprofd.rs
+
+crates/cli/src/bin/leakprofd.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/leakprofd-4a350206dc2ad6f2.d: crates/cli/src/bin/leakprofd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleakprofd-4a350206dc2ad6f2.rmeta: crates/cli/src/bin/leakprofd.rs Cargo.toml
+
+crates/cli/src/bin/leakprofd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

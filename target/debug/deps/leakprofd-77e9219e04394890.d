@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/leakprofd-77e9219e04394890.d: crates/cli/src/bin/leakprofd.rs
+
+/root/repo/target/debug/deps/leakprofd-77e9219e04394890: crates/cli/src/bin/leakprofd.rs
+
+crates/cli/src/bin/leakprofd.rs:

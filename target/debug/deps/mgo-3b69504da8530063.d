@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mgo-3b69504da8530063.d: crates/cli/src/bin/mgo.rs
+
+/root/repo/target/debug/deps/mgo-3b69504da8530063: crates/cli/src/bin/mgo.rs
+
+crates/cli/src/bin/mgo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mgo-746d9c9f558be79d.d: crates/cli/src/bin/mgo.rs
+
+/root/repo/target/debug/deps/mgo-746d9c9f558be79d: crates/cli/src/bin/mgo.rs
+
+crates/cli/src/bin/mgo.rs:

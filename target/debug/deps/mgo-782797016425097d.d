@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mgo-782797016425097d.d: crates/cli/src/bin/mgo.rs
+
+/root/repo/target/debug/deps/mgo-782797016425097d: crates/cli/src/bin/mgo.rs
+
+crates/cli/src/bin/mgo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mgo-acca6f8d5fdf1044.d: crates/cli/src/bin/mgo.rs
+
+/root/repo/target/debug/deps/mgo-acca6f8d5fdf1044: crates/cli/src/bin/mgo.rs
+
+crates/cli/src/bin/mgo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mgo-d7ac4756d84145ec.d: crates/cli/src/bin/mgo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmgo-d7ac4756d84145ec.rmeta: crates/cli/src/bin/mgo.rs Cargo.toml
+
+crates/cli/src/bin/mgo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

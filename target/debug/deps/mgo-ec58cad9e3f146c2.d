@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mgo-ec58cad9e3f146c2.d: crates/cli/src/bin/mgo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmgo-ec58cad9e3f146c2.rmeta: crates/cli/src/bin/mgo.rs Cargo.toml
+
+crates/cli/src/bin/mgo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

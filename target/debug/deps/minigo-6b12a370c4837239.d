@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/minigo-6b12a370c4837239.d: crates/minigo/src/lib.rs crates/minigo/src/ast.rs crates/minigo/src/lower.rs crates/minigo/src/parser.rs crates/minigo/src/printer.rs crates/minigo/src/token.rs
+
+/root/repo/target/debug/deps/minigo-6b12a370c4837239: crates/minigo/src/lib.rs crates/minigo/src/ast.rs crates/minigo/src/lower.rs crates/minigo/src/parser.rs crates/minigo/src/printer.rs crates/minigo/src/token.rs
+
+crates/minigo/src/lib.rs:
+crates/minigo/src/ast.rs:
+crates/minigo/src/lower.rs:
+crates/minigo/src/parser.rs:
+crates/minigo/src/printer.rs:
+crates/minigo/src/token.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/minigo-a86c8d01f9046d0c.d: crates/minigo/src/lib.rs crates/minigo/src/ast.rs crates/minigo/src/lower.rs crates/minigo/src/parser.rs crates/minigo/src/printer.rs crates/minigo/src/token.rs Cargo.toml
+
+/root/repo/target/debug/deps/libminigo-a86c8d01f9046d0c.rmeta: crates/minigo/src/lib.rs crates/minigo/src/ast.rs crates/minigo/src/lower.rs crates/minigo/src/parser.rs crates/minigo/src/printer.rs crates/minigo/src/token.rs Cargo.toml
+
+crates/minigo/src/lib.rs:
+crates/minigo/src/ast.rs:
+crates/minigo/src/lower.rs:
+crates/minigo/src/parser.rs:
+crates/minigo/src/printer.rs:
+crates/minigo/src/token.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

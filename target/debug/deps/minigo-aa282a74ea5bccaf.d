@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/minigo-aa282a74ea5bccaf.d: crates/minigo/src/lib.rs crates/minigo/src/ast.rs crates/minigo/src/lower.rs crates/minigo/src/parser.rs crates/minigo/src/printer.rs crates/minigo/src/token.rs
+
+/root/repo/target/debug/deps/libminigo-aa282a74ea5bccaf.rlib: crates/minigo/src/lib.rs crates/minigo/src/ast.rs crates/minigo/src/lower.rs crates/minigo/src/parser.rs crates/minigo/src/printer.rs crates/minigo/src/token.rs
+
+/root/repo/target/debug/deps/libminigo-aa282a74ea5bccaf.rmeta: crates/minigo/src/lib.rs crates/minigo/src/ast.rs crates/minigo/src/lower.rs crates/minigo/src/parser.rs crates/minigo/src/printer.rs crates/minigo/src/token.rs
+
+crates/minigo/src/lib.rs:
+crates/minigo/src/ast.rs:
+crates/minigo/src/lower.rs:
+crates/minigo/src/parser.rs:
+crates/minigo/src/printer.rs:
+crates/minigo/src/token.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/minigo-c2e3e787cc10bcc8.d: crates/minigo/src/lib.rs crates/minigo/src/ast.rs crates/minigo/src/lower.rs crates/minigo/src/parser.rs crates/minigo/src/printer.rs crates/minigo/src/token.rs Cargo.toml
+
+/root/repo/target/debug/deps/libminigo-c2e3e787cc10bcc8.rmeta: crates/minigo/src/lib.rs crates/minigo/src/ast.rs crates/minigo/src/lower.rs crates/minigo/src/parser.rs crates/minigo/src/printer.rs crates/minigo/src/token.rs Cargo.toml
+
+crates/minigo/src/lib.rs:
+crates/minigo/src/ast.rs:
+crates/minigo/src/lower.rs:
+crates/minigo/src/parser.rs:
+crates/minigo/src/printer.rs:
+crates/minigo/src/token.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_listings-29b4dc62d2bdc456.d: crates/minigo/tests/paper_listings.rs
+
+/root/repo/target/debug/deps/paper_listings-29b4dc62d2bdc456: crates/minigo/tests/paper_listings.rs
+
+crates/minigo/tests/paper_listings.rs:

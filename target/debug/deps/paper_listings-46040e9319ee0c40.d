@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_listings-46040e9319ee0c40.d: crates/minigo/tests/paper_listings.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_listings-46040e9319ee0c40.rmeta: crates/minigo/tests/paper_listings.rs Cargo.toml
+
+crates/minigo/tests/paper_listings.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

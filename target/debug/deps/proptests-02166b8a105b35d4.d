@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-02166b8a105b35d4.d: crates/gosim/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-02166b8a105b35d4.rmeta: crates/gosim/tests/proptests.rs Cargo.toml
+
+crates/gosim/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-aca07a4d1406d923.d: crates/leakprof/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-aca07a4d1406d923: crates/leakprof/tests/proptests.rs
+
+crates/leakprof/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-cc66d630854c262e.d: crates/gosim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-cc66d630854c262e: crates/gosim/tests/proptests.rs
+
+crates/gosim/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-d989eabc8c226938.d: crates/leakprof/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-d989eabc8c226938.rmeta: crates/leakprof/tests/proptests.rs Cargo.toml
+
+crates/leakprof/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

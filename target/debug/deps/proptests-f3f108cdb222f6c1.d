@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-f3f108cdb222f6c1.d: crates/goleak/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-f3f108cdb222f6c1: crates/goleak/tests/proptests.rs
+
+crates/goleak/tests/proptests.rs:

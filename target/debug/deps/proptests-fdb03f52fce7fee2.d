@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-fdb03f52fce7fee2.d: crates/goleak/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-fdb03f52fce7fee2.rmeta: crates/goleak/tests/proptests.rs Cargo.toml
+
+crates/goleak/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

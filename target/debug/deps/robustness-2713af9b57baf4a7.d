@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness-2713af9b57baf4a7.d: crates/staticlint/tests/robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness-2713af9b57baf4a7.rmeta: crates/staticlint/tests/robustness.rs Cargo.toml
+
+crates/staticlint/tests/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

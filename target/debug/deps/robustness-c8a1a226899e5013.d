@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-c8a1a226899e5013.d: crates/staticlint/tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-c8a1a226899e5013: crates/staticlint/tests/robustness.rs
+
+crates/staticlint/tests/robustness.rs:

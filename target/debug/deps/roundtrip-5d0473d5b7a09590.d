@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roundtrip-5d0473d5b7a09590.d: crates/corpus/tests/roundtrip.rs
+
+/root/repo/target/debug/deps/roundtrip-5d0473d5b7a09590: crates/corpus/tests/roundtrip.rs
+
+crates/corpus/tests/roundtrip.rs:

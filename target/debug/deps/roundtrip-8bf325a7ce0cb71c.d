@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/roundtrip-8bf325a7ce0cb71c.d: crates/corpus/tests/roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libroundtrip-8bf325a7ce0cb71c.rmeta: crates/corpus/tests/roundtrip.rs Cargo.toml
+
+crates/corpus/tests/roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

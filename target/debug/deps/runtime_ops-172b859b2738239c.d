@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime_ops-172b859b2738239c.d: crates/bench/benches/runtime_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime_ops-172b859b2738239c.rmeta: crates/bench/benches/runtime_ops.rs Cargo.toml
+
+crates/bench/benches/runtime_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

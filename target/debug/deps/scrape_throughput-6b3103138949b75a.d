@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scrape_throughput-6b3103138949b75a.d: crates/bench/benches/scrape_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscrape_throughput-6b3103138949b75a.rmeta: crates/bench/benches/scrape_throughput.rs Cargo.toml
+
+crates/bench/benches/scrape_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-55c8f2e8e4a75209.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-55c8f2e8e4a75209.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-55c8f2e8e4a75209.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

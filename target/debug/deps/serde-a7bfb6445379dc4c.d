@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-a7bfb6445379dc4c.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-a7bfb6445379dc4c: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-0ed0a60eceb483d9.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-0ed0a60eceb483d9: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

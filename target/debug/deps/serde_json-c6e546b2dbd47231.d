@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-c6e546b2dbd47231.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-c6e546b2dbd47231.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-c6e546b2dbd47231.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

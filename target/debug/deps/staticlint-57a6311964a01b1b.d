@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/staticlint-57a6311964a01b1b.d: crates/staticlint/src/lib.rs crates/staticlint/src/absint.rs crates/staticlint/src/findings.rs crates/staticlint/src/modelcheck.rs crates/staticlint/src/pathcheck.rs crates/staticlint/src/rangeclose.rs crates/staticlint/src/skeleton.rs
+
+/root/repo/target/debug/deps/libstaticlint-57a6311964a01b1b.rlib: crates/staticlint/src/lib.rs crates/staticlint/src/absint.rs crates/staticlint/src/findings.rs crates/staticlint/src/modelcheck.rs crates/staticlint/src/pathcheck.rs crates/staticlint/src/rangeclose.rs crates/staticlint/src/skeleton.rs
+
+/root/repo/target/debug/deps/libstaticlint-57a6311964a01b1b.rmeta: crates/staticlint/src/lib.rs crates/staticlint/src/absint.rs crates/staticlint/src/findings.rs crates/staticlint/src/modelcheck.rs crates/staticlint/src/pathcheck.rs crates/staticlint/src/rangeclose.rs crates/staticlint/src/skeleton.rs
+
+crates/staticlint/src/lib.rs:
+crates/staticlint/src/absint.rs:
+crates/staticlint/src/findings.rs:
+crates/staticlint/src/modelcheck.rs:
+crates/staticlint/src/pathcheck.rs:
+crates/staticlint/src/rangeclose.rs:
+crates/staticlint/src/skeleton.rs:

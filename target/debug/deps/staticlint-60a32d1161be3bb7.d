@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/staticlint-60a32d1161be3bb7.d: crates/staticlint/src/lib.rs crates/staticlint/src/absint.rs crates/staticlint/src/findings.rs crates/staticlint/src/modelcheck.rs crates/staticlint/src/pathcheck.rs crates/staticlint/src/rangeclose.rs crates/staticlint/src/skeleton.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstaticlint-60a32d1161be3bb7.rmeta: crates/staticlint/src/lib.rs crates/staticlint/src/absint.rs crates/staticlint/src/findings.rs crates/staticlint/src/modelcheck.rs crates/staticlint/src/pathcheck.rs crates/staticlint/src/rangeclose.rs crates/staticlint/src/skeleton.rs Cargo.toml
+
+crates/staticlint/src/lib.rs:
+crates/staticlint/src/absint.rs:
+crates/staticlint/src/findings.rs:
+crates/staticlint/src/modelcheck.rs:
+crates/staticlint/src/pathcheck.rs:
+crates/staticlint/src/rangeclose.rs:
+crates/staticlint/src/skeleton.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

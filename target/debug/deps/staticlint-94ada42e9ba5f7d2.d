@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/staticlint-94ada42e9ba5f7d2.d: crates/staticlint/src/lib.rs crates/staticlint/src/absint.rs crates/staticlint/src/findings.rs crates/staticlint/src/modelcheck.rs crates/staticlint/src/pathcheck.rs crates/staticlint/src/rangeclose.rs crates/staticlint/src/skeleton.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstaticlint-94ada42e9ba5f7d2.rmeta: crates/staticlint/src/lib.rs crates/staticlint/src/absint.rs crates/staticlint/src/findings.rs crates/staticlint/src/modelcheck.rs crates/staticlint/src/pathcheck.rs crates/staticlint/src/rangeclose.rs crates/staticlint/src/skeleton.rs Cargo.toml
+
+crates/staticlint/src/lib.rs:
+crates/staticlint/src/absint.rs:
+crates/staticlint/src/findings.rs:
+crates/staticlint/src/modelcheck.rs:
+crates/staticlint/src/pathcheck.rs:
+crates/staticlint/src/rangeclose.rs:
+crates/staticlint/src/skeleton.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

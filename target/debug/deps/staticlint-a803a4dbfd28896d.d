@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/staticlint-a803a4dbfd28896d.d: crates/staticlint/src/lib.rs crates/staticlint/src/absint.rs crates/staticlint/src/findings.rs crates/staticlint/src/modelcheck.rs crates/staticlint/src/pathcheck.rs crates/staticlint/src/rangeclose.rs crates/staticlint/src/skeleton.rs
+
+/root/repo/target/debug/deps/staticlint-a803a4dbfd28896d: crates/staticlint/src/lib.rs crates/staticlint/src/absint.rs crates/staticlint/src/findings.rs crates/staticlint/src/modelcheck.rs crates/staticlint/src/pathcheck.rs crates/staticlint/src/rangeclose.rs crates/staticlint/src/skeleton.rs
+
+crates/staticlint/src/lib.rs:
+crates/staticlint/src/absint.rs:
+crates/staticlint/src/findings.rs:
+crates/staticlint/src/modelcheck.rs:
+crates/staticlint/src/pathcheck.rs:
+crates/staticlint/src/rangeclose.rs:
+crates/staticlint/src/skeleton.rs:

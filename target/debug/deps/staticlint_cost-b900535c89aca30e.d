@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/staticlint_cost-b900535c89aca30e.d: crates/bench/benches/staticlint_cost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstaticlint_cost-b900535c89aca30e.rmeta: crates/bench/benches/staticlint_cost.rs Cargo.toml
+
+crates/bench/benches/staticlint_cost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_lifecycle-7650b18a300e73eb.d: crates/fleet/tests/sweep_lifecycle.rs
+
+/root/repo/target/debug/deps/sweep_lifecycle-7650b18a300e73eb: crates/fleet/tests/sweep_lifecycle.rs
+
+crates/fleet/tests/sweep_lifecycle.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep_lifecycle-db82a0ac97f5fba2.d: crates/fleet/tests/sweep_lifecycle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep_lifecycle-db82a0ac97f5fba2.rmeta: crates/fleet/tests/sweep_lifecycle.rs Cargo.toml
+
+crates/fleet/tests/sweep_lifecycle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-c2d8715e5cb3aa32.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-c2d8715e5cb3aa32: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-9b34e23c05dc037a.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-9b34e23c05dc037a: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

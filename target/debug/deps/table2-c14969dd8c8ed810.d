@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-c14969dd8c8ed810.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-c14969dd8c8ed810: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

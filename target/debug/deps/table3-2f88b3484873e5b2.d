@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-2f88b3484873e5b2.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-2f88b3484873e5b2: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

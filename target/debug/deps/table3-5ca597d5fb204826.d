@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-5ca597d5fb204826.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-5ca597d5fb204826: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

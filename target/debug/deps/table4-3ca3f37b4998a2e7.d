@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-3ca3f37b4998a2e7.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-3ca3f37b4998a2e7: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-f016d4485d48b13d.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-f016d4485d48b13d: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

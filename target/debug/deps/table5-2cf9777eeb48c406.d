@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-2cf9777eeb48c406.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-2cf9777eeb48c406: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-e12f6cbb8f4b95f7.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-e12f6cbb8f4b95f7: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

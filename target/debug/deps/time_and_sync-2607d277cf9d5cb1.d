@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/time_and_sync-2607d277cf9d5cb1.d: crates/gosim/tests/time_and_sync.rs
+
+/root/repo/target/debug/deps/time_and_sync-2607d277cf9d5cb1: crates/gosim/tests/time_and_sync.rs
+
+crates/gosim/tests/time_and_sync.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/time_and_sync-400886acfa357008.d: crates/gosim/tests/time_and_sync.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtime_and_sync-400886acfa357008.rmeta: crates/gosim/tests/time_and_sync.rs Cargo.toml
+
+crates/gosim/tests/time_and_sync.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

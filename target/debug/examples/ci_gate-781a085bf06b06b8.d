@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ci_gate-781a085bf06b06b8.d: examples/ci_gate.rs
+
+/root/repo/target/debug/examples/ci_gate-781a085bf06b06b8: examples/ci_gate.rs
+
+examples/ci_gate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ci_gate-790ba671ae4ca5d8.d: examples/ci_gate.rs
+
+/root/repo/target/debug/examples/ci_gate-790ba671ae4ca5d8: examples/ci_gate.rs
+
+examples/ci_gate.rs:

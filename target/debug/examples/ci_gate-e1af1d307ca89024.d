@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ci_gate-e1af1d307ca89024.d: examples/ci_gate.rs Cargo.toml
+
+/root/repo/target/debug/examples/libci_gate-e1af1d307ca89024.rmeta: examples/ci_gate.rs Cargo.toml
+
+examples/ci_gate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/leak_patterns-678ddd10dffeb0dd.d: examples/leak_patterns.rs
+
+/root/repo/target/debug/examples/leak_patterns-678ddd10dffeb0dd: examples/leak_patterns.rs
+
+examples/leak_patterns.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/leak_patterns-79aec5123b30398c.d: examples/leak_patterns.rs Cargo.toml
+
+/root/repo/target/debug/examples/libleak_patterns-79aec5123b30398c.rmeta: examples/leak_patterns.rs Cargo.toml
+
+examples/leak_patterns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/leak_patterns-bf2ff822c26b3265.d: examples/leak_patterns.rs
+
+/root/repo/target/debug/examples/leak_patterns-bf2ff822c26b3265: examples/leak_patterns.rs
+
+examples/leak_patterns.rs:

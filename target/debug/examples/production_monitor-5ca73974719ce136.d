@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/production_monitor-5ca73974719ce136.d: examples/production_monitor.rs
+
+/root/repo/target/debug/examples/production_monitor-5ca73974719ce136: examples/production_monitor.rs
+
+examples/production_monitor.rs:

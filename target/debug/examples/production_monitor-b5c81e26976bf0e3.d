@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/production_monitor-b5c81e26976bf0e3.d: examples/production_monitor.rs
+
+/root/repo/target/debug/examples/production_monitor-b5c81e26976bf0e3: examples/production_monitor.rs
+
+examples/production_monitor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/production_monitor-cd533f1501849f16.d: examples/production_monitor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libproduction_monitor-cd533f1501849f16.rmeta: examples/production_monitor.rs Cargo.toml
+
+examples/production_monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

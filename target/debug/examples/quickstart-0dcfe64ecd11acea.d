@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0dcfe64ecd11acea.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0dcfe64ecd11acea: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b2ae5a6a94e1c06c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b2ae5a6a94e1c06c: examples/quickstart.rs
+
+examples/quickstart.rs:

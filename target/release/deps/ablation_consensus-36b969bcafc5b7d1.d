@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_consensus-36b969bcafc5b7d1.d: crates/bench/src/bin/ablation_consensus.rs
+
+/root/repo/target/release/deps/ablation_consensus-36b969bcafc5b7d1: crates/bench/src/bin/ablation_consensus.rs
+
+crates/bench/src/bin/ablation_consensus.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_consensus-52943dbb5a4db460.d: crates/bench/src/bin/ablation_consensus.rs
+
+/root/repo/target/release/deps/ablation_consensus-52943dbb5a4db460: crates/bench/src/bin/ablation_consensus.rs
+
+crates/bench/src/bin/ablation_consensus.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_coverage-3c7911ab0ced70a1.d: crates/bench/src/bin/ablation_coverage.rs
+
+/root/repo/target/release/deps/ablation_coverage-3c7911ab0ced70a1: crates/bench/src/bin/ablation_coverage.rs
+
+crates/bench/src/bin/ablation_coverage.rs:

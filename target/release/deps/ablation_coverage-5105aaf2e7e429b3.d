@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_coverage-5105aaf2e7e429b3.d: crates/bench/src/bin/ablation_coverage.rs
+
+/root/repo/target/release/deps/ablation_coverage-5105aaf2e7e429b3: crates/bench/src/bin/ablation_coverage.rs
+
+crates/bench/src/bin/ablation_coverage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_retry-019dda1bc3d8b5de.d: crates/bench/src/bin/ablation_retry.rs
+
+/root/repo/target/release/deps/ablation_retry-019dda1bc3d8b5de: crates/bench/src/bin/ablation_retry.rs
+
+crates/bench/src/bin/ablation_retry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_retry-53966af3c9d87ba7.d: crates/bench/src/bin/ablation_retry.rs
+
+/root/repo/target/release/deps/ablation_retry-53966af3c9d87ba7: crates/bench/src/bin/ablation_retry.rs
+
+crates/bench/src/bin/ablation_retry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_rms-1988e701558cae24.d: crates/bench/src/bin/ablation_rms.rs
+
+/root/repo/target/release/deps/ablation_rms-1988e701558cae24: crates/bench/src/bin/ablation_rms.rs
+
+crates/bench/src/bin/ablation_rms.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_rms-b19615208023525a.d: crates/bench/src/bin/ablation_rms.rs
+
+/root/repo/target/release/deps/ablation_rms-b19615208023525a: crates/bench/src/bin/ablation_rms.rs
+
+crates/bench/src/bin/ablation_rms.rs:

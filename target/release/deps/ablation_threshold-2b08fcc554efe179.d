@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_threshold-2b08fcc554efe179.d: crates/bench/src/bin/ablation_threshold.rs
+
+/root/repo/target/release/deps/ablation_threshold-2b08fcc554efe179: crates/bench/src/bin/ablation_threshold.rs
+
+crates/bench/src/bin/ablation_threshold.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_threshold-c940d311ba8c9ae2.d: crates/bench/src/bin/ablation_threshold.rs
+
+/root/repo/target/release/deps/ablation_threshold-c940d311ba8c9ae2: crates/bench/src/bin/ablation_threshold.rs
+
+crates/bench/src/bin/ablation_threshold.rs:

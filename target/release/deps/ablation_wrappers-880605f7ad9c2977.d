@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_wrappers-880605f7ad9c2977.d: crates/bench/src/bin/ablation_wrappers.rs
+
+/root/repo/target/release/deps/ablation_wrappers-880605f7ad9c2977: crates/bench/src/bin/ablation_wrappers.rs
+
+crates/bench/src/bin/ablation_wrappers.rs:

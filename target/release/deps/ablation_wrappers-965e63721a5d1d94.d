@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_wrappers-965e63721a5d1d94.d: crates/bench/src/bin/ablation_wrappers.rs
+
+/root/repo/target/release/deps/ablation_wrappers-965e63721a5d1d94: crates/bench/src/bin/ablation_wrappers.rs
+
+crates/bench/src/bin/ablation_wrappers.rs:

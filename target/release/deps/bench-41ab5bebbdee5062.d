@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench-41ab5bebbdee5062.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-41ab5bebbdee5062.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-41ab5bebbdee5062.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

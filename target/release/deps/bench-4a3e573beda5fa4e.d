@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench-4a3e573beda5fa4e.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-4a3e573beda5fa4e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-4a3e573beda5fa4e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

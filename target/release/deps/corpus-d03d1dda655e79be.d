@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/corpus-d03d1dda655e79be.d: crates/corpus/src/lib.rs crates/corpus/src/gen.rs crates/corpus/src/patterns.rs crates/corpus/src/stats.rs
+
+/root/repo/target/release/deps/libcorpus-d03d1dda655e79be.rlib: crates/corpus/src/lib.rs crates/corpus/src/gen.rs crates/corpus/src/patterns.rs crates/corpus/src/stats.rs
+
+/root/repo/target/release/deps/libcorpus-d03d1dda655e79be.rmeta: crates/corpus/src/lib.rs crates/corpus/src/gen.rs crates/corpus/src/patterns.rs crates/corpus/src/stats.rs
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/gen.rs:
+crates/corpus/src/patterns.rs:
+crates/corpus/src/stats.rs:

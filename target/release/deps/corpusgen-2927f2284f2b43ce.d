@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/corpusgen-2927f2284f2b43ce.d: crates/cli/src/bin/corpusgen.rs
+
+/root/repo/target/release/deps/corpusgen-2927f2284f2b43ce: crates/cli/src/bin/corpusgen.rs
+
+crates/cli/src/bin/corpusgen.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/corpusgen-822651ea7160979d.d: crates/cli/src/bin/corpusgen.rs
+
+/root/repo/target/release/deps/corpusgen-822651ea7160979d: crates/cli/src/bin/corpusgen.rs
+
+crates/cli/src/bin/corpusgen.rs:

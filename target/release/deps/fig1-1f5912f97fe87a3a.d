@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-1f5912f97fe87a3a.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-1f5912f97fe87a3a: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

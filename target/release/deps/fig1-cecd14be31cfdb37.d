@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-cecd14be31cfdb37.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-cecd14be31cfdb37: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-1dbae6c571e649ea.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-1dbae6c571e649ea: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-22c26608c9d1fa9e.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-22c26608c9d1fa9e: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

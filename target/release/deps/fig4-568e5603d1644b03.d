@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-568e5603d1644b03.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-568e5603d1644b03: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-b03415291d0d82e5.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-b03415291d0d82e5: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

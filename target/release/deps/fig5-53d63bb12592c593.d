@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-53d63bb12592c593.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-53d63bb12592c593: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

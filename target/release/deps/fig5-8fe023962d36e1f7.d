@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-8fe023962d36e1f7.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-8fe023962d36e1f7: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-59f7f18bb973edbb.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-59f7f18bb973edbb: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

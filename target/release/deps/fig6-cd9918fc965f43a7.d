@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-cd9918fc965f43a7.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-cd9918fc965f43a7: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

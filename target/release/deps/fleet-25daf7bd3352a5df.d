@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fleet-25daf7bd3352a5df.d: crates/fleet/src/lib.rs crates/fleet/src/handlers.rs crates/fleet/src/sim.rs
+
+/root/repo/target/release/deps/libfleet-25daf7bd3352a5df.rlib: crates/fleet/src/lib.rs crates/fleet/src/handlers.rs crates/fleet/src/sim.rs
+
+/root/repo/target/release/deps/libfleet-25daf7bd3352a5df.rmeta: crates/fleet/src/lib.rs crates/fleet/src/handlers.rs crates/fleet/src/sim.rs
+
+crates/fleet/src/lib.rs:
+crates/fleet/src/handlers.rs:
+crates/fleet/src/sim.rs:

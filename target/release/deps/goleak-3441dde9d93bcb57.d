@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/goleak-3441dde9d93bcb57.d: crates/goleak/src/lib.rs crates/goleak/src/classify.rs crates/goleak/src/suppress.rs
+
+/root/repo/target/release/deps/libgoleak-3441dde9d93bcb57.rlib: crates/goleak/src/lib.rs crates/goleak/src/classify.rs crates/goleak/src/suppress.rs
+
+/root/repo/target/release/deps/libgoleak-3441dde9d93bcb57.rmeta: crates/goleak/src/lib.rs crates/goleak/src/classify.rs crates/goleak/src/suppress.rs
+
+crates/goleak/src/lib.rs:
+crates/goleak/src/classify.rs:
+crates/goleak/src/suppress.rs:

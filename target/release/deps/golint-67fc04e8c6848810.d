@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/golint-67fc04e8c6848810.d: crates/cli/src/bin/golint.rs
+
+/root/repo/target/release/deps/golint-67fc04e8c6848810: crates/cli/src/bin/golint.rs
+
+crates/cli/src/bin/golint.rs:

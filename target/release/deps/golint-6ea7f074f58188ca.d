@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/golint-6ea7f074f58188ca.d: crates/cli/src/bin/golint.rs
+
+/root/repo/target/release/deps/golint-6ea7f074f58188ca: crates/cli/src/bin/golint.rs
+
+crates/cli/src/bin/golint.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/gosim-c704fcd8af19581f.d: crates/gosim/src/lib.rs crates/gosim/src/ids.rs crates/gosim/src/loc.rs crates/gosim/src/proc.rs crates/gosim/src/runtime.rs crates/gosim/src/val.rs crates/gosim/src/profile.rs crates/gosim/src/rng.rs crates/gosim/src/script/mod.rs crates/gosim/src/script/build.rs crates/gosim/src/script/exec.rs crates/gosim/src/script/ir.rs
+
+/root/repo/target/release/deps/libgosim-c704fcd8af19581f.rlib: crates/gosim/src/lib.rs crates/gosim/src/ids.rs crates/gosim/src/loc.rs crates/gosim/src/proc.rs crates/gosim/src/runtime.rs crates/gosim/src/val.rs crates/gosim/src/profile.rs crates/gosim/src/rng.rs crates/gosim/src/script/mod.rs crates/gosim/src/script/build.rs crates/gosim/src/script/exec.rs crates/gosim/src/script/ir.rs
+
+/root/repo/target/release/deps/libgosim-c704fcd8af19581f.rmeta: crates/gosim/src/lib.rs crates/gosim/src/ids.rs crates/gosim/src/loc.rs crates/gosim/src/proc.rs crates/gosim/src/runtime.rs crates/gosim/src/val.rs crates/gosim/src/profile.rs crates/gosim/src/rng.rs crates/gosim/src/script/mod.rs crates/gosim/src/script/build.rs crates/gosim/src/script/exec.rs crates/gosim/src/script/ir.rs
+
+crates/gosim/src/lib.rs:
+crates/gosim/src/ids.rs:
+crates/gosim/src/loc.rs:
+crates/gosim/src/proc.rs:
+crates/gosim/src/runtime.rs:
+crates/gosim/src/val.rs:
+crates/gosim/src/profile.rs:
+crates/gosim/src/rng.rs:
+crates/gosim/src/script/mod.rs:
+crates/gosim/src/script/build.rs:
+crates/gosim/src/script/exec.rs:
+crates/gosim/src/script/ir.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/leakcore-02f6b524239bf16d.d: crates/core/src/lib.rs crates/core/src/backtest.rs crates/core/src/ci.rs crates/core/src/evaluate.rs
+
+/root/repo/target/release/deps/libleakcore-02f6b524239bf16d.rlib: crates/core/src/lib.rs crates/core/src/backtest.rs crates/core/src/ci.rs crates/core/src/evaluate.rs
+
+/root/repo/target/release/deps/libleakcore-02f6b524239bf16d.rmeta: crates/core/src/lib.rs crates/core/src/backtest.rs crates/core/src/ci.rs crates/core/src/evaluate.rs
+
+crates/core/src/lib.rs:
+crates/core/src/backtest.rs:
+crates/core/src/ci.rs:
+crates/core/src/evaluate.rs:

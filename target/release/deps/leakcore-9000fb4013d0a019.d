@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/leakcore-9000fb4013d0a019.d: crates/core/src/lib.rs crates/core/src/backtest.rs crates/core/src/ci.rs crates/core/src/evaluate.rs crates/core/src/monitor.rs
+
+/root/repo/target/release/deps/libleakcore-9000fb4013d0a019.rlib: crates/core/src/lib.rs crates/core/src/backtest.rs crates/core/src/ci.rs crates/core/src/evaluate.rs crates/core/src/monitor.rs
+
+/root/repo/target/release/deps/libleakcore-9000fb4013d0a019.rmeta: crates/core/src/lib.rs crates/core/src/backtest.rs crates/core/src/ci.rs crates/core/src/evaluate.rs crates/core/src/monitor.rs
+
+crates/core/src/lib.rs:
+crates/core/src/backtest.rs:
+crates/core/src/ci.rs:
+crates/core/src/evaluate.rs:
+crates/core/src/monitor.rs:

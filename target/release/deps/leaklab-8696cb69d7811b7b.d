@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/leaklab-8696cb69d7811b7b.d: src/lib.rs
+
+/root/repo/target/release/deps/libleaklab-8696cb69d7811b7b.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libleaklab-8696cb69d7811b7b.rmeta: src/lib.rs
+
+src/lib.rs:

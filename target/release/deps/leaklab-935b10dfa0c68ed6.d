@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/leaklab-935b10dfa0c68ed6.d: src/lib.rs
+
+/root/repo/target/release/deps/libleaklab-935b10dfa0c68ed6.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libleaklab-935b10dfa0c68ed6.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/leaklab_cli-38f2aee8b74c0481.d: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libleaklab_cli-38f2aee8b74c0481.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libleaklab_cli-38f2aee8b74c0481.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

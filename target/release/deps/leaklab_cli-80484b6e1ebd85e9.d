@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/leaklab_cli-80484b6e1ebd85e9.d: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libleaklab_cli-80484b6e1ebd85e9.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/release/deps/libleaklab_cli-80484b6e1ebd85e9.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/leakprof-60861f5e6ff8190d.d: crates/leakprof/src/lib.rs crates/leakprof/src/analyze.rs crates/leakprof/src/filter.rs crates/leakprof/src/history.rs crates/leakprof/src/report.rs crates/leakprof/src/signature.rs
+
+/root/repo/target/release/deps/libleakprof-60861f5e6ff8190d.rlib: crates/leakprof/src/lib.rs crates/leakprof/src/analyze.rs crates/leakprof/src/filter.rs crates/leakprof/src/history.rs crates/leakprof/src/report.rs crates/leakprof/src/signature.rs
+
+/root/repo/target/release/deps/libleakprof-60861f5e6ff8190d.rmeta: crates/leakprof/src/lib.rs crates/leakprof/src/analyze.rs crates/leakprof/src/filter.rs crates/leakprof/src/history.rs crates/leakprof/src/report.rs crates/leakprof/src/signature.rs
+
+crates/leakprof/src/lib.rs:
+crates/leakprof/src/analyze.rs:
+crates/leakprof/src/filter.rs:
+crates/leakprof/src/history.rs:
+crates/leakprof/src/report.rs:
+crates/leakprof/src/signature.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/leakprof_cli-2d9d86e1afe11e7b.d: crates/cli/src/bin/leakprof-cli.rs
+
+/root/repo/target/release/deps/leakprof_cli-2d9d86e1afe11e7b: crates/cli/src/bin/leakprof-cli.rs
+
+crates/cli/src/bin/leakprof-cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/leakprof_cli-7941909d02a6dd6d.d: crates/cli/src/bin/leakprof-cli.rs
+
+/root/repo/target/release/deps/leakprof_cli-7941909d02a6dd6d: crates/cli/src/bin/leakprof-cli.rs
+
+crates/cli/src/bin/leakprof-cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/leakprofd-7524f230514d1b3e.d: crates/cli/src/bin/leakprofd.rs
+
+/root/repo/target/release/deps/leakprofd-7524f230514d1b3e: crates/cli/src/bin/leakprofd.rs
+
+crates/cli/src/bin/leakprofd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mgo-e53344716b80c4ea.d: crates/cli/src/bin/mgo.rs
+
+/root/repo/target/release/deps/mgo-e53344716b80c4ea: crates/cli/src/bin/mgo.rs
+
+crates/cli/src/bin/mgo.rs:

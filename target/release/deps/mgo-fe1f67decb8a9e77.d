@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mgo-fe1f67decb8a9e77.d: crates/cli/src/bin/mgo.rs
+
+/root/repo/target/release/deps/mgo-fe1f67decb8a9e77: crates/cli/src/bin/mgo.rs
+
+crates/cli/src/bin/mgo.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/minigo-3f29f9a0718319f6.d: crates/minigo/src/lib.rs crates/minigo/src/ast.rs crates/minigo/src/lower.rs crates/minigo/src/parser.rs crates/minigo/src/printer.rs crates/minigo/src/token.rs
+
+/root/repo/target/release/deps/libminigo-3f29f9a0718319f6.rlib: crates/minigo/src/lib.rs crates/minigo/src/ast.rs crates/minigo/src/lower.rs crates/minigo/src/parser.rs crates/minigo/src/printer.rs crates/minigo/src/token.rs
+
+/root/repo/target/release/deps/libminigo-3f29f9a0718319f6.rmeta: crates/minigo/src/lib.rs crates/minigo/src/ast.rs crates/minigo/src/lower.rs crates/minigo/src/parser.rs crates/minigo/src/printer.rs crates/minigo/src/token.rs
+
+crates/minigo/src/lib.rs:
+crates/minigo/src/ast.rs:
+crates/minigo/src/lower.rs:
+crates/minigo/src/parser.rs:
+crates/minigo/src/printer.rs:
+crates/minigo/src/token.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scrape_throughput-95bffb1d29a3745b.d: crates/bench/benches/scrape_throughput.rs
+
+/root/repo/target/release/deps/scrape_throughput-95bffb1d29a3745b: crates/bench/benches/scrape_throughput.rs
+
+crates/bench/benches/scrape_throughput.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-caf7cf0c2bc3d3e6.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-caf7cf0c2bc3d3e6.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-caf7cf0c2bc3d3e6.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

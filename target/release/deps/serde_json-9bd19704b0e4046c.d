@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-9bd19704b0e4046c.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-9bd19704b0e4046c.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-9bd19704b0e4046c.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/staticlint-61783dfe9dda90d9.d: crates/staticlint/src/lib.rs crates/staticlint/src/absint.rs crates/staticlint/src/findings.rs crates/staticlint/src/modelcheck.rs crates/staticlint/src/pathcheck.rs crates/staticlint/src/rangeclose.rs crates/staticlint/src/skeleton.rs
+
+/root/repo/target/release/deps/libstaticlint-61783dfe9dda90d9.rlib: crates/staticlint/src/lib.rs crates/staticlint/src/absint.rs crates/staticlint/src/findings.rs crates/staticlint/src/modelcheck.rs crates/staticlint/src/pathcheck.rs crates/staticlint/src/rangeclose.rs crates/staticlint/src/skeleton.rs
+
+/root/repo/target/release/deps/libstaticlint-61783dfe9dda90d9.rmeta: crates/staticlint/src/lib.rs crates/staticlint/src/absint.rs crates/staticlint/src/findings.rs crates/staticlint/src/modelcheck.rs crates/staticlint/src/pathcheck.rs crates/staticlint/src/rangeclose.rs crates/staticlint/src/skeleton.rs
+
+crates/staticlint/src/lib.rs:
+crates/staticlint/src/absint.rs:
+crates/staticlint/src/findings.rs:
+crates/staticlint/src/modelcheck.rs:
+crates/staticlint/src/pathcheck.rs:
+crates/staticlint/src/rangeclose.rs:
+crates/staticlint/src/skeleton.rs:

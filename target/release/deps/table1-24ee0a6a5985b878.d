@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-24ee0a6a5985b878.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-24ee0a6a5985b878: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-4efec81dc6f407ba.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-4efec81dc6f407ba: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

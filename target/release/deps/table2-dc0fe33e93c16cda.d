@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-dc0fe33e93c16cda.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-dc0fe33e93c16cda: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-4a9f4c3016343f94.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-4a9f4c3016343f94: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-ff3c286bcadac1f6.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-ff3c286bcadac1f6: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

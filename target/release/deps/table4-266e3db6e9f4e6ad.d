@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-266e3db6e9f4e6ad.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-266e3db6e9f4e6ad: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

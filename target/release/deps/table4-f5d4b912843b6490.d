@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-f5d4b912843b6490.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-f5d4b912843b6490: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

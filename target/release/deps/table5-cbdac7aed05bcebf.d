@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-cbdac7aed05bcebf.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-cbdac7aed05bcebf: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

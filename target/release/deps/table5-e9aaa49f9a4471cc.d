@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-e9aaa49f9a4471cc.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-e9aaa49f9a4471cc: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

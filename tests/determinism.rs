@@ -22,7 +22,11 @@ fn corpus_is_bit_reproducible() {
 #[test]
 fn fleet_samples_are_reproducible() {
     let make = || {
-        let mut f = Fleet::new(FleetConfig { ticks_per_day: 12, seed: 3, ..FleetConfig::default() });
+        let mut f = Fleet::new(FleetConfig {
+            ticks_per_day: 12,
+            seed: 3,
+            ..FleetConfig::default()
+        });
         let mut spec = default_service(
             "s",
             2,

@@ -35,7 +35,8 @@ func Settle(fail bool) {
     // Layer 2: dynamic execution leaks exactly there.
     let prog = minigo::compile(src, "billing/settle.go").unwrap();
     let mut rt = Runtime::with_seed(5);
-    prog.spawn_func(&mut rt, "billing.Settle", vec![true.into()]).unwrap();
+    prog.spawn_func(&mut rt, "billing.Settle", vec![true.into()])
+        .unwrap();
     rt.run_until_blocked(10_000);
     let leaks = goleak::find_with_retry(&mut rt, &goleak::Options::default());
     assert_eq!(leaks.len(), 1);
@@ -85,7 +86,10 @@ fn ci_gate_findings_are_a_subset_of_ground_truth_sites() {
 /// Fleet profiles → LeakProf → owner routing, end to end.
 #[test]
 fn fleet_sweep_routes_alert_to_owner() {
-    let mut f = Fleet::new(FleetConfig { ticks_per_day: 24, ..FleetConfig::default() });
+    let mut f = Fleet::new(FleetConfig {
+        ticks_per_day: 24,
+        ..FleetConfig::default()
+    });
     let mut spec = default_service(
         "pay",
         3,
@@ -97,7 +101,11 @@ fn fleet_sweep_routes_alert_to_owner() {
     f.add_service(spec);
     f.run_days(2);
 
-    let mut lp = LeakProf::new(Config { threshold: 30, ast_filter: true, top_n: 3 });
+    let mut lp = LeakProf::new(Config {
+        threshold: 30,
+        ast_filter: true,
+        top_n: 3,
+    });
     for (src, path) in f.handler_sources() {
         lp.index_source(&src, &path).unwrap();
     }
@@ -135,7 +143,8 @@ func Run(workers int, items int) {
 
     let prog = minigo::compile(src, "etl/run.go").unwrap();
     let mut rt = Runtime::with_seed(0);
-    prog.spawn_func(&mut rt, "etl.Run", vec![3i64.into(), 5i64.into()]).unwrap();
+    prog.spawn_func(&mut rt, "etl.Run", vec![3i64.into(), 5i64.into()])
+        .unwrap();
     rt.run_until_blocked(100_000);
     let profile = rt.goroutine_profile("it");
     assert_eq!(profile.len(), 3);
@@ -171,7 +180,8 @@ func Run(workers int, items int) {
 
     let prog = minigo::compile(src, "etl/run.go").unwrap();
     let mut rt = Runtime::with_seed(0);
-    prog.spawn_func(&mut rt, "etl.Run", vec![3i64.into(), 5i64.into()]).unwrap();
+    prog.spawn_func(&mut rt, "etl.Run", vec![3i64.into(), 5i64.into()])
+        .unwrap();
     rt.run_until_blocked(100_000);
     assert_eq!(rt.live_count(), 0);
 }

@@ -1,0 +1,286 @@
+//! Minimal in-tree `criterion` replacement.
+//!
+//! Implements the slice of the criterion API the workspace's benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! [`BenchmarkGroup::throughput`] / [`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`], [`BenchmarkId`], [`Throughput`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement model: each `b.iter(..)` does one warm-up call, then times
+//! `sample_size` calls individually and reports the median (plus
+//! throughput when configured). When cargo runs benches in test mode
+//! (`cargo test` passes `--test` to `harness = false` targets), every
+//! benchmark body executes exactly once so the suite stays fast.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver handed to every target function.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(name, self.sample_size, self.test_mode, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work per iteration so reports include a rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark under this group's prefix.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, name);
+        run_one(
+            &id,
+            self.criterion.sample_size,
+            self.criterion.test_mode,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Runs a parameterized benchmark under this group's prefix.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(
+            &full,
+            self.criterion.sample_size,
+            self.criterion.test_mode,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (accepted for criterion API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark name paired with a parameter value.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+/// How much work one iteration performs, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Collects timing samples for one benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Times the closure `sample_size` times (once in test mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        black_box(f()); // warm-up, untimed
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F>(id: &str, sample_size: usize, test_mode: bool, throughput: Option<Throughput>, f: F)
+where
+    F: FnOnce(&mut Bencher),
+{
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+        test_mode,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("test-mode ok: {id}");
+        return;
+    }
+    if b.samples.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    b.samples.sort();
+    let median = b.samples[b.samples.len() / 2];
+    let rate = throughput
+        .map(|t| describe_rate(t, median))
+        .unwrap_or_default();
+    println!("{id:<48} median {}{rate}", describe_duration(median));
+}
+
+fn describe_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+fn describe_rate(t: Throughput, median: Duration) -> String {
+    let secs = median.as_secs_f64().max(1e-12);
+    let (count, unit) = match t {
+        Throughput::Elements(n) => (n, "elem"),
+        Throughput::Bytes(n) => (n, "B"),
+    };
+    let per_sec = count as f64 / secs;
+    if per_sec >= 1_000_000.0 {
+        format!("  ({:.2} M{unit}/s)", per_sec / 1_000_000.0)
+    } else if per_sec >= 1_000.0 {
+        format!("  ({:.2} K{unit}/s)", per_sec / 1_000.0)
+    } else {
+        format!("  ({per_sec:.2} {unit}/s)")
+    }
+}
+
+/// Declares a group function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion {
+            sample_size: 5,
+            test_mode: false,
+        };
+        let mut calls = 0;
+        c.bench_function("noop", |b| {
+            b.iter(|| calls += 1);
+        });
+        // 1 warm-up + 5 samples.
+        assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            sample_size: 100,
+            test_mode: true,
+        };
+        let mut calls = 0;
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::new("param", 3), &7u32, |b, &x| {
+            b.iter(|| calls += x);
+        });
+        group.finish();
+        assert_eq!(calls, 7);
+    }
+
+    #[test]
+    fn unit_formatting() {
+        assert_eq!(describe_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(describe_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert!(
+            describe_rate(Throughput::Elements(2_000_000), Duration::from_secs(1))
+                .contains("2.00 Melem/s")
+        );
+    }
+}

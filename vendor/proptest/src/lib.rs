@@ -1,0 +1,241 @@
+//! Minimal in-tree `proptest` replacement.
+//!
+//! Provides the strategy combinators and macros the workspace's property
+//! tests use: range/bool/string-pattern strategies, `prop_oneof!`,
+//! `prop_map`, `prop_recursive`, `proptest::collection::{vec, btree_set}`,
+//! `Just`, and the `proptest!`/`prop_assert!`/`prop_assert_eq!` macros.
+//!
+//! Differences from the real crate, chosen for a registry-less build:
+//!
+//! * **Deterministic**: each test case's RNG is seeded from the test's
+//!   source position and case index, so failures always reproduce.
+//! * **No shrinking**: a failing case reports its generated inputs
+//!   (`Debug`) and the assertion message instead of minimizing.
+
+use std::rc::Rc;
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+
+/// The per-test configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single generated case failed (carried by `prop_assert!`).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic SplitMix64 RNG driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from a test identity and case index so reruns reproduce.
+    pub fn for_case(file: &str, line: u32, case: u32) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in file.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        h = (h ^ line as u64).wrapping_mul(0x100_0000_01b3);
+        h = (h ^ case as u64).wrapping_mul(0x100_0000_01b3);
+        TestRng { state: h }
+    }
+
+    /// Next raw 64-bit value (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; 0 when `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// Internal plumbing re-exported for the macros.
+pub mod __rt {
+    pub use super::{ProptestConfig, Strategy, TestCaseError, TestRng};
+
+    /// Runs one test body closure, also trapping panics so the harness
+    /// can report the generated inputs before propagating.
+    pub fn run_case<F: FnOnce() -> Result<(), TestCaseError> + std::panic::UnwindSafe>(
+        f: F,
+    ) -> Result<(), String> {
+        match std::panic::catch_unwind(f) {
+            Ok(Ok(())) => Ok(()),
+            Ok(Err(e)) => Err(e.0),
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(|s| s.as_str())
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("panic");
+                Err(format!("panicked: {msg}"))
+            }
+        }
+    }
+}
+
+/// The strategy-driven test harness macro.
+///
+/// Accepts an optional `#![proptest_config(expr)]` header followed by any
+/// number of test functions whose arguments use `name in strategy` syntax.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for __case in 0..config.cases {
+                    let mut __rng =
+                        $crate::TestRng::for_case(file!(), line!(), __case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    let __inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let __result = $crate::__rt::run_case(
+                        ::std::panic::AssertUnwindSafe(
+                            move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                                $body
+                                Ok(())
+                            }
+                        )
+                    );
+                    if let Err(e) = __result {
+                        panic!(
+                            "proptest {} failed at case {}/{}:\n  inputs: {}\n  {}",
+                            stringify!($name), __case, config.cases, __inputs, e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name( $($arg in $strat),+ ) $body
+            )*
+        }
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::TestCaseError(format!($($fmt)*))
+            );
+        }
+    };
+}
+
+/// Fails the current case unless both operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        match (&$a, &$b) {
+            (left, right) => {
+                $crate::prop_assert!(
+                    *left == *right,
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($a), stringify!($b), left, right
+                );
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        match (&$a, &$b) {
+            (left, right) => {
+                if !(*left == *right) {
+                    let msg = format!($($fmt)*);
+                    return ::std::result::Result::Err($crate::TestCaseError(format!(
+                        "{msg}\n  left: {left:?}\n right: {right:?}"
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// The conventional glob import: strategies, config, and macros.
+pub mod prelude {
+    pub use crate::collection;
+    /// Alias matching proptest's prelude.
+    pub use crate::strategy::Strategy as _;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError, Union,
+    };
+}
+
+/// Shared boxing helper used by [`Strategy::boxed`].
+pub(crate) fn box_strategy<S>(s: S) -> BoxedStrategy<S::Value>
+where
+    S: Strategy + 'static,
+{
+    BoxedStrategy {
+        inner: Rc::new(move |rng: &mut TestRng| s.generate(rng)),
+    }
+}

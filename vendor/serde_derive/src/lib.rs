@@ -1,0 +1,370 @@
+//! `#[derive(Serialize, Deserialize)]` for the in-tree minimal serde.
+//!
+//! Parses the derive input token stream by hand (no `syn`/`quote`, which
+//! are unavailable in this registry-less build environment) and emits
+//! impls of `serde::Serialize` / `serde::Deserialize` over the JSON-shaped
+//! `serde::Value` data model.
+//!
+//! Supported shapes — everything the workspace derives on:
+//! * structs with named fields (serialized as objects keyed by field name)
+//! * newtype structs `struct X(T)` (transparent, like serde)
+//! * tuple structs of arity ≥ 2 (arrays)
+//! * unit structs (null)
+//! * enums with any mix of unit, newtype, tuple, and struct variants,
+//!   in serde's externally-tagged representation
+//!
+//! Not supported (and unused in this workspace): generic type parameters
+//! and `#[serde(...)]` attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving type.
+enum Shape {
+    /// `struct X;`
+    UnitStruct,
+    /// `struct X(T)` — one unnamed field.
+    Newtype,
+    /// `struct X(T1, .., Tn)`, n ≥ 2.
+    TupleStruct(usize),
+    /// `struct X { f1: T1, .. }`
+    NamedStruct(Vec<String>),
+    /// `enum X { .. }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    gen_serialize(&name, &shape)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    gen_deserialize(&name, &shape)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ------------------------------------------------------------------ parsing
+
+fn parse_input(input: TokenStream) -> (String, Shape) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kw = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive(Serialize/Deserialize) on generic type `{name}` is not supported by the vendored serde_derive");
+    }
+    match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            None => (name, Shape::UnitStruct),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => (name, Shape::UnitStruct),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                (name, Shape::NamedStruct(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                if n == 1 {
+                    (name, Shape::Newtype)
+                } else {
+                    (name, Shape::TupleStruct(n))
+                }
+            }
+            other => panic!("unexpected token after struct name: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                (name, Shape::Enum(parse_variants(g.stream())))
+            }
+            other => panic!("expected enum body, got {other:?}"),
+        },
+        other => panic!("expected `struct` or `enum`, got `{other}`"),
+    }
+}
+
+/// Advances `i` past `#[...]` attributes, doc comments, and visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) / pub(super)
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a token stream at top-level commas. "Top level" accounts for
+/// angle-bracket nesting (`BTreeMap<usize, u64>`); parens/brackets/braces
+/// arrive as single `Group` tokens so their commas are already hidden.
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(tt);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            let mut i = 0;
+            skip_attrs_and_vis(&part, &mut i);
+            match &part[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("expected field name, got {other}"),
+            }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level_commas(stream)
+        .into_iter()
+        .filter(|p| !p.is_empty())
+        .count()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            let mut i = 0;
+            skip_attrs_and_vis(&part, &mut i);
+            let name = match &part[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("expected variant name, got {other}"),
+            };
+            i += 1;
+            let kind = match part.get(i) {
+                None => VariantKind::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Struct(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let n = count_tuple_fields(g.stream());
+                    if n == 1 {
+                        VariantKind::Newtype
+                    } else {
+                        VariantKind::Tuple(n)
+                    }
+                }
+                other => panic!("unexpected token in variant `{name}`: {other:?}"),
+            };
+            Variant { name, kind }
+        })
+        .collect()
+}
+
+// --------------------------------------------------------------- generation
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Newtype => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from("{ let mut m = ::serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "m.insert(\"{f}\", ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(m) }");
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(String::from(\"{vn}\")),\n"
+                    )),
+                    VariantKind::Newtype => arms.push_str(&format!(
+                        "{name}::{vn}(x0) => ::serde::variant(\"{vn}\", ::serde::Serialize::to_value(x0)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::variant(\"{vn}\", ::serde::Value::Array(vec![{}])),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner = String::from("{ let mut m = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "m.insert(\"{f}\", ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        inner.push_str("::serde::Value::Object(m) }");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::variant(\"{vn}\", {inner}),\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn named_struct_ctor(path: &str, fields: &[String], map_var: &str) -> String {
+    let mut s = format!("{path} {{\n");
+    for f in fields {
+        s.push_str(&format!(
+            "{f}: ::serde::Deserialize::from_value({map_var}.get(\"{f}\")\
+             .unwrap_or(&::serde::Value::Null)).map_err(|e| e.context(\"{f}\"))?,\n"
+        ));
+    }
+    s.push('}');
+    s
+}
+
+fn tuple_ctor(path: &str, n: usize, arr_var: &str) -> String {
+    let items: Vec<String> = (0..n)
+        .map(|i| format!("::serde::Deserialize::from_value(&{arr_var}[{i}])?"))
+        .collect();
+    format!("{path}({})", items.join(", "))
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::UnitStruct => format!("{{ let _ = v; Ok({name}) }}"),
+        Shape::Newtype => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => format!(
+            "match v {{\n\
+             ::serde::Value::Array(xs) if xs.len() == {n} => Ok({ctor}),\n\
+             _ => Err(::serde::Error::custom(\"expected array of length {n} for {name}\")),\n\
+             }}",
+            ctor = tuple_ctor(name, *n, "xs")
+        ),
+        Shape::NamedStruct(fields) => format!(
+            "match v {{\n\
+             ::serde::Value::Object(m) => Ok({ctor}),\n\
+             _ => Err(::serde::Error::custom(\"expected object for {name}\")),\n\
+             }}",
+            ctor = named_struct_ctor(name, fields, "m")
+        ),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                        // Serde also accepts {"Variant": null} for unit
+                        // variants; we only emit the string form.
+                    }
+                    VariantKind::Newtype => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(__payload)\
+                         .map_err(|e| e.context(\"{vn}\"))?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => match __payload {{\n\
+                         ::serde::Value::Array(xs) if xs.len() == {n} => Ok({ctor}),\n\
+                         _ => Err(::serde::Error::custom(\"expected array of length {n} for variant {vn}\")),\n\
+                         }},\n",
+                        ctor = tuple_ctor(&format!("{name}::{vn}"), *n, "xs")
+                    )),
+                    VariantKind::Struct(fields) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => match __payload {{\n\
+                         ::serde::Value::Object(m2) => Ok({ctor}),\n\
+                         _ => Err(::serde::Error::custom(\"expected object for variant {vn}\")),\n\
+                         }},\n",
+                        ctor = named_struct_ctor(&format!("{name}::{vn}"), fields, "m2")
+                    )),
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => Err(::serde::Error::custom(format!(\"unknown unit variant `{{other}}` of {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(m) if m.len() == 1 => {{\n\
+                 let (__tag, __payload) = m.iter().next().expect(\"len checked\");\n\
+                 match __tag.as_str() {{\n\
+                 {tagged_arms}\
+                 other => Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => Err(::serde::Error::custom(\"expected string or single-key object for {name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}

@@ -1,0 +1,80 @@
+//! Minimal in-tree `serde_json` facade.
+//!
+//! The vendored [`serde`] crate already targets a JSON-shaped [`Value`]
+//! data model and owns the parser/printer; this crate provides the
+//! familiar `serde_json` entry points on top of it so downstream code is
+//! written exactly as it would be against the real crate.
+
+pub use serde::{Error, Map, Value};
+
+/// Serializes a value to compact JSON.
+///
+/// # Errors
+///
+/// Never fails for workspace types; the `Result` mirrors serde_json's API.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_string())
+}
+
+/// Serializes a value to pretty-printed JSON (two-space indent).
+///
+/// # Errors
+///
+/// Never fails for workspace types; the `Result` mirrors serde_json's API.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_string_pretty())
+}
+
+/// Serializes a value into the [`Value`] data model.
+///
+/// # Errors
+///
+/// Never fails for workspace types; the `Result` mirrors serde_json's API.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Deserializes a value from a JSON string.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let v: Value = s.parse()?;
+    T::from_value(&v)
+}
+
+/// Reconstructs a typed value from the [`Value`] data model.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on a shape mismatch.
+pub fn from_value<T: serde::Deserialize>(v: Value) -> Result<T, Error> {
+    T::from_value(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_vec_of_tuples() {
+        let data: Vec<(String, u64)> = vec![("a".into(), 1), ("b".into(), u64::MAX)];
+        let js = to_string(&data).unwrap();
+        let back: Vec<(String, u64)> = from_str(&js).unwrap();
+        assert_eq!(data, back);
+    }
+
+    #[test]
+    fn from_str_rejects_garbage() {
+        assert!(from_str::<Vec<u32>>("not json").is_err());
+        assert!(from_str::<Vec<u32>>("{\"a\":1}").is_err());
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v: Value = "{\"a\":[1,2]}".parse().unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"a\": [\n    1,\n    2\n  ]"));
+    }
+}
