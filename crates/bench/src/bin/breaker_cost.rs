@@ -1,0 +1,181 @@
+//! Bench: what circuit breakers buy when part of the fleet is dead.
+//!
+//! A scrape cycle's wall time is dominated by dead targets: each one
+//! burns its full retry budget (attempts × read timeout + backoff)
+//! every cycle. With per-target breakers, a dead target costs that
+//! budget only until its breaker opens; afterwards it is skipped at
+//! ~zero cost, with only a rare half-open probe.
+//!
+//! This experiment serves a loopback fleet, marks 0%, 10%, and 50% of
+//! targets dead (stalled past the read deadline), and measures the mean
+//! steady-state cycle latency ungated vs breaker-gated. Emits
+//! `BENCH_breaker.json`.
+
+use std::time::{Duration, Instant};
+
+use collector::{
+    BreakerConfig, BreakerSet, Fault, ProfileHub, ScrapeConfig, ScrapeTarget, Scraper,
+};
+use gosim::GoroutineProfile;
+use serde::Serialize;
+
+const TARGETS: usize = 20;
+const MEASURED_CYCLES: usize = 5;
+
+#[derive(Serialize)]
+struct Regime {
+    dead_fraction: f64,
+    targets: usize,
+    dead: usize,
+    ungated_mean_ms: f64,
+    gated_mean_ms: f64,
+    speedup: f64,
+    quarantined_at_steady_state: usize,
+}
+
+#[derive(Serialize)]
+struct BenchResult {
+    targets: usize,
+    measured_cycles: usize,
+    regimes: Vec<Regime>,
+}
+
+fn scrape_config() -> ScrapeConfig {
+    ScrapeConfig {
+        workers: 8,
+        connect_timeout: Duration::from_millis(200),
+        read_timeout: Duration::from_millis(100),
+        max_attempts: 2,
+        backoff_base: Duration::from_millis(1),
+        attempt_budget: Duration::from_millis(250),
+        jitter_seed: 7,
+    }
+}
+
+fn build_fleet(dead: usize) -> (ProfileHub, Vec<String>) {
+    let hub = ProfileHub::new();
+    let mut ids = Vec::new();
+    for i in 0..TARGETS {
+        let id = format!("inst-{i:02}");
+        hub.publish(&GoroutineProfile {
+            instance: id.clone(),
+            captured_at: 1,
+            goroutines: vec![],
+        });
+        ids.push(id);
+    }
+    // "Dead" = stalled well past the read deadline, so every attempt
+    // times out — the worst case for an ungated scraper.
+    for id in ids.iter().take(dead) {
+        hub.inject_fault(id, Fault::Delay(Duration::from_millis(400)));
+    }
+    (hub, ids)
+}
+
+fn targets_for(ids: &[String], addr: std::net::SocketAddr) -> Vec<ScrapeTarget> {
+    ids.iter()
+        .map(|id| ScrapeTarget {
+            instance: id.clone(),
+            addr,
+            path: ProfileHub::profile_path(id),
+        })
+        .collect()
+}
+
+fn mean_ms(samples: &[f64]) -> f64 {
+    samples.iter().sum::<f64>() / samples.len().max(1) as f64
+}
+
+fn run_regime(dead_fraction: f64) -> Regime {
+    let dead = (TARGETS as f64 * dead_fraction).round() as usize;
+    let (hub, ids) = build_fleet(dead);
+    // Plenty of server threads: stalled requests keep holding a handler
+    // thread after the client gives up, and must not starve live ones.
+    let server = hub.serve("127.0.0.1:0", 64).expect("loopback bind");
+    let targets = targets_for(&ids, server.addr());
+    let scraper = Scraper::new(scrape_config());
+
+    // Ungated: every cycle pays the full retry budget for every dead
+    // target.
+    let mut ungated = Vec::new();
+    for _ in 0..MEASURED_CYCLES {
+        let t = Instant::now();
+        let report = scraper.scrape_cycle(&targets);
+        ungated.push(t.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(report.stats.failed, dead);
+    }
+
+    // Gated: warm up until the dead targets' breakers open, then
+    // measure steady state (skips plus the odd half-open probe —
+    // exactly what a long-running daemon pays).
+    let mut breakers = BreakerSet::new(BreakerConfig {
+        failure_threshold: 2,
+        probe_after_cycles: 4,
+        max_probe_backoff: 32,
+    });
+    for _ in 0..2 {
+        scraper.scrape_cycle_gated(&targets, &mut breakers);
+    }
+    let mut gated = Vec::new();
+    for _ in 0..MEASURED_CYCLES {
+        let t = Instant::now();
+        scraper.scrape_cycle_gated(&targets, &mut breakers);
+        gated.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let summary = breakers.summary(targets.len());
+
+    let ungated_mean_ms = mean_ms(&ungated);
+    let gated_mean_ms = mean_ms(&gated);
+    Regime {
+        dead_fraction,
+        targets: TARGETS,
+        dead,
+        ungated_mean_ms,
+        gated_mean_ms,
+        speedup: ungated_mean_ms / gated_mean_ms.max(1e-9),
+        quarantined_at_steady_state: summary.open + summary.half_open,
+    }
+}
+
+fn main() {
+    let mut regimes = Vec::new();
+    let mut table = String::from("dead% | ungated_ms | gated_ms | speedup | quarantined\n");
+    for fraction in [0.0, 0.1, 0.5] {
+        let r = run_regime(fraction);
+        table.push_str(&format!(
+            "{:>4.0}% | {:>10.1} | {:>8.1} | {:>6.2}x | {:>11}\n",
+            r.dead_fraction * 100.0,
+            r.ungated_mean_ms,
+            r.gated_mean_ms,
+            r.speedup,
+            r.quarantined_at_steady_state,
+        ));
+        regimes.push(r);
+    }
+    println!("{table}");
+    println!(
+        "each dead target costs an ungated cycle its full retry budget\n\
+         (attempts × read timeout); once breakers quarantine them the\n\
+         cycle only pays for live targets plus decaying half-open probes."
+    );
+
+    // With half the fleet dead, gating must visibly beat the ungated
+    // scraper, and steady state must have quarantined every dead target.
+    let worst = &regimes[2];
+    assert_eq!(worst.quarantined_at_steady_state, worst.dead);
+    assert!(
+        worst.speedup > 1.5,
+        "breakers should cut cycle latency with 50% dead (got {:.2}x)",
+        worst.speedup
+    );
+
+    let result = BenchResult {
+        targets: TARGETS,
+        measured_cycles: MEASURED_CYCLES,
+        regimes,
+    };
+    bench::save(
+        "BENCH_breaker.json",
+        &serde_json::to_string_pretty(&result).expect("result serializes"),
+    );
+}

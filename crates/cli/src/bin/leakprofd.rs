@@ -5,31 +5,44 @@
 //! leakprofd serve       [--instances N] [--days D] [--seed S] [--port P]
 //!                       [--cycles N] [--interval-ms MS] [--threshold T]
 //!                       [--top N] [--history PATH] [--keep N]
+//!                       [--state-dir PATH] [--snapshot-every N]
 //! leakprofd scrape-once [--addr HOST:PORT] [--instances N] [--days D]
 //!                       [--seed S] [--threshold T] [--top N] [--workers N]
 //! leakprofd status      --history PATH
+//! leakprofd recover     --state-dir PATH [--threshold T] [--top N]
+//! leakprofd chaos       [--instances N] [--cycles N] [--seed S]
+//!                       [--restart-every N] [--state-dir PATH]
 //! ```
 //!
 //! * `serve` stands up a demo fleet behind one loopback HTTP listener,
 //!   then runs scrape cycles against it, exposing the daemon's own
 //!   `/metrics` and `/status` on an adjacent port. With `--cycles 0`
-//!   (default) it runs until interrupted.
+//!   (default) it runs until interrupted. With `--state-dir` the daemon
+//!   is crash-safe: snapshot + WAL recovery, persistent report ledger.
 //! * `scrape-once` runs exactly one scatter-gather cycle — against
 //!   `--addr` if given, otherwise against a freshly built demo fleet —
 //!   and prints the ranked report plus scrape-health stats.
 //! * `status` summarizes a history JSONL written with `--history`.
+//! * `recover` inspects a state directory offline: what a restarting
+//!   daemon would reconstruct (snapshot + WAL replay), the ranking it
+//!   would resume with, and the report ledger.
+//! * `chaos` runs the deterministic chaos harness (scrape faults,
+//!   instance churn, kill/restart) against a demo fleet and reports
+//!   whether the crash-safety invariants held.
 //!
 //! Exit code: 0 on success (scrape-once: even with suspects), 1 when a
-//! cycle scraped nothing at all, 2 on usage/IO errors.
+//! cycle scraped nothing at all (or chaos invariants failed), 2 on
+//! usage/IO errors.
 
 use std::process::ExitCode;
 use std::sync::{Arc, Mutex};
 
 use collector::{
-    serve_daemon_endpoints, Daemon, DaemonConfig, DemoFleet, HistoryLog, ProfileHub, ScrapeConfig,
-    ScrapeTarget,
+    run_chaos, serve_daemon_endpoints, ChaosConfig, ChaosPlanConfig, Daemon, DaemonConfig,
+    DemoFleet, HistoryLog, ProfileHub, ReportLedger, ScrapeConfig, ScrapeTarget, SnapshotStore,
 };
 use leaklab_cli::{flag, split_flags};
+use leakprof::FleetAccumulator;
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,6 +56,8 @@ fn main() -> ExitCode {
         "serve" => serve(&flags),
         "scrape-once" => scrape_once(&flags),
         "status" => status(&flags),
+        "recover" => recover(&flags),
+        "chaos" => chaos(&flags),
         _ => {
             usage();
             ExitCode::from(2)
@@ -52,12 +67,16 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!(
-        "usage: leakprofd <serve|scrape-once|status> [flags]\n\
+        "usage: leakprofd <serve|scrape-once|status|recover|chaos> [flags]\n\
          \x20 serve       [--instances N] [--days D] [--seed S] [--port P] [--cycles N]\n\
          \x20             [--interval-ms MS] [--threshold T] [--top N] [--history PATH] [--keep N]\n\
+         \x20             [--state-dir PATH] [--snapshot-every N]\n\
          \x20 scrape-once [--addr HOST:PORT] [--instances N] [--days D] [--seed S]\n\
          \x20             [--threshold T] [--top N] [--workers N]\n\
-         \x20 status      --history PATH"
+         \x20 status      --history PATH\n\
+         \x20 recover     --state-dir PATH [--threshold T] [--top N]\n\
+         \x20 chaos       [--instances N] [--cycles N] [--seed S] [--restart-every N]\n\
+         \x20             [--state-dir PATH]"
     );
 }
 
@@ -207,14 +226,23 @@ fn serve(flags: &[(String, String)]) -> ExitCode {
         },
         history_path: flag(flags, "history").map(std::path::PathBuf::from),
         history_keep: keep,
+        state_dir: flag(flags, "state-dir").map(std::path::PathBuf::from),
+        snapshot_every: parsed(flags, "snapshot-every", 5u64).max(1),
+        ..DaemonConfig::default()
     };
     let daemon = match Daemon::new(config, lp, targets) {
         Ok(d) => d,
         Err(e) => {
-            eprintln!("error: cannot open history: {e}");
+            eprintln!("error: cannot open daemon state: {e}");
             return ExitCode::from(2);
         }
     };
+    if daemon.recovered_cycle() > 0 {
+        println!(
+            "leakprofd: recovered durable state up to cycle {}",
+            daemon.recovered_cycle()
+        );
+    }
     let daemon = Arc::new(Mutex::new(daemon));
     let endpoints = match serve_daemon_endpoints(Arc::clone(&daemon), &format!("127.0.0.1:{port}"))
     {
@@ -235,6 +263,14 @@ fn serve(flags: &[(String, String)]) -> ExitCode {
         let report = daemon.lock().expect("daemon poisoned").run_cycle();
         ran += 1;
         println!("cycle {ran}: {}", report.stats.render());
+        {
+            let d = daemon.lock().expect("daemon poisoned");
+            if let Some(outcome) = d.last_outcome() {
+                for fp in &outcome.reported {
+                    println!("  paged: {fp}");
+                }
+            }
+        }
         if report.stats.succeeded == 0 && report.stats.targets > 0 {
             eprintln!("leakprofd: cycle scraped nothing; aborting");
             return ExitCode::from(1);
@@ -246,6 +282,10 @@ fn serve(flags: &[(String, String)]) -> ExitCode {
         demo.advance_and_republish(1);
     }
     let daemon = daemon.lock().expect("daemon poisoned");
+    // Clean shutdown: checkpoint so the next start replays no WAL.
+    if let Err(e) = daemon.commit_snapshot() {
+        eprintln!("leakprofd: final snapshot failed: {e}");
+    }
     if let Some(report) = daemon.last_report() {
         print!("{}", report.render());
     }
@@ -304,4 +344,139 @@ fn status(flags: &[(String, String)]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Offline inspection of a state directory: what a restarting daemon
+/// would reconstruct, and the ranking it would resume with.
+fn recover(flags: &[(String, String)]) -> ExitCode {
+    let Some(dir) = flag(flags, "state-dir") else {
+        eprintln!("usage: leakprofd recover --state-dir PATH [--threshold T] [--top N]");
+        return ExitCode::from(2);
+    };
+    let threshold: u64 = parsed(flags, "threshold", 40);
+    let top_n: usize = parsed(flags, "top", 10);
+
+    let store = match SnapshotStore::open(dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot open {dir}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let recovery = match store.recover() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: cannot recover {dir}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if recovery.is_empty() {
+        println!("no durable state in {dir}: a daemon would start fresh");
+        return ExitCode::SUCCESS;
+    }
+    let mut acc = match &recovery.snapshot {
+        Some(snap) => {
+            println!(
+                "snapshot: cycle {} ({} profiles ingested)",
+                snap.cycle, snap.health.scrapes_ok
+            );
+            match FleetAccumulator::from_snapshot(&snap.acc) {
+                Ok(acc) => acc,
+                Err(e) => {
+                    eprintln!("error: snapshot does not restore: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => {
+            println!("no snapshot committed yet");
+            FleetAccumulator::new()
+        }
+    };
+    println!(
+        "wal: {} replayable cycle(s){}",
+        recovery.wal.len(),
+        match &recovery.dropped_trailing {
+            Some(e) => format!(" (+1 torn trailing entry discarded: {e})"),
+            None => String::new(),
+        }
+    );
+    for entry in &recovery.wal {
+        for p in &entry.profiles {
+            acc.ingest(p);
+        }
+    }
+    println!(
+        "a restarting daemon resumes at cycle {}",
+        recovery.last_cycle()
+    );
+
+    let lp = leakprof::LeakProf::new(leakprof::Config {
+        threshold,
+        ast_filter: false, // sources are not part of durable state
+        top_n,
+    });
+    print!("{}", lp.report_from_accumulator(&acc).render());
+
+    let ledger_path = std::path::Path::new(dir).join("ledger.json");
+    if ledger_path.exists() {
+        match ReportLedger::open(&ledger_path, Default::default()) {
+            Ok(ledger) => {
+                let s = ledger.summary();
+                println!(
+                    "ledger: {} site(s) tracked ({} active), {} paged / {} suppressed all-time",
+                    s.tracked, s.active, s.reported_total, s.suppressed_total
+                );
+                for e in ledger.entries() {
+                    println!(
+                        "  {} episode {} ({:?}) acked-rms {:.1} peak {:.1} owner {}",
+                        e.fingerprint,
+                        e.episode,
+                        e.state,
+                        e.acked_rms,
+                        e.peak_rms,
+                        e.owner.as_deref().unwrap_or("-")
+                    );
+                }
+            }
+            Err(e) => eprintln!("warning: ledger unreadable: {e}"),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Runs the deterministic chaos harness against a demo fleet and
+/// reports whether the crash-safety invariants held.
+fn chaos(flags: &[(String, String)]) -> ExitCode {
+    let seed: u64 = parsed(flags, "seed", 7);
+    let state_dir = flag(flags, "state-dir")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join(format!("leakprofd-chaos-{seed}")));
+    let mut config = ChaosConfig::quick(seed, state_dir.clone());
+    config.instances = parsed(flags, "instances", 8);
+    config.cycles = parsed(flags, "cycles", 12u64);
+    config.plan = ChaosPlanConfig {
+        restart_every: parsed(flags, "restart-every", 4u64),
+        ..ChaosPlanConfig::default()
+    };
+    println!(
+        "leakprofd: chaos over {} instances, {} cycles, seed {seed}, state in {}",
+        config.instances,
+        config.cycles,
+        state_dir.display()
+    );
+    match run_chaos(&config, |line| println!("{line}")) {
+        Ok(outcome) => {
+            println!("{}", outcome.render());
+            if outcome.invariants_hold() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("error: chaos run failed: {e}");
+            ExitCode::from(2)
+        }
+    }
 }

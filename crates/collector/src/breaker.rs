@@ -1,0 +1,320 @@
+//! Per-target circuit breakers: dead or flapping instances stop costing
+//! full retry budgets every cycle.
+//!
+//! Each scrape target carries a tiny state machine:
+//!
+//! * **Closed** — scraped normally; consecutive failures are counted.
+//! * **Open** — quarantined after `failure_threshold` consecutive
+//!   failures; the target is skipped entirely (cost ~0 per cycle) until
+//!   its probe countdown elapses.
+//! * **Half-open** — the countdown elapsed; the target gets exactly one
+//!   single-attempt probe request. Success closes the breaker; failure
+//!   re-opens it with a doubled countdown (decaying probe frequency, so
+//!   a long-dead instance is probed ever more rarely, up to a cap).
+//!
+//! Breaker state is deliberately in-memory only: after a daemon restart
+//! every target starts closed and dead ones are re-quarantined within
+//! `failure_threshold` cycles. Persisting it would buy little and risk
+//! permanently skipping an instance that recovered while the daemon was
+//! down.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Consecutive failures that open a target's breaker.
+    pub failure_threshold: u32,
+    /// Cycles a freshly opened breaker waits before its first half-open
+    /// probe.
+    pub probe_after_cycles: u32,
+    /// Cap on the probe countdown as it doubles after each failed probe.
+    pub max_probe_backoff: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            probe_after_cycles: 2,
+            max_probe_backoff: 32,
+        }
+    }
+}
+
+/// Externally visible state of one target's breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakerState {
+    /// Scraped normally.
+    Closed,
+    /// Quarantined; skipped until the probe countdown elapses.
+    Open,
+    /// Probe countdown elapsed; next cycle sends one probe request.
+    HalfOpen,
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BreakerState::Closed => write!(f, "closed"),
+            BreakerState::Open => write!(f, "open"),
+            BreakerState::HalfOpen => write!(f, "half-open"),
+        }
+    }
+}
+
+/// What the scraper should do with a target this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Scrape with the full attempt budget.
+    Scrape,
+    /// Send exactly one single-attempt probe request.
+    Probe,
+    /// Skip entirely.
+    Skip,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    state: BreakerState,
+    consecutive_failures: u32,
+    /// Cycles remaining before the next half-open probe (open state).
+    countdown: u32,
+    /// Current probe backoff; doubles after each failed probe.
+    backoff: u32,
+    /// Times this breaker has opened (for metrics).
+    opened: u64,
+}
+
+/// One quarantined target, as surfaced in `/status`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuarantinedTarget {
+    /// Instance id.
+    pub instance: String,
+    /// Breaker state (`Open` or `HalfOpen`).
+    pub state: BreakerState,
+    /// Cycles until the next probe (0 when half-open).
+    pub cycles_until_probe: u32,
+    /// Current probe backoff in cycles.
+    pub probe_backoff: u32,
+}
+
+/// Aggregate breaker counts for `/status` and `/metrics`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BreakerSummary {
+    /// Targets scraped normally.
+    pub closed: usize,
+    /// Targets currently quarantined.
+    pub open: usize,
+    /// Targets due a probe next cycle.
+    pub half_open: usize,
+    /// Breaker-open transitions over the daemon lifetime.
+    pub opened_total: u64,
+    /// Quarantined targets with their probe schedules.
+    pub quarantined: Vec<QuarantinedTarget>,
+}
+
+/// The set of per-target breakers, keyed by instance id.
+#[derive(Debug, Clone, Default)]
+pub struct BreakerSet {
+    config: BreakerConfig,
+    entries: BTreeMap<String, Entry>,
+}
+
+impl BreakerSet {
+    /// Creates a breaker set with the given tuning.
+    pub fn new(config: BreakerConfig) -> Self {
+        BreakerSet {
+            config,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Decides what to do with `instance` this cycle, advancing its probe
+    /// countdown. Call exactly once per target per cycle.
+    pub fn decide(&mut self, instance: &str) -> Decision {
+        let Some(e) = self.entries.get_mut(instance) else {
+            return Decision::Scrape; // unknown target: closed by default
+        };
+        match e.state {
+            BreakerState::Closed => Decision::Scrape,
+            BreakerState::HalfOpen => Decision::Probe,
+            BreakerState::Open => {
+                e.countdown = e.countdown.saturating_sub(1);
+                if e.countdown == 0 {
+                    e.state = BreakerState::HalfOpen;
+                }
+                Decision::Skip
+            }
+        }
+    }
+
+    /// Records the outcome of a scrape or probe for `instance`.
+    pub fn record(&mut self, instance: &str, ok: bool) {
+        let e = self.entries.entry(instance.to_string()).or_insert(Entry {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            countdown: 0,
+            backoff: 0,
+            opened: 0,
+        });
+        if ok {
+            e.state = BreakerState::Closed;
+            e.consecutive_failures = 0;
+            e.backoff = 0;
+            return;
+        }
+        match e.state {
+            BreakerState::Closed => {
+                e.consecutive_failures += 1;
+                if e.consecutive_failures >= self.config.failure_threshold {
+                    e.state = BreakerState::Open;
+                    e.backoff = self.config.probe_after_cycles.max(1);
+                    e.countdown = e.backoff;
+                    e.opened += 1;
+                }
+            }
+            BreakerState::HalfOpen => {
+                // Failed probe: back off twice as long before the next one.
+                e.state = BreakerState::Open;
+                e.backoff = (e.backoff.max(1) * 2).min(self.config.max_probe_backoff.max(1));
+                e.countdown = e.backoff;
+                e.opened += 1;
+            }
+            BreakerState::Open => {
+                // A skipped target cannot fail; nothing to record.
+            }
+        }
+    }
+
+    /// The breaker state of one instance (closed if never seen).
+    pub fn state(&self, instance: &str) -> BreakerState {
+        self.entries
+            .get(instance)
+            .map(|e| e.state)
+            .unwrap_or(BreakerState::Closed)
+    }
+
+    /// Builds the summary surfaced in `/status`, sized against `targets`
+    /// registered scrape targets (instances never recorded count as
+    /// closed).
+    pub fn summary(&self, targets: usize) -> BreakerSummary {
+        let mut s = BreakerSummary::default();
+        for (instance, e) in &self.entries {
+            match e.state {
+                BreakerState::Closed => {}
+                BreakerState::Open => {
+                    s.open += 1;
+                    s.quarantined.push(QuarantinedTarget {
+                        instance: instance.clone(),
+                        state: e.state,
+                        cycles_until_probe: e.countdown,
+                        probe_backoff: e.backoff,
+                    });
+                }
+                BreakerState::HalfOpen => {
+                    s.half_open += 1;
+                    s.quarantined.push(QuarantinedTarget {
+                        instance: instance.clone(),
+                        state: e.state,
+                        cycles_until_probe: 0,
+                        probe_backoff: e.backoff,
+                    });
+                }
+            }
+            s.opened_total += e.opened;
+        }
+        s.closed = targets.saturating_sub(s.open + s.half_open);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set() -> BreakerSet {
+        BreakerSet::new(BreakerConfig {
+            failure_threshold: 3,
+            probe_after_cycles: 2,
+            max_probe_backoff: 8,
+        })
+    }
+
+    #[test]
+    fn opens_after_consecutive_failures_only() {
+        let mut b = set();
+        b.record("x", false);
+        b.record("x", true); // success resets the streak
+        b.record("x", false);
+        b.record("x", false);
+        assert_eq!(b.state("x"), BreakerState::Closed);
+        b.record("x", false);
+        assert_eq!(b.state("x"), BreakerState::Open);
+    }
+
+    #[test]
+    fn open_breaker_skips_then_half_open_probes() {
+        let mut b = set();
+        for _ in 0..3 {
+            b.record("x", false);
+        }
+        // Two quarantine cycles, then a probe.
+        assert_eq!(b.decide("x"), Decision::Skip);
+        assert_eq!(b.decide("x"), Decision::Skip);
+        assert_eq!(b.state("x"), BreakerState::HalfOpen);
+        assert_eq!(b.decide("x"), Decision::Probe);
+        // Successful probe closes it again.
+        b.record("x", true);
+        assert_eq!(b.state("x"), BreakerState::Closed);
+        assert_eq!(b.decide("x"), Decision::Scrape);
+    }
+
+    #[test]
+    fn failed_probes_decay_probe_frequency_up_to_cap() {
+        let mut b = set();
+        for _ in 0..3 {
+            b.record("x", false);
+        }
+        let mut waits = Vec::new();
+        for _ in 0..4 {
+            // Count skips until the probe fires, then fail the probe.
+            let mut skips = 0;
+            loop {
+                match b.decide("x") {
+                    Decision::Skip => skips += 1,
+                    Decision::Probe => break,
+                    Decision::Scrape => panic!("dead target must not fully scrape"),
+                }
+            }
+            waits.push(skips);
+            b.record("x", false);
+        }
+        assert_eq!(waits, vec![2, 4, 8, 8], "countdown doubles then caps");
+    }
+
+    #[test]
+    fn summary_counts_states() {
+        let mut b = set();
+        for _ in 0..3 {
+            b.record("dead", false);
+        }
+        b.record("fine", true);
+        let s = b.summary(5);
+        assert_eq!(s.open, 1);
+        assert_eq!(s.half_open, 0);
+        assert_eq!(s.closed, 4);
+        assert_eq!(s.opened_total, 1);
+        assert_eq!(s.quarantined.len(), 1);
+        assert_eq!(s.quarantined[0].instance, "dead");
+    }
+
+    #[test]
+    fn unknown_targets_scrape_normally() {
+        let mut b = set();
+        assert_eq!(b.decide("never-seen"), Decision::Scrape);
+        assert_eq!(b.state("never-seen"), BreakerState::Closed);
+    }
+}

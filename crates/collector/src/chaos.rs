@@ -1,0 +1,393 @@
+//! Chaos harness: a deterministic fault-schedule driver that shakes the
+//! daemon through scrape faults, instance churn (targets dying and
+//! recovering), and hard kill/restart — used by `tests/chaos.rs` and the
+//! `leakprofd chaos` demo mode.
+//!
+//! Everything is derived from a seed via [`SplitMix64`], so a failing
+//! run is replayable bit-for-bit: the same seed produces the same fault
+//! schedule, the same fleet, and (modulo wall-clock latencies) the same
+//! daemon decisions.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use gosim::rng::SplitMix64;
+
+use crate::breaker::BreakerConfig;
+use crate::daemon::{Daemon, DaemonConfig, DaemonStatus};
+use crate::demo::DemoFleet;
+use crate::endpoints::Fault;
+use crate::scrape::ScrapeConfig;
+
+/// Fault kinds the scheduler can inject (mirrors [`Fault`], minus the
+/// payload so schedules stay serializable-by-eye in debug output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosFault {
+    /// Respond slower than the scraper's read deadline.
+    Stall,
+    /// Close the connection mid-body.
+    DropMidBody,
+    /// Serve syntactically invalid JSON.
+    CorruptJson,
+    /// Accept, then close without responding (a dead instance).
+    Dead,
+}
+
+impl ChaosFault {
+    /// Maps to a hub-level delivery fault, scaled to the scraper's read
+    /// deadline so a stall reliably trips it.
+    pub fn as_fault(self, read_timeout: Duration) -> Fault {
+        match self {
+            ChaosFault::Stall => Fault::Delay(read_timeout * 3),
+            ChaosFault::DropMidBody => Fault::DropMidBody,
+            ChaosFault::CorruptJson => Fault::CorruptJson,
+            ChaosFault::Dead => Fault::CloseBeforeResponse,
+        }
+    }
+
+    fn from_roll(roll: u64) -> ChaosFault {
+        match roll % 4 {
+            0 => ChaosFault::Stall,
+            1 => ChaosFault::DropMidBody,
+            2 => ChaosFault::CorruptJson,
+            _ => ChaosFault::Dead,
+        }
+    }
+}
+
+/// What happens around one daemon cycle.
+#[derive(Debug, Clone, Default)]
+pub struct CycleScript {
+    /// Faults to inject before the cycle (target index, kind).
+    pub inject: Vec<(usize, ChaosFault)>,
+    /// Target indices healed before the cycle.
+    pub heal: Vec<usize>,
+    /// Kill the daemon (drop, no clean shutdown) after the cycle and
+    /// restart it from durable state.
+    pub kill_after: bool,
+}
+
+/// Schedule-generation tuning (rates per thousand, so plans stay integer
+/// and reproducible).
+#[derive(Debug, Clone)]
+pub struct ChaosPlanConfig {
+    /// Chance per cycle (‰) of injecting a fault on a random target.
+    pub fault_per_mille: u32,
+    /// Chance per cycle (‰) for each faulted target to recover.
+    pub heal_per_mille: u32,
+    /// Kill + restart the daemon after every Nth cycle (0 = never).
+    pub restart_every: u64,
+}
+
+impl Default for ChaosPlanConfig {
+    fn default() -> Self {
+        ChaosPlanConfig {
+            fault_per_mille: 600,
+            heal_per_mille: 400,
+            restart_every: 4,
+        }
+    }
+}
+
+/// A fully materialized, deterministic fault schedule.
+#[derive(Debug, Clone)]
+pub struct ChaosPlan {
+    /// One script per daemon cycle.
+    pub cycles: Vec<CycleScript>,
+}
+
+impl ChaosPlan {
+    /// Generates the schedule for `n_cycles` cycles over `n_targets`
+    /// targets. Same inputs → same plan.
+    pub fn generate(seed: u64, n_cycles: u64, n_targets: usize, config: &ChaosPlanConfig) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let mut faulted = vec![false; n_targets];
+        let mut cycles = Vec::with_capacity(n_cycles as usize);
+        for cycle in 1..=n_cycles {
+            let mut script = CycleScript::default();
+            if n_targets > 0 && rng.next_below(1000) < config.fault_per_mille as u64 {
+                let idx = rng.next_below(n_targets as u64) as usize;
+                let fault = ChaosFault::from_roll(rng.next_below(4));
+                faulted[idx] = true;
+                script.inject.push((idx, fault));
+            }
+            for (idx, f) in faulted.iter_mut().enumerate() {
+                if *f
+                    && !script.inject.iter().any(|(i, _)| *i == idx)
+                    && rng.next_below(1000) < config.heal_per_mille as u64
+                {
+                    *f = false;
+                    script.heal.push(idx);
+                }
+            }
+            script.kill_after =
+                config.restart_every > 0 && cycle % config.restart_every == 0 && cycle != n_cycles;
+            cycles.push(script);
+        }
+        ChaosPlan { cycles }
+    }
+}
+
+/// Full chaos-run configuration.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Seed for the fleet, the scraper jitter, and the fault schedule.
+    pub seed: u64,
+    /// Fleet size.
+    pub instances: usize,
+    /// Daemon cycles to drive.
+    pub cycles: u64,
+    /// Schedule tuning.
+    pub plan: ChaosPlanConfig,
+    /// Durable state directory for the daemon under test.
+    pub state_dir: PathBuf,
+    /// Scraper tuning (deadlines kept tight so faulted cycles stay fast).
+    pub scrape: ScrapeConfig,
+    /// Checkpoint period for the daemon under test.
+    pub snapshot_every: u64,
+}
+
+impl ChaosConfig {
+    /// A configuration suitable for tests and the CLI demo: small fleet,
+    /// tight deadlines, frequent restarts.
+    pub fn quick(seed: u64, state_dir: PathBuf) -> Self {
+        ChaosConfig {
+            seed,
+            instances: 8,
+            cycles: 12,
+            plan: ChaosPlanConfig::default(),
+            state_dir,
+            scrape: ScrapeConfig {
+                connect_timeout: Duration::from_millis(200),
+                read_timeout: Duration::from_millis(200),
+                max_attempts: 2,
+                backoff_base: Duration::from_millis(2),
+                attempt_budget: Duration::from_millis(300),
+                jitter_seed: seed,
+                ..ScrapeConfig::default()
+            },
+            snapshot_every: 3,
+        }
+    }
+
+    /// The per-cycle wall-time bound this configuration implies: every
+    /// target can at worst burn its whole attempt budget plus one
+    /// in-flight attempt, serialized over the worker pool, plus analysis
+    /// slack. Chaos asserts measured cycles stay under it.
+    pub fn cycle_wall_bound(&self) -> Duration {
+        let per_target =
+            self.scrape.attempt_budget + self.scrape.connect_timeout + self.scrape.read_timeout;
+        let workers = match self.scrape.workers {
+            0 => self.instances.clamp(1, 16),
+            w => w.max(1),
+        };
+        let waves = self.instances.div_ceil(workers).max(1) as u32;
+        per_target * waves + Duration::from_millis(500)
+    }
+}
+
+/// What a chaos run observed. The driver records invariants instead of
+/// panicking so the CLI can render them; tests assert on the fields.
+#[derive(Debug)]
+pub struct ChaosOutcome {
+    /// Cycles actually driven.
+    pub cycles_run: u64,
+    /// Hard kill/restart transitions performed.
+    pub restarts: u32,
+    /// Faults injected over the run.
+    pub faults_injected: u64,
+    /// Heals applied over the run.
+    pub heals: u64,
+    /// Slowest observed cycle (scrape + analyze + persist), ms.
+    pub max_cycle_ms: f64,
+    /// Wall-time bound the run was held to (from the config).
+    pub cycle_bound_ms: f64,
+    /// True iff the ledger's lifetime report counter never went
+    /// backwards across a kill/restart (acknowledged state survived).
+    pub ledger_monotonic: bool,
+    /// True iff every cycle stayed under the wall bound.
+    pub latency_bounded: bool,
+    /// Final daemon status after the last cycle.
+    pub status: DaemonStatus,
+}
+
+impl ChaosOutcome {
+    /// True when every recorded invariant held.
+    pub fn invariants_hold(&self) -> bool {
+        self.ledger_monotonic && self.latency_bounded
+    }
+
+    /// One-paragraph human summary for the CLI.
+    pub fn render(&self) -> String {
+        format!(
+            "chaos: {} cycles, {} restarts, {} faults injected ({} healed)\n\
+             slowest cycle {:.1} ms (bound {:.0} ms) — {}\n\
+             ledger monotonic across restarts: {}\n\
+             final: cycle {} recovered-from {} | {} paged / {} suppressed | breakers {} open {} half-open",
+            self.cycles_run,
+            self.restarts,
+            self.faults_injected,
+            self.heals,
+            self.max_cycle_ms,
+            self.cycle_bound_ms,
+            if self.latency_bounded { "bounded" } else { "EXCEEDED" },
+            if self.ledger_monotonic { "yes" } else { "NO (state lost)" },
+            self.status.cycles,
+            self.status.recovered_cycle,
+            self.status.ledger.reported_total,
+            self.status.ledger.suppressed_total,
+            self.status.breakers.open,
+            self.status.breakers.half_open,
+        )
+    }
+}
+
+/// Drives a real fleet + daemon through the schedule. Returns the
+/// observed outcome; IO errors from daemon construction/recovery are
+/// propagated (a chaos run must never need a pre-cleaned state dir —
+/// recovery from whatever is there is the point).
+///
+/// # Errors
+///
+/// Returns an IO error if the hub server cannot bind or the daemon
+/// cannot open its durable state.
+pub fn run_chaos(
+    config: &ChaosConfig,
+    mut progress: impl FnMut(&str),
+) -> std::io::Result<ChaosOutcome> {
+    let mut demo = DemoFleet::build(config.instances, 1, config.seed);
+    let server = demo.hub.serve("127.0.0.1:0", 4)?;
+    let targets = demo.targets(server.addr());
+    let plan = ChaosPlan::generate(
+        config.seed ^ 0xC4A05,
+        config.cycles,
+        targets.len(),
+        &config.plan,
+    );
+
+    let daemon_config = DaemonConfig {
+        scrape: config.scrape.clone(),
+        state_dir: Some(config.state_dir.clone()),
+        snapshot_every: config.snapshot_every,
+        breaker: BreakerConfig {
+            failure_threshold: 2,
+            probe_after_cycles: 1,
+            max_probe_backoff: 8,
+        },
+        ..DaemonConfig::default()
+    };
+    let lp = |demo: &DemoFleet| demo.leakprof(20, 10);
+    let mut daemon = Daemon::new(daemon_config.clone(), lp(&demo), targets.clone())?;
+
+    let mut outcome = ChaosOutcome {
+        cycles_run: 0,
+        restarts: 0,
+        faults_injected: 0,
+        heals: 0,
+        max_cycle_ms: 0.0,
+        cycle_bound_ms: config.cycle_wall_bound().as_secs_f64() * 1e3,
+        ledger_monotonic: true,
+        latency_bounded: true,
+        status: daemon.status(),
+    };
+
+    for (i, script) in plan.cycles.iter().enumerate() {
+        for (idx, fault) in &script.inject {
+            demo.hub.inject_fault(
+                &targets[*idx].instance,
+                fault.as_fault(config.scrape.read_timeout),
+            );
+            outcome.faults_injected += 1;
+        }
+        for idx in &script.heal {
+            demo.hub.inject_fault(&targets[*idx].instance, Fault::None);
+            outcome.heals += 1;
+        }
+
+        let begun = Instant::now();
+        let report = daemon.run_cycle();
+        let wall = begun.elapsed();
+        outcome.cycles_run += 1;
+        outcome.max_cycle_ms = outcome.max_cycle_ms.max(wall.as_secs_f64() * 1e3);
+        if wall > config.cycle_wall_bound() {
+            outcome.latency_bounded = false;
+        }
+        progress(&format!(
+            "cycle {:>3}: {} | +{} faults, {} healed{}",
+            i + 1,
+            report.stats.render(),
+            script.inject.len(),
+            script.heal.len(),
+            if script.kill_after { " | KILL" } else { "" }
+        ));
+
+        demo.advance_and_republish(1);
+
+        if script.kill_after {
+            let reported_before = daemon.ledger().summary().reported_total;
+            drop(daemon); // hard kill: no clean shutdown, no final snapshot
+            daemon = Daemon::new(daemon_config.clone(), lp(&demo), targets.clone())?;
+            outcome.restarts += 1;
+            let reported_after = daemon.ledger().summary().reported_total;
+            if reported_after < reported_before {
+                outcome.ledger_monotonic = false;
+            }
+            progress(&format!(
+                "restart {:>2}: recovered to cycle {} (ledger {} → {})",
+                outcome.restarts,
+                daemon.recovered_cycle(),
+                reported_before,
+                reported_after
+            ));
+        }
+    }
+
+    outcome.status = daemon.status();
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_per_seed() {
+        let cfg = ChaosPlanConfig::default();
+        let a = ChaosPlan::generate(7, 20, 5, &cfg);
+        let b = ChaosPlan::generate(7, 20, 5, &cfg);
+        for (x, y) in a.cycles.iter().zip(&b.cycles) {
+            assert_eq!(x.inject, y.inject);
+            assert_eq!(x.heal, y.heal);
+            assert_eq!(x.kill_after, y.kill_after);
+        }
+        let c = ChaosPlan::generate(8, 20, 5, &cfg);
+        assert!(
+            a.cycles
+                .iter()
+                .zip(&c.cycles)
+                .any(|(x, y)| x.inject != y.inject),
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn plan_respects_restart_cadence() {
+        let plan = ChaosPlan::generate(
+            1,
+            9,
+            3,
+            &ChaosPlanConfig {
+                restart_every: 3,
+                ..ChaosPlanConfig::default()
+            },
+        );
+        let kills: Vec<usize> = plan
+            .cycles
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.kill_after)
+            .map(|(i, _)| i + 1)
+            .collect();
+        assert_eq!(kills, vec![3, 6], "kills every 3rd cycle, never the last");
+    }
+}

@@ -1,19 +1,30 @@
 //! The `leakprofd` daemon core: scrape cycles feeding a streaming
 //! LeakProf accumulator, with history, health counters, and its own
 //! `/metrics` + `/status` endpoints.
+//!
+//! With a `state_dir` configured the daemon is **crash-safe**: every
+//! cycle's profiles hit a write-ahead log before ingestion, the
+//! accumulator is checkpointed every `snapshot_every` cycles, and
+//! startup recovers snapshot + WAL to the exact pre-crash analysis state
+//! (see [`crate::snapshot`]). Scraping runs behind per-target circuit
+//! breakers ([`crate::breaker`]) and reporting behind a persistent
+//! cool-down ledger ([`crate::ledger`]).
 
 use std::sync::{Arc, Mutex};
 
 use leakprof::{FleetAccumulator, LeakProf, Report};
 use serde::{Deserialize, Serialize};
 
+use crate::breaker::{BreakerConfig, BreakerSet, BreakerSummary};
 use crate::history::{CycleRecord, HistoryLog, TopSite};
 use crate::http::{HttpServer, Request, Response};
+use crate::ledger::{CycleOutcome, LedgerConfig, LedgerSummary, ReportLedger};
 use crate::scrape::{CycleReport, ScrapeConfig, ScrapeTarget, Scraper};
+use crate::snapshot::{DaemonSnapshot, SnapshotStore, WalEntry, DAEMON_SNAPSHOT_VERSION};
 use crate::stats::HealthCounters;
 
 /// Daemon configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct DaemonConfig {
     /// Scraper tuning.
     pub scrape: ScrapeConfig,
@@ -21,6 +32,30 @@ pub struct DaemonConfig {
     pub history_path: Option<std::path::PathBuf>,
     /// Records retained across history compactions.
     pub history_keep: usize,
+    /// Directory for durable state (snapshot + WAL + ledger). `None`
+    /// runs fully in-memory, as before.
+    pub state_dir: Option<std::path::PathBuf>,
+    /// Checkpoint the accumulator every this many cycles (bounding both
+    /// WAL growth and replay work after a crash).
+    pub snapshot_every: u64,
+    /// Per-target circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Report cool-down tuning.
+    pub ledger: LedgerConfig,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            scrape: ScrapeConfig::default(),
+            history_path: None,
+            history_keep: 0,
+            state_dir: None,
+            snapshot_every: 5,
+            breaker: BreakerConfig::default(),
+            ledger: LedgerConfig::default(),
+        }
+    }
 }
 
 /// A machine-readable status snapshot (served at `/status` and printed
@@ -41,10 +76,16 @@ pub struct DaemonStatus {
     pub p99_us: u64,
     /// Current ranked top sites.
     pub top: Vec<TopSite>,
+    /// Cycle the daemon recovered to at startup (0 for a fresh start).
+    pub recovered_cycle: u64,
+    /// Circuit-breaker state across targets.
+    pub breakers: BreakerSummary,
+    /// Report cool-down ledger counts.
+    pub ledger: LedgerSummary,
 }
 
 /// The collection daemon: owns the scraper, the streaming analysis
-/// state, and the history log.
+/// state, the durability machinery, and the history log.
 pub struct Daemon {
     lp: LeakProf,
     acc: FleetAccumulator,
@@ -53,14 +94,25 @@ pub struct Daemon {
     history: Option<HistoryLog>,
     health: HealthCounters,
     last_report: Option<Report>,
+    breakers: BreakerSet,
+    ledger: ReportLedger,
+    store: Option<SnapshotStore>,
+    snapshot_every: u64,
+    recovered_cycle: u64,
+    last_outcome: Option<CycleOutcome>,
 }
 
 impl Daemon {
-    /// Creates a daemon scraping `targets` and analyzing with `lp`.
+    /// Creates a daemon scraping `targets` and analyzing with `lp`. With
+    /// a `state_dir` configured, recovers any snapshot + WAL left by a
+    /// previous run — the accumulator, health counters, and report
+    /// ledger all resume exactly where the last process stopped.
     ///
     /// # Errors
     ///
-    /// Returns an IO error if the history log cannot be opened.
+    /// Returns an IO error if the history log or state directory cannot
+    /// be opened, or if durable state exists but is unreadable
+    /// (mid-file corruption, unsupported version).
     pub fn new(
         config: DaemonConfig,
         lp: LeakProf,
@@ -70,14 +122,50 @@ impl Daemon {
             Some(path) => Some(HistoryLog::open(path, config.history_keep.max(1))?),
             None => None,
         };
+        let mut acc = FleetAccumulator::new();
+        let mut health = HealthCounters::default();
+        let mut recovered_cycle = 0;
+        let (store, ledger) = match &config.state_dir {
+            Some(dir) => {
+                let store = SnapshotStore::open(dir)?;
+                let recovery = store.recover()?;
+                if let Some(e) = &recovery.dropped_trailing {
+                    eprintln!(
+                        "leakprofd: wal {}: discarded torn trailing entry (crash mid-append?): {e}",
+                        store.wal_path().display()
+                    );
+                }
+                if let Some(snap) = &recovery.snapshot {
+                    acc = FleetAccumulator::from_snapshot(&snap.acc)
+                        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+                    health = snap.health.clone();
+                }
+                for entry in &recovery.wal {
+                    for p in &entry.profiles {
+                        acc.ingest(p);
+                    }
+                    health.absorb(&entry.stats);
+                }
+                recovered_cycle = recovery.last_cycle();
+                let ledger = ReportLedger::open(dir.join("ledger.json"), config.ledger.clone())?;
+                (Some(store), ledger)
+            }
+            None => (None, ReportLedger::new(config.ledger.clone())),
+        };
         Ok(Daemon {
             lp,
-            acc: FleetAccumulator::new(),
+            acc,
             scraper: Scraper::new(config.scrape),
             targets,
             history,
-            health: HealthCounters::default(),
+            health,
             last_report: None,
+            breakers: BreakerSet::new(config.breaker),
+            ledger,
+            store,
+            snapshot_every: config.snapshot_every.max(1),
+            recovered_cycle,
+            last_outcome: None,
         })
     }
 
@@ -86,17 +174,38 @@ impl Daemon {
         &self.targets
     }
 
-    /// Runs one scrape → ingest → rank cycle and returns the raw scrape
-    /// report; the analysis result is available via
-    /// [`Daemon::last_report`]. Scrape failures degrade coverage (and are
-    /// recorded) but never abort the cycle.
+    /// Runs one scrape → WAL → ingest → rank → ledger cycle and returns
+    /// the raw scrape report; the analysis result is available via
+    /// [`Daemon::last_report`] and the paging decision via
+    /// [`Daemon::last_outcome`]. Scrape failures degrade coverage (and
+    /// feed the circuit breakers) but never abort the cycle; durability
+    /// failures are logged and degrade to in-memory operation.
     pub fn run_cycle(&mut self) -> CycleReport {
-        let report = self.scraper.scrape_cycle(&self.targets);
+        let cycle = self.health.cycles + 1;
+        let report = self
+            .scraper
+            .scrape_cycle_gated(&self.targets, &mut self.breakers);
+        // WAL before ingest: a crash from here on replays the cycle
+        // instead of losing it.
+        if let Some(store) = &self.store {
+            let entry = WalEntry {
+                cycle,
+                profiles: report.profiles.clone(),
+                stats: report.stats.clone(),
+            };
+            if let Err(e) = store.append_wal(&entry) {
+                eprintln!("leakprofd: wal append failed: {e}");
+            }
+        }
         for p in &report.profiles {
             self.acc.ingest(p);
         }
         let analysis = self.lp.report_from_accumulator(&self.acc);
         self.health.absorb(&report.stats);
+        match self.ledger.apply(cycle, &analysis.suspects) {
+            Ok(outcome) => self.last_outcome = Some(outcome),
+            Err(e) => eprintln!("leakprofd: ledger save failed: {e}"),
+        }
         if let Some(history) = &mut self.history {
             let record = CycleRecord {
                 cycle: self.health.cycles,
@@ -113,7 +222,56 @@ impl Daemon {
             }
         }
         self.last_report = Some(analysis);
+        if cycle.is_multiple_of(self.snapshot_every) {
+            if let Err(e) = self.commit_snapshot() {
+                eprintln!("leakprofd: snapshot commit failed: {e}");
+            }
+        }
         report
+    }
+
+    /// Checkpoints the accumulator + health counters and truncates the
+    /// WAL. Called automatically every `snapshot_every` cycles; callable
+    /// explicitly for a clean shutdown. No-op without a state dir.
+    ///
+    /// # Errors
+    ///
+    /// Returns an IO error if the snapshot cannot be written.
+    pub fn commit_snapshot(&self) -> std::io::Result<()> {
+        let Some(store) = &self.store else {
+            return Ok(());
+        };
+        store.commit_snapshot(&DaemonSnapshot {
+            version: DAEMON_SNAPSHOT_VERSION,
+            cycle: self.health.cycles,
+            acc: self.acc.snapshot(),
+            health: self.health.clone(),
+        })
+    }
+
+    /// The cycle the daemon recovered to at startup (0 = fresh start).
+    pub fn recovered_cycle(&self) -> u64 {
+        self.recovered_cycle
+    }
+
+    /// The paging decision of the most recent cycle.
+    pub fn last_outcome(&self) -> Option<&CycleOutcome> {
+        self.last_outcome.as_ref()
+    }
+
+    /// The report cool-down ledger.
+    pub fn ledger(&self) -> &ReportLedger {
+        &self.ledger
+    }
+
+    /// Mutable ledger access (operator acknowledgements).
+    pub fn ledger_mut(&mut self) -> &mut ReportLedger {
+        &mut self.ledger
+    }
+
+    /// The per-target circuit breakers.
+    pub fn breakers(&self) -> &BreakerSet {
+        &self.breakers
     }
 
     /// The analysis report from the most recent cycle.
@@ -141,6 +299,9 @@ impl Daemon {
             p50_us: self.health.latency.p50_us(),
             p99_us: self.health.latency.p99_us(),
             top: self.last_report.as_ref().map(top_sites).unwrap_or_default(),
+            recovered_cycle: self.recovered_cycle,
+            breakers: self.breakers.summary(self.targets.len()),
+            ledger: self.ledger.summary(),
         }
     }
 
@@ -149,6 +310,41 @@ impl Daemon {
     pub fn metrics_text(&self) -> String {
         use std::fmt::Write as _;
         let mut out = self.health.render_prometheus();
+        let breakers = self.breakers.summary(self.targets.len());
+        let _ = writeln!(out, "# TYPE leakprofd_breaker_targets gauge");
+        let _ = writeln!(
+            out,
+            "leakprofd_breaker_targets{{state=\"closed\"}} {}",
+            breakers.closed
+        );
+        let _ = writeln!(
+            out,
+            "leakprofd_breaker_targets{{state=\"open\"}} {}",
+            breakers.open
+        );
+        let _ = writeln!(
+            out,
+            "leakprofd_breaker_targets{{state=\"half_open\"}} {}",
+            breakers.half_open
+        );
+        let _ = writeln!(out, "# TYPE leakprofd_breaker_opened_total counter");
+        let _ = writeln!(
+            out,
+            "leakprofd_breaker_opened_total {}",
+            breakers.opened_total
+        );
+        let ledger = self.ledger.summary();
+        let _ = writeln!(out, "# TYPE leakprofd_reports_total counter");
+        let _ = writeln!(
+            out,
+            "leakprofd_reports_total{{result=\"paged\"}} {}",
+            ledger.reported_total
+        );
+        let _ = writeln!(
+            out,
+            "leakprofd_reports_total{{result=\"suppressed\"}} {}",
+            ledger.suppressed_total
+        );
         if let Some(report) = &self.last_report {
             let _ = writeln!(out, "# TYPE leakprofd_suspect_rms gauge");
             for s in &report.suspects {

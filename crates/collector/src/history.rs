@@ -7,6 +7,63 @@ use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
 
+/// Result of a lenient JSONL load: the parsed records, plus whether a
+/// corrupt trailing line (the signature of a crash mid-append) was
+/// discarded.
+#[derive(Debug)]
+pub struct JsonlLoad<T> {
+    /// Records parsed, oldest first.
+    pub records: Vec<T>,
+    /// The parse error of a discarded trailing line, if there was one.
+    pub dropped_trailing: Option<String>,
+}
+
+/// Loads a JSONL file, tolerating exactly one corrupt or truncated
+/// *trailing* line — the normal aftermath of a crash mid-append — by
+/// discarding it. A corrupt line anywhere else means real data loss and
+/// fails the load with [`std::io::ErrorKind::InvalidData`].
+///
+/// A missing file loads as empty.
+///
+/// # Errors
+///
+/// IO errors reading the file, or `InvalidData` for mid-file corruption.
+pub fn load_jsonl<T: serde::Deserialize>(path: &Path) -> std::io::Result<JsonlLoad<T>> {
+    if !path.exists() {
+        return Ok(JsonlLoad {
+            records: Vec::new(),
+            dropped_trailing: None,
+        });
+    }
+    let content = std::fs::read_to_string(path)?;
+    let lines: Vec<&str> = content.lines().filter(|l| !l.trim().is_empty()).collect();
+    let mut records = Vec::with_capacity(lines.len());
+    let mut dropped_trailing = None;
+    for (i, line) in lines.iter().enumerate() {
+        match serde_json::from_str::<T>(line) {
+            Ok(r) => records.push(r),
+            Err(e) if i + 1 == lines.len() => {
+                dropped_trailing = Some(e.to_string());
+            }
+            Err(e) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "{}: corrupt record on line {} of {}: {e}",
+                        path.display(),
+                        i + 1,
+                        lines.len()
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(JsonlLoad {
+        records,
+        dropped_trailing,
+    })
+}
+
 /// One ranked site, as persisted per cycle (a compact projection of
 /// [`leakprof::SiteStats`] — enough to plot leak growth over time).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -54,18 +111,37 @@ pub struct HistoryLog {
 
 impl HistoryLog {
     /// Opens (or creates) a history log at `path`, keeping at least the
-    /// most recent `keep` records across compactions.
+    /// most recent `keep` records across compactions. A corrupt trailing
+    /// line left by a crash mid-append is truncated away on open (with a
+    /// warning), so subsequent appends cannot bury it mid-file.
     ///
     /// # Errors
     ///
-    /// Returns an IO error if the existing file cannot be read.
+    /// Returns an IO error if the existing file cannot be read, or
+    /// [`std::io::ErrorKind::InvalidData`] for corruption that is *not*
+    /// a torn trailing line (that is real data loss, not a torn write).
     pub fn open(path: impl AsRef<Path>, keep: usize) -> std::io::Result<HistoryLog> {
         let path = path.as_ref().to_path_buf();
         let records_in_file = if path.exists() {
-            std::fs::read_to_string(&path)?
-                .lines()
-                .filter(|l| !l.trim().is_empty())
-                .count()
+            let loaded = load_jsonl::<CycleRecord>(&path)?;
+            if let Some(e) = &loaded.dropped_trailing {
+                eprintln!(
+                    "leakprofd: history {}: truncating corrupt trailing record (crash mid-append?): {e}",
+                    path.display()
+                );
+                let content = std::fs::read_to_string(&path)?;
+                let lines: Vec<&str> = content.lines().filter(|l| !l.trim().is_empty()).collect();
+                let tmp = path.with_extension("jsonl.tmp");
+                {
+                    let mut f = std::fs::File::create(&tmp)?;
+                    for line in &lines[..lines.len() - 1] {
+                        writeln!(f, "{line}")?;
+                    }
+                    f.flush()?;
+                }
+                std::fs::rename(&tmp, &path)?;
+            }
+            loaded.records.len()
         } else {
             0
         };
@@ -116,23 +192,24 @@ impl HistoryLog {
         Ok(())
     }
 
-    /// Loads every record currently in the file (oldest first). Corrupt
-    /// lines are skipped rather than failing the load, so a torn write
-    /// cannot brick `status`.
+    /// Loads every record currently in the file (oldest first). A
+    /// corrupt or truncated *trailing* line — a crash mid-append — is
+    /// discarded with a warning instead of failing the whole load;
+    /// corruption anywhere else is real data loss and errors.
     ///
     /// # Errors
     ///
-    /// Returns an IO error if the file exists but cannot be read.
+    /// Returns an IO error if the file exists but cannot be read, or
+    /// [`std::io::ErrorKind::InvalidData`] for mid-file corruption.
     pub fn load(&self) -> std::io::Result<Vec<CycleRecord>> {
-        if !self.path.exists() {
-            return Ok(Vec::new());
+        let loaded = load_jsonl::<CycleRecord>(&self.path)?;
+        if let Some(e) = &loaded.dropped_trailing {
+            eprintln!(
+                "leakprofd: history {}: discarded corrupt trailing record (crash mid-append?): {e}",
+                self.path.display()
+            );
         }
-        let content = std::fs::read_to_string(&self.path)?;
-        Ok(content
-            .lines()
-            .filter(|l| !l.trim().is_empty())
-            .filter_map(|l| serde_json::from_str(l).ok())
-            .collect())
+        Ok(loaded.records)
     }
 
     /// Records currently in the file.
@@ -210,23 +287,55 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_lines_are_skipped_on_load() {
-        let path = temp_path("corrupt");
+    fn truncated_trailing_line_is_discarded_not_fatal() {
+        // A crash mid-append leaves half a record at the end of the file.
+        let path = temp_path("truncated");
+        {
+            let mut log = HistoryLog::open(&path, 10).unwrap();
+            log.append(&record(1)).unwrap();
+            log.append(&record(2)).unwrap();
+        }
+        // Hand-truncate: chop the last record's line in half (no newline).
+        let content = std::fs::read_to_string(&path).unwrap();
+        let cut = content.len() - content.len() / 4;
+        std::fs::write(&path, &content[..cut]).unwrap();
+
         let mut log = HistoryLog::open(&path, 10).unwrap();
-        log.append(&record(1)).unwrap();
+        let records = log.load().unwrap();
+        assert_eq!(
+            records.iter().map(|r| r.cycle).collect::<Vec<_>>(),
+            vec![1],
+            "the torn trailing record is dropped, the rest survives"
+        );
+        // The torn line was truncated on open, so appending keeps the
+        // file loadable.
+        log.append(&record(3)).unwrap();
+        let records = HistoryLog::open(&path, 10).unwrap().load().unwrap();
+        assert_eq!(
+            records.iter().map(|r| r.cycle).collect::<Vec<_>>(),
+            vec![1, 3]
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mid_file_corruption_is_an_error() {
+        let path = temp_path("midfile");
+        {
+            let mut log = HistoryLog::open(&path, 10).unwrap();
+            log.append(&record(1)).unwrap();
+        }
         {
             let mut f = std::fs::OpenOptions::new()
                 .append(true)
                 .open(&path)
                 .unwrap();
             writeln!(f, "{{torn write").unwrap();
+            writeln!(f, "{}", serde_json::to_string(&record(2)).unwrap()).unwrap();
         }
-        log.append(&record(2)).unwrap();
-        let records = HistoryLog::open(&path, 10).unwrap().load().unwrap();
-        assert_eq!(
-            records.iter().map(|r| r.cycle).collect::<Vec<_>>(),
-            vec![1, 2]
-        );
+        // Corruption that is NOT the trailing line is data loss: refuse.
+        let err = HistoryLog::open(&path, 10).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
         let _ = std::fs::remove_file(&path);
     }
 

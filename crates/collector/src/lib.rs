@@ -11,28 +11,50 @@
 //!   prefix (`/instance/<id>/debug/pprof/goroutine`), with per-instance
 //!   fault injection for testing the failure paths.
 //! * [`scrape`] — bounded-worker scatter-gather with per-request
-//!   deadlines and deterministic retry/backoff jitter.
+//!   deadlines, deterministic retry/backoff jitter, and a per-target
+//!   attempt budget.
+//! * [`breaker`] — per-target circuit breakers quarantining dead
+//!   instances, with decaying half-open probes.
 //! * [`stats`] — scrape-health counters and latency histograms.
-//! * [`history`] — JSONL cycle history with compaction.
+//! * [`history`] — JSONL cycle history with compaction and
+//!   torn-trailing-line recovery.
+//! * [`snapshot`] — durable accumulator snapshots + a write-ahead log;
+//!   recovery is ranking-exact after a crash.
+//! * [`ledger`] — persistent report cool-down: one page per regression
+//!   episode, re-opened only when RMS beats the acknowledged level.
 //! * [`daemon`] — the cycle loop feeding [`leakprof::FleetAccumulator`],
 //!   plus the daemon's own `/metrics` and `/status`.
 //! * [`demo`] — a real [`fleet::Fleet`] wired to a hub, for the CLI demo
 //!   commands, benches, and end-to-end tests.
+//! * [`chaos`] — deterministic fault-schedule driver (scrape faults,
+//!   churn, kill/restart) backing `tests/chaos.rs` and `leakprofd
+//!   chaos`.
 
 #![warn(missing_docs)]
 
+pub mod breaker;
+pub mod chaos;
 pub mod daemon;
 pub mod demo;
 pub mod endpoints;
 pub mod history;
 pub mod http;
+pub mod ledger;
 pub mod scrape;
+pub mod snapshot;
 pub mod stats;
 
+pub use breaker::{BreakerConfig, BreakerSet, BreakerState, BreakerSummary, QuarantinedTarget};
+pub use chaos::{run_chaos, ChaosConfig, ChaosFault, ChaosOutcome, ChaosPlan, ChaosPlanConfig};
 pub use daemon::{serve_daemon_endpoints, Daemon, DaemonConfig, DaemonStatus};
 pub use demo::DemoFleet;
 pub use endpoints::{Fault, ProfileHub};
-pub use history::{CycleRecord, HistoryLog, TopSite};
+pub use history::{load_jsonl, CycleRecord, HistoryLog, JsonlLoad, TopSite};
 pub use http::{http_get, HttpError, HttpServer, Request, Response, ResponseFault};
+pub use ledger::{
+    CycleOutcome, EpisodeState, LedgerConfig, LedgerEntry, LedgerSummary, ReportLedger,
+    LEDGER_VERSION,
+};
 pub use scrape::{CycleReport, ScrapeConfig, ScrapeError, ScrapeErrorKind, ScrapeTarget, Scraper};
+pub use snapshot::{DaemonSnapshot, Recovery, SnapshotStore, WalEntry, DAEMON_SNAPSHOT_VERSION};
 pub use stats::{CycleStats, HealthCounters, LatencyHistogram};

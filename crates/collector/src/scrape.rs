@@ -10,6 +10,7 @@ use std::time::{Duration, Instant};
 use gosim::rng::SplitMix64;
 use gosim::GoroutineProfile;
 
+use crate::breaker::{BreakerSet, Decision};
 use crate::http::{http_get, HttpError};
 use crate::stats::CycleStats;
 
@@ -40,6 +41,14 @@ pub struct ScrapeConfig {
     pub backoff_base: Duration,
     /// Seed for deterministic backoff jitter (via [`SplitMix64`]).
     pub jitter_seed: u64,
+    /// Total per-target wall-time budget across every attempt and
+    /// backoff sleep. Once spending the next backoff would exceed it, no
+    /// further attempts are made — so a flapping target's cumulative
+    /// cost is bounded regardless of `max_attempts`, and can be kept
+    /// under the daemon's cycle interval. The worst-case per-target wall
+    /// time is `attempt_budget + read_timeout` (one attempt may already
+    /// be in flight as the budget runs out).
+    pub attempt_budget: Duration,
 }
 
 impl Default for ScrapeConfig {
@@ -51,6 +60,7 @@ impl Default for ScrapeConfig {
             max_attempts: 3,
             backoff_base: Duration::from_millis(10),
             jitter_seed: 0,
+            attempt_budget: Duration::from_secs(2),
         }
     }
 }
@@ -103,6 +113,8 @@ pub struct CycleReport {
     pub profiles: Vec<GoroutineProfile>,
     /// Targets that failed, sorted by instance id.
     pub errors: Vec<ScrapeError>,
+    /// Targets skipped by an open circuit breaker, sorted by instance id.
+    pub skipped: Vec<String>,
     /// Cycle health counters.
     pub stats: CycleStats,
 }
@@ -128,7 +140,31 @@ impl Scraper {
     /// one slow or dead target stall the cycle: failures become
     /// [`ScrapeError`]s in the report.
     pub fn scrape_cycle(&self, targets: &[ScrapeTarget]) -> CycleReport {
+        self.run_cycle_inner(targets, None)
+    }
+
+    /// Breaker-gated cycle: consults `breakers` for every target —
+    /// quarantined targets are skipped at ~0 cost, half-open ones get a
+    /// single probe attempt — and records every outcome back, so dead
+    /// instances open their breakers and recovered ones close them.
+    pub fn scrape_cycle_gated(
+        &self,
+        targets: &[ScrapeTarget],
+        breakers: &mut BreakerSet,
+    ) -> CycleReport {
+        self.run_cycle_inner(targets, Some(breakers))
+    }
+
+    fn run_cycle_inner(
+        &self,
+        targets: &[ScrapeTarget],
+        mut breakers: Option<&mut BreakerSet>,
+    ) -> CycleReport {
         let started = Instant::now();
+        let decisions: Vec<Decision> = match breakers.as_deref_mut() {
+            Some(b) => targets.iter().map(|t| b.decide(&t.instance)).collect(),
+            None => vec![Decision::Scrape; targets.len()],
+        };
         let workers = match self.config.workers {
             0 => targets.len().clamp(1, 16),
             w => w.max(1),
@@ -144,7 +180,12 @@ impl Scraper {
                     let Some(target) = targets.get(idx) else {
                         break;
                     };
-                    let (outcome, latencies) = self.scrape_target(idx, target);
+                    let max_attempts = match decisions[idx] {
+                        Decision::Skip => continue,
+                        Decision::Probe => 1,
+                        Decision::Scrape => self.config.max_attempts.max(1),
+                    };
+                    let (outcome, latencies) = self.scrape_target(idx, target, max_attempts);
                     results
                         .lock()
                         .expect("results poisoned")
@@ -156,46 +197,67 @@ impl Scraper {
         let mut report = CycleReport::default();
         let mut recorded = results.into_inner().expect("results poisoned");
         recorded.sort_by_key(|(idx, _, _)| *idx);
-        for (_, outcome, latencies) in recorded {
+        for (idx, outcome, latencies) in recorded {
             let attempts = latencies.len() as u64;
             report.stats.retries += attempts.saturating_sub(1);
             for l in latencies {
                 report.stats.latency.record(l);
+            }
+            if let Some(b) = breakers.as_deref_mut() {
+                b.record(&targets[idx].instance, outcome.is_ok());
             }
             match outcome {
                 Ok(p) => report.profiles.push(p),
                 Err(e) => report.errors.push(e),
             }
         }
+        for (idx, d) in decisions.iter().enumerate() {
+            if *d == Decision::Skip {
+                report.skipped.push(targets[idx].instance.clone());
+            }
+        }
         report.profiles.sort_by(|a, b| a.instance.cmp(&b.instance));
         report.errors.sort_by(|a, b| a.instance.cmp(&b.instance));
+        report.skipped.sort();
         report.stats.targets = targets.len();
         report.stats.succeeded = report.profiles.len();
         report.stats.failed = report.errors.len();
+        report.stats.skipped = report.skipped.len();
         report.stats.wall_ms = started.elapsed().as_secs_f64() * 1e3;
         report
     }
 
-    /// Attempts one target with retry + exponential backoff; returns the
-    /// outcome and per-attempt wall latencies.
+    /// Attempts one target with retry + exponential backoff, bounded by
+    /// [`ScrapeConfig::attempt_budget`]; returns the outcome and
+    /// per-attempt wall latencies.
     fn scrape_target(
         &self,
         index: usize,
         target: &ScrapeTarget,
+        max_attempts: u32,
     ) -> (Result<GoroutineProfile, ScrapeError>, Vec<Duration>) {
         // Deterministic jitter stream per (seed, target position).
         let mut rng = SplitMix64::new(
             self.config.jitter_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
         );
+        let begun = Instant::now();
         let mut latencies = Vec::new();
         let mut last: Option<(ScrapeErrorKind, String)> = None;
-        let attempts = self.config.max_attempts.max(1);
+        let attempts = max_attempts.max(1);
+        let mut attempts_made = 0u32;
         for attempt in 0..attempts {
             if attempt > 0 {
                 let backoff = self.config.backoff_base * (1u32 << (attempt - 1).min(8));
                 let jitter_us = rng.next_below(backoff.as_micros().max(1) as u64);
-                std::thread::sleep(backoff + Duration::from_micros(jitter_us));
+                let wait = backoff + Duration::from_micros(jitter_us);
+                // Budget check: retrying must never push the cumulative
+                // per-target wall time past the attempt budget.
+                if begun.elapsed() + wait >= self.config.attempt_budget {
+                    break;
+                }
+                std::thread::sleep(wait);
             }
+            attempts_made += 1;
             let begin = Instant::now();
             let outcome = http_get(
                 target.addr,
@@ -229,7 +291,7 @@ impl Scraper {
         (
             Err(ScrapeError {
                 instance: target.instance.clone(),
-                attempts,
+                attempts: attempts_made,
                 kind,
                 detail,
             }),
@@ -314,6 +376,94 @@ mod tests {
         assert_eq!(report.errors[0].attempts, 2);
         assert_eq!(report.stats.retries, 1);
         assert_eq!(report.errors[0].kind, ScrapeErrorKind::Truncated);
+    }
+
+    #[test]
+    fn attempt_budget_bounds_per_target_wall_time() {
+        // A dead address with a huge retry count: without the budget,
+        // backoff alone would be 10ms * (1+2+4+...+2^8) » 1s.
+        let dead_addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let config = ScrapeConfig {
+            max_attempts: 50,
+            backoff_base: Duration::from_millis(10),
+            connect_timeout: Duration::from_millis(100),
+            read_timeout: Duration::from_millis(100),
+            attempt_budget: Duration::from_millis(120),
+            ..ScrapeConfig::default()
+        };
+        let scraper = Scraper::new(config.clone());
+        let target = ScrapeTarget {
+            instance: "flapping".into(),
+            addr: dead_addr,
+            path: "/x".into(),
+        };
+        let started = Instant::now();
+        let report = scraper.scrape_cycle(std::slice::from_ref(&target));
+        let wall = started.elapsed();
+        assert_eq!(report.stats.failed, 1);
+        // Worst case pinned: budget plus one in-flight attempt's deadline
+        // (connect + read), plus scheduling slack.
+        let bound = config.attempt_budget + config.connect_timeout + config.read_timeout;
+        assert!(
+            wall < bound + Duration::from_millis(250),
+            "per-target wall {wall:?} exceeded budget bound {bound:?}"
+        );
+        assert!(
+            report.errors[0].attempts < 50,
+            "budget stopped the retry loop early ({} attempts)",
+            report.errors[0].attempts
+        );
+    }
+
+    #[test]
+    fn gated_cycle_quarantines_dead_target_and_probes_it_back() {
+        use crate::breaker::{BreakerConfig, BreakerSet, BreakerState};
+        let hub = hub_with(&["live", "dying"]);
+        hub.inject_fault("dying", Fault::CloseBeforeResponse);
+        let server = hub.serve("127.0.0.1:0", 4).unwrap();
+        let targets = targets_for(&hub, server.addr());
+        let scraper = Scraper::new(ScrapeConfig {
+            max_attempts: 2,
+            backoff_base: Duration::from_millis(1),
+            ..ScrapeConfig::default()
+        });
+        let mut breakers = BreakerSet::new(BreakerConfig {
+            failure_threshold: 2,
+            probe_after_cycles: 1,
+            max_probe_backoff: 4,
+        });
+
+        // Two failing cycles open the breaker...
+        for _ in 0..2 {
+            let r = scraper.scrape_cycle_gated(&targets, &mut breakers);
+            assert_eq!(r.stats.failed, 1);
+            assert_eq!(r.stats.skipped, 0);
+        }
+        assert_eq!(breakers.state("dying"), BreakerState::Open);
+
+        // ...after which the dead target is skipped, not retried.
+        let r = scraper.scrape_cycle_gated(&targets, &mut breakers);
+        assert_eq!(r.stats.skipped, 1);
+        assert_eq!(r.skipped, vec!["dying".to_string()]);
+        assert_eq!(r.stats.failed, 0);
+        assert_eq!(r.stats.retries, 0, "skipped targets cost no attempts");
+        assert!((r.stats.success_rate() - 1.0).abs() < 1e-9);
+
+        // The instance recovers; the half-open probe closes the breaker.
+        hub.inject_fault("dying", Fault::None);
+        let mut probed = false;
+        for _ in 0..4 {
+            let r = scraper.scrape_cycle_gated(&targets, &mut breakers);
+            if r.stats.succeeded == 2 {
+                probed = true;
+                break;
+            }
+        }
+        assert!(probed, "recovered target was probed back into rotation");
+        assert_eq!(breakers.state("dying"), BreakerState::Closed);
     }
 
     #[test]

@@ -108,6 +108,8 @@ pub struct CycleStats {
     pub succeeded: usize,
     /// Targets that exhausted retries.
     pub failed: usize,
+    /// Targets skipped by an open circuit breaker (not attempted).
+    pub skipped: usize,
     /// Extra attempts beyond the first, summed over targets.
     pub retries: u64,
     /// Wall-clock duration of the whole cycle in milliseconds.
@@ -117,21 +119,24 @@ pub struct CycleStats {
 }
 
 impl CycleStats {
-    /// Fraction of targets that succeeded (1.0 for an empty cycle).
+    /// Fraction of attempted targets that succeeded (1.0 for an empty
+    /// cycle; quarantined targets are not attempted and do not count).
     pub fn success_rate(&self) -> f64 {
-        if self.targets == 0 {
+        let attempted = self.targets.saturating_sub(self.skipped);
+        if attempted == 0 {
             1.0
         } else {
-            self.succeeded as f64 / self.targets as f64
+            self.succeeded as f64 / attempted as f64
         }
     }
 
     /// One-line human summary for CLI output.
     pub fn render(&self) -> String {
         format!(
-            "scraped {}/{} targets ({} retries, {:.1}% ok) in {:.1} ms; latency p50 {} µs p99 {} µs max {} µs",
+            "scraped {}/{} targets ({} quarantined, {} retries, {:.1}% ok) in {:.1} ms; latency p50 {} µs p99 {} µs max {} µs",
             self.succeeded,
             self.targets,
+            self.skipped,
             self.retries,
             100.0 * self.success_rate(),
             self.wall_ms,
@@ -151,6 +156,8 @@ pub struct HealthCounters {
     pub scrapes_ok: u64,
     /// Failed target scrapes (retries exhausted), summed over cycles.
     pub scrapes_failed: u64,
+    /// Targets skipped by open circuit breakers, summed over cycles.
+    pub scrapes_skipped: u64,
     /// Retry attempts, summed over cycles.
     pub retries: u64,
     /// All-time request latency distribution.
@@ -163,6 +170,7 @@ impl HealthCounters {
         self.cycles += 1;
         self.scrapes_ok += cycle.succeeded as u64;
         self.scrapes_failed += cycle.failed as u64;
+        self.scrapes_skipped += cycle.skipped as u64;
         self.retries += cycle.retries;
         self.latency.merge(&cycle.latency);
     }
@@ -193,6 +201,11 @@ impl HealthCounters {
             out,
             "leakprofd_scrapes_total{{result=\"failed\"}} {}",
             self.scrapes_failed
+        );
+        let _ = writeln!(
+            out,
+            "leakprofd_scrapes_total{{result=\"skipped\"}} {}",
+            self.scrapes_skipped
         );
         let _ = writeln!(out, "# TYPE leakprofd_retries_total counter");
         let _ = writeln!(out, "leakprofd_retries_total {}", self.retries);

@@ -1,0 +1,236 @@
+//! Chaos and crash-recovery tests for `leakprofd`: hard kills mid-run,
+//! scrape faults, and instance churn, with the tentpole differential
+//! guarantee — a daemon killed and restarted from snapshot + WAL
+//! produces **byte-identical** reports to one that never crashed.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use collector::{
+    run_chaos, ChaosConfig, Daemon, DaemonConfig, DemoFleet, ScrapeConfig, SnapshotStore,
+};
+use leakprof::LeakProf;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("leakprofd-chaos-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+fn fast_config(seed: u64) -> ScrapeConfig {
+    ScrapeConfig {
+        connect_timeout: Duration::from_millis(250),
+        read_timeout: Duration::from_millis(250),
+        max_attempts: 2,
+        backoff_base: Duration::from_millis(1),
+        attempt_budget: Duration::from_millis(400),
+        jitter_seed: seed,
+        ..ScrapeConfig::default()
+    }
+}
+
+fn lp_for(demo: &DemoFleet) -> LeakProf {
+    demo.leakprof(20, 10)
+}
+
+/// Drives `cycles` daemon cycles against a dedicated fleet built from
+/// `seed`, killing (dropping without clean shutdown) and restarting the
+/// daemon after every cycle in `kill_after`. Returns the final rendered
+/// report and status.
+fn drive(
+    seed: u64,
+    state_dir: &Path,
+    cycles: u64,
+    kill_after: &[u64],
+) -> (String, collector::DaemonStatus) {
+    let mut demo = DemoFleet::build(10, 2, seed);
+    let server = demo.hub.serve("127.0.0.1:0", 4).expect("bind");
+    let targets = demo.targets(server.addr());
+    let config = DaemonConfig {
+        scrape: fast_config(seed),
+        state_dir: Some(state_dir.to_path_buf()),
+        snapshot_every: 2,
+        ..DaemonConfig::default()
+    };
+    let mut daemon = Daemon::new(config.clone(), lp_for(&demo), targets.clone()).expect("daemon");
+    for cycle in 1..=cycles {
+        let report = daemon.run_cycle();
+        assert_eq!(
+            report.stats.failed, 0,
+            "no faults in the differential run (cycle {cycle})"
+        );
+        demo.advance_and_republish(1);
+        if kill_after.contains(&cycle) {
+            drop(daemon); // kill -9: no snapshot, no ledger flush
+            daemon = Daemon::new(config.clone(), lp_for(&demo), targets.clone())
+                .expect("daemon recovers");
+            assert_eq!(
+                daemon.recovered_cycle(),
+                cycle,
+                "recovery reaches the last WAL'd cycle"
+            );
+        }
+    }
+    let report = daemon
+        .last_report()
+        .expect("ran at least one cycle")
+        .render();
+    (report, daemon.status())
+}
+
+/// The tentpole differential test: same fleet seed, same cycle count —
+/// one daemon runs straight through, the other is killed twice (once on
+/// a snapshot boundary, once with WAL entries pending) — and the final
+/// reports must match byte for byte.
+#[test]
+fn killed_and_restarted_daemon_reports_byte_identical() {
+    let dir_a = temp_dir("diff-a");
+    let dir_b = temp_dir("diff-b");
+
+    let (report_a, status_a) = drive(42, &dir_a, 6, &[]);
+    // Kill at cycle 3 (snapshot at 2 + one WAL entry pending) and at
+    // cycle 4 (clean snapshot boundary).
+    let (report_b, status_b) = drive(42, &dir_b, 6, &[3, 4]);
+
+    assert!(
+        !report_a.is_empty() && report_a.contains("suspect"),
+        "differential run should produce a real report"
+    );
+    assert_eq!(
+        report_a, report_b,
+        "recovered ranking must be byte-identical"
+    );
+    assert_eq!(status_a.cycles, status_b.cycles);
+    assert_eq!(status_a.profiles_ingested, status_b.profiles_ingested);
+    assert_eq!(status_a.top.len(), status_b.top.len());
+    assert_eq!(status_b.recovered_cycle, 4);
+
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+/// Acknowledged-ledger state survives a hard kill: an operator ack is on
+/// disk before the crash, and the restarted daemon stays quiet about
+/// leaks under the acknowledged level.
+#[test]
+fn operator_ack_survives_hard_kill() {
+    let dir = temp_dir("ack");
+    let mut demo = DemoFleet::build(10, 2, 7);
+    let server = demo.hub.serve("127.0.0.1:0", 4).expect("bind");
+    let targets = demo.targets(server.addr());
+    let config = DaemonConfig {
+        scrape: fast_config(7),
+        state_dir: Some(dir.clone()),
+        snapshot_every: 2,
+        ..DaemonConfig::default()
+    };
+
+    let mut daemon = Daemon::new(config.clone(), lp_for(&demo), targets.clone()).expect("daemon");
+    daemon.run_cycle();
+    let outcome = daemon.last_outcome().expect("cycle ran").clone();
+    assert!(
+        !outcome.reported.is_empty(),
+        "the leaky fleet should page on first sight"
+    );
+    let reported_before = daemon.ledger().summary().reported_total;
+    // Operator acknowledges every suspect at a very high RMS.
+    let acked: Vec<String> = outcome.reported.clone();
+    for fp in &acked {
+        daemon.ledger_mut().acknowledge(fp, 1e9).expect("ack saves");
+    }
+
+    drop(daemon); // hard kill
+    let mut daemon = Daemon::new(config, lp_for(&demo), targets).expect("daemon recovers");
+    assert_eq!(
+        daemon.ledger().summary().reported_total,
+        reported_before,
+        "no acknowledged-ledger state lost across the kill"
+    );
+    demo.advance_and_republish(1);
+    daemon.run_cycle();
+    let outcome = daemon.last_outcome().expect("cycle ran");
+    // Sites that first cross the threshold now may legitimately page;
+    // the acknowledged ones must stay quiet.
+    let repaged: Vec<&String> = outcome
+        .reported
+        .iter()
+        .filter(|fp| acked.contains(fp))
+        .collect();
+    assert!(
+        repaged.is_empty(),
+        "acknowledged leaks must not re-page after restart: {repaged:?}"
+    );
+    assert!(outcome.suppressed >= acked.len());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The scheduled chaos run: faults, churn, and kill/restart under a
+/// deterministic plan. No panic, no lost ledger state, every cycle
+/// under the wall bound.
+#[test]
+fn scheduled_chaos_run_holds_invariants() {
+    let dir = temp_dir("sched");
+    let config = ChaosConfig::quick(1234, dir.clone());
+    let outcome = run_chaos(&config, |_| {}).expect("chaos run completes");
+    assert_eq!(outcome.cycles_run, config.cycles);
+    assert!(outcome.restarts >= 2, "plan should exercise restarts");
+    assert!(outcome.faults_injected > 0, "plan should inject faults");
+    assert!(
+        outcome.ledger_monotonic,
+        "acknowledged-ledger state lost across a restart"
+    );
+    assert!(
+        outcome.latency_bounded,
+        "cycle latency exceeded the bound: {:.1} ms > {:.0} ms",
+        outcome.max_cycle_ms, outcome.cycle_bound_ms
+    );
+    assert_eq!(outcome.status.cycles, config.cycles);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A crash between snapshot-rename and WAL-truncate (stale WAL entries
+/// at or below the snapshot cycle) must not double-ingest on recovery.
+#[test]
+fn stale_wal_entries_are_not_double_ingested() {
+    let dir = temp_dir("stale-wal");
+    let mut demo = DemoFleet::build(8, 2, 9);
+    let server = demo.hub.serve("127.0.0.1:0", 4).expect("bind");
+    let targets = demo.targets(server.addr());
+    let config = DaemonConfig {
+        scrape: fast_config(9),
+        state_dir: Some(dir.clone()),
+        snapshot_every: 2,
+        ..DaemonConfig::default()
+    };
+    let mut daemon = Daemon::new(config.clone(), lp_for(&demo), targets.clone()).expect("daemon");
+    for _ in 0..2 {
+        daemon.run_cycle();
+        demo.advance_and_republish(1);
+    }
+    let ingested = daemon.status().profiles_ingested;
+    drop(daemon);
+
+    // Re-create the worst-case torn state: the WAL still holds entries
+    // the snapshot already covers (as if truncate never happened).
+    let store = SnapshotStore::open(&dir).expect("store");
+    let recovered = store.recover().expect("recover");
+    let snap = recovered.snapshot.expect("snapshot committed at cycle 2");
+    assert_eq!(snap.cycle, 2);
+    store
+        .append_wal(&collector::WalEntry {
+            cycle: 1,
+            profiles: Vec::new(),
+            stats: Default::default(),
+        })
+        .expect("stale append");
+
+    let daemon = Daemon::new(config, lp_for(&demo), targets).expect("daemon recovers");
+    assert_eq!(
+        daemon.status().profiles_ingested,
+        ingested,
+        "stale WAL entries must be filtered by cycle, not replayed"
+    );
+    assert_eq!(daemon.recovered_cycle(), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}

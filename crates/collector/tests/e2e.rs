@@ -206,6 +206,7 @@ fn daemon_accumulates_across_cycles_with_persistent_fault() {
             scrape: fast_config(),
             history_path: Some(history.clone()),
             history_keep: 10,
+            ..Default::default()
         },
         demo.leakprof(40, 10),
         targets,

@@ -170,10 +170,131 @@ pub struct FleetAccumulator {
     goroutines_seen: u64,
 }
 
+/// Current [`AccumulatorSnapshot`] format version. Bump when the layout
+/// changes; [`FleetAccumulator::from_snapshot`] rejects other versions so
+/// a daemon never silently recovers from an incompatible file.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// One site's accumulated state, as persisted in a snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SiteSnapshot {
+    /// The blocking operation (the grouping key).
+    pub op: BlockedOp,
+    /// Per-instance blocked counts, sorted by instance name.
+    pub per_instance: Vec<(String, u64)>,
+    /// The single-profile count that elected the representative.
+    pub rep_count: u64,
+    /// The representative goroutine carried into reports.
+    pub representative: GoroutineRecord,
+}
+
+/// A versioned, serialized [`FleetAccumulator`]: everything needed to
+/// resume streaming analysis after a daemon restart, or to merge the
+/// state of several collector shards into one fleet-wide accumulator.
+///
+/// The layout is fully deterministic (sites sorted by op, per-instance
+/// vectors sorted by name), so serializing the same accumulator twice
+/// yields byte-identical JSON.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AccumulatorSnapshot {
+    /// Format version; see [`SNAPSHOT_VERSION`].
+    pub version: u32,
+    /// Per-site accumulated state, sorted by op.
+    pub sites: Vec<SiteSnapshot>,
+    /// Instance name of every ingested profile, in ingestion order
+    /// (repeats preserved — ranking depends on it).
+    pub instances: Vec<String>,
+    /// Total goroutines inspected.
+    pub goroutines_seen: u64,
+}
+
 impl FleetAccumulator {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Serializes the accumulator into a versioned, deterministic
+    /// snapshot. [`FleetAccumulator::from_snapshot`] restores a state
+    /// whose [`FleetAccumulator::ranked`] output is identical.
+    pub fn snapshot(&self) -> AccumulatorSnapshot {
+        let mut sites: Vec<SiteSnapshot> = self
+            .acc
+            .iter()
+            .map(|(op, by_instance)| {
+                let mut per_instance: Vec<(String, u64)> =
+                    by_instance.iter().map(|(k, v)| (k.clone(), *v)).collect();
+                per_instance.sort();
+                let (rep_count, representative) =
+                    self.reps.get(op).cloned().expect("every site has a rep");
+                SiteSnapshot {
+                    op: op.clone(),
+                    per_instance,
+                    rep_count,
+                    representative,
+                }
+            })
+            .collect();
+        sites.sort_by(|a, b| a.op.cmp(&b.op));
+        AccumulatorSnapshot {
+            version: SNAPSHOT_VERSION,
+            sites,
+            instances: self.instances.clone(),
+            goroutines_seen: self.goroutines_seen,
+        }
+    }
+
+    /// Restores an accumulator from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the snapshot's version is not
+    /// [`SNAPSHOT_VERSION`].
+    pub fn from_snapshot(snap: &AccumulatorSnapshot) -> Result<FleetAccumulator, String> {
+        if snap.version != SNAPSHOT_VERSION {
+            return Err(format!(
+                "unsupported accumulator snapshot version {} (expected {})",
+                snap.version, SNAPSHOT_VERSION
+            ));
+        }
+        let mut acc = FleetAccumulator::new();
+        for site in &snap.sites {
+            acc.acc
+                .insert(site.op.clone(), site.per_instance.iter().cloned().collect());
+            acc.reps.insert(
+                site.op.clone(),
+                (site.rep_count, site.representative.clone()),
+            );
+        }
+        acc.instances = snap.instances.clone();
+        acc.goroutines_seen = snap.goroutines_seen;
+        Ok(acc)
+    }
+
+    /// Merges another accumulator into this one, as the sharded-collection
+    /// merge tier does with per-shard state: per-instance counts add,
+    /// the representative with the larger electing count wins (ties keep
+    /// `self`'s, so merge order is significant exactly like ingestion
+    /// order is), and the other shard's profiles append in its ingestion
+    /// order.
+    pub fn merge(&mut self, other: &FleetAccumulator) {
+        for (op, by_instance) in &other.acc {
+            let mine = self.acc.entry(op.clone()).or_default();
+            for (instance, count) in by_instance {
+                *mine.entry(instance.clone()).or_insert(0) += count;
+            }
+        }
+        for (op, (count, rep)) in &other.reps {
+            let entry = self
+                .reps
+                .entry(op.clone())
+                .or_insert_with(|| (*count, rep.clone()));
+            if *count > entry.0 {
+                *entry = (*count, rep.clone());
+            }
+        }
+        self.instances.extend(other.instances.iter().cloned());
+        self.goroutines_seen += other.goroutines_seen;
     }
 
     /// Ingests one profile, updating per-site counts and representatives.
@@ -421,6 +542,87 @@ mod tests {
             assert_eq!(a.total, b.total);
             assert!((a.rms - b.rms).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_ranking_bytes() {
+        let mut acc = FleetAccumulator::new();
+        for i in 0..6 {
+            let recs = (0..(20 + i * 3))
+                .map(|g| blocked_rec(g, "hot.go", 9, ChanOpKind::Send))
+                .chain((0..7).map(|g| blocked_rec(900 + g, "cold.go", 2, ChanOpKind::Recv)))
+                .collect();
+            acc.ingest(&profile(&format!("i{i}"), recs));
+        }
+        let snap = acc.snapshot();
+        assert_eq!(snap.version, SNAPSHOT_VERSION);
+        let restored = FleetAccumulator::from_snapshot(&snap).unwrap();
+        let cfg = Config {
+            threshold: 5,
+            ast_filter: false,
+            top_n: 10,
+        };
+        let a = acc.ranked(&cfg, &SourceIndex::new());
+        let b = restored.ranked(&cfg, &SourceIndex::new());
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "snapshot round-trip changed the ranking"
+        );
+        assert_eq!(restored.profiles_ingested(), acc.profiles_ingested());
+        assert_eq!(restored.goroutines_seen(), acc.goroutines_seen());
+        // Determinism: serializing the same state twice is byte-identical.
+        assert_eq!(
+            serde_json::to_string(&snap).unwrap(),
+            serde_json::to_string(&restored.snapshot()).unwrap()
+        );
+    }
+
+    #[test]
+    fn snapshot_rejects_unknown_versions() {
+        let mut snap = FleetAccumulator::new().snapshot();
+        snap.version = SNAPSHOT_VERSION + 1;
+        assert!(FleetAccumulator::from_snapshot(&snap).is_err());
+    }
+
+    #[test]
+    fn merge_matches_single_accumulator_over_same_profiles() {
+        let profiles: Vec<GoroutineProfile> = (0..8)
+            .map(|i| {
+                let recs = (0..(10 + i))
+                    .map(|g| blocked_rec(g, "m.go", 4, ChanOpKind::Select))
+                    .collect();
+                profile(&format!("shard-i{i}"), recs)
+            })
+            .collect();
+        // One accumulator over everything...
+        let mut whole = FleetAccumulator::new();
+        for p in &profiles {
+            whole.ingest(p);
+        }
+        // ...vs two shards merged (same overall ingestion order).
+        let (left, right) = profiles.split_at(5);
+        let mut a = FleetAccumulator::new();
+        for p in left {
+            a.ingest(p);
+        }
+        let mut b = FleetAccumulator::new();
+        for p in right {
+            b.ingest(p);
+        }
+        a.merge(&b);
+        let cfg = Config {
+            threshold: 10,
+            ast_filter: false,
+            top_n: 10,
+        };
+        assert_eq!(
+            serde_json::to_string(&whole.ranked(&cfg, &SourceIndex::new())).unwrap(),
+            serde_json::to_string(&a.ranked(&cfg, &SourceIndex::new())).unwrap(),
+            "merged shards diverged from a single accumulator"
+        );
+        assert_eq!(a.profiles_ingested(), whole.profiles_ingested());
+        assert_eq!(a.goroutines_seen(), whole.goroutines_seen());
     }
 
     #[test]

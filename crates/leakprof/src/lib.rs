@@ -61,7 +61,10 @@ pub mod history;
 pub mod report;
 pub mod signature;
 
-pub use analyze::{aggregate, aggregate_parallel, rms, Config, FleetAccumulator, SiteStats};
+pub use analyze::{
+    aggregate, aggregate_parallel, rms, AccumulatorSnapshot, Config, FleetAccumulator,
+    SiteSnapshot, SiteStats, SNAPSHOT_VERSION,
+};
 pub use filter::{is_transient, SourceIndex};
 pub use history::{Issue, IssueStatus, SweepDelta, SweepStore};
 pub use report::{OwnerDb, Report, Suspect};

@@ -102,6 +102,36 @@ proptest! {
         prop_assert!(high.is_subset(&low), "t1={t1} t2={t2}");
     }
 
+    /// The snapshot format round-trips exactly: serialize → JSON →
+    /// deserialize → `ranked()` is byte-identical to the source
+    /// accumulator's, for any ingestion history and any threshold.
+    #[test]
+    fn snapshot_roundtrip_is_ranking_exact(
+        counts in proptest::collection::vec(
+            proptest::collection::vec(0u32..120, 4), 1..10),
+        threshold in 1u64..60,
+    ) {
+        let profiles = profiles_from(&counts);
+        let mut acc = leakprof::FleetAccumulator::new();
+        for p in &profiles {
+            acc.ingest(p);
+        }
+        // Through the full persistence path: snapshot → JSON text →
+        // parsed snapshot → restored accumulator.
+        let json = serde_json::to_string(&acc.snapshot()).unwrap();
+        let snap: leakprof::AccumulatorSnapshot = serde_json::from_str(&json).unwrap();
+        let restored = leakprof::FleetAccumulator::from_snapshot(&snap).unwrap();
+
+        let cfg = Config { threshold, ast_filter: false, top_n: 10 };
+        let want = aggregate(&profiles, &cfg, &SourceIndex::new());
+        let got = restored.ranked(&cfg, &SourceIndex::new());
+        prop_assert_eq!(
+            serde_json::to_string(&want).unwrap(),
+            serde_json::to_string(&got).unwrap()
+        );
+        prop_assert_eq!(restored.profiles_ingested(), profiles.len());
+    }
+
     /// Ranking is sorted by RMS, descending.
     #[test]
     fn ranking_is_sorted(
