@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/breaker_cost-4100bc9702d9d10a.d: crates/bench/src/bin/breaker_cost.rs
+
+/root/repo/target/debug/deps/breaker_cost-4100bc9702d9d10a: crates/bench/src/bin/breaker_cost.rs
+
+crates/bench/src/bin/breaker_cost.rs:

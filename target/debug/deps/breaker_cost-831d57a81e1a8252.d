@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/breaker_cost-831d57a81e1a8252.d: crates/bench/src/bin/breaker_cost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbreaker_cost-831d57a81e1a8252.rmeta: crates/bench/src/bin/breaker_cost.rs Cargo.toml
+
+crates/bench/src/bin/breaker_cost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/breaker_cost-b9e8394e5a26cba0.d: crates/bench/src/bin/breaker_cost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbreaker_cost-b9e8394e5a26cba0.rmeta: crates/bench/src/bin/breaker_cost.rs Cargo.toml
+
+crates/bench/src/bin/breaker_cost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-5ae2193711ef0ccd.d: crates/collector/tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-5ae2193711ef0ccd: crates/collector/tests/chaos.rs
+
+crates/collector/tests/chaos.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos-b723414fa169d22e.d: crates/collector/tests/chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos-b723414fa169d22e.rmeta: crates/collector/tests/chaos.rs Cargo.toml
+
+crates/collector/tests/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

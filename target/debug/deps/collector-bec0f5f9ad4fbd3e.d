@@ -1,14 +1,18 @@
-/root/repo/target/debug/deps/collector-bec0f5f9ad4fbd3e.d: crates/collector/src/lib.rs crates/collector/src/daemon.rs crates/collector/src/demo.rs crates/collector/src/endpoints.rs crates/collector/src/history.rs crates/collector/src/http.rs crates/collector/src/scrape.rs crates/collector/src/stats.rs Cargo.toml
+/root/repo/target/debug/deps/collector-bec0f5f9ad4fbd3e.d: crates/collector/src/lib.rs crates/collector/src/breaker.rs crates/collector/src/chaos.rs crates/collector/src/daemon.rs crates/collector/src/demo.rs crates/collector/src/endpoints.rs crates/collector/src/history.rs crates/collector/src/http.rs crates/collector/src/ledger.rs crates/collector/src/scrape.rs crates/collector/src/snapshot.rs crates/collector/src/stats.rs Cargo.toml
 
-/root/repo/target/debug/deps/libcollector-bec0f5f9ad4fbd3e.rmeta: crates/collector/src/lib.rs crates/collector/src/daemon.rs crates/collector/src/demo.rs crates/collector/src/endpoints.rs crates/collector/src/history.rs crates/collector/src/http.rs crates/collector/src/scrape.rs crates/collector/src/stats.rs Cargo.toml
+/root/repo/target/debug/deps/libcollector-bec0f5f9ad4fbd3e.rmeta: crates/collector/src/lib.rs crates/collector/src/breaker.rs crates/collector/src/chaos.rs crates/collector/src/daemon.rs crates/collector/src/demo.rs crates/collector/src/endpoints.rs crates/collector/src/history.rs crates/collector/src/http.rs crates/collector/src/ledger.rs crates/collector/src/scrape.rs crates/collector/src/snapshot.rs crates/collector/src/stats.rs Cargo.toml
 
 crates/collector/src/lib.rs:
+crates/collector/src/breaker.rs:
+crates/collector/src/chaos.rs:
 crates/collector/src/daemon.rs:
 crates/collector/src/demo.rs:
 crates/collector/src/endpoints.rs:
 crates/collector/src/history.rs:
 crates/collector/src/http.rs:
+crates/collector/src/ledger.rs:
 crates/collector/src/scrape.rs:
+crates/collector/src/snapshot.rs:
 crates/collector/src/stats.rs:
 Cargo.toml:
 

@@ -1,12 +1,16 @@
-/root/repo/target/debug/deps/collector-c14bcb262c9fb969.d: crates/collector/src/lib.rs crates/collector/src/daemon.rs crates/collector/src/demo.rs crates/collector/src/endpoints.rs crates/collector/src/history.rs crates/collector/src/http.rs crates/collector/src/scrape.rs crates/collector/src/stats.rs
+/root/repo/target/debug/deps/collector-c14bcb262c9fb969.d: crates/collector/src/lib.rs crates/collector/src/breaker.rs crates/collector/src/chaos.rs crates/collector/src/daemon.rs crates/collector/src/demo.rs crates/collector/src/endpoints.rs crates/collector/src/history.rs crates/collector/src/http.rs crates/collector/src/ledger.rs crates/collector/src/scrape.rs crates/collector/src/snapshot.rs crates/collector/src/stats.rs
 
-/root/repo/target/debug/deps/collector-c14bcb262c9fb969: crates/collector/src/lib.rs crates/collector/src/daemon.rs crates/collector/src/demo.rs crates/collector/src/endpoints.rs crates/collector/src/history.rs crates/collector/src/http.rs crates/collector/src/scrape.rs crates/collector/src/stats.rs
+/root/repo/target/debug/deps/collector-c14bcb262c9fb969: crates/collector/src/lib.rs crates/collector/src/breaker.rs crates/collector/src/chaos.rs crates/collector/src/daemon.rs crates/collector/src/demo.rs crates/collector/src/endpoints.rs crates/collector/src/history.rs crates/collector/src/http.rs crates/collector/src/ledger.rs crates/collector/src/scrape.rs crates/collector/src/snapshot.rs crates/collector/src/stats.rs
 
 crates/collector/src/lib.rs:
+crates/collector/src/breaker.rs:
+crates/collector/src/chaos.rs:
 crates/collector/src/daemon.rs:
 crates/collector/src/demo.rs:
 crates/collector/src/endpoints.rs:
 crates/collector/src/history.rs:
 crates/collector/src/http.rs:
+crates/collector/src/ledger.rs:
 crates/collector/src/scrape.rs:
+crates/collector/src/snapshot.rs:
 crates/collector/src/stats.rs:

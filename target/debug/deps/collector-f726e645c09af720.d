@@ -1,14 +1,18 @@
-/root/repo/target/debug/deps/collector-f726e645c09af720.d: crates/collector/src/lib.rs crates/collector/src/daemon.rs crates/collector/src/demo.rs crates/collector/src/endpoints.rs crates/collector/src/history.rs crates/collector/src/http.rs crates/collector/src/scrape.rs crates/collector/src/stats.rs Cargo.toml
+/root/repo/target/debug/deps/collector-f726e645c09af720.d: crates/collector/src/lib.rs crates/collector/src/breaker.rs crates/collector/src/chaos.rs crates/collector/src/daemon.rs crates/collector/src/demo.rs crates/collector/src/endpoints.rs crates/collector/src/history.rs crates/collector/src/http.rs crates/collector/src/ledger.rs crates/collector/src/scrape.rs crates/collector/src/snapshot.rs crates/collector/src/stats.rs Cargo.toml
 
-/root/repo/target/debug/deps/libcollector-f726e645c09af720.rmeta: crates/collector/src/lib.rs crates/collector/src/daemon.rs crates/collector/src/demo.rs crates/collector/src/endpoints.rs crates/collector/src/history.rs crates/collector/src/http.rs crates/collector/src/scrape.rs crates/collector/src/stats.rs Cargo.toml
+/root/repo/target/debug/deps/libcollector-f726e645c09af720.rmeta: crates/collector/src/lib.rs crates/collector/src/breaker.rs crates/collector/src/chaos.rs crates/collector/src/daemon.rs crates/collector/src/demo.rs crates/collector/src/endpoints.rs crates/collector/src/history.rs crates/collector/src/http.rs crates/collector/src/ledger.rs crates/collector/src/scrape.rs crates/collector/src/snapshot.rs crates/collector/src/stats.rs Cargo.toml
 
 crates/collector/src/lib.rs:
+crates/collector/src/breaker.rs:
+crates/collector/src/chaos.rs:
 crates/collector/src/daemon.rs:
 crates/collector/src/demo.rs:
 crates/collector/src/endpoints.rs:
 crates/collector/src/history.rs:
 crates/collector/src/http.rs:
+crates/collector/src/ledger.rs:
 crates/collector/src/scrape.rs:
+crates/collector/src/snapshot.rs:
 crates/collector/src/stats.rs:
 Cargo.toml:
 

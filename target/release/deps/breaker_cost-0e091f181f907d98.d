@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/breaker_cost-0e091f181f907d98.d: crates/bench/src/bin/breaker_cost.rs
+
+/root/repo/target/release/deps/breaker_cost-0e091f181f907d98: crates/bench/src/bin/breaker_cost.rs
+
+crates/bench/src/bin/breaker_cost.rs:

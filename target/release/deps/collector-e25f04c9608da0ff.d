@@ -1,14 +1,18 @@
-/root/repo/target/release/deps/collector-e25f04c9608da0ff.d: crates/collector/src/lib.rs crates/collector/src/daemon.rs crates/collector/src/demo.rs crates/collector/src/endpoints.rs crates/collector/src/history.rs crates/collector/src/http.rs crates/collector/src/scrape.rs crates/collector/src/stats.rs
+/root/repo/target/release/deps/collector-e25f04c9608da0ff.d: crates/collector/src/lib.rs crates/collector/src/breaker.rs crates/collector/src/chaos.rs crates/collector/src/daemon.rs crates/collector/src/demo.rs crates/collector/src/endpoints.rs crates/collector/src/history.rs crates/collector/src/http.rs crates/collector/src/ledger.rs crates/collector/src/scrape.rs crates/collector/src/snapshot.rs crates/collector/src/stats.rs
 
-/root/repo/target/release/deps/libcollector-e25f04c9608da0ff.rlib: crates/collector/src/lib.rs crates/collector/src/daemon.rs crates/collector/src/demo.rs crates/collector/src/endpoints.rs crates/collector/src/history.rs crates/collector/src/http.rs crates/collector/src/scrape.rs crates/collector/src/stats.rs
+/root/repo/target/release/deps/libcollector-e25f04c9608da0ff.rlib: crates/collector/src/lib.rs crates/collector/src/breaker.rs crates/collector/src/chaos.rs crates/collector/src/daemon.rs crates/collector/src/demo.rs crates/collector/src/endpoints.rs crates/collector/src/history.rs crates/collector/src/http.rs crates/collector/src/ledger.rs crates/collector/src/scrape.rs crates/collector/src/snapshot.rs crates/collector/src/stats.rs
 
-/root/repo/target/release/deps/libcollector-e25f04c9608da0ff.rmeta: crates/collector/src/lib.rs crates/collector/src/daemon.rs crates/collector/src/demo.rs crates/collector/src/endpoints.rs crates/collector/src/history.rs crates/collector/src/http.rs crates/collector/src/scrape.rs crates/collector/src/stats.rs
+/root/repo/target/release/deps/libcollector-e25f04c9608da0ff.rmeta: crates/collector/src/lib.rs crates/collector/src/breaker.rs crates/collector/src/chaos.rs crates/collector/src/daemon.rs crates/collector/src/demo.rs crates/collector/src/endpoints.rs crates/collector/src/history.rs crates/collector/src/http.rs crates/collector/src/ledger.rs crates/collector/src/scrape.rs crates/collector/src/snapshot.rs crates/collector/src/stats.rs
 
 crates/collector/src/lib.rs:
+crates/collector/src/breaker.rs:
+crates/collector/src/chaos.rs:
 crates/collector/src/daemon.rs:
 crates/collector/src/demo.rs:
 crates/collector/src/endpoints.rs:
 crates/collector/src/history.rs:
 crates/collector/src/http.rs:
+crates/collector/src/ledger.rs:
 crates/collector/src/scrape.rs:
+crates/collector/src/snapshot.rs:
 crates/collector/src/stats.rs:
