@@ -2,10 +2,11 @@
 //! (and the range linter) over a fixed corpus slice, versus the dynamic
 //! pipeline's test-execution cost on the same slice.
 
+use collector::{StaticTier, StaticTierConfig};
 use corpus::{Corpus, CorpusConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use leakcore::ci::{CiConfig, CiGate};
-use staticlint::{AbsInt, Analyzer, ModelCheck, PathCheck, RangeClose};
+use staticlint::{AbsInt, Analyzer, Interproc, ModelCheck, PathCheck, RangeClose};
 use std::hint::black_box;
 
 fn slice() -> Vec<minigo::ast::File> {
@@ -37,7 +38,50 @@ fn bench_static(c: &mut Criterion) {
         let a = RangeClose::new();
         b.iter(|| black_box(a.analyze_files(&files).len()))
     });
+    group.bench_function("interproc", |b| {
+        let a = Interproc::new();
+        b.iter(|| black_box(a.analyze_files(&files).len()))
+    });
     group.finish();
+}
+
+/// The daemon's online filter: a cold verdict-cache sync (parse +
+/// analyze every file) versus the warm steady state (fingerprint check
+/// only) over the same corpus slice on disk.
+fn bench_verdict_cache(c: &mut Criterion) {
+    let repo = Corpus::generate(CorpusConfig {
+        packages: 120,
+        leak_rate: 0.3,
+        seed: 0xC057,
+        ..CorpusConfig::default()
+    });
+    let root = std::env::temp_dir().join(format!("leakprofd-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let src = root.join("src");
+    for pkg in &repo.packages {
+        for f in &pkg.files {
+            let dest = src.join(&f.path);
+            std::fs::create_dir_all(dest.parent().expect("pkg dir")).expect("mkdir");
+            std::fs::write(dest, &f.text).expect("write source");
+        }
+    }
+    let config = StaticTierConfig::in_state_dir(src, &root);
+
+    let mut group = c.benchmark_group("verdict_cache");
+    group.bench_function("cold_sync", |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_file(&config.cache_path);
+            let mut tier = StaticTier::open(config.clone()).expect("open");
+            black_box(tier.sync().expect("sync").files())
+        })
+    });
+    group.bench_function("warm_sync", |b| {
+        let mut tier = StaticTier::open(config.clone()).expect("open");
+        tier.sync().expect("prime");
+        b.iter(|| black_box(tier.sync().expect("sync").files()))
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&root);
 }
 
 fn bench_dynamic_gate(c: &mut Criterion) {
@@ -64,6 +108,6 @@ fn bench_dynamic_gate(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_static, bench_dynamic_gate
+    targets = bench_static, bench_verdict_cache, bench_dynamic_gate
 }
 criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! CI static gate: runs every staticlint pass over the ground-truth
+//! corpus and fails when any tool's measured precision or recall drops
+//! below the recorded floor in `results/static_gate_floor.json`.
+//!
+//! The corpus is seeded and the analyses are deterministic, so the
+//! measured numbers are exactly reproducible — a drop means a real
+//! regression in a pass (or an intentional corpus change, in which case
+//! rerun with `--write-floor` and commit the new floor alongside the
+//! change that moved it).
+//!
+//! ```text
+//! cargo run --release -p bench --bin static_gate                # gate
+//! cargo run --release -p bench --bin static_gate -- --write-floor
+//! ```
+//!
+//! Exit code: 0 when every tool clears its floor, 1 on a regression or
+//! a missing floor file, 2 when the floor names a tool that no longer
+//! runs.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use corpus::{Corpus, CorpusConfig, KindMix};
+use leakcore::evaluate::{evaluate_static, render_table3, ToolEval};
+use serde::{Deserialize, Serialize};
+use staticlint::{AbsInt, Analyzer, Interproc, ModelCheck, PathCheck, RangeClose};
+
+/// Recorded minimums for one tool. Exact measured values at floor-write
+/// time; the gate allows only float-noise slack below them.
+#[derive(Debug, Serialize, Deserialize)]
+struct Floor {
+    precision: f64,
+    recall: f64,
+    reports: usize,
+}
+
+const EPS: f64 = 1e-9;
+
+fn main() -> ExitCode {
+    let write_floor = std::env::args().any(|a| a == "--write-floor");
+    // Concurrency-heavy mix: the gate is about the channel passes, so
+    // stack the corpus with the packages they analyze (the census-true
+    // mix leaves them mostly idle and the floors toothless).
+    let repo = Corpus::generate(CorpusConfig {
+        packages: 300,
+        leak_rate: 0.35,
+        seed: 0x57A71C,
+        mix: KindMix::concurrent_heavy(),
+        ..CorpusConfig::default()
+    });
+    println!(
+        "gate corpus: {} packages, {} ground-truth leak sites\n",
+        repo.packages.len(),
+        repo.truth.len()
+    );
+
+    let tools: Vec<Box<dyn Analyzer>> = vec![
+        Box::new(PathCheck::new()),
+        Box::new(AbsInt::new()),
+        Box::new(ModelCheck::new()),
+        Box::new(RangeClose::new()),
+        Box::new(Interproc::new()),
+    ];
+    let rows: Vec<ToolEval> = tools
+        .iter()
+        .map(|t| evaluate_static(&repo, t.as_ref()))
+        .collect();
+    println!("{}", render_table3(&rows));
+
+    let measured: BTreeMap<String, Floor> = rows
+        .iter()
+        .map(|r| {
+            (
+                r.tool.clone(),
+                Floor {
+                    precision: r.precision(),
+                    recall: r.recall(),
+                    reports: r.reports,
+                },
+            )
+        })
+        .collect();
+
+    if write_floor {
+        bench::save(
+            "static_gate_floor.json",
+            &serde_json::to_string_pretty(&measured).expect("floor serializes"),
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let floor_path = bench::results_dir().join("static_gate_floor.json");
+    let floors: BTreeMap<String, Floor> = match std::fs::read_to_string(&floor_path) {
+        Ok(text) => match serde_json::from_str(&text) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error: {} is not a floor file: {e}", floor_path.display());
+                return ExitCode::from(1);
+            }
+        },
+        Err(e) => {
+            eprintln!(
+                "error: cannot read {} ({e}); record one with --write-floor",
+                floor_path.display()
+            );
+            return ExitCode::from(1);
+        }
+    };
+
+    let mut failed = false;
+    for (tool, floor) in &floors {
+        let Some(m) = measured.get(tool) else {
+            eprintln!("FAIL {tool}: floor recorded but the tool no longer runs");
+            return ExitCode::from(2);
+        };
+        let p_ok = m.precision >= floor.precision - EPS;
+        let r_ok = m.recall >= floor.recall - EPS;
+        println!(
+            "{} {tool}: precision {:.4} (floor {:.4}), recall {:.4} (floor {:.4})",
+            if p_ok && r_ok { "PASS" } else { "FAIL" },
+            m.precision,
+            floor.precision,
+            m.recall,
+            floor.recall
+        );
+        failed |= !(p_ok && r_ok);
+    }
+    for tool in measured.keys() {
+        if !floors.contains_key(tool) {
+            println!("NOTE {tool}: no recorded floor (new tool?); rerun --write-floor to pin it");
+        }
+    }
+    if failed {
+        eprintln!("\nstatic gate FAILED: a pass regressed below its recorded floor");
+        ExitCode::from(1)
+    } else {
+        println!("\nstatic gate passed");
+        ExitCode::SUCCESS
+    }
+}

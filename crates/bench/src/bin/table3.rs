@@ -4,7 +4,7 @@
 
 use corpus::{Corpus, CorpusConfig};
 use leakcore::evaluate::{evaluate_goleak, evaluate_leakprof, evaluate_static, render_table3};
-use staticlint::{AbsInt, ModelCheck, PathCheck};
+use staticlint::{AbsInt, Interproc, ModelCheck, PathCheck};
 
 fn main() {
     let repo = Corpus::generate(CorpusConfig {
@@ -23,6 +23,7 @@ fn main() {
         evaluate_static(&repo, &PathCheck::new()),
         evaluate_static(&repo, &AbsInt::new()),
         evaluate_static(&repo, &ModelCheck::new()),
+        evaluate_static(&repo, &Interproc::new()),
         evaluate_goleak(&repo),
     ];
     let (lp_row, lp_report) = evaluate_leakprof(0xF1EE7, 2);

@@ -1,7 +1,7 @@
 //! `golint` — run the static partial-deadlock analyzers over `.go` files.
 //!
 //! ```text
-//! golint <files-or-dirs...> [--tool pathcheck|absint|modelcheck|rangeclose|all]
+//! golint <files-or-dirs...> [--tool pathcheck|absint|modelcheck|rangeclose|interproc|all]
 //!                           [--wrappers]   # recognize wrapper spawns
 //! ```
 //!
@@ -13,7 +13,7 @@ use leaklab_cli::{collect_go_files, flag, read_source, split_flags};
 use staticlint::absint::{AbsInt, AbsIntConfig};
 use staticlint::modelcheck::ModelCheck;
 use staticlint::pathcheck::{PathCheck, PathCheckConfig};
-use staticlint::{Analyzer, RangeClose};
+use staticlint::{Analyzer, Interproc, RangeClose};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,6 +46,9 @@ fn main() -> ExitCode {
     }
     if tool == "all" || tool == "rangeclose" {
         analyzers.push(Box::new(RangeClose::new()));
+    }
+    if tool == "all" || tool == "interproc" {
+        analyzers.push(Box::new(Interproc::new()));
     }
     if analyzers.is_empty() {
         eprintln!("error: unknown tool {tool}");

@@ -6,13 +6,28 @@
 //!                       [--cycles N] [--interval-ms MS] [--threshold T]
 //!                       [--top N] [--history PATH] [--keep N]
 //!                       [--state-dir PATH] [--snapshot-every N]
+//!                       [--source-dir PATH] [--ast-filter]
 //! leakprofd scrape-once [--addr HOST:PORT] [--instances N] [--days D]
 //!                       [--seed S] [--threshold T] [--top N] [--workers N]
+//!                       [--source-dir PATH] [--ast-filter]
 //! leakprofd status      --history PATH
 //! leakprofd recover     --state-dir PATH [--threshold T] [--top N]
+//!                       [--source-dir PATH]
 //! leakprofd chaos       [--instances N] [--cycles N] [--seed S]
 //!                       [--restart-every N] [--state-dir PATH]
 //! ```
+//!
+//! The criterion-2 static filter defaults to **off**. Two ways to turn
+//! it on:
+//!
+//! * `--source-dir PATH` enables the daemon's static tier: sources under
+//!   PATH are parsed once, their transient verdicts cached in a
+//!   persistent `verdicts.json` (in `--state-dir` when given), and every
+//!   later cycle — and every later daemon start — answers filter queries
+//!   from the cache without parsing. Demo modes write the fleet's
+//!   handler sources into PATH first.
+//! * `--ast-filter` (demo modes only) uses the legacy in-memory AST
+//!   index instead, re-indexing sources at startup.
 //!
 //! * `serve` stands up a demo fleet behind one loopback HTTP listener,
 //!   then runs scrape cycles against it, exposing the daemon's own
@@ -70,11 +85,11 @@ fn usage() {
         "usage: leakprofd <serve|scrape-once|status|recover|chaos> [flags]\n\
          \x20 serve       [--instances N] [--days D] [--seed S] [--port P] [--cycles N]\n\
          \x20             [--interval-ms MS] [--threshold T] [--top N] [--history PATH] [--keep N]\n\
-         \x20             [--state-dir PATH] [--snapshot-every N]\n\
+         \x20             [--state-dir PATH] [--snapshot-every N] [--source-dir PATH] [--ast-filter]\n\
          \x20 scrape-once [--addr HOST:PORT] [--instances N] [--days D] [--seed S]\n\
-         \x20             [--threshold T] [--top N] [--workers N]\n\
+         \x20             [--threshold T] [--top N] [--workers N] [--source-dir PATH] [--ast-filter]\n\
          \x20 status      --history PATH\n\
-         \x20 recover     --state-dir PATH [--threshold T] [--top N]\n\
+         \x20 recover     --state-dir PATH [--threshold T] [--top N] [--source-dir PATH]\n\
          \x20 chaos       [--instances N] [--cycles N] [--seed S] [--restart-every N]\n\
          \x20             [--state-dir PATH]"
     );
@@ -84,6 +99,28 @@ fn parsed<T: std::str::FromStr>(flags: &[(String, String)], name: &str, default:
     flag(flags, name)
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Builds the static-tier config when `--source-dir` is present. The
+/// verdict cache lands in the state dir when one is configured,
+/// otherwise as `verdicts.json` beside the sources (only `.go` files
+/// are scanned, so the cache never shadows a source file).
+fn static_tier_config(
+    flags: &[(String, String)],
+    state_dir: Option<&std::path::Path>,
+) -> Option<collector::StaticTierConfig> {
+    let source_dir = std::path::PathBuf::from(flag(flags, "source-dir")?);
+    Some(match state_dir {
+        Some(dir) => collector::StaticTierConfig::in_state_dir(source_dir, dir),
+        None => {
+            let cache_path = source_dir.join("verdicts.json");
+            collector::StaticTierConfig {
+                source_dir,
+                cache_path,
+                threads: 4,
+            }
+        }
+    })
 }
 
 fn build_demo(flags: &[(String, String)]) -> (DemoFleet, collector::HttpServer) {
@@ -106,6 +143,8 @@ fn build_demo(flags: &[(String, String)]) -> (DemoFleet, collector::HttpServer) 
 fn scrape_once(flags: &[(String, String)]) -> ExitCode {
     let threshold: u64 = parsed(flags, "threshold", 40);
     let top_n: usize = parsed(flags, "top", 10);
+    let ast_filter: bool = parsed(flags, "ast-filter", false);
+    let static_tier = static_tier_config(flags, None);
     let scrape = ScrapeConfig {
         workers: parsed(flags, "workers", 0),
         jitter_seed: parsed(flags, "seed", 7u64),
@@ -156,15 +195,34 @@ fn scrape_once(flags: &[(String, String)]) -> ExitCode {
                 .collect();
             let lp = leakprof::LeakProf::new(leakprof::Config {
                 threshold,
-                ast_filter: false, // no sources available for a remote fleet
+                // Off unless --source-dir points at a checkout of the
+                // fleet's sources (the static tier then enables it).
+                ast_filter: false,
                 top_n,
             });
             (lp, targets)
         }
         None => {
             let (demo, server) = build_demo(flags);
+            if let Some(tier) = &static_tier {
+                if let Err(e) = demo.write_sources(&tier.source_dir) {
+                    eprintln!(
+                        "error: cannot write sources to {}: {e}",
+                        tier.source_dir.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
             let targets = demo.targets(server.addr());
-            let lp = demo.leakprof(threshold, top_n);
+            let lp = if ast_filter && static_tier.is_none() {
+                demo.leakprof(threshold, top_n)
+            } else {
+                leakprof::LeakProf::new(leakprof::Config {
+                    threshold,
+                    ast_filter: false,
+                    top_n,
+                })
+            };
             demo_parts = (demo, server);
             let _ = &demo_parts;
             (lp, targets)
@@ -174,6 +232,7 @@ fn scrape_once(flags: &[(String, String)]) -> ExitCode {
     let mut daemon = match Daemon::new(
         DaemonConfig {
             scrape,
+            static_tier,
             ..DaemonConfig::default()
         },
         lp,
@@ -215,9 +274,32 @@ fn serve(flags: &[(String, String)]) -> ExitCode {
     let port: u16 = parsed(flags, "port", 0);
     let keep: usize = parsed(flags, "keep", 500);
 
+    let ast_filter: bool = parsed(flags, "ast-filter", false);
+    let state_dir = flag(flags, "state-dir").map(std::path::PathBuf::from);
+    let static_tier = static_tier_config(flags, state_dir.as_deref());
+
     let (mut demo, fleet_server) = build_demo(flags);
+    if let Some(tier) = &static_tier {
+        if let Err(e) = demo.write_sources(&tier.source_dir) {
+            eprintln!(
+                "error: cannot write sources to {}: {e}",
+                tier.source_dir.display()
+            );
+            return ExitCode::from(2);
+        }
+    }
     let targets = demo.targets(fleet_server.addr());
-    let lp = demo.leakprof(threshold, top_n);
+    let lp = if ast_filter && static_tier.is_none() {
+        demo.leakprof(threshold, top_n)
+    } else {
+        // Filter off by default; with --source-dir the daemon's static
+        // tier installs cached verdicts and turns it on itself.
+        leakprof::LeakProf::new(leakprof::Config {
+            threshold,
+            ast_filter: false,
+            top_n,
+        })
+    };
 
     let config = DaemonConfig {
         scrape: ScrapeConfig {
@@ -226,8 +308,9 @@ fn serve(flags: &[(String, String)]) -> ExitCode {
         },
         history_path: flag(flags, "history").map(std::path::PathBuf::from),
         history_keep: keep,
-        state_dir: flag(flags, "state-dir").map(std::path::PathBuf::from),
+        state_dir,
         snapshot_every: parsed(flags, "snapshot-every", 5u64).max(1),
+        static_tier,
         ..DaemonConfig::default()
     };
     let daemon = match Daemon::new(config, lp, targets) {
@@ -411,11 +494,23 @@ fn recover(flags: &[(String, String)]) -> ExitCode {
         recovery.last_cycle()
     );
 
-    let lp = leakprof::LeakProf::new(leakprof::Config {
+    let mut lp = leakprof::LeakProf::new(leakprof::Config {
         threshold,
-        ast_filter: false, // sources are not part of durable state
+        ast_filter: false,
         top_n,
     });
+    // Sources are not part of durable state, but --source-dir plus the
+    // persisted verdict cache recovers the filter too — warm caches
+    // answer without parsing anything.
+    if let Some(tier_config) = static_tier_config(flags, Some(std::path::Path::new(dir))) {
+        match collector::StaticTier::open(tier_config).and_then(|mut t| t.sync()) {
+            Ok(verdicts) => {
+                lp.install_verdicts(verdicts);
+                lp.set_ast_filter(true);
+            }
+            Err(e) => eprintln!("warning: static tier unavailable: {e}"),
+        }
+    }
     print!("{}", lp.report_from_accumulator(&acc).render());
 
     let ledger_path = std::path::Path::new(dir).join("ledger.json");

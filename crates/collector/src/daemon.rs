@@ -21,6 +21,7 @@ use crate::http::{HttpServer, Request, Response};
 use crate::ledger::{CycleOutcome, LedgerConfig, LedgerSummary, ReportLedger};
 use crate::scrape::{CycleReport, ScrapeConfig, ScrapeTarget, Scraper};
 use crate::snapshot::{DaemonSnapshot, SnapshotStore, WalEntry, DAEMON_SNAPSHOT_VERSION};
+use crate::static_tier::{StaticTier, StaticTierConfig, StaticTierStats};
 use crate::stats::HealthCounters;
 
 /// Daemon configuration.
@@ -42,6 +43,9 @@ pub struct DaemonConfig {
     pub breaker: BreakerConfig,
     /// Report cool-down tuning.
     pub ledger: LedgerConfig,
+    /// Static analysis tier (criterion-2 verdict cache over a source
+    /// tree). `None` leaves the AST filter off, as before.
+    pub static_tier: Option<StaticTierConfig>,
 }
 
 impl Default for DaemonConfig {
@@ -54,6 +58,7 @@ impl Default for DaemonConfig {
             snapshot_every: 5,
             breaker: BreakerConfig::default(),
             ledger: LedgerConfig::default(),
+            static_tier: None,
         }
     }
 }
@@ -82,6 +87,8 @@ pub struct DaemonStatus {
     pub breakers: BreakerSummary,
     /// Report cool-down ledger counts.
     pub ledger: LedgerSummary,
+    /// Static-tier cache counters (`None` when the tier is disabled).
+    pub static_tier: Option<StaticTierStats>,
 }
 
 /// The collection daemon: owns the scraper, the streaming analysis
@@ -100,6 +107,7 @@ pub struct Daemon {
     snapshot_every: u64,
     recovered_cycle: u64,
     last_outcome: Option<CycleOutcome>,
+    static_tier: Option<StaticTier>,
 }
 
 impl Daemon {
@@ -115,7 +123,7 @@ impl Daemon {
     /// (mid-file corruption, unsupported version).
     pub fn new(
         config: DaemonConfig,
-        lp: LeakProf,
+        mut lp: LeakProf,
         targets: Vec<ScrapeTarget>,
     ) -> std::io::Result<Daemon> {
         let history = match &config.history_path {
@@ -152,6 +160,17 @@ impl Daemon {
             }
             None => (None, ReportLedger::new(config.ledger.clone())),
         };
+        let static_tier = match config.static_tier {
+            Some(tier_config) => {
+                let mut tier = StaticTier::open(tier_config)?;
+                // First sync: parses exactly the files the persisted
+                // cache does not already cover at their current bytes.
+                lp.install_verdicts(tier.sync()?);
+                lp.set_ast_filter(true);
+                Some(tier)
+            }
+            None => None,
+        };
         Ok(Daemon {
             lp,
             acc,
@@ -166,6 +185,7 @@ impl Daemon {
             snapshot_every: config.snapshot_every.max(1),
             recovered_cycle,
             last_outcome: None,
+            static_tier,
         })
     }
 
@@ -199,6 +219,15 @@ impl Daemon {
         }
         for p in &report.profiles {
             self.acc.ingest(p);
+        }
+        // Re-sync the verdict cache before ranking: changed files are
+        // re-analyzed once, unchanged files cost a fingerprint check.
+        // Sync failures degrade to last cycle's verdicts, never abort.
+        if let Some(tier) = &mut self.static_tier {
+            match tier.sync() {
+                Ok(verdicts) => self.lp.install_verdicts(verdicts),
+                Err(e) => eprintln!("leakprofd: static-tier sync failed: {e}"),
+            }
         }
         let analysis = self.lp.report_from_accumulator(&self.acc);
         self.health.absorb(&report.stats);
@@ -289,6 +318,11 @@ impl Daemon {
         &self.acc
     }
 
+    /// The static tier, when configured (for tests and inspection).
+    pub fn static_tier(&self) -> Option<&StaticTier> {
+        self.static_tier.as_ref()
+    }
+
     /// Builds the status snapshot.
     pub fn status(&self) -> DaemonStatus {
         DaemonStatus {
@@ -302,6 +336,7 @@ impl Daemon {
             recovered_cycle: self.recovered_cycle,
             breakers: self.breakers.summary(self.targets.len()),
             ledger: self.ledger.summary(),
+            static_tier: self.static_tier.as_ref().map(|t| t.stats().clone()),
         }
     }
 
@@ -345,6 +380,47 @@ impl Daemon {
             "leakprofd_reports_total{{result=\"suppressed\"}} {}",
             ledger.suppressed_total
         );
+        if let Some(tier) = &self.static_tier {
+            let stats = tier.stats();
+            let _ = writeln!(out, "# TYPE leakprofd_static_cache_hits_total counter");
+            let _ = writeln!(
+                out,
+                "leakprofd_static_cache_hits_total {}",
+                stats.cache_hits
+            );
+            let _ = writeln!(out, "# TYPE leakprofd_static_cache_misses_total counter");
+            let _ = writeln!(
+                out,
+                "leakprofd_static_cache_misses_total {}",
+                stats.cache_misses
+            );
+            let _ = writeln!(out, "# TYPE leakprofd_static_files_parsed_total counter");
+            let _ = writeln!(
+                out,
+                "leakprofd_static_files_parsed_total {}",
+                stats.files_parsed
+            );
+            let _ = writeln!(out, "# TYPE leakprofd_static_parse_errors_total counter");
+            let _ = writeln!(
+                out,
+                "leakprofd_static_parse_errors_total {}",
+                stats.parse_errors
+            );
+            let _ = writeln!(out, "# TYPE leakprofd_static_covered_files gauge");
+            let _ = writeln!(
+                out,
+                "leakprofd_static_covered_files {}",
+                stats.covered_files
+            );
+            let _ = writeln!(out, "# TYPE leakprofd_static_last_scan_us gauge");
+            let _ = writeln!(out, "leakprofd_static_last_scan_us {}", stats.last_scan_us);
+            let _ = writeln!(out, "# TYPE leakprofd_static_last_analyze_us gauge");
+            let _ = writeln!(
+                out,
+                "leakprofd_static_last_analyze_us {}",
+                stats.last_analyze_us
+            );
+        }
         if let Some(report) = &self.last_report {
             let _ = writeln!(out, "# TYPE leakprofd_suspect_rms gauge");
             for s in &report.suspects {
@@ -469,5 +545,79 @@ mod tests {
         .unwrap();
         let metrics = String::from_utf8(metrics).unwrap();
         assert!(metrics.contains("leakprofd_cycles_total 2"));
+    }
+
+    #[test]
+    fn static_tier_parses_once_and_serves_cycles_from_cache() {
+        let root =
+            std::env::temp_dir().join(format!("leakprofd-daemon-static-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let src_dir = root.join("src");
+        let state_dir = root.join("state");
+        std::fs::create_dir_all(&state_dir).unwrap();
+
+        let demo = crate::demo::DemoFleet::build(8, 2, 99);
+        demo.write_sources(&src_dir).unwrap();
+        let nfiles = demo.sources.len() as u64;
+        assert!(nfiles > 0);
+        let server = demo.hub.serve("127.0.0.1:0", 2).unwrap();
+        let targets = demo.targets(server.addr());
+
+        let config = DaemonConfig {
+            state_dir: Some(state_dir.clone()),
+            static_tier: Some(StaticTierConfig::in_state_dir(src_dir.clone(), &state_dir)),
+            ..DaemonConfig::default()
+        };
+        // Note: the daemon's LeakProf starts with NO indexed sources —
+        // criterion-2 coverage comes entirely from the verdict cache.
+        let lp = LeakProf::new(leakprof::Config {
+            threshold: 1,
+            ast_filter: false,
+            top_n: 5,
+        });
+        let mut daemon = Daemon::new(config.clone(), lp, targets.clone()).unwrap();
+        {
+            let stats = daemon.static_tier().unwrap().stats();
+            assert_eq!(stats.cache_misses, nfiles, "cold start misses every file");
+            assert_eq!(stats.files_parsed, nfiles);
+            assert_eq!(stats.cache_hits, 0);
+            assert_eq!(stats.parse_errors, 0);
+        }
+
+        for _ in 0..3 {
+            daemon.run_cycle();
+        }
+        {
+            let stats = daemon.static_tier().unwrap().stats();
+            assert_eq!(
+                stats.files_parsed, nfiles,
+                "warm cycles must not re-parse anything"
+            );
+            assert_eq!(stats.cache_hits, 3 * nfiles);
+            assert_eq!(stats.syncs, 4);
+        }
+        let status = daemon.status();
+        let tier = status.static_tier.expect("tier stats in status");
+        assert_eq!(tier.covered_files, nfiles);
+        let metrics = daemon.metrics_text();
+        assert!(metrics.contains(&format!("leakprofd_static_cache_hits_total {}", 3 * nfiles)));
+        assert!(metrics.contains(&format!("leakprofd_static_files_parsed_total {nfiles}")));
+        drop(daemon);
+
+        // A fresh daemon process on the same state dir: the persisted
+        // cache answers every file — zero parses, ever.
+        let lp = LeakProf::new(leakprof::Config {
+            threshold: 1,
+            ast_filter: false,
+            top_n: 5,
+        });
+        let daemon = Daemon::new(config, lp, targets).unwrap();
+        let stats = daemon.static_tier().unwrap().stats();
+        assert_eq!(
+            stats.files_parsed, 0,
+            "restart must reuse the on-disk cache"
+        );
+        assert_eq!(stats.cache_hits, nfiles);
+        std::fs::remove_dir_all(&root).unwrap();
     }
 }

@@ -110,6 +110,25 @@ impl DemoFleet {
             .collect()
     }
 
+    /// Writes the fleet's handler sources under `root` so a daemon's
+    /// static tier (or any on-disk tool) can analyze the same tree the
+    /// profiles reference — each `(src, path)` pair lands at
+    /// `root/<path>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first IO error encountered while writing.
+    pub fn write_sources(&self, root: &std::path::Path) -> std::io::Result<()> {
+        for (src, path) in &self.sources {
+            let dest = root.join(path);
+            if let Some(parent) = dest.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            std::fs::write(dest, src)?;
+        }
+        Ok(())
+    }
+
     /// A LeakProf configured for this demo fleet (scaled threshold, AST
     /// filter on, sources indexed).
     pub fn leakprof(&self, threshold: u64, top_n: usize) -> leakprof::LeakProf {

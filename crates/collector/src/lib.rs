@@ -22,6 +22,9 @@
 //!   recovery is ranking-exact after a crash.
 //! * [`ledger`] — persistent report cool-down: one page per regression
 //!   episode, re-opened only when RMS beats the acknowledged level.
+//! * [`static_tier`] — persistent, content-addressed criterion-2
+//!   verdict cache: each source file is parsed once, reused across
+//!   cycles and restarts.
 //! * [`daemon`] — the cycle loop feeding [`leakprof::FleetAccumulator`],
 //!   plus the daemon's own `/metrics` and `/status`.
 //! * [`demo`] — a real [`fleet::Fleet`] wired to a hub, for the CLI demo
@@ -42,6 +45,7 @@ pub mod http;
 pub mod ledger;
 pub mod scrape;
 pub mod snapshot;
+pub mod static_tier;
 pub mod stats;
 
 pub use breaker::{BreakerConfig, BreakerSet, BreakerState, BreakerSummary, QuarantinedTarget};
@@ -57,4 +61,5 @@ pub use ledger::{
 };
 pub use scrape::{CycleReport, ScrapeConfig, ScrapeError, ScrapeErrorKind, ScrapeTarget, Scraper};
 pub use snapshot::{DaemonSnapshot, Recovery, SnapshotStore, WalEntry, DAEMON_SNAPSHOT_VERSION};
+pub use static_tier::{StaticTier, StaticTierConfig, StaticTierStats, VERDICT_CACHE_VERSION};
 pub use stats::{CycleStats, HealthCounters, LatencyHistogram};

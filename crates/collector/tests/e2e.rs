@@ -93,6 +93,64 @@ fn loopback_fleet_with_fault_streams_same_topk_as_offline() {
     );
 }
 
+/// Same differential check with the criterion-2 filter ON: the daemon's
+/// filter runs off the static tier's verdict cache (no sources ever
+/// indexed in its LeakProf), the offline analyzer off the in-memory AST
+/// index — and the serialized reports must still match byte-for-byte.
+#[test]
+fn static_tier_filter_matches_offline_ast_filter_byte_for_byte() {
+    let demo = DemoFleet::build(12, 2, 5);
+    let server = demo.hub.serve("127.0.0.1:0", 8).expect("loopback bind");
+    let targets = demo.targets(server.addr());
+    let victim = targets[2].instance.clone();
+    demo.hub.inject_fault(&victim, Fault::CorruptJson);
+
+    let root = std::env::temp_dir().join(format!("leakprofd-e2e-static-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let src_dir = root.join("src");
+    let state_dir = root.join("state");
+    std::fs::create_dir_all(&state_dir).expect("state dir");
+    demo.write_sources(&src_dir).expect("write sources");
+
+    let mut daemon = Daemon::new(
+        DaemonConfig {
+            scrape: fast_config(),
+            state_dir: Some(state_dir.clone()),
+            static_tier: Some(collector::StaticTierConfig::in_state_dir(
+                src_dir, &state_dir,
+            )),
+            ..DaemonConfig::default()
+        },
+        // Filter nominally off and no sources indexed: coverage must
+        // come entirely from the verdict cache.
+        leakprof::LeakProf::new(leakprof::Config {
+            threshold: 40,
+            ast_filter: false,
+            top_n: 10,
+        }),
+        targets,
+    )
+    .expect("daemon with static tier");
+
+    let cycle = daemon.run_cycle();
+    assert_eq!(cycle.stats.failed, 1);
+    let streamed = daemon.last_report().expect("cycle ran").clone();
+    let offline = demo.leakprof(40, 10).analyze(&cycle.profiles);
+    assert_eq!(
+        serde_json::to_string(&streamed).unwrap(),
+        serde_json::to_string(&offline).unwrap(),
+        "verdict-cache filter diverged from the AST filter"
+    );
+    assert!(
+        !streamed.suspects.is_empty(),
+        "demo fleet leaks survive the filter:\n{}",
+        streamed.render()
+    );
+    let stats = daemon.static_tier().expect("tier on").stats();
+    assert!(stats.covered_files > 0 && stats.parse_errors == 0);
+    std::fs::remove_dir_all(&root).expect("cleanup");
+}
+
 #[test]
 fn timeout_fault_is_reported_and_ranking_completes() {
     let hub = hub_with(&["a", "b", "slow"]);

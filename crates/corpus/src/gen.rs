@@ -202,6 +202,13 @@ impl Corpus {
                     text: r.source,
                     is_test: false,
                 });
+                for (path, text) in r.helpers {
+                    files.push(SourceFile {
+                        path,
+                        text,
+                        is_test: false,
+                    });
+                }
                 tests.push(SourceFile {
                     path: r.test_path,
                     text: r.test_source,
@@ -242,7 +249,7 @@ impl Corpus {
                             let pool: &[BenignPattern] = if kind == PkgKind::Both {
                                 &benign
                             } else {
-                                &benign[..9] // skip PlainCompute-only mix
+                                &benign[..11] // skip PlainCompute-only mix
                             };
                             render_benign(pool[rng.index(pool.len())], &name, i, &mut rng)
                         };

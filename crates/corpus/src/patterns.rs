@@ -43,6 +43,18 @@ pub enum LeakPattern {
     SyscallHang,
     /// Non-channel runaway: very long timer sleep.
     Sleeper,
+    /// Cross-file: handshake completes, then the caller abandons the
+    /// result channel on an early return; the helper's result send (in a
+    /// separate file) blocks forever. Guarded so every intraprocedural
+    /// baseline misses the true site.
+    CrossFileHandoff,
+    /// Cross-file: a helper in a separate file fans out gated workers
+    /// that all send on the caller's channel; the caller reads once.
+    CrossFileFanout,
+    /// Cross-file: a helper in a separate file drains the caller's
+    /// channel with `for range` after a handshake; the caller never
+    /// closes it.
+    CrossFileMissingClose,
     /// Non-channel runaway: waiting on a WaitGroup that never drains.
     MissingWgDone,
     /// Non-channel runaway: mutex locked and never unlocked.
@@ -61,10 +73,13 @@ impl LeakPattern {
             LeakPattern::PrematureReturn
             | LeakPattern::Timeout
             | LeakPattern::NCast
-            | LeakPattern::DoubleSend => "chan send (non-nil chan)",
-            LeakPattern::UnclosedRange | LeakPattern::TimerLoop | LeakPattern::MissingSender => {
-                "chan receive (non-nil chan)"
-            }
+            | LeakPattern::DoubleSend
+            | LeakPattern::CrossFileHandoff
+            | LeakPattern::CrossFileFanout => "chan send (non-nil chan)",
+            LeakPattern::UnclosedRange
+            | LeakPattern::TimerLoop
+            | LeakPattern::MissingSender
+            | LeakPattern::CrossFileMissingClose => "chan receive (non-nil chan)",
             LeakPattern::ContractViolation
             | LeakPattern::CtxContractViolation
             | LeakPattern::SelectOutsideLoop => "select (>0 cases)",
@@ -93,6 +108,21 @@ impl LeakPattern {
                 | LeakPattern::CtxContractViolation
                 | LeakPattern::SelectOutsideLoop
                 | LeakPattern::EmptySelect
+                | LeakPattern::CrossFileHandoff
+                | LeakPattern::CrossFileFanout
+                | LeakPattern::CrossFileMissingClose
+        )
+    }
+
+    /// True for patterns whose blocking operation lives in a helper file
+    /// distinct from the scenario file — the regime only interprocedural
+    /// analysis can localize.
+    pub fn is_cross_file(&self) -> bool {
+        matches!(
+            self,
+            LeakPattern::CrossFileHandoff
+                | LeakPattern::CrossFileFanout
+                | LeakPattern::CrossFileMissingClose
         )
     }
 }
@@ -126,6 +156,9 @@ pub struct Rendered {
     pub test_source: String,
     /// Name of the test function (unqualified).
     pub test_func: String,
+    /// Additional non-test source files (path, text) the scenario needs —
+    /// cross-file templates put their callee here.
+    pub helpers: Vec<(String, String)>,
     /// Ground-truth leak sites (empty for benign scenarios).
     pub truth: Vec<LeakSite>,
 }
@@ -140,6 +173,11 @@ pub fn render_leaky(pattern: LeakPattern, pkg: &str, idx: usize, rng: &mut Split
     let workers = rng.range_i64(2, 5);
     let items = rng.range_i64(3, 8);
     let via_wrapper = matches!(pattern, LeakPattern::PrematureReturn) && rng.chance(0.4);
+
+    let hname = format!("{pkg}/leak_{idx}_helper.go");
+    let mut helpers: Vec<(String, String)> = Vec::new();
+    // Cross-file templates label their truth sites in the helper file.
+    let mut truth_file = fname.clone();
 
     let (source, leak_lines, goroutines): (String, Vec<u32>, u64) = match pattern {
         LeakPattern::PrematureReturn => {
@@ -250,6 +288,54 @@ pub fn render_leaky(pattern: LeakPattern, pkg: &str, idx: usize, rng: &mut Split
             vec![5],
             1,
         ),
+        LeakPattern::CrossFileHandoff => {
+            helpers.push((
+                hname.clone(),
+                format!(
+                    "package {pkg}\n\nfunc relay{idx}(ready chan int, out chan int) {{\n\t<-ready\n\tsim.Work(1)\n\tout <- 1\n}}\n"
+                ),
+            ));
+            truth_file = hname.clone();
+            (
+                format!(
+                    "package {pkg}\n\nfunc {f}(fail bool) {{\n\tready := make(chan int)\n\tout := make(chan int)\n\tgo relay{idx}(ready, out)\n\tready <- 1\n\tif fail {{\n\t\treturn\n\t}}\n\tres := <-out\n\t_ = res\n}}\n"
+                ),
+                vec![6],
+                1,
+            )
+        }
+        LeakPattern::CrossFileFanout => {
+            helpers.push((
+                hname.clone(),
+                format!(
+                    "package {pkg}\n\nfunc fan{idx}(gate chan int, out chan int, n int) {{\n\tfor i := 0; i < n; i++ {{\n\t\tgo func() {{\n\t\t\t<-gate\n\t\t\tout <- i\n\t\t}}()\n\t}}\n}}\n"
+                ),
+            ));
+            truth_file = hname.clone();
+            (
+                format!(
+                    "package {pkg}\n\nfunc {f}(n int) {{\n\tgate := make(chan int, n)\n\tout := make(chan int)\n\tgo fan{idx}(gate, out, n)\n\tfor i := 0; i < n; i++ {{\n\t\tgate <- i\n\t}}\n\tfirst := <-out\n\t_ = first\n}}\n"
+                ),
+                vec![7],
+                (items - 1) as u64,
+            )
+        }
+        LeakPattern::CrossFileMissingClose => {
+            helpers.push((
+                hname.clone(),
+                format!(
+                    "package {pkg}\n\nfunc pump{idx}(ready chan int, in chan int) {{\n\t<-ready\n\tfor item := range in {{\n\t\tsim.Work(item)\n\t}}\n}}\n"
+                ),
+            ));
+            truth_file = hname.clone();
+            (
+                format!(
+                    "package {pkg}\n\nfunc {f}(items int) {{\n\tready := make(chan int, 1)\n\tch := make(chan int)\n\tgo pump{idx}(ready, ch)\n\tready <- 1\n\tfor i := 0; i < items; i++ {{\n\t\tch <- i\n\t}}\n}}\n"
+                ),
+                vec![5],
+                1,
+            )
+        }
         LeakPattern::MissingWgDone => (
             format!(
                 "package {pkg}\n\nfunc {f}() {{\n\tvar wg sync.WaitGroup\n\twg.Add(2)\n\tgo func() {{\n\t\tdefer wg.Done()\n\t\tsim.Work(1)\n\t}}()\n\tgo func() {{\n\t\twg.Wait()\n\t}}()\n}}\n"
@@ -282,12 +368,17 @@ pub fn render_leaky(pattern: LeakPattern, pkg: &str, idx: usize, rng: &mut Split
 
     // Test file exercising the failure path of the scenario.
     let call = match pattern {
-        LeakPattern::PrematureReturn | LeakPattern::DoubleSend | LeakPattern::MissingSender => {
+        LeakPattern::PrematureReturn
+        | LeakPattern::DoubleSend
+        | LeakPattern::MissingSender
+        | LeakPattern::CrossFileHandoff => {
             format!("{f}(true)")
         }
         LeakPattern::ContractViolation => format!("{f}(false)"),
         LeakPattern::Timeout | LeakPattern::CtxContractViolation => format!("{f}(nil)"),
-        LeakPattern::NCast => format!("{f}({items})"),
+        LeakPattern::NCast | LeakPattern::CrossFileFanout | LeakPattern::CrossFileMissingClose => {
+            format!("{f}({items})")
+        }
         LeakPattern::UnclosedRange => format!("{f}({workers}, {items})"),
         LeakPattern::BusyLoop => format!("{f}(1)"),
         _ => format!("{f}()"),
@@ -295,16 +386,17 @@ pub fn render_leaky(pattern: LeakPattern, pkg: &str, idx: usize, rng: &mut Split
     let test_source = format!("package {pkg}\n\nfunc {test_func}() {{\n\t{call}\n}}\n");
 
     Rendered {
-        path: fname.clone(),
+        path: fname,
         source,
         test_path: tname,
         test_source,
         test_func,
+        helpers,
         truth: leak_lines
             .into_iter()
             .map(|line| LeakSite {
                 pattern,
-                file: fname.clone(),
+                file: truth_file.clone(),
                 line,
                 goroutines,
                 via_wrapper,
@@ -334,6 +426,13 @@ pub enum BenignPattern {
     HeartbeatCtx,
     /// Dynamic-capacity gather (the NCast fix).
     GatherCap,
+    /// Cross-file drain helper with the producer closing the channel
+    /// (the benign twin of [`LeakPattern::CrossFileMissingClose`]).
+    CrossFileDrainClosed,
+    /// Cross-file handshake/result pipeline where the caller always
+    /// collects the result (the benign twin of
+    /// [`LeakPattern::CrossFileHandoff`]).
+    CrossFilePipeline,
     /// Pure computation, no concurrency.
     PlainCompute,
     /// Fan-out through a wrapper spawn API (clean).
@@ -344,7 +443,7 @@ pub enum BenignPattern {
 
 impl BenignPattern {
     /// All benign shapes.
-    pub fn all() -> [BenignPattern; 12] {
+    pub fn all() -> [BenignPattern; 14] {
         [
             BenignPattern::ClosedPipeline,
             BenignPattern::BufferedHandoff,
@@ -355,6 +454,8 @@ impl BenignPattern {
             BenignPattern::WorkerWithStop,
             BenignPattern::HeartbeatCtx,
             BenignPattern::GatherCap,
+            BenignPattern::CrossFileDrainClosed,
+            BenignPattern::CrossFilePipeline,
             BenignPattern::WrapperFan,
             BenignPattern::ThreeWaySelect,
             BenignPattern::PlainCompute,
@@ -374,6 +475,8 @@ pub fn render_benign(
     let f = format!("Ok{idx}");
     let test_func = format!("TestOk{idx}");
     let n = rng.range_i64(2, 6);
+    let hname = format!("{pkg}/ok_{idx}_helper.go");
+    let mut helpers: Vec<(String, String)> = Vec::new();
 
     let (source, call) = match pattern {
         BenignPattern::ClosedPipeline => (
@@ -430,6 +533,34 @@ pub fn render_benign(
             ),
             format!("{f}({n})"),
         ),
+        BenignPattern::CrossFileDrainClosed => {
+            helpers.push((
+                hname.clone(),
+                format!(
+                    "package {pkg}\n\nfunc drain{idx}(in chan int) {{\n\tfor item := range in {{\n\t\tsim.Work(item)\n\t}}\n}}\n"
+                ),
+            ));
+            (
+                format!(
+                    "package {pkg}\n\nfunc {f}(items int) {{\n\tch := make(chan int)\n\tgo drain{idx}(ch)\n\tfor i := 0; i < items; i++ {{\n\t\tch <- i\n\t}}\n\tclose(ch)\n}}\n"
+                ),
+                format!("{f}({n})"),
+            )
+        }
+        BenignPattern::CrossFilePipeline => {
+            helpers.push((
+                hname.clone(),
+                format!(
+                    "package {pkg}\n\nfunc echo{idx}(ready chan int, out chan int) {{\n\t<-ready\n\tout <- 1\n}}\n"
+                ),
+            ));
+            (
+                format!(
+                    "package {pkg}\n\nfunc {f}() {{\n\tready := make(chan int)\n\tout := make(chan int)\n\tgo echo{idx}(ready, out)\n\tready <- 1\n\tres := <-out\n\tsim.Work(res)\n}}\n"
+                ),
+                format!("{f}()"),
+            )
+        }
         BenignPattern::PlainCompute => (
             format!(
                 "package {pkg}\n\nfunc {f}(n int) int {{\n\ttotal := 0\n\tfor i := 0; i < n; i++ {{\n\t\ttotal = total + i\n\t\tsim.Work(1)\n\t}}\n\treturn total\n}}\n"
@@ -463,6 +594,7 @@ pub fn render_benign(
         test_path: tname,
         test_source,
         test_func,
+        helpers,
         truth: Vec::new(),
     }
 }
@@ -479,10 +611,13 @@ pub fn leak_mix() -> Vec<(LeakPattern, f64)> {
         (LeakPattern::Timeout, 3.0),
         (LeakPattern::NCast, 2.0),
         (LeakPattern::DoubleSend, 0.5),
+        (LeakPattern::CrossFileHandoff, 2.0),
+        (LeakPattern::CrossFileFanout, 1.5),
         // -- receive leaks (≈40%)
         (LeakPattern::TimerLoop, 14.0),
         (LeakPattern::UnclosedRange, 13.5),
         (LeakPattern::MissingSender, 4.5),
+        (LeakPattern::CrossFileMissingClose, 2.5),
         // -- select leaks (≈45%)
         (LeakPattern::ContractViolation, 24.0),
         (LeakPattern::CtxContractViolation, 7.0),
@@ -506,11 +641,15 @@ mod tests {
     use gosim::Runtime;
 
     fn run_scenario(r: &Rendered) -> Runtime {
-        let prog = minigo::compile_many(&[
+        let mut sources = vec![
             (r.source.clone(), r.path.clone()),
             (r.test_source.clone(), r.test_path.clone()),
-        ])
-        .unwrap_or_else(|e| panic!("{} does not compile: {e:?}\n{}", r.path, r.source));
+        ];
+        for (path, text) in &r.helpers {
+            sources.push((text.clone(), path.clone()));
+        }
+        let prog = minigo::compile_many(&sources)
+            .unwrap_or_else(|e| panic!("{} does not compile: {e:?}\n{}", r.path, r.source));
         let pkg = r.path.split('/').next().unwrap();
         let mut rt = Runtime::with_seed(13);
         prog.spawn_func(&mut rt, &format!("{pkg}.{}", r.test_func), vec![])

@@ -6,19 +6,128 @@
 //! channels, or a bare receive from a timer channel. LeakProf runs a
 //! small static analysis over the source AST to drop such sites before
 //! alerting.
+//!
+//! The analysis has two equivalent evaluation paths. The direct path
+//! resolves each blocked location against a parsed AST
+//! ([`SourceIndex::stmt_at`]) at ranking time. The precomputed path
+//! ([`VerdictSet`]) extracts, once per file, the full set of transient
+//! sites — so an online consumer (the collection daemon) can cache
+//! verdicts keyed by source-content fingerprint and answer filter
+//! queries without re-parsing anything. By construction the two paths
+//! return identical answers for identical sources.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use gosim::Loc;
 use minigo::ast::{walk_stmts, File, RecvSrc, SelCase, Stmt};
+use serde::{Deserialize, Serialize};
 
 use crate::signature::{BlockedOp, ChanOpKind};
 
+/// Precomputed criterion-2 verdicts: for every *covered* file, the set
+/// of `(line, op kind)` sites whose blocking operation is trivially
+/// transient. Covered files answer filter queries without an AST;
+/// uncovered files fall back to [`SourceIndex`] resolution.
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerdictSet {
+    covered: BTreeSet<String>,
+    transient: BTreeSet<(String, u32, ChanOpKind)>,
+}
+
+impl VerdictSet {
+    /// Creates an empty verdict set (covers nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Extracts the transient sites of one parsed file, mirroring
+    /// [`is_transient`]'s AST path exactly: for the first statement on
+    /// each line (the one [`SourceIndex::stmt_at`] resolves), a
+    /// transient verdict is recorded under the op kind that statement
+    /// can block as.
+    pub fn compute_file(file: &File) -> Vec<(u32, ChanOpKind)> {
+        let mut seen_lines = BTreeSet::new();
+        let mut out = Vec::new();
+        for f in &file.funcs {
+            walk_stmts(&f.body, &mut |s| {
+                if !seen_lines.insert(s.line()) {
+                    return;
+                }
+                match s {
+                    Stmt::Select { cases, default, .. } => {
+                        let transient = default.is_some()
+                            || (!cases.is_empty()
+                                && cases.iter().all(|c| match c {
+                                    SelCase::Recv { src, .. } => src_is_transient(src),
+                                    SelCase::Send { .. } => false,
+                                }));
+                        if transient {
+                            out.push((s.line(), ChanOpKind::Select));
+                        }
+                    }
+                    Stmt::Recv { src, .. } if src_is_transient(src) => {
+                        out.push((s.line(), ChanOpKind::Recv));
+                    }
+                    _ => {}
+                }
+            });
+        }
+        out
+    }
+
+    /// Marks `path` as covered with the given transient sites (typically
+    /// the output of [`VerdictSet::compute_file`], possibly replayed
+    /// from a cache).
+    pub fn insert_file(&mut self, path: &str, transient: &[(u32, ChanOpKind)]) {
+        self.covered.insert(path.to_string());
+        for (line, kind) in transient {
+            self.transient.insert((path.to_string(), *line, *kind));
+        }
+    }
+
+    /// Convenience: compute and insert in one step.
+    pub fn add_file(&mut self, file: &File) {
+        let t = Self::compute_file(file);
+        self.insert_file(&file.path, &t);
+    }
+
+    /// True when verdicts for `path` are available.
+    pub fn covers(&self, path: &str) -> bool {
+        self.covered.contains(path)
+    }
+
+    /// The verdict for a blocked op: `Some(true)` = transient (filter),
+    /// `Some(false)` = keep, `None` = file not covered (caller must fall
+    /// back to AST resolution).
+    pub fn lookup(&self, op: &BlockedOp) -> Option<bool> {
+        if !self.covers(&op.loc.file) {
+            return None;
+        }
+        Some(
+            self.transient
+                .contains(&(op.loc.file.to_string(), op.loc.line, op.kind)),
+        )
+    }
+
+    /// Number of covered files.
+    pub fn files(&self) -> usize {
+        self.covered.len()
+    }
+
+    /// True when no files are covered.
+    pub fn is_empty(&self) -> bool {
+        self.covered.is_empty()
+    }
+}
+
 /// An index of parsed source files, keyed by path, used to resolve
-/// blocking locations back to syntax.
+/// blocking locations back to syntax. Optionally carries a
+/// [`VerdictSet`] answering filter queries for covered files without
+/// touching (or even having) the ASTs.
 #[derive(Debug, Default)]
 pub struct SourceIndex {
     files: HashMap<String, File>,
+    verdicts: Option<VerdictSet>,
 }
 
 impl SourceIndex {
@@ -57,6 +166,17 @@ impl SourceIndex {
         self.files.is_empty()
     }
 
+    /// Installs (replaces) the precomputed verdicts consulted before any
+    /// AST resolution.
+    pub fn install_verdicts(&mut self, verdicts: VerdictSet) {
+        self.verdicts = Some(verdicts);
+    }
+
+    /// The installed verdict set, if any.
+    pub fn verdicts(&self) -> Option<&VerdictSet> {
+        self.verdicts.as_ref()
+    }
+
     /// Finds the statement at a location, if any.
     pub fn stmt_at(&self, loc: &Loc) -> Option<&Stmt> {
         let file = self.files.get(&*loc.file)?;
@@ -87,7 +207,13 @@ fn src_is_transient(src: &RecvSrc) -> bool {
 /// * a bare receive from `time.After`/`time.Tick`.
 ///
 /// Unknown locations (no AST available) are conservatively kept.
+///
+/// When the index carries a [`VerdictSet`] covering the op's file, the
+/// precomputed verdict is returned directly — no AST walk happens.
 pub fn is_transient(index: &SourceIndex, op: &BlockedOp) -> bool {
+    if let Some(t) = index.verdicts.as_ref().and_then(|v| v.lookup(op)) {
+        return t;
+    }
     let Some(stmt) = index.stmt_at(&op.loc) else {
         return false;
     };
@@ -214,5 +340,53 @@ func Drain(ch chan int) {
         };
         assert!(!is_transient(&ix, &op));
         assert!(ix.is_empty());
+    }
+
+    const EQUIV_SOURCES: [&str; 4] = [
+        "package p\n\nfunc Loop(ctx context.Context) {\n\tfor {\n\t\tselect {\n\t\tcase <-time.Tick(100):\n\t\t\tsim.Work(1)\n\t\tcase <-ctx.Done():\n\t\t\treturn\n\t\t}\n\t}\n}\n",
+        "package p\n\nfunc Wait(ch chan int, ctx context.Context) {\n\tselect {\n\tcase v := <-ch:\n\t\t_ = v\n\tcase <-ctx.Done():\n\t\treturn\n\t}\n}\n",
+        "package p\n\nfunc Tickle() {\n\tfor {\n\t\t<-time.After(50)\n\t\tsim.Work(1)\n\t}\n}\n",
+        "package p\n\nfunc Drain(ch chan int) {\n\t<-ch\n\tselect {\n\tcase <-ch:\n\t\tsim.Work(1)\n\tdefault:\n\t\tsim.Work(2)\n\t}\n}\n",
+    ];
+
+    #[test]
+    fn verdict_path_matches_ast_path_on_every_line_and_kind() {
+        for (i, src) in EQUIV_SOURCES.iter().enumerate() {
+            let path = format!("p/equiv_{i}.go");
+            let ast_ix = index_of(src, &path);
+            // Verdict-only index: no ASTs at all, just precomputed
+            // verdicts — the daemon's warm-cache configuration.
+            let mut vs = VerdictSet::new();
+            vs.add_file(&minigo::parse_file(src, &path).unwrap());
+            let mut verdict_ix = SourceIndex::new();
+            verdict_ix.install_verdicts(vs);
+            let nlines = src.lines().count() as u32;
+            for line in 1..=nlines {
+                for kind in [ChanOpKind::Send, ChanOpKind::Recv, ChanOpKind::Select] {
+                    let op = BlockedOp {
+                        kind,
+                        loc: Loc::new(path.as_str(), line),
+                    };
+                    assert_eq!(
+                        is_transient(&ast_ix, &op),
+                        is_transient(&verdict_ix, &op),
+                        "paths disagree at {path}:{line} {kind:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn verdicts_roundtrip_through_json() {
+        let src = EQUIV_SOURCES[0];
+        let mut vs = VerdictSet::new();
+        vs.add_file(&minigo::parse_file(src, "p/e.go").unwrap());
+        let json = serde_json::to_string(&vs).unwrap();
+        let back: VerdictSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(vs, back);
+        assert!(back.covers("p/e.go"));
+        assert!(!back.covers("p/other.go"));
+        assert_eq!(back.files(), 1);
     }
 }

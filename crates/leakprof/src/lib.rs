@@ -65,7 +65,7 @@ pub use analyze::{
     aggregate, aggregate_parallel, rms, AccumulatorSnapshot, Config, FleetAccumulator,
     SiteSnapshot, SiteStats, SNAPSHOT_VERSION,
 };
-pub use filter::{is_transient, SourceIndex};
+pub use filter::{is_transient, SourceIndex, VerdictSet};
 pub use history::{Issue, IssueStatus, SweepDelta, SweepStore};
 pub use report::{OwnerDb, Report, Suspect};
 pub use signature::{blocked_op, BlockedOp, ChanOpKind};
@@ -103,6 +103,17 @@ impl LeakProf {
     /// Adds a pre-parsed file to the AST index.
     pub fn index_file(&mut self, file: minigo::ast::File) {
         self.index.insert(file);
+    }
+
+    /// Installs precomputed criterion-2 verdicts (see [`VerdictSet`]);
+    /// covered files then answer filter queries without AST resolution.
+    pub fn install_verdicts(&mut self, verdicts: VerdictSet) {
+        self.index.install_verdicts(verdicts);
+    }
+
+    /// Turns the criterion-2 AST filter on or off after construction.
+    pub fn set_ast_filter(&mut self, on: bool) {
+        self.config.ast_filter = on;
     }
 
     /// Registers a code owner for a path prefix.

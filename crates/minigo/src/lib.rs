@@ -46,11 +46,13 @@ pub mod ast;
 pub mod lower;
 pub mod parser;
 pub mod printer;
+pub mod program;
 pub mod token;
 
 pub use lower::{lower_file, lower_files};
 pub use parser::{parse_file, Diag};
 pub use printer::{print_expr, print_file, print_func};
+pub use program::{FuncRef, Program};
 
 use gosim::script::Prog;
 

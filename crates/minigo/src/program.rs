@@ -1,0 +1,161 @@
+//! Cross-file program index: symbol resolution over a set of parsed files.
+//!
+//! A [`Program`] owns a collection of [`ast::File`]s (typically every file
+//! of one package, or a whole repository slice) and indexes the contained
+//! function declarations by `(package, name)`. Static analyses use it to
+//! resolve call edges that span files — the capability the per-file
+//! extraction in `staticlint::skeleton` deliberately lacks.
+
+use crate::ast::{File, FuncDecl};
+use crate::parser::{parse_file, Diag};
+use std::collections::HashMap;
+
+/// A resolved reference to a function declaration inside a [`Program`].
+#[derive(Clone, Copy, Debug)]
+pub struct FuncRef<'a> {
+    /// The file the function is declared in.
+    pub file: &'a File,
+    /// The function declaration itself.
+    pub func: &'a FuncDecl,
+}
+
+impl<'a> FuncRef<'a> {
+    /// Package-qualified name (`pkg.Func`).
+    #[must_use]
+    pub fn qualified(&self) -> String {
+        format!("{}.{}", self.file.package, self.func.name)
+    }
+}
+
+/// An indexed collection of parsed files with `(package, func)` symbol
+/// resolution.
+///
+/// Duplicate definitions (same package + name in two files) resolve to the
+/// first file in insertion order, mirroring [`File::func`]'s first-match
+/// behaviour within a single file.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    files: Vec<File>,
+    /// `(package, func name)` → `(file index, func index)`.
+    index: HashMap<(String, String), (usize, usize)>,
+}
+
+impl Program {
+    /// Builds a program over already-parsed files.
+    #[must_use]
+    pub fn new(files: Vec<File>) -> Self {
+        let mut index = HashMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            for (gi, func) in file.funcs.iter().enumerate() {
+                index
+                    .entry((file.package.clone(), func.name.clone()))
+                    .or_insert((fi, gi));
+            }
+        }
+        Program { files, index }
+    }
+
+    /// Parses `(source, path)` pairs and builds a program.
+    ///
+    /// # Errors
+    ///
+    /// Returns accumulated diagnostics across all files.
+    pub fn from_sources(sources: &[(String, String)]) -> Result<Self, Vec<Diag>> {
+        let mut files = Vec::new();
+        let mut errors = Vec::new();
+        for (src, path) in sources {
+            match parse_file(src, path) {
+                Ok(f) => files.push(f),
+                Err(mut e) => errors.append(&mut e),
+            }
+        }
+        if !errors.is_empty() {
+            return Err(errors);
+        }
+        Ok(Program::new(files))
+    }
+
+    /// The files of the program, in insertion order.
+    #[must_use]
+    pub fn files(&self) -> &[File] {
+        &self.files
+    }
+
+    /// Number of indexed functions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when the program holds no functions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Resolves `pkg.name` to its declaration, across all files.
+    #[must_use]
+    pub fn resolve(&self, pkg: &str, name: &str) -> Option<FuncRef<'_>> {
+        let (fi, gi) = *self.index.get(&(pkg.to_string(), name.to_string()))?;
+        Some(FuncRef {
+            file: &self.files[fi],
+            func: &self.files[fi].funcs[gi],
+        })
+    }
+
+    /// Iterates over every function of the program in deterministic
+    /// (file, declaration) order.
+    pub fn funcs(&self) -> impl Iterator<Item = FuncRef<'_>> {
+        self.files
+            .iter()
+            .flat_map(|file| file.funcs.iter().map(move |func| FuncRef { file, func }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: &str =
+        "package p\n\nfunc Main() {\n\tch := make(chan int)\n\tgo Helper(ch)\n\tch <- 1\n}\n";
+    const B: &str = "package p\n\nfunc Helper(in chan int) {\n\t<-in\n}\n";
+
+    fn prog() -> Program {
+        Program::from_sources(&[
+            (A.to_string(), "p/a.go".to_string()),
+            (B.to_string(), "p/b.go".to_string()),
+        ])
+        .expect("parses")
+    }
+
+    #[test]
+    fn resolves_across_files_within_package() {
+        let p = prog();
+        let h = p.resolve("p", "Helper").expect("resolved");
+        assert_eq!(h.file.path, "p/b.go");
+        assert_eq!(h.qualified(), "p.Helper");
+        assert!(p.resolve("p", "Missing").is_none());
+        assert!(p.resolve("q", "Helper").is_none());
+    }
+
+    #[test]
+    fn iterates_all_functions_deterministically() {
+        let p = prog();
+        let names: Vec<String> = p.funcs().map(|f| f.qualified()).collect();
+        assert_eq!(names, vec!["p.Main".to_string(), "p.Helper".to_string()]);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn first_definition_wins_on_duplicates() {
+        let dup = "package p\n\nfunc Main() {\n\tx := 1\n\t_ = x\n}\n";
+        let p = Program::from_sources(&[
+            (A.to_string(), "p/a.go".to_string()),
+            (dup.to_string(), "p/dup.go".to_string()),
+        ])
+        .expect("parses");
+        let m = p.resolve("p", "Main").expect("resolved");
+        assert_eq!(m.file.path, "p/a.go");
+    }
+}

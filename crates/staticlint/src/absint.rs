@@ -358,6 +358,9 @@ fn node_effect(n: &Node, follow_wrappers: bool) -> (State, Ret) {
         | Node::Recv { .. }
         | Node::Close { ch: None, .. }
         | Node::Cancel { ch: None, .. } => {}
+        // Unresolved call edges only appear under `keep_calls`, which the
+        // intraprocedural baselines never enable; treat as a no-op.
+        Node::Call { .. } => {}
     }
     (st, ret)
 }
@@ -511,6 +514,7 @@ impl Analyzer for AbsInt {
         let opts = ExtractOptions {
             follow_wrappers: self.config.follow_wrappers,
             inline_named_calls: true,
+            keep_calls: false,
         };
         let mut findings = Vec::new();
         for skel in extract_file(file, &opts) {

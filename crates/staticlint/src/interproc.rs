@@ -1,0 +1,963 @@
+//! `interproc` — interprocedural summary-based leak analysis.
+//!
+//! The three baseline analyzers are deliberately intraprocedural: they
+//! see one file at a time and inline at most one level of same-file
+//! named calls, reproducing the recall ceiling the paper measures in
+//! Table III. This engine is the step past that ceiling, following the
+//! trace-based Mini-Go analyses (Stadtmüller/Sulzmann/Thiemann) in
+//! spirit: cross-function channel reasoning is where static recall
+//! actually comes from.
+//!
+//! The pipeline:
+//!
+//! 1. **Extraction** — every function's concurrency skeleton is
+//!    extracted with unresolved call edges kept in place
+//!    ([`crate::skeleton::ExtractOptions::keep_calls`]) instead of being
+//!    dropped or naively inlined, plus its parameter list for positional
+//!    argument binding.
+//! 2. **Call graph** — call edges are resolved across files via a
+//!    [`minigo::Program`] index (same-package resolution, mirroring Go's
+//!    package scope), including `go f(...)` spawn edges and calls inside
+//!    closure/wrapper spawn bodies.
+//! 3. **SCC condensation** — Tarjan's algorithm condenses the graph;
+//!    call edges *inside* an SCC (recursion) are left opaque, a
+//!    documented bounded unsoundness shared with every bounded analyzer
+//!    in this crate.
+//! 4. **Bottom-up summaries** — in callee-first (reverse topological)
+//!    order, each function gets a memoized *closed skeleton*: every
+//!    resolvable call site is replaced by the callee's closed skeleton
+//!    with channels renamed (parameter → argument binding; callee locals
+//!    get fresh instantiation-suffixed names) and every operation
+//!    relocated into a virtual-line space whose side table remembers the
+//!    real `(file, line)` and the call chain that reached it.
+//! 5. **Counting analysis** — the shared decision procedure
+//!    ([`crate::paths`]) runs over each closed skeleton, exactly as
+//!    `pathcheck` runs it over per-file skeletons.
+//! 6. **Cross-function attribution** — findings that the same machinery
+//!    already produces on some *unspliced* skeleton of the program are
+//!    subtracted. What survives is precisely the interprocedural
+//!    value-add, reported with a witness path (`caller -> callee`), and
+//!    by construction the pass adds zero findings on code whose leaks
+//!    (or absence thereof) are intraprocedurally decidable.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use gosim::Loc;
+use minigo::ast::File;
+use minigo::Program;
+
+use crate::findings::{Analyzer, Finding, FindingKind};
+use crate::paths::count_findings;
+use crate::skeleton::{
+    extract_func, strip_returns, ChanDef, ChanSource, ExtractOptions, Node, SelectOp,
+};
+
+/// Configuration for the interprocedural engine.
+#[derive(Debug, Clone)]
+pub struct InterprocConfig {
+    /// Budget on the node count of one closed skeleton; call sites whose
+    /// splice would exceed it stay opaque (bounded blowup).
+    pub max_nodes: usize,
+    /// Follow wrapper spawns. On by default: the engine models the
+    /// paper's *proposed* static tier, not the naive baselines.
+    pub follow_wrappers: bool,
+}
+
+impl Default for InterprocConfig {
+    fn default() -> Self {
+        InterprocConfig {
+            max_nodes: 4096,
+            follow_wrappers: true,
+        }
+    }
+}
+
+/// The interprocedural summary-splicing analyzer.
+#[derive(Debug, Clone, Default)]
+pub struct Interproc {
+    /// Configuration.
+    pub config: InterprocConfig,
+}
+
+impl Interproc {
+    /// Creates the engine with default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Analyzes a whole program (typically one package's files).
+    pub fn analyze_program(&self, prog: &Program) -> Vec<Finding> {
+        let infos = collect_infos(prog);
+        let n = infos.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut idx_of: HashMap<(String, String), usize> = HashMap::new();
+        for (i, fi) in infos.iter().enumerate() {
+            idx_of.entry((fi.pkg.clone(), fi.name.clone())).or_insert(i);
+        }
+        let edges: Vec<Vec<usize>> = infos
+            .iter()
+            .map(|fi| {
+                let mut out = Vec::new();
+                collect_callees(fi.skel_body(), &mut |callee| {
+                    if let Some(&j) = idx_of.get(&(fi.pkg.clone(), callee.to_string())) {
+                        out.push(j);
+                    }
+                });
+                out.sort_unstable();
+                out.dedup();
+                out
+            })
+            .collect();
+        let (scc_id, scc_order) = tarjan_sccs(&edges);
+
+        // Close functions callee-first (Tarjan emits sink SCCs first).
+        let mut closed: Vec<Option<ClosedFunc>> = (0..n).map(|_| None).collect();
+        for &f in &scc_order {
+            let cf = self.close_one(f, &infos, &idx_of, &scc_id, &closed);
+            closed[f] = Some(cf);
+        }
+
+        // Findings derivable without any call splicing, anywhere in the
+        // program: the intraprocedural baseline to subtract.
+        let mut intra: BTreeSet<(FindingKind, String, u32)> = BTreeSet::new();
+        for fi in &infos {
+            for cf in count_findings(
+                &fi.skel.chans,
+                &fi.skel.body,
+                self.config.follow_wrappers,
+                &|ch| ch.to_string(),
+            ) {
+                intra.insert((cf.kind, fi.skel.file.clone(), cf.line));
+            }
+        }
+
+        let pretty = |ch: &str| ch.split('@').next().unwrap_or(ch).to_string();
+        let mut out = Vec::new();
+        let mut seen: BTreeSet<(FindingKind, String, u32)> = BTreeSet::new();
+        for (i, fi) in infos.iter().enumerate() {
+            let cf = closed[i].as_ref().expect("closed in topo order");
+            if cf.spliced == 0 {
+                continue; // nothing interprocedural about this root
+            }
+            for f in count_findings(&cf.chans, &cf.body, self.config.follow_wrappers, &pretty) {
+                let Some(site) = cf.locmap.get(&f.line) else {
+                    continue;
+                };
+                let key = (f.kind, site.file.clone(), site.line);
+                if intra.contains(&key) || !seen.insert(key) {
+                    continue;
+                }
+                out.push(Finding {
+                    tool: "interproc",
+                    kind: f.kind,
+                    loc: Loc::new(site.file.clone(), site.line),
+                    func: fi.qname.clone(),
+                    message: format!("{} [witness: {}]", f.message, site.chain.join(" -> ")),
+                });
+            }
+        }
+        out.sort_by(|a, b| {
+            (&a.loc.file, a.loc.line, a.kind).cmp(&(&b.loc.file, b.loc.line, b.kind))
+        });
+        out
+    }
+
+    fn close_one(
+        &self,
+        f: usize,
+        infos: &[FuncInfo],
+        idx_of: &HashMap<(String, String), usize>,
+        scc_id: &[usize],
+        closed: &[Option<ClosedFunc>],
+    ) -> ClosedFunc {
+        let fi = &infos[f];
+        let mut b = Builder {
+            infos,
+            idx_of,
+            scc_id,
+            closed,
+            cur_scc: scc_id[f],
+            max_nodes: self.config.max_nodes,
+            next_id: 0,
+            next_inst: 0,
+            chans: fi.skel.chans.clone(),
+            locmap: BTreeMap::new(),
+            spliced: 0,
+        };
+        let body = b.lift_raw(&fi.skel.body, fi);
+        ClosedFunc {
+            chans: b.chans,
+            body,
+            locmap: b.locmap,
+            nodes: b.next_id as usize,
+            spliced: b.spliced,
+        }
+    }
+}
+
+impl Analyzer for Interproc {
+    fn name(&self) -> &'static str {
+        "interproc"
+    }
+
+    fn analyze_file(&self, file: &File) -> Vec<Finding> {
+        self.analyze_program(&Program::new(vec![file.clone()]))
+    }
+
+    fn analyze_files(&self, files: &[File]) -> Vec<Finding> {
+        self.analyze_program(&Program::new(files.to_vec()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-function raw info
+
+struct FuncInfo {
+    qname: String,
+    pkg: String,
+    name: String,
+    /// All parameter names in declared order (positional binding).
+    params: Vec<String>,
+    skel: crate::skeleton::Skeleton,
+}
+
+impl FuncInfo {
+    fn skel_body(&self) -> &[Node] {
+        &self.skel.body
+    }
+}
+
+fn collect_infos(prog: &Program) -> Vec<FuncInfo> {
+    let opts = ExtractOptions {
+        follow_wrappers: true,
+        inline_named_calls: false,
+        keep_calls: true,
+    };
+    prog.funcs()
+        .map(|fr| FuncInfo {
+            qname: fr.qualified(),
+            pkg: fr.file.package.clone(),
+            name: fr.func.name.clone(),
+            params: fr.func.params.iter().map(|p| p.name.clone()).collect(),
+            skel: extract_func(fr.file, fr.func, &opts),
+        })
+        .collect()
+}
+
+/// Walks a node tree invoking `f` on every kept call edge's callee name.
+fn collect_callees(nodes: &[Node], f: &mut dyn FnMut(&str)) {
+    for n in nodes {
+        match n {
+            Node::Call { callee, .. } => f(callee),
+            Node::Spawn { body, .. } | Node::Range { body, .. } | Node::Loop { body, .. } => {
+                collect_callees(body, f);
+            }
+            Node::Branch { arms, .. } => {
+                for a in arms {
+                    collect_callees(a, f);
+                }
+            }
+            Node::Select { arms, default, .. } => {
+                for (_, b) in arms {
+                    collect_callees(b, f);
+                }
+                collect_callees(default, f);
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tarjan SCC condensation
+
+/// Returns (scc id per node, node order with callees' SCCs first).
+fn tarjan_sccs(edges: &[Vec<usize>]) -> (Vec<usize>, Vec<usize>) {
+    let n = edges.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack = Vec::new();
+    let mut scc_id = vec![usize::MAX; n];
+    let mut order = Vec::with_capacity(n);
+    let mut next_index = 0usize;
+    let mut next_scc = 0usize;
+
+    // Iterative Tarjan: (node, next edge position).
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut call_stack: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&mut (v, ref mut ei)) = call_stack.last_mut() {
+            if *ei == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = edges[v].get(*ei) {
+                *ei += 1;
+                if index[w] == usize::MAX {
+                    call_stack.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    // Emit the SCC rooted at v; members get the same id
+                    // and join the global callee-first order.
+                    let mut members = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        scc_id[w] = next_scc;
+                        members.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    members.sort_unstable();
+                    order.extend(members);
+                    next_scc += 1;
+                }
+                call_stack.pop();
+                if let Some(&mut (u, _)) = call_stack.last_mut() {
+                    low[u] = low[u].min(low[v]);
+                }
+            }
+        }
+    }
+    (scc_id, order)
+}
+
+// ---------------------------------------------------------------------------
+// Closed skeletons
+
+/// Where a virtual line really lives.
+#[derive(Debug, Clone)]
+struct SrcSite {
+    file: String,
+    line: u32,
+    /// Qualified function names from the closed root down to the
+    /// function containing the site.
+    chain: Vec<String>,
+}
+
+/// A function's memoized bottom-up summary: its skeleton with every
+/// resolvable call spliced in, operations renumbered into a local
+/// virtual-line space with a side table back to real locations.
+struct ClosedFunc {
+    chans: Vec<ChanDef>,
+    body: Vec<Node>,
+    locmap: BTreeMap<u32, SrcSite>,
+    nodes: usize,
+    /// Number of call sites spliced (transitively); 0 means the closed
+    /// skeleton is identical in power to the raw one.
+    spliced: usize,
+}
+
+struct Builder<'a> {
+    infos: &'a [FuncInfo],
+    idx_of: &'a HashMap<(String, String), usize>,
+    scc_id: &'a [usize],
+    closed: &'a [Option<ClosedFunc>],
+    cur_scc: usize,
+    max_nodes: usize,
+    next_id: u32,
+    next_inst: u32,
+    chans: Vec<ChanDef>,
+    locmap: BTreeMap<u32, SrcSite>,
+    spliced: usize,
+}
+
+impl Builder<'_> {
+    fn alloc(&mut self, site: SrcSite) -> u32 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.locmap.insert(id, site);
+        id
+    }
+
+    /// Walks the function's own raw skeleton: real lines become virtual
+    /// ids with a `[self]` chain, call edges get resolved and spliced.
+    fn lift_raw(&mut self, nodes: &[Node], fi: &FuncInfo) -> Vec<Node> {
+        let mut out = Vec::new();
+        for n in nodes {
+            self.raw_node(n, fi, &mut out);
+        }
+        out
+    }
+
+    fn own_site(&self, fi: &FuncInfo, line: u32) -> SrcSite {
+        SrcSite {
+            file: fi.skel.file.clone(),
+            line,
+            chain: vec![fi.qname.clone()],
+        }
+    }
+
+    fn raw_node(&mut self, n: &Node, fi: &FuncInfo, out: &mut Vec<Node>) {
+        match n {
+            Node::Call {
+                callee,
+                args,
+                line,
+                via_go,
+            } => {
+                self.splice_call(callee, args, *line, *via_go, fi, out);
+            }
+            Node::Send { ch, line } => {
+                let line = self.alloc(self.own_site(fi, *line));
+                out.push(Node::Send {
+                    ch: ch.clone(),
+                    line,
+                });
+            }
+            Node::Recv {
+                ch,
+                line,
+                transient,
+                ctx_done,
+            } => {
+                let line = self.alloc(self.own_site(fi, *line));
+                out.push(Node::Recv {
+                    ch: ch.clone(),
+                    line,
+                    transient: *transient,
+                    ctx_done: *ctx_done,
+                });
+            }
+            Node::Close { ch, line } => {
+                let line = self.alloc(self.own_site(fi, *line));
+                out.push(Node::Close {
+                    ch: ch.clone(),
+                    line,
+                });
+            }
+            Node::Cancel { ch, line } => {
+                let line = self.alloc(self.own_site(fi, *line));
+                out.push(Node::Cancel {
+                    ch: ch.clone(),
+                    line,
+                });
+            }
+            Node::CtxTimer { var } => out.push(Node::CtxTimer { var: var.clone() }),
+            Node::Range { ch, line, body } => {
+                let line = self.alloc(self.own_site(fi, *line));
+                let body = self.lift_raw(body, fi);
+                out.push(Node::Range {
+                    ch: ch.clone(),
+                    line,
+                    body,
+                });
+            }
+            Node::Select {
+                arms,
+                has_default,
+                default,
+                line,
+            } => {
+                let line = self.alloc(self.own_site(fi, *line));
+                let arms = arms
+                    .iter()
+                    .map(|(op, b)| {
+                        let op = match op {
+                            SelectOp::Recv {
+                                ch,
+                                transient,
+                                ctx_done,
+                                line,
+                            } => SelectOp::Recv {
+                                ch: ch.clone(),
+                                transient: *transient,
+                                ctx_done: *ctx_done,
+                                line: self.alloc(self.own_site(fi, *line)),
+                            },
+                            SelectOp::Send { ch, line } => SelectOp::Send {
+                                ch: ch.clone(),
+                                line: self.alloc(self.own_site(fi, *line)),
+                            },
+                        };
+                        (op, self.lift_raw(b, fi))
+                    })
+                    .collect();
+                let default = self.lift_raw(default, fi);
+                out.push(Node::Select {
+                    arms,
+                    has_default: *has_default,
+                    default,
+                    line,
+                });
+            }
+            Node::Spawn {
+                body,
+                line,
+                via_wrapper,
+            } => {
+                let line = self.alloc(self.own_site(fi, *line));
+                let body = self.lift_raw(body, fi);
+                out.push(Node::Spawn {
+                    body,
+                    line,
+                    via_wrapper: *via_wrapper,
+                });
+            }
+            Node::Branch { arms, line } => {
+                let line = self.alloc(self.own_site(fi, *line));
+                let arms = arms.iter().map(|a| self.lift_raw(a, fi)).collect();
+                out.push(Node::Branch { arms, line });
+            }
+            Node::Loop {
+                body,
+                bound,
+                has_exit,
+                line,
+            } => {
+                let line = self.alloc(self.own_site(fi, *line));
+                let body = self.lift_raw(body, fi);
+                out.push(Node::Loop {
+                    body,
+                    bound: *bound,
+                    has_exit: *has_exit,
+                    line,
+                });
+            }
+            Node::Return { line } => {
+                let line = self.alloc(self.own_site(fi, *line));
+                out.push(Node::Return { line });
+            }
+            Node::Break => out.push(Node::Break),
+            Node::Continue => out.push(Node::Continue),
+        }
+    }
+
+    /// Resolves one kept call edge. Splices the callee's closed skeleton
+    /// when possible; otherwise re-emits the edge opaquely.
+    fn splice_call(
+        &mut self,
+        callee: &str,
+        args: &[Option<String>],
+        line: u32,
+        via_go: bool,
+        fi: &FuncInfo,
+        out: &mut Vec<Node>,
+    ) {
+        let resolved = self
+            .idx_of
+            .get(&(fi.pkg.clone(), callee.to_string()))
+            .copied();
+        let target = match resolved {
+            // Intra-SCC (recursive) edges stay opaque.
+            Some(j) if self.scc_id[j] != self.cur_scc => self.closed[j].as_ref(),
+            _ => None,
+        };
+        let Some(cg) = target else {
+            let line = self.alloc(self.own_site(fi, line));
+            out.push(Node::Call {
+                callee: callee.to_string(),
+                args: args.to_vec(),
+                line,
+                via_go,
+            });
+            return;
+        };
+        if self.next_id as usize + cg.nodes > self.max_nodes {
+            // Budget exceeded: bounded blowup, edge stays opaque.
+            let line = self.alloc(self.own_site(fi, line));
+            out.push(Node::Call {
+                callee: callee.to_string(),
+                args: args.to_vec(),
+                line,
+                via_go,
+            });
+            return;
+        }
+        let j = resolved.expect("target implies resolved");
+        let inst = self.next_inst;
+        self.next_inst += 1;
+        self.spliced += 1;
+
+        // Channel renaming: parameters bind positionally to argument
+        // names (already in the caller's namespace); everything else the
+        // callee defines gets a fresh instantiation-suffixed copy.
+        let mut rename: HashMap<String, String> = HashMap::new();
+        let callee_params = &self.infos[j].params;
+        for cd in &cg.chans {
+            if let Some(pos) = callee_params.iter().position(|p| p == &cd.name) {
+                match args.get(pos).and_then(|a| a.clone()) {
+                    Some(arg) => {
+                        rename.insert(cd.name.clone(), arg);
+                    }
+                    None => {
+                        // Argument is not a simple channel identifier:
+                        // bind to a fresh opaque external.
+                        let fresh = format!("{}@{inst}", cd.name);
+                        rename.insert(cd.name.clone(), fresh.clone());
+                        self.chans.push(ChanDef {
+                            name: fresh,
+                            source: ChanSource::External,
+                        });
+                    }
+                }
+            } else {
+                let fresh = format!("{}@{inst}", cd.name);
+                rename.insert(cd.name.clone(), fresh.clone());
+                self.chans.push(ChanDef {
+                    name: fresh,
+                    source: cd.source.clone(),
+                });
+            }
+        }
+
+        let prefix = fi.qname.clone();
+        let mut body = self.lift_closed(&cg.body, &cg.locmap, &rename, &prefix);
+        if via_go {
+            let line = self.alloc(self.own_site(fi, line));
+            out.push(Node::Spawn {
+                body,
+                line,
+                via_wrapper: false,
+            });
+        } else {
+            // Synchronous splice: the callee's returns must not cut the
+            // caller's path (same rule as same-file inlining).
+            strip_returns(&mut body);
+            out.extend(body);
+        }
+    }
+
+    fn relocated(&self, locmap: &BTreeMap<u32, SrcSite>, old: u32, prefix: &str) -> SrcSite {
+        let site = locmap.get(&old).expect("closed body line has a site");
+        let mut chain = Vec::with_capacity(site.chain.len() + 1);
+        chain.push(prefix.to_string());
+        chain.extend(site.chain.iter().cloned());
+        SrcSite {
+            file: site.file.clone(),
+            line: site.line,
+            chain,
+        }
+    }
+
+    /// Instantiates a memoized closed skeleton: applies the channel
+    /// rename map and relocates every virtual line into this builder's
+    /// space, extending the call chains with the instantiating function.
+    fn lift_closed(
+        &mut self,
+        nodes: &[Node],
+        locmap: &BTreeMap<u32, SrcSite>,
+        rename: &HashMap<String, String>,
+        prefix: &str,
+    ) -> Vec<Node> {
+        let ren = |ch: &Option<String>| -> Option<String> {
+            ch.as_ref()
+                .map(|c| rename.get(c).cloned().unwrap_or_else(|| c.clone()))
+        };
+        let mut out = Vec::new();
+        for n in nodes {
+            let node = match n {
+                Node::Send { ch, line } => Node::Send {
+                    ch: ren(ch),
+                    line: self.alloc(self.relocated(locmap, *line, prefix)),
+                },
+                Node::Recv {
+                    ch,
+                    line,
+                    transient,
+                    ctx_done,
+                } => Node::Recv {
+                    ch: ren(ch),
+                    line: self.alloc(self.relocated(locmap, *line, prefix)),
+                    transient: *transient,
+                    ctx_done: *ctx_done,
+                },
+                Node::Close { ch, line } => Node::Close {
+                    ch: ren(ch),
+                    line: self.alloc(self.relocated(locmap, *line, prefix)),
+                },
+                Node::Cancel { ch, line } => Node::Cancel {
+                    ch: ren(ch),
+                    line: self.alloc(self.relocated(locmap, *line, prefix)),
+                },
+                Node::CtxTimer { var } => Node::CtxTimer {
+                    var: rename.get(var).cloned().unwrap_or_else(|| var.clone()),
+                },
+                Node::Range { ch, line, body } => Node::Range {
+                    ch: ren(ch),
+                    line: self.alloc(self.relocated(locmap, *line, prefix)),
+                    body: self.lift_closed(body, locmap, rename, prefix),
+                },
+                Node::Select {
+                    arms,
+                    has_default,
+                    default,
+                    line,
+                } => Node::Select {
+                    arms: arms
+                        .iter()
+                        .map(|(op, b)| {
+                            let op = match op {
+                                crate::skeleton::SelectOp::Recv {
+                                    ch,
+                                    transient,
+                                    ctx_done,
+                                    line,
+                                } => crate::skeleton::SelectOp::Recv {
+                                    ch: ren(ch),
+                                    transient: *transient,
+                                    ctx_done: *ctx_done,
+                                    line: self.alloc(self.relocated(locmap, *line, prefix)),
+                                },
+                                crate::skeleton::SelectOp::Send { ch, line } => {
+                                    crate::skeleton::SelectOp::Send {
+                                        ch: ren(ch),
+                                        line: self.alloc(self.relocated(locmap, *line, prefix)),
+                                    }
+                                }
+                            };
+                            (op, self.lift_closed(b, locmap, rename, prefix))
+                        })
+                        .collect(),
+                    has_default: *has_default,
+                    default: self.lift_closed(default, locmap, rename, prefix),
+                    line: self.alloc(self.relocated(locmap, *line, prefix)),
+                },
+                Node::Spawn {
+                    body,
+                    line,
+                    via_wrapper,
+                } => Node::Spawn {
+                    body: self.lift_closed(body, locmap, rename, prefix),
+                    line: self.alloc(self.relocated(locmap, *line, prefix)),
+                    via_wrapper: *via_wrapper,
+                },
+                Node::Branch { arms, line } => Node::Branch {
+                    arms: arms
+                        .iter()
+                        .map(|a| self.lift_closed(a, locmap, rename, prefix))
+                        .collect(),
+                    line: self.alloc(self.relocated(locmap, *line, prefix)),
+                },
+                Node::Loop {
+                    body,
+                    bound,
+                    has_exit,
+                    line,
+                } => Node::Loop {
+                    body: self.lift_closed(body, locmap, rename, prefix),
+                    bound: *bound,
+                    has_exit: *has_exit,
+                    line: self.alloc(self.relocated(locmap, *line, prefix)),
+                },
+                Node::Return { line } => Node::Return {
+                    line: self.alloc(self.relocated(locmap, *line, prefix)),
+                },
+                Node::Break => Node::Break,
+                Node::Continue => Node::Continue,
+                // Calls surviving inside a closed body are unresolvable
+                // or recursive; re-emit with remapped args.
+                Node::Call {
+                    callee,
+                    args,
+                    line,
+                    via_go,
+                } => Node::Call {
+                    callee: callee.clone(),
+                    args: args.iter().map(&ren).collect(),
+                    line: self.alloc(self.relocated(locmap, *line, prefix)),
+                    via_go: *via_go,
+                },
+            };
+            out.push(node);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze(sources: &[(&str, &str)]) -> Vec<Finding> {
+        let srcs: Vec<(String, String)> = sources
+            .iter()
+            .map(|(s, p)| (s.to_string(), p.to_string()))
+            .collect();
+        let prog = Program::from_sources(&srcs).expect("parses");
+        Interproc::new().analyze_program(&prog)
+    }
+
+    // A handshake completes, then the caller abandons the result channel
+    // on an early-return branch; the callee's result send blocks forever.
+    // The guard receive keeps the truth site unreachable under
+    // modelcheck's closed-world view of parameter channels.
+    const HANDOFF_MAIN: &str = r#"
+package p
+
+func Scenario(fail bool) {
+	ready := make(chan int)
+	out := make(chan int)
+	go waitAndSend(ready, out)
+	ready <- 1
+	if fail {
+		return
+	}
+	<-out
+}
+"#;
+    const HANDOFF_HELPER: &str = r#"
+package p
+
+func waitAndSend(ready chan int, out chan int) {
+	<-ready
+	out <- 1
+}
+"#;
+
+    #[test]
+    fn cross_file_abandoned_result_send_found_with_witness() {
+        let f = analyze(&[(HANDOFF_MAIN, "p/main.go"), (HANDOFF_HELPER, "p/helper.go")]);
+        let hit = f
+            .iter()
+            .find(|x| x.kind == FindingKind::BlockedSend && x.loc.file.as_ref() == "p/helper.go")
+            .unwrap_or_else(|| panic!("expected blocked send in helper, got {f:?}"));
+        assert_eq!(hit.loc.line, 6);
+        assert!(
+            hit.message.contains("p.Scenario -> p.waitAndSend"),
+            "witness path missing: {}",
+            hit.message
+        );
+        // The channel is reported under its caller-side name.
+        assert!(hit.message.contains("`out`"), "message: {}", hit.message);
+    }
+
+    #[test]
+    fn baselines_miss_what_interproc_reports() {
+        use crate::{AbsInt, ModelCheck, PathCheck};
+        for (src, path) in [(HANDOFF_MAIN, "p/main.go"), (HANDOFF_HELPER, "p/helper.go")] {
+            let file = minigo::parse_file(src, path).expect("parse");
+            for findings in [
+                PathCheck::new().analyze_file(&file),
+                AbsInt::new().analyze_file(&file),
+                ModelCheck::new().analyze_file(&file),
+            ] {
+                assert!(
+                    !findings
+                        .iter()
+                        .any(|x| x.loc.file.as_ref() == "p/helper.go" && x.loc.line == 6),
+                    "an intraprocedural baseline saw the cross-file site: {findings:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn intraprocedural_findings_are_subtracted() {
+        // Same leak, but fully visible in one function: pathcheck's
+        // territory, not interproc's.
+        let src = r#"
+package p
+
+func Scenario(fail bool) {
+	ch := make(chan int)
+	go func() {
+		<-in
+	}()
+	if fail {
+		return
+	}
+	ch <- 1
+}
+"#;
+        let f = analyze(&[(src, "p/one.go")]);
+        assert!(f.is_empty(), "no calls spliced, nothing to report: {f:?}");
+    }
+
+    #[test]
+    fn benign_cross_file_drain_with_close_is_silent() {
+        let main = r#"
+package p
+
+func Ok(items int) {
+	ch := make(chan int)
+	go drainAll(ch)
+	for i := 0; i < items; i++ {
+		ch <- i
+	}
+	close(ch)
+}
+"#;
+        let helper = r#"
+package p
+
+func drainAll(in chan int) {
+	for item := range in {
+		sim.Work(item)
+	}
+}
+"#;
+        let f = analyze(&[(main, "p/main.go"), (helper, "p/helper.go")]);
+        assert!(f.is_empty(), "closed pipeline must stay silent: {f:?}");
+    }
+
+    #[test]
+    fn recursion_stays_bounded_and_silent() {
+        let src = r#"
+package p
+
+func Ping(ch chan int, n int) {
+	go Pong(ch, n)
+	<-ch
+}
+
+func Pong(ch chan int, n int) {
+	ch <- 1
+	Ping(ch, n)
+}
+"#;
+        // Ping/Pong form an SCC: edges inside it stay opaque, analysis
+        // terminates, and param-only channels produce no findings.
+        let f = analyze(&[(src, "p/rec.go")]);
+        assert!(
+            f.is_empty(),
+            "recursive cycle must not loop or report: {f:?}"
+        );
+    }
+
+    #[test]
+    fn fanout_through_sync_helper_found_at_helper_site() {
+        let main = r#"
+package p
+
+func Gather(n int) {
+	ch := make(chan int)
+	startProducers(ch, n)
+	first := <-ch
+	_ = first
+}
+"#;
+        let helper = r#"
+package p
+
+func startProducers(out chan int, n int) {
+	for i := 0; i < n; i++ {
+		go func() {
+			out <- i
+		}()
+	}
+}
+"#;
+        let f = analyze(&[(main, "p/main.go"), (helper, "p/helper.go")]);
+        assert!(
+            f.iter().any(|x| {
+                x.kind == FindingKind::BlockedSend
+                    && x.loc.file.as_ref() == "p/helper.go"
+                    && x.loc.line == 7
+            }),
+            "expected blocked send inside the helper's spawned closure: {f:?}"
+        );
+    }
+}

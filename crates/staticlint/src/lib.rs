@@ -10,6 +10,14 @@
 //! | [`absint::AbsInt`] | Goat | abstract interpretation over count intervals |
 //! | [`modelcheck::ModelCheck`] | Gomela | explicit-state model checking with a budget |
 //! | [`rangeclose::RangeClose`] | §VIII linter | unclosed `for range ch` detection |
+//! | [`interproc::Interproc`] | trace-based Mini-Go analyses | call graph + bottom-up summary splicing |
+//!
+//! The first three are deliberately **intraprocedural** (per file, one
+//! level of same-file inlining) — the regime the paper's Table III
+//! measures. [`interproc`] is the crate's step beyond them: it resolves
+//! call edges across files via [`minigo::Program`], condenses SCCs, and
+//! splices callee summaries into callers so caller/callee-spanning leaks
+//! are found and reported with an interprocedural witness path.
 //!
 //! All analyzers consume the [`minigo`] AST through a shared
 //! [`skeleton`] extraction, implement the common
@@ -47,13 +55,16 @@
 
 pub mod absint;
 pub mod findings;
+pub mod interproc;
 pub mod modelcheck;
 pub mod pathcheck;
+mod paths;
 pub mod rangeclose;
 pub mod skeleton;
 
 pub use absint::AbsInt;
 pub use findings::{Analyzer, Finding, FindingKind};
+pub use interproc::Interproc;
 pub use modelcheck::ModelCheck;
 pub use pathcheck::PathCheck;
 pub use rangeclose::RangeClose;

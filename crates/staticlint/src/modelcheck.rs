@@ -79,6 +79,7 @@ impl ModelCheck {
         let opts = ExtractOptions {
             follow_wrappers: self.config.follow_wrappers,
             inline_named_calls: true,
+            keep_calls: false,
         };
         let mut findings = Vec::new();
         let mut stats = ModelCheckStats::default();
@@ -409,6 +410,11 @@ impl<'a> Compiler<'a> {
             // `break`/`continue` are approximated by the nondeterministic
             // loop exits above.
             Node::Break | Node::Continue => {}
+            // Unresolved call edges (only emitted under `keep_calls`,
+            // which the model checker never enables).
+            Node::Call { .. } => {
+                self.emit(prog, MInstr::Nop);
+            }
         }
     }
 }

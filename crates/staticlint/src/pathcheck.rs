@@ -20,19 +20,20 @@
 //! the function, wrapper spawns (unless configured), and cross-file
 //! callees are not tracked (false negatives). This reproduces the
 //! precision regime the paper measures in Table III.
+//!
+//! The enumeration/counting machinery itself lives in [`crate::paths`]
+//! and is shared with the interprocedural engine ([`crate::interproc`]),
+//! which runs it over call-graph-spliced skeletons instead of per-file
+//! ones.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 use gosim::Loc;
 use minigo::ast::File;
 
 use crate::findings::{Analyzer, Finding, FindingKind};
-use crate::skeleton::{extract_file, Cap, ChanSource, ExtractOptions, Node, SelectOp, Skeleton};
-
-/// "Infinity" for saturating op counts.
-const INF: u64 = u64::MAX / 4;
-/// Cap on enumerated paths per goroutine.
-const MAX_PATHS: usize = 96;
+use crate::paths::count_findings;
+use crate::skeleton::{extract_file, ExtractOptions, Skeleton};
 
 /// Configuration for the path checker.
 #[derive(Debug, Clone, Default)]
@@ -55,465 +56,6 @@ impl PathCheck {
     }
 }
 
-/// Per-channel operation counts along one path, as (lo, hi) bounds.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-struct OpCounts {
-    sends_lo: u64,
-    sends_hi: u64,
-    recvs_lo: u64,
-    recvs_hi: u64,
-    closes_lo: u64,
-    closes_hi: u64,
-}
-
-impl OpCounts {
-    fn scale(&self, lo_mult: u64, hi_mult: u64) -> OpCounts {
-        let m = |v: u64, k: u64| v.saturating_mul(k).min(INF);
-        OpCounts {
-            sends_lo: m(self.sends_lo, lo_mult),
-            sends_hi: m(self.sends_hi, hi_mult),
-            recvs_lo: m(self.recvs_lo, lo_mult),
-            recvs_hi: m(self.recvs_hi, hi_mult),
-            closes_lo: m(self.closes_lo, lo_mult),
-            closes_hi: m(self.closes_hi, hi_mult),
-        }
-    }
-
-    fn add(&mut self, other: &OpCounts) {
-        self.sends_lo = (self.sends_lo + other.sends_lo).min(INF);
-        self.sends_hi = (self.sends_hi + other.sends_hi).min(INF);
-        self.recvs_lo = (self.recvs_lo + other.recvs_lo).min(INF);
-        self.recvs_hi = (self.recvs_hi + other.recvs_hi).min(INF);
-        self.closes_lo = (self.closes_lo + other.closes_lo).min(INF);
-        self.closes_hi = (self.closes_hi + other.closes_hi).min(INF);
-    }
-}
-
-/// A recorded operation site for reporting.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
-enum Site {
-    Send {
-        ch: String,
-        line: u32,
-    },
-    Recv {
-        ch: String,
-        line: u32,
-    },
-    Range {
-        ch: String,
-        line: u32,
-    },
-    Select {
-        line: u32,
-        arms: Vec<SelectOp>,
-        has_default: bool,
-    },
-}
-
-/// Summary of one enumerated path of one goroutine.
-#[derive(Debug, Clone, Default)]
-struct PathSummary {
-    counts: BTreeMap<String, OpCounts>,
-    sites: Vec<Site>,
-    /// Spawn sites executed on this path: (spawn id, lo mult, hi mult).
-    spawns: Vec<(usize, u64, u64)>,
-}
-
-impl PathSummary {
-    fn merge_seq(&mut self, other: &PathSummary) {
-        for (ch, c) in &other.counts {
-            self.counts.entry(ch.clone()).or_default().add(c);
-        }
-        self.sites.extend(other.sites.iter().cloned());
-        self.spawns.extend(other.spawns.iter().copied());
-    }
-
-    fn scaled(&self, lo: u64, hi: u64) -> PathSummary {
-        PathSummary {
-            counts: self
-                .counts
-                .iter()
-                .map(|(k, v)| (k.clone(), v.scale(lo, hi)))
-                .collect(),
-            sites: self.sites.clone(),
-            spawns: self
-                .spawns
-                .iter()
-                .map(|(id, l, h)| {
-                    (
-                        *id,
-                        l.saturating_mul(lo).min(INF),
-                        h.saturating_mul(hi).min(INF),
-                    )
-                })
-                .collect(),
-        }
-    }
-}
-
-/// Everything enumerated for one function.
-struct Enumeration {
-    root_paths: Vec<PathSummary>,
-    /// Child goroutines, indexed by spawn id.
-    child_paths: Vec<Vec<PathSummary>>,
-}
-
-struct Enumerator<'a> {
-    config: &'a PathCheckConfig,
-    children: Vec<Vec<PathSummary>>,
-}
-
-impl Enumerator<'_> {
-    /// Enumerates path summaries of a node list, each flagged with
-    /// "this path terminated early" (return / endless loop), so that
-    /// callers do not extend dead paths.
-    fn paths(&mut self, nodes: &[Node]) -> Vec<(PathSummary, bool)> {
-        let mut acc: Vec<(PathSummary, bool)> = vec![(PathSummary::default(), false)];
-        for node in nodes {
-            let alts = self.node_alternatives(node);
-            if alts.is_empty() {
-                continue;
-            }
-            let mut next = Vec::with_capacity(acc.len().min(MAX_PATHS));
-            'fill: for (base, terminated) in &acc {
-                if *terminated {
-                    next.push((base.clone(), true));
-                    if next.len() >= MAX_PATHS {
-                        break 'fill;
-                    }
-                    continue;
-                }
-                for (alt, aterm) in &alts {
-                    let mut p = base.clone();
-                    p.merge_seq(alt);
-                    next.push((p, *aterm));
-                    if next.len() >= MAX_PATHS {
-                        break 'fill;
-                    }
-                }
-            }
-            acc = next;
-        }
-        acc
-    }
-
-    /// Enumerates paths and drops the termination flags.
-    fn flat_paths(&mut self, nodes: &[Node]) -> Vec<PathSummary> {
-        self.paths(nodes).into_iter().map(|(p, _)| p).collect()
-    }
-
-    /// Returns the alternative summaries of a single node, each flagged
-    /// with "terminates the path".
-    fn node_alternatives(&mut self, node: &Node) -> Vec<(PathSummary, bool)> {
-        match node {
-            Node::Send { ch, line } => {
-                let mut p = PathSummary::default();
-                if let Some(c) = ch {
-                    p.counts.entry(c.clone()).or_default().sends_lo = 1;
-                    p.counts.get_mut(c).expect("just inserted").sends_hi = 1;
-                    p.sites.push(Site::Send {
-                        ch: c.clone(),
-                        line: *line,
-                    });
-                }
-                vec![(p, false)]
-            }
-            Node::Recv {
-                ch,
-                line,
-                transient,
-                ctx_done: _,
-            } => {
-                let mut p = PathSummary::default();
-                if *transient {
-                    return vec![(p, false)]; // timers always fire
-                }
-                if let Some(c) = ch {
-                    let e = p.counts.entry(c.clone()).or_default();
-                    e.recvs_lo = 1;
-                    e.recvs_hi = 1;
-                    p.sites.push(Site::Recv {
-                        ch: c.clone(),
-                        line: *line,
-                    });
-                }
-                vec![(p, false)]
-            }
-            Node::Close { ch, .. } | Node::Cancel { ch, .. } => {
-                let mut p = PathSummary::default();
-                if let Some(c) = ch {
-                    let e = p.counts.entry(c.clone()).or_default();
-                    e.closes_lo = 1;
-                    e.closes_hi = 1;
-                }
-                vec![(p, false)]
-            }
-            Node::CtxTimer { var } => {
-                // The runtime will close the done channel at the deadline.
-                let mut p = PathSummary::default();
-                let e = p.counts.entry(var.clone()).or_default();
-                e.closes_lo = 1;
-                e.closes_hi = 1;
-                vec![(p, false)]
-            }
-            Node::Range { ch, line, body } => {
-                // Receives until close; body repeats 0..inf times.
-                let body_paths = self.flat_paths(body);
-                let mut out = Vec::new();
-                for bp in body_paths.iter().take(4) {
-                    let mut p = bp.scaled(0, INF);
-                    if let Some(c) = ch {
-                        let e = p.counts.entry(c.clone()).or_default();
-                        e.recvs_lo = e.recvs_lo.max(1);
-                        e.recvs_hi = INF;
-                        p.sites.push(Site::Range {
-                            ch: c.clone(),
-                            line: *line,
-                        });
-                    }
-                    out.push((p, false));
-                }
-                if out.is_empty() {
-                    let mut p = PathSummary::default();
-                    if let Some(c) = ch {
-                        let e = p.counts.entry(c.clone()).or_default();
-                        e.recvs_lo = 1;
-                        e.recvs_hi = INF;
-                        p.sites.push(Site::Range {
-                            ch: c.clone(),
-                            line: *line,
-                        });
-                    }
-                    out.push((p, false));
-                }
-                out
-            }
-            Node::Select {
-                arms,
-                has_default,
-                default,
-                line,
-            } => {
-                let mut out = Vec::new();
-                let arm_ops: Vec<SelectOp> = arms.iter().map(|(op, _)| op.clone()).collect();
-                for (op, body) in arms {
-                    for bp in self.flat_paths(body).into_iter().take(8) {
-                        let mut p = PathSummary::default();
-                        match op {
-                            SelectOp::Recv {
-                                ch: Some(c),
-                                transient: false,
-                                ..
-                            } => {
-                                let e = p.counts.entry(c.clone()).or_default();
-                                e.recvs_lo = 1;
-                                e.recvs_hi = 1;
-                            }
-                            SelectOp::Send { ch: Some(c), .. } => {
-                                let e = p.counts.entry(c.clone()).or_default();
-                                e.sends_lo = 1;
-                                e.sends_hi = 1;
-                            }
-                            _ => {}
-                        }
-                        p.sites.push(Site::Select {
-                            line: *line,
-                            arms: arm_ops.clone(),
-                            has_default: *has_default,
-                        });
-                        p.merge_seq(&bp);
-                        out.push((p, false));
-                    }
-                }
-                if *has_default {
-                    for bp in self.flat_paths(default).into_iter().take(4) {
-                        let mut p = PathSummary::default();
-                        p.sites.push(Site::Select {
-                            line: *line,
-                            arms: arm_ops.clone(),
-                            has_default: true,
-                        });
-                        p.merge_seq(&bp);
-                        out.push((p, false));
-                    }
-                }
-                if out.is_empty() {
-                    // select{} — blocks forever.
-                    let mut p = PathSummary::default();
-                    p.sites.push(Site::Select {
-                        line: *line,
-                        arms: vec![],
-                        has_default: false,
-                    });
-                    out.push((p, true));
-                }
-                out
-            }
-            Node::Spawn {
-                body,
-                line: _,
-                via_wrapper,
-            } => {
-                if *via_wrapper && !self.config.follow_wrappers {
-                    // Wrapper blindness: the spawn is invisible.
-                    return vec![(PathSummary::default(), false)];
-                }
-                let id = self.children.len();
-                self.children.push(Vec::new()); // placeholder (recursion)
-                let child = self.flat_paths(body);
-                self.children[id] = child;
-                let mut p = PathSummary::default();
-                p.spawns.push((id, 1, 1));
-                vec![(p, false)]
-            }
-            Node::Branch { arms, .. } => {
-                let mut out = Vec::new();
-                for a in arms {
-                    out.extend(self.paths(a).into_iter().take(MAX_PATHS / 2));
-                }
-                if out.is_empty() {
-                    out.push((PathSummary::default(), false));
-                }
-                out
-            }
-            Node::Loop {
-                body,
-                bound,
-                has_exit,
-                ..
-            } => {
-                let body_paths = self.flat_paths(body);
-                let mut out = Vec::new();
-                match bound {
-                    Some(k) => {
-                        let k = *k as u64;
-                        for bp in body_paths.iter().take(6) {
-                            out.push((bp.scaled(k, k), false));
-                        }
-                        if out.is_empty() {
-                            out.push((PathSummary::default(), false));
-                        }
-                    }
-                    None => {
-                        // Unknown bound: 0, 1, or "many" iterations.
-                        out.push((PathSummary::default(), false));
-                        for bp in body_paths.iter().take(4) {
-                            out.push((bp.clone(), false));
-                            out.push((bp.scaled(0, INF), !*has_exit));
-                        }
-                    }
-                }
-                out
-            }
-            Node::Return { .. } => vec![(PathSummary::default(), true)],
-            Node::Break | Node::Continue => vec![(PathSummary::default(), false)],
-        }
-    }
-}
-
-/// Adversarial totals: for each channel, the worst-case achievable
-/// (sends_hi, recvs_lo, closes==0 possible) over a root path and its
-/// transitively spawned children.
-#[derive(Debug, Clone, Copy, Default)]
-struct Worst {
-    /// Max achievable sends.
-    sends_hi: u64,
-    /// Min achievable recvs.
-    recvs_lo: u64,
-    /// Max achievable recvs.
-    recvs_hi: u64,
-    /// Min achievable sends.
-    sends_lo: u64,
-    /// Is there a combination with zero closes?
-    no_close_possible: bool,
-    /// Is a close guaranteed on every combination?
-    close_guaranteed: bool,
-}
-
-fn analyze_root_path(root: &PathSummary, children: &[Vec<PathSummary>], chan: &str) -> Worst {
-    // Gather the root's own counts.
-    let base = root.counts.get(chan).copied().unwrap_or_default();
-    let mut w = Worst {
-        sends_hi: base.sends_hi,
-        recvs_lo: base.recvs_lo,
-        recvs_hi: base.recvs_hi,
-        sends_lo: base.sends_lo,
-        no_close_possible: base.closes_hi == 0,
-        close_guaranteed: base.closes_lo > 0,
-    };
-    // Children chosen adversarially and independently per objective —
-    // a sound over-approximation of "exists a combination".
-    let mut stack: Vec<(usize, u64, u64)> = root.spawns.clone();
-    let mut seen_depth = 0;
-    while let Some((id, lo_mult, hi_mult)) = stack.pop() {
-        seen_depth += 1;
-        if seen_depth > 256 {
-            break;
-        }
-        let paths = &children[id];
-        if paths.is_empty() {
-            continue;
-        }
-        let get = |p: &PathSummary| p.counts.get(chan).copied().unwrap_or_default();
-        let max_sends = paths.iter().map(|p| get(p).sends_hi).max().unwrap_or(0);
-        let min_sends = paths.iter().map(|p| get(p).sends_lo).min().unwrap_or(0);
-        let max_recvs = paths.iter().map(|p| get(p).recvs_hi).max().unwrap_or(0);
-        let min_recvs = paths.iter().map(|p| get(p).recvs_lo).min().unwrap_or(0);
-        let can_skip_close = paths.iter().any(|p| get(p).closes_hi == 0);
-        let must_close = paths.iter().all(|p| get(p).closes_lo > 0);
-
-        w.sends_hi = (w.sends_hi + max_sends.saturating_mul(hi_mult)).min(INF);
-        w.sends_lo = (w.sends_lo + min_sends.saturating_mul(lo_mult)).min(INF);
-        w.recvs_hi = (w.recvs_hi + max_recvs.saturating_mul(hi_mult)).min(INF);
-        w.recvs_lo = (w.recvs_lo + min_recvs.saturating_mul(lo_mult)).min(INF);
-        // If the spawn may not run (lo_mult == 0), a guaranteed close in
-        // the child is not guaranteed overall.
-        if must_close && lo_mult > 0 {
-            w.close_guaranteed = true;
-        }
-        if !can_skip_close && hi_mult > 0 {
-            w.no_close_possible = false;
-        }
-        // Grandchildren.
-        for p in paths {
-            for s in &p.spawns {
-                stack.push((
-                    s.0,
-                    s.1.saturating_mul(lo_mult),
-                    s.2.saturating_mul(hi_mult),
-                ));
-            }
-        }
-    }
-    w
-}
-
-fn chan_capacity(skel: &Skeleton, name: &str) -> Option<u64> {
-    skel.chans
-        .iter()
-        .find(|c| c.name == name)
-        .and_then(|c| match c.source {
-            ChanSource::Local { cap: Cap::Zero, .. } => Some(0),
-            ChanSource::Local {
-                cap: Cap::Const(n), ..
-            } => Some(n as u64),
-            // Dynamic capacity: assume "big enough" (avoids FPs, costs FNs).
-            ChanSource::Local { cap: Cap::Dyn, .. } => None,
-            ChanSource::External => None,
-        })
-}
-
-fn all_sites<'p>(root: &'p PathSummary, children: &'p [Vec<PathSummary>]) -> Vec<&'p Site> {
-    let mut out: Vec<&Site> = root.sites.iter().collect();
-    for paths in children {
-        for p in paths {
-            out.extend(p.sites.iter());
-        }
-    }
-    out
-}
-
 impl Analyzer for PathCheck {
     fn name(&self) -> &'static str {
         "pathcheck"
@@ -523,6 +65,7 @@ impl Analyzer for PathCheck {
         let opts = ExtractOptions {
             follow_wrappers: self.config.follow_wrappers,
             inline_named_calls: true,
+            keep_calls: false,
         };
         let mut findings = Vec::new();
         for skel in extract_file(file, &opts) {
@@ -537,129 +80,13 @@ impl Analyzer for PathCheck {
 
 impl PathCheck {
     fn analyze_skeleton(&self, skel: &Skeleton, findings: &mut Vec<Finding>) {
-        let mut en = Enumerator {
-            config: &self.config,
-            children: Vec::new(),
-        };
-        let root_paths = en.flat_paths(&skel.body);
-        let enumeration = Enumeration {
-            root_paths,
-            child_paths: en.children,
-        };
-
-        let local_chans: Vec<&str> = skel
-            .chans
-            .iter()
-            .filter(|c| matches!(c.source, ChanSource::Local { .. }))
-            .map(|c| c.name.as_str())
-            .collect();
-
-        for root in &enumeration.root_paths {
-            let sites = all_sites(root, &enumeration.child_paths);
-            for &ch in &local_chans {
-                let Some(cap) = chan_capacity(skel, ch) else {
-                    continue;
-                };
-                let w = analyze_root_path(root, &enumeration.child_paths, ch);
-
-                // Blocked send: more sends than receives + buffer.
-                if w.sends_hi > w.recvs_lo.saturating_add(cap) && !w.close_guaranteed {
-                    for site in &sites {
-                        if let Site::Send { ch: c, line } = site {
-                            if c == ch {
-                                findings.push(self.finding(
-                                    skel,
-                                    FindingKind::BlockedSend,
-                                    *line,
-                                    format!(
-                                        "send on `{ch}` may never find a receiver \
-                                         (worst case {} sends vs {} receives, cap {cap})",
-                                        w.sends_hi, w.recvs_lo
-                                    ),
-                                ));
-                            }
-                        }
-                    }
-                }
-
-                // Blocked receive: more receives than sends, no close.
-                if w.recvs_hi > w.sends_lo && w.no_close_possible {
-                    for site in &sites {
-                        match site {
-                            Site::Recv { ch: c, line } if c == ch => {
-                                findings.push(self.finding(
-                                    skel,
-                                    FindingKind::BlockedRecv,
-                                    *line,
-                                    format!(
-                                        "receive on `{ch}` may never find a sender \
-                                         and the channel is never closed"
-                                    ),
-                                ));
-                            }
-                            Site::Range { ch: c, line } if c == ch => {
-                                findings.push(self.finding(
-                                    skel,
-                                    FindingKind::UnclosedRange,
-                                    *line,
-                                    format!("range over `{ch}` which may never be closed"),
-                                ));
-                            }
-                            _ => {}
-                        }
-                    }
-                }
-            }
-
-            // Blocked select: every arm starvable.
-            for site in &sites {
-                let Site::Select {
-                    line,
-                    arms,
-                    has_default,
-                } = site
-                else {
-                    continue;
-                };
-                if *has_default {
-                    continue;
-                }
-                let starved = arms.iter().all(|arm| match arm {
-                    SelectOp::Recv {
-                        transient: true, ..
-                    } => false,
-                    SelectOp::Recv { ch: Some(c), .. } => {
-                        let Some(_cap) = chan_capacity(skel, c) else {
-                            return false;
-                        };
-                        let w = analyze_root_path(root, &enumeration.child_paths, c);
-                        // Arm can starve if nobody may send and nobody
-                        // may close.
-                        w.sends_hi == 0 && w.no_close_possible
-                    }
-                    SelectOp::Recv { ch: None, .. } => false,
-                    SelectOp::Send { ch: Some(c), .. } => {
-                        let Some(cap) = chan_capacity(skel, c) else {
-                            return false;
-                        };
-                        let w = analyze_root_path(root, &enumeration.child_paths, c);
-                        w.recvs_hi == 0 && cap == 0
-                    }
-                    SelectOp::Send { ch: None, .. } => false,
-                });
-                if arms.is_empty() || starved {
-                    findings.push(self.finding(
-                        skel,
-                        FindingKind::BlockedSelect,
-                        *line,
-                        if arms.is_empty() {
-                            "select with no cases blocks forever".to_string()
-                        } else {
-                            "no select arm can ever become ready".to_string()
-                        },
-                    ));
-                }
-            }
+        for cf in count_findings(
+            &skel.chans,
+            &skel.body,
+            self.config.follow_wrappers,
+            &|ch| ch.to_string(),
+        ) {
+            findings.push(self.finding(skel, cf.kind, cf.line, cf.message));
         }
     }
 

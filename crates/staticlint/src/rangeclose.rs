@@ -31,6 +31,7 @@ impl RangeClose {
             opts: Some(ExtractOptions {
                 follow_wrappers: true,
                 inline_named_calls: true,
+                keep_calls: false,
             }),
         }
     }
@@ -226,5 +227,84 @@ func Consume(ch chan int) {
 "#,
         );
         assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn never_closed_producer_in_spawned_sender_is_reported() {
+        // Producer runs in a goroutine, consumer ranges inline — still a
+        // missing close, reported at the range line.
+        let findings = lint(
+            r#"
+package p
+
+func F(items int) {
+	ch := make(chan int)
+	go func() {
+		for i := 0; i < items; i++ {
+			ch <- i
+		}
+	}()
+	for v := range ch {
+		sim.Work(v)
+	}
+}
+"#,
+        );
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].loc.line, 11);
+    }
+
+    #[test]
+    fn conditionally_closed_producer_is_accepted() {
+        // The lint is deliberately path-insensitive: a close on any
+        // branch counts as closed. Flagging conditional closes would
+        // trade the check's near-zero false-positive rate for a
+        // path-feasibility problem the heavier passes already own.
+        let findings = lint(
+            r#"
+package p
+
+func F(ok bool) {
+	ch := make(chan int)
+	go func() {
+		for v := range ch {
+			sim.Work(v)
+		}
+	}()
+	ch <- 1
+	if ok {
+		close(ch)
+	}
+}
+"#,
+        );
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn corpus_unclosed_range_round_trips_and_closed_twin_is_silent() {
+        use corpus::patterns::{render_benign, render_leaky, BenignPattern, LeakPattern};
+        let mut rng = gosim::rng::SplitMix64::new(42);
+
+        let leaky = render_leaky(LeakPattern::UnclosedRange, "pkg", 3, &mut rng);
+        let file = minigo::parse_file(&leaky.source, &leaky.path).unwrap();
+        let findings = RangeClose::new().analyze_file(&file);
+        for site in &leaky.truth {
+            assert!(
+                findings
+                    .iter()
+                    .any(|f| f.loc.file.as_ref() == site.file && f.loc.line == site.line),
+                "rangeclose missed corpus truth {}:{}; findings: {findings:?}",
+                site.file,
+                site.line
+            );
+        }
+
+        let benign = render_benign(BenignPattern::ClosedPipeline, "pkg", 3, &mut rng);
+        let file = minigo::parse_file(&benign.source, &benign.path).unwrap();
+        assert!(
+            RangeClose::new().analyze_file(&file).is_empty(),
+            "closed twin must stay silent"
+        );
     }
 }

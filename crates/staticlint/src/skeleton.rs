@@ -152,6 +152,24 @@ pub enum Node {
         /// Line.
         line: u32,
     },
+    /// A named call kept as an unresolved call edge (only emitted when
+    /// [`ExtractOptions::keep_calls`] is on). Interprocedural analysis
+    /// resolves these against a [`minigo::Program`] and splices the
+    /// callee's summary in; the intraprocedural analyzers treat them as
+    /// no-ops.
+    Call {
+        /// Callee name as written (unqualified; resolved within the
+        /// caller's package).
+        callee: String,
+        /// Per-argument channel variable names (`None` = the argument is
+        /// not a simple channel-typed identifier).
+        args: Vec<Option<String>>,
+        /// Line of the call.
+        line: u32,
+        /// True for `go f(...)` (the callee runs in a child goroutine),
+        /// false for a synchronous `f(...)` or `defer f()`.
+        via_go: bool,
+    },
 }
 
 /// A `select` arm operation.
@@ -202,6 +220,11 @@ pub struct ExtractOptions {
     /// Inline named `go f(...)` / `f(...)` callees defined in the same
     /// file (one level, the Gomela-style "statically known call edge").
     pub inline_named_calls: bool,
+    /// Keep unresolved named calls as explicit [`Node::Call`] edges
+    /// instead of dropping them. The interprocedural engine extracts with
+    /// `inline_named_calls: false, keep_calls: true` and resolves the
+    /// edges itself against a cross-file program index.
+    pub keep_calls: bool,
 }
 
 impl Default for ExtractOptions {
@@ -209,6 +232,7 @@ impl Default for ExtractOptions {
         ExtractOptions {
             follow_wrappers: false,
             inline_named_calls: true,
+            keep_calls: false,
         }
     }
 }
@@ -383,7 +407,7 @@ impl Extractor<'_> {
                         via_wrapper: true,
                     });
                 }
-                GoCall::Named { func, .. } => {
+                GoCall::Named { func, args } => {
                     if self.opts.inline_named_calls && self.depth < 4 {
                         if let Some(callee) = self.file.func(func) {
                             self.depth += 1;
@@ -396,6 +420,15 @@ impl Extractor<'_> {
                             });
                             return;
                         }
+                    }
+                    if self.opts.keep_calls {
+                        out.push(Node::Call {
+                            callee: func.clone(),
+                            args: args.iter().map(Self::chan_name).collect(),
+                            line: *line,
+                            via_go: true,
+                        });
+                        return;
                     }
                     // Unknown callee: an opaque spawn.
                     out.push(Node::Spawn {
@@ -426,6 +459,13 @@ impl Extractor<'_> {
                                 ch: Some(name.clone()),
                                 line: *line,
                             });
+                        } else if self.opts.keep_calls {
+                            out.push(Node::Call {
+                                callee: name.clone(),
+                                args: call.args.iter().map(Self::chan_name).collect(),
+                                line: *line,
+                                via_go: false,
+                            });
                         }
                     }
                     minigo::ast::CallTarget::Method { .. } => {}
@@ -445,6 +485,16 @@ impl Extractor<'_> {
                             out.push(Node::Cancel {
                                 ch: Some(f.to_string()),
                                 line: *line,
+                            });
+                        }
+                        f if self.opts.keep_calls => {
+                            // `defer f()` kept in place: an at-exit
+                            // over-approximation, like close above.
+                            out.push(Node::Call {
+                                callee: f.to_string(),
+                                args: call.args.iter().map(Self::chan_name).collect(),
+                                line: *line,
+                                via_go: false,
                             });
                         }
                         _ => {}
@@ -572,7 +622,7 @@ pub fn contains_escape(nodes: &[Node]) -> bool {
     })
 }
 
-fn strip_returns(nodes: &mut Vec<Node>) {
+pub(crate) fn strip_returns(nodes: &mut Vec<Node>) {
     nodes.retain_mut(|n| match n {
         Node::Return { .. } => false,
         Node::Branch { arms, .. } => {
@@ -771,6 +821,40 @@ func F(ch chan int, ctx context.Context) {
             }
             other => panic!("expected select, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn keep_calls_records_unresolved_edges() {
+        let src = r#"
+package p
+
+func F() {
+	ch := make(chan int)
+	go pump(ch, 3)
+	drain(ch)
+}
+"#;
+        let file = minigo::parse_file(src, "t.go").expect("parse");
+        let f = file.func("F").expect("function exists");
+        let opts = ExtractOptions {
+            follow_wrappers: true,
+            inline_named_calls: false,
+            keep_calls: true,
+        };
+        let s = extract_func(&file, f, &opts);
+        match &s.body[0] {
+            Node::Call {
+                callee,
+                args,
+                via_go: true,
+                ..
+            } => {
+                assert_eq!(callee, "pump");
+                assert_eq!(args, &[Some("ch".to_string()), None]);
+            }
+            other => panic!("expected go-call edge, got {other:?}"),
+        }
+        assert!(matches!(&s.body[1], Node::Call { via_go: false, .. }));
     }
 
     #[test]
