@@ -49,6 +49,7 @@ fn scrape_config() -> ScrapeConfig {
         backoff_base: Duration::from_millis(1),
         attempt_budget: Duration::from_millis(250),
         jitter_seed: 7,
+        ..ScrapeConfig::default()
     }
 }
 

@@ -1,0 +1,137 @@
+//! Bench: what cycle tracing costs.
+//!
+//! Spans are supposed to be cheap enough to leave on in production:
+//! one ring push per stage/target plus a handful of `Instant::now()`
+//! calls per cycle. This experiment runs the same daemon pipeline over
+//! the same loopback fleet with tracing enabled and disabled,
+//! interleaving the two so clock drift and cache effects hit both
+//! equally, and compares median cycle latency. Emits `BENCH_obs.json`
+//! and enforces the overhead budget (<5% relative, with a small
+//! absolute floor so loopback noise on a ~millisecond cycle cannot
+//! fail the gate spuriously).
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use collector::{Daemon, DaemonConfig, DemoFleet, ScrapeConfig};
+use serde::Serialize;
+
+const INSTANCES: usize = 24;
+const WARMUP_CYCLES: usize = 3;
+const MEASURED_CYCLES: usize = 31;
+
+/// Relative overhead budget (CI gate).
+const MAX_OVERHEAD_PCT: f64 = 5.0;
+/// Absolute-delta floor: below this many milliseconds per cycle the
+/// relative number is loopback noise, not a regression.
+const NOISE_FLOOR_MS: f64 = 3.0;
+
+#[derive(Serialize)]
+struct BenchResult {
+    instances: usize,
+    warmup_cycles: usize,
+    measured_cycles: usize,
+    spans_off_median_ms: f64,
+    spans_on_median_ms: f64,
+    delta_ms: f64,
+    overhead_pct: f64,
+    spans_recorded: u64,
+    spans_dropped: u64,
+    spans_per_cycle: f64,
+}
+
+fn build_daemon(demo: &DemoFleet, addr: std::net::SocketAddr, enabled: bool) -> Daemon {
+    let config = DaemonConfig {
+        scrape: ScrapeConfig {
+            // Pooled connections for both sides: less dial jitter, so
+            // the span cost is what the comparison actually sees.
+            keepalive: true,
+            ..ScrapeConfig::default()
+        },
+        trace: obs::TraceConfig {
+            enabled,
+            ..obs::TraceConfig::default()
+        },
+        ..DaemonConfig::default()
+    };
+    let lp = leakprof::LeakProf::new(leakprof::Config {
+        threshold: 1,
+        ast_filter: false,
+        top_n: 10,
+    });
+    Daemon::new(config, lp, demo.targets(addr)).expect("in-memory daemon")
+}
+
+fn median_ms(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let demo = DemoFleet::build(INSTANCES, 2, 13);
+    let server = demo.hub.serve("127.0.0.1:0", 8).expect("loopback bind");
+    // The daemons only share the fleet server; each owns its scraper,
+    // connection pool, and accumulator.
+    let on = Arc::new(Mutex::new(build_daemon(&demo, server.addr(), true)));
+    let off = Arc::new(Mutex::new(build_daemon(&demo, server.addr(), false)));
+
+    let timed = |daemon: &Arc<Mutex<Daemon>>| {
+        let t = Instant::now();
+        let report = daemon.lock().expect("daemon poisoned").run_cycle();
+        assert_eq!(report.stats.succeeded, INSTANCES, "fleet must stay up");
+        t.elapsed().as_secs_f64() * 1e3
+    };
+
+    for _ in 0..WARMUP_CYCLES {
+        timed(&on);
+        timed(&off);
+    }
+    let mut on_ms = Vec::new();
+    let mut off_ms = Vec::new();
+    // Interleave so drift (thermal, scheduler) cancels out.
+    for _ in 0..MEASURED_CYCLES {
+        on_ms.push(timed(&on));
+        off_ms.push(timed(&off));
+    }
+
+    let spans_on_median_ms = median_ms(&mut on_ms);
+    let spans_off_median_ms = median_ms(&mut off_ms);
+    let delta_ms = spans_on_median_ms - spans_off_median_ms;
+    let overhead_pct = delta_ms / spans_off_median_ms.max(1e-9) * 100.0;
+    let (spans_recorded, spans_dropped) = {
+        let d = on.lock().expect("daemon poisoned");
+        (d.tracer().spans_recorded(), d.tracer().spans_dropped())
+    };
+    let cycles = (WARMUP_CYCLES + MEASURED_CYCLES) as f64;
+
+    println!(
+        "spans off: {spans_off_median_ms:.3} ms/cycle (median of {MEASURED_CYCLES})\n\
+         spans on:  {spans_on_median_ms:.3} ms/cycle ({} spans recorded, {} dropped)\n\
+         delta:     {delta_ms:+.3} ms ({overhead_pct:+.2}%)",
+        spans_recorded, spans_dropped
+    );
+
+    assert_eq!(spans_dropped, 0, "ring must hold a full cycle's spans");
+    assert!(
+        overhead_pct < MAX_OVERHEAD_PCT || delta_ms < NOISE_FLOOR_MS,
+        "tracing overhead {overhead_pct:.2}% ({delta_ms:.3} ms/cycle) exceeds the \
+         {MAX_OVERHEAD_PCT}% budget"
+    );
+
+    let result = BenchResult {
+        instances: INSTANCES,
+        warmup_cycles: WARMUP_CYCLES,
+        measured_cycles: MEASURED_CYCLES,
+        spans_off_median_ms,
+        spans_on_median_ms,
+        delta_ms,
+        overhead_pct,
+        spans_recorded,
+        spans_dropped,
+        spans_per_cycle: spans_recorded as f64 / cycles,
+    };
+    bench::save(
+        "BENCH_obs.json",
+        &serde_json::to_string_pretty(&result).expect("result serializes"),
+    );
+}

@@ -7,10 +7,13 @@
 //!                       [--top N] [--history PATH] [--keep N]
 //!                       [--state-dir PATH] [--snapshot-every N]
 //!                       [--source-dir PATH] [--ast-filter]
+//!                       [--keepalive BOOL]
 //! leakprofd scrape-once [--addr HOST:PORT] [--instances N] [--days D]
 //!                       [--seed S] [--threshold T] [--top N] [--workers N]
 //!                       [--source-dir PATH] [--ast-filter]
 //! leakprofd status      --history PATH
+//! leakprofd top         --addr HOST:PORT [--refresh-ms MS] [--frames N]
+//! leakprofd trace       --addr HOST:PORT [--out PATH]
 //! leakprofd recover     --state-dir PATH [--threshold T] [--top N]
 //!                       [--source-dir PATH]
 //! leakprofd chaos       [--instances N] [--cycles N] [--seed S]
@@ -38,12 +41,25 @@
 //!   `--addr` if given, otherwise against a freshly built demo fleet —
 //!   and prints the ranked report plus scrape-health stats.
 //! * `status` summarizes a history JSONL written with `--history`.
+//! * `top` polls a serving daemon's `/status` and renders a live text
+//!   dashboard: cycle counters, per-stage latency quantiles, breaker
+//!   and keep-alive pool state, and the current top suspects.
+//! * `trace` exports a serving daemon's `/trace` span trees in Chrome
+//!   trace-event format (load the file in `chrome://tracing` or
+//!   Perfetto; without `--out` the JSON goes to stdout).
 //! * `recover` inspects a state directory offline: what a restarting
 //!   daemon would reconstruct (snapshot + WAL replay), the ranking it
 //!   would resume with, and the report ledger.
 //! * `chaos` runs the deterministic chaos harness (scrape faults,
 //!   instance churn, kill/restart) against a demo fleet and reports
 //!   whether the crash-safety invariants held.
+//!
+//! The serving daemon also dogfoods the analysis pipeline on itself: it
+//! tracks its own worker threads (driver, scrape pool, endpoint pool)
+//! on a worker board and serves them at `/debug/self` in the exact
+//! profile JSON format the fleet instances serve — so
+//! `leakprofd scrape-once --addr <daemon> --threshold 1` produces a
+//! leak ranking over the daemon's **own** blocking sites.
 //!
 //! Exit code: 0 on success (scrape-once: even with suspects), 1 when a
 //! cycle scraped nothing at all (or chaos invariants failed), 2 on
@@ -71,6 +87,8 @@ fn main() -> ExitCode {
         "serve" => serve(&flags),
         "scrape-once" => scrape_once(&flags),
         "status" => status(&flags),
+        "top" => top(&flags),
+        "trace" => trace(&flags),
         "recover" => recover(&flags),
         "chaos" => chaos(&flags),
         _ => {
@@ -82,13 +100,15 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!(
-        "usage: leakprofd <serve|scrape-once|status|recover|chaos> [flags]\n\
+        "usage: leakprofd <serve|scrape-once|status|top|trace|recover|chaos> [flags]\n\
          \x20 serve       [--instances N] [--days D] [--seed S] [--port P] [--cycles N]\n\
          \x20             [--interval-ms MS] [--threshold T] [--top N] [--history PATH] [--keep N]\n\
          \x20             [--state-dir PATH] [--snapshot-every N] [--source-dir PATH] [--ast-filter]\n\
          \x20 scrape-once [--addr HOST:PORT] [--instances N] [--days D] [--seed S]\n\
          \x20             [--threshold T] [--top N] [--workers N] [--source-dir PATH] [--ast-filter]\n\
          \x20 status      --history PATH\n\
+         \x20 top         --addr HOST:PORT [--refresh-ms MS] [--frames N]\n\
+         \x20 trace       --addr HOST:PORT [--out PATH]\n\
          \x20 recover     --state-dir PATH [--threshold T] [--top N] [--source-dir PATH]\n\
          \x20 chaos       [--instances N] [--cycles N] [--seed S] [--restart-every N]\n\
          \x20             [--state-dir PATH]"
@@ -148,6 +168,7 @@ fn scrape_once(flags: &[(String, String)]) -> ExitCode {
     let scrape = ScrapeConfig {
         workers: parsed(flags, "workers", 0),
         jitter_seed: parsed(flags, "seed", 7u64),
+        keepalive: parsed(flags, "keepalive", false),
         ..ScrapeConfig::default()
     };
 
@@ -304,6 +325,9 @@ fn serve(flags: &[(String, String)]) -> ExitCode {
     let config = DaemonConfig {
         scrape: ScrapeConfig {
             jitter_seed: parsed(flags, "seed", 7u64),
+            // Keep-alive on by default: the daemon re-scrapes the same
+            // fleet every cycle, the textbook case for pooling.
+            keepalive: parsed(flags, "keepalive", true),
             ..ScrapeConfig::default()
         },
         history_path: flag(flags, "history").map(std::path::PathBuf::from),
@@ -336,13 +360,26 @@ fn serve(flags: &[(String, String)]) -> ExitCode {
         }
     };
     println!(
-        "leakprofd: serving /metrics and /status on http://{} (fleet at http://{})",
+        "leakprofd: serving /metrics, /status, /trace, /debug/self on http://{} (fleet at http://{})",
         endpoints.addr(),
         fleet_server.addr()
     );
 
+    // Dogfood: the driver loop is itself a tracked worker, so the
+    // daemon's own /debug/self profile shows whether it is mid-cycle
+    // or parked between cycles — and `scrape-once --addr` ranks it.
+    let driver = daemon
+        .lock()
+        .expect("daemon poisoned")
+        .worker_board()
+        .register("driver", obs::site!("leakprofd::serve"));
+
     let mut ran = 0u64;
     loop {
+        driver.set(
+            obs::WorkerState::Analyze,
+            obs::site!("leakprofd::serve::cycle"),
+        );
         let report = daemon.lock().expect("daemon poisoned").run_cycle();
         ran += 1;
         println!("cycle {ran}: {}", report.stats.render());
@@ -361,6 +398,10 @@ fn serve(flags: &[(String, String)]) -> ExitCode {
         if cycles > 0 && ran >= cycles {
             break;
         }
+        driver.set(
+            obs::WorkerState::Idle,
+            obs::site!("leakprofd::serve::interval_sleep"),
+        );
         std::thread::sleep(std::time::Duration::from_millis(interval_ms));
         demo.advance_and_republish(1);
     }
@@ -425,6 +466,175 @@ fn status(flags: &[(String, String)]) -> ExitCode {
                 t.max_instance
             );
         }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Parses `--addr`, printing a usage line naming `cmd` when absent or
+/// malformed.
+fn addr_flag(flags: &[(String, String)], cmd: &str) -> Result<std::net::SocketAddr, ExitCode> {
+    let Some(addr) = flag(flags, "addr") else {
+        eprintln!("usage: leakprofd {cmd} --addr HOST:PORT");
+        return Err(ExitCode::from(2));
+    };
+    addr.parse().map_err(|e| {
+        eprintln!("error: bad --addr {addr}: {e}");
+        ExitCode::from(2)
+    })
+}
+
+/// GETs `path` from a serving daemon and returns the UTF-8 body.
+fn fetch(addr: std::net::SocketAddr, path: &str) -> Result<String, String> {
+    let body = collector::http_get(
+        addr,
+        path,
+        std::time::Duration::from_millis(1000),
+        std::time::Duration::from_millis(2000),
+    )
+    .map_err(|e| format!("{path}: {e}"))?;
+    String::from_utf8(body).map_err(|e| format!("{path}: not UTF-8: {e}"))
+}
+
+/// Live text dashboard over a serving daemon's `/status`.
+fn top(flags: &[(String, String)]) -> ExitCode {
+    let addr = match addr_flag(flags, "top") {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let refresh_ms: u64 = parsed(flags, "refresh-ms", 1000);
+    let frames: u64 = parsed(flags, "frames", 0);
+    let mut shown = 0u64;
+    loop {
+        let status: collector::DaemonStatus = match fetch(addr, "/status")
+            .and_then(|body| serde_json::from_str(&body).map_err(|e| format!("/status: {e}")))
+        {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if shown > 0 {
+            // Repaint in place so the dashboard refreshes rather than
+            // scrolls.
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{}", render_top(addr, &status));
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        shown += 1;
+        if frames > 0 && shown >= frames {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(refresh_ms));
+    }
+    ExitCode::SUCCESS
+}
+
+/// One dashboard frame.
+fn render_top(addr: std::net::SocketAddr, s: &collector::DaemonStatus) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "leakprofd top — {addr}");
+    let _ = writeln!(
+        out,
+        "cycles {}  targets {}  ingested {}  success {:.1}%  scrape p50 {} µs  p99 {} µs",
+        s.cycles,
+        s.targets,
+        s.profiles_ingested,
+        s.success_rate * 100.0,
+        s.p50_us,
+        s.p99_us
+    );
+    let _ = writeln!(
+        out,
+        "breakers  closed {}  open {}  half-open {}  (opened {} all-time)",
+        s.breakers.closed, s.breakers.open, s.breakers.half_open, s.breakers.opened_total
+    );
+    let ka = &s.keepalive;
+    let conn_total = ka.reused + ka.fresh;
+    let reuse_pct = if conn_total > 0 {
+        ka.reused as f64 / conn_total as f64 * 100.0
+    } else {
+        0.0
+    };
+    let _ = writeln!(
+        out,
+        "conns     reused {}  fresh {}  expired {}  reuse-failures {}  (reuse {reuse_pct:.0}%)",
+        ka.reused, ka.fresh, ka.expired, ka.reuse_failures
+    );
+    let _ = writeln!(
+        out,
+        "spans     recorded {}  dropped {}",
+        s.spans_recorded, s.spans_dropped
+    );
+    let _ = writeln!(
+        out,
+        "ledger    tracked {}  active {}  paged {}  suppressed {}",
+        s.ledger.tracked, s.ledger.active, s.ledger.reported_total, s.ledger.suppressed_total
+    );
+    if !s.stages.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{:<12} {:>8} {:>10} {:>10} {:>10}",
+            "stage", "count", "p50 µs", "p99 µs", "max µs"
+        );
+        for st in &s.stages {
+            let _ = writeln!(
+                out,
+                "{:<12} {:>8} {:>10} {:>10} {:>10}",
+                st.stage, st.count, st.p50_us, st.p99_us, st.max_us
+            );
+        }
+    }
+    if s.top.is_empty() {
+        let _ = writeln!(out, "\nno suspects above threshold");
+    } else {
+        let _ = writeln!(out, "\ntop suspects:");
+        for (i, t) in s.top.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                " #{:<2} {}  rms {:.1}  total {}  max-instance {}",
+                i + 1,
+                t.op,
+                t.rms,
+                t.total,
+                t.max_instance
+            );
+        }
+    }
+    out
+}
+
+/// Exports a serving daemon's `/trace` as Chrome trace-event JSON.
+fn trace(flags: &[(String, String)]) -> ExitCode {
+    let addr = match addr_flag(flags, "trace") {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let snapshot: obs::TraceSnapshot = match fetch(addr, "/trace")
+        .and_then(|body| serde_json::from_str(&body).map_err(|e| format!("/trace: {e}")))
+    {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let chrome = obs::to_chrome(&snapshot);
+    let spans: usize = snapshot.cycles.iter().map(|c| c.spans.len()).sum();
+    match flag(flags, "out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &chrome) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+            println!(
+                "wrote {spans} span(s) across {} cycle(s) to {path} (open in chrome://tracing or Perfetto)",
+                snapshot.cycles.len()
+            );
+        }
+        None => println!("{chrome}"),
     }
     ExitCode::SUCCESS
 }

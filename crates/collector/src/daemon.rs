@@ -15,11 +15,14 @@ use std::sync::{Arc, Mutex};
 use leakprof::{FleetAccumulator, LeakProf, Report};
 use serde::{Deserialize, Serialize};
 
+use obs::{StageSummary, TraceConfig, TraceSnapshot, Tracer, WorkerBoard};
+
 use crate::breaker::{BreakerConfig, BreakerSet, BreakerSummary};
+use crate::endpoints::ProfileHub;
 use crate::history::{CycleRecord, HistoryLog, TopSite};
 use crate::http::{HttpServer, Request, Response};
 use crate::ledger::{CycleOutcome, LedgerConfig, LedgerSummary, ReportLedger};
-use crate::scrape::{CycleReport, ScrapeConfig, ScrapeTarget, Scraper};
+use crate::scrape::{CycleReport, KeepaliveSummary, ScrapeConfig, ScrapeTarget, Scraper};
 use crate::snapshot::{DaemonSnapshot, SnapshotStore, WalEntry, DAEMON_SNAPSHOT_VERSION};
 use crate::static_tier::{StaticTier, StaticTierConfig, StaticTierStats};
 use crate::stats::HealthCounters;
@@ -46,6 +49,8 @@ pub struct DaemonConfig {
     /// Static analysis tier (criterion-2 verdict cache over a source
     /// tree). `None` leaves the AST filter off, as before.
     pub static_tier: Option<StaticTierConfig>,
+    /// Cycle tracing (span ring capacity, retained cycles, on/off).
+    pub trace: TraceConfig,
 }
 
 impl Default for DaemonConfig {
@@ -59,6 +64,7 @@ impl Default for DaemonConfig {
             breaker: BreakerConfig::default(),
             ledger: LedgerConfig::default(),
             static_tier: None,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -89,6 +95,14 @@ pub struct DaemonStatus {
     pub ledger: LedgerSummary,
     /// Static-tier cache counters (`None` when the tier is disabled).
     pub static_tier: Option<StaticTierStats>,
+    /// Per-stage latency summaries from the cycle tracer.
+    pub stages: Vec<StageSummary>,
+    /// Spans recorded into the trace ring over the daemon lifetime.
+    pub spans_recorded: u64,
+    /// Spans dropped because the trace ring was full.
+    pub spans_dropped: u64,
+    /// Scraper keep-alive pool counters.
+    pub keepalive: KeepaliveSummary,
 }
 
 /// The collection daemon: owns the scraper, the streaming analysis
@@ -108,6 +122,8 @@ pub struct Daemon {
     recovered_cycle: u64,
     last_outcome: Option<CycleOutcome>,
     static_tier: Option<StaticTier>,
+    tracer: Tracer,
+    board: WorkerBoard,
 }
 
 impl Daemon {
@@ -126,6 +142,8 @@ impl Daemon {
         mut lp: LeakProf,
         targets: Vec<ScrapeTarget>,
     ) -> std::io::Result<Daemon> {
+        let tracer = Tracer::new(&config.trace);
+        let board = WorkerBoard::new();
         let history = match &config.history_path {
             Some(path) => Some(HistoryLog::open(path, config.history_keep.max(1))?),
             None => None,
@@ -133,9 +151,10 @@ impl Daemon {
         let mut acc = FleetAccumulator::new();
         let mut health = HealthCounters::default();
         let mut recovered_cycle = 0;
-        let (store, ledger) = match &config.state_dir {
+        let (store, mut ledger) = match &config.state_dir {
             Some(dir) => {
-                let store = SnapshotStore::open(dir)?;
+                let mut store = SnapshotStore::open(dir)?;
+                store.set_tracer(tracer.clone());
                 let recovery = store.recover()?;
                 if let Some(e) = &recovery.dropped_trailing {
                     eprintln!(
@@ -160,9 +179,11 @@ impl Daemon {
             }
             None => (None, ReportLedger::new(config.ledger.clone())),
         };
+        ledger.set_tracer(tracer.clone());
         let static_tier = match config.static_tier {
             Some(tier_config) => {
                 let mut tier = StaticTier::open(tier_config)?;
+                tier.set_tracer(tracer.clone());
                 // First sync: parses exactly the files the persisted
                 // cache does not already cover at their current bytes.
                 lp.install_verdicts(tier.sync()?);
@@ -171,10 +192,13 @@ impl Daemon {
             }
             None => None,
         };
+        let mut scraper = Scraper::new(config.scrape);
+        scraper.set_tracer(tracer.clone());
+        scraper.set_worker_board(board.clone());
         Ok(Daemon {
             lp,
             acc,
-            scraper: Scraper::new(config.scrape),
+            scraper,
             targets,
             history,
             health,
@@ -186,6 +210,8 @@ impl Daemon {
             recovered_cycle,
             last_outcome: None,
             static_tier,
+            tracer,
+            board,
         })
     }
 
@@ -202,6 +228,11 @@ impl Daemon {
     /// failures are logged and degrade to in-memory operation.
     pub fn run_cycle(&mut self) -> CycleReport {
         let cycle = self.health.cycles + 1;
+        // Root span for the whole cycle; made the ambient parent so
+        // every stage span started on this thread nests under it.
+        let mut root = self.tracer.start(obs::stage::CYCLE, "");
+        root.attr("cycle", cycle);
+        self.tracer.set_ambient(root.id());
         let report = self
             .scraper
             .scrape_cycle_gated(&self.targets, &mut self.breakers);
@@ -217,8 +248,12 @@ impl Daemon {
                 eprintln!("leakprofd: wal append failed: {e}");
             }
         }
-        for p in &report.profiles {
-            self.acc.ingest(p);
+        {
+            let mut span = self.tracer.start(obs::stage::INGEST, "");
+            span.attr("profiles", report.profiles.len());
+            for p in &report.profiles {
+                self.acc.ingest(p);
+            }
         }
         // Re-sync the verdict cache before ranking: changed files are
         // re-analyzed once, unchanged files cost a fingerprint check.
@@ -229,13 +264,19 @@ impl Daemon {
                 Err(e) => eprintln!("leakprofd: static-tier sync failed: {e}"),
             }
         }
-        let analysis = self.lp.report_from_accumulator(&self.acc);
+        let analysis = {
+            let mut span = self.tracer.start(obs::stage::ANALYZE, "");
+            let analysis = self.lp.report_from_accumulator(&self.acc);
+            span.attr("suspects", analysis.suspects.len());
+            analysis
+        };
         self.health.absorb(&report.stats);
         match self.ledger.apply(cycle, &analysis.suspects) {
             Ok(outcome) => self.last_outcome = Some(outcome),
             Err(e) => eprintln!("leakprofd: ledger save failed: {e}"),
         }
         if let Some(history) = &mut self.history {
+            let mut span = self.tracer.start(obs::stage::HISTORY, "");
             let record = CycleRecord {
                 cycle: self.health.cycles,
                 profiles: report.stats.succeeded,
@@ -246,6 +287,7 @@ impl Daemon {
                 p99_us: report.stats.latency.p99_us(),
                 top: top_sites(&analysis),
             };
+            span.attr("top", record.top.len());
             if let Err(e) = history.append(&record) {
                 eprintln!("leakprofd: history append failed: {e}");
             }
@@ -256,6 +298,12 @@ impl Daemon {
                 eprintln!("leakprofd: snapshot commit failed: {e}");
             }
         }
+        // The root guard must record (drop) before the cycle is
+        // finalized, or the cycle span would land in the next trace.
+        root.attr("profiles", report.profiles.len());
+        self.tracer.set_ambient(0);
+        drop(root);
+        self.tracer.finish_cycle(cycle);
         report
     }
 
@@ -323,6 +371,27 @@ impl Daemon {
         self.static_tier.as_ref()
     }
 
+    /// The cycle tracer every pipeline stage records into.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The worker board behind the daemon's own `/debug/self` profile.
+    pub fn worker_board(&self) -> &WorkerBoard {
+        &self.board
+    }
+
+    /// The scraper (keep-alive pool counters and config).
+    pub fn scraper(&self) -> &Scraper {
+        &self.scraper
+    }
+
+    /// The retained cycle traces plus per-stage latency summaries
+    /// (served at `/trace`).
+    pub fn trace_snapshot(&self) -> TraceSnapshot {
+        self.tracer.snapshot()
+    }
+
     /// Builds the status snapshot.
     pub fn status(&self) -> DaemonStatus {
         DaemonStatus {
@@ -337,6 +406,10 @@ impl Daemon {
             breakers: self.breakers.summary(self.targets.len()),
             ledger: self.ledger.summary(),
             static_tier: self.static_tier.as_ref().map(|t| t.stats().clone()),
+            stages: self.tracer.stage_summaries(),
+            spans_recorded: self.tracer.spans_recorded(),
+            spans_dropped: self.tracer.spans_dropped(),
+            keepalive: self.scraper.keepalive_summary(),
         }
     }
 
@@ -421,6 +494,53 @@ impl Daemon {
                 stats.last_analyze_us
             );
         }
+        let keepalive = self.scraper.keepalive_summary();
+        let _ = writeln!(out, "# TYPE leakprofd_conn_requests_total counter");
+        let _ = writeln!(
+            out,
+            "leakprofd_conn_requests_total{{mode=\"reused\"}} {}",
+            keepalive.reused
+        );
+        let _ = writeln!(
+            out,
+            "leakprofd_conn_requests_total{{mode=\"fresh\"}} {}",
+            keepalive.fresh
+        );
+        let _ = writeln!(out, "# TYPE leakprofd_conn_retired_total counter");
+        let _ = writeln!(
+            out,
+            "leakprofd_conn_retired_total{{reason=\"expired\"}} {}",
+            keepalive.expired
+        );
+        let _ = writeln!(
+            out,
+            "leakprofd_conn_retired_total{{reason=\"reuse_failure\"}} {}",
+            keepalive.reuse_failures
+        );
+        let _ = writeln!(out, "# TYPE leakprofd_spans_total counter");
+        let _ = writeln!(
+            out,
+            "leakprofd_spans_total{{outcome=\"recorded\"}} {}",
+            self.tracer.spans_recorded()
+        );
+        let _ = writeln!(
+            out,
+            "leakprofd_spans_total{{outcome=\"dropped\"}} {}",
+            self.tracer.spans_dropped()
+        );
+        let stages = self.tracer.stage_summaries();
+        if !stages.is_empty() {
+            let _ = writeln!(out, "# TYPE leakprofd_stage_latency_us gauge");
+            for s in &stages {
+                for (q, v) in [("0.5", s.p50_us), ("0.99", s.p99_us)] {
+                    let _ = writeln!(
+                        out,
+                        "leakprofd_stage_latency_us{{stage=\"{}\",quantile=\"{q}\"}} {v}",
+                        s.stage
+                    );
+                }
+            }
+        }
         if let Some(report) = &self.last_report {
             let _ = writeln!(out, "# TYPE leakprofd_suspect_rms gauge");
             for s in &report.suspects {
@@ -449,9 +569,41 @@ fn top_sites(report: &Report) -> Vec<TopSite> {
         .collect()
 }
 
-/// Serves a shared daemon's `/metrics` and `/status` endpoints on `addr`
-/// (the daemon itself stays driveable through the mutex, so a driver
-/// loop can keep calling [`Daemon::run_cycle`] while the server reads).
+/// The instance id the daemon serves its own self-profile under.
+pub const SELF_INSTANCE: &str = "leakprofd";
+
+/// Every route [`serve_daemon_endpoints`] answers, in display order
+/// (also the body of its 404 response, so a typo'd path lists the menu).
+pub fn daemon_routes() -> Vec<String> {
+    vec![
+        "/metrics".into(),
+        "/status".into(),
+        "/trace".into(),
+        "/debug/self".into(),
+        "/instances".into(),
+        ProfileHub::profile_path(SELF_INSTANCE),
+    ]
+}
+
+/// Serves a shared daemon's endpoints on `addr` (the daemon itself
+/// stays driveable through the mutex, so a driver loop can keep calling
+/// [`Daemon::run_cycle`] while the server reads):
+///
+/// * `/metrics`, `/status` — Prometheus text and the JSON
+///   [`DaemonStatus`].
+/// * `/trace` — the retained cycle span trees + per-stage latency
+///   summaries ([`TraceSnapshot`] JSON).
+/// * `/debug/self` — the daemon's **own** goroutine-style profile: its
+///   worker threads rendered in the same JSON format the scraped
+///   instances serve, so `leakprofd scrape-once` pointed at the daemon
+///   ranks the daemon's own blocking sites.
+/// * `/instances` + `/instance/leakprofd/debug/pprof/goroutine` — the
+///   [`ProfileHub`]-shaped aliases of `/debug/self`, which is what lets
+///   the scraper's fleet discovery run against the daemon unchanged.
+///
+/// The trace and self-profile routes read tracer/board handles cloned
+/// out of the daemon up front, so they never contend on the daemon
+/// mutex mid-cycle.
 ///
 /// # Errors
 ///
@@ -460,14 +612,36 @@ pub fn serve_daemon_endpoints(
     daemon: Arc<Mutex<Daemon>>,
     addr: &str,
 ) -> std::io::Result<HttpServer> {
-    HttpServer::serve(addr, 2, move |req: &Request| {
+    let (tracer, board) = {
         let d = daemon.lock().expect("daemon poisoned");
+        (d.tracer().clone(), d.worker_board().clone())
+    };
+    let self_profile_path = ProfileHub::profile_path(SELF_INSTANCE);
+    let not_found = format!("try {}", daemon_routes().join(", "));
+    let pool_board = board.clone();
+    HttpServer::serve_with_board(addr, 2, Some(pool_board), move |req: &Request| {
         match req.path.as_str() {
-            "/metrics" => Response::text(d.metrics_text()),
-            "/status" => Response::json(
-                serde_json::to_string_pretty(&d.status()).expect("status serializes"),
+            "/metrics" => {
+                let d = daemon.lock().expect("daemon poisoned");
+                Response::text(d.metrics_text())
+            }
+            "/status" => {
+                let d = daemon.lock().expect("daemon poisoned");
+                Response::json(
+                    serde_json::to_string_pretty(&d.status()).expect("status serializes"),
+                )
+            }
+            "/trace" => Response::json(
+                serde_json::to_string_pretty(&tracer.snapshot()).expect("trace serializes"),
             ),
-            _ => Response::error(404, "try /metrics or /status"),
+            "/instances" => Response::json(
+                serde_json::to_string(&vec![SELF_INSTANCE]).expect("instances serialize"),
+            ),
+            p if p == "/debug/self" || p == self_profile_path => Response::json(
+                serde_json::to_string_pretty(&board.self_profile(SELF_INSTANCE))
+                    .expect("self profile serializes"),
+            ),
+            _ => Response::error(404, &not_found),
         }
     })
 }
@@ -545,6 +719,98 @@ mod tests {
         .unwrap();
         let metrics = String::from_utf8(metrics).unwrap();
         assert!(metrics.contains("leakprofd_cycles_total 2"));
+        assert!(metrics.contains("leakprofd_spans_total{outcome=\"recorded\"}"));
+        assert!(metrics.contains("leakprofd_stage_latency_us{stage=\"cycle\",quantile=\"0.5\"}"));
+
+        // Two finished cycles must be retained as full span trees, each
+        // rooted at a `cycle` span with the pipeline stages under it.
+        let trace_body = http_get(
+            endpoint.addr(),
+            "/trace",
+            Duration::from_millis(500),
+            Duration::from_millis(500),
+        )
+        .unwrap();
+        let trace: obs::TraceSnapshot =
+            serde_json::from_str(std::str::from_utf8(&trace_body).unwrap()).unwrap();
+        assert_eq!(trace.cycles.len(), 2);
+        for cycle in &trace.cycles {
+            let root = cycle
+                .spans
+                .iter()
+                .find(|s| s.stage == obs::stage::CYCLE)
+                .expect("cycle root span");
+            assert_eq!(root.parent, 0);
+            for want in [obs::stage::SCRAPE, obs::stage::INGEST, obs::stage::ANALYZE] {
+                let span = cycle
+                    .spans
+                    .iter()
+                    .find(|s| s.stage == want)
+                    .unwrap_or_else(|| panic!("missing {want} span"));
+                assert_eq!(span.parent, root.id, "{want} must nest under the root");
+            }
+            let targets: Vec<_> = cycle
+                .spans
+                .iter()
+                .filter(|s| s.stage == obs::stage::TARGET)
+                .collect();
+            assert_eq!(targets.len(), 3, "one target span per instance");
+        }
+
+        // The daemon's own profile is served in the scrapeable format,
+        // and its endpoint pool workers show up blocked on their queue.
+        let self_body = http_get(
+            endpoint.addr(),
+            "/debug/self",
+            Duration::from_millis(500),
+            Duration::from_millis(500),
+        )
+        .unwrap();
+        let profile: gosim::GoroutineProfile =
+            serde_json::from_str(std::str::from_utf8(&self_body).unwrap()).unwrap();
+        assert_eq!(profile.instance, SELF_INSTANCE);
+        assert!(
+            profile.goroutines.len() >= 2,
+            "endpoint pool workers must be on the board"
+        );
+        let alias = http_get(
+            endpoint.addr(),
+            &ProfileHub::profile_path(SELF_INSTANCE),
+            Duration::from_millis(500),
+            Duration::from_millis(500),
+        )
+        .unwrap();
+        let alias: gosim::GoroutineProfile =
+            serde_json::from_str(std::str::from_utf8(&alias).unwrap()).unwrap();
+        assert_eq!(alias.instance, SELF_INSTANCE);
+        let instances = http_get(
+            endpoint.addr(),
+            "/instances",
+            Duration::from_millis(500),
+            Duration::from_millis(500),
+        )
+        .unwrap();
+        let instances: Vec<String> =
+            serde_json::from_str(std::str::from_utf8(&instances).unwrap()).unwrap();
+        assert_eq!(instances, vec![SELF_INSTANCE.to_string()]);
+    }
+
+    #[test]
+    fn unknown_route_enumerates_the_menu() {
+        let daemon = Daemon::new(DaemonConfig::default(), LeakProf::default(), vec![]).unwrap();
+        let endpoint = serve_daemon_endpoints(Arc::new(Mutex::new(daemon)), "127.0.0.1:0").unwrap();
+        // Raw TCP: http_get discards non-200 bodies, and the body is
+        // exactly what this test is about.
+        use std::io::{Read as _, Write as _};
+        let mut conn = std::net::TcpStream::connect(endpoint.addr()).unwrap();
+        conn.write_all(b"GET /nope HTTP/1.1\r\nhost: x\r\n\r\n")
+            .unwrap();
+        let mut raw = String::new();
+        conn.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 404"), "{raw}");
+        for route in daemon_routes() {
+            assert!(raw.contains(&route), "404 body must mention {route}: {raw}");
+        }
     }
 
     #[test]

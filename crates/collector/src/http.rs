@@ -5,12 +5,29 @@
 //! (path routing does the demultiplexing), accepts connections on a
 //! bounded worker pool, and supports deliberate response faults so tests
 //! can exercise the scraper's failure paths.
+//!
+//! Both sides speak optional HTTP keep-alive. Clients that send
+//! `connection: keep-alive` (see [`HttpConnection`]) get their socket
+//! *parked* after the response instead of closed: a sentry thread polls
+//! parked sockets with a non-blocking peek and redispatches them to the
+//! worker pool the moment the next request arrives. Workers therefore
+//! never block on an idle connection — a fleet of persistent scrapers
+//! cannot starve a small pool. [`http_get`] still sends
+//! `connection: close` and behaves exactly as before.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use obs::{site, WorkerBoard, WorkerState};
+use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long the server keeps an idle kept-alive connection parked
+/// before closing it.
+const PARK_IDLE_EXPIRY: Duration = Duration::from_secs(30);
+/// Maximum parked connections; beyond this the oldest is closed (its
+/// client falls back to a fresh connect on reuse failure).
+const PARK_CAP: usize = 128;
 
 /// A parsed request line plus headers (the server ignores bodies; the
 /// collector protocol is GET-only).
@@ -20,6 +37,9 @@ pub struct Request {
     pub method: String,
     /// Request path, e.g. `/instance/pay-0/debug/pprof/goroutine`.
     pub path: String,
+    /// True when the client asked for `connection: keep-alive`; the
+    /// server then parks the socket for reuse after responding.
+    pub keep_alive: bool,
 }
 
 /// A response, including the fault the handler wants injected into its
@@ -115,6 +135,25 @@ impl HttpServer {
     where
         H: Fn(&Request) -> Response + Send + Sync + 'static,
     {
+        HttpServer::serve_with_board(addr, workers, None, handler)
+    }
+
+    /// Like [`HttpServer::serve`], but registers every pool thread on
+    /// `board` so the daemon's self-profile shows where its endpoint
+    /// workers block (idle on the dispatch queue vs. reading a request).
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the address is unavailable.
+    pub fn serve_with_board<H>(
+        addr: &str,
+        workers: usize,
+        board: Option<WorkerBoard>,
+        handler: H,
+    ) -> std::io::Result<HttpServer>
+    where
+        H: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         // A short accept timeout lets the loop notice the stop flag.
@@ -124,22 +163,59 @@ impl HttpServer {
         let handler = Arc::new(handler);
         let workers = workers.max(1);
 
+        let spawn_site = site!("collector::http::HttpServer::serve");
         let accept_thread = std::thread::spawn(move || {
             // Connection queue feeding the worker pool.
             let (tx, rx) = std::sync::mpsc::channel::<TcpStream>();
-            let rx = Arc::new(std::sync::Mutex::new(rx));
+            let rx = Arc::new(Mutex::new(rx));
+            // Kept-alive sockets waiting for their next request; only
+            // the sentry below ever blocks on them (and it never blocks).
+            let parked: Arc<Mutex<Vec<ParkedConn>>> = Arc::new(Mutex::new(Vec::new()));
             let mut pool = Vec::new();
             for _ in 0..workers {
                 let rx = Arc::clone(&rx);
                 let handler = Arc::clone(&handler);
-                pool.push(std::thread::spawn(move || loop {
-                    let conn = { rx.lock().expect("rx poisoned").recv() };
-                    match conn {
-                        Ok(stream) => handle_connection(stream, handler.as_ref()),
-                        Err(_) => break, // sender dropped: shutting down
+                let parked = Arc::clone(&parked);
+                let board = board.clone();
+                pool.push(std::thread::spawn(move || {
+                    let wh = board
+                        .as_ref()
+                        .map(|b| b.register("collector::http::worker", spawn_site));
+                    loop {
+                        if let Some(h) = &wh {
+                            h.set(WorkerState::Idle, site!("collector::http::worker_recv"));
+                        }
+                        let conn = { rx.lock().expect("rx poisoned").recv() };
+                        match conn {
+                            Ok(stream) => {
+                                if let Some(h) = &wh {
+                                    h.set(
+                                        WorkerState::Read,
+                                        site!("collector::http::handle_connection"),
+                                    );
+                                }
+                                if let Some(stream) = handle_connection(stream, handler.as_ref()) {
+                                    park(&parked, stream);
+                                }
+                            }
+                            Err(_) => break, // sender dropped: shutting down
+                        }
                     }
                 }));
             }
+            // The sentry: polls parked connections without blocking and
+            // feeds readable ones back to the worker queue.
+            let sentry = {
+                let parked = Arc::clone(&parked);
+                let tx = tx.clone();
+                let stop = Arc::clone(&stop_accept);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        poll_parked(&parked, &tx);
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                })
+            };
             listener
                 .set_nonblocking(true)
                 .expect("listener supports nonblocking");
@@ -154,6 +230,8 @@ impl HttpServer {
                     Err(_) => break,
                 }
             }
+            let _ = sentry.join();
+            parked.lock().expect("parked poisoned").clear();
             drop(tx);
             for w in pool {
                 let _ = w.join();
@@ -187,17 +265,80 @@ impl Drop for HttpServer {
     }
 }
 
-fn handle_connection<H>(stream: TcpStream, handler: &H)
+/// A kept-alive socket awaiting its next request.
+struct ParkedConn {
+    stream: TcpStream,
+    since: Instant,
+}
+
+/// Parks a connection for reuse, evicting the oldest when at capacity.
+fn park(parked: &Mutex<Vec<ParkedConn>>, stream: TcpStream) {
+    let mut parked = parked.lock().expect("parked poisoned");
+    if parked.len() >= PARK_CAP {
+        parked.remove(0); // drop = close; the client redials
+    }
+    parked.push(ParkedConn {
+        stream,
+        since: Instant::now(),
+    });
+}
+
+/// One sentry pass: redispatch readable parked sockets to the worker
+/// queue, close expired or dead ones, keep the rest parked. Never
+/// blocks — readiness is probed with a non-blocking one-byte peek.
+fn poll_parked(parked: &Mutex<Vec<ParkedConn>>, tx: &std::sync::mpsc::Sender<TcpStream>) {
+    let mut parked = parked.lock().expect("parked poisoned");
+    let mut i = 0;
+    while i < parked.len() {
+        let conn = &parked[i];
+        if conn.stream.set_nonblocking(true).is_err() {
+            parked.remove(i);
+            continue;
+        }
+        let mut probe = [0u8; 1];
+        match conn.stream.peek(&mut probe) {
+            Ok(0) => {
+                // Peer closed while idle.
+                parked.remove(i);
+            }
+            Ok(_) => {
+                // Next request has started arriving: back to the pool.
+                let conn = parked.remove(i);
+                if conn.stream.set_nonblocking(false).is_ok() {
+                    let _ = tx.send(conn.stream);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if conn.since.elapsed() > PARK_IDLE_EXPIRY {
+                    parked.remove(i);
+                } else {
+                    let _ = conn.stream.set_nonblocking(false);
+                    i += 1;
+                }
+            }
+            Err(_) => {
+                parked.remove(i);
+            }
+        }
+    }
+}
+
+/// Serves one request on `stream`; returns the stream when the client
+/// asked for keep-alive and the response went out intact, so the caller
+/// can park it for the next request.
+fn handle_connection<H>(stream: TcpStream, handler: &H) -> Option<TcpStream>
 where
     H: Fn(&Request) -> Response,
 {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
     let _ = stream.set_nodelay(true);
-    let Ok(peer) = stream.try_clone() else { return };
+    let Ok(peer) = stream.try_clone() else {
+        return None;
+    };
     let mut reader = BufReader::new(peer);
     let Some(req) = read_request(&mut reader) else {
-        let _ = write_response(&stream, &Response::error(400, "malformed request"));
-        return;
+        let _ = write_response(&stream, &Response::error(400, "malformed request"), false);
+        return None;
     };
     let resp = if req.method == "GET" {
         handler(&req)
@@ -206,15 +347,19 @@ where
     };
     match resp.fault {
         ResponseFault::None => {
-            let _ = write_response(&stream, &resp);
+            if write_response(&stream, &resp, req.keep_alive).is_ok() && req.keep_alive {
+                return Some(stream);
+            }
         }
         ResponseFault::Delay(d) => {
             std::thread::sleep(d);
-            let _ = write_response(&stream, &resp);
+            if write_response(&stream, &resp, req.keep_alive).is_ok() && req.keep_alive {
+                return Some(stream);
+            }
         }
         ResponseFault::DropMidBody => {
             let half = resp.body.len() / 2;
-            let _ = write_head(&stream, &resp, resp.body.len());
+            let _ = write_head(&stream, &resp, resp.body.len(), false);
             let _ = (&stream).write_all(&resp.body[..half]);
             // Dropping the stream here closes the socket mid-body.
         }
@@ -222,6 +367,7 @@ where
             // Drop without writing: the client sees an abrupt EOF.
         }
     }
+    None
 }
 
 fn read_request(reader: &mut BufReader<TcpStream>) -> Option<Request> {
@@ -234,35 +380,53 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Option<Request> {
     if !version.starts_with("HTTP/1.") {
         return None;
     }
-    // Drain headers until the blank line; the collector protocol needs
-    // none of them.
+    // Drain headers until the blank line; `connection` is the only one
+    // the collector protocol reacts to.
+    let mut keep_alive = false;
     loop {
         let mut header = String::new();
         reader.read_line(&mut header).ok()?;
         if header == "\r\n" || header == "\n" || header.is_empty() {
             break;
         }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("connection")
+                && value.trim().eq_ignore_ascii_case("keep-alive")
+            {
+                keep_alive = true;
+            }
+        }
     }
-    Some(Request { method, path })
+    Some(Request {
+        method,
+        path,
+        keep_alive,
+    })
 }
 
 fn write_head(
     mut stream: &TcpStream,
     resp: &Response,
     content_length: usize,
+    keep_alive: bool,
 ) -> std::io::Result<()> {
     let head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
         resp.status,
         status_phrase(resp.status),
         resp.content_type,
-        content_length
+        content_length,
+        if keep_alive { "keep-alive" } else { "close" },
     );
     stream.write_all(head.as_bytes())
 }
 
-fn write_response(mut stream: &TcpStream, resp: &Response) -> std::io::Result<()> {
-    write_head(stream, resp, resp.body.len())?;
+fn write_response(
+    mut stream: &TcpStream,
+    resp: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    write_head(stream, resp, resp.body.len(), keep_alive)?;
     stream.write_all(&resp.body)?;
     stream.flush()
 }
@@ -327,8 +491,81 @@ pub fn http_get(
         .map_err(|e| HttpError::Connect(e.to_string()))?;
 
     let mut reader = BufReader::new(&stream);
+    read_response(&mut reader)
+}
+
+/// A persistent client connection speaking `connection: keep-alive`, so
+/// successive scrapes of the same target skip the TCP handshake. The
+/// scraper pools one per target; [`HttpConnection::uses`] drives the
+/// pool's retire-after-N policy.
+#[derive(Debug)]
+pub struct HttpConnection {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+    uses: u32,
+}
+
+impl HttpConnection {
+    /// Dials `addr` with `connect_timeout` and arms every subsequent
+    /// read with `read_timeout`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HttpError::Connect`] when the dial or socket setup
+    /// fails.
+    pub fn connect(
+        addr: SocketAddr,
+        connect_timeout: Duration,
+        read_timeout: Duration,
+    ) -> Result<HttpConnection, HttpError> {
+        let stream = TcpStream::connect_timeout(&addr, connect_timeout)
+            .map_err(|e| HttpError::Connect(e.to_string()))?;
+        stream
+            .set_read_timeout(Some(read_timeout))
+            .map_err(|e| HttpError::Connect(e.to_string()))?;
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| HttpError::Connect(e.to_string()))?,
+        );
+        Ok(HttpConnection {
+            stream,
+            reader,
+            uses: 0,
+        })
+    }
+
+    /// Performs a `GET` over the persistent connection, leaving it open
+    /// for the next request.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`HttpError`] like [`http_get`]; after an error the
+    /// connection should be discarded (the stream may hold residual
+    /// bytes).
+    pub fn get(&mut self, path: &str) -> Result<Vec<u8>, HttpError> {
+        self.uses += 1;
+        let request =
+            format!("GET {path} HTTP/1.1\r\nhost: collector\r\nconnection: keep-alive\r\n\r\n");
+        self.stream
+            .write_all(request.as_bytes())
+            .map_err(|e| HttpError::Connect(e.to_string()))?;
+        read_response(&mut self.reader)
+    }
+
+    /// Requests served over this connection so far.
+    pub fn uses(&self) -> u32 {
+        self.uses
+    }
+}
+
+/// Reads one HTTP response (status line, headers, `content-length`-bound
+/// body) and returns the body of a 200. Does not read past the body, so
+/// a kept-alive stream is left positioned at the next response.
+fn read_response<R: BufRead>(reader: &mut R) -> Result<Vec<u8>, HttpError> {
     let mut status_line = String::new();
-    read_line_classified(&mut reader, &mut status_line)?;
+    read_line_classified(reader, &mut status_line)?;
     let status: u16 = status_line
         .split_whitespace()
         .nth(1)
@@ -338,7 +575,7 @@ pub fn http_get(
     let mut content_length: Option<usize> = None;
     loop {
         let mut header = String::new();
-        read_line_classified(&mut reader, &mut header)?;
+        read_line_classified(reader, &mut header)?;
         let header = header.trim_end();
         if header.is_empty() {
             break;
@@ -367,10 +604,7 @@ pub fn http_get(
     Ok(body)
 }
 
-fn read_line_classified(
-    reader: &mut BufReader<&TcpStream>,
-    buf: &mut String,
-) -> Result<(), HttpError> {
+fn read_line_classified<R: BufRead>(reader: &mut R, buf: &mut String) -> Result<(), HttpError> {
     match reader.read_line(buf) {
         Ok(0) => Err(HttpError::Truncated { got: 0, want: 1 }),
         Ok(_) => Ok(()),
@@ -403,6 +637,53 @@ mod tests {
         let (ct, rt) = client_timeouts();
         let body = http_get(server.addr(), "/hello", ct, rt).unwrap();
         assert_eq!(body, b"{\"path\":\"/hello\"}");
+    }
+
+    #[test]
+    fn keep_alive_connection_serves_many_requests() {
+        // One worker on purpose: parked connections must not occupy it,
+        // or the interleaved close-mode request below would deadlock.
+        let server = HttpServer::serve("127.0.0.1:0", 1, |req: &Request| {
+            Response::json(format!("{{\"path\":\"{}\"}}", req.path))
+        })
+        .unwrap();
+        let (ct, rt) = client_timeouts();
+        let mut conn = HttpConnection::connect(server.addr(), ct, rt).unwrap();
+        for i in 0..5 {
+            let body = conn.get(&format!("/req/{i}")).unwrap();
+            assert_eq!(body, format!("{{\"path\":\"/req/{i}\"}}").as_bytes());
+        }
+        assert_eq!(conn.uses(), 5);
+        // A close-mode client interleaves fine while the connection is
+        // parked...
+        let body = http_get(server.addr(), "/plain", ct, rt).unwrap();
+        assert_eq!(body, b"{\"path\":\"/plain\"}");
+        // ...and the parked connection still works afterwards.
+        let body = conn.get("/after").unwrap();
+        assert_eq!(body, b"{\"path\":\"/after\"}");
+    }
+
+    #[test]
+    fn worker_board_tracks_endpoint_pool() {
+        let board = WorkerBoard::new();
+        let server =
+            HttpServer::serve_with_board("127.0.0.1:0", 3, Some(board.clone()), |_: &Request| {
+                Response::text("ok")
+            })
+            .unwrap();
+        // All three pool workers register and park idle on the queue.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while board.len() < 3 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(board.len(), 3);
+        let prof = board.self_profile("leakprofd");
+        assert!(prof
+            .goroutines
+            .iter()
+            .all(|g| g.status == gosim::GoStatus::ChanReceive { nil_chan: false }));
+        drop(server);
+        assert!(board.is_empty(), "shutdown deregisters the pool");
     }
 
     #[test]

@@ -120,13 +120,25 @@ struct LedgerFile {
 }
 
 /// The cool-down ledger.
-#[derive(Debug)]
 pub struct ReportLedger {
     config: LedgerConfig,
     path: Option<PathBuf>,
     entries: BTreeMap<String, LedgerEntry>,
     reported_total: u64,
     suppressed_total: u64,
+    tracer: obs::Tracer,
+}
+
+impl std::fmt::Debug for ReportLedger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReportLedger")
+            .field("config", &self.config)
+            .field("path", &self.path)
+            .field("entries", &self.entries)
+            .field("reported_total", &self.reported_total)
+            .field("suppressed_total", &self.suppressed_total)
+            .finish()
+    }
 }
 
 impl ReportLedger {
@@ -138,7 +150,14 @@ impl ReportLedger {
             entries: BTreeMap::new(),
             reported_total: 0,
             suppressed_total: 0,
+            tracer: obs::Tracer::disabled(),
         }
+    }
+
+    /// Installs the tracer that [`ReportLedger::apply`] records its
+    /// spans into.
+    pub fn set_tracer(&mut self, tracer: obs::Tracer) {
+        self.tracer = tracer;
     }
 
     /// Opens a persistent ledger at `path`, loading existing state.
@@ -194,6 +213,8 @@ impl ReportLedger {
     /// Returns an IO error if the ledger file cannot be written (the
     /// in-memory decision is still applied).
     pub fn apply(&mut self, cycle: u64, suspects: &[Suspect]) -> std::io::Result<CycleOutcome> {
+        let mut span = self.tracer.start(obs::stage::LEDGER, "");
+        span.attr("suspects", suspects.len());
         let mut outcome = CycleOutcome::default();
         let mut dirty = false;
         for s in suspects {
@@ -261,6 +282,9 @@ impl ReportLedger {
         if dirty {
             self.save()?;
         }
+        span.attr("reported", outcome.reported.len());
+        span.attr("suppressed", outcome.suppressed);
+        span.attr("resolved", outcome.resolved.len());
         Ok(outcome)
     }
 

@@ -11,8 +11,9 @@
 //!   prefix (`/instance/<id>/debug/pprof/goroutine`), with per-instance
 //!   fault injection for testing the failure paths.
 //! * [`scrape`] — bounded-worker scatter-gather with per-request
-//!   deadlines, deterministic retry/backoff jitter, and a per-target
-//!   attempt budget.
+//!   deadlines, deterministic retry/backoff jitter, a per-target
+//!   attempt budget, and a keep-alive pool reusing one connection per
+//!   target across cycles.
 //! * [`breaker`] — per-target circuit breakers quarantining dead
 //!   instances, with decaying half-open probes.
 //! * [`stats`] — scrape-health counters and latency histograms.
@@ -26,7 +27,9 @@
 //!   verdict cache: each source file is parsed once, reused across
 //!   cycles and restarts.
 //! * [`daemon`] — the cycle loop feeding [`leakprof::FleetAccumulator`],
-//!   plus the daemon's own `/metrics` and `/status`.
+//!   plus the daemon's own `/metrics`, `/status`, `/trace` (per-cycle
+//!   span trees from [`obs`]), and `/debug/self` (the daemon's own
+//!   worker threads as a scrapeable goroutine-style profile).
 //! * [`demo`] — a real [`fleet::Fleet`] wired to a hub, for the CLI demo
 //!   commands, benches, and end-to-end tests.
 //! * [`chaos`] — deterministic fault-schedule driver (scrape faults,
@@ -50,7 +53,9 @@ pub mod stats;
 
 pub use breaker::{BreakerConfig, BreakerSet, BreakerState, BreakerSummary, QuarantinedTarget};
 pub use chaos::{run_chaos, ChaosConfig, ChaosFault, ChaosOutcome, ChaosPlan, ChaosPlanConfig};
-pub use daemon::{serve_daemon_endpoints, Daemon, DaemonConfig, DaemonStatus};
+pub use daemon::{
+    daemon_routes, serve_daemon_endpoints, Daemon, DaemonConfig, DaemonStatus, SELF_INSTANCE,
+};
 pub use demo::DemoFleet;
 pub use endpoints::{Fault, ProfileHub};
 pub use history::{load_jsonl, CycleRecord, HistoryLog, JsonlLoad, TopSite};
@@ -59,7 +64,10 @@ pub use ledger::{
     CycleOutcome, EpisodeState, LedgerConfig, LedgerEntry, LedgerSummary, ReportLedger,
     LEDGER_VERSION,
 };
-pub use scrape::{CycleReport, ScrapeConfig, ScrapeError, ScrapeErrorKind, ScrapeTarget, Scraper};
+pub use scrape::{
+    CycleReport, KeepaliveSummary, ScrapeConfig, ScrapeError, ScrapeErrorKind, ScrapeTarget,
+    Scraper,
+};
 pub use snapshot::{DaemonSnapshot, Recovery, SnapshotStore, WalEntry, DAEMON_SNAPSHOT_VERSION};
 pub use static_tier::{StaticTier, StaticTierConfig, StaticTierStats, VERDICT_CACHE_VERSION};
 pub use stats::{CycleStats, HealthCounters, LatencyHistogram};

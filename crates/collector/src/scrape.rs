@@ -2,16 +2,27 @@
 //! bounded worker pool, with per-request deadlines and retry/backoff so
 //! a slow or dead instance degrades one target's result instead of
 //! stalling the cycle.
+//!
+//! With [`ScrapeConfig::keepalive`] on, the scraper pools one persistent
+//! connection per target across cycles ([`crate::http::HttpConnection`]),
+//! skipping the TCP handshake on every warm scrape. A pooled connection
+//! that fails is discarded and the attempt falls back to a fresh connect
+//! *within the same attempt*, so reuse never costs an extra retry.
+//! Reuse/fresh/expired/failure counts surface as span attributes, in
+//! `/metrics`, and in `status`.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use gosim::rng::SplitMix64;
 use gosim::GoroutineProfile;
+use obs::{site, stage, Tracer, WorkerBoard, WorkerState};
 
 use crate::breaker::{BreakerSet, Decision};
-use crate::http::{http_get, HttpError};
+use crate::http::{http_get, HttpConnection, HttpError};
 use crate::stats::CycleStats;
 
 /// One instance endpoint to scrape.
@@ -49,6 +60,14 @@ pub struct ScrapeConfig {
     /// time is `attempt_budget + read_timeout` (one attempt may already
     /// be in flight as the budget runs out).
     pub attempt_budget: Duration,
+    /// Keep one persistent connection per target across cycles and reuse
+    /// it (`connection: keep-alive`). Off by default: every request dials
+    /// a fresh connection, exactly as before.
+    pub keepalive: bool,
+    /// Retire a kept-alive connection after this many requests and
+    /// redial (bounds how long a silently-degraded socket can linger).
+    /// 0 means no limit.
+    pub keepalive_max_uses: u32,
 }
 
 impl Default for ScrapeConfig {
@@ -61,6 +80,66 @@ impl Default for ScrapeConfig {
             backoff_base: Duration::from_millis(10),
             jitter_seed: 0,
             attempt_budget: Duration::from_secs(2),
+            keepalive: false,
+            keepalive_max_uses: 64,
+        }
+    }
+}
+
+/// Keep-alive pool counters since scraper creation.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KeepaliveSummary {
+    /// Requests served over a pooled (reused) connection.
+    pub reused: u64,
+    /// Requests that dialed a fresh connection.
+    pub fresh: u64,
+    /// Pooled connections retired by the max-uses policy.
+    pub expired: u64,
+    /// Pooled connections discarded because a reuse attempt failed
+    /// (each such request then fell back to a fresh dial).
+    pub reuse_failures: u64,
+}
+
+#[derive(Debug, Default)]
+struct KeepaliveCounters {
+    reused: AtomicU64,
+    fresh: AtomicU64,
+    expired: AtomicU64,
+    reuse_failures: AtomicU64,
+}
+
+impl KeepaliveCounters {
+    fn summary(&self) -> KeepaliveSummary {
+        KeepaliveSummary {
+            reused: self.reused.load(Ordering::Relaxed),
+            fresh: self.fresh.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            reuse_failures: self.reuse_failures.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// How one request was carried, for span attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnMode {
+    /// Plain per-request connection (`keepalive` off).
+    Close,
+    /// Served over a pooled connection.
+    Reused,
+    /// Dialed a fresh connection (none pooled, or pool entry expired).
+    Fresh,
+    /// A pooled connection failed mid-reuse; the same attempt completed
+    /// over a fresh dial.
+    ReusedThenFresh,
+}
+
+impl ConnMode {
+    fn label(self) -> &'static str {
+        match self {
+            ConnMode::Close => "close",
+            ConnMode::Reused => "reused",
+            ConnMode::Fresh => "fresh",
+            ConnMode::ReusedThenFresh => "reused_then_fresh",
         }
     }
 }
@@ -119,21 +198,55 @@ pub struct CycleReport {
     pub stats: CycleStats,
 }
 
-/// The scatter-gather scraper.
-#[derive(Debug, Clone, Default)]
+/// The scatter-gather scraper. Clones share the connection pool and
+/// keep-alive counters.
+#[derive(Clone, Default)]
 pub struct Scraper {
     config: ScrapeConfig,
+    pool: Arc<Mutex<HashMap<String, HttpConnection>>>,
+    counters: Arc<KeepaliveCounters>,
+    tracer: Tracer,
+    board: Option<WorkerBoard>,
+}
+
+impl std::fmt::Debug for Scraper {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scraper")
+            .field("config", &self.config)
+            .field("pooled_connections", &self.pool.lock().unwrap().len())
+            .finish()
+    }
 }
 
 impl Scraper {
     /// Creates a scraper with the given configuration.
     pub fn new(config: ScrapeConfig) -> Self {
-        Scraper { config }
+        Scraper {
+            config,
+            ..Scraper::default()
+        }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &ScrapeConfig {
         &self.config
+    }
+
+    /// Records spans for every cycle/target on `tracer` from now on.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Registers cycle worker threads on `board` so the daemon's
+    /// self-profile shows where scrape workers block.
+    pub fn set_worker_board(&mut self, board: WorkerBoard) {
+        self.board = Some(board);
+    }
+
+    /// Keep-alive pool counters since scraper creation (all zero while
+    /// [`ScrapeConfig::keepalive`] is off).
+    pub fn keepalive_summary(&self) -> KeepaliveSummary {
+        self.counters.summary()
     }
 
     /// Scrapes every target once (with per-target retries), never letting
@@ -173,23 +286,42 @@ impl Scraper {
         type Slot = (usize, Result<GoroutineProfile, ScrapeError>, Vec<Duration>);
         let results: Mutex<Vec<Slot>> = Mutex::new(Vec::with_capacity(targets.len()));
 
+        let mut scrape_span = self.tracer.start(stage::SCRAPE, "");
+        scrape_span.attr("targets", targets.len());
+        let scrape_id = scrape_span.id();
         std::thread::scope(|s| {
             for _ in 0..workers.min(targets.len().max(1)) {
-                s.spawn(|| loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(target) = targets.get(idx) else {
-                        break;
-                    };
-                    let max_attempts = match decisions[idx] {
-                        Decision::Skip => continue,
-                        Decision::Probe => 1,
-                        Decision::Scrape => self.config.max_attempts.max(1),
-                    };
-                    let (outcome, latencies) = self.scrape_target(idx, target, max_attempts);
-                    results
-                        .lock()
-                        .expect("results poisoned")
-                        .push((idx, outcome, latencies));
+                s.spawn(|| {
+                    let wh = self.board.as_ref().map(|b| {
+                        b.register(
+                            "collector::scrape::worker",
+                            site!("collector::scrape::run_cycle_inner"),
+                        )
+                    });
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(target) = targets.get(idx) else {
+                            break;
+                        };
+                        let max_attempts = match decisions[idx] {
+                            Decision::Skip => continue,
+                            Decision::Probe => 1,
+                            Decision::Scrape => self.config.max_attempts.max(1),
+                        };
+                        let mut span =
+                            self.tracer
+                                .start_with(stage::TARGET, &target.instance, scrape_id);
+                        let (outcome, latencies) =
+                            self.scrape_target(idx, target, max_attempts, &mut span, wh.as_ref());
+                        span.finish();
+                        if let Some(h) = &wh {
+                            h.set(WorkerState::Idle, site!("collector::scrape::next_target"));
+                        }
+                        results
+                            .lock()
+                            .expect("results poisoned")
+                            .push((idx, outcome, latencies));
+                    }
                 });
             }
         });
@@ -224,17 +356,24 @@ impl Scraper {
         report.stats.failed = report.errors.len();
         report.stats.skipped = report.skipped.len();
         report.stats.wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        scrape_span.attr("succeeded", report.stats.succeeded);
+        scrape_span.attr("failed", report.stats.failed);
+        scrape_span.attr("skipped", report.stats.skipped);
+        scrape_span.finish();
         report
     }
 
     /// Attempts one target with retry + exponential backoff, bounded by
     /// [`ScrapeConfig::attempt_budget`]; returns the outcome and
-    /// per-attempt wall latencies.
+    /// per-attempt wall latencies, annotating `span` with attempt count,
+    /// connection mode, and body size.
     fn scrape_target(
         &self,
         index: usize,
         target: &ScrapeTarget,
         max_attempts: u32,
+        span: &mut obs::SpanGuard,
+        wh: Option<&obs::WorkerHandle>,
     ) -> (Result<GoroutineProfile, ScrapeError>, Vec<Duration>) {
         // Deterministic jitter stream per (seed, target position).
         let mut rng = SplitMix64::new(
@@ -245,6 +384,7 @@ impl Scraper {
         let mut last: Option<(ScrapeErrorKind, String)> = None;
         let attempts = max_attempts.max(1);
         let mut attempts_made = 0u32;
+        let mut last_mode = ConnMode::Close;
         for attempt in 0..attempts {
             if attempt > 0 {
                 let backoff = self.config.backoff_base * (1u32 << (attempt - 1).min(8));
@@ -258,23 +398,35 @@ impl Scraper {
                 std::thread::sleep(wait);
             }
             attempts_made += 1;
+            if let Some(h) = wh {
+                h.set(WorkerState::Connect, site!("collector::scrape::fetch"));
+            }
             let begin = Instant::now();
-            let outcome = http_get(
-                target.addr,
-                &target.path,
-                self.config.connect_timeout,
-                self.config.read_timeout,
-            );
+            let (outcome, mode) = self.fetch(target);
+            last_mode = mode;
             latencies.push(begin.elapsed());
             match outcome {
-                Ok(body) => match std::str::from_utf8(&body)
-                    .map_err(|e| e.to_string())
-                    .and_then(|s| {
-                        serde_json::from_str::<GoroutineProfile>(s).map_err(|e| e.to_string())
-                    }) {
-                    Ok(profile) => return (Ok(profile), latencies),
-                    Err(e) => last = Some((ScrapeErrorKind::Parse, e)),
-                },
+                Ok(body) => {
+                    if let Some(h) = wh {
+                        h.set(
+                            WorkerState::Parse,
+                            site!("collector::scrape::parse_profile"),
+                        );
+                    }
+                    span.attr("bytes", body.len());
+                    match std::str::from_utf8(&body)
+                        .map_err(|e| e.to_string())
+                        .and_then(|s| {
+                            serde_json::from_str::<GoroutineProfile>(s).map_err(|e| e.to_string())
+                        }) {
+                        Ok(profile) => {
+                            span.attr("attempts", attempts_made);
+                            span.attr("conn", mode.label());
+                            return (Ok(profile), latencies);
+                        }
+                        Err(e) => last = Some((ScrapeErrorKind::Parse, e)),
+                    }
+                }
                 Err(e) => {
                     let kind = match &e {
                         HttpError::Connect(_) => ScrapeErrorKind::Connect,
@@ -288,6 +440,9 @@ impl Scraper {
             }
         }
         let (kind, detail) = last.expect("at least one attempt ran");
+        span.attr("attempts", attempts_made);
+        span.attr("conn", last_mode.label());
+        span.attr("error", &kind);
         (
             Err(ScrapeError {
                 instance: target.instance.clone(),
@@ -297,6 +452,76 @@ impl Scraper {
             }),
             latencies,
         )
+    }
+
+    /// Carries one request to `target`: over the pooled keep-alive
+    /// connection when available (retiring it at `keepalive_max_uses`),
+    /// falling back to a fresh dial — *within this same attempt* — when
+    /// reuse fails, or plain [`http_get`] when keep-alive is off.
+    fn fetch(&self, target: &ScrapeTarget) -> (Result<Vec<u8>, HttpError>, ConnMode) {
+        if !self.config.keepalive {
+            let out = http_get(
+                target.addr,
+                &target.path,
+                self.config.connect_timeout,
+                self.config.read_timeout,
+            );
+            return (out, ConnMode::Close);
+        }
+        let pooled = self
+            .pool
+            .lock()
+            .expect("pool poisoned")
+            .remove(&target.instance);
+        let mut reuse_failed = false;
+        if let Some(mut conn) = pooled {
+            let max = self.config.keepalive_max_uses;
+            if max > 0 && conn.uses() >= max {
+                self.counters.expired.fetch_add(1, Ordering::Relaxed);
+                // Retired: fall through to a fresh dial.
+            } else {
+                match conn.get(&target.path) {
+                    Ok(body) => {
+                        self.counters.reused.fetch_add(1, Ordering::Relaxed);
+                        self.pool
+                            .lock()
+                            .expect("pool poisoned")
+                            .insert(target.instance.clone(), conn);
+                        return (Ok(body), ConnMode::Reused);
+                    }
+                    Err(_) => {
+                        // The parked socket went stale (server expiry,
+                        // restart, network blip). Don't fail the attempt:
+                        // count it and redial.
+                        self.counters.reuse_failures.fetch_add(1, Ordering::Relaxed);
+                        reuse_failed = true;
+                    }
+                }
+            }
+        }
+        let mode = if reuse_failed {
+            ConnMode::ReusedThenFresh
+        } else {
+            ConnMode::Fresh
+        };
+        match HttpConnection::connect(
+            target.addr,
+            self.config.connect_timeout,
+            self.config.read_timeout,
+        ) {
+            Ok(mut conn) => {
+                let out = conn.get(&target.path);
+                self.counters.fresh.fetch_add(1, Ordering::Relaxed);
+                if out.is_ok() {
+                    self.pool
+                        .lock()
+                        .expect("pool poisoned")
+                        .insert(target.instance.clone(), conn);
+                }
+                (out, mode)
+            }
+            Err(e) => (Err(e), mode),
+        }
     }
 }
 
@@ -464,6 +689,91 @@ mod tests {
         }
         assert!(probed, "recovered target was probed back into rotation");
         assert_eq!(breakers.state("dying"), BreakerState::Closed);
+    }
+
+    #[test]
+    fn keepalive_reuses_connections_across_cycles() {
+        let hub = hub_with(&["a", "b", "c"]);
+        let server = hub.serve("127.0.0.1:0", 2).unwrap();
+        let scraper = Scraper::new(ScrapeConfig {
+            keepalive: true,
+            ..ScrapeConfig::default()
+        });
+        let targets = targets_for(&hub, server.addr());
+        assert_eq!(scraper.scrape_cycle(&targets).stats.succeeded, 3);
+        assert_eq!(scraper.scrape_cycle(&targets).stats.succeeded, 3);
+        let ka = scraper.keepalive_summary();
+        assert_eq!(ka.fresh, 3, "cycle 1 dials each target once");
+        assert_eq!(ka.reused, 3, "cycle 2 reuses every pooled connection");
+        assert_eq!(ka.reuse_failures, 0);
+        assert_eq!(ka.expired, 0);
+    }
+
+    #[test]
+    fn keepalive_max_uses_retires_connections() {
+        let hub = hub_with(&["a", "b"]);
+        let server = hub.serve("127.0.0.1:0", 2).unwrap();
+        let scraper = Scraper::new(ScrapeConfig {
+            keepalive: true,
+            keepalive_max_uses: 1,
+            ..ScrapeConfig::default()
+        });
+        let targets = targets_for(&hub, server.addr());
+        for _ in 0..3 {
+            assert_eq!(scraper.scrape_cycle(&targets).stats.succeeded, 2);
+        }
+        let ka = scraper.keepalive_summary();
+        assert_eq!(ka.reused, 0, "one use per connection: nothing reusable");
+        assert_eq!(ka.expired, 4, "cycles 2 and 3 retire both pooled conns");
+        assert_eq!(ka.fresh, 6);
+    }
+
+    #[test]
+    fn stale_pooled_connection_falls_back_to_fresh_in_same_attempt() {
+        let hub = hub_with(&["a", "b"]);
+        let server = hub.serve("127.0.0.1:0", 2).unwrap();
+        let addr = server.addr();
+        let scraper = Scraper::new(ScrapeConfig {
+            keepalive: true,
+            ..ScrapeConfig::default()
+        });
+        let targets = targets_for(&hub, addr);
+        assert_eq!(scraper.scrape_cycle(&targets).stats.succeeded, 2);
+        // Restart the server on the same port: every pooled connection is
+        // now dead, but the next cycle must still succeed with zero
+        // retries — the fresh fallback runs inside the same attempt.
+        drop(server);
+        let server2 = hub.serve(&addr.to_string(), 2).unwrap();
+        assert_eq!(server2.addr(), addr);
+        let r = scraper.scrape_cycle(&targets);
+        assert_eq!(r.stats.succeeded, 2);
+        assert_eq!(r.stats.retries, 0, "fallback must not consume a retry");
+        let ka = scraper.keepalive_summary();
+        assert!(ka.reuse_failures >= 1, "stale connections counted: {ka:?}");
+        assert_eq!(ka.fresh as usize, 2 + ka.reuse_failures as usize);
+    }
+
+    #[test]
+    fn spans_cover_cycle_and_targets() {
+        use obs::{stage, TraceConfig, Tracer};
+        let hub = hub_with(&["a", "b"]);
+        let server = hub.serve("127.0.0.1:0", 2).unwrap();
+        let mut scraper = Scraper::new(ScrapeConfig::default());
+        let tracer = Tracer::new(&TraceConfig::default());
+        scraper.set_tracer(tracer.clone());
+        scraper.scrape_cycle(&targets_for(&hub, server.addr()));
+        tracer.finish_cycle(1);
+        let snap = tracer.snapshot();
+        let spans = &snap.cycles[0].spans;
+        let scrape = spans.iter().find(|s| s.stage == stage::SCRAPE).unwrap();
+        let tgts: Vec<_> = spans.iter().filter(|s| s.stage == stage::TARGET).collect();
+        assert_eq!(tgts.len(), 2);
+        assert!(tgts.iter().all(|t| t.parent == scrape.id));
+        for t in tgts {
+            assert!(t.attrs.iter().any(|(k, v)| k == "conn" && v == "close"));
+            assert!(t.attrs.iter().any(|(k, _)| k == "bytes"));
+            assert!(t.attrs.iter().any(|(k, v)| k == "attempts" && v == "1"));
+        }
     }
 
     #[test]

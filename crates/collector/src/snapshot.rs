@@ -87,9 +87,17 @@ impl Recovery {
 }
 
 /// Manages `snapshot.json` + `wal.jsonl` inside a state directory.
-#[derive(Debug)]
 pub struct SnapshotStore {
     dir: PathBuf,
+    tracer: obs::Tracer,
+}
+
+impl std::fmt::Debug for SnapshotStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotStore")
+            .field("dir", &self.dir)
+            .finish()
+    }
 }
 
 impl SnapshotStore {
@@ -101,7 +109,16 @@ impl SnapshotStore {
     pub fn open(dir: impl AsRef<Path>) -> std::io::Result<SnapshotStore> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
-        Ok(SnapshotStore { dir })
+        Ok(SnapshotStore {
+            dir,
+            tracer: obs::Tracer::disabled(),
+        })
+    }
+
+    /// Records a span for every WAL append and snapshot commit on
+    /// `tracer` from now on.
+    pub fn set_tracer(&mut self, tracer: obs::Tracer) {
+        self.tracer = tracer;
     }
 
     /// Path of the committed snapshot file.
@@ -123,6 +140,9 @@ impl SnapshotStore {
     /// Returns an IO error on write failure.
     pub fn append_wal(&self, entry: &WalEntry) -> std::io::Result<()> {
         let line = serde_json::to_string(entry).expect("wal entry serializes");
+        let mut span = self.tracer.start(obs::stage::WAL_APPEND, "");
+        span.attr("bytes", line.len());
+        span.attr("profiles", entry.profiles.len());
         let mut f = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
@@ -143,13 +163,13 @@ impl SnapshotStore {
     /// Returns an IO error on write failure.
     pub fn commit_snapshot(&self, snapshot: &DaemonSnapshot) -> std::io::Result<()> {
         let tmp = self.dir.join("snapshot.json.tmp");
+        let body = serde_json::to_string_pretty(snapshot).expect("snapshot serializes");
+        let mut span = self.tracer.start(obs::stage::SNAPSHOT, "");
+        span.attr("bytes", body.len());
+        span.attr("cycle", snapshot.cycle);
         {
             let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(
-                serde_json::to_string_pretty(snapshot)
-                    .expect("snapshot serializes")
-                    .as_bytes(),
-            )?;
+            f.write_all(body.as_bytes())?;
             f.flush()?;
             f.sync_data()?;
         }

@@ -104,11 +104,21 @@ struct CacheFile {
 }
 
 /// The static tier: verdict cache + sync machinery.
-#[derive(Debug)]
 pub struct StaticTier {
     config: StaticTierConfig,
     entries: BTreeMap<String, CacheEntry>,
     stats: StaticTierStats,
+    tracer: obs::Tracer,
+}
+
+impl std::fmt::Debug for StaticTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StaticTier")
+            .field("config", &self.config)
+            .field("entries", &self.entries)
+            .field("stats", &self.stats)
+            .finish()
+    }
 }
 
 impl StaticTier {
@@ -132,7 +142,14 @@ impl StaticTier {
             config,
             entries,
             stats: StaticTierStats::default(),
+            tracer: obs::Tracer::disabled(),
         })
+    }
+
+    /// Installs the tracer that [`StaticTier::sync`] records its spans
+    /// into.
+    pub fn set_tracer(&mut self, tracer: obs::Tracer) {
+        self.tracer = tracer;
     }
 
     /// Synchronizes the cache with the source tree and returns the
@@ -148,6 +165,9 @@ impl StaticTier {
     /// Returns an IO error if the source directory cannot be walked or
     /// the cache file cannot be written.
     pub fn sync(&mut self) -> io::Result<VerdictSet> {
+        let mut span = self.tracer.start(obs::stage::STATIC_SYNC, "");
+        let hits_before = self.stats.cache_hits;
+        let misses_before = self.stats.cache_misses;
         let scan_start = Instant::now();
         let mut sources: Vec<(String, String, u64)> = Vec::new();
         let mut files = Vec::new();
@@ -211,6 +231,9 @@ impl StaticTier {
         }
         self.stats.covered_files = vs.files() as u64;
         self.stats.syncs += 1;
+        span.attr("files", sources.len());
+        span.attr("cache_hits", self.stats.cache_hits - hits_before);
+        span.attr("parsed", self.stats.cache_misses - misses_before);
         Ok(vs)
     }
 

@@ -2,102 +2,10 @@
 //! the daemon exposes on its own `/metrics` endpoint and in `status`.
 
 use serde::{Deserialize, Serialize};
-use std::time::Duration;
 
-/// Number of log2 latency buckets (1 µs up to ~2^47 µs).
-const BUCKETS: usize = 48;
-
-/// A log2-bucketed latency histogram over microseconds.
-///
-/// Bucket `i` counts observations in `[2^i, 2^(i+1))` µs; quantiles are
-/// reported as the upper bound of the containing bucket, which is enough
-/// resolution for scrape-health dashboards.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct LatencyHistogram {
-    buckets: Vec<u64>,
-    count: u64,
-    sum_us: u64,
-    max_us: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram {
-            buckets: vec![0; BUCKETS],
-            count: 0,
-            sum_us: 0,
-            max_us: 0,
-        }
-    }
-}
-
-impl LatencyHistogram {
-    /// Creates an empty histogram.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Records one observation.
-    pub fn record(&mut self, d: Duration) {
-        let us = d.as_micros().min(u64::MAX as u128) as u64;
-        let idx = (64 - us.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
-        self.buckets[idx] += 1;
-        self.count += 1;
-        self.sum_us = self.sum_us.saturating_add(us);
-        self.max_us = self.max_us.max(us);
-    }
-
-    /// Merges another histogram into this one.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.sum_us = self.sum_us.saturating_add(other.sum_us);
-        self.max_us = self.max_us.max(other.max_us);
-    }
-
-    /// Number of recorded observations.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// The largest recorded observation, in microseconds.
-    pub fn max_us(&self) -> u64 {
-        self.max_us
-    }
-
-    /// Mean latency in microseconds (0 when empty).
-    pub fn mean_us(&self) -> u64 {
-        self.sum_us.checked_div(self.count).unwrap_or(0)
-    }
-
-    /// Upper bound (µs) of the bucket containing quantile `q` in `[0,1]`.
-    pub fn quantile_us(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return 1u64 << (i + 1);
-            }
-        }
-        self.max_us
-    }
-
-    /// Median latency upper bound in microseconds.
-    pub fn p50_us(&self) -> u64 {
-        self.quantile_us(0.50)
-    }
-
-    /// 99th-percentile latency upper bound in microseconds.
-    pub fn p99_us(&self) -> u64 {
-        self.quantile_us(0.99)
-    }
-}
+// The histogram moved to the dependency-free `obs` crate so the tracing
+// layer can use it too; re-exported here so existing imports keep working.
+pub use obs::LatencyHistogram;
 
 /// Aggregate health of one scrape cycle.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -232,33 +140,7 @@ impl HealthCounters {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn histogram_quantiles_bracket_observations() {
-        let mut h = LatencyHistogram::new();
-        for _ in 0..99 {
-            h.record(Duration::from_micros(100));
-        }
-        h.record(Duration::from_millis(50));
-        assert_eq!(h.count(), 100);
-        // p50 falls in the 100 µs bucket [64,128): upper bound 128.
-        assert_eq!(h.p50_us(), 128);
-        // p99 still lands in the 100 µs bulk; the max reflects the spike.
-        assert!(h.p99_us() <= 128);
-        assert!(h.max_us() >= 50_000);
-        assert!(h.quantile_us(1.0) >= 50_000 / 2);
-    }
-
-    #[test]
-    fn merge_accumulates() {
-        let mut a = LatencyHistogram::new();
-        let mut b = LatencyHistogram::new();
-        a.record(Duration::from_micros(10));
-        b.record(Duration::from_micros(1000));
-        a.merge(&b);
-        assert_eq!(a.count(), 2);
-        assert!(a.max_us() >= 1000);
-    }
+    use std::time::Duration;
 
     #[test]
     fn counters_absorb_cycles() {

@@ -1,0 +1,205 @@
+//! Chrome trace-event export for [`TraceSnapshot`]s.
+//!
+//! `leakprofd trace --out cycles.json` writes the format that
+//! `chrome://tracing` and Perfetto load directly: a JSON array of
+//! complete (`"ph": "X"`) duration events. The mapping is:
+//!
+//! * `pid` — the daemon cycle number, so each retained cycle renders as
+//!   its own process group in the viewer.
+//! * `tid` — lane 0 for driver-side pipeline stages; each scrape target
+//!   gets its own lane (assigned in first-seen order) so the fan-out is
+//!   visible as parallel tracks.
+//! * `ts` / `dur` — the span's start offset and duration in µs, which is
+//!   the unit the trace-event format already uses.
+//! * `args` — span id, parent id, target, then the span's own
+//!   attributes. `id`, `parent`, and `target` are reserved keys; the
+//!   tracer never emits attributes under those names.
+//!
+//! [`from_chrome`] is the inverse, reconstructing [`CycleTrace`]s from
+//! exported JSON. It exists so tests can prove the export is lossless
+//! (`from_chrome(to_chrome(snap)) == snap.cycles`), and accepts only
+//! what [`to_chrome`] emits — it is not a general trace-event parser.
+
+use crate::span::{CycleTrace, Span, TraceSnapshot};
+use serde_json::{Map, Value};
+use std::collections::BTreeMap;
+
+/// Keys in `args` that carry span identity rather than user attributes.
+const RESERVED: [&str; 3] = ["id", "parent", "target"];
+
+/// Renders the snapshot's retained cycles as a Chrome trace-event JSON
+/// array (see the module docs for the mapping).
+pub fn to_chrome(snapshot: &TraceSnapshot) -> String {
+    let mut lanes: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut next_lane = 1u64;
+    let mut events = Vec::new();
+    for cycle in &snapshot.cycles {
+        for span in &cycle.spans {
+            let tid = if span.target.is_empty() {
+                0
+            } else {
+                *lanes.entry(span.target.as_str()).or_insert_with(|| {
+                    let lane = next_lane;
+                    next_lane += 1;
+                    lane
+                })
+            };
+            let mut args = Map::new();
+            args.insert("id", Value::U64(span.id));
+            args.insert("parent", Value::U64(span.parent));
+            args.insert("target", Value::Str(span.target.clone()));
+            for (k, v) in &span.attrs {
+                args.insert(k.clone(), Value::Str(v.clone()));
+            }
+            let mut ev = Map::new();
+            ev.insert("name", Value::Str(span.stage.clone()));
+            ev.insert("cat", Value::Str("leakprofd".to_string()));
+            ev.insert("ph", Value::Str("X".to_string()));
+            ev.insert("ts", Value::U64(span.start_us));
+            ev.insert("dur", Value::U64(span.dur_us));
+            ev.insert("pid", Value::U64(cycle.cycle));
+            ev.insert("tid", Value::U64(tid));
+            ev.insert("args", Value::Object(args));
+            events.push(Value::Object(ev));
+        }
+    }
+    serde_json::to_string(&Value::Array(events)).expect("trace events serialize")
+}
+
+/// Parses JSON produced by [`to_chrome`] back into cycle traces,
+/// grouped by `pid` in first-seen order with span order preserved.
+pub fn from_chrome(json: &str) -> Result<Vec<CycleTrace>, String> {
+    let value: Value = serde_json::from_str(json).map_err(|e| e.to_string())?;
+    let Value::Array(events) = value else {
+        return Err("trace export must be a JSON array".to_string());
+    };
+    let mut cycles: Vec<CycleTrace> = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let at = |msg: &str| format!("event {i}: {msg}");
+        let Value::Object(ev) = ev else {
+            return Err(at("not an object"));
+        };
+        let str_field = |key: &str| -> Result<String, String> {
+            ev.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| at(&format!("missing string field {key:?}")))
+        };
+        let u64_field = |key: &str| -> Result<u64, String> {
+            ev.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| at(&format!("missing integer field {key:?}")))
+        };
+        if str_field("ph")? != "X" {
+            return Err(at("only complete (ph=X) events are supported"));
+        }
+        let Some(Value::Object(args)) = ev.get("args") else {
+            return Err(at("missing args object"));
+        };
+        let arg_u64 = |key: &str| -> Result<u64, String> {
+            args.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| at(&format!("missing integer arg {key:?}")))
+        };
+        let target = args
+            .get("target")
+            .and_then(Value::as_str)
+            .ok_or_else(|| at("missing string arg \"target\""))?
+            .to_string();
+        let mut attrs = Vec::new();
+        for (k, v) in args.iter() {
+            if RESERVED.contains(&k.as_str()) {
+                continue;
+            }
+            let v = v
+                .as_str()
+                .ok_or_else(|| at(&format!("attribute {k:?} is not a string")))?;
+            attrs.push((k.clone(), v.to_string()));
+        }
+        let span = Span {
+            id: arg_u64("id")?,
+            parent: arg_u64("parent")?,
+            stage: str_field("name")?,
+            target,
+            start_us: u64_field("ts")?,
+            dur_us: u64_field("dur")?,
+            attrs,
+        };
+        let cycle = u64_field("pid")?;
+        match cycles.last_mut() {
+            Some(c) if c.cycle == cycle => c.spans.push(span),
+            _ => cycles.push(CycleTrace {
+                cycle,
+                spans: vec![span],
+            }),
+        }
+    }
+    Ok(cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{stage, TraceConfig, Tracer};
+
+    fn sample_snapshot() -> TraceSnapshot {
+        let t = Tracer::new(&TraceConfig::default());
+        for cycle in 1..=2 {
+            let root = t.start(stage::CYCLE, "");
+            t.set_ambient(root.id());
+            let scrape = t.start(stage::SCRAPE, "");
+            for target in ["svc-a", "svc-b"] {
+                let mut g = t.start_with(stage::TARGET, target, scrape.id());
+                g.attr("attempts", 1);
+            }
+            drop(scrape);
+            t.start(stage::ANALYZE, "").finish();
+            t.set_ambient(0);
+            drop(root);
+            t.finish_cycle(cycle);
+        }
+        t.snapshot()
+    }
+
+    #[test]
+    fn export_round_trips() {
+        let snap = sample_snapshot();
+        let json = to_chrome(&snap);
+        let cycles = from_chrome(&json).expect("parse own export");
+        assert_eq!(cycles, snap.cycles);
+    }
+
+    #[test]
+    fn targets_get_stable_lanes_and_stages_lane_zero() {
+        let snap = sample_snapshot();
+        let json = to_chrome(&snap);
+        let value: Value = serde_json::from_str(&json).unwrap();
+        let Value::Array(events) = value else {
+            panic!("not an array")
+        };
+        let mut lane_by_target: BTreeMap<String, u64> = BTreeMap::new();
+        for ev in &events {
+            let Value::Object(ev) = ev else { panic!() };
+            let tid = ev.get("tid").unwrap().as_u64().unwrap();
+            let Some(Value::Object(args)) = ev.get("args") else {
+                panic!()
+            };
+            let target = args.get("target").unwrap().as_str().unwrap().to_string();
+            if target.is_empty() {
+                assert_eq!(tid, 0, "stage spans ride lane 0");
+            } else {
+                assert_ne!(tid, 0, "target spans get their own lanes");
+                let prev = lane_by_target.entry(target).or_insert(tid);
+                assert_eq!(*prev, tid, "same target, same lane across cycles");
+            }
+        }
+        assert_eq!(lane_by_target.len(), 2);
+    }
+
+    #[test]
+    fn rejects_non_array_and_wrong_phase() {
+        assert!(from_chrome("{}").is_err());
+        let ev = r#"[{"name":"x","ph":"B","ts":0,"dur":0,"pid":1,"tid":0,"args":{"id":1,"parent":0,"target":""}}]"#;
+        assert!(from_chrome(ev).is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! Deep observability for the `leakprofd` pipeline.
+//!
+//! The paper's whole argument is that production systems cannot be
+//! debugged without continuous profiles; this crate applies the same
+//! standard to our own daemon. It provides four pieces, deliberately
+//! free of collector dependencies so every layer can use them:
+//!
+//! * [`hist`] — the log2-bucketed [`LatencyHistogram`] shared by scrape
+//!   health counters and per-stage span summaries.
+//! * [`ring`] — a fixed-capacity lock-free MPMC ring buffer with drop
+//!   counting; span recording never blocks and never allocates beyond
+//!   the span itself.
+//! * [`span`] — lightweight spans (id, parent, stage, target, monotonic
+//!   start, µs duration, string attributes) and the [`Tracer`] that
+//!   records them per cycle and folds them into per-stage histograms.
+//! * [`chrome`] — export of trace snapshots to the Chrome trace-event
+//!   format (`chrome://tracing`, Perfetto), plus the minimal parser the
+//!   round-trip tests use.
+//! * [`selfprof`] — the dogfood loop: a worker-state board tracking
+//!   where the daemon's own threads block (idle / connect / read /
+//!   parse / analyze), rendered as a [`gosim::GoroutineProfile`] in the
+//!   *same JSON format the scraped instances serve*, so the daemon can
+//!   be scraped and leak-ranked by its own pipeline.
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod hist;
+pub mod ring;
+pub mod selfprof;
+pub mod span;
+
+pub use chrome::{from_chrome, to_chrome};
+pub use hist::LatencyHistogram;
+pub use ring::Ring;
+pub use selfprof::{Site, WorkerBoard, WorkerHandle, WorkerState};
+pub use span::{
+    stage, CycleTrace, Span, SpanGuard, StageSummary, TraceConfig, TraceSnapshot, Tracer,
+};

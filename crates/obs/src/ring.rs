@@ -1,0 +1,230 @@
+//! A fixed-capacity lock-free MPMC ring buffer with drop counting.
+//!
+//! Span recording sits on the scraper's hot path, where worker threads
+//! finish spans concurrently; a mutex there would serialize the very
+//! fan-out the spans are measuring. This is the classic bounded MPMC
+//! queue (Vyukov): each slot carries a sequence number that encodes
+//! whose turn it is, producers claim slots with a CAS on the enqueue
+//! cursor, and consumers mirror the protocol on the dequeue cursor. No
+//! operation ever blocks.
+//!
+//! Overflow policy: when the ring is full, [`Ring::push`] **drops the
+//! new value** and increments a drop counter instead of overwriting
+//! history or spinning. The tracer drains the ring once per cycle, so
+//! drops only occur when a single cycle produces more spans than the
+//! configured capacity — and the counter makes that visible in
+//! `/metrics` rather than silent.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+struct Slot<T> {
+    /// Turn indicator: `pos` means "free for the producer claiming
+    /// `pos`", `pos + 1` means "holds the value enqueued at `pos`".
+    seq: AtomicUsize,
+    val: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// The lock-free bounded MPMC ring. See the module docs for the
+/// protocol and the overflow policy.
+pub struct Ring<T> {
+    slots: Box<[Slot<T>]>,
+    mask: usize,
+    enqueue_pos: AtomicUsize,
+    dequeue_pos: AtomicUsize,
+    dropped: AtomicU64,
+}
+
+// SAFETY: slots are handed off between threads through the acquire/
+// release protocol on `seq`; a value is only touched by the single
+// thread that successfully claimed its position.
+unsafe impl<T: Send> Send for Ring<T> {}
+unsafe impl<T: Send> Sync for Ring<T> {}
+
+impl<T> Ring<T> {
+    /// Creates a ring holding at most `capacity` values (rounded up to
+    /// the next power of two, minimum 2).
+    pub fn new(capacity: usize) -> Ring<T> {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots: Box<[Slot<T>]> = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                val: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        Ring {
+            slots,
+            mask: cap - 1,
+            enqueue_pos: AtomicUsize::new(0),
+            dequeue_pos: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Enqueues `value`; returns `false` (and counts a drop) when the
+    /// ring is full. Never blocks.
+    pub fn push(&self, value: T) -> bool {
+        let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq as isize - pos as isize;
+            match dif.cmp(&0) {
+                std::cmp::Ordering::Equal => {
+                    match self.enqueue_pos.compare_exchange_weak(
+                        pos,
+                        pos + 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            // SAFETY: the CAS gave this thread exclusive
+                            // ownership of the slot until the release
+                            // store below publishes it.
+                            unsafe { (*slot.val.get()).write(value) };
+                            slot.seq.store(pos + 1, Ordering::Release);
+                            return true;
+                        }
+                        Err(p) => pos = p,
+                    }
+                }
+                std::cmp::Ordering::Less => {
+                    // The slot still holds a value a full lap behind:
+                    // the ring is full.
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+                std::cmp::Ordering::Greater => {
+                    pos = self.enqueue_pos.load(Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Dequeues the oldest value, or `None` when the ring is empty.
+    /// Never blocks.
+    pub fn pop(&self) -> Option<T> {
+        let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq as isize - (pos + 1) as isize;
+            match dif.cmp(&0) {
+                std::cmp::Ordering::Equal => {
+                    match self.dequeue_pos.compare_exchange_weak(
+                        pos,
+                        pos + 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            // SAFETY: the CAS gave this thread exclusive
+                            // ownership of the initialized value.
+                            let value = unsafe { (*slot.val.get()).assume_init_read() };
+                            slot.seq.store(pos + self.mask + 1, Ordering::Release);
+                            return Some(value);
+                        }
+                        Err(p) => pos = p,
+                    }
+                }
+                std::cmp::Ordering::Less => return None,
+                std::cmp::Ordering::Greater => {
+                    pos = self.dequeue_pos.load(Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Values discarded because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        // Drain remaining values so their destructors run.
+        while self.pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo() {
+        let r: Ring<u32> = Ring::new(8);
+        for i in 0..5 {
+            assert!(r.push(i));
+        }
+        for i in 0..5 {
+            assert_eq!(r.pop(), Some(i));
+        }
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn full_ring_drops_and_counts() {
+        let r: Ring<u32> = Ring::new(4);
+        for i in 0..4 {
+            assert!(r.push(i));
+        }
+        assert!(!r.push(99));
+        assert!(!r.push(100));
+        assert_eq!(r.dropped(), 2);
+        // Draining frees slots again.
+        assert_eq!(r.pop(), Some(0));
+        assert!(r.push(101));
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let r: Ring<u8> = Ring::new(5);
+        assert_eq!(r.capacity(), 8);
+        let r: Ring<u8> = Ring::new(0);
+        assert_eq!(r.capacity(), 2);
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing_below_capacity() {
+        let r: Arc<Ring<u64>> = Arc::new(Ring::new(1 << 12));
+        let threads = 8;
+        let per = 256;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let r = Arc::clone(&r);
+                s.spawn(move || {
+                    for i in 0..per {
+                        assert!(r.push((t * per + i) as u64));
+                    }
+                });
+            }
+        });
+        let mut seen = Vec::new();
+        while let Some(v) = r.pop() {
+            seen.push(v);
+        }
+        seen.sort_unstable();
+        let expect: Vec<u64> = (0..(threads * per) as u64).collect();
+        assert_eq!(seen, expect);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn drops_are_freed_not_leaked() {
+        // Box payloads: drop glue must run for rejected + drained values.
+        let r: Ring<Box<u64>> = Ring::new(2);
+        assert!(r.push(Box::new(1)));
+        assert!(r.push(Box::new(2)));
+        assert!(!r.push(Box::new(3)));
+        drop(r); // drains the two live boxes
+    }
+}

@@ -1,0 +1,309 @@
+//! The dogfood loop: leakprofd profiles itself in the format it scrapes.
+//!
+//! The daemon's worker threads register on a [`WorkerBoard`] and report
+//! which state they are in (idle / connect / read / parse / analyze)
+//! and at which source site. [`WorkerBoard::self_profile`] renders the
+//! board as a [`gosim::GoroutineProfile`] — the *same* JSON document the
+//! scraped instances serve at `/debug/pprof/goroutine` — so pointing
+//! `leakprofd scrape-once` at a running daemon's `/debug/self` endpoint
+//! produces a leak ranking over the daemon's own blocking sites.
+//!
+//! The mapping is a Go-equivalence argument, not a fake: each Rust wait
+//! is rendered as the channel operation an equivalent Go daemon would
+//! block on, with the synthetic `runtime.gopark` + discriminator frames
+//! that `leakprof::signature::blocked_op` keys on:
+//!
+//! * [`WorkerState::Idle`] — parked on a ticker/queue receive →
+//!   `chan receive` (`runtime.chanrecv1`): a Go worker waiting on its
+//!   work channel.
+//! * [`WorkerState::Connect`] / [`WorkerState::Read`] — blocked in the
+//!   network with a timeout → `select` over {I/O ready, timer}
+//!   (`runtime.selectgo`, 2 cases): exactly how Go code waits on a conn
+//!   with a deadline.
+//! * [`WorkerState::Parse`] / [`WorkerState::Analyze`] — on-CPU →
+//!   `Running`, no runtime frames; the leak analyzer ignores these,
+//!   which is correct: a thread crunching data is not leaked.
+//!
+//! Sites are captured with the [`site!`] macro (`file!()` / `line!()`),
+//! so the ranking points at real lines in this repository.
+
+use gosim::{Frame, Gid, GoStatus, GoroutineProfile, GoroutineRecord, Loc};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A source site a worker can block at. Built with the [`site!`] macro
+/// so `file`/`line` are the real Rust source location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Site {
+    /// Function-style label rendered as the profile's user frame, e.g.
+    /// `collector::scrape::scrape_target`.
+    pub func: &'static str,
+    /// Source file (from `file!()`).
+    pub file: &'static str,
+    /// Source line (from `line!()`).
+    pub line: u32,
+}
+
+/// Captures a [`Site`] at the macro invocation's `file!()`/`line!()`.
+#[macro_export]
+macro_rules! site {
+    ($func:expr) => {
+        $crate::selfprof::Site {
+            func: $func,
+            file: file!(),
+            line: line!(),
+        }
+    };
+}
+
+/// What a registered worker is currently doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerState {
+    /// Parked waiting for work (queue receive, ticker sleep).
+    Idle,
+    /// Blocked establishing an outbound connection.
+    Connect,
+    /// Blocked reading from a connection.
+    Read,
+    /// On-CPU parsing a fetched profile.
+    Parse,
+    /// On-CPU analyzing / ranking.
+    Analyze,
+}
+
+struct Entry {
+    name: String,
+    created_by: Site,
+    state: WorkerState,
+    site: Site,
+    since: Instant,
+}
+
+struct BoardInner {
+    next_gid: AtomicU64,
+    entries: Mutex<BTreeMap<u64, Entry>>,
+    epoch: Instant,
+}
+
+/// Registry of the daemon's own worker threads and their wait states.
+/// Cheap to clone; all clones share one board.
+#[derive(Clone)]
+pub struct WorkerBoard {
+    inner: Arc<BoardInner>,
+}
+
+impl Default for WorkerBoard {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WorkerBoard {
+    /// Creates an empty board.
+    pub fn new() -> WorkerBoard {
+        WorkerBoard {
+            inner: Arc::new(BoardInner {
+                next_gid: AtomicU64::new(1),
+                entries: Mutex::new(BTreeMap::new()),
+                epoch: Instant::now(),
+            }),
+        }
+    }
+
+    /// Registers a worker thread. `name` is the goroutine-style root
+    /// function name; `spawned_at` is where the thread was spawned
+    /// (rendered as the profile's `created by` frame). The worker starts
+    /// [`WorkerState::Idle`] at `spawned_at`; drop the handle to
+    /// deregister.
+    pub fn register(&self, name: &str, spawned_at: Site) -> WorkerHandle {
+        let gid = self.inner.next_gid.fetch_add(1, Ordering::Relaxed);
+        self.inner.entries.lock().unwrap().insert(
+            gid,
+            Entry {
+                name: name.to_string(),
+                created_by: spawned_at,
+                state: WorkerState::Idle,
+                site: spawned_at,
+                since: Instant::now(),
+            },
+        );
+        WorkerHandle {
+            board: Arc::clone(&self.inner),
+            gid,
+        }
+    }
+
+    /// Number of currently registered workers.
+    pub fn len(&self) -> usize {
+        self.inner.entries.lock().unwrap().len()
+    }
+
+    /// True when no workers are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshots the board as a goroutine profile for `instance` — the
+    /// same document shape scraped instances serve (see module docs for
+    /// the state → status mapping).
+    pub fn self_profile(&self, instance: &str) -> GoroutineProfile {
+        let entries = self.inner.entries.lock().unwrap();
+        let captured_at = self.inner.epoch.elapsed().as_micros() as u64;
+        let goroutines = entries
+            .iter()
+            .map(|(&gid, e)| {
+                let user = Frame::new(e.func_label(), Loc::new(e.site.file, e.site.line));
+                let (status, stack) = match e.state {
+                    WorkerState::Idle => (
+                        GoStatus::ChanReceive { nil_chan: false },
+                        vec![
+                            Frame::runtime("runtime.gopark"),
+                            Frame::runtime("runtime.chanrecv1"),
+                            user,
+                        ],
+                    ),
+                    WorkerState::Connect | WorkerState::Read => (
+                        GoStatus::Select { ncases: 2 },
+                        vec![
+                            Frame::runtime("runtime.gopark"),
+                            Frame::runtime("runtime.selectgo"),
+                            user,
+                        ],
+                    ),
+                    WorkerState::Parse | WorkerState::Analyze => (GoStatus::Running, vec![user]),
+                };
+                GoroutineRecord {
+                    gid: Gid(gid),
+                    name: e.name.clone(),
+                    status,
+                    stack,
+                    created_by: Frame::new(
+                        format!("{}::spawn", e.name),
+                        Loc::new(e.created_by.file, e.created_by.line),
+                    ),
+                    wait_ticks: e.since.elapsed().as_micros() as u64,
+                    retained_bytes: 0,
+                }
+            })
+            .collect();
+        GoroutineProfile {
+            instance: instance.to_string(),
+            captured_at,
+            goroutines,
+        }
+    }
+}
+
+impl Entry {
+    fn func_label(&self) -> String {
+        let verb = match self.state {
+            WorkerState::Idle => "idle",
+            WorkerState::Connect => "connect",
+            WorkerState::Read => "read",
+            WorkerState::Parse => "parse",
+            WorkerState::Analyze => "analyze",
+        };
+        format!("{}.{}", self.site.func, verb)
+    }
+}
+
+/// One registered worker's handle; report state transitions through it.
+/// Dropping the handle removes the worker from the board.
+pub struct WorkerHandle {
+    board: Arc<BoardInner>,
+    gid: u64,
+}
+
+impl WorkerHandle {
+    /// Records that this worker entered `state` at `site` now.
+    pub fn set(&self, state: WorkerState, site: Site) {
+        if let Some(e) = self.board.entries.lock().unwrap().get_mut(&self.gid) {
+            e.state = state;
+            e.site = site;
+            e.since = Instant::now();
+        }
+    }
+}
+
+impl Drop for WorkerHandle {
+    fn drop(&mut self) {
+        self.board.entries.lock().unwrap().remove(&self.gid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leakprof::signature::{blocked_op, ChanOpKind};
+
+    #[test]
+    fn idle_worker_ranks_as_chan_receive_at_its_site() {
+        let board = WorkerBoard::new();
+        let spawn = site!("test::spawn_loop");
+        let h = board.register("test::worker", spawn);
+        let wait = site!("test::worker_loop");
+        h.set(WorkerState::Idle, wait);
+
+        let prof = board.self_profile("leakprofd");
+        assert_eq!(prof.goroutines.len(), 1);
+        let rec = &prof.goroutines[0];
+        assert_eq!(rec.status, GoStatus::ChanReceive { nil_chan: false });
+        let op = blocked_op(rec).expect("idle worker must match the leak signature");
+        assert_eq!(op.kind, ChanOpKind::Recv);
+        assert_eq!(op.loc.line, wait.line);
+        assert!(op.loc.file.contains("selfprof.rs"));
+        assert_eq!(rec.created_by.loc.line, spawn.line);
+    }
+
+    #[test]
+    fn io_states_rank_as_select_and_cpu_states_do_not_rank() {
+        let board = WorkerBoard::new();
+        let h = board.register("w", site!("test::spawn"));
+        for (state, want) in [
+            (WorkerState::Connect, Some(ChanOpKind::Select)),
+            (WorkerState::Read, Some(ChanOpKind::Select)),
+            (WorkerState::Parse, None),
+            (WorkerState::Analyze, None),
+        ] {
+            h.set(state, site!("test::op"));
+            let prof = board.self_profile("leakprofd");
+            let got = blocked_op(&prof.goroutines[0]).map(|op| op.kind);
+            assert_eq!(got, want, "state {state:?}");
+        }
+    }
+
+    #[test]
+    fn profile_round_trips_through_json_like_a_scraped_instance() {
+        let board = WorkerBoard::new();
+        let h = board.register("w", site!("test::spawn"));
+        h.set(WorkerState::Idle, site!("test::recv"));
+        let prof = board.self_profile("leakprofd");
+        let json = serde_json::to_string(&prof).unwrap();
+        let back: GoroutineProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.instance, "leakprofd");
+        assert_eq!(back.goroutines.len(), 1);
+        assert!(blocked_op(&back.goroutines[0]).is_some());
+    }
+
+    #[test]
+    fn dropping_the_handle_deregisters() {
+        let board = WorkerBoard::new();
+        let h = board.register("w", site!("s"));
+        assert_eq!(board.len(), 1);
+        drop(h);
+        assert!(board.is_empty());
+        assert!(board.self_profile("x").is_empty());
+    }
+
+    #[test]
+    fn wait_ticks_grow_while_parked() {
+        let board = WorkerBoard::new();
+        let h = board.register("w", site!("s"));
+        h.set(WorkerState::Idle, site!("recv"));
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let prof = board.self_profile("x");
+        assert!(prof.goroutines[0].wait_ticks >= 1_000);
+    }
+}

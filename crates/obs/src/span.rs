@@ -1,0 +1,502 @@
+//! Lightweight spans and the per-cycle [`Tracer`].
+//!
+//! A span is deliberately small: numeric id and parent id, a static
+//! stage label, an optional target string, a monotonic start offset and
+//! a µs duration, plus a handful of string attributes. Spans are
+//! recorded by dropping a [`SpanGuard`], which pushes the finished span
+//! into the tracer's lock-free [`Ring`] — the hot path takes no locks.
+//!
+//! Once per cycle the daemon driver calls [`Tracer::finish_cycle`],
+//! which drains the ring into a [`CycleTrace`] (retained for the last
+//! `keep_cycles` cycles) and folds every span's duration into that
+//! stage's [`LatencyHistogram`]. `/trace` serves the retained cycle
+//! traces; `/status` and `leakprofd top` read the stage summaries.
+
+use crate::hist::LatencyHistogram;
+use crate::ring::Ring;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Canonical stage labels used across the daemon pipeline. Using shared
+/// constants keeps `/trace` output, histograms, and the dashboard
+/// agreeing on names.
+pub mod stage {
+    /// Root span covering one whole daemon cycle.
+    pub const CYCLE: &str = "cycle";
+    /// The fleet-wide scrape fan-out (all targets).
+    pub const SCRAPE: &str = "scrape";
+    /// One target's fetch+parse attempt (child of `scrape`).
+    pub const TARGET: &str = "target";
+    /// Appending the cycle's report to the write-ahead log.
+    pub const WAL_APPEND: &str = "wal_append";
+    /// Folding scraped profiles into the fleet accumulator.
+    pub const INGEST: &str = "ingest";
+    /// Static-analysis tier sync (parse-once cache refresh).
+    pub const STATIC_SYNC: &str = "static_sync";
+    /// Ranking suspects from the accumulator.
+    pub const ANALYZE: &str = "analyze";
+    /// Applying the ranked report to the dedup ledger.
+    pub const LEDGER: &str = "ledger";
+    /// Appending per-site counts to the trend history.
+    pub const HISTORY: &str = "history";
+    /// Committing a durable snapshot to disk.
+    pub const SNAPSHOT: &str = "snapshot";
+
+    /// Every pipeline stage, in pipeline order. Used by the dashboard
+    /// so rows render in execution order rather than alphabetically.
+    pub const ALL: [&str; 10] = [
+        CYCLE,
+        SCRAPE,
+        TARGET,
+        WAL_APPEND,
+        INGEST,
+        STATIC_SYNC,
+        ANALYZE,
+        LEDGER,
+        HISTORY,
+        SNAPSHOT,
+    ];
+}
+
+/// One finished span.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct Span {
+    /// Unique (per tracer) span id; ids start at 1 (0 means "no parent").
+    pub id: u64,
+    /// Id of the enclosing span, or 0 for a root span.
+    pub parent: u64,
+    /// Stage label, normally one of the [`stage`] constants.
+    pub stage: String,
+    /// What the span operated on (instance id, path, ...); empty when
+    /// the stage label says it all.
+    pub target: String,
+    /// Start offset in µs since the tracer was created (monotonic).
+    pub start_us: u64,
+    /// Duration in µs.
+    pub dur_us: u64,
+    /// Free-form key/value attributes (attempt counts, byte sizes, ...).
+    pub attrs: Vec<(String, String)>,
+}
+
+/// All spans recorded during one daemon cycle.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct CycleTrace {
+    /// The daemon cycle number these spans belong to.
+    pub cycle: u64,
+    /// Spans in ring (i.e. completion) order; the root `cycle` span
+    /// finishes last.
+    pub spans: Vec<Span>,
+}
+
+/// Aggregate latency numbers for one stage, across all retained cycles.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct StageSummary {
+    /// Stage label.
+    pub stage: String,
+    /// Number of spans folded in.
+    pub count: u64,
+    /// Median duration upper bound, µs.
+    pub p50_us: u64,
+    /// 99th-percentile duration upper bound, µs.
+    pub p99_us: u64,
+    /// Largest observed duration, µs.
+    pub max_us: u64,
+    /// Mean duration, µs.
+    pub mean_us: u64,
+}
+
+/// What `/trace` serves: retained cycle traces plus aggregate stage
+/// summaries and recording counters.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct TraceSnapshot {
+    /// The most recent cycles' span trees, oldest first.
+    pub cycles: Vec<CycleTrace>,
+    /// Per-stage latency summaries since daemon start.
+    pub stages: Vec<StageSummary>,
+    /// Total spans recorded since daemon start.
+    pub spans_recorded: u64,
+    /// Spans dropped because the ring was full.
+    pub spans_dropped: u64,
+}
+
+/// Tracer configuration.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Master switch; a disabled tracer is a no-op (spans cost one
+    /// branch and no allocation).
+    pub enabled: bool,
+    /// Ring capacity in spans (rounded up to a power of two). Must
+    /// exceed the span count of one cycle or spans will be dropped and
+    /// counted.
+    pub ring_capacity: usize,
+    /// How many finished cycle traces `/trace` retains.
+    pub keep_cycles: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            enabled: true,
+            ring_capacity: 4096,
+            keep_cycles: 8,
+        }
+    }
+}
+
+struct TracerInner {
+    epoch: Instant,
+    ring: Ring<Span>,
+    next_id: AtomicU64,
+    /// Ambient parent id used when a span is started without an explicit
+    /// parent. Set by the driver around the cycle root; worker threads
+    /// starting `target` spans pass parents explicitly.
+    ambient: AtomicU64,
+    recorded: AtomicU64,
+    retained: Mutex<Retained>,
+    keep_cycles: usize,
+}
+
+struct Retained {
+    cycles: VecDeque<CycleTrace>,
+    stages: BTreeMap<String, LatencyHistogram>,
+}
+
+/// Records spans for the daemon pipeline. Cheap to clone (an `Arc`
+/// internally); a tracer built with [`Tracer::disabled`] makes every
+/// operation a no-op so instrumented code needs no `if` guards.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl Default for Tracer {
+    /// The default tracer is disabled: instrumented types can embed one
+    /// unconditionally and stay zero-cost until a real tracer is set.
+    fn default() -> Self {
+        Tracer::disabled()
+    }
+}
+
+impl Tracer {
+    /// Builds a tracer from `cfg`; `cfg.enabled == false` yields the
+    /// no-op tracer.
+    pub fn new(cfg: &TraceConfig) -> Tracer {
+        if !cfg.enabled {
+            return Tracer::disabled();
+        }
+        Tracer {
+            inner: Some(Arc::new(TracerInner {
+                epoch: Instant::now(),
+                ring: Ring::new(cfg.ring_capacity),
+                next_id: AtomicU64::new(1),
+                ambient: AtomicU64::new(0),
+                recorded: AtomicU64::new(0),
+                retained: Mutex::new(Retained {
+                    cycles: VecDeque::new(),
+                    stages: BTreeMap::new(),
+                }),
+                keep_cycles: cfg.keep_cycles.max(1),
+            })),
+        }
+    }
+
+    /// The no-op tracer: every span is free, every query returns empty.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// Whether spans are actually recorded.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Starts a span under the current ambient parent (see
+    /// [`Tracer::set_ambient`]).
+    pub fn start(&self, stage: &str, target: &str) -> SpanGuard {
+        let parent = self
+            .inner
+            .as_ref()
+            .map(|i| i.ambient.load(Ordering::Relaxed))
+            .unwrap_or(0);
+        self.start_with(stage, target, parent)
+    }
+
+    /// Starts a span with an explicit parent id (0 = root). Use this
+    /// from worker threads, where the ambient parent would race.
+    pub fn start_with(&self, stage: &str, target: &str, parent: u64) -> SpanGuard {
+        match &self.inner {
+            None => SpanGuard { state: None },
+            Some(inner) => {
+                let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+                SpanGuard {
+                    state: Some(GuardState {
+                        tracer: Arc::clone(inner),
+                        span: Span {
+                            id,
+                            parent,
+                            stage: stage.to_string(),
+                            target: target.to_string(),
+                            start_us: inner.epoch.elapsed().as_micros() as u64,
+                            dur_us: 0,
+                            attrs: Vec::new(),
+                        },
+                        started: Instant::now(),
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Sets the ambient parent id for spans started with [`Tracer::start`].
+    /// The driver sets this to the cycle root's id at the top of a cycle
+    /// and clears it (0) when the cycle ends.
+    pub fn set_ambient(&self, parent: u64) {
+        if let Some(inner) = &self.inner {
+            inner.ambient.store(parent, Ordering::Relaxed);
+        }
+    }
+
+    /// Drains all spans recorded since the last call into a
+    /// [`CycleTrace`] tagged `cycle`, retains it, and folds durations
+    /// into the per-stage histograms. Call this *after* dropping the
+    /// cycle root guard, or the root span lands in the next cycle.
+    pub fn finish_cycle(&self, cycle: u64) {
+        let Some(inner) = &self.inner else { return };
+        let mut spans = Vec::new();
+        while let Some(s) = inner.ring.pop() {
+            spans.push(s);
+        }
+        let mut retained = inner.retained.lock().unwrap();
+        for s in &spans {
+            retained
+                .stages
+                .entry(s.stage.clone())
+                .or_default()
+                .record_us(s.dur_us);
+        }
+        retained.cycles.push_back(CycleTrace { cycle, spans });
+        while retained.cycles.len() > inner.keep_cycles {
+            retained.cycles.pop_front();
+        }
+    }
+
+    /// A copy of everything `/trace` serves.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        match &self.inner {
+            None => TraceSnapshot {
+                cycles: Vec::new(),
+                stages: Vec::new(),
+                spans_recorded: 0,
+                spans_dropped: 0,
+            },
+            Some(inner) => {
+                let retained = inner.retained.lock().unwrap();
+                TraceSnapshot {
+                    cycles: retained.cycles.iter().cloned().collect(),
+                    stages: summarize(&retained.stages),
+                    spans_recorded: inner.recorded.load(Ordering::Relaxed),
+                    spans_dropped: inner.ring.dropped(),
+                }
+            }
+        }
+    }
+
+    /// Per-stage latency summaries since daemon start.
+    pub fn stage_summaries(&self) -> Vec<StageSummary> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => summarize(&inner.retained.lock().unwrap().stages),
+        }
+    }
+
+    /// Total spans recorded since daemon start.
+    pub fn spans_recorded(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|i| i.recorded.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Spans dropped because the ring was full.
+    pub fn spans_dropped(&self) -> u64 {
+        self.inner.as_ref().map(|i| i.ring.dropped()).unwrap_or(0)
+    }
+}
+
+fn summarize(stages: &BTreeMap<String, LatencyHistogram>) -> Vec<StageSummary> {
+    stages
+        .iter()
+        .map(|(stage, h)| StageSummary {
+            stage: stage.clone(),
+            count: h.count(),
+            p50_us: h.p50_us(),
+            p99_us: h.p99_us(),
+            max_us: h.max_us(),
+            mean_us: h.mean_us(),
+        })
+        .collect()
+}
+
+struct GuardState {
+    tracer: Arc<TracerInner>,
+    span: Span,
+    started: Instant,
+}
+
+/// An in-flight span; records itself into the tracer's ring on drop.
+#[must_use = "a span measures the scope it lives in; dropping it immediately records a zero-length span"]
+pub struct SpanGuard {
+    state: Option<GuardState>,
+}
+
+impl SpanGuard {
+    /// This span's id, for use as an explicit parent of child spans
+    /// started on other threads. Returns 0 for a no-op guard.
+    pub fn id(&self) -> u64 {
+        self.state.as_ref().map(|s| s.span.id).unwrap_or(0)
+    }
+
+    /// Attaches a key/value attribute.
+    pub fn attr(&mut self, key: &str, value: impl ToString) {
+        if let Some(s) = &mut self.state {
+            s.span.attrs.push((key.to_string(), value.to_string()));
+        }
+    }
+
+    /// Finishes the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(mut s) = self.state.take() {
+            s.span.dur_us = s.started.elapsed().as_micros() as u64;
+            if s.tracer.ring.push(s.span) {
+                s.tracer.recorded.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_is_noop() {
+        let t = Tracer::disabled();
+        assert!(!t.enabled());
+        let mut g = t.start(stage::CYCLE, "");
+        g.attr("k", "v");
+        assert_eq!(g.id(), 0);
+        drop(g);
+        t.finish_cycle(1);
+        let snap = t.snapshot();
+        assert!(snap.cycles.is_empty());
+        assert_eq!(snap.spans_recorded, 0);
+    }
+
+    #[test]
+    fn spans_form_a_tree_and_fold_into_stage_histograms() {
+        let t = Tracer::new(&TraceConfig::default());
+        let root = t.start(stage::CYCLE, "");
+        let root_id = root.id();
+        t.set_ambient(root_id);
+        {
+            let scrape = t.start(stage::SCRAPE, "");
+            assert_eq!(scrape.span_parent(), root_id);
+            let tgt = t.start_with(stage::TARGET, "svc-a", scrape.id());
+            assert_eq!(tgt.span_parent(), scrape.id());
+            drop(tgt);
+            drop(scrape);
+        }
+        t.set_ambient(0);
+        drop(root);
+        t.finish_cycle(7);
+
+        let snap = t.snapshot();
+        assert_eq!(snap.cycles.len(), 1);
+        assert_eq!(snap.cycles[0].cycle, 7);
+        assert_eq!(snap.cycles[0].spans.len(), 3);
+        // Root finishes last (ring order is completion order).
+        assert_eq!(snap.cycles[0].spans[2].stage, stage::CYCLE);
+        assert_eq!(snap.cycles[0].spans[2].parent, 0);
+        assert_eq!(snap.spans_recorded, 3);
+        assert_eq!(snap.spans_dropped, 0);
+
+        let stages: Vec<&str> = snap.stages.iter().map(|s| s.stage.as_str()).collect();
+        assert!(stages.contains(&stage::CYCLE));
+        assert!(stages.contains(&stage::SCRAPE));
+        assert!(stages.contains(&stage::TARGET));
+    }
+
+    #[test]
+    fn keep_cycles_bounds_retention() {
+        let cfg = TraceConfig {
+            keep_cycles: 2,
+            ..TraceConfig::default()
+        };
+        let t = Tracer::new(&cfg);
+        for c in 0..5 {
+            t.start(stage::CYCLE, "").finish();
+            t.finish_cycle(c);
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.cycles.len(), 2);
+        assert_eq!(snap.cycles[0].cycle, 3);
+        assert_eq!(snap.cycles[1].cycle, 4);
+        // Histograms keep accumulating past retention.
+        let cycle_stage = snap
+            .stages
+            .iter()
+            .find(|s| s.stage == stage::CYCLE)
+            .unwrap();
+        assert_eq!(cycle_stage.count, 5);
+    }
+
+    #[test]
+    fn ring_overflow_counts_drops() {
+        let cfg = TraceConfig {
+            ring_capacity: 4,
+            ..TraceConfig::default()
+        };
+        let t = Tracer::new(&cfg);
+        for _ in 0..10 {
+            t.start(stage::TARGET, "x").finish();
+        }
+        t.finish_cycle(1);
+        let snap = t.snapshot();
+        assert_eq!(snap.spans_recorded, 4);
+        assert_eq!(snap.spans_dropped, 6);
+        assert_eq!(snap.cycles[0].spans.len(), 4);
+    }
+
+    #[test]
+    fn attrs_survive_into_the_trace() {
+        let t = Tracer::new(&TraceConfig::default());
+        let mut g = t.start(stage::TARGET, "svc-b");
+        g.attr("attempts", 2);
+        g.attr("bytes", 512);
+        drop(g);
+        t.finish_cycle(1);
+        let snap = t.snapshot();
+        let span = &snap.cycles[0].spans[0];
+        assert_eq!(span.target, "svc-b");
+        assert_eq!(
+            span.attrs,
+            vec![
+                ("attempts".to_string(), "2".to_string()),
+                ("bytes".to_string(), "512".to_string())
+            ]
+        );
+    }
+
+    impl SpanGuard {
+        fn span_parent(&self) -> u64 {
+            self.state.as_ref().map(|s| s.span.parent).unwrap_or(0)
+        }
+    }
+}
