@@ -1,0 +1,161 @@
+//! Bench: what fleet telemetry costs.
+//!
+//! Every cycle the daemon appends a batch of points (per-site RMS and
+//! totals, per-instance blocked counts, stage latencies, wall time) to
+//! the embedded multi-resolution store — through a per-append flushed
+//! WAL when durable — and then classifies every site's trend, which
+//! reads the newest window back out of the store. This experiment runs
+//! the same daemon pipeline over the same loopback fleet with telemetry
+//! enabled and disabled, both durable so the daemon's own snapshot WAL
+//! cost hits both sides equally, interleaving cycles so clock drift
+//! cancels out. Emits `BENCH_ts.json` and enforces the budget: the
+//! append+query path must stay under 5% of median cycle latency (with
+//! a small absolute floor so loopback noise cannot fail the gate
+//! spuriously).
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use collector::{Daemon, DaemonConfig, DemoFleet, ScrapeConfig};
+use serde::Serialize;
+
+const INSTANCES: usize = 24;
+const WARMUP_CYCLES: usize = 3;
+const MEASURED_CYCLES: usize = 31;
+
+/// Relative overhead budget (CI gate).
+const MAX_OVERHEAD_PCT: f64 = 5.0;
+/// Absolute-delta floor: below this many milliseconds per cycle the
+/// relative number is loopback noise, not a regression.
+const NOISE_FLOOR_MS: f64 = 3.0;
+
+#[derive(Serialize)]
+struct BenchResult {
+    instances: usize,
+    warmup_cycles: usize,
+    measured_cycles: usize,
+    telemetry_off_median_ms: f64,
+    telemetry_on_median_ms: f64,
+    delta_ms: f64,
+    overhead_pct: f64,
+    ts_series: usize,
+    points_per_cycle: usize,
+}
+
+fn build_daemon(
+    demo: &DemoFleet,
+    addr: std::net::SocketAddr,
+    state_dir: &std::path::Path,
+    telemetry: bool,
+) -> Daemon {
+    let config = DaemonConfig {
+        scrape: ScrapeConfig {
+            // Pooled connections for both sides: less dial jitter, so
+            // the telemetry cost is what the comparison actually sees.
+            keepalive: true,
+            ..ScrapeConfig::default()
+        },
+        state_dir: Some(state_dir.to_path_buf()),
+        telemetry,
+        ..DaemonConfig::default()
+    };
+    let lp = leakprof::LeakProf::new(leakprof::Config {
+        threshold: 1,
+        ast_filter: false,
+        top_n: 10,
+    });
+    Daemon::new(config, lp, demo.targets(addr)).expect("durable daemon")
+}
+
+fn median_ms(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let root = std::env::temp_dir().join(format!("leaklab-ts-ingest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("bench state dir");
+
+    let demo = DemoFleet::build(INSTANCES, 2, 13);
+    let server = demo.hub.serve("127.0.0.1:0", 8).expect("loopback bind");
+    // The daemons only share the fleet server; each owns its scraper,
+    // connection pool, accumulator, and state directory.
+    let on = Arc::new(Mutex::new(build_daemon(
+        &demo,
+        server.addr(),
+        &root.join("on"),
+        true,
+    )));
+    let off = Arc::new(Mutex::new(build_daemon(
+        &demo,
+        server.addr(),
+        &root.join("off"),
+        false,
+    )));
+
+    let timed = |daemon: &Arc<Mutex<Daemon>>| {
+        let t = Instant::now();
+        let report = daemon.lock().expect("daemon poisoned").run_cycle();
+        assert_eq!(report.stats.succeeded, INSTANCES, "fleet must stay up");
+        t.elapsed().as_secs_f64() * 1e3
+    };
+
+    for _ in 0..WARMUP_CYCLES {
+        timed(&on);
+        timed(&off);
+    }
+    let mut on_ms = Vec::new();
+    let mut off_ms = Vec::new();
+    // Interleave so drift (thermal, scheduler) cancels out.
+    for _ in 0..MEASURED_CYCLES {
+        on_ms.push(timed(&on));
+        off_ms.push(timed(&off));
+    }
+
+    let telemetry_on_median_ms = median_ms(&mut on_ms);
+    let telemetry_off_median_ms = median_ms(&mut off_ms);
+    let delta_ms = telemetry_on_median_ms - telemetry_off_median_ms;
+    let overhead_pct = delta_ms / telemetry_off_median_ms.max(1e-9) * 100.0;
+    let (ts_series, health_sites) = {
+        let d = on.lock().expect("daemon poisoned");
+        (
+            d.status().ts_series,
+            d.fleet_health().map_or(0, |h| h.sites.len()),
+        )
+    };
+    // Rough batch size: one rms+total pair per classified site, one
+    // blocked count per instance, stage latencies, wall time.
+    let points_per_cycle = 2 * health_sites + INSTANCES + 2;
+
+    println!(
+        "telemetry off: {telemetry_off_median_ms:.3} ms/cycle (median of {MEASURED_CYCLES})\n\
+         telemetry on:  {telemetry_on_median_ms:.3} ms/cycle ({ts_series} series, \
+         ~{points_per_cycle} points/cycle)\n\
+         delta:         {delta_ms:+.3} ms ({overhead_pct:+.2}%)"
+    );
+
+    assert!(ts_series > 0, "telemetry daemon must record series");
+    assert!(
+        overhead_pct < MAX_OVERHEAD_PCT || delta_ms < NOISE_FLOOR_MS,
+        "telemetry overhead {overhead_pct:.2}% ({delta_ms:.3} ms/cycle) exceeds the \
+         {MAX_OVERHEAD_PCT}% budget"
+    );
+
+    let result = BenchResult {
+        instances: INSTANCES,
+        warmup_cycles: WARMUP_CYCLES,
+        measured_cycles: MEASURED_CYCLES,
+        telemetry_off_median_ms,
+        telemetry_on_median_ms,
+        delta_ms,
+        overhead_pct,
+        ts_series,
+        points_per_cycle,
+    };
+    bench::save(
+        "BENCH_ts.json",
+        &serde_json::to_string_pretty(&result).expect("result serializes"),
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}

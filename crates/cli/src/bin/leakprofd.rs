@@ -7,7 +7,8 @@
 //!                       [--top N] [--history PATH] [--keep N]
 //!                       [--state-dir PATH] [--snapshot-every N]
 //!                       [--source-dir PATH] [--ast-filter]
-//!                       [--keepalive BOOL]
+//!                       [--keepalive BOOL] [--adaptive]
+//!                       [--interval-min-ms MS] [--interval-max-ms MS]
 //! leakprofd scrape-once [--addr HOST:PORT] [--instances N] [--days D]
 //!                       [--seed S] [--threshold T] [--top N] [--workers N]
 //!                       [--source-dir PATH] [--ast-filter]
@@ -16,6 +17,9 @@
 //! leakprofd trace       --addr HOST:PORT [--out PATH]
 //! leakprofd recover     --state-dir PATH [--threshold T] [--top N]
 //!                       [--source-dir PATH]
+//! leakprofd backtest    (--state-dir PATH | --history PATH) [--out DIR]
+//!                       [--week-len N] [--top N]
+//! leakprofd migrate-history --history PATH --state-dir PATH
 //! leakprofd chaos       [--instances N] [--cycles N] [--seed S]
 //!                       [--restart-every N] [--state-dir PATH]
 //! ```
@@ -36,7 +40,12 @@
 //!   then runs scrape cycles against it, exposing the daemon's own
 //!   `/metrics` and `/status` on an adjacent port. With `--cycles 0`
 //!   (default) it runs until interrupted. With `--state-dir` the daemon
-//!   is crash-safe: snapshot + WAL recovery, persistent report ledger.
+//!   is crash-safe: snapshot + WAL recovery, persistent report ledger,
+//!   and a durable multi-resolution telemetry store behind `/health`
+//!   and `/api/series`. With `--adaptive` the scrape interval is
+//!   trend-driven: it backs off toward `--interval-max-ms` while the
+//!   fleet is quiet and tightens toward `--interval-min-ms` when the
+//!   top-K changes or a site's trend fires.
 //! * `scrape-once` runs exactly one scatter-gather cycle — against
 //!   `--addr` if given, otherwise against a freshly built demo fleet —
 //!   and prints the ranked report plus scrape-health stats.
@@ -50,6 +59,15 @@
 //! * `recover` inspects a state directory offline: what a restarting
 //!   daemon would reconstruct (snapshot + WAL replay), the ranking it
 //!   would resume with, and the report ledger.
+//! * `backtest` replays a persisted telemetry store (`--state-dir`) or
+//!   a raw cycle history (`--history`) offline into weekly per-site
+//!   trend tables — the same classification path as the live
+//!   `/health`, so verdicts reproduce exactly. `--out DIR` also writes
+//!   `report.txt`, `weekly_rms.csv`, and `verdicts.csv`.
+//! * `migrate-history` backfills a history JSONL into the telemetry
+//!   store under `--state-dir`, so backtests cover cycles recorded
+//!   before the store existed. Idempotent: already-migrated cycles are
+//!   skipped.
 //! * `chaos` runs the deterministic chaos harness (scrape faults,
 //!   instance churn, kill/restart) against a demo fleet and reports
 //!   whether the crash-safety invariants held.
@@ -69,8 +87,10 @@ use std::process::ExitCode;
 use std::sync::{Arc, Mutex};
 
 use collector::{
-    run_chaos, serve_daemon_endpoints, ChaosConfig, ChaosPlanConfig, Daemon, DaemonConfig,
-    DemoFleet, HistoryLog, ProfileHub, ReportLedger, ScrapeConfig, ScrapeTarget, SnapshotStore,
+    backtest_history, backtest_store, load_jsonl, migrate_history, render_table, run_chaos,
+    serve_daemon_endpoints, write_report, AdaptiveConfig, BacktestConfig, ChaosConfig,
+    ChaosPlanConfig, CycleRecord, Daemon, DaemonConfig, DemoFleet, FleetHealth, HistoryLog,
+    ProfileHub, ReportLedger, ScrapeConfig, ScrapeTarget, SnapshotStore,
 };
 use leaklab_cli::{flag, split_flags};
 use leakprof::FleetAccumulator;
@@ -90,6 +110,8 @@ fn main() -> ExitCode {
         "top" => top(&flags),
         "trace" => trace(&flags),
         "recover" => recover(&flags),
+        "backtest" => backtest(&flags),
+        "migrate-history" => migrate(&flags),
         "chaos" => chaos(&flags),
         _ => {
             usage();
@@ -100,16 +122,19 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!(
-        "usage: leakprofd <serve|scrape-once|status|top|trace|recover|chaos> [flags]\n\
+        "usage: leakprofd <serve|scrape-once|status|top|trace|recover|backtest|migrate-history|chaos> [flags]\n\
          \x20 serve       [--instances N] [--days D] [--seed S] [--port P] [--cycles N]\n\
          \x20             [--interval-ms MS] [--threshold T] [--top N] [--history PATH] [--keep N]\n\
          \x20             [--state-dir PATH] [--snapshot-every N] [--source-dir PATH] [--ast-filter]\n\
+         \x20             [--adaptive] [--interval-min-ms MS] [--interval-max-ms MS]\n\
          \x20 scrape-once [--addr HOST:PORT] [--instances N] [--days D] [--seed S]\n\
          \x20             [--threshold T] [--top N] [--workers N] [--source-dir PATH] [--ast-filter]\n\
          \x20 status      --history PATH\n\
          \x20 top         --addr HOST:PORT [--refresh-ms MS] [--frames N]\n\
          \x20 trace       --addr HOST:PORT [--out PATH]\n\
          \x20 recover     --state-dir PATH [--threshold T] [--top N] [--source-dir PATH]\n\
+         \x20 backtest    (--state-dir PATH | --history PATH) [--out DIR] [--week-len N] [--top N]\n\
+         \x20 migrate-history --history PATH --state-dir PATH\n\
          \x20 chaos       [--instances N] [--cycles N] [--seed S] [--restart-every N]\n\
          \x20             [--state-dir PATH]"
     );
@@ -335,6 +360,15 @@ fn serve(flags: &[(String, String)]) -> ExitCode {
         state_dir,
         snapshot_every: parsed(flags, "snapshot-every", 5u64).max(1),
         static_tier,
+        adaptive: if parsed(flags, "adaptive", false) {
+            AdaptiveConfig::enabled(
+                parsed(flags, "interval-min-ms", 250),
+                parsed(flags, "interval-max-ms", 8000),
+                interval_ms,
+            )
+        } else {
+            AdaptiveConfig::default()
+        },
         ..DaemonConfig::default()
     };
     let daemon = match Daemon::new(config, lp, targets) {
@@ -402,13 +436,29 @@ fn serve(flags: &[(String, String)]) -> ExitCode {
             obs::WorkerState::Idle,
             obs::site!("leakprofd::serve::interval_sleep"),
         );
-        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+        // With --adaptive the controller decides the pacing; otherwise
+        // the fixed --interval-ms.
+        let sleep_ms = {
+            let d = daemon.lock().expect("daemon poisoned");
+            let adaptive = d.adaptive_status();
+            if adaptive.enabled && adaptive.last_change_cycle == d.health().cycles {
+                println!(
+                    "  interval -> {} ms ({})",
+                    adaptive.interval_ms, adaptive.last_change_reason
+                );
+            }
+            d.current_interval_ms(interval_ms)
+        };
+        std::thread::sleep(std::time::Duration::from_millis(sleep_ms));
         demo.advance_and_republish(1);
     }
-    let daemon = daemon.lock().expect("daemon poisoned");
+    let mut daemon = daemon.lock().expect("daemon poisoned");
     // Clean shutdown: checkpoint so the next start replays no WAL.
     if let Err(e) = daemon.commit_snapshot() {
         eprintln!("leakprofd: final snapshot failed: {e}");
+    }
+    if let Err(e) = daemon.flush_telemetry() {
+        eprintln!("leakprofd: telemetry flush failed: {e}");
     }
     if let Some(report) = daemon.last_report() {
         print!("{}", report.render());
@@ -514,12 +564,17 @@ fn top(flags: &[(String, String)]) -> ExitCode {
                 return ExitCode::from(2);
             }
         };
+        // Health (trend verdicts + sparklines) is best-effort: absent
+        // before the first cycle completes.
+        let health: Option<FleetHealth> = fetch(addr, "/health")
+            .ok()
+            .and_then(|body| serde_json::from_str(&body).ok());
         if shown > 0 {
             // Repaint in place so the dashboard refreshes rather than
             // scrolls.
             print!("\x1b[2J\x1b[H");
         }
-        print!("{}", render_top(addr, &status));
+        print!("{}", render_top(addr, &status, health.as_ref()));
         use std::io::Write as _;
         let _ = std::io::stdout().flush();
         shown += 1;
@@ -532,7 +587,11 @@ fn top(flags: &[(String, String)]) -> ExitCode {
 }
 
 /// One dashboard frame.
-fn render_top(addr: std::net::SocketAddr, s: &collector::DaemonStatus) -> String {
+fn render_top(
+    addr: std::net::SocketAddr,
+    s: &collector::DaemonStatus,
+    health: Option<&FleetHealth>,
+) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(out, "leakprofd top — {addr}");
@@ -573,6 +632,18 @@ fn render_top(addr: std::net::SocketAddr, s: &collector::DaemonStatus) -> String
         "ledger    tracked {}  active {}  paged {}  suppressed {}",
         s.ledger.tracked, s.ledger.active, s.ledger.reported_total, s.ledger.suppressed_total
     );
+    let a = &s.adaptive;
+    if a.enabled {
+        let _ = writeln!(
+            out,
+            "interval  {} ms  (last change: {} @ cycle {}; tightened {}x, backed off {}x)",
+            a.interval_ms,
+            a.last_change_reason,
+            a.last_change_cycle,
+            a.tightened_total,
+            a.backed_off_total
+        );
+    }
     if !s.stages.is_empty() {
         let _ = writeln!(
             out,
@@ -601,6 +672,21 @@ fn render_top(addr: std::net::SocketAddr, s: &collector::DaemonStatus) -> String
                 t.total,
                 t.max_instance
             );
+        }
+    }
+    if let Some(h) = health {
+        if !h.sites.is_empty() {
+            let _ = writeln!(out, "\ntrends (cycle {}):", h.cycle);
+            for site in &h.sites {
+                let _ = writeln!(
+                    out,
+                    " {} {:<10} {}  — {}",
+                    collector::sparkline(&site.spark),
+                    site.class,
+                    site.fingerprint,
+                    site.why
+                );
+            }
         }
     }
     out
@@ -747,6 +833,109 @@ fn recover(flags: &[(String, String)]) -> ExitCode {
             Err(e) => eprintln!("warning: ledger unreadable: {e}"),
         }
     }
+    ExitCode::SUCCESS
+}
+
+/// Offline replay of fleet telemetry into weekly per-site trend tables
+/// — the same classification path as the live `/health`.
+fn backtest(flags: &[(String, String)]) -> ExitCode {
+    let config = BacktestConfig {
+        week_len: parsed(flags, "week-len", 7u64).max(1),
+        top: parsed(flags, "top", 0usize),
+        ..BacktestConfig::default()
+    };
+    let report = match (flag(flags, "state-dir"), flag(flags, "history")) {
+        (Some(dir), _) => {
+            // The store a serving daemon persisted under --state-dir.
+            let ts = match timeseries::TsStore::open(
+                std::path::Path::new(dir).join("ts"),
+                Default::default(),
+            ) {
+                Ok(ts) => ts,
+                Err(e) => {
+                    eprintln!("error: cannot open telemetry store under {dir}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            backtest_store(&ts, &config)
+        }
+        (None, Some(path)) => {
+            // A raw cycle history, replayed through an in-memory store.
+            let load = match load_jsonl::<CycleRecord>(std::path::Path::new(path)) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("error: cannot read {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            if let Some(e) = &load.dropped_trailing {
+                eprintln!("warning: discarded torn trailing history line: {e}");
+            }
+            backtest_history(&load.records, Default::default(), &config)
+        }
+        (None, None) => {
+            eprintln!(
+                "usage: leakprofd backtest (--state-dir PATH | --history PATH) [--out DIR] \
+                 [--week-len N] [--top N]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", render_table(&report));
+    if let Some(out) = flag(flags, "out") {
+        let out = std::path::Path::new(out);
+        if let Err(e) = write_report(&report, out) {
+            eprintln!("error: cannot write report to {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "wrote report.txt, weekly_rms.csv, verdicts.csv to {}",
+            out.display()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// Backfills a history JSONL into the durable telemetry store, so
+/// backtests cover cycles recorded before the store existed.
+fn migrate(flags: &[(String, String)]) -> ExitCode {
+    let (Some(path), Some(dir)) = (flag(flags, "history"), flag(flags, "state-dir")) else {
+        eprintln!("usage: leakprofd migrate-history --history PATH --state-dir PATH");
+        return ExitCode::from(2);
+    };
+    let load = match load_jsonl::<CycleRecord>(std::path::Path::new(path)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(e) = &load.dropped_trailing {
+        eprintln!("warning: discarded torn trailing history line (not migrated): {e}");
+    }
+    let mut ts =
+        match timeseries::TsStore::open(std::path::Path::new(dir).join("ts"), Default::default()) {
+            Ok(ts) => ts,
+            Err(e) => {
+                eprintln!("error: cannot open telemetry store under {dir}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+    let (appended, skipped) = match migrate_history(&load.records, &mut ts) {
+        Ok(counts) => counts,
+        Err(e) => {
+            eprintln!("error: migration failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(e) = ts.flush() {
+        eprintln!("error: cannot flush telemetry store: {e}");
+        return ExitCode::from(2);
+    }
+    println!(
+        "migrated {} cycle(s) into {dir}/ts ({} already present or out of order)",
+        appended, skipped
+    );
     ExitCode::SUCCESS
 }
 

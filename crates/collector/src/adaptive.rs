@@ -1,0 +1,328 @@
+//! Adaptive scrape-interval control.
+//!
+//! A fixed `--interval-ms` wastes cycles on a healthy fleet and lags on
+//! a regressing one. The controller drives the interval from the trend
+//! engine instead: while the top-K membership is stable and no site's
+//! RMS slope or z-score fires, the interval *backs off* geometrically
+//! toward `max_ms`; the moment a new site enters the ranking, a slope
+//! crosses the regression threshold, or a step-change anomaly fires,
+//! it *tightens* toward `min_ms` so the regression is sampled densely
+//! while it develops. Every decision carries a human-readable reason
+//! that lands in span attributes, `/health`, `/metrics`, and the
+//! `leakprofd top` dashboard.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+/// Controller tuning.
+#[derive(Debug, Clone)]
+pub struct AdaptiveConfig {
+    /// Master switch; disabled means the interval never moves.
+    pub enabled: bool,
+    /// Tightest (fastest) interval.
+    pub min_ms: u64,
+    /// Most relaxed interval.
+    pub max_ms: u64,
+    /// Interval a fresh daemon starts at.
+    pub start_ms: u64,
+    /// Quiet cycles required before one back-off step.
+    pub backoff_after: u64,
+    /// Multiplier per tighten step (< 1).
+    pub tighten_factor: f64,
+    /// Multiplier per back-off step (> 1).
+    pub backoff_factor: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            enabled: false,
+            min_ms: 250,
+            max_ms: 8_000,
+            start_ms: 1_000,
+            backoff_after: 5,
+            tighten_factor: 0.5,
+            backoff_factor: 1.5,
+        }
+    }
+}
+
+impl AdaptiveConfig {
+    /// An enabled config spanning `[min_ms, max_ms]`, starting at
+    /// `start_ms` (clamped into the band).
+    pub fn enabled(min_ms: u64, max_ms: u64, start_ms: u64) -> AdaptiveConfig {
+        let min_ms = min_ms.max(1);
+        let max_ms = max_ms.max(min_ms);
+        AdaptiveConfig {
+            enabled: true,
+            min_ms,
+            max_ms,
+            start_ms: start_ms.clamp(min_ms, max_ms),
+            ..AdaptiveConfig::default()
+        }
+    }
+}
+
+/// Which way the last decision moved the interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Interval decreased (regression signal).
+    Tighten,
+    /// Interval increased (stable streak).
+    BackOff,
+    /// No change.
+    Hold,
+}
+
+/// One cycle's decision.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Decision {
+    /// Which way the interval moved.
+    pub direction: Direction,
+    /// The interval after the decision (ms).
+    pub interval_ms: u64,
+    /// Why.
+    pub reason: String,
+}
+
+/// Controller state surfaced in `/status` and `/health`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdaptiveStatus {
+    /// Whether adaptivity is on.
+    pub enabled: bool,
+    /// Current interval (ms).
+    pub interval_ms: u64,
+    /// Reason for the most recent interval *change* ("start" before
+    /// any).
+    pub last_change_reason: String,
+    /// Cycle of the most recent change (0 before any).
+    pub last_change_cycle: u64,
+    /// Tighten steps taken over the daemon lifetime.
+    pub tightened_total: u64,
+    /// Back-off steps taken over the daemon lifetime.
+    pub backed_off_total: u64,
+    /// Consecutive quiet cycles so far.
+    pub stable_cycles: u64,
+}
+
+/// The controller. Feed it one observation per cycle.
+#[derive(Debug)]
+pub struct AdaptiveController {
+    config: AdaptiveConfig,
+    current_ms: u64,
+    stable_cycles: u64,
+    last_change_reason: String,
+    last_change_cycle: u64,
+    tightened_total: u64,
+    backed_off_total: u64,
+    prev_topk: Option<BTreeSet<String>>,
+}
+
+impl AdaptiveController {
+    /// A controller at `config.start_ms`.
+    pub fn new(config: AdaptiveConfig) -> AdaptiveController {
+        let current_ms = config.start_ms.clamp(config.min_ms, config.max_ms);
+        AdaptiveController {
+            config,
+            current_ms,
+            stable_cycles: 0,
+            last_change_reason: "start".into(),
+            last_change_cycle: 0,
+            tightened_total: 0,
+            backed_off_total: 0,
+            prev_topk: None,
+        }
+    }
+
+    /// The interval the next cycle should wait.
+    pub fn interval_ms(&self) -> u64 {
+        self.current_ms
+    }
+
+    /// Whether the controller is live.
+    pub fn enabled(&self) -> bool {
+        self.config.enabled
+    }
+
+    /// Folds one cycle's signals into the controller: the current top-K
+    /// fingerprints, the fingerprints whose trend classified as
+    /// regressing, and the fingerprints whose z-score fired. Returns
+    /// the decision (also readable later via [`Self::status`]).
+    pub fn observe(
+        &mut self,
+        cycle: u64,
+        topk: &BTreeSet<String>,
+        regressing: &[String],
+        anomalies: &[String],
+    ) -> Decision {
+        if !self.config.enabled {
+            return self.hold("adaptivity disabled");
+        }
+        let new_sites: Vec<&String> = match &self.prev_topk {
+            Some(prev) => topk.difference(prev).collect(),
+            // First observation: everything is "new"; establish the
+            // baseline without reacting to it.
+            None => Vec::new(),
+        };
+        let trigger = if let Some(fp) = new_sites.first() {
+            Some(format!("new site in top-K: {fp}"))
+        } else if let Some(fp) = anomalies.first() {
+            Some(format!("step anomaly at {fp}"))
+        } else {
+            regressing
+                .first()
+                .map(|fp| format!("regressing slope at {fp}"))
+        };
+        self.prev_topk = Some(topk.clone());
+        match trigger {
+            Some(reason) => {
+                self.stable_cycles = 0;
+                let next = ((self.current_ms as f64 * self.config.tighten_factor) as u64)
+                    .max(self.config.min_ms);
+                if next < self.current_ms {
+                    self.current_ms = next;
+                    self.tightened_total += 1;
+                    self.last_change_reason = reason.clone();
+                    self.last_change_cycle = cycle;
+                    Decision {
+                        direction: Direction::Tighten,
+                        interval_ms: next,
+                        reason,
+                    }
+                } else {
+                    self.hold(&format!("{reason} (already at min)"))
+                }
+            }
+            None => {
+                self.stable_cycles += 1;
+                if self.stable_cycles >= self.config.backoff_after {
+                    let next = (((self.current_ms as f64 * self.config.backoff_factor) as u64)
+                        .max(self.current_ms + 1))
+                    .min(self.config.max_ms);
+                    if next > self.current_ms {
+                        let reason = format!(
+                            "stable for {} cycle(s): top-K unchanged, no slope/anomaly",
+                            self.stable_cycles
+                        );
+                        self.stable_cycles = 0;
+                        self.current_ms = next;
+                        self.backed_off_total += 1;
+                        self.last_change_reason = reason.clone();
+                        self.last_change_cycle = cycle;
+                        return Decision {
+                            direction: Direction::BackOff,
+                            interval_ms: next,
+                            reason,
+                        };
+                    }
+                    self.stable_cycles = 0;
+                    return self.hold("stable (already at max)");
+                }
+                self.hold("stable")
+            }
+        }
+    }
+
+    fn hold(&self, reason: &str) -> Decision {
+        Decision {
+            direction: Direction::Hold,
+            interval_ms: self.current_ms,
+            reason: reason.into(),
+        }
+    }
+
+    /// Snapshot for `/status` and `/health`.
+    pub fn status(&self) -> AdaptiveStatus {
+        AdaptiveStatus {
+            enabled: self.config.enabled,
+            interval_ms: self.current_ms,
+            last_change_reason: self.last_change_reason.clone(),
+            last_change_cycle: self.last_change_cycle,
+            tightened_total: self.tightened_total,
+            backed_off_total: self.backed_off_total,
+            stable_cycles: self.stable_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[&str]) -> BTreeSet<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn controller() -> AdaptiveController {
+        AdaptiveController::new(AdaptiveConfig::enabled(250, 8000, 1000))
+    }
+
+    #[test]
+    fn new_topk_site_tightens() {
+        let mut c = controller();
+        let base = set(&["a"]);
+        c.observe(1, &base, &[], &[]); // baseline
+        let d = c.observe(2, &set(&["a", "b"]), &[], &[]);
+        assert_eq!(d.direction, Direction::Tighten);
+        assert_eq!(d.interval_ms, 500);
+        assert!(d.reason.contains("new site in top-K: b"), "{}", d.reason);
+    }
+
+    #[test]
+    fn regression_and_anomaly_tighten_until_min() {
+        let mut c = controller();
+        let base = set(&["a"]);
+        c.observe(1, &base, &[], &[]);
+        let d = c.observe(2, &base, &["a".into()], &[]);
+        assert_eq!(d.direction, Direction::Tighten);
+        assert_eq!(d.interval_ms, 500);
+        let d = c.observe(3, &base, &[], &["a".into()]);
+        assert_eq!(d.interval_ms, 250);
+        // Floor reached: signal keeps firing but the interval holds.
+        let d = c.observe(4, &base, &["a".into()], &[]);
+        assert_eq!(d.direction, Direction::Hold);
+        assert_eq!(d.interval_ms, 250);
+        assert!(d.reason.contains("already at min"));
+        assert_eq!(c.status().tightened_total, 2);
+    }
+
+    #[test]
+    fn stability_backs_off_toward_max() {
+        let mut c = controller();
+        let base = set(&["a"]);
+        let mut backed_off = 0;
+        let mut last = 1000;
+        for cycle in 1..60 {
+            let d = c.observe(cycle, &base, &[], &[]);
+            if d.direction == Direction::BackOff {
+                assert!(d.interval_ms > last);
+                last = d.interval_ms;
+                backed_off += 1;
+            }
+        }
+        assert!(backed_off >= 4, "backed off {backed_off} times");
+        assert_eq!(last, 8000, "reaches max and stays");
+        assert_eq!(c.status().backed_off_total, backed_off);
+    }
+
+    #[test]
+    fn disabled_controller_never_moves() {
+        let mut c = AdaptiveController::new(AdaptiveConfig {
+            enabled: false,
+            ..AdaptiveConfig::default()
+        });
+        for cycle in 1..20 {
+            let d = c.observe(cycle, &set(&["a"]), &["a".into()], &[]);
+            assert_eq!(d.direction, Direction::Hold);
+            assert_eq!(d.interval_ms, 1000);
+        }
+    }
+
+    #[test]
+    fn first_observation_is_a_baseline_not_a_signal() {
+        let mut c = controller();
+        let d = c.observe(1, &set(&["a", "b", "c"]), &[], &[]);
+        assert_eq!(d.direction, Direction::Hold, "{}", d.reason);
+    }
+}

@@ -10,22 +10,27 @@
 //! breakers ([`crate::breaker`]) and reporting behind a persistent
 //! cool-down ledger ([`crate::ledger`]).
 
+use std::collections::BTreeSet;
 use std::sync::{Arc, Mutex};
 
+use leakprof::series as sid;
 use leakprof::{FleetAccumulator, LeakProf, Report};
 use serde::{Deserialize, Serialize};
+use timeseries::{StoreConfig, TrendConfig, TsStore};
 
 use obs::{StageSummary, TraceConfig, TraceSnapshot, Tracer, WorkerBoard};
 
+use crate::adaptive::{AdaptiveConfig, AdaptiveController, AdaptiveStatus, Direction};
 use crate::breaker::{BreakerConfig, BreakerSet, BreakerSummary};
 use crate::endpoints::ProfileHub;
+use crate::health::{classify_sites, FleetHealth};
 use crate::history::{CycleRecord, HistoryLog, TopSite};
 use crate::http::{HttpServer, Request, Response};
 use crate::ledger::{CycleOutcome, LedgerConfig, LedgerSummary, ReportLedger};
 use crate::scrape::{CycleReport, KeepaliveSummary, ScrapeConfig, ScrapeTarget, Scraper};
 use crate::snapshot::{DaemonSnapshot, SnapshotStore, WalEntry, DAEMON_SNAPSHOT_VERSION};
 use crate::static_tier::{StaticTier, StaticTierConfig, StaticTierStats};
-use crate::stats::HealthCounters;
+use crate::stats::{HealthCounters, PromText};
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -51,6 +56,19 @@ pub struct DaemonConfig {
     pub static_tier: Option<StaticTierConfig>,
     /// Cycle tracing (span ring capacity, retained cycles, on/off).
     pub trace: TraceConfig,
+    /// Multi-resolution telemetry store layout. Persisted under
+    /// `<state_dir>/ts` when a state dir is configured, else in-memory.
+    pub ts: StoreConfig,
+    /// Fleet telemetry recording + trend classification on/off. Off
+    /// skips [`observe_fleet`](Daemon) entirely — `/health` stays
+    /// empty and the adaptive controller never observes a cycle; the
+    /// `ts_ingest` bench uses this to price the telemetry path.
+    pub telemetry: bool,
+    /// Trend/anomaly detection tuning for `/health` verdicts.
+    pub trend: TrendConfig,
+    /// Adaptive scrape-interval controller tuning (disabled by
+    /// default; the serve loop then sleeps a fixed interval).
+    pub adaptive: AdaptiveConfig,
 }
 
 impl Default for DaemonConfig {
@@ -65,6 +83,10 @@ impl Default for DaemonConfig {
             ledger: LedgerConfig::default(),
             static_tier: None,
             trace: TraceConfig::default(),
+            ts: StoreConfig::default(),
+            telemetry: true,
+            trend: TrendConfig::default(),
+            adaptive: AdaptiveConfig::default(),
         }
     }
 }
@@ -103,6 +125,10 @@ pub struct DaemonStatus {
     pub spans_dropped: u64,
     /// Scraper keep-alive pool counters.
     pub keepalive: KeepaliveSummary,
+    /// Adaptive scrape-interval controller state.
+    pub adaptive: AdaptiveStatus,
+    /// Series tracked by the telemetry store.
+    pub ts_series: usize,
 }
 
 /// The collection daemon: owns the scraper, the streaming analysis
@@ -124,6 +150,11 @@ pub struct Daemon {
     static_tier: Option<StaticTier>,
     tracer: Tracer,
     board: WorkerBoard,
+    ts: TsStore,
+    telemetry: bool,
+    trend: TrendConfig,
+    controller: AdaptiveController,
+    last_health: Option<FleetHealth>,
 }
 
 impl Daemon {
@@ -192,6 +223,13 @@ impl Daemon {
             }
             None => None,
         };
+        // The telemetry store shares the state dir (subdirectory `ts`)
+        // and has its own WAL, so its recovery is independent of the
+        // accumulator's: a crash loses at most the in-flight batch.
+        let ts = match &config.state_dir {
+            Some(dir) => TsStore::open(dir.join("ts"), config.ts.clone())?,
+            None => TsStore::in_memory(config.ts.clone()),
+        };
         let mut scraper = Scraper::new(config.scrape);
         scraper.set_tracer(tracer.clone());
         scraper.set_worker_board(board.clone());
@@ -212,6 +250,11 @@ impl Daemon {
             static_tier,
             tracer,
             board,
+            ts,
+            telemetry: config.telemetry,
+            trend: config.trend,
+            controller: AdaptiveController::new(config.adaptive),
+            last_health: None,
         })
     }
 
@@ -292,10 +335,16 @@ impl Daemon {
                 eprintln!("leakprofd: history append failed: {e}");
             }
         }
+        if self.telemetry {
+            self.observe_fleet(cycle, &report, &analysis);
+        }
         self.last_report = Some(analysis);
         if cycle.is_multiple_of(self.snapshot_every) {
             if let Err(e) = self.commit_snapshot() {
                 eprintln!("leakprofd: snapshot commit failed: {e}");
+            }
+            if let Err(e) = self.ts.flush() {
+                eprintln!("leakprofd: telemetry flush failed: {e}");
             }
         }
         // The root guard must record (drop) before the cycle is
@@ -305,6 +354,87 @@ impl Daemon {
         drop(root);
         self.tracer.finish_cycle(cycle);
         report
+    }
+
+    /// Records this cycle's telemetry into the multi-resolution store
+    /// (site RMS/total, per-instance blocked counts, stage p50s, cycle
+    /// wall time), classifies every top site's trend, and feeds the
+    /// adaptive interval controller. The time axis is the **cycle
+    /// counter**, not wall clock, so replaying the persisted store
+    /// offline (`leakprofd backtest`) reproduces these verdicts
+    /// exactly. Store IO failures degrade to in-memory recording and
+    /// never abort the cycle.
+    fn observe_fleet(&mut self, cycle: u64, report: &CycleReport, analysis: &Report) {
+        {
+            let mut span = self.tracer.start(obs::stage::TS_APPEND, "");
+            let mut owned: Vec<(String, f64)> = Vec::new();
+            for s in &analysis.suspects {
+                let fp = sid::site_fingerprint(&s.stats);
+                owned.push((sid::site_rms_id(&fp), s.stats.rms));
+                owned.push((sid::site_total_id(&fp), s.stats.total as f64));
+            }
+            for p in &report.profiles {
+                owned.push((
+                    sid::instance_blocked_id(&p.instance),
+                    p.goroutines.len() as f64,
+                ));
+            }
+            for s in self.tracer.stage_summaries() {
+                owned.push((sid::stage_p50_id(&s.stage), s.p50_us as f64));
+            }
+            owned.push((sid::CYCLE_WALL_MS_ID.to_string(), report.stats.wall_ms));
+            let points: Vec<(&str, f64)> = owned.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+            span.attr("points", points.len());
+            if let Err(e) = self.ts.append(cycle, &points) {
+                eprintln!("leakprofd: telemetry append failed: {e}");
+            }
+        }
+        let mut span = self.tracer.start(obs::stage::TREND, "");
+        let fps: Vec<String> = analysis
+            .suspects
+            .iter()
+            .map(|s| sid::site_fingerprint(&s.stats))
+            .collect();
+        let sites = classify_sites(&self.ts, &self.trend, &fps);
+        let topk: BTreeSet<String> = fps.into_iter().collect();
+        let regressing: Vec<String> = sites
+            .iter()
+            .filter(|s| s.class == "regressing")
+            .map(|s| s.fingerprint.clone())
+            .collect();
+        // A downward step (improving) is good news; only non-improving
+        // anomalies tighten the interval.
+        let anomalies: Vec<String> = sites
+            .iter()
+            .filter(|s| s.anomaly && s.class != "improving")
+            .map(|s| s.fingerprint.clone())
+            .collect();
+        let decision = self
+            .controller
+            .observe(cycle, &topk, &regressing, &anomalies);
+        span.attr("sites", sites.len());
+        span.attr("regressing", regressing.len());
+        span.attr("interval_ms", decision.interval_ms);
+        span.attr(
+            "decision",
+            match decision.direction {
+                Direction::Tighten => "tighten",
+                Direction::BackOff => "back_off",
+                Direction::Hold => "hold",
+            },
+        );
+        span.attr("reason", &decision.reason);
+        if let Err(e) = self
+            .ts
+            .append(cycle, &[(sid::INTERVAL_MS_ID, decision.interval_ms as f64)])
+        {
+            eprintln!("leakprofd: telemetry append failed: {e}");
+        }
+        self.last_health = Some(FleetHealth {
+            cycle,
+            sites,
+            adaptive: self.controller.status(),
+        });
     }
 
     /// Checkpoints the accumulator + health counters and truncates the
@@ -386,6 +516,41 @@ impl Daemon {
         &self.scraper
     }
 
+    /// The embedded telemetry store (range queries, backtest).
+    pub fn ts(&self) -> &TsStore {
+        &self.ts
+    }
+
+    /// Flushes the telemetry store to disk (clean shutdown).
+    ///
+    /// # Errors
+    ///
+    /// Returns the snapshot-write error; in-memory state is unaffected.
+    pub fn flush_telemetry(&mut self) -> std::io::Result<()> {
+        self.ts.flush()
+    }
+
+    /// The most recent fleet-health verdicts (None before cycle 1).
+    pub fn fleet_health(&self) -> Option<&FleetHealth> {
+        self.last_health.as_ref()
+    }
+
+    /// The adaptive interval controller's current state.
+    pub fn adaptive_status(&self) -> AdaptiveStatus {
+        self.controller.status()
+    }
+
+    /// The interval the serve loop should sleep before the next cycle:
+    /// the controller's current interval when adaptivity is enabled,
+    /// else `fallback_ms` (the fixed `--interval-ms`).
+    pub fn current_interval_ms(&self, fallback_ms: u64) -> u64 {
+        if self.controller.enabled() {
+            self.controller.interval_ms()
+        } else {
+            fallback_ms
+        }
+    }
+
     /// The retained cycle traces plus per-stage latency summaries
     /// (served at `/trace`).
     pub fn trace_snapshot(&self) -> TraceSnapshot {
@@ -410,148 +575,227 @@ impl Daemon {
             spans_recorded: self.tracer.spans_recorded(),
             spans_dropped: self.tracer.spans_dropped(),
             keepalive: self.scraper.keepalive_summary(),
+            adaptive: self.controller.status(),
+            ts_series: self.ts.series_ids().len(),
         }
     }
 
-    /// Renders the daemon's own Prometheus-style metrics, including the
-    /// current top-site impact gauges.
+    /// Renders the daemon's own metrics in Prometheus text exposition
+    /// format: every family announced with `# HELP`/`# TYPE`, all names
+    /// under the `leakprofd_` prefix (conformance-tested in
+    /// `tests/metrics_conformance.rs`).
     pub fn metrics_text(&self) -> String {
-        use std::fmt::Write as _;
-        let mut out = self.health.render_prometheus();
+        let mut p = PromText::new();
+        self.health.render_into(&mut p);
         let breakers = self.breakers.summary(self.targets.len());
-        let _ = writeln!(out, "# TYPE leakprofd_breaker_targets gauge");
-        let _ = writeln!(
-            out,
-            "leakprofd_breaker_targets{{state=\"closed\"}} {}",
-            breakers.closed
+        p.family(
+            "leakprofd_breaker_targets",
+            "gauge",
+            "Scrape targets by circuit-breaker state.",
         );
-        let _ = writeln!(
-            out,
-            "leakprofd_breaker_targets{{state=\"open\"}} {}",
-            breakers.open
+        for (state, v) in [
+            ("closed", breakers.closed),
+            ("open", breakers.open),
+            ("half_open", breakers.half_open),
+        ] {
+            p.sample("leakprofd_breaker_targets", &[("state", state)], v);
+        }
+        p.family(
+            "leakprofd_breaker_opened_total",
+            "counter",
+            "Circuit-breaker open transitions.",
         );
-        let _ = writeln!(
-            out,
-            "leakprofd_breaker_targets{{state=\"half_open\"}} {}",
-            breakers.half_open
-        );
-        let _ = writeln!(out, "# TYPE leakprofd_breaker_opened_total counter");
-        let _ = writeln!(
-            out,
-            "leakprofd_breaker_opened_total {}",
-            breakers.opened_total
-        );
+        p.sample("leakprofd_breaker_opened_total", &[], breakers.opened_total);
         let ledger = self.ledger.summary();
-        let _ = writeln!(out, "# TYPE leakprofd_reports_total counter");
-        let _ = writeln!(
-            out,
-            "leakprofd_reports_total{{result=\"paged\"}} {}",
-            ledger.reported_total
+        p.family(
+            "leakprofd_reports_total",
+            "counter",
+            "Suspect reports by paging decision.",
         );
-        let _ = writeln!(
-            out,
-            "leakprofd_reports_total{{result=\"suppressed\"}} {}",
-            ledger.suppressed_total
+        p.sample(
+            "leakprofd_reports_total",
+            &[("result", "paged")],
+            ledger.reported_total,
+        );
+        p.sample(
+            "leakprofd_reports_total",
+            &[("result", "suppressed")],
+            ledger.suppressed_total,
         );
         if let Some(tier) = &self.static_tier {
             let stats = tier.stats();
-            let _ = writeln!(out, "# TYPE leakprofd_static_cache_hits_total counter");
-            let _ = writeln!(
-                out,
-                "leakprofd_static_cache_hits_total {}",
-                stats.cache_hits
+            p.family(
+                "leakprofd_static_cache_hits_total",
+                "counter",
+                "Criterion-2 verdicts served from the persistent cache.",
             );
-            let _ = writeln!(out, "# TYPE leakprofd_static_cache_misses_total counter");
-            let _ = writeln!(
-                out,
-                "leakprofd_static_cache_misses_total {}",
-                stats.cache_misses
+            p.sample("leakprofd_static_cache_hits_total", &[], stats.cache_hits);
+            p.family(
+                "leakprofd_static_cache_misses_total",
+                "counter",
+                "Criterion-2 cache misses (file parsed or re-parsed).",
             );
-            let _ = writeln!(out, "# TYPE leakprofd_static_files_parsed_total counter");
-            let _ = writeln!(
-                out,
-                "leakprofd_static_files_parsed_total {}",
-                stats.files_parsed
+            p.sample(
+                "leakprofd_static_cache_misses_total",
+                &[],
+                stats.cache_misses,
             );
-            let _ = writeln!(out, "# TYPE leakprofd_static_parse_errors_total counter");
-            let _ = writeln!(
-                out,
-                "leakprofd_static_parse_errors_total {}",
-                stats.parse_errors
+            p.family(
+                "leakprofd_static_files_parsed_total",
+                "counter",
+                "Source files parsed by the static tier.",
             );
-            let _ = writeln!(out, "# TYPE leakprofd_static_covered_files gauge");
-            let _ = writeln!(
-                out,
-                "leakprofd_static_covered_files {}",
-                stats.covered_files
+            p.sample(
+                "leakprofd_static_files_parsed_total",
+                &[],
+                stats.files_parsed,
             );
-            let _ = writeln!(out, "# TYPE leakprofd_static_last_scan_us gauge");
-            let _ = writeln!(out, "leakprofd_static_last_scan_us {}", stats.last_scan_us);
-            let _ = writeln!(out, "# TYPE leakprofd_static_last_analyze_us gauge");
-            let _ = writeln!(
-                out,
-                "leakprofd_static_last_analyze_us {}",
-                stats.last_analyze_us
+            p.family(
+                "leakprofd_static_parse_errors_total",
+                "counter",
+                "Source files the static tier failed to parse.",
+            );
+            p.sample(
+                "leakprofd_static_parse_errors_total",
+                &[],
+                stats.parse_errors,
+            );
+            p.family(
+                "leakprofd_static_covered_files",
+                "gauge",
+                "Source files with cached criterion-2 verdicts.",
+            );
+            p.sample("leakprofd_static_covered_files", &[], stats.covered_files);
+            p.family(
+                "leakprofd_static_last_scan_us",
+                "gauge",
+                "Duration of the last source-tree scan in microseconds.",
+            );
+            p.sample("leakprofd_static_last_scan_us", &[], stats.last_scan_us);
+            p.family(
+                "leakprofd_static_last_analyze_us",
+                "gauge",
+                "Duration of the last verdict analysis in microseconds.",
+            );
+            p.sample(
+                "leakprofd_static_last_analyze_us",
+                &[],
+                stats.last_analyze_us,
             );
         }
         let keepalive = self.scraper.keepalive_summary();
-        let _ = writeln!(out, "# TYPE leakprofd_conn_requests_total counter");
-        let _ = writeln!(
-            out,
-            "leakprofd_conn_requests_total{{mode=\"reused\"}} {}",
-            keepalive.reused
+        p.family(
+            "leakprofd_conn_requests_total",
+            "counter",
+            "Scrape requests by connection mode.",
         );
-        let _ = writeln!(
-            out,
-            "leakprofd_conn_requests_total{{mode=\"fresh\"}} {}",
-            keepalive.fresh
+        p.sample(
+            "leakprofd_conn_requests_total",
+            &[("mode", "reused")],
+            keepalive.reused,
         );
-        let _ = writeln!(out, "# TYPE leakprofd_conn_retired_total counter");
-        let _ = writeln!(
-            out,
-            "leakprofd_conn_retired_total{{reason=\"expired\"}} {}",
-            keepalive.expired
+        p.sample(
+            "leakprofd_conn_requests_total",
+            &[("mode", "fresh")],
+            keepalive.fresh,
         );
-        let _ = writeln!(
-            out,
-            "leakprofd_conn_retired_total{{reason=\"reuse_failure\"}} {}",
-            keepalive.reuse_failures
+        p.family(
+            "leakprofd_conn_retired_total",
+            "counter",
+            "Keep-alive connections retired, by reason.",
         );
-        let _ = writeln!(out, "# TYPE leakprofd_spans_total counter");
-        let _ = writeln!(
-            out,
-            "leakprofd_spans_total{{outcome=\"recorded\"}} {}",
-            self.tracer.spans_recorded()
+        p.sample(
+            "leakprofd_conn_retired_total",
+            &[("reason", "expired")],
+            keepalive.expired,
         );
-        let _ = writeln!(
-            out,
-            "leakprofd_spans_total{{outcome=\"dropped\"}} {}",
-            self.tracer.spans_dropped()
+        p.sample(
+            "leakprofd_conn_retired_total",
+            &[("reason", "reuse_failure")],
+            keepalive.reuse_failures,
+        );
+        p.family(
+            "leakprofd_spans_total",
+            "counter",
+            "Trace spans by ring outcome.",
+        );
+        p.sample(
+            "leakprofd_spans_total",
+            &[("outcome", "recorded")],
+            self.tracer.spans_recorded(),
+        );
+        p.sample(
+            "leakprofd_spans_total",
+            &[("outcome", "dropped")],
+            self.tracer.spans_dropped(),
         );
         let stages = self.tracer.stage_summaries();
         if !stages.is_empty() {
-            let _ = writeln!(out, "# TYPE leakprofd_stage_latency_us gauge");
+            p.family(
+                "leakprofd_stage_latency_us",
+                "gauge",
+                "Pipeline stage latency quantiles in microseconds.",
+            );
             for s in &stages {
                 for (q, v) in [("0.5", s.p50_us), ("0.99", s.p99_us)] {
-                    let _ = writeln!(
-                        out,
-                        "leakprofd_stage_latency_us{{stage=\"{}\",quantile=\"{q}\"}} {v}",
-                        s.stage
+                    p.sample(
+                        "leakprofd_stage_latency_us",
+                        &[("stage", s.stage.as_str()), ("quantile", q)],
+                        v,
                     );
                 }
             }
         }
         if let Some(report) = &self.last_report {
-            let _ = writeln!(out, "# TYPE leakprofd_suspect_rms gauge");
+            p.family(
+                "leakprofd_suspect_rms",
+                "gauge",
+                "Fleet-wide RMS blocked-goroutine impact per suspect site.",
+            );
             for s in &report.suspects {
-                let _ = writeln!(
-                    out,
-                    "leakprofd_suspect_rms{{site=\"{}\"}} {}",
-                    s.stats.op, s.stats.rms
+                let site = s.stats.op.to_string();
+                p.sample(
+                    "leakprofd_suspect_rms",
+                    &[("site", site.as_str())],
+                    s.stats.rms,
                 );
             }
         }
-        out
+        let adaptive = self.controller.status();
+        p.family(
+            "leakprofd_interval_ms",
+            "gauge",
+            "Current scrape interval chosen by the adaptive controller.",
+        );
+        p.sample("leakprofd_interval_ms", &[], adaptive.interval_ms);
+        p.family(
+            "leakprofd_interval_changes_total",
+            "counter",
+            "Adaptive interval changes, by direction.",
+        );
+        p.sample(
+            "leakprofd_interval_changes_total",
+            &[("direction", "tighten")],
+            adaptive.tightened_total,
+        );
+        p.sample(
+            "leakprofd_interval_changes_total",
+            &[("direction", "back_off")],
+            adaptive.backed_off_total,
+        );
+        p.family(
+            "leakprofd_ts_series",
+            "gauge",
+            "Series tracked by the telemetry store.",
+        );
+        p.sample("leakprofd_ts_series", &[], self.ts.series_ids().len());
+        p.family(
+            "leakprofd_ts_appends_total",
+            "counter",
+            "Telemetry batches appended over this process lifetime.",
+        );
+        p.sample("leakprofd_ts_appends_total", &[], self.ts.appended_total());
+        p.finish()
     }
 }
 
@@ -578,11 +822,126 @@ pub fn daemon_routes() -> Vec<String> {
     vec![
         "/metrics".into(),
         "/status".into(),
+        "/health".into(),
+        "/api/series?id=&from=&to=&res=".into(),
         "/trace".into(),
         "/debug/self".into(),
         "/instances".into(),
         ProfileHub::profile_path(SELF_INSTANCE),
     ]
+}
+
+/// Splits a request-target into (path, query) and decodes the query
+/// into key/value pairs (minimal percent-decoding: `%XX` and `+`).
+fn parse_query(target: &str) -> (&str, Vec<(String, String)>) {
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let params = query
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(kv), String::new()),
+        })
+        .collect();
+    (path, params)
+}
+
+/// Decodes `%XX` escapes and `+`-as-space; invalid escapes pass
+/// through literally.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => match (
+                bytes.get(i + 1).and_then(|b| (*b as char).to_digit(16)),
+                bytes.get(i + 2).and_then(|b| (*b as char).to_digit(16)),
+            ) {
+                (Some(hi), Some(lo)) => {
+                    out.push((hi * 16 + lo) as u8);
+                    i += 3;
+                }
+                _ => {
+                    out.push(b'%');
+                    i += 1;
+                }
+            },
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// The `/api/series` response envelope.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeriesResponse {
+    /// The queried series id.
+    pub id: String,
+    /// Inclusive query range start.
+    pub from: u64,
+    /// Inclusive query range end.
+    pub to: u64,
+    /// The resolution the store answered at (bucket step; 1 = raw).
+    pub res: u64,
+    /// Resolutions the store offers.
+    pub resolutions: Vec<u64>,
+    /// The matching buckets, time-ascending.
+    pub points: Vec<timeseries::AggPoint>,
+}
+
+/// Answers `/api/series?id=&from=&to=&res=` against a store. `from`
+/// defaults to 0, `to` to `u64::MAX`, `res` to auto-pick (the finest
+/// resolution still covering `from`).
+fn serve_series_query(ts: &TsStore, params: &[(String, String)]) -> Response {
+    let get = |k: &str| {
+        params
+            .iter()
+            .find(|(key, _)| key == k)
+            .map(|(_, v)| v.as_str())
+    };
+    let Some(id) = get("id") else {
+        return Response::error(400, "missing required parameter: id");
+    };
+    let from = match get("from").map(str::parse::<u64>) {
+        None => 0,
+        Some(Ok(v)) => v,
+        Some(Err(_)) => return Response::error(400, "from must be a non-negative integer"),
+    };
+    let to = match get("to").map(str::parse::<u64>) {
+        None => u64::MAX,
+        Some(Ok(v)) => v,
+        Some(Err(_)) => return Response::error(400, "to must be a non-negative integer"),
+    };
+    let res = match get("res").filter(|s| !s.is_empty()).map(str::parse::<u64>) {
+        None => None,
+        Some(Ok(v)) if v >= 1 => Some(v),
+        Some(_) => return Response::error(400, "res must be a positive integer"),
+    };
+    if ts.last_t(id).is_none() {
+        return Response::error(404, &format!("unknown series: {id}"));
+    }
+    let points = ts.query(id, from, to, res);
+    let answered_res = ts.resolution_for(id, from, res);
+    let body = SeriesResponse {
+        id: id.to_string(),
+        from,
+        to,
+        res: answered_res,
+        resolutions: ts.resolutions(),
+        points,
+    };
+    Response::json(serde_json::to_string_pretty(&body).expect("series response serializes"))
 }
 
 /// Serves a shared daemon's endpoints on `addr` (the daemon itself
@@ -591,6 +950,10 @@ pub fn daemon_routes() -> Vec<String> {
 ///
 /// * `/metrics`, `/status` — Prometheus text and the JSON
 ///   [`DaemonStatus`].
+/// * `/health` — per-site trend verdicts ([`FleetHealth`] JSON) plus
+///   the adaptive-interval state.
+/// * `/api/series?id=&from=&to=&res=` — range queries over the
+///   embedded telemetry store ([`SeriesResponse`] JSON).
 /// * `/trace` — the retained cycle span trees + per-stage latency
 ///   summaries ([`TraceSnapshot`] JSON).
 /// * `/debug/self` — the daemon's **own** goroutine-style profile: its
@@ -630,6 +993,26 @@ pub fn serve_daemon_endpoints(
                 Response::json(
                     serde_json::to_string_pretty(&d.status()).expect("status serializes"),
                 )
+            }
+            "/health" => {
+                let d = daemon.lock().expect("daemon poisoned");
+                let health = match d.fleet_health() {
+                    Some(h) => h.clone(),
+                    // Before the first cycle there are no verdicts yet;
+                    // serve an empty document rather than a 404 so
+                    // dashboards can poll from startup.
+                    None => FleetHealth {
+                        cycle: 0,
+                        sites: Vec::new(),
+                        adaptive: d.adaptive_status(),
+                    },
+                };
+                Response::json(serde_json::to_string_pretty(&health).expect("health serializes"))
+            }
+            p if parse_query(p).0 == "/api/series" => {
+                let (_, params) = parse_query(p);
+                let d = daemon.lock().expect("daemon poisoned");
+                serve_series_query(d.ts(), &params)
             }
             "/trace" => Response::json(
                 serde_json::to_string_pretty(&tracer.snapshot()).expect("trace serializes"),

@@ -1,0 +1,177 @@
+//! Fleet health verdicts: per-site trend classification over the
+//! embedded time-series store, served at `/health` and rendered by
+//! `leakprofd top` and `leakprofd backtest`.
+
+use serde::{Deserialize, Serialize};
+use timeseries::{analyze_trend, TrendClass, TrendConfig, TsStore};
+
+use crate::adaptive::AdaptiveStatus;
+
+/// How many raw points feed each site's sparkline (and the trend
+/// window lives inside this tail).
+pub const SPARK_POINTS: usize = 16;
+
+/// One site's health verdict.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SiteHealth {
+    /// The site fingerprint (rendered blocking op + location) — the
+    /// same string the report ledger deduplicates on.
+    pub fingerprint: String,
+    /// `improving` / `flat` / `regressing`.
+    pub class: String,
+    /// Per-step RMS slope relative to the mean level.
+    pub rel_slope: f64,
+    /// Z-score of the newest RMS point against the prior window.
+    pub z: f64,
+    /// Whether the newest point is a step-change anomaly.
+    pub anomaly: bool,
+    /// Newest RMS value.
+    pub rms: f64,
+    /// Last [`SPARK_POINTS`] raw RMS values, oldest first (sparkline
+    /// data for `leakprofd top`).
+    pub spark: Vec<f64>,
+    /// Why the verdict: a one-line human explanation.
+    pub why: String,
+}
+
+/// The `/health` document: every tracked site's verdict plus the
+/// adaptive scrape-interval state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetHealth {
+    /// Cycle the verdicts were computed at.
+    pub cycle: u64,
+    /// Per-site verdicts, worst first (regressing, then flat, then
+    /// improving; ties by newest RMS descending).
+    pub sites: Vec<SiteHealth>,
+    /// Adaptive interval controller state.
+    pub adaptive: AdaptiveStatus,
+}
+
+/// Classifies every fingerprint's RMS series in the store. This is the
+/// single classification path: the live daemon and the offline
+/// `backtest` both call it, which is what makes backtest verdicts
+/// reproduce the online ones exactly.
+pub fn classify_sites(
+    ts: &TsStore,
+    trend: &TrendConfig,
+    fingerprints: &[String],
+) -> Vec<SiteHealth> {
+    let mut sites: Vec<SiteHealth> = fingerprints
+        .iter()
+        .map(|fp| {
+            let points = ts.recent(&leakprof::series::site_rms_id(fp), SPARK_POINTS);
+            let t = analyze_trend(&points, trend);
+            let why = match t.class {
+                TrendClass::Regressing if t.anomaly => format!(
+                    "step change: newest RMS {:.1} is {:.1} sigma above the prior window",
+                    t.last, t.z
+                ),
+                TrendClass::Regressing => format!(
+                    "RMS rising {:+.1}%/cycle over the last {} points",
+                    100.0 * t.rel_slope,
+                    t.points
+                ),
+                TrendClass::Improving => format!(
+                    "RMS falling {:+.1}%/cycle over the last {} points",
+                    100.0 * t.rel_slope,
+                    t.points
+                ),
+                TrendClass::Flat => {
+                    format!("stable around RMS {:.1} ({} points)", t.mean, t.points)
+                }
+            };
+            SiteHealth {
+                fingerprint: fp.clone(),
+                class: t.class.label().to_string(),
+                rel_slope: t.rel_slope,
+                z: t.z,
+                anomaly: t.anomaly,
+                rms: t.last,
+                spark: points.iter().map(|(_, v)| *v).collect(),
+                why,
+            }
+        })
+        .collect();
+    sites.sort_by(|a, b| {
+        rank(&a.class)
+            .cmp(&rank(&b.class))
+            .then(
+                b.rms
+                    .partial_cmp(&a.rms)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+            .then(a.fingerprint.cmp(&b.fingerprint))
+    });
+    sites
+}
+
+fn rank(class: &str) -> u8 {
+    match class {
+        "regressing" => 0,
+        "flat" => 1,
+        _ => 2,
+    }
+}
+
+/// Renders sparkline data as unicode block characters, scaled to the
+/// slice's own min..max (a flat series renders as a low bar).
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = max - min;
+    values
+        .iter()
+        .map(|v| {
+            if span <= f64::EPSILON {
+                BARS[0]
+            } else {
+                let idx = (((v - min) / span) * (BARS.len() - 1) as f64).round() as usize;
+                BARS[idx.min(BARS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timeseries::StoreConfig;
+
+    #[test]
+    fn regressing_sites_sort_first_and_explain_themselves() {
+        let mut ts = TsStore::in_memory(StoreConfig::default());
+        for t in 1..=12u64 {
+            ts.append(
+                t,
+                &[
+                    ("site_rms:leaky", (t * 10) as f64),
+                    ("site_rms:quiet", 50.0),
+                ],
+            )
+            .unwrap();
+        }
+        let sites = classify_sites(
+            &ts,
+            &TrendConfig::default(),
+            &["quiet".into(), "leaky".into()],
+        );
+        assert_eq!(sites[0].fingerprint, "leaky");
+        assert_eq!(sites[0].class, "regressing");
+        assert!(sites[0].why.contains("rising"), "{}", sites[0].why);
+        assert_eq!(sites[1].class, "flat");
+        assert_eq!(sites[1].spark.len(), 12);
+    }
+
+    #[test]
+    fn sparkline_scales_to_range() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[5.0, 5.0, 5.0]), "▁▁▁");
+        let s = sparkline(&[0.0, 50.0, 100.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁') && s.ends_with('█'), "{s}");
+    }
+}

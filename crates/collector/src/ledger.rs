@@ -200,9 +200,12 @@ impl ReportLedger {
     }
 
     /// The fingerprint a suspect is deduplicated on: the rendered
-    /// blocking operation + source site.
+    /// blocking operation + source site. Delegates to
+    /// [`leakprof::site_fingerprint`], the same scheme the telemetry
+    /// store keys site series on, so a ledger episode and a `/health`
+    /// trend line always name the same thing.
     pub fn fingerprint(suspect: &Suspect) -> String {
-        suspect.stats.op.to_string()
+        leakprof::site_fingerprint(&suspect.stats)
     }
 
     /// Folds one cycle's ranked suspects into the ledger and decides

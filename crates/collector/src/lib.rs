@@ -26,9 +26,19 @@
 //! * [`static_tier`] — persistent, content-addressed criterion-2
 //!   verdict cache: each source file is parsed once, reused across
 //!   cycles and restarts.
+//! * [`health`] — per-site trend verdicts over the embedded
+//!   [`timeseries`] store (the `/health` document and sparklines).
+//! * [`backtest`] — offline replay of the persisted store (or a JSONL
+//!   history) into weekly per-site trend tables and CSVs, using the
+//!   same classification path as the live `/health`.
+//! * [`adaptive`] — trend-driven scrape-interval controller: backs off
+//!   while the fleet is quiet, tightens when the top-K changes or a
+//!   site's RMS slope/z-score fires.
 //! * [`daemon`] — the cycle loop feeding [`leakprof::FleetAccumulator`],
 //!   plus the daemon's own `/metrics`, `/status`, `/trace` (per-cycle
-//!   span trees from [`obs`]), and `/debug/self` (the daemon's own
+//!   span trees from [`obs`]), `/health` (per-site trend verdicts from
+//!   [`timeseries`]), `/api/series` (range queries over the embedded
+//!   multi-resolution store), and `/debug/self` (the daemon's own
 //!   worker threads as a scrapeable goroutine-style profile).
 //! * [`demo`] — a real [`fleet::Fleet`] wired to a hub, for the CLI demo
 //!   commands, benches, and end-to-end tests.
@@ -38,11 +48,14 @@
 
 #![warn(missing_docs)]
 
+pub mod adaptive;
+pub mod backtest;
 pub mod breaker;
 pub mod chaos;
 pub mod daemon;
 pub mod demo;
 pub mod endpoints;
+pub mod health;
 pub mod history;
 pub mod http;
 pub mod ledger;
@@ -51,13 +64,20 @@ pub mod snapshot;
 pub mod static_tier;
 pub mod stats;
 
+pub use adaptive::{AdaptiveConfig, AdaptiveController, AdaptiveStatus, Decision, Direction};
+pub use backtest::{
+    backtest_history, backtest_store, migrate_history, render_table, render_verdicts_csv,
+    render_weekly_csv, write_report, BacktestConfig, BacktestReport, WeeklySite,
+};
 pub use breaker::{BreakerConfig, BreakerSet, BreakerState, BreakerSummary, QuarantinedTarget};
 pub use chaos::{run_chaos, ChaosConfig, ChaosFault, ChaosOutcome, ChaosPlan, ChaosPlanConfig};
 pub use daemon::{
-    daemon_routes, serve_daemon_endpoints, Daemon, DaemonConfig, DaemonStatus, SELF_INSTANCE,
+    daemon_routes, serve_daemon_endpoints, Daemon, DaemonConfig, DaemonStatus, SeriesResponse,
+    SELF_INSTANCE,
 };
 pub use demo::DemoFleet;
 pub use endpoints::{Fault, ProfileHub};
+pub use health::{classify_sites, sparkline, FleetHealth, SiteHealth, SPARK_POINTS};
 pub use history::{load_jsonl, CycleRecord, HistoryLog, JsonlLoad, TopSite};
 pub use http::{http_get, HttpError, HttpServer, Request, Response, ResponseFault};
 pub use ledger::{
@@ -70,4 +90,4 @@ pub use scrape::{
 };
 pub use snapshot::{DaemonSnapshot, Recovery, SnapshotStore, WalEntry, DAEMON_SNAPSHOT_VERSION};
 pub use static_tier::{StaticTier, StaticTierConfig, StaticTierStats, VERDICT_CACHE_VERSION};
-pub use stats::{CycleStats, HealthCounters, LatencyHistogram};
+pub use stats::{CycleStats, HealthCounters, LatencyHistogram, PromText};

@@ -7,6 +7,68 @@ use serde::{Deserialize, Serialize};
 // layer can use it too; re-exported here so existing imports keep working.
 pub use obs::LatencyHistogram;
 
+/// Builds Prometheus text exposition incrementally, enforcing the
+/// format every scraper expects: each metric family is announced with
+/// `# HELP` and `# TYPE` exactly once, immediately before its samples,
+/// and label values are escaped per the exposition grammar.
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+}
+
+impl PromText {
+    /// An empty exposition.
+    pub fn new() -> PromText {
+        PromText::default()
+    }
+
+    /// Announces a metric family (`kind` is `counter`, `gauge`, or
+    /// `summary`). Call once, before the family's samples.
+    pub fn family(&mut self, name: &str, kind: &str, help: &str) {
+        use std::fmt::Write as _;
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// Emits one sample line. `name` may extend the family name with a
+    /// suffix (`_count`/`_sum` for summaries).
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: impl std::fmt::Display) {
+        use std::fmt::Write as _;
+        let _ = write!(self.out, "{name}");
+        if !labels.is_empty() {
+            let _ = write!(self.out, "{{");
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    let _ = write!(self.out, ",");
+                }
+                let _ = write!(self.out, "{k}=\"{}\"", escape_label(v));
+            }
+            let _ = write!(self.out, "}}");
+        }
+        let _ = writeln!(self.out, " {value}");
+    }
+
+    /// The finished exposition text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 /// Aggregate health of one scrape cycle.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct CycleStats {
@@ -95,45 +157,66 @@ impl HealthCounters {
 
     /// Renders Prometheus-style exposition text for `/metrics`.
     pub fn render_prometheus(&self) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::new();
-        let _ = writeln!(out, "# TYPE leakprofd_cycles_total counter");
-        let _ = writeln!(out, "leakprofd_cycles_total {}", self.cycles);
-        let _ = writeln!(out, "# TYPE leakprofd_scrapes_total counter");
-        let _ = writeln!(
-            out,
-            "leakprofd_scrapes_total{{result=\"ok\"}} {}",
-            self.scrapes_ok
+        let mut p = PromText::new();
+        self.render_into(&mut p);
+        p.finish()
+    }
+
+    /// Writes this struct's metric families into an exposition being
+    /// built (so [`crate::Daemon::metrics_text`] can extend it).
+    pub fn render_into(&self, p: &mut PromText) {
+        p.family(
+            "leakprofd_cycles_total",
+            "counter",
+            "Completed scrape cycles.",
         );
-        let _ = writeln!(
-            out,
-            "leakprofd_scrapes_total{{result=\"failed\"}} {}",
-            self.scrapes_failed
+        p.sample("leakprofd_cycles_total", &[], self.cycles);
+        p.family(
+            "leakprofd_scrapes_total",
+            "counter",
+            "Target scrapes by result.",
         );
-        let _ = writeln!(
-            out,
-            "leakprofd_scrapes_total{{result=\"skipped\"}} {}",
-            self.scrapes_skipped
+        p.sample(
+            "leakprofd_scrapes_total",
+            &[("result", "ok")],
+            self.scrapes_ok,
         );
-        let _ = writeln!(out, "# TYPE leakprofd_retries_total counter");
-        let _ = writeln!(out, "leakprofd_retries_total {}", self.retries);
-        let _ = writeln!(out, "# TYPE leakprofd_scrape_latency_us summary");
-        let _ = writeln!(
-            out,
-            "leakprofd_scrape_latency_us{{quantile=\"0.5\"}} {}",
-            self.latency.p50_us()
+        p.sample(
+            "leakprofd_scrapes_total",
+            &[("result", "failed")],
+            self.scrapes_failed,
         );
-        let _ = writeln!(
-            out,
-            "leakprofd_scrape_latency_us{{quantile=\"0.99\"}} {}",
-            self.latency.p99_us()
+        p.sample(
+            "leakprofd_scrapes_total",
+            &[("result", "skipped")],
+            self.scrapes_skipped,
         );
-        let _ = writeln!(
-            out,
-            "leakprofd_scrape_latency_us_count {}",
-            self.latency.count()
+        p.family(
+            "leakprofd_retries_total",
+            "counter",
+            "Scrape retry attempts beyond the first.",
         );
-        out
+        p.sample("leakprofd_retries_total", &[], self.retries);
+        p.family(
+            "leakprofd_scrape_latency_us",
+            "summary",
+            "Per-request scrape latency in microseconds.",
+        );
+        p.sample(
+            "leakprofd_scrape_latency_us",
+            &[("quantile", "0.5")],
+            self.latency.p50_us(),
+        );
+        p.sample(
+            "leakprofd_scrape_latency_us",
+            &[("quantile", "0.99")],
+            self.latency.p99_us(),
+        );
+        p.sample(
+            "leakprofd_scrape_latency_us_count",
+            &[],
+            self.latency.count(),
+        );
     }
 }
 
@@ -159,7 +242,18 @@ mod tests {
         assert_eq!(totals.scrapes_ok, 18);
         assert!((totals.success_rate() - 0.9).abs() < 1e-9);
         let text = totals.render_prometheus();
+        assert!(text.contains("# HELP leakprofd_cycles_total "));
+        assert!(text.contains("# TYPE leakprofd_cycles_total counter"));
         assert!(text.contains("leakprofd_cycles_total 2"));
         assert!(text.contains("result=\"ok\"} 18"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut p = PromText::new();
+        p.family("x", "gauge", "test");
+        p.sample("x", &[("site", "a\"b\\c\nd")], 1);
+        let text = p.finish();
+        assert!(text.contains("x{site=\"a\\\"b\\\\c\\nd\"} 1"), "{text}");
     }
 }

@@ -1,0 +1,227 @@
+//! End-to-end adaptivity: drive a simulated fleet healthy → regressing
+//! and assert the ISSUE's acceptance criteria:
+//!
+//! (a) `/health` reclassifies the injected site flat → regressing,
+//! (b) the scrape interval tightens within 3 cycles of the anomaly and
+//!     backs off again after the fleet stabilizes,
+//! (c) `leakprofd backtest` over the persisted store reproduces the
+//!     online trend classification offline, byte-identical across a
+//!     kill -9 / recover of the daemon.
+
+use std::collections::BTreeMap;
+
+use collector::{
+    backtest_store, render_verdicts_csv, AdaptiveConfig, BacktestConfig, Daemon, DaemonConfig,
+    ProfileHub, ScrapeTarget,
+};
+use gosim::{Frame, Gid, GoStatus, GoroutineProfile, GoroutineRecord, Loc};
+use leakprof::LeakProf;
+use timeseries::{TrendConfig, TsStore};
+
+const SITE_FILE: &str = "pay/handler.go";
+const SITE_LINE: u32 = 42;
+const INSTANCES: usize = 3;
+
+fn blocked_profile(instance: &str, count: usize) -> GoroutineProfile {
+    let rec = GoroutineRecord {
+        gid: Gid(1),
+        name: "pay.Process$1".into(),
+        status: GoStatus::ChanSend { nil_chan: false },
+        stack: vec![
+            Frame::runtime("runtime.gopark"),
+            Frame::runtime("runtime.chansend1"),
+            Frame::new("pay.Process$1", Loc::new(SITE_FILE, SITE_LINE)),
+        ],
+        created_by: Frame::new("pay.Process", Loc::new(SITE_FILE, 1)),
+        wait_ticks: 100,
+        retained_bytes: 8192,
+    };
+    GoroutineProfile {
+        instance: instance.into(),
+        captured_at: 0,
+        goroutines: vec![rec; count],
+    }
+}
+
+fn publish_fleet(hub: &ProfileHub, count: usize) {
+    for i in 0..INSTANCES {
+        hub.publish(&blocked_profile(&format!("pay-{i}"), count));
+    }
+}
+
+fn trend_config() -> TrendConfig {
+    // The accumulator is cumulative, so even a steady leak's RMS climbs;
+    // a slightly higher slope threshold classifies that steady climb as
+    // flat once the level dominates, while a step change still fires.
+    TrendConfig {
+        rel_slope_regress: 0.1,
+        rel_slope_improve: -0.1,
+        ..TrendConfig::default()
+    }
+}
+
+fn site_class(daemon: &Daemon) -> Option<String> {
+    daemon
+        .fleet_health()
+        .and_then(|h| h.sites.first())
+        .map(|s| s.class.clone())
+}
+
+#[test]
+fn adaptivity_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("leakprofd-adaptive-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let hub = ProfileHub::new();
+    publish_fleet(&hub, 5);
+    let server = hub.serve("127.0.0.1:0", 2).unwrap();
+    let targets: Vec<ScrapeTarget> = hub
+        .instances()
+        .into_iter()
+        .map(|id| ScrapeTarget {
+            path: ProfileHub::profile_path(&id),
+            instance: id,
+            addr: server.addr(),
+        })
+        .collect();
+
+    let config = DaemonConfig {
+        state_dir: Some(dir.clone()),
+        trend: trend_config(),
+        adaptive: AdaptiveConfig::enabled(100, 6400, 800),
+        ..DaemonConfig::default()
+    };
+    let mut daemon = Daemon::new(
+        config,
+        LeakProf::new(leakprof::Config {
+            threshold: 1,
+            ast_filter: false,
+            top_n: 5,
+        }),
+        targets,
+    )
+    .unwrap();
+
+    // --- Phase 1: healthy. A steady baseline leak; by the end of the
+    // phase its cumulative RMS climb is slow relative to its level, so
+    // the verdict settles at flat and the interval backs off.
+    for _ in 0..40 {
+        publish_fleet(&hub, 5);
+        daemon.run_cycle();
+    }
+    assert_eq!(
+        site_class(&daemon).as_deref(),
+        Some("flat"),
+        "steady leak must classify flat by end of healthy phase: {:?}",
+        daemon.fleet_health()
+    );
+    let healthy = daemon.adaptive_status();
+    assert!(
+        healthy.backed_off_total >= 1,
+        "quiet fleet must back off: {healthy:?}"
+    );
+    let interval_before = healthy.interval_ms;
+    assert!(interval_before > 100, "not pinned at min: {healthy:?}");
+
+    // --- Phase 2: regression. The site's per-scrape blocked count
+    // jumps 100x — a step-change anomaly.
+    let injected_at = daemon.health().cycles;
+    let tightened_before = healthy.tightened_total;
+    let mut reclassified_at = None;
+    let mut tightened_at = None;
+    for i in 0..10u64 {
+        publish_fleet(&hub, 500);
+        daemon.run_cycle();
+        let cycle = injected_at + i + 1;
+        if reclassified_at.is_none() && site_class(&daemon).as_deref() == Some("regressing") {
+            reclassified_at = Some(cycle);
+        }
+        if tightened_at.is_none() && daemon.adaptive_status().tightened_total > tightened_before {
+            tightened_at = Some(cycle);
+        }
+    }
+    // (a) the injected site flipped flat -> regressing.
+    let reclassified_at = reclassified_at.expect("site must reclassify as regressing");
+    // (b) the interval tightened within 3 cycles of the anomaly.
+    let tightened_at = tightened_at.expect("interval must tighten");
+    assert!(
+        tightened_at <= injected_at + 3,
+        "tighten at cycle {tightened_at}, anomaly at {injected_at}"
+    );
+    assert!(
+        reclassified_at <= injected_at + 3,
+        "reclassify at cycle {reclassified_at}, anomaly at {injected_at}"
+    );
+    let regressed = daemon.adaptive_status();
+    assert!(regressed.interval_ms < interval_before);
+    assert!(
+        regressed.last_change_reason.contains("anomaly")
+            || regressed.last_change_reason.contains("regressing")
+            || regressed.last_change_reason.contains("stable"),
+        "reason must be surfaced: {regressed:?}"
+    );
+
+    // --- Phase 3: stabilization. The leak stops growing; the verdict
+    // returns to flat and the interval backs off again.
+    let backed_off_before = regressed.backed_off_total;
+    for _ in 0..40 {
+        publish_fleet(&hub, 500);
+        daemon.run_cycle();
+    }
+    assert_eq!(site_class(&daemon).as_deref(), Some("flat"));
+    let stable = daemon.adaptive_status();
+    assert!(
+        stable.backed_off_total > backed_off_before,
+        "interval must back off after stabilization: {stable:?}"
+    );
+
+    // Snapshot the online verdicts, then kill the daemon hard: no
+    // clean shutdown, no final flush. The store's per-append WAL must
+    // already hold everything.
+    let online: BTreeMap<String, String> = daemon
+        .fleet_health()
+        .unwrap()
+        .sites
+        .iter()
+        .map(|s| (s.fingerprint.clone(), s.class.clone()))
+        .collect();
+    let last_cycle = daemon.health().cycles;
+    #[allow(clippy::drop_non_drop)]
+    drop(daemon); // kill -9 equivalent for on-disk state
+
+    // (c) offline backtest over the recovered store reproduces the
+    // online classification...
+    let bt_config = BacktestConfig {
+        trend: trend_config(),
+        ..BacktestConfig::default()
+    };
+    let ts = TsStore::open(dir.join("ts"), Default::default()).unwrap();
+    assert_eq!(
+        ts.last_t("cycle_wall_ms"),
+        Some(last_cycle),
+        "no lost cycles"
+    );
+    let report = backtest_store(&ts, &bt_config);
+    let offline: BTreeMap<String, String> = report
+        .sites
+        .iter()
+        .map(|s| (s.fingerprint.clone(), s.class.clone()))
+        .collect();
+    assert_eq!(
+        online, offline,
+        "offline backtest must match online /health"
+    );
+    let first_run = render_verdicts_csv(&report);
+    drop(ts);
+
+    // ...and is byte-identical across a second kill/recover round.
+    let ts = TsStore::open(dir.join("ts"), Default::default()).unwrap();
+    let second_run = render_verdicts_csv(&backtest_store(&ts, &bt_config));
+    assert_eq!(
+        first_run, second_run,
+        "backtest must be deterministic across recoveries"
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,183 @@
+//! Differential test for `leakprofd migrate-history`: queries over the
+//! migrated store must equal a plain fold over the raw JSONL records —
+//! the store adds resolution tiers and durability, never changes the
+//! numbers. Also pins the crash-aftermath contract: one torn trailing
+//! history line is tolerated and simply not migrated.
+
+use std::collections::BTreeMap;
+
+use collector::history::{CycleRecord, TopSite};
+use collector::{load_jsonl, migrate_history};
+use timeseries::{RollupSpec, StoreConfig, TsStore};
+
+fn record(cycle: u64, sites: &[(&str, f64, u64)]) -> CycleRecord {
+    CycleRecord {
+        cycle,
+        profiles: 4,
+        failures: 0,
+        retries: 0,
+        wall_ms: 2.5,
+        p50_us: 100,
+        p99_us: 400,
+        top: sites
+            .iter()
+            .map(|(op, rms, total)| TopSite {
+                op: op.to_string(),
+                rms: *rms,
+                total: *total,
+                max_instance: *total / 2,
+            })
+            .collect(),
+    }
+}
+
+fn synthetic_history(n: u64) -> Vec<CycleRecord> {
+    (1..=n)
+        .map(|c| {
+            let mut sites: Vec<(String, f64, u64)> = vec![
+                // Integer-valued series so f64 sums are exact and the
+                // differential comparison can use == rather than eps.
+                (
+                    "send at pay/handler.go:10".to_string(),
+                    (c * 3) as f64,
+                    c * 3,
+                ),
+                ("recv at cart/poll.go:22".to_string(), 40.0, 40),
+            ];
+            if c % 2 == 0 {
+                // A site that only appears on even cycles: the store
+                // must not fabricate points for the gaps.
+                sites.push(("select at ship/track.go:8".to_string(), 7.0, 7));
+            }
+            let borrowed: Vec<(&str, f64, u64)> = sites
+                .iter()
+                .map(|(op, r, t)| (op.as_str(), *r, *t))
+                .collect();
+            record(c, &borrowed)
+        })
+        .collect()
+}
+
+/// The ground truth: fold the raw records by site.
+struct Fold {
+    count: u64,
+    sum_rms: f64,
+    min_rms: f64,
+    max_rms: f64,
+    last_rms: f64,
+    sum_total: f64,
+}
+
+fn fold_records(records: &[CycleRecord]) -> BTreeMap<String, Fold> {
+    let mut by_site: BTreeMap<String, Fold> = BTreeMap::new();
+    for r in records {
+        for site in &r.top {
+            let f = by_site.entry(site.op.clone()).or_insert(Fold {
+                count: 0,
+                sum_rms: 0.0,
+                min_rms: f64::INFINITY,
+                max_rms: f64::NEG_INFINITY,
+                last_rms: 0.0,
+                sum_total: 0.0,
+            });
+            f.count += 1;
+            f.sum_rms += site.rms;
+            f.min_rms = f.min_rms.min(site.rms);
+            f.max_rms = f.max_rms.max(site.rms);
+            f.last_rms = site.rms;
+            f.sum_total += site.total as f64;
+        }
+    }
+    by_site
+}
+
+fn store_config() -> StoreConfig {
+    StoreConfig {
+        raw_capacity: 512,
+        rollups: vec![
+            RollupSpec {
+                step: 8,
+                capacity: 512,
+            },
+            RollupSpec {
+                step: 64,
+                capacity: 512,
+            },
+        ],
+        snapshot_every: 16,
+    }
+}
+
+#[test]
+fn migrated_store_agrees_with_a_fold_over_the_raw_jsonl() {
+    let dir = std::env::temp_dir().join(format!("leakprofd-migrate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let history_path = dir.join("history.jsonl");
+
+    let records = synthetic_history(100);
+    let mut jsonl = String::new();
+    for r in &records {
+        jsonl.push_str(&serde_json::to_string(r).unwrap());
+        jsonl.push('\n');
+    }
+    // Crash aftermath: a torn trailing line (truncated mid-record).
+    jsonl.push_str("{\"cycle\":101,\"profiles\":4,\"fail");
+    std::fs::write(&history_path, &jsonl).unwrap();
+
+    // One-shot migration, exactly as the CLI runs it.
+    let load = load_jsonl::<CycleRecord>(&history_path).unwrap();
+    assert!(
+        load.dropped_trailing.is_some(),
+        "torn line must be reported"
+    );
+    assert_eq!(load.records.len(), 100);
+    let mut ts = TsStore::open(dir.join("ts"), store_config()).unwrap();
+    let (appended, skipped) = migrate_history(&load.records, &mut ts).unwrap();
+    assert_eq!((appended, skipped), (100, 0));
+    ts.flush().unwrap();
+    drop(ts);
+
+    // Reopen from disk: migration must be durable.
+    let ts = TsStore::open(dir.join("ts"), store_config()).unwrap();
+
+    let truth = fold_records(&records);
+    assert_eq!(truth.len(), 3);
+    for (op, fold) in &truth {
+        let rms_id = leakprof::series::site_rms_id(op);
+        let total_id = leakprof::series::site_total_id(op);
+        for res in ts.resolutions() {
+            let points = ts.query(&rms_id, 0, u64::MAX, Some(res));
+            let count: u64 = points.iter().map(|p| p.count).sum();
+            let sum: f64 = points.iter().map(|p| p.sum).sum();
+            let min = points.iter().map(|p| p.min).fold(f64::INFINITY, f64::min);
+            let max = points
+                .iter()
+                .map(|p| p.max)
+                .fold(f64::NEG_INFINITY, f64::max);
+            let last = points.last().map(|p| p.last).unwrap();
+            assert_eq!(count, fold.count, "{op} res {res}: point count");
+            assert_eq!(sum, fold.sum_rms, "{op} res {res}: rms sum");
+            assert_eq!(min, fold.min_rms, "{op} res {res}: rms min");
+            assert_eq!(max, fold.max_rms, "{op} res {res}: rms max");
+            assert_eq!(last, fold.last_rms, "{op} res {res}: rms last");
+
+            let totals = ts.query(&total_id, 0, u64::MAX, Some(res));
+            let total_sum: f64 = totals.iter().map(|p| p.sum).sum();
+            assert_eq!(total_sum, fold.sum_total, "{op} res {res}: total sum");
+        }
+    }
+
+    // The gappy site must have points only at even cycles in raw.
+    let gappy = ts.query("site_rms:select at ship/track.go:8", 0, u64::MAX, Some(1));
+    assert_eq!(gappy.len(), 50);
+    assert!(gappy.iter().all(|p| p.t % 2 == 0), "no fabricated points");
+
+    // Re-running the migration over the same file is a no-op.
+    let load = load_jsonl::<CycleRecord>(&history_path).unwrap();
+    let mut ts = TsStore::open(dir.join("ts"), store_config()).unwrap();
+    let (appended, skipped) = migrate_history(&load.records, &mut ts).unwrap();
+    assert_eq!((appended, skipped), (0, 100));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -59,6 +59,7 @@ pub mod analyze;
 pub mod filter;
 pub mod history;
 pub mod report;
+pub mod series;
 pub mod signature;
 
 pub use analyze::{
@@ -68,6 +69,7 @@ pub use analyze::{
 pub use filter::{is_transient, SourceIndex, VerdictSet};
 pub use history::{Issue, IssueStatus, SweepDelta, SweepStore};
 pub use report::{OwnerDb, Report, Suspect};
+pub use series::site_fingerprint;
 pub use signature::{blocked_op, BlockedOp, ChanOpKind};
 
 use gosim::GoroutineProfile;

@@ -1,0 +1,67 @@
+//! Telemetry series-id derivation.
+//!
+//! Every time-series the daemon records is keyed by a stable string id
+//! derived here, so the online recorder, the `/api/series` endpoint,
+//! the offline backtest, and the report ledger all agree on what a
+//! "site" is. Site series reuse the ledger's fingerprint scheme — the
+//! rendered blocking operation + source location (e.g.
+//! `send at pay/handler.go:10`) — which is already the deduplication
+//! key for paging, so a `/health` verdict, a ledger episode, and a
+//! stored series line up one-to-one.
+
+use crate::analyze::SiteStats;
+
+/// The fingerprint a site is identified by everywhere: the rendered
+/// blocking operation + source site. This is the same string the
+/// report ledger deduplicates on.
+pub fn site_fingerprint(stats: &SiteStats) -> String {
+    stats.op.to_string()
+}
+
+/// Series id of a site's fleet-wide RMS impact.
+pub fn site_rms_id(fingerprint: &str) -> String {
+    format!("site_rms:{fingerprint}")
+}
+
+/// Series id of a site's total blocked-goroutine count.
+pub fn site_total_id(fingerprint: &str) -> String {
+    format!("site_total:{fingerprint}")
+}
+
+/// Series id of one instance's total blocked-goroutine count.
+pub fn instance_blocked_id(instance: &str) -> String {
+    format!("instance_blocked:{instance}")
+}
+
+/// Series id of one pipeline stage's p50 latency (µs).
+pub fn stage_p50_id(stage: &str) -> String {
+    format!("stage_p50_us:{stage}")
+}
+
+/// Series id of the adaptive scrape interval (ms).
+pub const INTERVAL_MS_ID: &str = "interval_ms";
+
+/// Series id of the scrape-cycle wall time (ms).
+pub const CYCLE_WALL_MS_ID: &str = "cycle_wall_ms";
+
+/// The fingerprint inside a `site_rms:`/`site_total:` series id, if
+/// the id is a site series.
+pub fn fingerprint_of(series_id: &str) -> Option<&str> {
+    series_id
+        .strip_prefix("site_rms:")
+        .or_else(|| series_id.strip_prefix("site_total:"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_ids_roundtrip_the_fingerprint() {
+        let fp = "send at pay/handler.go:10";
+        assert_eq!(fingerprint_of(&site_rms_id(fp)), Some(fp));
+        assert_eq!(fingerprint_of(&site_total_id(fp)), Some(fp));
+        assert_eq!(fingerprint_of(INTERVAL_MS_ID), None);
+        assert_eq!(fingerprint_of(&instance_blocked_id("pay-0")), None);
+    }
+}

@@ -44,10 +44,14 @@ pub mod stage {
     pub const HISTORY: &str = "history";
     /// Committing a durable snapshot to disk.
     pub const SNAPSHOT: &str = "snapshot";
+    /// Appending the cycle's telemetry points to the time-series store.
+    pub const TS_APPEND: &str = "ts_append";
+    /// Trend classification + adaptive-interval decision.
+    pub const TREND: &str = "trend";
 
     /// Every pipeline stage, in pipeline order. Used by the dashboard
     /// so rows render in execution order rather than alphabetically.
-    pub const ALL: [&str; 10] = [
+    pub const ALL: [&str; 12] = [
         CYCLE,
         SCRAPE,
         TARGET,
@@ -57,6 +61,8 @@ pub mod stage {
         ANALYZE,
         LEDGER,
         HISTORY,
+        TS_APPEND,
+        TREND,
         SNAPSHOT,
     ];
 }

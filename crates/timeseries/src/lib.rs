@@ -1,0 +1,35 @@
+//! Embedded multi-resolution time-series storage for fleet health.
+//!
+//! The paper's most persuasive evidence is longitudinal — the 25-week
+//! GOLEAK backtest (Fig 5), the post-fix blocked-goroutine decay
+//! (Fig 6), the fleet-wide resource trends (Figs 1/2). This crate gives
+//! `leakprofd` the across-cycle substrate those figures need: an
+//! RRD-style store holding every telemetry series (per-site RMS and
+//! totals, per-instance blocked counts, per-stage latencies, the scrape
+//! interval itself) at multiple resolutions, plus the trend engine that
+//! turns raw counts into *verdicts* — is this site improving, flat, or
+//! regressing — the way LeakProf turns raw profiles into ranked
+//! reports instead of dumping them on the operator.
+//!
+//! * [`store`] — append-only per-series segments with configurable
+//!   rollup rings (raw → coarser steps, downsampled by
+//!   min/max/mean/last), bounded memory, atomic tmp+rename snapshots
+//!   plus a per-append WAL under a state directory, and a query API
+//!   with automatic resolution selection.
+//! * [`trend`] — windowed linear-regression slope, z-score step-change
+//!   anomaly detection, and the improving/flat/regressing
+//!   classification served at `/health` and replayed by
+//!   `leakprofd backtest`.
+//!
+//! The time axis is a caller-supplied monotone `u64` (the daemon uses
+//! its cycle counter): analysis over persisted data is therefore fully
+//! deterministic, which is what lets an offline backtest reproduce the
+//! online classification byte-for-byte even across a `kill -9`.
+
+#![warn(missing_docs)]
+
+pub mod store;
+pub mod trend;
+
+pub use store::{merge_points, AggPoint, RollupSpec, StoreConfig, TsStore, STORE_VERSION};
+pub use trend::{analyze_trend, Trend, TrendClass, TrendConfig};

@@ -1,0 +1,255 @@
+//! Trend classification and step-change anomaly detection.
+//!
+//! Two detectors run over a site's recent RMS window:
+//!
+//! * **Slope** — ordinary least-squares over the last `window` points,
+//!   normalized by the window's mean level so "regressing" means the
+//!   same thing at RMS 5 and RMS 500 (a fractional change per time
+//!   step). This is the Fig 6 question: is the blocked count decaying
+//!   after a fix, or climbing?
+//! * **Z-score** — the newest point against the mean/stddev of the
+//!   points before it. A step change (a deploy that introduces a leak)
+//!   fires long before the regression slope crosses its threshold.
+//!
+//! Both are pure functions of the persisted points, so the offline
+//! backtest reproduces the online verdicts exactly.
+
+use serde::{Deserialize, Serialize};
+
+/// Trend verdict for one series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrendClass {
+    /// Level is decaying (e.g. blocked goroutines draining post-fix).
+    Improving,
+    /// No significant slope either way.
+    Flat,
+    /// Level is growing — the leak signature.
+    Regressing,
+}
+
+impl TrendClass {
+    /// Lower-case label used in `/health` JSON, CSVs, and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TrendClass::Improving => "improving",
+            TrendClass::Flat => "flat",
+            TrendClass::Regressing => "regressing",
+        }
+    }
+}
+
+impl std::fmt::Display for TrendClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Detector tuning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrendConfig {
+    /// Points considered (the newest `window` of the series).
+    pub window: usize,
+    /// Below this many points everything classifies as flat — slope
+    /// over two or three points is noise, not a trend.
+    pub min_points: usize,
+    /// Relative slope (fraction of mean level per time step) at or
+    /// above which the series is regressing.
+    pub rel_slope_regress: f64,
+    /// Relative slope at or below which it is improving (negative).
+    pub rel_slope_improve: f64,
+    /// |z| of the newest point vs the prior window that flags a step
+    /// change.
+    pub z_threshold: f64,
+}
+
+impl Default for TrendConfig {
+    fn default() -> Self {
+        TrendConfig {
+            window: 8,
+            min_points: 4,
+            rel_slope_regress: 0.04,
+            rel_slope_improve: -0.04,
+            z_threshold: 3.0,
+        }
+    }
+}
+
+/// The result of analyzing one series window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trend {
+    /// The verdict.
+    pub class: TrendClass,
+    /// Absolute OLS slope (value units per time step).
+    pub slope: f64,
+    /// Slope normalized by the window's mean level.
+    pub rel_slope: f64,
+    /// Z-score of the newest point against the prior points.
+    pub z: f64,
+    /// True when `|z|` crossed the threshold (step change).
+    pub anomaly: bool,
+    /// Mean level of the window.
+    pub mean: f64,
+    /// Newest value.
+    pub last: f64,
+    /// Points actually analyzed.
+    pub points: usize,
+}
+
+impl Trend {
+    /// The trend of an empty series: flat, all zeros.
+    pub fn empty() -> Trend {
+        Trend {
+            class: TrendClass::Flat,
+            slope: 0.0,
+            rel_slope: 0.0,
+            z: 0.0,
+            anomaly: false,
+            mean: 0.0,
+            last: 0.0,
+            points: 0,
+        }
+    }
+}
+
+/// Analyzes the newest `config.window` of `points` (time-ordered
+/// `(t, value)` pairs; earlier points are ignored).
+pub fn analyze_trend(points: &[(u64, f64)], config: &TrendConfig) -> Trend {
+    let skip = points.len().saturating_sub(config.window.max(2));
+    let window = &points[skip..];
+    if window.is_empty() {
+        return Trend::empty();
+    }
+    let n = window.len();
+    let last = window[n - 1].1;
+    let mean = window.iter().map(|(_, v)| v).sum::<f64>() / n as f64;
+    if n < config.min_points.max(2) {
+        return Trend {
+            class: TrendClass::Flat,
+            slope: 0.0,
+            rel_slope: 0.0,
+            z: 0.0,
+            anomaly: false,
+            mean,
+            last,
+            points: n,
+        };
+    }
+
+    // OLS slope over (t, v). Time gaps count: a series appended every
+    // cycle regresses per cycle; one appended sparsely still measures
+    // change per time unit.
+    let t_mean = window.iter().map(|(t, _)| *t as f64).sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut var = 0.0;
+    for (t, v) in window {
+        let dt = *t as f64 - t_mean;
+        cov += dt * (v - mean);
+        var += dt * dt;
+    }
+    let slope = if var > 0.0 { cov / var } else { 0.0 };
+    // Normalize by level with a floor of 1.0 so near-zero series (a
+    // site with RMS ~0) don't classify on microscopic absolute drift.
+    let rel_slope = slope / mean.abs().max(1.0);
+
+    // Z-score of the newest point against the points before it.
+    let prior = &window[..n - 1];
+    let p_mean = prior.iter().map(|(_, v)| v).sum::<f64>() / prior.len() as f64;
+    let p_var = prior
+        .iter()
+        .map(|(_, v)| (v - p_mean) * (v - p_mean))
+        .sum::<f64>()
+        / prior.len() as f64;
+    // Stddev floor: 5% of level or 1.0, whichever is larger, so a
+    // perfectly-constant healthy series doesn't alarm on +1.
+    let sigma = p_var.sqrt().max(p_mean.abs() * 0.05).max(1.0);
+    let z = (last - p_mean) / sigma;
+    let anomaly = z.abs() >= config.z_threshold;
+
+    let class = if rel_slope >= config.rel_slope_regress {
+        TrendClass::Regressing
+    } else if rel_slope <= config.rel_slope_improve {
+        TrendClass::Improving
+    } else {
+        TrendClass::Flat
+    };
+    Trend {
+        class,
+        slope,
+        rel_slope,
+        z,
+        anomaly,
+        mean,
+        last,
+        points: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(values: &[f64]) -> Vec<(u64, f64)> {
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i as u64, *v))
+            .collect()
+    }
+
+    #[test]
+    fn flat_series_is_flat() {
+        let t = analyze_trend(&series(&[50.0; 10]), &TrendConfig::default());
+        assert_eq!(t.class, TrendClass::Flat);
+        assert_eq!(t.slope, 0.0);
+        assert!(!t.anomaly);
+    }
+
+    #[test]
+    fn growth_is_regressing_and_decay_improving() {
+        let growth: Vec<f64> = (0..10).map(|i| 100.0 + 10.0 * i as f64).collect();
+        let t = analyze_trend(&series(&growth), &TrendConfig::default());
+        assert_eq!(t.class, TrendClass::Regressing);
+        assert!(t.slope > 9.0 && t.slope < 11.0);
+
+        let decay: Vec<f64> = (0..10).map(|i| 200.0 - 10.0 * i as f64).collect();
+        let t = analyze_trend(&series(&decay), &TrendConfig::default());
+        assert_eq!(t.class, TrendClass::Improving);
+    }
+
+    #[test]
+    fn step_change_fires_the_anomaly_before_the_slope() {
+        // Seven flat points then a 4x step: the OLS window still mostly
+        // sees the plateau, but z catches the jump immediately.
+        let mut vals = vec![40.0; 7];
+        vals.push(160.0);
+        let t = analyze_trend(&series(&vals), &TrendConfig::default());
+        assert!(t.anomaly, "z = {}", t.z);
+        assert!(t.z > 3.0);
+    }
+
+    #[test]
+    fn short_series_stay_flat() {
+        let t = analyze_trend(&series(&[1.0, 100.0]), &TrendConfig::default());
+        assert_eq!(t.class, TrendClass::Flat);
+        assert_eq!(t.points, 2);
+        assert_eq!(analyze_trend(&[], &TrendConfig::default()), Trend::empty());
+    }
+
+    #[test]
+    fn constant_series_with_tiny_noise_does_not_alarm() {
+        let vals = [50.0, 50.0, 51.0, 50.0, 49.0, 50.0, 50.0, 51.0];
+        let t = analyze_trend(&series(&vals), &TrendConfig::default());
+        assert_eq!(t.class, TrendClass::Flat);
+        assert!(!t.anomaly, "z = {}", t.z);
+    }
+
+    #[test]
+    fn window_limits_the_lookback() {
+        // Old history grows steeply, the recent window is flat: only
+        // the window matters.
+        let mut vals: Vec<f64> = (0..20).map(|i| 10.0 * i as f64).collect();
+        vals.extend([200.0; 8]);
+        let t = analyze_trend(&series(&vals), &TrendConfig::default());
+        assert_eq!(t.class, TrendClass::Flat);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the rollup/downsample algebra.
+//!
+//! Values are generated as small integers cast to `f64` so sums are
+//! exactly representable and the merge invariants can be asserted
+//! bit-for-bit rather than within an epsilon.
+
+use proptest::prelude::*;
+use timeseries::{merge_points, AggPoint, RollupSpec, StoreConfig, TsStore};
+
+/// Unbounded-enough config so eviction never interferes with algebra.
+fn big_config(step: u64) -> StoreConfig {
+    StoreConfig {
+        raw_capacity: 4096,
+        rollups: vec![
+            RollupSpec {
+                step,
+                capacity: 4096,
+            },
+            RollupSpec {
+                step: step * 8,
+                capacity: 4096,
+            },
+        ],
+        snapshot_every: 0,
+    }
+}
+
+/// Time-ordered points with small-integer values.
+fn points() -> impl Strategy<Value = Vec<(u64, f64)>> {
+    proptest::collection::vec((0u64..200, 0u32..1000), 1..80).prop_map(|mut raw| {
+        raw.sort_by_key(|(gap, _)| *gap);
+        // Strictly make times non-decreasing by folding gaps.
+        let mut t = 0u64;
+        raw.into_iter()
+            .map(|(gap, v)| {
+                t += gap % 4;
+                (t, v as f64)
+            })
+            .collect()
+    })
+}
+
+fn store_with(config: &StoreConfig, pts: &[(u64, f64)]) -> TsStore {
+    let mut s = TsStore::in_memory(config.clone());
+    for (t, v) in pts {
+        s.append(*t, &[("x", *v)]).expect("monotone append");
+    }
+    s
+}
+
+fn full_query(s: &TsStore, res: u64) -> Vec<AggPoint> {
+    s.query("x", 0, u64::MAX, Some(res))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every bucket's mean lies within [min, max], its last within
+    /// [min, max], and count matches the raw points that fell in it.
+    #[test]
+    fn mean_within_min_max(pts in points(), step in 2u64..16) {
+        let s = store_with(&big_config(step), &pts);
+        for res in s.resolutions() {
+            let mut total = 0u64;
+            for b in full_query(&s, res) {
+                prop_assert!(b.min <= b.max);
+                prop_assert!(b.mean() >= b.min - 1e-9 && b.mean() <= b.max + 1e-9,
+                    "mean {} outside [{}, {}]", b.mean(), b.min, b.max);
+                prop_assert!(b.last >= b.min && b.last <= b.max);
+                prop_assert!(b.count > 0, "no empty buckets may be returned");
+                total += b.count;
+            }
+            prop_assert_eq!(total, pts.len() as u64, "every point lands in exactly one bucket at res {}", res);
+        }
+    }
+
+    /// Rollup of a concatenation == merge of the rollups: ingesting
+    /// xs++ys into one store equals merging the buckets of a store of
+    /// xs with those of a store of ys. (The shard-merge invariant;
+    /// raw resolution is excluded because raw points at an equal time
+    /// deliberately stay separate rather than bucketing.)
+    #[test]
+    fn rollup_of_concat_is_merge_of_rollups(pts in points(), cut in 0usize..80, step in 2u64..16) {
+        let config = big_config(step);
+        let cut = cut.min(pts.len());
+        let (xs, ys) = pts.split_at(cut);
+        let whole = store_with(&config, &pts);
+        let a = store_with(&config, xs);
+        let b = store_with(&config, ys);
+        for res in whole.resolutions().into_iter().filter(|r| *r > 1) {
+            let merged = merge_points(&full_query(&a, res), &full_query(&b, res));
+            prop_assert_eq!(full_query(&whole, res), merged, "res {}", res);
+        }
+    }
+
+    /// Queries never fabricate: every returned bucket start is the
+    /// aligned bucket of at least one appended point, every bucket
+    /// intersects the query range, and an aligned range query returns
+    /// exactly the buckets the appended data populates.
+    #[test]
+    fn query_never_fabricates_points(pts in points(), step in 2u64..16, from in 0u64..100, len in 0u64..100) {
+        let s = store_with(&big_config(step), &pts);
+        let to = from + len;
+        for res in s.resolutions() {
+            for b in s.query("x", from, to, Some(res)) {
+                prop_assert_eq!(b.t % res, 0, "bucket start aligned to res {}", res);
+                prop_assert!(b.t + res > from && b.t <= to, "bucket {} outside [{from}, {to}]", b.t);
+                prop_assert!(
+                    pts.iter().any(|(t, _)| t - t % res == b.t),
+                    "bucket {} has no underlying point at res {}", b.t, res
+                );
+            }
+        }
+    }
+
+    /// Auto-picked resolution returns a subset of some explicit
+    /// resolution's answer — auto never invents data either.
+    #[test]
+    fn auto_resolution_matches_an_explicit_one(pts in points(), from in 0u64..100) {
+        let s = store_with(&big_config(4), &pts);
+        let auto = s.query("x", from, u64::MAX, None);
+        let explicit: Vec<Vec<AggPoint>> = s
+            .resolutions()
+            .into_iter()
+            .map(|r| s.query("x", from, u64::MAX, Some(r)))
+            .collect();
+        prop_assert!(
+            explicit.iter().any(|e| e == &auto),
+            "auto answer matches no explicit resolution"
+        );
+    }
+}
