@@ -1,0 +1,168 @@
+//! Bench: what the shard-merge tier costs as the shard count grows.
+//!
+//! Sharded collection only pays off if folding N shard accumulators
+//! back into one fleet view is cheap — in particular, the fold must be
+//! **sub-linear in shard count** for a fixed fleet: the work is
+//! proportional to the fleet's total (site, instance) mass, which a
+//! partition merely splits, so 8 shards must not cost 8× what 2 shards
+//! cost.
+//!
+//! This experiment builds a demo fleet, accumulates several cycles of
+//! its profiles, partitions them across N ∈ {2, 4, 8} rendezvous-mapped
+//! shard accumulators, and times the full merge-tier fold — snapshot
+//! decode, accumulator merge, and ranking, exactly what one
+//! `leakprofd fleet` poll or one `leakprofd merge` run pays — for
+//! several fleet sizes. Every fold is also checked byte-identical to
+//! the whole-fleet ranking. Emits `BENCH_shard.json`.
+
+use std::time::Instant;
+
+use collector::DemoFleet;
+use gosim::GoroutineProfile;
+use leakprof::{AccumulatorSnapshot, FleetAccumulator, LeakProf};
+use serde::Serialize;
+use shardmap::ShardMap;
+
+const CYCLES: usize = 3;
+const REPS: usize = 7;
+const SHARD_COUNTS: [u32; 3] = [2, 4, 8];
+const FLEET_SIZES: [usize; 3] = [32, 64, 128];
+
+#[derive(Serialize)]
+struct Row {
+    instances: usize,
+    shards: u32,
+    profiles: usize,
+    merge_ms: f64,
+    identical_to_whole: bool,
+}
+
+#[derive(Serialize)]
+struct BenchResult {
+    cycles: usize,
+    reps: usize,
+    rows: Vec<Row>,
+    /// Per fleet size, merge time at 8 shards over merge time at
+    /// 2 shards — the gated sub-linearity ratio (must stay ≤ 3.0).
+    scaling_8_over_2: Vec<(usize, f64)>,
+}
+
+fn lp() -> LeakProf {
+    LeakProf::new(leakprof::Config {
+        threshold: 20,
+        ast_filter: false,
+        top_n: 10,
+    })
+}
+
+/// `CYCLES` cycles of profiles from a deterministic demo fleet.
+fn collect_cycles(instances: usize) -> Vec<GoroutineProfile> {
+    let mut demo = DemoFleet::build(instances, 2, 7);
+    let mut all = demo.fleet.collect_profiles();
+    for _ in 1..CYCLES {
+        all.extend(demo.advance_and_republish(1));
+    }
+    all
+}
+
+/// Partitions `profiles` into per-shard accumulators by rendezvous
+/// owner and returns their wire snapshots — the merge tier's input.
+fn shard_snapshots(profiles: &[GoroutineProfile], n: u32) -> Vec<AccumulatorSnapshot> {
+    let map = ShardMap::new(n);
+    let mut accs: Vec<FleetAccumulator> = (0..n).map(|_| FleetAccumulator::new()).collect();
+    for p in profiles {
+        let owner = map.owner(&p.instance).expect("map total") as usize;
+        accs[owner].ingest(p);
+    }
+    accs.iter().map(|a| a.snapshot()).collect()
+}
+
+/// One full merge-tier fold: decode every shard snapshot, merge, rank.
+fn fold(snaps: &[AccumulatorSnapshot]) -> leakprof::Report {
+    let mut acc = FleetAccumulator::new();
+    for s in snaps {
+        let shard = FleetAccumulator::from_snapshot(s).expect("snapshot restores");
+        acc.merge(&shard);
+    }
+    lp().report_from_accumulator(&acc)
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut scaling = Vec::new();
+    let mut table = String::from("instances | shards | profiles | merge_ms | identical\n");
+    for &instances in &FLEET_SIZES {
+        let profiles = collect_cycles(instances);
+        let whole = {
+            let mut acc = FleetAccumulator::new();
+            for p in &profiles {
+                acc.ingest(p);
+            }
+            serde_json::to_string(&lp().report_from_accumulator(&acc)).expect("serializes")
+        };
+        let mut by_shards = Vec::new();
+        for &n in &SHARD_COUNTS {
+            let snaps = shard_snapshots(&profiles, n);
+            // Warm once (also the identity check), then time the fold.
+            let merged = serde_json::to_string(&fold(&snaps)).expect("serializes");
+            let identical = merged == whole;
+            let mut samples = Vec::with_capacity(REPS);
+            for _ in 0..REPS {
+                let t = Instant::now();
+                let report = fold(&snaps);
+                samples.push(t.elapsed().as_secs_f64() * 1e3);
+                assert!(report.profiles_analyzed > 0);
+            }
+            let merge_ms = samples.iter().sum::<f64>() / REPS as f64;
+            table.push_str(&format!(
+                "{instances:>9} | {n:>6} | {:>8} | {merge_ms:>8.2} | {identical}\n",
+                profiles.len()
+            ));
+            by_shards.push((n, merge_ms));
+            rows.push(Row {
+                instances,
+                shards: n,
+                profiles: profiles.len(),
+                merge_ms,
+                identical_to_whole: identical,
+            });
+        }
+        let t2 = by_shards[0].1;
+        let t8 = by_shards[by_shards.len() - 1].1;
+        scaling.push((instances, t8 / t2.max(1e-9)));
+    }
+    println!("{table}");
+    for (instances, ratio) in &scaling {
+        println!("fleet {instances}: t(8 shards) / t(2 shards) = {ratio:.2}x");
+    }
+    println!(
+        "\nthe fold's work is the fleet's total (site, instance) mass, which a\n\
+         partition only splits — so merge time stays near-flat in shard count."
+    );
+
+    // Gates: every fold byte-identical to the whole-fleet ranking, and
+    // merge time sub-linear in shard count (4x the shards must cost
+    // well under 4x the time).
+    assert!(
+        rows.iter().all(|r| r.identical_to_whole),
+        "a sharded fold diverged from the whole-fleet ranking"
+    );
+    for (instances, ratio) in &scaling {
+        assert!(
+            *ratio <= 3.0,
+            "merge time grew super-linearly in shard count for fleet {instances}: \
+             t(8)/t(2) = {ratio:.2}x"
+        );
+    }
+
+    let result = BenchResult {
+        cycles: CYCLES,
+        reps: REPS,
+        rows,
+        scaling_8_over_2: scaling,
+    };
+    bench::save(
+        "BENCH_shard.json",
+        &serde_json::to_string_pretty(&result).expect("result serializes"),
+    );
+}

@@ -9,17 +9,24 @@
 //!                       [--source-dir PATH] [--ast-filter]
 //!                       [--keepalive BOOL] [--adaptive]
 //!                       [--interval-min-ms MS] [--interval-max-ms MS]
+//!                       [--shard I/N] [--shard-map PATH]
 //! leakprofd scrape-once [--addr HOST:PORT] [--instances N] [--days D]
 //!                       [--seed S] [--threshold T] [--top N] [--workers N]
 //!                       [--source-dir PATH] [--ast-filter]
-//! leakprofd status      --history PATH
-//! leakprofd top         --addr HOST:PORT [--refresh-ms MS] [--frames N]
+//! leakprofd status      (--history PATH | --addr HOST:PORT [--addr ...])
+//! leakprofd top         --addr HOST:PORT [--addr ...] [--refresh-ms MS]
+//!                       [--frames N]
 //! leakprofd trace       --addr HOST:PORT [--out PATH]
 //! leakprofd recover     --state-dir PATH [--threshold T] [--top N]
 //!                       [--source-dir PATH]
 //! leakprofd backtest    (--state-dir PATH | --history PATH) [--out DIR]
 //!                       [--week-len N] [--top N]
 //! leakprofd migrate-history --history PATH --state-dir PATH
+//! leakprofd merge       --state-dir PATH [--state-dir ...] [--out DIR]
+//!                       [--threshold T] [--top N]
+//! leakprofd fleet       --shard-addr HOST:PORT [--shard-addr ...]
+//!                       [--port P] [--interval-ms MS] [--polls N]
+//!                       [--shards N | --shard-map PATH] [--out-map PATH]
 //! leakprofd chaos       [--instances N] [--cycles N] [--seed S]
 //!                       [--restart-every N] [--state-dir PATH]
 //! ```
@@ -68,6 +75,19 @@
 //!   store under `--state-dir`, so backtests cover cycles recorded
 //!   before the store existed. Idempotent: already-migrated cycles are
 //!   skipped.
+//! * **Sharded collection**: `serve --shard I/N` scrapes only the slice
+//!   a deterministic rendezvous map assigns seat I (from `--shard-map`
+//!   when given, else the canonical N-seat map), tagging its state dir
+//!   with the shard identity. `merge` folds N shard state dirs into one
+//!   fleet-wide state — byte-identical ranking to a single whole-fleet
+//!   daemon — and `--out DIR` persists it as a regular state dir.
+//!   `fleet` is the live merge tier: it polls each `--shard-addr`'s
+//!   `/api/snapshot` behind circuit breakers, marks dark slices stale
+//!   (their last snapshot keeps contributing), emits a rebalanced map
+//!   on failover (`--out-map`), and serves the merged `/status`,
+//!   `/health`, `/metrics`, `/api/snapshot`. `status`/`top` accept
+//!   repeated `--addr` and render one freshness row per shard above
+//!   the merged ranking.
 //! * `chaos` runs the deterministic chaos harness (scrape faults,
 //!   instance churn, kill/restart) against a demo fleet and reports
 //!   whether the crash-safety invariants held.
@@ -87,13 +107,15 @@ use std::process::ExitCode;
 use std::sync::{Arc, Mutex};
 
 use collector::{
-    backtest_history, backtest_store, load_jsonl, migrate_history, render_table, run_chaos,
-    serve_daemon_endpoints, write_report, AdaptiveConfig, BacktestConfig, ChaosConfig,
-    ChaosPlanConfig, CycleRecord, Daemon, DaemonConfig, DemoFleet, FleetHealth, HistoryLog,
-    ProfileHub, ReportLedger, ScrapeConfig, ScrapeTarget, SnapshotStore,
+    backtest_history, backtest_store, load_jsonl, merge_state_dirs, migrate_history, render_table,
+    run_chaos, serve_daemon_endpoints, serve_fleet_endpoints, write_merged, write_report,
+    AdaptiveConfig, ApiSnapshot, BacktestConfig, ChaosConfig, ChaosPlanConfig, CycleRecord, Daemon,
+    DaemonConfig, DemoFleet, FleetAggregator, FleetConfig, FleetHealth, HistoryLog, MergeConfig,
+    ProfileHub, ReportLedger, ScrapeConfig, ScrapeTarget, ShardSpec, SnapshotStore,
 };
-use leaklab_cli::{flag, split_flags};
+use leaklab_cli::{flag, flags_all, split_flags};
 use leakprof::FleetAccumulator;
+use shardmap::ShardMap;
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -112,6 +134,8 @@ fn main() -> ExitCode {
         "recover" => recover(&flags),
         "backtest" => backtest(&flags),
         "migrate-history" => migrate(&flags),
+        "merge" => merge_cmd(&flags),
+        "fleet" => fleet_cmd(&flags),
         "chaos" => chaos(&flags),
         _ => {
             usage();
@@ -122,19 +146,25 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!(
-        "usage: leakprofd <serve|scrape-once|status|top|trace|recover|backtest|migrate-history|chaos> [flags]\n\
+        "usage: leakprofd <serve|scrape-once|status|top|trace|recover|backtest|migrate-history|merge|fleet|chaos> [flags]\n\
          \x20 serve       [--instances N] [--days D] [--seed S] [--port P] [--cycles N]\n\
          \x20             [--interval-ms MS] [--threshold T] [--top N] [--history PATH] [--keep N]\n\
          \x20             [--state-dir PATH] [--snapshot-every N] [--source-dir PATH] [--ast-filter]\n\
          \x20             [--adaptive] [--interval-min-ms MS] [--interval-max-ms MS]\n\
+         \x20             [--shard I/N] [--shard-map PATH]\n\
          \x20 scrape-once [--addr HOST:PORT] [--instances N] [--days D] [--seed S]\n\
          \x20             [--threshold T] [--top N] [--workers N] [--source-dir PATH] [--ast-filter]\n\
-         \x20 status      --history PATH\n\
-         \x20 top         --addr HOST:PORT [--refresh-ms MS] [--frames N]\n\
+         \x20 status      (--history PATH | --addr HOST:PORT [--addr ...]) [--threshold T] [--top N]\n\
+         \x20 top         --addr HOST:PORT [--addr ...] [--refresh-ms MS] [--frames N]\n\
+         \x20             [--threshold T] [--top N]\n\
          \x20 trace       --addr HOST:PORT [--out PATH]\n\
          \x20 recover     --state-dir PATH [--threshold T] [--top N] [--source-dir PATH]\n\
          \x20 backtest    (--state-dir PATH | --history PATH) [--out DIR] [--week-len N] [--top N]\n\
          \x20 migrate-history --history PATH --state-dir PATH\n\
+         \x20 merge       --state-dir PATH [--state-dir ...] [--out DIR] [--threshold T] [--top N]\n\
+         \x20 fleet       --shard-addr HOST:PORT [--shard-addr ...] [--port P] [--interval-ms MS]\n\
+         \x20             [--polls N] [--shards N | --shard-map PATH] [--out-map PATH]\n\
+         \x20             [--threshold T] [--top N]\n\
          \x20 chaos       [--instances N] [--cycles N] [--seed S] [--restart-every N]\n\
          \x20             [--state-dir PATH]"
     );
@@ -166,6 +196,42 @@ fn static_tier_config(
             }
         }
     })
+}
+
+/// Parses `--shard I/N` (+ optional `--shard-map PATH`) into a
+/// [`ShardSpec`]. Without `--shard-map` the canonical N-seat map is
+/// used — every shard computing `ShardMap::new(N)` independently gets
+/// the identical assignment, so no coordination is needed.
+fn shard_spec(flags: &[(String, String)]) -> Result<Option<ShardSpec>, ExitCode> {
+    let Some(spec) = flag(flags, "shard") else {
+        return Ok(None);
+    };
+    let parsed: Option<(u32, u32)> = spec
+        .split_once('/')
+        .and_then(|(i, n)| Some((i.parse().ok()?, n.parse().ok()?)));
+    let Some((index, of)) = parsed else {
+        eprintln!("error: --shard must be I/N (e.g. 0/3), got {spec}");
+        return Err(ExitCode::from(2));
+    };
+    let map = match flag(flags, "shard-map") {
+        Some(path) => ShardMap::load(std::path::Path::new(path)).map_err(|e| {
+            eprintln!("error: cannot load shard map {path}: {e}");
+            ExitCode::from(2)
+        })?,
+        None => ShardMap::new(of),
+    };
+    if map.total() != of {
+        eprintln!(
+            "error: --shard {spec} does not match the {}-seat shard map",
+            map.total()
+        );
+        return Err(ExitCode::from(2));
+    }
+    if index >= of {
+        eprintln!("error: --shard index {index} out of range for {of} shard(s)");
+        return Err(ExitCode::from(2));
+    }
+    Ok(Some(ShardSpec { map, index }))
 }
 
 fn build_demo(flags: &[(String, String)]) -> (DemoFleet, collector::HttpServer) {
@@ -323,6 +389,10 @@ fn serve(flags: &[(String, String)]) -> ExitCode {
     let ast_filter: bool = parsed(flags, "ast-filter", false);
     let state_dir = flag(flags, "state-dir").map(std::path::PathBuf::from);
     let static_tier = static_tier_config(flags, state_dir.as_deref());
+    let shard = match shard_spec(flags) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
 
     let (mut demo, fleet_server) = build_demo(flags);
     if let Some(tier) = &static_tier {
@@ -369,6 +439,7 @@ fn serve(flags: &[(String, String)]) -> ExitCode {
         } else {
             AdaptiveConfig::default()
         },
+        shard,
         ..DaemonConfig::default()
     };
     let daemon = match Daemon::new(config, lp, targets) {
@@ -378,6 +449,13 @@ fn serve(flags: &[(String, String)]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(id) = daemon.shard() {
+        println!(
+            "leakprofd: shard {id}: scraping {} of {} instance(s)",
+            daemon.targets().len(),
+            demo.hub.instances().len()
+        );
+    }
     if daemon.recovered_cycle() > 0 {
         println!(
             "leakprofd: recovered durable state up to cycle {}",
@@ -468,8 +546,25 @@ fn serve(flags: &[(String, String)]) -> ExitCode {
 }
 
 fn status(flags: &[(String, String)]) -> ExitCode {
+    let addr_values = flags_all(flags, "addr");
+    if !addr_values.is_empty() {
+        let addrs = match parse_addrs(&addr_values, "addr") {
+            Ok(a) => a,
+            Err(code) => return code,
+        };
+        let peeks: Vec<ShardPeek> = addrs.into_iter().map(peek_shard).collect();
+        print!(
+            "{}",
+            render_overview(
+                &peeks,
+                parsed(flags, "threshold", 40),
+                parsed(flags, "top", 10),
+            )
+        );
+        return ExitCode::SUCCESS;
+    }
     let Some(path) = flag(flags, "history") else {
-        eprintln!("usage: leakprofd status --history PATH");
+        eprintln!("usage: leakprofd status (--history PATH | --addr HOST:PORT [--addr ...])");
         return ExitCode::from(2);
     };
     let log = match HistoryLog::open(path, 1) {
@@ -545,8 +640,185 @@ fn fetch(addr: std::net::SocketAddr, path: &str) -> Result<String, String> {
     String::from_utf8(body).map_err(|e| format!("{path}: not UTF-8: {e}"))
 }
 
-/// Live text dashboard over a serving daemon's `/status`.
+/// Parses a repeated address flag, naming the flag in errors.
+fn parse_addrs(values: &[&str], flag_name: &str) -> Result<Vec<std::net::SocketAddr>, ExitCode> {
+    values
+        .iter()
+        .map(|a| {
+            a.parse().map_err(|e| {
+                eprintln!("error: bad --{flag_name} {a}: {e}");
+                ExitCode::from(2)
+            })
+        })
+        .collect()
+}
+
+/// One polled daemon in the multi-address overview: its snapshot (the
+/// merge input), its breaker counters if it serves a daemon `/status`,
+/// or why it could not be reached.
+struct ShardPeek {
+    addr: std::net::SocketAddr,
+    snap: Option<ApiSnapshot>,
+    breakers: Option<collector::BreakerSummary>,
+    error: Option<String>,
+}
+
+/// Fetches one peer's `/api/snapshot` (and, best-effort, its `/status`
+/// breaker counters — a fleet aggregator serves a different status
+/// document, so this stays optional).
+fn peek_shard(addr: std::net::SocketAddr) -> ShardPeek {
+    match fetch(addr, "/api/snapshot").and_then(|body| {
+        serde_json::from_str::<ApiSnapshot>(&body).map_err(|e| format!("/api/snapshot: {e}"))
+    }) {
+        Ok(snap) => {
+            let breakers = fetch(addr, "/status")
+                .ok()
+                .and_then(|body| serde_json::from_str::<collector::DaemonStatus>(&body).ok())
+                .map(|s| s.breakers);
+            ShardPeek {
+                addr,
+                snap: Some(snap),
+                breakers,
+                error: None,
+            }
+        }
+        Err(e) => ShardPeek {
+            addr,
+            snap: None,
+            breakers: None,
+            error: Some(e),
+        },
+    }
+}
+
+/// Renders the multi-address overview: one freshness row per shard
+/// (shard order, unsharded last — the merge tiers' fold order), then
+/// the client-side merged ranking and deduplicated ledger counts.
+fn render_overview(peeks: &[ShardPeek], threshold: u64, top_n: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut order: Vec<usize> = (0..peeks.len()).collect();
+    order.sort_by_key(|&i| {
+        (
+            peeks[i]
+                .snap
+                .as_ref()
+                .and_then(|s| s.shard.as_ref())
+                .map_or(u32::MAX, |s| s.shard),
+            peeks[i].addr.to_string(),
+        )
+    });
+    let _ = writeln!(
+        out,
+        "{:<8} {:<21} {:>6} {:>7} {:>8}  {:<16} state",
+        "shard", "addr", "cycle", "targets", "ingested", "breakers"
+    );
+    let mut acc = FleetAccumulator::new();
+    let mut ledger = ReportLedger::new(Default::default());
+    let mut reachable = 0usize;
+    for &i in &order {
+        let p = &peeks[i];
+        match &p.snap {
+            Some(snap) => {
+                reachable += 1;
+                let shard = snap
+                    .shard
+                    .as_ref()
+                    .map_or("whole".to_string(), |s| format!("{}/{}", s.shard, s.of));
+                let breakers = p.breakers.as_ref().map_or("-".to_string(), |b| {
+                    format!("{}c/{}o/{}h", b.closed, b.open, b.half_open)
+                });
+                let _ = writeln!(
+                    out,
+                    "{:<8} {:<21} {:>6} {:>7} {:>8}  {:<16} fresh",
+                    shard,
+                    p.addr,
+                    snap.cycle,
+                    snap.targets,
+                    snap.acc.instances.len(),
+                    breakers
+                );
+                match FleetAccumulator::from_snapshot(&snap.acc) {
+                    Ok(shard_acc) => acc.merge(&shard_acc),
+                    Err(e) => {
+                        let _ = writeln!(out, "  warning: bad snapshot from {}: {e}", p.addr);
+                    }
+                }
+                // In-memory ledger: merging entries cannot fail to persist.
+                let _ = ledger.merge_entries(snap.ledger.iter());
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "{:<8} {:<21} {:>6} {:>7} {:>8}  {:<16} stale ({})",
+                    "?",
+                    p.addr,
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    p.error.as_deref().unwrap_or("unreachable")
+                );
+            }
+        }
+    }
+    if reachable == 0 {
+        let _ = writeln!(out, "\nno shard answered; nothing to merge");
+        return out;
+    }
+    let lp = leakprof::LeakProf::new(leakprof::Config {
+        threshold,
+        ast_filter: false,
+        top_n,
+    });
+    let _ = writeln!(
+        out,
+        "\nmerged view ({reachable}/{} shard(s), {} profiles):",
+        peeks.len(),
+        acc.profiles_ingested()
+    );
+    let _ = write!(out, "{}", lp.report_from_accumulator(&acc).render());
+    let s = ledger.summary();
+    let _ = writeln!(
+        out,
+        "ledger: {} site(s) tracked ({} active), {} paged / {} suppressed all-time",
+        s.tracked, s.active, s.reported_total, s.suppressed_total
+    );
+    out
+}
+
+/// Live text dashboard over a serving daemon's `/status` — or, with
+/// repeated `--addr`, a per-shard freshness board above the merged
+/// fleet ranking.
 fn top(flags: &[(String, String)]) -> ExitCode {
+    let addr_values = flags_all(flags, "addr");
+    if addr_values.len() > 1 {
+        let addrs = match parse_addrs(&addr_values, "addr") {
+            Ok(a) => a,
+            Err(code) => return code,
+        };
+        let refresh_ms: u64 = parsed(flags, "refresh-ms", 1000);
+        let frames: u64 = parsed(flags, "frames", 0);
+        let threshold: u64 = parsed(flags, "threshold", 40);
+        let top_n: usize = parsed(flags, "top", 10);
+        let mut shown = 0u64;
+        loop {
+            let peeks: Vec<ShardPeek> = addrs.iter().copied().map(peek_shard).collect();
+            if shown > 0 {
+                print!("\x1b[2J\x1b[H");
+            }
+            println!("leakprofd top — {} shard(s)", addrs.len());
+            print!("{}", render_overview(&peeks, threshold, top_n));
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            shown += 1;
+            if frames > 0 && shown >= frames {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(refresh_ms));
+        }
+        return ExitCode::SUCCESS;
+    }
     let addr = match addr_flag(flags, "top") {
         Ok(a) => a,
         Err(code) => return code,
@@ -936,6 +1208,180 @@ fn migrate(flags: &[(String, String)]) -> ExitCode {
         "migrated {} cycle(s) into {dir}/ts ({} already present or out of order)",
         appended, skipped
     );
+    ExitCode::SUCCESS
+}
+
+/// `leakprofd merge`: fold N shard state dirs (snapshot + WAL replay
+/// each, exactly like a restarting daemon) into one fleet-wide ranking
+/// — byte-identical to a single whole-fleet daemon's. `--out DIR`
+/// persists the fold as a regular state dir.
+fn merge_cmd(flags: &[(String, String)]) -> ExitCode {
+    let dirs: Vec<std::path::PathBuf> = flags_all(flags, "state-dir")
+        .into_iter()
+        .map(std::path::PathBuf::from)
+        .collect();
+    if dirs.is_empty() {
+        eprintln!(
+            "usage: leakprofd merge --state-dir PATH [--state-dir ...] [--out DIR] \
+             [--threshold T] [--top N]"
+        );
+        return ExitCode::from(2);
+    }
+    let config = MergeConfig::default();
+    let mut merged = match merge_state_dirs(&dirs, &config) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: merge failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "merged {} shard state dir(s), fleet cycle {}:",
+        merged.shards.len(),
+        merged.cycle
+    );
+    for s in &merged.shards {
+        let shard = s
+            .shard
+            .as_ref()
+            .map_or("untagged".to_string(), |id| id.to_string());
+        println!(
+            "  {:<16} cycle {:>4}  {:>6} profiles  {}",
+            shard, s.cycle, s.profiles_ingested, s.dir
+        );
+    }
+    let lp = leakprof::LeakProf::new(leakprof::Config {
+        threshold: parsed(flags, "threshold", 40),
+        ast_filter: false,
+        top_n: parsed(flags, "top", 10),
+    });
+    print!("{}", lp.report_from_accumulator(&merged.acc).render());
+    let s = merged.ledger.summary();
+    println!(
+        "ledger: {} site(s) tracked ({} active), {} paged / {} suppressed all-time",
+        s.tracked, s.active, s.reported_total, s.suppressed_total
+    );
+    if let Some(out) = flag(flags, "out") {
+        let out = std::path::Path::new(out);
+        if let Err(e) = write_merged(out, &mut merged, &config) {
+            eprintln!("error: cannot write merged state to {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "wrote merged state dir to {} (snapshot + ledger.json + ts)",
+            out.display()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// `leakprofd fleet`: the long-running live merge tier. Polls each
+/// `--shard-addr`'s `/api/snapshot` behind circuit breakers, serves
+/// the merged endpoints, and — with `--shard-map`/`--out-map` — writes
+/// every rebalanced map version out for shard daemons to pick up.
+fn fleet_cmd(flags: &[(String, String)]) -> ExitCode {
+    let addr_values = flags_all(flags, "shard-addr");
+    if addr_values.is_empty() {
+        eprintln!(
+            "usage: leakprofd fleet --shard-addr HOST:PORT [--shard-addr ...] [--port P] \
+             [--interval-ms MS] [--polls N] [--shards N | --shard-map PATH] [--out-map PATH] \
+             [--threshold T] [--top N]"
+        );
+        return ExitCode::from(2);
+    }
+    let addrs = match parse_addrs(&addr_values, "shard-addr") {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let map = match flag(flags, "shard-map") {
+        Some(path) => match ShardMap::load(std::path::Path::new(path)) {
+            Ok(m) => Some(m),
+            Err(e) => {
+                eprintln!("error: cannot load shard map {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        // --shards N is the canonical N-seat map — the same one
+        // `serve --shard I/N` uses without a map file.
+        None => {
+            let n: u32 = parsed(flags, "shards", 0);
+            (n > 0).then(|| ShardMap::new(n))
+        }
+    };
+    let lp = leakprof::LeakProf::new(leakprof::Config {
+        threshold: parsed(flags, "threshold", 40),
+        ast_filter: false,
+        top_n: parsed(flags, "top", 10),
+    });
+    let fleet = Arc::new(Mutex::new(FleetAggregator::new(
+        FleetConfig {
+            map,
+            ..FleetConfig::new(addrs.clone())
+        },
+        lp,
+    )));
+    let port: u16 = parsed(flags, "port", 0);
+    let mut server = match serve_fleet_endpoints(Arc::clone(&fleet), &format!("127.0.0.1:{port}")) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind fleet endpoints: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "leakprofd: fleet tier over {} shard(s), serving merged /metrics, /status, /health, \
+         /api/snapshot on http://{}",
+        addrs.len(),
+        server.addr()
+    );
+    let polls: u64 = parsed(flags, "polls", 0);
+    let interval_ms: u64 = parsed(flags, "interval-ms", 1000);
+    let out_map = flag(flags, "out-map").map(std::path::PathBuf::from);
+    let mut saved_version = 0u64;
+    let mut ran = 0u64;
+    loop {
+        let (answered, status) = {
+            let mut f = fleet.lock().expect("fleet poisoned");
+            let answered = f.poll_once();
+            // Persist every new map version — the initial one, failover
+            // rebalances, recoveries — so shard daemons can pick it up.
+            if let (Some(path), Some(map)) = (&out_map, f.map()) {
+                if map.version > saved_version {
+                    match map.save(path) {
+                        Ok(()) => {
+                            saved_version = map.version;
+                            println!(
+                                "leakprofd: fleet: wrote shard map v{} to {}",
+                                map.version,
+                                path.display()
+                            );
+                        }
+                        Err(e) => eprintln!("leakprofd: fleet: cannot write shard map: {e}"),
+                    }
+                }
+            }
+            (answered, f.status())
+        };
+        ran += 1;
+        println!(
+            "poll {ran}: {answered}/{} shard(s) answered, {} stale, {} profiles, {} suspect(s)",
+            status.shards.len(),
+            status.stale_shards,
+            status.profiles_ingested,
+            status.top.len()
+        );
+        if polls > 0 && ran >= polls {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+    let f = fleet.lock().expect("fleet poisoned");
+    if let Some(report) = f.last_report() {
+        print!("{}", report.render());
+    }
+    print!("{}", f.metrics_text());
+    drop(f);
+    server.shutdown();
     ExitCode::SUCCESS
 }
 

@@ -79,12 +79,23 @@ pub fn split_flags(args: Vec<String>) -> (Vec<String>, Vec<(String, String)>) {
     (pos, flags)
 }
 
-/// Looks up a flag value.
+/// Looks up a flag value. For a repeated flag this returns the first
+/// occurrence; use [`flags_all`] to collect every value.
 pub fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
     flags
         .iter()
         .find(|(n, _)| n == name)
         .map(|(_, v)| v.as_str())
+}
+
+/// Every value of a repeatable flag, in the order given (e.g.
+/// `--state-dir a --state-dir b` or `--addr` once per shard daemon).
+pub fn flags_all<'a>(flags: &'a [(String, String)], name: &str) -> Vec<&'a str> {
+    flags
+        .iter()
+        .filter(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+        .collect()
 }
 
 #[cfg(test)]
@@ -103,5 +114,21 @@ mod tests {
         assert_eq!(flag(&flags, "seed"), Some("7"));
         assert_eq!(flag(&flags, "verbose"), Some("true"));
         assert_eq!(flag(&flags, "missing"), None);
+    }
+
+    #[test]
+    fn repeated_flags_collect_in_order() {
+        let (_, flags) = split_flags(
+            [
+                "--addr", "a:1", "--top", "5", "--addr", "b:2", "--addr", "c:3",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        );
+        assert_eq!(flags_all(&flags, "addr"), vec!["a:1", "b:2", "c:3"]);
+        assert_eq!(flag(&flags, "addr"), Some("a:1"), "flag() sees the first");
+        assert_eq!(flags_all(&flags, "top"), vec!["5"]);
+        assert!(flags_all(&flags, "missing").is_empty());
     }
 }

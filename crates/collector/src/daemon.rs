@@ -28,9 +28,11 @@ use crate::history::{CycleRecord, HistoryLog, TopSite};
 use crate::http::{HttpServer, Request, Response};
 use crate::ledger::{CycleOutcome, LedgerConfig, LedgerSummary, ReportLedger};
 use crate::scrape::{CycleReport, KeepaliveSummary, ScrapeConfig, ScrapeTarget, Scraper};
+use crate::shard::{claim_state_dir, ApiSnapshot, ShardSpec, API_SNAPSHOT_VERSION};
 use crate::snapshot::{DaemonSnapshot, SnapshotStore, WalEntry, DAEMON_SNAPSHOT_VERSION};
 use crate::static_tier::{StaticTier, StaticTierConfig, StaticTierStats};
 use crate::stats::{HealthCounters, PromText};
+use shardmap::ShardIdentity;
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -69,6 +71,10 @@ pub struct DaemonConfig {
     /// Adaptive scrape-interval controller tuning (disabled by
     /// default; the serve loop then sleeps a fixed interval).
     pub adaptive: AdaptiveConfig,
+    /// Shard assignment: scrape only the slice of the fleet a
+    /// [`shardmap::ShardMap`] assigns this daemon, and tag the state
+    /// dir with the shard identity. `None` scrapes the whole fleet.
+    pub shard: Option<ShardSpec>,
 }
 
 impl Default for DaemonConfig {
@@ -87,6 +93,7 @@ impl Default for DaemonConfig {
             telemetry: true,
             trend: TrendConfig::default(),
             adaptive: AdaptiveConfig::default(),
+            shard: None,
         }
     }
 }
@@ -129,6 +136,8 @@ pub struct DaemonStatus {
     pub adaptive: AdaptiveStatus,
     /// Series tracked by the telemetry store.
     pub ts_series: usize,
+    /// Shard identity (`None` for an unsharded whole-fleet daemon).
+    pub shard: Option<ShardIdentity>,
 }
 
 /// The collection daemon: owns the scraper, the streaming analysis
@@ -155,6 +164,7 @@ pub struct Daemon {
     trend: TrendConfig,
     controller: AdaptiveController,
     last_health: Option<FleetHealth>,
+    shard: Option<ShardIdentity>,
 }
 
 impl Daemon {
@@ -173,6 +183,17 @@ impl Daemon {
         mut lp: LeakProf,
         targets: Vec<ScrapeTarget>,
     ) -> std::io::Result<Daemon> {
+        // Shard filtering first: everything downstream (scraping, the
+        // accumulator, the state dir) only ever sees this slice.
+        let shard = config.shard.as_ref().map(ShardSpec::identity);
+        let targets = match &config.shard {
+            Some(spec) => spec.filter_targets(targets),
+            None => targets,
+        };
+        if let Some(dir) = &config.state_dir {
+            std::fs::create_dir_all(dir)?;
+            claim_state_dir(dir, shard.as_ref())?;
+        }
         let tracer = Tracer::new(&config.trace);
         let board = WorkerBoard::new();
         let history = match &config.history_path {
@@ -255,7 +276,29 @@ impl Daemon {
             trend: config.trend,
             controller: AdaptiveController::new(config.adaptive),
             last_health: None,
+            shard,
         })
+    }
+
+    /// This daemon's shard identity (`None` when unsharded).
+    pub fn shard(&self) -> Option<&ShardIdentity> {
+        self.shard.as_ref()
+    }
+
+    /// Builds the live merge-tier document served at `/api/snapshot`:
+    /// the accumulator snapshot plus the ledger entries, tagged with
+    /// the shard identity. Deterministic for a given analysis state, so
+    /// a fleet aggregator folding these matches `leakprofd merge` over
+    /// the same daemons' state dirs byte for byte.
+    pub fn api_snapshot(&self) -> ApiSnapshot {
+        ApiSnapshot {
+            version: API_SNAPSHOT_VERSION,
+            cycle: self.health.cycles,
+            shard: self.shard.clone(),
+            targets: self.targets.len(),
+            acc: self.acc.snapshot(),
+            ledger: self.ledger.entries().cloned().collect(),
+        }
     }
 
     /// Registered scrape targets.
@@ -577,6 +620,7 @@ impl Daemon {
             keepalive: self.scraper.keepalive_summary(),
             adaptive: self.controller.status(),
             ts_series: self.ts.series_ids().len(),
+            shard: self.shard.clone(),
         }
     }
 
@@ -823,6 +867,7 @@ pub fn daemon_routes() -> Vec<String> {
         "/metrics".into(),
         "/status".into(),
         "/health".into(),
+        "/api/snapshot".into(),
         "/api/series?id=&from=&to=&res=".into(),
         "/trace".into(),
         "/debug/self".into(),
@@ -952,6 +997,9 @@ fn serve_series_query(ts: &TsStore, params: &[(String, String)]) -> Response {
 ///   [`DaemonStatus`].
 /// * `/health` — per-site trend verdicts ([`FleetHealth`] JSON) plus
 ///   the adaptive-interval state.
+/// * `/api/snapshot` — the live merge-tier document ([`ApiSnapshot`]
+///   JSON): accumulator + ledger + shard identity, what `leakprofd
+///   fleet` polls to fold this daemon into the fleet-wide view.
 /// * `/api/series?id=&from=&to=&res=` — range queries over the
 ///   embedded telemetry store ([`SeriesResponse`] JSON).
 /// * `/trace` — the retained cycle span trees + per-stage latency
@@ -1008,6 +1056,13 @@ pub fn serve_daemon_endpoints(
                     },
                 };
                 Response::json(serde_json::to_string_pretty(&health).expect("health serializes"))
+            }
+            "/api/snapshot" => {
+                let d = daemon.lock().expect("daemon poisoned");
+                Response::json(
+                    serde_json::to_string_pretty(&d.api_snapshot())
+                        .expect("api snapshot serializes"),
+                )
             }
             p if parse_query(p).0 == "/api/series" => {
                 let (_, params) = parse_query(p);

@@ -291,6 +291,77 @@ impl ReportLedger {
         Ok(outcome)
     }
 
+    /// Folds one shard ledger's entry into this fleet-wide ledger,
+    /// deduplicating by fingerprint. Conflict rules are chosen so a
+    /// merge never loses operator intent:
+    ///
+    /// * `acked_rms` takes the **max** — [`ReportLedger::acknowledge`]
+    ///   only ever raises the level, so the max *is* the latest
+    ///   effective ack, and an ack on any shard survives the merge.
+    /// * `first_cycle` takes the **min**: the earliest cycle any shard
+    ///   opened an episode for the site is when the fleet first saw it.
+    /// * `last_seen_cycle`, `peak_rms`, `episode`, and `reports` take
+    ///   the max (shards observe the same underlying episode; summing
+    ///   would double-count it).
+    /// * The state is `Active` if *any* shard's episode is open, and
+    ///   the owner comes from the shard that saw the site last.
+    ///
+    /// Does not persist; callers fold all shards then [`apply`] or
+    /// save via [`ReportLedger::merge_entries`].
+    ///
+    /// [`apply`]: ReportLedger::apply
+    pub fn merge_entry(&mut self, other: &LedgerEntry) {
+        match self.entries.get_mut(&other.fingerprint) {
+            None => {
+                self.entries
+                    .insert(other.fingerprint.clone(), other.clone());
+            }
+            Some(e) => {
+                if other.last_seen_cycle >= e.last_seen_cycle && other.owner.is_some() {
+                    e.owner = other.owner.clone();
+                }
+                e.acked_rms = e.acked_rms.max(other.acked_rms);
+                e.first_cycle = e.first_cycle.min(other.first_cycle);
+                e.last_seen_cycle = e.last_seen_cycle.max(other.last_seen_cycle);
+                e.peak_rms = e.peak_rms.max(other.peak_rms);
+                e.episode = e.episode.max(other.episode);
+                e.reports = e.reports.max(other.reports);
+                if other.state == EpisodeState::Active {
+                    e.state = EpisodeState::Active;
+                }
+            }
+        }
+    }
+
+    /// Folds a batch of shard-ledger entries (e.g. one shard's
+    /// `/api/snapshot` ledger) into this ledger and persists once.
+    ///
+    /// # Errors
+    ///
+    /// Returns an IO error if the ledger file cannot be written.
+    pub fn merge_entries<'a>(
+        &mut self,
+        entries: impl IntoIterator<Item = &'a LedgerEntry>,
+    ) -> std::io::Result<()> {
+        for e in entries {
+            self.merge_entry(e);
+        }
+        self.save()
+    }
+
+    /// Folds a whole shard ledger — entries plus the lifetime
+    /// reported/suppressed counters, which *do* sum: each shard's pages
+    /// and suppressions really happened — and persists once.
+    ///
+    /// # Errors
+    ///
+    /// Returns an IO error if the ledger file cannot be written.
+    pub fn merge_from(&mut self, other: &ReportLedger) -> std::io::Result<()> {
+        self.reported_total += other.reported_total;
+        self.suppressed_total += other.suppressed_total;
+        self.merge_entries(other.entries())
+    }
+
     /// Raises the acknowledged RMS for a fingerprint (an operator saying
     /// "known, don't re-page unless it gets worse than this"). Returns
     /// false for unknown fingerprints.
@@ -474,6 +545,70 @@ mod tests {
             .unwrap();
         assert_eq!(out.reported.len(), 1, "only the new site pages");
         assert_eq!(out.suppressed, 1);
+    }
+
+    /// Satellite: conflicting shard ledgers merge without losing
+    /// operator intent — the latest (highest) ack and the earliest
+    /// open-episode cycle both survive.
+    #[test]
+    fn conflicting_shard_ledgers_merge_ack_and_episode_correctly() {
+        // Shard A saw the site first (cycle 2) and its operator acked
+        // high; shard B saw it later but more recently, with a lower
+        // ack and a different owner.
+        let mut a = ledger();
+        a.apply(2, &[suspect("a.go", 10, 100.0)]).unwrap();
+        let fp = ReportLedger::fingerprint(&suspect("a.go", 10, 100.0));
+        a.acknowledge(&fp, 400.0).unwrap();
+
+        let mut b = ledger();
+        b.apply(5, &[suspect("a.go", 10, 150.0)]).unwrap();
+        b.apply(9, &[suspect("a.go", 10, 180.0)]).unwrap();
+
+        let mut fleet = ledger();
+        fleet.merge_from(&a).unwrap();
+        fleet.merge_from(&b).unwrap();
+
+        let e = fleet.entry(&fp).unwrap();
+        assert_eq!(e.acked_rms, 400.0, "the highest (latest) ack survives");
+        assert_eq!(e.first_cycle, 2, "earliest open-episode cycle survives");
+        assert_eq!(e.last_seen_cycle, 9);
+        assert_eq!(e.peak_rms, 180.0);
+        assert_eq!(e.state, EpisodeState::Active);
+        assert_eq!(fleet.summary().reported_total, 2, "shard totals sum");
+
+        // Merge order must not matter for the entry state.
+        let mut fleet2 = ledger();
+        fleet2.merge_from(&b).unwrap();
+        fleet2.merge_from(&a).unwrap();
+        let e2 = fleet2.entry(&fp).unwrap();
+        assert_eq!(e2.acked_rms, 400.0);
+        assert_eq!(e2.first_cycle, 2);
+
+        // The merged ledger honors the surviving ack: 350 < 400 stays
+        // quiet even though both shards individually acked lower.
+        let out = fleet.apply(10, &[suspect("a.go", 10, 350.0)]).unwrap();
+        assert!(out.reported.is_empty(), "merged ledger re-paged under ack");
+    }
+
+    /// A shard with an open episode keeps the fleet entry active even
+    /// when another shard already resolved its own view of the site.
+    #[test]
+    fn merge_keeps_episode_open_if_any_shard_is_active() {
+        let mut a = ledger();
+        a.apply(1, &[suspect("a.go", 10, 100.0)]).unwrap();
+        a.apply(2, &[]).unwrap();
+        let out = a.apply(3, &[]).unwrap();
+        assert_eq!(out.resolved.len(), 1);
+
+        let mut b = ledger();
+        b.apply(4, &[suspect("a.go", 10, 90.0)]).unwrap();
+
+        let fp = ReportLedger::fingerprint(&suspect("a.go", 10, 90.0));
+        let mut fleet = ledger();
+        fleet.merge_from(&a).unwrap();
+        assert_eq!(fleet.entry(&fp).unwrap().state, EpisodeState::Resolved);
+        fleet.merge_from(&b).unwrap();
+        assert_eq!(fleet.entry(&fp).unwrap().state, EpisodeState::Active);
     }
 
     #[test]

@@ -40,6 +40,16 @@
 //!   [`timeseries`]), `/api/series` (range queries over the embedded
 //!   multi-resolution store), and `/debug/self` (the daemon's own
 //!   worker threads as a scrapeable goroutine-style profile).
+//! * [`shard`] — shard identity for sharded collection: slice
+//!   filtering by [`shardmap::ShardMap`], state-dir tagging, and the
+//!   `/api/snapshot` merge document.
+//! * [`merge`] — the offline merge tier (`leakprofd merge`): fold N
+//!   shard state dirs into one fleet-wide state, byte-identical to a
+//!   whole-fleet daemon's.
+//! * [`fleet_tier`] — the live merge tier (`leakprofd fleet`): poll N
+//!   shard daemons' `/api/snapshot` over keep-alive connections behind
+//!   circuit breakers, mark dark slices stale, emit rebalanced shard
+//!   maps on failover, and serve the merged view.
 //! * [`demo`] — a real [`fleet::Fleet`] wired to a hub, for the CLI demo
 //!   commands, benches, and end-to-end tests.
 //! * [`chaos`] — deterministic fault-schedule driver (scrape faults,
@@ -55,11 +65,14 @@ pub mod chaos;
 pub mod daemon;
 pub mod demo;
 pub mod endpoints;
+pub mod fleet_tier;
 pub mod health;
 pub mod history;
 pub mod http;
 pub mod ledger;
+pub mod merge;
 pub mod scrape;
+pub mod shard;
 pub mod snapshot;
 pub mod static_tier;
 pub mod stats;
@@ -77,6 +90,9 @@ pub use daemon::{
 };
 pub use demo::DemoFleet;
 pub use endpoints::{Fault, ProfileHub};
+pub use fleet_tier::{
+    fleet_routes, serve_fleet_endpoints, FleetAggregator, FleetConfig, FleetStatus, PeerStatus,
+};
 pub use health::{classify_sites, sparkline, FleetHealth, SiteHealth, SPARK_POINTS};
 pub use history::{load_jsonl, CycleRecord, HistoryLog, JsonlLoad, TopSite};
 pub use http::{http_get, HttpError, HttpServer, Request, Response, ResponseFault};
@@ -84,9 +100,17 @@ pub use ledger::{
     CycleOutcome, EpisodeState, LedgerConfig, LedgerEntry, LedgerSummary, ReportLedger,
     LEDGER_VERSION,
 };
+pub use merge::{
+    load_shard_state, merge_state_dirs, merge_states, write_merged, MergeConfig, MergedFleet,
+    ShardState, ShardSummary,
+};
 pub use scrape::{
     CycleReport, KeepaliveSummary, ScrapeConfig, ScrapeError, ScrapeErrorKind, ScrapeTarget,
     Scraper,
+};
+pub use shard::{
+    claim_state_dir, read_tag, write_tag, ApiSnapshot, ShardSpec, API_SNAPSHOT_VERSION,
+    SHARD_TAG_FILE,
 };
 pub use snapshot::{DaemonSnapshot, Recovery, SnapshotStore, WalEntry, DAEMON_SNAPSHOT_VERSION};
 pub use static_tier::{StaticTier, StaticTierConfig, StaticTierStats, VERDICT_CACHE_VERSION};

@@ -74,6 +74,25 @@ pub fn rms(counts: &[u64]) -> f64 {
     (sum_sq / counts.len() as f64).sqrt()
 }
 
+/// Representative election as a join: the candidate with the larger
+/// electing count wins; on equal counts the record that serializes
+/// smaller wins. The tie-break makes election a commutative,
+/// associative, idempotent fold over per-profile candidates, so any
+/// shard partition of the fleet — merged in any order — elects the
+/// same representative as one accumulator over everything. (Count
+/// comparison alone would leave ties to ingestion/merge order, and a
+/// sharded merge would diverge from the whole-fleet run byte-wise.)
+fn rep_wins(count: u64, rep: &GoroutineRecord, incumbent: &(u64, GoroutineRecord)) -> bool {
+    match count.cmp(&incumbent.0) {
+        std::cmp::Ordering::Greater => true,
+        std::cmp::Ordering::Less => false,
+        std::cmp::Ordering::Equal => {
+            serde_json::to_string(rep).unwrap_or_default()
+                < serde_json::to_string(&incumbent.1).unwrap_or_default()
+        }
+    }
+}
+
 /// Analyzes one profile: groups channel-blocked goroutines by blocking
 /// site and returns per-site counts plus a representative goroutine.
 pub fn analyze_profile(profile: &GoroutineProfile) -> HashMap<BlockedOp, (u64, GoroutineRecord)> {
@@ -273,10 +292,12 @@ impl FleetAccumulator {
 
     /// Merges another accumulator into this one, as the sharded-collection
     /// merge tier does with per-shard state: per-instance counts add,
-    /// the representative with the larger electing count wins (ties keep
-    /// `self`'s, so merge order is significant exactly like ingestion
-    /// order is), and the other shard's profiles append in its ingestion
-    /// order.
+    /// representatives are re-elected under [`rep_wins`] (count, then a
+    /// deterministic content tie-break), and the other shard's profiles
+    /// append in its ingestion order. Because counts are a sum and
+    /// election is a semilattice join, the *ranking* of the merged
+    /// accumulator is independent of how the fleet was partitioned into
+    /// shards and of the order shards are merged in.
     pub fn merge(&mut self, other: &FleetAccumulator) {
         for (op, by_instance) in &other.acc {
             let mine = self.acc.entry(op.clone()).or_default();
@@ -289,7 +310,7 @@ impl FleetAccumulator {
                 .reps
                 .entry(op.clone())
                 .or_insert_with(|| (*count, rep.clone()));
-            if *count > entry.0 {
+            if rep_wins(*count, rep, entry) {
                 *entry = (*count, rep.clone());
             }
         }
@@ -322,7 +343,7 @@ impl FleetAccumulator {
                 .reps
                 .entry(op.clone())
                 .or_insert_with(|| (*count, rep.clone()));
-            if *count > entry.0 {
+            if rep_wins(*count, rep, entry) {
                 *entry = (*count, rep.clone());
             }
         }

@@ -48,10 +48,16 @@ pub mod stage {
     pub const TS_APPEND: &str = "ts_append";
     /// Trend classification + adaptive-interval decision.
     pub const TREND: &str = "trend";
+    /// Root span covering one fleet-aggregator poll cycle over all
+    /// shard daemons.
+    pub const FLEET: &str = "fleet";
+    /// Folding per-shard state (accumulators, ledgers, ts stores) into
+    /// the fleet-wide view.
+    pub const MERGE: &str = "merge";
 
     /// Every pipeline stage, in pipeline order. Used by the dashboard
     /// so rows render in execution order rather than alphabetically.
-    pub const ALL: [&str; 12] = [
+    pub const ALL: [&str; 14] = [
         CYCLE,
         SCRAPE,
         TARGET,
@@ -64,6 +70,8 @@ pub mod stage {
         TS_APPEND,
         TREND,
         SNAPSHOT,
+        FLEET,
+        MERGE,
     ];
 }
 

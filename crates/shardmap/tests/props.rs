@@ -1,0 +1,51 @@
+//! Property tests for the rendezvous assignment: for arbitrary fleets
+//! and any shard count, the partition is total, disjoint, deterministic
+//! across nodes, and stable under seat death.
+
+use proptest::prelude::*;
+use shardmap::ShardMap;
+
+fn instances() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec("[a-z]{1,12}(-[0-9]{1,4})?", 1..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any partition of the fleet into N shards produces the same
+    /// assignment on every node: independently built maps and a
+    /// JSON-roundtripped map all agree, and the slices partition the
+    /// fleet.
+    #[test]
+    fn partition_is_total_disjoint_and_node_independent(insts in instances(), n in 1u32..9) {
+        let a = ShardMap::new(n);
+        let b = ShardMap::new(n);
+        let wire = ShardMap::from_json(&a.to_json()).unwrap();
+        for inst in &insts {
+            let owner = a.owner(inst).expect("alive seats");
+            prop_assert!(owner < n);
+            prop_assert_eq!(b.owner(inst), Some(owner));
+            prop_assert_eq!(wire.owner(inst), Some(owner));
+            prop_assert_eq!((0..n).filter(|&s| a.owns(s, inst)).count(), 1);
+        }
+    }
+
+    /// Killing any subset of seats never moves an instance whose owner
+    /// survived.
+    #[test]
+    fn death_never_moves_a_survivors_instance(insts in instances(), n in 2u32..8, kill_mask in 0u32..64) {
+        let map = ShardMap::new(n);
+        let mut dead: Vec<u32> = (0..n).filter(|s| kill_mask & (1 << s) != 0).collect();
+        dead.truncate(n as usize - 1); // keep at least one survivor
+        let next = map.rebalanced(&dead);
+        for inst in &insts {
+            let before = map.owner(inst).unwrap();
+            let after = next.owner(inst).unwrap();
+            if !dead.contains(&before) {
+                prop_assert_eq!(before, after);
+            } else {
+                prop_assert!(!dead.contains(&after));
+            }
+        }
+    }
+}

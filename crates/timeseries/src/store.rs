@@ -220,6 +220,67 @@ impl Series {
             last_t: 0,
         }
     }
+
+    /// Re-trims every ring to `config`'s capacities (newest kept), for
+    /// a series adopted from another store during a merge.
+    fn trim(&mut self, config: &StoreConfig) {
+        while self.raw.len() > config.raw_capacity {
+            self.raw.pop_front();
+        }
+        for (ring, spec) in self.rollups.iter_mut().zip(&config.rollups) {
+            ring.capacity = spec.capacity.max(1);
+            while ring.sealed.len() > ring.capacity {
+                ring.sealed.pop_front();
+            }
+        }
+    }
+
+    /// Merges `other` (same rollup steps) into this series under the
+    /// bucket algebra; `other`'s values win `last` on shared buckets.
+    fn merge_from(&mut self, other: &Series, config: &StoreConfig) {
+        let mine: Vec<AggPoint> = self.raw.iter().cloned().collect();
+        let theirs: Vec<AggPoint> = other.raw.iter().cloned().collect();
+        let mut raw: VecDeque<AggPoint> = merge_points(&mine, &theirs).into();
+        while raw.len() > config.raw_capacity {
+            raw.pop_front();
+        }
+        self.raw = raw;
+        for (ring, other_ring) in self.rollups.iter_mut().zip(&other.rollups) {
+            debug_assert_eq!(ring.step, other_ring.step);
+            let mine: Vec<AggPoint> = ring
+                .sealed
+                .iter()
+                .chain(ring.open.iter())
+                .cloned()
+                .collect();
+            let theirs: Vec<AggPoint> = other_ring
+                .sealed
+                .iter()
+                .chain(other_ring.open.iter())
+                .cloned()
+                .collect();
+            let mut merged: VecDeque<AggPoint> = merge_points(&mine, &theirs).into();
+            // The newest merged bucket stays open only if it was open
+            // in an input — it may still absorb appends; every earlier
+            // bucket's window has passed.
+            let open_ts: Vec<u64> = ring
+                .open
+                .iter()
+                .chain(other_ring.open.iter())
+                .map(|p| p.t)
+                .collect();
+            ring.open = match merged.back() {
+                Some(last) if open_ts.contains(&last.t) => merged.pop_back(),
+                _ => None,
+            };
+            while merged.len() > ring.capacity {
+                merged.pop_front();
+            }
+            ring.sealed = merged;
+        }
+        self.first_t = self.first_t.min(other.first_t);
+        self.last_t = self.last_t.max(other.last_t);
+    }
 }
 
 /// One WAL line: every point appended at one time step.
@@ -453,6 +514,46 @@ impl TsStore {
         Ok(())
     }
 
+    /// Folds every series of `other` into this store — the store-level
+    /// shard merge. Series present only in `other` are adopted (rings
+    /// re-trimmed to this store's capacities); series present in both
+    /// merge ring-by-ring under the [`merge_points`] algebra, so
+    /// min/max/sum/count of every bucket at every resolution equal
+    /// what one store ingesting both streams would hold. Raw points at
+    /// an equal time combine into one bucket. On buckets covered by
+    /// both stores, `last` takes `other`'s value — fold shards oldest
+    /// first (the merge tier folds in shard order) for a deterministic
+    /// result.
+    ///
+    /// Merged data bypasses the WAL; call [`TsStore::flush`] to persist
+    /// a merged durable store.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` when the stores' rollup steps differ — buckets of
+    /// unequal widths have no lossless merge.
+    pub fn merge(&mut self, other: &TsStore) -> std::io::Result<()> {
+        let my_steps: Vec<u64> = self.config.rollups.iter().map(|r| r.step).collect();
+        let their_steps: Vec<u64> = other.config.rollups.iter().map(|r| r.step).collect();
+        if my_steps != their_steps {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("rollup steps differ: {my_steps:?} vs {their_steps:?}"),
+            ));
+        }
+        for (id, theirs) in &other.series {
+            match self.series.get_mut(id) {
+                None => {
+                    let mut adopted = theirs.clone();
+                    adopted.trim(&self.config);
+                    self.series.insert(id.clone(), adopted);
+                }
+                Some(mine) => mine.merge_from(theirs, &self.config),
+            }
+        }
+        Ok(())
+    }
+
     /// All series ids, sorted.
     pub fn series_ids(&self) -> Vec<String> {
         self.series.keys().cloned().collect()
@@ -638,6 +739,30 @@ mod tests {
         assert_eq!(s.query("b", 0, 10, Some(1)).len(), 7);
         assert_eq!(s.query("a", 6, 6, Some(1))[0].last, 6.0);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_rollup_steps() {
+        let mut a = TsStore::in_memory(cfg(8, &[(4, 8)]));
+        let b = TsStore::in_memory(cfg(8, &[(5, 8)]));
+        assert_eq!(
+            a.merge(&b).unwrap_err().kind(),
+            std::io::ErrorKind::InvalidInput
+        );
+    }
+
+    #[test]
+    fn merge_trims_adopted_series_to_own_capacities() {
+        let mut big = TsStore::in_memory(cfg(64, &[(4, 64)]));
+        for t in 0..32u64 {
+            big.append(t, &[("x", t as f64)]).unwrap();
+        }
+        let mut small = TsStore::in_memory(cfg(4, &[(4, 2)]));
+        small.merge(&big).unwrap();
+        assert_eq!(small.query("x", 0, u64::MAX, Some(1)).len(), 4);
+        // 2 sealed buckets + the open one survive.
+        assert_eq!(small.query("x", 0, u64::MAX, Some(4)).len(), 3);
+        assert_eq!(small.last_t("x"), Some(31));
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! Property tests for the store-level shard merge: partitioning a
+//! fleet's series across shard stores — or splitting one series'
+//! timeline across shards — and merging back reproduces the
+//! whole-fleet store at every resolution.
+
+use proptest::prelude::*;
+use timeseries::{AggPoint, RollupSpec, StoreConfig, TsStore};
+
+fn big_config(step: u64) -> StoreConfig {
+    StoreConfig {
+        raw_capacity: 4096,
+        rollups: vec![
+            RollupSpec {
+                step,
+                capacity: 4096,
+            },
+            RollupSpec {
+                step: step * 8,
+                capacity: 4096,
+            },
+        ],
+        snapshot_every: 0,
+    }
+}
+
+/// Strictly increasing times so raw points never collide across a
+/// time split (equal-t raw points combine on merge by design, which
+/// single-store ingestion deliberately does not do).
+fn points() -> impl Strategy<Value = Vec<(u64, f64)>> {
+    proptest::collection::vec((0u64..3, 0u32..1000), 1..60).prop_map(|raw| {
+        let mut t = 0u64;
+        raw.into_iter()
+            .map(|(gap, v)| {
+                t += gap + 1;
+                (t, v as f64)
+            })
+            .collect()
+    })
+}
+
+fn queries(s: &TsStore, id: &str) -> Vec<(u64, Vec<AggPoint>)> {
+    s.resolutions()
+        .into_iter()
+        .map(|res| (res, s.query(id, 0, u64::MAX, Some(res))))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Shards own disjoint series (the real fleet partition: each
+    /// instance's series live on its owner shard). Merging the shard
+    /// stores in any order reproduces the whole store at every
+    /// resolution, raw included.
+    #[test]
+    fn series_partition_merges_to_the_whole_store(
+        a_pts in points(), b_pts in points(), c_pts in points(), step in 2u64..10,
+    ) {
+        let config = big_config(step);
+        let mut whole = TsStore::in_memory(config.clone());
+        let series: [(&str, &Vec<(u64, f64)>); 3] =
+            [("s0", &a_pts), ("s1", &b_pts), ("s2", &c_pts)];
+        let mut shards = Vec::new();
+        for (id, pts) in series {
+            let mut shard = TsStore::in_memory(config.clone());
+            for (t, v) in pts {
+                whole.append(*t, &[(id, *v)]).unwrap();
+                shard.append(*t, &[(id, *v)]).unwrap();
+            }
+            shards.push(shard);
+        }
+        let mut fwd = TsStore::in_memory(config.clone());
+        for s in &shards {
+            fwd.merge(s).unwrap();
+        }
+        let mut rev = TsStore::in_memory(config.clone());
+        for s in shards.iter().rev() {
+            rev.merge(s).unwrap();
+        }
+        prop_assert_eq!(fwd.series_ids(), whole.series_ids());
+        prop_assert_eq!(rev.series_ids(), whole.series_ids());
+        for (id, _) in series {
+            prop_assert_eq!(queries(&fwd, id), queries(&whole, id), "forward, series {}", id);
+            prop_assert_eq!(queries(&rev, id), queries(&whole, id), "reverse, series {}", id);
+            prop_assert_eq!(fwd.first_t(id), whole.first_t(id));
+            prop_assert_eq!(fwd.last_t(id), whole.last_t(id));
+        }
+    }
+
+    /// One series' timeline split at an arbitrary cut across two
+    /// stores: merging oldest-first reproduces the whole store at
+    /// every resolution, even when the cut lands mid-bucket.
+    #[test]
+    fn time_split_merges_to_the_whole_store(pts in points(), cut in 0usize..60, step in 2u64..10) {
+        let config = big_config(step);
+        let cut = cut.min(pts.len());
+        let mut whole = TsStore::in_memory(config.clone());
+        let mut early = TsStore::in_memory(config.clone());
+        let mut late = TsStore::in_memory(config.clone());
+        for (i, (t, v)) in pts.iter().enumerate() {
+            whole.append(*t, &[("x", *v)]).unwrap();
+            if i < cut {
+                early.append(*t, &[("x", *v)]).unwrap();
+            } else {
+                late.append(*t, &[("x", *v)]).unwrap();
+            }
+        }
+        let mut merged = TsStore::in_memory(config);
+        merged.merge(&early).unwrap();
+        merged.merge(&late).unwrap();
+        prop_assert_eq!(queries(&merged, "x"), queries(&whole, "x"));
+        prop_assert_eq!(merged.first_t("x"), whole.first_t("x"));
+        prop_assert_eq!(merged.last_t("x"), whole.last_t("x"));
+        // The merged store keeps absorbing appends exactly like the
+        // whole store (the open bucket survived the merge open).
+        if let Some(last) = whole.last_t("x") {
+            let mut m2 = merged;
+            let mut w2 = whole;
+            m2.append(last + 1, &[("x", 17.0)]).unwrap();
+            w2.append(last + 1, &[("x", 17.0)]).unwrap();
+            prop_assert_eq!(queries(&m2, "x"), queries(&w2, "x"), "post-merge append diverged");
+        }
+    }
+}
