@@ -10,6 +10,8 @@
 //!                       [--keepalive BOOL] [--adaptive]
 //!                       [--interval-min-ms MS] [--interval-max-ms MS]
 //!                       [--shard I/N] [--shard-map PATH]
+//!                       [--push] [--push-queue N] [--push-shards N]
+//!                       [--accept-pending N] [--http-workers N]
 //! leakprofd scrape-once [--addr HOST:PORT] [--instances N] [--days D]
 //!                       [--seed S] [--threshold T] [--top N] [--workers N]
 //!                       [--source-dir PATH] [--ast-filter]
@@ -29,6 +31,9 @@
 //!                       [--shards N | --shard-map PATH] [--out-map PATH]
 //! leakprofd chaos       [--instances N] [--cycles N] [--seed S]
 //!                       [--restart-every N] [--state-dir PATH]
+//! leakprofd push        --addr HOST:PORT --fleet-addr HOST:PORT
+//!                       [--pushers N] [--rounds N] [--watermark N]
+//!                       [--heartbeat N] [--interval-ms MS] [--seed S]
 //! ```
 //!
 //! The criterion-2 static filter defaults to **off**. Two ways to turn
@@ -91,6 +96,18 @@
 //! * `chaos` runs the deterministic chaos harness (scrape faults,
 //!   instance churn, kill/restart) against a demo fleet and reports
 //!   whether the crash-safety invariants held.
+//! * **Push-mode ingestion**: `serve --push` opens `POST /api/push` —
+//!   instances deliver their own profiles instead of (or in addition
+//!   to) being scraped. Admission is bounded: beyond `--push-queue`
+//!   profiles in flight the daemon sheds with `429 Retry-After`
+//!   (deterministic jittered hints), and beyond `--accept-pending`
+//!   queued connections the accept pool sheds with `503 Retry-After`.
+//!   Push and pull land in one ranking, newest profile per instance
+//!   winning. `push` is the client: it discovers instances at
+//!   `--fleet-addr`, polls their profiles, and pushes each to
+//!   `--addr`'s `/api/push` when the blocked-goroutine count crosses
+//!   `--watermark` (or every `--heartbeat` polls), retrying shed
+//!   pushes with capped exponential backoff honoring `Retry-After`.
 //!
 //! The serving daemon also dogfoods the analysis pipeline on itself: it
 //! tracks its own worker threads (driver, scrape pool, endpoint pool)
@@ -108,10 +125,11 @@ use std::sync::{Arc, Mutex};
 
 use collector::{
     backtest_history, backtest_store, load_jsonl, merge_state_dirs, migrate_history, render_table,
-    run_chaos, serve_daemon_endpoints, serve_fleet_endpoints, write_merged, write_report,
+    run_chaos, serve_daemon_endpoints_with, serve_fleet_endpoints, write_merged, write_report,
     AdaptiveConfig, ApiSnapshot, BacktestConfig, ChaosConfig, ChaosPlanConfig, CycleRecord, Daemon,
     DaemonConfig, DemoFleet, FleetAggregator, FleetConfig, FleetHealth, HistoryLog, MergeConfig,
-    ProfileHub, ReportLedger, ScrapeConfig, ScrapeTarget, ShardSpec, SnapshotStore,
+    ProfileHub, PushClient, PushConfig, PushError, ReportLedger, ScrapeConfig, ScrapeTarget,
+    ShardSpec, SnapshotStore, WatermarkTrigger,
 };
 use leaklab_cli::{flag, flags_all, split_flags};
 use leakprof::FleetAccumulator;
@@ -137,6 +155,7 @@ fn main() -> ExitCode {
         "merge" => merge_cmd(&flags),
         "fleet" => fleet_cmd(&flags),
         "chaos" => chaos(&flags),
+        "push" => push_cmd(&flags),
         _ => {
             usage();
             ExitCode::from(2)
@@ -146,12 +165,14 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!(
-        "usage: leakprofd <serve|scrape-once|status|top|trace|recover|backtest|migrate-history|merge|fleet|chaos> [flags]\n\
+        "usage: leakprofd <serve|scrape-once|status|top|trace|recover|backtest|migrate-history|merge|fleet|chaos|push> [flags]\n\
          \x20 serve       [--instances N] [--days D] [--seed S] [--port P] [--cycles N]\n\
          \x20             [--interval-ms MS] [--threshold T] [--top N] [--history PATH] [--keep N]\n\
          \x20             [--state-dir PATH] [--snapshot-every N] [--source-dir PATH] [--ast-filter]\n\
          \x20             [--adaptive] [--interval-min-ms MS] [--interval-max-ms MS]\n\
          \x20             [--shard I/N] [--shard-map PATH]\n\
+         \x20             [--push] [--push-queue N] [--push-shards N] [--accept-pending N]\n\
+         \x20             [--http-workers N]\n\
          \x20 scrape-once [--addr HOST:PORT] [--instances N] [--days D] [--seed S]\n\
          \x20             [--threshold T] [--top N] [--workers N] [--source-dir PATH] [--ast-filter]\n\
          \x20 status      (--history PATH | --addr HOST:PORT [--addr ...]) [--threshold T] [--top N]\n\
@@ -166,7 +187,9 @@ fn usage() {
          \x20             [--polls N] [--shards N | --shard-map PATH] [--out-map PATH]\n\
          \x20             [--threshold T] [--top N]\n\
          \x20 chaos       [--instances N] [--cycles N] [--seed S] [--restart-every N]\n\
-         \x20             [--state-dir PATH]"
+         \x20             [--state-dir PATH]\n\
+         \x20 push        --addr HOST:PORT --fleet-addr HOST:PORT [--pushers N] [--rounds N]\n\
+         \x20             [--watermark N] [--heartbeat N] [--interval-ms MS] [--seed S]"
     );
 }
 
@@ -440,8 +463,17 @@ fn serve(flags: &[(String, String)]) -> ExitCode {
             AdaptiveConfig::default()
         },
         shard,
+        ingest: parsed(flags, "push", false).then(|| collector::IngestConfig {
+            queue_capacity: parsed(flags, "push-queue", 4096),
+            shards: parsed(flags, "push-shards", 4),
+            accept_pending: parsed(flags, "accept-pending", 1024),
+            jitter_seed: parsed(flags, "seed", 7u64),
+            ..collector::IngestConfig::default()
+        }),
         ..DaemonConfig::default()
     };
+    let push_enabled = config.ingest.is_some();
+    let http_workers: usize = parsed(flags, "http-workers", 2);
     let daemon = match Daemon::new(config, lp, targets) {
         Ok(d) => d,
         Err(e) => {
@@ -463,8 +495,11 @@ fn serve(flags: &[(String, String)]) -> ExitCode {
         );
     }
     let daemon = Arc::new(Mutex::new(daemon));
-    let endpoints = match serve_daemon_endpoints(Arc::clone(&daemon), &format!("127.0.0.1:{port}"))
-    {
+    let endpoints = match serve_daemon_endpoints_with(
+        Arc::clone(&daemon),
+        &format!("127.0.0.1:{port}"),
+        http_workers,
+    ) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: cannot bind daemon endpoints: {e}");
@@ -472,7 +507,8 @@ fn serve(flags: &[(String, String)]) -> ExitCode {
         }
     };
     println!(
-        "leakprofd: serving /metrics, /status, /trace, /debug/self on http://{} (fleet at http://{})",
+        "leakprofd: serving /metrics, /status, /trace, /debug/self{} on http://{} (fleet at http://{})",
+        if push_enabled { ", /api/push" } else { "" },
         endpoints.addr(),
         fleet_server.addr()
     );
@@ -1418,5 +1454,129 @@ fn chaos(flags: &[(String, String)]) -> ExitCode {
             eprintln!("error: chaos run failed: {e}");
             ExitCode::from(2)
         }
+    }
+}
+
+/// `leakprofd push`: the push client. Discovers instances at
+/// `--fleet-addr`, then `--pushers` worker threads each poll their
+/// slice of the fleet's profiles and push them to `--addr`'s
+/// `/api/push` when the blocked count crosses `--watermark` (or every
+/// `--heartbeat` polls), retrying shed pushes with capped exponential
+/// backoff honoring `Retry-After`.
+fn push_cmd(flags: &[(String, String)]) -> ExitCode {
+    let daemon_addr = match addr_flag(flags, "push") {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let Some(fleet) = flag(flags, "fleet-addr") else {
+        eprintln!("usage: leakprofd push --addr HOST:PORT --fleet-addr HOST:PORT");
+        return ExitCode::from(2);
+    };
+    let fleet_addr: std::net::SocketAddr = match fleet.parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: bad --fleet-addr {fleet}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let ids: Vec<String> = match fetch(fleet_addr, "/instances")
+        .and_then(|body| serde_json::from_str(&body).map_err(|e| format!("/instances: {e}")))
+    {
+        Ok(ids) => ids,
+        Err(e) => {
+            eprintln!("error: cannot list instances at {fleet_addr}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if ids.is_empty() {
+        eprintln!("error: {fleet_addr} serves no instances");
+        return ExitCode::from(1);
+    }
+    let pushers: usize = parsed(flags, "pushers", 4usize).max(1).min(ids.len());
+    let rounds: u64 = parsed(flags, "rounds", 1);
+    let watermark: u64 = parsed(flags, "watermark", 1);
+    let heartbeat: u64 = parsed(flags, "heartbeat", 0);
+    let interval_ms: u64 = parsed(flags, "interval-ms", 500);
+    let seed: u64 = parsed(flags, "seed", 7);
+    println!(
+        "leakprofd: pushing {} instance(s) from http://{fleet_addr} to http://{daemon_addr}/api/push \
+         ({pushers} pusher(s), watermark {watermark})",
+        ids.len()
+    );
+    let slices: Vec<Vec<String>> = {
+        let mut slices = vec![Vec::new(); pushers];
+        for (i, id) in ids.into_iter().enumerate() {
+            slices[i % pushers].push(id);
+        }
+        slices
+    };
+    let handles: Vec<_> = slices
+        .into_iter()
+        .map(|slice| {
+            std::thread::spawn(move || {
+                let mut client = PushClient::new(
+                    daemon_addr,
+                    PushConfig {
+                        jitter_seed: seed,
+                        ..PushConfig::default()
+                    },
+                );
+                let mut triggers: Vec<WatermarkTrigger> = slice
+                    .iter()
+                    .map(|_| WatermarkTrigger::new(watermark, heartbeat))
+                    .collect();
+                let mut round = 0u64;
+                loop {
+                    round += 1;
+                    for (id, trigger) in slice.iter().zip(triggers.iter_mut()) {
+                        let profile: gosim::GoroutineProfile =
+                            match fetch(fleet_addr, &ProfileHub::profile_path(id))
+                                .and_then(|b| serde_json::from_str(&b).map_err(|e| e.to_string()))
+                            {
+                                Ok(p) => p,
+                                Err(e) => {
+                                    eprintln!("leakprofd: push: cannot fetch {id}: {e}");
+                                    continue;
+                                }
+                            };
+                        if !trigger.should_push(profile.goroutines.len() as u64) {
+                            continue;
+                        }
+                        match client.push(&profile) {
+                            Ok(_) => {}
+                            Err(e @ PushError::Rejected { .. }) => {
+                                eprintln!("leakprofd: push: {id}: {e}");
+                            }
+                            // Shed budgets exhausted or transport down:
+                            // drop this round's profile, the next round
+                            // pushes a fresher one anyway.
+                            Err(_) => {}
+                        }
+                    }
+                    if rounds > 0 && round >= rounds {
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+                }
+                client.stats().clone()
+            })
+        })
+        .collect();
+    let mut total = collector::PushStats::default();
+    for h in handles {
+        let s = h.join().expect("pusher thread panicked");
+        total.pushed += s.pushed;
+        total.sheds += s.sheds;
+        total.transport_errors += s.transport_errors;
+        total.failed += s.failed;
+    }
+    println!(
+        "pushed {} profile(s); {} shed response(s) absorbed, {} transport error(s), {} failed",
+        total.pushed, total.sheds, total.transport_errors, total.failed
+    );
+    if total.pushed == 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
     }
 }

@@ -25,7 +25,8 @@ use crate::breaker::{BreakerConfig, BreakerSet, BreakerSummary};
 use crate::endpoints::ProfileHub;
 use crate::health::{classify_sites, FleetHealth};
 use crate::history::{CycleRecord, HistoryLog, TopSite};
-use crate::http::{HttpServer, Request, Response};
+use crate::http::{HttpServer, Request, Response, ServerOptions};
+use crate::ingest::{dedupe_newest_wins, AbsorbedProfile, IngestConfig, IngestSummary, IngestTier};
 use crate::ledger::{CycleOutcome, LedgerConfig, LedgerSummary, ReportLedger};
 use crate::scrape::{CycleReport, KeepaliveSummary, ScrapeConfig, ScrapeTarget, Scraper};
 use crate::shard::{claim_state_dir, ApiSnapshot, ShardSpec, API_SNAPSHOT_VERSION};
@@ -75,6 +76,9 @@ pub struct DaemonConfig {
     /// [`shardmap::ShardMap`] assigns this daemon, and tag the state
     /// dir with the shard identity. `None` scrapes the whole fleet.
     pub shard: Option<ShardSpec>,
+    /// Push-mode ingestion (`POST /api/push`): bounded queue, admission
+    /// control, and shard absorbers. `None` runs pull-only, as before.
+    pub ingest: Option<IngestConfig>,
 }
 
 impl Default for DaemonConfig {
@@ -94,6 +98,70 @@ impl Default for DaemonConfig {
             trend: TrendConfig::default(),
             adaptive: AdaptiveConfig::default(),
             shard: None,
+            ingest: None,
+        }
+    }
+}
+
+/// Background deallocator for spent per-cycle buffers. Dropping tens
+/// of thousands of parsed profiles is real allocator work — around
+/// 100ms for a 10K-instance cycle — that would otherwise be charged to
+/// the cycle that already finished consuming them. The daemon hands
+/// the buffers over and moves on; the frees overlap the inter-cycle
+/// idle. If the thread cannot start, `retire` degrades to an inline
+/// drop.
+struct Reaper {
+    tx: Option<std::sync::mpsc::Sender<Vec<AbsorbedProfile>>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Reaper {
+    fn start() -> Reaper {
+        let (tx, rx) = std::sync::mpsc::channel::<Vec<AbsorbedProfile>>();
+        match std::thread::Builder::new()
+            .name("leakprofd-reaper".into())
+            .spawn(move || {
+                while let Ok(batch) = rx.recv() {
+                    // Wait out the tail of the cycle that handed this
+                    // batch over: on a saturated box the frees would
+                    // otherwise compete with the cycle's own last
+                    // milliseconds. Anything queued behind it is
+                    // already stale — drain without pausing again.
+                    std::thread::sleep(std::time::Duration::from_millis(150));
+                    drop(batch);
+                    while rx.try_recv().is_ok() {}
+                }
+            }) {
+            Ok(handle) => Reaper {
+                tx: Some(tx),
+                handle: Some(handle),
+            },
+            Err(_) => Reaper {
+                tx: None,
+                handle: None,
+            },
+        }
+    }
+
+    /// Queues `batch` for off-thread deallocation (inline if the reaper
+    /// thread is gone).
+    fn retire(&self, batch: Vec<AbsorbedProfile>) {
+        if batch.is_empty() {
+            return;
+        }
+        if let Some(tx) = &self.tx {
+            // A failed send returns the batch and it drops inline —
+            // correctness unaffected, only cycle latency.
+            let _ = tx.send(batch);
+        }
+    }
+}
+
+impl Drop for Reaper {
+    fn drop(&mut self) {
+        self.tx.take();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
         }
     }
 }
@@ -138,6 +206,8 @@ pub struct DaemonStatus {
     pub ts_series: usize,
     /// Shard identity (`None` for an unsharded whole-fleet daemon).
     pub shard: Option<ShardIdentity>,
+    /// Push-ingest tier counters (`None` when push mode is disabled).
+    pub ingest: Option<IngestSummary>,
 }
 
 /// The collection daemon: owns the scraper, the streaming analysis
@@ -165,6 +235,8 @@ pub struct Daemon {
     controller: AdaptiveController,
     last_health: Option<FleetHealth>,
     shard: Option<ShardIdentity>,
+    ingest: Option<Arc<IngestTier>>,
+    reaper: Reaper,
 }
 
 impl Daemon {
@@ -254,6 +326,7 @@ impl Daemon {
         let mut scraper = Scraper::new(config.scrape);
         scraper.set_tracer(tracer.clone());
         scraper.set_worker_board(board.clone());
+        let ingest = config.ingest.map(|c| Arc::new(IngestTier::start(c)));
         Ok(Daemon {
             lp,
             acc,
@@ -277,7 +350,17 @@ impl Daemon {
             controller: AdaptiveController::new(config.adaptive),
             last_health: None,
             shard,
+            ingest,
+            reaper: Reaper::start(),
         })
+    }
+
+    /// The push-ingest tier, when configured (`serve --push`). The
+    /// `Arc` lets the HTTP layer answer `POST /api/push` without the
+    /// daemon mutex — admission control must keep working while a cycle
+    /// holds the daemon locked.
+    pub fn ingest_tier(&self) -> Option<&Arc<IngestTier>> {
+        self.ingest.as_ref()
     }
 
     /// This daemon's shard identity (`None` when unsharded).
@@ -322,12 +405,35 @@ impl Daemon {
         let report = self
             .scraper
             .scrape_cycle_gated(&self.targets, &mut self.breakers);
+        // Push tier: drain the shard accumulators' coalesced profiles
+        // and merge them with the pull tier's — newest per instance
+        // wins — before anything durable happens, so WAL, ingest, and
+        // telemetry all see one combined set.
+        let profiles = match &self.ingest {
+            Some(tier) => {
+                let mut span = self.tracer.start(obs::stage::PUSH, "");
+                let pushed = tier.drain_sorted();
+                let s = tier.summary();
+                span.attr("pushed", pushed.len());
+                span.attr("push_total", s.push_total);
+                span.attr("admitted_total", s.admitted_total);
+                span.attr("shed_total", s.shed_total);
+                span.attr("queue_depth", s.queue_depth);
+                dedupe_newest_wins(report.profiles.clone(), pushed)
+            }
+            None => report
+                .profiles
+                .iter()
+                .cloned()
+                .map(AbsorbedProfile::raw)
+                .collect(),
+        };
         // WAL before ingest: a crash from here on replays the cycle
         // instead of losing it.
         if let Some(store) = &self.store {
             let entry = WalEntry {
                 cycle,
-                profiles: report.profiles.clone(),
+                profiles: profiles.iter().map(|a| a.profile.clone()).collect(),
                 stats: report.stats.clone(),
             };
             if let Err(e) = store.append_wal(&entry) {
@@ -336,10 +442,28 @@ impl Daemon {
         }
         {
             let mut span = self.tracer.start(obs::stage::INGEST, "");
-            span.attr("profiles", report.profiles.len());
-            for p in &report.profiles {
-                self.acc.ingest(p);
+            span.attr("profiles", profiles.len());
+            // Push-absorbed profiles arrive pre-analyzed (the absorbers
+            // already walked their stacks off the cycle path) and cost
+            // only the count merge here; pull-scraped profiles pay the
+            // full `ingest`, which is the same analysis plus the same
+            // merge — so mixed cycles land byte-identically to a
+            // pull-only daemon over the same final profiles.
+            let mut pre_analyzed = 0usize;
+            for a in &profiles {
+                match &a.sites {
+                    Some(sites) => {
+                        self.acc.merge_profile_sites(
+                            &a.profile.instance,
+                            sites,
+                            a.profile.len() as u64,
+                        );
+                        pre_analyzed += 1;
+                    }
+                    None => self.acc.ingest(&a.profile),
+                }
             }
+            span.attr("pre_analyzed", pre_analyzed);
         }
         // Re-sync the verdict cache before ranking: changed files are
         // re-analyzed once, unchanged files cost a fingerprint check.
@@ -379,8 +503,12 @@ impl Daemon {
             }
         }
         if self.telemetry {
-            self.observe_fleet(cycle, &report, &analysis);
+            self.observe_fleet(cycle, &report, &profiles, &analysis);
         }
+        let profile_count = profiles.len();
+        // Everything that needed the profiles has run; free them off
+        // the cycle path (see [`Reaper`]).
+        self.reaper.retire(profiles);
         self.last_report = Some(analysis);
         if cycle.is_multiple_of(self.snapshot_every) {
             if let Err(e) = self.commit_snapshot() {
@@ -392,7 +520,7 @@ impl Daemon {
         }
         // The root guard must record (drop) before the cycle is
         // finalized, or the cycle span would land in the next trace.
-        root.attr("profiles", report.profiles.len());
+        root.attr("profiles", profile_count);
         self.tracer.set_ambient(0);
         drop(root);
         self.tracer.finish_cycle(cycle);
@@ -407,7 +535,13 @@ impl Daemon {
     /// offline (`leakprofd backtest`) reproduces these verdicts
     /// exactly. Store IO failures degrade to in-memory recording and
     /// never abort the cycle.
-    fn observe_fleet(&mut self, cycle: u64, report: &CycleReport, analysis: &Report) {
+    fn observe_fleet(
+        &mut self,
+        cycle: u64,
+        report: &CycleReport,
+        profiles: &[AbsorbedProfile],
+        analysis: &Report,
+    ) {
         {
             let mut span = self.tracer.start(obs::stage::TS_APPEND, "");
             let mut owned: Vec<(String, f64)> = Vec::new();
@@ -416,10 +550,10 @@ impl Daemon {
                 owned.push((sid::site_rms_id(&fp), s.stats.rms));
                 owned.push((sid::site_total_id(&fp), s.stats.total as f64));
             }
-            for p in &report.profiles {
+            for a in profiles {
                 owned.push((
-                    sid::instance_blocked_id(&p.instance),
-                    p.goroutines.len() as f64,
+                    sid::instance_blocked_id(&a.profile.instance),
+                    a.profile.goroutines.len() as f64,
                 ));
             }
             for s in self.tracer.stage_summaries() {
@@ -621,6 +755,7 @@ impl Daemon {
             adaptive: self.controller.status(),
             ts_series: self.ts.series_ids().len(),
             shard: self.shard.clone(),
+            ingest: self.ingest.as_ref().map(|t| t.summary()),
         }
     }
 
@@ -790,7 +925,9 @@ impl Daemon {
                 }
             }
         }
-        if let Some(report) = &self.last_report {
+        // Declared only when there is something to sample: a family
+        // with HELP/TYPE and no series is non-conformant exposition.
+        if let Some(report) = self.last_report.as_ref().filter(|r| !r.suspects.is_empty()) {
             p.family(
                 "leakprofd_suspect_rms",
                 "gauge",
@@ -839,6 +976,69 @@ impl Daemon {
             "Telemetry batches appended over this process lifetime.",
         );
         p.sample("leakprofd_ts_appends_total", &[], self.ts.appended_total());
+        if let Some(tier) = &self.ingest {
+            let s = tier.summary();
+            p.family(
+                "leakprofd_ingest_queue_depth",
+                "gauge",
+                "Current push-ingest queue depth (profiles admitted, not yet absorbed).",
+            );
+            p.sample("leakprofd_ingest_queue_depth", &[], s.queue_depth);
+            p.family(
+                "leakprofd_ingest_queue_depth_observed",
+                "gauge",
+                "Queue depth observed at admission time, lifetime quantiles.",
+            );
+            p.sample(
+                "leakprofd_ingest_queue_depth_observed",
+                &[("quantile", "0.5")],
+                s.queue_depth_p50,
+            );
+            p.sample(
+                "leakprofd_ingest_queue_depth_observed",
+                &[("quantile", "0.99")],
+                s.queue_depth_p99,
+            );
+            p.family(
+                "leakprofd_ingest_push_total",
+                "counter",
+                "Profile pushes received on /api/push.",
+            );
+            p.sample("leakprofd_ingest_push_total", &[], s.push_total);
+            p.family(
+                "leakprofd_ingest_admitted_total",
+                "counter",
+                "Pushes admitted into the ingest queue.",
+            );
+            p.sample("leakprofd_ingest_admitted_total", &[], s.admitted_total);
+            p.family(
+                "leakprofd_ingest_shed_total",
+                "counter",
+                "Pushes shed at the high watermark with 429 Retry-After.",
+            );
+            p.sample("leakprofd_ingest_shed_total", &[], s.shed_total);
+            p.family(
+                "leakprofd_ingest_coalesced_total",
+                "counter",
+                "Absorbed profiles that replaced an older one from the same instance.",
+            );
+            p.sample("leakprofd_ingest_coalesced_total", &[], s.coalesced_total);
+            p.family(
+                "leakprofd_ingest_rejected_total",
+                "counter",
+                "Pushes rejected before admission, by reason.",
+            );
+            p.sample(
+                "leakprofd_ingest_rejected_total",
+                &[("reason", "bad_request")],
+                s.bad_request_total,
+            );
+            p.sample(
+                "leakprofd_ingest_rejected_total",
+                &[("reason", "accept_saturated")],
+                s.http_rejected_total,
+            );
+        }
         p.finish()
     }
 }
@@ -867,6 +1067,7 @@ pub fn daemon_routes() -> Vec<String> {
         "/metrics".into(),
         "/status".into(),
         "/health".into(),
+        "/api/push".into(),
         "/api/snapshot".into(),
         "/api/series?id=&from=&to=&res=".into(),
         "/trace".into(),
@@ -1023,14 +1224,54 @@ pub fn serve_daemon_endpoints(
     daemon: Arc<Mutex<Daemon>>,
     addr: &str,
 ) -> std::io::Result<HttpServer> {
-    let (tracer, board) = {
+    serve_daemon_endpoints_with(daemon, addr, 2)
+}
+
+/// [`serve_daemon_endpoints`] with an explicit HTTP worker count. With
+/// a push-ingest tier configured the accept pool is bounded
+/// ([`IngestConfig::accept_pending`]): connections beyond the bound get
+/// a graceful `503 Retry-After` instead of queueing without limit, and
+/// `POST /api/push` is answered straight off the tier — never through
+/// the daemon mutex, so admission keeps working mid-cycle.
+///
+/// # Errors
+///
+/// Returns the bind error if the address is unavailable.
+pub fn serve_daemon_endpoints_with(
+    daemon: Arc<Mutex<Daemon>>,
+    addr: &str,
+    workers: usize,
+) -> std::io::Result<HttpServer> {
+    let (tracer, board, ingest) = {
         let d = daemon.lock().expect("daemon poisoned");
-        (d.tracer().clone(), d.worker_board().clone())
+        (
+            d.tracer().clone(),
+            d.worker_board().clone(),
+            d.ingest_tier().cloned(),
+        )
     };
     let self_profile_path = ProfileHub::profile_path(SELF_INSTANCE);
     let not_found = format!("try {}", daemon_routes().join(", "));
-    let pool_board = board.clone();
-    HttpServer::serve_with_board(addr, 2, Some(pool_board), move |req: &Request| {
+    let options = ServerOptions {
+        workers: workers.max(1),
+        board: Some(board.clone()),
+        max_pending: ingest
+            .as_ref()
+            .map(|t| t.config().accept_pending)
+            .unwrap_or(0),
+        overload_retry_ms: ingest
+            .as_ref()
+            .map(|t| t.config().retry_base_ms)
+            .unwrap_or(0),
+        overload_rejected: ingest.as_ref().map(|t| t.http_rejected_counter()),
+    };
+    HttpServer::serve_with_options(addr, options, move |req: &Request| {
+        if req.method == "POST" && req.path == "/api/push" {
+            return match &ingest {
+                Some(tier) => tier.handle_push(&req.body),
+                None => Response::error(404, "push ingestion is not enabled (serve --push)"),
+            };
+        }
         match req.path.as_str() {
             "/metrics" => {
                 let d = daemon.lock().expect("daemon poisoned");

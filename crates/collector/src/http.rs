@@ -14,6 +14,14 @@
 //! never block on an idle connection — a fleet of persistent scrapers
 //! cannot starve a small pool. [`http_get`] still sends
 //! `connection: close` and behaves exactly as before.
+//!
+//! `GET` and `POST` are supported (`POST` bodies are bounded by
+//! `content-length`); the push-ingest tier POSTs profiles to the
+//! daemon. Servers can bound their pending-connection queue
+//! ([`ServerOptions::max_pending`]): a saturated accept pool answers a
+//! proper `503` with `Retry-After` instead of silently dropping the
+//! connection, so well-behaved pushers back off instead of retrying
+//! into a black hole.
 
 use obs::{site, WorkerBoard, WorkerState};
 use std::io::{BufRead, BufReader, Write};
@@ -28,18 +36,22 @@ const PARK_IDLE_EXPIRY: Duration = Duration::from_secs(30);
 /// Maximum parked connections; beyond this the oldest is closed (its
 /// client falls back to a fresh connect on reuse failure).
 const PARK_CAP: usize = 128;
+/// Largest request body the server will read; larger `content-length`
+/// values are answered with a 400 without reading the body.
+const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
 
-/// A parsed request line plus headers (the server ignores bodies; the
-/// collector protocol is GET-only).
+/// A parsed request line, headers, and (for `POST`) the body.
 #[derive(Debug, Clone)]
 pub struct Request {
-    /// Request method (`GET`).
+    /// Request method (`GET` or `POST`).
     pub method: String,
     /// Request path, e.g. `/instance/pay-0/debug/pprof/goroutine`.
     pub path: String,
     /// True when the client asked for `connection: keep-alive`; the
     /// server then parks the socket for reuse after responding.
     pub keep_alive: bool,
+    /// Request body (`content-length`-bound; empty for `GET`).
+    pub body: Vec<u8>,
 }
 
 /// A response, including the fault the handler wants injected into its
@@ -53,6 +65,9 @@ pub struct Response {
     pub content_type: &'static str,
     /// Response body bytes.
     pub body: Vec<u8>,
+    /// Extra response headers, written verbatim after the standard set
+    /// (used for `Retry-After` on backpressure responses).
+    pub headers: Vec<(String, String)>,
     /// Delivery fault to inject.
     pub fault: ResponseFault,
 }
@@ -79,6 +94,7 @@ impl Response {
             status: 200,
             content_type: "application/json",
             body: body.into(),
+            headers: Vec::new(),
             fault: ResponseFault::None,
         }
     }
@@ -89,6 +105,7 @@ impl Response {
             status: 200,
             content_type: "text/plain; charset=utf-8",
             body: body.into(),
+            headers: Vec::new(),
             fault: ResponseFault::None,
         }
     }
@@ -99,8 +116,23 @@ impl Response {
             status,
             content_type: "text/plain; charset=utf-8",
             body: msg.as_bytes().to_vec(),
+            headers: Vec::new(),
             fault: ResponseFault::None,
         }
+    }
+
+    /// A backpressure response (`429` or `503`) carrying a retry hint:
+    /// standard `retry-after` in whole seconds (rounded up, minimum 1)
+    /// plus the precise `retry-after-ms` our own pushers prefer.
+    pub fn retry_after(status: u16, retry_ms: u64, msg: &str) -> Response {
+        let mut resp = Response::error(status, msg);
+        resp.headers.push((
+            "retry-after".to_string(),
+            retry_ms.div_ceil(1000).max(1).to_string(),
+        ));
+        resp.headers
+            .push(("retry-after-ms".to_string(), retry_ms.to_string()));
+        resp
     }
 }
 
@@ -110,10 +142,31 @@ fn status_phrase(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
     }
+}
+
+/// Server tuning beyond the worker count.
+#[derive(Clone, Default)]
+pub struct ServerOptions {
+    /// Worker threads (minimum 1).
+    pub workers: usize,
+    /// Register pool threads on this board (self-profile dogfood).
+    pub board: Option<WorkerBoard>,
+    /// Pending-connection bound: when this many accepted connections
+    /// are already queued for the pool, further accepts are answered
+    /// with a canned `503` + `Retry-After` and closed — the accept pool
+    /// sheds load instead of queueing without bound (0 = unbounded).
+    pub max_pending: usize,
+    /// Retry hint (ms) sent with the saturation `503`.
+    pub overload_retry_ms: u64,
+    /// Counter bumped once per saturation `503`, shared with whoever
+    /// exports metrics for this server.
+    pub overload_rejected: Option<Arc<std::sync::atomic::AtomicU64>>,
 }
 
 /// A running HTTP server; dropping it (or calling [`HttpServer::shutdown`])
@@ -154,6 +207,32 @@ impl HttpServer {
     where
         H: Fn(&Request) -> Response + Send + Sync + 'static,
     {
+        HttpServer::serve_with_options(
+            addr,
+            ServerOptions {
+                workers,
+                board,
+                ..ServerOptions::default()
+            },
+            handler,
+        )
+    }
+
+    /// The most general constructor: worker count, optional worker
+    /// board, and an optional pending-connection bound (see
+    /// [`ServerOptions`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the address is unavailable.
+    pub fn serve_with_options<H>(
+        addr: &str,
+        options: ServerOptions,
+        handler: H,
+    ) -> std::io::Result<HttpServer>
+    where
+        H: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         // A short accept timeout lets the loop notice the stop flag.
@@ -161,13 +240,24 @@ impl HttpServer {
         let stop = Arc::new(AtomicBool::new(false));
         let stop_accept = Arc::clone(&stop);
         let handler = Arc::new(handler);
-        let workers = workers.max(1);
+        let workers = options.workers.max(1);
+        let board = options.board;
+        let max_pending = options.max_pending;
+        let overload_retry_ms = if options.overload_retry_ms == 0 {
+            250
+        } else {
+            options.overload_retry_ms
+        };
+        let rejected = options.overload_rejected;
 
         let spawn_site = site!("collector::http::HttpServer::serve");
         let accept_thread = std::thread::spawn(move || {
-            // Connection queue feeding the worker pool.
+            // Connection queue feeding the worker pool. `pending` counts
+            // queued-but-unclaimed connections so the accept loop can
+            // shed with a 503 instead of queueing without bound.
             let (tx, rx) = std::sync::mpsc::channel::<TcpStream>();
             let rx = Arc::new(Mutex::new(rx));
+            let pending = Arc::new(std::sync::atomic::AtomicUsize::new(0));
             // Kept-alive sockets waiting for their next request; only
             // the sentry below ever blocks on them (and it never blocks).
             let parked: Arc<Mutex<Vec<ParkedConn>>> = Arc::new(Mutex::new(Vec::new()));
@@ -176,6 +266,7 @@ impl HttpServer {
                 let rx = Arc::clone(&rx);
                 let handler = Arc::clone(&handler);
                 let parked = Arc::clone(&parked);
+                let pending = Arc::clone(&pending);
                 let board = board.clone();
                 pool.push(std::thread::spawn(move || {
                     let wh = board
@@ -188,6 +279,7 @@ impl HttpServer {
                         let conn = { rx.lock().expect("rx poisoned").recv() };
                         match conn {
                             Ok(stream) => {
+                                pending.fetch_sub(1, Ordering::Relaxed);
                                 if let Some(h) = &wh {
                                     h.set(
                                         WorkerState::Read,
@@ -208,10 +300,11 @@ impl HttpServer {
             let sentry = {
                 let parked = Arc::clone(&parked);
                 let tx = tx.clone();
+                let pending = Arc::clone(&pending);
                 let stop = Arc::clone(&stop_accept);
                 std::thread::spawn(move || {
                     while !stop.load(Ordering::Relaxed) {
-                        poll_parked(&parked, &tx);
+                        poll_parked(&parked, &tx, &pending);
                         std::thread::sleep(Duration::from_millis(2));
                     }
                 })
@@ -222,6 +315,21 @@ impl HttpServer {
             while !stop_accept.load(Ordering::Relaxed) {
                 match listener.accept() {
                     Ok((stream, _)) => {
+                        if max_pending > 0 && pending.load(Ordering::Relaxed) >= max_pending {
+                            // Accept pool saturated: answer honestly
+                            // instead of queueing or dropping the
+                            // connection on the floor. A detached
+                            // thread does the write so the accept loop
+                            // never blocks on a shed peer.
+                            if let Some(c) = &rejected {
+                                c.fetch_add(1, Ordering::Relaxed);
+                            }
+                            std::thread::spawn(move || {
+                                shed_connection(stream, overload_retry_ms);
+                            });
+                            continue;
+                        }
+                        pending.fetch_add(1, Ordering::Relaxed);
                         let _ = tx.send(stream);
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -265,6 +373,21 @@ impl Drop for HttpServer {
     }
 }
 
+/// Answers one saturated-pool connection with `503` + `Retry-After`.
+/// The request is drained first: closing a socket with unread bytes
+/// raises a TCP RST that can wipe out the response before the peer
+/// reads it.
+fn shed_connection(stream: TcpStream, retry_ms: u64) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.set_nodelay(true);
+    if let Ok(peer) = stream.try_clone() {
+        let mut reader = BufReader::new(peer);
+        let _ = read_request(&mut reader);
+    }
+    let resp = Response::retry_after(503, retry_ms, "accept pool saturated");
+    let _ = write_response(&stream, &resp, false);
+}
+
 /// A kept-alive socket awaiting its next request.
 struct ParkedConn {
     stream: TcpStream,
@@ -286,7 +409,11 @@ fn park(parked: &Mutex<Vec<ParkedConn>>, stream: TcpStream) {
 /// One sentry pass: redispatch readable parked sockets to the worker
 /// queue, close expired or dead ones, keep the rest parked. Never
 /// blocks — readiness is probed with a non-blocking one-byte peek.
-fn poll_parked(parked: &Mutex<Vec<ParkedConn>>, tx: &std::sync::mpsc::Sender<TcpStream>) {
+fn poll_parked(
+    parked: &Mutex<Vec<ParkedConn>>,
+    tx: &std::sync::mpsc::Sender<TcpStream>,
+    pending: &std::sync::atomic::AtomicUsize,
+) {
     let mut parked = parked.lock().expect("parked poisoned");
     let mut i = 0;
     while i < parked.len() {
@@ -303,8 +430,11 @@ fn poll_parked(parked: &Mutex<Vec<ParkedConn>>, tx: &std::sync::mpsc::Sender<Tcp
             }
             Ok(_) => {
                 // Next request has started arriving: back to the pool.
+                // Redispatches bypass the max_pending bound on purpose:
+                // a parked connection already passed admission once.
                 let conn = parked.remove(i);
                 if conn.stream.set_nonblocking(false).is_ok() {
+                    pending.fetch_add(1, Ordering::Relaxed);
                     let _ = tx.send(conn.stream);
                 }
             }
@@ -340,10 +470,10 @@ where
         let _ = write_response(&stream, &Response::error(400, "malformed request"), false);
         return None;
     };
-    let resp = if req.method == "GET" {
+    let resp = if req.method == "GET" || req.method == "POST" {
         handler(&req)
     } else {
-        Response::error(405, "only GET is supported")
+        Response::error(405, "only GET and POST are supported")
     };
     match resp.fault {
         ResponseFault::None => {
@@ -370,7 +500,7 @@ where
     None
 }
 
-fn read_request(reader: &mut BufReader<TcpStream>) -> Option<Request> {
+fn read_request<R: BufRead>(reader: &mut R) -> Option<Request> {
     let mut line = String::new();
     reader.read_line(&mut line).ok()?;
     let mut parts = line.split_whitespace();
@@ -380,9 +510,11 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Option<Request> {
     if !version.starts_with("HTTP/1.") {
         return None;
     }
-    // Drain headers until the blank line; `connection` is the only one
-    // the collector protocol reacts to.
+    // Drain headers until the blank line; `connection` and
+    // `content-length` are the only ones the collector protocol reacts
+    // to.
     let mut keep_alive = false;
+    let mut content_length = 0usize;
     loop {
         let mut header = String::new();
         reader.read_line(&mut header).ok()?;
@@ -394,13 +526,28 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Option<Request> {
                 && value.trim().eq_ignore_ascii_case("keep-alive")
             {
                 keep_alive = true;
+            } else if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok()?;
             }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return None;
+    }
+    let mut body = vec![0u8; content_length];
+    let mut got = 0;
+    while got < content_length {
+        match reader.read(&mut body[got..]) {
+            Ok(0) => return None,
+            Ok(n) => got += n,
+            Err(_) => return None,
         }
     }
     Some(Request {
         method,
         path,
         keep_alive,
+        body,
     })
 }
 
@@ -410,14 +557,21 @@ fn write_head(
     content_length: usize,
     keep_alive: bool,
 ) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
         resp.status,
         status_phrase(resp.status),
         resp.content_type,
         content_length,
         if keep_alive { "keep-alive" } else { "close" },
     );
+    for (name, value) in &resp.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())
 }
 
@@ -494,6 +648,42 @@ pub fn http_get(
     read_response(&mut reader)
 }
 
+/// Performs a `POST` with a `connection: close` request and reads the
+/// response completely — including backpressure statuses, which come
+/// back as [`ResponseMeta`] data rather than an error.
+///
+/// # Errors
+///
+/// Returns an [`HttpError`] for transport-level failures (connect,
+/// timeout, truncation, unparseable response). HTTP-level rejection is
+/// *not* an error here; check [`ResponseMeta::status`].
+pub fn http_post(
+    addr: SocketAddr,
+    path: &str,
+    content_type: &str,
+    body: &[u8],
+    connect_timeout: Duration,
+    read_timeout: Duration,
+) -> Result<ResponseMeta, HttpError> {
+    let stream = TcpStream::connect_timeout(&addr, connect_timeout)
+        .map_err(|e| HttpError::Connect(e.to_string()))?;
+    stream
+        .set_read_timeout(Some(read_timeout))
+        .map_err(|e| HttpError::Connect(e.to_string()))?;
+    let _ = stream.set_nodelay(true);
+    let mut req_stream = &stream;
+    let head = format!(
+        "POST {path} HTTP/1.1\r\nhost: collector\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    req_stream
+        .write_all(head.as_bytes())
+        .and_then(|()| req_stream.write_all(body))
+        .map_err(|e| HttpError::Connect(e.to_string()))?;
+    let mut reader = BufReader::new(&stream);
+    read_response_meta(&mut reader)
+}
+
 /// A persistent client connection speaking `connection: keep-alive`, so
 /// successive scrapes of the same target skip the TCP handshake. The
 /// scraper pools one per target; [`HttpConnection::uses`] drives the
@@ -554,16 +744,70 @@ impl HttpConnection {
         read_response(&mut self.reader)
     }
 
+    /// Performs a `POST` over the persistent connection, leaving it
+    /// open for the next request. Backpressure statuses come back as
+    /// [`ResponseMeta`] data (the response was read completely, so the
+    /// connection stays usable).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`HttpError`] for transport-level failures; the
+    /// connection should then be discarded.
+    pub fn post(
+        &mut self,
+        path: &str,
+        content_type: &str,
+        body: &[u8],
+    ) -> Result<ResponseMeta, HttpError> {
+        self.uses += 1;
+        let head = format!(
+            "POST {path} HTTP/1.1\r\nhost: collector\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: keep-alive\r\n\r\n",
+            body.len()
+        );
+        self.stream
+            .write_all(head.as_bytes())
+            .and_then(|()| self.stream.write_all(body))
+            .map_err(|e| HttpError::Connect(e.to_string()))?;
+        read_response_meta(&mut self.reader)
+    }
+
     /// Requests served over this connection so far.
     pub fn uses(&self) -> u32 {
         self.uses
     }
 }
 
+/// A fully-read HTTP response: status, retry hint (when the server sent
+/// one), and body. What [`http_post`] and [`HttpConnection::post`]
+/// return — backpressure statuses (`429`/`503`) are data to a pusher,
+/// not errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResponseMeta {
+    /// HTTP status code.
+    pub status: u16,
+    /// Retry hint in milliseconds: the server's `retry-after-ms` header
+    /// when present, else `retry-after` (seconds) scaled up.
+    pub retry_after_ms: Option<u64>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
 /// Reads one HTTP response (status line, headers, `content-length`-bound
 /// body) and returns the body of a 200. Does not read past the body, so
 /// a kept-alive stream is left positioned at the next response.
 fn read_response<R: BufRead>(reader: &mut R) -> Result<Vec<u8>, HttpError> {
+    let meta = read_response_meta(reader)?;
+    if meta.status != 200 {
+        return Err(HttpError::Status(meta.status));
+    }
+    Ok(meta.body)
+}
+
+/// Reads one HTTP response completely, keeping the status and any retry
+/// hint instead of collapsing non-200s into an error. Like
+/// [`read_response`], leaves a kept-alive stream positioned at the next
+/// response.
+fn read_response_meta<R: BufRead>(reader: &mut R) -> Result<ResponseMeta, HttpError> {
     let mut status_line = String::new();
     read_line_classified(reader, &mut status_line)?;
     let status: u16 = status_line
@@ -573,6 +817,8 @@ fn read_response<R: BufRead>(reader: &mut R) -> Result<Vec<u8>, HttpError> {
         .ok_or_else(|| HttpError::Malformed(format!("bad status line {status_line:?}")))?;
 
     let mut content_length: Option<usize> = None;
+    let mut retry_after_ms: Option<u64> = None;
+    let mut retry_after_s: Option<u64> = None;
     loop {
         let mut header = String::new();
         read_line_classified(reader, &mut header)?;
@@ -583,6 +829,10 @@ fn read_response<R: BufRead>(reader: &mut R) -> Result<Vec<u8>, HttpError> {
         if let Some((name, value)) = header.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
                 content_length = value.trim().parse().ok();
+            } else if name.eq_ignore_ascii_case("retry-after-ms") {
+                retry_after_ms = value.trim().parse().ok();
+            } else if name.eq_ignore_ascii_case("retry-after") {
+                retry_after_s = value.trim().parse().ok();
             }
         }
     }
@@ -598,10 +848,11 @@ fn read_response<R: BufRead>(reader: &mut R) -> Result<Vec<u8>, HttpError> {
             Err(e) => return Err(HttpError::Malformed(e.to_string())),
         }
     }
-    if status != 200 {
-        return Err(HttpError::Status(status));
-    }
-    Ok(body)
+    Ok(ResponseMeta {
+        status,
+        retry_after_ms: retry_after_ms.or(retry_after_s.map(|s| s * 1000)),
+        body,
+    })
 }
 
 fn read_line_classified<R: BufRead>(reader: &mut R, buf: &mut String) -> Result<(), HttpError> {
@@ -730,6 +981,98 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err, HttpError::Timeout);
+    }
+
+    #[test]
+    fn post_roundtrip_carries_body() {
+        let server = HttpServer::serve("127.0.0.1:0", 2, |req: &Request| {
+            assert_eq!(req.method, "POST");
+            Response::json(req.body.clone())
+        })
+        .unwrap();
+        let (ct, rt) = client_timeouts();
+        let meta = http_post(
+            server.addr(),
+            "/api/push",
+            "application/json",
+            b"{\"hello\":42}",
+            ct,
+            rt,
+        )
+        .unwrap();
+        assert_eq!(meta.status, 200);
+        assert_eq!(meta.body, b"{\"hello\":42}");
+        assert_eq!(meta.retry_after_ms, None);
+        // And over a kept-alive connection, twice.
+        let mut conn = HttpConnection::connect(server.addr(), ct, rt).unwrap();
+        for payload in [&b"one"[..], &b"two"[..]] {
+            let meta = conn.post("/api/push", "application/json", payload).unwrap();
+            assert_eq!(meta.status, 200);
+            assert_eq!(meta.body, payload);
+        }
+    }
+
+    #[test]
+    fn backpressure_response_carries_retry_hints() {
+        let server = HttpServer::serve("127.0.0.1:0", 1, |_: &Request| {
+            Response::retry_after(429, 1500, "shed")
+        })
+        .unwrap();
+        let (ct, rt) = client_timeouts();
+        let meta = http_post(server.addr(), "/p", "application/json", b"{}", ct, rt).unwrap();
+        assert_eq!(meta.status, 429);
+        // retry-after-ms (precise) wins over retry-after (2s, rounded up).
+        assert_eq!(meta.retry_after_ms, Some(1500));
+        assert_eq!(meta.body, b"shed");
+    }
+
+    #[test]
+    fn saturated_accept_pool_sheds_with_503() {
+        use std::sync::atomic::AtomicU64;
+        let rejected = Arc::new(AtomicU64::new(0));
+        let server = HttpServer::serve_with_options(
+            "127.0.0.1:0",
+            ServerOptions {
+                workers: 1,
+                max_pending: 1,
+                overload_retry_ms: 750,
+                overload_rejected: Some(Arc::clone(&rejected)),
+                ..ServerOptions::default()
+            },
+            |_: &Request| {
+                std::thread::sleep(Duration::from_millis(200));
+                Response::text("slow")
+            },
+        )
+        .unwrap();
+        // Flood: one connection occupies the worker, one sits queued,
+        // the rest must be answered 503 by the accept loop itself.
+        let mut conns = Vec::new();
+        for _ in 0..8 {
+            let mut c = TcpStream::connect(server.addr()).unwrap();
+            c.set_read_timeout(Some(Duration::from_secs(3))).unwrap();
+            c.write_all(b"GET / HTTP/1.1\r\nhost: x\r\n\r\n").unwrap();
+            conns.push(c);
+        }
+        let mut sheds = 0;
+        let mut served = 0;
+        for mut c in conns {
+            use std::io::Read as _;
+            let mut raw = String::new();
+            if c.read_to_string(&mut raw).is_err() {
+                continue;
+            }
+            if raw.starts_with("HTTP/1.1 503") {
+                assert!(raw.contains("retry-after: 1\r\n"), "{raw}");
+                assert!(raw.contains("retry-after-ms: 750\r\n"), "{raw}");
+                sheds += 1;
+            } else if raw.starts_with("HTTP/1.1 200") {
+                served += 1;
+            }
+        }
+        assert!(sheds > 0, "flood must force at least one 503");
+        assert!(served > 0, "admitted connections must still be served");
+        assert_eq!(rejected.load(Ordering::Relaxed), sheds);
     }
 
     #[test]

@@ -14,6 +14,14 @@
 //!   deadlines, deterministic retry/backoff jitter, a per-target
 //!   attempt budget, and a keep-alive pool reusing one connection per
 //!   target across cycles.
+//! * [`ingest`] — push-mode ingestion (`POST /api/push`): bounded
+//!   ingest queue with admission control, `429 Retry-After` shedding at
+//!   the high watermark, newest-wins per-instance coalescing on shard
+//!   absorbers, and a cycle-end fold through the exact `merge` so push
+//!   and pull tiers land in one ranking.
+//! * [`push`] — the pusher side: watermark trigger, capped exponential
+//!   backoff honoring `Retry-After` with deterministic jitter, and the
+//!   client loop behind `leakprofd push`.
 //! * [`breaker`] — per-target circuit breakers quarantining dead
 //!   instances, with decaying half-open probes.
 //! * [`stats`] — scrape-health counters and latency histograms.
@@ -69,8 +77,10 @@ pub mod fleet_tier;
 pub mod health;
 pub mod history;
 pub mod http;
+pub mod ingest;
 pub mod ledger;
 pub mod merge;
+pub mod push;
 pub mod scrape;
 pub mod shard;
 pub mod snapshot;
@@ -85,8 +95,8 @@ pub use backtest::{
 pub use breaker::{BreakerConfig, BreakerSet, BreakerState, BreakerSummary, QuarantinedTarget};
 pub use chaos::{run_chaos, ChaosConfig, ChaosFault, ChaosOutcome, ChaosPlan, ChaosPlanConfig};
 pub use daemon::{
-    daemon_routes, serve_daemon_endpoints, Daemon, DaemonConfig, DaemonStatus, SeriesResponse,
-    SELF_INSTANCE,
+    daemon_routes, serve_daemon_endpoints, serve_daemon_endpoints_with, Daemon, DaemonConfig,
+    DaemonStatus, SeriesResponse, SELF_INSTANCE,
 };
 pub use demo::DemoFleet;
 pub use endpoints::{Fault, ProfileHub};
@@ -95,7 +105,11 @@ pub use fleet_tier::{
 };
 pub use health::{classify_sites, sparkline, FleetHealth, SiteHealth, SPARK_POINTS};
 pub use history::{load_jsonl, CycleRecord, HistoryLog, JsonlLoad, TopSite};
-pub use http::{http_get, HttpError, HttpServer, Request, Response, ResponseFault};
+pub use http::{
+    http_get, http_post, HttpError, HttpServer, Request, Response, ResponseFault, ResponseMeta,
+    ServerOptions,
+};
+pub use ingest::{dedupe_newest_wins, AbsorbedProfile, IngestConfig, IngestSummary, IngestTier};
 pub use ledger::{
     CycleOutcome, EpisodeState, LedgerConfig, LedgerEntry, LedgerSummary, ReportLedger,
     LEDGER_VERSION,
@@ -103,6 +117,10 @@ pub use ledger::{
 pub use merge::{
     load_shard_state, merge_state_dirs, merge_states, write_merged, MergeConfig, MergedFleet,
     ShardState, ShardSummary,
+};
+pub use push::{
+    backoff_delay, backoff_schedule, PushClient, PushConfig, PushError, PushReceipt, PushStats,
+    WatermarkTrigger, PUSH_PATH,
 };
 pub use scrape::{
     CycleReport, KeepaliveSummary, ScrapeConfig, ScrapeError, ScrapeErrorKind, ScrapeTarget,

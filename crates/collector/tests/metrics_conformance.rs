@@ -229,6 +229,58 @@ fn busy_daemon_metrics_conform_and_cover_every_subsystem() {
 }
 
 #[test]
+fn ingest_enabled_daemon_exposes_conformant_push_families() {
+    let mut daemon = Daemon::new(
+        DaemonConfig {
+            ingest: Some(collector::IngestConfig::default()),
+            ..DaemonConfig::default()
+        },
+        LeakProf::default(),
+        vec![],
+    )
+    .unwrap();
+    // Exercise every counter: admitted, coalesced (same instance
+    // twice, newer capture), bad request, and a drain.
+    let tier = std::sync::Arc::clone(daemon.ingest_tier().unwrap());
+    tier.pause_absorbers(true);
+    for captured_at in [100u64, 200] {
+        let p = gosim::GoroutineProfile {
+            instance: "pay-0".into(),
+            captured_at,
+            goroutines: vec![],
+        };
+        assert_eq!(
+            tier.handle_push(serde_json::to_string(&p).unwrap().as_bytes())
+                .status,
+            200
+        );
+    }
+    tier.handle_push(b"not json");
+    tier.pause_absorbers(false);
+    assert!(tier.quiesce(std::time::Duration::from_secs(5)));
+    daemon.run_cycle();
+    let text = daemon.metrics_text();
+    assert_conformant(&text);
+    for family in [
+        "leakprofd_ingest_queue_depth",
+        "leakprofd_ingest_queue_depth_observed",
+        "leakprofd_ingest_push_total",
+        "leakprofd_ingest_admitted_total",
+        "leakprofd_ingest_shed_total",
+        "leakprofd_ingest_coalesced_total",
+        "leakprofd_ingest_rejected_total",
+    ] {
+        assert!(
+            text.contains(&format!("# TYPE {family} ")),
+            "missing family {family}"
+        );
+    }
+    // Two profile pushes plus the garbage one, whatever their fate.
+    assert!(text.contains("leakprofd_ingest_push_total 3"));
+    assert!(text.contains("reason=\"bad_request\""));
+}
+
+#[test]
 fn checker_rejects_malformed_expositions() {
     let bad: &[&str] = &[
         // Sample without any TYPE.

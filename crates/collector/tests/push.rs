@@ -1,0 +1,361 @@
+//! Push-mode ingestion end-to-end: push-only and mixed push+pull
+//! cycles land in one ranking (newest profile per instance wins), the
+//! daemon never blocks a cycle under overload, and the tentpole
+//! robustness differential — after a shed burst (including a kill -9
+//! mid-burst) the converged ranking is **byte-identical** to a
+//! never-overloaded daemon fed the same final profiles.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use collector::{
+    http_post, serve_daemon_endpoints_with, Daemon, DaemonConfig, DemoFleet, IngestConfig,
+    ProfileHub, PushClient, PushConfig, ScrapeConfig,
+};
+use gosim::GoroutineProfile;
+use leakprof::LeakProf;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("leakprofd-push-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+/// Analyzer with criterion-2 sources indexed, as the chaos suite does.
+fn lp_for(demo: &DemoFleet) -> LeakProf {
+    demo.leakprof(20, 10)
+}
+
+fn fast_scrape(seed: u64) -> ScrapeConfig {
+    ScrapeConfig {
+        connect_timeout: Duration::from_millis(250),
+        read_timeout: Duration::from_millis(250),
+        jitter_seed: seed,
+        ..ScrapeConfig::default()
+    }
+}
+
+/// Fetches every instance's current profile off the fleet hub — what a
+/// pusher embedded in each instance would deliver.
+fn fleet_profiles(demo: &DemoFleet, addr: std::net::SocketAddr) -> Vec<GoroutineProfile> {
+    let mut out = Vec::new();
+    for id in demo.hub.instances() {
+        let body = collector::http_get(
+            addr,
+            &ProfileHub::profile_path(&id),
+            Duration::from_millis(500),
+            Duration::from_millis(1000),
+        )
+        .expect("profile fetch");
+        out.push(serde_json::from_str(std::str::from_utf8(&body).unwrap()).expect("profile JSON"));
+    }
+    out
+}
+
+/// A push-only daemon (no scrape targets) fed the fleet's profiles over
+/// real HTTP ranks byte-identically to a pull daemon scraping the same
+/// fleet: the two tiers land in one analysis path.
+#[test]
+fn push_only_ranking_matches_pull_ranking_byte_for_byte() {
+    let demo = DemoFleet::build(8, 2, 11);
+    let server = demo.hub.serve("127.0.0.1:0", 4).expect("bind");
+    let targets = demo.targets(server.addr());
+
+    // Pull daemon: one ordinary scrape cycle.
+    let mut pull = Daemon::new(
+        DaemonConfig {
+            scrape: fast_scrape(11),
+            ..DaemonConfig::default()
+        },
+        lp_for(&demo),
+        targets,
+    )
+    .expect("pull daemon");
+    let report = pull.run_cycle();
+    assert_eq!(report.stats.failed, 0);
+    let pull_render = pull.last_report().expect("report").render();
+
+    // Push daemon: zero targets, profiles arrive via POST /api/push
+    // through the real HTTP stack and the PushClient retry loop.
+    let push = Daemon::new(
+        DaemonConfig {
+            ingest: Some(IngestConfig::default()),
+            ..DaemonConfig::default()
+        },
+        lp_for(&demo),
+        vec![],
+    )
+    .expect("push daemon");
+    let tier = Arc::clone(push.ingest_tier().expect("tier configured"));
+    let push = Arc::new(Mutex::new(push));
+    let endpoint = serve_daemon_endpoints_with(Arc::clone(&push), "127.0.0.1:0", 2).expect("bind");
+
+    let mut client = PushClient::new(endpoint.addr(), PushConfig::default());
+    for profile in fleet_profiles(&demo, server.addr()) {
+        let receipt = client.push(&profile).expect("push admitted");
+        assert_eq!(receipt.attempts, 1, "uncontended pushes admit first try");
+    }
+    assert!(
+        tier.quiesce(Duration::from_secs(5)),
+        "absorbers drain the queue"
+    );
+    push.lock().unwrap().run_cycle();
+
+    let d = push.lock().unwrap();
+    assert_eq!(
+        d.last_report().expect("report").render(),
+        pull_render,
+        "push and pull tiers must produce one identical ranking"
+    );
+    let summary = d.status().ingest.expect("ingest summary in status");
+    assert_eq!(summary.push_total, 8);
+    assert_eq!(summary.admitted_total, 8);
+    assert_eq!(summary.shed_total, 0);
+    assert_eq!(summary.drained_total, 8);
+}
+
+/// The same instance reachable via both tiers contributes exactly once
+/// per cycle, and the newest capture wins: a stale push loses to the
+/// scrape, a fresher push beats it.
+#[test]
+fn mixed_push_and_pull_dedupes_to_newest_per_instance() {
+    let demo = DemoFleet::build(4, 2, 13);
+    let server = demo.hub.serve("127.0.0.1:0", 4).expect("bind");
+    let targets = demo.targets(server.addr());
+    let profiles = fleet_profiles(&demo, server.addr());
+    let pulled_goroutines: u64 = profiles.iter().map(|p| p.goroutines.len() as u64).sum();
+    let last = profiles.last().expect("nonempty fleet");
+
+    let mut daemon = Daemon::new(
+        DaemonConfig {
+            scrape: fast_scrape(13),
+            ingest: Some(IngestConfig::default()),
+            ..DaemonConfig::default()
+        },
+        lp_for(&demo),
+        targets,
+    )
+    .expect("daemon");
+    let tier = Arc::clone(daemon.ingest_tier().expect("tier"));
+
+    // A stale push for the first instance: empty profile, older capture
+    // — must lose to the scraped one.
+    let stale = GoroutineProfile {
+        instance: profiles[0].instance.clone(),
+        captured_at: 0,
+        goroutines: vec![],
+    };
+    // A fresher push for the last instance: empty profile, newer
+    // capture — must beat the scraped one.
+    let fresh = GoroutineProfile {
+        instance: last.instance.clone(),
+        captured_at: last.captured_at + 1_000,
+        goroutines: vec![],
+    };
+    for p in [&stale, &fresh] {
+        let resp = tier.handle_push(serde_json::to_string(p).unwrap().as_bytes());
+        assert_eq!(resp.status, 200);
+    }
+    assert!(tier.quiesce(Duration::from_secs(5)));
+    daemon.run_cycle();
+
+    let report = daemon.last_report().expect("report");
+    assert_eq!(
+        report.profiles_analyzed, 4,
+        "each instance contributes exactly once per cycle"
+    );
+    assert_eq!(
+        report.goroutines_seen,
+        pulled_goroutines - last.goroutines.len() as u64,
+        "the fresher (empty) push replaced the last instance's scrape; \
+         the stale push changed nothing"
+    );
+}
+
+/// Overload never blocks the cycle loop: with absorbers frozen and the
+/// queue at the watermark, pushes shed with 429 while `run_cycle`
+/// still completes promptly.
+#[test]
+fn overloaded_daemon_never_blocks_a_cycle() {
+    let demo = DemoFleet::build(6, 2, 17);
+    let server = demo.hub.serve("127.0.0.1:0", 4).expect("bind");
+    let profiles = fleet_profiles(&demo, server.addr());
+
+    let mut daemon = Daemon::new(
+        DaemonConfig {
+            ingest: Some(IngestConfig {
+                queue_capacity: 2,
+                ..IngestConfig::default()
+            }),
+            ..DaemonConfig::default()
+        },
+        lp_for(&demo),
+        vec![],
+    )
+    .expect("daemon");
+    let tier = Arc::clone(daemon.ingest_tier().expect("tier"));
+    tier.pause_absorbers(true);
+    for p in &profiles {
+        tier.handle_push(serde_json::to_string(p).unwrap().as_bytes());
+    }
+    let summary = tier.summary();
+    assert!(summary.shed_total > 0, "burst past the watermark must shed");
+    assert_eq!(summary.queue_depth, 2, "queue pinned at capacity");
+
+    let started = std::time::Instant::now();
+    daemon.run_cycle();
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "a full queue must not stall the cycle"
+    );
+    tier.pause_absorbers(false);
+}
+
+/// The tentpole differential: a daemon that shed a burst and was then
+/// killed -9 mid-burst converges — once the pushers re-deliver their
+/// final profiles — to a ranking byte-identical to a daemon that never
+/// saw overload.
+#[test]
+fn shed_burst_and_kill_converge_byte_identical_to_unloaded_run() {
+    let demo = DemoFleet::build(10, 2, 19);
+    let server = demo.hub.serve("127.0.0.1:0", 4).expect("bind");
+    let finals = fleet_profiles(&demo, server.addr());
+
+    // Reference: never overloaded, fed exactly the final profiles.
+    let mut reference = Daemon::new(
+        DaemonConfig {
+            ingest: Some(IngestConfig::default()),
+            ..DaemonConfig::default()
+        },
+        lp_for(&demo),
+        vec![],
+    )
+    .expect("reference daemon");
+    let tier = Arc::clone(reference.ingest_tier().expect("tier"));
+    for p in &finals {
+        assert_eq!(
+            tier.handle_push(serde_json::to_string(p).unwrap().as_bytes())
+                .status,
+            200
+        );
+    }
+    assert!(tier.quiesce(Duration::from_secs(5)));
+    reference.run_cycle();
+    let reference_render = reference.last_report().expect("report").render();
+
+    // Victim: tiny queue, frozen absorbers, a burst of stale profiles
+    // that mostly sheds — then kill -9 before anything is durable.
+    let dir = temp_dir("killburst");
+    let config = DaemonConfig {
+        state_dir: Some(dir.clone()),
+        ingest: Some(IngestConfig {
+            queue_capacity: 3,
+            ..IngestConfig::default()
+        }),
+        ..DaemonConfig::default()
+    };
+    let victim = Daemon::new(config.clone(), lp_for(&demo), vec![]).expect("victim daemon");
+    let tier = Arc::clone(victim.ingest_tier().expect("tier"));
+    tier.pause_absorbers(true);
+    for p in &finals {
+        let mut stale = p.clone();
+        stale.captured_at = stale.captured_at.saturating_sub(1_000);
+        tier.handle_push(serde_json::to_string(&stale).unwrap().as_bytes());
+        tier.handle_push(serde_json::to_string(p).unwrap().as_bytes());
+    }
+    let mid_burst = tier.summary();
+    assert!(mid_burst.shed_total > 0, "the burst must shed");
+    drop(victim); // kill -9: queued and coalesced pushes are pre-WAL, gone
+
+    // Restart: clean recovery (nothing was durable), pushers re-deliver
+    // their final profiles over real HTTP with Retry-After-honoring
+    // backoff — small queue, so some pushes shed and retry.
+    let recovered = Daemon::new(config, lp_for(&demo), vec![]).expect("daemon recovers");
+    assert_eq!(recovered.recovered_cycle(), 0, "no cycle survived the kill");
+    let tier = Arc::clone(recovered.ingest_tier().expect("tier"));
+    let recovered = Arc::new(Mutex::new(recovered));
+    let endpoint =
+        serve_daemon_endpoints_with(Arc::clone(&recovered), "127.0.0.1:0", 2).expect("bind");
+    let mut client = PushClient::new(
+        endpoint.addr(),
+        PushConfig {
+            backoff_base: Duration::from_millis(10),
+            ..PushConfig::default()
+        },
+    );
+    for p in &finals {
+        client
+            .push(p)
+            .expect("re-push admitted within retry budget");
+    }
+    assert!(tier.quiesce(Duration::from_secs(5)));
+    recovered.lock().unwrap().run_cycle();
+
+    let d = recovered.lock().unwrap();
+    assert_eq!(
+        d.last_report().expect("report").render(),
+        reference_render,
+        "post-burst converged ranking must be byte-identical to the unloaded run"
+    );
+    let summary = d.status().ingest.expect("summary");
+    assert_eq!(summary.admitted_total, finals.len() as u64);
+    drop(d);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `/api/push` over the wire: permanent rejections come back as HTTP
+/// statuses (not connection drops), and a daemon without the tier says
+/// 404 rather than pretending to ingest.
+#[test]
+fn push_route_rejects_cleanly_over_http() {
+    let lp = || {
+        LeakProf::new(leakprof::Config {
+            threshold: 20,
+            ast_filter: false,
+            top_n: 10,
+        })
+    };
+    // Push enabled: garbage is a 400, and the response body says why.
+    let daemon = Daemon::new(
+        DaemonConfig {
+            ingest: Some(IngestConfig::default()),
+            ..DaemonConfig::default()
+        },
+        lp(),
+        vec![],
+    )
+    .expect("daemon");
+    let daemon = Arc::new(Mutex::new(daemon));
+    let endpoint =
+        serve_daemon_endpoints_with(Arc::clone(&daemon), "127.0.0.1:0", 2).expect("bind");
+    let meta = http_post(
+        endpoint.addr(),
+        "/api/push",
+        "application/json",
+        b"not json",
+        Duration::from_millis(500),
+        Duration::from_millis(1000),
+    )
+    .expect("response comes back");
+    assert_eq!(meta.status, 400);
+    assert!(String::from_utf8_lossy(&meta.body).contains("unparseable"));
+
+    // Push disabled: the route 404s with a hint.
+    let plain = Daemon::new(DaemonConfig::default(), lp(), vec![]).expect("daemon");
+    let plain = Arc::new(Mutex::new(plain));
+    let endpoint = serve_daemon_endpoints_with(Arc::clone(&plain), "127.0.0.1:0", 2).expect("bind");
+    let meta = http_post(
+        endpoint.addr(),
+        "/api/push",
+        "application/json",
+        b"{}",
+        Duration::from_millis(500),
+        Duration::from_millis(1000),
+    )
+    .expect("response comes back");
+    assert_eq!(meta.status, 404);
+    assert!(String::from_utf8_lossy(&meta.body).contains("serve --push"));
+    assert!(plain.lock().unwrap().status().ingest.is_none());
+}

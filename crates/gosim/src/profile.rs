@@ -94,7 +94,7 @@ impl fmt::Display for GoStatus {
 }
 
 /// A single goroutine's entry in a profile.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct GoroutineRecord {
     /// Goroutine id.
     pub gid: Gid,

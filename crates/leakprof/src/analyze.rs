@@ -87,16 +87,31 @@ fn rep_wins(count: u64, rep: &GoroutineRecord, incumbent: &(u64, GoroutineRecord
         std::cmp::Ordering::Greater => true,
         std::cmp::Ordering::Less => false,
         std::cmp::Ordering::Equal => {
+            // Structurally equal records serialize identically, so the
+            // strict `<` below is false — skip the serialization. This
+            // is the common case when one site looks the same across a
+            // homogeneous fleet, and it keeps tie-breaks off the
+            // cycle's hot path.
+            if *rep == incumbent.1 {
+                return false;
+            }
             serde_json::to_string(rep).unwrap_or_default()
                 < serde_json::to_string(&incumbent.1).unwrap_or_default()
         }
     }
 }
 
+/// One profile's analysis: per blocking site, the blocked-goroutine
+/// count and a representative goroutine. The unit of work that can be
+/// computed away from the accumulator — off-thread, or in the push
+/// tier's absorbers — and folded in later via
+/// [`FleetAccumulator::merge_profile_sites`].
+pub type ProfileSites = HashMap<BlockedOp, (u64, GoroutineRecord)>;
+
 /// Analyzes one profile: groups channel-blocked goroutines by blocking
 /// site and returns per-site counts plus a representative goroutine.
-pub fn analyze_profile(profile: &GoroutineProfile) -> HashMap<BlockedOp, (u64, GoroutineRecord)> {
-    let mut sites: HashMap<BlockedOp, (u64, GoroutineRecord)> = HashMap::new();
+pub fn analyze_profile(profile: &GoroutineProfile) -> ProfileSites {
+    let mut sites: ProfileSites = HashMap::new();
     for g in &profile.goroutines {
         if let Some(op) = blocked_op(g) {
             sites
@@ -168,6 +183,47 @@ pub fn aggregate_parallel(
     acc.ranked(config, index)
 }
 
+/// Builds a [`FleetAccumulator`] over `profiles` using up to `threads`
+/// worker threads, **exactly** equivalent to ingesting the profiles
+/// sequentially in slice order: the slice is split into contiguous
+/// chunks, each chunk folded into its own accumulator off-thread, and
+/// the per-chunk accumulators [`FleetAccumulator::merge`]d back in
+/// chunk order. Counts are sums and representative election is an
+/// order-independent join, so the resulting snapshot is byte-identical
+/// to the sequential fold — this is what lets the daemon's push tier
+/// absorb a 10K-instance cycle on worker shards and still land in the
+/// same ranking as a pull-only daemon.
+pub fn fold_profiles(profiles: &[GoroutineProfile], threads: usize) -> FleetAccumulator {
+    let mut acc = FleetAccumulator::new();
+    if threads <= 1 || profiles.len() < 2 {
+        for p in profiles {
+            acc.ingest(p);
+        }
+        return acc;
+    }
+    let chunk = profiles.len().div_ceil(threads);
+    let parts: Vec<FleetAccumulator> = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for part in profiles.chunks(chunk) {
+            handles.push(s.spawn(move || {
+                let mut shard = FleetAccumulator::new();
+                for p in part {
+                    shard.ingest(p);
+                }
+                shard
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fold worker panicked"))
+            .collect()
+    });
+    for part in &parts {
+        acc.merge(part);
+    }
+    acc
+}
+
 /// Incremental fleet-wide aggregation for streaming collection.
 ///
 /// Holds the same per-site accumulators [`aggregate`] builds, but accepts
@@ -185,6 +241,11 @@ pub struct FleetAccumulator {
     reps: HashMap<BlockedOp, (u64, GoroutineRecord)>,
     /// Instance name of every ingested profile, in ingestion order.
     instances: Vec<String>,
+    /// Derived index over `instances`: how many ingested profiles bore
+    /// each name. Kept in lockstep so [`FleetAccumulator::ranked`] can
+    /// weigh a name once per occurrence without rescanning the
+    /// ever-growing `instances` list on every ranking.
+    occ: HashMap<String, u64>,
     /// Total goroutines inspected (blocked or not).
     goroutines_seen: u64,
 }
@@ -286,6 +347,14 @@ impl FleetAccumulator {
             );
         }
         acc.instances = snap.instances.clone();
+        for name in &snap.instances {
+            match acc.occ.get_mut(name) {
+                Some(n) => *n += 1,
+                None => {
+                    acc.occ.insert(name.clone(), 1);
+                }
+            }
+        }
         acc.goroutines_seen = snap.goroutines_seen;
         Ok(acc)
     }
@@ -314,6 +383,14 @@ impl FleetAccumulator {
                 *entry = (*count, rep.clone());
             }
         }
+        for (instance, n) in &other.occ {
+            match self.occ.get_mut(instance) {
+                Some(mine) => *mine += n,
+                None => {
+                    self.occ.insert(instance.clone(), *n);
+                }
+            }
+        }
         self.instances.extend(other.instances.iter().cloned());
         self.goroutines_seen += other.goroutines_seen;
     }
@@ -324,27 +401,47 @@ impl FleetAccumulator {
         self.merge_profile_sites(&profile.instance, &sites, profile.len() as u64);
     }
 
-    /// Merges an already-analyzed profile (used by [`aggregate_parallel`],
-    /// whose workers run [`analyze_profile`] off-thread).
-    fn merge_profile_sites(
-        &mut self,
-        instance: &str,
-        sites: &HashMap<BlockedOp, (u64, GoroutineRecord)>,
-        goroutines: u64,
-    ) {
+    /// Merges an already-analyzed profile — the [`analyze_profile`]
+    /// output for a profile of `goroutines` total goroutines — exactly
+    /// as [`FleetAccumulator::ingest`] would have: `ingest` is
+    /// literally `analyze_profile` + this call. [`aggregate_parallel`]
+    /// uses it to run the per-profile analysis off-thread, and the
+    /// collector's push tier uses it to absorb that analysis into its
+    /// shard workers as profiles arrive, leaving the daemon's cycle
+    /// only the cheap count merges.
+    pub fn merge_profile_sites(&mut self, instance: &str, sites: &ProfileSites, goroutines: u64) {
         for (op, (count, rep)) in sites {
-            *self
-                .acc
-                .entry(op.clone())
-                .or_default()
-                .entry(instance.to_string())
-                .or_insert(0) += count;
-            let entry = self
-                .reps
-                .entry(op.clone())
-                .or_insert_with(|| (*count, rep.clone()));
-            if rep_wins(*count, rep, entry) {
-                *entry = (*count, rep.clone());
+            // The steady state — site and instance already known — is
+            // the allocation-free arm of each match; only first sight
+            // of a site or an instance clones the key.
+            match self.acc.get_mut(op) {
+                Some(by_instance) => match by_instance.get_mut(instance) {
+                    Some(c) => *c += count,
+                    None => {
+                        by_instance.insert(instance.to_string(), *count);
+                    }
+                },
+                None => {
+                    let mut by_instance = HashMap::new();
+                    by_instance.insert(instance.to_string(), *count);
+                    self.acc.insert(op.clone(), by_instance);
+                }
+            }
+            match self.reps.get_mut(op) {
+                Some(entry) => {
+                    if rep_wins(*count, rep, entry) {
+                        *entry = (*count, rep.clone());
+                    }
+                }
+                None => {
+                    self.reps.insert(op.clone(), (*count, rep.clone()));
+                }
+            }
+        }
+        match self.occ.get_mut(instance) {
+            Some(n) => *n += 1,
+            None => {
+                self.occ.insert(instance.to_string(), 1);
             }
         }
         self.instances.push(instance.to_string());
@@ -366,6 +463,13 @@ impl FleetAccumulator {
     /// consume the accumulator, so a daemon can re-rank every cycle.
     pub fn ranked(&self, config: &Config, index: &SourceIndex) -> Vec<SiteStats> {
         let mut out = Vec::new();
+        // Distinct instance names, sorted once (on the first suspect
+        // site) and shared by every suspect site. A name ingested k
+        // times weighs its cumulative count k-fold — the same totals
+        // as walking the full `instances` list and summing duplicates,
+        // without rescanning that ever-growing list per site per
+        // ranking.
+        let mut names: Option<Vec<&String>> = None;
         for (op, by_instance) in &self.acc {
             let over = by_instance
                 .values()
@@ -377,20 +481,18 @@ impl FleetAccumulator {
             if config.ast_filter && is_transient(index, op) {
                 continue;
             }
-            let mut per_instance: Vec<(String, u64)> = self
-                .instances
-                .iter()
-                .map(|name| (name.clone(), by_instance.get(name).copied().unwrap_or(0)))
-                .collect();
-            per_instance.sort();
-            per_instance.dedup_by(|a, b| {
-                if a.0 == b.0 {
-                    b.1 += a.1;
-                    true
-                } else {
-                    false
-                }
+            let names = names.get_or_insert_with(|| {
+                let mut names: Vec<&String> = self.occ.keys().collect();
+                names.sort();
+                names
             });
+            let per_instance: Vec<(String, u64)> = names
+                .iter()
+                .map(|&name| {
+                    let count = by_instance.get(name).copied().unwrap_or(0);
+                    (name.clone(), self.occ[name] * count)
+                })
+                .collect();
             let counts: Vec<u64> = per_instance.iter().map(|(_, c)| *c).collect();
             let total: u64 = counts.iter().sum();
             let max_instance = counts.iter().copied().max().unwrap_or(0);
@@ -644,6 +746,30 @@ mod tests {
         );
         assert_eq!(a.profiles_ingested(), whole.profiles_ingested());
         assert_eq!(a.goroutines_seen(), whole.goroutines_seen());
+    }
+
+    #[test]
+    fn fold_profiles_is_byte_identical_to_sequential_ingest() {
+        let profiles: Vec<GoroutineProfile> = (0..37)
+            .map(|i| {
+                let recs = (0..(5 + i % 11))
+                    .map(|g| blocked_rec(g, "fold.go", 3 + (i % 4) as u32, ChanOpKind::Send))
+                    .chain(
+                        (0..(i % 3)).map(|g| blocked_rec(500 + g, "alt.go", 8, ChanOpKind::Recv)),
+                    )
+                    .collect();
+                profile(&format!("pushed-{i:03}"), recs)
+            })
+            .collect();
+        let sequential = fold_profiles(&profiles, 1);
+        for threads in [2, 3, 4, 8, 64] {
+            let folded = fold_profiles(&profiles, threads);
+            assert_eq!(
+                serde_json::to_string(&sequential.snapshot()).unwrap(),
+                serde_json::to_string(&folded.snapshot()).unwrap(),
+                "parallel fold with {threads} threads diverged from sequential ingest"
+            );
+        }
     }
 
     #[test]

@@ -63,8 +63,8 @@ pub mod series;
 pub mod signature;
 
 pub use analyze::{
-    aggregate, aggregate_parallel, rms, AccumulatorSnapshot, Config, FleetAccumulator,
-    SiteSnapshot, SiteStats, SNAPSHOT_VERSION,
+    aggregate, aggregate_parallel, analyze_profile, fold_profiles, rms, AccumulatorSnapshot,
+    Config, FleetAccumulator, ProfileSites, SiteSnapshot, SiteStats, SNAPSHOT_VERSION,
 };
 pub use filter::{is_transient, SourceIndex, VerdictSet};
 pub use history::{Issue, IssueStatus, SweepDelta, SweepStore};

@@ -54,13 +54,17 @@ pub mod stage {
     /// Folding per-shard state (accumulators, ledgers, ts stores) into
     /// the fleet-wide view.
     pub const MERGE: &str = "merge";
+    /// Draining the push-ingest tier's coalesced profiles at cycle end
+    /// (child of `cycle`; carries admission-counter attrs).
+    pub const PUSH: &str = "push";
 
     /// Every pipeline stage, in pipeline order. Used by the dashboard
     /// so rows render in execution order rather than alphabetically.
-    pub const ALL: [&str; 14] = [
+    pub const ALL: [&str; 15] = [
         CYCLE,
         SCRAPE,
         TARGET,
+        PUSH,
         WAL_APPEND,
         INGEST,
         STATIC_SYNC,
