@@ -1,0 +1,325 @@
+//! Bench: what happens-before race detection costs, at two tiers.
+//!
+//! **Engine tier** (informational): vector clocks are free when off —
+//! every clock join is gated behind the runtime's `hb` flag, and a
+//! plain build carries zero access instrumentation (asserted here).
+//! The same channel-heavy workload runs under the same seed three
+//! ways: plain build with HB off (the baseline every other bench
+//! measures), plain build with HB on (pure clock maintenance on sync
+//! edges), and race-instrumented build plus detection (the full
+//! `racecheck` path). On this worst case — every operation is a
+//! synchronization edge — clock joins are a real fraction of the
+//! interpreter step, which is exactly why the daemon never runs the
+//! detector on the hot path.
+//!
+//! **Daemon tier** (the CI gate): the deployable claim. A daemon with
+//! a warm race tier pays one source-tree fingerprint per cycle; the
+//! detector ran once at the cold sync and is answered from cache ever
+//! after. Interleaved against an identical daemon with no race tier,
+//! the warm median cycle latency must stay within 5% (with a small
+//! absolute floor so loopback noise on a ~millisecond cycle cannot
+//! fail the gate spuriously). Emits `BENCH_race.json`.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use collector::{Daemon, DaemonConfig, DemoFleet, RaceTierConfig, ScrapeConfig};
+use gosim::{Runtime, Val};
+use serde::Serialize;
+
+const INSTANCES: usize = 24;
+const WARMUP_RUNS: usize = 3;
+const MEASURED_RUNS: usize = 31;
+/// Relative overhead budget for a warm race tier on the daemon cycle
+/// (CI gate).
+const MAX_OVERHEAD_PCT: f64 = 5.0;
+/// Absolute-delta floor in milliseconds: below this the relative
+/// number is scheduler noise, not a regression.
+const NOISE_FLOOR_MS: f64 = 3.0;
+
+/// A synchronization-heavy workload: a two-stage pipeline of worker
+/// goroutines ping-ponging over channels, plus mutex and WaitGroup
+/// traffic — every operation is an HB edge, so this is the worst case
+/// for clock maintenance (and, race-compiled, it is race-free, so the
+/// detector pass runs over a real access stream without findings). The
+/// workers are deliberately unrolled, not spawned in a loop: the
+/// name-keyed access model would conflate per-closure locals of
+/// loop-spawned twins, and this bench prices the engine, not that
+/// over-approximation.
+fn workload() -> Vec<(String, String)> {
+    let src = "package bench\n\
+\n\
+func Pipeline() {\n\
+\tvar mu sync.Mutex\n\
+\tvar wg sync.WaitGroup\n\
+\ttotal := 0\n\
+\tin := make(chan int, 8)\n\
+\tmid := make(chan int, 8)\n\
+\tout := make(chan int, 8)\n\
+\twg.Add(1)\n\
+\tgo func() {\n\
+\t\tfor a := 0; a < 400; a++ {\n\
+\t\t\tva := <-in\n\
+\t\t\tmid <- va\n\
+\t\t}\n\
+\t\twg.Done()\n\
+\t}()\n\
+\twg.Add(1)\n\
+\tgo func() {\n\
+\t\tfor b := 0; b < 400; b++ {\n\
+\t\t\tvb := <-in\n\
+\t\t\tmid <- vb\n\
+\t\t}\n\
+\t\twg.Done()\n\
+\t}()\n\
+\twg.Add(1)\n\
+\tgo func() {\n\
+\t\tfor c := 0; c < 400; c++ {\n\
+\t\t\tvc := <-mid\n\
+\t\t\tmu.Lock()\n\
+\t\t\ttotal = total + vc\n\
+\t\t\tmu.Unlock()\n\
+\t\t\tout <- vc\n\
+\t\t}\n\
+\t\twg.Done()\n\
+\t}()\n\
+\twg.Add(1)\n\
+\tgo func() {\n\
+\t\tfor d := 0; d < 400; d++ {\n\
+\t\t\tvd := <-mid\n\
+\t\t\tmu.Lock()\n\
+\t\t\ttotal = total + vd\n\
+\t\t\tmu.Unlock()\n\
+\t\t\tout <- vd\n\
+\t\t}\n\
+\t\twg.Done()\n\
+\t}()\n\
+\tgo func() {\n\
+\t\tfor s := 0; s < 800; s++ {\n\
+\t\t\tin <- s\n\
+\t\t}\n\
+\t}()\n\
+\tfor r := 0; r < 800; r++ {\n\
+\t\t<-out\n\
+\t}\n\
+\twg.Wait()\n\
+\tmu.Lock()\n\
+\tsim.Work(total)\n\
+\tmu.Unlock()\n\
+}\n";
+    vec![(src.to_string(), "bench/pipeline.go".to_string())]
+}
+
+const ENTRY: &str = "bench.Pipeline";
+const TICKS: u64 = 200_000;
+const MAX_SLICES: u64 = 2_000_000;
+
+fn run(prog: &gosim::script::Prog, hb: bool) -> (f64, usize) {
+    let t = Instant::now();
+    let mut rt = Runtime::with_seed(13);
+    if hb {
+        rt.enable_hb();
+    }
+    prog.spawn_func(&mut rt, ENTRY, Vec::<Val>::new());
+    rt.advance(TICKS, MAX_SLICES);
+    let events = rt.take_access_events();
+    let n = events.len();
+    if hb && n > 0 {
+        // The full racecheck path prices detection too.
+        let findings = racecheck::detect(&events);
+        assert!(
+            findings.is_empty(),
+            "the pipeline workload is race-free by construction"
+        );
+    }
+    (t.elapsed().as_secs_f64() * 1e3, n)
+}
+
+fn median_ms(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+/// Builds an in-memory daemon against the shared loopback fleet, with
+/// or without a race tier over `race_dir`.
+fn build_daemon(
+    demo: &DemoFleet,
+    addr: std::net::SocketAddr,
+    race_dir: Option<&std::path::Path>,
+) -> Daemon {
+    let config = DaemonConfig {
+        scrape: ScrapeConfig {
+            keepalive: true,
+            ..ScrapeConfig::default()
+        },
+        race_tier: race_dir.map(|dir| RaceTierConfig {
+            source_dir: dir.to_path_buf(),
+            cache_path: dir.join("races.json"),
+            run: racecheck::RunConfig::default(),
+        }),
+        ..DaemonConfig::default()
+    };
+    let lp = leakprof::LeakProf::new(leakprof::Config {
+        threshold: 1,
+        ast_filter: false,
+        top_n: 10,
+    });
+    Daemon::new(config, lp, demo.targets(addr)).expect("in-memory daemon")
+}
+
+#[derive(Serialize)]
+struct BenchResult {
+    measured_runs: usize,
+    // Daemon-cycle tier (the CI gate): a warm race tier vs no race
+    // tier over the same fleet.
+    instances: usize,
+    race_off_median_ms: f64,
+    race_on_median_ms: f64,
+    delta_ms: f64,
+    overhead_pct: f64,
+    cold_sync_ms: f64,
+    max_overhead_pct: f64,
+    noise_floor_ms: f64,
+    // Engine tier (informational): the same interpreted workload with
+    // vector clocks off, on, and on + instrumentation + detection.
+    ticks: u64,
+    hb_off_median_ms: f64,
+    hb_on_median_ms: f64,
+    detect_median_ms: f64,
+    hb_overhead_pct: f64,
+    detect_overhead_pct: f64,
+    access_events_per_run: usize,
+}
+
+fn main() {
+    // ---- Engine tier: what vector clocks cost per interpreted run.
+    let sources = workload();
+    let plain = minigo::compile_many(&sources).expect("workload compiles");
+    let raced = minigo::compile_many_race(&sources).expect("workload compiles in race mode");
+
+    // Sanity: the plain build emits no access events at all — with the
+    // flag off there is nothing to even skip.
+    let (_, n) = run(&plain, false);
+    assert_eq!(n, 0, "plain build must carry zero instrumentation");
+
+    for _ in 0..WARMUP_RUNS {
+        run(&plain, false);
+        run(&plain, true);
+        run(&raced, true);
+    }
+    let mut off_ms = Vec::new();
+    let mut on_ms = Vec::new();
+    let mut detect_ms = Vec::new();
+    let mut access_events = 0usize;
+    // Interleave so drift (thermal, scheduler) cancels out.
+    for _ in 0..MEASURED_RUNS {
+        off_ms.push(run(&plain, false).0);
+        on_ms.push(run(&plain, true).0);
+        let (ms, n) = run(&raced, true);
+        detect_ms.push(ms);
+        access_events = n;
+    }
+    let hb_off_median_ms = median_ms(&mut off_ms);
+    let hb_on_median_ms = median_ms(&mut on_ms);
+    let detect_median_ms = median_ms(&mut detect_ms);
+    let hb_overhead_pct = (hb_on_median_ms - hb_off_median_ms) / hb_off_median_ms.max(1e-9) * 100.0;
+    let detect_overhead_pct =
+        (detect_median_ms - hb_off_median_ms) / hb_off_median_ms.max(1e-9) * 100.0;
+
+    // ---- Daemon tier: what a race tier costs per collection cycle.
+    // The tier pays one full detector run on the cold sync, then a
+    // directory fingerprint per warm cycle — the warm number is the
+    // production steady state the gate holds.
+    let race_dir =
+        std::env::temp_dir().join(format!("leakprofd-bench-race-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&race_dir);
+    std::fs::create_dir_all(&race_dir).expect("race dir");
+    let (src, rel) = &workload()[0];
+    std::fs::write(
+        race_dir.join(rel.rsplit('/').next().expect("file name")),
+        src,
+    )
+    .expect("workload source");
+
+    let demo = DemoFleet::build(INSTANCES, 2, 13);
+    let server = demo.hub.serve("127.0.0.1:0", 8).expect("loopback bind");
+    let with_races = Arc::new(Mutex::new(build_daemon(
+        &demo,
+        server.addr(),
+        Some(&race_dir),
+    )));
+    let without = Arc::new(Mutex::new(build_daemon(&demo, server.addr(), None)));
+
+    let timed = |daemon: &Arc<Mutex<Daemon>>| {
+        let t = Instant::now();
+        let report = daemon.lock().expect("daemon poisoned").run_cycle();
+        assert_eq!(report.stats.succeeded, INSTANCES, "fleet must stay up");
+        t.elapsed().as_secs_f64() * 1e3
+    };
+
+    // First cycle with the tier is the cold sync (compile + run +
+    // persist); report it separately, it is not steady state.
+    let cold_sync_ms = timed(&with_races);
+    for _ in 0..WARMUP_RUNS {
+        timed(&with_races);
+        timed(&without);
+    }
+    let mut race_on_ms = Vec::new();
+    let mut race_off_ms = Vec::new();
+    for _ in 0..MEASURED_RUNS {
+        race_on_ms.push(timed(&with_races));
+        race_off_ms.push(timed(&without));
+    }
+    let race_on_median_ms = median_ms(&mut race_on_ms);
+    let race_off_median_ms = median_ms(&mut race_off_ms);
+    let delta_ms = race_on_median_ms - race_off_median_ms;
+    let overhead_pct = delta_ms / race_off_median_ms.max(1e-9) * 100.0;
+    {
+        let d = with_races.lock().expect("daemon poisoned");
+        let stats = d.race_tier().expect("tier configured").stats();
+        assert_eq!(
+            stats.cache_misses, 1,
+            "only the cold sync may run the detector"
+        );
+        assert!(stats.cache_hits > 0, "warm cycles must hit the cache");
+    }
+    let _ = std::fs::remove_dir_all(&race_dir);
+
+    println!(
+        "engine: hb off {hb_off_median_ms:.3} ms/run, hb on {hb_on_median_ms:.3} ms/run \
+         ({hb_overhead_pct:+.2}%), +instrumentation+detect {detect_median_ms:.3} ms/run \
+         ({detect_overhead_pct:+.2}%, {access_events} access events)\n\
+         daemon: race tier off {race_off_median_ms:.3} ms/cycle, warm tier on \
+         {race_on_median_ms:.3} ms/cycle ({delta_ms:+.3} ms, {overhead_pct:+.2}%), \
+         cold sync {cold_sync_ms:.3} ms"
+    );
+
+    assert!(
+        overhead_pct < MAX_OVERHEAD_PCT || delta_ms < NOISE_FLOOR_MS,
+        "warm race-tier overhead {overhead_pct:.2}% ({delta_ms:.3} ms/cycle) exceeds the \
+         {MAX_OVERHEAD_PCT}% budget"
+    );
+
+    let result = BenchResult {
+        measured_runs: MEASURED_RUNS,
+        instances: INSTANCES,
+        race_off_median_ms,
+        race_on_median_ms,
+        delta_ms,
+        overhead_pct,
+        cold_sync_ms,
+        max_overhead_pct: MAX_OVERHEAD_PCT,
+        noise_floor_ms: NOISE_FLOOR_MS,
+        ticks: TICKS,
+        hb_off_median_ms,
+        hb_on_median_ms,
+        detect_median_ms,
+        hb_overhead_pct,
+        detect_overhead_pct,
+        access_events_per_run: access_events,
+    };
+    bench::save(
+        "BENCH_race.json",
+        &serde_json::to_string_pretty(&result).expect("result serializes"),
+    );
+}

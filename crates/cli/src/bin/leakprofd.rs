@@ -156,6 +156,7 @@ fn main() -> ExitCode {
         "fleet" => fleet_cmd(&flags),
         "chaos" => chaos(&flags),
         "push" => push_cmd(&flags),
+        "racecheck" => racecheck_cmd(&flags),
         _ => {
             usage();
             ExitCode::from(2)
@@ -165,10 +166,11 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!(
-        "usage: leakprofd <serve|scrape-once|status|top|trace|recover|backtest|migrate-history|merge|fleet|chaos|push> [flags]\n\
+        "usage: leakprofd <serve|scrape-once|status|top|trace|recover|backtest|migrate-history|merge|fleet|chaos|push|racecheck> [flags]\n\
          \x20 serve       [--instances N] [--days D] [--seed S] [--port P] [--cycles N]\n\
          \x20             [--interval-ms MS] [--threshold T] [--top N] [--history PATH] [--keep N]\n\
          \x20             [--state-dir PATH] [--snapshot-every N] [--source-dir PATH] [--ast-filter]\n\
+         \x20             [--race-dir PATH]\n\
          \x20             [--adaptive] [--interval-min-ms MS] [--interval-max-ms MS]\n\
          \x20             [--shard I/N] [--shard-map PATH]\n\
          \x20             [--push] [--push-queue N] [--push-shards N] [--accept-pending N]\n\
@@ -189,7 +191,9 @@ fn usage() {
          \x20 chaos       [--instances N] [--cycles N] [--seed S] [--restart-every N]\n\
          \x20             [--state-dir PATH]\n\
          \x20 push        --addr HOST:PORT --fleet-addr HOST:PORT [--pushers N] [--rounds N]\n\
-         \x20             [--watermark N] [--heartbeat N] [--interval-ms MS] [--seed S]"
+         \x20             [--watermark N] [--heartbeat N] [--interval-ms MS] [--seed S]\n\
+         \x20 racecheck   --dir PATH [--entry NAME] [--seed S] [--ticks N] [--json]\n\
+         \x20             (exit 0: race-free, 1: races found, 2: error)"
     );
 }
 
@@ -216,6 +220,27 @@ fn static_tier_config(
                 source_dir,
                 cache_path,
                 threads: 4,
+            }
+        }
+    })
+}
+
+/// Builds the race-tier config when `--race-dir` is present. The
+/// suspect cache lands in the state dir when one is configured,
+/// otherwise as `races.json` beside the sources.
+fn race_tier_config(
+    flags: &[(String, String)],
+    state_dir: Option<&std::path::Path>,
+) -> Option<collector::RaceTierConfig> {
+    let source_dir = std::path::PathBuf::from(flag(flags, "race-dir")?);
+    Some(match state_dir {
+        Some(dir) => collector::RaceTierConfig::in_state_dir(source_dir, dir),
+        None => {
+            let cache_path = source_dir.join("races.json");
+            collector::RaceTierConfig {
+                source_dir,
+                cache_path,
+                run: racecheck::RunConfig::default(),
             }
         }
     })
@@ -412,6 +437,7 @@ fn serve(flags: &[(String, String)]) -> ExitCode {
     let ast_filter: bool = parsed(flags, "ast-filter", false);
     let state_dir = flag(flags, "state-dir").map(std::path::PathBuf::from);
     let static_tier = static_tier_config(flags, state_dir.as_deref());
+    let race_tier = race_tier_config(flags, state_dir.as_deref());
     let shard = match shard_spec(flags) {
         Ok(s) => s,
         Err(code) => return code,
@@ -453,6 +479,7 @@ fn serve(flags: &[(String, String)]) -> ExitCode {
         state_dir,
         snapshot_every: parsed(flags, "snapshot-every", 5u64).max(1),
         static_tier,
+        race_tier,
         adaptive: if parsed(flags, "adaptive", false) {
             AdaptiveConfig::enabled(
                 parsed(flags, "interval-min-ms", 250),
@@ -1578,5 +1605,115 @@ fn push_cmd(flags: &[(String, String)]) -> ExitCode {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// Reads every `.go` file under `dir` as `(text, rel_path)` pairs in
+/// deterministic (sorted) order.
+fn read_go_tree(dir: &std::path::Path) -> std::io::Result<Vec<(String, String)>> {
+    fn walk(dir: &std::path::Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<()> {
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if entry.file_type()?.is_dir() {
+                walk(&path, out)?;
+            } else if path.extension().is_some_and(|e| e == "go") {
+                out.push(path);
+            }
+        }
+        Ok(())
+    }
+    let mut files = Vec::new();
+    walk(dir, &mut files)?;
+    files.sort();
+    let mut sources = Vec::with_capacity(files.len());
+    for path in files {
+        let text = std::fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(dir)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        sources.push((text, rel));
+    }
+    Ok(sources)
+}
+
+/// `leakprofd racecheck --dir PATH`: one-shot happens-before race
+/// detection over a source tree. Compiles every `.go` file in race
+/// mode, runs every zero-arg entry point (or just `--entry NAME`) under
+/// the vector-clock engine, and reports the findings `go run -race`
+/// style (or as JSON with `--json`). Exit 0 when race-free, 1 when
+/// races were found, 2 on compile/IO errors.
+fn racecheck_cmd(flags: &[(String, String)]) -> ExitCode {
+    let Some(dir) = flag(flags, "dir") else {
+        eprintln!("error: racecheck requires --dir PATH");
+        return ExitCode::from(2);
+    };
+    let dir = std::path::PathBuf::from(dir);
+    let sources = match read_go_tree(&dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    };
+    if sources.is_empty() {
+        eprintln!("error: no .go files under {}", dir.display());
+        return ExitCode::from(2);
+    }
+    let cfg = racecheck::RunConfig {
+        seed: parsed(flags, "seed", 13u64),
+        ticks: parsed(flags, "ticks", 5_000u64),
+        ..racecheck::RunConfig::default()
+    };
+    let entries = match flag(flags, "entry") {
+        Some(entry) => vec![entry.to_string()],
+        None => match racecheck::discover_entries(&sources) {
+            Ok(entries) => entries,
+            Err(diags) => {
+                for d in &diags {
+                    eprintln!("error: {d}");
+                }
+                return ExitCode::from(2);
+            }
+        },
+    };
+    if entries.is_empty() {
+        eprintln!(
+            "error: no zero-argument entry points under {}",
+            dir.display()
+        );
+        return ExitCode::from(2);
+    }
+    let report = match racecheck::check_entries(&sources, &entries, &cfg) {
+        Ok(r) => r,
+        Err(diags) => {
+            for d in &diags {
+                eprintln!("error: {d}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+    if flags.iter().any(|(k, _)| k == "json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("report serializes")
+        );
+    } else {
+        eprintln!(
+            "leakprofd: racecheck: {} file(s), {} entry point(s), {} access event(s)",
+            sources.len(),
+            entries.len(),
+            report.events_analyzed
+        );
+        print!("{}", report.render());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
     }
 }

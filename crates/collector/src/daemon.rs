@@ -28,6 +28,7 @@ use crate::history::{CycleRecord, HistoryLog, TopSite};
 use crate::http::{HttpServer, Request, Response, ServerOptions};
 use crate::ingest::{dedupe_newest_wins, AbsorbedProfile, IngestConfig, IngestSummary, IngestTier};
 use crate::ledger::{CycleOutcome, LedgerConfig, LedgerSummary, ReportLedger};
+use crate::race_tier::{RaceTier, RaceTierConfig, RaceTierStats};
 use crate::scrape::{CycleReport, KeepaliveSummary, ScrapeConfig, ScrapeTarget, Scraper};
 use crate::shard::{claim_state_dir, ApiSnapshot, ShardSpec, API_SNAPSHOT_VERSION};
 use crate::snapshot::{DaemonSnapshot, SnapshotStore, WalEntry, DAEMON_SNAPSHOT_VERSION};
@@ -57,6 +58,10 @@ pub struct DaemonConfig {
     /// Static analysis tier (criterion-2 verdict cache over a source
     /// tree). `None` leaves the AST filter off, as before.
     pub static_tier: Option<StaticTierConfig>,
+    /// Race detection tier (happens-before suspects over a source
+    /// tree, cached by tree fingerprint). `None` disables race
+    /// detection, as before.
+    pub race_tier: Option<RaceTierConfig>,
     /// Cycle tracing (span ring capacity, retained cycles, on/off).
     pub trace: TraceConfig,
     /// Multi-resolution telemetry store layout. Persisted under
@@ -92,6 +97,7 @@ impl Default for DaemonConfig {
             breaker: BreakerConfig::default(),
             ledger: LedgerConfig::default(),
             static_tier: None,
+            race_tier: None,
             trace: TraceConfig::default(),
             ts: StoreConfig::default(),
             telemetry: true,
@@ -192,6 +198,8 @@ pub struct DaemonStatus {
     pub ledger: LedgerSummary,
     /// Static-tier cache counters (`None` when the tier is disabled).
     pub static_tier: Option<StaticTierStats>,
+    /// Race-tier cache counters (`None` when the tier is disabled).
+    pub race_tier: Option<RaceTierStats>,
     /// Per-stage latency summaries from the cycle tracer.
     pub stages: Vec<StageSummary>,
     /// Spans recorded into the trace ring over the daemon lifetime.
@@ -227,6 +235,7 @@ pub struct Daemon {
     recovered_cycle: u64,
     last_outcome: Option<CycleOutcome>,
     static_tier: Option<StaticTier>,
+    race_tier: Option<RaceTier>,
     tracer: Tracer,
     board: WorkerBoard,
     ts: TsStore,
@@ -316,6 +325,10 @@ impl Daemon {
             }
             None => None,
         };
+        let race_tier = match config.race_tier {
+            Some(tier_config) => Some(RaceTier::open(tier_config)?),
+            None => None,
+        };
         // The telemetry store shares the state dir (subdirectory `ts`)
         // and has its own WAL, so its recovery is independent of the
         // accumulator's: a crash loses at most the in-flight batch.
@@ -342,6 +355,7 @@ impl Daemon {
             recovered_cycle,
             last_outcome: None,
             static_tier,
+            race_tier,
             tracer,
             board,
             ts,
@@ -474,12 +488,35 @@ impl Daemon {
                 Err(e) => eprintln!("leakprofd: static-tier sync failed: {e}"),
             }
         }
-        let analysis = {
+        let mut analysis = {
             let mut span = self.tracer.start(obs::stage::ANALYZE, "");
             let analysis = self.lp.report_from_accumulator(&self.acc);
             span.attr("suspects", analysis.suspects.len());
             analysis
         };
+        // Merge race suspects BEFORE the ledger applies: races ride the
+        // same fingerprint → ranking → ledger → /health pipeline as
+        // leaks. A warm tree costs one directory fingerprint; sync
+        // failures degrade to a leak-only cycle, never abort.
+        if let Some(tier) = &mut self.race_tier {
+            match tier.sync() {
+                Ok(races) => {
+                    analysis.suspects.extend(
+                        races
+                            .into_iter()
+                            .map(|stats| leakprof::report::Suspect { stats, owner: None }),
+                    );
+                    analysis.suspects.sort_by(|a, b| {
+                        b.stats
+                            .rms
+                            .partial_cmp(&a.stats.rms)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then_with(|| a.stats.op.to_string().cmp(&b.stats.op.to_string()))
+                    });
+                }
+                Err(e) => eprintln!("leakprofd: race-tier sync failed: {e}"),
+            }
+        }
         self.health.absorb(&report.stats);
         match self.ledger.apply(cycle, &analysis.suspects) {
             Ok(outcome) => self.last_outcome = Some(outcome),
@@ -678,6 +715,11 @@ impl Daemon {
         self.static_tier.as_ref()
     }
 
+    /// The race tier, when configured (for tests and inspection).
+    pub fn race_tier(&self) -> Option<&RaceTier> {
+        self.race_tier.as_ref()
+    }
+
     /// The cycle tracer every pipeline stage records into.
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
@@ -748,6 +790,7 @@ impl Daemon {
             breakers: self.breakers.summary(self.targets.len()),
             ledger: self.ledger.summary(),
             static_tier: self.static_tier.as_ref().map(|t| t.stats().clone()),
+            race_tier: self.race_tier.as_ref().map(|t| t.stats().clone()),
             stages: self.tracer.stage_summaries(),
             spans_recorded: self.tracer.spans_recorded(),
             spans_dropped: self.tracer.spans_dropped(),
@@ -861,6 +904,52 @@ impl Daemon {
                 &[],
                 stats.last_analyze_us,
             );
+        }
+        if let Some(tier) = &self.race_tier {
+            let stats = tier.stats();
+            p.family(
+                "leakprofd_race_syncs_total",
+                "counter",
+                "Race-tier source-tree syncs by cache outcome.",
+            );
+            p.sample(
+                "leakprofd_race_syncs_total",
+                &[("outcome", "hit")],
+                stats.cache_hits,
+            );
+            p.sample(
+                "leakprofd_race_syncs_total",
+                &[("outcome", "miss")],
+                stats.cache_misses,
+            );
+            p.family(
+                "leakprofd_race_entries_run_total",
+                "counter",
+                "Entry points interpreted under the happens-before engine.",
+            );
+            p.sample("leakprofd_race_entries_run_total", &[], stats.entries_run);
+            p.family(
+                "leakprofd_race_compile_errors_total",
+                "counter",
+                "Source trees that failed to compile in race mode.",
+            );
+            p.sample(
+                "leakprofd_race_compile_errors_total",
+                &[],
+                stats.compile_errors,
+            );
+            p.family(
+                "leakprofd_race_suspects",
+                "gauge",
+                "Race suspects in the current verdict.",
+            );
+            p.sample("leakprofd_race_suspects", &[], stats.suspects);
+            p.family(
+                "leakprofd_race_last_sync_us",
+                "gauge",
+                "Duration of the last race-tier sync in microseconds.",
+            );
+            p.sample("leakprofd_race_last_sync_us", &[], stats.last_sync_us);
         }
         let keepalive = self.scraper.keepalive_summary();
         p.family(
@@ -1563,6 +1652,68 @@ mod tests {
             "restart must reuse the on-disk cache"
         );
         assert_eq!(stats.cache_hits, nfiles);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn race_suspects_flow_through_the_leak_pipeline() {
+        let root =
+            std::env::temp_dir().join(format!("leakprofd-daemon-race-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let src_dir = root.join("src");
+        let state_dir = root.join("state");
+        std::fs::create_dir_all(&src_dir).unwrap();
+        std::fs::write(
+            src_dir.join("acct.go"),
+            "package acct\n\nfunc TestUpdate() {\n\tdone := make(chan int)\n\ttotal := 0\n\tgo func() {\n\t\ttotal = total + 1\n\t\tdone <- 1\n\t}()\n\ttotal = total + 1\n\t<-done\n}\n",
+        )
+        .unwrap();
+
+        let config = DaemonConfig {
+            state_dir: Some(state_dir.clone()),
+            race_tier: Some(RaceTierConfig::in_state_dir(src_dir.clone(), &state_dir)),
+            ..DaemonConfig::default()
+        };
+        let mut daemon = Daemon::new(config, LeakProf::default(), vec![]).unwrap();
+        daemon.run_cycle();
+
+        // The race suspect reached the cycle's analysis...
+        let report = daemon.last_report().expect("cycle produced a report");
+        let race = report
+            .suspects
+            .iter()
+            .find(|s| s.stats.op.kind == leakprof::signature::ChanOpKind::Race)
+            .expect("race suspect in the ranked report");
+        assert!(race.stats.rms > 0.0);
+        assert!(race.render().contains("DATA RACE"));
+        // ...the ledger saw it (one open episode page per race site)...
+        let race_sites = report
+            .suspects
+            .iter()
+            .filter(|s| s.stats.op.kind == leakprof::signature::ChanOpKind::Race)
+            .count();
+        assert_eq!(daemon.ledger.summary().active, race_sites);
+        // ...and the telemetry store tracks its fingerprint for /health.
+        let fp = sid::site_fingerprint(&race.stats);
+        assert!(
+            daemon.ts().series_ids().contains(&sid::site_rms_id(&fp)),
+            "race site must have an RMS series"
+        );
+
+        // Warm cycle: cache hit, identical verdict, counters exposed.
+        daemon.run_cycle();
+        let stats = daemon.race_tier().unwrap().stats();
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.suspects, race_sites as u64);
+        let status = daemon.status();
+        assert_eq!(
+            status.race_tier.expect("race stats in status").suspects,
+            race_sites as u64
+        );
+        let metrics = daemon.metrics_text();
+        assert!(metrics.contains("leakprofd_race_syncs_total{outcome=\"hit\"} 1"));
+        assert!(metrics.contains(&format!("leakprofd_race_suspects {race_sites}")));
         std::fs::remove_dir_all(&root).unwrap();
     }
 }

@@ -34,6 +34,10 @@
 //! * [`static_tier`] — persistent, content-addressed criterion-2
 //!   verdict cache: each source file is parsed once, reused across
 //!   cycles and restarts.
+//! * [`race_tier`] — content-addressed happens-before race suspects:
+//!   the source tree is compiled in race mode and interpreted under
+//!   vector clocks only when its fingerprint changes; cached suspects
+//!   merge into the same ranking/ledger pipeline as leaks.
 //! * [`health`] — per-site trend verdicts over the embedded
 //!   [`timeseries`] store (the `/health` document and sparklines).
 //! * [`backtest`] — offline replay of the persisted store (or a JSONL
@@ -81,6 +85,7 @@ pub mod ingest;
 pub mod ledger;
 pub mod merge;
 pub mod push;
+pub mod race_tier;
 pub mod scrape;
 pub mod shard;
 pub mod snapshot;
@@ -122,6 +127,7 @@ pub use push::{
     backoff_delay, backoff_schedule, PushClient, PushConfig, PushError, PushReceipt, PushStats,
     WatermarkTrigger, PUSH_PATH,
 };
+pub use race_tier::{RaceTier, RaceTierConfig, RaceTierStats, RACE_CACHE_VERSION};
 pub use scrape::{
     CycleReport, KeepaliveSummary, ScrapeConfig, ScrapeError, ScrapeErrorKind, ScrapeTarget,
     Scraper,

@@ -7,8 +7,10 @@ use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use collector::{
-    run_chaos, ChaosConfig, Daemon, DaemonConfig, DemoFleet, ScrapeConfig, SnapshotStore,
+    run_chaos, ChaosConfig, Daemon, DaemonConfig, DemoFleet, RaceTierConfig, ScrapeConfig,
+    SnapshotStore,
 };
+use leakprof::signature::ChanOpKind;
 use leakprof::LeakProf;
 
 fn temp_dir(name: &str) -> PathBuf {
@@ -187,6 +189,93 @@ fn scheduled_chaos_run_holds_invariants() {
     );
     assert_eq!(outcome.status.cycles, config.cycles);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Race findings survive a hard kill: the differential run with a race
+/// tier configured — one daemon straight through, one killed and
+/// restarted — must produce byte-identical reports (races included),
+/// keep the race sites' ledger episodes, and answer the restart from
+/// the persisted suspect cache without re-running the detector.
+#[test]
+fn race_findings_survive_daemon_crash_byte_identical() {
+    let dir_a = temp_dir("race-a");
+    let dir_b = temp_dir("race-b");
+
+    fn drive_with_races(seed: u64, state_dir: &Path, kill_after: &[u64]) -> (String, usize, u64) {
+        let src_dir = state_dir.join("src");
+        std::fs::create_dir_all(&src_dir).expect("src dir");
+        std::fs::write(
+            src_dir.join("acct.go"),
+            "package acct\n\nfunc TestUpdate() {\n\tdone := make(chan int)\n\ttotal := 0\n\tgo func() {\n\t\ttotal = total + 1\n\t\tdone <- 1\n\t}()\n\ttotal = total + 1\n\t<-done\n}\n",
+        )
+        .expect("racy source");
+
+        let mut demo = DemoFleet::build(10, 2, seed);
+        let server = demo.hub.serve("127.0.0.1:0", 4).expect("bind");
+        let targets = demo.targets(server.addr());
+        let config = DaemonConfig {
+            scrape: fast_config(seed),
+            state_dir: Some(state_dir.to_path_buf()),
+            snapshot_every: 2,
+            race_tier: Some(RaceTierConfig::in_state_dir(src_dir, state_dir)),
+            ..DaemonConfig::default()
+        };
+        let mut daemon =
+            Daemon::new(config.clone(), lp_for(&demo), targets.clone()).expect("daemon");
+        for cycle in 1..=4u64 {
+            daemon.run_cycle();
+            demo.advance_and_republish(1);
+            if kill_after.contains(&cycle) {
+                drop(daemon); // kill -9: no snapshot, no ledger flush
+                daemon = Daemon::new(config.clone(), lp_for(&demo), targets.clone())
+                    .expect("daemon recovers");
+            }
+        }
+        let report = daemon.last_report().expect("ran cycles");
+        let races = report
+            .suspects
+            .iter()
+            .filter(|s| s.stats.op.kind == ChanOpKind::Race)
+            .count();
+        let misses = daemon
+            .race_tier()
+            .expect("tier configured")
+            .stats()
+            .cache_misses;
+        (report.render(), races, misses)
+    }
+
+    let (report_a, races_a, _) = drive_with_races(42, &dir_a, &[]);
+    let (report_b, races_b, misses_b) = drive_with_races(42, &dir_b, &[2, 3]);
+
+    assert!(races_a > 0, "the racy tree must rank race suspects");
+    assert_eq!(races_a, races_b, "race suspects survive the kills");
+    assert_eq!(
+        report_a, report_b,
+        "recovered ranking (races included) must be byte-identical"
+    );
+    assert_eq!(
+        misses_b, 0,
+        "the restarted daemon must answer from the persisted race cache"
+    );
+
+    // The race sites' ledger episodes also survived: a fresh daemon on
+    // the crashed state dir still tracks them as active.
+    let races_src = dir_b.join("src");
+    let config = DaemonConfig {
+        scrape: fast_config(42),
+        state_dir: Some(dir_b.clone()),
+        race_tier: Some(RaceTierConfig::in_state_dir(races_src, &dir_b)),
+        ..DaemonConfig::default()
+    };
+    let daemon = Daemon::new(config, LeakProf::default(), vec![]).expect("daemon reopens");
+    assert!(
+        daemon.ledger().summary().active >= races_a,
+        "race episodes must stay open across the crash"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
 }
 
 /// A crash between snapshot-rename and WAL-truncate (stale WAL entries

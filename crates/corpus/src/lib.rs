@@ -26,8 +26,10 @@
 
 pub mod gen;
 pub mod patterns;
+pub mod races;
 pub mod stats;
 
 pub use gen::{Corpus, CorpusConfig, KindMix, Package, PkgKind, SourceFile};
 pub use patterns::{BenignPattern, LeakPattern, LeakSite};
+pub use races::{RaceControl, RacePattern, RaceSite, RenderedRace};
 pub use stats::{census, Census, FeatureCounts};

@@ -1,0 +1,309 @@
+//! Data-race pattern templates with ground-truth labels.
+//!
+//! The race taxonomy follows the Uber data-race study (the companion
+//! line of work to the paper's leak study): unsynchronized composite
+//! counter updates, racy double-checked initialization, loop-variable
+//! capture by reference, misordered `WaitGroup.Done`, and flags guarded
+//! by timers instead of real synchronization. Each racy template ships
+//! with a race-free control twin so the detector's precision is pinned
+//! alongside its recall: the controls exercise the same happens-before
+//! edges (mutex, rendezvous channel, WaitGroup, channel close) that the
+//! racy variants lack.
+//!
+//! Templates are text with *fixed line structure* — like
+//! [`crate::patterns`] — so ground-truth line numbers are constants by
+//! construction.
+
+use serde::{Deserialize, Serialize};
+
+/// The racy-pattern taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RacePattern {
+    /// Composite `total = total + 1` from N goroutines, no mutex.
+    UnprotectedCounter,
+    /// Double-checked init where both the check and the init are
+    /// unsynchronized (flag and cache race).
+    DoubleCheckedInit,
+    /// Loop induction variable captured by reference by goroutines
+    /// spawned in the loop (pre-Go-1.22 semantics).
+    LoopCapture,
+    /// `wg.Done()` before the result write: the waiter's read is not
+    /// ordered after the write.
+    WgDoneBeforeWrite,
+    /// A flag "guarded" by `<-time.After(..)`: timers create no
+    /// happens-before edge, so the read races the write.
+    TimerGuardedFlag,
+}
+
+impl RacePattern {
+    /// All racy shapes.
+    pub fn all() -> [RacePattern; 5] {
+        [
+            RacePattern::UnprotectedCounter,
+            RacePattern::DoubleCheckedInit,
+            RacePattern::LoopCapture,
+            RacePattern::WgDoneBeforeWrite,
+            RacePattern::TimerGuardedFlag,
+        ]
+    }
+}
+
+/// Race-free control twins: same shapes, correctly synchronized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RaceControl {
+    /// The counter under a mutex ([`RacePattern::UnprotectedCounter`]'s
+    /// fix).
+    MutexCounter,
+    /// Write published through a rendezvous channel send/receive.
+    ChannelHandoff,
+    /// Write *before* `wg.Done()` ([`RacePattern::WgDoneBeforeWrite`]'s
+    /// fix).
+    WgWriteBeforeDone,
+    /// Flag published by `close(done)` before the reader's receive
+    /// ([`RacePattern::TimerGuardedFlag`]'s fix).
+    CloseGuardedFlag,
+}
+
+impl RaceControl {
+    /// All control shapes.
+    pub fn all() -> [RaceControl; 4] {
+        [
+            RaceControl::MutexCounter,
+            RaceControl::ChannelHandoff,
+            RaceControl::WgWriteBeforeDone,
+            RaceControl::CloseGuardedFlag,
+        ]
+    }
+}
+
+/// One ground-truth race in a rendered file: the variable plus the
+/// line(s) a correct detector may localize the racing write to (some
+/// patterns have symmetric writes, e.g. double-checked init, where
+/// either write line is a correct answer).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RaceSite {
+    /// Pattern class.
+    pub pattern: RacePattern,
+    /// The racing variable.
+    pub var: String,
+    /// File path of the racing accesses.
+    pub file: String,
+    /// Acceptable 1-based lines for the racing *write*.
+    pub write_lines: Vec<u32>,
+}
+
+/// A rendered race scenario: source, test, ground truth (empty for
+/// controls).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RenderedRace {
+    /// Source file path.
+    pub path: String,
+    /// Source text.
+    pub source: String,
+    /// Test file path.
+    pub test_path: String,
+    /// Test text.
+    pub test_source: String,
+    /// Name of the test function (unqualified).
+    pub test_func: String,
+    /// Ground-truth races (empty for controls).
+    pub truth: Vec<RaceSite>,
+}
+
+impl RenderedRace {
+    /// The `(source, path)` pairs for `minigo::compile_many_race`.
+    pub fn sources(&self) -> Vec<(String, String)> {
+        vec![
+            (self.source.clone(), self.path.clone()),
+            (self.test_source.clone(), self.test_path.clone()),
+        ]
+    }
+
+    /// Qualified entry point (`pkg.TestXxx`).
+    pub fn entry(&self) -> String {
+        let pkg = self.path.split('/').next().unwrap_or("main");
+        format!("{pkg}.{}", self.test_func)
+    }
+}
+
+/// Renders one racy scenario of the given pattern into package `pkg`.
+pub fn render_racy(pattern: RacePattern, pkg: &str, idx: usize) -> RenderedRace {
+    let fname = format!("{pkg}/race_{idx}.go");
+    let tname = format!("{pkg}/race_{idx}_test.go");
+    let f = format!("Race{idx}");
+    let test_func = format!("TestRace{idx}");
+
+    let site = |var: &str, write_lines: Vec<u32>| RaceSite {
+        pattern,
+        var: var.to_string(),
+        file: fname.clone(),
+        write_lines,
+    };
+
+    let (source, call, truth): (String, String, Vec<RaceSite>) = match pattern {
+        RacePattern::UnprotectedCounter => (
+            format!(
+                "package {pkg}\n\nfunc {f}(n int) {{\n\ttotal := 0\n\tvar wg sync.WaitGroup\n\twg.Add(n)\n\tfor i := 0; i < n; i++ {{\n\t\tgo func() {{\n\t\t\ttotal = total + 1\n\t\t\twg.Done()\n\t\t}}()\n\t}}\n\twg.Wait()\n\tsim.Work(total)\n}}\n"
+            ),
+            format!("{f}(4)"),
+            vec![site("total", vec![9])],
+        ),
+        RacePattern::DoubleCheckedInit => (
+            format!(
+                "package {pkg}\n\nfunc {f}() {{\n\tready := 0\n\tcache := 0\n\tdone := make(chan int)\n\tgo func() {{\n\t\tif ready == 0 {{\n\t\t\tcache = 42\n\t\t\tready = 1\n\t\t}}\n\t\tdone <- 1\n\t}}()\n\tif ready == 0 {{\n\t\tcache = 42\n\t\tready = 1\n\t}}\n\t<-done\n}}\n"
+            ),
+            format!("{f}()"),
+            vec![site("cache", vec![9, 15]), site("ready", vec![10, 16])],
+        ),
+        RacePattern::LoopCapture => (
+            format!(
+                "package {pkg}\n\nfunc {f}(n int) {{\n\tvar wg sync.WaitGroup\n\twg.Add(n)\n\tfor i := 0; i < n; i++ {{\n\t\tgo func() {{\n\t\t\tsim.Work(i)\n\t\t\twg.Done()\n\t\t}}()\n\t}}\n\twg.Wait()\n}}\n"
+            ),
+            format!("{f}(4)"),
+            vec![site("i", vec![6])],
+        ),
+        RacePattern::WgDoneBeforeWrite => (
+            format!(
+                "package {pkg}\n\nfunc {f}() {{\n\tvar wg sync.WaitGroup\n\twg.Add(1)\n\tresult := 0\n\tgo func() {{\n\t\twg.Done()\n\t\tresult = 42\n\t}}()\n\twg.Wait()\n\tsim.Work(result)\n}}\n"
+            ),
+            format!("{f}()"),
+            vec![site("result", vec![9])],
+        ),
+        RacePattern::TimerGuardedFlag => (
+            format!(
+                "package {pkg}\n\nfunc {f}() {{\n\tflag := 0\n\tgo func() {{\n\t\tsim.Work(1)\n\t\tflag = 1\n\t}}()\n\t<-time.After(50)\n\tsim.Work(flag)\n}}\n"
+            ),
+            format!("{f}()"),
+            vec![site("flag", vec![7])],
+        ),
+    };
+
+    RenderedRace {
+        path: fname,
+        source,
+        test_path: tname,
+        test_source: format!("package {pkg}\n\nfunc {test_func}() {{\n\t{call}\n}}\n"),
+        test_func,
+        truth,
+    }
+}
+
+/// Renders one race-free control scenario.
+pub fn render_control(control: RaceControl, pkg: &str, idx: usize) -> RenderedRace {
+    let fname = format!("{pkg}/ctrl_{idx}.go");
+    let tname = format!("{pkg}/ctrl_{idx}_test.go");
+    let f = format!("Ctrl{idx}");
+    let test_func = format!("TestCtrl{idx}");
+
+    let (source, call): (String, String) = match control {
+        RaceControl::MutexCounter => (
+            format!(
+                "package {pkg}\n\nfunc {f}(n int) {{\n\ttotal := 0\n\tvar mu sync.Mutex\n\tvar wg sync.WaitGroup\n\twg.Add(n)\n\tfor i := 0; i < n; i++ {{\n\t\tgo func() {{\n\t\t\tmu.Lock()\n\t\t\ttotal = total + 1\n\t\t\tmu.Unlock()\n\t\t\twg.Done()\n\t\t}}()\n\t}}\n\twg.Wait()\n\tsim.Work(total)\n}}\n"
+            ),
+            format!("{f}(4)"),
+        ),
+        RaceControl::ChannelHandoff => (
+            format!(
+                "package {pkg}\n\nfunc {f}() {{\n\tdata := 0\n\tch := make(chan int)\n\tgo func() {{\n\t\tdata = 42\n\t\tch <- 1\n\t}}()\n\t<-ch\n\tsim.Work(data)\n}}\n"
+            ),
+            format!("{f}()"),
+        ),
+        RaceControl::WgWriteBeforeDone => (
+            format!(
+                "package {pkg}\n\nfunc {f}() {{\n\tvar wg sync.WaitGroup\n\twg.Add(1)\n\tresult := 0\n\tgo func() {{\n\t\tresult = 42\n\t\twg.Done()\n\t}}()\n\twg.Wait()\n\tsim.Work(result)\n}}\n"
+            ),
+            format!("{f}()"),
+        ),
+        RaceControl::CloseGuardedFlag => (
+            format!(
+                "package {pkg}\n\nfunc {f}() {{\n\tflag := 0\n\tdone := make(chan int)\n\tgo func() {{\n\t\tflag = 1\n\t\tclose(done)\n\t}}()\n\t<-done\n\tsim.Work(flag)\n}}\n"
+            ),
+            format!("{f}()"),
+        ),
+    };
+
+    RenderedRace {
+        path: fname,
+        source,
+        test_path: tname,
+        test_source: format!("package {pkg}\n\nfunc {test_func}() {{\n\t{call}\n}}\n"),
+        test_func,
+        truth: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gosim::Runtime;
+
+    fn run_race_mode(r: &RenderedRace) -> (Runtime, Vec<gosim::AccessEvent>) {
+        let prog = minigo::compile_many_race(&r.sources())
+            .unwrap_or_else(|e| panic!("{} does not compile: {e:?}\n{}", r.path, r.source));
+        let mut rt = Runtime::with_seed(13);
+        rt.enable_hb();
+        prog.spawn_func(&mut rt, &r.entry(), vec![])
+            .expect("test function exists");
+        rt.advance(5_000, 30_000);
+        let events = rt.take_access_events();
+        (rt, events)
+    }
+
+    #[test]
+    fn racy_templates_compile_run_clean_and_emit_shared_accesses() {
+        for (i, pattern) in RacePattern::all().into_iter().enumerate() {
+            let r = render_racy(pattern, "rpkg", i);
+            let (rt, events) = run_race_mode(&r);
+            assert_eq!(rt.live_count(), 0, "{pattern:?} must not leak goroutines");
+            assert_eq!(rt.stats().panicked, 0, "{pattern:?} panicked");
+            for t in &r.truth {
+                assert!(
+                    events.iter().any(|e| e.var == t.var),
+                    "{pattern:?}: no access events for truth var `{}`",
+                    t.var
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truth_lines_point_at_write_accesses() {
+        for (i, pattern) in RacePattern::all().into_iter().enumerate() {
+            let r = render_racy(pattern, "wpkg", i);
+            let (_, events) = run_race_mode(&r);
+            for t in &r.truth {
+                assert!(
+                    events.iter().any(|e| e.var == t.var
+                        && e.is_write
+                        && t.write_lines.contains(&e.loc.line)),
+                    "{pattern:?}: no write access to `{}` at declared lines {:?}",
+                    t.var,
+                    t.write_lines
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn control_templates_compile_and_run_clean() {
+        for (i, control) in RaceControl::all().into_iter().enumerate() {
+            let r = render_control(control, "cpkg", i);
+            let (rt, _) = run_race_mode(&r);
+            assert_eq!(rt.live_count(), 0, "{control:?} must not leak goroutines");
+            assert_eq!(rt.stats().panicked, 0, "{control:?} panicked");
+        }
+    }
+
+    #[test]
+    fn plain_compilation_of_race_sources_emits_no_access_events() {
+        // The un-instrumented path must stay untouched by race mode.
+        let r = render_racy(RacePattern::UnprotectedCounter, "ppkg", 0);
+        let prog = minigo::compile_many(&r.sources()).expect("compiles");
+        let mut rt = Runtime::with_seed(13);
+        rt.enable_hb();
+        prog.spawn_func(&mut rt, &r.entry(), vec![])
+            .expect("test function exists");
+        rt.advance(5_000, 30_000);
+        assert!(rt.take_access_events().is_empty());
+    }
+}

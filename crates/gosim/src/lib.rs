@@ -63,12 +63,14 @@ mod val;
 pub mod profile;
 pub mod rng;
 pub mod script;
+pub mod vc;
 
 pub use ids::{ChanId, CondId, Gid, SemId, WgId};
 pub use loc::{Frame, Loc};
 pub use proc::{ArmOp, Effect, EffectSeq, ParkReason, Process, Resume, SelectArm};
 pub use profile::{GoStatus, GoroutineProfile, GoroutineRecord};
 pub use runtime::{
-    ExitRecord, MemStats, PanicPolicy, RunOutcome, Runtime, RuntimeStats, SchedConfig,
+    AccessEvent, ExitRecord, MemStats, PanicPolicy, RunOutcome, Runtime, RuntimeStats, SchedConfig,
 };
 pub use val::{ChanRef, TypeTag, Val};
+pub use vc::VClock;

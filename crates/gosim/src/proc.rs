@@ -203,6 +203,18 @@ pub enum Effect {
         /// Source location.
         loc: Loc,
     },
+    /// A shared-variable read or write (emitted by race-instrumented
+    /// programs). Non-blocking: the runtime records the access against
+    /// this goroutine's vector clock when happens-before tracking is on
+    /// and ignores it otherwise.
+    Access {
+        /// Variable name (package-qualified where the frontend knows it).
+        var: String,
+        /// True for writes, false for reads.
+        is_write: bool,
+        /// Source location of the access.
+        loc: Loc,
+    },
 }
 
 impl fmt::Display for Effect {
@@ -249,6 +261,13 @@ impl fmt::Display for Effect {
                 write!(f, "cond.{}", if *all { "Broadcast" } else { "Signal" })
             }
             Effect::Panic { msg, .. } => write!(f, "panic({msg})"),
+            Effect::Access { var, is_write, loc } => {
+                write!(
+                    f,
+                    "{} {var} at {loc}",
+                    if *is_write { "write" } else { "read" }
+                )
+            }
         }
     }
 }

@@ -28,6 +28,7 @@ use crate::proc::{ArmOp, Effect, ParkReason, Process, Resume, SelectArm};
 use crate::profile::{GoStatus, GoroutineProfile, GoroutineRecord};
 use crate::rng::SplitMix64;
 use crate::val::{ChanRef, Val};
+use crate::vc::VClock;
 
 /// Scheduler configuration.
 #[derive(Debug, Clone)]
@@ -130,9 +131,50 @@ pub struct ExitRecord {
     pub at: u64,
 }
 
+/// A shared-variable access recorded while happens-before tracking is
+/// enabled ([`Runtime::enable_hb`]). The `clock` is the accessing
+/// goroutine's vector clock at the instant of the access; two accesses
+/// whose clocks are [concurrent](VClock::concurrent) with at least one
+/// write form a data race.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct AccessEvent {
+    /// The accessing goroutine.
+    pub gid: Gid,
+    /// Variable name as reported by the frontend instrumentation.
+    pub var: String,
+    /// Source location of the access.
+    pub loc: Loc,
+    /// True for writes.
+    pub is_write: bool,
+    /// Vector clock of the goroutine at the access.
+    pub clock: VClock,
+    /// User-level call stack at the access, leaf-most frame first.
+    pub stack: Vec<Frame>,
+}
+
 // ---------------------------------------------------------------------------
 // Internal state
 // ---------------------------------------------------------------------------
+
+/// Per-channel happens-before state. `msg_clocks` parallels the channel
+/// buffer: every buffered value carries the clock of its sender (the zero
+/// clock for timer sends, which create no edge in the Go memory model).
+#[derive(Debug, Default)]
+struct ChanHb {
+    msg_clocks: VecDeque<VClock>,
+    close_clock: Option<VClock>,
+}
+
+/// All happens-before tracking state, boxed behind an `Option` so the
+/// default (tracking off) costs one pointer-sized `None` check per hook.
+#[derive(Debug, Default)]
+struct HbState {
+    clocks: HashMap<Gid, VClock>,
+    chan_hb: HashMap<ChanId, ChanHb>,
+    sem_hb: HashMap<SemId, VClock>,
+    wg_hb: HashMap<WgId, VClock>,
+    accesses: Vec<AccessEvent>,
+}
 
 #[derive(Debug, Clone)]
 struct Waiter {
@@ -333,6 +375,7 @@ pub struct Runtime {
     stats: RuntimeStats,
     exits: Vec<ExitRecord>,
     fatal: Option<String>,
+    hb: Option<Box<HbState>>,
 }
 
 impl std::fmt::Debug for Runtime {
@@ -375,6 +418,7 @@ impl Runtime {
             stats: RuntimeStats::default(),
             exits: Vec::new(),
             fatal: None,
+            hb: None,
         }
     }
 
@@ -410,6 +454,194 @@ impl Runtime {
     /// [`PanicPolicy::CrashProcess`].
     pub fn fatal_panic(&self) -> Option<&str> {
         self.fatal.as_deref()
+    }
+
+    // -- happens-before tracking --------------------------------------------
+
+    /// Turns on vector-clock happens-before tracking. Off by default;
+    /// when off every hook is a single `Option` check and
+    /// [`Effect::Access`] events are discarded.
+    pub fn enable_hb(&mut self) {
+        if self.hb.is_none() {
+            self.hb = Some(Box::default());
+        }
+    }
+
+    /// True when happens-before tracking is enabled.
+    pub fn hb_enabled(&self) -> bool {
+        self.hb.is_some()
+    }
+
+    /// Drains the shared-variable access events recorded so far.
+    /// Empty unless [`Runtime::enable_hb`] was called before the run.
+    pub fn take_access_events(&mut self) -> Vec<AccessEvent> {
+        self.hb
+            .as_mut()
+            .map(|hb| std::mem::take(&mut hb.accesses))
+            .unwrap_or_default()
+    }
+
+    /// The current vector clock of a goroutine (tests/diagnostics).
+    /// `None` when tracking is off or the goroutine has no clock yet.
+    pub fn hb_clock_of(&self, gid: Gid) -> Option<&VClock> {
+        self.hb.as_ref().and_then(|hb| hb.clocks.get(&gid))
+    }
+
+    /// Spawn edge: the child inherits the parent's clock, then both
+    /// advance so later parent events do not order into the child.
+    fn hb_fork(&mut self, parent: Gid, child: Gid) {
+        if let Some(hb) = self.hb.as_mut() {
+            let mut c = hb.clocks.entry(parent).or_default().clone();
+            c.tick(child);
+            hb.clocks.insert(child, c);
+            hb.clocks.entry(parent).or_default().tick(parent);
+        }
+    }
+
+    /// Rendezvous edge: mutual join of the two goroutines' clocks.
+    /// For an unbuffered transfer both directions are real Go-memory-model
+    /// edges; for a direct handoff to a parked receiver of a buffered
+    /// channel the receiver→sender direction over-approximates (it can
+    /// only suppress reports, never invent them).
+    fn hb_sync_pair(&mut self, a: Gid, b: Gid) {
+        if let Some(hb) = self.hb.as_mut() {
+            let ca = hb.clocks.entry(a).or_default().clone();
+            let cb = hb.clocks.entry(b).or_default();
+            cb.join(&ca);
+            let cb = cb.clone();
+            let ca = hb.clocks.entry(a).or_default();
+            ca.join(&cb);
+            ca.tick(a);
+            hb.clocks.entry(b).or_default().tick(b);
+        }
+    }
+
+    /// Buffered send edge: the sender's clock rides with the message.
+    fn hb_buffer_push(&mut self, ch: ChanId, sender: Option<Gid>) {
+        if let Some(hb) = self.hb.as_mut() {
+            let clock = match sender {
+                Some(gid) => {
+                    let c = hb.clocks.entry(gid).or_default();
+                    let snap = c.clone();
+                    c.tick(gid);
+                    snap
+                }
+                // Timer/harness sends create no edge (Go: timer firings
+                // are not synchronization events).
+                None => VClock::new(),
+            };
+            hb.chan_hb
+                .entry(ch)
+                .or_default()
+                .msg_clocks
+                .push_back(clock);
+        }
+    }
+
+    /// Buffered receive edge: join the message's clock into the receiver.
+    fn hb_buffer_pop(&mut self, ch: ChanId, receiver: Option<Gid>) {
+        if let Some(hb) = self.hb.as_mut() {
+            let clock = hb
+                .chan_hb
+                .entry(ch)
+                .or_default()
+                .msg_clocks
+                .pop_front()
+                .unwrap_or_default();
+            if let Some(gid) = receiver {
+                let c = hb.clocks.entry(gid).or_default();
+                c.join(&clock);
+                c.tick(gid);
+            }
+        }
+    }
+
+    /// Close edge: remember the closer's clock so receives-from-closed
+    /// order after the close.
+    fn hb_close(&mut self, ch: ChanId, closer: Option<Gid>) {
+        if let Some(hb) = self.hb.as_mut() {
+            let clock = match closer {
+                Some(gid) => {
+                    let c = hb.clocks.entry(gid).or_default();
+                    let snap = c.clone();
+                    c.tick(gid);
+                    snap
+                }
+                None => VClock::new(),
+            };
+            hb.chan_hb.entry(ch).or_default().close_clock = Some(clock);
+        }
+    }
+
+    /// Receive-from-closed edge: join the close clock into the receiver.
+    fn hb_join_close(&mut self, ch: ChanId, receiver: Gid) {
+        if let Some(hb) = self.hb.as_mut() {
+            let clock = hb
+                .chan_hb
+                .entry(ch)
+                .or_default()
+                .close_clock
+                .clone()
+                .unwrap_or_default();
+            let c = hb.clocks.entry(receiver).or_default();
+            c.join(&clock);
+            c.tick(receiver);
+        }
+    }
+
+    /// Release edge into a primitive clock (mutex unlock, wg.Done).
+    fn hb_release(clock_map: &mut HashMap<Gid, VClock>, slot: &mut VClock, gid: Gid) {
+        let c = clock_map.entry(gid).or_default();
+        slot.join(c);
+        c.tick(gid);
+    }
+
+    /// Acquire edge from a primitive clock (mutex lock, wg.Wait).
+    fn hb_acquire(clock_map: &mut HashMap<Gid, VClock>, slot: &VClock, gid: Gid) {
+        let c = clock_map.entry(gid).or_default();
+        c.join(slot);
+        c.tick(gid);
+    }
+
+    fn hb_sem_release(&mut self, sem: SemId, gid: Gid) {
+        if let Some(hb) = self.hb.as_mut() {
+            let mut slot = hb.sem_hb.remove(&sem).unwrap_or_default();
+            Self::hb_release(&mut hb.clocks, &mut slot, gid);
+            hb.sem_hb.insert(sem, slot);
+        }
+    }
+
+    fn hb_sem_acquire(&mut self, sem: SemId, gid: Gid) {
+        if let Some(hb) = self.hb.as_mut() {
+            let slot = hb.sem_hb.entry(sem).or_default().clone();
+            Self::hb_acquire(&mut hb.clocks, &slot, gid);
+        }
+    }
+
+    fn hb_wg_done(&mut self, wg: WgId, gid: Gid) {
+        if let Some(hb) = self.hb.as_mut() {
+            let mut slot = hb.wg_hb.remove(&wg).unwrap_or_default();
+            Self::hb_release(&mut hb.clocks, &mut slot, gid);
+            hb.wg_hb.insert(wg, slot);
+        }
+    }
+
+    fn hb_wg_wait(&mut self, wg: WgId, gid: Gid) {
+        if let Some(hb) = self.hb.as_mut() {
+            let slot = hb.wg_hb.entry(wg).or_default().clone();
+            Self::hb_acquire(&mut hb.clocks, &slot, gid);
+        }
+    }
+
+    /// Direct notifier→waiter edge (cond signal/broadcast).
+    fn hb_notify(&mut self, notifier: Gid, waiter: Gid) {
+        if let Some(hb) = self.hb.as_mut() {
+            let cn = hb.clocks.entry(notifier).or_default().clone();
+            let cw = hb.clocks.entry(waiter).or_default();
+            cw.join(&cn);
+            cw.tick(waiter);
+            hb.clocks.entry(notifier).or_default().tick(notifier);
+        }
     }
 
     /// Spawns a top-level goroutine.
@@ -468,7 +700,7 @@ impl Runtime {
     /// harness cancelling contexts). Blocked receivers wake with the zero
     /// value; blocked senders panic as in Go.
     pub fn external_close(&mut self, ch: ChanId) {
-        self.close_chan(ch, true);
+        self.close_chan(ch, true, None);
     }
 
     /// Number of values currently buffered in the channel (None if the
@@ -683,7 +915,7 @@ impl Runtime {
             }
             Effect::Cancel { ch, .. } => {
                 if let ChanRef::Chan(id) = ch.chan_ref() {
-                    self.close_chan(id, true);
+                    self.close_chan(id, true, Some(g.gid));
                 }
                 EffectOutcome::Continue(Resume::Unit)
             }
@@ -696,6 +928,7 @@ impl Runtime {
                     .unwrap_or_else(|| g.name.clone());
                 let created_by = Frame::new(parent_fn, loc);
                 let gid = self.spawn(name, created_by, body);
+                self.hb_fork(g.gid, gid);
                 EffectOutcome::Continue(Resume::Spawned(gid))
             }
             Effect::Sleep { ticks, loc: _ } => {
@@ -740,7 +973,7 @@ impl Runtime {
                     if self.chans.get(&id).map(|c| c.closed).unwrap_or(false) {
                         EffectOutcome::Exited(Some(format!("close of closed channel at {loc}")))
                     } else {
-                        self.close_chan(id, false);
+                        self.close_chan(id, false, Some(g.gid));
                         EffectOutcome::Continue(Resume::Unit)
                     }
                 }
@@ -780,6 +1013,7 @@ impl Runtime {
                 let s = self.sems.get_mut(&id).expect("unknown semaphore");
                 if s.permits > 0 {
                     s.permits -= 1;
+                    self.hb_sem_acquire(id, g.gid);
                     EffectOutcome::Continue(Resume::Unit)
                 } else {
                     g.wait_seq += 1;
@@ -802,6 +1036,7 @@ impl Runtime {
                         )))
                     }
                 };
+                self.hb_sem_release(id, g.gid);
                 let next = {
                     let s = self.sems.get_mut(&id).expect("unknown semaphore");
                     match s.waiters.pop_front() {
@@ -823,6 +1058,7 @@ impl Runtime {
                             },
                         );
                     }
+                    self.hb_sem_acquire(id, w.gid);
                 }
                 EffectOutcome::Continue(Resume::Unit)
             }
@@ -856,8 +1092,15 @@ impl Runtime {
                         "sync: negative WaitGroup counter at {loc}"
                     )));
                 }
+                if delta < 0 {
+                    // wg.Done: the completing goroutine's clock flows into
+                    // the group so Wait returns ordered after every Done.
+                    self.hb_wg_done(id, g.gid);
+                }
                 for w in wake {
-                    self.wake_if_live(&w, Resume::Unit);
+                    if self.wake_if_live(&w, Resume::Unit) {
+                        self.hb_wg_wait(id, w.gid);
+                    }
                 }
                 EffectOutcome::Continue(Resume::Unit)
             }
@@ -872,6 +1115,7 @@ impl Runtime {
                 };
                 let w = self.wgs.get_mut(&id).expect("unknown waitgroup");
                 if w.count == 0 {
+                    self.hb_wg_wait(id, g.gid);
                     EffectOutcome::Continue(Resume::Unit)
                 } else {
                     g.wait_seq += 1;
@@ -929,7 +1173,26 @@ impl Runtime {
                     }
                 };
                 for w in to_wake {
-                    self.wake_if_live(&w, Resume::Unit);
+                    if self.wake_if_live(&w, Resume::Unit) {
+                        self.hb_notify(g.gid, w.gid);
+                    }
+                }
+                EffectOutcome::Continue(Resume::Unit)
+            }
+            Effect::Access { var, is_write, loc } => {
+                if let Some(hb) = self.hb.as_mut() {
+                    let stack = g.body.stack();
+                    let c = hb.clocks.entry(g.gid).or_default();
+                    let clock = c.clone();
+                    c.tick(g.gid);
+                    hb.accesses.push(AccessEvent {
+                        gid: g.gid,
+                        var,
+                        loc,
+                        is_write,
+                        clock,
+                        stack,
+                    });
                 }
                 EffectOutcome::Continue(Resume::Unit)
             }
@@ -955,12 +1218,14 @@ impl Runtime {
                 // Rendezvous with a waiting receiver first.
                 if let Some(w) = self.pop_live_receiver(id) {
                     self.deliver_to_receiver(&w, val, true);
+                    self.hb_sync_pair(g.gid, w.gid);
                     self.stats.msgs_transferred += 1;
                     return EffectOutcome::Continue(Resume::Sent);
                 }
                 let c = self.chans.get_mut(&id).expect("channel disappeared");
                 if c.buf.len() < c.cap {
                     c.buf.push_back(val);
+                    self.hb_buffer_push(id, Some(g.gid));
                     self.stats.msgs_transferred += 1;
                     return EffectOutcome::Continue(Resume::Sent);
                 }
@@ -987,7 +1252,7 @@ impl Runtime {
             ChanRef::NotAChan => {
                 EffectOutcome::Exited(Some(format!("receive on non-channel value at {loc}")))
             }
-            ChanRef::Chan(id) => match self.recv_ready_value(id) {
+            ChanRef::Chan(id) => match self.recv_ready_value(id, Some(g.gid)) {
                 Some((val, ok)) => EffectOutcome::Continue(Resume::Received { val, ok }),
                 None => {
                     let c = self.chans.get_mut(&id).expect("channel disappeared");
@@ -1008,13 +1273,16 @@ impl Runtime {
     /// Tries to produce a value for a receiver on `id`. Wakes a blocked
     /// sender if the operation frees buffer space or completes a
     /// rendezvous. Returns None when the receive would block.
-    fn recv_ready_value(&mut self, id: ChanId) -> Option<(Val, bool)> {
+    /// `recv_gid` is the receiving goroutine for happens-before edges
+    /// (None for external harness receives).
+    fn recv_ready_value(&mut self, id: ChanId, recv_gid: Option<Gid>) -> Option<(Val, bool)> {
         // Buffered value available?
         let buffered = {
             let c = self.chans.get_mut(&id)?;
             c.buf.pop_front()
         };
         if let Some(val) = buffered {
+            self.hb_buffer_pop(id, recv_gid);
             // A blocked sender can now move its value into the freed slot.
             // Messages are counted once, at insertion/handoff, so the pop
             // itself does not increment the counter.
@@ -1022,6 +1290,7 @@ impl Runtime {
                 let sent_val = self.sender_value(&w);
                 let c = self.chans.get_mut(&id).expect("channel disappeared");
                 c.buf.push_back(sent_val);
+                self.hb_buffer_push(id, Some(w.gid));
                 self.complete_sender(&w);
                 self.stats.msgs_transferred += 1;
             }
@@ -1030,13 +1299,26 @@ impl Runtime {
         // Unbuffered (or empty buffer): rendezvous with a blocked sender.
         if let Some(w) = self.pop_live_sender(id) {
             let val = self.sender_value(&w);
+            if let Some(r) = recv_gid {
+                self.hb_sync_pair(r, w.gid);
+            }
             self.complete_sender(&w);
             self.stats.msgs_transferred += 1;
             return Some((val, true));
         }
-        let c = self.chans.get(&id)?;
-        if c.closed {
-            return Some((c.zero.clone(), false));
+        let closed_zero = {
+            let c = self.chans.get(&id)?;
+            if c.closed {
+                Some(c.zero.clone())
+            } else {
+                None
+            }
+        };
+        if let Some(zero) = closed_zero {
+            if let Some(r) = recv_gid {
+                self.hb_join_close(id, r);
+            }
+            return Some((zero, false));
         }
         None
     }
@@ -1084,7 +1366,7 @@ impl Runtime {
         self.wake_if_live(w, resume);
     }
 
-    fn close_chan(&mut self, id: ChanId, idempotent: bool) {
+    fn close_chan(&mut self, id: ChanId, idempotent: bool, closer: Option<Gid>) {
         let (receivers, senders, zero) = match self.chans.get_mut(&id) {
             None => return,
             Some(c) => {
@@ -1100,8 +1382,10 @@ impl Runtime {
                 )
             }
         };
+        self.hb_close(id, closer);
         for w in receivers {
             if self.waiter_live(&w) {
+                self.hb_join_close(id, w.gid);
                 self.deliver_to_receiver(&w, zero.clone(), false);
             }
         }
@@ -1153,7 +1437,7 @@ impl Runtime {
                         .as_chan()
                         .expect("ready recv arm must have a real channel");
                     let (val, ok) = self
-                        .recv_ready_value(id)
+                        .recv_ready_value(id, Some(g.gid))
                         .expect("arm was ready; receive must complete");
                     EffectOutcome::Continue(Resume::Selected {
                         arm: Some(pick),
@@ -1172,10 +1456,12 @@ impl Runtime {
                     }
                     if let Some(w) = self.pop_live_receiver(id) {
                         self.deliver_to_receiver(&w, val, true);
+                        self.hb_sync_pair(g.gid, w.gid);
                     } else {
                         let c = self.chans.get_mut(&id).expect("channel disappeared");
                         debug_assert!(c.buf.len() < c.cap, "ready send arm must have space");
                         c.buf.push_back(val);
+                        self.hb_buffer_push(id, Some(g.gid));
                     }
                     self.stats.msgs_transferred += 1;
                     EffectOutcome::Continue(Resume::Selected {
@@ -1235,6 +1521,9 @@ impl Runtime {
         let c = self.chans.get_mut(&id).expect("channel disappeared");
         if c.buf.len() < c.cap {
             c.buf.push_back(val);
+            // Timer/harness send: keep the clock queue parallel to the
+            // buffer, with the zero clock (no synchronization edge).
+            self.hb_buffer_push(id, None);
             self.stats.msgs_transferred += 1;
             true
         } else {
@@ -1349,7 +1638,7 @@ impl Runtime {
                     }
                 }
                 TimerKind::CloseCtx { ch } => {
-                    self.close_chan(ch, true);
+                    self.close_chan(ch, true, None);
                 }
             }
         }

@@ -418,6 +418,9 @@ impl ScriptProc {
         }
         match stmt {
             Stmt::Nop => Ok(StepOut::Flow),
+            Stmt::Access { var, is_write, loc } => {
+                Ok(StepOut::Eff(Effect::Access { var, is_write, loc }))
+            }
             Stmt::Assign { var, expr, .. } => {
                 let v = self.eval_top(&expr)?;
                 self.top().env.insert(var, v);

@@ -458,6 +458,17 @@ pub enum Stmt {
         /// Source location.
         loc: Loc,
     },
+    /// A shared-variable access marker (emitted by race-instrumented
+    /// lowering; see `minigo::compile_many_race`). Forwarded to the
+    /// runtime as [`crate::Effect::Access`].
+    Access {
+        /// Variable name.
+        var: String,
+        /// True for writes.
+        is_write: bool,
+        /// Source location of the access.
+        loc: Loc,
+    },
     /// No-op (placeholder produced by some lowerings).
     Nop,
 }
@@ -502,7 +513,8 @@ impl Stmt {
             | Unlock { loc, .. }
             | MakeCond { loc, .. }
             | CondWait { loc, .. }
-            | CondNotify { loc, .. } => loc.clone(),
+            | CondNotify { loc, .. }
+            | Access { loc, .. } => loc.clone(),
             Nop => Loc::unknown(),
         }
     }

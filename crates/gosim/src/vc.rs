@@ -1,0 +1,148 @@
+//! Vector clocks for happens-before tracking.
+//!
+//! A [`VClock`] maps goroutine ids to logical timestamps. The runtime
+//! keeps one clock per live goroutine and one per synchronization
+//! primitive (channel message slots, mutex release points, WaitGroup
+//! completion, Cond notification). Every synchronization edge the Go
+//! memory model defines becomes a `join` between the two clocks; race
+//! detection then reduces to comparing the clocks captured at two
+//! shared-variable accesses with [`VClock::happens_before`].
+//!
+//! Clocks are sparse: goroutines a clock has never heard from are
+//! implicitly at timestamp 0, so short-lived programs with thousands of
+//! goroutines stay cheap.
+
+use crate::ids::Gid;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A sparse vector clock over goroutine ids.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VClock {
+    entries: BTreeMap<Gid, u64>,
+}
+
+impl VClock {
+    /// The zero clock (bottom element of the join semilattice).
+    pub fn new() -> Self {
+        VClock::default()
+    }
+
+    /// The timestamp this clock holds for `gid` (0 if absent).
+    pub fn get(&self, gid: Gid) -> u64 {
+        self.entries.get(&gid).copied().unwrap_or(0)
+    }
+
+    /// Advances this goroutine's own component by one.
+    pub fn tick(&mut self, gid: Gid) {
+        *self.entries.entry(gid).or_insert(0) += 1;
+    }
+
+    /// Pointwise maximum with `other` (the join of the semilattice).
+    pub fn join(&mut self, other: &VClock) {
+        for (gid, ts) in &other.entries {
+            let slot = self.entries.entry(*gid).or_insert(0);
+            if *ts > *slot {
+                *slot = *ts;
+            }
+        }
+    }
+
+    /// True when `self` ≤ `other` pointwise and `self` ≠ `other`:
+    /// the event stamped `self` happened strictly before the event
+    /// stamped `other`.
+    pub fn happens_before(&self, other: &VClock) -> bool {
+        self.le(other) && self != other
+    }
+
+    /// True when neither clock happens-before the other — the two
+    /// events are concurrent (the race condition precondition).
+    pub fn concurrent(&self, other: &VClock) -> bool {
+        !self.le(other) && !other.le(self)
+    }
+
+    /// Pointwise ≤ (every component of `self` is ≤ in `other`).
+    pub fn le(&self, other: &VClock) -> bool {
+        self.entries.iter().all(|(gid, ts)| other.get(*gid) >= *ts)
+    }
+
+    /// Number of goroutines with a non-zero component.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no goroutine has advanced (the zero clock).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(gid, timestamp)` pairs in gid order.
+    pub fn iter(&self) -> impl Iterator<Item = (Gid, u64)> + '_ {
+        self.entries.iter().map(|(g, t)| (*g, *t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(n: u64) -> Gid {
+        Gid(n)
+    }
+
+    #[test]
+    fn zero_clock_is_bottom() {
+        let z = VClock::new();
+        let mut c = VClock::new();
+        c.tick(g(1));
+        assert!(z.le(&c));
+        assert!(z.happens_before(&c));
+        assert!(!c.happens_before(&z));
+        assert!(!z.happens_before(&z));
+    }
+
+    #[test]
+    fn tick_advances_only_own_component() {
+        let mut c = VClock::new();
+        c.tick(g(3));
+        c.tick(g(3));
+        assert_eq!(c.get(g(3)), 2);
+        assert_eq!(c.get(g(4)), 0);
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VClock::new();
+        a.tick(g(1));
+        a.tick(g(1));
+        let mut b = VClock::new();
+        b.tick(g(2));
+        let mut j = a.clone();
+        j.join(&b);
+        assert_eq!(j.get(g(1)), 2);
+        assert_eq!(j.get(g(2)), 1);
+        assert!(a.le(&j) && b.le(&j));
+    }
+
+    #[test]
+    fn concurrent_clocks_do_not_order() {
+        let mut a = VClock::new();
+        a.tick(g(1));
+        let mut b = VClock::new();
+        b.tick(g(2));
+        assert!(a.concurrent(&b));
+        assert!(!a.happens_before(&b));
+        assert!(!b.happens_before(&a));
+    }
+
+    #[test]
+    fn ordered_after_join() {
+        let mut a = VClock::new();
+        a.tick(g(1));
+        let mut b = VClock::new();
+        b.join(&a);
+        b.tick(g(2));
+        assert!(a.happens_before(&b));
+        assert!(!a.concurrent(&b));
+    }
+}

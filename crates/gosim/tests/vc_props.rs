@@ -1,0 +1,105 @@
+//! Property-based tests of the vector-clock algebra.
+//!
+//! The happens-before engine is only sound if `VClock` really is a join
+//! semilattice with `happens_before` a strict partial order. These
+//! properties pin that algebra: join commutativity / associativity /
+//! idempotence with the zero clock as identity, tick monotonicity, and
+//! irreflexivity / transitivity / antisymmetry of `happens_before`.
+
+use gosim::{Gid, VClock};
+use proptest::prelude::*;
+
+/// An arbitrary sparse clock over a small gid universe (so that
+/// generated clocks actually collide and compare nontrivially).
+fn arb_clock() -> impl Strategy<Value = VClock> {
+    proptest::collection::vec((0u64..6, 0u64..8), 0..8).prop_map(|pairs| {
+        let mut c = VClock::new();
+        for (g, n) in pairs {
+            for _ in 0..n {
+                c.tick(Gid(g));
+            }
+        }
+        c
+    })
+}
+
+fn joined(a: &VClock, b: &VClock) -> VClock {
+    let mut out = a.clone();
+    out.join(b);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn join_is_commutative(a in arb_clock(), b in arb_clock()) {
+        prop_assert_eq!(joined(&a, &b), joined(&b, &a));
+    }
+
+    #[test]
+    fn join_is_associative(a in arb_clock(), b in arb_clock(), c in arb_clock()) {
+        prop_assert_eq!(joined(&joined(&a, &b), &c), joined(&a, &joined(&b, &c)));
+    }
+
+    #[test]
+    fn join_is_idempotent(a in arb_clock()) {
+        prop_assert_eq!(joined(&a, &a), a);
+    }
+
+    #[test]
+    fn zero_is_join_identity(a in arb_clock()) {
+        prop_assert_eq!(joined(&a, &VClock::new()), a.clone());
+        prop_assert_eq!(joined(&VClock::new(), &a), a);
+    }
+
+    #[test]
+    fn join_is_an_upper_bound(a in arb_clock(), b in arb_clock()) {
+        let j = joined(&a, &b);
+        prop_assert!(a.le(&j));
+        prop_assert!(b.le(&j));
+    }
+
+    #[test]
+    fn tick_is_strictly_monotonic(a in arb_clock(), g in 0u64..6) {
+        let mut t = a.clone();
+        t.tick(Gid(g));
+        prop_assert!(a.happens_before(&t));
+        prop_assert_eq!(t.get(Gid(g)), a.get(Gid(g)) + 1);
+    }
+
+    #[test]
+    fn happens_before_is_irreflexive(a in arb_clock()) {
+        prop_assert!(!a.happens_before(&a));
+        prop_assert!(!a.concurrent(&a), "a clock is ordered with itself (le)");
+    }
+
+    #[test]
+    fn happens_before_is_transitive(a in arb_clock(), b in arb_clock(), c in arb_clock()) {
+        if a.happens_before(&b) && b.happens_before(&c) {
+            prop_assert!(a.happens_before(&c));
+        }
+    }
+
+    #[test]
+    fn happens_before_is_antisymmetric(a in arb_clock(), b in arb_clock()) {
+        prop_assert!(!(a.happens_before(&b) && b.happens_before(&a)));
+    }
+
+    #[test]
+    fn trichotomy_of_orderings(a in arb_clock(), b in arb_clock()) {
+        // Exactly one of: a < b, b < a, a == b, or a ∥ b.
+        let states = [
+            a.happens_before(&b),
+            b.happens_before(&a),
+            a == b,
+            a.concurrent(&b),
+        ];
+        prop_assert_eq!(states.iter().filter(|&&s| s).count(), 1);
+    }
+
+    #[test]
+    fn concurrent_is_symmetric(a in arb_clock(), b in arb_clock()) {
+        prop_assert_eq!(a.concurrent(&b), b.concurrent(&a));
+    }
+}

@@ -532,6 +532,7 @@ mod tests {
             ChanOpKind::Send => "runtime.chansend1",
             ChanOpKind::Recv => "runtime.chanrecv1",
             ChanOpKind::Select => "runtime.selectgo",
+            ChanOpKind::Race => "runtime.racecheck",
         };
         GoroutineRecord {
             gid: Gid(gid),

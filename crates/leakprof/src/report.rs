@@ -64,10 +64,18 @@ impl Suspect {
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "POTENTIAL GOROUTINE LEAK: {}", self.stats.op);
+        let headline = match self.stats.op.kind {
+            crate::signature::ChanOpKind::Race => "DATA RACE",
+            _ => "POTENTIAL GOROUTINE LEAK",
+        };
+        let _ = writeln!(out, "{headline}: {}", self.stats.op);
+        let noun = match self.stats.op.kind {
+            crate::signature::ChanOpKind::Race => "racing accesses",
+            _ => "blocked goroutines",
+        };
         let _ = writeln!(
             out,
-            "  blocked goroutines: total={} max-instance={} rms={:.1}",
+            "  {noun}: total={} max-instance={} rms={:.1}",
             self.stats.total, self.stats.max_instance, self.stats.rms
         );
         let _ = writeln!(

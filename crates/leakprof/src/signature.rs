@@ -28,6 +28,11 @@ pub enum ChanOpKind {
     Recv,
     /// Blocked in a `select`.
     Select,
+    /// Not a blocking operation: a data race detected by the
+    /// happens-before engine (`racecheck` crate). Races ride the same
+    /// fingerprint → ranking → ledger pipeline as leaks; the location is
+    /// the racing access site.
+    Race,
 }
 
 impl fmt::Display for ChanOpKind {
@@ -36,6 +41,7 @@ impl fmt::Display for ChanOpKind {
             ChanOpKind::Send => write!(f, "chan send"),
             ChanOpKind::Recv => write!(f, "chan receive"),
             ChanOpKind::Select => write!(f, "select"),
+            ChanOpKind::Race => write!(f, "data race"),
         }
     }
 }

@@ -49,7 +49,7 @@ pub mod printer;
 pub mod program;
 pub mod token;
 
-pub use lower::{lower_file, lower_files};
+pub use lower::{lower_file, lower_files, lower_files_race};
 pub use parser::{parse_file, Diag};
 pub use printer::{print_expr, print_file, print_func};
 pub use program::{FuncRef, Program};
@@ -85,4 +85,27 @@ pub fn compile_many(sources: &[(String, String)]) -> Result<Prog, Vec<Diag>> {
         return Err(errors);
     }
     lower_files(&files)
+}
+
+/// Like [`compile_many`], but with race instrumentation: shared-variable
+/// reads and writes emit [`gosim::Effect::Access`] events for the
+/// happens-before race detector (`racecheck` crate). Requires
+/// [`gosim::Runtime::enable_hb`] on the runtime to collect events.
+///
+/// # Errors
+///
+/// Returns accumulated diagnostics across all files.
+pub fn compile_many_race(sources: &[(String, String)]) -> Result<Prog, Vec<Diag>> {
+    let mut files = Vec::new();
+    let mut errors = Vec::new();
+    for (src, path) in sources {
+        match parse_file(src, path) {
+            Ok(f) => files.push(f),
+            Err(mut e) => errors.append(&mut e),
+        }
+    }
+    if !errors.is_empty() {
+        return Err(errors);
+    }
+    lower_files_race(&files)
 }

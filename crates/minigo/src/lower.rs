@@ -38,10 +38,29 @@ use crate::parser::Diag;
 ///
 /// Returns diagnostics for constructs outside the supported subset.
 pub fn lower_files(files: &[File]) -> Result<Prog, Vec<Diag>> {
+    lower_files_inner(files, false)
+}
+
+/// Lowers files with race instrumentation: every read/write of a
+/// variable shared between goroutines (captured by a closure spawned
+/// with `go`, or referenced from several closures) additionally emits a
+/// [`gosim::Effect::Access`] event carrying the variable name and
+/// source line. The un-instrumented [`lower_files`] path is untouched,
+/// so programs compiled without race mode pay nothing.
+pub fn lower_files_race(files: &[File]) -> Result<Prog, Vec<Diag>> {
+    lower_files_inner(files, true)
+}
+
+fn lower_files_inner(files: &[File], race: bool) -> Result<Prog, Vec<Diag>> {
     let mut funcs = Vec::new();
     let mut errors = Vec::new();
     for file in files {
         for f in &file.funcs {
+            let shared = if race {
+                shared_vars(&f.body)
+            } else {
+                HashSet::new()
+            };
             let mut cx = Lowerer {
                 package: file.package.clone(),
                 file: Arc::from(file.path.as_str()),
@@ -51,6 +70,9 @@ pub fn lower_files(files: &[File]) -> Result<Prog, Vec<Diag>> {
                 cancels: HashSet::new(),
                 conds: HashSet::new(),
                 errors: Vec::new(),
+                race,
+                shared,
+                suppress_access: false,
             };
             let def = cx.func(f);
             errors.extend(cx.errors);
@@ -73,6 +95,254 @@ pub fn lower_file(file: &File) -> Result<Prog, Vec<Diag>> {
     lower_files(std::slice::from_ref(file))
 }
 
+/// Computes the variables of a function body that more than one
+/// goroutine can touch: names referenced both inside and outside a `go`
+/// closure, in two different closures, or inside a closure spawned
+/// within a loop (every iteration spawns another goroutine over the
+/// same captured frame). Synchronization handles — channels, contexts,
+/// cancel functions, `sync` primitives, timer channels — are excluded:
+/// operating on them *is* synchronization, not shared data access.
+fn shared_vars(body: &[Stmt]) -> HashSet<String> {
+    let mut scan = SharedScan::default();
+    scan.stmts(body, 0, false);
+    scan.refs
+        .iter()
+        .filter(|(name, ctxs)| {
+            !scan.excluded.contains(*name)
+                && ctxs.iter().any(|&c| c > 0)
+                && (ctxs.len() >= 2 || scan.looped.contains(*name))
+        })
+        .map(|(name, _)| name.clone())
+        .collect()
+}
+
+#[derive(Default)]
+struct SharedScan {
+    /// name → the set of contexts referencing it (0 = the function body,
+    /// each `go` closure gets a fresh context id).
+    refs: std::collections::HashMap<String, HashSet<usize>>,
+    /// Names referenced inside a closure that is spawned within a loop.
+    looped: HashSet<String>,
+    /// Synchronization handles, never data-race candidates.
+    excluded: HashSet<String>,
+    next_ctx: usize,
+}
+
+impl SharedScan {
+    fn reference(&mut self, name: &str, ctx: usize, in_loop: bool) {
+        self.refs.entry(name.to_string()).or_default().insert(ctx);
+        if ctx > 0 && in_loop {
+            self.looped.insert(name.to_string());
+        }
+    }
+
+    fn expr(&mut self, e: &Expr, ctx: usize, in_loop: bool) {
+        match e {
+            Expr::Ident(n) => self.reference(n, ctx, in_loop),
+            Expr::Unary(_, inner) | Expr::Len(inner) => self.expr(inner, ctx, in_loop),
+            Expr::Binary(_, a, b) | Expr::Index(a, b) => {
+                self.expr(a, ctx, in_loop);
+                self.expr(b, ctx, in_loop);
+            }
+            Expr::ListLit(items) => {
+                for i in items {
+                    self.expr(i, ctx, in_loop);
+                }
+            }
+            Expr::Int(_) | Expr::Str(_) | Expr::Bool(_) | Expr::Nil => {}
+        }
+    }
+
+    fn recv_src(&mut self, src: &RecvSrc, ctx: usize, in_loop: bool) {
+        match src {
+            RecvSrc::Chan(e) => self.expr(e, ctx, in_loop),
+            RecvSrc::CtxDone(c) => self.reference(c, ctx, in_loop),
+            RecvSrc::TimeAfter(d) | RecvSrc::TimeTick(d) => self.expr(d, ctx, in_loop),
+        }
+    }
+
+    fn call(&mut self, call: &CallExpr, ctx: usize, in_loop: bool) {
+        for a in &call.args {
+            self.expr(a, ctx, in_loop);
+        }
+        // Method receivers are either packages (`time`, `sim`) or sync
+        // primitives (`wg`, `mu`, `cv`) — none are data-race candidates,
+        // so receivers are deliberately not referenced here.
+    }
+
+    fn stmts(&mut self, body: &[Stmt], ctx: usize, in_loop: bool) {
+        for s in body {
+            self.stmt(s, ctx, in_loop);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt, ctx: usize, in_loop: bool) {
+        match s {
+            Stmt::Assign { name, expr, .. } => {
+                self.reference(name, ctx, in_loop);
+                self.expr(expr, ctx, in_loop);
+            }
+            Stmt::MakeChan { name, cap, .. } => {
+                self.excluded.insert(name.clone());
+                if let Some(c) = cap {
+                    self.expr(c, ctx, in_loop);
+                }
+            }
+            Stmt::Send { ch, val, .. } => {
+                self.expr(ch, ctx, in_loop);
+                self.expr(val, ctx, in_loop);
+            }
+            Stmt::Recv { name, ok, src, .. } => {
+                if let Some(n) = name {
+                    self.reference(n, ctx, in_loop);
+                }
+                if let Some(o) = ok {
+                    self.reference(o, ctx, in_loop);
+                }
+                self.recv_src(src, ctx, in_loop);
+            }
+            Stmt::Close { ch, .. } => self.expr(ch, ctx, in_loop),
+            Stmt::Go { call, .. } => match call {
+                GoCall::Closure { body } | GoCall::Wrapper { body, .. } => {
+                    self.next_ctx += 1;
+                    let closure_ctx = self.next_ctx;
+                    self.stmts(body, closure_ctx, in_loop);
+                }
+                GoCall::Named { args, .. } => {
+                    for a in args {
+                        self.expr(a, ctx, in_loop);
+                    }
+                }
+            },
+            Stmt::Call { ret, call, .. } => {
+                if let Some(r) = ret {
+                    // time.After/time.Tick results are timer channels.
+                    let is_timer_chan = matches!(
+                        &call.target,
+                        CallTarget::Method { recv, name }
+                            if recv == "time" && (name == "After" || name == "Tick")
+                    );
+                    if is_timer_chan {
+                        self.excluded.insert(r.clone());
+                    } else {
+                        self.reference(r, ctx, in_loop);
+                    }
+                }
+                self.call(call, ctx, in_loop);
+            }
+            Stmt::CtxDecl {
+                ctx: c,
+                cancel,
+                timeout,
+                ..
+            } => {
+                self.excluded.insert(c.clone());
+                self.excluded.insert(cancel.clone());
+                if let Some(t) = timeout {
+                    self.expr(t, ctx, in_loop);
+                }
+            }
+            Stmt::Select { cases, default, .. } => {
+                for case in cases {
+                    match case {
+                        SelCase::Recv {
+                            name,
+                            ok,
+                            src,
+                            body,
+                            ..
+                        } => {
+                            if let Some(n) = name {
+                                self.reference(n, ctx, in_loop);
+                            }
+                            if let Some(o) = ok {
+                                self.reference(o, ctx, in_loop);
+                            }
+                            self.recv_src(src, ctx, in_loop);
+                            self.stmts(body, ctx, in_loop);
+                        }
+                        SelCase::Send { ch, val, body, .. } => {
+                            self.expr(ch, ctx, in_loop);
+                            self.expr(val, ctx, in_loop);
+                            self.stmts(body, ctx, in_loop);
+                        }
+                    }
+                }
+                if let Some(d) = default {
+                    self.stmts(d, ctx, in_loop);
+                }
+            }
+            Stmt::If {
+                cond, then, els, ..
+            } => {
+                self.expr(cond, ctx, in_loop);
+                self.stmts(then, ctx, in_loop);
+                if let Some(e) = els {
+                    self.stmts(e, ctx, in_loop);
+                }
+            }
+            Stmt::For { kind, body, .. } => {
+                match kind {
+                    ForKind::Infinite => {}
+                    ForKind::While(c) => self.expr(c, ctx, in_loop),
+                    ForKind::Range { var, ch } => {
+                        if let Some(v) = var {
+                            self.reference(v, ctx, in_loop);
+                        }
+                        self.expr(ch, ctx, in_loop);
+                    }
+                    ForKind::CStyle { var, n } => {
+                        self.reference(var, ctx, in_loop);
+                        self.expr(n, ctx, in_loop);
+                    }
+                }
+                self.stmts(body, ctx, true);
+            }
+            Stmt::Return { expr, .. } => {
+                if let Some(e) = expr {
+                    self.expr(e, ctx, in_loop);
+                }
+            }
+            Stmt::Break { .. } | Stmt::Continue { .. } | Stmt::Panic { .. } => {}
+            Stmt::Defer { call, .. } => self.call(call, ctx, in_loop),
+            Stmt::VarDecl { name, ty, init, .. } => {
+                match ty {
+                    TypeExpr::WaitGroup | TypeExpr::Mutex | TypeExpr::Cond | TypeExpr::Chan(_) => {
+                        self.excluded.insert(name.clone());
+                    }
+                    _ => self.reference(name, ctx, in_loop),
+                }
+                if let Some(e) = init {
+                    self.expr(e, ctx, in_loop);
+                }
+            }
+        }
+    }
+}
+
+/// Collects shared-variable identifiers referenced by an expression,
+/// deduplicated, in first-appearance order.
+fn collect_shared_idents(e: &Expr, shared: &HashSet<String>, acc: &mut Vec<String>) {
+    match e {
+        Expr::Ident(n) => {
+            if shared.contains(n) && !acc.iter().any(|x| x == n) {
+                acc.push(n.clone());
+            }
+        }
+        Expr::Unary(_, inner) | Expr::Len(inner) => collect_shared_idents(inner, shared, acc),
+        Expr::Binary(_, a, b) | Expr::Index(a, b) => {
+            collect_shared_idents(a, shared, acc);
+            collect_shared_idents(b, shared, acc);
+        }
+        Expr::ListLit(items) => {
+            for i in items {
+                collect_shared_idents(i, shared, acc);
+            }
+        }
+        Expr::Int(_) | Expr::Str(_) | Expr::Bool(_) | Expr::Nil => {}
+    }
+}
+
 fn qualify(pkg: &str, name: &str) -> String {
     if name == "main" {
         "main".to_string()
@@ -92,6 +362,14 @@ struct Lowerer {
     /// Variables declared as `sync.Cond`.
     conds: HashSet<String>,
     errors: Vec<Diag>,
+    /// Race instrumentation enabled for this function.
+    race: bool,
+    /// Variables shared between goroutines in this function (computed on
+    /// the AST before lowering; empty unless `race`).
+    shared: HashSet<String>,
+    /// Suppresses access injection (inside `defer`, which must lower to
+    /// exactly one statement).
+    suppress_access: bool,
 }
 
 impl Lowerer {
@@ -117,11 +395,45 @@ impl Lowerer {
     }
 
     fn stmts(&mut self, body: &[Stmt]) -> Block {
+        block(self.stmts_vec(body))
+    }
+
+    fn stmts_vec(&mut self, body: &[Stmt]) -> Vec<IrStmt> {
         let mut out = Vec::new();
         for s in body {
             self.stmt(s, &mut out);
         }
-        block(out)
+        out
+    }
+
+    /// Emits a read [`IrStmt::Access`] for every shared variable the
+    /// expression references (race mode only).
+    fn inject_reads(&mut self, e: &Expr, line: u32, out: &mut Vec<IrStmt>) {
+        if !self.race || self.suppress_access {
+            return;
+        }
+        let mut names = Vec::new();
+        collect_shared_idents(e, &self.shared, &mut names);
+        for var in names {
+            out.push(IrStmt::Access {
+                var,
+                is_write: false,
+                loc: self.loc(line),
+            });
+        }
+    }
+
+    /// Emits a write [`IrStmt::Access`] if `name` is shared (race mode
+    /// only).
+    fn inject_write(&mut self, name: &str, line: u32, out: &mut Vec<IrStmt>) {
+        if !self.race || self.suppress_access || !self.shared.contains(name) {
+            return;
+        }
+        out.push(IrStmt::Access {
+            var: name.to_string(),
+            is_write: true,
+            loc: self.loc(line),
+        });
     }
 
     fn stmt(&mut self, s: &Stmt, out: &mut Vec<IrStmt>) {
@@ -129,12 +441,14 @@ impl Lowerer {
             Stmt::Assign {
                 name, expr, line, ..
             } => {
+                self.inject_reads(expr, *line, out);
                 let e = self.expr(expr, *line);
                 out.push(IrStmt::Assign {
                     var: name.clone(),
                     expr: e,
                     loc: self.loc(*line),
                 });
+                self.inject_write(name, *line, out);
             }
             Stmt::MakeChan {
                 name,
@@ -154,6 +468,7 @@ impl Lowerer {
                 });
             }
             Stmt::Send { ch, val, line } => {
+                self.inject_reads(val, *line, out);
                 let c = self.expr(ch, *line);
                 let v = self.expr(val, *line);
                 out.push(IrStmt::Send {
@@ -175,6 +490,9 @@ impl Lowerer {
                     ch,
                     loc: self.loc(*line),
                 });
+                if let Some(n) = name {
+                    self.inject_write(n, *line, out);
+                }
             }
             Stmt::Close { ch, line } => {
                 let c = self.expr(ch, *line);
@@ -216,14 +534,20 @@ impl Lowerer {
                             line: cline,
                         } => {
                             let ch = self.recv_channel(src, *cline, out);
-                            let b = self.stmts(body);
+                            // The binding write belongs to the arm body:
+                            // it happens only when this arm is chosen.
+                            let mut bvec = Vec::new();
+                            if let Some(n) = name {
+                                self.inject_write(n, *cline, &mut bvec);
+                            }
+                            bvec.extend(self.stmts_vec(body));
                             arms.push(Arm {
                                 op: ArmIr::Recv {
                                     var: name.clone(),
                                     ok: ok.clone(),
                                     ch,
                                 },
-                                body: b,
+                                body: block(bvec),
                                 loc: self.loc(*cline),
                             });
                         }
@@ -235,10 +559,12 @@ impl Lowerer {
                         } => {
                             let c = self.expr(ch, *cline);
                             let v = self.expr(val, *cline);
-                            let b = self.stmts(body);
+                            let mut bvec = Vec::new();
+                            self.inject_reads(val, *cline, &mut bvec);
+                            bvec.extend(self.stmts_vec(body));
                             arms.push(Arm {
                                 op: ArmIr::Send { ch: c, val: v },
-                                body: b,
+                                body: block(bvec),
                                 loc: self.loc(*cline),
                             });
                         }
@@ -257,6 +583,7 @@ impl Lowerer {
                 els,
                 line,
             } => {
+                self.inject_reads(cond, *line, out);
                 let c = self.expr(cond, *line);
                 let t = self.stmts(then);
                 let e = match els {
@@ -271,34 +598,53 @@ impl Lowerer {
                 });
             }
             Stmt::For { kind, body, line } => {
-                let b = self.stmts(body);
+                // Accesses that recur each iteration (condition reads,
+                // induction-variable writes) are prepended to the body so
+                // race mode sees them per-iteration, not just once.
+                let mut bvec = Vec::new();
+                match kind {
+                    ForKind::While(c) => self.inject_reads(c, *line, &mut bvec),
+                    ForKind::CStyle { var, .. } => self.inject_write(var, *line, &mut bvec),
+                    ForKind::Infinite | ForKind::Range { .. } => {}
+                }
+                bvec.extend(self.stmts_vec(body));
+                let b = block(bvec);
                 let stmt = match kind {
                     ForKind::Infinite => IrStmt::While {
                         cond: None,
                         body: b,
                         loc: self.loc(*line),
                     },
-                    ForKind::While(c) => IrStmt::While {
-                        cond: Some(self.expr(c, *line)),
-                        body: b,
-                        loc: self.loc(*line),
-                    },
+                    ForKind::While(c) => {
+                        self.inject_reads(c, *line, out);
+                        IrStmt::While {
+                            cond: Some(self.expr(c, *line)),
+                            body: b,
+                            loc: self.loc(*line),
+                        }
+                    }
                     ForKind::Range { var, ch } => IrStmt::ForRange {
                         var: var.clone(),
                         ch: self.expr(ch, *line),
                         body: b,
                         loc: self.loc(*line),
                     },
-                    ForKind::CStyle { var, n } => IrStmt::ForN {
-                        var: var.clone(),
-                        n: self.expr(n, *line),
-                        body: b,
-                        loc: self.loc(*line),
-                    },
+                    ForKind::CStyle { var, n } => {
+                        self.inject_reads(n, *line, out);
+                        IrStmt::ForN {
+                            var: var.clone(),
+                            n: self.expr(n, *line),
+                            body: b,
+                            loc: self.loc(*line),
+                        }
+                    }
                 };
                 out.push(stmt);
             }
             Stmt::Return { expr, line } => {
+                if let Some(e) = expr {
+                    self.inject_reads(e, *line, out);
+                }
                 let e = expr.as_ref().map(|e| self.expr(e, *line));
                 out.push(IrStmt::Return {
                     expr: e,
@@ -313,7 +659,12 @@ impl Lowerer {
             }),
             Stmt::Defer { call, line } => {
                 let mut inner = Vec::new();
+                // A defer must lower to exactly one statement, so access
+                // injection is suppressed inside the deferred call.
+                let saved = self.suppress_access;
+                self.suppress_access = true;
                 self.call_stmt(None, call, *line, &mut inner);
+                self.suppress_access = saved;
                 match inner.len() {
                     1 => out.push(IrStmt::Defer {
                         stmt: Box::new(inner.pop().expect("len checked")),
@@ -345,6 +696,9 @@ impl Lowerer {
                     })
                 }
                 _ => {
+                    if let Some(e) = init {
+                        self.inject_reads(e, *line, out);
+                    }
                     let value = match init {
                         Some(e) => self.expr(e, *line),
                         None => IrExpr::Lit(zero_val(ty)),
@@ -354,6 +708,7 @@ impl Lowerer {
                         expr: value,
                         loc: self.loc(*line),
                     });
+                    self.inject_write(name, *line, out);
                 }
             },
             Stmt::Panic { msg, line } => out.push(IrStmt::Panic {
@@ -415,6 +770,9 @@ impl Lowerer {
                 } else {
                     qualify(&self.package, func)
                 };
+                for a in args {
+                    self.inject_reads(a, line, out);
+                }
                 let args = args.iter().map(|a| self.expr(a, line)).collect();
                 out.push(IrStmt::GoCall {
                     func: qualified,
@@ -427,6 +785,9 @@ impl Lowerer {
 
     fn call_stmt(&mut self, ret: Option<&str>, call: &CallExpr, line: u32, out: &mut Vec<IrStmt>) {
         let loc = self.loc(line);
+        for a in &call.args {
+            self.inject_reads(a, line, out);
+        }
         let args: Vec<IrExpr> = call.args.iter().map(|a| self.expr(a, line)).collect();
         let arg = |i: usize| -> IrExpr { args.get(i).cloned().unwrap_or(IrExpr::int(0)) };
         match &call.target {
@@ -531,6 +892,9 @@ impl Lowerer {
                     });
                 }
             },
+        }
+        if let Some(r) = ret {
+            self.inject_write(r, line, out);
         }
     }
 

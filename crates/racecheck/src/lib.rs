@@ -1,0 +1,572 @@
+//! # racecheck — happens-before data-race detection for the leak lab
+//!
+//! `racecheck` closes the gap between the paper's leak detectors and the
+//! *other* dominant concurrency defect class of the enterprise-Go study
+//! line: data races. It consumes the shared-variable access stream the
+//! [`gosim`] runtime records when its happens-before engine is enabled
+//! ([`gosim::Runtime::enable_hb`]) and applies a FastTrack-style
+//! vector-clock analysis: each variable tracks the *epoch* of its last
+//! write plus a read vector, and any pair of accesses to the same
+//! variable from different goroutines that is unordered by
+//! happens-before — with at least one write — is a race.
+//!
+//! Findings carry **both** access stacks, the variable name, and a
+//! description of the synchronization gap, and they convert into the
+//! exact [`leakprof::SiteStats`] shape leaks use, so races flow through
+//! the same fingerprint → RMS ranking → ledger → `/health` pipeline as
+//! goroutine leaks, fleet-wide.
+//!
+//! ```
+//! let src = r#"
+//! package acct
+//!
+//! func Update() {
+//!     done := make(chan bool)
+//!     total := 0
+//!     go func() {
+//!         total = total + 1
+//!         done <- true
+//!     }()
+//!     total = total + 1
+//!     <-done
+//! }
+//! "#;
+//! let report = racecheck::check_sources(
+//!     &[(src.to_string(), "acct/update.go".to_string())],
+//!     "acct.Update",
+//!     &racecheck::RunConfig::default(),
+//! )
+//! .expect("compiles");
+//! assert!(!report.findings.is_empty());
+//! assert!(report.findings.iter().all(|f| f.var == "total"));
+//! ```
+
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+use gosim::{AccessEvent, Frame, Gid, GoStatus, GoroutineRecord, Loc, Runtime, VClock, Val};
+use leakprof::analyze::SiteStats;
+use leakprof::signature::{BlockedOp, ChanOpKind};
+use minigo::Diag;
+use serde::{Deserialize, Serialize};
+
+/// One detected data race: two accesses to the same variable, unordered
+/// by happens-before, at least one of them a write.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RaceFinding {
+    /// The racing variable.
+    pub var: String,
+    /// The earlier access (in the observed schedule), with its full
+    /// stack and vector clock.
+    pub first: AccessEvent,
+    /// The later access that completed the race, with its full stack
+    /// and vector clock.
+    pub second: AccessEvent,
+    /// Human-readable description of the synchronization gap: which
+    /// happens-before edge is missing and why the clocks are
+    /// incomparable.
+    pub gap: String,
+}
+
+impl RaceFinding {
+    /// The site a race is fingerprinted by: the location of the write
+    /// (preferring the later access when both are writes). Mirrors how
+    /// leaks are keyed by their blocking operation's location.
+    pub fn site(&self) -> &Loc {
+        if self.second.is_write {
+            &self.second.loc
+        } else {
+            &self.first.loc
+        }
+    }
+
+    /// Renders the finding the way `go run -race` reports races: both
+    /// stacks, leaf first.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "DATA RACE on `{}`:", self.var);
+        for (label, ev) in [("previous", &self.first), ("current", &self.second)] {
+            let _ = writeln!(
+                out,
+                "  {} {} by goroutine {} at {}:",
+                label,
+                if ev.is_write { "write" } else { "read" },
+                ev.gid.0,
+                ev.loc
+            );
+            for f in &ev.stack {
+                let _ = writeln!(out, "    {} ({})", f.func, f.loc);
+            }
+        }
+        let _ = writeln!(out, "  gap: {}", self.gap);
+        out
+    }
+}
+
+impl fmt::Display for RaceFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "race on `{}`: {} at {} / {} at {}",
+            self.var,
+            access_word(&self.first),
+            self.first.loc,
+            access_word(&self.second),
+            self.second.loc
+        )
+    }
+}
+
+fn access_word(ev: &AccessEvent) -> &'static str {
+    if ev.is_write {
+        "write"
+    } else {
+        "read"
+    }
+}
+
+fn fmt_clock(c: &VClock) -> String {
+    let parts: Vec<String> = c.iter().map(|(g, v)| format!("g{}:{v}", g.0)).collect();
+    format!("{{{}}}", parts.join(" "))
+}
+
+fn gap_text(prev: &AccessEvent, cur: &AccessEvent) -> String {
+    format!(
+        "no happens-before edge orders the {} by goroutine {} at {} (clock {}) \
+         and the {} by goroutine {} at {} (clock {}); the clocks are incomparable, \
+         so no channel, mutex, WaitGroup, or spawn edge connects the two accesses",
+        access_word(prev),
+        prev.gid.0,
+        prev.loc,
+        fmt_clock(&prev.clock),
+        access_word(cur),
+        cur.gid.0,
+        cur.loc,
+        fmt_clock(&cur.clock),
+    )
+}
+
+/// Per-variable FastTrack state: the last write as an epoch
+/// `(gid, component)` plus the event for reporting, and the last read
+/// per goroutine since that write.
+#[derive(Default)]
+struct VarState {
+    last_write: Option<(Gid, u64, AccessEvent)>,
+    reads: BTreeMap<Gid, (u64, AccessEvent)>,
+}
+
+/// True when the prior access at epoch `(g, c)` does **not**
+/// happen-before the current access with clock `cur`: the race
+/// condition for cross-goroutine pairs.
+fn unordered(g: Gid, c: u64, cur: &AccessEvent) -> bool {
+    g != cur.gid && c > cur.clock.get(g)
+}
+
+/// Runs the FastTrack-style detector over an access stream (in observed
+/// execution order, as returned by
+/// [`gosim::Runtime::take_access_events`]). Findings are deduplicated by
+/// `(variable, first site, second site, kinds)` so a race inside a loop
+/// reports once.
+pub fn detect(events: &[AccessEvent]) -> Vec<RaceFinding> {
+    let mut vars: HashMap<String, VarState> = HashMap::new();
+    let mut seen: HashSet<(String, String, String, bool, bool)> = HashSet::new();
+    let mut findings = Vec::new();
+    let mut report = |prev: &AccessEvent, cur: &AccessEvent, var: &str| {
+        // The pair is the same race whichever access the schedule
+        // happened to order first, so the key is direction-insensitive.
+        let mut a = (prev.loc.to_string(), prev.is_write);
+        let mut b = (cur.loc.to_string(), cur.is_write);
+        if b < a {
+            std::mem::swap(&mut a, &mut b);
+        }
+        let key = (var.to_string(), a.0, b.0, a.1, b.1);
+        if seen.insert(key) {
+            findings.push(RaceFinding {
+                var: var.to_string(),
+                gap: gap_text(prev, cur),
+                first: prev.clone(),
+                second: cur.clone(),
+            });
+        }
+    };
+    for ev in events {
+        let st = vars.entry(ev.var.clone()).or_default();
+        // Write-write and write-read races against the last write.
+        if let Some((wg, wc, wev)) = &st.last_write {
+            if unordered(*wg, *wc, ev) {
+                report(wev, ev, &ev.var);
+            }
+        }
+        if ev.is_write {
+            // Read-write races against every read since the last write.
+            for (rg, (rc, rev)) in &st.reads {
+                if unordered(*rg, *rc, ev) {
+                    report(rev, ev, &ev.var);
+                }
+            }
+            st.last_write = Some((ev.gid, ev.clock.get(ev.gid), ev.clone()));
+            st.reads.clear();
+        } else {
+            st.reads.insert(ev.gid, (ev.clock.get(ev.gid), ev.clone()));
+        }
+    }
+    findings
+}
+
+/// A full race-detection report for one program run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RaceReport {
+    /// All deduplicated findings, in detection order.
+    pub findings: Vec<RaceFinding>,
+    /// Findings grouped per write site in the [`SiteStats`] shape the
+    /// leak pipeline ranks and persists.
+    pub suspects: Vec<SiteStats>,
+    /// Number of access events analyzed.
+    pub events_analyzed: usize,
+}
+
+impl RaceReport {
+    /// True when no race was found.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders the report for terminal output.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "=== racecheck: {} race(s) from {} access events\n",
+            self.findings.len(),
+            self.events_analyzed
+        );
+        for f in &self.findings {
+            let _ = writeln!(out);
+            out.push_str(&f.render());
+        }
+        out
+    }
+}
+
+/// Converts findings into ranked [`SiteStats`] — the exact shape leak
+/// suspects use — keyed by `data race at <write site>`. The
+/// representative record's [`blocking_frame`] is the racing access, so
+/// fingerprinting, ledger persistence, and `/health` trends treat races
+/// like any other suspect.
+///
+/// [`blocking_frame`]: GoroutineRecord::blocking_frame
+pub fn suspects_from_findings(instance: &str, findings: &[RaceFinding]) -> Vec<SiteStats> {
+    let labelled: Vec<(String, &RaceFinding)> =
+        findings.iter().map(|f| (instance.to_string(), f)).collect();
+    suspects_from_labelled(&labelled)
+}
+
+/// Like [`suspects_from_findings`], with a per-finding instance label
+/// (e.g. the entry point the race surfaced under), so `per_instance`
+/// reflects which runs hit which site — the multi-instance shape the
+/// fleet RMS ranking expects.
+fn suspects_from_labelled(labelled: &[(String, &RaceFinding)]) -> Vec<SiteStats> {
+    let mut by_site: BTreeMap<Loc, (BTreeMap<String, u64>, GoroutineRecord)> = BTreeMap::new();
+    for (instance, f) in labelled {
+        let site = f.site().clone();
+        let rep_ev = if f.second.is_write {
+            &f.second
+        } else {
+            &f.first
+        };
+        let slot = by_site
+            .entry(site)
+            .or_insert_with(|| (BTreeMap::new(), race_record(rep_ev)));
+        *slot.0.entry(instance.clone()).or_insert(0) += 1;
+    }
+    let mut out: Vec<SiteStats> = by_site
+        .into_iter()
+        .map(|(loc, (per_instance, representative))| {
+            let counts: Vec<u64> = per_instance.values().copied().collect();
+            let total: u64 = counts.iter().sum();
+            let max_instance = counts.iter().copied().max().unwrap_or(0);
+            let rms = leakprof::analyze::rms(&counts);
+            SiteStats {
+                op: BlockedOp {
+                    kind: ChanOpKind::Race,
+                    loc,
+                },
+                instances_over_threshold: per_instance.len(),
+                per_instance: per_instance.into_iter().collect(),
+                total,
+                max_instance,
+                rms,
+                representative,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.rms
+            .partial_cmp(&a.rms)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.op.cmp(&b.op))
+    });
+    out
+}
+
+/// Builds a pprof-style record for a racing access so race suspects
+/// render and fingerprint exactly like leak suspects. The leaf user
+/// frame carries the access location.
+fn race_record(ev: &AccessEvent) -> GoroutineRecord {
+    let mut stack = vec![Frame::runtime("runtime.racecheck")];
+    match ev.stack.first() {
+        Some(top) => {
+            stack.push(Frame::new(top.func.clone(), ev.loc.clone()));
+            stack.extend(ev.stack.iter().skip(1).cloned());
+        }
+        None => stack.push(Frame::new("unknown", ev.loc.clone())),
+    }
+    GoroutineRecord {
+        gid: ev.gid,
+        name: ev
+            .stack
+            .first()
+            .map(|f| f.func.clone())
+            .unwrap_or_else(|| "unknown".into()),
+        status: GoStatus::Running,
+        stack,
+        created_by: Frame::new("runtime.racecheck", Loc::unknown()),
+        wait_ticks: 0,
+        retained_bytes: 0,
+    }
+}
+
+/// Knobs for the single-schedule race run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Scheduler seed (determinism: same seed, same schedule, same
+    /// report).
+    pub seed: u64,
+    /// Virtual ticks to advance.
+    pub ticks: u64,
+    /// Scheduler-slice budget.
+    pub max_slices: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            seed: 13,
+            ticks: 5_000,
+            max_slices: 30_000,
+        }
+    }
+}
+
+/// Compiles sources with race instrumentation, runs `entry` under the
+/// happens-before engine, and returns the race report. `instance` for
+/// the suspect stats is the entry name.
+///
+/// # Errors
+///
+/// Returns compile diagnostics; an unknown entry yields an empty report.
+pub fn check_sources(
+    sources: &[(String, String)],
+    entry: &str,
+    cfg: &RunConfig,
+) -> Result<RaceReport, Vec<Diag>> {
+    let prog = minigo::compile_many_race(sources)?;
+    let mut rt = Runtime::with_seed(cfg.seed);
+    rt.enable_hb();
+    prog.spawn_func(&mut rt, entry, Vec::<Val>::new());
+    rt.advance(cfg.ticks, cfg.max_slices);
+    let events = rt.take_access_events();
+    let findings = detect(&events);
+    let suspects = suspects_from_findings(entry, &findings);
+    Ok(RaceReport {
+        findings,
+        suspects,
+        events_analyzed: events.len(),
+    })
+}
+
+/// Compiles sources once (race mode) and runs *every* listed zero-arg
+/// entry, each in a fresh deterministic runtime. Findings are merged
+/// with cross-entry deduplication; `per_instance` in the suspects
+/// records which entries hit which site. Unknown entries are skipped.
+///
+/// # Errors
+///
+/// Returns compile diagnostics.
+pub fn check_entries(
+    sources: &[(String, String)],
+    entries: &[String],
+    cfg: &RunConfig,
+) -> Result<RaceReport, Vec<Diag>> {
+    let prog = minigo::compile_many_race(sources)?;
+    let mut events_total = 0usize;
+    let mut merged: Vec<RaceFinding> = Vec::new();
+    let mut labelled: Vec<(String, RaceFinding)> = Vec::new();
+    let mut seen: HashSet<(String, String, String, bool, bool)> = HashSet::new();
+    for entry in entries {
+        let mut rt = Runtime::with_seed(cfg.seed);
+        rt.enable_hb();
+        if prog.spawn_func(&mut rt, entry, Vec::<Val>::new()).is_none() {
+            continue;
+        }
+        rt.advance(cfg.ticks, cfg.max_slices);
+        let events = rt.take_access_events();
+        events_total += events.len();
+        for f in detect(&events) {
+            let mut a = (f.first.loc.to_string(), f.first.is_write);
+            let mut b = (f.second.loc.to_string(), f.second.is_write);
+            if b < a {
+                std::mem::swap(&mut a, &mut b);
+            }
+            if seen.insert((f.var.clone(), a.0, b.0, a.1, b.1)) {
+                merged.push(f.clone());
+            }
+            labelled.push((entry.clone(), f));
+        }
+    }
+    let refs: Vec<(String, &RaceFinding)> = labelled
+        .iter()
+        .map(|(instance, f)| (instance.clone(), f))
+        .collect();
+    Ok(RaceReport {
+        suspects: suspects_from_labelled(&refs),
+        findings: merged,
+        events_analyzed: events_total,
+    })
+}
+
+/// Discovers runnable entry points in parsed sources: zero-parameter
+/// functions, preferring `Test*`-named ones when any exist (the corpus
+/// convention), qualified as `pkg.Func` (`main` stays bare). Returns
+/// entries in deterministic (sorted) order.
+///
+/// # Errors
+///
+/// Returns parse diagnostics.
+pub fn discover_entries(sources: &[(String, String)]) -> Result<Vec<String>, Vec<Diag>> {
+    let mut entries = Vec::new();
+    let mut errors = Vec::new();
+    for (src, path) in sources {
+        match minigo::parse_file(src, path) {
+            Ok(file) => {
+                for f in &file.funcs {
+                    if !f.params.is_empty() {
+                        continue;
+                    }
+                    let name = if f.name == "main" {
+                        "main".to_string()
+                    } else {
+                        format!("{}.{}", file.package, f.name)
+                    };
+                    entries.push((f.name.starts_with("Test"), name));
+                }
+            }
+            Err(mut e) => errors.append(&mut e),
+        }
+    }
+    if !errors.is_empty() {
+        return Err(errors);
+    }
+    let any_tests = entries.iter().any(|(is_test, _)| *is_test);
+    let mut out: Vec<String> = entries
+        .into_iter()
+        .filter(|(is_test, _)| !any_tests || *is_test)
+        .map(|(_, name)| name)
+        .collect();
+    out.sort();
+    out.dedup();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(gid: u64, var: &str, line: u32, is_write: bool, clock: &[(u64, u64)]) -> AccessEvent {
+        let mut c = VClock::new();
+        for &(g, v) in clock {
+            for _ in 0..v {
+                c.tick(Gid(g));
+            }
+        }
+        AccessEvent {
+            gid: Gid(gid),
+            var: var.into(),
+            loc: Loc::new("t.go", line),
+            is_write,
+            clock: c,
+            stack: vec![Frame::new("t.f", Loc::new("t.go", line))],
+        }
+    }
+
+    #[test]
+    fn concurrent_writes_race() {
+        let events = vec![
+            ev(1, "x", 3, true, &[(1, 1)]),
+            ev(2, "x", 7, true, &[(2, 1)]),
+        ];
+        let f = detect(&events);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].var, "x");
+        assert!(f[0].first.is_write && f[0].second.is_write);
+        assert!(!f[0].gap.is_empty());
+    }
+
+    #[test]
+    fn ordered_accesses_do_not_race() {
+        // Writer at epoch g1:1; reader's clock includes g1:2 ≥ 1.
+        let events = vec![
+            ev(1, "x", 3, true, &[(1, 1)]),
+            ev(2, "x", 7, false, &[(1, 2), (2, 1)]),
+        ];
+        assert!(detect(&events).is_empty());
+    }
+
+    #[test]
+    fn read_write_race_reports_both_stacks() {
+        let events = vec![
+            ev(1, "x", 3, false, &[(1, 1)]),
+            ev(2, "x", 7, true, &[(2, 1)]),
+        ];
+        let f = detect(&events);
+        assert_eq!(f.len(), 1);
+        assert!(!f[0].first.stack.is_empty());
+        assert!(!f[0].second.stack.is_empty());
+    }
+
+    #[test]
+    fn same_goroutine_never_races() {
+        let events = vec![
+            ev(1, "x", 3, true, &[(1, 1)]),
+            ev(1, "x", 4, true, &[(1, 2)]),
+        ];
+        assert!(detect(&events).is_empty());
+    }
+
+    #[test]
+    fn loop_races_dedup_to_one_finding() {
+        let mut events = Vec::new();
+        for i in 0..10 {
+            events.push(ev(1, "x", 3, true, &[(1, i + 1)]));
+            events.push(ev(2, "x", 7, true, &[(2, i + 1)]));
+        }
+        assert_eq!(detect(&events).len(), 1);
+    }
+
+    #[test]
+    fn suspects_keyed_by_write_site() {
+        let events = vec![
+            ev(1, "x", 3, false, &[(1, 1)]),
+            ev(2, "x", 7, true, &[(2, 1)]),
+        ];
+        let f = detect(&events);
+        let sus = suspects_from_findings("test", &f);
+        assert_eq!(sus.len(), 1);
+        assert_eq!(sus[0].op.kind, ChanOpKind::Race);
+        assert_eq!(sus[0].op.loc, Loc::new("t.go", 7));
+        let rep = sus[0].representative.blocking_frame().expect("user frame");
+        assert_eq!(rep.loc, Loc::new("t.go", 7));
+    }
+}

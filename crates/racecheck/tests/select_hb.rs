@@ -1,0 +1,61 @@
+//! Regression: `select` synchronization accounting.
+//!
+//! Only the *chosen* arm's channel transfer contributes a
+//! happens-before edge. A non-taken arm — even one whose channel
+//! carries a pending send from the writer — must NOT order the writer's
+//! accesses before the select body, and per-message clocks mean a
+//! buffered value enqueued by the writer but never dequeued creates no
+//! edge either.
+
+use racecheck::{check_sources, RunConfig};
+
+/// The writer publishes `x = 1` and then sends on `slow`, whose buffer
+/// already holds a value the *parent* enqueued. Whichever arm the
+/// seeded select picks, the dequeued message is the parent's own (FIFO
+/// per-message clocks), so no edge orders the writer's store before the
+/// arm body's read of `x`: the race must be reported under every seed.
+fn program() -> Vec<(String, String)> {
+    let src = "package p\n\nfunc Sel() {\n\tx := 0\n\tfast := make(chan int, 1)\n\tslow := make(chan int, 2)\n\tfast <- 1\n\tslow <- 9\n\tgo func() {\n\t\tx = 1\n\t\tslow <- 1\n\t}()\n\tsim.Work(8)\n\tselect {\n\tcase <-fast:\n\t\tsim.Work(x)\n\tcase <-slow:\n\t\tsim.Work(x)\n\t}\n}\n";
+    vec![(src.to_string(), "p/sel.go".to_string())]
+}
+
+#[test]
+fn non_taken_select_arm_creates_no_hb_edge() {
+    for seed in 0..16 {
+        let cfg = RunConfig {
+            seed,
+            ..RunConfig::default()
+        };
+        let report = check_sources(&program(), "p.Sel", &cfg).expect("compiles");
+        let hit = report.findings.iter().any(|f| {
+            f.var == "x" && f.first.is_write != f.second.is_write && (f.site().line == 10)
+        });
+        assert!(
+            hit,
+            "seed {seed}: write x (p/sel.go:10) vs select-arm read must race \
+             (a non-taken arm or an undequeued buffered send is not synchronization)\n{}",
+            report.render()
+        );
+    }
+}
+
+/// The mirror control: when the *taken* arm really is the writer's
+/// channel (unbuffered rendezvous), the edge exists and there is no
+/// race — the chosen arm's synchronization still counts.
+#[test]
+fn taken_select_arm_does_synchronize() {
+    let src = "package p\n\nfunc Ok() {\n\tx := 0\n\tch := make(chan int)\n\tgo func() {\n\t\tx = 1\n\t\tch <- 1\n\t}()\n\tselect {\n\tcase <-ch:\n\t\tsim.Work(x)\n\t}\n}\n";
+    let sources = vec![(src.to_string(), "p/ok.go".to_string())];
+    for seed in 0..16 {
+        let cfg = RunConfig {
+            seed,
+            ..RunConfig::default()
+        };
+        let report = check_sources(&sources, "p.Ok", &cfg).expect("compiles");
+        assert!(
+            report.is_clean(),
+            "seed {seed}: rendezvous through the chosen arm orders the write\n{}",
+            report.render()
+        );
+    }
+}
