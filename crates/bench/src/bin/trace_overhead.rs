@@ -1,0 +1,153 @@
+//! Bench: what the full distributed-tracing stack costs.
+//!
+//! `obs_overhead` prices raw span recording; this experiment prices the
+//! whole tracing surface a production daemon actually carries: spans
+//! with tail-sampling on, the structured event log, the worst-cycle
+//! exemplar, and per-cycle trace-context bookkeeping. Two daemons run
+//! the same pipeline over the same loopback fleet — one with the stack
+//! enabled (tail-sampling on, as shipped), one with both tracing and
+//! the event ring disabled — interleaved so clock drift hits both
+//! equally. Emits `BENCH_dtrace.json` and enforces the <5% median
+//! cycle-latency budget (with a small absolute floor so loopback noise
+//! on a ~millisecond cycle cannot fail the gate spuriously).
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use collector::{Daemon, DaemonConfig, DemoFleet, ScrapeConfig};
+use serde::Serialize;
+
+const INSTANCES: usize = 24;
+const WARMUP_CYCLES: usize = 3;
+const MEASURED_CYCLES: usize = 31;
+
+/// Relative overhead budget (CI gate).
+const MAX_OVERHEAD_PCT: f64 = 5.0;
+/// Absolute-delta floor: below this many milliseconds per cycle the
+/// relative number is loopback noise, not a regression.
+const NOISE_FLOOR_MS: f64 = 3.0;
+
+#[derive(Serialize)]
+struct BenchResult {
+    instances: usize,
+    warmup_cycles: usize,
+    measured_cycles: usize,
+    tail_sample: bool,
+    tracing_off_median_ms: f64,
+    tracing_on_median_ms: f64,
+    delta_ms: f64,
+    overhead_pct: f64,
+    spans_recorded: u64,
+    spans_dropped: u64,
+    events_dropped: u64,
+    worst_cycle_trace: Option<String>,
+}
+
+fn build_daemon(demo: &DemoFleet, addr: std::net::SocketAddr, enabled: bool) -> Daemon {
+    let config = DaemonConfig {
+        scrape: ScrapeConfig {
+            // Pooled connections for both sides: less dial jitter, so
+            // the instrumentation cost is what the comparison sees.
+            keepalive: true,
+            ..ScrapeConfig::default()
+        },
+        trace: obs::TraceConfig {
+            enabled,
+            // The shipped configuration: full detail only for flagged
+            // or slow cycles, skeletons otherwise.
+            tail_sample: true,
+            ..obs::TraceConfig::default()
+        },
+        events: obs::EventConfig {
+            enabled,
+            ..obs::EventConfig::default()
+        },
+        ..DaemonConfig::default()
+    };
+    let lp = leakprof::LeakProf::new(leakprof::Config {
+        threshold: 1,
+        ast_filter: false,
+        top_n: 10,
+    });
+    Daemon::new(config, lp, demo.targets(addr)).expect("in-memory daemon")
+}
+
+fn median_ms(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let demo = DemoFleet::build(INSTANCES, 2, 13);
+    let server = demo.hub.serve("127.0.0.1:0", 8).expect("loopback bind");
+    // The daemons only share the fleet server; each owns its scraper,
+    // connection pool, and accumulator.
+    let on = Arc::new(Mutex::new(build_daemon(&demo, server.addr(), true)));
+    let off = Arc::new(Mutex::new(build_daemon(&demo, server.addr(), false)));
+
+    let timed = |daemon: &Arc<Mutex<Daemon>>| {
+        let t = Instant::now();
+        let report = daemon.lock().expect("daemon poisoned").run_cycle();
+        assert_eq!(report.stats.succeeded, INSTANCES, "fleet must stay up");
+        t.elapsed().as_secs_f64() * 1e3
+    };
+
+    for _ in 0..WARMUP_CYCLES {
+        timed(&on);
+        timed(&off);
+    }
+    let mut on_ms = Vec::new();
+    let mut off_ms = Vec::new();
+    // Interleave so drift (thermal, scheduler) cancels out.
+    for _ in 0..MEASURED_CYCLES {
+        on_ms.push(timed(&on));
+        off_ms.push(timed(&off));
+    }
+
+    let tracing_on_median_ms = median_ms(&mut on_ms);
+    let tracing_off_median_ms = median_ms(&mut off_ms);
+    let delta_ms = tracing_on_median_ms - tracing_off_median_ms;
+    let overhead_pct = delta_ms / tracing_off_median_ms.max(1e-9) * 100.0;
+    let (spans_recorded, spans_dropped, events_dropped, worst_cycle_trace) = {
+        let d = on.lock().expect("daemon poisoned");
+        (
+            d.tracer().spans_recorded(),
+            d.tracer().spans_dropped(),
+            d.events().dropped(),
+            d.tracer().worst_cycle().map(|w| w.trace_id),
+        )
+    };
+
+    println!(
+        "tracing off: {tracing_off_median_ms:.3} ms/cycle (median of {MEASURED_CYCLES})\n\
+         tracing on:  {tracing_on_median_ms:.3} ms/cycle (tail-sampled; {spans_recorded} spans \
+         recorded, {spans_dropped} dropped, {events_dropped} events dropped)\n\
+         delta:       {delta_ms:+.3} ms ({overhead_pct:+.2}%)"
+    );
+
+    assert_eq!(spans_dropped, 0, "ring must hold a full cycle's spans");
+    assert!(
+        overhead_pct < MAX_OVERHEAD_PCT || delta_ms < NOISE_FLOOR_MS,
+        "distributed-tracing overhead {overhead_pct:.2}% ({delta_ms:.3} ms/cycle) exceeds the \
+         {MAX_OVERHEAD_PCT}% budget"
+    );
+
+    let result = BenchResult {
+        instances: INSTANCES,
+        warmup_cycles: WARMUP_CYCLES,
+        measured_cycles: MEASURED_CYCLES,
+        tail_sample: true,
+        tracing_off_median_ms,
+        tracing_on_median_ms,
+        delta_ms,
+        overhead_pct,
+        spans_recorded,
+        spans_dropped,
+        events_dropped,
+        worst_cycle_trace,
+    };
+    bench::save(
+        "BENCH_dtrace.json",
+        &serde_json::to_string_pretty(&result).expect("result serializes"),
+    );
+}

@@ -174,13 +174,13 @@ fn usage() {
          \x20             [--adaptive] [--interval-min-ms MS] [--interval-max-ms MS]\n\
          \x20             [--shard I/N] [--shard-map PATH]\n\
          \x20             [--push] [--push-queue N] [--push-shards N] [--accept-pending N]\n\
-         \x20             [--http-workers N]\n\
+         \x20             [--http-workers N] [--tail-sample]\n\
          \x20 scrape-once [--addr HOST:PORT] [--instances N] [--days D] [--seed S]\n\
          \x20             [--threshold T] [--top N] [--workers N] [--source-dir PATH] [--ast-filter]\n\
          \x20 status      (--history PATH | --addr HOST:PORT [--addr ...]) [--threshold T] [--top N]\n\
          \x20 top         --addr HOST:PORT [--addr ...] [--refresh-ms MS] [--frames N]\n\
          \x20             [--threshold T] [--top N]\n\
-         \x20 trace       --addr HOST:PORT [--out PATH]\n\
+         \x20 trace       --addr HOST:PORT [--addr ...] [--out PATH]\n\
          \x20 recover     --state-dir PATH [--threshold T] [--top N] [--source-dir PATH]\n\
          \x20 backtest    (--state-dir PATH | --history PATH) [--out DIR] [--week-len N] [--top N]\n\
          \x20 migrate-history --history PATH --state-dir PATH\n\
@@ -192,6 +192,7 @@ fn usage() {
          \x20             [--state-dir PATH]\n\
          \x20 push        --addr HOST:PORT --fleet-addr HOST:PORT [--pushers N] [--rounds N]\n\
          \x20             [--watermark N] [--heartbeat N] [--interval-ms MS] [--seed S]\n\
+         \x20             [--trace-out PATH]\n\
          \x20 racecheck   --dir PATH [--entry NAME] [--seed S] [--ticks N] [--json]\n\
          \x20             (exit 0: race-free, 1: races found, 2: error)"
     );
@@ -478,6 +479,12 @@ fn serve(flags: &[(String, String)]) -> ExitCode {
         history_keep: keep,
         state_dir,
         snapshot_every: parsed(flags, "snapshot-every", 5u64).max(1),
+        trace: obs::TraceConfig {
+            // Tail sampling keeps full span detail only for flagged or
+            // slow cycles; stage histograms stay always-on either way.
+            tail_sample: parsed(flags, "tail-sample", false),
+            ..obs::TraceConfig::default()
+        },
         static_tier,
         race_tier,
         adaptive: if parsed(flags, "adaptive", false) {
@@ -534,7 +541,7 @@ fn serve(flags: &[(String, String)]) -> ExitCode {
         }
     };
     println!(
-        "leakprofd: serving /metrics, /status, /trace, /debug/self{} on http://{} (fleet at http://{})",
+        "leakprofd: serving /metrics, /status, /trace, /logs, /debug/self{} on http://{} (fleet at http://{})",
         if push_enabled { ", /api/push" } else { "" },
         endpoints.addr(),
         fleet_server.addr()
@@ -1027,23 +1034,52 @@ fn render_top(
     out
 }
 
-/// Exports a serving daemon's `/trace` as Chrome trace-event JSON.
+/// Exports serving daemons' `/trace` as Chrome trace-event JSON. One
+/// `--addr` keeps the flat single-process export; repeating the flag
+/// stitches every process's snapshot into one timeline with per-process
+/// lanes and cross-process flow arrows (the distributed trace view).
 fn trace(flags: &[(String, String)]) -> ExitCode {
-    let addr = match addr_flag(flags, "trace") {
+    let addr_values = flags_all(flags, "addr");
+    if addr_values.is_empty() {
+        eprintln!("usage: leakprofd trace --addr HOST:PORT [--addr ...] [--out PATH]");
+        return ExitCode::from(2);
+    }
+    let addrs = match parse_addrs(&addr_values, "addr") {
         Ok(a) => a,
         Err(code) => return code,
     };
-    let snapshot: obs::TraceSnapshot = match fetch(addr, "/trace")
-        .and_then(|body| serde_json::from_str(&body).map_err(|e| format!("/trace: {e}")))
-    {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::from(2);
+    let mut snapshots: Vec<obs::TraceSnapshot> = Vec::with_capacity(addrs.len());
+    for addr in &addrs {
+        // A daemon's /trace is a raw TraceSnapshot; a fleet
+        // aggregator's /trace is an already-stitched Chrome array, so
+        // fall back to its /trace/self for the restitchable snapshot.
+        let snap = fetch(*addr, "/trace").and_then(|body| {
+            if body.trim_start().starts_with('[') {
+                fetch(*addr, "/trace/self").and_then(|body| {
+                    serde_json::from_str(&body).map_err(|e| format!("/trace/self: {e}"))
+                })
+            } else {
+                serde_json::from_str(&body).map_err(|e| format!("/trace: {e}"))
+            }
+        });
+        match snap {
+            Ok(s) => snapshots.push(s),
+            Err(e) => {
+                eprintln!("error: {addr}: {e}");
+                return ExitCode::from(2);
+            }
         }
+    }
+    let spans: usize = snapshots
+        .iter()
+        .flat_map(|s| s.cycles.iter())
+        .map(|c| c.spans.len())
+        .sum();
+    let cycles: usize = snapshots.iter().map(|s| s.cycles.len()).sum();
+    let chrome = match snapshots.as_slice() {
+        [one] => obs::to_chrome(one),
+        many => obs::to_chrome_stitched(many),
     };
-    let chrome = obs::to_chrome(&snapshot);
-    let spans: usize = snapshot.cycles.iter().map(|c| c.spans.len()).sum();
     match flag(flags, "out") {
         Some(path) => {
             if let Err(e) = std::fs::write(path, &chrome) {
@@ -1051,8 +1087,9 @@ fn trace(flags: &[(String, String)]) -> ExitCode {
                 return ExitCode::from(2);
             }
             println!(
-                "wrote {spans} span(s) across {} cycle(s) to {path} (open in chrome://tracing or Perfetto)",
-                snapshot.cycles.len()
+                "wrote {spans} span(s) across {cycles} cycle(s) from {} process(es) to {path} \
+                 (open in chrome://tracing or Perfetto)",
+                snapshots.len()
             );
         }
         None => println!("{chrome}"),
@@ -1525,6 +1562,7 @@ fn push_cmd(flags: &[(String, String)]) -> ExitCode {
     let heartbeat: u64 = parsed(flags, "heartbeat", 0);
     let interval_ms: u64 = parsed(flags, "interval-ms", 500);
     let seed: u64 = parsed(flags, "seed", 7);
+    let trace_out = flag(flags, "trace-out").map(String::from);
     println!(
         "leakprofd: pushing {} instance(s) from http://{fleet_addr} to http://{daemon_addr}/api/push \
          ({pushers} pusher(s), watermark {watermark})",
@@ -1537,9 +1575,11 @@ fn push_cmd(flags: &[(String, String)]) -> ExitCode {
         }
         slices
     };
+    let traced = trace_out.is_some();
     let handles: Vec<_> = slices
         .into_iter()
-        .map(|slice| {
+        .enumerate()
+        .map(|(pusher, slice)| {
             std::thread::spawn(move || {
                 let mut client = PushClient::new(
                     daemon_addr,
@@ -1548,6 +1588,11 @@ fn push_cmd(flags: &[(String, String)]) -> ExitCode {
                         ..PushConfig::default()
                     },
                 );
+                if traced {
+                    let tracer = obs::Tracer::new(&obs::TraceConfig::default());
+                    tracer.set_service(&format!("push-{pusher}"), env!("CARGO_PKG_VERSION"));
+                    client.set_tracer(tracer);
+                }
                 let mut triggers: Vec<WatermarkTrigger> = slice
                     .iter()
                     .map(|_| WatermarkTrigger::new(watermark, heartbeat))
@@ -1585,17 +1630,35 @@ fn push_cmd(flags: &[(String, String)]) -> ExitCode {
                     }
                     std::thread::sleep(std::time::Duration::from_millis(interval_ms));
                 }
-                client.stats().clone()
+                let snapshot = traced.then(|| client.tracer().snapshot());
+                (client.stats().clone(), snapshot)
             })
         })
         .collect();
     let mut total = collector::PushStats::default();
+    let mut snapshots: Vec<obs::TraceSnapshot> = Vec::new();
     for h in handles {
-        let s = h.join().expect("pusher thread panicked");
+        let (s, snapshot) = h.join().expect("pusher thread panicked");
         total.pushed += s.pushed;
         total.sheds += s.sheds;
         total.transport_errors += s.transport_errors;
         total.failed += s.failed;
+        snapshots.extend(snapshot);
+    }
+    if let Some(path) = &trace_out {
+        let chrome = match snapshots.as_slice() {
+            [one] => obs::to_chrome(one),
+            many => obs::to_chrome_stitched(many),
+        };
+        if let Err(e) = std::fs::write(path, &chrome) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "wrote {} pusher trace(s) to {path} (stitch with `leakprofd trace --addr ...` \
+             for the daemon side)",
+            snapshots.len()
+        );
     }
     println!(
         "pushed {} profile(s); {} shed response(s) absorbed, {} transport error(s), {} failed",

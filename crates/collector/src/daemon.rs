@@ -64,6 +64,9 @@ pub struct DaemonConfig {
     pub race_tier: Option<RaceTierConfig>,
     /// Cycle tracing (span ring capacity, retained cycles, on/off).
     pub trace: TraceConfig,
+    /// Structured event log (ring capacity, retained entries, on/off).
+    /// Replaces ad-hoc stderr prints; served at `GET /logs`.
+    pub events: obs::EventConfig,
     /// Multi-resolution telemetry store layout. Persisted under
     /// `<state_dir>/ts` when a state dir is configured, else in-memory.
     pub ts: StoreConfig,
@@ -99,6 +102,7 @@ impl Default for DaemonConfig {
             static_tier: None,
             race_tier: None,
             trace: TraceConfig::default(),
+            events: obs::EventConfig::default(),
             ts: StoreConfig::default(),
             telemetry: true,
             trend: TrendConfig::default(),
@@ -237,6 +241,7 @@ pub struct Daemon {
     static_tier: Option<StaticTier>,
     race_tier: Option<RaceTier>,
     tracer: Tracer,
+    events: obs::EventLog,
     board: WorkerBoard,
     ts: TsStore,
     telemetry: bool,
@@ -245,6 +250,7 @@ pub struct Daemon {
     last_health: Option<FleetHealth>,
     shard: Option<ShardIdentity>,
     ingest: Option<Arc<IngestTier>>,
+    last_shed_total: u64,
     reaper: Reaper,
 }
 
@@ -276,6 +282,12 @@ impl Daemon {
             claim_state_dir(dir, shard.as_ref())?;
         }
         let tracer = Tracer::new(&config.trace);
+        let service = match &shard {
+            Some(id) => format!("leakprofd shard {}/{}", id.shard, id.of),
+            None => "leakprofd".to_string(),
+        };
+        tracer.set_service(&service, env!("CARGO_PKG_VERSION"));
+        let events = obs::EventLog::new(config.events.clone());
         let board = WorkerBoard::new();
         let history = match &config.history_path {
             Some(path) => Some(HistoryLog::open(path, config.history_keep.max(1))?),
@@ -290,9 +302,12 @@ impl Daemon {
                 store.set_tracer(tracer.clone());
                 let recovery = store.recover()?;
                 if let Some(e) = &recovery.dropped_trailing {
-                    eprintln!(
-                        "leakprofd: wal {}: discarded torn trailing entry (crash mid-append?): {e}",
-                        store.wal_path().display()
+                    events.warn(
+                        "daemon",
+                        format!(
+                            "wal {}: discarded torn trailing entry (crash mid-append?): {e}",
+                            store.wal_path().display()
+                        ),
                     );
                 }
                 if let Some(snap) = &recovery.snapshot {
@@ -339,7 +354,12 @@ impl Daemon {
         let mut scraper = Scraper::new(config.scrape);
         scraper.set_tracer(tracer.clone());
         scraper.set_worker_board(board.clone());
-        let ingest = config.ingest.map(|c| Arc::new(IngestTier::start(c)));
+        scraper.set_events(events.clone());
+        let ingest = config.ingest.map(|c| {
+            let mut tier = IngestTier::start(c);
+            tier.set_events(events.clone());
+            Arc::new(tier)
+        });
         Ok(Daemon {
             lp,
             acc,
@@ -357,6 +377,7 @@ impl Daemon {
             static_tier,
             race_tier,
             tracer,
+            events,
             board,
             ts,
             telemetry: config.telemetry,
@@ -365,6 +386,7 @@ impl Daemon {
             last_health: None,
             shard,
             ingest,
+            last_shed_total: 0,
             reaper: Reaper::start(),
         })
     }
@@ -411,11 +433,17 @@ impl Daemon {
     /// failures are logged and degrade to in-memory operation.
     pub fn run_cycle(&mut self) -> CycleReport {
         let cycle = self.health.cycles + 1;
+        // Open the cycle's trace context: a remote context adopted from
+        // the fleet poller (via `/api/snapshot`'s traceparent header)
+        // parents this cycle under the fleet's trace; otherwise the
+        // daemon mints its own root.
+        let ctx = self.tracer.begin_cycle();
         // Root span for the whole cycle; made the ambient parent so
         // every stage span started on this thread nests under it.
         let mut root = self.tracer.start(obs::stage::CYCLE, "");
         root.attr("cycle", cycle);
         self.tracer.set_ambient(root.id());
+        self.events.set_context(ctx.map(|c| c.trace_id), root.id());
         let report = self
             .scraper
             .scrape_cycle_gated(&self.targets, &mut self.breakers);
@@ -423,6 +451,7 @@ impl Daemon {
         // and merge them with the pull tier's — newest per instance
         // wins — before anything durable happens, so WAL, ingest, and
         // telemetry all see one combined set.
+        let mut shed_delta = 0u64;
         let profiles = match &self.ingest {
             Some(tier) => {
                 let mut span = self.tracer.start(obs::stage::PUSH, "");
@@ -433,6 +462,14 @@ impl Daemon {
                 span.attr("admitted_total", s.admitted_total);
                 span.attr("shed_total", s.shed_total);
                 span.attr("queue_depth", s.queue_depth);
+                shed_delta = s.shed_total.saturating_sub(self.last_shed_total);
+                self.last_shed_total = s.shed_total;
+                if shed_delta > 0 {
+                    self.events.warn(
+                        "ingest",
+                        format!("shed {shed_delta} pushes since last cycle (admission control)"),
+                    );
+                }
                 dedupe_newest_wins(report.profiles.clone(), pushed)
             }
             None => report
@@ -451,7 +488,8 @@ impl Daemon {
                 stats: report.stats.clone(),
             };
             if let Err(e) = store.append_wal(&entry) {
-                eprintln!("leakprofd: wal append failed: {e}");
+                self.events
+                    .error("daemon", format!("wal append failed: {e}"));
             }
         }
         {
@@ -485,7 +523,9 @@ impl Daemon {
         if let Some(tier) = &mut self.static_tier {
             match tier.sync() {
                 Ok(verdicts) => self.lp.install_verdicts(verdicts),
-                Err(e) => eprintln!("leakprofd: static-tier sync failed: {e}"),
+                Err(e) => self
+                    .events
+                    .error("daemon", format!("static-tier sync failed: {e}")),
             }
         }
         let mut analysis = {
@@ -514,13 +554,17 @@ impl Daemon {
                             .then_with(|| a.stats.op.to_string().cmp(&b.stats.op.to_string()))
                     });
                 }
-                Err(e) => eprintln!("leakprofd: race-tier sync failed: {e}"),
+                Err(e) => self
+                    .events
+                    .error("daemon", format!("race-tier sync failed: {e}")),
             }
         }
         self.health.absorb(&report.stats);
         match self.ledger.apply(cycle, &analysis.suspects) {
             Ok(outcome) => self.last_outcome = Some(outcome),
-            Err(e) => eprintln!("leakprofd: ledger save failed: {e}"),
+            Err(e) => self
+                .events
+                .error("daemon", format!("ledger save failed: {e}")),
         }
         if let Some(history) = &mut self.history {
             let mut span = self.tracer.start(obs::stage::HISTORY, "");
@@ -536,7 +580,8 @@ impl Daemon {
             };
             span.attr("top", record.top.len());
             if let Err(e) = history.append(&record) {
-                eprintln!("leakprofd: history append failed: {e}");
+                self.events
+                    .error("daemon", format!("history append failed: {e}"));
             }
         }
         if self.telemetry {
@@ -549,10 +594,12 @@ impl Daemon {
         self.last_report = Some(analysis);
         if cycle.is_multiple_of(self.snapshot_every) {
             if let Err(e) = self.commit_snapshot() {
-                eprintln!("leakprofd: snapshot commit failed: {e}");
+                self.events
+                    .error("daemon", format!("snapshot commit failed: {e}"));
             }
             if let Err(e) = self.ts.flush() {
-                eprintln!("leakprofd: telemetry flush failed: {e}");
+                self.events
+                    .error("daemon", format!("telemetry flush failed: {e}"));
             }
         }
         // The root guard must record (drop) before the cycle is
@@ -560,7 +607,12 @@ impl Daemon {
         root.attr("profiles", profile_count);
         self.tracer.set_ambient(0);
         drop(root);
-        self.tracer.finish_cycle(cycle);
+        // Tail-sampling: a flagged cycle (scrape failures or admission
+        // sheds) always keeps its full span tree; healthy cycles may be
+        // reduced to a skeleton when tail sampling is enabled.
+        let flagged = report.stats.failed > 0 || shed_delta > 0;
+        self.tracer.finish_cycle_flagged(cycle, flagged);
+        self.events.set_context(None, 0);
         report
     }
 
@@ -600,7 +652,8 @@ impl Daemon {
             let points: Vec<(&str, f64)> = owned.iter().map(|(k, v)| (k.as_str(), *v)).collect();
             span.attr("points", points.len());
             if let Err(e) = self.ts.append(cycle, &points) {
-                eprintln!("leakprofd: telemetry append failed: {e}");
+                self.events
+                    .error("daemon", format!("telemetry append failed: {e}"));
             }
         }
         let mut span = self.tracer.start(obs::stage::TREND, "");
@@ -642,7 +695,8 @@ impl Daemon {
             .ts
             .append(cycle, &[(sid::INTERVAL_MS_ID, decision.interval_ms as f64)])
         {
-            eprintln!("leakprofd: telemetry append failed: {e}");
+            self.events
+                .error("daemon", format!("telemetry append failed: {e}"));
         }
         self.last_health = Some(FleetHealth {
             cycle,
@@ -723,6 +777,12 @@ impl Daemon {
     /// The cycle tracer every pipeline stage records into.
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// The structured event log the daemon and its tiers record into
+    /// (the `GET /logs` document).
+    pub fn events(&self) -> &obs::EventLog {
+        &self.events
     }
 
     /// The worker board behind the daemon's own `/debug/self` profile.
@@ -1128,6 +1188,61 @@ impl Daemon {
                 s.http_rejected_total,
             );
         }
+        p.family(
+            "leakprofd_build_info",
+            "gauge",
+            "Build metadata; always 1. The version rides the labels.",
+        );
+        match &self.shard {
+            Some(id) => p.sample(
+                "leakprofd_build_info",
+                &[
+                    ("version", env!("CARGO_PKG_VERSION")),
+                    ("role", "daemon"),
+                    ("shard", &format!("{}/{}", id.shard, id.of)),
+                ],
+                1u64,
+            ),
+            None => p.sample(
+                "leakprofd_build_info",
+                &[("version", env!("CARGO_PKG_VERSION")), ("role", "daemon")],
+                1u64,
+            ),
+        }
+        p.family(
+            "leakprofd_obs_dropped_total",
+            "counter",
+            "Observability records dropped at full rings, by kind.",
+        );
+        p.sample(
+            "leakprofd_obs_dropped_total",
+            &[("kind", "span")],
+            self.tracer.spans_dropped(),
+        );
+        p.sample(
+            "leakprofd_obs_dropped_total",
+            &[("kind", "event")],
+            self.events.dropped(),
+        );
+        // Exemplar: the trace id of the worst (slowest) recent cycle,
+        // linking this scrape to its stitched timeline. Declared only
+        // when a traced cycle has completed — a family with HELP/TYPE
+        // and no series is non-conformant exposition.
+        if let Some(w) = self.tracer.worst_cycle() {
+            p.family(
+                "leakprofd_worst_cycle_us",
+                "gauge",
+                "Duration of the slowest recent cycle; its trace id rides the labels.",
+            );
+            p.sample(
+                "leakprofd_worst_cycle_us",
+                &[
+                    ("trace_id", w.trace_id.as_str()),
+                    ("cycle", &w.cycle.to_string()),
+                ],
+                w.dur_us,
+            );
+        }
         p.finish()
     }
 }
@@ -1160,6 +1275,7 @@ pub fn daemon_routes() -> Vec<String> {
         "/api/snapshot".into(),
         "/api/series?id=&from=&to=&res=".into(),
         "/trace".into(),
+        "/logs".into(),
         "/debug/self".into(),
         "/instances".into(),
         ProfileHub::profile_path(SELF_INSTANCE),
@@ -1294,6 +1410,8 @@ fn serve_series_query(ts: &TsStore, params: &[(String, String)]) -> Response {
 ///   embedded telemetry store ([`SeriesResponse`] JSON).
 /// * `/trace` — the retained cycle span trees + per-stage latency
 ///   summaries ([`TraceSnapshot`] JSON).
+/// * `/logs` — the retained structured events ([`obs::Event`] JSON,
+///   oldest first), each stamped with the trace context it happened in.
 /// * `/debug/self` — the daemon's **own** goroutine-style profile: its
 ///   worker threads rendered in the same JSON format the scraped
 ///   instances serve, so `leakprofd scrape-once` pointed at the daemon
@@ -1302,9 +1420,14 @@ fn serve_series_query(ts: &TsStore, params: &[(String, String)]) -> Response {
 ///   [`ProfileHub`]-shaped aliases of `/debug/self`, which is what lets
 ///   the scraper's fleet discovery run against the daemon unchanged.
 ///
-/// The trace and self-profile routes read tracer/board handles cloned
-/// out of the daemon up front, so they never contend on the daemon
-/// mutex mid-cycle.
+/// The trace, logs, and self-profile routes read tracer/events/board
+/// handles cloned out of the daemon up front, so they never contend on
+/// the daemon mutex mid-cycle.
+///
+/// Every request's `traceparent` header (when present and well-formed)
+/// opens a SERVE span under the remote trace; every response carries
+/// the daemon's current cycle trace context back as a `traceparent`
+/// header, which is how push clients join the distributed trace.
 ///
 /// # Errors
 ///
@@ -1331,15 +1454,15 @@ pub fn serve_daemon_endpoints_with(
     addr: &str,
     workers: usize,
 ) -> std::io::Result<HttpServer> {
-    let (tracer, board, ingest) = {
+    let (tracer, board, events, ingest) = {
         let d = daemon.lock().expect("daemon poisoned");
         (
             d.tracer().clone(),
             d.worker_board().clone(),
+            d.events().clone(),
             d.ingest_tier().cloned(),
         )
     };
-    let self_profile_path = ProfileHub::profile_path(SELF_INSTANCE);
     let not_found = format!("try {}", daemon_routes().join(", "));
     let options = ServerOptions {
         workers: workers.max(1),
@@ -1355,63 +1478,107 @@ pub fn serve_daemon_endpoints_with(
         overload_rejected: ingest.as_ref().map(|t| t.http_rejected_counter()),
     };
     HttpServer::serve_with_options(addr, options, move |req: &Request| {
-        if req.method == "POST" && req.path == "/api/push" {
-            return match &ingest {
-                Some(tier) => tier.handle_push(&req.body),
-                None => Response::error(404, "push ingestion is not enabled (serve --push)"),
-            };
+        // Remote trace context, when the caller sent one: record a SERVE
+        // span pinned under it (a malformed header degrades to no span,
+        // never an error). The fleet's `/api/snapshot` poll additionally
+        // has its context adopted, so the daemon's *next* cycle joins
+        // the fleet's trace instead of minting its own root.
+        let remote = req
+            .traceparent
+            .as_deref()
+            .and_then(obs::TraceContext::parse);
+        let mut serve_span = remote
+            .as_ref()
+            .map(|ctx| tracer.start_remote(obs::stage::SERVE, &req.path, ctx));
+        if req.path == "/api/snapshot" {
+            if let Some(ctx) = &remote {
+                tracer.adopt_remote(ctx);
+            }
         }
-        match req.path.as_str() {
-            "/metrics" => {
-                let d = daemon.lock().expect("daemon poisoned");
-                Response::text(d.metrics_text())
-            }
-            "/status" => {
-                let d = daemon.lock().expect("daemon poisoned");
-                Response::json(
-                    serde_json::to_string_pretty(&d.status()).expect("status serializes"),
-                )
-            }
-            "/health" => {
-                let d = daemon.lock().expect("daemon poisoned");
-                let health = match d.fleet_health() {
-                    Some(h) => h.clone(),
-                    // Before the first cycle there are no verdicts yet;
-                    // serve an empty document rather than a 404 so
-                    // dashboards can poll from startup.
-                    None => FleetHealth {
-                        cycle: 0,
-                        sites: Vec::new(),
-                        adaptive: d.adaptive_status(),
-                    },
-                };
-                Response::json(serde_json::to_string_pretty(&health).expect("health serializes"))
-            }
-            "/api/snapshot" => {
-                let d = daemon.lock().expect("daemon poisoned");
-                Response::json(
-                    serde_json::to_string_pretty(&d.api_snapshot())
-                        .expect("api snapshot serializes"),
-                )
-            }
-            p if parse_query(p).0 == "/api/series" => {
-                let (_, params) = parse_query(p);
-                let d = daemon.lock().expect("daemon poisoned");
-                serve_series_query(d.ts(), &params)
-            }
-            "/trace" => Response::json(
-                serde_json::to_string_pretty(&tracer.snapshot()).expect("trace serializes"),
-            ),
-            "/instances" => Response::json(
-                serde_json::to_string(&vec![SELF_INSTANCE]).expect("instances serialize"),
-            ),
-            p if p == "/debug/self" || p == self_profile_path => Response::json(
-                serde_json::to_string_pretty(&board.self_profile(SELF_INSTANCE))
-                    .expect("self profile serializes"),
-            ),
-            _ => Response::error(404, &not_found),
+        let mut resp = serve_one(req, &daemon, &ingest, &tracer, &board, &events, &not_found);
+        if let Some(span) = &mut serve_span {
+            span.attr("status", resp.status);
         }
+        drop(serve_span);
+        // Answer with the daemon's current trace context so clients —
+        // the push client especially — can join the trace next hop.
+        if let Some(ctx) = tracer.current_context() {
+            resp.headers
+                .push((obs::TRACEPARENT.to_string(), ctx.to_header()));
+        }
+        resp
     })
+}
+
+/// Dispatches one request to its route (the body of the daemon's serve
+/// closure, split out so the closure itself only handles tracing).
+#[allow(clippy::too_many_arguments)]
+fn serve_one(
+    req: &Request,
+    daemon: &Arc<Mutex<Daemon>>,
+    ingest: &Option<Arc<IngestTier>>,
+    tracer: &Tracer,
+    board: &WorkerBoard,
+    events: &obs::EventLog,
+    not_found: &str,
+) -> Response {
+    let self_profile_path = ProfileHub::profile_path(SELF_INSTANCE);
+    if req.method == "POST" && req.path == "/api/push" {
+        return match ingest {
+            Some(tier) => tier.handle_push(&req.body),
+            None => Response::error(404, "push ingestion is not enabled (serve --push)"),
+        };
+    }
+    match req.path.as_str() {
+        "/metrics" => {
+            let d = daemon.lock().expect("daemon poisoned");
+            Response::text(d.metrics_text())
+        }
+        "/status" => {
+            let d = daemon.lock().expect("daemon poisoned");
+            Response::json(serde_json::to_string_pretty(&d.status()).expect("status serializes"))
+        }
+        "/health" => {
+            let d = daemon.lock().expect("daemon poisoned");
+            let health = match d.fleet_health() {
+                Some(h) => h.clone(),
+                // Before the first cycle there are no verdicts yet;
+                // serve an empty document rather than a 404 so
+                // dashboards can poll from startup.
+                None => FleetHealth {
+                    cycle: 0,
+                    sites: Vec::new(),
+                    adaptive: d.adaptive_status(),
+                },
+            };
+            Response::json(serde_json::to_string_pretty(&health).expect("health serializes"))
+        }
+        "/api/snapshot" => {
+            let d = daemon.lock().expect("daemon poisoned");
+            Response::json(
+                serde_json::to_string_pretty(&d.api_snapshot()).expect("api snapshot serializes"),
+            )
+        }
+        p if parse_query(p).0 == "/api/series" => {
+            let (_, params) = parse_query(p);
+            let d = daemon.lock().expect("daemon poisoned");
+            serve_series_query(d.ts(), &params)
+        }
+        "/trace" => Response::json(
+            serde_json::to_string_pretty(&tracer.snapshot()).expect("trace serializes"),
+        ),
+        "/logs" => Response::json(
+            serde_json::to_string_pretty(&events.recent()).expect("events serialize"),
+        ),
+        "/instances" => Response::json(
+            serde_json::to_string(&vec![SELF_INSTANCE]).expect("instances serialize"),
+        ),
+        p if p == "/debug/self" || p == self_profile_path => Response::json(
+            serde_json::to_string_pretty(&board.self_profile(SELF_INSTANCE))
+                .expect("self profile serializes"),
+        ),
+        _ => Response::error(404, not_found),
+    }
 }
 
 #[cfg(test)]

@@ -21,13 +21,13 @@ use serde::{Deserialize, Serialize};
 use shardmap::{ShardIdentity, ShardMap};
 use timeseries::{StoreConfig, TrendConfig, TsStore};
 
-use obs::{TraceConfig, Tracer};
+use obs::{EventConfig, EventLog, TraceConfig, TraceSnapshot, Tracer};
 
 use crate::adaptive::{AdaptiveConfig, AdaptiveController};
 use crate::breaker::{BreakerConfig, BreakerSet, BreakerState, Decision};
 use crate::health::{classify_sites, FleetHealth};
 use crate::history::TopSite;
-use crate::http::{HttpConnection, HttpServer, Request, Response};
+use crate::http::{http_get, HttpConnection, HttpServer, Request, Response};
 use crate::ledger::{LedgerConfig, LedgerSummary, ReportLedger};
 use crate::shard::{ApiSnapshot, API_SNAPSHOT_VERSION};
 use crate::stats::PromText;
@@ -50,6 +50,8 @@ pub struct FleetConfig {
     pub ledger: LedgerConfig,
     /// Poll tracing (FLEET/MERGE stages).
     pub trace: TraceConfig,
+    /// Structured event log tuning (`/logs`).
+    pub events: EventConfig,
     /// Peer connect timeout.
     pub connect_timeout: Duration,
     /// Peer read timeout.
@@ -67,6 +69,7 @@ impl FleetConfig {
             trend: TrendConfig::default(),
             ledger: LedgerConfig::default(),
             trace: TraceConfig::default(),
+            events: EventConfig::default(),
             connect_timeout: Duration::from_millis(500),
             read_timeout: Duration::from_millis(1000),
         }
@@ -145,6 +148,7 @@ pub struct FleetAggregator {
     last_health: Option<FleetHealth>,
     controller: AdaptiveController,
     tracer: Tracer,
+    events: EventLog,
     connect_timeout: Duration,
     read_timeout: Duration,
 }
@@ -153,6 +157,8 @@ impl FleetAggregator {
     /// Creates an aggregator polling `config.peers` and ranking with
     /// `lp` (the same analysis config the shard daemons use).
     pub fn new(config: FleetConfig, lp: LeakProf) -> FleetAggregator {
+        let tracer = Tracer::new(&config.trace);
+        tracer.set_service("fleet", env!("CARGO_PKG_VERSION"));
         FleetAggregator {
             lp,
             peers: config
@@ -178,10 +184,21 @@ impl FleetAggregator {
             last_report: None,
             last_health: None,
             controller: AdaptiveController::new(AdaptiveConfig::default()),
-            tracer: Tracer::new(&config.trace),
+            tracer,
+            events: EventLog::new(config.events),
             connect_timeout: config.connect_timeout,
             read_timeout: config.read_timeout,
         }
+    }
+
+    /// The aggregator's tracer (for `/trace` and exemplars).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The aggregator's structured event log (`/logs`).
+    pub fn events(&self) -> &EventLog {
+        &self.events
     }
 
     /// Runs one poll round: fetch every reachable peer's
@@ -192,9 +209,15 @@ impl FleetAggregator {
     /// peers that answered this round.
     pub fn poll_once(&mut self) -> usize {
         self.polls += 1;
+        // The fleet tier is the authoritative trace root: every poll
+        // mints a fresh context, and the traceparent each peer receives
+        // parents that shard's next cycle under this poll.
+        let ctx = self.tracer.begin_cycle();
         let mut root = self.tracer.start(obs::stage::FLEET, "");
         root.attr("poll", self.polls);
+        self.events.set_context(ctx.map(|c| c.trace_id), root.id());
         self.tracer.set_ambient(root.id());
+        let tracer = self.tracer.clone();
         let mut answered = 0;
         for i in 0..self.peers.len() {
             let addr = self.peers[i].addr;
@@ -203,8 +226,14 @@ impl FleetAggregator {
                 Decision::Skip => continue,
                 Decision::Scrape | Decision::Probe => {}
             }
-            let ok = match Self::fetch(&mut self.peers[i], self.connect_timeout, self.read_timeout)
-            {
+            let mut span = tracer.start_with(obs::stage::TARGET, &key, root.id());
+            let traceparent = tracer.hop(&mut span).map(|c| c.to_header());
+            let ok = match Self::fetch(
+                &mut self.peers[i],
+                self.connect_timeout,
+                self.read_timeout,
+                traceparent.as_deref(),
+            ) {
                 Ok(snap) => {
                     self.peers[i].last = Some(snap);
                     self.peers[i].consecutive_failures = 0;
@@ -212,12 +241,16 @@ impl FleetAggregator {
                     answered += 1;
                     true
                 }
-                Err(_) => {
+                Err(e) => {
+                    self.events
+                        .warn("fleet", format!("poll of shard {key} failed: {e}"));
                     self.peers[i].conn = None;
                     self.peers[i].consecutive_failures += 1;
                     false
                 }
             };
+            span.attr("ok", ok);
+            span.finish();
             self.breakers.record(&key, ok);
         }
         self.refresh_map();
@@ -225,7 +258,10 @@ impl FleetAggregator {
         root.attr("answered", answered);
         self.tracer.set_ambient(0);
         drop(root);
-        self.tracer.finish_cycle(self.polls);
+        // A round where any peer went unanswered is worth full detail.
+        self.tracer
+            .finish_cycle_flagged(self.polls, answered < self.peers.len());
+        self.events.set_context(None, 0);
         answered
     }
 
@@ -235,6 +271,7 @@ impl FleetAggregator {
         peer: &mut Peer,
         connect_timeout: Duration,
         read_timeout: Duration,
+        traceparent: Option<&str>,
     ) -> std::io::Result<ApiSnapshot> {
         let io_err = |m: String| std::io::Error::other(m);
         if peer.conn.is_none() {
@@ -245,7 +282,7 @@ impl FleetAggregator {
         }
         let conn = peer.conn.as_mut().expect("connection just ensured");
         let body = conn
-            .get("/api/snapshot")
+            .get_with("/api/snapshot", traceparent)
             .map_err(|e| io_err(e.to_string()))?;
         let text = std::str::from_utf8(&body)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
@@ -324,9 +361,9 @@ impl FleetAggregator {
             let snap = self.peers[i].last.as_ref().expect("filtered to Some");
             match FleetAccumulator::from_snapshot(&snap.acc) {
                 Ok(shard_acc) => acc.merge(&shard_acc),
-                Err(e) => eprintln!(
-                    "leakprofd: fleet: bad snapshot from {}: {e}",
-                    self.peers[i].addr
+                Err(e) => self.events.error(
+                    "fleet",
+                    format!("bad snapshot from {}: {e}", self.peers[i].addr),
                 ),
             }
             // In-memory ledger: merge_entries cannot fail to persist.
@@ -341,7 +378,8 @@ impl FleetAggregator {
         }
         let borrowed: Vec<(&str, f64)> = points.iter().map(|(k, v)| (k.as_str(), *v)).collect();
         if let Err(e) = self.ts.append(self.polls, &borrowed) {
-            eprintln!("leakprofd: fleet: telemetry append failed: {e}");
+            self.events
+                .error("fleet", format!("telemetry append failed: {e}"));
         }
         let fps: Vec<String> = report
             .suspects
@@ -460,6 +498,39 @@ impl FleetAggregator {
         }
     }
 
+    /// Fetches every peer's `/trace` snapshot and stitches it together
+    /// with the aggregator's own spans into one Chrome/Perfetto export:
+    /// the fleet's `/trace` answers with the whole distributed timeline,
+    /// one process lane per shard plus the fleet lane, flow arrows on
+    /// every hop. Peers that fail to answer (or answer with something
+    /// unparseable) are skipped with a warning event — a dark shard
+    /// costs its lane, never the export.
+    pub fn stitched_trace(&self) -> String {
+        let mut snaps = vec![self.tracer.snapshot()];
+        for peer in &self.peers {
+            match http_get(peer.addr, "/trace", self.connect_timeout, self.read_timeout) {
+                Ok(body) => {
+                    match std::str::from_utf8(&body)
+                        .map_err(|e| e.to_string())
+                        .and_then(|s| {
+                            serde_json::from_str::<TraceSnapshot>(s).map_err(|e| e.to_string())
+                        }) {
+                        Ok(snap) => snaps.push(snap),
+                        Err(e) => self.events.warn(
+                            "fleet",
+                            format!("bad trace snapshot from {}: {e}", peer.addr),
+                        ),
+                    }
+                }
+                Err(e) => self.events.warn(
+                    "fleet",
+                    format!("trace fetch from {} failed: {e}", peer.addr),
+                ),
+            }
+        }
+        obs::to_chrome_stitched(&snaps)
+    }
+
     /// Prometheus exposition for the aggregator's own `/metrics`.
     pub fn metrics_text(&self) -> String {
         let status = self.status();
@@ -524,6 +595,47 @@ impl FleetAggregator {
                 );
             }
         }
+        p.family(
+            "leakprofd_build_info",
+            "gauge",
+            "Build identity; the value is always 1.",
+        );
+        p.sample(
+            "leakprofd_build_info",
+            &[("version", env!("CARGO_PKG_VERSION")), ("role", "fleet")],
+            1u64,
+        );
+        p.family(
+            "leakprofd_obs_dropped_total",
+            "counter",
+            "Observability records dropped because a ring was full.",
+        );
+        p.sample(
+            "leakprofd_obs_dropped_total",
+            &[("kind", "span")],
+            self.tracer.spans_dropped(),
+        );
+        p.sample(
+            "leakprofd_obs_dropped_total",
+            &[("kind", "event")],
+            self.events.dropped(),
+        );
+        if let Some(worst) = self.tracer.worst_cycle() {
+            p.family(
+                "leakprofd_worst_cycle_us",
+                "gauge",
+                "Duration of the slowest recent poll, with its trace id as an exemplar.",
+            );
+            let cycle = worst.cycle.to_string();
+            p.sample(
+                "leakprofd_worst_cycle_us",
+                &[
+                    ("trace_id", worst.trace_id.as_str()),
+                    ("cycle", cycle.as_str()),
+                ],
+                worst.dur_us,
+            );
+        }
         p.finish()
     }
 }
@@ -534,6 +646,9 @@ pub fn fleet_routes() -> Vec<String> {
         "/metrics".into(),
         "/status".into(),
         "/health".into(),
+        "/trace".into(),
+        "/trace/self".into(),
+        "/logs".into(),
         "/api/snapshot".into(),
         "/api/shardmap".into(),
     ]
@@ -546,6 +661,14 @@ pub fn fleet_routes() -> Vec<String> {
 ///   merged view.
 /// * `/health` — merged per-site trend verdicts.
 /// * `/metrics` — aggregator Prometheus exposition.
+/// * `/trace` — the stitched fleet-wide Chrome export: the aggregator's
+///   own spans plus every reachable shard's `/trace`, one process lane
+///   each, flow arrows across the hops.
+/// * `/trace/self` — the aggregator's own raw [`TraceSnapshot`] (what a
+///   daemon serves at `/trace`), so `leakprofd trace --addr <fleet>`
+///   can restitch the fleet lane together with explicitly listed
+///   processes such as push clients.
+/// * `/logs` — the aggregator's structured event log.
 /// * `/api/snapshot` — the merged fleet as one [`ApiSnapshot`], making
 ///   aggregators composable with `leakprofd status`/`top`.
 /// * `/api/shardmap` — the current (possibly rebalanced) map, for
@@ -577,6 +700,13 @@ pub fn serve_fleet_endpoints(
                 };
                 Response::json(serde_json::to_string_pretty(&health).expect("health serializes"))
             }
+            "/trace" => Response::json(f.stitched_trace()),
+            "/trace/self" => Response::json(
+                serde_json::to_string(&f.tracer().snapshot()).expect("trace serializes"),
+            ),
+            "/logs" => Response::json(
+                serde_json::to_string_pretty(&f.events().recent()).expect("events serialize"),
+            ),
             "/api/snapshot" => Response::json(
                 serde_json::to_string_pretty(&f.api_snapshot()).expect("snapshot serializes"),
             ),

@@ -50,6 +50,11 @@ pub struct Request {
     /// True when the client asked for `connection: keep-alive`; the
     /// server then parks the socket for reuse after responding.
     pub keep_alive: bool,
+    /// The raw `traceparent` header value, when the client sent one.
+    /// Carried verbatim; handlers parse it with
+    /// [`obs::TraceContext::parse`], which maps anything malformed to
+    /// `None` (fresh root) rather than an error.
+    pub traceparent: Option<String>,
     /// Request body (`content-length`-bound; empty for `GET`).
     pub body: Vec<u8>,
 }
@@ -510,11 +515,12 @@ fn read_request<R: BufRead>(reader: &mut R) -> Option<Request> {
     if !version.starts_with("HTTP/1.") {
         return None;
     }
-    // Drain headers until the blank line; `connection` and
-    // `content-length` are the only ones the collector protocol reacts
-    // to.
+    // Drain headers until the blank line; `connection`,
+    // `content-length`, and `traceparent` are the only ones the
+    // collector protocol reacts to.
     let mut keep_alive = false;
     let mut content_length = 0usize;
+    let mut traceparent = None;
     loop {
         let mut header = String::new();
         reader.read_line(&mut header).ok()?;
@@ -528,6 +534,8 @@ fn read_request<R: BufRead>(reader: &mut R) -> Option<Request> {
                 keep_alive = true;
             } else if name.eq_ignore_ascii_case("content-length") {
                 content_length = value.trim().parse().ok()?;
+            } else if name.eq_ignore_ascii_case(obs::TRACEPARENT) {
+                traceparent = Some(value.trim().to_string());
             }
         }
     }
@@ -547,6 +555,7 @@ fn read_request<R: BufRead>(reader: &mut R) -> Option<Request> {
         method,
         path,
         keep_alive,
+        traceparent,
         body,
     })
 }
@@ -632,6 +641,22 @@ pub fn http_get(
     connect_timeout: Duration,
     read_timeout: Duration,
 ) -> Result<Vec<u8>, HttpError> {
+    http_get_with(addr, path, connect_timeout, read_timeout, None)
+}
+
+/// [`http_get`] plus an optional `traceparent` header value, so a traced
+/// caller's distributed context rides the request.
+///
+/// # Errors
+///
+/// Returns an [`HttpError`] exactly as [`http_get`] does.
+pub fn http_get_with(
+    addr: SocketAddr,
+    path: &str,
+    connect_timeout: Duration,
+    read_timeout: Duration,
+    traceparent: Option<&str>,
+) -> Result<Vec<u8>, HttpError> {
     let stream = TcpStream::connect_timeout(&addr, connect_timeout)
         .map_err(|e| HttpError::Connect(e.to_string()))?;
     stream
@@ -639,13 +664,25 @@ pub fn http_get(
         .map_err(|e| HttpError::Connect(e.to_string()))?;
     let _ = stream.set_nodelay(true);
     let mut req_stream = &stream;
-    let request = format!("GET {path} HTTP/1.1\r\nhost: collector\r\nconnection: close\r\n\r\n");
+    let request = format!(
+        "GET {path} HTTP/1.1\r\nhost: collector\r\n{}connection: close\r\n\r\n",
+        traceparent_header(traceparent)
+    );
     req_stream
         .write_all(request.as_bytes())
         .map_err(|e| HttpError::Connect(e.to_string()))?;
 
     let mut reader = BufReader::new(&stream);
     read_response(&mut reader)
+}
+
+/// The `traceparent` header line (with trailing CRLF) for an outgoing
+/// request, or the empty string when no context is being propagated.
+fn traceparent_header(traceparent: Option<&str>) -> String {
+    match traceparent {
+        Some(tp) => format!("{}: {tp}\r\n", obs::TRACEPARENT),
+        None => String::new(),
+    }
 }
 
 /// Performs a `POST` with a `connection: close` request and reads the
@@ -665,6 +702,32 @@ pub fn http_post(
     connect_timeout: Duration,
     read_timeout: Duration,
 ) -> Result<ResponseMeta, HttpError> {
+    http_post_with(
+        addr,
+        path,
+        content_type,
+        body,
+        connect_timeout,
+        read_timeout,
+        None,
+    )
+}
+
+/// [`http_post`] plus an optional `traceparent` header value.
+///
+/// # Errors
+///
+/// Returns an [`HttpError`] exactly as [`http_post`] does.
+#[allow(clippy::too_many_arguments)]
+pub fn http_post_with(
+    addr: SocketAddr,
+    path: &str,
+    content_type: &str,
+    body: &[u8],
+    connect_timeout: Duration,
+    read_timeout: Duration,
+    traceparent: Option<&str>,
+) -> Result<ResponseMeta, HttpError> {
     let stream = TcpStream::connect_timeout(&addr, connect_timeout)
         .map_err(|e| HttpError::Connect(e.to_string()))?;
     stream
@@ -673,8 +736,9 @@ pub fn http_post(
     let _ = stream.set_nodelay(true);
     let mut req_stream = &stream;
     let head = format!(
-        "POST {path} HTTP/1.1\r\nhost: collector\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
-        body.len()
+        "POST {path} HTTP/1.1\r\nhost: collector\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\n{}connection: close\r\n\r\n",
+        body.len(),
+        traceparent_header(traceparent)
     );
     req_stream
         .write_all(head.as_bytes())
@@ -735,9 +799,24 @@ impl HttpConnection {
     /// connection should be discarded (the stream may hold residual
     /// bytes).
     pub fn get(&mut self, path: &str) -> Result<Vec<u8>, HttpError> {
+        self.get_with(path, None)
+    }
+
+    /// [`HttpConnection::get`] plus an optional `traceparent` header.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`HttpError`] exactly as [`HttpConnection::get`] does.
+    pub fn get_with(
+        &mut self,
+        path: &str,
+        traceparent: Option<&str>,
+    ) -> Result<Vec<u8>, HttpError> {
         self.uses += 1;
-        let request =
-            format!("GET {path} HTTP/1.1\r\nhost: collector\r\nconnection: keep-alive\r\n\r\n");
+        let request = format!(
+            "GET {path} HTTP/1.1\r\nhost: collector\r\n{}connection: keep-alive\r\n\r\n",
+            traceparent_header(traceparent)
+        );
         self.stream
             .write_all(request.as_bytes())
             .map_err(|e| HttpError::Connect(e.to_string()))?;
@@ -759,10 +838,26 @@ impl HttpConnection {
         content_type: &str,
         body: &[u8],
     ) -> Result<ResponseMeta, HttpError> {
+        self.post_with(path, content_type, body, None)
+    }
+
+    /// [`HttpConnection::post`] plus an optional `traceparent` header.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`HttpError`] exactly as [`HttpConnection::post`] does.
+    pub fn post_with(
+        &mut self,
+        path: &str,
+        content_type: &str,
+        body: &[u8],
+        traceparent: Option<&str>,
+    ) -> Result<ResponseMeta, HttpError> {
         self.uses += 1;
         let head = format!(
-            "POST {path} HTTP/1.1\r\nhost: collector\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: keep-alive\r\n\r\n",
-            body.len()
+            "POST {path} HTTP/1.1\r\nhost: collector\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\n{}connection: keep-alive\r\n\r\n",
+            body.len(),
+            traceparent_header(traceparent)
         );
         self.stream
             .write_all(head.as_bytes())
@@ -788,6 +883,10 @@ pub struct ResponseMeta {
     /// Retry hint in milliseconds: the server's `retry-after-ms` header
     /// when present, else `retry-after` (seconds) scaled up.
     pub retry_after_ms: Option<u64>,
+    /// The server's `traceparent` response header, when present — how a
+    /// push client learns which distributed trace the daemon is in so
+    /// its next push can join it.
+    pub traceparent: Option<String>,
     /// Response body bytes.
     pub body: Vec<u8>,
 }
@@ -819,6 +918,7 @@ fn read_response_meta<R: BufRead>(reader: &mut R) -> Result<ResponseMeta, HttpEr
     let mut content_length: Option<usize> = None;
     let mut retry_after_ms: Option<u64> = None;
     let mut retry_after_s: Option<u64> = None;
+    let mut traceparent: Option<String> = None;
     loop {
         let mut header = String::new();
         read_line_classified(reader, &mut header)?;
@@ -833,6 +933,8 @@ fn read_response_meta<R: BufRead>(reader: &mut R) -> Result<ResponseMeta, HttpEr
                 retry_after_ms = value.trim().parse().ok();
             } else if name.eq_ignore_ascii_case("retry-after") {
                 retry_after_s = value.trim().parse().ok();
+            } else if name.eq_ignore_ascii_case(obs::TRACEPARENT) {
+                traceparent = Some(value.trim().to_string());
             }
         }
     }
@@ -851,6 +953,7 @@ fn read_response_meta<R: BufRead>(reader: &mut R) -> Result<ResponseMeta, HttpEr
     Ok(ResponseMeta {
         status,
         retry_after_ms: retry_after_ms.or(retry_after_s.map(|s| s * 1000)),
+        traceparent,
         body,
     })
 }
@@ -1010,6 +1113,43 @@ mod tests {
             assert_eq!(meta.status, 200);
             assert_eq!(meta.body, payload);
         }
+    }
+
+    #[test]
+    fn traceparent_rides_requests_and_responses() {
+        // The handler echoes the request's traceparent back as a
+        // response header, proving both directions of the plumbing.
+        let server = HttpServer::serve("127.0.0.1:0", 2, |req: &Request| {
+            let mut resp = Response::text(match &req.traceparent {
+                Some(tp) => format!("got {tp}"),
+                None => "got none".to_string(),
+            });
+            if let Some(tp) = &req.traceparent {
+                resp.headers
+                    .push((obs::TRACEPARENT.to_string(), tp.clone()));
+            }
+            resp
+        })
+        .unwrap();
+        let (ct, rt) = client_timeouts();
+        let tp = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01";
+
+        let body = http_get_with(server.addr(), "/t", ct, rt, Some(tp)).unwrap();
+        assert_eq!(body, format!("got {tp}").as_bytes());
+        let body = http_get(server.addr(), "/t", ct, rt).unwrap();
+        assert_eq!(body, b"got none");
+
+        let meta =
+            http_post_with(server.addr(), "/t", "text/plain", b"", ct, rt, Some(tp)).unwrap();
+        assert_eq!(meta.traceparent.as_deref(), Some(tp));
+        let meta = http_post(server.addr(), "/t", "text/plain", b"", ct, rt).unwrap();
+        assert_eq!(meta.traceparent, None);
+
+        let mut conn = HttpConnection::connect(server.addr(), ct, rt).unwrap();
+        let body = conn.get_with("/t", Some(tp)).unwrap();
+        assert_eq!(body, format!("got {tp}").as_bytes());
+        let meta = conn.post_with("/t", "text/plain", b"", Some(tp)).unwrap();
+        assert_eq!(meta.traceparent.as_deref(), Some(tp));
     }
 
     #[test]

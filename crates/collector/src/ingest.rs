@@ -40,7 +40,7 @@ use std::time::{Duration, Instant};
 
 use gosim::rng::SplitMix64;
 use gosim::GoroutineProfile;
-use obs::LatencyHistogram;
+use obs::{EventLog, LatencyHistogram};
 use serde::{Deserialize, Serialize};
 
 use crate::http::Response;
@@ -193,6 +193,7 @@ pub struct IngestTier {
     shared: Arc<IngestShared>,
     senders: Vec<Sender<GoroutineProfile>>,
     absorbers: Vec<std::thread::JoinHandle<()>>,
+    events: EventLog,
 }
 
 impl IngestTier {
@@ -226,7 +227,16 @@ impl IngestTier {
             shared,
             senders,
             absorbers,
+            events: EventLog::default(),
         }
+    }
+
+    /// Installs the structured event log bad-request rejections are
+    /// reported to. Call before sharing the tier; sheds are *not*
+    /// logged per-occurrence (they are the hot path, and counted in
+    /// `shed_total`), only malformed bodies are.
+    pub fn set_events(&mut self, events: EventLog) {
+        self.events = events;
     }
 
     /// The tier's configuration (the daemon reads the accept-pool and
@@ -250,6 +260,14 @@ impl IngestTier {
             self.shared
                 .bad_request_total
                 .fetch_add(1, Ordering::Relaxed);
+            self.events.warn(
+                "ingest",
+                format!(
+                    "rejected push: body {} bytes exceeds cap {}",
+                    body.len(),
+                    self.config.max_body_bytes
+                ),
+            );
             return Response::error(413, "profile body too large");
         }
         let text = match std::str::from_utf8(body) {
@@ -258,6 +276,8 @@ impl IngestTier {
                 self.shared
                     .bad_request_total
                     .fetch_add(1, Ordering::Relaxed);
+                self.events
+                    .warn("ingest", "rejected push: body is not UTF-8");
                 return Response::error(400, "profile body is not UTF-8");
             }
         };
@@ -267,6 +287,8 @@ impl IngestTier {
                 self.shared
                     .bad_request_total
                     .fetch_add(1, Ordering::Relaxed);
+                self.events
+                    .warn("ingest", format!("rejected push: unparseable profile: {e}"));
                 return Response::error(400, &format!("unparseable profile: {e}"));
             }
         };
@@ -274,6 +296,8 @@ impl IngestTier {
             self.shared
                 .bad_request_total
                 .fetch_add(1, Ordering::Relaxed);
+            self.events
+                .warn("ingest", "rejected push: profile missing instance id");
             return Response::error(400, "profile missing instance id");
         }
         // Admission: the queue depth is the watermark. Replacement

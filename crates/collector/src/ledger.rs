@@ -92,6 +92,10 @@ pub struct CycleOutcome {
     pub suppressed: usize,
     /// Fingerprints whose episodes closed this cycle.
     pub resolved: Vec<String>,
+    /// The distributed trace id of the cycle that produced this
+    /// decision, when the ledger's tracer was inside one — the
+    /// exemplar that links a page back to its stitched timeline.
+    pub trace_id: Option<String>,
 }
 
 /// Aggregate ledger counts for `/status` and `/metrics`.
@@ -218,7 +222,10 @@ impl ReportLedger {
     pub fn apply(&mut self, cycle: u64, suspects: &[Suspect]) -> std::io::Result<CycleOutcome> {
         let mut span = self.tracer.start(obs::stage::LEDGER, "");
         span.attr("suspects", suspects.len());
-        let mut outcome = CycleOutcome::default();
+        let mut outcome = CycleOutcome {
+            trace_id: self.tracer.current_trace_id(),
+            ..CycleOutcome::default()
+        };
         let mut dirty = false;
         for s in suspects {
             let fp = Self::fingerprint(s);

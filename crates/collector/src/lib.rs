@@ -50,8 +50,9 @@
 //!   plus the daemon's own `/metrics`, `/status`, `/trace` (per-cycle
 //!   span trees from [`obs`]), `/health` (per-site trend verdicts from
 //!   [`timeseries`]), `/api/series` (range queries over the embedded
-//!   multi-resolution store), and `/debug/self` (the daemon's own
-//!   worker threads as a scrapeable goroutine-style profile).
+//!   multi-resolution store), `/logs` (the bounded structured event
+//!   ring from [`obs`]), and `/debug/self` (the daemon's own worker
+//!   threads as a scrapeable goroutine-style profile).
 //! * [`shard`] — shard identity for sharded collection: slice
 //!   filtering by [`shardmap::ShardMap`], state-dir tagging, and the
 //!   `/api/snapshot` merge document.
@@ -111,8 +112,8 @@ pub use fleet_tier::{
 pub use health::{classify_sites, sparkline, FleetHealth, SiteHealth, SPARK_POINTS};
 pub use history::{load_jsonl, CycleRecord, HistoryLog, JsonlLoad, TopSite};
 pub use http::{
-    http_get, http_post, HttpError, HttpServer, Request, Response, ResponseFault, ResponseMeta,
-    ServerOptions,
+    http_get, http_get_with, http_post, http_post_with, HttpError, HttpServer, Request, Response,
+    ResponseFault, ResponseMeta, ServerOptions,
 };
 pub use ingest::{dedupe_newest_wins, AbsorbedProfile, IngestConfig, IngestSummary, IngestTier};
 pub use ledger::{

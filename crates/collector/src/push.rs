@@ -23,9 +23,10 @@ use std::time::Duration;
 
 use gosim::rng::SplitMix64;
 use gosim::GoroutineProfile;
+use obs::{stage, TraceContext, Tracer};
 use serde::{Deserialize, Serialize};
 
-use crate::http::{http_post, HttpConnection, HttpError, ResponseMeta};
+use crate::http::{http_post_with, HttpConnection, HttpError, ResponseMeta};
 
 /// The path pushers POST profiles to.
 pub const PUSH_PATH: &str = "/api/push";
@@ -173,6 +174,8 @@ pub struct PushClient {
     config: PushConfig,
     conn: Option<HttpConnection>,
     stats: PushStats,
+    tracer: Tracer,
+    pushes: u64,
 }
 
 impl PushClient {
@@ -183,12 +186,29 @@ impl PushClient {
             config,
             conn: None,
             stats: PushStats::default(),
+            tracer: Tracer::default(),
+            pushes: 0,
         }
     }
 
     /// Lifetime counters.
     pub fn stats(&self) -> &PushStats {
         &self.stats
+    }
+
+    /// Records spans on `tracer` from now on: one PUSH root per push,
+    /// a TARGET child per attempt (carrying the hop id sent as
+    /// `traceparent`), and a BACKOFF child per backoff/Retry-After
+    /// sleep. When a daemon response carries a `traceparent` header,
+    /// the *next* push adopts it — a pusher behind a traced daemon
+    /// joins the fleet-wide trace one push later.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The pusher's tracer (for `--trace-out` snapshots).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Pushes one profile, sleeping out the backoff schedule across
@@ -204,29 +224,72 @@ impl PushClient {
         let body = serde_json::to_string(profile)
             .expect("profile serializes")
             .into_bytes();
+        self.pushes += 1;
+        // Each push is one trace cycle. An adopted daemon context (from
+        // the previous push's response) parents this push under the
+        // daemon's — usually the fleet's — distributed trace.
+        self.tracer.begin_cycle();
+        let mut root = self.tracer.start(stage::PUSH, &profile.instance);
+        let root_id = root.id();
+        let result = self.push_attempts(profile, &body, root_id);
+        match &result {
+            Ok(receipt) => {
+                root.attr("attempts", receipt.attempts);
+                root.attr("sheds", receipt.sheds);
+            }
+            Err(e) => root.attr("error", e),
+        }
+        root.finish();
+        let flagged = match &result {
+            Ok(receipt) => receipt.sheds > 0,
+            Err(_) => true,
+        };
+        self.tracer.finish_cycle_flagged(self.pushes, flagged);
+        result
+    }
+
+    /// The retry loop behind [`PushClient::push`], spans included.
+    fn push_attempts(
+        &mut self,
+        profile: &GoroutineProfile,
+        body: &[u8],
+        root_id: u64,
+    ) -> Result<PushReceipt, PushError> {
         let mut receipt = PushReceipt::default();
         let mut last_status = 0u16;
         for attempt in 1..=self.config.max_attempts.max(1) {
             receipt.attempts = attempt;
-            match self.send(&body) {
+            let mut span = self
+                .tracer
+                .start_with(stage::TARGET, &profile.instance, root_id);
+            span.attr("attempt", attempt);
+            let traceparent = self.tracer.hop(&mut span).map(|c| c.to_header());
+            let outcome = self.send(body, traceparent.as_deref());
+            if let Ok(meta) = &outcome {
+                span.attr("status", meta.status);
+                // The daemon told us which trace it is in; the next
+                // push joins it.
+                if let Some(ctx) = meta.traceparent.as_deref().and_then(TraceContext::parse) {
+                    self.tracer.adopt_remote(&ctx);
+                }
+            }
+            match outcome {
                 Ok(meta) if meta.status == 200 => {
+                    span.finish();
                     self.stats.pushed += 1;
                     self.stats.sheds += u64::from(receipt.sheds);
                     return Ok(receipt);
                 }
                 Ok(meta) if meta.status == 429 || meta.status == 503 => {
+                    span.finish();
                     receipt.sheds += 1;
                     last_status = meta.status;
                     if attempt < self.config.max_attempts {
-                        std::thread::sleep(backoff_delay(
-                            &self.config,
-                            &profile.instance,
-                            attempt,
-                            meta.retry_after_ms,
-                        ));
+                        self.backoff_sleep(profile, attempt, meta.retry_after_ms, root_id);
                     }
                 }
                 Ok(meta) => {
+                    span.finish();
                     self.stats.failed += 1;
                     return Err(PushError::Rejected {
                         status: meta.status,
@@ -234,6 +297,8 @@ impl PushClient {
                     });
                 }
                 Err(e) => {
+                    span.attr("error", &e);
+                    span.finish();
                     // The connection is suspect after any transport
                     // error; drop it so the next attempt redials.
                     self.conn = None;
@@ -242,12 +307,7 @@ impl PushClient {
                         self.stats.failed += 1;
                         return Err(PushError::Transport(e));
                     }
-                    std::thread::sleep(backoff_delay(
-                        &self.config,
-                        &profile.instance,
-                        attempt,
-                        None,
-                    ));
+                    self.backoff_sleep(profile, attempt, None, root_id);
                 }
             }
         }
@@ -259,16 +319,38 @@ impl PushClient {
         })
     }
 
+    /// Sleeps out one backoff step under a BACKOFF span, so shed storms
+    /// show up as visible idle bars in the stitched timeline.
+    fn backoff_sleep(
+        &self,
+        profile: &GoroutineProfile,
+        attempt: u32,
+        retry_after_ms: Option<u64>,
+        root_id: u64,
+    ) {
+        let delay = backoff_delay(&self.config, &profile.instance, attempt, retry_after_ms);
+        let mut span = self
+            .tracer
+            .start_with(stage::BACKOFF, &profile.instance, root_id);
+        span.attr("delay_ms", delay.as_millis() as u64);
+        if let Some(ms) = retry_after_ms {
+            span.attr("retry_after_ms", ms);
+        }
+        std::thread::sleep(delay);
+        span.finish();
+    }
+
     /// One POST, over the pooled connection when keep-alive is on.
-    fn send(&mut self, body: &[u8]) -> Result<ResponseMeta, HttpError> {
+    fn send(&mut self, body: &[u8], traceparent: Option<&str>) -> Result<ResponseMeta, HttpError> {
         if !self.config.keepalive {
-            return http_post(
+            return http_post_with(
                 self.addr,
                 PUSH_PATH,
                 "application/json",
                 body,
                 self.config.connect_timeout,
                 self.config.read_timeout,
+                traceparent,
             );
         }
         if self.conn.is_none() {
@@ -279,7 +361,7 @@ impl PushClient {
             )?);
         }
         let conn = self.conn.as_mut().expect("connection just ensured");
-        match conn.post(PUSH_PATH, "application/json", body) {
+        match conn.post_with(PUSH_PATH, "application/json", body, traceparent) {
             Ok(meta) => Ok(meta),
             Err(e) => {
                 self.conn = None;

@@ -19,10 +19,10 @@ use std::time::{Duration, Instant};
 
 use gosim::rng::SplitMix64;
 use gosim::GoroutineProfile;
-use obs::{site, stage, Tracer, WorkerBoard, WorkerState};
+use obs::{site, stage, EventLog, Tracer, WorkerBoard, WorkerState};
 
 use crate::breaker::{BreakerSet, Decision};
-use crate::http::{http_get, HttpConnection, HttpError};
+use crate::http::{http_get_with, HttpConnection, HttpError};
 use crate::stats::CycleStats;
 
 /// One instance endpoint to scrape.
@@ -206,6 +206,7 @@ pub struct Scraper {
     pool: Arc<Mutex<HashMap<String, HttpConnection>>>,
     counters: Arc<KeepaliveCounters>,
     tracer: Tracer,
+    events: EventLog,
     board: Option<WorkerBoard>,
 }
 
@@ -235,6 +236,11 @@ impl Scraper {
     /// Records spans for every cycle/target on `tracer` from now on.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Emits structured events (failed targets) on `events` from now on.
+    pub fn set_events(&mut self, events: EventLog) {
+        self.events = events;
     }
 
     /// Registers cycle worker threads on `board` so the daemon's
@@ -340,7 +346,16 @@ impl Scraper {
             }
             match outcome {
                 Ok(p) => report.profiles.push(p),
-                Err(e) => report.errors.push(e),
+                Err(e) => {
+                    self.events.warn(
+                        "scrape",
+                        format!(
+                            "target {} failed after {} attempts ({}): {}",
+                            e.instance, e.attempts, e.kind, e.detail
+                        ),
+                    );
+                    report.errors.push(e);
+                }
             }
         }
         for (idx, d) in decisions.iter().enumerate() {
@@ -379,6 +394,10 @@ impl Scraper {
         let mut rng = SplitMix64::new(
             self.config.jitter_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
         );
+        // One hop id per target: every attempt carries the same
+        // traceparent, so the instance (if it traces) hangs under this
+        // TARGET span whichever attempt got through.
+        let hop_header = self.tracer.hop(span).map(|ctx| ctx.to_header());
         let begun = Instant::now();
         let mut latencies = Vec::new();
         let mut last: Option<(ScrapeErrorKind, String)> = None;
@@ -402,7 +421,7 @@ impl Scraper {
                 h.set(WorkerState::Connect, site!("collector::scrape::fetch"));
             }
             let begin = Instant::now();
-            let (outcome, mode) = self.fetch(target);
+            let (outcome, mode) = self.fetch(target, hop_header.as_deref());
             last_mode = mode;
             latencies.push(begin.elapsed());
             match outcome {
@@ -458,13 +477,18 @@ impl Scraper {
     /// connection when available (retiring it at `keepalive_max_uses`),
     /// falling back to a fresh dial — *within this same attempt* — when
     /// reuse fails, or plain [`http_get`] when keep-alive is off.
-    fn fetch(&self, target: &ScrapeTarget) -> (Result<Vec<u8>, HttpError>, ConnMode) {
+    fn fetch(
+        &self,
+        target: &ScrapeTarget,
+        traceparent: Option<&str>,
+    ) -> (Result<Vec<u8>, HttpError>, ConnMode) {
         if !self.config.keepalive {
-            let out = http_get(
+            let out = http_get_with(
                 target.addr,
                 &target.path,
                 self.config.connect_timeout,
                 self.config.read_timeout,
+                traceparent,
             );
             return (out, ConnMode::Close);
         }
@@ -480,7 +504,7 @@ impl Scraper {
                 self.counters.expired.fetch_add(1, Ordering::Relaxed);
                 // Retired: fall through to a fresh dial.
             } else {
-                match conn.get(&target.path) {
+                match conn.get_with(&target.path, traceparent) {
                     Ok(body) => {
                         self.counters.reused.fetch_add(1, Ordering::Relaxed);
                         self.pool
@@ -510,7 +534,7 @@ impl Scraper {
             self.config.read_timeout,
         ) {
             Ok(mut conn) => {
-                let out = conn.get(&target.path);
+                let out = conn.get_with(&target.path, traceparent);
                 self.counters.fresh.fetch_add(1, Ordering::Relaxed);
                 if out.is_ok() {
                     self.pool
@@ -774,6 +798,57 @@ mod tests {
             assert!(t.attrs.iter().any(|(k, _)| k == "bytes"));
             assert!(t.attrs.iter().any(|(k, v)| k == "attempts" && v == "1"));
         }
+    }
+
+    #[test]
+    fn traced_cycle_stamps_hop_ids_on_target_spans() {
+        use obs::{stage, TraceConfig, Tracer};
+        let hub = hub_with(&["a", "b"]);
+        let server = hub.serve("127.0.0.1:0", 2).unwrap();
+        let mut scraper = Scraper::new(ScrapeConfig::default());
+        let tracer = Tracer::new(&TraceConfig::default());
+        scraper.set_tracer(tracer.clone());
+        let ctx = tracer.begin_cycle().unwrap();
+        scraper.scrape_cycle(&targets_for(&hub, server.addr()));
+        tracer.finish_cycle(1);
+        let snap = tracer.snapshot();
+        let tgts: Vec<_> = snap.cycles[0]
+            .spans
+            .iter()
+            .filter(|s| s.stage == stage::TARGET)
+            .collect();
+        assert_eq!(tgts.len(), 2);
+        for t in tgts {
+            assert_eq!(t.trace.as_deref(), Some(ctx.trace_id.as_str()));
+            let hop = t
+                .attrs
+                .iter()
+                .find(|(k, _)| k == "hop")
+                .map(|(_, v)| v.as_str())
+                .expect("hop attr stamped");
+            assert_eq!(hop.len(), 16);
+            assert!(u64::from_str_radix(hop, 16).is_ok());
+        }
+    }
+
+    #[test]
+    fn failed_targets_emit_warn_events() {
+        use obs::{EventConfig, EventLog};
+        let hub = hub_with(&["ok", "bad"]);
+        hub.inject_fault("bad", Fault::CloseBeforeResponse);
+        let server = hub.serve("127.0.0.1:0", 2).unwrap();
+        let mut scraper = Scraper::new(ScrapeConfig {
+            max_attempts: 1,
+            ..ScrapeConfig::default()
+        });
+        let events = EventLog::new(EventConfig::default());
+        scraper.set_events(events.clone());
+        scraper.scrape_cycle(&targets_for(&hub, server.addr()));
+        let recent = events.recent();
+        assert_eq!(recent.len(), 1);
+        assert_eq!(recent[0].level, "warn");
+        assert_eq!(recent[0].target, "scrape");
+        assert!(recent[0].message.contains("bad"), "{}", recent[0].message);
     }
 
     #[test]

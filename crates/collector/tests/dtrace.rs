@@ -1,0 +1,285 @@
+//! Distributed-tracing end-to-end: one fleet poll over three shard
+//! daemons plus one push client must stitch into a single Perfetto
+//! timeline — one root trace id spanning the fleet lane, every shard
+//! lane, and the pusher lane, with flow arrows binding each
+//! cross-process hop.
+//!
+//! The propagation chain under test:
+//!
+//! 1. The fleet aggregator's poll cycle mints the root trace context
+//!    and sends it as a `traceparent` header on each `/api/snapshot`
+//!    poll.
+//! 2. Each daemon records a SERVE span under the remote context and
+//!    *adopts* it, so its next cycle parents under the fleet trace.
+//! 3. A daemon's HTTP responses carry its current context back as a
+//!    `traceparent` header; the push client adopts it from a push
+//!    receipt, so its next push joins the same trace.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use collector::{
+    serve_daemon_endpoints, Daemon, DaemonConfig, DemoFleet, FleetAggregator, FleetConfig,
+    IngestConfig, PushClient, PushConfig, ScrapeConfig, ShardSpec,
+};
+use serde::Value;
+use shardmap::ShardMap;
+
+const SHARDS: u32 = 3;
+
+fn fast_scrape() -> ScrapeConfig {
+    ScrapeConfig {
+        connect_timeout: Duration::from_millis(250),
+        read_timeout: Duration::from_millis(200),
+        max_attempts: 2,
+        backoff_base: Duration::from_millis(1),
+        ..ScrapeConfig::default()
+    }
+}
+
+fn lp() -> leakprof::LeakProf {
+    leakprof::LeakProf::new(leakprof::Config {
+        threshold: 20,
+        ast_filter: false,
+        top_n: 10,
+    })
+}
+
+/// Looks up `key` on a JSON object value.
+fn field<'a>(ev: &'a Value, key: &str) -> Option<&'a Value> {
+    match ev {
+        Value::Object(map) => map.get(key),
+        _ => None,
+    }
+}
+
+/// Spans (`ph:"X"`) grouped by the trace id in their args, mapped to
+/// the set of process lanes each trace reaches.
+fn lanes_by_trace(events: &[Value]) -> std::collections::BTreeMap<String, Vec<i64>> {
+    let mut lanes: std::collections::BTreeMap<String, Vec<i64>> = Default::default();
+    for ev in events {
+        if field(ev, "ph").and_then(Value::as_str) != Some("X") {
+            continue;
+        }
+        let Some(trace) = field(ev, "args")
+            .and_then(|a| field(a, "trace"))
+            .and_then(Value::as_str)
+        else {
+            continue;
+        };
+        let pid = field(ev, "pid").and_then(Value::as_i64).expect("span pid");
+        let entry = lanes.entry(trace.to_string()).or_default();
+        if !entry.contains(&pid) {
+            entry.push(pid);
+        }
+    }
+    lanes
+}
+
+#[test]
+fn fleet_poll_and_push_stitch_into_one_distributed_trace() {
+    let demo = DemoFleet::build(12, 2, 5);
+    let mut server = demo.hub.serve("127.0.0.1:0", 8).expect("hub bind");
+    let targets = demo.targets(server.addr());
+    let map = ShardMap::new(SHARDS);
+
+    // Three shard daemons; shard 0 additionally runs the push-ingest
+    // tier so the push client has somewhere to land.
+    let mut daemons = Vec::new();
+    let mut endpoints = Vec::new();
+    for i in 0..SHARDS {
+        let config = DaemonConfig {
+            scrape: fast_scrape(),
+            shard: Some(ShardSpec {
+                map: map.clone(),
+                index: i,
+            }),
+            ingest: (i == 0).then(IngestConfig::default),
+            ..DaemonConfig::default()
+        };
+        let daemon = Arc::new(Mutex::new(
+            Daemon::new(config, lp(), targets.clone()).expect("shard daemon"),
+        ));
+        endpoints.push(serve_daemon_endpoints(Arc::clone(&daemon), "127.0.0.1:0").expect("bind"));
+        daemons.push(daemon);
+    }
+
+    // Cycle 1: each daemon traces under its own freshly minted root.
+    for d in &daemons {
+        d.lock().unwrap().run_cycle();
+    }
+
+    // The fleet poll mints the distributed root and hops it to every
+    // shard's /api/snapshot.
+    let mut fleet = FleetAggregator::new(
+        FleetConfig {
+            map: Some(map.clone()),
+            ..FleetConfig::new(endpoints.iter().map(|e| e.addr()).collect())
+        },
+        lp(),
+    );
+    assert_eq!(fleet.poll_once(), SHARDS as usize);
+    let root_trace = fleet
+        .tracer()
+        .current_trace_id()
+        .expect("fleet cycle opened a trace");
+
+    // Cycle 2: every daemon consumed the adopted context, so its cycle
+    // root carries the fleet's trace id.
+    for d in &daemons {
+        d.lock().unwrap().run_cycle();
+    }
+    for d in &daemons {
+        let d = d.lock().unwrap();
+        assert_eq!(
+            d.tracer().current_trace_id().as_deref(),
+            Some(root_trace.as_str()),
+            "daemon cycle 2 must join the fleet trace"
+        );
+    }
+
+    // Push twice at shard 0: the first push's receipt carries the
+    // daemon's traceparent, so the second push joins the fleet trace.
+    let mut client = PushClient::new(endpoints[0].addr(), PushConfig::default());
+    let pusher = obs::Tracer::new(&obs::TraceConfig::default());
+    pusher.set_service("pusher", "test");
+    client.set_tracer(pusher.clone());
+    let profile = gosim::GoroutineProfile {
+        instance: "pay-0".into(),
+        captured_at: 1,
+        goroutines: vec![],
+    };
+    client.push(&profile).expect("push 1 admitted");
+    client.push(&profile).expect("push 2 admitted");
+    assert_eq!(
+        pusher.current_trace_id().as_deref(),
+        Some(root_trace.as_str()),
+        "the second push must have adopted the daemon's trace context"
+    );
+
+    // Cycle 3 drains the push SERVE spans out of shard 0's ring into a
+    // retained cycle trace, so the snapshot below carries them.
+    for d in &daemons {
+        d.lock().unwrap().run_cycle();
+    }
+
+    // Stitch all five processes.
+    let mut snapshots = vec![fleet.tracer().snapshot()];
+    for d in &daemons {
+        snapshots.push(d.lock().unwrap().tracer().snapshot());
+    }
+    snapshots.push(pusher.snapshot());
+    let chrome = obs::to_chrome_stitched(&snapshots);
+    let doc: Value = serde_json::from_str(&chrome).expect("stitched export parses");
+    let Value::Array(events) = doc else {
+        panic!("stitched export is not a JSON array of trace events");
+    };
+
+    // One root trace id spans >= 4 process lanes (fleet + 3 shards +
+    // pusher = 5 here).
+    let lanes = lanes_by_trace(&events);
+    let root_lanes = lanes.get(&root_trace).expect("root trace present");
+    assert!(
+        root_lanes.len() >= 4,
+        "root trace {root_trace} must span >= 4 process lanes, got {root_lanes:?}"
+    );
+    assert_eq!(root_lanes.len(), 5, "fleet + 3 shards + pusher");
+
+    // Every flow finish binds to a flow start with the same hop id:
+    // 3 fleet->shard poll hops + 2 pusher->shard push hops.
+    let flow_ids = |ph: &str| -> Vec<String> {
+        events
+            .iter()
+            .filter(|ev| field(ev, "ph").and_then(Value::as_str) == Some(ph))
+            .map(|ev| {
+                field(ev, "id")
+                    .and_then(Value::as_str)
+                    .expect("flow id")
+                    .to_string()
+            })
+            .collect()
+    };
+    let starts = flow_ids("s");
+    let finishes = flow_ids("f");
+    assert_eq!(
+        finishes.len(),
+        5,
+        "3 poll hops + 2 push hops land as flow finishes"
+    );
+    for id in &finishes {
+        assert!(
+            starts.contains(id),
+            "flow finish {id} has no matching start"
+        );
+    }
+
+    // Process lanes are named after each service (shard identity and
+    // version included), so the Perfetto track names are meaningful.
+    let process_names: Vec<&str> = events
+        .iter()
+        .filter(|ev| field(ev, "name").and_then(Value::as_str) == Some("process_name"))
+        .map(|ev| {
+            field(ev, "args")
+                .and_then(|a| field(a, "name"))
+                .and_then(Value::as_str)
+                .expect("process name")
+        })
+        .collect();
+    assert_eq!(process_names.len(), 5);
+    assert!(process_names.iter().any(|n| n.starts_with("fleet")));
+    for i in 0..SHARDS {
+        let want = format!("leakprofd shard {i}/{SHARDS}");
+        assert!(
+            process_names.iter().any(|n| n.starts_with(&want)),
+            "missing lane for {want}: {process_names:?}"
+        );
+    }
+    assert!(process_names.iter().any(|n| n.starts_with("pusher")));
+
+    for mut e in endpoints {
+        e.shutdown();
+    }
+    server.shutdown();
+}
+
+/// A daemon that is never polled keeps minting its own roots, and a
+/// malformed traceparent on the wire degrades to a fresh SERVE-less
+/// request — never an error.
+#[test]
+fn unpolled_daemon_stays_on_its_own_trace() {
+    let demo = DemoFleet::build(4, 1, 9);
+    let mut server = demo.hub.serve("127.0.0.1:0", 2).expect("hub bind");
+    let targets = demo.targets(server.addr());
+    let daemon = Arc::new(Mutex::new(
+        Daemon::new(
+            DaemonConfig {
+                scrape: fast_scrape(),
+                ..DaemonConfig::default()
+            },
+            lp(),
+            targets,
+        )
+        .expect("daemon"),
+    ));
+    let mut endpoint = serve_daemon_endpoints(Arc::clone(&daemon), "127.0.0.1:0").expect("bind");
+
+    daemon.lock().unwrap().run_cycle();
+    let first = daemon.lock().unwrap().tracer().current_trace_id().unwrap();
+
+    // A garbage traceparent header must not perturb anything.
+    collector::http_get_with(
+        endpoint.addr(),
+        "/api/snapshot",
+        Duration::from_millis(500),
+        Duration::from_millis(1000),
+        Some("zz-not-a-traceparent"),
+    )
+    .expect("snapshot fetch succeeds despite malformed header");
+
+    daemon.lock().unwrap().run_cycle();
+    let second = daemon.lock().unwrap().tracer().current_trace_id().unwrap();
+    assert_ne!(first, second, "each unadopted cycle mints a fresh root");
+
+    endpoint.shutdown();
+    server.shutdown();
+}

@@ -220,12 +220,25 @@ fn busy_daemon_metrics_conform_and_cover_every_subsystem() {
         "leakprofd_interval_changes_total",
         "leakprofd_ts_series",
         "leakprofd_ts_appends_total",
+        "leakprofd_build_info",
+        "leakprofd_obs_dropped_total",
+        "leakprofd_worst_cycle_us",
     ] {
         assert!(
             text.contains(&format!("# TYPE {family} ")),
             "missing family {family}"
         );
     }
+    // The obs drop counter carries one series per record kind, and the
+    // build gauge pins the crate version in its labels.
+    assert!(text.contains("leakprofd_obs_dropped_total{kind=\"span\"}"));
+    assert!(text.contains("leakprofd_obs_dropped_total{kind=\"event\"}"));
+    assert!(text.contains(&format!(
+        "leakprofd_build_info{{version=\"{}\",role=\"daemon\"}} 1",
+        env!("CARGO_PKG_VERSION")
+    )));
+    // The worst-cycle exemplar names the trace to pull up in Perfetto.
+    assert!(text.contains("leakprofd_worst_cycle_us{trace_id=\""));
 }
 
 #[test]

@@ -12,20 +12,30 @@
 //! * `ts` / `dur` — the span's start offset and duration in µs, which is
 //!   the unit the trace-event format already uses.
 //! * `args` — span id, parent id, target, then the span's own
-//!   attributes. `id`, `parent`, and `target` are reserved keys; the
-//!   tracer never emits attributes under those names.
+//!   attributes. `id`, `parent`, `target`, `trace`, and `remote_parent`
+//!   are reserved keys; the tracer never emits attributes under those
+//!   names.
 //!
 //! [`from_chrome`] is the inverse, reconstructing [`CycleTrace`]s from
 //! exported JSON. It exists so tests can prove the export is lossless
 //! (`from_chrome(to_chrome(snap)) == snap.cycles`), and accepts only
 //! what [`to_chrome`] emits — it is not a general trace-event parser.
+//!
+//! [`to_chrome_stitched`] merges snapshots from *several processes* into
+//! one timeline: each snapshot becomes its own `pid` lane (named via
+//! `process_name` metadata from the snapshot's service + version), span
+//! timestamps are normalized onto a shared wall clock through each
+//! snapshot's `epoch_unix_us`, and cross-process hops render as flow
+//! arrows — a `ph:"s"` event at the client span that minted the hop id
+//! and a `ph:"f"` event at the server span that recorded it as its
+//! remote parent.
 
 use crate::span::{CycleTrace, Span, TraceSnapshot};
 use serde_json::{Map, Value};
 use std::collections::BTreeMap;
 
 /// Keys in `args` that carry span identity rather than user attributes.
-const RESERVED: [&str; 3] = ["id", "parent", "target"];
+const RESERVED: [&str; 5] = ["id", "parent", "target", "trace", "remote_parent"];
 
 /// Renders the snapshot's retained cycles as a Chrome trace-event JSON
 /// array (see the module docs for the mapping).
@@ -48,6 +58,12 @@ pub fn to_chrome(snapshot: &TraceSnapshot) -> String {
             args.insert("id", Value::U64(span.id));
             args.insert("parent", Value::U64(span.parent));
             args.insert("target", Value::Str(span.target.clone()));
+            if let Some(trace) = &span.trace {
+                args.insert("trace", Value::Str(trace.clone()));
+            }
+            if let Some(rp) = span.remote_parent {
+                args.insert("remote_parent", Value::Str(format!("{rp:016x}")));
+            }
             for (k, v) in &span.attrs {
                 args.insert(k.clone(), Value::Str(v.clone()));
             }
@@ -116,6 +132,26 @@ pub fn from_chrome(json: &str) -> Result<Vec<CycleTrace>, String> {
                 .ok_or_else(|| at(&format!("attribute {k:?} is not a string")))?;
             attrs.push((k.clone(), v.to_string()));
         }
+        let trace = match args.get("trace") {
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or_else(|| at("arg \"trace\" is not a string"))?
+                    .to_string(),
+            ),
+            None => None,
+        };
+        let remote_parent = match args.get("remote_parent") {
+            Some(v) => {
+                let hex = v
+                    .as_str()
+                    .ok_or_else(|| at("arg \"remote_parent\" is not a string"))?;
+                Some(
+                    u64::from_str_radix(hex, 16)
+                        .map_err(|_| at("arg \"remote_parent\" is not hex"))?,
+                )
+            }
+            None => None,
+        };
         let span = Span {
             id: arg_u64("id")?,
             parent: arg_u64("parent")?,
@@ -123,6 +159,8 @@ pub fn from_chrome(json: &str) -> Result<Vec<CycleTrace>, String> {
             target,
             start_us: u64_field("ts")?,
             dur_us: u64_field("dur")?,
+            trace,
+            remote_parent,
             attrs,
         };
         let cycle = u64_field("pid")?;
@@ -135,6 +173,122 @@ pub fn from_chrome(json: &str) -> Result<Vec<CycleTrace>, String> {
         }
     }
     Ok(cycles)
+}
+
+/// Merges per-process [`TraceSnapshot`]s into one Chrome trace-event
+/// JSON array with per-process lanes and cross-process flow arrows.
+///
+/// Unlike [`to_chrome`] (whose `pid` is the cycle number, one viewer
+/// process group per retained cycle), the stitched export assigns each
+/// snapshot `pid = index + 1`, names it with `process_name` metadata
+/// built from the snapshot's service and version, and moves the cycle
+/// number into `args` so all of one process's cycles share a lane.
+/// Timestamps are normalized onto a shared wall clock: each span's
+/// `ts` becomes `epoch_unix_us − min(epoch_unix_us) + start_us`, so
+/// processes line up the way they actually overlapped.
+///
+/// Cross-process hops become flow arrows bound on the hop id: every
+/// span carrying a `hop` attribute (stamped by `Tracer::hop` on the
+/// client side) emits a `ph:"s"` flow-start, and every span with a
+/// `remote_parent` (recorded by `Tracer::start_remote` on the server
+/// side) emits a `ph:"f"` flow-finish with `bp:"e"`, both under
+/// `cat:"hop"` with `id` set to the 16-hex hop id.
+pub fn to_chrome_stitched(snapshots: &[TraceSnapshot]) -> String {
+    let min_epoch = snapshots
+        .iter()
+        .map(|s| s.epoch_unix_us)
+        .filter(|&e| e > 0)
+        .min()
+        .unwrap_or(0);
+    let mut events = Vec::new();
+    for (i, snap) in snapshots.iter().enumerate() {
+        let pid = i as u64 + 1;
+        let base = snap.epoch_unix_us.saturating_sub(min_epoch);
+        let name = if snap.version.is_empty() {
+            snap.service.clone()
+        } else {
+            format!("{} v{}", snap.service, snap.version)
+        };
+        let mut meta_args = Map::new();
+        meta_args.insert("name", Value::Str(name));
+        let mut meta = Map::new();
+        meta.insert("name", Value::Str("process_name".to_string()));
+        meta.insert("ph", Value::Str("M".to_string()));
+        meta.insert("pid", Value::U64(pid));
+        meta.insert("tid", Value::U64(0));
+        meta.insert("args", Value::Object(meta_args));
+        events.push(Value::Object(meta));
+
+        let mut lanes: BTreeMap<&str, u64> = BTreeMap::new();
+        let mut next_lane = 1u64;
+        for cycle in &snap.cycles {
+            for span in &cycle.spans {
+                let tid = if span.target.is_empty() {
+                    0
+                } else {
+                    *lanes.entry(span.target.as_str()).or_insert_with(|| {
+                        let lane = next_lane;
+                        next_lane += 1;
+                        lane
+                    })
+                };
+                let ts = base + span.start_us;
+                let mut args = Map::new();
+                args.insert("id", Value::U64(span.id));
+                args.insert("parent", Value::U64(span.parent));
+                args.insert("target", Value::Str(span.target.clone()));
+                args.insert("cycle", Value::U64(cycle.cycle));
+                if let Some(trace) = &span.trace {
+                    args.insert("trace", Value::Str(trace.clone()));
+                }
+                if let Some(rp) = span.remote_parent {
+                    args.insert("remote_parent", Value::Str(format!("{rp:016x}")));
+                }
+                let mut hop_out = None;
+                for (k, v) in &span.attrs {
+                    if k == "hop" {
+                        hop_out = Some(v.clone());
+                    }
+                    args.insert(k.clone(), Value::Str(v.clone()));
+                }
+                let mut ev = Map::new();
+                ev.insert("name", Value::Str(span.stage.clone()));
+                ev.insert("cat", Value::Str("leakprofd".to_string()));
+                ev.insert("ph", Value::Str("X".to_string()));
+                ev.insert("ts", Value::U64(ts));
+                ev.insert("dur", Value::U64(span.dur_us));
+                ev.insert("pid", Value::U64(pid));
+                ev.insert("tid", Value::U64(tid));
+                ev.insert("args", Value::Object(args));
+                events.push(Value::Object(ev));
+
+                if let Some(hop) = hop_out {
+                    events.push(flow_event("s", &hop, pid, tid, ts));
+                }
+                if let Some(rp) = span.remote_parent {
+                    let mut f = flow_event("f", &format!("{rp:016x}"), pid, tid, ts);
+                    if let Value::Object(f) = &mut f {
+                        f.insert("bp", Value::Str("e".to_string()));
+                    }
+                    events.push(f);
+                }
+            }
+        }
+    }
+    serde_json::to_string(&Value::Array(events)).expect("trace events serialize")
+}
+
+/// One flow event (`ph:"s"` or `ph:"f"`) binding on a hex hop id.
+fn flow_event(ph: &str, id: &str, pid: u64, tid: u64, ts: u64) -> Value {
+    let mut ev = Map::new();
+    ev.insert("name", Value::Str("hop".to_string()));
+    ev.insert("cat", Value::Str("hop".to_string()));
+    ev.insert("ph", Value::Str(ph.to_string()));
+    ev.insert("id", Value::Str(id.to_string()));
+    ev.insert("ts", Value::U64(ts));
+    ev.insert("pid", Value::U64(pid));
+    ev.insert("tid", Value::U64(tid));
+    Value::Object(ev)
 }
 
 #[cfg(test)]
@@ -201,5 +355,119 @@ mod tests {
         assert!(from_chrome("{}").is_err());
         let ev = r#"[{"name":"x","ph":"B","ts":0,"dur":0,"pid":1,"tid":0,"args":{"id":1,"parent":0,"target":""}}]"#;
         assert!(from_chrome(ev).is_err());
+    }
+
+    #[test]
+    fn export_round_trips_trace_identity() {
+        let t = Tracer::new(&TraceConfig::default());
+        let ctx = t.begin_cycle().unwrap();
+        let mut client = t.start(stage::TARGET, "peer");
+        let hop = t.hop(&mut client).unwrap();
+        drop(client);
+        let serve = t.start_remote(stage::SERVE, "/api/push", &hop);
+        drop(serve);
+        t.finish_cycle(1);
+        let snap = t.snapshot();
+        let cycles = from_chrome(&to_chrome(&snap)).expect("parse own export");
+        assert_eq!(cycles, snap.cycles, "trace + remote_parent survive");
+        assert_eq!(
+            cycles[0].spans[0].trace.as_deref(),
+            Some(ctx.trace_id.as_str())
+        );
+        assert_eq!(cycles[0].spans[1].remote_parent, Some(hop.parent_span));
+    }
+
+    /// Two processes linked by one hop stitch into one timeline with
+    /// per-process lanes and a matched flow-arrow pair.
+    #[test]
+    fn stitched_export_has_process_lanes_and_flow_arrows() {
+        let client = Tracer::new(&TraceConfig::default());
+        client.set_service("fleet", "0.9");
+        let ctx = client.begin_cycle().unwrap();
+        let mut poll = client.start(stage::TARGET, "shard-0");
+        let hop = client.hop(&mut poll).unwrap();
+        drop(poll);
+        client.finish_cycle(7);
+
+        let server = Tracer::new(&TraceConfig::default());
+        server.set_service("leakprofd shard 0/3", "0.9");
+        let g = server.start_remote(stage::SERVE, "/api/snapshot", &hop);
+        drop(g);
+        server.finish_cycle(3);
+
+        let json = to_chrome_stitched(&[client.snapshot(), server.snapshot()]);
+        let Value::Array(events) = serde_json::from_str(&json).unwrap() else {
+            panic!("not an array")
+        };
+
+        // Process-name metadata names each pid lane.
+        let mut names: BTreeMap<u64, String> = BTreeMap::new();
+        for ev in &events {
+            let Value::Object(ev) = ev else { panic!() };
+            if ev.get("ph").unwrap().as_str() == Some("M") {
+                let pid = ev.get("pid").unwrap().as_u64().unwrap();
+                let Some(Value::Object(args)) = ev.get("args") else {
+                    panic!()
+                };
+                names.insert(pid, args.get("name").unwrap().as_str().unwrap().to_string());
+            }
+        }
+        assert_eq!(names.get(&1).map(String::as_str), Some("fleet v0.9"));
+        assert_eq!(
+            names.get(&2).map(String::as_str),
+            Some("leakprofd shard 0/3 v0.9")
+        );
+
+        // Exactly one matched s/f flow pair, crossing process lanes.
+        let flows: Vec<&Map> = events
+            .iter()
+            .filter_map(|ev| match ev {
+                Value::Object(ev) if ev.get("cat").and_then(Value::as_str) == Some("hop") => {
+                    Some(ev)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(flows.len(), 2);
+        let start = flows
+            .iter()
+            .find(|f| f.get("ph").unwrap().as_str() == Some("s"))
+            .expect("flow start");
+        let finish = flows
+            .iter()
+            .find(|f| f.get("ph").unwrap().as_str() == Some("f"))
+            .expect("flow finish");
+        assert_eq!(start.get("id"), finish.get("id"));
+        assert_eq!(
+            start.get("id").unwrap().as_str().unwrap(),
+            format!("{:016x}", hop.parent_span)
+        );
+        assert_eq!(start.get("pid").unwrap().as_u64(), Some(1));
+        assert_eq!(finish.get("pid").unwrap().as_u64(), Some(2));
+        assert_eq!(finish.get("bp").unwrap().as_str(), Some("e"));
+
+        // Span events: pid marks the process, the cycle moved to args,
+        // and both sides carry the shared trace id.
+        let xs: Vec<&Map> = events
+            .iter()
+            .filter_map(|ev| match ev {
+                Value::Object(ev) if ev.get("ph").unwrap().as_str() == Some("X") => Some(ev),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(xs.len(), 2);
+        for x in &xs {
+            let Some(Value::Object(args)) = x.get("args") else {
+                panic!()
+            };
+            assert_eq!(
+                args.get("trace").unwrap().as_str(),
+                Some(ctx.trace_id.as_str())
+            );
+        }
+        let Some(Value::Object(args)) = xs[0].get("args") else {
+            panic!()
+        };
+        assert_eq!(args.get("cycle").unwrap().as_u64(), Some(7));
     }
 }

@@ -1,0 +1,214 @@
+//! Cross-process trace context: the W3C-`traceparent`-style header that
+//! carries a trace across every HTTP hop in the fleet.
+//!
+//! A [`TraceContext`] names one distributed trace (a 128-bit trace id
+//! rendered as 32 lowercase hex digits), the span on the sending side
+//! that caused this request (the *parent* of whatever the receiver
+//! records), and a sampling bit. The wire form is the `traceparent`
+//! header's `00-<trace-id>-<parent-id>-<flags>` layout, so exported
+//! traces interoperate with anything that already speaks it.
+//!
+//! Parsing is deliberately forgiving in exactly one way: any malformed
+//! or missing header yields `None`, and the receiver mints a fresh root
+//! trace. Propagation is an optimization, never a correctness
+//! dependency — a daemon behind a header-mangling proxy still traces,
+//! its spans just land in a local trace instead of the fleet-wide one.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use gosim::rng::SplitMix64;
+
+/// The HTTP header name trace context travels under (W3C Trace Context).
+pub const TRACEPARENT: &str = "traceparent";
+
+/// One hop's worth of distributed-trace identity: which trace this
+/// process's spans belong to, and which remote span they hang under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceContext {
+    /// 128-bit trace id as 32 lowercase hex digits; never all zeros.
+    pub trace_id: String,
+    /// The sending side's span id for this hop (the receiver's remote
+    /// parent); never zero on a well-formed header.
+    pub parent_span: u64,
+    /// Sampling decision: whether downstream should retain full detail.
+    pub sampled: bool,
+}
+
+/// Process-wide uniqueness salt for minted ids: two contexts minted in
+/// the same nanosecond still differ.
+static MINT_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn mint_rng() -> SplitMix64 {
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let salt = MINT_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let pid = std::process::id() as u64;
+    SplitMix64::new(nanos ^ salt.rotate_left(32) ^ pid.rotate_left(17))
+}
+
+/// Mints a random non-zero span id, suitable as the hop id stamped on
+/// an outgoing request. Hop ids are drawn from the full 64-bit space so
+/// they are globally unique in practice — which is what lets stitching
+/// match a client span to the server span it caused without any
+/// cross-process id coordination.
+pub fn mint_span_id() -> u64 {
+    let mut rng = mint_rng();
+    loop {
+        let id = rng.next_u64();
+        if id != 0 {
+            return id;
+        }
+    }
+}
+
+impl TraceContext {
+    /// Mints a fresh sampled root context with a random trace id.
+    pub fn mint() -> TraceContext {
+        let mut rng = mint_rng();
+        let (mut hi, mut lo) = (rng.next_u64(), rng.next_u64());
+        if hi == 0 && lo == 0 {
+            hi = 1;
+            lo = rng.next_u64();
+        }
+        TraceContext {
+            trace_id: format!("{hi:016x}{lo:016x}"),
+            parent_span: mint_span_id(),
+            sampled: true,
+        }
+    }
+
+    /// Parses a `traceparent` header value. Returns `None` — never an
+    /// error — for anything malformed: wrong version, wrong field
+    /// widths, non-hex digits, or the all-zero trace/span ids the spec
+    /// forbids. Callers treat `None` as "start a fresh root".
+    pub fn parse(header: &str) -> Option<TraceContext> {
+        let mut parts = header.trim().split('-');
+        let version = parts.next()?;
+        let trace_id = parts.next()?;
+        let parent = parts.next()?;
+        let flags = parts.next()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        // Version ff is forbidden; future versions may append fields,
+        // but this parser only speaks 00's four-field layout.
+        if version.len() != 2 || version != "00" {
+            return None;
+        }
+        if trace_id.len() != 32 || !is_lower_hex(trace_id) || trace_id.bytes().all(|b| b == b'0') {
+            return None;
+        }
+        if parent.len() != 16 || !is_lower_hex(parent) {
+            return None;
+        }
+        let parent_span = u64::from_str_radix(parent, 16).ok()?;
+        if parent_span == 0 {
+            return None;
+        }
+        if flags.len() != 2 || !is_lower_hex(flags) {
+            return None;
+        }
+        let flags = u8::from_str_radix(flags, 16).ok()?;
+        Some(TraceContext {
+            trace_id: trace_id.to_string(),
+            parent_span,
+            sampled: flags & 0x01 != 0,
+        })
+    }
+
+    /// Renders the context as a `traceparent` header value.
+    pub fn to_header(&self) -> String {
+        format!(
+            "00-{}-{:016x}-{}",
+            self.trace_id,
+            self.parent_span,
+            if self.sampled { "01" } else { "00" }
+        )
+    }
+
+    /// The same trace, re-parented under a different sending span —
+    /// what each outgoing hop sends so the receiver hangs under *this*
+    /// request, not whatever span minted the trace.
+    pub fn with_parent(&self, parent_span: u64) -> TraceContext {
+        TraceContext {
+            trace_id: self.trace_id.clone(),
+            parent_span,
+            sampled: self.sampled,
+        }
+    }
+}
+
+fn is_lower_hex(s: &str) -> bool {
+    s.bytes()
+        .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trips() {
+        let ctx = TraceContext::mint();
+        assert_eq!(ctx.trace_id.len(), 32);
+        assert_ne!(ctx.parent_span, 0);
+        assert!(ctx.sampled);
+        let parsed = TraceContext::parse(&ctx.to_header()).expect("own header must parse");
+        assert_eq!(parsed, ctx);
+
+        let unsampled = TraceContext {
+            sampled: false,
+            ..ctx.clone()
+        };
+        let parsed = TraceContext::parse(&unsampled.to_header()).unwrap();
+        assert!(!parsed.sampled);
+    }
+
+    #[test]
+    fn minted_contexts_are_distinct() {
+        let a = TraceContext::mint();
+        let b = TraceContext::mint();
+        assert_ne!(a.trace_id, b.trace_id, "two mints must not collide");
+        assert_ne!(mint_span_id(), mint_span_id());
+    }
+
+    #[test]
+    fn malformed_headers_parse_to_none_never_panic() {
+        let good = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01";
+        assert!(TraceContext::parse(good).is_some());
+        for bad in [
+            "",
+            "garbage",
+            "00",
+            "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331", // missing flags
+            "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra",
+            "ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // bad version
+            "0-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+            "00-0AF7651916CD43DD8448EB211C80319C-b7ad6b7169203331-01", // uppercase
+            "00-0af7651916cd43dd8448eb211c8031-b7ad6b7169203331-01",   // short trace id
+            "00-00000000000000000000000000000000-b7ad6b7169203331-01", // zero trace id
+            "00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01", // zero parent
+            "00-0af7651916cd43dd8448eb211c80319c-b7ad6b71692033-01",   // short parent
+            "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-1",  // short flags
+            "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-zz", // non-hex flags
+            "00-0af7651916cd43dd8448eb211c80319x-b7ad6b7169203331-01", // non-hex trace
+        ] {
+            assert!(
+                TraceContext::parse(bad).is_none(),
+                "must reject {bad:?} without panicking"
+            );
+        }
+    }
+
+    #[test]
+    fn with_parent_keeps_trace_identity() {
+        let ctx = TraceContext::mint();
+        let hop = ctx.with_parent(0xdead_beef);
+        assert_eq!(hop.trace_id, ctx.trace_id);
+        assert_eq!(hop.parent_span, 0xdead_beef);
+        assert_eq!(hop.sampled, ctx.sampled);
+    }
+}

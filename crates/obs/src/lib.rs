@@ -13,9 +13,17 @@
 //! * [`span`] — lightweight spans (id, parent, stage, target, monotonic
 //!   start, µs duration, string attributes) and the [`Tracer`] that
 //!   records them per cycle and folds them into per-stage histograms.
+//! * [`context`] — the W3C-`traceparent`-style [`TraceContext`] that
+//!   carries a trace id across HTTP hops, so spans recorded in one
+//!   process parent under a request made by another.
+//! * [`events`] — a bounded structured [`EventLog`] (level, target,
+//!   message, ambient trace/span), the replacement for ad-hoc stderr
+//!   prints, served at `/logs`.
 //! * [`chrome`] — export of trace snapshots to the Chrome trace-event
 //!   format (`chrome://tracing`, Perfetto), plus the minimal parser the
-//!   round-trip tests use.
+//!   round-trip tests use, and [`to_chrome_stitched`] which merges
+//!   snapshots from several processes into one timeline with flow
+//!   arrows across hops.
 //! * [`selfprof`] — the dogfood loop: a worker-state board tracking
 //!   where the daemon's own threads block (idle / connect / read /
 //!   parse / analyze), rendered as a [`gosim::GoroutineProfile`] in the
@@ -25,15 +33,20 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod context;
+pub mod events;
 pub mod hist;
 pub mod ring;
 pub mod selfprof;
 pub mod span;
 
-pub use chrome::{from_chrome, to_chrome};
+pub use chrome::{from_chrome, to_chrome, to_chrome_stitched};
+pub use context::{mint_span_id, TraceContext, TRACEPARENT};
+pub use events::{Event, EventConfig, EventLog, Level};
 pub use hist::LatencyHistogram;
 pub use ring::Ring;
 pub use selfprof::{Site, WorkerBoard, WorkerHandle, WorkerState};
 pub use span::{
     stage, CycleTrace, Span, SpanGuard, StageSummary, TraceConfig, TraceSnapshot, Tracer,
+    WorstCycle,
 };

@@ -12,6 +12,7 @@
 //! stage's [`LatencyHistogram`]. `/trace` serves the retained cycle
 //! traces; `/status` and `leakprofd top` read the stage summaries.
 
+use crate::context::{mint_span_id, TraceContext};
 use crate::hist::LatencyHistogram;
 use crate::ring::Ring;
 use serde::{Deserialize, Serialize};
@@ -57,14 +58,21 @@ pub mod stage {
     /// Draining the push-ingest tier's coalesced profiles at cycle end
     /// (child of `cycle`; carries admission-counter attrs).
     pub const PUSH: &str = "push";
+    /// Serving one inbound HTTP request that carried a remote trace
+    /// context (the receiver side of a cross-process hop).
+    pub const SERVE: &str = "serve";
+    /// A pusher's backoff/Retry-After sleep between shed attempts.
+    pub const BACKOFF: &str = "backoff";
 
     /// Every pipeline stage, in pipeline order. Used by the dashboard
     /// so rows render in execution order rather than alphabetically.
-    pub const ALL: [&str; 15] = [
+    pub const ALL: [&str; 17] = [
         CYCLE,
         SCRAPE,
         TARGET,
         PUSH,
+        BACKOFF,
+        SERVE,
         WAL_APPEND,
         INGEST,
         STATIC_SYNC,
@@ -97,6 +105,16 @@ pub struct Span {
     pub dur_us: u64,
     /// Free-form key/value attributes (attempt counts, byte sizes, ...).
     pub attrs: Vec<(String, String)>,
+    /// The distributed trace id (32 hex digits) this span is pinned to.
+    /// `None` for purely local spans, which inherit their trace through
+    /// the parent chain at stitch time. Cross-process spans — cycle
+    /// roots, serve spans, client-side hop spans — carry it explicitly
+    /// so tail-sampling can always keep the cross-process skeleton.
+    pub trace: Option<String>,
+    /// For a serve span: the remote (sender-side) hop id this span
+    /// hangs under. Stitching draws the flow arrow from the client span
+    /// carrying the matching `hop` attribute to this span.
+    pub remote_parent: Option<u64>,
 }
 
 /// All spans recorded during one daemon cycle.
@@ -138,6 +156,14 @@ pub struct TraceSnapshot {
     pub spans_recorded: u64,
     /// Spans dropped because the ring was full.
     pub spans_dropped: u64,
+    /// Who recorded these spans (e.g. `leakprofd shard 0/3`); stitched
+    /// exports use it as the Perfetto process name.
+    pub service: String,
+    /// The recording process's crate version.
+    pub version: String,
+    /// Wall-clock µs since the Unix epoch when this tracer was created;
+    /// stitching aligns per-process monotonic offsets through it.
+    pub epoch_unix_us: u64,
 }
 
 /// Tracer configuration.
@@ -152,6 +178,15 @@ pub struct TraceConfig {
     pub ring_capacity: usize,
     /// How many finished cycle traces `/trace` retains.
     pub keep_cycles: usize,
+    /// Tail-sampling: when on, full span detail is retained only for
+    /// cycles that were flagged (errors/sheds) or slow relative to the
+    /// running mean; other cycles keep just the cross-process skeleton
+    /// (spans carrying a trace id). Stage histograms always fold every
+    /// span either way.
+    pub tail_sample: bool,
+    /// A cycle is "slow" when its root duration exceeds this multiple
+    /// of the running mean cycle duration.
+    pub tail_slow_factor: f64,
 }
 
 impl Default for TraceConfig {
@@ -160,12 +195,15 @@ impl Default for TraceConfig {
             enabled: true,
             ring_capacity: 4096,
             keep_cycles: 8,
+            tail_sample: false,
+            tail_slow_factor: 2.0,
         }
     }
 }
 
 struct TracerInner {
     epoch: Instant,
+    epoch_unix_us: u64,
     ring: Ring<Span>,
     next_id: AtomicU64,
     /// Ambient parent id used when a span is started without an explicit
@@ -175,12 +213,43 @@ struct TracerInner {
     recorded: AtomicU64,
     retained: Mutex<Retained>,
     keep_cycles: usize,
+    tail_sample: bool,
+    tail_slow_factor: f64,
+    /// Process identity stamped into snapshots: (service, version).
+    identity: Mutex<(String, String)>,
+    /// The distributed trace context the in-progress (or most recent)
+    /// cycle runs under.
+    current: Mutex<Option<TraceContext>>,
+    /// A remote context adopted mid-cycle; consumed by the next
+    /// [`Tracer::begin_cycle`], so the next cycle parents under it.
+    pending: Mutex<Option<TraceContext>>,
 }
 
 struct Retained {
     cycles: VecDeque<CycleTrace>,
     stages: BTreeMap<String, LatencyHistogram>,
+    /// Running mean state for the tail-sampling slowness test.
+    cycle_count: u64,
+    cycle_dur_sum_us: u64,
+    /// Recent (cycle, root duration, trace id) triples backing the
+    /// worst-cycle exemplar.
+    recent_roots: VecDeque<WorstCycle>,
 }
+
+/// The slowest recent cycle and the distributed trace that explains it
+/// — the exemplar `/metrics` and report pages link to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorstCycle {
+    /// Cycle number.
+    pub cycle: u64,
+    /// Root span duration, µs.
+    pub dur_us: u64,
+    /// Distributed trace id active during that cycle.
+    pub trace_id: String,
+}
+
+/// How many recent cycles the worst-cycle exemplar is chosen over.
+const WORST_WINDOW: usize = 32;
 
 /// Records spans for the daemon pipeline. Cheap to clone (an `Arc`
 /// internally); a tracer built with [`Tracer::disabled`] makes every
@@ -205,9 +274,14 @@ impl Tracer {
         if !cfg.enabled {
             return Tracer::disabled();
         }
+        let epoch_unix_us = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
         Tracer {
             inner: Some(Arc::new(TracerInner {
                 epoch: Instant::now(),
+                epoch_unix_us,
                 ring: Ring::new(cfg.ring_capacity),
                 next_id: AtomicU64::new(1),
                 ambient: AtomicU64::new(0),
@@ -215,8 +289,16 @@ impl Tracer {
                 retained: Mutex::new(Retained {
                     cycles: VecDeque::new(),
                     stages: BTreeMap::new(),
+                    cycle_count: 0,
+                    cycle_dur_sum_us: 0,
+                    recent_roots: VecDeque::new(),
                 }),
                 keep_cycles: cfg.keep_cycles.max(1),
+                tail_sample: cfg.tail_sample,
+                tail_slow_factor: cfg.tail_slow_factor,
+                identity: Mutex::new(("leakprofd".to_string(), String::new())),
+                current: Mutex::new(None),
+                pending: Mutex::new(None),
             })),
         }
     }
@@ -249,6 +331,19 @@ impl Tracer {
             None => SpanGuard { state: None },
             Some(inner) => {
                 let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+                // Root spans carry the cycle's distributed trace id so
+                // tail-sampling and stitching always see them; children
+                // inherit it through the parent chain.
+                let trace = if parent == 0 {
+                    inner
+                        .current
+                        .lock()
+                        .expect("trace ctx poisoned")
+                        .as_ref()
+                        .map(|c| c.trace_id.clone())
+                } else {
+                    None
+                };
                 SpanGuard {
                     state: Some(GuardState {
                         tracer: Arc::clone(inner),
@@ -260,12 +355,97 @@ impl Tracer {
                             start_us: inner.epoch.elapsed().as_micros() as u64,
                             dur_us: 0,
                             attrs: Vec::new(),
+                            trace,
+                            remote_parent: None,
                         },
                         started: Instant::now(),
                     }),
                 }
             }
         }
+    }
+
+    /// Starts a root span parented under a *remote* trace context — the
+    /// receiving side of a cross-process hop. The span is pinned to the
+    /// remote trace id and records the sender's hop id so stitching can
+    /// draw the flow arrow.
+    pub fn start_remote(&self, stage: &str, target: &str, ctx: &TraceContext) -> SpanGuard {
+        let mut guard = self.start_with(stage, target, 0);
+        if let Some(s) = &mut guard.state {
+            s.span.trace = Some(ctx.trace_id.clone());
+            s.span.remote_parent = Some(ctx.parent_span);
+        }
+        guard
+    }
+
+    /// Names this tracer's process in snapshots (service + version).
+    /// Stitched Chrome exports render it as the process name, so shard
+    /// identity belongs in `service`.
+    pub fn set_service(&self, service: &str, version: &str) {
+        if let Some(inner) = &self.inner {
+            *inner.identity.lock().expect("identity poisoned") =
+                (service.to_string(), version.to_string());
+        }
+    }
+
+    /// Adopts a remote trace context: the *next* [`Tracer::begin_cycle`]
+    /// joins that trace instead of minting a fresh root. A daemon calls
+    /// this when the fleet aggregator's poll arrives, so its following
+    /// cycle nests under the fleet trace.
+    pub fn adopt_remote(&self, ctx: &TraceContext) {
+        if let Some(inner) = &self.inner {
+            *inner.pending.lock().expect("pending ctx poisoned") = Some(ctx.clone());
+        }
+    }
+
+    /// Opens the distributed trace context for a new cycle: the pending
+    /// adopted context if a remote hop arrived since the last cycle,
+    /// otherwise a freshly minted root. Returns the context (None on a
+    /// disabled tracer). Root spans started afterwards carry its trace
+    /// id.
+    pub fn begin_cycle(&self) -> Option<TraceContext> {
+        let inner = self.inner.as_ref()?;
+        let ctx = inner
+            .pending
+            .lock()
+            .expect("pending ctx poisoned")
+            .take()
+            .unwrap_or_else(TraceContext::mint);
+        *inner.current.lock().expect("trace ctx poisoned") = Some(ctx.clone());
+        Some(ctx)
+    }
+
+    /// The distributed trace context of the in-progress (or most
+    /// recent) cycle.
+    pub fn current_context(&self) -> Option<TraceContext> {
+        self.inner
+            .as_ref()?
+            .current
+            .lock()
+            .expect("trace ctx poisoned")
+            .clone()
+    }
+
+    /// The trace id of the in-progress (or most recent) cycle.
+    pub fn current_trace_id(&self) -> Option<String> {
+        self.current_context().map(|c| c.trace_id)
+    }
+
+    /// Prepares an outgoing cross-process hop under `guard`: mints a
+    /// hop id, stamps it (and the trace id) onto the guard so stitching
+    /// can start the flow arrow here, and returns the context to send
+    /// as the request's `traceparent` header. `None` when disabled or
+    /// when no cycle context is open — then send no header.
+    pub fn hop(&self, guard: &mut SpanGuard) -> Option<TraceContext> {
+        let ctx = self.current_context()?;
+        let hop_id = mint_span_id();
+        if let Some(s) = &mut guard.state {
+            s.span.trace = Some(ctx.trace_id.clone());
+            s.span
+                .attrs
+                .push(("hop".to_string(), format!("{hop_id:016x}")));
+        }
+        Some(ctx.with_parent(hop_id))
     }
 
     /// Sets the ambient parent id for spans started with [`Tracer::start`].
@@ -281,12 +461,32 @@ impl Tracer {
     /// [`CycleTrace`] tagged `cycle`, retains it, and folds durations
     /// into the per-stage histograms. Call this *after* dropping the
     /// cycle root guard, or the root span lands in the next cycle.
+    /// Equivalent to [`Tracer::finish_cycle_flagged`] with `flagged =
+    /// false`.
     pub fn finish_cycle(&self, cycle: u64) {
+        self.finish_cycle_flagged(cycle, false);
+    }
+
+    /// [`Tracer::finish_cycle`] with an explicit interestingness flag
+    /// for tail-sampling. Histograms always fold every span. With
+    /// `tail_sample` on, full span detail is retained only when the
+    /// cycle was `flagged` (errors, sheds) or slow (root duration >
+    /// `tail_slow_factor` × the running mean); otherwise only the
+    /// cross-process skeleton — spans carrying a trace id — survives,
+    /// so stitched fleet traces stay whole under sampling.
+    pub fn finish_cycle_flagged(&self, cycle: u64, flagged: bool) {
         let Some(inner) = &self.inner else { return };
         let mut spans = Vec::new();
         while let Some(s) = inner.ring.pop() {
             spans.push(s);
         }
+        let root_dur_us = spans
+            .iter()
+            .filter(|s| s.parent == 0)
+            .map(|s| s.dur_us)
+            .max()
+            .unwrap_or(0);
+        let trace_id = self.current_trace_id();
         let mut retained = inner.retained.lock().unwrap();
         for s in &spans {
             retained
@@ -295,10 +495,46 @@ impl Tracer {
                 .or_default()
                 .record_us(s.dur_us);
         }
+        let mean_us = if retained.cycle_count > 0 {
+            retained.cycle_dur_sum_us as f64 / retained.cycle_count as f64
+        } else {
+            0.0
+        };
+        retained.cycle_count += 1;
+        retained.cycle_dur_sum_us += root_dur_us;
+        if let Some(trace_id) = trace_id {
+            retained.recent_roots.push_back(WorstCycle {
+                cycle,
+                dur_us: root_dur_us,
+                trace_id,
+            });
+            while retained.recent_roots.len() > WORST_WINDOW {
+                retained.recent_roots.pop_front();
+            }
+        }
+        let slow = root_dur_us as f64 > inner.tail_slow_factor * mean_us;
+        let keep_full = !inner.tail_sample || flagged || slow;
+        let spans = if keep_full {
+            spans
+        } else {
+            spans.into_iter().filter(|s| s.trace.is_some()).collect()
+        };
         retained.cycles.push_back(CycleTrace { cycle, spans });
         while retained.cycles.len() > inner.keep_cycles {
             retained.cycles.pop_front();
         }
+    }
+
+    /// The slowest cycle in the recent window, with the trace id that
+    /// explains it — the exemplar surfaced in `/metrics` and reports.
+    pub fn worst_cycle(&self) -> Option<WorstCycle> {
+        let inner = self.inner.as_ref()?;
+        let retained = inner.retained.lock().unwrap();
+        retained
+            .recent_roots
+            .iter()
+            .max_by_key(|w| w.dur_us)
+            .cloned()
     }
 
     /// A copy of everything `/trace` serves.
@@ -309,14 +545,21 @@ impl Tracer {
                 stages: Vec::new(),
                 spans_recorded: 0,
                 spans_dropped: 0,
+                service: String::new(),
+                version: String::new(),
+                epoch_unix_us: 0,
             },
             Some(inner) => {
+                let (service, version) = inner.identity.lock().expect("identity poisoned").clone();
                 let retained = inner.retained.lock().unwrap();
                 TraceSnapshot {
                     cycles: retained.cycles.iter().cloned().collect(),
                     stages: summarize(&retained.stages),
                     spans_recorded: inner.recorded.load(Ordering::Relaxed),
                     spans_dropped: inner.ring.dropped(),
+                    service,
+                    version,
+                    epoch_unix_us: inner.epoch_unix_us,
                 }
             }
         }
@@ -516,5 +759,162 @@ mod tests {
         fn span_parent(&self) -> u64 {
             self.state.as_ref().map(|s| s.span.parent).unwrap_or(0)
         }
+    }
+
+    #[test]
+    fn begin_cycle_mints_then_adopts_remote_context() {
+        let t = Tracer::new(&TraceConfig::default());
+        let minted = t.begin_cycle().expect("enabled tracer yields a context");
+        assert_eq!(
+            t.current_trace_id().as_deref(),
+            Some(minted.trace_id.as_str())
+        );
+
+        // A root span opened under the cycle carries its trace id.
+        let root = t.start(stage::CYCLE, "");
+        drop(root);
+        t.finish_cycle(1);
+        let snap = t.snapshot();
+        assert_eq!(
+            snap.cycles[0].spans[0].trace.as_deref(),
+            Some(minted.trace_id.as_str())
+        );
+
+        // Adopting a remote context re-parents the *next* cycle.
+        let remote = TraceContext::mint();
+        t.adopt_remote(&remote);
+        let joined = t.begin_cycle().unwrap();
+        assert_eq!(joined.trace_id, remote.trace_id);
+        // And with nothing pending the cycle after mints fresh again.
+        let fresh = t.begin_cycle().unwrap();
+        assert_ne!(fresh.trace_id, remote.trace_id);
+    }
+
+    #[test]
+    fn serve_span_records_remote_parent_and_hop_stamps_the_client_span() {
+        let t = Tracer::new(&TraceConfig::default());
+        let ctx = t.begin_cycle().unwrap();
+        let mut client = t.start(stage::TARGET, "peer-0");
+        let hop_ctx = t.hop(&mut client).expect("open cycle yields a hop");
+        assert_eq!(hop_ctx.trace_id, ctx.trace_id);
+        assert_ne!(hop_ctx.parent_span, 0);
+        drop(client);
+
+        // The receiver parents its serve span under the hop context.
+        let server = Tracer::new(&TraceConfig::default());
+        let g = server.start_remote(stage::SERVE, "/api/snapshot", &hop_ctx);
+        drop(g);
+        server.finish_cycle(1);
+        t.finish_cycle(1);
+
+        let client_span = &t.snapshot().cycles[0].spans[0];
+        assert_eq!(client_span.trace.as_deref(), Some(ctx.trace_id.as_str()));
+        let hop_hex = client_span
+            .attrs
+            .iter()
+            .find(|(k, _)| k == "hop")
+            .map(|(_, v)| v.clone())
+            .expect("hop attr stamped");
+        assert_eq!(hop_hex, format!("{:016x}", hop_ctx.parent_span));
+
+        let serve_span = &server.snapshot().cycles[0].spans[0];
+        assert_eq!(serve_span.parent, 0);
+        assert_eq!(serve_span.trace.as_deref(), Some(ctx.trace_id.as_str()));
+        assert_eq!(serve_span.remote_parent, Some(hop_ctx.parent_span));
+
+        // A disabled tracer (or no open cycle) yields no hop at all.
+        let idle = Tracer::new(&TraceConfig::default());
+        let mut g = idle.start(stage::TARGET, "x");
+        assert!(idle.hop(&mut g).is_none());
+        g.finish();
+    }
+
+    #[test]
+    fn tail_sampling_keeps_flagged_slow_and_skeleton_spans() {
+        let cfg = TraceConfig {
+            tail_sample: true,
+            tail_slow_factor: 1_000_000.0, // nothing is "slow" in a unit test
+            ..TraceConfig::default()
+        };
+        let t = Tracer::new(&cfg);
+
+        // Cycle 1: mean is still 0, so the first cycle counts as slow
+        // and keeps full detail (the sleep guarantees a nonzero root
+        // duration — a 0µs root would not beat the 0 mean).
+        t.begin_cycle();
+        let root = t.start(stage::CYCLE, "");
+        let child = t.start_with(stage::SCRAPE, "", root.id());
+        drop(child);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        drop(root);
+        t.finish_cycle(1);
+
+        // Cycle 2: quiet — only the skeleton (trace-carrying root)
+        // survives, but histograms still folded the child.
+        t.begin_cycle();
+        let root = t.start(stage::CYCLE, "");
+        let child = t.start_with(stage::SCRAPE, "", root.id());
+        drop(child);
+        drop(root);
+        t.finish_cycle(2);
+
+        // Cycle 3: flagged — full detail again.
+        t.begin_cycle();
+        let root = t.start(stage::CYCLE, "");
+        let child = t.start_with(stage::SCRAPE, "", root.id());
+        drop(child);
+        drop(root);
+        t.finish_cycle_flagged(3, true);
+
+        let snap = t.snapshot();
+        assert_eq!(snap.cycles[0].spans.len(), 2, "first cycle keeps detail");
+        let sampled = &snap.cycles[1];
+        assert_eq!(
+            sampled.spans.len(),
+            1,
+            "quiet cycle keeps only the skeleton"
+        );
+        assert_eq!(sampled.spans[0].stage, stage::CYCLE);
+        assert!(sampled.spans[0].trace.is_some());
+        assert_eq!(snap.cycles[2].spans.len(), 2, "flagged cycle keeps detail");
+        let scrape = snap
+            .stages
+            .iter()
+            .find(|s| s.stage == stage::SCRAPE)
+            .unwrap();
+        assert_eq!(scrape.count, 3, "histograms fold sampled-away spans too");
+    }
+
+    #[test]
+    fn worst_cycle_exemplar_tracks_the_slowest_recent_root() {
+        let t = Tracer::new(&TraceConfig::default());
+        assert!(t.worst_cycle().is_none());
+        let mut worst_trace = String::new();
+        for cycle in 1..=3u64 {
+            let ctx = t.begin_cycle().unwrap();
+            let root = t.start(stage::CYCLE, "");
+            if cycle == 2 {
+                worst_trace = ctx.trace_id.clone();
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            drop(root);
+            t.finish_cycle(cycle);
+        }
+        let worst = t.worst_cycle().expect("cycles ran");
+        assert_eq!(worst.cycle, 2);
+        assert_eq!(worst.trace_id, worst_trace);
+        assert!(worst.dur_us >= 5_000);
+    }
+
+    #[test]
+    fn snapshot_carries_service_identity() {
+        let t = Tracer::new(&TraceConfig::default());
+        t.set_service("leakprofd shard 1/3", "1.2.3");
+        let snap = t.snapshot();
+        assert_eq!(snap.service, "leakprofd shard 1/3");
+        assert_eq!(snap.version, "1.2.3");
+        assert!(snap.epoch_unix_us > 0);
+        let disabled = Tracer::disabled().snapshot();
+        assert_eq!(disabled.epoch_unix_us, 0);
     }
 }
