@@ -1,0 +1,159 @@
+//! Bench: what flamegraph aggregation costs on the cycle path.
+//!
+//! `/flame` is rendered on demand, but the worst case an operator can
+//! induce is a dashboard polling it every cycle — so this experiment
+//! prices exactly that: two identical daemons scrape the same loopback
+//! fleet, interleaved, and one of them additionally builds the full
+//! flame surface each cycle (trie from the accumulator snapshot,
+//! folded-stack text, and the self-contained SVG/HTML document with
+//! verdict coloring). The delta is the per-cycle cost of the flame
+//! tier at its busiest. Emits `BENCH_flame.json` and enforces the <5%
+//! median cycle-latency budget (with a small absolute floor so
+//! loopback noise on a ~millisecond cycle cannot fail the gate).
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use collector::{build_flame, flame_verdicts, live_weight, Daemon, DaemonConfig, DemoFleet};
+use obs::FlameOptions;
+use serde::Serialize;
+
+const INSTANCES: usize = 24;
+const WARMUP_CYCLES: usize = 3;
+const MEASURED_CYCLES: usize = 31;
+
+/// Relative overhead budget (CI gate).
+const MAX_OVERHEAD_PCT: f64 = 5.0;
+/// Absolute-delta floor: below this many milliseconds per cycle the
+/// relative number is loopback noise, not a regression.
+const NOISE_FLOOR_MS: f64 = 3.0;
+
+#[derive(Serialize)]
+struct BenchResult {
+    instances: usize,
+    warmup_cycles: usize,
+    measured_cycles: usize,
+    flame_off_median_ms: f64,
+    flame_on_median_ms: f64,
+    delta_ms: f64,
+    overhead_pct: f64,
+    sites: usize,
+    stacks: usize,
+    blocked_goroutines: u64,
+    folded_bytes: usize,
+    html_bytes: usize,
+}
+
+fn build_daemon(demo: &DemoFleet, addr: std::net::SocketAddr) -> Daemon {
+    let config = DaemonConfig {
+        scrape: collector::ScrapeConfig {
+            // Pooled connections for both sides: less dial jitter, so
+            // the flame cost is what the comparison sees.
+            keepalive: true,
+            ..collector::ScrapeConfig::default()
+        },
+        ..DaemonConfig::default()
+    };
+    let lp = leakprof::LeakProf::new(leakprof::Config {
+        threshold: 1,
+        ast_filter: false,
+        top_n: 10,
+    });
+    Daemon::new(config, lp, demo.targets(addr)).expect("in-memory daemon")
+}
+
+fn median_ms(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let demo = DemoFleet::build(INSTANCES, 2, 13);
+    let server = demo.hub.serve("127.0.0.1:0", 8).expect("loopback bind");
+    // The daemons only share the fleet server; each owns its scraper,
+    // connection pool, and accumulator.
+    let on = Arc::new(Mutex::new(build_daemon(&demo, server.addr())));
+    let off = Arc::new(Mutex::new(build_daemon(&demo, server.addr())));
+
+    let mut folded_bytes = 0usize;
+    let mut html_bytes = 0usize;
+    let mut stacks = 0usize;
+    let mut timed = |daemon: &Arc<Mutex<Daemon>>, flame: bool| {
+        let t = Instant::now();
+        let mut d = daemon.lock().expect("daemon poisoned");
+        let report = d.run_cycle();
+        assert_eq!(report.stats.succeeded, INSTANCES, "fleet must stay up");
+        if flame {
+            // The full on-demand surface, every cycle: trie + folded
+            // text + the HTML document with verdict coloring.
+            let snap = d.accumulator().snapshot();
+            let g = build_flame(&snap, live_weight);
+            let folded = g.to_folded();
+            let html = g.render_html(&FlameOptions {
+                title: "bench".into(),
+                verdicts: flame_verdicts(&snap, d.fleet_health()),
+                ..FlameOptions::default()
+            });
+            folded_bytes = folded.len();
+            html_bytes = html.len();
+            stacks = folded.lines().count();
+            assert!(g.total() > 0, "demo fleet has blocked stacks");
+        }
+        t.elapsed().as_secs_f64() * 1e3
+    };
+
+    for _ in 0..WARMUP_CYCLES {
+        timed(&on, true);
+        timed(&off, false);
+    }
+    let mut on_ms = Vec::new();
+    let mut off_ms = Vec::new();
+    // Interleave so drift (thermal, scheduler) cancels out.
+    for _ in 0..MEASURED_CYCLES {
+        on_ms.push(timed(&on, true));
+        off_ms.push(timed(&off, false));
+    }
+
+    let flame_on_median_ms = median_ms(&mut on_ms);
+    let flame_off_median_ms = median_ms(&mut off_ms);
+    let delta_ms = flame_on_median_ms - flame_off_median_ms;
+    let overhead_pct = delta_ms / flame_off_median_ms.max(1e-9) * 100.0;
+    let (sites, blocked) = {
+        let d = on.lock().expect("daemon poisoned");
+        let snap = d.accumulator().snapshot();
+        let blocked: u64 = snap.sites.iter().map(live_weight).sum();
+        (snap.sites.len(), blocked)
+    };
+
+    println!(
+        "flame off: {flame_off_median_ms:.3} ms/cycle (median of {MEASURED_CYCLES})\n\
+         flame on:  {flame_on_median_ms:.3} ms/cycle ({sites} sites, {stacks} stacks, \
+         {folded_bytes} B folded, {html_bytes} B html)\n\
+         delta:     {delta_ms:+.3} ms ({overhead_pct:+.2}%)"
+    );
+
+    assert!(
+        overhead_pct < MAX_OVERHEAD_PCT || delta_ms < NOISE_FLOOR_MS,
+        "flame overhead {overhead_pct:.2}% ({delta_ms:.3} ms/cycle) exceeds the \
+         {MAX_OVERHEAD_PCT}% budget"
+    );
+
+    let result = BenchResult {
+        instances: INSTANCES,
+        warmup_cycles: WARMUP_CYCLES,
+        measured_cycles: MEASURED_CYCLES,
+        flame_off_median_ms,
+        flame_on_median_ms,
+        delta_ms,
+        overhead_pct,
+        sites,
+        stacks,
+        blocked_goroutines: blocked,
+        folded_bytes,
+        html_bytes,
+    };
+    bench::save(
+        "BENCH_flame.json",
+        &serde_json::to_string_pretty(&result).expect("result serializes"),
+    );
+}

@@ -19,6 +19,8 @@
 //! leakprofd top         --addr HOST:PORT [--addr ...] [--refresh-ms MS]
 //!                       [--frames N]
 //! leakprofd trace       --addr HOST:PORT [--out PATH]
+//! leakprofd flame       --addr HOST:PORT [--out PATH] [--txt]
+//!                       [--from N --to N] [--self]
 //! leakprofd recover     --state-dir PATH [--threshold T] [--top N]
 //!                       [--source-dir PATH]
 //! leakprofd backtest    (--state-dir PATH | --history PATH) [--out DIR]
@@ -68,6 +70,13 @@
 //! * `trace` exports a serving daemon's `/trace` span trees in Chrome
 //!   trace-event format (load the file in `chrome://tracing` or
 //!   Perfetto; without `--out` the JSON goes to stdout).
+//! * `flame` fetches a serving daemon's (or fleet aggregator's)
+//!   blocked-goroutine flamegraph: the self-contained SVG/HTML by
+//!   default, the collapsed folded-stack text with `--txt` (pipe it to
+//!   `inferno-flamegraph` or load in speedscope). `--from N --to N`
+//!   renders the *differential* flame — growth between two cycle (or
+//!   fleet poll) indices — and `--self` the daemon's own worker/stage
+//!   self-time flame instead.
 //! * `recover` inspects a state directory offline: what a restarting
 //!   daemon would reconstruct (snapshot + WAL replay), the ranking it
 //!   would resume with, and the report ledger.
@@ -149,6 +158,7 @@ fn main() -> ExitCode {
         "status" => status(&flags),
         "top" => top(&flags),
         "trace" => trace(&flags),
+        "flame" => flame_cmd(&flags),
         "recover" => recover(&flags),
         "backtest" => backtest(&flags),
         "migrate-history" => migrate(&flags),
@@ -166,7 +176,7 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!(
-        "usage: leakprofd <serve|scrape-once|status|top|trace|recover|backtest|migrate-history|merge|fleet|chaos|push|racecheck> [flags]\n\
+        "usage: leakprofd <serve|scrape-once|status|top|trace|flame|recover|backtest|migrate-history|merge|fleet|chaos|push|racecheck> [flags]\n\
          \x20 serve       [--instances N] [--days D] [--seed S] [--port P] [--cycles N]\n\
          \x20             [--interval-ms MS] [--threshold T] [--top N] [--history PATH] [--keep N]\n\
          \x20             [--state-dir PATH] [--snapshot-every N] [--source-dir PATH] [--ast-filter]\n\
@@ -181,6 +191,7 @@ fn usage() {
          \x20 top         --addr HOST:PORT [--addr ...] [--refresh-ms MS] [--frames N]\n\
          \x20             [--threshold T] [--top N]\n\
          \x20 trace       --addr HOST:PORT [--addr ...] [--out PATH]\n\
+         \x20 flame       --addr HOST:PORT [--out PATH] [--txt] [--from N --to N] [--self]\n\
          \x20 recover     --state-dir PATH [--threshold T] [--top N] [--source-dir PATH]\n\
          \x20 backtest    (--state-dir PATH | --history PATH) [--out DIR] [--week-len N] [--top N]\n\
          \x20 migrate-history --history PATH --state-dir PATH\n\
@@ -1093,6 +1104,68 @@ fn trace(flags: &[(String, String)]) -> ExitCode {
             );
         }
         None => println!("{chrome}"),
+    }
+    ExitCode::SUCCESS
+}
+
+/// Fetches a flamegraph from a serving daemon or fleet aggregator:
+/// HTML/SVG by default, collapsed folded-stack text with `--txt`;
+/// `--from`/`--to` selects the differential view, `--self` the
+/// daemon's own worker/stage self-time flame.
+fn flame_cmd(flags: &[(String, String)]) -> ExitCode {
+    let Some(addr_value) = flag(flags, "addr") else {
+        eprintln!("usage: leakprofd flame --addr HOST:PORT [--out PATH] [--txt] [--from N --to N] [--self]");
+        return ExitCode::from(2);
+    };
+    let addrs = match parse_addrs(&[addr_value], "addr") {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let txt: bool = parsed(flags, "txt", false);
+    let self_flame: bool = parsed(flags, "self", false);
+    let path = if self_flame {
+        if flag(flags, "from").is_some() || flag(flags, "to").is_some() {
+            eprintln!("error: --self has no differential view (drop --from/--to)");
+            return ExitCode::from(2);
+        }
+        if txt {
+            "/flame/self.txt"
+        } else {
+            "/flame/self"
+        }
+        .to_string()
+    } else {
+        let base = if txt { "/flame.txt" } else { "/flame" };
+        match (flag(flags, "from"), flag(flags, "to")) {
+            (None, None) => base.to_string(),
+            (Some(from), Some(to)) => format!("{base}?from={from}&to={to}"),
+            _ => {
+                eprintln!("error: --from and --to must be given together");
+                return ExitCode::from(2);
+            }
+        }
+    };
+    let body = match fetch(addrs[0], &path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {}: {e}", addrs[0]);
+            return ExitCode::from(2);
+        }
+    };
+    match flag(flags, "out") {
+        Some(out) => {
+            if let Err(e) = std::fs::write(out, &body) {
+                eprintln!("error: cannot write {out}: {e}");
+                return ExitCode::from(2);
+            }
+            println!(
+                "wrote {} from {}{path} to {out}{}",
+                if txt { "folded stacks" } else { "flamegraph" },
+                addrs[0],
+                if txt { "" } else { " (open in a browser)" },
+            );
+        }
+        None => print!("{body}"),
     }
     ExitCode::SUCCESS
 }

@@ -638,6 +638,10 @@ impl Daemon {
                 let fp = sid::site_fingerprint(&s.stats);
                 owned.push((sid::site_rms_id(&fp), s.stats.rms));
                 owned.push((sid::site_total_id(&fp), s.stats.total as f64));
+                owned.push((
+                    sid::site_blocked_id(&fp),
+                    self.acc.raw_site_total(&s.stats.op) as f64,
+                ));
             }
             for a in profiles {
                 owned.push((
@@ -1057,21 +1061,19 @@ impl Daemon {
             &[("outcome", "dropped")],
             self.tracer.spans_dropped(),
         );
-        let stages = self.tracer.stage_summaries();
+        let stages = self.tracer.stage_histograms();
         if !stages.is_empty() {
             p.family(
                 "leakprofd_stage_latency_us",
-                "gauge",
-                "Pipeline stage latency quantiles in microseconds.",
+                "histogram",
+                "Pipeline stage latency in microseconds.",
             );
-            for s in &stages {
-                for (q, v) in [("0.5", s.p50_us), ("0.99", s.p99_us)] {
-                    p.sample(
-                        "leakprofd_stage_latency_us",
-                        &[("stage", s.stage.as_str()), ("quantile", q)],
-                        v,
-                    );
-                }
+            for (stage, h) in &stages {
+                p.histogram(
+                    "leakprofd_stage_latency_us",
+                    &[("stage", stage.as_str())],
+                    h,
+                );
             }
         }
         // Declared only when there is something to sample: a family
@@ -1274,8 +1276,12 @@ pub fn daemon_routes() -> Vec<String> {
         "/api/push".into(),
         "/api/snapshot".into(),
         "/api/series?id=&from=&to=&res=".into(),
+        "/flame?from=&to=".into(),
+        "/flame.txt?from=&to=".into(),
+        "/flame/self".into(),
+        "/flame/self.txt".into(),
         "/trace".into(),
-        "/logs".into(),
+        "/logs?level=&limit=".into(),
         "/debug/self".into(),
         "/instances".into(),
         ProfileHub::profile_path(SELF_INSTANCE),
@@ -1284,7 +1290,7 @@ pub fn daemon_routes() -> Vec<String> {
 
 /// Splits a request-target into (path, query) and decodes the query
 /// into key/value pairs (minimal percent-decoding: `%XX` and `+`).
-fn parse_query(target: &str) -> (&str, Vec<(String, String)>) {
+pub(crate) fn parse_query(target: &str) -> (&str, Vec<(String, String)>) {
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p, q),
         None => (target, ""),
@@ -1349,6 +1355,38 @@ pub struct SeriesResponse {
     pub resolutions: Vec<u64>,
     /// The matching buckets, time-ascending.
     pub points: Vec<timeseries::AggPoint>,
+}
+
+/// Answers `/logs?level=&limit=` against an event log: `level` keeps
+/// only events at or above the named severity (default: everything),
+/// `limit` caps the answer to the newest N (default: the whole ring).
+/// Shared by the daemon and the fleet aggregator.
+pub(crate) fn serve_logs(events: &obs::EventLog, params: &[(String, String)]) -> Response {
+    let get = |k: &str| {
+        params
+            .iter()
+            .find(|(key, _)| key == k)
+            .map(|(_, v)| v.as_str())
+            .filter(|v| !v.is_empty())
+    };
+    let min = match get("level") {
+        None => obs::Level::Debug,
+        Some(v) => match obs::Level::parse(v) {
+            Some(l) => l,
+            None => return Response::error(400, "level must be debug, info, warn, or error"),
+        },
+    };
+    let limit = match get("limit") {
+        None => usize::MAX,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return Response::error(400, "limit must be a non-negative integer"),
+        },
+    };
+    Response::json(
+        serde_json::to_string_pretty(&events.recent_filtered(min, limit))
+            .expect("events serialize"),
+    )
 }
 
 /// Answers `/api/series?id=&from=&to=&res=` against a store. `from`
@@ -1564,12 +1602,43 @@ fn serve_one(
             let d = daemon.lock().expect("daemon poisoned");
             serve_series_query(d.ts(), &params)
         }
+        p if matches!(parse_query(p).0, "/flame" | "/flame.txt") => {
+            let (path, params) = parse_query(p);
+            let d = daemon.lock().expect("daemon poisoned");
+            crate::flame::serve_flame(
+                &d.accumulator().snapshot(),
+                d.fleet_health(),
+                d.ts(),
+                &params,
+                path == "/flame",
+                "leakprofd — blocked goroutines",
+                "cycle",
+            )
+        }
+        p if matches!(p, "/flame/self" | "/flame/self.txt") => {
+            // Tracer + board handles were cloned out up front, so the
+            // self-flame never touches the daemon mutex mid-cycle.
+            let g = crate::flame::self_flame(
+                &board.self_profile(SELF_INSTANCE),
+                &tracer.stage_histograms(),
+            );
+            if p == "/flame/self" {
+                Response::html(g.render_html(&obs::FlameOptions {
+                    title: "leakprofd — self time".into(),
+                    subtitle: "worker wait stacks (µs) + per-stage cycle latency".into(),
+                    ..obs::FlameOptions::default()
+                }))
+            } else {
+                Response::text(g.to_folded())
+            }
+        }
         "/trace" => Response::json(
             serde_json::to_string_pretty(&tracer.snapshot()).expect("trace serializes"),
         ),
-        "/logs" => Response::json(
-            serde_json::to_string_pretty(&events.recent()).expect("events serialize"),
-        ),
+        p if parse_query(p).0 == "/logs" => {
+            let (_, params) = parse_query(p);
+            serve_logs(events, &params)
+        }
         "/instances" => Response::json(
             serde_json::to_string(&vec![SELF_INSTANCE]).expect("instances serialize"),
         ),
@@ -1655,7 +1724,9 @@ mod tests {
         let metrics = String::from_utf8(metrics).unwrap();
         assert!(metrics.contains("leakprofd_cycles_total 2"));
         assert!(metrics.contains("leakprofd_spans_total{outcome=\"recorded\"}"));
-        assert!(metrics.contains("leakprofd_stage_latency_us{stage=\"cycle\",quantile=\"0.5\"}"));
+        assert!(metrics.contains("leakprofd_stage_latency_us_bucket{stage=\"cycle\",le=\""));
+        assert!(metrics.contains("leakprofd_stage_latency_us_bucket{stage=\"cycle\",le=\"+Inf\"}"));
+        assert!(metrics.contains("leakprofd_stage_latency_us_count{stage=\"cycle\"}"));
 
         // Two finished cycles must be retained as full span trees, each
         // rooted at a `cycle` span with the pipeline stages under it.

@@ -1,0 +1,454 @@
+//! Flame tier: builds [`obs::FlameGraph`]s from accumulator state and
+//! answers the `/flame` + `/flame.txt` routes on daemons and fleet
+//! aggregators.
+//!
+//! The trie is a **pure function of the accumulator snapshot** — per
+//! site, the representative goroutine's stack (root-first) weighted by
+//! the site's fleet-wide blocked count. No new wire state: because
+//! `FleetAccumulator::merge` already makes an N-shard merge
+//! byte-identical to a whole-fleet daemon's accumulator, the folded
+//! flame output inherits that differential for free, at every tier.
+//!
+//! Three views share the builder:
+//!
+//! * **live** — weight = current blocked goroutines per site;
+//! * **differential** (`?from=&to=`) — weight = growth of the site's
+//!   blocked population between two cycle (or poll) indices, resolved
+//!   through the embedded telemetry store (the `site_blocked` series
+//!   is the raw cumulative ingest, so the population is its per-cycle
+//!   increment), so an operator sees which subtrees *grew* — the leak,
+//!   not the steady state;
+//! * **self** (`/flame/self`) — the daemon's own cycle time: worker
+//!   wait stacks from [`obs::WorkerBoard`] plus per-stage latency
+//!   histograms, rendered with the same trie.
+
+use std::collections::BTreeMap;
+
+use gosim::{Frame, GoroutineProfile};
+use leakprof::analyze::{AccumulatorSnapshot, SiteSnapshot};
+use leakprof::series as sid;
+use obs::{FlameGraph, FlameOptions, LatencyHistogram};
+use timeseries::TsStore;
+
+use crate::health::FleetHealth;
+use crate::http::Response;
+
+/// One frame's label in the trie: `func` alone for runtime frames
+/// (their location is synthetic), `func file:line` otherwise — the
+/// same shape Go flamegraph tooling shows.
+pub fn frame_label(f: &Frame) -> String {
+    if f.loc.line == 0 {
+        f.func.clone()
+    } else {
+        format!("{} {}:{}", f.func, f.loc.file, f.loc.line)
+    }
+}
+
+/// A site's stack as root-first labels, plus the length of the prefix
+/// ending at the blocking *user* frame (everything below it is
+/// synthetic `runtime.*`). The prefix is the verdict anchor: coloring
+/// it — and letting the runtime tail inherit — is what lights up "the
+/// regressing subtree".
+fn site_path(site: &SiteSnapshot) -> (Vec<String>, usize) {
+    let frames: Vec<&Frame> = site.representative.stack.iter().rev().collect();
+    let labels: Vec<String> = frames.iter().map(|f| frame_label(f)).collect();
+    let prefix = frames
+        .iter()
+        .rposition(|f| !f.is_runtime())
+        .map_or(labels.len(), |i| i + 1);
+    (labels, prefix)
+}
+
+/// Builds the flame trie from an accumulator snapshot, asking
+/// `weight_of` for each site's weight (zero-weight sites vanish).
+/// Deterministic: the snapshot's site order never shows because the
+/// trie sorts by frame label.
+pub fn build_flame<F>(snap: &AccumulatorSnapshot, mut weight_of: F) -> FlameGraph
+where
+    F: FnMut(&SiteSnapshot) -> u64,
+{
+    let mut g = FlameGraph::new();
+    for site in &snap.sites {
+        let (labels, _) = site_path(site);
+        g.add(&labels, weight_of(site));
+    }
+    g
+}
+
+/// The live weight of a site: its fleet-wide blocked-goroutine count.
+pub fn live_weight(site: &SiteSnapshot) -> u64 {
+    site.per_instance.iter().map(|(_, n)| n).sum()
+}
+
+/// Maps verdict path prefixes (`;`-joined root-first labels, up to the
+/// blocking user frame) to `/health` trend classes, for
+/// [`obs::FlameOptions::verdicts`]. When two sites share a prefix the
+/// worse verdict wins (regressing > flat > improving).
+pub fn flame_verdicts(
+    snap: &AccumulatorSnapshot,
+    health: Option<&FleetHealth>,
+) -> BTreeMap<String, String> {
+    let Some(health) = health else {
+        return BTreeMap::new();
+    };
+    let by_fp: BTreeMap<&str, &str> = health
+        .sites
+        .iter()
+        .map(|s| (s.fingerprint.as_str(), s.class.as_str()))
+        .collect();
+    let severity = |class: &str| match class {
+        "regressing" => 0,
+        "flat" => 1,
+        _ => 2,
+    };
+    let mut out: BTreeMap<String, String> = BTreeMap::new();
+    for site in &snap.sites {
+        let fp = sid::op_fingerprint(&site.op);
+        let Some(class) = by_fp.get(fp.as_str()) else {
+            continue;
+        };
+        let (labels, prefix) = site_path(site);
+        if prefix == 0 {
+            continue;
+        }
+        let key = labels[..prefix]
+            .iter()
+            .map(|l| obs::flame::sanitize_label(l))
+            .collect::<Vec<_>>()
+            .join(";");
+        match out.get(&key) {
+            Some(have) if severity(have) <= severity(class) => {}
+            _ => {
+                out.insert(key, class.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// The daemon's self-flame: worker wait stacks (weight = µs in the
+/// current wait) under each worker's name, plus a `cycle` subtree
+/// splitting total per-stage latency (weight = summed µs). Stage sums
+/// nest inside the cycle span's own sum, so the `cycle` frame keeps
+/// only the unattributed remainder as self time.
+pub fn self_flame(profile: &GoroutineProfile, stages: &[(String, LatencyHistogram)]) -> FlameGraph {
+    let mut g = FlameGraph::new();
+    for rec in &profile.goroutines {
+        let mut labels = vec![rec.name.clone()];
+        labels.extend(rec.stack.iter().rev().map(frame_label));
+        g.add(&labels, rec.wait_ticks);
+    }
+    let cycle_sum = stages
+        .iter()
+        .find(|(s, _)| s == obs::stage::CYCLE)
+        .map_or(0, |(_, h)| h.sum_us());
+    let mut attributed = 0u64;
+    for (stage, h) in stages {
+        if stage == obs::stage::CYCLE {
+            continue;
+        }
+        g.add([obs::stage::CYCLE, stage.as_str()], h.sum_us());
+        attributed = attributed.saturating_add(h.sum_us());
+    }
+    g.add([obs::stage::CYCLE], cycle_sum.saturating_sub(attributed));
+    g
+}
+
+/// The differential window parsed from `?from=&to=`.
+enum Window {
+    Live,
+    Diff { from: u64, to: u64 },
+}
+
+fn parse_window(params: &[(String, String)]) -> Result<Window, Response> {
+    let get = |k: &str| {
+        params
+            .iter()
+            .find(|(key, _)| key == k)
+            .map(|(_, v)| v.as_str())
+    };
+    let parse = |k: &str| -> Result<Option<u64>, Response> {
+        match get(k).filter(|s| !s.is_empty()) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<u64>()
+                .map(Some)
+                .map_err(|_| Response::error(400, &format!("{k} must be a non-negative integer"))),
+        }
+    };
+    match (parse("from")?, parse("to")?) {
+        (None, None) => Ok(Window::Live),
+        (Some(from), Some(to)) if from <= to => Ok(Window::Diff { from, to }),
+        (Some(_), Some(_)) => Err(Response::error(400, "from must not exceed to")),
+        _ => Err(Response::error(
+            400,
+            "differential flame needs both from and to",
+        )),
+    }
+}
+
+/// Answers one `/flame` (`html = true`) or `/flame.txt` request. Shared
+/// by the daemon and the fleet aggregator: both hand in their merged
+/// accumulator snapshot, latest health verdicts, and telemetry store —
+/// the only difference is the title and what the time axis counts
+/// (daemon cycles vs. fleet polls).
+pub fn serve_flame(
+    snap: &AccumulatorSnapshot,
+    health: Option<&FleetHealth>,
+    ts: &TsStore,
+    params: &[(String, String)],
+    html: bool,
+    title: &str,
+    time_axis: &str,
+) -> Response {
+    let window = match parse_window(params) {
+        Ok(w) => w,
+        Err(resp) => return resp,
+    };
+    let (graph, subtitle) = match window {
+        Window::Live => (
+            build_flame(snap, live_weight),
+            "live blocked goroutines per stack".to_string(),
+        ),
+        Window::Diff { from, to } => {
+            // `site_blocked` is the raw cumulative ingest — every cycle
+            // adds the site's current blocked count — so its per-cycle
+            // increment v(t) − v(t−1) IS the blocked population at
+            // cycle t. The differential weight is the growth of that
+            // population across the window; flat sites (constant
+            // increment) cancel to zero even though their cumulative
+            // total keeps climbing. (Once `from` ages out of the raw
+            // ring the rate degrades through rollup `last` values:
+            // coarser, still monotone-safe under the max(0) clamp.)
+            let g = build_flame(snap, |site| {
+                let id = sid::site_blocked_id(&sid::op_fingerprint(&site.op));
+                let rate = |t: u64| {
+                    let v = ts.value_at(&id, t).unwrap_or(0.0);
+                    let prev = match t.checked_sub(1) {
+                        Some(p) => ts.value_at(&id, p).unwrap_or(0.0),
+                        None => 0.0,
+                    };
+                    v - prev
+                };
+                (rate(to) - rate(from)).max(0.0).round() as u64
+            });
+            (
+                g,
+                format!("growth in blocked goroutines, {time_axis} {from} → {to}"),
+            )
+        }
+    };
+    if html {
+        let opts = FlameOptions {
+            title: title.to_string(),
+            subtitle,
+            verdicts: flame_verdicts(snap, health),
+            ..FlameOptions::default()
+        };
+        Response::html(graph.render_html(&opts))
+    } else {
+        Response::text(graph.to_folded())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gosim::{Frame, Gid, GoStatus, GoroutineRecord, Loc};
+    use leakprof::{BlockedOp, ChanOpKind, FleetAccumulator};
+
+    fn blocked(instance: &str, file: &str, line: u32, n: usize) -> GoroutineProfile {
+        let goroutines = (0..n)
+            .map(|i| GoroutineRecord {
+                gid: Gid(i as u64 + 1),
+                name: format!("{instance}-g{i}"),
+                status: GoStatus::ChanSend { nil_chan: false },
+                stack: vec![
+                    Frame::runtime("runtime.gopark"),
+                    Frame::runtime("runtime.chansend1"),
+                    Frame::new("pay.Handle$1", Loc::new(file, line)),
+                    Frame::new("main.main", Loc::new("main.go", 5)),
+                ],
+                created_by: Frame::new("pay.Handle", Loc::new(file, line - 1)),
+                wait_ticks: 100,
+                retained_bytes: 2048,
+            })
+            .collect();
+        GoroutineProfile {
+            instance: instance.into(),
+            captured_at: 0,
+            goroutines,
+        }
+    }
+
+    #[test]
+    fn flame_from_accumulator_weights_sites_by_blocked_count() {
+        let mut acc = FleetAccumulator::new();
+        acc.ingest(&blocked("a", "pay/h.go", 10, 3));
+        acc.ingest(&blocked("b", "pay/h.go", 10, 2));
+        let snap = acc.snapshot();
+        let g = build_flame(&snap, live_weight);
+        assert_eq!(g.total(), 5);
+        let folded = g.to_folded();
+        assert_eq!(
+            folded,
+            "main.main main.go:5;pay.Handle$1 pay/h.go:10;runtime.chansend1;runtime.gopark 5\n",
+            "root-first, user frames above the runtime tail"
+        );
+        assert_eq!(FlameGraph::from_folded(&folded).unwrap(), g);
+    }
+
+    #[test]
+    fn merged_flame_matches_whole_fleet_flame() {
+        let profiles = [
+            blocked("a", "pay/h.go", 10, 3),
+            blocked("b", "geo/h.go", 20, 4),
+            blocked("c", "pay/h.go", 10, 1),
+        ];
+        let mut whole = FleetAccumulator::new();
+        for p in &profiles {
+            whole.ingest(p);
+        }
+        // Two shards splitting the same fleet, merged in either order.
+        let mut s1 = FleetAccumulator::new();
+        s1.ingest(&profiles[0]);
+        let mut s2 = FleetAccumulator::new();
+        s2.ingest(&profiles[1]);
+        s2.ingest(&profiles[2]);
+        let mut m12 = s1.clone();
+        m12.merge(&s2);
+        let mut m21 = s2.clone();
+        m21.merge(&s1);
+
+        let fold = |acc: &FleetAccumulator| build_flame(&acc.snapshot(), live_weight).to_folded();
+        assert_eq!(fold(&m12), fold(&whole));
+        assert_eq!(fold(&m21), fold(&whole), "merge order never shows");
+    }
+
+    #[test]
+    fn verdicts_anchor_at_the_blocking_user_frame() {
+        let mut acc = FleetAccumulator::new();
+        acc.ingest(&blocked("a", "pay/h.go", 10, 3));
+        let snap = acc.snapshot();
+        let fp = sid::op_fingerprint(&BlockedOp {
+            kind: ChanOpKind::Send,
+            loc: Loc::new("pay/h.go", 10),
+        });
+        let health = FleetHealth {
+            cycle: 1,
+            sites: vec![crate::health::SiteHealth {
+                fingerprint: fp,
+                class: "regressing".into(),
+                rel_slope: 1.0,
+                z: 9.0,
+                anomaly: true,
+                rms: 3.0,
+                spark: vec![],
+                why: String::new(),
+            }],
+            adaptive: crate::adaptive::AdaptiveStatus {
+                enabled: false,
+                interval_ms: 0,
+                last_change_reason: "start".into(),
+                last_change_cycle: 0,
+                tightened_total: 0,
+                backed_off_total: 0,
+                stable_cycles: 0,
+            },
+        };
+        let verdicts = flame_verdicts(&snap, Some(&health));
+        assert_eq!(
+            verdicts.get("main.main main.go:5;pay.Handle$1 pay/h.go:10"),
+            Some(&"regressing".to_string()),
+            "keyed by the user-frame prefix, runtime tail excluded: {verdicts:?}"
+        );
+        assert!(flame_verdicts(&snap, None).is_empty());
+    }
+
+    #[test]
+    fn differential_flame_reports_growth_only() {
+        let mut acc = FleetAccumulator::new();
+        acc.ingest(&blocked("a", "pay/h.go", 10, 8));
+        acc.ingest(&blocked("a2", "geo/h.go", 20, 5));
+        let snap = acc.snapshot();
+        let mut ts = TsStore::in_memory(Default::default());
+        let fp = |file: &str, line| {
+            sid::op_fingerprint(&BlockedOp {
+                kind: ChanOpKind::Send,
+                loc: Loc::new(file, line),
+            })
+        };
+        let pay = sid::site_blocked_id(&fp("pay/h.go", 10));
+        let geo = sid::site_blocked_id(&fp("geo/h.go", 20));
+        // Cumulative totals: every cycle re-ingests the current blocked
+        // population. pay's population grows 2 → 2 → 8 (cumulative
+        // 2, 4, 12); geo's stays 5 (cumulative 5, 10, 15).
+        ts.append(1, &[(&pay, 2.0), (&geo, 5.0)]).unwrap();
+        ts.append(2, &[(&pay, 4.0), (&geo, 10.0)]).unwrap();
+        ts.append(3, &[(&pay, 12.0), (&geo, 15.0)]).unwrap();
+
+        let resp = serve_flame(&snap, None, &ts, &[], false, "t", "cycle");
+        assert_eq!(resp.status, 200);
+        let live = String::from_utf8(resp.body).unwrap();
+        assert_eq!(FlameGraph::from_folded(&live).unwrap().total(), 13);
+
+        let diff_params = vec![
+            ("from".to_string(), "1".to_string()),
+            ("to".into(), "3".into()),
+        ];
+        let resp = serve_flame(&snap, None, &ts, &diff_params, false, "t", "cycle");
+        assert_eq!(resp.status, 200);
+        let diff = String::from_utf8(resp.body).unwrap();
+        let g = FlameGraph::from_folded(&diff).unwrap();
+        assert_eq!(g.total(), 6, "pay's population grew 2 → 8: {diff}");
+        assert!(diff.contains("pay/h.go:10"));
+        assert!(!diff.contains("geo/h.go:20"), "flat sites vanish: {diff}");
+    }
+
+    #[test]
+    fn flame_query_validation_rejects_half_windows() {
+        let snap = FleetAccumulator::new().snapshot();
+        let ts = TsStore::in_memory(Default::default());
+        let bad = [
+            vec![("from".to_string(), "1".to_string())],
+            vec![("to".to_string(), "3".to_string())],
+            vec![
+                ("from".to_string(), "x".to_string()),
+                ("to".into(), "3".into()),
+            ],
+            vec![
+                ("from".to_string(), "5".to_string()),
+                ("to".into(), "3".into()),
+            ],
+        ];
+        for params in bad {
+            let resp = serve_flame(&snap, None, &ts, &params, false, "t", "cycle");
+            assert_eq!(resp.status, 400, "{params:?}");
+        }
+    }
+
+    #[test]
+    fn self_flame_folds_workers_and_stages() {
+        let board = obs::WorkerBoard::new();
+        let _h = board.register(
+            "scrape-worker-0",
+            obs::site!("collector::flame::worker_loop"),
+        );
+        let profile = board.self_profile("leakprofd");
+        let mut cycle = LatencyHistogram::new();
+        cycle.record_us(1000);
+        let mut scrape = LatencyHistogram::new();
+        scrape.record_us(700);
+        let stages = vec![
+            (obs::stage::CYCLE.to_string(), cycle),
+            (obs::stage::SCRAPE.to_string(), scrape),
+        ];
+        let g = self_flame(&profile, &stages);
+        let folded = g.to_folded();
+        assert!(folded.contains("cycle;scrape 700"), "{folded}");
+        assert!(
+            folded.contains("cycle 300"),
+            "self time is the remainder: {folded}"
+        );
+    }
+}

@@ -375,6 +375,10 @@ impl FleetAggregator {
             let fp = leakprof::series::site_fingerprint(&s.stats);
             points.push((leakprof::series::site_rms_id(&fp), s.stats.rms));
             points.push((leakprof::series::site_total_id(&fp), s.stats.total as f64));
+            points.push((
+                leakprof::series::site_blocked_id(&fp),
+                acc.raw_site_total(&s.stats.op) as f64,
+            ));
         }
         let borrowed: Vec<(&str, f64)> = points.iter().map(|(k, v)| (k.as_str(), *v)).collect();
         if let Err(e) = self.ts.append(self.polls, &borrowed) {
@@ -421,6 +425,12 @@ impl FleetAggregator {
     /// The merged accumulator from the latest poll.
     pub fn accumulator(&self) -> &FleetAccumulator {
         &self.acc
+    }
+
+    /// The aggregator's telemetry store: merged site trend series,
+    /// appended once per poll (the fleet's time axis).
+    pub fn ts(&self) -> &TsStore {
+        &self.ts
     }
 
     /// The current shard map (rebalanced as peers die and recover).
@@ -646,9 +656,11 @@ pub fn fleet_routes() -> Vec<String> {
         "/metrics".into(),
         "/status".into(),
         "/health".into(),
+        "/flame?from=&to=".into(),
+        "/flame.txt?from=&to=".into(),
         "/trace".into(),
         "/trace/self".into(),
-        "/logs".into(),
+        "/logs?level=&limit=".into(),
         "/api/snapshot".into(),
         "/api/shardmap".into(),
     ]
@@ -668,7 +680,11 @@ pub fn fleet_routes() -> Vec<String> {
 ///   daemon serves at `/trace`), so `leakprofd trace --addr <fleet>`
 ///   can restitch the fleet lane together with explicitly listed
 ///   processes such as push clients.
-/// * `/logs` — the aggregator's structured event log.
+/// * `/flame` + `/flame.txt` — the merged blocked-goroutine flamegraph
+///   (SVG/HTML and collapsed folded-stack text); `?from=&to=` renders
+///   the differential over a poll window instead of the live view.
+/// * `/logs?level=&limit=` — the aggregator's structured event log,
+///   filterable by severity and capped to the newest N.
 /// * `/api/snapshot` — the merged fleet as one [`ApiSnapshot`], making
 ///   aggregators composable with `leakprofd status`/`top`.
 /// * `/api/shardmap` — the current (possibly rebalanced) map, for
@@ -700,13 +716,26 @@ pub fn serve_fleet_endpoints(
                 };
                 Response::json(serde_json::to_string_pretty(&health).expect("health serializes"))
             }
+            p if matches!(crate::daemon::parse_query(p).0, "/flame" | "/flame.txt") => {
+                let (path, params) = crate::daemon::parse_query(p);
+                crate::flame::serve_flame(
+                    &f.accumulator().snapshot(),
+                    f.fleet_health(),
+                    f.ts(),
+                    &params,
+                    path == "/flame",
+                    "fleet — blocked goroutines (merged)",
+                    "poll",
+                )
+            }
             "/trace" => Response::json(f.stitched_trace()),
             "/trace/self" => Response::json(
                 serde_json::to_string(&f.tracer().snapshot()).expect("trace serializes"),
             ),
-            "/logs" => Response::json(
-                serde_json::to_string_pretty(&f.events().recent()).expect("events serialize"),
-            ),
+            p if crate::daemon::parse_query(p).0 == "/logs" => {
+                let (_, params) = crate::daemon::parse_query(p);
+                crate::daemon::serve_logs(f.events(), &params)
+            }
             "/api/snapshot" => Response::json(
                 serde_json::to_string_pretty(&f.api_snapshot()).expect("snapshot serializes"),
             ),

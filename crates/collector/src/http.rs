@@ -115,6 +115,17 @@ impl Response {
         }
     }
 
+    /// A 200 response with an HTML body.
+    pub fn html(body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status: 200,
+            content_type: "text/html; charset=utf-8",
+            body: body.into(),
+            headers: Vec::new(),
+            fault: ResponseFault::None,
+        }
+    }
+
     /// An error response with a short text body.
     pub fn error(status: u16, msg: &str) -> Response {
         Response {

@@ -78,6 +78,7 @@ pub mod chaos;
 pub mod daemon;
 pub mod demo;
 pub mod endpoints;
+pub mod flame;
 pub mod fleet_tier;
 pub mod health;
 pub mod history;
@@ -106,6 +107,9 @@ pub use daemon::{
 };
 pub use demo::DemoFleet;
 pub use endpoints::{Fault, ProfileHub};
+pub use flame::{build_flame, flame_verdicts, frame_label, live_weight, self_flame, serve_flame};
+// The flame trie itself lives in dependency-free `obs` (like the
+// histogram); re-exported so collector callers see one flame API.
 pub use fleet_tier::{
     fleet_routes, serve_fleet_endpoints, FleetAggregator, FleetConfig, FleetStatus, PeerStatus,
 };
@@ -124,6 +128,7 @@ pub use merge::{
     load_shard_state, merge_state_dirs, merge_states, write_merged, MergeConfig, MergedFleet,
     ShardState, ShardSummary,
 };
+pub use obs::{FlameGraph, FlameNode, FlameOptions};
 pub use push::{
     backoff_delay, backoff_schedule, PushClient, PushConfig, PushError, PushReceipt, PushStats,
     WatermarkTrigger, PUSH_PATH,

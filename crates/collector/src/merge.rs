@@ -188,9 +188,12 @@ pub fn merge_state_dirs(dirs: &[PathBuf], config: &MergeConfig) -> std::io::Resu
 }
 
 /// Persists a merged fleet as a regular daemon state dir: snapshot (no
-/// WAL — the fold is already checkpointed), `ledger.json`, and the
-/// merged `ts` store. The result is loadable by [`load_shard_state`],
-/// an unsharded `Daemon`, or `leakprofd backtest`.
+/// WAL — the fold is already checkpointed), `ledger.json`, the merged
+/// `ts` store, and `flame.txt` — the merged blocked-goroutine flame in
+/// collapsed folded-stack form, ready for `inferno`/speedscope or a
+/// byte-compare against any live daemon's `/flame.txt`. The result is
+/// loadable by [`load_shard_state`], an unsharded `Daemon`, or
+/// `leakprofd backtest`.
 ///
 /// # Errors
 ///
@@ -202,12 +205,15 @@ pub fn write_merged(
 ) -> std::io::Result<()> {
     std::fs::create_dir_all(out)?;
     let store = SnapshotStore::open(out)?;
+    let snap = merged.acc.snapshot();
     store.commit_snapshot(&DaemonSnapshot {
         version: DAEMON_SNAPSHOT_VERSION,
         cycle: merged.cycle,
-        acc: merged.acc.snapshot(),
+        acc: snap.clone(),
         health: merged.health.clone(),
     })?;
+    let flame = crate::flame::build_flame(&snap, crate::flame::live_weight);
+    std::fs::write(out.join("flame.txt"), flame.to_folded())?;
     let mut out_ledger = ReportLedger::open(out.join("ledger.json"), config.ledger.clone())?;
     out_ledger.merge_from(&merged.ledger)?;
     let mut out_ts = TsStore::open(out.join("ts"), config.ts.clone())?;

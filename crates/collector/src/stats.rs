@@ -22,8 +22,9 @@ impl PromText {
         PromText::default()
     }
 
-    /// Announces a metric family (`kind` is `counter`, `gauge`, or
-    /// `summary`). Call once, before the family's samples.
+    /// Announces a metric family (`kind` is `counter`, `gauge`,
+    /// `summary`, or `histogram`). Call once, before the family's
+    /// samples.
     pub fn family(&mut self, name: &str, kind: &str, help: &str) {
         use std::fmt::Write as _;
         let _ = writeln!(self.out, "# HELP {name} {help}");
@@ -46,6 +47,26 @@ impl PromText {
             let _ = write!(self.out, "}}");
         }
         let _ = writeln!(self.out, " {value}");
+    }
+
+    /// Emits one histogram's full sample set: cumulative `_bucket`
+    /// lines (power-of-two `le` upper bounds, then the mandatory
+    /// `le="+Inf"` bucket equal to the count), `_sum`, and `_count`.
+    /// The caller announces the family (kind `histogram`) once; the
+    /// `le` label is appended after `labels`.
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], h: &LatencyHistogram) {
+        let bucket = format!("{name}_bucket");
+        for (le, cum) in h.cumulative_buckets() {
+            let le = le.to_string();
+            let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+            with_le.push(("le", le.as_str()));
+            self.sample(&bucket, &with_le, cum);
+        }
+        let mut with_inf: Vec<(&str, &str)> = labels.to_vec();
+        with_inf.push(("le", "+Inf"));
+        self.sample(&bucket, &with_inf, h.count());
+        self.sample(&format!("{name}_sum"), labels, h.sum_us());
+        self.sample(&format!("{name}_count"), labels, h.count());
     }
 
     /// The finished exposition text.

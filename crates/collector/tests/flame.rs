@@ -1,0 +1,171 @@
+//! End-to-end flame tier: shard-merged flamegraphs must be
+//! byte-identical to a whole-fleet daemon's, and the differential view
+//! must isolate an injected regression's stack subtree.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use collector::{
+    build_flame, live_weight, merge_state_dirs, serve_daemon_endpoints, write_merged, Daemon,
+    DaemonConfig, DemoFleet, FlameGraph, MergeConfig, ShardSpec,
+};
+use leakprof::LeakProf;
+use shardmap::ShardMap;
+
+fn lp() -> LeakProf {
+    LeakProf::new(leakprof::Config {
+        threshold: 1,
+        ast_filter: false,
+        top_n: 10,
+    })
+}
+
+fn get(addr: std::net::SocketAddr, path: &str) -> String {
+    let body = collector::http_get(
+        addr,
+        path,
+        Duration::from_millis(2000),
+        Duration::from_millis(5000),
+    )
+    .unwrap_or_else(|e| panic!("GET {path}: {e}"));
+    String::from_utf8(body).expect("utf-8 body")
+}
+
+/// The tentpole differential: three shard daemons' state dirs merged
+/// offline fold to the exact same folded-stack bytes as one unsharded
+/// daemon scraping the whole fleet — and as that daemon's live
+/// `/flame.txt` — because the flame trie is a pure function of the
+/// accumulator and `FleetAccumulator::merge` is exact.
+#[test]
+fn merged_shard_flames_are_byte_identical_to_the_whole_fleet() {
+    let root = std::env::temp_dir().join(format!("leakprofd-flame-merge-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let demo = DemoFleet::build(10, 2, 7);
+    let server = demo.hub.serve("127.0.0.1:0", 4).unwrap();
+    let targets = demo.targets(server.addr());
+    let map = ShardMap::new(3);
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    for i in 0..3 {
+        let dir = root.join(format!("shard{i}"));
+        let config = DaemonConfig {
+            state_dir: Some(dir.clone()),
+            snapshot_every: 2,
+            shard: Some(ShardSpec {
+                map: map.clone(),
+                index: i,
+            }),
+            ..DaemonConfig::default()
+        };
+        let mut d = Daemon::new(config, lp(), targets.clone()).unwrap();
+        for _ in 0..3 {
+            d.run_cycle();
+        }
+        d.commit_snapshot().unwrap();
+        d.flush_telemetry().unwrap();
+        dirs.push(dir);
+    }
+    let mut whole = Daemon::new(DaemonConfig::default(), lp(), targets).unwrap();
+    for _ in 0..3 {
+        whole.run_cycle();
+    }
+    let whole_folded = build_flame(&whole.accumulator().snapshot(), live_weight).to_folded();
+    assert!(!whole_folded.is_empty(), "demo fleet has blocked stacks");
+
+    let config = MergeConfig::default();
+    let mut merged = merge_state_dirs(&dirs, &config).unwrap();
+    let merged_folded = build_flame(&merged.acc.snapshot(), live_weight).to_folded();
+    assert_eq!(
+        merged_folded, whole_folded,
+        "3-shard merged flame must be byte-identical to the whole-fleet daemon's"
+    );
+
+    // write_merged persists the same bytes as flame.txt.
+    let out = root.join("merged");
+    write_merged(&out, &mut merged, &config).unwrap();
+    assert_eq!(
+        std::fs::read_to_string(out.join("flame.txt")).unwrap(),
+        whole_folded
+    );
+
+    // The whole daemon's live /flame.txt serves those bytes too, and
+    // /flame renders them as a self-contained SVG document.
+    let daemon = Arc::new(Mutex::new(whole));
+    let endpoint = serve_daemon_endpoints(daemon, "127.0.0.1:0").unwrap();
+    assert_eq!(get(endpoint.addr(), "/flame.txt"), whole_folded);
+    let html = get(endpoint.addr(), "/flame");
+    assert!(html.contains("<svg"), "flame page embeds an SVG");
+    assert!(
+        FlameGraph::from_folded(&whole_folded).unwrap().total() > 0,
+        "folded output round-trips"
+    );
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// Injects a regression mid-run and checks the `?from=&to=` view over
+/// the step isolates the leaky subtrees within 3 cycles: every folded
+/// line in the differential lands on a ground-truth leak site, a flat
+/// window diffs to nothing, and the `/flame` HTML colors the regressing
+/// subtree from the `/health` verdicts.
+#[test]
+fn differential_flame_isolates_the_injected_regression() {
+    let mut demo = DemoFleet::build(12, 1, 11);
+    let server = demo.hub.serve("127.0.0.1:0", 4).unwrap();
+    let targets = demo.targets(server.addr());
+    let daemon = Arc::new(Mutex::new(
+        Daemon::new(DaemonConfig::default(), lp(), targets).unwrap(),
+    ));
+
+    // Two baseline cycles over the same published profiles (flat), then
+    // the regression: the fleet advances a day before each of the next
+    // three cycles, so leak sites grow every cycle from cycle 3 on.
+    for _ in 0..2 {
+        daemon.lock().unwrap().run_cycle();
+    }
+    for _ in 0..3 {
+        demo.advance_and_republish(1);
+        daemon.lock().unwrap().run_cycle();
+    }
+
+    let endpoint = serve_daemon_endpoints(Arc::clone(&daemon), "127.0.0.1:0").unwrap();
+    let addr = endpoint.addr();
+
+    // A flat window diffs to an empty flame.
+    let flat_text = get(addr, "/flame.txt?from=1&to=2");
+    let flat = FlameGraph::from_folded(&flat_text).unwrap();
+    assert_eq!(flat.total(), 0, "no growth before the injected step");
+
+    // The step window isolates the leak sites: growth appears, and
+    // every grown stack blames a ground-truth leak location.
+    let diff_text = get(addr, "/flame.txt?from=2&to=5");
+    let diff = FlameGraph::from_folded(&diff_text).unwrap();
+    assert!(diff.total() > 0, "regression growth shows up: {diff_text}");
+    let leak_files: Vec<&str> = demo
+        .leak_sites
+        .iter()
+        .map(|(file, _)| file.as_str())
+        .collect();
+    for line in diff_text.lines() {
+        assert!(
+            leak_files.iter().any(|f| line.contains(f)),
+            "differential stack {line:?} is not a known leak site {leak_files:?}"
+        );
+    }
+    assert!(
+        !diff_text.contains("ok/"),
+        "the healthy service never grows: {diff_text}"
+    );
+
+    // Live flame still shows everything the differential filtered out.
+    let live = FlameGraph::from_folded(&get(addr, "/flame.txt")).unwrap();
+    assert!(live.total() >= diff.total());
+
+    // After 5 cycles of telemetry (3 of them growing), /health flags
+    // the leak sites and the HTML flame colors their subtrees.
+    let html = get(addr, "/flame?from=2&to=5");
+    assert!(html.contains("<svg"));
+    assert!(
+        html.contains("data-health=\"regressing\""),
+        "regressing subtree must be colored in the flame"
+    );
+}

@@ -76,17 +76,26 @@ fn parse_labels(s: &str, ctx: &str) -> usize {
     }
 }
 
-/// The family a sample name belongs to: itself, or — for summary
-/// `_count`/`_sum` lines — the declared base family.
+/// The family a sample name belongs to: itself, or — for summary and
+/// histogram `_count`/`_sum` lines, and histogram `_bucket` lines —
+/// the declared base family.
 fn family_of<'a>(name: &'a str, families: &BTreeMap<String, Family>) -> &'a str {
     if families.contains_key(name) {
         return name;
     }
     for suffix in ["_count", "_sum"] {
         if let Some(base) = name.strip_suffix(suffix) {
-            if families.get(base).is_some_and(|f| f.kind == "summary") {
+            if families
+                .get(base)
+                .is_some_and(|f| f.kind == "summary" || f.kind == "histogram")
+            {
                 return base;
             }
+        }
+    }
+    if let Some(base) = name.strip_suffix("_bucket") {
+        if families.get(base).is_some_and(|f| f.kind == "histogram") {
+            return base;
         }
     }
     panic!("sample {name} has no # TYPE declaration");
@@ -152,6 +161,14 @@ fn assert_conformant(text: &str) {
                 .parse::<f64>()
                 .unwrap_or_else(|_| panic!("{ctx}: sample value {value:?} is not a number"));
             let base = family_of(name, &families).to_string();
+            if name.ends_with("_bucket")
+                && families.get(&base).is_some_and(|f| f.kind == "histogram")
+            {
+                assert!(
+                    line.contains("le=\""),
+                    "{ctx}: histogram _bucket sample without an le label"
+                );
+            }
             {
                 let fam = families.get(&base).expect("family exists");
                 assert!(!fam.kind.is_empty(), "{ctx}: sample before TYPE");
@@ -308,6 +325,8 @@ fn checker_rejects_malformed_expositions() {
         "# HELP leakprofd_x h\n# TYPE leakprofd_x gauge\nleakprofd_x oops\n",
         // Unterminated label value.
         "# HELP leakprofd_x h\n# TYPE leakprofd_x gauge\nleakprofd_x{a=\"b 1\n",
+        // Histogram bucket without an le label.
+        "# HELP leakprofd_x h\n# TYPE leakprofd_x histogram\nleakprofd_x_bucket{stage=\"a\"} 1\nleakprofd_x_sum 1\nleakprofd_x_count 1\n",
     ];
     for text in bad {
         let got = std::panic::catch_unwind(|| assert_conformant(text));
@@ -321,4 +340,21 @@ fn prom_text_builder_round_trips_through_the_checker() {
     p.family("leakprofd_demo", "gauge", "A demo family.");
     p.sample("leakprofd_demo", &[("site", "send at a\"b\\c.go:1")], 1.5);
     assert_conformant(&p.finish());
+}
+
+#[test]
+fn prom_text_histograms_round_trip_through_the_checker() {
+    let mut h = collector::LatencyHistogram::new();
+    for us in [3, 900, 5000] {
+        h.record_us(us);
+    }
+    let mut p = PromText::new();
+    p.family("leakprofd_demo_us", "histogram", "A demo histogram.");
+    p.histogram("leakprofd_demo_us", &[("stage", "scrape")], &h);
+    let text = p.finish();
+    assert_conformant(&text);
+    // Cumulative buckets end at the count, and +Inf repeats it.
+    assert!(text.contains("leakprofd_demo_us_bucket{stage=\"scrape\",le=\"+Inf\"} 3"));
+    assert!(text.contains("leakprofd_demo_us_count{stage=\"scrape\"} 3"));
+    assert!(text.contains("leakprofd_demo_us_sum{stage=\"scrape\"} 5903"));
 }

@@ -458,6 +458,16 @@ impl FleetAccumulator {
         self.goroutines_seen
     }
 
+    /// Sum of the raw per-instance cumulative counts for `op`, with no
+    /// occurrence weighting (contrast [`FleetAccumulator::ranked`],
+    /// which weighs each instance's count by how many profiles it
+    /// contributed). Every cycle re-ingests each site's current blocked
+    /// population, so across cycles this sum's first difference is that
+    /// population — the series differential flamegraphs subtract.
+    pub fn raw_site_total(&self, op: &BlockedOp) -> u64 {
+        self.acc.get(op).map_or(0, |m| m.values().sum())
+    }
+
     /// Ranks the accumulated sites: criterion-1 thresholding, optional
     /// criterion-2 AST filtering, then fleet-wide RMS ordering. Does not
     /// consume the accumulator, so a daemon can re-rank every cycle.

@@ -69,7 +69,7 @@ pub use analyze::{
 pub use filter::{is_transient, SourceIndex, VerdictSet};
 pub use history::{Issue, IssueStatus, SweepDelta, SweepStore};
 pub use report::{OwnerDb, Report, Suspect};
-pub use series::site_fingerprint;
+pub use series::{op_fingerprint, site_fingerprint};
 pub use signature::{blocked_op, BlockedOp, ChanOpKind};
 
 use gosim::GoroutineProfile;

@@ -10,12 +10,20 @@
 //! stored series line up one-to-one.
 
 use crate::analyze::SiteStats;
+use crate::signature::BlockedOp;
 
 /// The fingerprint a site is identified by everywhere: the rendered
 /// blocking operation + source site. This is the same string the
 /// report ledger deduplicates on.
 pub fn site_fingerprint(stats: &SiteStats) -> String {
-    stats.op.to_string()
+    op_fingerprint(&stats.op)
+}
+
+/// [`site_fingerprint`] from the blocking operation alone — what the
+/// flame tier uses, since accumulator snapshots carry [`BlockedOp`]s
+/// rather than ranked [`SiteStats`].
+pub fn op_fingerprint(op: &BlockedOp) -> String {
+    op.to_string()
 }
 
 /// Series id of a site's fleet-wide RMS impact.
@@ -26,6 +34,17 @@ pub fn site_rms_id(fingerprint: &str) -> String {
 /// Series id of a site's total blocked-goroutine count.
 pub fn site_total_id(fingerprint: &str) -> String {
     format!("site_total:{fingerprint}")
+}
+
+/// Series id of a site's **raw** cumulative blocked count: the sum of
+/// the accumulator's per-instance counts with no occurrence weighting
+/// (unlike `site_total`, which weighs each instance by how many
+/// profiles it contributed). Because every cycle re-ingests the site's
+/// current blocked population, the first difference of this series is
+/// exactly that population — the quantity differential flamegraphs
+/// subtract.
+pub fn site_blocked_id(fingerprint: &str) -> String {
+    format!("site_blocked:{fingerprint}")
 }
 
 /// Series id of one instance's total blocked-goroutine count.
@@ -44,12 +63,13 @@ pub const INTERVAL_MS_ID: &str = "interval_ms";
 /// Series id of the scrape-cycle wall time (ms).
 pub const CYCLE_WALL_MS_ID: &str = "cycle_wall_ms";
 
-/// The fingerprint inside a `site_rms:`/`site_total:` series id, if
-/// the id is a site series.
+/// The fingerprint inside a `site_rms:`/`site_total:`/`site_blocked:`
+/// series id, if the id is a site series.
 pub fn fingerprint_of(series_id: &str) -> Option<&str> {
     series_id
         .strip_prefix("site_rms:")
         .or_else(|| series_id.strip_prefix("site_total:"))
+        .or_else(|| series_id.strip_prefix("site_blocked:"))
 }
 
 #[cfg(test)]
@@ -61,6 +81,7 @@ mod tests {
         let fp = "send at pay/handler.go:10";
         assert_eq!(fingerprint_of(&site_rms_id(fp)), Some(fp));
         assert_eq!(fingerprint_of(&site_total_id(fp)), Some(fp));
+        assert_eq!(fingerprint_of(&site_blocked_id(fp)), Some(fp));
         assert_eq!(fingerprint_of(INTERVAL_MS_ID), None);
         assert_eq!(fingerprint_of(&instance_blocked_id("pay-0")), None);
     }

@@ -43,6 +43,18 @@ impl Level {
             Level::Error => "error",
         }
     }
+
+    /// Parses the wire form back into a level (case-insensitive);
+    /// `None` for anything that is not one of the four names.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "debug" => Some(Level::Debug),
+            "info" => Some(Level::Info),
+            "warn" => Some(Level::Warn),
+            "error" => Some(Level::Error),
+            _ => None,
+        }
+    }
 }
 
 /// One structured log entry.
@@ -218,6 +230,23 @@ impl EventLog {
         }
     }
 
+    /// Retained events at or above `min`, capped to the most recent
+    /// `limit`, oldest first — `/logs?level=&limit=`, so operators can
+    /// pull only Warn+ without scraping the whole retained deque. An
+    /// event whose level string does not parse (foreign producer) is
+    /// conservatively kept.
+    pub fn recent_filtered(&self, min: Level, limit: usize) -> Vec<Event> {
+        let mut events: Vec<Event> = self
+            .recent()
+            .into_iter()
+            .filter(|e| Level::parse(&e.level).is_none_or(|l| l >= min))
+            .collect();
+        if events.len() > limit {
+            events.drain(..events.len() - limit);
+        }
+        events
+    }
+
     /// Events recorded (admitted to the ring) so far.
     pub fn recorded(&self) -> u64 {
         self.inner
@@ -309,6 +338,44 @@ mod tests {
             });
         }
         assert_eq!(tiny.dropped(), 3);
+    }
+
+    #[test]
+    fn level_parse_round_trips_and_orders() {
+        for l in [Level::Debug, Level::Info, Level::Warn, Level::Error] {
+            assert_eq!(Level::parse(l.as_str()), Some(l));
+        }
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("fatal"), None);
+        assert!(Level::Warn > Level::Info);
+    }
+
+    #[test]
+    fn recent_filtered_drops_below_min_and_caps_to_newest() {
+        let log = EventLog::new(EventConfig::default());
+        log.debug("t", "d0");
+        log.info("t", "i0");
+        log.warn("t", "w0");
+        log.error("t", "e0");
+        log.warn("t", "w1");
+
+        let warns = log.recent_filtered(Level::Warn, usize::MAX);
+        assert_eq!(
+            warns.iter().map(|e| e.message.as_str()).collect::<Vec<_>>(),
+            vec!["w0", "e0", "w1"],
+            "oldest first, Warn and above only"
+        );
+        let capped = log.recent_filtered(Level::Warn, 2);
+        assert_eq!(
+            capped
+                .iter()
+                .map(|e| e.message.as_str())
+                .collect::<Vec<_>>(),
+            vec!["e0", "w1"],
+            "limit keeps the newest matches"
+        );
+        assert_eq!(log.recent_filtered(Level::Debug, usize::MAX).len(), 5);
+        assert!(log.recent_filtered(Level::Error, 0).is_empty());
     }
 
     #[test]

@@ -1,0 +1,519 @@
+//! Weighted stack-prefix trie and flamegraph rendering.
+//!
+//! The fleet's ranking answers *which* sites leak; the flamegraph
+//! answers *where in the call tree* the blocked goroutines sit. A
+//! [`FlameGraph`] folds stack signatures (root-first frame labels) into
+//! a prefix trie whose node weights are blocked-goroutine counts; its
+//! [`FlameGraph::merge`] is exact — commutative and associative, the
+//! same algebra `FleetAccumulator::merge` obeys — so per-instance →
+//! per-shard → fleet aggregation produces byte-identical folded output
+//! no matter how the fleet was partitioned.
+//!
+//! Two export surfaces:
+//!
+//! * [`FlameGraph::to_folded`] — collapsed folded-stack text
+//!   (`frame;frame;frame weight` per line), the interchange format the
+//!   inferno / speedscope / FlameGraph tooling lineage consumes, and
+//!   the byte-comparable artifact the differential tests pin.
+//! * [`FlameGraph::render_html`] — a self-contained, zero-dependency
+//!   SVG-in-HTML flamegraph: frame width ∝ blocked-goroutine weight,
+//!   fill color keyed to the site's `/health` trend verdict
+//!   (improving / flat / regressing) when one is supplied, hover
+//!   tooltips via `<title>`, no scripts and no external fetches.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// One node of the weighted stack-prefix trie.
+///
+/// `self_weight` counts stacks that *terminate* at this frame; the
+/// node's displayed width is `self_weight` plus every descendant's.
+/// Children are keyed by frame label in a [`BTreeMap`] so iteration —
+/// and therefore folded output and rendering — is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlameNode {
+    /// Weight of stacks ending exactly at this frame.
+    pub self_weight: u64,
+    /// Child frames, keyed by sanitized label.
+    pub children: BTreeMap<String, FlameNode>,
+}
+
+impl FlameNode {
+    /// Total weight of this node: stacks ending here plus everything
+    /// below.
+    pub fn total(&self) -> u64 {
+        self.self_weight + self.children.values().map(FlameNode::total).sum::<u64>()
+    }
+
+    fn merge(&mut self, other: &FlameNode) {
+        self.self_weight += other.self_weight;
+        for (label, child) in &other.children {
+            self.children.entry(label.clone()).or_default().merge(child);
+        }
+    }
+
+    fn max_depth(&self) -> usize {
+        1 + self
+            .children
+            .values()
+            .map(FlameNode::max_depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn node_count(&self) -> usize {
+        1 + self
+            .children
+            .values()
+            .map(FlameNode::node_count)
+            .sum::<usize>()
+    }
+}
+
+/// A weighted stack-prefix trie of blocked-goroutine stacks.
+///
+/// The root is synthetic (it never appears in folded output); every
+/// inserted stack hangs off it root-first.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlameGraph {
+    /// The synthetic root; its `total()` is the graph's total weight.
+    pub root: FlameNode,
+}
+
+/// Replaces the characters that would corrupt folded-stack lines:
+/// `;` separates frames and the line is newline-terminated.
+pub fn sanitize_label(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| match c {
+            ';' => ':',
+            '\n' | '\r' => ' ',
+            c => c,
+        })
+        .collect()
+}
+
+impl FlameGraph {
+    /// An empty graph.
+    pub fn new() -> FlameGraph {
+        FlameGraph::default()
+    }
+
+    /// Adds one stack (root-first frame labels) with `weight`. A zero
+    /// weight or an empty path is a no-op, so the trie never holds
+    /// weightless leaves (which keeps `from_folded(to_folded(g)) == g`
+    /// exact).
+    pub fn add<I, S>(&mut self, path: I, weight: u64)
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        if weight == 0 {
+            return;
+        }
+        let mut node = &mut self.root;
+        let mut any = false;
+        for frame in path {
+            any = true;
+            node = node
+                .children
+                .entry(sanitize_label(frame.as_ref()))
+                .or_default();
+        }
+        if any {
+            node.self_weight += weight;
+        }
+    }
+
+    /// Total blocked-goroutine weight in the graph.
+    pub fn total(&self) -> u64 {
+        self.root.total()
+    }
+
+    /// Deepest stack in the graph (0 for an empty graph).
+    pub fn max_depth(&self) -> usize {
+        self.root.max_depth() - 1
+    }
+
+    /// Number of frames in the trie (excluding the synthetic root).
+    pub fn node_count(&self) -> usize {
+        self.root.node_count() - 1
+    }
+
+    /// Folds another graph into this one by summing weights per path.
+    ///
+    /// This is an exact merge: addition per node is commutative and
+    /// associative and the key set is a plain union, so
+    /// `merge(a, merge(b, c)) == merge(merge(a, b), c)` and
+    /// `merge(a, b) == merge(b, a)` — byte-identically, via
+    /// [`FlameGraph::to_folded`]. The shard and fleet tiers rely on
+    /// this the same way they rely on `FleetAccumulator::merge`.
+    pub fn merge(&mut self, other: &FlameGraph) {
+        self.root.merge(&other.root);
+    }
+
+    /// Serializes to collapsed folded-stack text: one
+    /// `frame;frame;frame weight` line per trie node with non-zero
+    /// `self_weight`, parents before children, siblings in label order.
+    /// The output is a pure function of the trie's contents —
+    /// insertion order never shows.
+    pub fn to_folded(&self) -> String {
+        let mut out = String::new();
+        let mut path: Vec<&str> = Vec::new();
+        fn walk<'a>(node: &'a FlameNode, path: &mut Vec<&'a str>, out: &mut String) {
+            use std::fmt::Write as _;
+            if node.self_weight > 0 && !path.is_empty() {
+                let _ = writeln!(out, "{} {}", path.join(";"), node.self_weight);
+            }
+            for (label, child) in &node.children {
+                path.push(label);
+                walk(child, path, out);
+                path.pop();
+            }
+        }
+        walk(&self.root, &mut path, &mut out);
+        out
+    }
+
+    /// Parses collapsed folded-stack text (the [`FlameGraph::to_folded`]
+    /// format; blank lines ignored). Weights on repeated paths sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line (missing or
+    /// non-integer weight, empty stack).
+    pub fn from_folded(text: &str) -> Result<FlameGraph, String> {
+        let mut g = FlameGraph::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            let (stack, weight) = line
+                .rsplit_once(' ')
+                .ok_or_else(|| format!("line {}: no weight field: {line:?}", i + 1))?;
+            let weight: u64 = weight
+                .parse()
+                .map_err(|_| format!("line {}: weight is not a u64: {weight:?}", i + 1))?;
+            if stack.is_empty() {
+                return Err(format!("line {}: empty stack", i + 1));
+            }
+            g.add(stack.split(';'), weight);
+        }
+        Ok(g)
+    }
+}
+
+/// Rendering knobs for [`FlameGraph::render_html`].
+#[derive(Debug, Clone)]
+pub struct FlameOptions {
+    /// Page `<title>` and heading.
+    pub title: String,
+    /// Subtitle line under the heading (e.g. the differential window).
+    pub subtitle: String,
+    /// Canvas width in pixels.
+    pub width_px: u32,
+    /// Health verdict per stack-path prefix: maps a `;`-joined
+    /// root-first path to `improving` / `flat` / `regressing`. The
+    /// matching node **and its whole subtree** take the verdict color,
+    /// so a regressing site's runtime frames light up with it.
+    pub verdicts: BTreeMap<String, String>,
+}
+
+impl Default for FlameOptions {
+    fn default() -> Self {
+        FlameOptions {
+            title: "leakprofd flamegraph".into(),
+            subtitle: String::new(),
+            width_px: 1200,
+            verdicts: BTreeMap::new(),
+        }
+    }
+}
+
+/// Row height of one frame in the rendered SVG, px.
+const ROW_PX: f64 = 18.0;
+/// Frames narrower than this many px are culled from the SVG (their
+/// weight still shows in ancestors' widths and tooltips).
+const MIN_FRAME_PX: f64 = 0.4;
+
+fn escape_xml(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Deterministic warm fill for frames without a verdict: a hash of the
+/// label picks a hue in the classic flamegraph orange band, so the same
+/// frame gets the same color on every daemon.
+fn default_fill(label: &str) -> String {
+    let mut h: u32 = 2166136261;
+    for b in label.bytes() {
+        h ^= b as u32;
+        h = h.wrapping_mul(16777619);
+    }
+    let r = 205 + (h % 50);
+    let g = 90 + ((h >> 8) % 90);
+    let b = 30 + ((h >> 16) % 40);
+    format!("rgb({r},{g},{b})")
+}
+
+fn verdict_fill(class: &str) -> Option<&'static str> {
+    match class {
+        "regressing" => Some("#d64541"),
+        "improving" => Some("#4fa35a"),
+        "flat" => Some("#c9b458"),
+        _ => None,
+    }
+}
+
+impl FlameGraph {
+    /// Renders the graph as one self-contained HTML page wrapping a
+    /// static SVG — no scripts, no stylesheets, no external fetches, so
+    /// the output can be saved, mailed, or served from an air-gapped
+    /// daemon as-is. Hover shows the full frame label, weight, and
+    /// share via `<title>` tooltips. Frames under a verdict path prefix
+    /// (see [`FlameOptions::verdicts`]) carry a `data-health` attribute
+    /// and the verdict color, which is what the smoke tests grep for.
+    pub fn render_html(&self, opts: &FlameOptions) -> String {
+        use std::fmt::Write as _;
+        let total = self.total();
+        let depth = self.max_depth();
+        let width = opts.width_px.max(200) as f64;
+        let height = (depth.max(1) as f64) * ROW_PX + 2.0;
+        let mut svg = String::new();
+        if total > 0 {
+            let mut path: Vec<String> = Vec::new();
+            render_children(
+                &self.root, &mut path, 0.0, width, 0, total, opts, None, &mut svg,
+            );
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "<!DOCTYPE html>");
+        let _ = writeln!(
+            out,
+            "<html><head><meta charset=\"utf-8\"><title>{}</title></head>",
+            escape_xml(&opts.title)
+        );
+        let _ = writeln!(
+            out,
+            "<body style=\"font-family:monospace;background:#fdfdfd;color:#222\">"
+        );
+        let _ = writeln!(out, "<h2>{}</h2>", escape_xml(&opts.title));
+        if !opts.subtitle.is_empty() {
+            let _ = writeln!(out, "<p>{}</p>", escape_xml(&opts.subtitle));
+        }
+        let _ = writeln!(
+            out,
+            "<p>total weight {total} · {} frame(s) · depth {depth} · \
+             color: <span style=\"color:#d64541\">regressing</span> / \
+             <span style=\"color:#c9b458\">flat</span> / \
+             <span style=\"color:#4fa35a\">improving</span> / orange = no verdict</p>",
+            self.node_count()
+        );
+        let _ = writeln!(
+            out,
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" \
+             font-size=\"11\" font-family=\"monospace\">",
+            width as u32, height as u32
+        );
+        out.push_str(&svg);
+        let _ = writeln!(out, "</svg></body></html>");
+        out
+    }
+}
+
+/// Recursively emits `<g><rect><title><text></g>` rows for `node`'s
+/// children across `[x0, x0+w)`, depth-first. `inherited` is the
+/// verdict class covering this subtree, if an ancestor matched one.
+#[allow(clippy::too_many_arguments)]
+fn render_children(
+    node: &FlameNode,
+    path: &mut Vec<String>,
+    x0: f64,
+    w: f64,
+    depth: usize,
+    total: u64,
+    opts: &FlameOptions,
+    inherited: Option<&str>,
+    out: &mut String,
+) {
+    use std::fmt::Write as _;
+    let node_total = node.total();
+    if node_total == 0 {
+        return;
+    }
+    // Children are laid out after the node's own terminating weight, in
+    // label order — the same order `to_folded` walks.
+    let mut x = x0 + w * (node.self_weight as f64 / node_total as f64);
+    for (label, child) in &node.children {
+        let child_total = child.total();
+        let cw = w * (child_total as f64 / node_total as f64);
+        path.push(label.clone());
+        let joined = path.join(";");
+        let class = opts.verdicts.get(&joined).map(String::as_str).or(inherited);
+        if cw >= MIN_FRAME_PX {
+            let fill = class
+                .and_then(verdict_fill)
+                .map(str::to_string)
+                .unwrap_or_else(|| default_fill(label));
+            let y = depth as f64 * ROW_PX + 1.0;
+            let pct = 100.0 * child_total as f64 / total as f64;
+            let _ = write!(
+                out,
+                "<g{}><rect x=\"{:.2}\" y=\"{:.2}\" width=\"{:.2}\" height=\"{:.2}\" \
+                 fill=\"{}\" stroke=\"#fdfdfd\" stroke-width=\"0.5\"/>\
+                 <title>{} — {} blocked ({:.2}%){}</title>",
+                class
+                    .map(|c| format!(" data-health=\"{c}\""))
+                    .unwrap_or_default(),
+                x,
+                y,
+                cw,
+                ROW_PX - 1.0,
+                fill,
+                escape_xml(label),
+                child_total,
+                pct,
+                class.map(|c| format!(" — trend: {c}")).unwrap_or_default(),
+            );
+            if cw >= 60.0 {
+                // Clip the label roughly to the frame width (monospace
+                // ≈ 6.6 px/char at font-size 11).
+                let max_chars = ((cw - 6.0) / 6.6) as usize;
+                let shown: String = if label.chars().count() > max_chars {
+                    label
+                        .chars()
+                        .take(max_chars.saturating_sub(1))
+                        .collect::<String>()
+                        + "…"
+                } else {
+                    label.clone()
+                };
+                let _ = write!(
+                    out,
+                    "<text x=\"{:.2}\" y=\"{:.2}\" fill=\"#1a1a1a\">{}</text>",
+                    x + 3.0,
+                    depth as f64 * ROW_PX + ROW_PX - 5.0,
+                    escape_xml(&shown)
+                );
+            }
+            let _ = writeln!(out, "</g>");
+        }
+        render_children(child, path, x, cw, depth + 1, total, opts, class, out);
+        path.pop();
+        x += cw;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FlameGraph {
+        let mut g = FlameGraph::new();
+        g.add(["main", "pay.Handle", "runtime.gopark"], 7);
+        g.add(["main", "pay.Handle", "runtime.chansend1"], 3);
+        g.add(["main", "geo.Handle"], 2);
+        g
+    }
+
+    #[test]
+    fn totals_follow_the_trie() {
+        let g = sample();
+        assert_eq!(g.total(), 12);
+        assert_eq!(g.max_depth(), 3);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.root.children["main"].total(), 12);
+        assert_eq!(g.root.children["main"].children["pay.Handle"].total(), 10);
+    }
+
+    #[test]
+    fn folded_output_is_deterministic_and_round_trips() {
+        let g = sample();
+        let folded = g.to_folded();
+        assert_eq!(
+            folded,
+            "main;geo.Handle 2\n\
+             main;pay.Handle;runtime.chansend1 3\n\
+             main;pay.Handle;runtime.gopark 7\n"
+        );
+        let back = FlameGraph::from_folded(&folded).unwrap();
+        assert_eq!(back, g);
+
+        // Insertion order must not show in the output.
+        let mut g2 = FlameGraph::new();
+        g2.add(["main", "geo.Handle"], 2);
+        g2.add(["main", "pay.Handle", "runtime.gopark"], 7);
+        g2.add(["main", "pay.Handle", "runtime.chansend1"], 3);
+        assert_eq!(g2.to_folded(), folded);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = sample();
+        let mut b = FlameGraph::new();
+        b.add(["main", "pay.Handle", "runtime.gopark"], 5);
+        b.add(["init"], 1);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        b.merge(&a);
+        assert_eq!(ab.to_folded(), b.to_folded());
+        a.merge(&FlameGraph::new());
+        assert_eq!(a, sample(), "empty graph is the merge identity");
+    }
+
+    #[test]
+    fn zero_weights_and_empty_paths_are_noops() {
+        let mut g = FlameGraph::new();
+        g.add(["main"], 0);
+        g.add(Vec::<&str>::new(), 9);
+        assert_eq!(g, FlameGraph::new());
+    }
+
+    #[test]
+    fn labels_are_sanitized() {
+        let mut g = FlameGraph::new();
+        g.add(["a;b\nc"], 1);
+        assert_eq!(g.to_folded(), "a:b c 1\n");
+        assert_eq!(FlameGraph::from_folded("a:b c 1\n").unwrap(), g);
+    }
+
+    #[test]
+    fn malformed_folded_lines_are_rejected() {
+        assert!(FlameGraph::from_folded("main;f").is_err());
+        assert!(FlameGraph::from_folded("main;f twelve").is_err());
+        assert!(FlameGraph::from_folded(" 3").is_err());
+        assert!(FlameGraph::from_folded("\n\n").unwrap().total() == 0);
+    }
+
+    #[test]
+    fn html_render_carries_verdict_colors() {
+        let g = sample();
+        let mut opts = FlameOptions {
+            title: "t".into(),
+            ..FlameOptions::default()
+        };
+        opts.verdicts
+            .insert("main;pay.Handle".into(), "regressing".into());
+        let html = g.render_html(&opts);
+        assert!(html.contains("<svg"), "self-contained SVG");
+        assert!(!html.contains("<script"), "zero-dependency: no scripts");
+        assert!(!html.contains("http-equiv"), "no refresh tricks");
+        // The verdict node and its runtime children inherit the class.
+        assert_eq!(html.matches("data-health=\"regressing\"").count(), 3);
+        assert!(html.contains("trend: regressing"));
+        // Unverdicted frames fall back to the deterministic palette.
+        let again = g.render_html(&opts);
+        assert_eq!(html, again, "render is a pure function of the trie");
+    }
+}

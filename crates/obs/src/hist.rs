@@ -78,6 +78,31 @@ impl LatencyHistogram {
         self.max_us
     }
 
+    /// Sum of all recorded observations, in microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us
+    }
+
+    /// Cumulative bucket counts in Prometheus histogram form:
+    /// `(le_us, observations ≤ le_us)` for every bucket up to the
+    /// highest non-empty one (bucket `i` has upper bound `2^(i+1)` µs).
+    /// The implicit `+Inf` bucket equals [`LatencyHistogram::count`]
+    /// and is left to the exposition layer to emit.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let Some(last) = self.buckets.iter().rposition(|&c| c > 0) else {
+            return Vec::new();
+        };
+        let mut cum = 0;
+        self.buckets[..=last]
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                cum += c;
+                (1u64 << (i + 1), cum)
+            })
+            .collect()
+    }
+
     /// Mean latency in microseconds (0 when empty).
     pub fn mean_us(&self) -> u64 {
         self.sum_us.checked_div(self.count).unwrap_or(0)
@@ -139,6 +164,23 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 2);
         assert!(a.max_us() >= 1000);
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_cover_the_count() {
+        let mut h = LatencyHistogram::new();
+        assert!(h.cumulative_buckets().is_empty());
+        for us in [1, 3, 100, 100, 5_000] {
+            h.record_us(us);
+        }
+        let buckets = h.cumulative_buckets();
+        // Highest observation 5000 µs lands in [4096, 8192): le 8192.
+        assert_eq!(buckets.last().unwrap(), &(8192, h.count()));
+        for w in buckets.windows(2) {
+            assert!(w[0].0 < w[1].0, "le bounds ascend");
+            assert!(w[0].1 <= w[1].1, "counts are cumulative");
+        }
+        assert_eq!(h.sum_us(), 1 + 3 + 100 + 100 + 5_000);
     }
 
     #[test]

@@ -29,12 +29,18 @@
 //!   parse / analyze), rendered as a [`gosim::GoroutineProfile`] in the
 //!   *same JSON format the scraped instances serve*, so the daemon can
 //!   be scraped and leak-ranked by its own pipeline.
+//! * [`flame`] — the weighted stack-prefix trie ([`FlameGraph`]) behind
+//!   `/flame`: exact commutative/associative merge (the accumulator's
+//!   discipline applied to stacks), collapsed folded-stack text, and a
+//!   self-contained SVG/HTML flamegraph renderer with health-verdict
+//!   coloring.
 
 #![warn(missing_docs)]
 
 pub mod chrome;
 pub mod context;
 pub mod events;
+pub mod flame;
 pub mod hist;
 pub mod ring;
 pub mod selfprof;
@@ -43,6 +49,7 @@ pub mod span;
 pub use chrome::{from_chrome, to_chrome, to_chrome_stitched};
 pub use context::{mint_span_id, TraceContext, TRACEPARENT};
 pub use events::{Event, EventConfig, EventLog, Level};
+pub use flame::{FlameGraph, FlameNode, FlameOptions};
 pub use hist::LatencyHistogram;
 pub use ring::Ring;
 pub use selfprof::{Site, WorkerBoard, WorkerHandle, WorkerState};

@@ -573,6 +573,24 @@ impl Tracer {
         }
     }
 
+    /// Per-stage latency histograms since daemon start (stage →
+    /// histogram), for layers that need the raw log2 buckets rather
+    /// than [`StageSummary`] quantiles — Prometheus `_bucket` lines and
+    /// the daemon's self-flame both feed from here.
+    pub fn stage_histograms(&self) -> Vec<(String, LatencyHistogram)> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => inner
+                .retained
+                .lock()
+                .unwrap()
+                .stages
+                .iter()
+                .map(|(stage, h)| (stage.clone(), h.clone()))
+                .collect(),
+        }
+    }
+
     /// Total spans recorded since daemon start.
     pub fn spans_recorded(&self) -> u64 {
         self.inner

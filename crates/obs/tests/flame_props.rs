@@ -1,0 +1,91 @@
+//! Property tests for the flame trie's algebra.
+//!
+//! Flame tries are folded bottom-up across the fleet — per-instance
+//! into per-shard into fleet-wide — so `merge` has to be commutative
+//! and associative for the result to be independent of shard layout
+//! and poll order (the same discipline `FleetAccumulator::merge`
+//! guarantees for the ranking itself). The folded-stack text is the
+//! interchange format, so serialize → parse must round-trip exactly.
+
+use obs::FlameGraph;
+use proptest::prelude::*;
+
+/// Arbitrary stacks: short paths over a tiny label alphabet, so merges
+/// collide on shared prefixes often (the interesting case).
+fn stacks() -> impl Strategy<Value = Vec<(Vec<String>, u64)>> {
+    let label = prop_oneof![
+        Just("main.main".to_string()),
+        Just("pay.Handle pay/h.go:10".to_string()),
+        Just("geo.Lookup geo/l.go:7".to_string()),
+        Just("runtime.chansend1".to_string()),
+        Just("runtime.gopark".to_string()),
+        "[a-z]{1,8}",
+    ];
+    proptest::collection::vec(
+        (proptest::collection::vec(label, 1..6), 0u64..1_000_000),
+        0..24,
+    )
+}
+
+fn graph_from(stacks: &[(Vec<String>, u64)]) -> FlameGraph {
+    let mut g = FlameGraph::new();
+    for (path, w) in stacks {
+        g.add(path, *w);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// merge(a, b) == merge(b, a).
+    #[test]
+    fn merge_is_commutative(xs in stacks(), ys in stacks()) {
+        let (a, b) = (graph_from(&xs), graph_from(&ys));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.to_folded(), ba.to_folded());
+    }
+
+    /// merge(merge(a, b), c) == merge(a, merge(b, c)).
+    #[test]
+    fn merge_is_associative(xs in stacks(), ys in stacks(), zs in stacks()) {
+        let (a, b, c) = (graph_from(&xs), graph_from(&ys), graph_from(&zs));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Merging equals adding the concatenated stacks directly, and the
+    /// total is the sum of the weights.
+    #[test]
+    fn merge_matches_bulk_add(xs in stacks(), ys in stacks()) {
+        let mut merged = graph_from(&xs);
+        merged.merge(&graph_from(&ys));
+        let mut all = xs.clone();
+        all.extend(ys.iter().cloned());
+        prop_assert_eq!(&merged, &graph_from(&all));
+        let want: u64 = all.iter().map(|(_, w)| w).sum();
+        prop_assert_eq!(merged.total(), want);
+    }
+
+    /// to_folded → from_folded reproduces the graph exactly (labels are
+    /// sanitized on add, so every graph built through the public API is
+    /// representable).
+    #[test]
+    fn folded_text_round_trips(xs in stacks()) {
+        let g = graph_from(&xs);
+        let folded = g.to_folded();
+        let back = FlameGraph::from_folded(&folded).expect("own output parses");
+        prop_assert_eq!(&back, &g);
+        prop_assert_eq!(back.to_folded(), folded);
+    }
+}

@@ -612,6 +612,29 @@ impl TsStore {
             .unwrap_or_default()
     }
 
+    /// The last recorded value of `id` at or before time `t` (`None`
+    /// for an unknown series or for `t` before the series' first
+    /// point — a rollup bucket's span can start earlier than any data
+    /// in it, and answering from one would leak later values backward
+    /// in time). Raw points answer exactly; once `t` has rotated out
+    /// of the raw ring the finest rollup still covering it answers
+    /// with its closing `last` value — the best surviving
+    /// approximation. This is how the flame tier resolves
+    /// `?from=&to=` differential windows to per-site blocked counts.
+    pub fn value_at(&self, id: &str, t: u64) -> Option<f64> {
+        let series = self.series.get(id)?;
+        if t < series.first_t {
+            return None;
+        }
+        if let Some(p) = series.raw.iter().rev().find(|p| p.t <= t) {
+            return Some(p.last);
+        }
+        series
+            .rollups
+            .iter()
+            .find_map(|ring| ring.query(0, t).last().map(|b| b.last))
+    }
+
     /// The most recent `n` raw values of `id`, oldest first (for
     /// sparklines and trend windows).
     pub fn recent(&self, id: &str, n: usize) -> Vec<(u64, f64)> {
@@ -709,6 +732,33 @@ mod tests {
         let old = s.query("x", 0, 63, None);
         assert!(old.iter().all(|p| p.t % 4 == 0));
         assert_eq!(old.len(), 16);
+    }
+
+    #[test]
+    fn value_at_answers_raw_then_degrades_to_rollups() {
+        let mut s = TsStore::in_memory(cfg(8, &[(4, 1024)]));
+        for t in 0..64u64 {
+            s.append(t, &[("x", t as f64 * 10.0)]).unwrap();
+        }
+        assert_eq!(s.value_at("x", 63), Some(630.0));
+        assert_eq!(s.value_at("x", 60), Some(600.0), "exact from raw");
+        assert_eq!(s.value_at("x", 100), Some(630.0), "future clamps to last");
+        // t=30 rotated out of the 8-slot raw ring: the covering step-4
+        // bucket [28,32) answers with its closing value.
+        assert_eq!(s.value_at("x", 30), Some(310.0));
+        assert_eq!(s.value_at("y", 5), None, "unknown series");
+        let empty = TsStore::in_memory(cfg(8, &[]));
+        assert_eq!(empty.value_at("x", 5), None);
+
+        // A series starting late answers None before its first point,
+        // even though its open rollup bucket's span reaches back to 0 —
+        // later values must never leak backward in time.
+        let mut late = TsStore::in_memory(cfg(8, &[(4, 1024)]));
+        for t in 3..6u64 {
+            late.append(t, &[("z", t as f64)]).unwrap();
+        }
+        assert_eq!(late.value_at("z", 2), None, "before first point");
+        assert_eq!(late.value_at("z", 3), Some(3.0));
     }
 
     #[test]
